@@ -1,0 +1,64 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every bench binary does two things:
+//  1. prints the paper-style table/series for its experiment (primary
+//     artifact, always emitted, deterministic);
+//  2. registers google-benchmark cases that re-run the underlying
+//     simulations, reporting the simulated cycle counts as counters — so the
+//     standard `for b in build/bench/*; do $b; done` loop exercises them and
+//     reports both simulator wall time and simulated time.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "soc/soc.h"
+#include "soc/workloads.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace mco::bench {
+
+inline constexpr std::uint64_t kSeed = 42;
+
+/// Simulated cycles of a verified DAXPY offload.
+inline sim::Cycles daxpy_cycles(const soc::SocConfig& cfg, std::uint64_t n, unsigned m) {
+  return soc::run_daxpy(cfg, n, m, kSeed).total();
+}
+
+/// Register a google-benchmark case that runs one offload per iteration and
+/// reports the simulated cycles as a counter.
+inline void register_offload_benchmark(const std::string& name, soc::SocConfig cfg,
+                                       std::string kernel, std::uint64_t n, unsigned m) {
+  benchmark::RegisterBenchmark(name.c_str(), [cfg, kernel, n, m](benchmark::State& state) {
+    sim::Cycles cycles = 0;
+    for (auto _ : state) {
+      soc::Soc soc(cfg);
+      cycles = soc::run_verified(soc, kernel, n, m, kSeed, 1e-5).total();
+      benchmark::DoNotOptimize(cycles);
+    }
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+  });
+}
+
+/// Print the standard bench banner.
+inline void banner(const char* experiment, const char* paper_artifact) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("(cycles @ 1 GHz; deterministic simulation, seed %llu)\n",
+              static_cast<unsigned long long>(kSeed));
+  std::printf("================================================================\n\n");
+}
+
+inline std::string fmt_u64(std::uint64_t v) {
+  return util::format("%llu", static_cast<unsigned long long>(v));
+}
+
+inline std::string fmt_fix(double v, int prec = 3) { return util::format("%.*f", prec, v); }
+
+}  // namespace mco::bench

@@ -1,0 +1,72 @@
+// E5 — Eq. (3): offload decisions under a runtime deadline, validated in
+// simulation.
+//
+// For each deadline t_max the model picks the minimum cluster count
+// M_min = ceil(2.6*N / (8*(t_max - 367 - N/4))); we then *run* the offload at
+// M_min (and at M_min - 1) and check the deadline is met (and would not be
+// met with one cluster fewer). Also reports the offload-vs-host break-even
+// problem size for a scalar host at 4 cycles/element.
+#include "bench_common.h"
+
+#include "model/decision.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void print_tables() {
+  banner("E5: offload decisions under deadline constraints",
+         "Eq. (3) + SIII closing discussion, Colagrande & Benini, DATE 2024");
+
+  const model::RuntimeModel m = model::paper_daxpy_model();
+
+  util::TablePrinter table(
+      {"N", "t_max", "M_min(Eq.3)", "t_sim(M_min)", "met", "t_sim(M_min-1)", "tight"});
+  for (const std::uint64_t n : {512ull, 1024ull, 2048ull}) {
+    for (const double slack : {1.05, 1.12, 1.25, 1.60}) {
+      const double t_max = m.predict(32, n) * slack;
+      const auto m_min = model::min_clusters_for_deadline(m, n, t_max, 32);
+      if (!m_min) {
+        table.add_row({fmt_u64(n), fmt_fix(t_max, 0), "infeasible", "-", "-", "-", "-"});
+        continue;
+      }
+      const auto t_sim = daxpy_cycles(soc::SocConfig::extended(32), n, *m_min);
+      const bool met = static_cast<double>(t_sim) <= t_max * 1.01;
+      std::string t_less = "-";
+      std::string tight = "-";
+      if (*m_min > 1) {
+        const auto t_sim_less = daxpy_cycles(soc::SocConfig::extended(32), n, *m_min - 1);
+        t_less = fmt_u64(t_sim_less);
+        tight = static_cast<double>(t_sim_less) > t_max * 0.99 ? "yes" : "NO";
+      }
+      table.add_row({fmt_u64(n), fmt_fix(t_max, 0), fmt_u64(*m_min), fmt_u64(t_sim),
+                     met ? "yes" : "NO", t_less, tight});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\noffload-vs-host break-even (scalar host, 4 cycles/element):\n\n");
+  util::TablePrinter be({"M", "break-even N", "t_off(N)", "t_host(N)"});
+  for (const unsigned mm : {1u, 4u, 8u, 32u}) {
+    const auto n0 = model::break_even_n(m, mm, 4.0);
+    if (!n0) {
+      be.add_row({fmt_u64(mm), "never", "-", "-"});
+      continue;
+    }
+    be.add_row({fmt_u64(mm), fmt_u64(*n0), fmt_fix(m.predict(mm, *n0), 0),
+                fmt_fix(4.0 * static_cast<double>(*n0), 0)});
+  }
+  be.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  register_offload_benchmark("decision/extended/N=1024/M=5",
+                             mco::soc::SocConfig::extended(32), "daxpy", 1024, 5);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

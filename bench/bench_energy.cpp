@@ -1,0 +1,56 @@
+// E9 — energy account of offloading (extension; the paper's introduction
+// motivates overhead reduction for energy as well as runtime).
+//
+// Sweeps the cluster count for both designs and reports total energy and
+// energy-delay product per offload, plus the energy-optimal cluster count —
+// which lands *below* the runtime-optimal one because idle-worker and
+// leakage energy grow with M while the runtime saving saturates (Amdahl).
+#include "bench_common.h"
+
+#include "energy/energy_model.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void print_tables() {
+  banner("E9: energy per DAXPY offload (N=1024)",
+         "extension of SI motivation, Colagrande & Benini, DATE 2024");
+
+  const energy::EnergyConfig ecfg;
+  util::TablePrinter table({"M", "base[cyc]", "base[nJ]", "ext[cyc]", "ext[nJ]",
+                            "ext EDP[nJ*kcyc]"});
+  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto base =
+        energy::measure_offload_energy(soc::SocConfig::baseline(32), ecfg, "daxpy", 1024, m);
+    const auto ext =
+        energy::measure_offload_energy(soc::SocConfig::extended(32), ecfg, "daxpy", 1024, m);
+    table.add_row({fmt_u64(m), fmt_u64(base.cycles), fmt_fix(base.report.total_pj() / 1e3, 1),
+                   fmt_u64(ext.cycles), fmt_fix(ext.report.total_pj() / 1e3, 1),
+                   fmt_fix(ext.report.edp(ext.cycles) / 1e6, 1)});
+  }
+  table.print(std::cout);
+
+  const unsigned m_energy =
+      energy::energy_optimal_m(soc::SocConfig::extended(32), ecfg, "daxpy", 1024, 32);
+  std::printf("\nenergy-optimal M (extended): %u    runtime-optimal M: 32\n", m_energy);
+  std::printf("-> minimizing energy favours fewer clusters than minimizing runtime.\n");
+
+  std::printf("\nbreakdown at M=32 (extended): %s\n",
+              energy::measure_offload_energy(soc::SocConfig::extended(32), ecfg, "daxpy", 1024,
+                                             32)
+                  .report.to_string()
+                  .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  register_offload_benchmark("energy/extended/M=8", mco::soc::SocConfig::extended(32), "daxpy",
+                             1024, 8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

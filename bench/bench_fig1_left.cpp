@@ -1,0 +1,52 @@
+// E1 — Fig. 1 (left): runtime of a 1024-dimension DAXPY job for various
+// numbers of clusters, baseline vs. extended implementation.
+//
+// Paper shape to reproduce: the baseline curve has a global minimum around
+// M ≈ 4–8 (sequential dispatch overhead grows linearly in M while per-cluster
+// work shrinks); the extended curve decreases monotonically up to 32
+// clusters, with > 300 cycles of difference at M = 32.
+#include "bench_common.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void print_table() {
+  banner("E1: DAXPY N=1024 runtime vs. number of clusters",
+         "Fig. 1 (left), Colagrande & Benini, DATE 2024");
+
+  util::TablePrinter table({"M", "baseline[cyc]", "extended[cyc]", "diff[cyc]", "speedup"});
+  std::uint64_t min_base = ~0ull;
+  unsigned min_base_m = 0;
+  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto base = daxpy_cycles(soc::SocConfig::baseline(64), 1024, m);
+    const auto ext = daxpy_cycles(soc::SocConfig::extended(64), 1024, m);
+    if (base < min_base) {
+      min_base = base;
+      min_base_m = m;
+    }
+    table.add_row({fmt_u64(m), fmt_u64(base), fmt_u64(ext),
+                   fmt_u64(base - ext),
+                   fmt_fix(static_cast<double>(base) / static_cast<double>(ext))});
+  }
+  table.print(std::cout);
+  std::printf("\nbaseline global minimum at M=%u (%llu cycles) — paper: \"above four\n"
+              "clusters the offload overhead starts to dominate\"\n",
+              min_base_m, static_cast<unsigned long long>(min_base));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (const unsigned m : {1u, 4u, 8u, 32u}) {
+    register_offload_benchmark("fig1_left/baseline/M=" + std::to_string(m),
+                               mco::soc::SocConfig::baseline(32), "daxpy", 1024, m);
+    register_offload_benchmark("fig1_left/extended/M=" + std::to_string(m),
+                               mco::soc::SocConfig::extended(32), "daxpy", 1024, m);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

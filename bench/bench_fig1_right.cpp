@@ -1,0 +1,63 @@
+// E2 — Fig. 1 (right): speedup of the extended design over the baseline for
+// various problem sizes and numbers of clusters.
+//
+// Paper shape to reproduce: speedup is always > 1; for a fixed cluster count
+// it decreases with the problem size (the constant dispatch saving amortizes
+// over a longer job); the maximum — 1.479× — is at the smallest plotted
+// vector dimension (N = 1024) on 32 clusters.
+#include "bench_common.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+const std::vector<std::uint64_t> kNs{1024, 2048, 4096, 8192, 16384};
+const std::vector<unsigned> kMs{1, 2, 4, 8, 16, 32};
+
+void print_table() {
+  banner("E2: extended-over-baseline DAXPY speedup vs. (N, M)",
+         "Fig. 1 (right), Colagrande & Benini, DATE 2024");
+
+  std::vector<std::string> header{"N \\ M"};
+  for (const unsigned m : kMs) header.push_back(fmt_u64(m));
+  util::TablePrinter table(header);
+
+  double max_speedup = 0.0;
+  std::uint64_t max_n = 0;
+  unsigned max_m = 0;
+  bool always_above_one = true;
+  for (const std::uint64_t n : kNs) {
+    std::vector<std::string> row{fmt_u64(n)};
+    for (const unsigned m : kMs) {
+      const auto base = daxpy_cycles(soc::SocConfig::baseline(32), n, m);
+      const auto ext = daxpy_cycles(soc::SocConfig::extended(32), n, m);
+      const double s = static_cast<double>(base) / static_cast<double>(ext);
+      always_above_one &= s > 1.0;
+      if (s > max_speedup) {
+        max_speedup = s;
+        max_n = n;
+        max_m = m;
+      }
+      row.push_back(fmt_fix(s));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\nmax speedup: %.3fx at (N=%llu, M=%u) — paper: 1.479x at (1024, 32)\n",
+              max_speedup, static_cast<unsigned long long>(max_n), max_m);
+  std::printf("speedup always > 1: %s (paper: yes)\n", always_above_one ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (const std::uint64_t n : {1024ull, 8192ull}) {
+    register_offload_benchmark("fig1_right/extended/N=" + std::to_string(n),
+                               mco::soc::SocConfig::extended(32), "daxpy", n, 32);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// E4 — headline claims: 47.9 % speedup, > 300-cycle gap at 32 clusters, and
+// negligible further gain beyond 32 clusters (Amdahl).
+#include "bench_common.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void print_table() {
+  banner("E4: headline numbers at N=1024",
+         "Abstract + SIII closing numbers, Colagrande & Benini, DATE 2024");
+
+  const auto base32 = daxpy_cycles(soc::SocConfig::baseline(32), 1024, 32);
+  const auto ext32 = daxpy_cycles(soc::SocConfig::extended(32), 1024, 32);
+  const auto ext32of64 = daxpy_cycles(soc::SocConfig::extended(64), 1024, 32);
+  const auto ext64 = daxpy_cycles(soc::SocConfig::extended(64), 1024, 64);
+  const double speedup = static_cast<double>(base32) / static_cast<double>(ext32);
+
+  util::TablePrinter table({"claim", "paper", "measured", "ok"});
+  table.add_row({"speedup at (N=1024, M=32)", "1.479x", fmt_fix(speedup) + "x",
+                 std::abs(speedup - 1.479) < 0.02 ? "yes" : "NO"});
+  table.add_row({"runtime difference at M=32", ">300 cyc", fmt_u64(base32 - ext32) + " cyc",
+                 base32 - ext32 > 300 ? "yes" : "NO"});
+  table.add_row({"extended runtime at (1024, 32)", "~633 cyc (Eq.1)", fmt_u64(ext32) + " cyc",
+                 std::abs(static_cast<double>(ext32) - 633.4) < 10 ? "yes" : "NO"});
+  const double gain64 =
+      100.0 * static_cast<double>(ext32of64 - ext64) / static_cast<double>(ext32of64);
+  table.add_row({"gain from 32 -> 64 clusters", "negligible", fmt_fix(gain64, 2) + " %",
+                 gain64 < 3.0 ? "yes" : "NO"});
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  register_offload_benchmark("headline/baseline/M=32", mco::soc::SocConfig::baseline(32),
+                             "daxpy", 1024, 32);
+  register_offload_benchmark("headline/extended/M=32", mco::soc::SocConfig::extended(32),
+                             "daxpy", 1024, 32);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E11 — microarchitectural validation of the calibrated compute rate.
+//
+// The paper derives its 2.6 cycles/element DAXPY throughput "by inspecting
+// the hardware and the compiled application". Here the inspection is
+// executable: three DAXPY inner loops (naive scalar, 4x-unrolled, and
+// hand-optimal SSR+FREP) run on the cycle-accurate worker-core ISS and
+// report measured cycles/element. The calibrated 2.6 used by the cluster
+// timing model must fall inside the bracket real code achieves.
+#include "bench_common.h"
+
+#include "isa/microkernels.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void print_table() {
+  banner("E11: DAXPY inner-loop throughput on the worker-core ISS",
+         "validation of Eq. (1)'s 2.6 cycles/element, DATE 2024");
+
+  util::TablePrinter table(
+      {"variant", "n", "cycles", "instructions", "cycles/element", "verified"});
+  for (const auto v : {isa::DaxpyVariant::kScalar, isa::DaxpyVariant::kUnrolled4,
+                       isa::DaxpyVariant::kSsrFrep}) {
+    for (const std::uint64_t n : {64ull, 256ull, 1024ull}) {
+      const auto m = isa::measure_daxpy(v, n, kSeed);
+      table.add_row({isa::to_string(v), fmt_u64(n), fmt_u64(m.cycles),
+                     fmt_u64(m.instructions), fmt_fix(m.cycles_per_element, 3),
+                     m.verified ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nvector-sum accumulator study (vecsum rate 1.8 cycles/element):\n\n");
+  util::TablePrinter sums({"variant", "n", "cycles/element", "verified"});
+  for (const auto v : {isa::SumVariant::kSingleAccumulator, isa::SumVariant::kSplitAccumulators}) {
+    for (const std::uint64_t n : {96ull, 768ull}) {
+      const auto m = isa::measure_sum(v, n, kSeed);
+      sums.add_row({isa::to_string(v), fmt_u64(n), fmt_fix(m.cycles_per_element, 3),
+                    m.verified ? "yes" : "NO"});
+    }
+  }
+  sums.print(std::cout);
+
+  const double scalar = isa::measure_daxpy(isa::DaxpyVariant::kScalar, 1024).cycles_per_element;
+  const double ssr = isa::measure_daxpy(isa::DaxpyVariant::kSsrFrep, 1024).cycles_per_element;
+  std::printf("\ncalibrated rate 2.6 cycles/element is bracketed by real code:\n"
+              "  hand-optimal SSR+FREP %.2f  <  2.6  <  naive scalar %.2f\n"
+              "i.e. the paper's compiled DAXPY corresponds to moderately optimized\n"
+              "code (SSR streams with an explicit store loop / partial unrolling).\n",
+              ssr, scalar);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::RegisterBenchmark("isa/daxpy_ssr_frep/n=1024", [](benchmark::State& state) {
+    double cpe = 0;
+    for (auto _ : state) {
+      cpe = isa::measure_daxpy(isa::DaxpyVariant::kSsrFrep, 1024).cycles_per_element;
+    }
+    state.counters["cycles_per_elem"] = cpe;
+  });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E3 — Eq. (1) + Eq. (2): validation of the analytical runtime model.
+//
+// Paper claim to reproduce: for every problem size N ∈ {256, 512, 768, 1024},
+// the MAPE of t̂(M,N) = 367 + N/4 + 2.6·N/(8·M) over the cluster sweep
+// M ∈ {1, 2, 4, 8, 16, 32} is consistently below 1 %.
+//
+// In addition to the paper's hand-derived constants we also *fit* the model
+// from the simulated samples (how a user without RTL access would obtain it)
+// and report the recovered coefficients.
+#include "bench_common.h"
+
+#include "model/fitter.h"
+#include "model/mape.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+const std::vector<std::uint64_t> kNs{256, 512, 768, 1024};
+const std::vector<unsigned> kMs{1, 2, 4, 8, 16, 32};
+
+void print_tables() {
+  banner("E3: runtime-model accuracy (MAPE per problem size)",
+         "Eq. (1) and Eq. (2), Colagrande & Benini, DATE 2024");
+
+  std::vector<model::Sample> samples;
+  for (const std::uint64_t n : kNs) {
+    for (const unsigned m : kMs) {
+      samples.push_back(model::Sample{
+          m, n, static_cast<double>(daxpy_cycles(soc::SocConfig::extended(32), n, m))});
+    }
+  }
+
+  const model::RuntimeModel paper = model::paper_daxpy_model();
+  const auto fit = model::fit_runtime_model(samples);
+
+  std::printf("paper model : %s\n", paper.describe().c_str());
+  std::printf("fitted model: %s  (R^2 = %.6f)\n\n", fit.model.describe().c_str(),
+              fit.r_squared);
+
+  util::TablePrinter table({"N", "MAPE(paper)[%]", "MAPE(fitted)[%]", "<1% (paper claim)"});
+  const auto paper_by_n = model::mape_by_n(paper, samples);
+  const auto fit_by_n = model::mape_by_n(fit.model, samples);
+  for (const std::uint64_t n : kNs) {
+    table.add_row({fmt_u64(n), fmt_fix(paper_by_n.at(n)), fmt_fix(fit_by_n.at(n)),
+                   paper_by_n.at(n) < 1.0 ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::printf("\noverall MAPE (paper model): %.3f %%\n", model::mape(paper, samples));
+
+  std::printf("\nper-sample detail (measured vs. predicted):\n\n");
+  util::TablePrinter detail({"N", "M", "measured", "predicted", "err[%]"});
+  for (const auto& s : samples) {
+    const double pred = paper.predict(s.m, s.n);
+    detail.add_row({fmt_u64(s.n), fmt_u64(s.m), fmt_fix(s.t, 0), fmt_fix(pred, 1),
+                    fmt_fix(100.0 * std::abs(s.t - pred) / s.t)});
+  }
+  detail.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  for (const std::uint64_t n : kNs) {
+    register_offload_benchmark("model_mape/extended/N=" + std::to_string(n),
+                               mco::soc::SocConfig::extended(32), "daxpy", n, 32);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E7 — where do the overhead cycles go? Host-side phase breakdown of the
+// offload (marshal / sync setup / dispatch / wait / epilogue) for both
+// designs, plus the cluster-side timeline of the last cluster at M = 32.
+//
+// This quantifies the paper's SII narrative: the 367-cycle constant of
+// Eq. (1) decomposes into dispatch, wakeup, team start, data movement
+// bring-up and completion signalling.
+#include "bench_common.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void print_tables() {
+  banner("E7: offload phase breakdown (DAXPY N=1024)",
+         "SII implementation narrative, Colagrande & Benini, DATE 2024");
+
+  for (const bool extended : {false, true}) {
+    std::printf("%s design:\n\n", extended ? "extended" : "baseline");
+    util::TablePrinter table({"M", "marshal", "sync", "dispatch", "wait", "epilogue", "total"});
+    for (const unsigned m : {1u, 8u, 32u}) {
+      const soc::SocConfig cfg =
+          extended ? soc::SocConfig::extended(32) : soc::SocConfig::baseline(32);
+      soc::Soc soc(cfg);
+      const auto r = soc::run_verified(soc, "daxpy", 1024, m, kSeed);
+      const auto p = r.phases();
+      table.add_row({fmt_u64(m), fmt_u64(p.marshal), fmt_u64(p.sync_setup),
+                     fmt_u64(p.dispatch), fmt_u64(p.wait), fmt_u64(p.epilogue),
+                     fmt_u64(r.total())});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("cluster-side timeline, cluster 31 of 32 (extended, N=1024),\n"
+              "cycles relative to the offload call:\n\n");
+  soc::Soc soc(soc::SocConfig::extended(32));
+  const auto r = soc::run_verified(soc, "daxpy", 1024, 32, kSeed);
+  const auto& t = *soc.cluster(31).last_timing();
+  util::TablePrinter tl({"event", "cycle"});
+  const sim::Cycle t0 = r.ts.call;
+  tl.add_row({"doorbell (dispatch arrived)", fmt_u64(t.doorbell - t0)});
+  tl.add_row({"team barrier arrival", fmt_u64(t.team_arrive - t0)});
+  tl.add_row({"team released, DMA-in starts", fmt_u64(t.job_start - t0)});
+  tl.add_row({"DMA-in done, compute starts", fmt_u64(t.dma_in_done - t0)});
+  tl.add_row({"compute done (cluster barrier)", fmt_u64(t.compute_done - t0)});
+  tl.add_row({"DMA-out done", fmt_u64(t.dma_out_done - t0)});
+  tl.add_row({"completion credit sent", fmt_u64(t.signal_sent - t0)});
+  tl.add_row({"host runtime returned", fmt_u64(r.ts.ret - t0)});
+  tl.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  register_offload_benchmark("phase_breakdown/extended/M=32",
+                             mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

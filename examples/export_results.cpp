@@ -1,0 +1,99 @@
+// Export the paper's figure/table data as CSV files for external plotting.
+//
+// Produces, under --outdir (default "results/"):
+//   fig1_left.csv    M, baseline_cycles, extended_cycles
+//   fig1_right.csv   N, M, speedup
+//   model_mape.csv   N, M, measured, predicted, abs_err_percent
+//   ablation.csv     M, baseline, multicast_only, hw_sync_only, both
+//
+// Usage: export_results [--outdir=results] [--quick]
+#include <cstdio>
+#include <filesystem>
+
+#include "model/runtime_model.h"
+#include "soc/workloads.h"
+#include "util/cli.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace mco;
+
+sim::Cycles daxpy_cycles(const soc::SocConfig& cfg, std::uint64_t n, unsigned m) {
+  return soc::run_daxpy(cfg, n, m).total();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string outdir = cli.get("outdir", "results");
+  const bool quick = cli.get_bool("quick", false);
+  std::filesystem::create_directories(outdir);
+
+  const std::vector<unsigned> ms = quick ? std::vector<unsigned>{1, 8, 32}
+                                         : std::vector<unsigned>{1, 2, 4, 8, 16, 32, 64};
+
+  {
+    util::CsvWriter csv(outdir + "/fig1_left.csv");
+    csv.row({"M", "baseline_cycles", "extended_cycles"});
+    for (const unsigned m : ms) {
+      csv.cell(m)
+          .cell(daxpy_cycles(soc::SocConfig::baseline(64), 1024, m))
+          .cell(daxpy_cycles(soc::SocConfig::extended(64), 1024, m));
+      csv.end_row();
+    }
+    std::printf("wrote %s/fig1_left.csv (%zu rows)\n", outdir.c_str(), csv.rows_written());
+  }
+
+  {
+    util::CsvWriter csv(outdir + "/fig1_right.csv");
+    csv.row({"N", "M", "speedup"});
+    for (const std::uint64_t n : {1024ull, 2048ull, 4096ull, 8192ull, 16384ull}) {
+      for (const unsigned m : ms) {
+        if (m > 32) continue;
+        const double s =
+            static_cast<double>(daxpy_cycles(soc::SocConfig::baseline(32), n, m)) /
+            static_cast<double>(daxpy_cycles(soc::SocConfig::extended(32), n, m));
+        csv.cell(n).cell(m).cell(s);
+        csv.end_row();
+      }
+    }
+    std::printf("wrote %s/fig1_right.csv (%zu rows)\n", outdir.c_str(), csv.rows_written());
+  }
+
+  {
+    const model::RuntimeModel paper = model::paper_daxpy_model();
+    util::CsvWriter csv(outdir + "/model_mape.csv");
+    csv.row({"N", "M", "measured_cycles", "predicted_cycles", "abs_err_percent"});
+    for (const std::uint64_t n : {256ull, 512ull, 768ull, 1024ull}) {
+      for (const unsigned m : ms) {
+        if (m > 32) continue;
+        const auto t = daxpy_cycles(soc::SocConfig::extended(32), n, m);
+        const double pred = paper.predict(m, n);
+        csv.cell(n).cell(m).cell(t).cell(pred).cell(
+            100.0 * std::abs(static_cast<double>(t) - pred) / static_cast<double>(t));
+        csv.end_row();
+      }
+    }
+    std::printf("wrote %s/model_mape.csv (%zu rows)\n", outdir.c_str(), csv.rows_written());
+  }
+
+  {
+    util::CsvWriter csv(outdir + "/ablation.csv");
+    csv.row({"M", "baseline", "multicast_only", "hw_sync_only", "both"});
+    for (const unsigned m : ms) {
+      if (m > 32) continue;
+      csv.cell(m)
+          .cell(daxpy_cycles(soc::SocConfig::with_features(32, {false, false}), 1024, m))
+          .cell(daxpy_cycles(soc::SocConfig::with_features(32, {true, false}), 1024, m))
+          .cell(daxpy_cycles(soc::SocConfig::with_features(32, {false, true}), 1024, m))
+          .cell(daxpy_cycles(soc::SocConfig::with_features(32, {true, true}), 1024, m));
+      csv.end_row();
+    }
+    std::printf("wrote %s/ablation.csv (%zu rows)\n", outdir.c_str(), csv.rows_written());
+  }
+
+  std::printf("done.\n");
+  return 0;
+}

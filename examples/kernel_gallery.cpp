@@ -1,0 +1,50 @@
+// Gallery: offload every built-in kernel, verify its result against the
+// host reference, and show runtime + data/compute character.
+//
+// Usage: kernel_gallery [--n=1024] [--clusters=16]
+#include <cstdio>
+#include <iostream>
+
+#include "soc/workloads.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mco;
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
+  const auto m = static_cast<unsigned>(cli.get_int("clusters", 16));
+
+  std::printf("offloading every kernel: n=%llu, M=%u (extended design)\n\n",
+              static_cast<unsigned long long>(n), m);
+
+  util::TablePrinter table({"kernel", "cycles", "payload[words]", "bytes in", "bytes out",
+                            "host-epilogue", "verified"});
+  soc::Soc probe(soc::SocConfig::extended(m));
+  for (const kernels::Kernel* k : probe.kernels().all()) {
+    // GEMV's n is a row count; keep its matrix TCDM-friendly.
+    const std::uint64_t kn = k->name() == "gemv" ? std::min<std::uint64_t>(n / 8, 96) : n;
+    soc::Soc soc(soc::SocConfig::extended(m));
+    const double tol = k->name() == "saxpy" ? 1e-5 : 1e-9;
+    const auto r = soc::run_verified(soc, k->name(), kn, m, /*seed=*/11, tol);
+
+    std::size_t bytes_in = 0;
+    std::size_t bytes_out = 0;
+    sim::Rng rng(1);
+    soc::Soc plan_probe(soc::SocConfig::extended(m));
+    const auto job = soc::prepare_workload(plan_probe, *k, kn, m, rng);
+    for (unsigned i = 0; i < m; ++i) {
+      const auto plan = k->plan_cluster(job.args, i, m);
+      bytes_in += plan.bytes_in();
+      bytes_out += plan.bytes_out();
+    }
+    const bool has_epilogue = k->host_epilogue_cycles(job.args, m) > 0;
+    table.add_row({k->name(), std::to_string(r.total()), std::to_string(r.payload_words),
+                   util::human_bytes(bytes_in), util::human_bytes(bytes_out),
+                   has_epilogue ? "yes" : "no", "yes"});
+  }
+  table.print(std::cout);
+  std::printf("\nAll results checked against host-side references.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Offload decision in practice (paper Eq. (3) + §III closing discussion).
+//
+// 1. Calibrate: run a few DAXPY offloads, *fit* the runtime model
+//    t = t0 + a·N + b·N/M from the measurements (no RTL inspection needed).
+// 2. Decide: for a range of problem sizes, compare the model-predicted
+//    offload time (at the best M) against host execution and pick a side.
+// 3. Validate: actually run the chosen strategy in the simulator — both
+//    paths compute the same result through the same kernel arithmetic — and
+//    check the decision was right by also timing the alternative.
+//
+// Usage: offload_decision [--clusters=32] [--tmax=700]
+#include <cstdio>
+#include <iostream>
+
+#include "model/decision.h"
+#include "model/fitter.h"
+#include "soc/workloads.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mco;
+  const util::Cli cli(argc, argv);
+  const auto m_max = static_cast<unsigned>(cli.get_int("clusters", 32));
+
+  // --- 1. calibrate the model from simulated measurements -------------------
+  std::vector<model::Sample> samples;
+  for (const std::uint64_t n : {256ull, 512ull, 1024ull, 2048ull}) {
+    for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      if (m > m_max) continue;
+      samples.push_back(model::Sample{
+          m, n,
+          static_cast<double>(soc::run_daxpy(soc::SocConfig::extended(m_max), n, m).total())});
+    }
+  }
+  const auto fit = model::fit_runtime_model(samples);
+  std::printf("fitted DAXPY model: %s   (paper Eq.1: t0=367, a=0.25, b=0.325)\n\n",
+              fit.model.describe().c_str());
+
+  // --- 2 + 3. decide offload-vs-host per problem size and validate ----------
+  util::TablePrinter table({"N", "decision", "M", "t_model", "t_offl(sim)", "t_host(sim)",
+                            "decision right?"});
+  for (const std::uint64_t n : {32ull, 64ull, 128ull, 256ull, 1024ull, 4096ull, 16384ull}) {
+    // Host cost prediction from the kernel's own host model (4 cycles/elem).
+    soc::Soc probe(soc::SocConfig::extended(m_max));
+    sim::Rng rng(7);
+    const auto job = soc::prepare_workload(probe, probe.kernels().by_name("daxpy"), n, m_max, rng);
+    const double t_host_pred =
+        static_cast<double>(probe.kernels().by_name("daxpy").host_execute_cycles(job.args));
+
+    const model::OffloadDecision d = model::decide_offload(fit.model, n, t_host_pred, m_max);
+
+    // Validate both paths in simulation (fresh SoCs for clean timing).
+    soc::Soc off_soc(soc::SocConfig::extended(m_max));
+    const auto off = soc::run_verified(off_soc, "daxpy", n, d.offload ? d.m : m_max);
+    soc::Soc host_soc(soc::SocConfig::extended(m_max));
+    sim::Rng rng2(7);
+    auto host_job =
+        soc::prepare_workload(host_soc, host_soc.kernels().by_name("daxpy"), n, m_max, rng2);
+    const auto host_run = host_soc.runtime().execute_on_host_blocking(host_job.args);
+    if (host_job.max_abs_error(host_soc) > 1e-9) {
+      std::fprintf(stderr, "host path verification failed\n");
+      return 1;
+    }
+
+    const bool offload_faster = off.total() < host_run.total();
+    table.add_row({std::to_string(n), d.offload ? "offload" : "host",
+                   d.offload ? std::to_string(d.m) : "-",
+                   std::to_string(static_cast<std::uint64_t>(
+                       d.offload ? d.t_offload : d.t_host)),
+                   std::to_string(off.total()), std::to_string(host_run.total()),
+                   d.offload == offload_faster ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  // --- bonus: the paper's Eq. (3) deadline query -----------------------------
+  const double t_max = cli.get_double("tmax", 700.0);
+  const auto m_min = model::min_clusters_for_deadline(fit.model, 1024, t_max, m_max);
+  if (m_min) {
+    std::printf("\nEq.(3): to finish a 1024-point DAXPY within %.0f cycles, use >= %u clusters\n",
+                t_max, *m_min);
+  } else {
+    std::printf("\nEq.(3): no cluster count can meet %.0f cycles for N=1024\n", t_max);
+  }
+  return 0;
+}

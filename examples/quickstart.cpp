@@ -1,0 +1,50 @@
+// Quickstart: offload a DAXPY to the accelerator fabric and inspect the cost.
+//
+// Builds two SoCs — the baseline design (sequential dispatch + software
+// polling) and the extended design (multicast + hardware credit counter) —
+// runs the same functionally-verified DAXPY job on both, and prints the
+// runtime and phase breakdown. This is the paper's headline experiment in
+// ~40 lines of API use.
+//
+// Usage: quickstart [--n=1024] [--clusters=32]
+#include <cstdio>
+#include <iostream>
+
+#include "soc/soc.h"
+#include "soc/workloads.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mco;
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
+  const auto m = static_cast<unsigned>(cli.get_int("clusters", 32));
+
+  util::TablePrinter table(
+      {"design", "total[cycles]", "marshal", "sync", "dispatch", "wait", "epilogue"});
+
+  offload::OffloadResult results[2];
+  const char* names[2] = {"baseline", "extended"};
+  for (int i = 0; i < 2; ++i) {
+    const soc::SocConfig cfg =
+        i == 0 ? soc::SocConfig::baseline(m) : soc::SocConfig::extended(m);
+    soc::Soc soc(cfg);
+    results[i] = soc::run_verified(soc, "daxpy", n, m);
+    const auto p = results[i].phases();
+    table.add_row({names[i], std::to_string(results[i].total()), std::to_string(p.marshal),
+                   std::to_string(p.sync_setup), std::to_string(p.dispatch),
+                   std::to_string(p.wait), std::to_string(p.epilogue)});
+  }
+
+  std::printf("DAXPY n=%llu on M=%u clusters (cycles @ 1 GHz == ns)\n\n",
+              static_cast<unsigned long long>(n), m);
+  table.print(std::cout);
+  const double speedup = static_cast<double>(results[0].total()) /
+                         static_cast<double>(results[1].total());
+  std::printf("\nextended-over-baseline speedup: %.3fx (%+lld cycles)\n", speedup,
+              static_cast<long long>(results[0].total()) -
+                  static_cast<long long>(results[1].total()));
+  std::printf("result verified against host reference: OK\n");
+  return 0;
+}

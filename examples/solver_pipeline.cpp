@@ -1,0 +1,171 @@
+// A small application built on the offload API: Richardson iteration on a
+// diagonal system A = diag(d), mixing elementwise and reduction offloads.
+//
+//   ax  = d .* x        (vecmul)
+//   r   = b             (memcpy)
+//   r  -= ax            (daxpy, alpha = -1)
+//   x  += omega * r     (daxpy)
+//   rho = r . r         (dot, host combines the partials)
+//
+// Five back-to-back offloads per iteration — exactly the fine-grained,
+// frequently-launched pattern whose overheads the paper optimizes. The loop
+// runs on both designs with identical arithmetic; the residual trajectory is
+// verified to converge and to match between designs, and the cycle + energy
+// totals quantify what the extensions buy a real application.
+//
+// Usage: solver_pipeline [--n=1024] [--clusters=16] [--iters=8]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "energy/energy_model.h"
+#include "kernels/blas1.h"
+#include "kernels/reductions.h"
+#include "soc/workloads.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mco;
+
+struct SolveStats {
+  sim::Cycles total_cycles = 0;
+  std::vector<double> residuals;
+  double energy_pj = 0.0;
+  unsigned offloads = 0;
+  double solution_error = 0.0;
+};
+
+SolveStats run_solver(const soc::SocConfig& cfg, std::uint64_t n, unsigned m, unsigned iters) {
+  soc::Soc soc(cfg);
+  sim::Rng rng(99);
+
+  // System: A = diag(d), d in [1, 2]; exact solution xs; b = d .* xs.
+  std::vector<double> d(n), xs(n), b(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    d[i] = rng.uniform(1.0, 2.0);
+    xs[i] = rng.uniform(-1.0, 1.0);
+    b[i] = d[i] * xs[i];
+  }
+  const mem::Addr d_a = soc.alloc_f64(d);
+  const mem::Addr b_a = soc.alloc_f64(b);
+  const mem::Addr x_a = soc.alloc_f64_zero(n);
+  const mem::Addr ax_a = soc.alloc_f64_zero(n);
+  const mem::Addr r_a = soc.alloc_f64_zero(n);
+  const mem::Addr partials = soc.alloc_f64_zero(soc.num_clusters());
+  const mem::Addr rho_a = soc.alloc_f64_zero(1);
+  const double omega = 0.6;  // converges: spectral radius max|1 - omega*d| = 0.4
+
+  const energy::EnergyConfig ecfg;
+  const energy::EnergyCounters e0 = energy::snapshot(soc);
+  const sim::Cycle t0 = soc.simulator().now();
+  SolveStats stats;
+
+  const auto offload = [&](kernels::JobArgs a) {
+    stats.total_cycles += soc.run_offload(a, m).total();
+    ++stats.offloads;
+  };
+
+  for (unsigned it = 0; it < iters; ++it) {
+    kernels::JobArgs a;
+
+    a = {};  // ax = d .* x
+    a.kernel_id = kernels::kVecMulId;
+    a.n = n;
+    a.in0 = d_a;
+    a.in1 = x_a;
+    a.out0 = ax_a;
+    offload(a);
+
+    a = {};  // r = b
+    a.kernel_id = kernels::kMemcpyId;
+    a.n = n;
+    a.in0 = b_a;
+    a.out0 = r_a;
+    offload(a);
+
+    a = {};  // r -= ax
+    a.kernel_id = kernels::kDaxpyId;
+    a.n = n;
+    a.alpha = -1.0;
+    a.in0 = ax_a;
+    a.out0 = r_a;
+    offload(a);
+
+    a = {};  // x += omega * r
+    a.kernel_id = kernels::kDaxpyId;
+    a.n = n;
+    a.alpha = omega;
+    a.in0 = r_a;
+    a.out0 = x_a;
+    offload(a);
+
+    a = {};  // rho = r . r
+    a.kernel_id = kernels::kDotId;
+    a.n = n;
+    a.in0 = r_a;
+    a.in1 = r_a;
+    a.out0 = partials;
+    a.out1 = rho_a;
+    offload(a);
+
+    stats.residuals.push_back(soc.read_f64(rho_a, 1)[0]);
+  }
+
+  const sim::Cycle t1 = soc.simulator().now();
+  const energy::EnergyCounters e1 = energy::snapshot(soc);
+  stats.energy_pj =
+      energy::estimate(ecfg, e1 - e0, t1 - t0, m, soc.config().cluster.num_workers).total_pj();
+
+  const auto x_final = soc.read_f64(x_a, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    stats.solution_error = std::max(stats.solution_error, std::abs(x_final[i] - xs[i]));
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
+  const auto m = static_cast<unsigned>(cli.get_int("clusters", 16));
+  const auto iters = static_cast<unsigned>(cli.get_int("iters", 8));
+
+  std::printf("Richardson iteration on A = diag(d): n=%llu, M=%u, %u iterations, "
+              "5 offloads/iteration\n\n",
+              static_cast<unsigned long long>(n), m, iters);
+
+  const SolveStats ext = run_solver(soc::SocConfig::extended(m), n, m, iters);
+  const SolveStats base = run_solver(soc::SocConfig::baseline(m), n, m, iters);
+
+  std::printf("residual trajectory (extended design):\n");
+  for (std::size_t i = 0; i < ext.residuals.size(); ++i) {
+    std::printf("  iter %2zu: ||r||^2 = %.6e\n", i, ext.residuals[i]);
+  }
+  for (std::size_t i = 0; i < ext.residuals.size(); ++i) {
+    if (ext.residuals[i] != base.residuals[i]) {
+      std::fprintf(stderr, "designs diverged numerically at iteration %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("  (baseline design: identical trajectory, as required)\n\n");
+
+  util::TablePrinter t({"design", "offloads", "total cycles", "energy [nJ]"});
+  t.add_row({"baseline", std::to_string(base.offloads), std::to_string(base.total_cycles),
+             util::format("%.1f", base.energy_pj / 1000.0)});
+  t.add_row({"extended", std::to_string(ext.offloads), std::to_string(ext.total_cycles),
+             util::format("%.1f", ext.energy_pj / 1000.0)});
+  t.print(std::cout);
+  std::printf("\nwhole-application speedup from the paper's extensions: %.3fx\n",
+              static_cast<double>(base.total_cycles) / static_cast<double>(ext.total_cycles));
+  std::printf("max |x - x_exact| after %u iterations: %.3e\n", iters, ext.solution_error);
+
+  if (!(ext.residuals.back() < ext.residuals.front())) {
+    std::fprintf(stderr, "residual did not decrease\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,281 @@
+#include "cluster/cluster.h"
+
+#include <stdexcept>
+
+#include "util/math.h"
+#include "util/strings.h"
+
+namespace mco::cluster {
+
+Cluster::Cluster(sim::Simulator& sim, std::string name, ClusterConfig cfg, unsigned cluster_id,
+                 const kernels::KernelRegistry& registry, mem::HbmController& hbm,
+                 unsigned hbm_port, mem::MainMemory& main_mem, const mem::AddressMap& map,
+                 noc::Interconnect& noc, sync::TeamBarrier& team_barrier, Component* parent)
+    : Component(sim, std::move(name), parent),
+      cfg_(cfg),
+      cluster_id_(cluster_id),
+      registry_(registry),
+      noc_(noc),
+      team_barrier_(team_barrier),
+      tcdm_(sim, "tcdm", cfg.tcdm, this),
+      dma_(sim, "dma", cfg.dma, hbm, hbm_port, main_mem, tcdm_, map, this),
+      mailbox_(sim, "mailbox", this) {
+  if (cfg_.num_workers == 0) throw std::invalid_argument(path() + ": zero workers");
+  workers_.reserve(cfg_.num_workers);
+  for (unsigned i = 0; i < cfg_.num_workers; ++i) {
+    workers_.push_back(
+        std::make_unique<WorkerCore>(sim, util::format("core%u", i), cfg_.worker, this));
+  }
+  mailbox_.set_doorbell([this] { on_doorbell(); });
+}
+
+void Cluster::on_doorbell() {
+  // One job at a time; further dispatches wait in the mailbox and are
+  // drained when the current job finishes.
+  if (busy_) return;
+  begin_job();
+}
+
+void Cluster::begin_job() {
+  busy_ = true;
+  timing_ = ClusterJobTiming{};
+  timing_.doorbell = now();
+  sim().trace().record(now(), path(), "wakeup");
+  defer(cfg_.wakeup_latency, [this] { parse_and_plan(); });
+}
+
+void Cluster::parse_and_plan() {
+  const noc::DispatchMessage msg = mailbox_.pop();
+  const kernels::PayloadHeader header = kernels::parse_header(msg);
+  kernel_ = &registry_.by_id(header.kernel_id);
+  args_ = kernel_->unmarshal(header, kernels::payload_args(msg));
+  job_clusters_ = header.num_clusters;
+  if (cluster_id_ >= job_clusters_) {
+    throw std::logic_error(util::format("%s: dispatched to cluster %u but job uses %u clusters",
+                                        path().c_str(), cluster_id_, job_clusters_));
+  }
+  // Build the tile schedule: one plan if the chunk fits TCDM, otherwise the
+  // chunk is processed in TCDM-sized tiles (DMA-in, compute, DMA-out per
+  // tile) for kernels that support arbitrary item ranges.
+  tiles_.clear();
+  tile_ranges_.clear();
+  current_tile_ = 0;
+  const kernels::ClusterPlan full = kernel_->plan_cluster(args_, cluster_id_, job_clusters_);
+  job_items_ = full.items;
+  if (full.tcdm_footprint() <= tcdm_.size()) {
+    tiled_ = false;
+    const kernels::ChunkRange chunk = kernels::split_chunk(args_.n, cluster_id_, job_clusters_);
+    tiles_.push_back(full);
+    tile_ranges_.push_back(chunk);
+  } else if (kernel_->supports_tiling()) {
+    tiled_ = true;
+    const kernels::ChunkRange chunk = kernels::split_chunk(args_.n, cluster_id_, job_clusters_);
+    // Double buffering ping-pongs tiles between the two halves of TCDM, so
+    // each tile only gets half the budget.
+    const std::size_t budget = cfg_.dma_double_buffer ? tcdm_.size() / 2 : tcdm_.size();
+    std::uint64_t num_tiles = util::ceil_div<std::uint64_t>(full.tcdm_footprint(), budget);
+    for (bool fits = false; !fits; ++num_tiles) {
+      tiles_.clear();
+      tile_ranges_.clear();
+      fits = true;
+      for (std::uint64_t t = 0; t < num_tiles && fits; ++t) {
+        const kernels::ChunkRange sub =
+            kernels::split_chunk(chunk.count, static_cast<unsigned>(t),
+                                 static_cast<unsigned>(num_tiles));
+        const kernels::ChunkRange range{chunk.begin + sub.begin, sub.count};
+        kernels::ClusterPlan plan = kernel_->plan_range(args_, range.begin, range.count);
+        // Ceil splitting can leave the first tile one element over; retry
+        // with one more tile in that (rare) case.
+        fits = plan.tcdm_footprint() <= budget;
+        if (cfg_.dma_double_buffer && (t % 2) == 1) {
+          for (auto& seg : plan.dma_in) seg.tcdm_off += budget;
+          for (auto& seg : plan.dma_out) seg.tcdm_off += budget;
+        }
+        tiles_.push_back(std::move(plan));
+        tile_ranges_.push_back(range);
+      }
+    }
+    sim().trace().record(now(), path(), "tiled",
+                         util::format("tiles=%llu",
+                                      static_cast<unsigned long long>(num_tiles)));
+  } else {
+    throw std::runtime_error(util::format(
+        "%s: job '%s' n=%llu needs %zu B of TCDM but only %zu B available, and the kernel "
+        "does not support tiling; use more clusters",
+        path().c_str(), kernel_->name().c_str(), static_cast<unsigned long long>(args_.n),
+        full.tcdm_footprint(), tcdm_.size()));
+  }
+  last_job_tiles_ = tiles_.size();
+  tile_in_done_.assign(tiles_.size(), false);
+  tile_in_pending_.assign(tiles_.size(), 0);
+  prefetched_upto_ = 0;
+  waiting_tile_ = kNoTile;
+
+  const sim::Cycles parse_cost =
+      cfg_.parse_cycles_per_word * msg.size_words() + cfg_.plan_cycles;
+  defer(parse_cost, [this] {
+    // SPMD team start: the whole team begins together, so the last cluster
+    // to be dispatched gates everyone (what makes sequential dispatch fully
+    // serial with execution).
+    timing_.team_arrive = now();
+    team_barrier_.arrive(job_clusters_, [this] {
+      timing_.job_start = now();
+      start_dma_in();
+    });
+  });
+}
+
+std::size_t Cluster::tile_tcdm_base(std::size_t tile) const {
+  if (!tiled_ || !cfg_.dma_double_buffer) return 0;
+  return (tile % 2) * (tcdm_.size() / 2);
+}
+
+void Cluster::ensure_tile_in_issued(std::size_t tile) {
+  // Issue DMA-ins strictly in tile order up to and including `tile`.
+  while (prefetched_upto_ <= tile && prefetched_upto_ < tiles_.size()) {
+    const std::size_t k = prefetched_upto_++;
+    const kernels::ClusterPlan& plan = tiles_[k];
+    if (plan.dma_in.empty()) {
+      tile_in_done_[k] = true;
+      maybe_resume(k);
+      continue;
+    }
+    tile_in_pending_[k] = plan.dma_in.size();
+    for (const auto& seg : plan.dma_in) {
+      dma_.transfer_in(seg.hbm, seg.tcdm_off, seg.bytes, [this, k] {
+        if (--tile_in_pending_[k] == 0) {
+          tile_in_done_[k] = true;
+          sim().trace().record(now(), path(), "dma_in_done",
+                               util::format("tile=%zu", k));
+          maybe_resume(k);
+        }
+      });
+    }
+  }
+}
+
+void Cluster::maybe_resume(std::size_t tile) {
+  if (waiting_tile_ == tile) {
+    waiting_tile_ = kNoTile;
+    after_tile_in();
+  }
+}
+
+void Cluster::start_dma_in() {
+  ensure_tile_in_issued(current_tile_);
+  if (tile_in_done_[current_tile_]) {
+    after_tile_in();
+  } else {
+    waiting_tile_ = current_tile_;
+  }
+}
+
+void Cluster::after_tile_in() {
+  timing_.dma_in_done = now();
+  // Double buffering: prefetch the next tile's inputs into the other half
+  // of TCDM while this tile computes.
+  if (tiled_ && cfg_.dma_double_buffer && current_tile_ + 1 < tiles_.size()) {
+    ensure_tile_in_issued(current_tile_ + 1);
+  }
+  start_compute();
+}
+
+void Cluster::start_compute() {
+  // Split this tile's items across the workers; the slowest worker (ceil
+  // share) bounds the phase. Workers with zero items still run setup.
+  workers_pending_ = cfg_.num_workers;
+  const bool use_iss = cfg_.use_iss_compute && kernel_->supports_iss();
+  if (cfg_.use_iss_compute && !use_iss && current_tile_ == 0) ++iss_fallbacks_;
+  iss_executed_tile_ = use_iss;
+  defer(cfg_.worker_wake_cycles, [this, use_iss] {
+    const std::uint64_t items = tiles_[current_tile_].items;
+    const std::size_t base = tile_tcdm_base(current_tile_);
+    for (unsigned w = 0; w < cfg_.num_workers; ++w) {
+      const kernels::ChunkRange share = kernels::split_chunk(items, w, cfg_.num_workers);
+      // ISS mode measures the worker's cycles by actually executing its
+      // microcoded inner loop on the TCDM (functional + timing in one run);
+      // rate mode charges the calibrated cycles and the arithmetic happens
+      // at the cluster barrier instead.
+      const sim::Cycles cycles =
+          use_iss ? kernel_->run_on_iss(tcdm_, args_, base, items, share.begin, share.count,
+                                        cfg_.iss_variant)
+                  : kernel_->worker_cycles(args_, share.count);
+      workers_[w]->run(cycles, [this] {
+        if (--workers_pending_ == 0) finish_compute();
+      });
+    }
+  });
+}
+
+void Cluster::finish_compute() {
+  defer(cfg_.barrier_latency, [this] {
+    // Functional execution happens "at the barrier": all DMA-in data is in
+    // TCDM, and results must be there before DMA-out copies them back.
+    // (Unless the ISS already performed it while timing the workers.)
+    if (iss_executed_tile_) {
+    } else if (tiled_) {
+      const kernels::ChunkRange& range = tile_ranges_[current_tile_];
+      kernel_->execute_range(tcdm_, args_, range.begin, range.count,
+                             tile_tcdm_base(current_tile_));
+    } else {
+      kernel_->execute_cluster(tcdm_, args_, cluster_id_, job_clusters_);
+    }
+    timing_.compute_done = now();
+    sim().trace().record(now(), path(), "compute_done");
+    start_dma_out();
+  });
+}
+
+void Cluster::start_dma_out() {
+  const kernels::ClusterPlan& plan = tiles_[current_tile_];
+  if (plan.dma_out.empty()) {
+    timing_.dma_out_done = now();
+    next_tile_or_signal();
+    return;
+  }
+  dma_pending_ = plan.dma_out.size();
+  for (const auto& seg : plan.dma_out) {
+    dma_.transfer_out(seg.tcdm_off, seg.hbm, seg.bytes, [this] {
+      if (--dma_pending_ == 0) {
+        timing_.dma_out_done = now();
+        sim().trace().record(now(), path(), "dma_out_done");
+        next_tile_or_signal();
+      }
+    });
+  }
+}
+
+void Cluster::next_tile_or_signal() {
+  if (current_tile_ + 1 < tiles_.size()) {
+    ++current_tile_;
+    start_dma_in();
+    return;
+  }
+  signal_completion();
+}
+
+void Cluster::signal_completion() {
+  defer(cfg_.completion_issue_cycles, [this] {
+    timing_.signal_sent = now();
+    sim().trace().record(now(), path(), "signal",
+                         cfg_.completion == CompletionPath::kHardwareCredit ? "credit" : "amo");
+    if (cfg_.completion == CompletionPath::kHardwareCredit) {
+      noc_.send_credit(cluster_id_);
+    } else {
+      noc_.send_amo(cluster_id_);
+    }
+    job_done();
+  });
+}
+
+void Cluster::job_done() {
+  ++jobs_executed_;
+  items_processed_ += job_items_;
+  last_timing_ = timing_;
+  busy_ = false;
+  kernel_ = nullptr;
+  // Drain any dispatch that arrived while busy.
+  if (!mailbox_.empty()) begin_job();
+}
+
+}  // namespace mco::cluster

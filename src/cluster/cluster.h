@@ -1,0 +1,156 @@
+// Accelerator cluster: 8 worker cores + 1 DMA core + TCDM + mailbox.
+//
+// The cluster-side half of an offload. On a mailbox doorbell the cluster
+// wakes from WFI, parses the dispatch payload, plans its chunk, DMAs inputs
+// into TCDM, computes (workers in parallel, then a hardware barrier),
+// DMAs results out, and signals completion — either by a credit write to the
+// dedicated sync unit (extended design) or by an atomic increment on the
+// shared-memory counter the host polls (baseline design).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/worker_core.h"
+#include "kernels/registry.h"
+#include "mem/dma_engine.h"
+#include "mem/tcdm.h"
+#include "noc/interconnect.h"
+#include "sim/component.h"
+#include "sync/mailbox.h"
+#include "sync/team_barrier.h"
+
+namespace mco::cluster {
+
+/// How a cluster signals job completion to the host.
+enum class CompletionPath {
+  kHardwareCredit,  ///< credit write to the dedicated sync unit (extension)
+  kSoftwareAmo,     ///< atomic add on a shared-memory counter (baseline)
+};
+
+struct ClusterConfig {
+  unsigned num_workers = 8;
+  /// Doorbell → runtime entry (WFI exit, vector jump, icache-resident stub).
+  sim::Cycles wakeup_latency = 20;
+  /// Mailbox FIFO read per payload word.
+  sim::Cycles parse_cycles_per_word = 2;
+  /// Chunk planning (bounds computation, DMA descriptor preparation).
+  sim::Cycles plan_cycles = 12;
+  /// Broadcasting the go-signal to the worker cores.
+  sim::Cycles worker_wake_cycles = 4;
+  /// Hardware barrier propagation after the last worker arrives.
+  sim::Cycles barrier_latency = 9;
+  /// Issuing the completion store (credit write or AMO).
+  sim::Cycles completion_issue_cycles = 4;
+  /// Double-buffer tiled jobs: prefetch tile k+1's inputs (into the other
+  /// half of TCDM) while tile k computes. Off by default — the paper's
+  /// runtime is single-buffered; enable to study the optimization.
+  bool dma_double_buffer = false;
+  /// Execute kernels with microcode on the cycle-accurate worker-core ISS
+  /// instead of the calibrated rate (kernels without microcode fall back to
+  /// the rate; see iss_fallbacks()). Off by default: the calibrated rate is
+  /// what reproduces the paper's Eq. (1).
+  bool use_iss_compute = false;
+  kernels::Kernel::IssVariant iss_variant = kernels::Kernel::IssVariant::kSsrFrep;
+
+  WorkerConfig worker;
+  mem::TcdmConfig tcdm;
+  mem::DmaConfig dma;
+  CompletionPath completion = CompletionPath::kHardwareCredit;
+};
+
+/// Per-job cluster-side timestamps (for the phase-breakdown experiment).
+struct ClusterJobTiming {
+  sim::Cycle doorbell = 0;
+  sim::Cycle team_arrive = 0;    ///< after wakeup+parse+plan, at the barrier
+  sim::Cycle job_start = 0;      ///< team released, data movement begins
+  sim::Cycle dma_in_done = 0;
+  sim::Cycle compute_done = 0;   ///< after barrier
+  sim::Cycle dma_out_done = 0;
+  sim::Cycle signal_sent = 0;
+};
+
+class Cluster : public sim::Component {
+ public:
+  Cluster(sim::Simulator& sim, std::string name, ClusterConfig cfg, unsigned cluster_id,
+          const kernels::KernelRegistry& registry, mem::HbmController& hbm, unsigned hbm_port,
+          mem::MainMemory& main_mem, const mem::AddressMap& map, noc::Interconnect& noc,
+          sync::TeamBarrier& team_barrier, Component* parent = nullptr);
+
+  const ClusterConfig& config() const { return cfg_; }
+  unsigned cluster_id() const { return cluster_id_; }
+
+  sync::Mailbox& mailbox() { return mailbox_; }
+  mem::Tcdm& tcdm() { return tcdm_; }
+  mem::DmaEngine& dma() { return dma_; }
+  const WorkerCore& worker(unsigned i) const { return *workers_.at(i); }
+
+  bool busy() const { return busy_; }
+  std::uint64_t jobs_executed() const { return jobs_executed_; }
+  std::uint64_t items_processed() const { return items_processed_; }
+  /// Tiles the last job's chunk was split into (1 = fit TCDM directly).
+  std::uint64_t last_job_tiles() const { return last_job_tiles_; }
+  /// Jobs that requested ISS compute but ran on the calibrated rate because
+  /// the kernel has no microcode.
+  std::uint64_t iss_fallbacks() const { return iss_fallbacks_; }
+
+  /// Timing of the most recently completed job (nullopt before the first).
+  const std::optional<ClusterJobTiming>& last_timing() const { return last_timing_; }
+
+ private:
+  void on_doorbell();
+  void begin_job();
+  void parse_and_plan();
+  void start_dma_in();
+  void ensure_tile_in_issued(std::size_t tile);
+  void maybe_resume(std::size_t tile);
+  void after_tile_in();
+  std::size_t tile_tcdm_base(std::size_t tile) const;
+  void start_compute();
+  void finish_compute();
+  void start_dma_out();
+  void next_tile_or_signal();
+  void signal_completion();
+  void job_done();
+
+  ClusterConfig cfg_;
+  unsigned cluster_id_;
+  const kernels::KernelRegistry& registry_;
+  noc::Interconnect& noc_;
+  sync::TeamBarrier& team_barrier_;
+
+  mem::Tcdm tcdm_;
+  mem::DmaEngine dma_;
+  sync::Mailbox mailbox_;
+  std::vector<std::unique_ptr<WorkerCore>> workers_;
+
+  // In-flight job state.
+  bool busy_ = false;
+  kernels::JobArgs args_;
+  const kernels::Kernel* kernel_ = nullptr;
+  unsigned job_clusters_ = 0;
+  bool tiled_ = false;                       ///< chunk split across TCDM tiles
+  std::vector<kernels::ClusterPlan> tiles_;  ///< one plan per tile
+  std::vector<kernels::ChunkRange> tile_ranges_;
+  std::vector<bool> tile_in_done_;           ///< inputs resident in TCDM
+  std::vector<std::size_t> tile_in_pending_; ///< outstanding DMA-in segments
+  std::size_t prefetched_upto_ = 0;          ///< tiles whose DMA-in was issued
+  static constexpr std::size_t kNoTile = static_cast<std::size_t>(-1);
+  std::size_t waiting_tile_ = kNoTile;       ///< tile the pipeline stalls on
+  std::size_t current_tile_ = 0;
+  std::uint64_t job_items_ = 0;
+  std::size_t dma_pending_ = 0;
+  unsigned workers_pending_ = 0;
+  ClusterJobTiming timing_;
+
+  std::uint64_t jobs_executed_ = 0;
+  std::uint64_t items_processed_ = 0;
+  std::uint64_t last_job_tiles_ = 0;
+  std::uint64_t iss_fallbacks_ = 0;
+  bool iss_executed_tile_ = false;  ///< this tile's math already done on the ISS
+  std::optional<ClusterJobTiming> last_timing_;
+};
+
+}  // namespace mco::cluster

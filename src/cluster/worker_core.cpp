@@ -1,0 +1,22 @@
+#include "cluster/worker_core.h"
+
+#include <stdexcept>
+
+namespace mco::cluster {
+
+WorkerCore::WorkerCore(sim::Simulator& sim, std::string name, WorkerConfig cfg, Component* parent)
+    : Component(sim, std::move(name), parent), cfg_(cfg) {}
+
+void WorkerCore::run(sim::Cycles compute_cycles, std::function<void()> done) {
+  if (busy_) throw std::logic_error(path() + ": run while busy");
+  busy_ = true;
+  const sim::Cycles total = cfg_.setup_cycles + compute_cycles;
+  busy_cycles_ += total;
+  ++chunks_run_;
+  defer(total, [this, cb = std::move(done)] {
+    busy_ = false;
+    if (cb) cb();
+  });
+}
+
+}  // namespace mco::cluster

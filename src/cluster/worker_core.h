@@ -1,0 +1,44 @@
+// Worker core: one of the 8 compute cores of a cluster.
+//
+// Timing model: a worker spends setup cycles entering the kernel loop, then
+// the kernel's calibrated cycles/item for its share of the chunk. The
+// arithmetic itself is performed once per cluster (see Cluster) — the split
+// across workers determines *when* the compute phase ends, not *what* is
+// computed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/component.h"
+
+namespace mco::cluster {
+
+struct WorkerConfig {
+  /// Cycles to enter the kernel loop (stack frame, chunk bounds, stream
+  /// configuration).
+  sim::Cycles setup_cycles = 10;
+};
+
+class WorkerCore : public sim::Component {
+ public:
+  WorkerCore(sim::Simulator& sim, std::string name, WorkerConfig cfg,
+             Component* parent = nullptr);
+
+  /// Run a chunk costing `compute_cycles`; `done` fires when the worker
+  /// reaches the cluster barrier. A worker with zero items still pays the
+  /// setup (it enters the kernel, finds an empty range, and exits).
+  void run(sim::Cycles compute_cycles, std::function<void()> done);
+
+  bool busy() const { return busy_; }
+  std::uint64_t chunks_run() const { return chunks_run_; }
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+
+ private:
+  WorkerConfig cfg_;
+  bool busy_ = false;
+  std::uint64_t chunks_run_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace mco::cluster

@@ -1,0 +1,118 @@
+#include "energy/energy_model.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "soc/workloads.h"
+#include "util/strings.h"
+
+namespace mco::energy {
+
+EnergyCounters EnergyCounters::operator-(const EnergyCounters& rhs) const {
+  EnergyCounters d;
+  d.host_busy_cycles = host_busy_cycles - rhs.host_busy_cycles;
+  d.worker_busy_cycles = worker_busy_cycles - rhs.worker_busy_cycles;
+  d.hbm_beats = hbm_beats - rhs.hbm_beats;
+  d.dispatch_words = dispatch_words - rhs.dispatch_words;
+  d.amos = amos - rhs.amos;
+  d.polls = polls - rhs.polls;
+  d.credits = credits - rhs.credits;
+  d.irqs = irqs - rhs.irqs;
+  return d;
+}
+
+EnergyCounters snapshot(soc::Soc& soc) {
+  EnergyCounters c;
+  c.host_busy_cycles = soc.host().busy_cycles();
+  for (unsigned i = 0; i < soc.num_clusters(); ++i) {
+    auto& cl = soc.cluster(i);
+    for (unsigned w = 0; w < cl.config().num_workers; ++w) {
+      c.worker_busy_cycles += cl.worker(w).busy_cycles();
+    }
+  }
+  c.hbm_beats = soc.hbm().beats_served();
+  // Dispatch traffic: every unicast carries the payload once, a multicast
+  // carries it once per target. We approximate the payload length with the
+  // words actually sent, which the interconnect does not retain — so price
+  // messages instead (words ≈ 6 for the built-in kernels).
+  c.dispatch_words = 6 * (soc.interconnect().unicasts_sent() +
+                          soc.interconnect().multicasts_sent());
+  c.amos = soc.shared_counter().amos_serviced();
+  c.polls = soc.host().polls();
+  c.credits = soc.interconnect().credits_routed();
+  c.irqs = soc.host().irqs_taken();
+  return c;
+}
+
+EnergyReport estimate(const EnergyConfig& cfg, const EnergyCounters& delta,
+                      sim::Cycles duration, unsigned num_clusters,
+                      unsigned workers_per_cluster) {
+  if (num_clusters == 0 || workers_per_cluster == 0)
+    throw std::invalid_argument("energy::estimate: empty accelerator");
+  EnergyReport r;
+  const double dur = static_cast<double>(duration);
+
+  r.host_active_pj = cfg.host_active_cycle_pj * static_cast<double>(delta.host_busy_cycles);
+  const double host_idle_cycles =
+      dur > static_cast<double>(delta.host_busy_cycles)
+          ? dur - static_cast<double>(delta.host_busy_cycles)
+          : 0.0;
+  r.host_idle_pj = cfg.host_idle_cycle_pj * host_idle_cycles;
+
+  const double worker_cycles_total =
+      dur * static_cast<double>(num_clusters) * static_cast<double>(workers_per_cluster);
+  const double active = static_cast<double>(delta.worker_busy_cycles);
+  r.workers_active_pj = cfg.worker_active_cycle_pj * active;
+  r.workers_idle_pj =
+      cfg.worker_idle_cycle_pj * (worker_cycles_total > active ? worker_cycles_total - active : 0.0);
+
+  r.hbm_pj = cfg.hbm_beat_pj * static_cast<double>(delta.hbm_beats);
+  r.dispatch_pj = cfg.dispatch_word_pj * static_cast<double>(delta.dispatch_words);
+  r.completion_pj = cfg.amo_pj * static_cast<double>(delta.amos) +
+                    cfg.poll_iteration_pj * static_cast<double>(delta.polls) +
+                    cfg.credit_write_pj * static_cast<double>(delta.credits) +
+                    cfg.irq_pj * static_cast<double>(delta.irqs);
+  r.leakage_pj = cfg.cluster_leakage_cycle_pj * dur * static_cast<double>(num_clusters);
+  return r;
+}
+
+std::string EnergyReport::to_string() const {
+  return util::format(
+      "host %.0f+%.0f pJ, workers %.0f+%.0f pJ, hbm %.0f pJ, dispatch %.0f pJ, "
+      "completion %.0f pJ, leakage %.0f pJ -> total %.0f pJ",
+      host_active_pj, host_idle_pj, workers_active_pj, workers_idle_pj, hbm_pj, dispatch_pj,
+      completion_pj, leakage_pj, total_pj());
+}
+
+OffloadEnergy measure_offload_energy(const soc::SocConfig& soc_cfg, const EnergyConfig& cfg,
+                                     const std::string& kernel, std::uint64_t n, unsigned m,
+                                     std::uint64_t seed) {
+  soc::Soc soc(soc_cfg);
+  const EnergyCounters before = snapshot(soc);
+  const offload::OffloadResult r = soc::run_verified(soc, kernel, n, m, seed, 1e-5);
+  const EnergyCounters after = snapshot(soc);
+  OffloadEnergy out;
+  out.cycles = r.total();
+  // Only the clusters participating in the job are powered for it; idle
+  // clusters are assumed power-gated by the platform.
+  out.report = estimate(cfg, after - before, r.total(), m,
+                        soc.config().cluster.num_workers);
+  return out;
+}
+
+unsigned energy_optimal_m(const soc::SocConfig& soc_cfg, const EnergyConfig& cfg,
+                          const std::string& kernel, std::uint64_t n, unsigned m_max) {
+  if (m_max == 0) throw std::invalid_argument("energy_optimal_m: m_max == 0");
+  unsigned best = 1;
+  double best_pj = std::numeric_limits<double>::infinity();
+  for (unsigned m = 1; m <= m_max; ++m) {
+    const double pj = measure_offload_energy(soc_cfg, cfg, kernel, n, m).report.total_pj();
+    if (pj < best_pj) {
+      best_pj = pj;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace mco::energy

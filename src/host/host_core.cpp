@@ -1,0 +1,42 @@
+#include "host/host_core.h"
+
+#include "util/math.h"
+
+namespace mco::host {
+
+HostCore::HostCore(sim::Simulator& sim, std::string name, HostConfig cfg,
+                   InterruptController& intc, unsigned irq_line, Component* parent)
+    : Component(sim, std::move(name), parent), cfg_(cfg), intc_(intc), irq_line_(irq_line) {}
+
+void HostCore::exec(sim::Cycles cycles, Thunk then) {
+  busy_cycles_ += cycles;
+  defer(cycles, std::move(then), sim::Priority::kCpu);
+}
+
+sim::Cycles HostCore::store_cost(std::size_t words) const {
+  const util::Rate r{cfg_.store_cost_num, cfg_.store_cost_den};
+  return r.cycles_for(words);
+}
+
+void HostCore::wait_for_irq(Thunk then) {
+  // attach() fires immediately if the line is already pending; either way the
+  // continuation pays WFI-exit + handler.
+  intc_.attach(irq_line_, [this, cb = std::move(then)]() mutable {
+    ++irqs_taken_;
+    exec(cfg_.irq_take_cycles + cfg_.irq_handler_cycles, std::move(cb));
+  });
+}
+
+void HostCore::poll_until(std::function<bool()> done, Thunk then) {
+  const sim::Cycles iter = cfg_.hbm_load_cycles + cfg_.poll_loop_overhead;
+  ++polls_;
+  exec(iter, [this, d = std::move(done), cb = std::move(then)]() mutable {
+    if (d()) {
+      cb();
+    } else {
+      poll_until(std::move(d), std::move(cb));
+    }
+  });
+}
+
+}  // namespace mco::host

@@ -1,0 +1,83 @@
+// CVA6-class host core model.
+//
+// The host executes the offload runtime as a chain of sequential timed
+// operations (continuation-passing): each op costs some cycles and then runs
+// the next step. This captures what matters for offload latency — the host
+// is a single in-order instruction stream whose stores, loops and interrupt
+// entry all serialize — without interpreting RISC-V instructions.
+//
+// The load-store unit carries the multicast-store extension flag: with it,
+// the host can issue one store that the interconnect replicates to many
+// clusters; without it, dispatch loops over unicast stores.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "host/interrupt_controller.h"
+#include "sim/component.h"
+
+namespace mco::host {
+
+struct HostConfig {
+  /// Cost of one mailbox/register store as seen by the issuing pipeline
+  /// (non-posted write: issue + credit return), expressed as a rate so that
+  /// multi-word sequences can cost fractional cycles per word on average.
+  /// Default 3/2 = 1.5 cycles/word.
+  std::uint64_t store_cost_num = 3;
+  std::uint64_t store_cost_den = 2;
+  /// Extra cycles to launch a multicast store (mask register setup).
+  sim::Cycles multicast_issue_cycles = 2;
+  /// Uncached load from HBM (polling the completion counter).
+  sim::Cycles hbm_load_cycles = 36;
+  /// Compare + branch + loop of the polling spin.
+  sim::Cycles poll_loop_overhead = 2;
+  /// WFI wakeup to first handler instruction.
+  sim::Cycles irq_take_cycles = 20;
+  /// Interrupt handler body (claim, acknowledge, return to runtime).
+  sim::Cycles irq_handler_cycles = 52;
+  /// Whether the LSU has the multicast-store extension.
+  bool has_multicast_lsu = false;
+};
+
+class HostCore : public sim::Component {
+ public:
+  using Thunk = std::function<void()>;
+
+  HostCore(sim::Simulator& sim, std::string name, HostConfig cfg,
+           InterruptController& intc, unsigned irq_line, Component* parent = nullptr);
+
+  const HostConfig& config() const { return cfg_; }
+
+  /// Execute a step costing `cycles`, then continue with `then`.
+  void exec(sim::Cycles cycles, Thunk then);
+
+  /// Cost of storing `words` payload words to a mailbox window.
+  sim::Cycles store_cost(std::size_t words) const;
+
+  /// Enter WFI; `then` runs after the offload-completion IRQ is taken and
+  /// the handler returns (irq_take + irq_handler cycles after the raise).
+  /// If the IRQ already arrived (tiny job won the race), continues
+  /// immediately with the same take+handler cost.
+  void wait_for_irq(Thunk then);
+
+  /// Busy-poll: every iteration costs hbm_load_cycles + poll_loop_overhead
+  /// and evaluates `done`; when `done()` returns true, `then` runs at the
+  /// end of that iteration. The first check happens after one full
+  /// iteration (load-compare-branch), like the compiled spin loop would.
+  void poll_until(std::function<bool()> done, Thunk then);
+
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+  std::uint64_t polls() const { return polls_; }
+  std::uint64_t irqs_taken() const { return irqs_taken_; }
+
+ private:
+  HostConfig cfg_;
+  InterruptController& intc_;
+  unsigned irq_line_;
+  std::uint64_t busy_cycles_ = 0;
+  std::uint64_t polls_ = 0;
+  std::uint64_t irqs_taken_ = 0;
+};
+
+}  // namespace mco::host

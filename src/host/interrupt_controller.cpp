@@ -1,0 +1,41 @@
+#include "host/interrupt_controller.h"
+
+#include <stdexcept>
+
+namespace mco::host {
+
+InterruptController::InterruptController(sim::Simulator& sim, std::string name,
+                                         unsigned num_lines, Component* parent)
+    : Component(sim, std::move(name), parent), handlers_(num_lines), pending_(num_lines, false) {
+  if (num_lines == 0) throw std::invalid_argument(path() + ": zero lines");
+}
+
+void InterruptController::attach(unsigned line, std::function<void()> handler) {
+  if (line >= handlers_.size()) throw std::out_of_range(path() + ": bad line");
+  if (pending_[line]) {
+    pending_[line] = false;
+    if (handler) handler();
+    return;
+  }
+  handlers_[line] = std::move(handler);
+}
+
+void InterruptController::raise(unsigned line) {
+  if (line >= handlers_.size()) throw std::out_of_range(path() + ": bad line");
+  ++raises_;
+  sim().trace().record(now(), path(), "irq");
+  if (handlers_[line]) {
+    auto h = std::move(handlers_[line]);
+    handlers_[line] = nullptr;
+    h();
+  } else {
+    pending_[line] = true;
+  }
+}
+
+bool InterruptController::pending(unsigned line) const {
+  if (line >= pending_.size()) throw std::out_of_range(path() + ": bad line");
+  return pending_[line];
+}
+
+}  // namespace mco::host

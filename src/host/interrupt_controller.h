@@ -1,0 +1,36 @@
+// Host interrupt controller (PLIC-flavoured, reduced to what offload needs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/component.h"
+
+namespace mco::host {
+
+/// Level-style interrupt lines with per-line handlers. A raise on a line with
+/// no handler is latched pending and delivered when a handler attaches —
+/// mirroring how a core that has not reached WFI yet still sees the IRQ.
+class InterruptController : public sim::Component {
+ public:
+  InterruptController(sim::Simulator& sim, std::string name, unsigned num_lines,
+                      Component* parent = nullptr);
+
+  /// Attach a one-shot handler to `line`. If the line is already pending the
+  /// handler fires immediately (same cycle).
+  void attach(unsigned line, std::function<void()> handler);
+
+  /// Assert `line`.
+  void raise(unsigned line);
+
+  bool pending(unsigned line) const;
+  std::uint64_t raises() const { return raises_; }
+
+ private:
+  std::vector<std::function<void()>> handlers_;
+  std::vector<bool> pending_;
+  std::uint64_t raises_ = 0;
+};
+
+}  // namespace mco::host

@@ -1,0 +1,198 @@
+#include "isa/core_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::isa {
+
+namespace {
+void check_f(unsigned idx) {
+  if (idx >= 32) throw std::out_of_range("CoreModel: fp register index");
+}
+void check_x(unsigned idx) {
+  if (idx >= 16) throw std::out_of_range("CoreModel: integer register index");
+}
+}  // namespace
+
+CoreModel::CoreModel(mem::Tcdm& tcdm, CoreTiming timing) : tcdm_(tcdm), timing_(timing) {}
+
+void CoreModel::set_x(unsigned idx, std::int64_t v) {
+  check_x(idx);
+  if (idx != 0) xreg_[idx] = v;
+}
+std::int64_t CoreModel::x(unsigned idx) const {
+  check_x(idx);
+  return idx == 0 ? 0 : xreg_[idx];
+}
+void CoreModel::set_f(unsigned idx, double v) {
+  check_f(idx);
+  freg_[idx] = v;
+}
+double CoreModel::f(unsigned idx) const {
+  check_f(idx);
+  return freg_[idx];
+}
+
+double CoreModel::read_f(unsigned idx, std::uint64_t& ready_cycle) {
+  check_f(idx);
+  if (ssr_enabled_ && (idx == kSsrReadReg0 || idx == kSsrReadReg1)) {
+    Stream& s = streams_[idx];
+    if (!s.configured) throw std::logic_error("CoreModel: read from unconfigured SSR stream");
+    const double v = tcdm_.read_f64(static_cast<std::size_t>(s.addr));
+    s.addr = static_cast<std::uint64_t>(static_cast<std::int64_t>(s.addr) + s.stride);
+    // The stream FIFO prefetches; no dependency stall.
+    return v;
+  }
+  ready_cycle = std::max(ready_cycle, f_ready_[idx]);
+  return freg_[idx];
+}
+
+void CoreModel::write_f(unsigned idx, double v, std::uint64_t ready_at) {
+  check_f(idx);
+  if (ssr_enabled_ && idx == kSsrWriteReg) {
+    Stream& s = streams_[kSsrWriteReg];
+    if (!s.configured) throw std::logic_error("CoreModel: write to unconfigured SSR stream");
+    tcdm_.write_f64(static_cast<std::size_t>(s.addr), v);
+    s.addr = static_cast<std::uint64_t>(static_cast<std::int64_t>(s.addr) + s.stride);
+    return;
+  }
+  freg_[idx] = v;
+  f_ready_[idx] = ready_at;
+}
+
+RunResult CoreModel::run(const Program& program, std::uint64_t max_cycles) {
+  if (program.empty()) throw std::invalid_argument("CoreModel: empty program");
+  RunResult result;
+  std::size_t pc = 0;
+
+  // frep state: replay [body_begin, body_end) `remaining` more times.
+  std::size_t frep_begin = 0;
+  std::size_t frep_end = 0;
+  std::int64_t frep_remaining = 0;
+
+  while (now_ < max_cycles) {
+    if (pc >= program.size())
+      throw std::invalid_argument("CoreModel: fell off the end of the program (missing halt?)");
+    const Instr& in = program[pc];
+    ++result.instructions;
+
+    std::uint64_t issue = now_;  // stall point; sources may push it later
+    bool taken_branch = false;
+    std::size_t next_pc = pc + 1;
+
+    switch (in.op) {
+      case Op::kFld: {
+        check_x(in.rs1);
+        const auto addr = static_cast<std::size_t>(x(in.rs1) + in.imm);
+        const double v = tcdm_.read_f64(addr);
+        if (ssr_enabled_ && in.rd <= kSsrWriteReg)
+          throw std::logic_error("CoreModel: fld to a streaming register while SSR enabled");
+        write_f(in.rd, v, issue + timing_.load_latency);
+        break;
+      }
+      case Op::kFsd: {
+        check_x(in.rs1);
+        const double v = read_f(in.rs2, issue);
+        tcdm_.write_f64(static_cast<std::size_t>(x(in.rs1) + in.imm), v);
+        break;
+      }
+      case Op::kFmadd: {
+        const double a = read_f(in.rs1, issue);
+        const double b = read_f(in.rs2, issue);
+        const double c = read_f(in.rs3, issue);
+        write_f(in.rd, a * b + c, issue + timing_.fp_latency);
+        break;
+      }
+      case Op::kFadd: {
+        const double a = read_f(in.rs1, issue);
+        const double b = read_f(in.rs2, issue);
+        write_f(in.rd, a + b, issue + timing_.fp_latency);
+        break;
+      }
+      case Op::kFmul: {
+        const double a = read_f(in.rs1, issue);
+        const double b = read_f(in.rs2, issue);
+        write_f(in.rd, a * b, issue + timing_.fp_latency);
+        break;
+      }
+      case Op::kFmax: {
+        const double a = read_f(in.rs1, issue);
+        const double b = read_f(in.rs2, issue);
+        write_f(in.rd, std::max(a, b), issue + timing_.fp_latency);
+        break;
+      }
+      case Op::kFmv: {
+        const double a = read_f(in.rs1, issue);
+        write_f(in.rd, a, issue + timing_.fp_latency);
+        break;
+      }
+      case Op::kAddi: {
+        set_x(in.rd, x(in.rs1) + in.imm);
+        break;
+      }
+      case Op::kBne:
+      case Op::kBlt: {
+        const std::int64_t a = x(in.rs1);
+        const std::int64_t b = x(in.rs2);
+        const bool cond = in.op == Op::kBne ? a != b : a < b;
+        if (cond) {
+          const std::int64_t target = static_cast<std::int64_t>(pc) + in.imm;
+          if (target < 0 || static_cast<std::size_t>(target) >= program.size())
+            throw std::invalid_argument("CoreModel: branch target out of bounds");
+          next_pc = static_cast<std::size_t>(target);
+          taken_branch = true;
+        }
+        break;
+      }
+      case Op::kFrep: {
+        if (frep_remaining > 0)
+          throw std::invalid_argument("CoreModel: nested frep not supported");
+        if (in.imm <= 0 || pc + 1 + static_cast<std::size_t>(in.imm) > program.size())
+          throw std::invalid_argument("CoreModel: frep body out of bounds");
+        const std::int64_t count = x(in.rs1);
+        if (count > 1) {
+          frep_begin = pc + 1;
+          frep_end = pc + 1 + static_cast<std::size_t>(in.imm);
+          frep_remaining = count - 1;  // first pass falls through naturally
+        }
+        if (count == 0) next_pc = pc + 1 + static_cast<std::size_t>(in.imm);
+        break;
+      }
+      case Op::kSsrCfg: {
+        if (in.rd >= kNumStreams) throw std::out_of_range("CoreModel: stream index");
+        check_x(in.rs1);
+        streams_[in.rd].configured = true;
+        streams_[in.rd].addr = static_cast<std::uint64_t>(x(in.rs1));
+        streams_[in.rd].stride = in.imm;
+        break;
+      }
+      case Op::kSsrEn: {
+        ssr_enabled_ = in.imm != 0;
+        break;
+      }
+      case Op::kHalt: {
+        result.cycles = issue + 1;
+        result.halted = true;
+        now_ = issue + 1;
+        return result;
+      }
+    }
+
+    now_ = issue + 1;
+    if (taken_branch) now_ += timing_.branch_penalty;
+
+    // Hardware-loop sequencing: leaving the frep body re-enters it with no
+    // fetch/branch cost until the repeat count is exhausted.
+    if (frep_remaining > 0 && next_pc == frep_end) {
+      --frep_remaining;
+      next_pc = frep_begin;
+    }
+    pc = next_pc;
+  }
+  result.cycles = now_;
+  return result;
+}
+
+}  // namespace mco::isa

@@ -1,0 +1,78 @@
+// Cycle-accurate in-order worker-core model executing the micro-ISA.
+//
+// Pipeline model (Snitch-class single-issue core):
+//  * one instruction issues per cycle, in order;
+//  * issue stalls until all source registers are ready (scoreboard);
+//  * FP ops (fmadd/fadd/fmul/fmax/fmv) have kFpLatency-cycle result latency,
+//    fully pipelined;
+//  * fld has kLoadLatency-cycle result latency (TCDM access, conflict-free
+//    thanks to the bank interleaving the streamers assume);
+//  * fsd retires in 1 cycle (store buffer);
+//  * taken branches flush the front-end: kBranchPenalty extra cycles;
+//  * frep repeats its body with zero loop overhead (the sequencer replays
+//    instructions without re-fetch);
+//  * SSR streams replace f0/f1 reads and f2 writes with auto-advancing
+//    memory accesses at no issue cost (the FIFO hides the TCDM latency).
+//
+// Functional state (registers + TCDM contents) is fully modeled, so micro-
+// kernels compute real results the tests verify against references.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.h"
+#include "mem/tcdm.h"
+
+namespace mco::isa {
+
+struct CoreTiming {
+  unsigned fp_latency = 3;
+  unsigned load_latency = 2;
+  unsigned branch_penalty = 2;  ///< extra cycles on a taken branch
+};
+
+/// Result of running a program to completion.
+struct RunResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;  ///< dynamic instruction count
+  bool halted = false;             ///< false if the cycle budget ran out
+};
+
+class CoreModel {
+ public:
+  explicit CoreModel(mem::Tcdm& tcdm, CoreTiming timing = {});
+
+  /// Integer / FP architectural state (x0 is hardwired to zero).
+  void set_x(unsigned idx, std::int64_t v);
+  std::int64_t x(unsigned idx) const;
+  void set_f(unsigned idx, double v);
+  double f(unsigned idx) const;
+
+  /// Execute `program` from instruction 0 until kHalt or `max_cycles`.
+  /// Throws std::out_of_range for bad register/memory accesses and
+  /// std::invalid_argument for malformed programs (e.g. branch out of
+  /// bounds, frep body past the end).
+  RunResult run(const Program& program, std::uint64_t max_cycles = 10'000'000);
+
+ private:
+  struct Stream {
+    bool configured = false;
+    std::uint64_t addr = 0;
+    std::int64_t stride = 0;
+  };
+
+  double read_f(unsigned idx, std::uint64_t& ready_cycle);
+  void write_f(unsigned idx, double v, std::uint64_t ready_at);
+
+  mem::Tcdm& tcdm_;
+  CoreTiming timing_;
+  std::array<std::int64_t, 16> xreg_{};
+  std::array<double, 32> freg_{};
+  std::array<std::uint64_t, 32> f_ready_{};  ///< cycle the register is ready
+  std::array<Stream, kNumStreams> streams_{};
+  bool ssr_enabled_ = false;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace mco::isa

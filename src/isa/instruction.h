@@ -1,0 +1,79 @@
+// Worker-core micro-ISA: a RISC-V-flavoured subset with Snitch's two ISA
+// extensions — FREP hardware loops and SSR streaming registers.
+//
+// Purpose: the paper derives its compute-rate constant (2.6 cycles/element
+// for DAXPY) "by inspecting the hardware and the compiled application".
+// This module makes that inspection executable: kernels written as real
+// instruction sequences run on a cycle-accurate in-order core model
+// (src/isa/core_model.h) against TCDM contents, and their measured
+// cycles/element validate (or refute) the calibrated rates used by the
+// transaction-level cluster model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco::isa {
+
+enum class Op : std::uint8_t {
+  kFld,    ///< fld  fd, imm(xs1)        : fd = mem[x[rs1] + imm]
+  kFsd,    ///< fsd  fs2, imm(xs1)       : mem[x[rs1] + imm] = fs2
+  kFmadd,  ///< fmadd fd, fs1, fs2, fs3  : fd = fs1 * fs2 + fs3
+  kFadd,   ///< fadd fd, fs1, fs2
+  kFmul,   ///< fmul fd, fs1, fs2
+  kFmax,   ///< fmax fd, fs1, fs2
+  kFmv,    ///< fmv  fd, fs1
+  kAddi,   ///< addi xd, xs1, imm
+  kBne,    ///< bne  xs1, xs2, imm       : relative instruction offset
+  kBlt,    ///< blt  xs1, xs2, imm
+  kFrep,   ///< frep xs1, imm            : repeat the next `imm` instructions
+           ///<                            x[rs1] times (zero-overhead loop)
+  kSsrCfg, ///< ssr.cfg rd(stream), xs1(base), xs2(stride regs? no: imm)
+           ///<   configure stream `rd` (0..2): base x[rs1], stride imm bytes
+  kSsrEn,  ///< ssr.enable / disable via imm (1/0)
+  kHalt,   ///< stop execution
+};
+
+const char* to_string(Op op);
+
+/// One instruction. Register fields index the fp file for f-typed operands
+/// and the integer file for x-typed operands (see per-op comments above).
+struct Instr {
+  Op op = Op::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;
+  std::int32_t imm = 0;
+
+  std::string to_string() const;
+};
+
+// Assembler-style helpers (keep kernel definitions readable).
+Instr fld(std::uint8_t fd, std::uint8_t xs, std::int32_t imm);
+Instr fsd(std::uint8_t fs, std::uint8_t xs, std::int32_t imm);
+Instr fmadd(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2, std::uint8_t fs3);
+Instr fadd(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2);
+Instr fmul(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2);
+Instr fmax(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2);
+Instr fmv(std::uint8_t fd, std::uint8_t fs1);
+Instr addi(std::uint8_t xd, std::uint8_t xs, std::int32_t imm);
+Instr bne(std::uint8_t xs1, std::uint8_t xs2, std::int32_t rel);
+Instr blt(std::uint8_t xs1, std::uint8_t xs2, std::int32_t rel);
+Instr frep(std::uint8_t xs_count, std::int32_t body_len);
+Instr ssr_cfg(std::uint8_t stream, std::uint8_t xs_base, std::int32_t stride_bytes);
+Instr ssr_enable(bool on);
+Instr halt();
+
+/// The three streaming registers: reads of f0/f1 pop read-streams 0/1,
+/// writes to f2 push write-stream 2 (when SSR is enabled) — Snitch's ft0-ft2
+/// convention.
+inline constexpr std::uint8_t kSsrReadReg0 = 0;
+inline constexpr std::uint8_t kSsrReadReg1 = 1;
+inline constexpr std::uint8_t kSsrWriteReg = 2;
+inline constexpr unsigned kNumStreams = 3;
+
+using Program = std::vector<Instr>;
+
+}  // namespace mco::isa

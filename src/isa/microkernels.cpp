@@ -1,0 +1,335 @@
+#include "isa/microkernels.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "util/strings.h"
+
+namespace mco::isa {
+
+const char* to_string(DaxpyVariant v) {
+  switch (v) {
+    case DaxpyVariant::kScalar: return "scalar";
+    case DaxpyVariant::kUnrolled4: return "unrolled4";
+    case DaxpyVariant::kSsrFrep: return "ssr_frep";
+  }
+  return "?";
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kFld: return "fld";
+    case Op::kFsd: return "fsd";
+    case Op::kFmadd: return "fmadd";
+    case Op::kFadd: return "fadd";
+    case Op::kFmul: return "fmul";
+    case Op::kFmax: return "fmax";
+    case Op::kFmv: return "fmv";
+    case Op::kAddi: return "addi";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kFrep: return "frep";
+    case Op::kSsrCfg: return "ssr.cfg";
+    case Op::kSsrEn: return "ssr.en";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+std::string Instr::to_string() const {
+  return util::format("%s rd=%u rs1=%u rs2=%u rs3=%u imm=%d", isa::to_string(op), rd, rs1, rs2,
+                      rs3, imm);
+}
+
+Instr fld(std::uint8_t fd, std::uint8_t xs, std::int32_t imm) {
+  return Instr{Op::kFld, fd, xs, 0, 0, imm};
+}
+Instr fsd(std::uint8_t fs, std::uint8_t xs, std::int32_t imm) {
+  return Instr{Op::kFsd, 0, xs, fs, 0, imm};
+}
+Instr fmadd(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2, std::uint8_t fs3) {
+  return Instr{Op::kFmadd, fd, fs1, fs2, fs3, 0};
+}
+Instr fadd(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2) {
+  return Instr{Op::kFadd, fd, fs1, fs2, 0, 0};
+}
+Instr fmul(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2) {
+  return Instr{Op::kFmul, fd, fs1, fs2, 0, 0};
+}
+Instr fmax(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2) {
+  return Instr{Op::kFmax, fd, fs1, fs2, 0, 0};
+}
+Instr fmv(std::uint8_t fd, std::uint8_t fs1) { return Instr{Op::kFmv, fd, fs1, 0, 0, 0}; }
+Instr addi(std::uint8_t xd, std::uint8_t xs, std::int32_t imm) {
+  return Instr{Op::kAddi, xd, xs, 0, 0, imm};
+}
+Instr bne(std::uint8_t xs1, std::uint8_t xs2, std::int32_t rel) {
+  return Instr{Op::kBne, 0, xs1, xs2, 0, rel};
+}
+Instr blt(std::uint8_t xs1, std::uint8_t xs2, std::int32_t rel) {
+  return Instr{Op::kBlt, 0, xs1, xs2, 0, rel};
+}
+Instr frep(std::uint8_t xs_count, std::int32_t body_len) {
+  return Instr{Op::kFrep, 0, xs_count, 0, 0, body_len};
+}
+Instr ssr_cfg(std::uint8_t stream, std::uint8_t xs_base, std::int32_t stride_bytes) {
+  return Instr{Op::kSsrCfg, stream, xs_base, 0, 0, stride_bytes};
+}
+Instr ssr_enable(bool on) { return Instr{Op::kSsrEn, 0, 0, 0, 0, on ? 1 : 0}; }
+Instr halt() { return Instr{Op::kHalt, 0, 0, 0, 0, 0}; }
+
+Program build_daxpy(DaxpyVariant variant) {
+  // Convention: x1 = &x, x2 = &y, x3 = count, x4 = loop counter, f10 = alpha.
+  switch (variant) {
+    case DaxpyVariant::kScalar: {
+      // loop: fld f4, 0(x1); fld f5, 0(x2); fmadd f6, f10, f4, f5;
+      //       fsd f6, 0(x2); addi x1,x1,8; addi x2,x2,8; addi x4,x4,1;
+      //       bne x4, x3, loop
+      return Program{
+          addi(4, 0, 0),        // 0: x4 = 0
+          fld(4, 1, 0),         // 1: loop body
+          fld(5, 2, 0),         // 2
+          fmadd(6, 10, 4, 5),   // 3
+          fsd(6, 2, 0),         // 4
+          addi(1, 1, 8),        // 5
+          addi(2, 2, 8),        // 6
+          addi(4, 4, 1),        // 7
+          bne(4, 3, -7),        // 8: back to 1
+          halt(),               // 9
+      };
+    }
+    case DaxpyVariant::kUnrolled4: {
+      // 4x unrolled: loads grouped ahead of uses to hide load/FP latency,
+      // one pointer bump + one branch per 4 elements. Count must be 4k.
+      return Program{
+          addi(4, 0, 0),        // 0: x4 = 0
+          fld(4, 1, 0),         // 1: loop body (len 16)
+          fld(5, 1, 8),
+          fld(6, 1, 16),
+          fld(7, 1, 24),
+          fld(20, 2, 0),
+          fld(21, 2, 8),
+          fld(22, 2, 16),
+          fld(23, 2, 24),
+          fmadd(24, 10, 4, 20),
+          fmadd(25, 10, 5, 21),
+          fmadd(26, 10, 6, 22),
+          fmadd(27, 10, 7, 23),
+          fsd(24, 2, 0),
+          fsd(25, 2, 8),
+          fsd(26, 2, 16),
+          fsd(27, 2, 24),
+          addi(1, 1, 32),
+          addi(2, 2, 32),
+          addi(4, 4, 4),
+          bne(4, 3, -19),       // back to 1
+          halt(),
+      };
+    }
+    case DaxpyVariant::kSsrFrep: {
+      // Streams: 0 reads x, 1 reads y, 2 writes y. One fmadd per element,
+      // replayed by the hardware loop — the fsd is absorbed by the write
+      // stream, so the steady state is 1 instruction/element.
+      return Program{
+          ssr_cfg(0, 1, 8),       // stream0: x, stride 8
+          ssr_cfg(1, 2, 8),       // stream1: y (reads)
+          ssr_cfg(2, 2, 8),       // stream2: y (writes)
+          ssr_enable(true),
+          frep(3, 1),             // repeat next 1 instruction x3 times
+          fmadd(2, 10, 0, 1),     // ft2 = alpha*ft0 + ft1  (all streaming)
+          ssr_enable(false),
+          halt(),
+      };
+    }
+  }
+  throw std::invalid_argument("build_daxpy: unknown variant");
+}
+
+const char* to_string(SumVariant v) {
+  switch (v) {
+    case SumVariant::kSingleAccumulator: return "sum_1acc";
+    case SumVariant::kSplitAccumulators: return "sum_3acc";
+  }
+  return "?";
+}
+
+Program build_sum(SumVariant variant) {
+  switch (variant) {
+    case SumVariant::kSingleAccumulator: {
+      // f20 += ft0 for every element: each fadd depends on the previous
+      // one, so the loop runs at the FP latency, not the issue rate.
+      return Program{
+          ssr_cfg(0, 1, 8),
+          ssr_enable(true),
+          fmul(20, 20, 21),     // f20 = 0 (f21 left 0 by reset? ensure below)
+          frep(3, 1),
+          fadd(20, 20, 0),      // f20 += stream0
+          ssr_enable(false),
+          halt(),
+      };
+    }
+    case SumVariant::kSplitAccumulators: {
+      // Three round-robin accumulators break the dependency chain; a final
+      // two fadds combine them. Count must be a multiple of 3.
+      return Program{
+          ssr_cfg(0, 1, 8),
+          ssr_enable(true),
+          fmul(20, 20, 21),     // zero the accumulators
+          fmv(22, 20),
+          fmv(23, 20),
+          addi(4, 0, 0),        // x4 = iterations of the 3-element body
+          frep(5, 3),           // x5 = count / 3
+          fadd(20, 20, 0),
+          fadd(22, 22, 0),
+          fadd(23, 23, 0),
+          ssr_enable(false),
+          fadd(20, 20, 22),
+          fadd(20, 20, 23),
+          halt(),
+      };
+    }
+  }
+  throw std::invalid_argument("build_sum: unknown variant");
+}
+
+const char* to_string(StreamOp op) {
+  switch (op) {
+    case StreamOp::kCopy: return "copy";
+    case StreamOp::kScale: return "scale";
+    case StreamOp::kRelu: return "relu";
+    case StreamOp::kAdd: return "add";
+    case StreamOp::kMul: return "mul";
+    case StreamOp::kAxpy: return "axpy";
+    case StreamOp::kAxpby: return "axpby";
+    case StreamOp::kFill: return "fill";
+  }
+  return "?";
+}
+
+unsigned stream_op_inputs(StreamOp op) {
+  switch (op) {
+    case StreamOp::kFill: return 0;
+    case StreamOp::kCopy:
+    case StreamOp::kScale:
+    case StreamOp::kRelu: return 1;
+    case StreamOp::kAdd:
+    case StreamOp::kMul:
+    case StreamOp::kAxpy:
+    case StreamOp::kAxpby: return 2;
+  }
+  return 0;
+}
+
+Program build_elementwise_stream(StreamOp op) {
+  Program p;
+  const unsigned ins = stream_op_inputs(op);
+  if (ins >= 1) p.push_back(ssr_cfg(0, 1, 8));
+  if (ins >= 2) p.push_back(ssr_cfg(1, 2, 8));
+  p.push_back(ssr_cfg(2, 6, 8));
+  p.push_back(ssr_enable(true));
+
+  Program body;
+  switch (op) {
+    case StreamOp::kCopy: body = {fadd(2, 0, 11)}; break;          // in0 + 0
+    case StreamOp::kScale: body = {fmul(2, 10, 0)}; break;         // alpha * in0
+    case StreamOp::kRelu: body = {fmax(2, 0, 11)}; break;          // max(in0, 0)
+    case StreamOp::kAdd: body = {fadd(2, 0, 1)}; break;
+    case StreamOp::kMul: body = {fmul(2, 0, 1)}; break;
+    case StreamOp::kAxpy: body = {fmadd(2, 10, 0, 1)}; break;
+    case StreamOp::kAxpby:
+      // t = beta * in1; out = alpha * in0 + t — the t dependency makes this
+      // body run at the FP latency, a genuinely more expensive loop.
+      body = {fmul(4, 13, 1), fmadd(2, 10, 0, 4)};
+      break;
+    case StreamOp::kFill: body = {fadd(2, 10, 11)}; break;         // alpha + 0
+  }
+  p.push_back(frep(3, static_cast<std::int32_t>(body.size())));
+  p.insert(p.end(), body.begin(), body.end());
+  p.push_back(ssr_enable(false));
+  p.push_back(halt());
+  return p;
+}
+
+MicroMeasurement measure_sum(SumVariant variant, std::uint64_t n, std::uint64_t seed,
+                             CoreTiming timing) {
+  if (n == 0) throw std::invalid_argument("measure_sum: n == 0");
+  if (variant == SumVariant::kSplitAccumulators && n % 3 != 0)
+    throw std::invalid_argument("measure_sum: split accumulators need n % 3 == 0");
+
+  sim::Simulator sim;
+  mem::TcdmConfig tcfg;
+  tcfg.size_bytes = std::max<std::size_t>(static_cast<std::size_t>(n * 8), 1024);
+  mem::Tcdm tcdm(sim, "tcdm", tcfg);
+
+  sim::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  tcdm.write_f64_array(0, x);
+
+  CoreModel core(tcdm, timing);
+  core.set_x(1, 0);
+  core.set_x(3, static_cast<std::int64_t>(n));
+  core.set_x(5, static_cast<std::int64_t>(n / 3));
+  core.set_f(20, 1.0);  // zeroed by the kernel's fmul against f21 = 0
+  core.set_f(21, 0.0);
+
+  const RunResult run = core.run(build_sum(variant));
+
+  MicroMeasurement m;
+  m.cycles = run.cycles;
+  m.instructions = run.instructions;
+  m.cycles_per_element = static_cast<double>(run.cycles) / static_cast<double>(n);
+  m.verified = run.halted;
+  double expected = 0.0;
+  for (const double v : x) expected += v;
+  // Split accumulators change the summation order; compare with tolerance.
+  if (std::abs(core.f(20) - expected) > 1e-9) m.verified = false;
+  return m;
+}
+
+MicroMeasurement measure_daxpy(DaxpyVariant variant, std::uint64_t n, std::uint64_t seed,
+                               CoreTiming timing) {
+  if (n == 0) throw std::invalid_argument("measure_daxpy: n == 0");
+  if (variant == DaxpyVariant::kUnrolled4 && n % 4 != 0)
+    throw std::invalid_argument("measure_daxpy: unrolled4 needs n % 4 == 0");
+
+  sim::Simulator sim;
+  mem::TcdmConfig tcfg;
+  tcfg.size_bytes = std::max<std::size_t>(static_cast<std::size_t>(2 * n * 8), 1024);
+  mem::Tcdm tcdm(sim, "tcdm", tcfg);
+
+  sim::Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  tcdm.write_f64_array(0, x);
+  tcdm.write_f64_array(n * 8, y);
+  const double alpha = 1.75;
+
+  CoreModel core(tcdm, timing);
+  core.set_x(1, 0);
+  core.set_x(2, static_cast<std::int64_t>(n * 8));
+  core.set_x(3, static_cast<std::int64_t>(n));
+  core.set_f(10, alpha);
+
+  const RunResult run = core.run(build_daxpy(variant));
+
+  MicroMeasurement m;
+  m.cycles = run.cycles;
+  m.instructions = run.instructions;
+  m.cycles_per_element = static_cast<double>(run.cycles) / static_cast<double>(n);
+  m.verified = run.halted;
+  const auto got = tcdm.read_f64_array(n * 8, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (std::abs(got[i] - (alpha * x[i] + y[i])) > 1e-12) {
+      m.verified = false;
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace mco::isa

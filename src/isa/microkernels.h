@@ -1,0 +1,86 @@
+// Hand-written DAXPY microkernels at three optimization levels, mirroring
+// what a compiler / hand-tuning would produce for a Snitch-class core:
+//
+//  * scalar   — textbook fld/fld/fmadd/fsd loop with pointer bumps and a
+//               backward branch (what -O0/-O1 code looks like);
+//  * unrolled — 4x unrolled loop body, amortizing the loop overhead and
+//               separating loads from uses to hide latency (typical -O2);
+//  * ssr_frep — SSR streams feed x and y, FREP repeats a single fmadd with
+//               the store stream carrying results (hand-optimal Snitch code).
+//
+// measure_daxpy() runs a variant on real TCDM data, verifies the result
+// against a reference, and reports cycles/element — the executable version
+// of the paper's "inspecting the compiled application" that justifies the
+// calibrated 2.6 cycles/element used by the cluster timing model.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/core_model.h"
+
+namespace mco::isa {
+
+enum class DaxpyVariant { kScalar, kUnrolled4, kSsrFrep };
+
+const char* to_string(DaxpyVariant v);
+
+/// Build the program for `variant`. Calling convention:
+///   x1 = &x[0], x2 = &y[0] (TCDM byte offsets), x3 = element count,
+///   f10 = alpha. y is updated in place.
+/// For kUnrolled4 the count must be a multiple of 4; kSsrFrep requires
+/// count >= 1. Violations throw std::invalid_argument at build time when
+/// detectable, or fail verification in measure_daxpy.
+Program build_daxpy(DaxpyVariant variant);
+
+struct MicroMeasurement {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double cycles_per_element = 0.0;
+  bool verified = false;
+};
+
+/// Run `variant` over `n` elements of fresh random data in a private TCDM,
+/// verify y == alpha*x + y_old elementwise, and report the timing.
+MicroMeasurement measure_daxpy(DaxpyVariant variant, std::uint64_t n, std::uint64_t seed = 1,
+                               CoreTiming timing = {});
+
+/// Vector-sum microkernels: the interesting microarchitectural effect is the
+/// accumulator dependency — a single accumulator serializes on the FP
+/// latency (3 cycles/element), while splitting into several accumulators
+/// that are combined at the end restores 1 element/cycle issue.
+enum class SumVariant { kSingleAccumulator, kSplitAccumulators };
+
+const char* to_string(SumVariant v);
+
+/// Build a sum program. Convention: x1 = &x, x3 = count, result in f20.
+/// kSingleAccumulator uses SSR stream 0 + FREP over one fadd;
+/// kSplitAccumulators uses three interleaved accumulators (count % 3 == 0).
+Program build_sum(SumVariant variant);
+
+/// Run and verify a sum over `n` random elements.
+MicroMeasurement measure_sum(SumVariant variant, std::uint64_t n, std::uint64_t seed = 1,
+                             CoreTiming timing = {});
+
+/// Generic streaming elementwise bodies: one SSR/FREP loop per operation,
+/// used by the kernel library's ISS compute mode for every f64 elementwise
+/// kernel. Conventions: x1 = &in0, x2 = &in1 (binary ops), x6 = &out,
+/// x3 = count, f10 = alpha, f13 = beta, f11 must stay 0.0.
+enum class StreamOp {
+  kCopy,   ///< out = in0
+  kScale,  ///< out = alpha * in0
+  kRelu,   ///< out = max(in0, 0)
+  kAdd,    ///< out = in0 + in1
+  kMul,    ///< out = in0 * in1
+  kAxpy,   ///< out = alpha * in0 + in1
+  kAxpby,  ///< out = alpha * in0 + beta * in1 (2-instruction body)
+  kFill,   ///< out = alpha (no input stream)
+};
+
+const char* to_string(StreamOp op);
+
+/// Number of input streams the operation consumes (0, 1 or 2).
+unsigned stream_op_inputs(StreamOp op);
+
+Program build_elementwise_stream(StreamOp op);
+
+}  // namespace mco::isa

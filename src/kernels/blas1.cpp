@@ -1,0 +1,294 @@
+#include "kernels/blas1.h"
+
+#include "kernels/mem_view.h"
+#include "isa/microkernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace mco::kernels {
+
+std::vector<std::uint64_t> ElementwiseKernel::marshal_args(const JobArgs& args) const {
+  std::vector<std::uint64_t> out;
+  for (const Field f : arg_fields()) {
+    switch (f) {
+      case Field::kAlpha: out.push_back(f64_bits(args.alpha)); break;
+      case Field::kBeta: out.push_back(f64_bits(args.beta)); break;
+      case Field::kIn0: out.push_back(args.in0); break;
+      case Field::kIn1: out.push_back(args.in1); break;
+      case Field::kOut0: out.push_back(args.out0); break;
+      case Field::kOut1: out.push_back(args.out1); break;
+      case Field::kAux: out.push_back(args.aux); break;
+    }
+  }
+  return out;
+}
+
+JobArgs ElementwiseKernel::unmarshal(const PayloadHeader& h,
+                                     const std::vector<std::uint64_t>& words) const {
+  const std::vector<Field> fields = arg_fields();
+  if (words.size() != fields.size())
+    throw std::invalid_argument(name() + ": payload has wrong argument count");
+  JobArgs args;
+  args.kernel_id = h.kernel_id;
+  args.job_id = h.job_id;
+  args.n = h.n;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    switch (fields[i]) {
+      case Field::kAlpha: args.alpha = bits_f64(words[i]); break;
+      case Field::kBeta: args.beta = bits_f64(words[i]); break;
+      case Field::kIn0: args.in0 = words[i]; break;
+      case Field::kIn1: args.in1 = words[i]; break;
+      case Field::kOut0: args.out0 = words[i]; break;
+      case Field::kOut1: args.out1 = words[i]; break;
+      case Field::kAux: args.aux = words[i]; break;
+    }
+  }
+  return args;
+}
+
+void ElementwiseKernel::validate(const JobArgs& args) const {
+  Kernel::validate(args);
+  for (const mem::Addr a : input_arrays(args)) {
+    if (a == 0) throw std::invalid_argument(name() + ": null input array");
+  }
+  if (output_array(args) == 0) throw std::invalid_argument(name() + ": null output array");
+}
+
+ClusterPlan ElementwiseKernel::plan_range(const JobArgs& args, std::uint64_t begin,
+                                          std::uint64_t count) const {
+  const std::size_t eb = elem_bytes();
+  const mem::Addr out_base = output_array(args);
+
+  ClusterPlan plan;
+  plan.items = count;
+  if (count == 0) return plan;
+
+  const std::size_t range_bytes = static_cast<std::size_t>(count) * eb;
+  std::size_t tcdm_off = 0;
+  std::size_t out_tcdm_off = std::size_t(-1);
+  for (const mem::Addr in_base : input_arrays(args)) {
+    DmaSeg seg{in_base + begin * eb, tcdm_off, range_bytes};
+    if (in_base == out_base) out_tcdm_off = tcdm_off;
+    plan.dma_in.push_back(seg);
+    tcdm_off += range_bytes;
+  }
+  if (out_tcdm_off == std::size_t(-1)) {
+    out_tcdm_off = tcdm_off;  // dedicated output buffer
+  }
+  plan.dma_out.push_back(DmaSeg{out_base + begin * eb, out_tcdm_off, range_bytes});
+  return plan;
+}
+
+ClusterPlan ElementwiseKernel::plan_cluster(const JobArgs& args, unsigned idx,
+                                            unsigned parts) const {
+  const ChunkRange chunk = split_chunk(args.n, idx, parts);
+  return plan_range(args, chunk.begin, chunk.count);
+}
+
+void ElementwiseKernel::execute_range(mem::Tcdm& tcdm, const JobArgs& args,
+                                      std::uint64_t /*begin*/, std::uint64_t count,
+                                      std::size_t tcdm_base) const {
+  if (count == 0) return;
+  TcdmView view(tcdm);
+  const std::size_t eb = elem_bytes();
+  const std::size_t range_bytes = static_cast<std::size_t>(count) * eb;
+  const mem::Addr out_base = output_array(args);
+
+  std::vector<std::size_t> in_offs;
+  std::size_t tcdm_off = tcdm_base;
+  std::size_t out_off = std::size_t(-1);
+  for (const mem::Addr in_base : input_arrays(args)) {
+    in_offs.push_back(tcdm_off);
+    if (in_base == out_base) out_off = tcdm_off;
+    tcdm_off += range_bytes;
+  }
+  if (out_off == std::size_t(-1)) out_off = tcdm_off;
+  apply(view, args, in_offs, out_off, count);
+}
+
+void ElementwiseKernel::host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
+                                     const JobArgs& args) const {
+  validate(args);
+  HbmView view(mem);
+  std::vector<std::size_t> in_offs;
+  for (const mem::Addr a : input_arrays(args)) {
+    in_offs.push_back(static_cast<std::size_t>(map.hbm_offset(a)));
+  }
+  const std::size_t out_off = static_cast<std::size_t>(map.hbm_offset(output_array(args)));
+  apply(view, args, in_offs, out_off, args.n);
+}
+
+void ElementwiseKernel::execute_cluster(mem::Tcdm& tcdm, const JobArgs& args, unsigned idx,
+                                        unsigned parts) const {
+  const ChunkRange chunk = split_chunk(args.n, idx, parts);
+  execute_range(tcdm, args, chunk.begin, chunk.count);
+}
+
+sim::Cycles ElementwiseKernel::run_on_iss(mem::Tcdm& tcdm, const JobArgs& args,
+                                          std::size_t tcdm_base, std::uint64_t tile_items,
+                                          std::uint64_t worker_begin,
+                                          std::uint64_t worker_items,
+                                          IssVariant /*variant*/) const {
+  const auto op = iss_stream_op();
+  if (!op) return Kernel::run_on_iss(tcdm, args, tcdm_base, tile_items, worker_begin,
+                                     worker_items, IssVariant::kSsrFrep);
+  if (worker_items == 0) return 0;
+  if (elem_bytes() != 8)
+    throw std::logic_error(name() + ": ISS streams are 64-bit only");
+
+  // Recompute the tile's buffer layout exactly as plan_range laid it out.
+  const std::size_t range_bytes = static_cast<std::size_t>(tile_items) * 8;
+  const mem::Addr out_base = output_array(args);
+  std::vector<std::size_t> in_offs;
+  std::size_t off = tcdm_base;
+  std::size_t out_off = std::size_t(-1);
+  for (const mem::Addr in : input_arrays(args)) {
+    in_offs.push_back(off);
+    if (in == out_base) out_off = off;
+    off += range_bytes;
+  }
+  if (out_off == std::size_t(-1)) out_off = off;
+
+  const std::size_t shift = static_cast<std::size_t>(worker_begin) * 8;
+  isa::CoreModel core(tcdm);
+  if (!in_offs.empty()) core.set_x(1, static_cast<std::int64_t>(in_offs[0] + shift));
+  if (in_offs.size() >= 2) core.set_x(2, static_cast<std::int64_t>(in_offs[1] + shift));
+  core.set_x(6, static_cast<std::int64_t>(out_off + shift));
+  core.set_x(3, static_cast<std::int64_t>(worker_items));
+  core.set_f(10, args.alpha);
+  core.set_f(13, args.beta);
+  core.set_f(11, 0.0);
+  const isa::RunResult r = core.run(isa::build_elementwise_stream(*op));
+  if (!r.halted) throw std::runtime_error(name() + ": ISS run exceeded the cycle budget");
+  return r.cycles;
+}
+
+sim::Cycles DaxpyKernel::run_on_iss(mem::Tcdm& tcdm, const JobArgs& args,
+                                    std::size_t tcdm_base, std::uint64_t tile_items,
+                                    std::uint64_t worker_begin, std::uint64_t worker_items,
+                                    IssVariant variant) const {
+  if (worker_items == 0) return 0;
+  // Tile layout (plan_range): x chunk at base, y chunk right after it.
+  const std::size_t x_off = tcdm_base + static_cast<std::size_t>(worker_begin) * 8;
+  const std::size_t y_off =
+      tcdm_base + static_cast<std::size_t>(tile_items + worker_begin) * 8;
+
+  const auto run = [&](isa::DaxpyVariant v, std::size_t xo, std::size_t yo,
+                       std::uint64_t count) -> sim::Cycles {
+    isa::CoreModel core(tcdm);
+    core.set_x(1, static_cast<std::int64_t>(xo));
+    core.set_x(2, static_cast<std::int64_t>(yo));
+    core.set_x(3, static_cast<std::int64_t>(count));
+    core.set_f(10, args.alpha);
+    const isa::RunResult r = core.run(isa::build_daxpy(v));
+    if (!r.halted) throw std::runtime_error("daxpy: ISS run exceeded the cycle budget");
+    return r.cycles;
+  };
+
+  switch (variant) {
+    case IssVariant::kScalar:
+      return run(isa::DaxpyVariant::kScalar, x_off, y_off, worker_items);
+    case IssVariant::kSsrFrep:
+      return run(isa::DaxpyVariant::kSsrFrep, x_off, y_off, worker_items);
+    case IssVariant::kUnrolled4: {
+      // Main body 4x-unrolled, scalar tail for the remainder.
+      const std::uint64_t main = worker_items & ~3ull;
+      sim::Cycles cycles = 0;
+      if (main > 0) cycles += run(isa::DaxpyVariant::kUnrolled4, x_off, y_off, main);
+      if (worker_items > main) {
+        cycles += run(isa::DaxpyVariant::kScalar, x_off + main * 8, y_off + main * 8,
+                      worker_items - main);
+      }
+      return cycles;
+    }
+  }
+  throw std::invalid_argument("daxpy: unknown ISS variant");
+}
+
+// ---- arithmetic ------------------------------------------------------------
+
+void DaxpyKernel::apply(MemView& mem, const JobArgs& args,
+                        const std::vector<std::size_t>& ins, std::size_t out,
+                        std::uint64_t count) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const double x = mem.read_f64(ins[0] + i * 8);
+    const double y = mem.read_f64(ins[1] + i * 8);
+    mem.write_f64(out + i * 8, args.alpha * x + y);
+  }
+}
+
+void SaxpyKernel::apply(MemView& mem, const JobArgs& args,
+                        const std::vector<std::size_t>& ins, std::size_t out,
+                        std::uint64_t count) const {
+  const float alpha = static_cast<float>(args.alpha);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const float x = mem.read_f32(ins[0] + i * 4);
+    const float y = mem.read_f32(ins[1] + i * 4);
+    mem.write_f32(out + i * 4, alpha * x + y);
+  }
+}
+
+void AxpbyKernel::apply(MemView& mem, const JobArgs& args,
+                        const std::vector<std::size_t>& ins, std::size_t out,
+                        std::uint64_t count) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const double x = mem.read_f64(ins[0] + i * 8);
+    const double y = mem.read_f64(ins[1] + i * 8);
+    mem.write_f64(out + i * 8, args.alpha * x + args.beta * y);
+  }
+}
+
+void ScaleKernel::apply(MemView& mem, const JobArgs& args,
+                        const std::vector<std::size_t>& ins, std::size_t out,
+                        std::uint64_t count) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mem.write_f64(out + i * 8, args.alpha * mem.read_f64(ins[0] + i * 8));
+  }
+}
+
+void VecAddKernel::apply(MemView& mem, const JobArgs& /*args*/,
+                         const std::vector<std::size_t>& ins, std::size_t out,
+                         std::uint64_t count) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mem.write_f64(out + i * 8,
+                   mem.read_f64(ins[0] + i * 8) + mem.read_f64(ins[1] + i * 8));
+  }
+}
+
+void VecMulKernel::apply(MemView& mem, const JobArgs& /*args*/,
+                         const std::vector<std::size_t>& ins, std::size_t out,
+                         std::uint64_t count) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mem.write_f64(out + i * 8,
+                  mem.read_f64(ins[0] + i * 8) * mem.read_f64(ins[1] + i * 8));
+  }
+}
+
+void ReluKernel::apply(MemView& mem, const JobArgs& /*args*/,
+                       const std::vector<std::size_t>& ins, std::size_t out,
+                       std::uint64_t count) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mem.write_f64(out + i * 8, std::max(mem.read_f64(ins[0] + i * 8), 0.0));
+  }
+}
+
+void FillKernel::apply(MemView& mem, const JobArgs& args,
+                       const std::vector<std::size_t>& /*ins*/, std::size_t out,
+                       std::uint64_t count) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mem.write_f64(out + i * 8, args.alpha);
+  }
+}
+
+void MemcpyKernel::apply(MemView& mem, const JobArgs& /*args*/,
+                         const std::vector<std::size_t>& ins, std::size_t out,
+                         std::uint64_t count) const {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mem.write_f64(out + i * 8, mem.read_f64(ins[0] + i * 8));
+  }
+}
+
+}  // namespace mco::kernels

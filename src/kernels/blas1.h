@@ -1,0 +1,243 @@
+// Elementwise (BLAS-1-style) kernels.
+//
+// All operate on contiguous arrays in HBM, split into balanced per-cluster
+// chunks. TCDM layout: input chunks packed from offset 0 in declaration
+// order; the output chunk aliases its matching input when the operation is
+// in-place (DAXPY writes y over y).
+//
+// Kernel ids are stable ABI: they travel in dispatch payloads.
+#pragma once
+
+#include <optional>
+
+#include "isa/microkernels.h"
+#include "kernels/kernel.h"
+#include "kernels/mem_view.h"
+
+namespace mco::kernels {
+
+inline constexpr std::uint32_t kDaxpyId = 1;
+inline constexpr std::uint32_t kSaxpyId = 2;
+inline constexpr std::uint32_t kAxpbyId = 3;
+inline constexpr std::uint32_t kScaleId = 4;
+inline constexpr std::uint32_t kVecAddId = 5;
+inline constexpr std::uint32_t kReluId = 6;
+inline constexpr std::uint32_t kFillId = 7;
+inline constexpr std::uint32_t kMemcpyId = 8;
+inline constexpr std::uint32_t kVecMulId = 9;
+
+/// Shared scaffolding for elementwise kernels: balanced chunking, packed
+/// TCDM layout, rate-based worker timing. Concrete kernels provide the
+/// streamed arrays and the arithmetic.
+class ElementwiseKernel : public Kernel {
+ public:
+  std::vector<std::uint64_t> marshal_args(const JobArgs& args) const override;
+  JobArgs unmarshal(const PayloadHeader& h, const std::vector<std::uint64_t>& words) const override;
+  ClusterPlan plan_cluster(const JobArgs& args, unsigned idx, unsigned parts) const override;
+  void execute_cluster(mem::Tcdm& tcdm, const JobArgs& args, unsigned idx,
+                       unsigned parts) const override;
+  void validate(const JobArgs& args) const override;
+
+  /// Elementwise kernels process any contiguous item range, so oversized
+  /// chunks can be tiled through TCDM.
+  bool supports_tiling() const override { return true; }
+  ClusterPlan plan_range(const JobArgs& args, std::uint64_t begin,
+                         std::uint64_t count) const override;
+  void execute_range(mem::Tcdm& tcdm, const JobArgs& args, std::uint64_t begin,
+                     std::uint64_t count, std::size_t tcdm_base = 0) const override;
+
+  /// Host fallback: the same apply() arithmetic, bound to main memory.
+  void host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
+                    const JobArgs& args) const override;
+
+  /// ISS compute: f64 elementwise kernels with a streaming micro-op run
+  /// their inner loop on the worker-core model (see isa::StreamOp). The
+  /// IssVariant selector is ignored here — these kernels have exactly one
+  /// (streaming) implementation; DAXPY overrides with three.
+  bool supports_iss() const override { return iss_stream_op().has_value(); }
+  sim::Cycles run_on_iss(mem::Tcdm& tcdm, const JobArgs& args, std::size_t tcdm_base,
+                         std::uint64_t tile_items, std::uint64_t worker_begin,
+                         std::uint64_t worker_items, IssVariant variant) const override;
+
+ protected:
+  /// Which JobArgs fields travel in the payload (marshalling order). The
+  /// count directly sets the dispatch cost — more arguments, more stores.
+  enum class Field : std::uint8_t { kAlpha, kBeta, kIn0, kIn1, kOut0, kOut1, kAux };
+  virtual std::vector<Field> arg_fields() const {
+    return {Field::kAlpha, Field::kIn0, Field::kOut0};
+  }
+
+  /// Bytes per element (8 for f64 kernels, 4 for SAXPY).
+  virtual std::size_t elem_bytes() const { return 8; }
+
+  /// Streaming micro-op for ISS compute, or nullopt when the kernel has no
+  /// microcode (f32 kernels; kernels with no 1-to-2-instruction body).
+  virtual std::optional<isa::StreamOp> iss_stream_op() const { return std::nullopt; }
+  /// HBM base addresses streamed in, in TCDM packing order.
+  virtual std::vector<mem::Addr> input_arrays(const JobArgs& args) const = 0;
+  /// HBM base address written out.
+  virtual mem::Addr output_array(const JobArgs& args) const = 0;
+  /// Elementwise math on this cluster's chunk. `ins` are TCDM byte offsets
+  /// matching input_arrays order; `out` likewise.
+  virtual void apply(MemView& mem, const JobArgs& args,
+                     const std::vector<std::size_t>& ins, std::size_t out,
+                     std::uint64_t count) const = 0;
+};
+
+/// DAXPY: y[i] += alpha * x[i] (f64). The paper's benchmark kernel.
+/// Args: alpha, in0 = x, out0 = y (in-place on y). Rate 2.6 cycles/element.
+class DaxpyKernel final : public ElementwiseKernel {
+ public:
+  std::uint32_t id() const override { return kDaxpyId; }
+  std::string name() const override { return "daxpy"; }
+  util::Rate rate() const override { return {13, 5}; }
+
+  /// DAXPY carries real microcode (see isa/microkernels.h): a cluster in
+  /// ISS compute mode runs the selected inner loop on the worker-core model
+  /// instead of charging the calibrated 2.6 cycles/element.
+  bool supports_iss() const override { return true; }
+  sim::Cycles run_on_iss(mem::Tcdm& tcdm, const JobArgs& args, std::size_t tcdm_base,
+                         std::uint64_t tile_items, std::uint64_t worker_begin,
+                         std::uint64_t worker_items, IssVariant variant) const override;
+
+ protected:
+  std::vector<mem::Addr> input_arrays(const JobArgs& a) const override { return {a.in0, a.out0}; }
+  mem::Addr output_array(const JobArgs& a) const override { return a.out0; }
+  void apply(MemView& mem, const JobArgs& args, const std::vector<std::size_t>& ins,
+             std::size_t out, std::uint64_t count) const override;
+};
+
+/// SAXPY: y[i] += alpha * x[i] (f32). Two elements per 64-bit beat, so the
+/// data term is halved relative to DAXPY at equal n.
+class SaxpyKernel final : public ElementwiseKernel {
+ public:
+  std::uint32_t id() const override { return kSaxpyId; }
+  std::string name() const override { return "saxpy"; }
+  util::Rate rate() const override { return {13, 10}; }
+
+ protected:
+  std::size_t elem_bytes() const override { return 4; }
+  std::vector<mem::Addr> input_arrays(const JobArgs& a) const override { return {a.in0, a.out0}; }
+  mem::Addr output_array(const JobArgs& a) const override { return a.out0; }
+  void apply(MemView& mem, const JobArgs& args, const std::vector<std::size_t>& ins,
+             std::size_t out, std::uint64_t count) const override;
+};
+
+/// AXPBY: y[i] = alpha * x[i] + beta * y[i] (f64).
+class AxpbyKernel final : public ElementwiseKernel {
+ public:
+  std::uint32_t id() const override { return kAxpbyId; }
+  std::string name() const override { return "axpby"; }
+  util::Rate rate() const override { return {14, 5}; }
+
+ protected:
+  std::optional<isa::StreamOp> iss_stream_op() const override { return isa::StreamOp::kAxpby; }
+  std::vector<Field> arg_fields() const override {
+    return {Field::kAlpha, Field::kBeta, Field::kIn0, Field::kOut0};
+  }
+  std::vector<mem::Addr> input_arrays(const JobArgs& a) const override { return {a.in0, a.out0}; }
+  mem::Addr output_array(const JobArgs& a) const override { return a.out0; }
+  void apply(MemView& mem, const JobArgs& args, const std::vector<std::size_t>& ins,
+             std::size_t out, std::uint64_t count) const override;
+};
+
+/// SCALE: y[i] = alpha * x[i] (f64, out-of-place).
+class ScaleKernel final : public ElementwiseKernel {
+ public:
+  std::uint32_t id() const override { return kScaleId; }
+  std::string name() const override { return "scale"; }
+  util::Rate rate() const override { return {9, 5}; }
+
+ protected:
+  std::optional<isa::StreamOp> iss_stream_op() const override { return isa::StreamOp::kScale; }
+  std::vector<mem::Addr> input_arrays(const JobArgs& a) const override { return {a.in0}; }
+  mem::Addr output_array(const JobArgs& a) const override { return a.out0; }
+  void apply(MemView& mem, const JobArgs& args, const std::vector<std::size_t>& ins,
+             std::size_t out, std::uint64_t count) const override;
+};
+
+/// VECADD: z[i] = x[i] + y[i] (f64, three distinct arrays).
+class VecAddKernel final : public ElementwiseKernel {
+ public:
+  std::uint32_t id() const override { return kVecAddId; }
+  std::string name() const override { return "vecadd"; }
+  util::Rate rate() const override { return {12, 5}; }
+
+ protected:
+  std::optional<isa::StreamOp> iss_stream_op() const override { return isa::StreamOp::kAdd; }
+  std::vector<Field> arg_fields() const override {
+    return {Field::kIn0, Field::kIn1, Field::kOut0};
+  }
+  std::vector<mem::Addr> input_arrays(const JobArgs& a) const override { return {a.in0, a.in1}; }
+  mem::Addr output_array(const JobArgs& a) const override { return a.out0; }
+  void apply(MemView& mem, const JobArgs& args, const std::vector<std::size_t>& ins,
+             std::size_t out, std::uint64_t count) const override;
+};
+
+/// VECMUL: z[i] = x[i] * y[i] (f64, elementwise Hadamard product; the
+/// diagonal-matrix apply of the solver example).
+class VecMulKernel final : public ElementwiseKernel {
+ public:
+  std::uint32_t id() const override { return kVecMulId; }
+  std::string name() const override { return "vecmul"; }
+  util::Rate rate() const override { return {12, 5}; }
+
+ protected:
+  std::optional<isa::StreamOp> iss_stream_op() const override { return isa::StreamOp::kMul; }
+  std::vector<Field> arg_fields() const override {
+    return {Field::kIn0, Field::kIn1, Field::kOut0};
+  }
+  std::vector<mem::Addr> input_arrays(const JobArgs& a) const override { return {a.in0, a.in1}; }
+  mem::Addr output_array(const JobArgs& a) const override { return a.out0; }
+  void apply(MemView& mem, const JobArgs& args, const std::vector<std::size_t>& ins,
+             std::size_t out, std::uint64_t count) const override;
+};
+
+/// RELU: y[i] = max(x[i], 0) (f64).
+class ReluKernel final : public ElementwiseKernel {
+ public:
+  std::uint32_t id() const override { return kReluId; }
+  std::string name() const override { return "relu"; }
+  util::Rate rate() const override { return {8, 5}; }
+
+ protected:
+  std::optional<isa::StreamOp> iss_stream_op() const override { return isa::StreamOp::kRelu; }
+  std::vector<mem::Addr> input_arrays(const JobArgs& a) const override { return {a.in0}; }
+  mem::Addr output_array(const JobArgs& a) const override { return a.out0; }
+  void apply(MemView& mem, const JobArgs& args, const std::vector<std::size_t>& ins,
+             std::size_t out, std::uint64_t count) const override;
+};
+
+/// FILL: y[i] = alpha. No DMA-in at all — the cheapest possible data phase,
+/// useful to isolate dispatch/sync overheads experimentally.
+class FillKernel final : public ElementwiseKernel {
+ public:
+  std::uint32_t id() const override { return kFillId; }
+  std::string name() const override { return "fill"; }
+  util::Rate rate() const override { return {1, 1}; }
+
+ protected:
+  std::optional<isa::StreamOp> iss_stream_op() const override { return isa::StreamOp::kFill; }
+  std::vector<Field> arg_fields() const override { return {Field::kAlpha, Field::kOut0}; }
+  std::vector<mem::Addr> input_arrays(const JobArgs&) const override { return {}; }
+  mem::Addr output_array(const JobArgs& a) const override { return a.out0; }
+  void apply(MemView& mem, const JobArgs& args, const std::vector<std::size_t>& ins,
+             std::size_t out, std::uint64_t count) const override;
+};
+
+/// MEMCPY: y[i] = x[i]. Bandwidth-dominated; compute nearly free.
+class MemcpyKernel final : public ElementwiseKernel {
+ public:
+  std::uint32_t id() const override { return kMemcpyId; }
+  std::string name() const override { return "memcpy"; }
+  util::Rate rate() const override { return {1, 2}; }
+
+ protected:
+  std::optional<isa::StreamOp> iss_stream_op() const override { return isa::StreamOp::kCopy; }
+  std::vector<mem::Addr> input_arrays(const JobArgs& a) const override { return {a.in0}; }
+  mem::Addr output_array(const JobArgs& a) const override { return a.out0; }
+  void apply(MemView& mem, const JobArgs& args, const std::vector<std::size_t>& ins,
+             std::size_t out, std::uint64_t count) const override;
+};
+
+}  // namespace mco::kernels

@@ -1,0 +1,98 @@
+#include "kernels/gemm.h"
+
+#include <stdexcept>
+
+#include "kernels/mem_view.h"
+
+namespace mco::kernels {
+
+void GemmKernel::validate(const JobArgs& args) const {
+  Kernel::validate(args);
+  if (args.aux == 0) throw std::invalid_argument("gemm: aux (k) must be > 0");
+  if (args.in0 == 0) throw std::invalid_argument("gemm: null matrix in0 (A)");
+  if (args.in1 == 0) throw std::invalid_argument("gemm: null matrix in1 (B)");
+  if (args.out0 == 0) throw std::invalid_argument("gemm: null output out0 (C)");
+}
+
+std::vector<std::uint64_t> GemmKernel::marshal_args(const JobArgs& args) const {
+  return {f64_bits(args.alpha), args.in0, args.in1, args.out0, args.aux};
+}
+
+JobArgs GemmKernel::unmarshal(const PayloadHeader& h,
+                              const std::vector<std::uint64_t>& words) const {
+  if (words.size() != 5) throw std::invalid_argument("gemm: payload has wrong argument count");
+  JobArgs args;
+  args.kernel_id = h.kernel_id;
+  args.job_id = h.job_id;
+  args.n = h.n;
+  args.alpha = bits_f64(words[0]);
+  args.in0 = words[1];
+  args.in1 = words[2];
+  args.out0 = words[3];
+  args.aux = words[4];
+  return args;
+}
+
+ClusterPlan GemmKernel::plan_cluster(const JobArgs& args, unsigned idx, unsigned parts) const {
+  const ChunkRange rows = split_chunk(args.n, idx, parts);
+  const std::size_t k = static_cast<std::size_t>(args.aux);
+  ClusterPlan plan;
+  plan.items = rows.count;
+  if (rows.count == 0) return plan;
+
+  const std::size_t b_bytes = k * k * 8;
+  const std::size_t a_bytes = static_cast<std::size_t>(rows.count) * k * 8;
+  const std::size_t c_bytes = a_bytes;  // C block has the same shape as A's
+  // Layout: B panel | A block | C block.
+  plan.dma_in.push_back(DmaSeg{args.in1, 0, b_bytes});
+  plan.dma_in.push_back(DmaSeg{args.in0 + rows.begin * k * 8, b_bytes, a_bytes});
+  plan.dma_out.push_back(DmaSeg{args.out0 + rows.begin * k * 8, b_bytes + a_bytes, c_bytes});
+  return plan;
+}
+
+void GemmKernel::compute_rows(MemView& mem, const JobArgs& args, std::size_t a_off,
+                              std::size_t b_off, std::size_t c_off, std::uint64_t rows) {
+  const std::size_t k = static_cast<std::size_t>(args.aux);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        acc += mem.read_f64(a_off + (r * k + i) * 8) * mem.read_f64(b_off + (i * k + j) * 8);
+      }
+      mem.write_f64(c_off + (r * k + j) * 8, args.alpha * acc);
+    }
+  }
+}
+
+void GemmKernel::execute_cluster(mem::Tcdm& tcdm, const JobArgs& args, unsigned idx,
+                                 unsigned parts) const {
+  const ChunkRange rows = split_chunk(args.n, idx, parts);
+  if (rows.count == 0) return;
+  const std::size_t k = static_cast<std::size_t>(args.aux);
+  const std::size_t b_off = 0;
+  const std::size_t a_off = k * k * 8;
+  const std::size_t c_off = a_off + static_cast<std::size_t>(rows.count) * k * 8;
+  TcdmView view(tcdm);
+  compute_rows(view, args, a_off, b_off, c_off, rows.count);
+}
+
+sim::Cycles GemmKernel::worker_cycles(const JobArgs& args, std::uint64_t rows) const {
+  if (rows == 0) return 0;
+  constexpr sim::Cycles kRowOverhead = 6;
+  return rows * (rate().cycles_for(args.aux * args.aux) + kRowOverhead);
+}
+
+sim::Cycles GemmKernel::host_execute_cycles(const JobArgs& args) const {
+  return host_rate().cycles_for(args.n * args.aux * args.aux);
+}
+
+void GemmKernel::host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
+                              const JobArgs& args) const {
+  validate(args);
+  HbmView view(mem);
+  compute_rows(view, args, static_cast<std::size_t>(map.hbm_offset(args.in0)),
+               static_cast<std::size_t>(map.hbm_offset(args.in1)),
+               static_cast<std::size_t>(map.hbm_offset(args.out0)), args.n);
+}
+
+}  // namespace mco::kernels

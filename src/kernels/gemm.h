@@ -1,0 +1,47 @@
+// GEMM: dense matrix-matrix product, row-block-chunked across clusters.
+//
+// C = alpha * A × B with A (n×k), B (k×k, square) and C (n×k), all row-major
+// f64. Cluster i receives a balanced block of A's rows plus a full copy of B
+// — the classic inner-panel replication scheme. Compute per work item (one
+// row of C) is k² multiply-accumulates, so unlike the BLAS-1 kernels the
+// compute term dominates the data term even at small n, giving the sweep a
+// workload where offloading pays off at much smaller item counts.
+//
+// Args: n = rows of A/C, aux = k (panel dimension), in0 = A, in1 = B,
+// out0 = C, alpha = scale.
+#pragma once
+
+#include "kernels/kernel.h"
+#include "kernels/mem_view.h"
+
+namespace mco::kernels {
+
+inline constexpr std::uint32_t kGemmId = 33;
+
+class GemmKernel final : public Kernel {
+ public:
+  std::uint32_t id() const override { return kGemmId; }
+  std::string name() const override { return "gemm"; }
+
+  void validate(const JobArgs& args) const override;
+  std::vector<std::uint64_t> marshal_args(const JobArgs& args) const override;
+  JobArgs unmarshal(const PayloadHeader& h, const std::vector<std::uint64_t>& words) const override;
+  ClusterPlan plan_cluster(const JobArgs& args, unsigned idx, unsigned parts) const override;
+  void execute_cluster(mem::Tcdm& tcdm, const JobArgs& args, unsigned idx,
+                       unsigned parts) const override;
+
+  /// Per-row cost: k² multiply-accumulates at ~1.25 cycles each (streaming
+  /// panel), plus per-row loop overhead.
+  sim::Cycles worker_cycles(const JobArgs& args, std::uint64_t rows) const override;
+  util::Rate rate() const override { return {5, 4}; }  // per MAC
+
+  sim::Cycles host_execute_cycles(const JobArgs& args) const override;
+  void host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
+                    const JobArgs& args) const override;
+
+ private:
+  static void compute_rows(MemView& mem, const JobArgs& args, std::size_t a_off,
+                           std::size_t b_off, std::size_t c_off, std::uint64_t rows);
+};
+
+}  // namespace mco::kernels

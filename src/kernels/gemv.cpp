@@ -1,0 +1,95 @@
+#include "kernels/gemv.h"
+
+#include <stdexcept>
+
+namespace mco::kernels {
+
+void GemvKernel::validate(const JobArgs& args) const {
+  Kernel::validate(args);
+  if (args.aux == 0) throw std::invalid_argument("gemv: aux (cols) must be > 0");
+  if (args.in0 == 0) throw std::invalid_argument("gemv: null matrix in0");
+  if (args.in1 == 0) throw std::invalid_argument("gemv: null vector in1");
+  if (args.out0 == 0) throw std::invalid_argument("gemv: null output out0");
+}
+
+std::vector<std::uint64_t> GemvKernel::marshal_args(const JobArgs& args) const {
+  return {f64_bits(args.alpha), args.in0, args.in1, args.out0, args.aux};
+}
+
+JobArgs GemvKernel::unmarshal(const PayloadHeader& h,
+                              const std::vector<std::uint64_t>& words) const {
+  if (words.size() != 5) throw std::invalid_argument("gemv: payload has wrong argument count");
+  JobArgs args;
+  args.kernel_id = h.kernel_id;
+  args.job_id = h.job_id;
+  args.n = h.n;
+  args.alpha = bits_f64(words[0]);
+  args.in0 = words[1];
+  args.in1 = words[2];
+  args.out0 = words[3];
+  args.aux = words[4];
+  return args;
+}
+
+ClusterPlan GemvKernel::plan_cluster(const JobArgs& args, unsigned idx, unsigned parts) const {
+  const ChunkRange rows = split_chunk(args.n, idx, parts);
+  const std::size_t cols = static_cast<std::size_t>(args.aux);
+  ClusterPlan plan;
+  plan.items = rows.count;
+  if (rows.count == 0) return plan;
+
+  const std::size_t x_bytes = cols * 8;
+  const std::size_t a_bytes = static_cast<std::size_t>(rows.count) * cols * 8;
+  const std::size_t y_bytes = static_cast<std::size_t>(rows.count) * 8;
+  // Layout: x | A-chunk | y-chunk.
+  plan.dma_in.push_back(DmaSeg{args.in1, 0, x_bytes});
+  plan.dma_in.push_back(DmaSeg{args.in0 + rows.begin * cols * 8, x_bytes, a_bytes});
+  plan.dma_out.push_back(DmaSeg{args.out0 + rows.begin * 8, x_bytes + a_bytes, y_bytes});
+  return plan;
+}
+
+void GemvKernel::compute_rows(MemView& mem, const JobArgs& args, std::size_t a_off,
+                              std::size_t x_off, std::size_t y_off, std::uint64_t rows) {
+  const std::size_t cols = static_cast<std::size_t>(args.aux);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      acc += mem.read_f64(a_off + (r * cols + c) * 8) * mem.read_f64(x_off + c * 8);
+    }
+    mem.write_f64(y_off + r * 8, args.alpha * acc);
+  }
+}
+
+void GemvKernel::execute_cluster(mem::Tcdm& tcdm, const JobArgs& args, unsigned idx,
+                                 unsigned parts) const {
+  const ChunkRange rows = split_chunk(args.n, idx, parts);
+  if (rows.count == 0) return;
+  const std::size_t cols = static_cast<std::size_t>(args.aux);
+  const std::size_t x_off = 0;
+  const std::size_t a_off = cols * 8;
+  const std::size_t y_off = a_off + static_cast<std::size_t>(rows.count) * cols * 8;
+  TcdmView view(tcdm);
+  compute_rows(view, args, a_off, x_off, y_off, rows.count);
+}
+
+void GemvKernel::host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
+                              const JobArgs& args) const {
+  validate(args);
+  HbmView view(mem);
+  compute_rows(view, args, static_cast<std::size_t>(map.hbm_offset(args.in0)),
+               static_cast<std::size_t>(map.hbm_offset(args.in1)),
+               static_cast<std::size_t>(map.hbm_offset(args.out0)), args.n);
+}
+
+sim::Cycles GemvKernel::worker_cycles(const JobArgs& args, std::uint64_t rows) const {
+  if (rows == 0) return 0;
+  constexpr sim::Cycles kRowOverhead = 3;
+  return rows * (rate().cycles_for(args.aux) + kRowOverhead);
+}
+
+sim::Cycles GemvKernel::host_execute_cycles(const JobArgs& args) const {
+  // Scalar host: ~4 cycles per (row, col) multiply-accumulate.
+  return host_rate().cycles_for(args.n * args.aux);
+}
+
+}  // namespace mco::kernels

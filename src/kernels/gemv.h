@@ -1,0 +1,47 @@
+// GEMV: dense matrix-vector product, row-chunked across clusters.
+//
+// y = alpha * A * x, with A a rows×cols row-major f64 matrix. Cluster i
+// receives a balanced chunk of rows plus a full copy of x — so unlike DAXPY
+// the *aggregate* DMA volume grows with M (M copies of x), giving the
+// kernel-sweep experiment a workload whose data term is not M-independent.
+//
+// Args: n = rows, aux = cols, in0 = A, in1 = x, out0 = y, alpha = scale.
+// Work item = one row; per-row compute cost scales with cols.
+#pragma once
+
+#include "kernels/kernel.h"
+#include "kernels/mem_view.h"
+
+namespace mco::kernels {
+
+inline constexpr std::uint32_t kGemvId = 32;
+
+class GemvKernel final : public Kernel {
+ public:
+  std::uint32_t id() const override { return kGemvId; }
+  std::string name() const override { return "gemv"; }
+
+  void validate(const JobArgs& args) const override;
+  std::vector<std::uint64_t> marshal_args(const JobArgs& args) const override;
+  JobArgs unmarshal(const PayloadHeader& h, const std::vector<std::uint64_t>& words) const override;
+  ClusterPlan plan_cluster(const JobArgs& args, unsigned idx, unsigned parts) const override;
+  void execute_cluster(mem::Tcdm& tcdm, const JobArgs& args, unsigned idx,
+                       unsigned parts) const override;
+
+  /// Per-row cost: ~1.25 cycles per column (fmadd chain with streaming
+  /// loads) plus a small row-loop overhead.
+  sim::Cycles worker_cycles(const JobArgs& args, std::uint64_t rows) const override;
+  util::Rate rate() const override { return {5, 4}; }  // per (row, col) pair
+
+  sim::Cycles host_execute_cycles(const JobArgs& args) const override;
+  void host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
+                    const JobArgs& args) const override;
+
+ private:
+  /// Shared row loop: y[r] = alpha * A[r,:]·x for rows [0, rows), with A, x
+  /// and y at the given byte offsets of `mem`.
+  static void compute_rows(MemView& mem, const JobArgs& args, std::size_t a_off,
+                           std::size_t x_off, std::size_t y_off, std::uint64_t rows);
+};
+
+}  // namespace mco::kernels

@@ -1,0 +1,58 @@
+#include "kernels/job_args.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mco::kernels {
+
+noc::DispatchMessage marshal_payload(const JobArgs& args, unsigned num_clusters,
+                                     const std::vector<std::uint64_t>& kernel_words) {
+  if (num_clusters == 0) throw std::invalid_argument("marshal_payload: zero clusters");
+  noc::DispatchMessage msg;
+  msg.words.reserve(kHeaderWords + kernel_words.size());
+  msg.words.push_back(args.job_id);
+  msg.words.push_back((static_cast<std::uint64_t>(args.kernel_id) << 32) |
+                      static_cast<std::uint64_t>(num_clusters));
+  msg.words.push_back(args.n);
+  msg.words.insert(msg.words.end(), kernel_words.begin(), kernel_words.end());
+  return msg;
+}
+
+PayloadHeader parse_header(const noc::DispatchMessage& msg) {
+  if (msg.words.size() < kHeaderWords)
+    throw std::invalid_argument("parse_header: payload shorter than header");
+  PayloadHeader h;
+  h.job_id = msg.words[0];
+  h.kernel_id = static_cast<std::uint32_t>(msg.words[1] >> 32);
+  h.num_clusters = static_cast<unsigned>(msg.words[1] & 0xFFFFFFFFull);
+  h.n = msg.words[2];
+  if (h.num_clusters == 0) throw std::invalid_argument("parse_header: zero clusters in payload");
+  return h;
+}
+
+std::vector<std::uint64_t> payload_args(const noc::DispatchMessage& msg) {
+  if (msg.words.size() < kHeaderWords)
+    throw std::invalid_argument("payload_args: payload shorter than header");
+  return {msg.words.begin() + kHeaderWords, msg.words.end()};
+}
+
+ChunkRange split_chunk(std::uint64_t n, unsigned idx, unsigned parts) {
+  if (parts == 0) throw std::invalid_argument("split_chunk: zero parts");
+  if (idx >= parts) throw std::out_of_range("split_chunk: idx >= parts");
+  const std::uint64_t base = n / parts;
+  const std::uint64_t rem = n % parts;
+  ChunkRange r;
+  if (idx < rem) {
+    r.count = base + 1;
+    r.begin = idx * (base + 1);
+  } else {
+    r.count = base;
+    r.begin = rem * (base + 1) + (idx - rem) * base;
+  }
+  return r;
+}
+
+std::uint64_t f64_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double bits_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+}  // namespace mco::kernels

@@ -1,0 +1,71 @@
+// Job arguments and the register-level dispatch payload protocol.
+//
+// An offload is described entirely by a handful of words the host writes to
+// each cluster's mailbox (no in-memory descriptor fetch): a header of three
+// words plus kernel-specific argument words. The payload size is what the
+// host pays per cluster in the baseline design (sequential stores) and once
+// in total with the multicast extension — which is exactly the overhead the
+// paper's Fig. 1 (left) measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_map.h"
+#include "noc/message.h"
+
+namespace mco::kernels {
+
+/// Kernel-independent job description. Individual kernels interpret the
+/// generic fields (see each kernel's doc comment for its conventions).
+struct JobArgs {
+  std::uint32_t kernel_id = 0;
+  std::uint64_t job_id = 0;
+  std::uint64_t n = 0;       ///< problem size (elements, or rows for GEMV)
+  double alpha = 0.0;        ///< scalar operand
+  double beta = 0.0;         ///< second scalar operand
+  mem::Addr in0 = 0;         ///< first input array (HBM)
+  mem::Addr in1 = 0;         ///< second input array (HBM)
+  mem::Addr out0 = 0;        ///< output array (HBM)
+  mem::Addr out1 = 0;        ///< secondary output (e.g. reduction result)
+  std::uint64_t aux = 0;     ///< kernel-specific (e.g. GEMV row length)
+};
+
+/// Payload header layout (3 words):
+///   w0 = job_id
+///   w1 = (kernel_id << 32) | num_clusters
+///   w2 = n
+inline constexpr std::size_t kHeaderWords = 3;
+
+/// Build the header + kernel argument words into a dispatch message.
+noc::DispatchMessage marshal_payload(const JobArgs& args, unsigned num_clusters,
+                                     const std::vector<std::uint64_t>& kernel_words);
+
+/// Parsed header.
+struct PayloadHeader {
+  std::uint64_t job_id = 0;
+  std::uint32_t kernel_id = 0;
+  unsigned num_clusters = 0;
+  std::uint64_t n = 0;
+};
+
+/// Parse the header; throws std::invalid_argument on short payloads.
+PayloadHeader parse_header(const noc::DispatchMessage& msg);
+
+/// Kernel-specific words (everything after the header).
+std::vector<std::uint64_t> payload_args(const noc::DispatchMessage& msg);
+
+/// Balanced work split: element range of chunk `idx` out of `parts` over `n`
+/// items. The first n % parts chunks get one extra item, so the largest
+/// chunk is ceil(n / parts) — which is what bounds the parallel runtime term.
+struct ChunkRange {
+  std::uint64_t begin = 0;
+  std::uint64_t count = 0;
+};
+ChunkRange split_chunk(std::uint64_t n, unsigned idx, unsigned parts);
+
+/// Bit-exact double <-> u64 for payload words.
+std::uint64_t f64_bits(double v);
+double bits_f64(std::uint64_t bits);
+
+}  // namespace mco::kernels

@@ -1,0 +1,73 @@
+#include "kernels/kernel.h"
+
+#include <stdexcept>
+
+namespace mco::kernels {
+
+std::size_t ClusterPlan::tcdm_footprint() const {
+  std::size_t end = 0;
+  for (const auto& s : dma_in) end = std::max(end, s.tcdm_off + s.bytes);
+  for (const auto& s : dma_out) end = std::max(end, s.tcdm_off + s.bytes);
+  return end;
+}
+
+std::size_t ClusterPlan::bytes_in() const {
+  std::size_t b = 0;
+  for (const auto& s : dma_in) b += s.bytes;
+  return b;
+}
+
+std::size_t ClusterPlan::bytes_out() const {
+  std::size_t b = 0;
+  for (const auto& s : dma_out) b += s.bytes;
+  return b;
+}
+
+void Kernel::validate(const JobArgs& args) const {
+  if (args.n == 0) throw std::invalid_argument(name() + ": n must be > 0");
+  if (args.kernel_id != id())
+    throw std::invalid_argument(name() + ": kernel_id does not match kernel");
+}
+
+sim::Cycles Kernel::worker_cycles(const JobArgs& /*args*/, std::uint64_t items) const {
+  return rate().cycles_for(items);
+}
+
+ClusterPlan Kernel::plan_range(const JobArgs& /*args*/, std::uint64_t /*begin*/,
+                               std::uint64_t /*count*/) const {
+  throw std::logic_error(name() + ": kernel does not support range tiling");
+}
+
+void Kernel::execute_range(mem::Tcdm& /*tcdm*/, const JobArgs& /*args*/, std::uint64_t /*begin*/,
+                           std::uint64_t /*count*/, std::size_t /*tcdm_base*/) const {
+  throw std::logic_error(name() + ": kernel does not support range tiling");
+}
+
+sim::Cycles Kernel::host_epilogue_cycles(const JobArgs& /*args*/, unsigned /*parts*/) const {
+  return 0;
+}
+
+void Kernel::host_epilogue(mem::MainMemory& /*mem*/, const mem::AddressMap& /*map*/,
+                           const JobArgs& /*args*/, unsigned /*parts*/) const {}
+
+sim::Cycles Kernel::host_execute_cycles(const JobArgs& args) const {
+  return host_rate().cycles_for(args.n);
+}
+
+void Kernel::host_execute(mem::MainMemory& /*mem*/, const mem::AddressMap& /*map*/,
+                          const JobArgs& /*args*/) const {
+  throw std::logic_error(name() + ": no host execution path");
+}
+
+sim::Cycles Kernel::run_on_iss(mem::Tcdm& /*tcdm*/, const JobArgs& /*args*/,
+                               std::size_t /*tcdm_base*/, std::uint64_t /*tile_items*/,
+                               std::uint64_t /*worker_begin*/, std::uint64_t /*worker_items*/,
+                               IssVariant /*variant*/) const {
+  throw std::logic_error(name() + ": no ISS microcode");
+}
+
+std::size_t dispatch_words(const Kernel& k, const JobArgs& args) {
+  return kHeaderWords + k.marshal_args(args).size();
+}
+
+}  // namespace mco::kernels

@@ -1,0 +1,143 @@
+// Offloadable kernel interface.
+//
+// A kernel couples three things:
+//  1. a *dispatch* description: which argument words travel in the mailbox
+//     payload (their count is what sequential dispatch pays per cluster);
+//  2. a *data/compute plan* per cluster: DMA segments in/out of TCDM and the
+//     number of work items, from which the cluster derives per-worker timing
+//     via a calibrated cycles/item rate (DAXPY: 2.6, the paper's measured
+//     inner-loop throughput including TCDM effects);
+//  3. the *functional* execution: real arithmetic on the simulated memories,
+//     so results are verifiable end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/job_args.h"
+#include "mem/address_map.h"
+#include "mem/main_memory.h"
+#include "mem/tcdm.h"
+#include "sim/time.h"
+#include "util/math.h"
+
+namespace mco::kernels {
+
+/// One DMA segment of a cluster's plan.
+struct DmaSeg {
+  mem::Addr hbm = 0;         ///< physical HBM address
+  std::size_t tcdm_off = 0;  ///< cluster-local TCDM byte offset
+  std::size_t bytes = 0;
+};
+
+/// Per-cluster data movement + work description.
+struct ClusterPlan {
+  std::vector<DmaSeg> dma_in;
+  std::vector<DmaSeg> dma_out;
+  /// Work items this cluster processes (split over the worker cores).
+  std::uint64_t items = 0;
+
+  std::size_t tcdm_footprint() const;
+  std::size_t bytes_in() const;
+  std::size_t bytes_out() const;
+};
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual std::uint32_t id() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Validate generic + kernel-specific arguments; throws
+  /// std::invalid_argument with a message naming the offending field.
+  virtual void validate(const JobArgs& args) const;
+
+  /// Kernel-specific payload words (appended after the 3 header words).
+  virtual std::vector<std::uint64_t> marshal_args(const JobArgs& args) const = 0;
+
+  /// Rebuild JobArgs from header + argument words (cluster-side parse).
+  virtual JobArgs unmarshal(const PayloadHeader& h,
+                            const std::vector<std::uint64_t>& words) const = 0;
+
+  /// Data/compute plan for cluster `idx` of `parts`.
+  virtual ClusterPlan plan_cluster(const JobArgs& args, unsigned idx, unsigned parts) const = 0;
+
+  /// Whether the kernel can process an arbitrary sub-range of its items
+  /// (enables TCDM tiling for chunks larger than the scratchpad). Kernels
+  /// with cross-item state per cluster (reductions, GEMV row layout) opt out.
+  virtual bool supports_tiling() const { return false; }
+
+  /// Plan for an arbitrary item range [begin, begin+count). Only valid when
+  /// supports_tiling(); the default throws std::logic_error.
+  virtual ClusterPlan plan_range(const JobArgs& args, std::uint64_t begin,
+                                 std::uint64_t count) const;
+
+  /// Execute an arbitrary item range on TCDM (tiling counterpart of
+  /// execute_cluster). `tcdm_base` shifts the kernel's buffer layout — used
+  /// by double-buffered tiling where odd tiles live in the upper half of
+  /// TCDM. Only valid when supports_tiling().
+  virtual void execute_range(mem::Tcdm& tcdm, const JobArgs& args, std::uint64_t begin,
+                             std::uint64_t count, std::size_t tcdm_base = 0) const;
+
+  /// Compute cycles for one worker core processing `items` work items.
+  /// Default: ceil(items * rate). Zero items cost zero.
+  virtual sim::Cycles worker_cycles(const JobArgs& args, std::uint64_t items) const;
+
+  /// Calibrated per-item compute rate (cycles/item) for the default
+  /// worker_cycles. Kernels with item-size-dependent cost override
+  /// worker_cycles instead.
+  virtual util::Rate rate() const = 0;
+
+  /// Execute this cluster's whole chunk on TCDM (called after DMA-in; the
+  /// per-worker split affects timing only, not functional behaviour).
+  virtual void execute_cluster(mem::Tcdm& tcdm, const JobArgs& args, unsigned idx,
+                               unsigned parts) const = 0;
+
+  /// Host-side epilogue cost after all clusters completed (e.g. combining
+  /// per-cluster reduction partials). Zero for map-style kernels.
+  virtual sim::Cycles host_epilogue_cycles(const JobArgs& args, unsigned parts) const;
+
+  /// Functional epilogue on main memory.
+  virtual void host_epilogue(mem::MainMemory& mem, const mem::AddressMap& map,
+                             const JobArgs& args, unsigned parts) const;
+
+  /// Estimated cycles if the host executed the kernel itself (scalar core,
+  /// no offload). Used by the offload-decision solver.
+  virtual sim::Cycles host_execute_cycles(const JobArgs& args) const;
+
+  /// Functionally execute the whole job on the host (no offload), operating
+  /// directly on main memory. Kernels without a host path throw
+  /// std::logic_error; all built-in kernels implement it.
+  virtual void host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
+                            const JobArgs& args) const;
+
+  /// Cycles/item of the host core for this kernel (default 4: a scalar
+  /// in-order core without streaming FP units).
+  virtual util::Rate host_rate() const { return {4, 1}; }
+
+  // ---- instruction-level execution (optional) --------------------------------
+
+  /// Inner-loop implementation selector for ISS-backed compute (see
+  /// Cluster::use_iss_compute). Kernels without microcode return false from
+  /// supports_iss() and the cluster falls back to the calibrated rate.
+  enum class IssVariant { kScalar, kUnrolled4, kSsrFrep };
+
+  virtual bool supports_iss() const { return false; }
+
+  /// Execute one worker's sub-range of a tile on the cycle-accurate core
+  /// model, *performing the arithmetic on the TCDM* and returning the
+  /// measured cycles. `tcdm_base` is the tile's buffer base; the tile holds
+  /// `tile_items` items of which this worker owns
+  /// [worker_begin, worker_begin + worker_items). Default throws
+  /// std::logic_error (guard with supports_iss()).
+  virtual sim::Cycles run_on_iss(mem::Tcdm& tcdm, const JobArgs& args, std::size_t tcdm_base,
+                                 std::uint64_t tile_items, std::uint64_t worker_begin,
+                                 std::uint64_t worker_items, IssVariant variant) const;
+};
+
+/// Total number of payload words for a job (header + kernel args).
+std::size_t dispatch_words(const Kernel& k, const JobArgs& args);
+
+}  // namespace mco::kernels

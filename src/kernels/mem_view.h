@@ -1,0 +1,72 @@
+// Uniform byte-addressed view over a memory (TCDM or main memory).
+//
+// Kernels express their arithmetic once against this interface; the cluster
+// path binds it to the cluster's TCDM after DMA-in, and the host-fallback
+// path binds it to main memory directly. This guarantees the offloaded and
+// host executions of a kernel are the same code — so the offload-decision
+// experiments compare *where* to run, never *what* runs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "mem/main_memory.h"
+#include "mem/tcdm.h"
+
+namespace mco::kernels {
+
+class MemView {
+ public:
+  virtual ~MemView() = default;
+
+  virtual double read_f64(std::size_t offset) const = 0;
+  virtual void write_f64(std::size_t offset, double v) = 0;
+
+  /// Raw byte access for non-f64 element types (e.g. SAXPY's f32).
+  virtual const std::uint8_t* raw(std::size_t offset, std::size_t n) const = 0;
+  virtual std::uint8_t* raw_mut(std::size_t offset, std::size_t n) = 0;
+
+  float read_f32(std::size_t offset) const {
+    float v;
+    std::memcpy(&v, raw(offset, 4), 4);
+    return v;
+  }
+  void write_f32(std::size_t offset, float v) { std::memcpy(raw_mut(offset, 4), &v, 4); }
+};
+
+/// View over a cluster's TCDM (offsets are cluster-local byte offsets).
+class TcdmView final : public MemView {
+ public:
+  explicit TcdmView(mem::Tcdm& tcdm) : tcdm_(tcdm) {}
+  double read_f64(std::size_t offset) const override { return tcdm_.read_f64(offset); }
+  void write_f64(std::size_t offset, double v) override { tcdm_.write_f64(offset, v); }
+  const std::uint8_t* raw(std::size_t offset, std::size_t n) const override {
+    return std::as_const(tcdm_).data(offset, n);
+  }
+  std::uint8_t* raw_mut(std::size_t offset, std::size_t n) override {
+    return tcdm_.data(offset, n);
+  }
+
+ private:
+  mem::Tcdm& tcdm_;
+};
+
+/// View over main memory (offsets are HBM-relative byte offsets).
+class HbmView final : public MemView {
+ public:
+  explicit HbmView(mem::MainMemory& mem) : mem_(mem) {}
+  double read_f64(std::size_t offset) const override { return mem_.read_f64(offset); }
+  void write_f64(std::size_t offset, double v) override { mem_.write_f64(offset, v); }
+  const std::uint8_t* raw(std::size_t offset, std::size_t n) const override {
+    return std::as_const(mem_).data(offset, n);
+  }
+  std::uint8_t* raw_mut(std::size_t offset, std::size_t n) override {
+    return mem_.data(offset, n);
+  }
+
+ private:
+  mem::MainMemory& mem_;
+};
+
+}  // namespace mco::kernels

@@ -1,0 +1,129 @@
+#include "kernels/reductions.h"
+
+#include <stdexcept>
+
+namespace mco::kernels {
+
+std::vector<std::uint64_t> ReductionKernel::marshal_args(const JobArgs& args) const {
+  // in0 [, in1], partials base, result address.
+  std::vector<std::uint64_t> words;
+  words.push_back(args.in0);
+  if (num_inputs() == 2) words.push_back(args.in1);
+  words.push_back(args.out0);
+  words.push_back(args.out1);
+  return words;
+}
+
+JobArgs ReductionKernel::unmarshal(const PayloadHeader& h,
+                                   const std::vector<std::uint64_t>& words) const {
+  const std::size_t expect = num_inputs() == 2 ? 4u : 3u;
+  if (words.size() != expect)
+    throw std::invalid_argument(name() + ": payload has wrong argument count");
+  JobArgs args;
+  args.kernel_id = h.kernel_id;
+  args.job_id = h.job_id;
+  args.n = h.n;
+  std::size_t i = 0;
+  args.in0 = words[i++];
+  if (num_inputs() == 2) args.in1 = words[i++];
+  args.out0 = words[i++];
+  args.out1 = words[i++];
+  return args;
+}
+
+void ReductionKernel::validate(const JobArgs& args) const {
+  Kernel::validate(args);
+  if (args.in0 == 0) throw std::invalid_argument(name() + ": null input array in0");
+  if (num_inputs() == 2 && args.in1 == 0)
+    throw std::invalid_argument(name() + ": null input array in1");
+  if (args.out0 == 0) throw std::invalid_argument(name() + ": null partials array out0");
+  if (args.out1 == 0) throw std::invalid_argument(name() + ": null result address out1");
+}
+
+ClusterPlan ReductionKernel::plan_cluster(const JobArgs& args, unsigned idx,
+                                          unsigned parts) const {
+  const ChunkRange chunk = split_chunk(args.n, idx, parts);
+  ClusterPlan plan;
+  plan.items = chunk.count;
+  if (chunk.count == 0) return plan;
+
+  const std::size_t chunk_bytes = static_cast<std::size_t>(chunk.count) * 8;
+  std::size_t tcdm_off = 0;
+  plan.dma_in.push_back(DmaSeg{args.in0 + chunk.begin * 8, tcdm_off, chunk_bytes});
+  tcdm_off += chunk_bytes;
+  if (num_inputs() == 2) {
+    plan.dma_in.push_back(DmaSeg{args.in1 + chunk.begin * 8, tcdm_off, chunk_bytes});
+    tcdm_off += chunk_bytes;
+  }
+  // One partial per cluster, written right after the input buffers.
+  plan.dma_out.push_back(DmaSeg{args.out0 + idx * 8, tcdm_off, 8});
+  return plan;
+}
+
+void ReductionKernel::execute_cluster(mem::Tcdm& tcdm, const JobArgs& args, unsigned idx,
+                                      unsigned parts) const {
+  const ChunkRange chunk = split_chunk(args.n, idx, parts);
+  if (chunk.count == 0) return;
+  const std::size_t chunk_bytes = static_cast<std::size_t>(chunk.count) * 8;
+  std::vector<std::size_t> ins{0};
+  std::size_t tcdm_off = chunk_bytes;
+  if (num_inputs() == 2) {
+    ins.push_back(tcdm_off);
+    tcdm_off += chunk_bytes;
+  }
+  const TcdmView view(tcdm);
+  const double partial = reduce_chunk(view, args, ins, chunk.count);
+  tcdm.write_f64(tcdm_off, partial);
+}
+
+void ReductionKernel::host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
+                                   const JobArgs& args) const {
+  validate(args);
+  const HbmView view(mem);
+  std::vector<std::size_t> ins{static_cast<std::size_t>(map.hbm_offset(args.in0))};
+  if (num_inputs() == 2) ins.push_back(static_cast<std::size_t>(map.hbm_offset(args.in1)));
+  const double total = reduce_chunk(view, args, ins, args.n);
+  mem.write_f64(map.hbm_offset(args.out1), total);
+}
+
+sim::Cycles ReductionKernel::host_epilogue_cycles(const JobArgs& /*args*/, unsigned parts) const {
+  // One uncached HBM load + one add per partial, pipelined loads: model as
+  // a fixed miss + per-partial beat.
+  constexpr sim::Cycles kFirstLoad = 30;
+  constexpr sim::Cycles kPerPartial = 4;
+  return kFirstLoad + kPerPartial * parts;
+}
+
+void ReductionKernel::host_epilogue(mem::MainMemory& mem, const mem::AddressMap& map,
+                                    const JobArgs& args, unsigned parts) const {
+  double total = 0.0;
+  for (unsigned i = 0; i < parts; ++i) {
+    // Clusters whose chunk was empty (n < parts) never wrote their slot —
+    // skip them rather than trusting stale memory.
+    if (split_chunk(args.n, i, parts).count == 0) continue;
+    total += mem.read_f64(map.hbm_offset(args.out0 + i * 8));
+  }
+  mem.write_f64(map.hbm_offset(args.out1), total);
+}
+
+double DotKernel::reduce_chunk(const MemView& mem, const JobArgs& /*args*/,
+                               const std::vector<std::size_t>& ins,
+                               std::uint64_t count) const {
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    acc += mem.read_f64(ins[0] + i * 8) * mem.read_f64(ins[1] + i * 8);
+  }
+  return acc;
+}
+
+double VecSumKernel::reduce_chunk(const MemView& mem, const JobArgs& /*args*/,
+                                  const std::vector<std::size_t>& ins,
+                                  std::uint64_t count) const {
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    acc += mem.read_f64(ins[0] + i * 8);
+  }
+  return acc;
+}
+
+}  // namespace mco::kernels

@@ -1,0 +1,75 @@
+// Reduction kernels: per-cluster partials + host epilogue.
+//
+// Reductions cannot finish on the accelerator alone when clusters do not
+// communicate with each other: each cluster reduces its chunk to one partial,
+// DMAs the partial to a per-cluster slot in HBM, and the *host* combines the
+// M partials after the completion signal. The combine cost shows up as a
+// host epilogue term that grows (mildly) with M — a qualitatively different
+// overhead profile from DAXPY, exercised by the kernel-sweep experiment.
+#pragma once
+
+#include "kernels/kernel.h"
+#include "kernels/mem_view.h"
+
+namespace mco::kernels {
+
+inline constexpr std::uint32_t kDotId = 16;
+inline constexpr std::uint32_t kVecSumId = 17;
+
+/// Common scaffolding: chunked inputs, one f64 partial per cluster written to
+/// out0[cluster], final scalar written to out1[0] by the host epilogue.
+class ReductionKernel : public Kernel {
+ public:
+  std::vector<std::uint64_t> marshal_args(const JobArgs& args) const override;
+  JobArgs unmarshal(const PayloadHeader& h, const std::vector<std::uint64_t>& words) const override;
+  ClusterPlan plan_cluster(const JobArgs& args, unsigned idx, unsigned parts) const override;
+  void execute_cluster(mem::Tcdm& tcdm, const JobArgs& args, unsigned idx,
+                       unsigned parts) const override;
+  void validate(const JobArgs& args) const override;
+
+  /// Host reads M partials (HBM loads) and adds them: per-partial cost.
+  sim::Cycles host_epilogue_cycles(const JobArgs& args, unsigned parts) const override;
+  void host_epilogue(mem::MainMemory& mem, const mem::AddressMap& map, const JobArgs& args,
+                     unsigned parts) const override;
+
+  /// Host fallback: reduce the whole input directly in main memory and write
+  /// the scalar to out1 (partials are not touched).
+  void host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
+                    const JobArgs& args) const override;
+
+ protected:
+  /// Number of input arrays (1 for sum, 2 for dot).
+  virtual unsigned num_inputs() const = 0;
+  /// Reduce one chunk to a scalar; `ins` are byte offsets into `mem`.
+  virtual double reduce_chunk(const MemView& mem, const JobArgs& args,
+                              const std::vector<std::size_t>& ins, std::uint64_t count) const = 0;
+};
+
+/// DOT: r = sum_i x[i] * y[i]. Args: in0 = x, in1 = y, out0 = partials[M],
+/// out1 = result scalar.
+class DotKernel final : public ReductionKernel {
+ public:
+  std::uint32_t id() const override { return kDotId; }
+  std::string name() const override { return "dot"; }
+  util::Rate rate() const override { return {2, 1}; }
+
+ protected:
+  unsigned num_inputs() const override { return 2; }
+  double reduce_chunk(const MemView& mem, const JobArgs& args,
+                      const std::vector<std::size_t>& ins, std::uint64_t count) const override;
+};
+
+/// VECSUM: r = sum_i x[i]. Args: in0 = x, out0 = partials[M], out1 = result.
+class VecSumKernel final : public ReductionKernel {
+ public:
+  std::uint32_t id() const override { return kVecSumId; }
+  std::string name() const override { return "vecsum"; }
+  util::Rate rate() const override { return {9, 5}; }
+
+ protected:
+  unsigned num_inputs() const override { return 1; }
+  double reduce_chunk(const MemView& mem, const JobArgs& args,
+                      const std::vector<std::size_t>& ins, std::uint64_t count) const override;
+};
+
+}  // namespace mco::kernels

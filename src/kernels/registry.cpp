@@ -1,0 +1,63 @@
+#include "kernels/registry.h"
+
+#include <stdexcept>
+
+#include "kernels/blas1.h"
+#include "kernels/gemm.h"
+#include "kernels/gemv.h"
+#include "kernels/reductions.h"
+#include "util/strings.h"
+
+namespace mco::kernels {
+
+KernelRegistry KernelRegistry::standard() {
+  KernelRegistry r;
+  r.register_kernel(std::make_unique<DaxpyKernel>());
+  r.register_kernel(std::make_unique<SaxpyKernel>());
+  r.register_kernel(std::make_unique<AxpbyKernel>());
+  r.register_kernel(std::make_unique<ScaleKernel>());
+  r.register_kernel(std::make_unique<VecAddKernel>());
+  r.register_kernel(std::make_unique<VecMulKernel>());
+  r.register_kernel(std::make_unique<ReluKernel>());
+  r.register_kernel(std::make_unique<FillKernel>());
+  r.register_kernel(std::make_unique<MemcpyKernel>());
+  r.register_kernel(std::make_unique<DotKernel>());
+  r.register_kernel(std::make_unique<VecSumKernel>());
+  r.register_kernel(std::make_unique<GemvKernel>());
+  r.register_kernel(std::make_unique<GemmKernel>());
+  return r;
+}
+
+void KernelRegistry::register_kernel(std::unique_ptr<Kernel> kernel) {
+  if (!kernel) throw std::invalid_argument("KernelRegistry: null kernel");
+  const std::uint32_t id = kernel->id();
+  const std::string name = kernel->name();
+  if (kernels_.count(id))
+    throw std::invalid_argument(util::format("KernelRegistry: duplicate id %u", id));
+  if (by_name_.count(name))
+    throw std::invalid_argument("KernelRegistry: duplicate name " + name);
+  by_name_[name] = id;
+  kernels_[id] = std::move(kernel);
+}
+
+const Kernel& KernelRegistry::by_id(std::uint32_t id) const {
+  const auto it = kernels_.find(id);
+  if (it == kernels_.end())
+    throw std::out_of_range(util::format("KernelRegistry: unknown kernel id %u", id));
+  return *it->second;
+}
+
+const Kernel& KernelRegistry::by_name(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) throw std::out_of_range("KernelRegistry: unknown kernel " + name);
+  return by_id(it->second);
+}
+
+std::vector<const Kernel*> KernelRegistry::all() const {
+  std::vector<const Kernel*> out;
+  out.reserve(kernels_.size());
+  for (const auto& [id, k] : kernels_) out.push_back(k.get());
+  return out;
+}
+
+}  // namespace mco::kernels

@@ -1,0 +1,38 @@
+// Kernel registry: id → kernel, as the cluster runtime resolves dispatches.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace mco::kernels {
+
+class KernelRegistry {
+ public:
+  /// Registry preloaded with every built-in kernel.
+  static KernelRegistry standard();
+
+  KernelRegistry() = default;
+
+  /// Takes ownership; throws std::invalid_argument on duplicate id or name.
+  void register_kernel(std::unique_ptr<Kernel> kernel);
+
+  /// Throws std::out_of_range for unknown ids — an unknown id in a dispatch
+  /// payload is a protocol violation, not a recoverable condition.
+  const Kernel& by_id(std::uint32_t id) const;
+  const Kernel& by_name(const std::string& name) const;
+
+  bool has(std::uint32_t id) const { return kernels_.count(id) != 0; }
+  std::size_t size() const { return kernels_.size(); }
+
+  std::vector<const Kernel*> all() const;
+
+ private:
+  std::map<std::uint32_t, std::unique_ptr<Kernel>> kernels_;
+  std::map<std::string, std::uint32_t> by_name_;
+};
+
+}  // namespace mco::kernels

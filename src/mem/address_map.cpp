@@ -1,0 +1,86 @@
+#include "mem/address_map.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::mem {
+
+const char* to_string(Region r) {
+  switch (r) {
+    case Region::kSyncUnit: return "sync_unit";
+    case Region::kMailbox: return "mailbox";
+    case Region::kTcdm: return "tcdm";
+    case Region::kHbm: return "hbm";
+    case Region::kUnmapped: return "unmapped";
+  }
+  return "?";
+}
+
+AddressMap::AddressMap(AddressMapConfig cfg) : cfg_(cfg) {
+  if (cfg_.num_clusters == 0) throw std::invalid_argument("AddressMap: num_clusters == 0");
+  if (cfg_.tcdm_size > cfg_.tcdm_stride)
+    throw std::invalid_argument("AddressMap: tcdm_size exceeds tcdm_stride");
+}
+
+Region AddressMap::region_of(Addr a) const {
+  if (a >= cfg_.hbm_base && a < cfg_.hbm_base + cfg_.hbm_size) return Region::kHbm;
+  if (a >= cfg_.tcdm_base && a < cfg_.tcdm_base + cfg_.tcdm_stride * cfg_.num_clusters) {
+    const Addr off = (a - cfg_.tcdm_base) % cfg_.tcdm_stride;
+    return off < cfg_.tcdm_size ? Region::kTcdm : Region::kUnmapped;
+  }
+  if (a >= cfg_.mailbox_base && a < cfg_.mailbox_base + cfg_.mailbox_stride * cfg_.num_clusters)
+    return Region::kMailbox;
+  if (a >= cfg_.sync_unit_base && a < cfg_.sync_unit_base + cfg_.sync_unit_size)
+    return Region::kSyncUnit;
+  return Region::kUnmapped;
+}
+
+Addr AddressMap::hbm_offset(Addr a) const {
+  if (!is_hbm(a)) throw std::out_of_range(util::format("not an HBM address: 0x%llx",
+                                                       static_cast<unsigned long long>(a)));
+  return a - cfg_.hbm_base;
+}
+
+unsigned AddressMap::cluster_of(Addr a) const {
+  const Region r = region_of(a);
+  if (r == Region::kTcdm)
+    return static_cast<unsigned>((a - cfg_.tcdm_base) / cfg_.tcdm_stride);
+  if (r == Region::kMailbox)
+    return static_cast<unsigned>((a - cfg_.mailbox_base) / cfg_.mailbox_stride);
+  throw std::out_of_range(util::format("address 0x%llx is not cluster-owned",
+                                       static_cast<unsigned long long>(a)));
+}
+
+Addr AddressMap::tcdm_offset(Addr a) const {
+  if (!is_tcdm(a)) throw std::out_of_range(util::format("not a TCDM address: 0x%llx",
+                                                        static_cast<unsigned long long>(a)));
+  return (a - cfg_.tcdm_base) % cfg_.tcdm_stride;
+}
+
+Addr AddressMap::tcdm_base(unsigned cluster) const {
+  if (cluster >= cfg_.num_clusters) throw std::out_of_range("AddressMap: cluster index");
+  return cfg_.tcdm_base + cluster * cfg_.tcdm_stride;
+}
+
+Addr AddressMap::mailbox_base(unsigned cluster) const {
+  if (cluster >= cfg_.num_clusters) throw std::out_of_range("AddressMap: cluster index");
+  return cfg_.mailbox_base + cluster * cfg_.mailbox_stride;
+}
+
+std::string AddressMap::describe(Addr a) const {
+  const Region r = region_of(a);
+  switch (r) {
+    case Region::kHbm:
+      return util::format("hbm+0x%llx", static_cast<unsigned long long>(hbm_offset(a)));
+    case Region::kTcdm:
+      return util::format("cluster%u.tcdm+0x%llx", cluster_of(a),
+                          static_cast<unsigned long long>(tcdm_offset(a)));
+    case Region::kMailbox: return util::format("cluster%u.mailbox", cluster_of(a));
+    case Region::kSyncUnit: return "sync_unit";
+    case Region::kUnmapped: break;
+  }
+  return util::format("unmapped:0x%llx", static_cast<unsigned long long>(a));
+}
+
+}  // namespace mco::mem

@@ -1,0 +1,74 @@
+// Physical address map of the simulated MPSoC.
+//
+// Mirrors the Manticore/Occamy style layout: peripherals low, per-cluster
+// TCDM windows in the middle, HBM high. All bases/strides are parameters so
+// tests can exercise odd configurations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mco::mem {
+
+using Addr = std::uint64_t;
+
+/// Region identifiers for address decoding.
+enum class Region { kSyncUnit, kMailbox, kTcdm, kHbm, kUnmapped };
+
+const char* to_string(Region r);
+
+struct AddressMapConfig {
+  Addr sync_unit_base = 0x0200'0000;
+  Addr sync_unit_size = 0x1000;
+
+  Addr mailbox_base = 0x0300'0000;
+  Addr mailbox_stride = 0x1000;  // one window per cluster
+
+  Addr tcdm_base = 0x1000'0000;
+  Addr tcdm_stride = 0x0010'0000;  // 1 MiB window per cluster
+  Addr tcdm_size = 128 * 1024;     // 128 KiB usable per cluster
+
+  Addr hbm_base = 0x8000'0000;
+  Addr hbm_size = 64ull * 1024 * 1024;
+
+  unsigned num_clusters = 32;
+};
+
+/// Decodes physical addresses into (region, cluster, offset).
+class AddressMap {
+ public:
+  explicit AddressMap(AddressMapConfig cfg = {});
+
+  const AddressMapConfig& config() const { return cfg_; }
+
+  Region region_of(Addr a) const;
+
+  bool is_hbm(Addr a) const { return region_of(a) == Region::kHbm; }
+  bool is_tcdm(Addr a) const { return region_of(a) == Region::kTcdm; }
+
+  /// Offset within the HBM region. Throws std::out_of_range if not HBM.
+  Addr hbm_offset(Addr a) const;
+
+  /// Cluster index owning a TCDM/mailbox address. Throws if not such.
+  unsigned cluster_of(Addr a) const;
+
+  /// Offset within the owning cluster's TCDM. Throws if not TCDM.
+  Addr tcdm_offset(Addr a) const;
+
+  /// Base address of cluster `i`'s TCDM window.
+  Addr tcdm_base(unsigned cluster) const;
+
+  /// Base address of cluster `i`'s mailbox window.
+  Addr mailbox_base(unsigned cluster) const;
+
+  Addr hbm_base() const { return cfg_.hbm_base; }
+  Addr hbm_end() const { return cfg_.hbm_base + cfg_.hbm_size; }
+
+  std::string describe(Addr a) const;
+
+ private:
+  AddressMapConfig cfg_;
+};
+
+}  // namespace mco::mem

@@ -1,0 +1,58 @@
+#include "mem/dma_engine.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/math.h"
+
+namespace mco::mem {
+
+DmaEngine::DmaEngine(sim::Simulator& sim, std::string name, DmaConfig cfg, HbmController& hbm,
+                     unsigned hbm_port, MainMemory& main_mem, Tcdm& tcdm, const AddressMap& map,
+                     Component* parent)
+    : Component(sim, std::move(name), parent),
+      cfg_(cfg),
+      hbm_(hbm),
+      hbm_port_(hbm_port),
+      main_mem_(main_mem),
+      tcdm_(tcdm),
+      map_(map) {}
+
+void DmaEngine::transfer_in(Addr hbm_addr, std::size_t tcdm_offset, std::size_t bytes,
+                            Callback done) {
+  start(/*inbound=*/true, hbm_addr, tcdm_offset, bytes, std::move(done));
+}
+
+void DmaEngine::transfer_out(std::size_t tcdm_offset, Addr hbm_addr, std::size_t bytes,
+                             Callback done) {
+  start(/*inbound=*/false, hbm_addr, tcdm_offset, bytes, std::move(done));
+}
+
+void DmaEngine::start(bool inbound, Addr hbm_addr, std::size_t tcdm_offset, std::size_t bytes,
+                      Callback done) {
+  const Addr hbm_off = map_.hbm_offset(hbm_addr);  // validates the address
+  const std::uint64_t beats = util::ceil_div<std::uint64_t>(bytes, 8);
+
+  // Setup models the DMA-core configuration (source/dest/size registers).
+  defer(cfg_.setup_cycles, [this, inbound, hbm_off, tcdm_offset, bytes, beats,
+                            cb = std::move(done)]() mutable {
+    hbm_.request(hbm_port_, beats,
+                 [this, inbound, hbm_off, tcdm_offset, bytes, cb = std::move(cb)]() mutable {
+                   if (bytes > 0) {
+                     if (inbound) {
+                       std::memcpy(tcdm_.data(tcdm_offset, bytes),
+                                   std::as_const(main_mem_).data(hbm_off, bytes), bytes);
+                     } else {
+                       std::memcpy(main_mem_.data(hbm_off, bytes),
+                                   std::as_const(tcdm_).data(tcdm_offset, bytes), bytes);
+                     }
+                   }
+                   bytes_moved_ += bytes;
+                   if (cb) cb();
+                 });
+    if (inbound) ++transfers_in_;
+    else ++transfers_out_;
+  });
+}
+
+}  // namespace mco::mem

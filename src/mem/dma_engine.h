@@ -1,0 +1,63 @@
+// Cluster DMA engine: block transfers between HBM and the cluster's TCDM.
+//
+// The 9th core of each Manticore/Snitch cluster drives a DMA engine; here the
+// engine is a component that (a) asks the shared HbmController for the
+// transfer's beats (timing) and (b) copies the bytes between MainMemory and
+// Tcdm when the last beat completes (function). Per-transfer setup models the
+// DMA-core configuration instructions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/address_map.h"
+#include "mem/hbm_controller.h"
+#include "mem/main_memory.h"
+#include "mem/tcdm.h"
+#include "sim/component.h"
+
+namespace mco::mem {
+
+struct DmaConfig {
+  /// Cycles the DMA core spends programming one transfer.
+  sim::Cycles setup_cycles = 6;
+};
+
+class DmaEngine : public sim::Component {
+ public:
+  using Callback = std::function<void()>;
+
+  DmaEngine(sim::Simulator& sim, std::string name, DmaConfig cfg, HbmController& hbm,
+            unsigned hbm_port, MainMemory& main_mem, Tcdm& tcdm, const AddressMap& map,
+            Component* parent = nullptr);
+
+  const DmaConfig& config() const { return cfg_; }
+  unsigned hbm_port() const { return hbm_port_; }
+
+  /// HBM → TCDM. `hbm_addr` is a physical HBM address; `tcdm_offset` is a
+  /// cluster-local byte offset.
+  void transfer_in(Addr hbm_addr, std::size_t tcdm_offset, std::size_t bytes, Callback done);
+
+  /// TCDM → HBM.
+  void transfer_out(std::size_t tcdm_offset, Addr hbm_addr, std::size_t bytes, Callback done);
+
+  std::uint64_t transfers_in() const { return transfers_in_; }
+  std::uint64_t transfers_out() const { return transfers_out_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  void start(bool inbound, Addr hbm_addr, std::size_t tcdm_offset, std::size_t bytes,
+             Callback done);
+
+  DmaConfig cfg_;
+  HbmController& hbm_;
+  unsigned hbm_port_;
+  MainMemory& main_mem_;
+  Tcdm& tcdm_;
+  const AddressMap& map_;
+  std::uint64_t transfers_in_ = 0;
+  std::uint64_t transfers_out_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace mco::mem

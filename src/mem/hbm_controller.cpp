@@ -1,0 +1,83 @@
+#include "mem/hbm_controller.h"
+
+#include <stdexcept>
+
+namespace mco::mem {
+
+HbmController::HbmController(sim::Simulator& sim, std::string name, HbmConfig cfg,
+                             Component* parent)
+    : Component(sim, std::move(name), parent), cfg_(cfg), ports_(cfg.num_ports) {
+  if (cfg_.beats_per_cycle == 0) throw std::invalid_argument("HbmController: zero bandwidth");
+  if (cfg_.num_ports == 0) throw std::invalid_argument("HbmController: zero ports");
+}
+
+bool HbmController::busy() const {
+  if (pending_activations_ > 0) return true;
+  for (const auto& q : ports_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+void HbmController::request(unsigned port, std::uint64_t beats, Callback on_complete) {
+  if (port >= cfg_.num_ports) throw std::out_of_range("HbmController: bad port");
+  ++pending_activations_;
+  defer(cfg_.request_latency,
+        [this, port, beats, cb = std::move(on_complete)]() mutable {
+          --pending_activations_;
+          if (beats == 0) {
+            ++transfers_completed_;
+            if (cb) cb();
+            return;
+          }
+          ports_[port].push_back(Transfer{beats, std::move(cb)});
+          ensure_ticking();
+        },
+        sim::Priority::kMemory);
+}
+
+void HbmController::ensure_ticking() {
+  if (tick_scheduled_) return;
+  tick_scheduled_ = true;
+  defer(1, [this] { tick(); }, sim::Priority::kMemory);
+}
+
+void HbmController::tick() {
+  tick_scheduled_ = false;
+
+  // Serve up to beats_per_cycle beats this cycle, one beat per port visit,
+  // walking round-robin from rr_next_. Completion callbacks run immediately
+  // (same cycle, after the last beat) — downstream consumers model their own
+  // latencies.
+  unsigned served = 0;
+  unsigned idle_visits = 0;
+  while (served < cfg_.beats_per_cycle && idle_visits < cfg_.num_ports) {
+    auto& q = ports_[rr_next_];
+    rr_next_ = (rr_next_ + 1) % cfg_.num_ports;
+    if (q.empty()) {
+      ++idle_visits;
+      continue;
+    }
+    idle_visits = 0;
+    Transfer& t = q.front();
+    --t.remaining;
+    ++served;
+    ++beats_served_;
+    if (t.remaining == 0) {
+      Callback cb = std::move(t.on_complete);
+      q.pop_front();
+      ++transfers_completed_;
+      if (cb) cb();
+    }
+  }
+  if (served > 0) ++busy_cycles_;
+
+  for (const auto& q : ports_) {
+    if (!q.empty()) {
+      ensure_ticking();
+      return;
+    }
+  }
+}
+
+}  // namespace mco::mem

@@ -1,0 +1,75 @@
+// HBM controller timing model: a fixed aggregate bandwidth shared fairly
+// (round-robin, one 64-bit beat at a time) among all requesting ports.
+//
+// This is the mechanism behind the paper's N/4 "serial" data term: a DAXPY
+// moves 3N doubles through this controller regardless of how many clusters
+// participate, so with 12 doubles/cycle of aggregate bandwidth the data phase
+// costs ~3N/12 = N/4 cycles independent of M. Fair round-robin service also
+// means equal-sized concurrent transfers complete within a beat of each
+// other, which is what makes the compute phases of all clusters start (and
+// the additive runtime model hold) together.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/component.h"
+
+namespace mco::mem {
+
+struct HbmConfig {
+  /// Aggregate bandwidth in 64-bit beats (doubles) per cycle.
+  unsigned beats_per_cycle = 12;
+  /// Pipeline latency from request issue to first beat service.
+  sim::Cycles request_latency = 8;
+  /// Number of requester ports (one per cluster DMA + one host port).
+  unsigned num_ports = 33;
+};
+
+/// Timing-only model of the shared HBM channel.
+class HbmController : public sim::Component {
+ public:
+  using Callback = std::function<void()>;
+
+  HbmController(sim::Simulator& sim, std::string name, HbmConfig cfg,
+                Component* parent = nullptr);
+
+  const HbmConfig& config() const { return cfg_; }
+
+  /// Enqueue a transfer of `beats` 64-bit beats on `port`; `on_complete`
+  /// fires the cycle the last beat is served. Zero-beat transfers complete
+  /// after request_latency only. A port may have several outstanding
+  /// transfers; they are served in FIFO order per port.
+  void request(unsigned port, std::uint64_t beats, Callback on_complete);
+
+  /// Beats served so far (stats).
+  std::uint64_t beats_served() const { return beats_served_; }
+  std::uint64_t transfers_completed() const { return transfers_completed_; }
+  /// Cycles in which at least one beat was served.
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+
+  /// True if any transfer is in flight or waiting.
+  bool busy() const;
+
+ private:
+  struct Transfer {
+    std::uint64_t remaining;
+    Callback on_complete;
+  };
+
+  void tick();
+  void ensure_ticking();
+
+  HbmConfig cfg_;
+  std::vector<std::deque<Transfer>> ports_;  // active queue per port
+  unsigned rr_next_ = 0;                     // round-robin pointer (port index)
+  std::uint64_t pending_activations_ = 0;    // requested but not yet active
+  bool tick_scheduled_ = false;
+  std::uint64_t beats_served_ = 0;
+  std::uint64_t transfers_completed_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace mco::mem

@@ -1,0 +1,83 @@
+#include "mem/main_memory.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::mem {
+
+MainMemory::MainMemory(std::size_t size) : bytes_(size, 0) {
+  if (size == 0) throw std::invalid_argument("MainMemory: zero size");
+}
+
+void MainMemory::check(Addr offset, std::size_t n) const {
+  if (offset > bytes_.size() || n > bytes_.size() - offset) {
+    throw std::out_of_range(util::format("MainMemory: access [0x%llx, +%zu) beyond size %zu",
+                                         static_cast<unsigned long long>(offset), n,
+                                         bytes_.size()));
+  }
+}
+
+void MainMemory::write(Addr offset, std::span<const std::uint8_t> data_in) {
+  check(offset, data_in.size());
+  std::memcpy(bytes_.data() + offset, data_in.data(), data_in.size());
+}
+
+void MainMemory::read(Addr offset, std::span<std::uint8_t> out) const {
+  check(offset, out.size());
+  std::memcpy(out.data(), bytes_.data() + offset, out.size());
+}
+
+void MainMemory::write_u64(Addr offset, std::uint64_t v) {
+  check(offset, 8);
+  std::memcpy(bytes_.data() + offset, &v, 8);
+}
+
+std::uint64_t MainMemory::read_u64(Addr offset) const {
+  check(offset, 8);
+  std::uint64_t v;
+  std::memcpy(&v, bytes_.data() + offset, 8);
+  return v;
+}
+
+void MainMemory::write_f64(Addr offset, double v) {
+  check(offset, 8);
+  std::memcpy(bytes_.data() + offset, &v, 8);
+}
+
+double MainMemory::read_f64(Addr offset) const {
+  check(offset, 8);
+  double v;
+  std::memcpy(&v, bytes_.data() + offset, 8);
+  return v;
+}
+
+void MainMemory::write_f64_array(Addr offset, std::span<const double> values) {
+  check(offset, values.size() * 8);
+  std::memcpy(bytes_.data() + offset, values.data(), values.size() * 8);
+}
+
+std::vector<double> MainMemory::read_f64_array(Addr offset, std::size_t n) const {
+  check(offset, n * 8);
+  std::vector<double> out(n);
+  std::memcpy(out.data(), bytes_.data() + offset, n * 8);
+  return out;
+}
+
+void MainMemory::fill(Addr offset, std::size_t n, std::uint8_t value) {
+  check(offset, n);
+  std::memset(bytes_.data() + offset, value, n);
+}
+
+std::uint8_t* MainMemory::data(Addr offset, std::size_t n) {
+  check(offset, n);
+  return bytes_.data() + offset;
+}
+
+const std::uint8_t* MainMemory::data(Addr offset, std::size_t n) const {
+  check(offset, n);
+  return bytes_.data() + offset;
+}
+
+}  // namespace mco::mem

@@ -1,0 +1,47 @@
+// HBM backing store: the functional (data) half of main memory.
+//
+// Timing is modeled separately by HbmController; this class only holds bytes
+// so kernels can really read inputs and write results that tests verify.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/address_map.h"
+
+namespace mco::mem {
+
+class MainMemory {
+ public:
+  /// Backing store of `size` bytes, addressed [0, size) (HBM offsets).
+  explicit MainMemory(std::size_t size);
+
+  std::size_t size() const { return bytes_.size(); }
+
+  void write(Addr offset, std::span<const std::uint8_t> data);
+  void read(Addr offset, std::span<std::uint8_t> out) const;
+
+  void write_u64(Addr offset, std::uint64_t v);
+  std::uint64_t read_u64(Addr offset) const;
+
+  void write_f64(Addr offset, double v);
+  double read_f64(Addr offset) const;
+
+  /// Write `n` doubles starting at `offset`.
+  void write_f64_array(Addr offset, std::span<const double> values);
+  /// Read `n` doubles starting at `offset`.
+  std::vector<double> read_f64_array(Addr offset, std::size_t n) const;
+
+  void fill(Addr offset, std::size_t n, std::uint8_t value);
+
+  /// Raw view for DMA block copies (bounds-checked).
+  std::uint8_t* data(Addr offset, std::size_t n);
+  const std::uint8_t* data(Addr offset, std::size_t n) const;
+
+ private:
+  void check(Addr offset, std::size_t n) const;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace mco::mem

@@ -1,0 +1,93 @@
+#include "mem/tcdm.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::mem {
+
+Tcdm::Tcdm(sim::Simulator& sim, std::string name, TcdmConfig cfg, Component* parent)
+    : Component(sim, std::move(name), parent), cfg_(cfg), bytes_(cfg.size_bytes, 0) {
+  if (cfg_.size_bytes == 0) throw std::invalid_argument("Tcdm: zero size");
+  if (cfg_.num_banks == 0) throw std::invalid_argument("Tcdm: zero banks");
+}
+
+void Tcdm::check(std::size_t offset, std::size_t n) const {
+  if (offset > bytes_.size() || n > bytes_.size() - offset) {
+    throw std::out_of_range(util::format("%s: access [0x%zx, +%zu) beyond size %zu", path().c_str(),
+                                         offset, n, bytes_.size()));
+  }
+}
+
+void Tcdm::write(std::size_t offset, std::span<const std::uint8_t> data_in) {
+  check(offset, data_in.size());
+  std::memcpy(bytes_.data() + offset, data_in.data(), data_in.size());
+  bytes_written_ += data_in.size();
+}
+
+void Tcdm::read(std::size_t offset, std::span<std::uint8_t> out) const {
+  check(offset, out.size());
+  std::memcpy(out.data(), bytes_.data() + offset, out.size());
+  bytes_read_ += out.size();
+}
+
+void Tcdm::write_f64(std::size_t offset, double v) {
+  check(offset, 8);
+  std::memcpy(bytes_.data() + offset, &v, 8);
+  bytes_written_ += 8;
+}
+
+double Tcdm::read_f64(std::size_t offset) const {
+  check(offset, 8);
+  double v;
+  std::memcpy(&v, bytes_.data() + offset, 8);
+  bytes_read_ += 8;
+  return v;
+}
+
+void Tcdm::write_f64_array(std::size_t offset, std::span<const double> values) {
+  check(offset, values.size() * 8);
+  std::memcpy(bytes_.data() + offset, values.data(), values.size() * 8);
+  bytes_written_ += values.size() * 8;
+}
+
+std::vector<double> Tcdm::read_f64_array(std::size_t offset, std::size_t n) const {
+  check(offset, n * 8);
+  std::vector<double> out(n);
+  std::memcpy(out.data(), bytes_.data() + offset, n * 8);
+  bytes_read_ += n * 8;
+  return out;
+}
+
+void Tcdm::write_u64(std::size_t offset, std::uint64_t v) {
+  check(offset, 8);
+  std::memcpy(bytes_.data() + offset, &v, 8);
+  bytes_written_ += 8;
+}
+
+std::uint64_t Tcdm::read_u64(std::size_t offset) const {
+  check(offset, 8);
+  std::uint64_t v;
+  std::memcpy(&v, bytes_.data() + offset, 8);
+  bytes_read_ += 8;
+  return v;
+}
+
+unsigned Tcdm::bank_of(std::size_t offset) const {
+  return static_cast<unsigned>((offset / cfg_.bytes_per_bank_word) % cfg_.num_banks);
+}
+
+std::uint8_t* Tcdm::data(std::size_t offset, std::size_t n) {
+  check(offset, n);
+  bytes_written_ += n;  // raw views are used by DMA writes
+  return bytes_.data() + offset;
+}
+
+const std::uint8_t* Tcdm::data(std::size_t offset, std::size_t n) const {
+  check(offset, n);
+  bytes_read_ += n;
+  return bytes_.data() + offset;
+}
+
+}  // namespace mco::mem

@@ -1,0 +1,73 @@
+#include "model/decision.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mco::model {
+
+std::optional<unsigned> min_clusters_for_deadline(const RuntimeModel& model, std::uint64_t n,
+                                                  double t_max, unsigned m_max) {
+  if (m_max == 0) throw std::invalid_argument("min_clusters_for_deadline: m_max == 0");
+  const double nd = static_cast<double>(n);
+
+  if (model.c == 0.0) {
+    // Paper Eq. (3): M_min = ceil( b·N / (t_max − t0 − a·N) ).
+    const double slack = t_max - model.t0 - model.a * nd;
+    if (slack <= 0.0) return std::nullopt;  // even M → ∞ misses the deadline
+    const double m_real = model.b * nd / slack;
+    const unsigned m = m_real <= 1.0 ? 1u : static_cast<unsigned>(std::ceil(m_real));
+    if (m > m_max) return std::nullopt;
+    return m;
+  }
+
+  // With a per-cluster term, runtime is not monotone in M: scan. m_max is
+  // small (clusters on one chip), so this is exact and cheap.
+  for (unsigned m = 1; m <= m_max; ++m) {
+    if (model.predict(m, n) <= t_max) return m;
+  }
+  return std::nullopt;
+}
+
+OffloadDecision decide_offload(const RuntimeModel& model, std::uint64_t n, double t_host,
+                               unsigned m_max) {
+  OffloadDecision d;
+  d.t_host = t_host;
+  const unsigned best = model.best_m(n, m_max);
+  const double t_off = model.predict(best, n);
+  if (t_off < t_host) {
+    d.offload = true;
+    d.m = best;
+    d.t_offload = t_off;
+    d.speedup = t_host / t_off;
+  }
+  return d;
+}
+
+std::optional<std::uint64_t> break_even_n(const RuntimeModel& model, unsigned m,
+                                          double host_cycles_per_elem, std::uint64_t n_max) {
+  if (m == 0) throw std::invalid_argument("break_even_n: m == 0");
+  if (host_cycles_per_elem <= 0.0)
+    throw std::invalid_argument("break_even_n: non-positive host rate");
+
+  const auto offload_wins = [&](std::uint64_t n) {
+    return model.predict(m, n) < host_cycles_per_elem * static_cast<double>(n);
+  };
+
+  // If the host's per-element cost does not exceed the offload's per-element
+  // slope, growing N can never amortize the constant overhead.
+  const double offload_slope = model.a + model.b / static_cast<double>(m);
+  if (host_cycles_per_elem <= offload_slope) return std::nullopt;
+
+  std::uint64_t hi = 1;
+  while (hi < n_max && !offload_wins(hi)) hi *= 2;
+  if (!offload_wins(hi)) return std::nullopt;
+  std::uint64_t lo = hi / 2;  // offload loses at lo (or lo == 0)
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (offload_wins(mid)) hi = mid;
+    else lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace mco::model

@@ -1,0 +1,46 @@
+// Offload-decision solving (the paper's Eq. (3) and §III closing remarks).
+//
+// Given a runtime model, answer:
+//  * the minimum number of clusters meeting a deadline t_max (Eq. 3);
+//  * whether offloading beats host execution at all, and with which M.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "model/runtime_model.h"
+
+namespace mco::model {
+
+/// Minimum M with t̂(M, N) ≤ t_max, or nullopt if no M in [1, m_max]
+/// satisfies the deadline. For c == 0 this is the paper's closed form
+///   M_min = ceil( b·N / (t_max − t0 − a·N) )
+/// (validated against a linear scan); for c > 0 the quadratic
+/// c·M² + (t0 + a·N − t_max)·M + b·N ≤ 0 is solved instead.
+std::optional<unsigned> min_clusters_for_deadline(const RuntimeModel& model, std::uint64_t n,
+                                                  double t_max, unsigned m_max);
+
+/// An offload decision against a host-execution alternative.
+struct OffloadDecision {
+  bool offload = false;       ///< offloading beats the host
+  unsigned m = 0;             ///< chosen cluster count (0 if staying on host)
+  double t_offload = 0.0;     ///< predicted offload runtime at m (if offload)
+  double t_host = 0.0;        ///< predicted host runtime
+  double speedup = 0.0;       ///< t_host / t_offload (if offload)
+};
+
+/// Pick the best strategy: host execution (cost t_host) vs. offloading with
+/// the runtime-minimizing M ≤ m_max.
+OffloadDecision decide_offload(const RuntimeModel& model, std::uint64_t n, double t_host,
+                               unsigned m_max);
+
+/// Problem size above which offloading (with m clusters) beats a host that
+/// costs host_cycles_per_elem per element: the break-even N, or nullopt if
+/// offload never wins (e.g. host is faster per element than the combined
+/// offload terms). Found by scanning doubling then bisecting — the model is
+/// monotone in N for fixed M.
+std::optional<std::uint64_t> break_even_n(const RuntimeModel& model, unsigned m,
+                                          double host_cycles_per_elem,
+                                          std::uint64_t n_max = 1ull << 32);
+
+}  // namespace mco::model

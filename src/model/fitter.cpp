@@ -1,0 +1,100 @@
+#include "model/fitter.h"
+
+#include <array>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace mco::model {
+
+namespace {
+
+/// Solve the k×k system A·x = b by Gaussian elimination with partial
+/// pivoting. Throws std::invalid_argument on (near-)singular systems.
+template <std::size_t K>
+std::array<double, K> solve(std::array<std::array<double, K>, K> a, std::array<double, K> b) {
+  for (std::size_t col = 0; col < K; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < K; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12)
+      throw std::invalid_argument("fit_runtime_model: singular design matrix");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < K; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < K; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::array<double, K> x{};
+  for (std::size_t i = K; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < K; ++c) s -= a[i][c] * x[c];
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+template <std::size_t K>
+FitResult fit_k(const std::vector<Sample>& samples,
+                const std::function<std::array<double, K>(const Sample&)>& features) {
+  // Normal equations: (XᵀX)·beta = Xᵀy.
+  std::array<std::array<double, K>, K> xtx{};
+  std::array<double, K> xty{};
+  for (const Sample& s : samples) {
+    const std::array<double, K> f = features(s);
+    for (std::size_t i = 0; i < K; ++i) {
+      xty[i] += f[i] * s.t;
+      for (std::size_t j = 0; j < K; ++j) xtx[i][j] += f[i] * f[j];
+    }
+  }
+  const std::array<double, K> beta = solve<K>(xtx, xty);
+
+  FitResult out;
+  out.model.t0 = beta[0];
+  out.model.a = beta[1];
+  out.model.b = beta[2];
+  out.model.c = K == 4 ? beta[3] : 0.0;
+
+  double mean = 0.0;
+  for (const Sample& s : samples) mean += s.t;
+  mean /= static_cast<double>(samples.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (const Sample& s : samples) {
+    const double r = s.t - out.model.predict(s.m, s.n);
+    ss_res += r * r;
+    ss_tot += (s.t - mean) * (s.t - mean);
+    out.max_abs_residual = std::max(out.max_abs_residual, std::abs(r));
+  }
+  out.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return out;
+}
+
+}  // namespace
+
+FitResult fit_runtime_model(const std::vector<Sample>& samples, FitOptions opts) {
+  const std::size_t k = opts.include_m_term ? 4 : 3;
+  if (samples.size() < k)
+    throw std::invalid_argument("fit_runtime_model: not enough samples for the model order");
+  for (const Sample& s : samples) {
+    if (s.m == 0) throw std::invalid_argument("fit_runtime_model: sample with m == 0");
+  }
+
+  if (opts.include_m_term) {
+    return fit_k<4>(samples, [](const Sample& s) {
+      const double nd = static_cast<double>(s.n);
+      const double md = static_cast<double>(s.m);
+      return std::array<double, 4>{1.0, nd, nd / md, md};
+    });
+  }
+  return fit_k<3>(samples, [](const Sample& s) {
+    const double nd = static_cast<double>(s.n);
+    const double md = static_cast<double>(s.m);
+    return std::array<double, 3>{1.0, nd, nd / md};
+  });
+}
+
+}  // namespace mco::model

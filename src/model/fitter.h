@@ -1,0 +1,32 @@
+// Least-squares fitting of the runtime model to measured samples.
+//
+// The paper derives its Eq. (1) coefficients by inspecting the hardware and
+// the compiled binary; we additionally support *fitting* them from simulated
+// measurements (ordinary least squares on the features [1, N, N/M, M]),
+// which is how a user without RTL access would build the model.
+#pragma once
+
+#include <vector>
+
+#include "model/runtime_model.h"
+
+namespace mco::model {
+
+struct FitOptions {
+  /// Include the c·M term (baseline design). With false, c is fixed at 0
+  /// (extended design), matching the paper's model shape.
+  bool include_m_term = false;
+};
+
+struct FitResult {
+  RuntimeModel model;
+  double r_squared = 0.0;
+  double max_abs_residual = 0.0;
+};
+
+/// Fit t ≈ t0 + a·N + b·N/M (+ c·M) to the samples. Requires at least as
+/// many samples as free coefficients and a non-singular design matrix;
+/// throws std::invalid_argument otherwise.
+FitResult fit_runtime_model(const std::vector<Sample>& samples, FitOptions opts = {});
+
+}  // namespace mco::model

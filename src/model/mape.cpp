@@ -1,0 +1,27 @@
+#include "model/mape.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mco::model {
+
+double mape(const RuntimeModel& model, const std::vector<Sample>& samples) {
+  if (samples.empty()) throw std::invalid_argument("mape: no samples");
+  double acc = 0.0;
+  for (const Sample& s : samples) {
+    if (s.t <= 0.0) throw std::invalid_argument("mape: non-positive measured runtime");
+    acc += std::abs(s.t - model.predict(s.m, s.n)) / s.t;
+  }
+  return 100.0 * acc / static_cast<double>(samples.size());
+}
+
+std::map<std::uint64_t, double> mape_by_n(const RuntimeModel& model,
+                                          const std::vector<Sample>& samples) {
+  std::map<std::uint64_t, std::vector<Sample>> groups;
+  for (const Sample& s : samples) groups[s.n].push_back(s);
+  std::map<std::uint64_t, double> out;
+  for (const auto& [n, group] : groups) out[n] = mape(model, group);
+  return out;
+}
+
+}  // namespace mco::model

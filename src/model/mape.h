@@ -1,0 +1,19 @@
+// Mean absolute percentage error (the paper's Eq. (2)).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "model/runtime_model.h"
+
+namespace mco::model {
+
+/// MAPE in percent over a sample set: (100/|S|) · Σ |t − t̂| / t.
+double mape(const RuntimeModel& model, const std::vector<Sample>& samples);
+
+/// The paper's per-problem-size validation: group samples by N and compute
+/// MAPE over the M sweep within each group. Returns N → MAPE(%).
+std::map<std::uint64_t, double> mape_by_n(const RuntimeModel& model,
+                                          const std::vector<Sample>& samples);
+
+}  // namespace mco::model

@@ -1,0 +1,47 @@
+#include "model/runtime_model.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::model {
+
+double RuntimeModel::predict(unsigned m, std::uint64_t n) const {
+  if (m == 0) throw std::invalid_argument("RuntimeModel: m == 0");
+  const double nd = static_cast<double>(n);
+  return t0 + a * nd + b * nd / static_cast<double>(m) + c * static_cast<double>(m);
+}
+
+double RuntimeModel::serial_fraction(unsigned m, std::uint64_t n) const {
+  const double total = predict(m, n);
+  if (total <= 0.0) return 0.0;
+  const double serial = t0 + a * static_cast<double>(n) + c * static_cast<double>(m);
+  return serial / total;
+}
+
+double RuntimeModel::self_speedup(unsigned m, std::uint64_t n) const {
+  return predict(1, n) / predict(m, n);
+}
+
+unsigned RuntimeModel::best_m(std::uint64_t n, unsigned m_max) const {
+  if (m_max == 0) throw std::invalid_argument("RuntimeModel: m_max == 0");
+  unsigned best = 1;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (unsigned m = 1; m <= m_max; ++m) {
+    const double t = predict(m, n);
+    if (t < best_t) {
+      best_t = t;
+      best = m;
+    }
+  }
+  return best;
+}
+
+std::string RuntimeModel::describe() const {
+  return util::format("t(M,N) = %.4g + %.6g*N + %.6g*N/M + %.6g*M", t0, a, b, c);
+}
+
+RuntimeModel paper_daxpy_model() { return RuntimeModel{367.0, 0.25, 2.6 / 8.0, 0.0}; }
+
+}  // namespace mco::model

@@ -1,0 +1,52 @@
+// Analytical offload-runtime model (the paper's Eq. (1), generalized).
+//
+//   t̂(M, N) = t0 + a·N + b·N/M + c·M
+//
+//  * t0 — constant offload overhead (dispatch, wakeup, synchronization);
+//  * a·N — serial data term (shared-bandwidth data movement);
+//  * b·N/M — parallel compute term (Amdahl's parallel fraction);
+//  * c·M — per-cluster dispatch term (zero in the extended design, the
+//    sequential-dispatch slope in the baseline).
+//
+// The paper's DAXPY instance is t0 = 367, a = 1/4, b = 2.6/8, c = 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mco::model {
+
+struct RuntimeModel {
+  double t0 = 0.0;
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+
+  /// Predicted runtime in cycles.
+  double predict(unsigned m, std::uint64_t n) const;
+
+  /// Serial fraction of the predicted runtime at (m, n) — the Amdahl bound:
+  /// speedup over M clusters saturates at 1/serial_fraction(n).
+  double serial_fraction(unsigned m, std::uint64_t n) const;
+
+  /// Predicted speedup of using m clusters over one cluster.
+  double self_speedup(unsigned m, std::uint64_t n) const;
+
+  /// M minimizing predicted runtime for problem size n, searched over
+  /// [1, m_max]. With c == 0 the model is monotone in M and returns m_max.
+  unsigned best_m(std::uint64_t n, unsigned m_max) const;
+
+  std::string describe() const;
+};
+
+/// The exact constants of the paper's Eq. (1) for the extended design.
+RuntimeModel paper_daxpy_model();
+
+/// One measured data point.
+struct Sample {
+  unsigned m = 0;
+  std::uint64_t n = 0;
+  double t = 0.0;
+};
+
+}  // namespace mco::model

@@ -1,0 +1,53 @@
+#include "model/validate.h"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "model/mape.h"
+
+namespace mco::model {
+
+CrossValidationResult cross_validate_by_n(const std::vector<Sample>& samples, FitOptions opts) {
+  std::set<std::uint64_t> sizes;
+  for (const Sample& s : samples) sizes.insert(s.n);
+  if (sizes.size() < 3)
+    throw std::invalid_argument("cross_validate_by_n: need at least 3 distinct problem sizes");
+
+  CrossValidationResult out;
+  double acc = 0.0;
+  for (const std::uint64_t held : sizes) {
+    std::vector<Sample> train;
+    std::vector<Sample> test;
+    for (const Sample& s : samples) {
+      (s.n == held ? test : train).push_back(s);
+    }
+    const FitResult fit = fit_runtime_model(train, opts);
+    const double err = mape(fit.model, test);
+    out.held_out_mape[held] = err;
+    out.worst_mape = std::max(out.worst_mape, err);
+    acc += err;
+  }
+  out.mean_mape = acc / static_cast<double>(sizes.size());
+  return out;
+}
+
+ResidualStats residual_stats(const RuntimeModel& model, const std::vector<Sample>& samples) {
+  if (samples.empty()) throw std::invalid_argument("residual_stats: no samples");
+  ResidualStats st;
+  double sq = 0.0;
+  for (const Sample& s : samples) {
+    const double r = s.t - model.predict(s.m, s.n);
+    st.mean += r;
+    st.mean_abs += std::abs(r);
+    st.max_abs = std::max(st.max_abs, std::abs(r));
+    sq += r * r;
+  }
+  const double n = static_cast<double>(samples.size());
+  st.mean /= n;
+  st.mean_abs /= n;
+  st.rmse = std::sqrt(sq / n);
+  return st;
+}
+
+}  // namespace mco::model

@@ -1,0 +1,40 @@
+// Model validation beyond in-sample MAPE: cross-validation and residuals.
+//
+// The paper validates Eq. (1) on the same grid it was derived from; a user
+// fitting the model from measurements should also check it *generalizes* —
+// e.g. that a model fitted without ever seeing N=768 still predicts N=768
+// within tolerance. Leave-one-problem-size-out cross-validation does that.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "model/fitter.h"
+#include "model/runtime_model.h"
+
+namespace mco::model {
+
+struct CrossValidationResult {
+  /// Held-out N → MAPE of the model fitted on all *other* sizes.
+  std::map<std::uint64_t, double> held_out_mape;
+  double worst_mape = 0.0;
+  double mean_mape = 0.0;
+};
+
+/// Leave-one-N-out cross-validation. Requires samples spanning at least
+/// three distinct problem sizes (fewer leaves the training fold rank-
+/// deficient); throws std::invalid_argument otherwise.
+CrossValidationResult cross_validate_by_n(const std::vector<Sample>& samples,
+                                          FitOptions opts = {});
+
+/// Residual summary of a model over samples.
+struct ResidualStats {
+  double mean = 0.0;      ///< signed mean (bias)
+  double mean_abs = 0.0;  ///< mean |residual|
+  double max_abs = 0.0;
+  double rmse = 0.0;
+};
+
+ResidualStats residual_stats(const RuntimeModel& model, const std::vector<Sample>& samples);
+
+}  // namespace mco::model

@@ -1,0 +1,75 @@
+#include "noc/interconnect.h"
+
+#include "util/strings.h"
+
+namespace mco::noc {
+
+Interconnect::Interconnect(sim::Simulator& sim, std::string name, NocConfig cfg,
+                           unsigned num_clusters, Component* parent)
+    : Component(sim, std::move(name), parent),
+      cfg_(cfg),
+      num_clusters_(num_clusters),
+      cluster_sinks_(num_clusters) {
+  if (num_clusters_ == 0) throw std::invalid_argument("Interconnect: zero clusters");
+}
+
+void Interconnect::check_cluster(unsigned cluster) const {
+  if (cluster >= num_clusters_)
+    throw std::out_of_range(util::format("%s: cluster %u out of range (%u clusters)",
+                                         path().c_str(), cluster, num_clusters_));
+}
+
+void Interconnect::set_cluster_sink(unsigned cluster, DispatchSink sink) {
+  check_cluster(cluster);
+  cluster_sinks_[cluster] = std::move(sink);
+}
+
+void Interconnect::set_credit_sink(CreditSink sink) { credit_sink_ = std::move(sink); }
+void Interconnect::set_amo_sink(AmoSink sink) { amo_sink_ = std::move(sink); }
+
+void Interconnect::unicast_dispatch(unsigned cluster, DispatchMessage msg) {
+  check_cluster(cluster);
+  if (!cluster_sinks_[cluster]) throw std::logic_error("Interconnect: cluster sink not wired");
+  ++unicasts_;
+  sim().trace().record(now(), path(), "unicast", util::format("cluster=%u", cluster));
+  defer(cfg_.host_to_cluster_latency,
+        [this, cluster, m = std::move(msg)] { cluster_sinks_[cluster](m); },
+        sim::Priority::kWire);
+}
+
+void Interconnect::multicast_dispatch(const std::vector<unsigned>& clusters, DispatchMessage msg) {
+  if (!cfg_.multicast_enabled)
+    throw std::logic_error(path() + ": multicast extension not enabled in this configuration");
+  if (clusters.empty()) throw std::invalid_argument("Interconnect: empty multicast set");
+  for (const unsigned c : clusters) {
+    check_cluster(c);
+    if (!cluster_sinks_[c]) throw std::logic_error("Interconnect: cluster sink not wired");
+  }
+  ++multicasts_;
+  sim().trace().record(now(), path(), "multicast",
+                       util::format("targets=%zu", clusters.size()));
+  // The replication tree delivers to all targets at the same cycle.
+  defer(cfg_.host_to_cluster_latency + cfg_.multicast_tree_latency,
+        [this, targets = clusters, m = std::move(msg)] {
+          for (const unsigned c : targets) cluster_sinks_[c](m);
+        },
+        sim::Priority::kWire);
+}
+
+void Interconnect::send_credit(unsigned cluster) {
+  check_cluster(cluster);
+  if (!credit_sink_) throw std::logic_error("Interconnect: credit sink not wired");
+  ++credits_;
+  defer(cfg_.cluster_to_sync_latency, [this, cluster] { credit_sink_(cluster); },
+        sim::Priority::kWire);
+}
+
+void Interconnect::send_amo(unsigned cluster) {
+  check_cluster(cluster);
+  if (!amo_sink_) throw std::logic_error("Interconnect: amo sink not wired");
+  ++amos_;
+  defer(cfg_.cluster_to_hbm_latency, [this, cluster] { amo_sink_(cluster); },
+        sim::Priority::kWire);
+}
+
+}  // namespace mco::noc

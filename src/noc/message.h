@@ -1,0 +1,18 @@
+// Messages carried by the host↔accelerator interconnect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mco::noc {
+
+/// A job-dispatch message: the handler id and marshalled arguments the host
+/// writes into a cluster's mailbox. With the multicast extension one such
+/// message reaches many clusters at once.
+struct DispatchMessage {
+  std::vector<std::uint64_t> words;
+
+  std::size_t size_words() const { return words.size(); }
+};
+
+}  // namespace mco::noc

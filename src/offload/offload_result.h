@@ -1,0 +1,56 @@
+// Result and per-phase breakdown of one offload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace mco::offload {
+
+/// Host-observed timestamps of one offload. All in absolute cycles.
+struct OffloadTimestamps {
+  sim::Cycle call = 0;           ///< runtime entry
+  sim::Cycle marshal_done = 0;   ///< payload built
+  sim::Cycle sync_ready = 0;     ///< sync unit armed / counter initialized
+  sim::Cycle dispatch_done = 0;  ///< last dispatch store issued
+  sim::Cycle completion = 0;     ///< completion observed (IRQ handler entry
+                                 ///< scheduled / successful poll iteration end)
+  sim::Cycle ret = 0;            ///< runtime returned to the application
+};
+
+/// Derived phase durations (host perspective).
+struct PhaseBreakdown {
+  sim::Cycles marshal = 0;
+  sim::Cycles sync_setup = 0;
+  sim::Cycles dispatch = 0;
+  sim::Cycles wait = 0;      ///< dispatch done → completion observed
+  sim::Cycles epilogue = 0;  ///< completion → return (handler tail, combine, exit)
+};
+
+struct OffloadResult {
+  std::string kernel;
+  std::uint64_t job_id = 0;
+  std::uint64_t n = 0;
+  unsigned num_clusters = 0;
+  std::size_t payload_words = 0;
+  bool used_multicast = false;
+  bool used_hw_sync = false;
+
+  OffloadTimestamps ts;
+
+  /// Total offload latency as the application sees it.
+  sim::Cycles total() const { return ts.ret - ts.call; }
+
+  PhaseBreakdown phases() const {
+    PhaseBreakdown p;
+    p.marshal = ts.marshal_done - ts.call;
+    p.sync_setup = ts.sync_ready - ts.marshal_done;
+    p.dispatch = ts.dispatch_done - ts.sync_ready;
+    p.wait = ts.completion - ts.dispatch_done;
+    p.epilogue = ts.ret - ts.completion;
+    return p;
+  }
+};
+
+}  // namespace mco::offload

@@ -1,0 +1,354 @@
+#include "offload/offload_runtime.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::offload {
+
+OffloadRuntime::OffloadRuntime(sim::Simulator& sim, OffloadRuntimeConfig cfg,
+                               host::HostCore& host, noc::Interconnect& noc,
+                               sync::CreditCounterUnit& sync_unit,
+                               sync::SharedCounter& shared_counter,
+                               const kernels::KernelRegistry& registry,
+                               mem::MainMemory& main_mem, const mem::AddressMap& map)
+    : sim_(sim),
+      cfg_(cfg),
+      host_(host),
+      noc_(noc),
+      sync_unit_(sync_unit),
+      shared_counter_(shared_counter),
+      registry_(registry),
+      main_mem_(main_mem),
+      map_(map) {
+  if (cfg_.use_multicast && !noc_.config().multicast_enabled)
+    throw std::invalid_argument(
+        "OffloadRuntime: use_multicast requires the interconnect multicast extension");
+  if (cfg_.use_multicast && !host_.config().has_multicast_lsu)
+    throw std::invalid_argument(
+        "OffloadRuntime: use_multicast requires the host LSU multicast extension");
+}
+
+void OffloadRuntime::offload_async(const kernels::JobArgs& args, unsigned num_clusters,
+                                   DoneCallback done) {
+  if (busy_) throw std::logic_error("OffloadRuntime: offload already in flight");
+  if (num_clusters == 0) throw std::invalid_argument("OffloadRuntime: zero clusters");
+  if (num_clusters > noc_.num_clusters())
+    throw std::invalid_argument(util::format(
+        "OffloadRuntime: %u clusters requested but the fabric has %u", num_clusters,
+        noc_.num_clusters()));
+
+  const kernels::Kernel& kernel = registry_.by_id(args.kernel_id);
+  kernel.validate(args);
+
+  busy_ = true;
+  kernel_ = &kernel;
+  args_ = args;
+  args_.job_id = next_job_id_++;
+  done_ = std::move(done);
+
+  noc::DispatchMessage payload =
+      kernels::marshal_payload(args_, num_clusters, kernel.marshal_args(args_));
+
+  result_ = OffloadResult{};
+  result_.kernel = kernel.name();
+  result_.job_id = args_.job_id;
+  result_.n = args_.n;
+  result_.num_clusters = num_clusters;
+  result_.payload_words = payload.size_words();
+  result_.used_multicast = cfg_.use_multicast;
+  result_.used_hw_sync = cfg_.use_hw_sync;
+  result_.ts.call = sim_.now();
+
+  sim_.trace().record(sim_.now(), "runtime", "offload_start",
+                      util::format("%s n=%llu M=%u", kernel.name().c_str(),
+                                   static_cast<unsigned long long>(args_.n), num_clusters));
+
+  const sim::Cycles marshal =
+      cfg_.marshal_base_cycles + cfg_.marshal_per_word_cycles * payload.size_words();
+  host_.exec(marshal, [this, p = std::move(payload), num_clusters]() mutable {
+    result_.ts.marshal_done = sim_.now();
+    setup_sync(num_clusters);
+    // setup_sync scheduled the sync stores; chain the dispatch after them.
+    const sim::Cycles sync_cost = cfg_.use_hw_sync ? 2 * cfg_.sync_arm_store_cycles
+                                                   : cfg_.counter_init_cycles;
+    host_.exec(sync_cost, [this, p2 = std::move(p), num_clusters]() mutable {
+      result_.ts.sync_ready = sim_.now();
+      dispatch(std::move(p2), num_clusters, 0);
+    });
+  });
+}
+
+void OffloadRuntime::setup_sync(unsigned num_clusters) {
+  // The state change lands when the host's stores complete; modeling it at
+  // issue time is equivalent here because nothing can observe the window.
+  if (cfg_.use_hw_sync) {
+    sync_unit_.arm(num_clusters);
+  } else {
+    shared_counter_.store(0);
+  }
+}
+
+void OffloadRuntime::dispatch(noc::DispatchMessage payload, unsigned num_clusters,
+                              unsigned next) {
+  const sim::Cycles per_target = host_.store_cost(payload.size_words());
+
+  if (cfg_.use_multicast) {
+    // One store sequence; the interconnect replicates it to all targets.
+    host_.exec(per_target + host_.config().multicast_issue_cycles,
+               [this, p = std::move(payload), num_clusters]() mutable {
+                 std::vector<unsigned> targets(num_clusters);
+                 for (unsigned i = 0; i < num_clusters; ++i) targets[i] = i;
+                 noc_.multicast_dispatch(targets, std::move(p));
+                 result_.ts.dispatch_done = sim_.now();
+                 await_completion(num_clusters);
+               });
+    return;
+  }
+
+  // Baseline: one mailbox-store sequence per cluster, strictly sequential on
+  // the host pipeline — the linear-in-M overhead of Fig. 1 (left).
+  host_.exec(per_target, [this, p = std::move(payload), num_clusters, next]() mutable {
+    noc_.unicast_dispatch(next, p);
+    if (next + 1 < num_clusters) {
+      dispatch(std::move(p), num_clusters, next + 1);
+    } else {
+      result_.ts.dispatch_done = sim_.now();
+      await_completion(num_clusters);
+    }
+  });
+}
+
+void OffloadRuntime::await_completion(unsigned num_clusters) {
+  if (cfg_.use_hw_sync) {
+    host_.wait_for_irq([this, num_clusters] {
+      result_.ts.completion = sim_.now();
+      complete(num_clusters);
+    });
+  } else {
+    host_.poll_until(
+        [this, num_clusters] { return shared_counter_.load() >= num_clusters; },
+        [this, num_clusters] {
+          result_.ts.completion = sim_.now();
+          complete(num_clusters);
+        });
+  }
+}
+
+void OffloadRuntime::complete(unsigned num_clusters) {
+  const sim::Cycles epilogue =
+      kernel_->host_epilogue_cycles(args_, num_clusters) + cfg_.return_cycles;
+  host_.exec(epilogue, [this, num_clusters] {
+    kernel_->host_epilogue(main_mem_, map_, args_, num_clusters);
+    result_.ts.ret = sim_.now();
+    busy_ = false;
+    ++offloads_completed_;
+    sim_.trace().record(sim_.now(), "runtime", "offload_done",
+                        util::format("total=%llu",
+                                     static_cast<unsigned long long>(result_.total())));
+    if (done_) {
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      cb(result_);
+    }
+  });
+}
+
+void OffloadRuntime::execute_on_host_async(const kernels::JobArgs& args,
+                                           std::function<void(HostRunResult)> done) {
+  const kernels::Kernel& kernel = registry_.by_id(args.kernel_id);
+  kernel.validate(args);
+  HostRunResult result;
+  result.kernel = kernel.name();
+  result.n = args.n;
+  result.start = sim_.now();
+  const sim::Cycles cost = cfg_.host_call_cycles + kernel.host_execute_cycles(args) +
+                           cfg_.host_return_cycles;
+  host_.exec(cost, [this, &kernel, args, result, cb = std::move(done)]() mutable {
+    kernel.host_execute(main_mem_, map_, args);
+    result.end = sim_.now();
+    if (cb) cb(result);
+  });
+}
+
+HostRunResult OffloadRuntime::execute_on_host_blocking(const kernels::JobArgs& args) {
+  std::optional<HostRunResult> out;
+  execute_on_host_async(args, [&out](const HostRunResult& r) { out = r; });
+  sim_.run();
+  if (!out) throw std::runtime_error("OffloadRuntime: host execution did not complete");
+  return *out;
+}
+
+// ---- back-to-back offload sequences -----------------------------------------
+
+struct OffloadRuntime::SeqState {
+  std::vector<kernels::JobArgs> jobs;
+  unsigned num_clusters = 0;
+  bool pipelined = false;
+  SequenceResult result;
+  std::function<void(SequenceResult)> done;
+  bool next_marshalled = false;  ///< job k+1's payload already built
+};
+
+void OffloadRuntime::offload_sequence_async(std::vector<kernels::JobArgs> jobs,
+                                            unsigned num_clusters, bool pipelined,
+                                            std::function<void(SequenceResult)> done) {
+  if (busy_) throw std::logic_error("OffloadRuntime: offload already in flight");
+  if (jobs.empty()) throw std::invalid_argument("OffloadRuntime: empty job sequence");
+  if (num_clusters == 0 || num_clusters > noc_.num_clusters())
+    throw std::invalid_argument("OffloadRuntime: bad cluster count for sequence");
+  for (auto& j : jobs) {
+    registry_.by_id(j.kernel_id).validate(j);
+    j.job_id = next_job_id_++;
+  }
+
+  busy_ = true;
+  auto st = std::make_shared<SeqState>();
+  st->jobs = std::move(jobs);
+  st->num_clusters = num_clusters;
+  st->pipelined = pipelined;
+  st->result.pipelined = pipelined;
+  st->result.start = sim_.now();
+  st->done = std::move(done);
+
+  // Marshal job 0 (never hidden), then enter the dispatch loop.
+  const kernels::Kernel& k0 = registry_.by_id(st->jobs[0].kernel_id);
+  const std::size_t words0 = kernels::kHeaderWords + k0.marshal_args(st->jobs[0]).size();
+  host_.exec(cfg_.marshal_base_cycles + cfg_.marshal_per_word_cycles * words0,
+             [this, st] { seq_dispatch_job(st, 0); });
+}
+
+void OffloadRuntime::seq_dispatch_job(std::shared_ptr<SeqState> st, std::size_t k) {
+  const kernels::JobArgs& args = st->jobs[k];
+  const kernels::Kernel& kernel = registry_.by_id(args.kernel_id);
+  noc::DispatchMessage payload =
+      kernels::marshal_payload(args, st->num_clusters, kernel.marshal_args(args));
+
+  // Sync setup for this job (the unit cannot be re-armed earlier: it is
+  // busy with the previous job until its interrupt fires).
+  const sim::Cycles sync_cost =
+      cfg_.use_hw_sync ? 2 * cfg_.sync_arm_store_cycles : cfg_.counter_init_cycles;
+  host_.exec(sync_cost, [this, st, k, p = std::move(payload)]() mutable {
+    setup_sync(st->num_clusters);
+    const sim::Cycles per_target = host_.store_cost(p.size_words());
+    if (cfg_.use_multicast) {
+      host_.exec(per_target + host_.config().multicast_issue_cycles,
+                 [this, st, k, p2 = std::move(p)]() mutable {
+                   std::vector<unsigned> targets(st->num_clusters);
+                   for (unsigned i = 0; i < st->num_clusters; ++i) targets[i] = i;
+                   noc_.multicast_dispatch(targets, std::move(p2));
+                   seq_await_job(st, k);
+                 });
+      return;
+    }
+    // Sequential unicast dispatch.
+    auto send = std::make_shared<std::function<void(unsigned)>>();
+    *send = [this, st, k, p2 = std::move(p), send](unsigned next) mutable {
+      host_.exec(host_.store_cost(p2.size_words()), [this, st, k, p2, send, next] {
+        noc_.unicast_dispatch(next, p2);
+        if (next + 1 < st->num_clusters) (*send)(next + 1);
+        else {
+          *send = nullptr;  // break the shared_ptr self-cycle
+          seq_await_job(st, k);
+        }
+      });
+    };
+    (*send)(0);
+  });
+}
+
+void OffloadRuntime::seq_await_job(std::shared_ptr<SeqState> st, std::size_t k) {
+  const kernels::JobArgs& args = st->jobs[k];
+  const kernels::Kernel& kernel = registry_.by_id(args.kernel_id);
+  SequenceJobTrace trace;
+  trace.kernel = kernel.name();
+  trace.n = args.n;
+  trace.job_id = args.job_id;
+  trace.dispatched = sim_.now();
+  st->result.jobs.push_back(trace);
+
+  const auto wait_then_finish = [this, st, k] {
+    const auto on_complete = [this, st, k] {
+      const kernels::JobArgs& a = st->jobs[k];
+      const kernels::Kernel& kern = registry_.by_id(a.kernel_id);
+      const sim::Cycles epilogue =
+          kern.host_epilogue_cycles(a, st->num_clusters) + cfg_.return_cycles;
+      host_.exec(epilogue, [this, st, k] {
+        const kernels::JobArgs& a2 = st->jobs[k];
+        registry_.by_id(a2.kernel_id).host_epilogue(main_mem_, map_, a2, st->num_clusters);
+        st->result.jobs[k].completed = sim_.now();
+        if (k + 1 < st->jobs.size()) {
+          if (st->pipelined && st->next_marshalled) {
+            st->next_marshalled = false;
+            seq_dispatch_job(st, k + 1);
+          } else {
+            const kernels::Kernel& kn = registry_.by_id(st->jobs[k + 1].kernel_id);
+            const std::size_t words =
+                kernels::kHeaderWords + kn.marshal_args(st->jobs[k + 1]).size();
+            host_.exec(cfg_.marshal_base_cycles + cfg_.marshal_per_word_cycles * words,
+                       [this, st, k] { seq_dispatch_job(st, k + 1); });
+          }
+        } else {
+          st->result.end = sim_.now();
+          busy_ = false;
+          offloads_completed_ += st->jobs.size();
+          if (st->done) st->done(st->result);
+        }
+      });
+    };
+    if (cfg_.use_hw_sync) {
+      host_.wait_for_irq(on_complete);
+    } else {
+      host_.poll_until(
+          [this, st] { return shared_counter_.load() >= st->num_clusters; }, on_complete);
+    }
+  };
+
+  if (st->pipelined && k + 1 < st->jobs.size()) {
+    // Hide the next job's marshalling under this job's accelerator time.
+    const kernels::Kernel& kn = registry_.by_id(st->jobs[k + 1].kernel_id);
+    const std::size_t words = kernels::kHeaderWords + kn.marshal_args(st->jobs[k + 1]).size();
+    host_.exec(cfg_.marshal_base_cycles + cfg_.marshal_per_word_cycles * words,
+               [st, wait_then_finish] {
+                 st->next_marshalled = true;
+                 wait_then_finish();
+               });
+  } else {
+    wait_then_finish();
+  }
+}
+
+SequenceResult OffloadRuntime::offload_sequence_blocking(std::vector<kernels::JobArgs> jobs,
+                                                         unsigned num_clusters,
+                                                         bool pipelined) {
+  std::optional<SequenceResult> out;
+  offload_sequence_async(std::move(jobs), num_clusters, pipelined,
+                         [&out](const SequenceResult& r) { out = r; });
+  sim_.run();
+  if (!out) throw std::runtime_error("OffloadRuntime: sequence did not complete");
+  return *out;
+}
+
+OffloadResult OffloadRuntime::offload_blocking(const kernels::JobArgs& args,
+                                               unsigned num_clusters) {
+  std::optional<OffloadResult> out;
+  offload_async(args, num_clusters, [&out](const OffloadResult& r) { out = r; });
+  // Step (rather than run_until) so the clock stops at the completion event
+  // instead of jumping to the watchdog deadline on drain — durations derived
+  // from now() (e.g. energy accounting) must reflect real activity only.
+  const sim::Cycle deadline = sim_.now() + cfg_.watchdog_cycles;
+  while (!out && !sim_.idle() && sim_.now() <= deadline) {
+    sim_.step();
+  }
+  if (!out) {
+    if (!sim_.idle()) {
+      throw std::runtime_error(util::format(
+          "OffloadRuntime: watchdog expired after %llu cycles (offload deadlocked?)",
+          static_cast<unsigned long long>(cfg_.watchdog_cycles)));
+    }
+    throw std::runtime_error("OffloadRuntime: simulation drained before completion");
+  }
+  return *out;
+}
+
+}  // namespace mco::offload

@@ -1,0 +1,150 @@
+// Host-side offload runtime.
+//
+// Implements both offload designs the paper compares:
+//
+//  * baseline  — sequential unicast dispatch (one mailbox-store sequence per
+//    cluster → overhead linear in M) and software completion (clusters
+//    atomically increment a shared-memory counter; the host busy-polls it);
+//  * extended  — multicast dispatch (one store sequence, replicated by the
+//    interconnect → constant overhead) and hardware completion (the credit
+//    counter unit interrupts the host at the threshold).
+//
+// The two extensions toggle independently so ablations can attribute the
+// speedup to each mechanism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "host/host_core.h"
+#include "kernels/registry.h"
+#include "mem/main_memory.h"
+#include "noc/interconnect.h"
+#include "offload/offload_result.h"
+#include "sync/credit_counter.h"
+#include "sync/shared_counter.h"
+
+namespace mco::offload {
+
+struct OffloadRuntimeConfig {
+  bool use_multicast = false;
+  bool use_hw_sync = false;
+  /// Runtime entry: call, argument checks, job bookkeeping.
+  sim::Cycles marshal_base_cycles = 78;
+  /// Building each payload word (load field, pack, register move).
+  sim::Cycles marshal_per_word_cycles = 3;
+  /// One store to a sync-unit register (threshold, control).
+  sim::Cycles sync_arm_store_cycles = 3;
+  /// Initializing the shared-memory counter (store + fence), baseline.
+  sim::Cycles counter_init_cycles = 17;
+  /// Runtime exit: result plumbing, returning to the caller.
+  sim::Cycles return_cycles = 41;
+  /// Call/return overhead of the host-fallback execution path (no offload
+  /// machinery involved, just a library call).
+  sim::Cycles host_call_cycles = 20;
+  sim::Cycles host_return_cycles = 10;
+  /// Watchdog for the blocking helpers: if an offload has not completed
+  /// within this many simulated cycles, the run is aborted with a
+  /// std::runtime_error instead of spinning forever (e.g. a miswired
+  /// completion path under a polling loop).
+  sim::Cycles watchdog_cycles = 100'000'000;
+};
+
+/// Per-job record within an offload sequence.
+struct SequenceJobTrace {
+  std::string kernel;
+  std::uint64_t n = 0;
+  std::uint64_t job_id = 0;
+  sim::Cycle dispatched = 0;  ///< last dispatch store for this job issued
+  sim::Cycle completed = 0;   ///< host returned from this job
+};
+
+/// Result of a train of back-to-back offloads.
+struct SequenceResult {
+  std::vector<SequenceJobTrace> jobs;
+  sim::Cycle start = 0;
+  sim::Cycle end = 0;
+  bool pipelined = false;
+  sim::Cycles total() const { return end - start; }
+};
+
+/// Result of executing a job on the host core itself (the no-offload
+/// alternative the decision solver compares against).
+struct HostRunResult {
+  std::string kernel;
+  std::uint64_t n = 0;
+  sim::Cycle start = 0;
+  sim::Cycle end = 0;
+  sim::Cycles total() const { return end - start; }
+};
+
+class OffloadRuntime {
+ public:
+  using DoneCallback = std::function<void(const OffloadResult&)>;
+
+  OffloadRuntime(sim::Simulator& sim, OffloadRuntimeConfig cfg, host::HostCore& host,
+                 noc::Interconnect& noc, sync::CreditCounterUnit& sync_unit,
+                 sync::SharedCounter& shared_counter, const kernels::KernelRegistry& registry,
+                 mem::MainMemory& main_mem, const mem::AddressMap& map);
+
+  const OffloadRuntimeConfig& config() const { return cfg_; }
+
+  /// Launch an offload of `args` onto clusters [0, num_clusters). The
+  /// callback fires when the runtime returns to the application. Throws on
+  /// invalid arguments or if an offload is already in flight (the runtime is
+  /// synchronous, like the paper's).
+  void offload_async(const kernels::JobArgs& args, unsigned num_clusters, DoneCallback done);
+
+  /// Convenience: launch and run the simulation until the offload returns.
+  OffloadResult offload_blocking(const kernels::JobArgs& args, unsigned num_clusters);
+
+  /// Execute the job on the host core instead of offloading: same arithmetic
+  /// (Kernel::host_execute), timed with the kernel's scalar-host cost model.
+  void execute_on_host_async(const kernels::JobArgs& args, std::function<void(HostRunResult)> done);
+  HostRunResult execute_on_host_blocking(const kernels::JobArgs& args);
+
+  /// Run a train of offloads back to back on the same cluster set. With
+  /// `pipelined`, the host marshals job k+1 while the accelerator executes
+  /// job k (software pipelining — the sync-unit arm and the dispatch itself
+  /// still serialize on job k's completion), hiding the marshalling cost of
+  /// every job but the first. Job order and results are preserved.
+  void offload_sequence_async(std::vector<kernels::JobArgs> jobs, unsigned num_clusters,
+                              bool pipelined, std::function<void(SequenceResult)> done);
+  SequenceResult offload_sequence_blocking(std::vector<kernels::JobArgs> jobs,
+                                           unsigned num_clusters, bool pipelined);
+
+  bool busy() const { return busy_; }
+  std::uint64_t offloads_completed() const { return offloads_completed_; }
+
+ private:
+  struct SeqState;
+  void seq_dispatch_job(std::shared_ptr<SeqState> st, std::size_t k);
+  void seq_await_job(std::shared_ptr<SeqState> st, std::size_t k);
+  void setup_sync(unsigned num_clusters);
+  void dispatch(noc::DispatchMessage payload, unsigned num_clusters, unsigned next);
+  void await_completion(unsigned num_clusters);
+  void complete(unsigned num_clusters);
+
+  sim::Simulator& sim_;
+  OffloadRuntimeConfig cfg_;
+  host::HostCore& host_;
+  noc::Interconnect& noc_;
+  sync::CreditCounterUnit& sync_unit_;
+  sync::SharedCounter& shared_counter_;
+  const kernels::KernelRegistry& registry_;
+  mem::MainMemory& main_mem_;
+  const mem::AddressMap& map_;
+
+  bool busy_ = false;
+  kernels::JobArgs args_;
+  const kernels::Kernel* kernel_ = nullptr;
+  OffloadResult result_;
+  DoneCallback done_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t offloads_completed_ = 0;
+};
+
+}  // namespace mco::offload

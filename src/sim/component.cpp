@@ -1,0 +1,20 @@
+#include "sim/component.h"
+
+#include <algorithm>
+
+namespace mco::sim {
+
+Component::Component(Simulator& sim, std::string name, Component* parent)
+    : sim_(sim), name_(std::move(name)), parent_(parent) {
+  path_ = parent_ ? parent_->path_ + "." + name_ : name_;
+  if (parent_) parent_->children_.push_back(this);
+}
+
+Component::~Component() {
+  if (parent_) {
+    auto& sib = parent_->children_;
+    sib.erase(std::remove(sib.begin(), sib.end(), this), sib.end());
+  }
+}
+
+}  // namespace mco::sim

@@ -1,0 +1,55 @@
+// Component base class: named nodes in the SoC hierarchy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/logger.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace mco::sim {
+
+/// A named simulation component.
+///
+/// Components form a tree (SoC → cluster[3] → core[5], …) whose paths name
+/// statistics, log records and trace entries, e.g. "soc.cluster3.dma".
+/// Components are neither copyable nor movable: wiring holds raw pointers and
+/// the owner (the SoC builder) guarantees lifetimes.
+class Component {
+ public:
+  Component(Simulator& sim, std::string name, Component* parent = nullptr);
+  virtual ~Component();
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  Simulator& sim() const { return sim_; }
+  const std::string& name() const { return name_; }
+  Component* parent() const { return parent_; }
+
+  /// Dot-separated path from the root, e.g. "soc.cluster0.tcdm".
+  const std::string& path() const { return path_; }
+
+  /// Current simulation time (convenience).
+  Cycle now() const { return sim_.now(); }
+
+  const std::vector<Component*>& children() const { return children_; }
+
+ protected:
+  /// Schedule a member action `delay` cycles from now.
+  void defer(Cycles delay, std::function<void()> fn, Priority prio = Priority::kDefault) {
+    sim_.schedule_in(delay, std::move(fn), prio);
+  }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  Component* parent_;
+  std::string path_;
+  std::vector<Component*> children_;
+};
+
+}  // namespace mco::sim

@@ -1,0 +1,30 @@
+#include "sim/logger.h"
+
+#include <cstdio>
+
+namespace mco::sim {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(Cycle t, LogLevel level, const std::string& who, const std::string& msg) {
+  if (!enabled(level)) return;
+  ++emitted_;
+  if (sink_) {
+    sink_(t, level, who, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%10llu] %-5s %s: %s\n", static_cast<unsigned long long>(t),
+               to_string(level), who.c_str(), msg.c_str());
+}
+
+}  // namespace mco::sim

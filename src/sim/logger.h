@@ -1,0 +1,39 @@
+// Leveled logging attached to a Simulator.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/time.h"
+
+namespace mco::sim {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+const char* to_string(LogLevel level);
+
+/// Per-simulator logger. Off by default (benches run thousands of
+/// simulations); tests and examples can raise the level or install a sink.
+class Logger {
+ public:
+  using Sink = std::function<void(Cycle, LogLevel, const std::string& who, const std::string&)>;
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  /// Replace the output sink (default writes to stderr).
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  void log(Cycle t, LogLevel level, const std::string& who, const std::string& msg);
+
+  std::uint64_t records_emitted() const { return emitted_; }
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace mco::sim

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Used only for workload generation (input vectors, randomized property
+// tests); the simulator itself is fully deterministic and consumes no
+// randomness.
+#pragma once
+
+#include <cstdint>
+
+namespace mco::sim {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded via
+/// splitmix64 so any 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mco::sim

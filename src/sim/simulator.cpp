@@ -1,0 +1,60 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/logger.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace mco::sim {
+
+Simulator::Simulator()
+    : logger_(std::make_unique<Logger>()),
+      stats_(std::make_unique<StatsRegistry>()),
+      trace_(std::make_unique<TraceSink>()) {}
+
+Simulator::~Simulator() = default;
+
+void Simulator::schedule_at(Cycle t, std::function<void()> fn, Priority prio) {
+  if (t < now_) throw std::logic_error("Simulator::schedule_at: time in the past");
+  queue_.push(Event{t, prio, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_in(Cycles delay, std::function<void()> fn, Priority prio) {
+  schedule_at(now_ + delay, std::move(fn), prio);
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event must be copied out before
+  // pop. Move the callable via const_cast — safe because we pop immediately.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+Cycle Simulator::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+  return now_;
+}
+
+Cycle Simulator::run_until(Cycle t) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  if (now_ < t && queue_.empty()) {
+    // Advance time even if nothing happened, so callers can reason about it.
+    now_ = t;
+  }
+  return now_;
+}
+
+}  // namespace mco::sim

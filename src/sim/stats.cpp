@@ -1,0 +1,62 @@
+#include "sim/stats.h"
+
+#include "util/strings.h"
+
+namespace mco::sim {
+
+void Accumulator::sample(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  sum_ += v;
+  ++n_;
+}
+
+void Accumulator::reset() {
+  n_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+Counter& StatsRegistry::counter(const std::string& name) { return counters_[name]; }
+
+Accumulator& StatsRegistry::accumulator(const std::string& name) { return accumulators_[name]; }
+
+std::uint64_t StatsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::string> StatsRegistry::counter_names() const {
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [k, v] : counters_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> StatsRegistry::accumulator_names() const {
+  std::vector<std::string> out;
+  out.reserve(accumulators_.size());
+  for (const auto& [k, v] : accumulators_) out.push_back(k);
+  return out;
+}
+
+std::string StatsRegistry::dump_csv() const {
+  std::string out = "stat,value\n";
+  for (const auto& [k, v] : counters_) {
+    out += util::format("%s,%llu\n", k.c_str(), static_cast<unsigned long long>(v.value()));
+  }
+  for (const auto& [k, v] : accumulators_) {
+    out += util::format("%s.mean,%.6g\n", k.c_str(), v.mean());
+  }
+  return out;
+}
+
+void StatsRegistry::reset_all() {
+  for (auto& [k, v] : counters_) v.reset();
+  for (auto& [k, v] : accumulators_) v.reset();
+}
+
+}  // namespace mco::sim

@@ -1,0 +1,68 @@
+// Statistics: named counters and scalar samples, registered per component.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mco::sim {
+
+/// Monotonic event counter ("hbm.beats_served", "noc.multicasts", …).
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Accumulates scalar samples and exposes min/max/mean.
+class Accumulator {
+ public:
+  void sample(double v);
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  void reset();
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Registry of all statistics in one simulation, keyed by "path.stat" names.
+///
+/// Components create their stats through the registry so benches can dump a
+/// complete inventory without knowing every component type.
+class StatsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Accumulator& accumulator(const std::string& name);
+
+  /// Value of a counter, or 0 if it does not exist (missing stats read as 0
+  /// so tests can assert "no multicasts happened" uniformly).
+  std::uint64_t counter_value(const std::string& name) const;
+
+  bool has_counter(const std::string& name) const { return counters_.count(name) != 0; }
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> accumulator_names() const;
+
+  /// Render "name,value" lines for all counters (deterministic order).
+  std::string dump_csv() const;
+
+  void reset_all();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Accumulator> accumulators_;
+};
+
+}  // namespace mco::sim

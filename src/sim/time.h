@@ -1,0 +1,27 @@
+// Simulation time base.
+//
+// The testbench (as in the paper) drives all clocks at 1 GHz, so one cycle is
+// one nanosecond and all reported runtimes are in 1:1 correspondence with CPU
+// cycles. Everything in the simulator is expressed in cycles.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mco::sim {
+
+/// Absolute simulation time, in clock cycles.
+using Cycle = std::uint64_t;
+
+/// A duration, in clock cycles.
+using Cycles = std::uint64_t;
+
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/// Nominal clock frequency used when converting cycles to wall time.
+inline constexpr double kClockHz = 1.0e9;
+
+/// Convert a cycle count to nanoseconds at the nominal 1 GHz clock.
+constexpr double cycles_to_ns(Cycles c) { return static_cast<double>(c) * (1.0e9 / kClockHz); }
+
+}  // namespace mco::sim

@@ -1,0 +1,30 @@
+#include "sim/trace.h"
+
+#include "util/strings.h"
+
+namespace mco::sim {
+
+void TraceSink::record(Cycle time, const std::string& who, const std::string& what,
+                       const std::string& detail) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{time, who, what, detail});
+}
+
+std::vector<TraceRecord> TraceSink::filter(const std::string& what) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.what == what) out.push_back(r);
+  }
+  return out;
+}
+
+std::string TraceSink::to_csv() const {
+  std::string out = "time,who,what,detail\n";
+  for (const auto& r : records_) {
+    out += util::format("%llu,%s,%s,%s\n", static_cast<unsigned long long>(r.time), r.who.c_str(),
+                        r.what.c_str(), r.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace mco::sim

@@ -1,0 +1,44 @@
+// Structured event trace: the simulator's equivalent of an RTL waveform dump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mco::sim {
+
+/// One trace record: at cycle `time`, component `who` did `what` (detail).
+struct TraceRecord {
+  Cycle time = 0;
+  std::string who;
+  std::string what;
+  std::string detail;
+};
+
+/// In-memory trace sink. Disabled by default; offload-phase instrumentation
+/// and the trace_inspect example enable it to reconstruct offload timelines.
+class TraceSink {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(Cycle time, const std::string& who, const std::string& what,
+              const std::string& detail = "");
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// All records whose `what` matches exactly, in time order.
+  std::vector<TraceRecord> filter(const std::string& what) const;
+
+  /// Render as CSV (time,who,what,detail).
+  std::string to_csv() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace mco::sim

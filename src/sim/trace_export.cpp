@@ -1,0 +1,68 @@
+#include "sim/trace_export.h"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::sim {
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_chrome_trace(const TraceSink& sink) {
+  // Stable tid per component path, in order of first appearance.
+  std::map<std::string, int> tids;
+  std::string out = "[\n";
+  bool first = true;
+
+  const auto emit = [&](const std::string& record) {
+    if (!first) out += ",\n";
+    first = false;
+    out += record;
+  };
+
+  for (const auto& r : sink.records()) {
+    auto [it, inserted] = tids.emplace(r.who, static_cast<int>(tids.size()) + 1);
+    if (inserted) {
+      emit(util::format("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                        "\"args\":{\"name\":\"%s\"}}",
+                        it->second, json_escape(r.who).c_str()));
+    }
+    emit(util::format(
+        "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%llu,\"pid\":1,\"tid\":%d,\"s\":\"t\","
+        "\"args\":{\"detail\":\"%s\"}}",
+        json_escape(r.what).c_str(), static_cast<unsigned long long>(r.time), it->second,
+        json_escape(r.detail).c_str()));
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_chrome_trace(const TraceSink& sink, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  f << to_chrome_trace(sink);
+}
+
+}  // namespace mco::sim

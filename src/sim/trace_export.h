@@ -1,0 +1,23 @@
+// Trace export to the Chrome/Perfetto tracing JSON format.
+//
+// Loading the exported file in chrome://tracing (or ui.perfetto.dev) shows
+// the offload as a timeline: one row per component, one instant event per
+// trace record — the simulator's stand-in for an RTL waveform viewer.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.h"
+
+namespace mco::sim {
+
+/// Render the sink's records as a Chrome Trace Event JSON array. Each record
+/// becomes an instant event ("ph":"i") with the component path as its track
+/// (tid) and the detail string as an argument. Cycle timestamps map to
+/// microseconds 1:1 so the viewer's zoom works at cycle granularity.
+std::string to_chrome_trace(const TraceSink& sink);
+
+/// Write to a file; throws std::runtime_error when the file cannot be opened.
+void write_chrome_trace(const TraceSink& sink, const std::string& path);
+
+}  // namespace mco::sim

@@ -1,0 +1,53 @@
+// Full SoC configuration: every latency/bandwidth parameter in one place.
+//
+// The defaults are calibrated so the *extended* design reproduces the
+// paper's Eq. (1), t̂(M,N) = 367 + N/4 + 2.6·N/(8·M), for DAXPY, and the
+// *baseline* design reproduces the paper's Fig. 1 (left) curve (dispatch
+// overhead ≈ 9–10 cycles per cluster, software polling completion).
+// See DESIGN.md §5 for the calibration targets and EXPERIMENTS.md for the
+// measured outcomes.
+#pragma once
+
+#include "cluster/cluster.h"
+#include "host/host_core.h"
+#include "mem/address_map.h"
+#include "mem/hbm_controller.h"
+#include "noc/interconnect.h"
+#include "offload/offload_runtime.h"
+#include "sync/credit_counter.h"
+#include "sync/shared_counter.h"
+#include "sync/team_barrier.h"
+
+namespace mco::soc {
+
+/// The two hardware/runtime extensions the paper proposes.
+struct SocFeatures {
+  bool multicast = false;  ///< host→cluster multicast dispatch path
+  bool hw_sync = false;    ///< dedicated credit-counter sync unit + IRQ
+};
+
+struct SocConfig {
+  unsigned num_clusters = 32;
+  SocFeatures features{};
+
+  mem::AddressMapConfig address_map{};
+  mem::HbmConfig hbm{};
+  noc::NocConfig noc{};
+  sync::CreditCounterConfig credit{};
+  sync::SharedCounterConfig shared_counter{};
+  sync::TeamBarrierConfig team_barrier{};
+  cluster::ClusterConfig cluster{};
+  host::HostConfig host{};
+  offload::OffloadRuntimeConfig runtime{};
+
+  /// Paper's baseline design: sequential unicast dispatch + software polling.
+  static SocConfig baseline(unsigned num_clusters = 32);
+
+  /// Paper's extended design: multicast dispatch + hardware credit counter.
+  static SocConfig extended(unsigned num_clusters = 32);
+
+  /// Arbitrary feature combination (for the ablation experiment).
+  static SocConfig with_features(unsigned num_clusters, SocFeatures features);
+};
+
+}  // namespace mco::soc

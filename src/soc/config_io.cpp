@@ -1,0 +1,192 @@
+#include "soc/config_io.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::soc {
+
+namespace {
+
+/// One exposed field: dotted name + typed accessors into a SocConfig.
+struct Field {
+  std::string name;
+  std::function<std::string(const SocConfig&)> get;
+  std::function<void(SocConfig&, const std::string&)> set;
+};
+
+std::uint64_t parse_u64(const std::string& key, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long out = std::stoull(v, &pos, 0);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(
+        util::format("config: key '%s' expects an unsigned integer, got '%s'", key.c_str(),
+                     v.c_str()));
+  }
+}
+
+bool parse_bool(const std::string& key, const std::string& v) {
+  const std::string s = util::to_lower(v);
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  throw std::invalid_argument(
+      util::format("config: key '%s' expects a boolean, got '%s'", key.c_str(), v.c_str()));
+}
+
+#define MCO_U64(key, expr)                                                              \
+  Field{key,                                                                            \
+        [](const SocConfig& c) {                                                        \
+          return util::format("%llu", static_cast<unsigned long long>(c.expr));         \
+        },                                                                              \
+        [](SocConfig& c, const std::string& v) {                                        \
+          c.expr = static_cast<decltype(c.expr)>(parse_u64(key, v));                    \
+        }}
+
+#define MCO_BOOL(key, expr)                                                             \
+  Field{key, [](const SocConfig& c) { return std::string(c.expr ? "true" : "false"); }, \
+        [](SocConfig& c, const std::string& v) { c.expr = parse_bool(key, v); }}
+
+const std::vector<Field>& fields() {
+  static const std::vector<Field> kFields = {
+      MCO_U64("num_clusters", num_clusters),
+      MCO_BOOL("features.multicast", features.multicast),
+      MCO_BOOL("features.hw_sync", features.hw_sync),
+
+      MCO_U64("hbm.beats_per_cycle", hbm.beats_per_cycle),
+      MCO_U64("hbm.request_latency", hbm.request_latency),
+
+      MCO_BOOL("noc.multicast_enabled", noc.multicast_enabled),
+      MCO_U64("noc.host_to_cluster_latency", noc.host_to_cluster_latency),
+      MCO_U64("noc.multicast_tree_latency", noc.multicast_tree_latency),
+      MCO_U64("noc.cluster_to_sync_latency", noc.cluster_to_sync_latency),
+      MCO_U64("noc.cluster_to_hbm_latency", noc.cluster_to_hbm_latency),
+
+      MCO_U64("credit.trigger_latency", credit.trigger_latency),
+      MCO_U64("shared_counter.amo_latency_cycles", shared_counter.amo_latency_cycles),
+      MCO_U64("team_barrier.release_latency", team_barrier.release_latency),
+
+      MCO_U64("cluster.num_workers", cluster.num_workers),
+      MCO_U64("cluster.wakeup_latency", cluster.wakeup_latency),
+      MCO_U64("cluster.parse_cycles_per_word", cluster.parse_cycles_per_word),
+      MCO_U64("cluster.plan_cycles", cluster.plan_cycles),
+      MCO_U64("cluster.worker_wake_cycles", cluster.worker_wake_cycles),
+      MCO_U64("cluster.barrier_latency", cluster.barrier_latency),
+      MCO_U64("cluster.completion_issue_cycles", cluster.completion_issue_cycles),
+      MCO_BOOL("cluster.dma_double_buffer", cluster.dma_double_buffer),
+      MCO_U64("cluster.worker.setup_cycles", cluster.worker.setup_cycles),
+      MCO_U64("cluster.tcdm.size_bytes", cluster.tcdm.size_bytes),
+      MCO_U64("cluster.tcdm.num_banks", cluster.tcdm.num_banks),
+      MCO_U64("cluster.dma.setup_cycles", cluster.dma.setup_cycles),
+
+      MCO_U64("host.store_cost_num", host.store_cost_num),
+      MCO_U64("host.store_cost_den", host.store_cost_den),
+      MCO_U64("host.multicast_issue_cycles", host.multicast_issue_cycles),
+      MCO_U64("host.hbm_load_cycles", host.hbm_load_cycles),
+      MCO_U64("host.poll_loop_overhead", host.poll_loop_overhead),
+      MCO_U64("host.irq_take_cycles", host.irq_take_cycles),
+      MCO_U64("host.irq_handler_cycles", host.irq_handler_cycles),
+      MCO_BOOL("host.has_multicast_lsu", host.has_multicast_lsu),
+
+      MCO_BOOL("runtime.use_multicast", runtime.use_multicast),
+      MCO_BOOL("runtime.use_hw_sync", runtime.use_hw_sync),
+      MCO_U64("runtime.marshal_base_cycles", runtime.marshal_base_cycles),
+      MCO_U64("runtime.marshal_per_word_cycles", runtime.marshal_per_word_cycles),
+      MCO_U64("runtime.sync_arm_store_cycles", runtime.sync_arm_store_cycles),
+      MCO_U64("runtime.counter_init_cycles", runtime.counter_init_cycles),
+      MCO_U64("runtime.return_cycles", runtime.return_cycles),
+      MCO_U64("runtime.host_call_cycles", runtime.host_call_cycles),
+      MCO_U64("runtime.host_return_cycles", runtime.host_return_cycles),
+  };
+  return kFields;
+}
+
+#undef MCO_U64
+#undef MCO_BOOL
+
+const Field* find_field(const std::string& key) {
+  for (const Field& f : fields()) {
+    if (f.name == key) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> config_keys() {
+  std::vector<std::string> out;
+  out.reserve(fields().size());
+  for (const Field& f : fields()) out.push_back(f.name);
+  return out;
+}
+
+std::string save_text(const SocConfig& cfg) {
+  std::string out = "# mcoffload SoC configuration\n";
+  for (const Field& f : fields()) {
+    out += f.name + " = " + f.get(cfg) + "\n";
+  }
+  return out;
+}
+
+SocConfig load_text(const std::string& text) { return load_text(text, SocConfig{}); }
+
+SocConfig load_text(const std::string& text, SocConfig base) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          util::format("config line %d: expected 'key = value', got '%s'", lineno,
+                       trimmed.c_str()));
+    }
+    const std::string key = util::trim(trimmed.substr(0, eq));
+    const std::string value = util::trim(trimmed.substr(eq + 1));
+    const Field* f = find_field(key);
+    if (!f) throw std::invalid_argument(util::format("config line %d: unknown key '%s'", lineno,
+                                                     key.c_str()));
+    f->set(base, value);
+  }
+  // Keep the derived sub-configs consistent, as Soc's constructor does.
+  base.address_map.num_clusters = base.num_clusters;
+  if (base.hbm.num_ports < base.num_clusters + 1) base.hbm.num_ports = base.num_clusters + 1;
+  return base;
+}
+
+void save_file(const SocConfig& cfg, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_file: cannot open " + path);
+  f << save_text(cfg);
+}
+
+SocConfig load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_file: cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return load_text(ss.str());
+}
+
+std::string describe(const SocConfig& cfg) {
+  const char* design = cfg.features.multicast && cfg.features.hw_sync ? "extended"
+                       : !cfg.features.multicast && !cfg.features.hw_sync
+                           ? "baseline"
+                           : (cfg.features.multicast ? "multicast-only" : "hw-sync-only");
+  return util::format("%s design, %u clusters x %u workers, HBM %u beats/cyc, TCDM %s",
+                      design, cfg.num_clusters, cfg.cluster.num_workers,
+                      cfg.hbm.beats_per_cycle,
+                      util::human_bytes(cfg.cluster.tcdm.size_bytes).c_str());
+}
+
+}  // namespace mco::soc

@@ -1,0 +1,45 @@
+// SocConfig (de)serialization: a small "key = value" config-file dialect.
+//
+// Lets experiments live in version-controlled text files instead of code:
+//
+//   # 32-cluster extended design, slower HBM
+//   num_clusters = 32
+//   features.multicast = true
+//   features.hw_sync = true
+//   hbm.beats_per_cycle = 8
+//
+// Every tunable latency/bandwidth parameter of the simulator is exposed
+// under a dotted name; unknown keys and malformed values are hard errors
+// (a silently ignored typo would quietly change an experiment). Writing is
+// symmetric: save_text() emits every key with its current value, and
+// load_text(save_text(cfg)) reproduces cfg exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/config.h"
+
+namespace mco::soc {
+
+/// All recognized config keys (dotted names), in emission order.
+std::vector<std::string> config_keys();
+
+/// Render `cfg` as a config file (every key, deterministic order).
+std::string save_text(const SocConfig& cfg);
+
+/// Parse a config file. Starts from the defaults of SocConfig{} unless a
+/// `base` is given. Supports comments (#), blank lines, booleans
+/// (true/false/1/0) and unsigned integers. Throws std::invalid_argument
+/// with line information on any problem.
+SocConfig load_text(const std::string& text);
+SocConfig load_text(const std::string& text, SocConfig base);
+
+/// File variants; throw std::runtime_error if the file cannot be accessed.
+void save_file(const SocConfig& cfg, const std::string& path);
+SocConfig load_file(const std::string& path);
+
+/// One-line human summary ("extended, 32 clusters, 12 B/cyc HBM, ...").
+std::string describe(const SocConfig& cfg);
+
+}  // namespace mco::soc

@@ -1,0 +1,169 @@
+#include "soc/soc.h"
+
+#include <stdexcept>
+
+#include "util/math.h"
+#include "util/strings.h"
+
+namespace mco::soc {
+
+namespace {
+constexpr unsigned kOffloadIrqLine = 0;
+
+SocConfig common(unsigned num_clusters) {
+  SocConfig cfg;
+  cfg.num_clusters = num_clusters;
+  cfg.address_map.num_clusters = num_clusters;
+  cfg.hbm.num_ports = num_clusters + 1;  // one per cluster DMA + host
+  return cfg;
+}
+}  // namespace
+
+SocConfig SocConfig::baseline(unsigned num_clusters) {
+  SocConfig cfg = common(num_clusters);
+  cfg.features = SocFeatures{false, false};
+  cfg.noc.multicast_enabled = false;
+  cfg.host.has_multicast_lsu = false;
+  cfg.runtime.use_multicast = false;
+  cfg.runtime.use_hw_sync = false;
+  cfg.cluster.completion = cluster::CompletionPath::kSoftwareAmo;
+  return cfg;
+}
+
+SocConfig SocConfig::extended(unsigned num_clusters) {
+  SocConfig cfg = common(num_clusters);
+  cfg.features = SocFeatures{true, true};
+  cfg.noc.multicast_enabled = true;
+  cfg.host.has_multicast_lsu = true;
+  cfg.runtime.use_multicast = true;
+  cfg.runtime.use_hw_sync = true;
+  cfg.cluster.completion = cluster::CompletionPath::kHardwareCredit;
+  return cfg;
+}
+
+SocConfig SocConfig::with_features(unsigned num_clusters, SocFeatures features) {
+  SocConfig cfg = common(num_clusters);
+  cfg.features = features;
+  cfg.noc.multicast_enabled = features.multicast;
+  cfg.host.has_multicast_lsu = features.multicast;
+  cfg.runtime.use_multicast = features.multicast;
+  cfg.runtime.use_hw_sync = features.hw_sync;
+  cfg.cluster.completion = features.hw_sync ? cluster::CompletionPath::kHardwareCredit
+                                            : cluster::CompletionPath::kSoftwareAmo;
+  return cfg;
+}
+
+Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(kernels::KernelRegistry::standard()) {
+  if (cfg_.num_clusters == 0) throw std::invalid_argument("Soc: zero clusters");
+  // Keep the derived sub-configs consistent even if the caller only set
+  // num_clusters at the top level.
+  cfg_.address_map.num_clusters = cfg_.num_clusters;
+  if (cfg_.hbm.num_ports < cfg_.num_clusters + 1) cfg_.hbm.num_ports = cfg_.num_clusters + 1;
+
+  sim_ = std::make_unique<sim::Simulator>();
+  map_ = std::make_unique<mem::AddressMap>(cfg_.address_map);
+  main_mem_ = std::make_unique<mem::MainMemory>(cfg_.address_map.hbm_size);
+  root_ = std::make_unique<sim::Component>(*sim_, "soc");
+  hbm_ = std::make_unique<mem::HbmController>(*sim_, "hbm", cfg_.hbm, root_.get());
+  noc_ = std::make_unique<noc::Interconnect>(*sim_, "noc", cfg_.noc, cfg_.num_clusters,
+                                             root_.get());
+  sync_unit_ =
+      std::make_unique<sync::CreditCounterUnit>(*sim_, "sync_unit", cfg_.credit, root_.get());
+  shared_counter_ = std::make_unique<sync::SharedCounter>(*sim_, "shared_counter",
+                                                          cfg_.shared_counter, root_.get());
+  team_barrier_ =
+      std::make_unique<sync::TeamBarrier>(*sim_, "team_barrier", cfg_.team_barrier, root_.get());
+  intc_ = std::make_unique<host::InterruptController>(*sim_, "intc", 1, root_.get());
+  host_ = std::make_unique<host::HostCore>(*sim_, "host", cfg_.host, *intc_, kOffloadIrqLine,
+                                           root_.get());
+
+  clusters_.reserve(cfg_.num_clusters);
+  for (unsigned i = 0; i < cfg_.num_clusters; ++i) {
+    clusters_.push_back(std::make_unique<cluster::Cluster>(
+        *sim_, util::format("cluster%u", i), cfg_.cluster, i, registry_, *hbm_,
+        /*hbm_port=*/i, *main_mem_, *map_, *noc_, *team_barrier_, root_.get()));
+    noc_->set_cluster_sink(i, [c = clusters_.back().get()](const noc::DispatchMessage& m) {
+      c->mailbox().deliver(m);
+    });
+  }
+  noc_->set_credit_sink([this](unsigned) { sync_unit_->increment(); });
+  noc_->set_amo_sink([this](unsigned) { shared_counter_->amo_add(); });
+  sync_unit_->set_irq_callback([this] { intc_->raise(kOffloadIrqLine); });
+
+  runtime_ = std::make_unique<offload::OffloadRuntime>(*sim_, cfg_.runtime, *host_, *noc_,
+                                                       *sync_unit_, *shared_counter_, registry_,
+                                                       *main_mem_, *map_);
+  heap_next_ = map_->hbm_base();
+}
+
+Soc::~Soc() = default;
+
+mem::Addr Soc::alloc(std::size_t bytes) {
+  heap_next_ = util::round_up<mem::Addr>(heap_next_, 64);
+  const mem::Addr addr = heap_next_;
+  if (addr + bytes > map_->hbm_end())
+    throw std::runtime_error(util::format("Soc: HBM heap exhausted (requested %zu B)", bytes));
+  heap_next_ += bytes;
+  return addr;
+}
+
+mem::Addr Soc::alloc_f64(std::span<const double> values) {
+  const mem::Addr addr = alloc(values.size() * 8);
+  main_mem_->write_f64_array(map_->hbm_offset(addr), values);
+  return addr;
+}
+
+mem::Addr Soc::alloc_f64_zero(std::size_t n) {
+  const mem::Addr addr = alloc(n * 8);
+  main_mem_->fill(map_->hbm_offset(addr), n * 8, 0);
+  return addr;
+}
+
+std::vector<double> Soc::read_f64(mem::Addr addr, std::size_t n) const {
+  return main_mem_->read_f64_array(map_->hbm_offset(addr), n);
+}
+
+void Soc::write_f64(mem::Addr addr, std::span<const double> values) {
+  main_mem_->write_f64_array(map_->hbm_offset(addr), values);
+}
+
+offload::OffloadResult Soc::run_offload(const kernels::JobArgs& args, unsigned num_clusters) {
+  return runtime_->offload_blocking(args, num_clusters);
+}
+
+std::string Soc::dump_stats() {
+  sim::StatsRegistry& reg = sim_->stats();
+  const auto set = [&reg](const std::string& name, std::uint64_t v) {
+    auto& c = reg.counter(name);
+    c.reset();
+    c.inc(v);
+  };
+  set("hbm.beats_served", hbm_->beats_served());
+  set("hbm.transfers_completed", hbm_->transfers_completed());
+  set("hbm.busy_cycles", hbm_->busy_cycles());
+  set("noc.unicasts", noc_->unicasts_sent());
+  set("noc.multicasts", noc_->multicasts_sent());
+  set("noc.credits", noc_->credits_routed());
+  set("noc.amos", noc_->amos_routed());
+  set("sync_unit.interrupts", sync_unit_->interrupts_fired());
+  set("sync_unit.spurious_increments", sync_unit_->spurious_increments());
+  set("shared_counter.amos", shared_counter_->amos_serviced());
+  set("team_barrier.episodes", team_barrier_->episodes_completed());
+  set("host.busy_cycles", host_->busy_cycles());
+  set("host.polls", host_->polls());
+  set("host.irqs_taken", host_->irqs_taken());
+  set("runtime.offloads", runtime_->offloads_completed());
+  for (unsigned i = 0; i < num_clusters(); ++i) {
+    const auto& c = *clusters_[i];
+    const std::string prefix = util::format("cluster%u.", i);
+    set(prefix + "jobs", c.jobs_executed());
+    set(prefix + "items", c.items_processed());
+    set(prefix + "dma_bytes", clusters_[i]->dma().bytes_moved());
+    std::uint64_t worker_busy = 0;
+    for (unsigned w = 0; w < c.config().num_workers; ++w) worker_busy += c.worker(w).busy_cycles();
+    set(prefix + "worker_busy_cycles", worker_busy);
+  }
+  return reg.dump_csv();
+}
+
+}  // namespace mco::soc

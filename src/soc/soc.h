@@ -1,0 +1,76 @@
+// The assembled MPSoC: host + interconnect + sync + clusters + HBM.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "soc/config.h"
+
+namespace mco::soc {
+
+/// Owns the simulator and every component, wired per SocConfig. One Soc is
+/// one experiment instance; building a fresh Soc per data point keeps runs
+/// independent and deterministic.
+class Soc {
+ public:
+  explicit Soc(SocConfig cfg);
+  ~Soc();
+
+  Soc(const Soc&) = delete;
+  Soc& operator=(const Soc&) = delete;
+
+  const SocConfig& config() const { return cfg_; }
+
+  sim::Simulator& simulator() { return *sim_; }
+  mem::MainMemory& main_memory() { return *main_mem_; }
+  const mem::AddressMap& address_map() const { return *map_; }
+  mem::HbmController& hbm() { return *hbm_; }
+  noc::Interconnect& interconnect() { return *noc_; }
+  sync::CreditCounterUnit& sync_unit() { return *sync_unit_; }
+  sync::SharedCounter& shared_counter() { return *shared_counter_; }
+  sync::TeamBarrier& team_barrier() { return *team_barrier_; }
+  host::HostCore& host() { return *host_; }
+  cluster::Cluster& cluster(unsigned i) { return *clusters_.at(i); }
+  unsigned num_clusters() const { return static_cast<unsigned>(clusters_.size()); }
+  const kernels::KernelRegistry& kernels() const { return registry_; }
+  offload::OffloadRuntime& runtime() { return *runtime_; }
+
+  /// Bump-allocate `bytes` of HBM (64-byte aligned). Throws when the heap
+  /// region is exhausted.
+  mem::Addr alloc(std::size_t bytes);
+
+  /// Allocate and initialize an f64 array in HBM.
+  mem::Addr alloc_f64(std::span<const double> values);
+  mem::Addr alloc_f64_zero(std::size_t n);
+
+  std::vector<double> read_f64(mem::Addr addr, std::size_t n) const;
+  void write_f64(mem::Addr addr, std::span<const double> values);
+
+  /// Run an offload to completion (drives the simulator).
+  offload::OffloadResult run_offload(const kernels::JobArgs& args, unsigned num_clusters);
+
+  /// Publish every component's counters into the simulator's StatsRegistry
+  /// and return the registry's CSV dump — a one-call machine inventory
+  /// ("hbm.beats_served", "noc.multicasts", "cluster3.jobs", ...).
+  std::string dump_stats();
+
+ private:
+  SocConfig cfg_;
+  kernels::KernelRegistry registry_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<mem::AddressMap> map_;
+  std::unique_ptr<mem::MainMemory> main_mem_;
+  std::unique_ptr<sim::Component> root_;
+  std::unique_ptr<mem::HbmController> hbm_;
+  std::unique_ptr<noc::Interconnect> noc_;
+  std::unique_ptr<sync::CreditCounterUnit> sync_unit_;
+  std::unique_ptr<sync::SharedCounter> shared_counter_;
+  std::unique_ptr<sync::TeamBarrier> team_barrier_;
+  std::unique_ptr<host::InterruptController> intc_;
+  std::unique_ptr<host::HostCore> host_;
+  std::vector<std::unique_ptr<cluster::Cluster>> clusters_;
+  std::unique_ptr<offload::OffloadRuntime> runtime_;
+  mem::Addr heap_next_ = 0;
+};
+
+}  // namespace mco::soc

@@ -1,0 +1,262 @@
+#include "soc/workloads.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/blas1.h"
+#include "kernels/gemm.h"
+#include "kernels/gemv.h"
+#include "kernels/reductions.h"
+#include "util/strings.h"
+
+namespace mco::soc {
+
+namespace {
+
+std::vector<double> random_vec(sim::Rng& rng, std::size_t n, double lo = -1.0, double hi = 1.0) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+/// Max |mem[i] − expected[i]| for an f64 array at `addr`.
+double f64_error(Soc& soc, mem::Addr addr, const std::vector<double>& expected) {
+  const std::vector<double> got = soc.read_f64(addr, expected.size());
+  double err = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    err = std::max(err, std::abs(got[i] - expected[i]));
+  }
+  return err;
+}
+
+mem::Addr alloc_f32(Soc& soc, const std::vector<float>& values) {
+  const mem::Addr addr = soc.alloc(values.size() * 4);
+  soc.main_memory().write(
+      soc.address_map().hbm_offset(addr),
+      {reinterpret_cast<const std::uint8_t*>(values.data()), values.size() * 4});
+  return addr;
+}
+
+double f32_error(Soc& soc, mem::Addr addr, const std::vector<float>& expected) {
+  std::vector<float> got(expected.size());
+  soc.main_memory().read(soc.address_map().hbm_offset(addr),
+                         {reinterpret_cast<std::uint8_t*>(got.data()), got.size() * 4});
+  double err = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    err = std::max(err, static_cast<double>(std::abs(got[i] - expected[i])));
+  }
+  return err;
+}
+
+}  // namespace
+
+PreparedJob prepare_workload(Soc& soc, const kernels::Kernel& kernel, std::uint64_t n,
+                             unsigned max_clusters, sim::Rng& rng) {
+  using namespace mco::kernels;
+  PreparedJob job;
+  job.args.kernel_id = kernel.id();
+  job.args.n = n;
+  const std::size_t sn = static_cast<std::size_t>(n);
+
+  switch (kernel.id()) {
+    case kDaxpyId: {
+      const auto x = random_vec(rng, sn);
+      const auto y = random_vec(rng, sn);
+      job.args.alpha = rng.uniform(0.5, 2.0);
+      job.args.in0 = soc.alloc_f64(x);
+      job.args.out0 = soc.alloc_f64(y);
+      std::vector<double> expected(sn);
+      for (std::size_t i = 0; i < sn; ++i) expected[i] = job.args.alpha * x[i] + y[i];
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f64_error(s, out, expected); };
+      break;
+    }
+    case kSaxpyId: {
+      std::vector<float> x(sn), y(sn);
+      for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      for (auto& v : y) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      job.args.alpha = 1.5;
+      job.args.in0 = alloc_f32(soc, x);
+      job.args.out0 = alloc_f32(soc, y);
+      std::vector<float> expected(sn);
+      for (std::size_t i = 0; i < sn; ++i) expected[i] = 1.5f * x[i] + y[i];
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f32_error(s, out, expected); };
+      break;
+    }
+    case kAxpbyId: {
+      const auto x = random_vec(rng, sn);
+      const auto y = random_vec(rng, sn);
+      job.args.alpha = rng.uniform(0.5, 2.0);
+      job.args.beta = rng.uniform(-1.0, 1.0);
+      job.args.in0 = soc.alloc_f64(x);
+      job.args.out0 = soc.alloc_f64(y);
+      std::vector<double> expected(sn);
+      for (std::size_t i = 0; i < sn; ++i)
+        expected[i] = job.args.alpha * x[i] + job.args.beta * y[i];
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f64_error(s, out, expected); };
+      break;
+    }
+    case kScaleId: {
+      const auto x = random_vec(rng, sn);
+      job.args.alpha = rng.uniform(0.5, 2.0);
+      job.args.in0 = soc.alloc_f64(x);
+      job.args.out0 = soc.alloc_f64_zero(sn);
+      std::vector<double> expected(sn);
+      for (std::size_t i = 0; i < sn; ++i) expected[i] = job.args.alpha * x[i];
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f64_error(s, out, expected); };
+      break;
+    }
+    case kVecAddId: {
+      const auto x = random_vec(rng, sn);
+      const auto y = random_vec(rng, sn);
+      job.args.in0 = soc.alloc_f64(x);
+      job.args.in1 = soc.alloc_f64(y);
+      job.args.out0 = soc.alloc_f64_zero(sn);
+      std::vector<double> expected(sn);
+      for (std::size_t i = 0; i < sn; ++i) expected[i] = x[i] + y[i];
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f64_error(s, out, expected); };
+      break;
+    }
+    case kVecMulId: {
+      const auto x = random_vec(rng, sn);
+      const auto y = random_vec(rng, sn);
+      job.args.in0 = soc.alloc_f64(x);
+      job.args.in1 = soc.alloc_f64(y);
+      job.args.out0 = soc.alloc_f64_zero(sn);
+      std::vector<double> expected(sn);
+      for (std::size_t i = 0; i < sn; ++i) expected[i] = x[i] * y[i];
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f64_error(s, out, expected); };
+      break;
+    }
+    case kReluId: {
+      const auto x = random_vec(rng, sn);
+      job.args.in0 = soc.alloc_f64(x);
+      job.args.out0 = soc.alloc_f64_zero(sn);
+      std::vector<double> expected(sn);
+      for (std::size_t i = 0; i < sn; ++i) expected[i] = std::max(x[i], 0.0);
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f64_error(s, out, expected); };
+      break;
+    }
+    case kFillId: {
+      job.args.alpha = 7.25;
+      job.args.out0 = soc.alloc_f64_zero(sn);
+      const std::vector<double> expected(sn, 7.25);
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f64_error(s, out, expected); };
+      break;
+    }
+    case kMemcpyId: {
+      const auto x = random_vec(rng, sn);
+      job.args.in0 = soc.alloc_f64(x);
+      job.args.out0 = soc.alloc_f64_zero(sn);
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, x](Soc& s) { return f64_error(s, out, x); };
+      break;
+    }
+    case kDotId: {
+      const auto x = random_vec(rng, sn);
+      const auto y = random_vec(rng, sn);
+      job.args.in0 = soc.alloc_f64(x);
+      job.args.in1 = soc.alloc_f64(y);
+      job.args.out0 = soc.alloc_f64_zero(max_clusters);  // partials
+      job.args.out1 = soc.alloc_f64_zero(1);             // result
+      double expected = 0.0;
+      for (std::size_t i = 0; i < sn; ++i) expected += x[i] * y[i];
+      const mem::Addr out = job.args.out1;
+      job.max_abs_error = [out, expected](Soc& s) {
+        return std::abs(s.read_f64(out, 1)[0] - expected);
+      };
+      break;
+    }
+    case kVecSumId: {
+      const auto x = random_vec(rng, sn);
+      job.args.in0 = soc.alloc_f64(x);
+      job.args.out0 = soc.alloc_f64_zero(max_clusters);
+      job.args.out1 = soc.alloc_f64_zero(1);
+      double expected = 0.0;
+      for (const double v : x) expected += v;
+      const mem::Addr out = job.args.out1;
+      job.max_abs_error = [out, expected](Soc& s) {
+        return std::abs(s.read_f64(out, 1)[0] - expected);
+      };
+      break;
+    }
+    case kGemvId: {
+      // n rows; pick a fixed, TCDM-friendly column count.
+      const std::size_t cols = 32;
+      job.args.aux = cols;
+      job.args.alpha = rng.uniform(0.5, 2.0);
+      const auto a = random_vec(rng, sn * cols);
+      const auto x = random_vec(rng, cols);
+      job.args.in0 = soc.alloc_f64(a);
+      job.args.in1 = soc.alloc_f64(x);
+      job.args.out0 = soc.alloc_f64_zero(sn);
+      std::vector<double> expected(sn, 0.0);
+      for (std::size_t r = 0; r < sn; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) acc += a[r * cols + c] * x[c];
+        expected[r] = job.args.alpha * acc;
+      }
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f64_error(s, out, expected); };
+      break;
+    }
+    case kGemmId: {
+      // n rows of A/C; B is a fixed TCDM-friendly square panel.
+      const std::size_t k = 16;
+      job.args.aux = k;
+      job.args.alpha = rng.uniform(0.5, 2.0);
+      const auto a = random_vec(rng, sn * k);
+      const auto b = random_vec(rng, k * k);
+      job.args.in0 = soc.alloc_f64(a);
+      job.args.in1 = soc.alloc_f64(b);
+      job.args.out0 = soc.alloc_f64_zero(sn * k);
+      std::vector<double> expected(sn * k, 0.0);
+      for (std::size_t r = 0; r < sn; ++r) {
+        for (std::size_t j = 0; j < k; ++j) {
+          double acc = 0.0;
+          for (std::size_t i = 0; i < k; ++i) acc += a[r * k + i] * b[i * k + j];
+          expected[r * k + j] = job.args.alpha * acc;
+        }
+      }
+      const mem::Addr out = job.args.out0;
+      job.max_abs_error = [out, expected](Soc& s) { return f64_error(s, out, expected); };
+      break;
+    }
+    default:
+      throw std::invalid_argument("prepare_workload: no recipe for kernel " + kernel.name());
+  }
+  return job;
+}
+
+offload::OffloadResult run_verified(Soc& soc, const std::string& kernel_name, std::uint64_t n,
+                                    unsigned num_clusters, std::uint64_t seed,
+                                    double tolerance) {
+  const kernels::Kernel& kernel = soc.kernels().by_name(kernel_name);
+  sim::Rng rng(seed);
+  PreparedJob job = prepare_workload(soc, kernel, n, soc.num_clusters(), rng);
+  const offload::OffloadResult result = soc.run_offload(job.args, num_clusters);
+  const double err = job.max_abs_error(soc);
+  if (err > tolerance) {
+    throw std::runtime_error(util::format(
+        "run_verified: %s n=%llu M=%u: result error %.3e exceeds tolerance %.3e",
+        kernel_name.c_str(), static_cast<unsigned long long>(n), num_clusters, err, tolerance));
+  }
+  return result;
+}
+
+offload::OffloadResult run_daxpy(const SocConfig& cfg, std::uint64_t n, unsigned num_clusters,
+                                 std::uint64_t seed) {
+  Soc soc(cfg);
+  return run_verified(soc, "daxpy", n, num_clusters, seed);
+}
+
+}  // namespace mco::soc

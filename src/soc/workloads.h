@@ -1,0 +1,42 @@
+// Workload preparation: allocate inputs, build JobArgs, verify outputs.
+//
+// Tests, examples and benches all need "a runnable job for kernel K of size
+// n with a correctness check"; this module centralizes that so every
+// experiment verifies functional correctness, not just timing.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "kernels/kernel.h"
+#include "sim/rng.h"
+#include "soc/soc.h"
+
+namespace mco::soc {
+
+/// A ready-to-offload job plus its correctness oracle.
+struct PreparedJob {
+  kernels::JobArgs args;
+  /// Max |measured − expected| over all outputs after the offload ran.
+  std::function<double(Soc&)> max_abs_error;
+};
+
+/// Build a randomized workload for `kernel` with `n` items usable with up to
+/// `max_clusters` clusters. For GEMV, `n` is the row count and the column
+/// count is chosen to fit the per-cluster TCDM footprint. Throws
+/// std::invalid_argument for kernels this helper does not know.
+PreparedJob prepare_workload(Soc& soc, const kernels::Kernel& kernel, std::uint64_t n,
+                             unsigned max_clusters, sim::Rng& rng);
+
+/// Convenience: prepare + offload + verify in one call. Throws
+/// std::runtime_error if the result error exceeds `tolerance`.
+offload::OffloadResult run_verified(Soc& soc, const std::string& kernel_name, std::uint64_t n,
+                                    unsigned num_clusters, std::uint64_t seed = 42,
+                                    double tolerance = 1e-9);
+
+/// The paper's benchmark: a DAXPY offload on a fresh SoC built from `cfg`.
+/// Returns the offload result (functionally verified).
+offload::OffloadResult run_daxpy(const SocConfig& cfg, std::uint64_t n, unsigned num_clusters,
+                                 std::uint64_t seed = 42);
+
+}  // namespace mco::soc

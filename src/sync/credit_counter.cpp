@@ -1,0 +1,46 @@
+#include "sync/credit_counter.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::sync {
+
+CreditCounterUnit::CreditCounterUnit(sim::Simulator& sim, std::string name,
+                                     CreditCounterConfig cfg, Component* parent)
+    : Component(sim, std::move(name), parent), cfg_(cfg) {}
+
+void CreditCounterUnit::arm(std::uint32_t new_threshold) {
+  if (new_threshold == 0) throw std::invalid_argument(path() + ": zero threshold");
+  if (armed_ && count_ < threshold_)
+    throw std::logic_error(path() + ": re-armed while an offload is still pending");
+  armed_ = true;
+  threshold_ = new_threshold;
+  count_ = 0;
+  sim().trace().record(now(), path(), "arm", util::format("threshold=%u", new_threshold));
+}
+
+void CreditCounterUnit::increment() {
+  if (!armed_) {
+    ++spurious_increments_;
+    sim().logger().log(now(), sim::LogLevel::kWarn, path(), "increment while unarmed");
+    return;
+  }
+  ++count_;
+  sim().trace().record(now(), path(), "credit", util::format("count=%u/%u", count_, threshold_));
+  if (count_ == threshold_) {
+    armed_ = false;
+    ++interrupts_fired_;
+    if (irq_cb_) {
+      defer(cfg_.trigger_latency, [this] { irq_cb_(); }, sim::Priority::kWire);
+    }
+  }
+}
+
+void CreditCounterUnit::reset() {
+  armed_ = false;
+  threshold_ = 0;
+  count_ = 0;
+}
+
+}  // namespace mco::sync

@@ -1,0 +1,64 @@
+// Dedicated accelerator→host synchronization unit (the paper's §II).
+//
+// A centralized credit counter: upon an offload the host arms the unit with
+// the number of participating clusters as a threshold. Each cluster, when
+// done, atomically increments the counter by writing a register (the
+// increment is a side effect of the store). When the count reaches the
+// threshold the unit fires an interrupt towards the host, with no software
+// polling involved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/component.h"
+
+namespace mco::sync {
+
+struct CreditCounterConfig {
+  /// Register write/trigger to IRQ-wire assertion latency.
+  sim::Cycles trigger_latency = 1;
+};
+
+class CreditCounterUnit : public sim::Component {
+ public:
+  using IrqCallback = std::function<void()>;
+
+  CreditCounterUnit(sim::Simulator& sim, std::string name, CreditCounterConfig cfg,
+                    Component* parent = nullptr);
+
+  /// Wire the interrupt output (the host's IRQ input).
+  void set_irq_callback(IrqCallback cb) { irq_cb_ = std::move(cb); }
+
+  /// Host programs the threshold and clears the count. Throws
+  /// std::logic_error if a previous offload is still pending (count below a
+  /// non-zero threshold) — hardware would corrupt state silently; we surface
+  /// the misuse.
+  void arm(std::uint32_t threshold);
+
+  /// Credit-increment register write (side-effect increment). Counts arriving
+  /// while the unit is not armed are recorded in spurious_increments() —
+  /// they indicate a runtime bug.
+  void increment();
+
+  /// Clear state without firing.
+  void reset();
+
+  bool armed() const { return armed_; }
+  std::uint32_t threshold() const { return threshold_; }
+  std::uint32_t count() const { return count_; }
+
+  std::uint64_t interrupts_fired() const { return interrupts_fired_; }
+  std::uint64_t spurious_increments() const { return spurious_increments_; }
+
+ private:
+  CreditCounterConfig cfg_;
+  IrqCallback irq_cb_;
+  bool armed_ = false;
+  std::uint32_t threshold_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint64_t interrupts_fired_ = 0;
+  std::uint64_t spurious_increments_ = 0;
+};
+
+}  // namespace mco::sync

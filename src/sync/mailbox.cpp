@@ -1,0 +1,26 @@
+#include "sync/mailbox.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::sync {
+
+Mailbox::Mailbox(sim::Simulator& sim, std::string name, Component* parent)
+    : Component(sim, std::move(name), parent) {}
+
+void Mailbox::deliver(const noc::DispatchMessage& msg) {
+  ++received_;
+  queue_.push_back(msg);
+  sim().trace().record(now(), path(), "doorbell", util::format("words=%zu", msg.size_words()));
+  if (doorbell_) doorbell_();
+}
+
+noc::DispatchMessage Mailbox::pop() {
+  if (queue_.empty()) throw std::logic_error(path() + ": pop from empty mailbox");
+  noc::DispatchMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+}  // namespace mco::sync

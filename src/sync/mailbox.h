@@ -1,0 +1,43 @@
+// Per-cluster mailbox: the doorbell + argument FIFO job dispatch lands in.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "noc/message.h"
+#include "sim/component.h"
+
+namespace mco::sync {
+
+/// Receives DispatchMessages from the interconnect. The last word of a
+/// dispatch acts as the doorbell: delivery of a message wakes the cluster
+/// (via the registered callback). Messages queue if the cluster is busy.
+class Mailbox : public sim::Component {
+ public:
+  using DoorbellCallback = std::function<void()>;
+
+  Mailbox(sim::Simulator& sim, std::string name, Component* parent = nullptr);
+
+  /// Wire the cluster's wakeup input.
+  void set_doorbell(DoorbellCallback cb) { doorbell_ = std::move(cb); }
+
+  /// Interconnect delivery entry point.
+  void deliver(const noc::DispatchMessage& msg);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const { return queue_.size(); }
+
+  /// Pop the oldest pending message. Throws std::logic_error when empty —
+  /// a cluster must only pop after its doorbell rang.
+  noc::DispatchMessage pop();
+
+  std::uint64_t messages_received() const { return received_; }
+
+ private:
+  DoorbellCallback doorbell_;
+  std::deque<noc::DispatchMessage> queue_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace mco::sync

@@ -1,0 +1,34 @@
+#include "sync/shared_counter.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace mco::sync {
+
+SharedCounter::SharedCounter(sim::Simulator& sim, std::string name, SharedCounterConfig cfg,
+                             Component* parent)
+    : Component(sim, std::move(name), parent), cfg_(cfg) {}
+
+void SharedCounter::store(std::uint64_t value) {
+  value_ = value;
+  sim().trace().record(now(), path(), "store",
+                       util::format("value=%llu", static_cast<unsigned long long>(value)));
+}
+
+void SharedCounter::amo_add(std::uint64_t delta) {
+  ++in_flight_;
+  max_in_flight_ = std::max(max_in_flight_, in_flight_);
+  defer(cfg_.amo_latency_cycles,
+        [this, delta] {
+          --in_flight_;
+          value_ += delta;
+          ++amos_serviced_;
+          sim().trace().record(now(), path(), "amo_commit",
+                               util::format("value=%llu",
+                                            static_cast<unsigned long long>(value_)));
+        },
+        sim::Priority::kMemory);
+}
+
+}  // namespace mco::sync

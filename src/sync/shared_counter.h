@@ -1,0 +1,53 @@
+// Baseline accelerator→host completion: a counter in shared memory.
+//
+// Without the dedicated sync unit, each finishing cluster performs an atomic
+// fetch-and-add on a shared-memory location and the host busy-polls that
+// location until it equals the number of participating clusters. The HBM
+// controller's AMO datapath is pipelined (a coalescing buffer absorbs
+// back-to-back increments), so concurrent AMOs commit in parallel after the
+// round-trip latency rather than serializing — but that latency is the full
+// uncached-atomic round trip, much longer than the sync unit's register
+// write.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/component.h"
+
+namespace mco::sync {
+
+struct SharedCounterConfig {
+  /// Round-trip latency from AMO issue at the memory port to the new value
+  /// being visible to a subsequent load.
+  sim::Cycles amo_latency_cycles = 60;
+};
+
+class SharedCounter : public sim::Component {
+ public:
+  SharedCounter(sim::Simulator& sim, std::string name, SharedCounterConfig cfg,
+                Component* parent = nullptr);
+
+  /// Host-side (re)initialization before an offload.
+  void store(std::uint64_t value);
+
+  /// An atomic increment arriving from a cluster; commits (becomes visible
+  /// to loads) amo_latency_cycles later.
+  void amo_add(std::uint64_t delta = 1);
+
+  /// The committed value a load observes right now.
+  std::uint64_t load() const { return value_; }
+
+  std::uint64_t amos_serviced() const { return amos_serviced_; }
+  /// Maximum number of AMOs in flight at once (contention probe).
+  std::uint64_t max_in_flight() const { return max_in_flight_; }
+
+ private:
+  SharedCounterConfig cfg_;
+  std::uint64_t value_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t max_in_flight_ = 0;
+  std::uint64_t amos_serviced_ = 0;
+};
+
+}  // namespace mco::sync

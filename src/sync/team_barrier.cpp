@@ -1,0 +1,36 @@
+#include "sync/team_barrier.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::sync {
+
+TeamBarrier::TeamBarrier(sim::Simulator& sim, std::string name, TeamBarrierConfig cfg,
+                         Component* parent)
+    : Component(sim, std::move(name), parent), cfg_(cfg) {}
+
+void TeamBarrier::arrive(unsigned expected, std::function<void()> resume) {
+  if (expected == 0) throw std::invalid_argument(path() + ": zero-sized team");
+  if (waiters_.empty()) {
+    expected_ = expected;
+  } else if (expected != expected_) {
+    throw std::logic_error(util::format("%s: member expects team of %u but episode is %u",
+                                        path().c_str(), expected, expected_));
+  }
+  waiters_.push_back(std::move(resume));
+  sim().trace().record(now(), path(), "arrive",
+                       util::format("%zu/%u", waiters_.size(), expected_));
+  if (waiters_.size() == expected_) {
+    auto released = std::move(waiters_);
+    waiters_.clear();
+    ++episodes_;
+    defer(cfg_.release_latency, [rs = std::move(released)] {
+      for (const auto& r : rs) {
+        if (r) r();
+      }
+    }, sim::Priority::kWire);
+  }
+}
+
+}  // namespace mco::sync

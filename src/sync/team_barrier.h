@@ -1,0 +1,49 @@
+// Accelerator-global team-start barrier.
+//
+// A job offloaded to M clusters executes as one SPMD team: every cluster
+// parses its dispatch, then waits at a fabric-level barrier until all M
+// members arrived, and only then starts its data movement. (Manticore's
+// fabric provides hardware barrier/atomic support for this independent of
+// the paper's two extensions, so both the baseline and extended designs use
+// it.) This is why sequential dispatch hurts: the *last* cluster to receive
+// the job gates the start of the whole team, making the per-cluster dispatch
+// cost fully serial with execution — the linear overhead of Fig. 1 (left).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/component.h"
+
+namespace mco::sync {
+
+struct TeamBarrierConfig {
+  /// Release propagation after the last member arrives.
+  sim::Cycles release_latency = 12;
+};
+
+class TeamBarrier : public sim::Component {
+ public:
+  TeamBarrier(sim::Simulator& sim, std::string name, TeamBarrierConfig cfg,
+              Component* parent = nullptr);
+
+  /// Arrive at the barrier expecting a team of `expected` members; `resume`
+  /// fires release_latency cycles after the `expected`-th arrival. All
+  /// members of one episode must agree on `expected` (std::logic_error
+  /// otherwise — it would be a runtime protocol bug).
+  void arrive(unsigned expected, std::function<void()> resume);
+
+  /// Members currently waiting.
+  unsigned waiting() const { return static_cast<unsigned>(waiters_.size()); }
+
+  std::uint64_t episodes_completed() const { return episodes_; }
+
+ private:
+  TeamBarrierConfig cfg_;
+  unsigned expected_ = 0;
+  std::vector<std::function<void()>> waiters_;
+  std::uint64_t episodes_ = 0;
+};
+
+}  // namespace mco::sync

@@ -1,0 +1,88 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opts_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      opts_[arg] = argv[++i];
+    } else {
+      opts_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return opts_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  const auto it = opts_.find(key);
+  return it == opts_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return def;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos, 0);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Cli: --" + key + " expects an integer, got '" + it->second + "'");
+  }
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return def;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Cli: --" + key + " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return def;
+  const std::string v = to_lower(it->second);
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::runtime_error("Cli: --" + key + " expects a boolean, got '" + it->second + "'");
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& key,
+                                            std::vector<std::int64_t> def) const {
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return def;
+  std::vector<std::int64_t> out;
+  for (const auto& part : split(it->second, ',')) {
+    const std::string p = trim(part);
+    if (p.empty()) continue;
+    try {
+      out.push_back(std::stoll(p, nullptr, 0));
+    } catch (const std::exception&) {
+      throw std::runtime_error("Cli: --" + key + " expects integers, got '" + p + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace mco::util

@@ -1,0 +1,40 @@
+// Tiny command-line option parser for examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mco::util {
+
+/// Parses `--key=value`, `--key value` and bare `--flag` options.
+///
+/// Unknown positional arguments are collected in positional(). Typed getters
+/// return the default when the option is absent and throw std::runtime_error
+/// on malformed values, so examples fail loudly instead of silently
+/// mis-running an experiment.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Comma-separated integer list, e.g. --clusters=1,2,4,8.
+  std::vector<std::int64_t> get_int_list(const std::string& key,
+                                         std::vector<std::int64_t> def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> opts_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mco::util

@@ -1,0 +1,70 @@
+#include "util/csv.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::util {
+
+CsvWriter::CsvWriter() = default;
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), to_file_(true) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::~CsvWriter() {
+  if (to_file_ && file_) file_ << buffer_;
+}
+
+std::string CsvWriter::escape(const std::string& v) {
+  const bool needs_quote = v.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return v;
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::raw(const std::string& escaped) {
+  if (row_open_) buffer_ += ',';
+  buffer_ += escaped;
+  row_open_ = true;
+}
+
+CsvWriter& CsvWriter::cell(const std::string& v) {
+  raw(escape(v));
+  return *this;
+}
+CsvWriter& CsvWriter::cell(const char* v) { return cell(std::string(v)); }
+CsvWriter& CsvWriter::cell(double v) {
+  raw(format("%.10g", v));
+  return *this;
+}
+CsvWriter& CsvWriter::cell(std::uint64_t v) {
+  raw(format("%llu", static_cast<unsigned long long>(v)));
+  return *this;
+}
+CsvWriter& CsvWriter::cell(std::int64_t v) {
+  raw(format("%lld", static_cast<long long>(v)));
+  return *this;
+}
+CsvWriter& CsvWriter::cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+CsvWriter& CsvWriter::cell(unsigned v) { return cell(static_cast<std::uint64_t>(v)); }
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) cell(c);
+  end_row();
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  buffer_ += '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+}  // namespace mco::util

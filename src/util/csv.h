@@ -1,0 +1,59 @@
+// Minimal CSV emission for experiment results.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mco::util {
+
+/// Writes rows of heterogeneous cells as RFC-4180-ish CSV.
+///
+/// Cells containing separators/quotes/newlines are quoted; numeric overloads
+/// format with full precision. A writer targets either a file (throws
+/// std::runtime_error if it cannot be opened) or an in-memory string for
+/// tests.
+class CsvWriter {
+ public:
+  /// In-memory writer (inspect with str()).
+  CsvWriter();
+  /// File-backed writer.
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  CsvWriter& cell(const std::string& v);
+  CsvWriter& cell(const char* v);
+  CsvWriter& cell(double v);
+  CsvWriter& cell(std::uint64_t v);
+  CsvWriter& cell(std::int64_t v);
+  CsvWriter& cell(int v);
+  CsvWriter& cell(unsigned v);
+
+  /// Convenience: a full header/data row at once.
+  CsvWriter& row(const std::vector<std::string>& cells);
+
+  /// Terminate the current row.
+  void end_row();
+
+  /// Flush and return accumulated text (valid for both modes).
+  const std::string& str() const { return buffer_; }
+
+  /// Number of completed rows.
+  std::size_t rows_written() const { return rows_; }
+
+  ~CsvWriter();
+
+ private:
+  void raw(const std::string& escaped);
+  static std::string escape(const std::string& v);
+
+  std::ofstream file_;
+  bool to_file_ = false;
+  bool row_open_ = false;
+  std::size_t rows_ = 0;
+  std::string buffer_;
+};
+
+}  // namespace mco::util

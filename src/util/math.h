@@ -1,0 +1,57 @@
+// Small integer/math helpers used across the simulator.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace mco::util {
+
+/// ceil(a / b) for non-negative integers. b must be > 0.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  assert(b > 0);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Round `a` up to the next multiple of `b` (b > 0).
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+/// True if `v` is a power of two (and non-zero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v > 0.
+constexpr unsigned log2_floor(std::uint64_t v) {
+  assert(v > 0);
+  unsigned r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(v)) for v > 0.
+constexpr unsigned log2_ceil(std::uint64_t v) {
+  assert(v > 0);
+  return is_pow2(v) ? log2_floor(v) : log2_floor(v) + 1;
+}
+
+/// An exact rational cost rate `num/den` cycles per item.
+///
+/// Kernel throughputs like "2.6 cycles per element" are represented exactly
+/// (13/5) so that simulated cycle counts are deterministic integers:
+/// cycles(n) = ceil(n * num / den).
+struct Rate {
+  std::uint64_t num = 1;
+  std::uint64_t den = 1;
+
+  constexpr std::uint64_t cycles_for(std::uint64_t items) const {
+    assert(den > 0);
+    return items == 0 ? 0 : (items * num + den - 1) / den;
+  }
+  constexpr double as_double() const { return static_cast<double>(num) / static_cast<double>(den); }
+};
+
+}  // namespace mco::util

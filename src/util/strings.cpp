@@ -1,0 +1,73 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace mco::util {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), static_cast<std::size_t>(n) + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(const std::string& s) {
+  const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; };
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < sizeof(units) / sizeof(units[0])) {
+    v /= 1024.0;
+    ++u;
+  }
+  if (u == 0) return format("%llu B", static_cast<unsigned long long>(bytes));
+  return format("%.1f %s", v, units[u]);
+}
+
+std::string fixed(double v, int precision) { return format("%.*f", precision, v); }
+
+}  // namespace mco::util

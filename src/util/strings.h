@@ -1,0 +1,30 @@
+// String/formatting helpers (kept tiny; no external deps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mco::util {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Human-readable byte count ("1.5 KiB", "3 MiB").
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-precision double ("12.34").
+std::string fixed(double v, int precision);
+
+}  // namespace mco::util

@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace mco::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' ||
+          c == '%' || c == 'x'))
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  const auto emit = [&](const std::vector<std::string>& row, bool align) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      const bool right = align && looks_numeric(row[c]);
+      if (c) os << "  ";
+      if (right) os << std::string(pad, ' ') << row[c];
+      else os << row[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(header_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, right_align_);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+}  // namespace mco::util

@@ -1,0 +1,39 @@
+// Aligned console tables, used by benches to print paper-style rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mco::util {
+
+/// Collects rows of strings and prints them column-aligned.
+///
+///   TablePrinter t({"M", "baseline", "extended", "speedup"});
+///   t.add_row({"32", "936", "633", "1.479"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Right-align numeric-looking cells (default true).
+  void set_right_align(bool v) { right_align_ = v; }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render to a string (for tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  bool right_align_ = true;
+};
+
+}  // namespace mco::util

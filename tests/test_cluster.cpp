@@ -1,0 +1,228 @@
+// Unit tests for the cluster: the doorbell → wakeup → team barrier → DMA →
+// compute → DMA → signal state machine, driven without the host/offload
+// runtime (payloads are delivered straight to the mailbox).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "kernels/blas1.h"
+#include "kernels/reductions.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::cluster;
+
+struct Harness {
+  sim::Simulator sim;
+  mem::AddressMap map{};
+  mem::MainMemory main_mem{1 << 22};
+  mem::HbmController hbm{sim, "hbm", mem::HbmConfig{12, 8, 8}};
+  noc::NocConfig noc_cfg{};
+  noc::Interconnect noc{sim, "noc", noc_cfg, 4};
+  sync::TeamBarrier barrier{sim, "tb", sync::TeamBarrierConfig{}};
+  kernels::KernelRegistry registry = kernels::KernelRegistry::standard();
+  std::vector<std::unique_ptr<Cluster>> clusters;
+  unsigned credits = 0;
+  unsigned amos = 0;
+
+  void build(unsigned count, CompletionPath completion = CompletionPath::kHardwareCredit) {
+    ClusterConfig cfg;
+    cfg.completion = completion;
+    for (unsigned i = 0; i < count; ++i) {
+      clusters.push_back(std::make_unique<Cluster>(sim, "cluster" + std::to_string(i), cfg, i,
+                                                   registry, hbm, i, main_mem, map, noc,
+                                                   barrier));
+      noc.set_cluster_sink(i, [c = clusters.back().get()](const noc::DispatchMessage& m) {
+        c->mailbox().deliver(m);
+      });
+    }
+    noc.set_credit_sink([this](unsigned) { ++credits; });
+    noc.set_amo_sink([this](unsigned) { ++amos; });
+  }
+
+  kernels::JobArgs daxpy_args(std::uint64_t n, std::vector<double>& x, std::vector<double>& y) {
+    sim::Rng rng(3);
+    x.resize(n);
+    y.resize(n);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    for (auto& v : y) v = rng.uniform(-1, 1);
+    main_mem.write_f64_array(0, x);
+    main_mem.write_f64_array(n * 8, y);
+    kernels::JobArgs args;
+    args.kernel_id = kernels::kDaxpyId;
+    args.n = n;
+    args.alpha = 3.0;
+    args.in0 = map.hbm_base();
+    args.out0 = map.hbm_base() + n * 8;
+    return args;
+  }
+
+  void dispatch(const kernels::JobArgs& args, unsigned num_clusters) {
+    const auto& k = registry.by_id(args.kernel_id);
+    const auto msg = kernels::marshal_payload(args, num_clusters, k.marshal_args(args));
+    for (unsigned i = 0; i < num_clusters; ++i) clusters[i]->mailbox().deliver(msg);
+  }
+};
+
+struct ClusterHarness : Harness, ::testing::Test {};
+
+TEST_F(ClusterHarness, SingleClusterExecutesDaxpy) {
+  build(1);
+  std::vector<double> x, y;
+  const auto args = daxpy_args(64, x, y);
+  dispatch(args, 1);
+  sim.run();
+  EXPECT_EQ(clusters[0]->jobs_executed(), 1u);
+  EXPECT_EQ(clusters[0]->items_processed(), 64u);
+  EXPECT_EQ(credits, 1u);
+  const auto got = main_mem.read_f64_array(64 * 8, 64);
+  for (std::size_t i = 0; i < 64; ++i) ASSERT_DOUBLE_EQ(got[i], 3.0 * x[i] + y[i]);
+}
+
+TEST_F(ClusterHarness, FourClustersSplitTheWork) {
+  build(4);
+  std::vector<double> x, y;
+  const auto args = daxpy_args(100, x, y);
+  dispatch(args, 4);
+  sim.run();
+  std::uint64_t items = 0;
+  for (const auto& c : clusters) {
+    EXPECT_EQ(c->jobs_executed(), 1u);
+    items += c->items_processed();
+  }
+  EXPECT_EQ(items, 100u);
+  EXPECT_EQ(credits, 4u);
+  const auto got = main_mem.read_f64_array(100 * 8, 100);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_DOUBLE_EQ(got[i], 3.0 * x[i] + y[i]);
+}
+
+TEST_F(ClusterHarness, SoftwareCompletionSendsAmos) {
+  build(2, CompletionPath::kSoftwareAmo);
+  std::vector<double> x, y;
+  dispatch(daxpy_args(32, x, y), 2);
+  sim.run();
+  EXPECT_EQ(amos, 2u);
+  EXPECT_EQ(credits, 0u);
+}
+
+TEST_F(ClusterHarness, TimingPhasesAreOrdered) {
+  build(2);
+  std::vector<double> x, y;
+  dispatch(daxpy_args(128, x, y), 2);
+  sim.run();
+  const auto& t = clusters[1]->last_timing();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_LT(t->doorbell, t->team_arrive);
+  EXPECT_LT(t->team_arrive, t->job_start);
+  EXPECT_LT(t->job_start, t->dma_in_done);
+  EXPECT_LT(t->dma_in_done, t->compute_done);
+  EXPECT_LT(t->compute_done, t->dma_out_done);
+  EXPECT_LT(t->dma_out_done, t->signal_sent);
+}
+
+TEST_F(ClusterHarness, TeamMembersStartDataMovementTogether) {
+  build(4);
+  std::vector<double> x, y;
+  dispatch(daxpy_args(64, x, y), 4);
+  sim.run();
+  const sim::Cycle start0 = clusters[0]->last_timing()->job_start;
+  for (const auto& c : clusters) EXPECT_EQ(c->last_timing()->job_start, start0);
+}
+
+TEST_F(ClusterHarness, ComputePhaseShrinksWithMoreWorkers) {
+  // Same chunk, 8 workers vs 1 worker: the compute phase must shrink.
+  std::vector<sim::Cycles> compute(2);
+  for (int i = 0; i < 2; ++i) {
+    Harness h;  // fresh harness per configuration
+    ClusterConfig cfg;
+    cfg.num_workers = i == 0 ? 1 : 8;
+    h.clusters.push_back(std::make_unique<Cluster>(h.sim, "c", cfg, 0, h.registry, h.hbm, 0,
+                                                   h.main_mem, h.map, h.noc, h.barrier));
+    h.noc.set_cluster_sink(0, [c = h.clusters.back().get()](const noc::DispatchMessage& m) {
+      c->mailbox().deliver(m);
+    });
+    h.noc.set_credit_sink([](unsigned) {});
+    std::vector<double> x, y;
+    const auto args = h.daxpy_args(1024, x, y);
+    h.dispatch(args, 1);
+    h.sim.run();
+    const auto& t = *h.clusters[0]->last_timing();
+    compute[static_cast<std::size_t>(i)] = t.compute_done - t.dma_in_done;
+  }
+  EXPECT_GT(compute[0], compute[1] * 6);  // ~8x fewer cycles with 8 workers
+}
+
+TEST_F(ClusterHarness, OversizedChunkIsTiledThroughTcdm) {
+  build(1);
+  std::vector<double> x, y;
+  // DAXPY n=16384 needs 256 KiB of TCDM on one cluster but only 128 KiB
+  // exist: the cluster must process the chunk in (at least) two tiles and
+  // still produce exact results.
+  const auto args = daxpy_args(16384, x, y);
+  dispatch(args, 1);
+  sim.run();
+  EXPECT_GE(clusters[0]->last_job_tiles(), 2u);
+  EXPECT_EQ(clusters[0]->items_processed(), 16384u);
+  const auto got = main_mem.read_f64_array(16384 * 8, 16384);
+  for (std::size_t i = 0; i < got.size(); ++i) ASSERT_DOUBLE_EQ(got[i], 3.0 * x[i] + y[i]);
+}
+
+TEST_F(ClusterHarness, OversizedChunkWithoutTilingSupportThrows) {
+  build(1);
+  // DOT does not support range tiling (per-cluster partial accumulator).
+  const std::uint64_t n = 16384;
+  std::vector<double> big(n, 1.0);
+  main_mem.write_f64_array(0, big);
+  main_mem.write_f64_array(n * 8, big);
+  kernels::JobArgs args;
+  args.kernel_id = kernels::kDotId;
+  args.n = n;
+  args.in0 = map.hbm_base();
+  args.in1 = map.hbm_base() + n * 8;
+  args.out0 = map.hbm_base() + 2 * n * 8;
+  args.out1 = map.hbm_base() + 2 * n * 8 + 64;
+  dispatch(args, 1);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST_F(ClusterHarness, DispatchBeyondTeamSizeThrows) {
+  build(2);
+  std::vector<double> x, y;
+  const auto args = daxpy_args(32, x, y);
+  // Deliver a 1-cluster job to cluster 1: protocol violation.
+  const auto& k = registry.by_id(args.kernel_id);
+  const auto msg = kernels::marshal_payload(args, 1, k.marshal_args(args));
+  clusters[1]->mailbox().deliver(msg);
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST_F(ClusterHarness, BackToBackJobsDrainMailbox) {
+  build(1);
+  std::vector<double> x, y;
+  const auto args = daxpy_args(16, x, y);
+  dispatch(args, 1);
+  dispatch(args, 1);  // second job queued while first runs
+  sim.run();
+  EXPECT_EQ(clusters[0]->jobs_executed(), 2u);
+}
+
+TEST_F(ClusterHarness, UnknownKernelIdThrows) {
+  build(1);
+  kernels::JobArgs args;
+  args.kernel_id = 999;
+  args.n = 4;
+  clusters[0]->mailbox().deliver(kernels::marshal_payload(args, 1, {}));
+  EXPECT_THROW(sim.run(), std::out_of_range);
+}
+
+TEST_F(ClusterHarness, ZeroWorkerConfigRejected) {
+  ClusterConfig cfg;
+  cfg.num_workers = 0;
+  EXPECT_THROW(Cluster(sim, "bad", cfg, 0, registry, hbm, 0, main_mem, map, noc, barrier),
+               std::invalid_argument);
+}
+
+}  // namespace

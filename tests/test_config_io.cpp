@@ -1,0 +1,158 @@
+// Tests for SocConfig text (de)serialization and the Chrome trace exporter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/trace_export.h"
+#include "soc/config_io.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::soc;
+
+// ---- config io -----------------------------------------------------------------
+
+TEST(ConfigIo, SaveLoadRoundTripsDefaults) {
+  const SocConfig original = SocConfig::extended(32);
+  const SocConfig loaded = load_text(save_text(original));
+  EXPECT_EQ(save_text(loaded), save_text(original));
+  EXPECT_EQ(loaded.num_clusters, 32u);
+  EXPECT_TRUE(loaded.features.multicast);
+  EXPECT_TRUE(loaded.runtime.use_hw_sync);
+}
+
+TEST(ConfigIo, RoundTripsNonDefaultValues) {
+  SocConfig cfg = SocConfig::baseline(7);
+  cfg.hbm.beats_per_cycle = 24;
+  cfg.cluster.dma_double_buffer = true;
+  cfg.host.irq_take_cycles = 99;
+  const SocConfig back = load_text(save_text(cfg));
+  EXPECT_EQ(back.hbm.beats_per_cycle, 24u);
+  EXPECT_TRUE(back.cluster.dma_double_buffer);
+  EXPECT_EQ(back.host.irq_take_cycles, 99u);
+  EXPECT_EQ(back.num_clusters, 7u);
+}
+
+TEST(ConfigIo, PartialFileOverridesBase) {
+  const SocConfig cfg = load_text("num_clusters = 4\nfeatures.multicast = true\n"
+                                  "noc.multicast_enabled = true\nhost.has_multicast_lsu = on\n"
+                                  "runtime.use_multicast = yes\n");
+  EXPECT_EQ(cfg.num_clusters, 4u);
+  EXPECT_TRUE(cfg.features.multicast);
+  EXPECT_FALSE(cfg.features.hw_sync);  // untouched default
+}
+
+TEST(ConfigIo, CommentsAndBlanksIgnored) {
+  const SocConfig cfg = load_text("# header\n\n  num_clusters = 9  # trailing comment\n");
+  EXPECT_EQ(cfg.num_clusters, 9u);
+}
+
+TEST(ConfigIo, UnknownKeyIsAnError) {
+  EXPECT_THROW(load_text("num_cluster = 4\n"), std::invalid_argument);  // typo
+}
+
+TEST(ConfigIo, MalformedValueIsAnError) {
+  EXPECT_THROW(load_text("num_clusters = many\n"), std::invalid_argument);
+  EXPECT_THROW(load_text("features.multicast = maybe\n"), std::invalid_argument);
+  EXPECT_THROW(load_text("just a line\n"), std::invalid_argument);
+}
+
+TEST(ConfigIo, ErrorsNameTheLine) {
+  try {
+    load_text("num_clusters = 4\nbogus.key = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, DerivedFieldsKeptConsistent) {
+  const SocConfig cfg = load_text("num_clusters = 48\n");
+  EXPECT_EQ(cfg.address_map.num_clusters, 48u);
+  EXPECT_GE(cfg.hbm.num_ports, 49u);
+}
+
+TEST(ConfigIo, LoadedConfigBuildsARunnableSoc) {
+  SocConfig base = SocConfig::extended(8);
+  const SocConfig cfg = load_text(save_text(base));
+  Soc soc(cfg);
+  EXPECT_NO_THROW(run_verified(soc, "daxpy", 128, 8));
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  const std::string path = "/tmp/mco_config_io_test.cfg";
+  save_file(SocConfig::extended(16), path);
+  const SocConfig cfg = load_file(path);
+  EXPECT_EQ(cfg.num_clusters, 16u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_file("/nonexistent/x.cfg"), std::runtime_error);
+}
+
+TEST(ConfigIo, KeysAreUniqueAndNonEmpty) {
+  const auto keys = config_keys();
+  EXPECT_GT(keys.size(), 30u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_FALSE(keys[i].empty());
+    for (std::size_t j = i + 1; j < keys.size(); ++j) EXPECT_NE(keys[i], keys[j]);
+  }
+}
+
+TEST(ConfigIo, DescribeNamesTheDesign) {
+  EXPECT_NE(describe(SocConfig::extended(32)).find("extended"), std::string::npos);
+  EXPECT_NE(describe(SocConfig::baseline(32)).find("baseline"), std::string::npos);
+  EXPECT_NE(describe(SocConfig::with_features(4, {true, false})).find("multicast-only"),
+            std::string::npos);
+}
+
+// ---- chrome trace export ----------------------------------------------------------
+
+TEST(ChromeTrace, EmitsValidSkeletonWithThreadNames) {
+  sim::TraceSink sink;
+  sink.enable();
+  sink.record(10, "soc.cluster0", "wakeup", "");
+  sink.record(20, "soc.hbm", "beat", "x=1");
+  const std::string json = sim::to_chrome_trace(sink);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("soc.cluster0"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"x=1\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesSpecialCharacters) {
+  sim::TraceSink sink;
+  sink.enable();
+  sink.record(1, "a", "ev", "quote\" back\\slash\nnewline");
+  const std::string json = sim::to_chrome_trace(sink);
+  EXPECT_NE(json.find("quote\\\""), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptySinkGivesEmptyArray) {
+  const sim::TraceSink sink;
+  const std::string json = sim::to_chrome_trace(sink);
+  EXPECT_NE(json.find("["), std::string::npos);
+  EXPECT_NE(json.find("]"), std::string::npos);
+}
+
+TEST(ChromeTrace, FullOffloadTraceExports) {
+  Soc soc(SocConfig::extended(4));
+  soc.simulator().trace().enable();
+  run_verified(soc, "daxpy", 128, 4);
+  const std::string json = sim::to_chrome_trace(soc.simulator().trace());
+  EXPECT_NE(json.find("multicast"), std::string::npos);
+  EXPECT_NE(json.find("credit"), std::string::npos);
+  // Every record produced one event line plus one metadata line per track.
+  EXPECT_GT(json.size(), 1000u);
+}
+
+TEST(ChromeTrace, WriteFileErrors) {
+  const sim::TraceSink sink;
+  EXPECT_THROW(sim::write_chrome_trace(sink, "/nonexistent-dir/t.json"), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Unit/integration tests for the energy model extension.
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::energy;
+
+TEST(EnergyCounters, SnapshotDeltaIsPerOffload) {
+  soc::Soc soc(soc::SocConfig::extended(4));
+  const EnergyCounters before = snapshot(soc);
+  soc::run_verified(soc, "daxpy", 256, 4);
+  const EnergyCounters after = snapshot(soc);
+  const EnergyCounters d = after - before;
+  EXPECT_EQ(d.hbm_beats, 3ull * 256);
+  EXPECT_EQ(d.credits, 4u);
+  EXPECT_EQ(d.irqs, 1u);
+  EXPECT_EQ(d.amos, 0u);
+  EXPECT_EQ(d.polls, 0u);
+  EXPECT_GT(d.host_busy_cycles, 0u);
+  EXPECT_GT(d.worker_busy_cycles, 0u);
+}
+
+TEST(EnergyCounters, BaselineShowsAmosAndPolls) {
+  soc::Soc soc(soc::SocConfig::baseline(4));
+  soc::run_verified(soc, "daxpy", 256, 4);
+  const EnergyCounters c = snapshot(soc);
+  EXPECT_EQ(c.amos, 4u);
+  EXPECT_GT(c.polls, 0u);
+  EXPECT_EQ(c.credits, 0u);
+  EXPECT_EQ(c.irqs, 0u);
+}
+
+TEST(EnergyEstimate, TotalIsSumOfBreakdown) {
+  EnergyCounters d;
+  d.host_busy_cycles = 100;
+  d.worker_busy_cycles = 800;
+  d.hbm_beats = 768;
+  d.dispatch_words = 24;
+  d.credits = 4;
+  d.irqs = 1;
+  const EnergyReport r = estimate(EnergyConfig{}, d, 1000, 4, 8);
+  const double sum = r.host_active_pj + r.host_idle_pj + r.workers_active_pj +
+                     r.workers_idle_pj + r.hbm_pj + r.dispatch_pj + r.completion_pj +
+                     r.leakage_pj;
+  EXPECT_DOUBLE_EQ(r.total_pj(), sum);
+  EXPECT_GT(r.total_pj(), 0.0);
+}
+
+TEST(EnergyEstimate, HandComputedComponents) {
+  EnergyConfig cfg;
+  cfg.host_active_cycle_pj = 10;
+  cfg.host_idle_cycle_pj = 1;
+  cfg.hbm_beat_pj = 100;
+  cfg.cluster_leakage_cycle_pj = 2;
+  EnergyCounters d;
+  d.host_busy_cycles = 40;
+  d.hbm_beats = 5;
+  const EnergyReport r = estimate(cfg, d, 100, 3, 8);
+  EXPECT_DOUBLE_EQ(r.host_active_pj, 400.0);
+  EXPECT_DOUBLE_EQ(r.host_idle_pj, 60.0);  // (100-40) idle cycles
+  EXPECT_DOUBLE_EQ(r.hbm_pj, 500.0);
+  EXPECT_DOUBLE_EQ(r.leakage_pj, 2.0 * 100 * 3);
+}
+
+TEST(EnergyEstimate, RejectsEmptyAccelerator) {
+  EXPECT_THROW(estimate(EnergyConfig{}, EnergyCounters{}, 10, 0, 8), std::invalid_argument);
+  EXPECT_THROW(estimate(EnergyConfig{}, EnergyCounters{}, 10, 1, 0), std::invalid_argument);
+}
+
+TEST(EnergyMeasure, ExtendedCheaperThanBaselineAtManyClusters) {
+  const EnergyConfig cfg;
+  const auto base = measure_offload_energy(soc::SocConfig::baseline(32), cfg, "daxpy", 1024, 32);
+  const auto ext = measure_offload_energy(soc::SocConfig::extended(32), cfg, "daxpy", 1024, 32);
+  // The extended design is faster (less leakage/idle time) and replaces the
+  // polling loop + atomics with cheap credits — it must win on energy too.
+  EXPECT_LT(ext.report.total_pj(), base.report.total_pj());
+  EXPECT_LT(ext.cycles, base.cycles);
+}
+
+TEST(EnergyMeasure, EnergyOptimalMIsBelowRuntimeOptimalM) {
+  const EnergyConfig cfg;
+  // Runtime-optimal M on the extended design is 32 (monotone decreasing),
+  // but idle-worker + leakage energy grows with M, pushing the energy
+  // optimum to fewer clusters.
+  const unsigned m_e = energy_optimal_m(soc::SocConfig::extended(32), cfg, "daxpy", 1024, 32);
+  EXPECT_LT(m_e, 32u);
+  EXPECT_GE(m_e, 1u);
+}
+
+TEST(EnergyMeasure, EnergyGrowsWithProblemSize) {
+  const EnergyConfig cfg;
+  const auto small = measure_offload_energy(soc::SocConfig::extended(8), cfg, "daxpy", 256, 8);
+  const auto big = measure_offload_energy(soc::SocConfig::extended(8), cfg, "daxpy", 4096, 8);
+  EXPECT_GT(big.report.total_pj(), small.report.total_pj());
+  EXPECT_GT(big.report.hbm_pj, small.report.hbm_pj * 10);  // data dominates growth
+}
+
+TEST(EnergyReportText, MentionsTotal) {
+  EnergyReport r;
+  r.hbm_pj = 5.0;
+  EXPECT_NE(r.to_string().find("total"), std::string::npos);
+}
+
+TEST(EnergyEdp, ScalesWithDuration) {
+  EnergyReport r;
+  r.hbm_pj = 10.0;
+  EXPECT_DOUBLE_EQ(r.edp(100), 1000.0);
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Additional cross-cutting property tests: memory-system conservation laws,
+// timing-model algebra, functional equivalence between execution modes, and
+// GEMM-specific plan geometry.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "kernels/gemm.h"
+#include "mem/hbm_controller.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "soc/workloads.h"
+#include "util/math.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::soc;
+
+// ---- HBM conservation under random traffic ---------------------------------------
+
+class HbmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HbmFuzz, ServesEveryBeatExactlyOnceAndRespectsBandwidth) {
+  sim::Rng rng(GetParam());
+  sim::Simulator sim;
+  mem::HbmConfig cfg;
+  cfg.beats_per_cycle = static_cast<unsigned>(rng.uniform_int(1, 16));
+  cfg.request_latency = static_cast<sim::Cycles>(rng.uniform_int(0, 12));
+  cfg.num_ports = static_cast<unsigned>(rng.uniform_int(1, 8));
+  mem::HbmController hbm(sim, "hbm", cfg);
+
+  std::uint64_t total_beats = 0;
+  unsigned completions = 0;
+  const unsigned transfers = static_cast<unsigned>(rng.uniform_int(5, 40));
+  sim::Cycle last_done = 0;
+  sim::Cycle first_request = ~0ull;
+  for (unsigned i = 0; i < transfers; ++i) {
+    const auto at = static_cast<sim::Cycle>(rng.uniform_int(0, 200));
+    const auto port = static_cast<unsigned>(rng.next_below(cfg.num_ports));
+    const auto beats = static_cast<std::uint64_t>(rng.uniform_int(0, 300));
+    total_beats += beats;
+    first_request = std::min(first_request, at);
+    sim.schedule_at(at, [&, port, beats] {
+      hbm.request(port, beats, [&] {
+        ++completions;
+        last_done = std::max(last_done, sim.now());
+      });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(hbm.beats_served(), total_beats);
+  EXPECT_EQ(completions, transfers);
+  EXPECT_FALSE(hbm.busy());
+  // Bandwidth bound: the span from first request to last completion must be
+  // at least total_beats / beats_per_cycle.
+  if (total_beats > 0) {
+    const std::uint64_t span = last_done - first_request;
+    EXPECT_GE(span, total_beats / cfg.beats_per_cycle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HbmFuzz, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---- Rate algebra -----------------------------------------------------------------
+
+TEST(RateProperties, CeilRateIsSubadditiveAndMonotone) {
+  const util::Rate r{13, 5};
+  sim::Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::uint64_t>(rng.uniform_int(0, 10000));
+    const auto b = static_cast<std::uint64_t>(rng.uniform_int(0, 10000));
+    // Splitting work never makes the ceil-cost cheaper...
+    EXPECT_GE(r.cycles_for(a) + r.cycles_for(b), r.cycles_for(a + b));
+    // ...and by at most one rounding step.
+    EXPECT_LE(r.cycles_for(a) + r.cycles_for(b), r.cycles_for(a + b) + 1);
+    EXPECT_LE(r.cycles_for(a), r.cycles_for(a + b));
+  }
+}
+
+// ---- execution-mode equivalence ----------------------------------------------------
+
+TEST(ModeEquivalence, IssAndRateModesProduceBitIdenticalDaxpyResults) {
+  // Same data, same split: the ISS fmadd models a*b+c in double (unfused),
+  // identical to the rate-mode apply() expression, so results match bitwise.
+  std::vector<double> rate_out, iss_out;
+  for (const bool iss : {false, true}) {
+    SocConfig cfg = SocConfig::extended(8);
+    cfg.cluster.use_iss_compute = iss;
+    Soc soc(cfg);
+    sim::Rng rng(123);
+    auto job = prepare_workload(soc, soc.kernels().by_name("daxpy"), 500, 8, rng);
+    soc.run_offload(job.args, 8);
+    auto out = soc.read_f64(job.args.out0, 500);
+    (iss ? iss_out : rate_out) = std::move(out);
+  }
+  ASSERT_EQ(rate_out.size(), iss_out.size());
+  for (std::size_t i = 0; i < rate_out.size(); ++i) {
+    ASSERT_EQ(rate_out[i], iss_out[i]) << i;  // bitwise (both exact doubles)
+  }
+}
+
+TEST(ModeEquivalence, HostAndOffloadBitIdenticalForElementwise) {
+  for (const char* k : {"scale", "vecmul", "relu", "memcpy"}) {
+    std::vector<double> host_out, off_out;
+    for (const bool host : {false, true}) {
+      Soc soc(SocConfig::extended(8));
+      sim::Rng rng(321);
+      auto job = prepare_workload(soc, soc.kernels().by_name(k), 300, 8, rng);
+      if (host) {
+        soc.runtime().execute_on_host_blocking(job.args);
+      } else {
+        soc.run_offload(job.args, 8);
+      }
+      auto out = soc.read_f64(job.args.out0, 300);
+      (host ? host_out : off_out) = std::move(out);
+    }
+    for (std::size_t i = 0; i < host_out.size(); ++i) {
+      ASSERT_EQ(host_out[i], off_out[i]) << k << " " << i;
+    }
+  }
+}
+
+// ---- GEMM plan geometry -------------------------------------------------------------
+
+TEST(GemmPlan, ReplicatesBAndChunksAC) {
+  const kernels::GemmKernel k;
+  kernels::JobArgs args;
+  args.kernel_id = kernels::kGemmId;
+  args.n = 64;
+  args.aux = 16;
+  args.alpha = 1.0;
+  args.in0 = 0x8000'0000;
+  args.in1 = 0x8010'0000;
+  args.out0 = 0x8020'0000;
+
+  std::size_t total_a = 0;
+  std::size_t total_b = 0;
+  std::size_t total_c = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto plan = k.plan_cluster(args, i, 4);
+    ASSERT_EQ(plan.dma_in.size(), 2u);
+    total_b += plan.dma_in[0].bytes;
+    total_a += plan.dma_in[1].bytes;
+    total_c += plan.bytes_out();
+  }
+  EXPECT_EQ(total_a, 64u * 16 * 8);       // A chunked exactly once
+  EXPECT_EQ(total_c, 64u * 16 * 8);       // C chunked exactly once
+  EXPECT_EQ(total_b, 4u * 16 * 16 * 8);   // B replicated per cluster
+}
+
+TEST(GemmPlan, ComputeDominatesDataUnlikeDaxpy) {
+  // For GEMM the per-item compute (k^2 MACs) is far larger than the per-item
+  // data movement, so unlike DAXPY more clusters keep paying off at small n.
+  sim::Cycles t1 = 0, t8 = 0;
+  {
+    Soc soc(SocConfig::extended(8));
+    t1 = run_verified(soc, "gemm", 64, 1, 5).total();
+  }
+  {
+    Soc soc(SocConfig::extended(8));
+    t8 = run_verified(soc, "gemm", 64, 8, 5).total();
+  }
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t8), 3.0);
+}
+
+TEST(GemmErrors, ValidatesArguments) {
+  const kernels::GemmKernel k;
+  kernels::JobArgs args;
+  args.kernel_id = kernels::kGemmId;
+  args.n = 8;
+  args.aux = 0;  // k == 0
+  args.in0 = args.in1 = args.out0 = 0x8000'0000;
+  EXPECT_THROW(k.validate(args), std::invalid_argument);
+}
+
+// ---- workload preparation ------------------------------------------------------------
+
+TEST(Workloads, UnknownKernelRecipeThrows) {
+  // A kernel the recipe switch does not know: simulate by passing gemv's id
+  // through a custom kernel object is overkill — instead check the error for
+  // an id that is valid in the registry but feed prepare_workload a kernel
+  // object with an unexpected id via the registry path is impossible; the
+  // public contract is: every registered kernel has a recipe. Assert that.
+  Soc soc(SocConfig::extended(2));
+  sim::Rng rng(1);
+  for (const kernels::Kernel* k : soc.kernels().all()) {
+    EXPECT_NO_THROW(prepare_workload(soc, *k, 32, 2, rng)) << k->name();
+  }
+}
+
+TEST(Workloads, PreparedJobsAreIndependent) {
+  // Two preparations on one SoC must not alias each other's arrays.
+  Soc soc(SocConfig::extended(4));
+  sim::Rng rng(2);
+  auto a = prepare_workload(soc, soc.kernels().by_name("daxpy"), 64, 4, rng);
+  auto b = prepare_workload(soc, soc.kernels().by_name("daxpy"), 64, 4, rng);
+  EXPECT_NE(a.args.in0, b.args.in0);
+  EXPECT_NE(a.args.out0, b.args.out0);
+  soc.run_offload(a.args, 4);
+  soc.run_offload(b.args, 4);
+  EXPECT_LT(a.max_abs_error(soc), 1e-12);
+  EXPECT_LT(b.max_abs_error(soc), 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Unit tests for the host model: sequential timed execution, polling loops,
+// interrupt handling, store-cost accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "host/host_core.h"
+#include "host/interrupt_controller.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::host;
+
+struct HostFixture : ::testing::Test {
+  sim::Simulator sim;
+  InterruptController intc{sim, "intc", 2};
+  HostConfig cfg;
+  HostFixture() {
+    cfg.hbm_load_cycles = 36;
+    cfg.poll_loop_overhead = 2;
+    cfg.irq_take_cycles = 20;
+    cfg.irq_handler_cycles = 52;
+  }
+};
+
+TEST_F(HostFixture, ExecRunsAfterCost) {
+  HostCore host(sim, "host", cfg, intc, 0);
+  sim::Cycle at = 0;
+  host.exec(17, [&] { at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(at, 17u);
+  EXPECT_EQ(host.busy_cycles(), 17u);
+}
+
+TEST_F(HostFixture, ExecChainsSequentially) {
+  HostCore host(sim, "host", cfg, intc, 0);
+  std::vector<sim::Cycle> at;
+  host.exec(5, [&] {
+    at.push_back(sim.now());
+    host.exec(7, [&] { at.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(at, (std::vector<sim::Cycle>{5, 12}));
+}
+
+TEST_F(HostFixture, StoreCostUsesConfiguredRate) {
+  HostCore host(sim, "host", cfg, intc, 0);  // default 3/2 cycles per word
+  EXPECT_EQ(host.store_cost(6), 9u);
+  EXPECT_EQ(host.store_cost(1), 2u);  // ceil(1.5)
+  EXPECT_EQ(host.store_cost(0), 0u);
+}
+
+TEST_F(HostFixture, WaitForIrqResumesAfterTakeAndHandler) {
+  HostCore host(sim, "host", cfg, intc, 0);
+  sim::Cycle resumed = 0;
+  host.wait_for_irq([&] { resumed = sim.now(); });
+  sim.schedule_at(100, [&] { intc.raise(0); });
+  sim.run();
+  EXPECT_EQ(resumed, 100u + 20u + 52u);
+  EXPECT_EQ(host.irqs_taken(), 1u);
+}
+
+TEST_F(HostFixture, IrqBeforeWaitIsLatched) {
+  HostCore host(sim, "host", cfg, intc, 0);
+  intc.raise(0);  // job finished before the host reached WFI
+  sim::Cycle resumed = 0;
+  sim.schedule_at(10, [&] { host.wait_for_irq([&] { resumed = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(resumed, 10u + 72u);
+  EXPECT_TRUE(!intc.pending(0));
+}
+
+TEST_F(HostFixture, PollUntilIteratesAtFixedPeriod) {
+  HostCore host(sim, "host", cfg, intc, 0);  // period 38
+  bool flag = false;
+  sim::Cycle detected = 0;
+  sim.schedule_at(100, [&] { flag = true; });
+  host.poll_until([&] { return flag; }, [&] { detected = sim.now(); });
+  sim.run();
+  // Polls end at 38, 76, 114; the first iteration ending at/after 100 wins.
+  EXPECT_EQ(detected, 114u);
+  EXPECT_EQ(host.polls(), 3u);
+}
+
+TEST_F(HostFixture, PollUntilImmediateConditionStillCostsOneIteration) {
+  HostCore host(sim, "host", cfg, intc, 0);
+  sim::Cycle detected = 0;
+  host.poll_until([] { return true; }, [&] { detected = sim.now(); });
+  sim.run();
+  EXPECT_EQ(detected, 38u);
+  EXPECT_EQ(host.polls(), 1u);
+}
+
+// ---- interrupt controller --------------------------------------------------
+
+TEST(InterruptController, HandlerFiresOnRaise) {
+  sim::Simulator sim;
+  InterruptController intc(sim, "intc", 1);
+  int hits = 0;
+  intc.attach(0, [&] { ++hits; });
+  intc.raise(0);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(intc.raises(), 1u);
+}
+
+TEST(InterruptController, HandlerIsOneShot) {
+  sim::Simulator sim;
+  InterruptController intc(sim, "intc", 1);
+  int hits = 0;
+  intc.attach(0, [&] { ++hits; });
+  intc.raise(0);
+  intc.raise(0);  // second raise latches pending, no handler
+  EXPECT_EQ(hits, 1);
+  EXPECT_TRUE(intc.pending(0));
+}
+
+TEST(InterruptController, PendingDeliveredOnAttach) {
+  sim::Simulator sim;
+  InterruptController intc(sim, "intc", 1);
+  intc.raise(0);
+  int hits = 0;
+  intc.attach(0, [&] { ++hits; });
+  EXPECT_EQ(hits, 1);
+  EXPECT_FALSE(intc.pending(0));
+}
+
+TEST(InterruptController, LinesAreIndependent) {
+  sim::Simulator sim;
+  InterruptController intc(sim, "intc", 2);
+  int a = 0, b = 0;
+  intc.attach(0, [&] { ++a; });
+  intc.attach(1, [&] { ++b; });
+  intc.raise(1);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(InterruptController, BadLineThrows) {
+  sim::Simulator sim;
+  InterruptController intc(sim, "intc", 1);
+  EXPECT_THROW(intc.raise(1), std::out_of_range);
+  EXPECT_THROW(intc.attach(7, [] {}), std::out_of_range);
+  EXPECT_THROW(InterruptController(sim, "i", 0), std::invalid_argument);
+}
+
+}  // namespace

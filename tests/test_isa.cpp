@@ -1,0 +1,375 @@
+// Unit tests for the worker-core micro-ISA: functional semantics, pipeline
+// timing (hand-computed stall patterns), FREP/SSR behaviour, and the DAXPY
+// microkernel ladder that validates the calibrated compute rate.
+#include <gtest/gtest.h>
+
+#include "isa/core_model.h"
+#include "isa/microkernels.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::isa;
+
+struct IsaFixture : ::testing::Test {
+  sim::Simulator sim;
+  mem::Tcdm tcdm{sim, "tcdm", mem::TcdmConfig{4096, 32, 8}};
+  CoreModel core{tcdm};
+};
+
+// ---- functional semantics ----------------------------------------------------
+
+TEST_F(IsaFixture, FldFsdRoundTrip) {
+  tcdm.write_f64(64, 2.5);
+  const Program p{fld(4, 1, 64), fsd(4, 1, 72), halt()};
+  core.set_x(1, 0);
+  const auto r = core.run(p);
+  EXPECT_TRUE(r.halted);
+  EXPECT_DOUBLE_EQ(tcdm.read_f64(72), 2.5);
+  EXPECT_DOUBLE_EQ(core.f(4), 2.5);
+}
+
+TEST_F(IsaFixture, FpArithmetic) {
+  core.set_f(4, 3.0);
+  core.set_f(5, -2.0);
+  core.set_f(6, 10.0);
+  const Program p{fmadd(7, 4, 5, 6), fadd(8, 4, 5), fmul(9, 4, 5), fmax(10, 4, 5),
+                  fmv(11, 4), halt()};
+  core.run(p);
+  EXPECT_DOUBLE_EQ(core.f(7), 3.0 * -2.0 + 10.0);
+  EXPECT_DOUBLE_EQ(core.f(8), 1.0);
+  EXPECT_DOUBLE_EQ(core.f(9), -6.0);
+  EXPECT_DOUBLE_EQ(core.f(10), 3.0);
+  EXPECT_DOUBLE_EQ(core.f(11), 3.0);
+}
+
+TEST_F(IsaFixture, AddiAndX0Hardwired) {
+  const Program p{addi(1, 0, 42), addi(0, 1, 7), halt()};
+  core.run(p);
+  EXPECT_EQ(core.x(1), 42);
+  EXPECT_EQ(core.x(0), 0);  // writes to x0 are ignored
+}
+
+TEST_F(IsaFixture, BranchLoopCountsCorrectly) {
+  // x1 counts 0..5
+  const Program p{addi(1, 0, 0), addi(2, 0, 5), addi(1, 1, 1), bne(1, 2, -1), halt()};
+  core.run(p);
+  EXPECT_EQ(core.x(1), 5);
+}
+
+TEST_F(IsaFixture, BltSemantics) {
+  const Program p{addi(1, 0, 3), addi(2, 0, 5), blt(1, 2, 2), addi(3, 0, 99), halt()};
+  core.run(p);
+  EXPECT_EQ(core.x(3), 0);  // skipped by the taken blt
+}
+
+// ---- timing ------------------------------------------------------------------
+
+TEST_F(IsaFixture, IndependentInstructionsIssueOnePerCycle) {
+  const Program p{addi(1, 0, 1), addi(2, 0, 2), addi(3, 0, 3), halt()};
+  const auto r = core.run(p);
+  EXPECT_EQ(r.cycles, 4u);  // 3 addi + halt
+}
+
+TEST_F(IsaFixture, FpDependencyStallsConsumer) {
+  core.set_f(4, 1.0);
+  core.set_f(5, 1.0);
+  // fadd issues at 0 (ready at 3); dependent fadd stalls to 3; halt at 4.
+  const Program p{fadd(6, 4, 5), fadd(7, 6, 4), halt()};
+  const auto r = core.run(p);
+  EXPECT_EQ(r.cycles, 5u);
+}
+
+TEST_F(IsaFixture, LoadUseStall) {
+  tcdm.write_f64(0, 1.0);
+  // fld issues at 0 (ready 2); fsd of the loaded reg stalls to 2; halt 3.
+  const Program p{fld(4, 1, 0), fsd(4, 1, 8), halt()};
+  const auto r = core.run(p);
+  EXPECT_EQ(r.cycles, 4u);
+}
+
+TEST_F(IsaFixture, TakenBranchPaysPenalty) {
+  // Not-taken path: addi, bne(not taken), halt = 3 cycles.
+  const Program p1{addi(1, 0, 1), bne(1, 1, 1), halt()};
+  EXPECT_EQ(CoreModel(tcdm).run(p1).cycles, 3u);
+  // Taken branch adds the 2-cycle flush: addi, bne(taken, +2 penalty), halt.
+  const Program p2{addi(1, 0, 1), bne(1, 0, 1), halt()};
+  EXPECT_EQ(CoreModel(tcdm).run(p2).cycles, 5u);
+}
+
+TEST_F(IsaFixture, FrepRepeatsWithZeroOverhead) {
+  // frep x1 times over a single fadd: cycles = 1(frep) + n + 1(halt)
+  // once the pipeline is limited by issue only (no dependency on itself:
+  // accumulate into distinct regs? fadd f6 <- f4+f5 repeatedly is fine: its
+  // sources are always ready after the first).
+  core.set_x(1, 10);
+  core.set_f(4, 1.0);
+  core.set_f(5, 2.0);
+  const Program p{frep(1, 1), fadd(6, 4, 5), halt()};
+  const auto r = core.run(p);
+  EXPECT_EQ(r.cycles, 1u + 10u + 1u);
+  EXPECT_EQ(r.instructions, 1u + 10u + 1u);
+}
+
+TEST_F(IsaFixture, FrepCountZeroSkipsBody) {
+  core.set_x(1, 0);
+  const Program p{frep(1, 1), addi(2, 0, 9), halt()};
+  core.run(p);
+  EXPECT_EQ(core.x(2), 0);
+}
+
+// ---- SSR ---------------------------------------------------------------------
+
+TEST_F(IsaFixture, SsrStreamsReadAndWrite) {
+  tcdm.write_f64_array(0, std::vector<double>{1, 2, 3, 4});
+  core.set_x(1, 0);    // read base
+  core.set_x(2, 256);  // write base
+  core.set_x(3, 4);
+  core.set_f(10, 1.0);
+  core.set_f(11, 0.0);
+  // ft2 = 1.0*ft0 + 0.0 for each element == streaming copy.
+  const Program p{ssr_cfg(0, 1, 8), ssr_cfg(2, 2, 8), ssr_enable(true), frep(3, 1),
+                  fmadd(2, 10, 0, 11), ssr_enable(false), halt()};
+  core.run(p);
+  EXPECT_EQ(tcdm.read_f64_array(256, 4), (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST_F(IsaFixture, SsrUnconfiguredStreamThrows) {
+  core.set_x(3, 1);
+  const Program p{ssr_enable(true), fmadd(5, 10, 0, 11), halt()};
+  EXPECT_THROW(core.run(p), std::logic_error);
+}
+
+TEST_F(IsaFixture, FldToStreamRegWhileSsrEnabledThrows) {
+  const Program p{ssr_enable(true), fld(0, 1, 0), halt()};
+  EXPECT_THROW(core.run(p), std::logic_error);
+}
+
+// ---- error handling ------------------------------------------------------------
+
+TEST_F(IsaFixture, FallingOffProgramThrows) {
+  const Program p{addi(1, 0, 1)};
+  EXPECT_THROW(core.run(p), std::invalid_argument);
+}
+
+TEST_F(IsaFixture, BranchOutOfBoundsThrows) {
+  const Program p{addi(1, 0, 1), bne(1, 0, 100), halt()};
+  EXPECT_THROW(core.run(p), std::invalid_argument);
+}
+
+TEST_F(IsaFixture, NestedFrepThrows) {
+  core.set_x(1, 2);
+  const Program p{frep(1, 2), frep(1, 1), addi(2, 0, 1), halt()};
+  EXPECT_THROW(core.run(p), std::invalid_argument);
+}
+
+TEST_F(IsaFixture, OutOfTcdmLoadThrows) {
+  const Program p{fld(4, 1, 1 << 20), halt()};
+  EXPECT_THROW(core.run(p), std::out_of_range);
+}
+
+TEST_F(IsaFixture, CycleBudgetStopsRunawayProgram) {
+  const Program p{addi(1, 0, 0), bne(1, 2, 0), halt()};  // branch to self? rel 0 = self
+  // rel 0 branches to itself forever (x2 defaults to 0 -> not taken actually);
+  // force an infinite loop: bne x0-compare never equal.
+  const Program loop{addi(1, 0, 1), bne(1, 0, 0), halt()};
+  const auto r = core.run(loop, 1000);
+  EXPECT_FALSE(r.halted);
+  EXPECT_GE(r.cycles, 1000u);
+  (void)p;
+}
+
+// ---- DAXPY microkernels ---------------------------------------------------------
+
+class DaxpyMicro : public ::testing::TestWithParam<DaxpyVariant> {};
+
+TEST_P(DaxpyMicro, ComputesCorrectResult) {
+  const auto m = measure_daxpy(GetParam(), 64, 5);
+  EXPECT_TRUE(m.verified) << to_string(GetParam());
+  EXPECT_GT(m.cycles, 0u);
+}
+
+TEST_P(DaxpyMicro, RatePerElementIsStable) {
+  // cycles/element at n=64 and n=256 should agree within the constant
+  // setup's amortization (rate is a property of the loop, not the size).
+  const auto small = measure_daxpy(GetParam(), 64, 5);
+  const auto big = measure_daxpy(GetParam(), 256, 6);
+  EXPECT_NEAR(small.cycles_per_element, big.cycles_per_element,
+              0.2 + 16.0 / 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, DaxpyMicro,
+                         ::testing::Values(DaxpyVariant::kScalar, DaxpyVariant::kUnrolled4,
+                                           DaxpyVariant::kSsrFrep),
+                         [](const auto& param_info) { return std::string(to_string(param_info.param)); });
+
+TEST(DaxpyMicroLadder, OptimizationLevelsOrderAsExpected) {
+  const double scalar = measure_daxpy(DaxpyVariant::kScalar, 256).cycles_per_element;
+  const double unrolled = measure_daxpy(DaxpyVariant::kUnrolled4, 256).cycles_per_element;
+  const double ssr = measure_daxpy(DaxpyVariant::kSsrFrep, 256).cycles_per_element;
+  EXPECT_GT(scalar, unrolled);
+  EXPECT_GT(unrolled, ssr);
+  EXPECT_NEAR(ssr, 1.0, 0.1);  // steady state: one fmadd issue per element
+}
+
+TEST(DaxpyMicroLadder, CalibratedRateIsBracketedByRealCode) {
+  // The cluster model's 2.6 cycles/element (paper Eq. 1) must be attainable:
+  // faster than naive compiled code, slower than hand-optimal SSR+FREP.
+  const double scalar = measure_daxpy(DaxpyVariant::kScalar, 1024).cycles_per_element;
+  const double ssr = measure_daxpy(DaxpyVariant::kSsrFrep, 1024).cycles_per_element;
+  EXPECT_LT(ssr, 2.6);
+  EXPECT_GT(scalar, 2.6);
+}
+
+TEST(DaxpyMicro, UnrolledRejectsNonMultipleOf4) {
+  EXPECT_THROW(measure_daxpy(DaxpyVariant::kUnrolled4, 63), std::invalid_argument);
+}
+
+TEST(DaxpyMicro, ZeroElementsRejected) {
+  EXPECT_THROW(measure_daxpy(DaxpyVariant::kScalar, 0), std::invalid_argument);
+}
+
+// ---- SUM microkernels: accumulator-chain effect ---------------------------------
+
+TEST(SumMicro, BothVariantsComputeCorrectSums) {
+  for (const auto v : {SumVariant::kSingleAccumulator, SumVariant::kSplitAccumulators}) {
+    const auto m = measure_sum(v, 96, 9);
+    EXPECT_TRUE(m.verified) << to_string(v);
+  }
+}
+
+TEST(SumMicro, SingleAccumulatorSerializesOnFpLatency) {
+  const auto m = measure_sum(SumVariant::kSingleAccumulator, 300);
+  EXPECT_NEAR(m.cycles_per_element, 3.0, 0.1);  // fadd latency bound
+}
+
+TEST(SumMicro, SplitAccumulatorsReachIssueRate) {
+  const auto m = measure_sum(SumVariant::kSplitAccumulators, 300);
+  EXPECT_NEAR(m.cycles_per_element, 1.0, 0.1);
+}
+
+TEST(SumMicro, SplitNeedsMultipleOfThree) {
+  EXPECT_THROW(measure_sum(SumVariant::kSplitAccumulators, 100), std::invalid_argument);
+}
+
+TEST(SumMicro, VecSumCalibratedRateIsBracketed) {
+  // The cluster model uses 1.8 cycles/element for vecsum — between the
+  // latency-bound naive loop and the issue-bound split-accumulator loop.
+  const double naive = measure_sum(SumVariant::kSingleAccumulator, 900).cycles_per_element;
+  const double split = measure_sum(SumVariant::kSplitAccumulators, 900).cycles_per_element;
+  EXPECT_GT(naive, 1.8);
+  EXPECT_LT(split, 1.8);
+}
+
+// ---- SSR stride variations --------------------------------------------------------
+
+TEST_F(IsaFixture, SsrStridedGather) {
+  // Read every second element (stride 16 bytes) and write them packed.
+  tcdm.write_f64_array(0, std::vector<double>{1, 9, 2, 9, 3, 9, 4, 9});
+  core.set_x(1, 0);
+  core.set_x(2, 256);
+  core.set_x(3, 4);
+  core.set_f(10, 1.0);
+  core.set_f(11, 0.0);
+  const Program p{ssr_cfg(0, 1, 16), ssr_cfg(2, 2, 8), ssr_enable(true), frep(3, 1),
+                  fmadd(2, 10, 0, 11), ssr_enable(false), halt()};
+  core.run(p);
+  EXPECT_EQ(tcdm.read_f64_array(256, 4), (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST_F(IsaFixture, SsrNegativeStrideReverses) {
+  tcdm.write_f64_array(0, std::vector<double>{1, 2, 3, 4});
+  core.set_x(1, 24);  // start at the last element
+  core.set_x(2, 256);
+  core.set_x(3, 4);
+  core.set_f(10, 1.0);
+  core.set_f(11, 0.0);
+  const Program p{ssr_cfg(0, 1, -8), ssr_cfg(2, 2, 8), ssr_enable(true), frep(3, 1),
+                  fmadd(2, 10, 0, 11), ssr_enable(false), halt()};
+  core.run(p);
+  EXPECT_EQ(tcdm.read_f64_array(256, 4), (std::vector<double>{4, 3, 2, 1}));
+}
+
+// ---- streaming elementwise bodies ---------------------------------------------------
+
+class StreamOpCase : public ::testing::TestWithParam<StreamOp> {};
+
+TEST_P(StreamOpCase, ComputesCorrectlyAndAtExpectedRate) {
+  const StreamOp op = GetParam();
+  sim::Simulator sim;
+  mem::Tcdm tcdm(sim, "t", mem::TcdmConfig{8192, 32, 8});
+  const std::uint64_t n = 64;
+  sim::Rng rng(5);
+  std::vector<double> a(n), b(n);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  tcdm.write_f64_array(0, a);
+  tcdm.write_f64_array(n * 8, b);
+
+  CoreModel core(tcdm);
+  core.set_x(1, 0);
+  core.set_x(2, static_cast<std::int64_t>(n * 8));
+  core.set_x(6, static_cast<std::int64_t>(2 * n * 8));
+  core.set_x(3, static_cast<std::int64_t>(n));
+  const double alpha = 1.5;
+  const double beta = -0.75;
+  core.set_f(10, alpha);
+  core.set_f(13, beta);
+  core.set_f(11, 0.0);
+  const auto r = core.run(build_elementwise_stream(op));
+  ASSERT_TRUE(r.halted);
+
+  const auto got = tcdm.read_f64_array(2 * n * 8, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    double expect = 0;
+    switch (op) {
+      case StreamOp::kCopy: expect = a[i]; break;
+      case StreamOp::kScale: expect = alpha * a[i]; break;
+      case StreamOp::kRelu: expect = std::max(a[i], 0.0); break;
+      case StreamOp::kAdd: expect = a[i] + b[i]; break;
+      case StreamOp::kMul: expect = a[i] * b[i]; break;
+      case StreamOp::kAxpy: expect = alpha * a[i] + b[i]; break;
+      case StreamOp::kAxpby: expect = alpha * a[i] + beta * b[i]; break;
+      case StreamOp::kFill: expect = alpha; break;
+    }
+    ASSERT_DOUBLE_EQ(got[i], expect) << to_string(op) << " i=" << i;
+  }
+  // Single-instruction bodies run at ~1 cycle/element; axpby's dependent
+  // 2-instruction body is FP-latency bound (~4/element).
+  const double cpe = static_cast<double>(r.cycles) / static_cast<double>(n);
+  if (op == StreamOp::kAxpby) {
+    EXPECT_GT(cpe, 3.0);
+  } else {
+    EXPECT_LT(cpe, 1.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, StreamOpCase,
+                         ::testing::Values(StreamOp::kCopy, StreamOp::kScale, StreamOp::kRelu,
+                                           StreamOp::kAdd, StreamOp::kMul, StreamOp::kAxpy,
+                                           StreamOp::kAxpby, StreamOp::kFill),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(StreamOpMeta, InputCountsMatchBodies) {
+  EXPECT_EQ(stream_op_inputs(StreamOp::kFill), 0u);
+  EXPECT_EQ(stream_op_inputs(StreamOp::kScale), 1u);
+  EXPECT_EQ(stream_op_inputs(StreamOp::kAxpby), 2u);
+}
+
+TEST(CoreReuse, SameCoreRunsConsecutivePrograms) {
+  sim::Simulator sim;
+  mem::Tcdm tcdm(sim, "t", mem::TcdmConfig{1024, 4, 8});
+  CoreModel core(tcdm);
+  const Program p1{addi(1, 0, 5), halt()};
+  const Program p2{addi(2, 1, 3), halt()};
+  core.run(p1);
+  const auto r2 = core.run(p2);
+  EXPECT_TRUE(r2.halted);
+  EXPECT_EQ(core.x(2), 8);  // state carries across runs, like a real core
+}
+
+}  // namespace

@@ -1,0 +1,414 @@
+// Unit tests for the kernel library: payload protocol, chunking, plans,
+// timing rates, and functional execution through a memory-only mini-harness
+// (no event simulation — the cluster/timing path is covered by test_soc).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "kernels/blas1.h"
+#include "kernels/gemm.h"
+#include "kernels/gemv.h"
+#include "kernels/job_args.h"
+#include "kernels/reductions.h"
+#include "kernels/registry.h"
+#include "mem/main_memory.h"
+#include "mem/tcdm.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::kernels;
+
+// ---- split_chunk -----------------------------------------------------------
+
+TEST(SplitChunk, EvenSplit) {
+  const auto r = split_chunk(100, 3, 4);
+  EXPECT_EQ(r.begin, 75u);
+  EXPECT_EQ(r.count, 25u);
+}
+
+TEST(SplitChunk, RemainderGoesToFirstChunks) {
+  // 10 over 4: 3,3,2,2
+  EXPECT_EQ(split_chunk(10, 0, 4).count, 3u);
+  EXPECT_EQ(split_chunk(10, 1, 4).count, 3u);
+  EXPECT_EQ(split_chunk(10, 2, 4).count, 2u);
+  EXPECT_EQ(split_chunk(10, 3, 4).count, 2u);
+}
+
+TEST(SplitChunk, FewerItemsThanParts) {
+  EXPECT_EQ(split_chunk(2, 0, 4).count, 1u);
+  EXPECT_EQ(split_chunk(2, 1, 4).count, 1u);
+  EXPECT_EQ(split_chunk(2, 2, 4).count, 0u);
+  EXPECT_EQ(split_chunk(2, 3, 4).count, 0u);
+}
+
+TEST(SplitChunk, Errors) {
+  EXPECT_THROW(split_chunk(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(split_chunk(10, 4, 4), std::out_of_range);
+}
+
+class SplitChunkProperty : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>> {};
+
+TEST_P(SplitChunkProperty, CoversExactlyOnceContiguouslyAndBalanced) {
+  const auto [n, parts] = GetParam();
+  std::uint64_t covered = 0;
+  std::uint64_t next_begin = 0;
+  std::uint64_t mx = 0, mn = n + 1;
+  for (unsigned i = 0; i < parts; ++i) {
+    const auto r = split_chunk(n, i, parts);
+    EXPECT_EQ(r.begin, next_begin);
+    next_begin += r.count;
+    covered += r.count;
+    mx = std::max(mx, r.count);
+    mn = std::min(mn, r.count);
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_LE(mx - mn, 1u);                                  // balanced
+  EXPECT_EQ(mx, (n + parts - 1) / parts);                  // largest = ceil
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SplitChunkProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 7, 64, 1000, 1024, 65537),
+                                            ::testing::Values(1, 2, 3, 8, 32, 64)));
+
+// ---- payload protocol ------------------------------------------------------
+
+TEST(Payload, HeaderRoundTrip) {
+  JobArgs args;
+  args.kernel_id = kDaxpyId;
+  args.job_id = 77;
+  args.n = 1024;
+  const auto msg = marshal_payload(args, 32, {1, 2, 3});
+  const auto h = parse_header(msg);
+  EXPECT_EQ(h.job_id, 77u);
+  EXPECT_EQ(h.kernel_id, kDaxpyId);
+  EXPECT_EQ(h.num_clusters, 32u);
+  EXPECT_EQ(h.n, 1024u);
+  EXPECT_EQ(payload_args(msg), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Payload, ShortPayloadThrows) {
+  noc::DispatchMessage msg{{1, 2}};
+  EXPECT_THROW(parse_header(msg), std::invalid_argument);
+}
+
+TEST(Payload, ZeroClustersThrows) {
+  EXPECT_THROW(marshal_payload(JobArgs{}, 0, {}), std::invalid_argument);
+}
+
+TEST(Payload, F64BitsRoundTrip) {
+  for (const double v : {0.0, -1.5, 3.141592653589793, 1e300}) {
+    EXPECT_EQ(bits_f64(f64_bits(v)), v);
+  }
+}
+
+TEST(Payload, DaxpyDispatchIsSixWords) {
+  // Header (3) + alpha + x + y: the per-cluster dispatch cost in the paper's
+  // baseline is tied to this count.
+  const DaxpyKernel k;
+  JobArgs args;
+  args.kernel_id = kDaxpyId;
+  args.n = 8;
+  args.in0 = 0x8000'0000;
+  args.out0 = 0x8000'1000;
+  EXPECT_EQ(dispatch_words(k, args), 6u);
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(Registry, StandardHasAllKernels) {
+  const auto reg = KernelRegistry::standard();
+  EXPECT_EQ(reg.size(), 13u);
+  EXPECT_EQ(reg.by_name("daxpy").id(), kDaxpyId);
+  EXPECT_EQ(reg.by_id(kGemvId).name(), "gemv");
+}
+
+TEST(Registry, UnknownLookupsThrow) {
+  const auto reg = KernelRegistry::standard();
+  EXPECT_THROW(reg.by_id(9999), std::out_of_range);
+  EXPECT_THROW(reg.by_name("nope"), std::out_of_range);
+}
+
+TEST(Registry, DuplicateIdRejected) {
+  KernelRegistry reg;
+  reg.register_kernel(std::make_unique<DaxpyKernel>());
+  EXPECT_THROW(reg.register_kernel(std::make_unique<DaxpyKernel>()), std::invalid_argument);
+}
+
+TEST(Registry, NullKernelRejected) {
+  KernelRegistry reg;
+  EXPECT_THROW(reg.register_kernel(nullptr), std::invalid_argument);
+}
+
+// ---- per-kernel properties (parameterized over the registry) ---------------
+
+/// Build representative valid JobArgs for any kernel.
+JobArgs representative_args(const Kernel& k, std::uint64_t n) {
+  JobArgs args;
+  args.kernel_id = k.id();
+  args.n = n;
+  args.alpha = 1.25;
+  args.beta = -0.5;
+  args.in0 = 0x8000'0000;
+  args.in1 = 0x8001'0000;
+  args.out0 = 0x8002'0000;
+  args.out1 = 0x8003'0000;
+  args.aux = 16;  // gemv cols
+  return args;
+}
+
+class KernelProperty : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  KernelRegistry reg_ = KernelRegistry::standard();
+  const Kernel& kernel() const { return reg_.by_id(GetParam()); }
+};
+
+TEST_P(KernelProperty, MarshalUnmarshalIsIdempotent) {
+  const Kernel& k = kernel();
+  const JobArgs args = representative_args(k, 64);
+  const auto words = k.marshal_args(args);
+  PayloadHeader h;
+  h.kernel_id = k.id();
+  h.job_id = args.job_id;
+  h.n = args.n;
+  h.num_clusters = 4;
+  const JobArgs back = k.unmarshal(h, words);
+  EXPECT_EQ(k.marshal_args(back), words);
+  EXPECT_EQ(back.n, args.n);
+  EXPECT_EQ(back.kernel_id, k.id());
+}
+
+TEST_P(KernelProperty, UnmarshalRejectsWrongWordCount) {
+  const Kernel& k = kernel();
+  const JobArgs args = representative_args(k, 64);
+  auto words = k.marshal_args(args);
+  words.push_back(0);
+  PayloadHeader h;
+  h.kernel_id = k.id();
+  h.n = args.n;
+  h.num_clusters = 1;
+  EXPECT_THROW(k.unmarshal(h, words), std::invalid_argument);
+}
+
+TEST_P(KernelProperty, PlansPartitionAllItems) {
+  const Kernel& k = kernel();
+  for (const unsigned parts : {1u, 3u, 8u, 32u}) {
+    const JobArgs args = representative_args(k, 100);
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < parts; ++i) total += k.plan_cluster(args, i, parts).items;
+    EXPECT_EQ(total, 100u) << k.name() << " parts=" << parts;
+  }
+}
+
+TEST_P(KernelProperty, PlanSegmentsFitFootprint) {
+  const Kernel& k = kernel();
+  const JobArgs args = representative_args(k, 64);
+  const auto plan = k.plan_cluster(args, 0, 2);
+  for (const auto& seg : plan.dma_in) {
+    EXPECT_LE(seg.tcdm_off + seg.bytes, plan.tcdm_footprint());
+  }
+  for (const auto& seg : plan.dma_out) {
+    EXPECT_LE(seg.tcdm_off + seg.bytes, plan.tcdm_footprint());
+  }
+}
+
+TEST_P(KernelProperty, EveryClusterWritesOutputWhenItHasItems) {
+  const Kernel& k = kernel();
+  const JobArgs args = representative_args(k, 64);
+  const auto plan = k.plan_cluster(args, 1, 4);
+  ASSERT_GT(plan.items, 0u);
+  EXPECT_GT(plan.bytes_out(), 0u) << k.name();
+}
+
+TEST_P(KernelProperty, EmptyChunkHasEmptyPlan) {
+  const Kernel& k = kernel();
+  const JobArgs args = representative_args(k, 2);
+  const auto plan = k.plan_cluster(args, 3, 4);  // chunk 3 of 4 over n=2: empty
+  EXPECT_EQ(plan.items, 0u);
+  EXPECT_TRUE(plan.dma_in.empty());
+  EXPECT_TRUE(plan.dma_out.empty());
+}
+
+TEST_P(KernelProperty, WorkerCyclesMonotoneInItems) {
+  const Kernel& k = kernel();
+  const JobArgs args = representative_args(k, 1024);
+  sim::Cycles prev = 0;
+  for (const std::uint64_t items : {0ull, 1ull, 10ull, 100ull, 1000ull}) {
+    const sim::Cycles c = k.worker_cycles(args, items);
+    EXPECT_GE(c, prev) << k.name();
+    prev = c;
+  }
+  EXPECT_EQ(k.worker_cycles(args, 0), 0u);
+}
+
+TEST_P(KernelProperty, ValidateRejectsZeroN) {
+  const Kernel& k = kernel();
+  JobArgs args = representative_args(k, 0);
+  EXPECT_THROW(k.validate(args), std::invalid_argument);
+}
+
+TEST_P(KernelProperty, ValidateRejectsWrongKernelId) {
+  const Kernel& k = kernel();
+  JobArgs args = representative_args(k, 8);
+  args.kernel_id = k.id() + 1000;
+  EXPECT_THROW(k.validate(args), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelProperty,
+                         ::testing::Values(kDaxpyId, kSaxpyId, kAxpbyId, kScaleId, kVecAddId,
+                                           kVecMulId, kReluId, kFillId, kMemcpyId, kDotId, kVecSumId,
+                                           kGemvId, kGemmId),
+                         [](const auto& param_info) {
+                           return KernelRegistry::standard().by_id(param_info.param).name();
+                         });
+
+// ---- functional execution through a memory-only harness --------------------
+
+/// Executes a kernel the way a cluster would — DMA-in per plan, execute,
+/// DMA-out per plan — but with plain memcpy instead of timed DMA.
+void run_functionally(const Kernel& k, const JobArgs& args, unsigned parts,
+                      mem::MainMemory& main_mem, const mem::AddressMap& map,
+                      sim::Simulator& sim) {
+  for (unsigned i = 0; i < parts; ++i) {
+    const auto plan = k.plan_cluster(args, i, parts);
+    mem::Tcdm tcdm(sim, "t", mem::TcdmConfig{});
+    ASSERT_LE(plan.tcdm_footprint(), tcdm.size());
+    for (const auto& seg : plan.dma_in) {
+      std::memcpy(tcdm.data(seg.tcdm_off, seg.bytes),
+                  std::as_const(main_mem).data(map.hbm_offset(seg.hbm), seg.bytes), seg.bytes);
+    }
+    k.execute_cluster(tcdm, args, i, parts);
+    for (const auto& seg : plan.dma_out) {
+      std::memcpy(main_mem.data(map.hbm_offset(seg.hbm), seg.bytes),
+                  std::as_const(tcdm).data(seg.tcdm_off, seg.bytes), seg.bytes);
+    }
+  }
+  k.host_epilogue(main_mem, map, args, parts);
+}
+
+class FunctionalDaxpy : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>> {};
+
+TEST_P(FunctionalDaxpy, MatchesReferenceForAnyPartitioning) {
+  const auto [n, parts] = GetParam();
+  sim::Simulator sim;
+  mem::AddressMap map;
+  mem::MainMemory main_mem(1 << 22);
+  sim::Rng rng(n * 31 + parts);
+
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  main_mem.write_f64_array(0, x);
+  main_mem.write_f64_array(n * 8, y);
+
+  DaxpyKernel k;
+  JobArgs args;
+  args.kernel_id = kDaxpyId;
+  args.n = n;
+  args.alpha = 2.5;
+  args.in0 = map.hbm_base();
+  args.out0 = map.hbm_base() + n * 8;
+  run_functionally(k, args, parts, main_mem, map, sim);
+
+  const auto got = main_mem.read_f64_array(n * 8, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(got[i], 2.5 * x[i] + y[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FunctionalDaxpy,
+                         ::testing::Combine(::testing::Values(1, 7, 64, 1000, 1024),
+                                            ::testing::Values(1, 2, 8, 32)));
+
+TEST(FunctionalDot, PartialsAndEpilogueMatchReference) {
+  sim::Simulator sim;
+  mem::AddressMap map;
+  mem::MainMemory main_mem(1 << 22);
+  const std::uint64_t n = 777;
+  const unsigned parts = 8;
+  sim::Rng rng(5);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  main_mem.write_f64_array(0, x);
+  main_mem.write_f64_array(n * 8, y);
+
+  DotKernel k;
+  JobArgs args;
+  args.kernel_id = kDotId;
+  args.n = n;
+  args.in0 = map.hbm_base();
+  args.in1 = map.hbm_base() + n * 8;
+  args.out0 = map.hbm_base() + 2 * n * 8;
+  args.out1 = map.hbm_base() + 2 * n * 8 + parts * 8;
+  run_functionally(k, args, parts, main_mem, map, sim);
+
+  const double expected = std::inner_product(x.begin(), x.end(), y.begin(), 0.0);
+  const double got = main_mem.read_f64(map.hbm_offset(args.out1));
+  EXPECT_NEAR(got, expected, 1e-9);
+}
+
+TEST(FunctionalGemv, MatchesReference) {
+  sim::Simulator sim;
+  mem::AddressMap map;
+  mem::MainMemory main_mem(1 << 22);
+  const std::uint64_t rows = 33;
+  const std::uint64_t cols = 16;
+  const unsigned parts = 4;
+  sim::Rng rng(6);
+  std::vector<double> a(rows * cols), x(cols);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  main_mem.write_f64_array(0, a);
+  main_mem.write_f64_array(rows * cols * 8, x);
+
+  GemvKernel k;
+  JobArgs args;
+  args.kernel_id = kGemvId;
+  args.n = rows;
+  args.aux = cols;
+  args.alpha = 0.5;
+  args.in0 = map.hbm_base();
+  args.in1 = map.hbm_base() + rows * cols * 8;
+  args.out0 = map.hbm_base() + (rows * cols + cols) * 8;
+  run_functionally(k, args, parts, main_mem, map, sim);
+
+  const auto got = main_mem.read_f64_array((rows * cols + cols) * 8, rows);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    double acc = 0;
+    for (std::uint64_t c = 0; c < cols; ++c) acc += a[r * cols + c] * x[c];
+    ASSERT_NEAR(got[r], 0.5 * acc, 1e-12) << r;
+  }
+}
+
+// ---- specific timing rates --------------------------------------------------
+
+TEST(DaxpyRate, IsPaperCalibrated26CyclesPerElement) {
+  const DaxpyKernel k;
+  EXPECT_DOUBLE_EQ(k.rate().as_double(), 2.6);
+  // ceil(2.6 * 4) = 11 — the worker share at M=32, N=1024.
+  EXPECT_EQ(k.worker_cycles(JobArgs{}, 4), 11u);
+  EXPECT_EQ(k.worker_cycles(JobArgs{}, 128), 333u);
+}
+
+TEST(GemvTiming, ScalesWithColumns) {
+  const GemvKernel k;
+  JobArgs narrow = representative_args(k, 8);
+  narrow.aux = 8;
+  JobArgs wide = representative_args(k, 8);
+  wide.aux = 64;
+  EXPECT_LT(k.worker_cycles(narrow, 10), k.worker_cycles(wide, 10));
+}
+
+TEST(ReductionEpilogue, CostGrowsWithClusters) {
+  const DotKernel k;
+  const JobArgs args = representative_args(k, 64);
+  EXPECT_LT(k.host_epilogue_cycles(args, 1), k.host_epilogue_cycles(args, 32));
+}
+
+}  // namespace

@@ -1,0 +1,297 @@
+// Unit tests for the memory subsystem: address decoding, backing stores, the
+// bandwidth-shared HBM controller, TCDM and the DMA engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/address_map.h"
+#include "mem/dma_engine.h"
+#include "mem/hbm_controller.h"
+#include "mem/main_memory.h"
+#include "mem/tcdm.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::mem;
+
+// ---- address map -----------------------------------------------------------
+
+TEST(AddressMap, DecodesRegions) {
+  const AddressMap map;
+  EXPECT_EQ(map.region_of(0x8000'0000), Region::kHbm);
+  EXPECT_EQ(map.region_of(0x1000'0000), Region::kTcdm);
+  EXPECT_EQ(map.region_of(0x0200'0000), Region::kSyncUnit);
+  EXPECT_EQ(map.region_of(0x0300'0000), Region::kMailbox);
+  EXPECT_EQ(map.region_of(0x0000'0000), Region::kUnmapped);
+}
+
+TEST(AddressMap, TcdmHoleBetweenWindows) {
+  const AddressMap map;  // 128 KiB usable in a 1 MiB stride
+  EXPECT_EQ(map.region_of(0x1000'0000 + 128 * 1024), Region::kUnmapped);
+  EXPECT_EQ(map.region_of(0x1010'0000), Region::kTcdm);  // cluster 1 base
+}
+
+TEST(AddressMap, ClusterOfTcdmAndMailbox) {
+  const AddressMap map;
+  EXPECT_EQ(map.cluster_of(map.tcdm_base(5) + 16), 5u);
+  EXPECT_EQ(map.cluster_of(map.mailbox_base(31)), 31u);
+}
+
+TEST(AddressMap, TcdmOffset) {
+  const AddressMap map;
+  EXPECT_EQ(map.tcdm_offset(map.tcdm_base(3) + 0x40), 0x40u);
+}
+
+TEST(AddressMap, HbmOffsetThrowsOutsideHbm) {
+  const AddressMap map;
+  EXPECT_THROW(map.hbm_offset(0x1000'0000), std::out_of_range);
+  EXPECT_EQ(map.hbm_offset(0x8000'0010), 0x10u);
+}
+
+TEST(AddressMap, ClusterIndexBoundsChecked) {
+  const AddressMap map;  // 32 clusters
+  EXPECT_THROW(map.tcdm_base(32), std::out_of_range);
+  EXPECT_THROW(map.mailbox_base(99), std::out_of_range);
+}
+
+TEST(AddressMap, DescribeIsHumanReadable) {
+  const AddressMap map;
+  EXPECT_EQ(map.describe(map.tcdm_base(2) + 8), "cluster2.tcdm+0x8");
+  EXPECT_EQ(map.describe(0x8000'0000), "hbm+0x0");
+}
+
+TEST(AddressMap, RejectsInvalidConfig) {
+  AddressMapConfig cfg;
+  cfg.num_clusters = 0;
+  EXPECT_THROW(AddressMap{cfg}, std::invalid_argument);
+  AddressMapConfig cfg2;
+  cfg2.tcdm_size = cfg2.tcdm_stride + 1;
+  EXPECT_THROW(AddressMap{cfg2}, std::invalid_argument);
+}
+
+// ---- main memory -----------------------------------------------------------
+
+TEST(MainMemory, RoundTripsDoubles) {
+  MainMemory m(4096);
+  m.write_f64(16, 3.25);
+  EXPECT_DOUBLE_EQ(m.read_f64(16), 3.25);
+}
+
+TEST(MainMemory, RoundTripsArrays) {
+  MainMemory m(4096);
+  const std::vector<double> v{1.0, -2.0, 3.5};
+  m.write_f64_array(64, v);
+  EXPECT_EQ(m.read_f64_array(64, 3), v);
+}
+
+TEST(MainMemory, BoundsChecked) {
+  MainMemory m(64);
+  EXPECT_THROW(m.read_u64(60), std::out_of_range);
+  EXPECT_THROW(m.write_f64(64, 1.0), std::out_of_range);
+  EXPECT_NO_THROW(m.write_f64(56, 1.0));
+}
+
+TEST(MainMemory, FillSetsBytes) {
+  MainMemory m(64);
+  m.fill(0, 8, 0xFF);
+  EXPECT_EQ(m.read_u64(0), ~0ull);
+}
+
+TEST(MainMemory, ZeroSizeRejected) { EXPECT_THROW(MainMemory{0}, std::invalid_argument); }
+
+// ---- hbm controller --------------------------------------------------------
+
+TEST(HbmController, SingleTransferLatency) {
+  sim::Simulator sim;
+  HbmConfig cfg;
+  cfg.beats_per_cycle = 12;
+  cfg.request_latency = 8;
+  cfg.num_ports = 4;
+  HbmController hbm(sim, "hbm", cfg);
+  sim::Cycle done_at = 0;
+  // 24 beats at 12/cycle = 2 cycles of service after the request latency and
+  // the 1-cycle tick alignment.
+  hbm.request(0, 24, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done_at, 8u + 2u);
+  EXPECT_EQ(hbm.beats_served(), 24u);
+  EXPECT_EQ(hbm.transfers_completed(), 1u);
+}
+
+TEST(HbmController, ZeroBeatTransferCompletesAfterLatencyOnly) {
+  sim::Simulator sim;
+  HbmController hbm(sim, "hbm", HbmConfig{12, 8, 2});
+  sim::Cycle done_at = 0;
+  hbm.request(1, 0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done_at, 8u);
+}
+
+TEST(HbmController, FairSharingEqualTransfersFinishTogether) {
+  sim::Simulator sim;
+  HbmConfig cfg;
+  cfg.beats_per_cycle = 12;
+  cfg.request_latency = 0;
+  cfg.num_ports = 4;
+  HbmController hbm(sim, "hbm", cfg);
+  std::vector<sim::Cycle> done(4, 0);
+  for (unsigned p = 0; p < 4; ++p) {
+    hbm.request(p, 120, [&, p] { done[p] = sim.now(); });
+  }
+  sim.run();
+  // 480 beats total at 12/cycle = 40 cycles; fair round-robin keeps all four
+  // within one cycle of each other.
+  for (unsigned p = 0; p < 4; ++p) {
+    EXPECT_GE(done[p], 40u);
+    EXPECT_LE(done[p], 41u);
+  }
+}
+
+TEST(HbmController, AggregateTimeIndependentOfRequesterCount) {
+  // The mechanism behind the paper's N/4 term: the same total volume takes
+  // the same time whether 1 or 8 ports move it.
+  for (const unsigned ports : {1u, 2u, 4u, 8u}) {
+    sim::Simulator sim;
+    HbmConfig cfg;
+    cfg.beats_per_cycle = 12;
+    cfg.request_latency = 0;
+    cfg.num_ports = 8;
+    HbmController hbm(sim, "hbm", cfg);
+    const std::uint64_t total_beats = 960;
+    sim::Cycle last = 0;
+    for (unsigned p = 0; p < ports; ++p) {
+      hbm.request(p, total_beats / ports, [&] { last = std::max(last, sim.now()); });
+    }
+    sim.run();
+    EXPECT_GE(last, 80u) << ports;
+    EXPECT_LE(last, 81u) << ports;
+  }
+}
+
+TEST(HbmController, PerPortFifoOrder) {
+  sim::Simulator sim;
+  HbmController hbm(sim, "hbm", HbmConfig{1, 0, 2});
+  std::vector<int> order;
+  hbm.request(0, 3, [&] { order.push_back(1); });
+  hbm.request(0, 1, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(HbmController, BadPortThrows) {
+  sim::Simulator sim;
+  HbmController hbm(sim, "hbm", HbmConfig{12, 0, 2});
+  EXPECT_THROW(hbm.request(2, 1, nullptr), std::out_of_range);
+}
+
+TEST(HbmController, BusyReflectsInFlightWork) {
+  sim::Simulator sim;
+  HbmController hbm(sim, "hbm", HbmConfig{12, 4, 2});
+  EXPECT_FALSE(hbm.busy());
+  hbm.request(0, 12, nullptr);
+  EXPECT_TRUE(hbm.busy());
+  sim.run();
+  EXPECT_FALSE(hbm.busy());
+}
+
+TEST(HbmController, RejectsZeroBandwidthConfig) {
+  sim::Simulator sim;
+  EXPECT_THROW(HbmController(sim, "h", HbmConfig{0, 0, 1}), std::invalid_argument);
+}
+
+// ---- tcdm ------------------------------------------------------------------
+
+TEST(Tcdm, RoundTrips) {
+  sim::Simulator sim;
+  Tcdm t(sim, "tcdm", TcdmConfig{});
+  t.write_f64(8, 2.5);
+  EXPECT_DOUBLE_EQ(t.read_f64(8), 2.5);
+  t.write_u64(16, 0xDEAD);
+  EXPECT_EQ(t.read_u64(16), 0xDEADu);
+}
+
+TEST(Tcdm, BoundsChecked) {
+  sim::Simulator sim;
+  Tcdm t(sim, "tcdm", TcdmConfig{64, 4, 8});
+  EXPECT_THROW(t.read_f64(64), std::out_of_range);
+  EXPECT_THROW(t.write_f64(60, 1.0), std::out_of_range);
+}
+
+TEST(Tcdm, BankInterleavingByWord) {
+  sim::Simulator sim;
+  Tcdm t(sim, "tcdm", TcdmConfig{1024, 4, 8});
+  EXPECT_EQ(t.bank_of(0), 0u);
+  EXPECT_EQ(t.bank_of(8), 1u);
+  EXPECT_EQ(t.bank_of(32), 0u);  // wraps at 4 banks
+  EXPECT_EQ(t.bank_of(33), 0u);  // same word
+}
+
+TEST(Tcdm, TracksTrafficStats) {
+  sim::Simulator sim;
+  Tcdm t(sim, "tcdm", TcdmConfig{});
+  t.write_f64(0, 1.0);
+  (void)t.read_f64(0);
+  EXPECT_EQ(t.bytes_written(), 8u);
+  EXPECT_EQ(t.bytes_read(), 8u);
+}
+
+// ---- dma engine ------------------------------------------------------------
+
+struct DmaFixture : ::testing::Test {
+  sim::Simulator sim;
+  AddressMap map{};
+  MainMemory main_mem{1 << 20};
+  HbmController hbm{sim, "hbm", HbmConfig{12, 8, 4}};
+  Tcdm tcdm{sim, "tcdm", TcdmConfig{}};
+  DmaEngine dma{sim, "dma", DmaConfig{6}, hbm, 0, main_mem, tcdm, map};
+};
+
+TEST_F(DmaFixture, MovesDataIn) {
+  const std::vector<double> v{1.5, 2.5, 3.5, 4.5};
+  main_mem.write_f64_array(0x100, v);
+  bool done = false;
+  dma.transfer_in(map.hbm_base() + 0x100, 0x40, 32, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(tcdm.read_f64_array(0x40, 4), v);
+}
+
+TEST_F(DmaFixture, MovesDataOut) {
+  const std::vector<double> v{-1.0, -2.0};
+  tcdm.write_f64_array(0, v);
+  dma.transfer_out(0, map.hbm_base() + 0x200, 16, nullptr);
+  sim.run();
+  EXPECT_EQ(main_mem.read_f64_array(0x200, 2), v);
+}
+
+TEST_F(DmaFixture, TimingIncludesSetupAndBeats) {
+  sim::Cycle done_at = 0;
+  // 96 bytes = 12 beats = 1 cycle of service at 12 beats/cycle.
+  dma.transfer_in(map.hbm_base(), 0, 96, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done_at, 6u /*setup*/ + 8u /*request latency*/ + 1u /*beats*/);
+}
+
+TEST_F(DmaFixture, RejectsNonHbmSource) {
+  EXPECT_THROW(dma.transfer_in(0x1000'0000 /*tcdm addr*/, 0, 8, nullptr), std::out_of_range);
+}
+
+TEST_F(DmaFixture, CountsTransfers) {
+  dma.transfer_in(map.hbm_base(), 0, 8, nullptr);
+  dma.transfer_out(0, map.hbm_base() + 64, 8, nullptr);
+  sim.run();
+  EXPECT_EQ(dma.transfers_in(), 1u);
+  EXPECT_EQ(dma.transfers_out(), 1u);
+  EXPECT_EQ(dma.bytes_moved(), 16u);
+}
+
+TEST_F(DmaFixture, ZeroByteTransferCompletes) {
+  bool done = false;
+  dma.transfer_in(map.hbm_base(), 0, 0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace

@@ -1,0 +1,296 @@
+// Unit tests for the analytical model: prediction, fitting, MAPE, and the
+// offload-decision solvers (paper Eq. (1)–(3)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/decision.h"
+#include "model/fitter.h"
+#include "model/mape.h"
+#include "model/runtime_model.h"
+#include "model/validate.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace mco::model;
+
+// ---- prediction ------------------------------------------------------------
+
+TEST(RuntimeModel, PaperEq1Values) {
+  const RuntimeModel m = paper_daxpy_model();
+  // t̂(32, 1024) = 367 + 256 + 2.6*1024/256 = 633.4
+  EXPECT_NEAR(m.predict(32, 1024), 633.4, 1e-9);
+  EXPECT_NEAR(m.predict(1, 1024), 367 + 256 + 332.8, 1e-9);
+}
+
+TEST(RuntimeModel, ZeroMThrows) {
+  EXPECT_THROW(paper_daxpy_model().predict(0, 10), std::invalid_argument);
+}
+
+TEST(RuntimeModel, SerialFractionApproachesOneAsMGrows) {
+  const RuntimeModel m = paper_daxpy_model();
+  EXPECT_LT(m.serial_fraction(1, 1024), m.serial_fraction(32, 1024));
+  EXPECT_LT(m.serial_fraction(32, 1024), 1.0);
+}
+
+TEST(RuntimeModel, SelfSpeedupBoundedByAmdahl) {
+  const RuntimeModel m = paper_daxpy_model();
+  const double s32 = m.self_speedup(32, 1024);
+  // Amdahl: speedup over the M=1 execution is bounded by 1/f where f is the
+  // serial fraction of the M=1 runtime.
+  const double bound = 1.0 / m.serial_fraction(1, 1024);
+  EXPECT_GT(s32, 1.0);
+  EXPECT_LT(s32, bound + 1e-9);
+}
+
+TEST(RuntimeModel, BestMIsMaxWhenNoPerClusterTerm) {
+  EXPECT_EQ(paper_daxpy_model().best_m(1024, 32), 32u);
+}
+
+TEST(RuntimeModel, BestMInteriorWithPerClusterTerm) {
+  // t = 380 + N/4 + 2.6N/(8M) + 9M has an interior minimum near sqrt(b*N/c).
+  const RuntimeModel m{380, 0.25, 2.6 / 8.0, 9.0};
+  const unsigned best = m.best_m(1024, 64);
+  EXPECT_GE(best, 4u);
+  EXPECT_LE(best, 8u);
+}
+
+TEST(RuntimeModel, DescribeMentionsAllTerms) {
+  const std::string s = paper_daxpy_model().describe();
+  EXPECT_NE(s.find("N/M"), std::string::npos);
+}
+
+// ---- fitting ---------------------------------------------------------------
+
+std::vector<Sample> synth_samples(const RuntimeModel& truth, bool jitter) {
+  std::vector<Sample> out;
+  mco::sim::Rng rng(99);
+  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (const std::uint64_t n : {256ull, 512ull, 768ull, 1024ull}) {
+      double t = truth.predict(m, n);
+      if (jitter) t += rng.uniform(-1.0, 1.0);
+      out.push_back(Sample{m, n, t});
+    }
+  }
+  return out;
+}
+
+TEST(Fitter, RecoversExactCoefficients) {
+  const RuntimeModel truth{367, 0.25, 0.325, 0};
+  const auto fit = fit_runtime_model(synth_samples(truth, false));
+  EXPECT_NEAR(fit.model.t0, truth.t0, 1e-6);
+  EXPECT_NEAR(fit.model.a, truth.a, 1e-9);
+  EXPECT_NEAR(fit.model.b, truth.b, 1e-9);
+  EXPECT_DOUBLE_EQ(fit.model.c, 0.0);
+  EXPECT_GT(fit.r_squared, 0.999999);
+}
+
+TEST(Fitter, RecoversWithMTerm) {
+  const RuntimeModel truth{382, 0.25, 0.325, 9.0};
+  const auto fit = fit_runtime_model(synth_samples(truth, false), FitOptions{true});
+  EXPECT_NEAR(fit.model.c, 9.0, 1e-6);
+  EXPECT_NEAR(fit.model.t0, 382.0, 1e-4);
+}
+
+TEST(Fitter, ToleratesNoise) {
+  const RuntimeModel truth{367, 0.25, 0.325, 0};
+  const auto fit = fit_runtime_model(synth_samples(truth, true));
+  EXPECT_NEAR(fit.model.t0, truth.t0, 2.0);
+  EXPECT_NEAR(fit.model.b, truth.b, 0.05);
+  EXPECT_LT(fit.max_abs_residual, 5.0);
+}
+
+TEST(Fitter, TooFewSamplesThrows) {
+  std::vector<Sample> s{{1, 10, 100.0}, {2, 10, 90.0}};
+  EXPECT_THROW(fit_runtime_model(s), std::invalid_argument);
+}
+
+TEST(Fitter, SingularDesignThrows) {
+  // All samples at the same (m, n): the design matrix is rank-1.
+  std::vector<Sample> s(8, Sample{4, 256, 500.0});
+  EXPECT_THROW(fit_runtime_model(s), std::invalid_argument);
+}
+
+TEST(Fitter, ZeroMSampleThrows) {
+  std::vector<Sample> s{{0, 10, 1.0}, {1, 10, 1.0}, {2, 10, 1.0}};
+  EXPECT_THROW(fit_runtime_model(s), std::invalid_argument);
+}
+
+// ---- MAPE ------------------------------------------------------------------
+
+TEST(Mape, ZeroForPerfectModel) {
+  const RuntimeModel m = paper_daxpy_model();
+  const auto samples = synth_samples(m, false);
+  EXPECT_NEAR(mape(m, samples), 0.0, 1e-12);
+}
+
+TEST(Mape, MatchesHandComputation) {
+  const RuntimeModel m{0, 0, 1, 0};  // t̂ = N/M
+  // Sample: m=1, n=100 → t̂=100; measured 110 → |10|/110 = 9.0909 %.
+  const std::vector<Sample> s{{1, 100, 110.0}};
+  EXPECT_NEAR(mape(m, s), 100.0 * 10.0 / 110.0, 1e-9);
+}
+
+TEST(Mape, GroupsByN) {
+  const RuntimeModel m = paper_daxpy_model();
+  auto samples = synth_samples(m, false);
+  samples[0].t += samples[0].t * 0.10;  // corrupt one N=256 sample by 10%
+  const auto by_n = mape_by_n(m, samples);
+  EXPECT_GT(by_n.at(256), 1.0);
+  EXPECT_NEAR(by_n.at(1024), 0.0, 1e-9);
+}
+
+TEST(Mape, EmptyThrows) { EXPECT_THROW(mape(paper_daxpy_model(), {}), std::invalid_argument); }
+
+TEST(Mape, NonPositiveMeasurementThrows) {
+  EXPECT_THROW(mape(paper_daxpy_model(), {{1, 10, 0.0}}), std::invalid_argument);
+}
+
+// ---- decision: Eq. (3) -----------------------------------------------------
+
+TEST(Decision, PaperEq3ClosedForm) {
+  const RuntimeModel m = paper_daxpy_model();
+  // t_max = 700 at N = 1024: slack = 700 - 367 - 256 = 77,
+  // M_min = ceil(0.325*1024 / 77) = ceil(4.32) = 5.
+  const auto got = min_clusters_for_deadline(m, 1024, 700.0, 32);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 5u);
+}
+
+TEST(Decision, InfeasibleDeadlineIsNullopt) {
+  const RuntimeModel m = paper_daxpy_model();
+  // Even infinite M cannot beat the serial part 367 + N/4.
+  EXPECT_FALSE(min_clusters_for_deadline(m, 1024, 600.0, 1024).has_value());
+}
+
+TEST(Decision, DeadlineNeedsMoreThanMMax) {
+  const RuntimeModel m = paper_daxpy_model();
+  EXPECT_FALSE(min_clusters_for_deadline(m, 1024, 700.0, 4).has_value());
+}
+
+TEST(Decision, LooseDeadlineNeedsOneCluster) {
+  const RuntimeModel m = paper_daxpy_model();
+  const auto got = min_clusters_for_deadline(m, 1024, 10000.0, 32);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+// Property: the closed form matches a brute-force scan for many (n, t_max).
+class Eq3Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Eq3Property, ClosedFormMatchesScan) {
+  const RuntimeModel m = paper_daxpy_model();
+  const std::uint64_t n = GetParam();
+  for (double t_max = 400; t_max < 1500; t_max += 13.0) {
+    const auto closed = min_clusters_for_deadline(m, n, t_max, 64);
+    std::optional<unsigned> scan;
+    for (unsigned mm = 1; mm <= 64; ++mm) {
+      if (m.predict(mm, n) <= t_max) {
+        scan = mm;
+        break;
+      }
+    }
+    EXPECT_EQ(closed, scan) << "n=" << n << " t_max=" << t_max;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Eq3Property, ::testing::Values(256, 512, 768, 1024, 2048));
+
+TEST(Decision, QuadraticPathWithPerClusterTerm) {
+  const RuntimeModel m{382, 0.25, 0.325, 9.0};
+  // Scan-based result must satisfy the deadline and be minimal.
+  const auto got = min_clusters_for_deadline(m, 1024, 760.0, 64);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_LE(m.predict(*got, 1024), 760.0);
+  if (*got > 1) {
+    EXPECT_GT(m.predict(*got - 1, 1024), 760.0);
+  }
+}
+
+// ---- decision: offload vs host ----------------------------------------------
+
+TEST(Decision, OffloadWinsForLargeN) {
+  const RuntimeModel m = paper_daxpy_model();
+  const double t_host = 4.0 * 4096;  // scalar host, 4 cycles/element
+  const auto d = decide_offload(m, 4096, t_host, 32);
+  EXPECT_TRUE(d.offload);
+  EXPECT_EQ(d.m, 32u);
+  EXPECT_GT(d.speedup, 1.0);
+}
+
+TEST(Decision, HostWinsForTinyN) {
+  const RuntimeModel m = paper_daxpy_model();
+  const auto d = decide_offload(m, 16, 4.0 * 16, 32);
+  EXPECT_FALSE(d.offload);
+  EXPECT_EQ(d.m, 0u);
+}
+
+TEST(Decision, BreakEvenIsMonotoneBoundary) {
+  const RuntimeModel m = paper_daxpy_model();
+  const auto n0 = break_even_n(m, 32, 4.0);
+  ASSERT_TRUE(n0.has_value());
+  EXPECT_GT(m.predict(32, *n0 - 1), 4.0 * static_cast<double>(*n0 - 1));
+  EXPECT_LT(m.predict(32, *n0), 4.0 * static_cast<double>(*n0));
+}
+
+TEST(Decision, BreakEvenNulloptWhenHostFasterPerElement) {
+  const RuntimeModel m = paper_daxpy_model();
+  // Offload slope at M=1 is 0.25 + 0.325 = 0.575 cycles/elem; a host at 0.5
+  // cycles/elem never loses.
+  EXPECT_FALSE(break_even_n(m, 1, 0.5).has_value());
+}
+
+TEST(Decision, ErrorsOnBadArguments) {
+  const RuntimeModel m = paper_daxpy_model();
+  EXPECT_THROW(min_clusters_for_deadline(m, 10, 100.0, 0), std::invalid_argument);
+  EXPECT_THROW(break_even_n(m, 0, 4.0), std::invalid_argument);
+  EXPECT_THROW(break_even_n(m, 1, 0.0), std::invalid_argument);
+}
+
+// ---- cross-validation and residuals ---------------------------------------------
+
+TEST(CrossValidation, PerfectModelGeneralizesPerfectly) {
+  const RuntimeModel truth = paper_daxpy_model();
+  const auto cv = cross_validate_by_n(synth_samples(truth, false));
+  EXPECT_NEAR(cv.worst_mape, 0.0, 1e-9);
+  EXPECT_EQ(cv.held_out_mape.size(), 4u);
+}
+
+TEST(CrossValidation, NoisyDataStillGeneralizesWell) {
+  const RuntimeModel truth = paper_daxpy_model();
+  const auto cv = cross_validate_by_n(synth_samples(truth, true));
+  EXPECT_LT(cv.worst_mape, 1.0);  // noise was ±1 cycle on ~500-cycle samples
+  EXPECT_LE(cv.mean_mape, cv.worst_mape);
+}
+
+TEST(CrossValidation, NeedsThreeSizes) {
+  std::vector<Sample> two;
+  for (const unsigned m : {1u, 2u, 4u, 8u}) {
+    two.push_back({m, 256, 100.0 + m});
+    two.push_back({m, 512, 200.0 + m});
+  }
+  EXPECT_THROW(cross_validate_by_n(two), std::invalid_argument);
+}
+
+TEST(Residuals, UnbiasedForTruthModel) {
+  const RuntimeModel truth = paper_daxpy_model();
+  const auto st = residual_stats(truth, synth_samples(truth, false));
+  EXPECT_NEAR(st.mean, 0.0, 1e-9);
+  EXPECT_NEAR(st.rmse, 0.0, 1e-9);
+}
+
+TEST(Residuals, DetectsSystematicBias) {
+  RuntimeModel biased = paper_daxpy_model();
+  biased.t0 -= 10.0;  // under-predicts everything by 10 cycles
+  const auto st = residual_stats(biased, synth_samples(paper_daxpy_model(), false));
+  EXPECT_NEAR(st.mean, 10.0, 1e-9);
+  EXPECT_NEAR(st.max_abs, 10.0, 1e-9);
+  EXPECT_NEAR(st.rmse, 10.0, 1e-9);
+}
+
+TEST(Residuals, EmptyThrows) {
+  EXPECT_THROW(residual_stats(paper_daxpy_model(), {}), std::invalid_argument);
+}
+
+}  // namespace

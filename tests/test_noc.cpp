@@ -1,0 +1,128 @@
+// Unit tests for the interconnect: unicast/multicast dispatch, credit and
+// AMO routing, latencies, and the multicast feature gate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/interconnect.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::noc;
+
+struct NocFixture : ::testing::Test {
+  sim::Simulator sim;
+
+  Interconnect make(bool multicast, unsigned clusters = 4) {
+    NocConfig cfg;
+    cfg.multicast_enabled = multicast;
+    cfg.host_to_cluster_latency = 14;
+    cfg.multicast_tree_latency = 3;
+    cfg.cluster_to_sync_latency = 12;
+    cfg.cluster_to_hbm_latency = 12;
+    return Interconnect(sim, "noc", cfg, clusters);
+  }
+};
+
+TEST_F(NocFixture, UnicastDeliversAfterLatency) {
+  auto noc = make(false);
+  sim::Cycle delivered_at = 0;
+  std::size_t words = 0;
+  noc.set_cluster_sink(2, [&](const DispatchMessage& m) {
+    delivered_at = sim.now();
+    words = m.size_words();
+  });
+  noc.unicast_dispatch(2, DispatchMessage{{1, 2, 3}});
+  sim.run();
+  EXPECT_EQ(delivered_at, 14u);
+  EXPECT_EQ(words, 3u);
+  EXPECT_EQ(noc.unicasts_sent(), 1u);
+}
+
+TEST_F(NocFixture, MulticastDeliversToAllTargetsSameCycle) {
+  auto noc = make(true);
+  std::vector<sim::Cycle> delivered(4, 0);
+  for (unsigned i = 0; i < 4; ++i) {
+    noc.set_cluster_sink(i, [&, i](const DispatchMessage&) { delivered[i] = sim.now(); });
+  }
+  noc.multicast_dispatch({0, 1, 3}, DispatchMessage{{7}});
+  sim.run();
+  EXPECT_EQ(delivered[0], 17u);  // 14 + 3 tree latency
+  EXPECT_EQ(delivered[1], 17u);
+  EXPECT_EQ(delivered[2], 0u);  // not targeted
+  EXPECT_EQ(delivered[3], 17u);
+  EXPECT_EQ(noc.multicasts_sent(), 1u);
+}
+
+TEST_F(NocFixture, MulticastWithoutExtensionThrows) {
+  auto noc = make(false);
+  noc.set_cluster_sink(0, [](const DispatchMessage&) {});
+  EXPECT_THROW(noc.multicast_dispatch({0}, DispatchMessage{{1}}), std::logic_error);
+}
+
+TEST_F(NocFixture, EmptyMulticastSetThrows) {
+  auto noc = make(true);
+  EXPECT_THROW(noc.multicast_dispatch({}, DispatchMessage{{1}}), std::invalid_argument);
+}
+
+TEST_F(NocFixture, UnwiredSinkThrows) {
+  auto noc = make(false);
+  EXPECT_THROW(noc.unicast_dispatch(1, DispatchMessage{{1}}), std::logic_error);
+}
+
+TEST_F(NocFixture, OutOfRangeClusterThrows) {
+  auto noc = make(true);
+  noc.set_cluster_sink(0, [](const DispatchMessage&) {});
+  EXPECT_THROW(noc.unicast_dispatch(4, DispatchMessage{{1}}), std::out_of_range);
+  EXPECT_THROW(noc.multicast_dispatch({0, 9}, DispatchMessage{{1}}), std::out_of_range);
+}
+
+TEST_F(NocFixture, CreditRoutedWithLatency) {
+  auto noc = make(true);
+  sim::Cycle at = 0;
+  unsigned who = 99;
+  noc.set_credit_sink([&](unsigned c) {
+    at = sim.now();
+    who = c;
+  });
+  noc.send_credit(3);
+  sim.run();
+  EXPECT_EQ(at, 12u);
+  EXPECT_EQ(who, 3u);
+  EXPECT_EQ(noc.credits_routed(), 1u);
+}
+
+TEST_F(NocFixture, AmoRoutedWithLatency) {
+  auto noc = make(false);
+  sim::Cycle at = 0;
+  noc.set_amo_sink([&](unsigned) { at = sim.now(); });
+  noc.send_amo(1);
+  sim.run();
+  EXPECT_EQ(at, 12u);
+  EXPECT_EQ(noc.amos_routed(), 1u);
+}
+
+TEST_F(NocFixture, CreditWithoutSinkThrows) {
+  auto noc = make(false);
+  EXPECT_THROW(noc.send_credit(0), std::logic_error);
+}
+
+TEST_F(NocFixture, ZeroClustersRejected) {
+  EXPECT_THROW(Interconnect(sim, "noc", NocConfig{}, 0), std::invalid_argument);
+}
+
+TEST_F(NocFixture, UnicastsToDistinctClustersAreIndependent) {
+  auto noc = make(false);
+  int hits = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    noc.set_cluster_sink(i, [&](const DispatchMessage&) { ++hits; });
+  }
+  for (unsigned i = 0; i < 4; ++i) noc.unicast_dispatch(i, DispatchMessage{{i}});
+  sim.run();
+  EXPECT_EQ(hits, 4);
+  EXPECT_EQ(noc.unicasts_sent(), 4u);
+}
+
+}  // namespace

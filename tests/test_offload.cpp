@@ -1,0 +1,439 @@
+// Unit/integration tests for the offload runtime: phases, feature gating,
+// error handling, dispatch mechanics on a full SoC.
+#include <gtest/gtest.h>
+
+#include "kernels/blas1.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::soc;
+
+kernels::JobArgs make_daxpy(Soc& soc, std::uint64_t n, sim::Rng& rng) {
+  return prepare_workload(soc, soc.kernels().by_name("daxpy"), n, soc.num_clusters(), rng).args;
+}
+
+TEST(OffloadRuntime, PhasesAreMonotone) {
+  Soc soc(SocConfig::extended(8));
+  sim::Rng rng(1);
+  const auto r = soc.run_offload(make_daxpy(soc, 256, rng), 8);
+  EXPECT_LT(r.ts.call, r.ts.marshal_done);
+  EXPECT_LE(r.ts.marshal_done, r.ts.sync_ready);
+  EXPECT_LT(r.ts.sync_ready, r.ts.dispatch_done);
+  EXPECT_LT(r.ts.dispatch_done, r.ts.completion);
+  EXPECT_LT(r.ts.completion, r.ts.ret);
+  EXPECT_EQ(r.total(), r.ts.ret - r.ts.call);
+}
+
+TEST(OffloadRuntime, PhaseBreakdownSumsToTotal) {
+  Soc soc(SocConfig::baseline(4));
+  sim::Rng rng(2);
+  const auto r = soc.run_offload(make_daxpy(soc, 512, rng), 4);
+  const auto p = r.phases();
+  EXPECT_EQ(p.marshal + p.sync_setup + p.dispatch + p.wait + p.epilogue, r.total());
+}
+
+TEST(OffloadRuntime, BaselineDispatchGrowsLinearly) {
+  sim::Cycles d4 = 0, d16 = 0;
+  {
+    Soc soc(SocConfig::baseline(16));
+    sim::Rng rng(3);
+    d4 = soc.run_offload(make_daxpy(soc, 1024, rng), 4).phases().dispatch;
+  }
+  {
+    Soc soc(SocConfig::baseline(16));
+    sim::Rng rng(3);
+    d16 = soc.run_offload(make_daxpy(soc, 1024, rng), 16).phases().dispatch;
+  }
+  EXPECT_EQ(d16, 4 * d4);  // strictly linear sequential dispatch
+}
+
+TEST(OffloadRuntime, ExtendedDispatchIsConstant) {
+  sim::Cycles d1 = 0, d32 = 0;
+  {
+    Soc soc(SocConfig::extended(32));
+    sim::Rng rng(4);
+    d1 = soc.run_offload(make_daxpy(soc, 1024, rng), 1).phases().dispatch;
+  }
+  {
+    Soc soc(SocConfig::extended(32));
+    sim::Rng rng(4);
+    d32 = soc.run_offload(make_daxpy(soc, 1024, rng), 32).phases().dispatch;
+  }
+  EXPECT_EQ(d1, d32);
+}
+
+TEST(OffloadRuntime, ExtendedUsesMulticastAndIrq) {
+  Soc soc(SocConfig::extended(8));
+  sim::Rng rng(5);
+  const auto r = soc.run_offload(make_daxpy(soc, 256, rng), 8);
+  EXPECT_TRUE(r.used_multicast);
+  EXPECT_TRUE(r.used_hw_sync);
+  EXPECT_EQ(soc.interconnect().multicasts_sent(), 1u);
+  EXPECT_EQ(soc.interconnect().unicasts_sent(), 0u);
+  EXPECT_EQ(soc.sync_unit().interrupts_fired(), 1u);
+  EXPECT_EQ(soc.host().irqs_taken(), 1u);
+  EXPECT_EQ(soc.host().polls(), 0u);
+}
+
+TEST(OffloadRuntime, BaselineUsesUnicastsAndPolling) {
+  Soc soc(SocConfig::baseline(8));
+  sim::Rng rng(6);
+  const auto r = soc.run_offload(make_daxpy(soc, 256, rng), 8);
+  EXPECT_FALSE(r.used_multicast);
+  EXPECT_FALSE(r.used_hw_sync);
+  EXPECT_EQ(soc.interconnect().unicasts_sent(), 8u);
+  EXPECT_EQ(soc.interconnect().multicasts_sent(), 0u);
+  EXPECT_EQ(soc.shared_counter().amos_serviced(), 8u);
+  EXPECT_GT(soc.host().polls(), 0u);
+  EXPECT_EQ(soc.host().irqs_taken(), 0u);
+}
+
+TEST(OffloadRuntime, PayloadWordsReported) {
+  Soc soc(SocConfig::extended(4));
+  sim::Rng rng(7);
+  const auto r = soc.run_offload(make_daxpy(soc, 64, rng), 4);
+  EXPECT_EQ(r.payload_words, 6u);  // 3 header + alpha + x + y
+  EXPECT_EQ(r.kernel, "daxpy");
+  EXPECT_EQ(r.n, 64u);
+  EXPECT_EQ(r.num_clusters, 4u);
+}
+
+TEST(OffloadRuntime, ZeroClustersRejected) {
+  Soc soc(SocConfig::extended(4));
+  sim::Rng rng(8);
+  const auto args = make_daxpy(soc, 64, rng);
+  EXPECT_THROW(soc.runtime().offload_async(args, 0, nullptr), std::invalid_argument);
+}
+
+TEST(OffloadRuntime, TooManyClustersRejected) {
+  Soc soc(SocConfig::extended(4));
+  sim::Rng rng(9);
+  const auto args = make_daxpy(soc, 64, rng);
+  EXPECT_THROW(soc.runtime().offload_async(args, 5, nullptr), std::invalid_argument);
+}
+
+TEST(OffloadRuntime, ConcurrentOffloadRejected) {
+  Soc soc(SocConfig::extended(4));
+  sim::Rng rng(10);
+  const auto args = make_daxpy(soc, 64, rng);
+  soc.runtime().offload_async(args, 2, nullptr);
+  EXPECT_THROW(soc.runtime().offload_async(args, 2, nullptr), std::logic_error);
+}
+
+TEST(OffloadRuntime, InvalidArgsRejectedBeforeAnySideEffect) {
+  Soc soc(SocConfig::extended(4));
+  kernels::JobArgs bad;
+  bad.kernel_id = kernels::kDaxpyId;
+  bad.n = 0;
+  EXPECT_THROW(soc.runtime().offload_async(bad, 2, nullptr), std::invalid_argument);
+  EXPECT_FALSE(soc.runtime().busy());
+  EXPECT_EQ(soc.simulator().pending(), 0u);
+}
+
+TEST(OffloadRuntime, MulticastConfigWithoutHardwareThrows) {
+  SocConfig cfg = SocConfig::baseline(4);
+  cfg.runtime.use_multicast = true;  // runtime asks for HW that is not there
+  EXPECT_THROW(Soc{cfg}, std::invalid_argument);
+}
+
+TEST(OffloadRuntime, SequentialOffloadsOnOneSoc) {
+  Soc soc(SocConfig::extended(8));
+  sim::Rng rng(11);
+  const auto a1 = make_daxpy(soc, 128, rng);
+  const auto a2 = make_daxpy(soc, 128, rng);
+  const auto r1 = soc.run_offload(a1, 8);
+  const auto r2 = soc.run_offload(a2, 8);
+  EXPECT_EQ(soc.runtime().offloads_completed(), 2u);
+  EXPECT_NE(r1.job_id, r2.job_id);
+  // Identical jobs cost identical cycles regardless of when they start.
+  EXPECT_EQ(r1.total(), r2.total());
+}
+
+TEST(OffloadRuntime, JobIdsIncrease) {
+  Soc soc(SocConfig::baseline(2));
+  sim::Rng rng(12);
+  const auto r1 = soc.run_offload(make_daxpy(soc, 64, rng), 2);
+  const auto r2 = soc.run_offload(make_daxpy(soc, 64, rng), 2);
+  EXPECT_LT(r1.job_id, r2.job_id);
+}
+
+TEST(OffloadRuntime, DotEpilogueCombinesOnHost) {
+  Soc soc(SocConfig::extended(8));
+  const auto r = run_verified(soc, "dot", 512, 8, /*seed=*/13, /*tolerance=*/1e-9);
+  // Reduction epilogue shows up as extra host cycles after completion.
+  EXPECT_GT(r.phases().epilogue, soc.config().runtime.return_cycles);
+}
+
+// Ablation wiring: each feature flips its mechanism independently.
+TEST(OffloadRuntime, MulticastOnlyConfiguration) {
+  Soc soc(SocConfig::with_features(8, SocFeatures{true, false}));
+  sim::Rng rng(14);
+  soc.run_offload(make_daxpy(soc, 256, rng), 8);
+  EXPECT_EQ(soc.interconnect().multicasts_sent(), 1u);
+  EXPECT_GT(soc.host().polls(), 0u);  // still software completion
+}
+
+TEST(OffloadRuntime, HwSyncOnlyConfiguration) {
+  Soc soc(SocConfig::with_features(8, SocFeatures{false, true}));
+  sim::Rng rng(15);
+  soc.run_offload(make_daxpy(soc, 256, rng), 8);
+  EXPECT_EQ(soc.interconnect().unicasts_sent(), 8u);
+  EXPECT_EQ(soc.host().irqs_taken(), 1u);
+}
+
+// ---- host-fallback execution path -------------------------------------------
+
+TEST(HostExecution, ComputesSameResultAsOffload) {
+  // Run the same prepared job once offloaded and once on the host; both must
+  // satisfy the workload oracle (same arithmetic via MemView).
+  for (const char* kernel : {"daxpy", "vecmul", "dot", "gemv"}) {
+    Soc off_soc(SocConfig::extended(8));
+    sim::Rng rng1(21);
+    auto job1 = prepare_workload(off_soc, off_soc.kernels().by_name(kernel),
+                                 kernel == std::string("gemv") ? 64 : 512, 8, rng1);
+    off_soc.run_offload(job1.args, 8);
+    EXPECT_LT(job1.max_abs_error(off_soc), 1e-9) << kernel << " offload";
+
+    Soc host_soc(SocConfig::extended(8));
+    sim::Rng rng2(21);
+    auto job2 = prepare_workload(host_soc, host_soc.kernels().by_name(kernel),
+                                 kernel == std::string("gemv") ? 64 : 512, 8, rng2);
+    host_soc.runtime().execute_on_host_blocking(job2.args);
+    EXPECT_LT(job2.max_abs_error(host_soc), 1e-9) << kernel << " host";
+  }
+}
+
+TEST(HostExecution, CostMatchesKernelHostModel) {
+  Soc soc(SocConfig::extended(4));
+  sim::Rng rng(22);
+  const auto args = make_daxpy(soc, 256, rng);
+  const auto r = soc.runtime().execute_on_host_blocking(args);
+  const auto& cfg = soc.config().runtime;
+  const sim::Cycles expected = cfg.host_call_cycles +
+                               soc.kernels().by_id(args.kernel_id).host_execute_cycles(args) +
+                               cfg.host_return_cycles;
+  EXPECT_EQ(r.total(), expected);
+}
+
+TEST(HostExecution, SlowerThanOffloadForLargeN) {
+  Soc host_soc(SocConfig::extended(16));
+  sim::Rng rng(23);
+  const auto args = make_daxpy(host_soc, 4096, rng);
+  const auto host = host_soc.runtime().execute_on_host_blocking(args);
+  Soc off_soc(SocConfig::extended(16));
+  sim::Rng rng2(23);
+  const auto args2 = make_daxpy(off_soc, 4096, rng2);
+  const auto off = off_soc.run_offload(args2, 16);
+  EXPECT_GT(host.total(), off.total());
+}
+
+TEST(HostExecution, FasterThanOffloadForTinyN) {
+  Soc host_soc(SocConfig::extended(16));
+  sim::Rng rng(24);
+  const auto host = host_soc.runtime().execute_on_host_blocking(make_daxpy(host_soc, 16, rng));
+  Soc off_soc(SocConfig::extended(16));
+  sim::Rng rng2(24);
+  const auto off = off_soc.run_offload(make_daxpy(off_soc, 16, rng2), 16);
+  EXPECT_LT(host.total(), off.total());
+}
+
+TEST(HostExecution, ValidatesArguments) {
+  Soc soc(SocConfig::extended(4));
+  kernels::JobArgs bad;
+  bad.kernel_id = kernels::kDaxpyId;
+  bad.n = 0;
+  EXPECT_THROW(soc.runtime().execute_on_host_blocking(bad), std::invalid_argument);
+}
+
+// ---- TCDM tiling through the full offload path --------------------------------
+
+TEST(Tiling, LargeJobOnFewClustersIsCorrectAndTiled) {
+  Soc soc(SocConfig::extended(2));
+  const auto r = run_verified(soc, "daxpy", 32768, 2, 31);
+  EXPECT_GT(soc.cluster(0).last_job_tiles(), 1u);
+  EXPECT_EQ(r.n, 32768u);
+}
+
+TEST(Tiling, TiledRuntimeStillBeatsBaseline) {
+  const auto base = run_daxpy(SocConfig::baseline(2), 32768, 2, 31);
+  const auto ext = run_daxpy(SocConfig::extended(2), 32768, 2, 31);
+  EXPECT_LT(ext.total(), base.total());
+}
+
+TEST(Tiling, DoubleBufferingPrefetchesAndSpeedsUpTiledJobs) {
+  // Same huge job, single- vs double-buffered tiling: both must be correct;
+  // double buffering overlaps tile k+1's DMA-in with tile k's compute and
+  // must be strictly faster.
+  sim::Cycles single = 0, dbuf = 0;
+  for (const bool db : {false, true}) {
+    SocConfig cfg = SocConfig::extended(1);
+    cfg.cluster.dma_double_buffer = db;
+    Soc soc(cfg);
+    const auto r = run_verified(soc, "daxpy", 32768, 1, 41);
+    EXPECT_GE(soc.cluster(0).last_job_tiles(), db ? 8u : 4u);
+    (db ? dbuf : single) = r.total();
+  }
+  EXPECT_LT(dbuf, single);
+}
+
+TEST(Tiling, DoubleBufferingCorrectAcrossKernelsAndSizes) {
+  SocConfig cfg = SocConfig::extended(2);
+  cfg.cluster.dma_double_buffer = true;
+  for (const char* k : {"daxpy", "scale", "vecadd", "memcpy"}) {
+    for (const std::uint64_t n : {16381ull, 32768ull}) {
+      Soc soc(cfg);
+      EXPECT_NO_THROW(run_verified(soc, k, n, 2, 43)) << k << " n=" << n;
+    }
+  }
+}
+
+TEST(Tiling, DoubleBufferingNoEffectOnUntiledJobs) {
+  sim::Cycles plain = 0, db = 0;
+  for (const bool on : {false, true}) {
+    SocConfig cfg = SocConfig::extended(8);
+    cfg.cluster.dma_double_buffer = on;
+    Soc soc(cfg);
+    (on ? db : plain) = run_verified(soc, "daxpy", 1024, 8, 44).total();
+  }
+  EXPECT_EQ(plain, db);  // job fits TCDM: identical schedule
+}
+
+TEST(Tiling, DataVolumeUnchangedByTiling) {
+  // Tiling reorganizes transfers but must not move more bytes.
+  Soc soc(SocConfig::extended(1));
+  run_verified(soc, "daxpy", 16384, 1, 31);
+  EXPECT_EQ(soc.cluster(0).dma().bytes_moved(), 3ull * 16384 * 8);
+}
+
+TEST(OffloadRuntime, WatchdogCatchesNonCompletingOffload) {
+  SocConfig cfg = SocConfig::baseline(4);
+  cfg.runtime.watchdog_cycles = 50;  // way below any real offload latency
+  Soc soc(cfg);
+  sim::Rng rng(99);
+  const auto args = make_daxpy(soc, 1024, rng);
+  try {
+    soc.run_offload(args, 4);
+    FAIL() << "expected watchdog";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+  }
+}
+
+// ---- back-to-back offload sequences -------------------------------------------
+
+std::vector<kernels::JobArgs> make_job_train(Soc& soc, unsigned count, std::uint64_t n,
+                                             sim::Rng& rng) {
+  std::vector<kernels::JobArgs> jobs;
+  for (unsigned i = 0; i < count; ++i) jobs.push_back(make_daxpy(soc, n, rng));
+  return jobs;
+}
+
+TEST(OffloadSequence, RunsAllJobsInOrder) {
+  Soc soc(SocConfig::extended(8));
+  sim::Rng rng(31);
+  const auto r = soc.runtime().offload_sequence_blocking(make_job_train(soc, 4, 256, rng), 8,
+                                                         /*pipelined=*/false);
+  ASSERT_EQ(r.jobs.size(), 4u);
+  for (std::size_t i = 1; i < r.jobs.size(); ++i) {
+    EXPECT_GT(r.jobs[i].dispatched, r.jobs[i - 1].completed);
+    EXPECT_LT(r.jobs[i - 1].job_id, r.jobs[i].job_id);
+  }
+  EXPECT_EQ(soc.runtime().offloads_completed(), 4u);
+}
+
+TEST(OffloadSequence, PipeliningHidesMarshalOfAllButFirstJob) {
+  const unsigned jobs = 6;
+  sim::Cycles serial = 0, pipelined = 0;
+  for (const bool pipe : {false, true}) {
+    Soc soc(SocConfig::extended(8));
+    sim::Rng rng(32);
+    const auto r = soc.runtime().offload_sequence_blocking(
+        make_job_train(soc, jobs, 1024, rng), 8, pipe);
+    (pipe ? pipelined : serial) = r.total();
+  }
+  EXPECT_LT(pipelined, serial);
+  // Saving should be ~(jobs-1) * marshal cost (6 payload words => 96+18).
+  const Soc probe(SocConfig::extended(8));
+  const auto& rc = probe.config().runtime;
+  const sim::Cycles marshal = rc.marshal_base_cycles + rc.marshal_per_word_cycles * 6;
+  EXPECT_NEAR(static_cast<double>(serial - pipelined),
+              static_cast<double>((jobs - 1) * marshal), 8.0 * jobs);
+}
+
+TEST(OffloadSequence, PipelinedResultsStillCorrect) {
+  Soc soc(SocConfig::extended(8));
+  sim::Rng rng(33);
+  // Jobs chained on the same arrays: prepare manually so we can verify the
+  // final composition y = a2*x + (a1*x + y0).
+  const std::uint64_t n = 128;
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  const mem::Addr xa = soc.alloc_f64(x);
+  const mem::Addr ya = soc.alloc_f64(y);
+  kernels::JobArgs j1;
+  j1.kernel_id = kernels::kDaxpyId;
+  j1.n = n;
+  j1.alpha = 2.0;
+  j1.in0 = xa;
+  j1.out0 = ya;
+  kernels::JobArgs j2 = j1;
+  j2.alpha = -0.5;
+  soc.runtime().offload_sequence_blocking({j1, j2}, 8, /*pipelined=*/true);
+  const auto got = soc.read_f64(ya, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(got[i], -0.5 * x[i] + (2.0 * x[i] + y[i])) << i;
+  }
+}
+
+TEST(OffloadSequence, WorksOnBaselineDesignToo) {
+  Soc soc(SocConfig::baseline(4));
+  sim::Rng rng(34);
+  const auto r = soc.runtime().offload_sequence_blocking(make_job_train(soc, 3, 256, rng), 4,
+                                                         /*pipelined=*/true);
+  EXPECT_EQ(r.jobs.size(), 3u);
+  EXPECT_EQ(soc.shared_counter().amos_serviced(), 3u * 4u);
+}
+
+TEST(OffloadSequence, MixedKernelsInOneTrain) {
+  Soc soc(SocConfig::extended(8));
+  sim::Rng rng(35);
+  auto j1 = prepare_workload(soc, soc.kernels().by_name("scale"), 200, 8, rng);
+  auto j2 = prepare_workload(soc, soc.kernels().by_name("vecsum"), 200, 8, rng);
+  const auto r =
+      soc.runtime().offload_sequence_blocking({j1.args, j2.args}, 8, /*pipelined=*/true);
+  EXPECT_EQ(r.jobs[0].kernel, "scale");
+  EXPECT_EQ(r.jobs[1].kernel, "vecsum");
+  EXPECT_LT(j1.max_abs_error(soc), 1e-9);
+  EXPECT_LT(j2.max_abs_error(soc), 1e-9);
+}
+
+TEST(OffloadSequence, EmptyTrainRejected) {
+  Soc soc(SocConfig::extended(4));
+  EXPECT_THROW(soc.runtime().offload_sequence_blocking({}, 4, false), std::invalid_argument);
+}
+
+TEST(OffloadSequence, SequenceEquivalentToSingleOffloadsWhenNotPipelined) {
+  sim::Cycles seq_total = 0, singles_total = 0;
+  {
+    Soc soc(SocConfig::extended(8));
+    sim::Rng rng(36);
+    seq_total =
+        soc.runtime().offload_sequence_blocking(make_job_train(soc, 3, 512, rng), 8, false)
+            .total();
+  }
+  {
+    Soc soc(SocConfig::extended(8));
+    sim::Rng rng(36);
+    const auto jobs = make_job_train(soc, 3, 512, rng);
+    const sim::Cycle t0 = soc.simulator().now();
+    for (const auto& j : jobs) soc.run_offload(j, 8);
+    singles_total = soc.simulator().now() - t0;
+  }
+  EXPECT_EQ(seq_total, singles_total);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Paper-level acceptance tests: every quantitative claim of Colagrande &
+// Benini (DATE 2024) that this repository reproduces, asserted end-to-end
+// against the simulator. If these pass, the benches regenerate the paper's
+// figures with the right shapes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "model/fitter.h"
+#include "model/mape.h"
+#include "model/runtime_model.h"
+#include "model/decision.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::soc;
+
+sim::Cycles daxpy_cycles(const SocConfig& cfg, std::uint64_t n, unsigned m) {
+  return run_daxpy(cfg, n, m).total();
+}
+
+// §III / Fig. 1 (left): the baseline runtime has a global minimum because
+// sequential dispatch overhead grows linearly while work shrinks.
+TEST(Paper, BaselineRuntimeHasInteriorMinimum) {
+  std::map<unsigned, sim::Cycles> t;
+  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    t[m] = daxpy_cycles(SocConfig::baseline(32), 1024, m);
+  }
+  unsigned best = 1;
+  for (const auto& [m, v] : t) {
+    if (v < t[best]) best = m;
+  }
+  EXPECT_GE(best, 4u);   // "above four clusters the overhead starts to dominate"
+  EXPECT_LE(best, 8u);
+  EXPECT_GT(t[32], t[best]);  // rises again at many clusters
+  EXPECT_GT(t[1], t[best]);   // and is worse at one cluster
+}
+
+// §III: with multicast the overhead is constant, so runtime decreases
+// monotonically up to 32 clusters.
+TEST(Paper, ExtendedRuntimeMonotonicallyDecreasesUpTo32) {
+  sim::Cycles prev = ~0ull;
+  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const sim::Cycles v = daxpy_cycles(SocConfig::extended(32), 1024, m);
+    EXPECT_LT(v, prev) << "M=" << m;
+    prev = v;
+  }
+}
+
+// §III: "Offloading to more clusters would lead to negligible further
+// improvements because of Amdahl's law."
+TEST(Paper, NegligibleGainBeyond32Clusters) {
+  const auto t32 = daxpy_cycles(SocConfig::extended(64), 1024, 32);
+  const auto t64 = daxpy_cycles(SocConfig::extended(64), 1024, 64);
+  EXPECT_LE(t64, t32);
+  EXPECT_LT(static_cast<double>(t32 - t64) / static_cast<double>(t32), 0.03);
+}
+
+// Abstract / conclusion: up to 47.9 % speedup at N=1024, and §III: more than
+// 300 cycles of difference at 32 clusters.
+TEST(Paper, HeadlineSpeedupAndGapAt32Clusters) {
+  const auto base = daxpy_cycles(SocConfig::baseline(32), 1024, 32);
+  const auto ext = daxpy_cycles(SocConfig::extended(32), 1024, 32);
+  EXPECT_GT(base - ext, 300u);
+  const double speedup = static_cast<double>(base) / static_cast<double>(ext);
+  EXPECT_NEAR(speedup, 1.479, 0.02);
+}
+
+// Fig. 1 (right): the speedup is always greater than one...
+TEST(Paper, SpeedupAlwaysGreaterThanOne) {
+  for (const std::uint64_t n : {1024ull, 2048ull, 4096ull}) {
+    for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const auto base = daxpy_cycles(SocConfig::baseline(32), n, m);
+      const auto ext = daxpy_cycles(SocConfig::extended(32), n, m);
+      EXPECT_GT(base, ext) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+// ...and, for fixed M, decreases with the problem size (the overhead saving
+// amortizes over a longer job).
+TEST(Paper, SpeedupDecreasesWithProblemSize) {
+  double prev = 1e9;
+  for (const std::uint64_t n : {1024ull, 2048ull, 4096ull, 8192ull}) {
+    const double s = static_cast<double>(daxpy_cycles(SocConfig::baseline(32), n, 32)) /
+                     static_cast<double>(daxpy_cycles(SocConfig::extended(32), n, 32));
+    EXPECT_LT(s, prev) << n;
+    prev = s;
+  }
+}
+
+// Eq. (1) + Eq. (2): the analytical model predicts the extended design's
+// runtime with MAPE below 1 % for every validated problem size.
+TEST(Paper, Eq1MapeBelowOnePercent) {
+  const model::RuntimeModel m = model::paper_daxpy_model();
+  std::vector<model::Sample> samples;
+  for (const std::uint64_t n : {256ull, 512ull, 768ull, 1024ull}) {
+    for (const unsigned mm : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      samples.push_back(model::Sample{
+          mm, n, static_cast<double>(daxpy_cycles(SocConfig::extended(32), n, mm))});
+    }
+  }
+  const auto by_n = model::mape_by_n(m, samples);
+  for (const auto& [n, err] : by_n) {
+    EXPECT_LT(err, 1.0) << "N=" << n;
+  }
+}
+
+// A model *fitted* from simulated samples recovers coefficients close to the
+// paper's Eq. (1) constants.
+TEST(Paper, FittedModelMatchesEq1Constants) {
+  std::vector<model::Sample> samples;
+  for (const std::uint64_t n : {256ull, 512ull, 768ull, 1024ull, 2048ull}) {
+    for (const unsigned mm : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      samples.push_back(model::Sample{
+          mm, n, static_cast<double>(daxpy_cycles(SocConfig::extended(32), n, mm))});
+    }
+  }
+  const auto fit = model::fit_runtime_model(samples);
+  EXPECT_NEAR(fit.model.t0, 367.0, 8.0);
+  EXPECT_NEAR(fit.model.a, 0.25, 0.01);
+  EXPECT_NEAR(fit.model.b, 2.6 / 8.0, 0.02);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+// The baseline design additionally needs the c·M dispatch term, and its
+// fitted slope matches the per-cluster dispatch cost (~9 cycles/cluster).
+TEST(Paper, BaselineFitRecoversDispatchSlope) {
+  std::vector<model::Sample> samples;
+  for (const std::uint64_t n : {256ull, 512ull, 1024ull, 2048ull}) {
+    for (const unsigned mm : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      samples.push_back(model::Sample{
+          mm, n, static_cast<double>(daxpy_cycles(SocConfig::baseline(32), n, mm))});
+    }
+  }
+  const auto fit = model::fit_runtime_model(samples, model::FitOptions{true});
+  EXPECT_NEAR(fit.model.c, 9.0, 1.5);
+  EXPECT_NEAR(fit.model.a, 0.25, 0.01);
+}
+
+// Ablation (extension of the paper's analysis): each mechanism alone helps at
+// 32 clusters, and multicast is the dominant contributor.
+TEST(Paper, AblationOrderingAt32Clusters) {
+  const std::uint64_t n = 1024;
+  const auto base = daxpy_cycles(SocConfig::with_features(32, {false, false}), n, 32);
+  const auto mc = daxpy_cycles(SocConfig::with_features(32, {true, false}), n, 32);
+  const auto hw = daxpy_cycles(SocConfig::with_features(32, {false, true}), n, 32);
+  const auto both = daxpy_cycles(SocConfig::with_features(32, {true, true}), n, 32);
+  EXPECT_LT(mc, base);
+  EXPECT_LT(hw, base);
+  EXPECT_LT(both, mc);
+  EXPECT_LT(both, hw);
+  EXPECT_LT(base - hw, base - mc);  // multicast removes the linear term
+}
+
+// Eq. (3): the model-derived minimum cluster count actually meets the
+// deadline in simulation, and one fewer cluster misses it.
+TEST(Paper, Eq3DecisionsValidatedInSimulation) {
+  const model::RuntimeModel m = model::paper_daxpy_model();
+  const std::uint64_t n = 1024;
+  for (const double t_max : {700.0, 750.0, 900.0}) {
+    const auto m_min = model::min_clusters_for_deadline(m, n, t_max, 32);
+    ASSERT_TRUE(m_min.has_value()) << t_max;
+    const auto t = daxpy_cycles(SocConfig::extended(32), n, *m_min);
+    EXPECT_LE(static_cast<double>(t), t_max * 1.01) << t_max;
+    if (*m_min > 1) {
+      const auto t_less = daxpy_cycles(SocConfig::extended(32), n, *m_min - 1);
+      EXPECT_GT(static_cast<double>(t_less), t_max * 0.99) << t_max;
+    }
+  }
+}
+
+// E14 (extension): weak scaling hits the shared-bandwidth wall — constant
+// per-cluster work, runtime still grows, and the data term's share rises.
+TEST(Paper, WeakScalingIsBandwidthBound) {
+  double prev_data_frac = 0.0;
+  sim::Cycles prev_t = 0;
+  for (const unsigned m : {1u, 4u, 16u}) {
+    const std::uint64_t n = 1024ull * m;
+    const auto t = daxpy_cycles(SocConfig::extended(16), n, m);
+    const double data_frac = (static_cast<double>(n) / 4.0) / static_cast<double>(t);
+    EXPECT_GT(t, prev_t);
+    EXPECT_GT(data_frac, prev_data_frac);
+    prev_t = t;
+    prev_data_frac = data_frac;
+  }
+  EXPECT_GT(prev_data_frac, 0.8);  // ~bandwidth-bound at M=16
+}
+
+// run_verified's oracle must actually gate on the tolerance.
+TEST(Paper, VerificationOracleRejectsOnTolerance) {
+  Soc soc(SocConfig::extended(4));
+  EXPECT_THROW(run_verified(soc, "daxpy", 64, 4, 7, /*tolerance=*/-1.0), std::runtime_error);
+}
+
+// Baseline stats inventory is consistent with its mechanisms.
+TEST(Paper, BaselineStatsInventory) {
+  Soc soc(SocConfig::baseline(4));
+  run_verified(soc, "daxpy", 256, 4, 3);
+  const std::string csv = soc.dump_stats();
+  EXPECT_NE(csv.find("noc.unicasts,4"), std::string::npos);
+  EXPECT_NE(csv.find("shared_counter.amos,4"), std::string::npos);
+  EXPECT_NE(csv.find("sync_unit.interrupts,0"), std::string::npos);
+  EXPECT_NE(csv.find("noc.multicasts,0"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,311 @@
+// Unit tests for the simulation kernel: event ordering, components, stats,
+// trace, logging, RNG.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/component.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mco::sim;
+
+// ---- event queue -----------------------------------------------------------
+
+TEST(Simulator, StartsAtCycleZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameCycleFifoAmongEqualPriority) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, PriorityBreaksSameCycleTies) {
+  Simulator sim;
+  std::vector<std::string> order;
+  sim.schedule_at(5, [&] { order.push_back("cpu"); }, Priority::kCpu);
+  sim.schedule_at(5, [&] { order.push_back("wire"); }, Priority::kWire);
+  sim.schedule_at(5, [&] { order.push_back("mem"); }, Priority::kMemory);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"wire", "mem", "cpu"}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Cycle seen = 0;
+  sim.schedule_at(100, [&] { sim.schedule_in(5, [&] { seen = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(seen, 105u);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [&] { EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error); });
+  sim.run();
+}
+
+TEST(Simulator, EventsCanScheduleAtCurrentCycle) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule_at(7, [&] { sim.schedule_at(7, [&] { ++hits; }); });
+  sim.run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(sim.now(), 7u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule_at(10, [&] { ++hits; });
+  sim.schedule_at(20, [&] { ++hits; });
+  sim.run_until(15);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(42);
+  EXPECT_EQ(sim.now(), 42u);
+}
+
+TEST(Simulator, StopAbortsRun) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule_at(1, [&] {
+    ++hits;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++hits; });
+  sim.run();
+  EXPECT_EQ(hits, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(static_cast<Cycle>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int hits = 0;
+  sim.schedule_at(1, [&] { ++hits; });
+  sim.schedule_at(2, [&] { ++hits; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(hits, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+// ---- components ------------------------------------------------------------
+
+TEST(Component, PathReflectsHierarchy) {
+  Simulator sim;
+  Component root(sim, "soc");
+  Component mid(sim, "cluster3", &root);
+  Component leaf(sim, "dma", &mid);
+  EXPECT_EQ(leaf.path(), "soc.cluster3.dma");
+  EXPECT_EQ(root.path(), "soc");
+}
+
+TEST(Component, ParentTracksChildren) {
+  Simulator sim;
+  Component root(sim, "soc");
+  {
+    Component child(sim, "c0", &root);
+    EXPECT_EQ(root.children().size(), 1u);
+  }
+  EXPECT_TRUE(root.children().empty());  // destructor detaches
+}
+
+// ---- stats -----------------------------------------------------------------
+
+TEST(Stats, CounterIncrements) {
+  StatsRegistry reg;
+  reg.counter("x").inc();
+  reg.counter("x").inc(4);
+  EXPECT_EQ(reg.counter_value("x"), 5u);
+}
+
+TEST(Stats, MissingCounterReadsZero) {
+  const StatsRegistry reg;
+  EXPECT_EQ(reg.counter_value("nope"), 0u);
+}
+
+TEST(Stats, AccumulatorMinMeanMax) {
+  Accumulator a;
+  a.sample(2.0);
+  a.sample(4.0);
+  a.sample(9.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero) {
+  const Accumulator a;
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+}
+
+TEST(Stats, DumpCsvIsDeterministicallyOrdered) {
+  StatsRegistry reg;
+  reg.counter("b").inc();
+  reg.counter("a").inc();
+  const std::string csv = reg.dump_csv();
+  EXPECT_LT(csv.find("a,1"), csv.find("b,1"));
+}
+
+TEST(Stats, ResetAllClears) {
+  StatsRegistry reg;
+  reg.counter("x").inc(3);
+  reg.accumulator("y").sample(1.0);
+  reg.reset_all();
+  EXPECT_EQ(reg.counter_value("x"), 0u);
+  EXPECT_EQ(reg.accumulator("y").count(), 0u);
+}
+
+// ---- trace -----------------------------------------------------------------
+
+TEST(Trace, DisabledByDefault) {
+  TraceSink t;
+  t.record(1, "a", "b");
+  EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  TraceSink t;
+  t.enable();
+  t.record(5, "cluster0", "wakeup", "x");
+  ASSERT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.records()[0].time, 5u);
+  EXPECT_EQ(t.records()[0].who, "cluster0");
+}
+
+TEST(Trace, FilterByWhat) {
+  TraceSink t;
+  t.enable();
+  t.record(1, "a", "x");
+  t.record(2, "b", "y");
+  t.record(3, "c", "x");
+  const auto xs = t.filter("x");
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[1].time, 3u);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  TraceSink t;
+  t.enable();
+  t.record(1, "a", "b", "c");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("time,who,what,detail"), std::string::npos);
+  EXPECT_NE(csv.find("1,a,b,c"), std::string::npos);
+}
+
+// ---- logger ----------------------------------------------------------------
+
+TEST(Logger, OffByDefault) {
+  Logger log;
+  log.log(0, LogLevel::kError, "x", "msg");
+  EXPECT_EQ(log.records_emitted(), 0u);
+}
+
+TEST(Logger, SinkReceivesRecords) {
+  Logger log;
+  log.set_level(LogLevel::kInfo);
+  std::vector<std::string> seen;
+  log.set_sink([&](Cycle, LogLevel, const std::string&, const std::string& m) {
+    seen.push_back(m);
+  });
+  log.log(1, LogLevel::kDebug, "x", "dropped");
+  log.log(2, LogLevel::kWarn, "x", "kept");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "kept");
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(13), 13u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RoughlyUniformMean) {
+  Rng r(13);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += r.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+}  // namespace

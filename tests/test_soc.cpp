@@ -1,0 +1,321 @@
+// Integration tests on the full SoC: functional correctness of every kernel
+// across designs and cluster counts, determinism, memory allocation, and
+// structural invariants of the simulated machine.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "soc/soc.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::soc;
+
+// ---- construction ----------------------------------------------------------
+
+TEST(Soc, BuildsWithDefaultConfigs) {
+  Soc soc(SocConfig::extended(32));
+  EXPECT_EQ(soc.num_clusters(), 32u);
+  EXPECT_EQ(soc.kernels().size(), 13u);
+  EXPECT_EQ(soc.cluster(31).cluster_id(), 31u);
+}
+
+TEST(Soc, ZeroClustersRejected) {
+  SocConfig cfg = SocConfig::extended(1);
+  cfg.num_clusters = 0;
+  EXPECT_THROW(Soc{cfg}, std::invalid_argument);
+}
+
+TEST(Soc, DerivedConfigsKeptConsistent) {
+  SocConfig cfg = SocConfig::extended(4);
+  cfg.num_clusters = 16;  // caller forgot to update sub-configs
+  Soc soc(cfg);
+  EXPECT_EQ(soc.num_clusters(), 16u);
+  EXPECT_GE(soc.config().hbm.num_ports, 17u);
+  EXPECT_NO_THROW(soc.address_map().tcdm_base(15));
+}
+
+TEST(Soc, AllocatorAlignsAndBoundsChecks) {
+  Soc soc(SocConfig::extended(1));
+  const mem::Addr a = soc.alloc(3);
+  const mem::Addr b = soc.alloc(3);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GT(b, a);
+  EXPECT_THROW(soc.alloc(1ull << 40), std::runtime_error);
+}
+
+TEST(Soc, AllocF64RoundTrips) {
+  Soc soc(SocConfig::extended(1));
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  const mem::Addr a = soc.alloc_f64(v);
+  EXPECT_EQ(soc.read_f64(a, 3), v);
+}
+
+// ---- functional correctness for every kernel, both designs -----------------
+
+struct KernelCase {
+  const char* kernel;
+  double tolerance;
+};
+
+class AllKernelsRun : public ::testing::TestWithParam<
+                          std::tuple<KernelCase, unsigned /*M*/, bool /*extended*/>> {};
+
+TEST_P(AllKernelsRun, ProducesCorrectResults) {
+  const auto& [kc, m, extended] = GetParam();
+  const SocConfig cfg = extended ? SocConfig::extended(32) : SocConfig::baseline(32);
+  Soc soc(cfg);
+  const auto r = run_verified(soc, kc.kernel, 384, m, /*seed=*/1234, kc.tolerance);
+  EXPECT_GT(r.total(), 0u);
+  // Every participating cluster ran exactly one job.
+  for (unsigned i = 0; i < m; ++i) EXPECT_EQ(soc.cluster(i).jobs_executed(), 1u);
+  for (unsigned i = m; i < soc.num_clusters(); ++i)
+    EXPECT_EQ(soc.cluster(i).jobs_executed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllKernelsRun,
+    ::testing::Combine(::testing::Values(KernelCase{"daxpy", 1e-9}, KernelCase{"saxpy", 1e-5},
+                                         KernelCase{"axpby", 1e-9}, KernelCase{"scale", 1e-9},
+                                         KernelCase{"vecadd", 1e-9}, KernelCase{"relu", 1e-9},
+                                         KernelCase{"vecmul", 1e-9},
+                                         KernelCase{"fill", 1e-9}, KernelCase{"memcpy", 1e-9},
+                                         KernelCase{"dot", 1e-9}, KernelCase{"vecsum", 1e-9},
+                                         KernelCase{"gemv", 1e-9}, KernelCase{"gemm", 1e-9}),
+                       ::testing::Values(1u, 3u, 8u, 32u), ::testing::Bool()),
+    [](const auto& param_info) {
+      return std::string(std::get<0>(param_info.param).kernel) + "_M" +
+             std::to_string(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) ? "_ext" : "_base");
+    });
+
+// ---- odd sizes / edge cases --------------------------------------------------
+
+class OddSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OddSizes, DaxpyCorrectForAwkwardN) {
+  Soc soc(SocConfig::extended(32));
+  EXPECT_NO_THROW(run_verified(soc, "daxpy", GetParam(), 32, 7));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, OddSizes,
+                         ::testing::Values(1, 2, 3, 31, 33, 255, 257, 1000, 1023, 1025));
+
+TEST(EdgeCases, FewerElementsThanClusters) {
+  // n=5 on M=32: 27 clusters get empty chunks but must still participate in
+  // the team and signal completion.
+  Soc soc(SocConfig::extended(32));
+  const auto r = run_verified(soc, "daxpy", 5, 32, 7);
+  EXPECT_EQ(soc.sync_unit().interrupts_fired(), 1u);
+  EXPECT_EQ(r.num_clusters, 32u);
+}
+
+TEST(EdgeCases, SingleElement) {
+  Soc soc(SocConfig::baseline(4));
+  EXPECT_NO_THROW(run_verified(soc, "daxpy", 1, 4, 7));
+}
+
+TEST(EdgeCases, ReductionWithEmptyChunksIsStillExact) {
+  Soc soc(SocConfig::extended(32));
+  EXPECT_NO_THROW(run_verified(soc, "vecsum", 3, 32, 7, 1e-12));
+}
+
+// ---- determinism -------------------------------------------------------------
+
+TEST(Determinism, IdenticalRunsProduceIdenticalCycles) {
+  for (const bool extended : {false, true}) {
+    const SocConfig cfg = extended ? SocConfig::extended(16) : SocConfig::baseline(16);
+    const auto r1 = run_daxpy(cfg, 777, 16, /*seed=*/5);
+    const auto r2 = run_daxpy(cfg, 777, 16, /*seed=*/5);
+    EXPECT_EQ(r1.total(), r2.total());
+    EXPECT_EQ(r1.ts.dispatch_done, r2.ts.dispatch_done);
+  }
+}
+
+TEST(Determinism, SeedOnlyChangesDataNotTiming) {
+  const auto r1 = run_daxpy(SocConfig::extended(8), 512, 8, 1);
+  const auto r2 = run_daxpy(SocConfig::extended(8), 512, 8, 2);
+  EXPECT_EQ(r1.total(), r2.total());
+}
+
+// ---- structural invariants ---------------------------------------------------
+
+TEST(Invariants, DataVolumeThroughHbmMatchesKernel) {
+  // DAXPY moves 3N doubles + the completion/epilogue traffic is not through
+  // the DMA path, so DMA bytes must be exactly 3*N*8 per offload.
+  Soc soc(SocConfig::extended(8));
+  run_verified(soc, "daxpy", 512, 8, 3);
+  std::uint64_t bytes = 0;
+  for (unsigned i = 0; i < 8; ++i) bytes += soc.cluster(i).dma().bytes_moved();
+  EXPECT_EQ(bytes, 3ull * 512 * 8);
+}
+
+TEST(Invariants, HbmBeatsMatchDmaBytes) {
+  Soc soc(SocConfig::extended(4));
+  run_verified(soc, "daxpy", 256, 4, 3);
+  EXPECT_EQ(soc.hbm().beats_served(), 3ull * 256);  // one beat per double
+}
+
+TEST(Invariants, TeamBarrierEpisodesMatchOffloads) {
+  Soc soc(SocConfig::extended(8));
+  sim::Rng rng(4);
+  auto job = prepare_workload(soc, soc.kernels().by_name("daxpy"), 128, 8, rng);
+  soc.run_offload(job.args, 8);
+  auto job2 = prepare_workload(soc, soc.kernels().by_name("scale"), 128, 8, rng);
+  soc.run_offload(job2.args, 4);
+  EXPECT_EQ(soc.team_barrier().episodes_completed(), 2u);
+}
+
+TEST(Invariants, NoSpuriousCreditsOrPolls) {
+  Soc soc(SocConfig::extended(8));
+  run_verified(soc, "daxpy", 256, 8, 3);
+  EXPECT_EQ(soc.sync_unit().spurious_increments(), 0u);
+  EXPECT_EQ(soc.host().polls(), 0u);
+}
+
+TEST(Invariants, WorkerBusyCyclesScaleWithWork) {
+  Soc big(SocConfig::extended(2));
+  run_verified(big, "daxpy", 4096, 2, 3);
+  Soc small(SocConfig::extended(2));
+  run_verified(small, "daxpy", 256, 2, 3);
+  EXPECT_GT(big.cluster(0).worker(0).busy_cycles(),
+            small.cluster(0).worker(0).busy_cycles() * 8);
+}
+
+TEST(Stats, DumpStatsInventoriesTheMachine) {
+  Soc soc(SocConfig::extended(4));
+  run_verified(soc, "daxpy", 256, 4, 3);
+  const std::string csv = soc.dump_stats();
+  EXPECT_NE(csv.find("hbm.beats_served,768"), std::string::npos);
+  EXPECT_NE(csv.find("noc.multicasts,1"), std::string::npos);
+  EXPECT_NE(csv.find("sync_unit.interrupts,1"), std::string::npos);
+  EXPECT_NE(csv.find("runtime.offloads,1"), std::string::npos);
+  EXPECT_NE(csv.find("cluster3.jobs,1"), std::string::npos);
+  // Re-dumping is idempotent (counters are snapshots, not accumulators).
+  EXPECT_EQ(csv, soc.dump_stats());
+}
+
+// ---- ISS-backed compute mode ----------------------------------------------------
+
+TEST(IssCompute, DaxpyCorrectInIssMode) {
+  for (const auto v : {kernels::Kernel::IssVariant::kScalar,
+                       kernels::Kernel::IssVariant::kUnrolled4,
+                       kernels::Kernel::IssVariant::kSsrFrep}) {
+    SocConfig cfg = SocConfig::extended(8);
+    cfg.cluster.use_iss_compute = true;
+    cfg.cluster.iss_variant = v;
+    Soc soc(cfg);
+    EXPECT_NO_THROW(run_verified(soc, "daxpy", 777, 8, 51)) << static_cast<int>(v);
+    EXPECT_EQ(soc.cluster(0).iss_fallbacks(), 0u);
+  }
+}
+
+TEST(IssCompute, VariantChoiceChangesRuntimeInTheRightOrder) {
+  sim::Cycles t[3];
+  int i = 0;
+  for (const auto v : {kernels::Kernel::IssVariant::kScalar,
+                       kernels::Kernel::IssVariant::kUnrolled4,
+                       kernels::Kernel::IssVariant::kSsrFrep}) {
+    SocConfig cfg = SocConfig::extended(4);
+    cfg.cluster.use_iss_compute = true;
+    cfg.cluster.iss_variant = v;
+    Soc soc(cfg);
+    t[i++] = run_verified(soc, "daxpy", 2048, 4, 52).total();
+  }
+  EXPECT_GT(t[0], t[1]);  // scalar slower than unrolled
+  EXPECT_GT(t[1], t[2]);  // unrolled slower than SSR+FREP
+}
+
+TEST(IssCompute, RateModeSitsBetweenScalarAndSsr) {
+  // The calibrated 2.6 cycles/element must land between the two ISS
+  // implementations at the whole-offload level too.
+  SocConfig scalar_cfg = SocConfig::extended(4);
+  scalar_cfg.cluster.use_iss_compute = true;
+  scalar_cfg.cluster.iss_variant = kernels::Kernel::IssVariant::kScalar;
+  SocConfig ssr_cfg = SocConfig::extended(4);
+  ssr_cfg.cluster.use_iss_compute = true;
+  ssr_cfg.cluster.iss_variant = kernels::Kernel::IssVariant::kSsrFrep;
+
+  const auto rate = run_daxpy(SocConfig::extended(4), 2048, 4, 53).total();
+  Soc a(scalar_cfg), b(ssr_cfg);
+  const auto scalar = run_verified(a, "daxpy", 2048, 4, 53).total();
+  const auto ssr = run_verified(b, "daxpy", 2048, 4, 53).total();
+  EXPECT_LT(ssr, rate);
+  EXPECT_LT(rate, scalar);
+}
+
+TEST(IssCompute, KernelsWithoutMicrocodeFallBackToRate) {
+  // SAXPY is f32: the 64-bit SSR streams carry no microcode for it.
+  SocConfig cfg = SocConfig::extended(4);
+  cfg.cluster.use_iss_compute = true;
+  Soc soc(cfg);
+  const auto iss_run = run_verified(soc, "saxpy", 512, 4, 54, 1e-5).total();
+  const auto rate_run = [&] {
+    Soc plain(SocConfig::extended(4));
+    return run_verified(plain, "saxpy", 512, 4, 54, 1e-5).total();
+  }();
+  EXPECT_EQ(iss_run, rate_run);  // identical schedule
+  EXPECT_EQ(soc.cluster(0).iss_fallbacks(), 1u);
+}
+
+TEST(IssCompute, AllStreamKernelsCorrectInIssMode) {
+  SocConfig cfg = SocConfig::extended(8);
+  cfg.cluster.use_iss_compute = true;
+  for (const char* k : {"scale", "relu", "vecadd", "vecmul", "memcpy", "fill", "axpby"}) {
+    Soc soc(cfg);
+    EXPECT_NO_THROW(run_verified(soc, k, 500, 8, 56)) << k;
+    EXPECT_EQ(soc.cluster(0).iss_fallbacks(), 0u) << k;
+  }
+}
+
+TEST(IssCompute, AxpbyStreamLoopIsLatencyBound) {
+  // The axpby body has an intra-iteration dependency (fmul feeding fmadd),
+  // so its ISS runtime exceeds the single-instruction-loop kernels'.
+  SocConfig cfg = SocConfig::extended(4);
+  cfg.cluster.use_iss_compute = true;
+  Soc a(cfg), b(cfg);
+  const auto axpby = run_verified(a, "axpby", 2048, 4, 57).total();
+  const auto vecadd = run_verified(b, "vecadd", 2048, 4, 57).total();
+  EXPECT_GT(axpby, vecadd);
+}
+
+TEST(IssCompute, WorksWithTiling) {
+  SocConfig cfg = SocConfig::extended(1);
+  cfg.cluster.use_iss_compute = true;
+  Soc soc(cfg);
+  EXPECT_NO_THROW(run_verified(soc, "daxpy", 16384, 1, 55));
+  EXPECT_GT(soc.cluster(0).last_job_tiles(), 1u);
+}
+
+// ---- timing sanity across designs ---------------------------------------------
+
+TEST(Timing, ExtendedNeverSlowerAtManyClusters) {
+  for (const std::uint64_t n : {512ull, 1024ull, 4096ull}) {
+    const auto base = run_daxpy(SocConfig::baseline(32), n, 32, 9);
+    const auto ext = run_daxpy(SocConfig::extended(32), n, 32, 9);
+    EXPECT_LT(ext.total(), base.total()) << n;
+  }
+}
+
+TEST(Timing, MoreClustersReduceExtendedRuntime) {
+  sim::Cycles prev = ~0ull;
+  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto r = run_daxpy(SocConfig::extended(32), 4096, m, 10);
+    EXPECT_LT(r.total(), prev) << m;
+    prev = r.total();
+  }
+}
+
+TEST(Timing, RuntimeGrowsWithN) {
+  sim::Cycles prev = 0;
+  for (const std::uint64_t n : {128ull, 512ull, 2048ull, 8192ull}) {
+    const auto r = run_daxpy(SocConfig::extended(16), n, 16, 11);
+    EXPECT_GT(r.total(), prev) << n;
+    prev = r.total();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,235 @@
+// Unit tests for the synchronization primitives: the hardware credit counter
+// unit, cluster mailboxes, the baseline shared-memory counter and the
+// team-start barrier.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sync/credit_counter.h"
+#include "sync/mailbox.h"
+#include "sync/shared_counter.h"
+#include "sync/team_barrier.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::sync;
+
+// ---- credit counter unit ---------------------------------------------------
+
+struct CreditFixture : ::testing::Test {
+  sim::Simulator sim;
+  CreditCounterUnit unit{sim, "sync_unit", CreditCounterConfig{1}};
+};
+
+TEST_F(CreditFixture, FiresIrqAtThreshold) {
+  sim::Cycle irq_at = 0;
+  unit.set_irq_callback([&] { irq_at = sim.now(); });
+  unit.arm(3);
+  sim.schedule_at(10, [&] { unit.increment(); });
+  sim.schedule_at(20, [&] { unit.increment(); });
+  sim.schedule_at(30, [&] { unit.increment(); });
+  sim.run();
+  EXPECT_EQ(irq_at, 31u);  // trigger latency 1
+  EXPECT_EQ(unit.interrupts_fired(), 1u);
+}
+
+TEST_F(CreditFixture, DoesNotFireBelowThreshold) {
+  int irqs = 0;
+  unit.set_irq_callback([&] { ++irqs; });
+  unit.arm(2);
+  unit.increment();
+  sim.run();
+  EXPECT_EQ(irqs, 0);
+  EXPECT_EQ(unit.count(), 1u);
+  EXPECT_TRUE(unit.armed());
+}
+
+TEST_F(CreditFixture, ThresholdOneFiresImmediately) {
+  int irqs = 0;
+  unit.set_irq_callback([&] { ++irqs; });
+  unit.arm(1);
+  unit.increment();
+  sim.run();
+  EXPECT_EQ(irqs, 1);
+}
+
+TEST_F(CreditFixture, ArmResetsCount) {
+  unit.set_irq_callback([] {});
+  unit.arm(1);
+  unit.increment();
+  sim.run();
+  unit.arm(2);
+  EXPECT_EQ(unit.count(), 0u);
+  EXPECT_EQ(unit.threshold(), 2u);
+}
+
+TEST_F(CreditFixture, ReArmWhilePendingThrows) {
+  unit.arm(2);
+  unit.increment();
+  EXPECT_THROW(unit.arm(3), std::logic_error);
+}
+
+TEST_F(CreditFixture, ZeroThresholdThrows) { EXPECT_THROW(unit.arm(0), std::invalid_argument); }
+
+TEST_F(CreditFixture, SpuriousIncrementCountedNotFatal) {
+  unit.increment();  // never armed
+  EXPECT_EQ(unit.spurious_increments(), 1u);
+  EXPECT_EQ(unit.count(), 0u);
+}
+
+TEST_F(CreditFixture, DisarmsAfterFiring) {
+  unit.set_irq_callback([] {});
+  unit.arm(1);
+  unit.increment();
+  sim.run();
+  EXPECT_FALSE(unit.armed());
+  unit.increment();  // late credit after completion is spurious
+  EXPECT_EQ(unit.spurious_increments(), 1u);
+}
+
+TEST_F(CreditFixture, ResetClearsState) {
+  unit.arm(5);
+  unit.increment();
+  unit.reset();
+  EXPECT_FALSE(unit.armed());
+  EXPECT_EQ(unit.count(), 0u);
+  EXPECT_EQ(unit.threshold(), 0u);
+}
+
+// ---- mailbox ---------------------------------------------------------------
+
+TEST(Mailbox, DoorbellFiresOnDelivery) {
+  sim::Simulator sim;
+  Mailbox mb(sim, "mb");
+  int rings = 0;
+  mb.set_doorbell([&] { ++rings; });
+  mb.deliver(noc::DispatchMessage{{1, 2}});
+  EXPECT_EQ(rings, 1);
+  EXPECT_EQ(mb.depth(), 1u);
+}
+
+TEST(Mailbox, PopReturnsFifoOrder) {
+  sim::Simulator sim;
+  Mailbox mb(sim, "mb");
+  mb.deliver(noc::DispatchMessage{{1}});
+  mb.deliver(noc::DispatchMessage{{2}});
+  EXPECT_EQ(mb.pop().words[0], 1u);
+  EXPECT_EQ(mb.pop().words[0], 2u);
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(Mailbox, PopEmptyThrows) {
+  sim::Simulator sim;
+  Mailbox mb(sim, "mb");
+  EXPECT_THROW(mb.pop(), std::logic_error);
+}
+
+TEST(Mailbox, CountsMessages) {
+  sim::Simulator sim;
+  Mailbox mb(sim, "mb");
+  mb.deliver(noc::DispatchMessage{{1}});
+  mb.deliver(noc::DispatchMessage{{2}});
+  EXPECT_EQ(mb.messages_received(), 2u);
+}
+
+// ---- shared counter --------------------------------------------------------
+
+TEST(SharedCounter, AmoCommitsAfterLatency) {
+  sim::Simulator sim;
+  SharedCounter c(sim, "ctr", SharedCounterConfig{60});
+  c.store(0);
+  c.amo_add();
+  EXPECT_EQ(c.load(), 0u);  // not yet visible
+  sim.run();
+  EXPECT_EQ(c.load(), 1u);
+  EXPECT_EQ(c.amos_serviced(), 1u);
+}
+
+TEST(SharedCounter, ConcurrentAmosCommitInParallel) {
+  sim::Simulator sim;
+  SharedCounter c(sim, "ctr", SharedCounterConfig{60});
+  sim::Cycle all_committed = 0;
+  for (int i = 0; i < 8; ++i) c.amo_add();
+  sim.schedule_at(60, [&] { all_committed = c.load(); }, sim::Priority::kPostlude);
+  sim.run();
+  EXPECT_EQ(all_committed, 8u);  // pipelined datapath: all land at +latency
+  EXPECT_EQ(c.max_in_flight(), 8u);
+}
+
+TEST(SharedCounter, StoreReinitializes) {
+  sim::Simulator sim;
+  SharedCounter c(sim, "ctr", SharedCounterConfig{1});
+  c.amo_add();
+  sim.run();
+  c.store(0);
+  EXPECT_EQ(c.load(), 0u);
+}
+
+TEST(SharedCounter, DeltaAdds) {
+  sim::Simulator sim;
+  SharedCounter c(sim, "ctr", SharedCounterConfig{1});
+  c.amo_add(5);
+  sim.run();
+  EXPECT_EQ(c.load(), 5u);
+}
+
+// ---- team barrier ----------------------------------------------------------
+
+TEST(TeamBarrier, ReleasesWhenTeamComplete) {
+  sim::Simulator sim;
+  TeamBarrier tb(sim, "tb", TeamBarrierConfig{12});
+  std::vector<sim::Cycle> released;
+  sim.schedule_at(10, [&] { tb.arrive(3, [&] { released.push_back(sim.now()); }); });
+  sim.schedule_at(20, [&] { tb.arrive(3, [&] { released.push_back(sim.now()); }); });
+  sim.schedule_at(50, [&] { tb.arrive(3, [&] { released.push_back(sim.now()); }); });
+  sim.run();
+  ASSERT_EQ(released.size(), 3u);
+  for (const auto t : released) EXPECT_EQ(t, 62u);  // last arrival + 12
+  EXPECT_EQ(tb.episodes_completed(), 1u);
+}
+
+TEST(TeamBarrier, SingleMemberTeam) {
+  sim::Simulator sim;
+  TeamBarrier tb(sim, "tb", TeamBarrierConfig{12});
+  sim::Cycle at = 0;
+  tb.arrive(1, [&] { at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(at, 12u);
+}
+
+TEST(TeamBarrier, MismatchedExpectationThrows) {
+  sim::Simulator sim;
+  TeamBarrier tb(sim, "tb", TeamBarrierConfig{});
+  tb.arrive(3, [] {});
+  EXPECT_THROW(tb.arrive(2, [] {}), std::logic_error);
+}
+
+TEST(TeamBarrier, ZeroTeamThrows) {
+  sim::Simulator sim;
+  TeamBarrier tb(sim, "tb", TeamBarrierConfig{});
+  EXPECT_THROW(tb.arrive(0, [] {}), std::invalid_argument);
+}
+
+TEST(TeamBarrier, ReusableAcrossEpisodes) {
+  sim::Simulator sim;
+  TeamBarrier tb(sim, "tb", TeamBarrierConfig{1});
+  int releases = 0;
+  tb.arrive(2, [&] { ++releases; });
+  tb.arrive(2, [&] { ++releases; });
+  sim.run();
+  tb.arrive(1, [&] { ++releases; });  // next episode, different size: OK
+  sim.run();
+  EXPECT_EQ(releases, 3);
+  EXPECT_EQ(tb.episodes_completed(), 2u);
+}
+
+TEST(TeamBarrier, WaitingCountVisible) {
+  sim::Simulator sim;
+  TeamBarrier tb(sim, "tb", TeamBarrierConfig{});
+  tb.arrive(2, [] {});
+  EXPECT_EQ(tb.waiting(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Randomized end-to-end torture tests: long random offload sequences with
+// mixed kernels, sizes, cluster counts and designs on shared SoCs. Every
+// offload is functionally verified; every run also re-checks global
+// invariants (no spurious credits, conservation of completion signals).
+// Seeds are fixed — failures reproduce deterministically.
+#include <gtest/gtest.h>
+
+#include "soc/soc.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::soc;
+
+class RandomWorkloadTorture : public ::testing::TestWithParam<std::uint64_t /*seed*/> {};
+
+TEST_P(RandomWorkloadTorture, MixedJobsOnOneSocAllVerify) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng rng(seed);
+  const bool extended = rng.next_below(2) == 1;
+  const unsigned fabric = static_cast<unsigned>(rng.uniform_int(2, 16));
+  Soc soc(extended ? SocConfig::extended(fabric) : SocConfig::baseline(fabric));
+
+  const std::vector<std::string> kernels{"daxpy", "saxpy", "axpby", "scale", "vecadd",
+                                         "vecmul", "relu",  "fill",  "memcpy", "dot",
+                                         "vecsum"};
+  std::uint64_t expected_signals = 0;
+  for (int job = 0; job < 12; ++job) {
+    const std::string& k = kernels[rng.next_below(kernels.size())];
+    const auto n = static_cast<std::uint64_t>(rng.uniform_int(1, 700));
+    const auto m = static_cast<unsigned>(rng.uniform_int(1, fabric));
+    const double tol = k == "saxpy" ? 1e-5 : 1e-9;
+    ASSERT_NO_THROW(run_verified(soc, k, n, m, seed * 100 + static_cast<std::uint64_t>(job),
+                                 tol))
+        << "seed=" << seed << " job=" << job << " kernel=" << k << " n=" << n << " m=" << m;
+    expected_signals += m;
+  }
+
+  // Completion-signal conservation: every participating cluster signalled
+  // exactly once per job, through exactly one mechanism.
+  const std::uint64_t credits = soc.interconnect().credits_routed();
+  const std::uint64_t amos = soc.interconnect().amos_routed();
+  EXPECT_EQ(credits + amos, expected_signals);
+  EXPECT_EQ(extended ? amos : credits, 0u);
+  EXPECT_EQ(soc.sync_unit().spurious_increments(), 0u);
+  EXPECT_EQ(soc.runtime().offloads_completed(), 12u);
+  EXPECT_FALSE(soc.runtime().busy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadTorture,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+class RandomConfigTorture : public ::testing::TestWithParam<std::uint64_t /*seed*/> {};
+
+TEST_P(RandomConfigTorture, PerturbedConfigsStillRunCorrectly) {
+  // Random (but sane) latency/bandwidth perturbations must never break
+  // functional correctness or the extended design's constant-dispatch
+  // property — only shift cycle counts.
+  const std::uint64_t seed = GetParam();
+  sim::Rng rng(seed);
+  SocConfig cfg = SocConfig::extended(8);
+  cfg.hbm.beats_per_cycle = static_cast<unsigned>(rng.uniform_int(4, 32));
+  cfg.hbm.request_latency = static_cast<sim::Cycles>(rng.uniform_int(0, 30));
+  cfg.noc.host_to_cluster_latency = static_cast<sim::Cycles>(rng.uniform_int(1, 40));
+  cfg.cluster.wakeup_latency = static_cast<sim::Cycles>(rng.uniform_int(1, 60));
+  cfg.cluster.barrier_latency = static_cast<sim::Cycles>(rng.uniform_int(1, 30));
+  cfg.runtime.marshal_base_cycles = static_cast<sim::Cycles>(rng.uniform_int(10, 200));
+  cfg.host.irq_take_cycles = static_cast<sim::Cycles>(rng.uniform_int(1, 60));
+
+  Soc soc(cfg);
+  EXPECT_NO_THROW(run_verified(soc, "daxpy", 512, 8, seed)) << "seed=" << seed;
+
+  // Constant dispatch: same config, 1 vs 8 clusters.
+  Soc a(cfg), b(cfg);
+  const auto d1 = run_verified(a, "daxpy", 512, 1, seed).phases().dispatch;
+  const auto d8 = run_verified(b, "daxpy", 512, 8, seed).phases().dispatch;
+  EXPECT_EQ(d1, d8) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigTorture, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(TortureSequences, LongPipelinedTrainStaysConsistent) {
+  Soc soc(SocConfig::extended(4));
+  sim::Rng rng(9090);
+  std::vector<kernels::JobArgs> train;
+  std::vector<std::function<double(Soc&)>> oracles;
+  for (int i = 0; i < 20; ++i) {
+    auto job = prepare_workload(soc, soc.kernels().by_name(i % 2 ? "scale" : "vecadd"), 300, 4,
+                                rng);
+    train.push_back(job.args);
+    oracles.push_back(job.max_abs_error);
+  }
+  const auto r = soc.runtime().offload_sequence_blocking(std::move(train), 4, true);
+  EXPECT_EQ(r.jobs.size(), 20u);
+  for (const auto& oracle : oracles) EXPECT_LT(oracle(soc), 1e-9);
+  // Monotone job completion times.
+  for (std::size_t i = 1; i < r.jobs.size(); ++i) {
+    EXPECT_GT(r.jobs[i].completed, r.jobs[i - 1].completed);
+  }
+}
+
+}  // namespace

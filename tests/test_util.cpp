@@ -1,0 +1,207 @@
+// Unit tests for the util library: math helpers, strings, CSV, tables, CLI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/math.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mco::util;
+
+// ---- math ------------------------------------------------------------------
+
+TEST(CeilDiv, ExactDivision) { EXPECT_EQ(ceil_div(12, 4), 3); }
+TEST(CeilDiv, RoundsUp) { EXPECT_EQ(ceil_div(13, 4), 4); }
+TEST(CeilDiv, Zero) { EXPECT_EQ(ceil_div(0, 7), 0); }
+TEST(CeilDiv, One) { EXPECT_EQ(ceil_div(1, 7), 1); }
+TEST(CeilDiv, Large64Bit) {
+  EXPECT_EQ(ceil_div<std::uint64_t>(1ull << 40, 3), ((1ull << 40) + 2) / 3);
+}
+
+TEST(RoundUp, AlreadyAligned) { EXPECT_EQ(round_up(64, 8), 64); }
+TEST(RoundUp, Unaligned) { EXPECT_EQ(round_up(65, 8), 72); }
+TEST(RoundUp, Zero) { EXPECT_EQ(round_up(0, 8), 0); }
+
+TEST(IsPow2, Powers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+}
+TEST(IsPow2, NonPowers) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(Log2, FloorAndCeil) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(5), 2u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+  EXPECT_EQ(log2_ceil(8), 3u);
+}
+
+TEST(Rate, ExactRate) {
+  const Rate r{13, 5};  // 2.6 cycles/item
+  EXPECT_EQ(r.cycles_for(5), 13u);
+  EXPECT_EQ(r.cycles_for(10), 26u);
+}
+TEST(Rate, CeilsPartialItems) {
+  const Rate r{13, 5};
+  EXPECT_EQ(r.cycles_for(1), 3u);  // ceil(2.6)
+  EXPECT_EQ(r.cycles_for(4), 11u);  // ceil(10.4)
+}
+TEST(Rate, ZeroItemsCostZero) { EXPECT_EQ((Rate{13, 5}.cycles_for(0)), 0u); }
+TEST(Rate, AsDouble) { EXPECT_DOUBLE_EQ((Rate{13, 5}.as_double()), 2.6); }
+
+// ---- strings ---------------------------------------------------------------
+
+TEST(Format, Basic) { EXPECT_EQ(format("n=%d s=%s", 3, "x"), "n=3 s=x"); }
+TEST(Format, Empty) { EXPECT_EQ(format("%s", ""), ""); }
+
+TEST(Split, Simple) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "b");
+}
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, BothEnds) { EXPECT_EQ(trim("  x y\t\n"), "x y"); }
+TEST(Trim, AllWhitespace) { EXPECT_EQ(trim(" \t "), ""); }
+TEST(ToLower, Mixed) { EXPECT_EQ(to_lower("AbC1"), "abc1"); }
+TEST(StartsWith, Cases) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(human_bytes(3u * 1024 * 1024), "3.0 MiB");
+}
+TEST(Fixed, Precision) { EXPECT_EQ(fixed(1.23456, 2), "1.23"); }
+
+// ---- csv -------------------------------------------------------------------
+
+TEST(Csv, SimpleRows) {
+  CsvWriter w;
+  w.cell("a").cell(1).cell(2.5);
+  w.end_row();
+  EXPECT_EQ(w.str(), "a,1,2.5\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvWriter w;
+  w.cell("has,comma").cell("has\"quote");
+  w.end_row();
+  EXPECT_EQ(w.str(), "\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Csv, RowHelper) {
+  CsvWriter w;
+  w.row({"m", "n", "t"});
+  w.row({"1", "2", "3"});
+  EXPECT_EQ(w.str(), "m,n,t\n1,2,3\n");
+}
+
+TEST(Csv, UnwritableFileThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+// ---- table -----------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "23"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Numeric cells right-align: "23" ends where header column ends.
+  EXPECT_NE(s.find(" 1\n"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+// ---- cli -------------------------------------------------------------------
+
+TEST(Cli, KeyEqualsValue) {
+  const char* argv[] = {"prog", "--n=42"};
+  const Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+}
+
+TEST(Cli, KeySpaceValue) {
+  const char* argv[] = {"prog", "--n", "7"};
+  const Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 7);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  const Cli cli(2, argv);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, DefaultWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("n", 99), 99);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(cli.get("s", "d"), "d");
+}
+
+TEST(Cli, MalformedIntThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  const Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("n", 0), std::runtime_error);
+}
+
+TEST(Cli, MalformedBoolThrows) {
+  const char* argv[] = {"prog", "--b=maybe"};
+  const Cli cli(2, argv);
+  EXPECT_THROW(cli.get_bool("b", false), std::runtime_error);
+}
+
+TEST(Cli, IntList) {
+  const char* argv[] = {"prog", "--ms=1,2,4,8"};
+  const Cli cli(2, argv);
+  const auto v = cli.get_int_list("ms", {});
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 8);
+}
+
+TEST(Cli, Positional) {
+  const char* argv[] = {"prog", "file.txt", "--n=1"};
+  const Cli cli(3, argv);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "file.txt");
+}
+
+TEST(Cli, HexInteger) {
+  const char* argv[] = {"prog", "--addr=0x80000000"};
+  const Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int("addr", 0), 0x80000000ll);
+}
+
+}  // namespace
