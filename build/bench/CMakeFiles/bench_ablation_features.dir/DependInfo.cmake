@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_features.cpp" "bench/CMakeFiles/bench_ablation_features.dir/bench_ablation_features.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_features.dir/bench_ablation_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mco_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mco_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/mco_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/mco_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mco_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mco_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mco_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mco_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/mco_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mco_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mco_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mco_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

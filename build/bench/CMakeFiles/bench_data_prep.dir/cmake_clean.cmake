@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_prep.dir/bench_data_prep.cpp.o"
+  "CMakeFiles/bench_data_prep.dir/bench_data_prep.cpp.o.d"
+  "bench_data_prep"
+  "bench_data_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decision.dir/bench_decision.cpp.o"
+  "CMakeFiles/bench_decision.dir/bench_decision.cpp.o.d"
+  "bench_decision"
+  "bench_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy.dir/bench_energy.cpp.o"
+  "CMakeFiles/bench_energy.dir/bench_energy.cpp.o.d"
+  "bench_energy"
+  "bench_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

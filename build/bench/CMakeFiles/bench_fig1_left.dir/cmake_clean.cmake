@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_left.dir/bench_fig1_left.cpp.o"
+  "CMakeFiles/bench_fig1_left.dir/bench_fig1_left.cpp.o.d"
+  "bench_fig1_left"
+  "bench_fig1_left.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_left.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_right.dir/bench_fig1_right.cpp.o"
+  "CMakeFiles/bench_fig1_right.dir/bench_fig1_right.cpp.o.d"
+  "bench_fig1_right"
+  "bench_fig1_right.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_right.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iss_mode.dir/bench_iss_mode.cpp.o"
+  "CMakeFiles/bench_iss_mode.dir/bench_iss_mode.cpp.o.d"
+  "bench_iss_mode"
+  "bench_iss_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iss_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_sweep.dir/bench_kernel_sweep.cpp.o"
+  "CMakeFiles/bench_kernel_sweep.dir/bench_kernel_sweep.cpp.o.d"
+  "bench_kernel_sweep"
+  "bench_kernel_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

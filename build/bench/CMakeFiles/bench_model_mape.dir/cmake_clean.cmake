@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_mape.dir/bench_model_mape.cpp.o"
+  "CMakeFiles/bench_model_mape.dir/bench_model_mape.cpp.o.d"
+  "bench_model_mape"
+  "bench_model_mape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_mape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase_breakdown.dir/bench_phase_breakdown.cpp.o"
+  "CMakeFiles/bench_phase_breakdown.dir/bench_phase_breakdown.cpp.o.d"
+  "bench_phase_breakdown"
+  "bench_phase_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

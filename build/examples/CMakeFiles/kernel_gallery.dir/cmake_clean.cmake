@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_gallery.dir/kernel_gallery.cpp.o"
+  "CMakeFiles/kernel_gallery.dir/kernel_gallery.cpp.o.d"
+  "kernel_gallery"
+  "kernel_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_decision.dir/offload_decision.cpp.o"
+  "CMakeFiles/offload_decision.dir/offload_decision.cpp.o.d"
+  "offload_decision"
+  "offload_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for offload_decision.
+# This may be replaced when dependencies are built.

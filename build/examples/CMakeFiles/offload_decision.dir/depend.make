@@ -1,0 +1,2 @@
+# Empty dependencies file for offload_decision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_pipeline.dir/solver_pipeline.cpp.o"
+  "CMakeFiles/solver_pipeline.dir/solver_pipeline.cpp.o.d"
+  "solver_pipeline"
+  "solver_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

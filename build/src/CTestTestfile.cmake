@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("mem")
+subdirs("noc")
+subdirs("sync")
+subdirs("kernels")
+subdirs("cluster")
+subdirs("host")
+subdirs("offload")
+subdirs("soc")
+subdirs("model")
+subdirs("energy")
+subdirs("isa")

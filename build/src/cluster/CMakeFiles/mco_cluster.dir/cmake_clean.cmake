@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/mco_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/mco_cluster.dir/worker_core.cpp.o"
+  "CMakeFiles/mco_cluster.dir/worker_core.cpp.o.d"
+  "libmco_cluster.a"
+  "libmco_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

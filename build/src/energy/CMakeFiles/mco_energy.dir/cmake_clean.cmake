@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/mco_energy.dir/energy_model.cpp.o.d"
+  "libmco_energy.a"
+  "libmco_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/host_core.cpp" "src/host/CMakeFiles/mco_host.dir/host_core.cpp.o" "gcc" "src/host/CMakeFiles/mco_host.dir/host_core.cpp.o.d"
+  "/root/repo/src/host/interrupt_controller.cpp" "src/host/CMakeFiles/mco_host.dir/interrupt_controller.cpp.o" "gcc" "src/host/CMakeFiles/mco_host.dir/interrupt_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mco_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

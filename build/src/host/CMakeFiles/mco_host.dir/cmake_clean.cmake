@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_host.dir/host_core.cpp.o"
+  "CMakeFiles/mco_host.dir/host_core.cpp.o.d"
+  "CMakeFiles/mco_host.dir/interrupt_controller.cpp.o"
+  "CMakeFiles/mco_host.dir/interrupt_controller.cpp.o.d"
+  "libmco_host.a"
+  "libmco_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

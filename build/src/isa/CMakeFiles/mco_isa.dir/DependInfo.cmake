@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/core_model.cpp" "src/isa/CMakeFiles/mco_isa.dir/core_model.cpp.o" "gcc" "src/isa/CMakeFiles/mco_isa.dir/core_model.cpp.o.d"
+  "/root/repo/src/isa/microkernels.cpp" "src/isa/CMakeFiles/mco_isa.dir/microkernels.cpp.o" "gcc" "src/isa/CMakeFiles/mco_isa.dir/microkernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/mco_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mco_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

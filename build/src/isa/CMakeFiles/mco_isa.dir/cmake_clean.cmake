@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_isa.dir/core_model.cpp.o"
+  "CMakeFiles/mco_isa.dir/core_model.cpp.o.d"
+  "CMakeFiles/mco_isa.dir/microkernels.cpp.o"
+  "CMakeFiles/mco_isa.dir/microkernels.cpp.o.d"
+  "libmco_isa.a"
+  "libmco_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/blas1.cpp" "src/kernels/CMakeFiles/mco_kernels.dir/blas1.cpp.o" "gcc" "src/kernels/CMakeFiles/mco_kernels.dir/blas1.cpp.o.d"
+  "/root/repo/src/kernels/gemm.cpp" "src/kernels/CMakeFiles/mco_kernels.dir/gemm.cpp.o" "gcc" "src/kernels/CMakeFiles/mco_kernels.dir/gemm.cpp.o.d"
+  "/root/repo/src/kernels/gemv.cpp" "src/kernels/CMakeFiles/mco_kernels.dir/gemv.cpp.o" "gcc" "src/kernels/CMakeFiles/mco_kernels.dir/gemv.cpp.o.d"
+  "/root/repo/src/kernels/job_args.cpp" "src/kernels/CMakeFiles/mco_kernels.dir/job_args.cpp.o" "gcc" "src/kernels/CMakeFiles/mco_kernels.dir/job_args.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/kernels/CMakeFiles/mco_kernels.dir/kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/mco_kernels.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernels/reductions.cpp" "src/kernels/CMakeFiles/mco_kernels.dir/reductions.cpp.o" "gcc" "src/kernels/CMakeFiles/mco_kernels.dir/reductions.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/kernels/CMakeFiles/mco_kernels.dir/registry.cpp.o" "gcc" "src/kernels/CMakeFiles/mco_kernels.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/mco_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mco_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mco_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mco_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

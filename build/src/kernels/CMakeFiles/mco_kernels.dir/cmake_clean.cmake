@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_kernels.dir/blas1.cpp.o"
+  "CMakeFiles/mco_kernels.dir/blas1.cpp.o.d"
+  "CMakeFiles/mco_kernels.dir/gemm.cpp.o"
+  "CMakeFiles/mco_kernels.dir/gemm.cpp.o.d"
+  "CMakeFiles/mco_kernels.dir/gemv.cpp.o"
+  "CMakeFiles/mco_kernels.dir/gemv.cpp.o.d"
+  "CMakeFiles/mco_kernels.dir/job_args.cpp.o"
+  "CMakeFiles/mco_kernels.dir/job_args.cpp.o.d"
+  "CMakeFiles/mco_kernels.dir/kernel.cpp.o"
+  "CMakeFiles/mco_kernels.dir/kernel.cpp.o.d"
+  "CMakeFiles/mco_kernels.dir/reductions.cpp.o"
+  "CMakeFiles/mco_kernels.dir/reductions.cpp.o.d"
+  "CMakeFiles/mco_kernels.dir/registry.cpp.o"
+  "CMakeFiles/mco_kernels.dir/registry.cpp.o.d"
+  "libmco_kernels.a"
+  "libmco_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

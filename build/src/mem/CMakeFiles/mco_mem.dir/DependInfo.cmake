@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cpp" "src/mem/CMakeFiles/mco_mem.dir/address_map.cpp.o" "gcc" "src/mem/CMakeFiles/mco_mem.dir/address_map.cpp.o.d"
+  "/root/repo/src/mem/dma_engine.cpp" "src/mem/CMakeFiles/mco_mem.dir/dma_engine.cpp.o" "gcc" "src/mem/CMakeFiles/mco_mem.dir/dma_engine.cpp.o.d"
+  "/root/repo/src/mem/hbm_controller.cpp" "src/mem/CMakeFiles/mco_mem.dir/hbm_controller.cpp.o" "gcc" "src/mem/CMakeFiles/mco_mem.dir/hbm_controller.cpp.o.d"
+  "/root/repo/src/mem/main_memory.cpp" "src/mem/CMakeFiles/mco_mem.dir/main_memory.cpp.o" "gcc" "src/mem/CMakeFiles/mco_mem.dir/main_memory.cpp.o.d"
+  "/root/repo/src/mem/tcdm.cpp" "src/mem/CMakeFiles/mco_mem.dir/tcdm.cpp.o" "gcc" "src/mem/CMakeFiles/mco_mem.dir/tcdm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mco_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_mem.dir/address_map.cpp.o"
+  "CMakeFiles/mco_mem.dir/address_map.cpp.o.d"
+  "CMakeFiles/mco_mem.dir/dma_engine.cpp.o"
+  "CMakeFiles/mco_mem.dir/dma_engine.cpp.o.d"
+  "CMakeFiles/mco_mem.dir/hbm_controller.cpp.o"
+  "CMakeFiles/mco_mem.dir/hbm_controller.cpp.o.d"
+  "CMakeFiles/mco_mem.dir/main_memory.cpp.o"
+  "CMakeFiles/mco_mem.dir/main_memory.cpp.o.d"
+  "CMakeFiles/mco_mem.dir/tcdm.cpp.o"
+  "CMakeFiles/mco_mem.dir/tcdm.cpp.o.d"
+  "libmco_mem.a"
+  "libmco_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmco_mem.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/decision.cpp" "src/model/CMakeFiles/mco_model.dir/decision.cpp.o" "gcc" "src/model/CMakeFiles/mco_model.dir/decision.cpp.o.d"
+  "/root/repo/src/model/fitter.cpp" "src/model/CMakeFiles/mco_model.dir/fitter.cpp.o" "gcc" "src/model/CMakeFiles/mco_model.dir/fitter.cpp.o.d"
+  "/root/repo/src/model/mape.cpp" "src/model/CMakeFiles/mco_model.dir/mape.cpp.o" "gcc" "src/model/CMakeFiles/mco_model.dir/mape.cpp.o.d"
+  "/root/repo/src/model/runtime_model.cpp" "src/model/CMakeFiles/mco_model.dir/runtime_model.cpp.o" "gcc" "src/model/CMakeFiles/mco_model.dir/runtime_model.cpp.o.d"
+  "/root/repo/src/model/validate.cpp" "src/model/CMakeFiles/mco_model.dir/validate.cpp.o" "gcc" "src/model/CMakeFiles/mco_model.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mco_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

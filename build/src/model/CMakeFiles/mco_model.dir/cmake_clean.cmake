@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_model.dir/decision.cpp.o"
+  "CMakeFiles/mco_model.dir/decision.cpp.o.d"
+  "CMakeFiles/mco_model.dir/fitter.cpp.o"
+  "CMakeFiles/mco_model.dir/fitter.cpp.o.d"
+  "CMakeFiles/mco_model.dir/mape.cpp.o"
+  "CMakeFiles/mco_model.dir/mape.cpp.o.d"
+  "CMakeFiles/mco_model.dir/runtime_model.cpp.o"
+  "CMakeFiles/mco_model.dir/runtime_model.cpp.o.d"
+  "CMakeFiles/mco_model.dir/validate.cpp.o"
+  "CMakeFiles/mco_model.dir/validate.cpp.o.d"
+  "libmco_model.a"
+  "libmco_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_noc.dir/interconnect.cpp.o"
+  "CMakeFiles/mco_noc.dir/interconnect.cpp.o.d"
+  "libmco_noc.a"
+  "libmco_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

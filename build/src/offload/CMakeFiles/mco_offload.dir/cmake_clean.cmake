@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_offload.dir/offload_runtime.cpp.o"
+  "CMakeFiles/mco_offload.dir/offload_runtime.cpp.o.d"
+  "libmco_offload.a"
+  "libmco_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_sim.dir/component.cpp.o"
+  "CMakeFiles/mco_sim.dir/component.cpp.o.d"
+  "CMakeFiles/mco_sim.dir/logger.cpp.o"
+  "CMakeFiles/mco_sim.dir/logger.cpp.o.d"
+  "CMakeFiles/mco_sim.dir/rng.cpp.o"
+  "CMakeFiles/mco_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/mco_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mco_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mco_sim.dir/stats.cpp.o"
+  "CMakeFiles/mco_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/mco_sim.dir/trace.cpp.o"
+  "CMakeFiles/mco_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/mco_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/mco_sim.dir/trace_export.cpp.o.d"
+  "libmco_sim.a"
+  "libmco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

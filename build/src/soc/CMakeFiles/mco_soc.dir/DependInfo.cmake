@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/config_io.cpp" "src/soc/CMakeFiles/mco_soc.dir/config_io.cpp.o" "gcc" "src/soc/CMakeFiles/mco_soc.dir/config_io.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/soc/CMakeFiles/mco_soc.dir/soc.cpp.o" "gcc" "src/soc/CMakeFiles/mco_soc.dir/soc.cpp.o.d"
+  "/root/repo/src/soc/workloads.cpp" "src/soc/CMakeFiles/mco_soc.dir/workloads.cpp.o" "gcc" "src/soc/CMakeFiles/mco_soc.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/offload/CMakeFiles/mco_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/mco_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mco_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mco_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mco_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mco_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mco_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mco_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mco_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_soc.dir/config_io.cpp.o"
+  "CMakeFiles/mco_soc.dir/config_io.cpp.o.d"
+  "CMakeFiles/mco_soc.dir/soc.cpp.o"
+  "CMakeFiles/mco_soc.dir/soc.cpp.o.d"
+  "CMakeFiles/mco_soc.dir/workloads.cpp.o"
+  "CMakeFiles/mco_soc.dir/workloads.cpp.o.d"
+  "libmco_soc.a"
+  "libmco_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

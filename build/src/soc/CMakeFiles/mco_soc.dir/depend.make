@@ -1,0 +1,2 @@
+# Empty dependencies file for mco_soc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/credit_counter.cpp" "src/sync/CMakeFiles/mco_sync.dir/credit_counter.cpp.o" "gcc" "src/sync/CMakeFiles/mco_sync.dir/credit_counter.cpp.o.d"
+  "/root/repo/src/sync/mailbox.cpp" "src/sync/CMakeFiles/mco_sync.dir/mailbox.cpp.o" "gcc" "src/sync/CMakeFiles/mco_sync.dir/mailbox.cpp.o.d"
+  "/root/repo/src/sync/shared_counter.cpp" "src/sync/CMakeFiles/mco_sync.dir/shared_counter.cpp.o" "gcc" "src/sync/CMakeFiles/mco_sync.dir/shared_counter.cpp.o.d"
+  "/root/repo/src/sync/team_barrier.cpp" "src/sync/CMakeFiles/mco_sync.dir/team_barrier.cpp.o" "gcc" "src/sync/CMakeFiles/mco_sync.dir/team_barrier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mco_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_sync.dir/credit_counter.cpp.o"
+  "CMakeFiles/mco_sync.dir/credit_counter.cpp.o.d"
+  "CMakeFiles/mco_sync.dir/mailbox.cpp.o"
+  "CMakeFiles/mco_sync.dir/mailbox.cpp.o.d"
+  "CMakeFiles/mco_sync.dir/shared_counter.cpp.o"
+  "CMakeFiles/mco_sync.dir/shared_counter.cpp.o.d"
+  "CMakeFiles/mco_sync.dir/team_barrier.cpp.o"
+  "CMakeFiles/mco_sync.dir/team_barrier.cpp.o.d"
+  "libmco_sync.a"
+  "libmco_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

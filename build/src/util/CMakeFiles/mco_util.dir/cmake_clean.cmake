@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_util.dir/cli.cpp.o"
+  "CMakeFiles/mco_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mco_util.dir/csv.cpp.o"
+  "CMakeFiles/mco_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mco_util.dir/strings.cpp.o"
+  "CMakeFiles/mco_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mco_util.dir/table.cpp.o"
+  "CMakeFiles/mco_util.dir/table.cpp.o.d"
+  "libmco_util.a"
+  "libmco_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_io.dir/test_config_io.cpp.o"
+  "CMakeFiles/test_config_io.dir/test_config_io.cpp.o.d"
+  "test_config_io"
+  "test_config_io.pdb"
+  "test_config_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extra.dir/test_extra.cpp.o"
+  "CMakeFiles/test_extra.dir/test_extra.cpp.o.d"
+  "test_extra"
+  "test_extra.pdb"
+  "test_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc.dir/test_soc.cpp.o"
+  "CMakeFiles/test_soc.dir/test_soc.cpp.o.d"
+  "test_soc"
+  "test_soc.pdb"
+  "test_soc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync.dir/test_sync.cpp.o"
+  "CMakeFiles/test_sync.dir/test_sync.cpp.o.d"
+  "test_sync"
+  "test_sync.pdb"
+  "test_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_torture.dir/test_torture.cpp.o"
+  "CMakeFiles/test_torture.dir/test_torture.cpp.o.d"
+  "test_torture"
+  "test_torture.pdb"
+  "test_torture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
