@@ -1,0 +1,96 @@
+// E16 — fault sweep: expected-runtime inflation of both designs under
+// increasing per-dispatch fault probability, measured against the
+// first-order analytical model (expected_runtime_under_faults), and the
+// fault-rate break-even of the paper's speedup claim — the largest loss
+// probability at which the extended design still beats the fault-free
+// baseline's Eq. (1) runtime at (N=1024, M=32).
+#include "bench_common.h"
+
+#include "model/fault_model.h"
+#include "model/runtime_model.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+constexpr std::uint64_t kN = 1024;
+constexpr unsigned kM = 32;
+constexpr sim::Cycles kWatchdog = 2000;
+constexpr std::uint64_t kReps = 30;
+
+soc::SocConfig faulted(soc::SocConfig cfg, double q, std::uint64_t seed) {
+  cfg.runtime.watchdog_wait_cycles = kWatchdog;
+  cfg.fault.dispatch_drop_prob = q;
+  cfg.fault.seed = seed;
+  return cfg;
+}
+
+/// Mean measured cycles over kReps runs with distinct fault seeds (each run
+/// individually deterministic and functionally verified).
+double mean_cycles(const soc::SocConfig& base, double q) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < kReps; ++i) {
+    sum += soc::run_daxpy(faulted(base, q, kSeed + 1000 * i), kN, kM).total();
+  }
+  return static_cast<double>(sum) / kReps;
+}
+
+model::FaultModelParams sweep_params(double q) {
+  model::FaultModelParams p;
+  p.dispatch_loss_prob = q;
+  p.watchdog_wait_cycles = static_cast<double>(kWatchdog);
+  return p;
+}
+
+void print_table() {
+  banner("E16: offload runtime under dispatch faults at (N=1024, M=32)",
+         "robustness extension of Eq. (1), Colagrande & Benini, DATE 2024");
+
+  const model::RuntimeModel ext_model = model::paper_daxpy_model();
+  model::RuntimeModel base_model = ext_model;
+  base_model.c = 9.0;  // fitted sequential-dispatch slope (see E7)
+
+  const double ext0 = mean_cycles(soc::SocConfig::extended(32), 0.0);
+  const double base0 = mean_cycles(soc::SocConfig::baseline(32), 0.0);
+
+  util::TablePrinter table({"loss prob", "base meas", "ext meas", "ext model", "ext inflation",
+                            "ext < base(0)?"});
+  for (const double q : {0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.2}) {
+    const double bm = mean_cycles(soc::SocConfig::baseline(32), q);
+    const double em = mean_cycles(soc::SocConfig::extended(32), q);
+    const double et = model::expected_runtime_under_faults(ext_model, kM, kN, sweep_params(q));
+    table.add_row({fmt_fix(q, 3), fmt_fix(bm, 1), fmt_fix(em, 1), fmt_fix(et, 1),
+                   fmt_fix(em / ext0, 3) + "x", em < base0 ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  const double breakeven =
+      model::fault_breakeven_prob(ext_model, base_model, kM, kN, sweep_params(0.0));
+  std::printf(
+      "\nmodel break-even: the extended design's expected runtime under faults\n"
+      "stays below the fault-free baseline's Eq. (1) prediction (%.0f cyc) up to\n"
+      "a per-dispatch loss probability of %.4f (watchdog window %llu cyc).\n",
+      base_model.predict(kM, kN), breakeven,
+      static_cast<unsigned long long>(kWatchdog));
+  std::printf(
+      "The speedup margin (~%.0f cyc) buys roughly one expected recovery round\n"
+      "in every 1/%.4f = %.0f offloads before the designs tie.\n",
+      base_model.predict(kM, kN) - ext_model.predict(kM, kN), breakeven,
+      breakeven > 0.0 ? 1.0 / breakeven : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  register_offload_benchmark("fault_sweep/extended/q=0.05",
+                             faulted(mco::soc::SocConfig::extended(32), 0.05, kSeed), "daxpy",
+                             kN, kM);
+  register_offload_benchmark("fault_sweep/baseline/q=0.05",
+                             faulted(mco::soc::SocConfig::baseline(32), 0.05, kSeed), "daxpy",
+                             kN, kM);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

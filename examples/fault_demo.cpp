@@ -1,0 +1,108 @@
+// Fault-recovery walkthrough: what the host's watchdog/retry/redistribute
+// layer actually does, shown on two injected failures.
+//
+//  1. A straggler: one cluster reacts 5000 cycles late. The watchdog
+//     expires, the host probes the victim, finds it busy, and waits it out —
+//     no kill, no retry, correct result.
+//  2. A permanent hang: one cluster never reacts to its doorbell, including
+//     every retried dispatch. After max_retries the host declares it failed,
+//     substitutes its barrier arrival and re-runs its chunk on a survivor —
+//     degraded completion, numerically correct.
+//
+// Both runs print the host-observed phase timestamps and the recovery
+// trace (watchdog_timeout / redispatch / cluster_failed / redistribute).
+//
+// Usage: fault_demo [--n=1024] [--clusters=8] [--victim=3]
+#include <cstdio>
+#include <string>
+
+#include "soc/workloads.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace mco;
+
+void print_run(soc::Soc& soc, const offload::OffloadResult& r) {
+  const auto& ts = r.ts;
+  std::printf("  phase timestamps (cycle): call=%llu marshal_done=%llu sync_ready=%llu\n"
+              "                            dispatch_done=%llu completion=%llu ret=%llu\n",
+              static_cast<unsigned long long>(ts.call),
+              static_cast<unsigned long long>(ts.marshal_done),
+              static_cast<unsigned long long>(ts.sync_ready),
+              static_cast<unsigned long long>(ts.dispatch_done),
+              static_cast<unsigned long long>(ts.completion),
+              static_cast<unsigned long long>(ts.ret));
+  std::printf("  total=%llu cycles, degraded=%s, timeouts=%llu, probes=%llu, retries=%llu,\n"
+              "  credits_recovered=%llu, redistributed=%llu, recovery_cycles=%llu\n",
+              static_cast<unsigned long long>(r.total()), r.recovery.degraded ? "yes" : "no",
+              static_cast<unsigned long long>(r.recovery.watchdog_timeouts),
+              static_cast<unsigned long long>(r.recovery.probes),
+              static_cast<unsigned long long>(r.recovery.retries),
+              static_cast<unsigned long long>(r.recovery.credits_recovered),
+              static_cast<unsigned long long>(r.recovery.clusters_redistributed),
+              static_cast<unsigned long long>(r.recovery.recovery_cycles));
+  if (!r.recovery.failed_clusters.empty()) {
+    std::printf("  failed clusters:");
+    for (const unsigned c : r.recovery.failed_clusters) std::printf(" %u", c);
+    std::printf("\n");
+  }
+  std::printf("\n  recovery timeline:\n");
+  for (const auto& rec : soc.simulator().trace().records()) {
+    if (rec.what == "watchdog_timeout" || rec.what == "credit_recovered" ||
+        rec.what == "redispatch" || rec.what == "cluster_failed" ||
+        rec.what == "redistribute" || rec.what == "offload_done") {
+      std::printf("  %10llu  %-16s %s\n", static_cast<unsigned long long>(rec.time),
+                  rec.what.c_str(), rec.detail.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
+  const auto m = static_cast<unsigned>(cli.get_int("clusters", 8));
+  const auto victim = cli.get_int("victim", 3);
+  if (victim < 0 || static_cast<unsigned>(victim) >= m) {
+    std::fprintf(stderr, "fault_demo: --victim=%lld is not a cluster index (M=%u); "
+                 "nothing would be injected\n", static_cast<long long>(victim), m);
+    return 1;
+  }
+
+  std::printf("fault_demo: daxpy n=%llu over M=%u clusters, victim cluster %lld\n\n",
+              static_cast<unsigned long long>(n), m, static_cast<long long>(victim));
+
+  {
+    std::printf("--- run 1: straggler (victim reacts 5000 cycles late) ---\n");
+    soc::SocConfig cfg = soc::SocConfig::extended(m);
+    cfg.runtime.watchdog_wait_cycles = 2000;
+    cfg.fault.target_cluster = victim;
+    cfg.fault.cluster_straggle_prob = 1.0;
+    cfg.fault.straggle_cycles = 5000;
+    soc::Soc soc(cfg);
+    soc.simulator().trace().enable();
+    const auto r = soc::run_verified(soc, "daxpy", n, m);
+    print_run(soc, r);
+    std::printf("  -> the probe saw the victim busy; the host waited, never killed it.\n\n");
+  }
+
+  {
+    std::printf("--- run 2: permanent hang (victim never takes any dispatch) ---\n");
+    soc::SocConfig cfg = soc::SocConfig::extended(m);
+    cfg.runtime.watchdog_wait_cycles = 2000;
+    cfg.fault.target_cluster = victim;
+    cfg.fault.cluster_hang_prob = 1.0;
+    soc::Soc soc(cfg);
+    soc.simulator().trace().enable();
+    const auto r = soc::run_verified(soc, "daxpy", n, m);
+    print_run(soc, r);
+    std::printf(
+        "  -> %llu redispatches all hung; the victim was declared failed and its\n"
+        "     chunk re-ran on a survivor. Result verified despite the dead cluster.\n",
+        static_cast<unsigned long long>(r.recovery.retries));
+  }
+
+  return 0;
+}

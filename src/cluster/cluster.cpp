@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fault/fault_injector.h"
 #include "util/math.h"
 #include "util/strings.h"
 
@@ -29,10 +30,30 @@ Cluster::Cluster(sim::Simulator& sim, std::string name, ClusterConfig cfg, unsig
   mailbox_.set_doorbell([this] { on_doorbell(); });
 }
 
+void Cluster::set_fault_injector(fault::FaultInjector* fi) {
+  fault_ = fi;
+  dma_.set_fault_injector(fi, cluster_id_);
+}
+
 void Cluster::on_doorbell() {
   // One job at a time; further dispatches wait in the mailbox and are
   // drained when the current job finishes.
   if (busy_) return;
+  if (fault_ && fault_->enabled()) {
+    const auto f = fault_->on_wakeup(cluster_id_);
+    if (f.hang) {
+      // The cluster never exits WFI: the dispatch sits in the mailbox and the
+      // cluster stays idle until the host's watchdog intervenes.
+      return;
+    }
+    if (f.extra_delay > 0) {
+      // Straggler: the cluster owns the dispatch immediately (so a host probe
+      // reads it as running, not lost) but takes extra cycles to get going.
+      busy_ = true;
+      defer(f.extra_delay, [this] { begin_job(); });
+      return;
+    }
+  }
   begin_job();
 }
 
@@ -45,31 +66,41 @@ void Cluster::begin_job() {
 }
 
 void Cluster::parse_and_plan() {
+  if (mailbox_.empty()) {
+    // The host killed the dispatch between the doorbell and the runtime
+    // reaching the FIFO (recovery race); go back to sleep.
+    busy_ = false;
+    sim().logger().log(now(), sim::LogLevel::kWarn, path(), "dispatch vanished before parse");
+    return;
+  }
   const noc::DispatchMessage msg = mailbox_.pop();
   const kernels::PayloadHeader header = kernels::parse_header(msg);
   kernel_ = &registry_.by_id(header.kernel_id);
   args_ = kernel_->unmarshal(header, kernels::payload_args(msg));
   job_clusters_ = header.num_clusters;
-  if (cluster_id_ >= job_clusters_) {
-    throw std::logic_error(util::format("%s: dispatched to cluster %u but job uses %u clusters",
-                                        path().c_str(), cluster_id_, job_clusters_));
+  if (cluster_id_ < header.first_cluster ||
+      cluster_id_ - header.first_cluster >= job_clusters_) {
+    throw std::logic_error(util::format(
+        "%s: dispatched to cluster %u but job window is [%u, %u)", path().c_str(), cluster_id_,
+        header.first_cluster, header.first_cluster + job_clusters_));
   }
+  job_rank_ = cluster_id_ - header.first_cluster;
   // Build the tile schedule: one plan if the chunk fits TCDM, otherwise the
   // chunk is processed in TCDM-sized tiles (DMA-in, compute, DMA-out per
   // tile) for kernels that support arbitrary item ranges.
   tiles_.clear();
   tile_ranges_.clear();
   current_tile_ = 0;
-  const kernels::ClusterPlan full = kernel_->plan_cluster(args_, cluster_id_, job_clusters_);
+  const kernels::ClusterPlan full = kernel_->plan_cluster(args_, job_rank_, job_clusters_);
   job_items_ = full.items;
   if (full.tcdm_footprint() <= tcdm_.size()) {
     tiled_ = false;
-    const kernels::ChunkRange chunk = kernels::split_chunk(args_.n, cluster_id_, job_clusters_);
+    const kernels::ChunkRange chunk = kernels::split_chunk(args_.n, job_rank_, job_clusters_);
     tiles_.push_back(full);
     tile_ranges_.push_back(chunk);
   } else if (kernel_->supports_tiling()) {
     tiled_ = true;
-    const kernels::ChunkRange chunk = kernels::split_chunk(args_.n, cluster_id_, job_clusters_);
+    const kernels::ChunkRange chunk = kernels::split_chunk(args_.n, job_rank_, job_clusters_);
     // Double buffering ping-pongs tiles between the two halves of TCDM, so
     // each tile only gets half the budget.
     const std::size_t budget = cfg_.dma_double_buffer ? tcdm_.size() / 2 : tcdm_.size();
@@ -218,7 +249,7 @@ void Cluster::finish_compute() {
       kernel_->execute_range(tcdm_, args_, range.begin, range.count,
                              tile_tcdm_base(current_tile_));
     } else {
-      kernel_->execute_cluster(tcdm_, args_, cluster_id_, job_clusters_);
+      kernel_->execute_cluster(tcdm_, args_, job_rank_, job_clusters_);
     }
     timing_.compute_done = now();
     sim().trace().record(now(), path(), "compute_done");
@@ -271,11 +302,19 @@ void Cluster::signal_completion() {
 void Cluster::job_done() {
   ++jobs_executed_;
   items_processed_ += job_items_;
+  last_completed_job_id_ = args_.job_id;
   last_timing_ = timing_;
   busy_ = false;
   kernel_ = nullptr;
-  // Drain any dispatch that arrived while busy.
-  if (!mailbox_.empty()) begin_job();
+  // Drain any dispatch that arrived while busy — through on_doorbell so a
+  // queued job re-rolls the wakeup fault, like a fresh doorbell would.
+  if (!mailbox_.empty()) on_doorbell();
+}
+
+void Cluster::abort_pending() {
+  if (busy_)
+    throw std::logic_error(path() + ": abort_pending on a running cluster");
+  mailbox_.clear();
 }
 
 }  // namespace mco::cluster

@@ -22,6 +22,10 @@
 #include "sync/mailbox.h"
 #include "sync/team_barrier.h"
 
+namespace mco::fault {
+class FaultInjector;
+}
+
 namespace mco::cluster {
 
 /// How a cluster signals job completion to the host.
@@ -82,6 +86,10 @@ class Cluster : public sim::Component {
   const ClusterConfig& config() const { return cfg_; }
   unsigned cluster_id() const { return cluster_id_; }
 
+  /// Wire the fault injector (nullptr = fault-free); forwarded to the DMA
+  /// engine. Doorbell wakeups then consult it for hang/straggler faults.
+  void set_fault_injector(fault::FaultInjector* fi);
+
   sync::Mailbox& mailbox() { return mailbox_; }
   mem::Tcdm& tcdm() { return tcdm_; }
   mem::DmaEngine& dma() { return dma_; }
@@ -98,6 +106,18 @@ class Cluster : public sim::Component {
 
   /// Timing of the most recently completed job (nullopt before the first).
   const std::optional<ClusterJobTiming>& last_timing() const { return last_timing_; }
+
+  // ---- host recovery surface -----------------------------------------------
+  // The probe port the watchdog reads over the NoC (status registers any real
+  // runtime exposes) and the kill port it writes to retire a stale dispatch.
+
+  /// A dispatch is sitting in the mailbox, not yet consumed.
+  bool has_pending_dispatch() const { return !mailbox_.empty(); }
+  /// job_id of the most recently *completed* job (0 before the first).
+  std::uint64_t last_completed_job_id() const { return last_completed_job_id_; }
+  /// Discard queued dispatches (host kill before re-issuing). Only meaningful
+  /// while the cluster is idle — the host must not kill a running cluster.
+  void abort_pending();
 
  private:
   void on_doorbell();
@@ -117,6 +137,7 @@ class Cluster : public sim::Component {
 
   ClusterConfig cfg_;
   unsigned cluster_id_;
+  fault::FaultInjector* fault_ = nullptr;
   const kernels::KernelRegistry& registry_;
   noc::Interconnect& noc_;
   sync::TeamBarrier& team_barrier_;
@@ -131,6 +152,7 @@ class Cluster : public sim::Component {
   kernels::JobArgs args_;
   const kernels::Kernel* kernel_ = nullptr;
   unsigned job_clusters_ = 0;
+  unsigned job_rank_ = 0;  ///< this cluster's rank within the dispatch window
   bool tiled_ = false;                       ///< chunk split across TCDM tiles
   std::vector<kernels::ClusterPlan> tiles_;  ///< one plan per tile
   std::vector<kernels::ChunkRange> tile_ranges_;
@@ -147,6 +169,7 @@ class Cluster : public sim::Component {
 
   std::uint64_t jobs_executed_ = 0;
   std::uint64_t items_processed_ = 0;
+  std::uint64_t last_completed_job_id_ = 0;
   std::uint64_t last_job_tiles_ = 0;
   std::uint64_t iss_fallbacks_ = 0;
   bool iss_executed_tile_ = false;  ///< this tile's math already done on the ISS

@@ -1,0 +1,125 @@
+#include "fault/fault_injector.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::fault {
+
+bool FaultConfig::any_enabled() const {
+  return dispatch_drop_prob > 0.0 || dispatch_delay_prob > 0.0 || credit_drop_prob > 0.0 ||
+         credit_duplicate_prob > 0.0 || irq_swallow_prob > 0.0 || cluster_hang_prob > 0.0 ||
+         cluster_straggle_prob > 0.0 || dma_stall_prob > 0.0;
+}
+
+std::uint64_t FaultCounters::total() const {
+  return dispatches_dropped + dispatches_delayed + credits_dropped + credits_duplicated +
+         irqs_swallowed + cluster_hangs + cluster_straggles + dma_stalls;
+}
+
+namespace {
+void check_prob(const char* name, double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument(
+        util::format("FaultConfig: %s = %g outside [0, 1]", name, p));
+}
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, std::string name, FaultConfig cfg,
+                             Component* parent)
+    : Component(sim, std::move(name), parent),
+      cfg_(cfg),
+      enabled_(cfg.any_enabled()),
+      rng_(cfg.seed) {
+  check_prob("dispatch_drop_prob", cfg_.dispatch_drop_prob);
+  check_prob("dispatch_delay_prob", cfg_.dispatch_delay_prob);
+  check_prob("credit_drop_prob", cfg_.credit_drop_prob);
+  check_prob("credit_duplicate_prob", cfg_.credit_duplicate_prob);
+  check_prob("irq_swallow_prob", cfg_.irq_swallow_prob);
+  check_prob("cluster_hang_prob", cfg_.cluster_hang_prob);
+  check_prob("cluster_straggle_prob", cfg_.cluster_straggle_prob);
+  check_prob("dma_stall_prob", cfg_.dma_stall_prob);
+}
+
+bool FaultInjector::targets(unsigned cluster) const {
+  return cfg_.target_cluster < 0 ||
+         static_cast<std::int64_t>(cluster) == cfg_.target_cluster;
+}
+
+bool FaultInjector::roll(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return rng_.next_double() < p;
+}
+
+FaultInjector::DispatchFault FaultInjector::on_dispatch(unsigned cluster) {
+  DispatchFault f;
+  if (!enabled_ || !targets(cluster)) return f;
+  if (roll(cfg_.dispatch_drop_prob)) {
+    f.drop = true;
+    ++counters_.dispatches_dropped;
+    sim().trace().record(now(), path(), "dispatch_drop", util::format("cluster=%u", cluster));
+    return f;
+  }
+  if (roll(cfg_.dispatch_delay_prob)) {
+    f.extra_delay = cfg_.dispatch_delay_cycles;
+    ++counters_.dispatches_delayed;
+    sim().trace().record(now(), path(), "dispatch_delay", util::format("cluster=%u", cluster));
+  }
+  return f;
+}
+
+FaultInjector::CreditFault FaultInjector::on_credit(unsigned cluster) {
+  if (!enabled_ || !targets(cluster)) return CreditFault::kNone;
+  if (roll(cfg_.credit_drop_prob)) {
+    ++counters_.credits_dropped;
+    sim().trace().record(now(), path(), "credit_drop", util::format("cluster=%u", cluster));
+    return CreditFault::kDrop;
+  }
+  if (roll(cfg_.credit_duplicate_prob)) {
+    ++counters_.credits_duplicated;
+    sim().trace().record(now(), path(), "credit_dup", util::format("cluster=%u", cluster));
+    return CreditFault::kDuplicate;
+  }
+  return CreditFault::kNone;
+}
+
+bool FaultInjector::on_irq() {
+  if (!enabled_) return false;
+  if (roll(cfg_.irq_swallow_prob)) {
+    ++counters_.irqs_swallowed;
+    sim().trace().record(now(), path(), "irq_swallow");
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::WakeupFault FaultInjector::on_wakeup(unsigned cluster) {
+  WakeupFault f;
+  if (!enabled_ || !targets(cluster)) return f;
+  if (roll(cfg_.cluster_hang_prob)) {
+    f.hang = true;
+    ++counters_.cluster_hangs;
+    sim().trace().record(now(), path(), "cluster_hang", util::format("cluster=%u", cluster));
+    return f;
+  }
+  if (roll(cfg_.cluster_straggle_prob)) {
+    f.extra_delay = cfg_.straggle_cycles;
+    ++counters_.cluster_straggles;
+    sim().trace().record(now(), path(), "cluster_straggle",
+                         util::format("cluster=%u", cluster));
+  }
+  return f;
+}
+
+sim::Cycles FaultInjector::on_dma_setup(unsigned cluster) {
+  if (!enabled_ || !targets(cluster)) return 0;
+  if (roll(cfg_.dma_stall_prob)) {
+    ++counters_.dma_stalls;
+    sim().trace().record(now(), path(), "dma_stall", util::format("cluster=%u", cluster));
+    return cfg_.dma_stall_cycles;
+  }
+  return 0;
+}
+
+}  // namespace mco::fault

@@ -1,0 +1,129 @@
+// Deterministic fault injection for the offload path.
+//
+// The paper's offload protocol assumes every architectural action succeeds:
+// every mailbox store arrives, every cluster signals completion, every credit
+// write and IRQ is delivered. The FaultInjector makes those assumptions
+// falsifiable: components consult it at the protocol's vulnerable points
+// (dispatch delivery, completion signalling, interrupt delivery, cluster
+// wakeup, DMA setup) and it decides — from a seeded xoshiro stream, so runs
+// are bit-reproducible — whether the action is dropped, delayed or
+// duplicated. Recovery latency then becomes a measurable quantity instead of
+// a hang (see OffloadRuntimeConfig's recovery knobs and bench_fault_sweep).
+//
+// Determinism contract: the simulator's event order is deterministic, every
+// injection point draws in that order, and a draw happens only when the
+// corresponding probability is non-zero and the cluster matches the victim
+// filter. Same seed + same FaultConfig ⇒ identical fault pattern ⇒ identical
+// cycle counts.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/component.h"
+#include "sim/rng.h"
+
+namespace mco::fault {
+
+/// Per-fault-point probabilities and magnitudes. Defaults are all-zero: a
+/// default FaultConfig injects nothing and perturbs nothing.
+struct FaultConfig {
+  /// Seed of the injector's private xoshiro stream.
+  std::uint64_t seed = 0x5EEDull;
+  /// Restrict cluster-addressed fault points to this victim cluster;
+  /// -1 = any cluster may be hit. (IRQ swallowing is host-global and
+  /// ignores the filter.)
+  std::int64_t target_cluster = -1;
+
+  /// A mailbox dispatch store silently never reaches the cluster.
+  double dispatch_drop_prob = 0.0;
+  /// A dispatch store is delayed by dispatch_delay_cycles in the fabric.
+  double dispatch_delay_prob = 0.0;
+  sim::Cycles dispatch_delay_cycles = 200;
+
+  /// A completion signal (credit write / completion AMO) is lost in flight.
+  double credit_drop_prob = 0.0;
+  /// A completion signal is applied twice (replayed store).
+  double credit_duplicate_prob = 0.0;
+
+  /// The sync unit's IRQ is asserted but the host never sees it.
+  double irq_swallow_prob = 0.0;
+
+  /// A cluster never reacts to its doorbell (wedged runtime / power gate).
+  double cluster_hang_prob = 0.0;
+  /// A cluster reacts straggle_cycles late (cold icache, clock throttling).
+  double cluster_straggle_prob = 0.0;
+  sim::Cycles straggle_cycles = 5000;
+
+  /// A DMA transfer's setup stalls for dma_stall_cycles.
+  double dma_stall_prob = 0.0;
+  sim::Cycles dma_stall_cycles = 500;
+
+  /// True when any probability is non-zero — the SoC only wires the
+  /// injector (and enables runtime recovery) in that case, so an all-zero
+  /// config is guaranteed not to shift a single cycle.
+  bool any_enabled() const;
+};
+
+/// What the injector did, by fault point.
+struct FaultCounters {
+  std::uint64_t dispatches_dropped = 0;
+  std::uint64_t dispatches_delayed = 0;
+  std::uint64_t credits_dropped = 0;
+  std::uint64_t credits_duplicated = 0;
+  std::uint64_t irqs_swallowed = 0;
+  std::uint64_t cluster_hangs = 0;
+  std::uint64_t cluster_straggles = 0;
+  std::uint64_t dma_stalls = 0;
+
+  std::uint64_t total() const;
+};
+
+/// Seed-driven fault oracle. Components hold a nullable pointer to it and
+/// consult it inline at each vulnerable action; a null pointer (or a config
+/// with every probability zero) means the fault-free behaviour, untouched.
+class FaultInjector : public sim::Component {
+ public:
+  FaultInjector(sim::Simulator& sim, std::string name, FaultConfig cfg,
+                Component* parent = nullptr);
+
+  const FaultConfig& config() const { return cfg_; }
+  const FaultCounters& counters() const { return counters_; }
+  bool enabled() const { return enabled_; }
+
+  /// Interconnect: fate of one dispatch delivery towards `cluster`.
+  struct DispatchFault {
+    bool drop = false;
+    sim::Cycles extra_delay = 0;
+  };
+  DispatchFault on_dispatch(unsigned cluster);
+
+  /// Sync units: fate of one completion signal from `cluster`.
+  enum class CreditFault { kNone, kDrop, kDuplicate };
+  CreditFault on_credit(unsigned cluster);
+
+  /// Interrupt controller: true = swallow this raise.
+  bool on_irq();
+
+  /// Cluster doorbell: hang (never start) or straggle (start late).
+  struct WakeupFault {
+    bool hang = false;
+    sim::Cycles extra_delay = 0;
+  };
+  WakeupFault on_wakeup(unsigned cluster);
+
+  /// DMA engine: extra setup stall cycles for one transfer of `cluster`.
+  sim::Cycles on_dma_setup(unsigned cluster);
+
+ private:
+  bool targets(unsigned cluster) const;
+  /// One Bernoulli draw. Consumes randomness only for p > 0, so adding a
+  /// fault point never perturbs the stream of configs that don't use it.
+  bool roll(double p);
+
+  FaultConfig cfg_;
+  bool enabled_;
+  sim::Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace mco::fault

@@ -1,5 +1,7 @@
 #include "host/host_core.h"
 
+#include <memory>
+
 #include "util/math.h"
 
 namespace mco::host {
@@ -35,6 +37,48 @@ void HostCore::poll_until(std::function<bool()> done, Thunk then) {
       cb();
     } else {
       poll_until(std::move(d), std::move(cb));
+    }
+  });
+}
+
+void HostCore::wait_for_irq_or(sim::Cycles budget, TimedThunk then) {
+  // Shared one-shot flag: whichever of {offload IRQ, watchdog timer} fires
+  // first claims the continuation; the loser becomes a no-op.
+  auto fired = std::make_shared<bool>(false);
+  auto cb = std::make_shared<TimedThunk>(std::move(then));
+  intc_.attach(irq_line_, [this, fired, cb] {
+    if (*fired) return;
+    *fired = true;
+    ++irqs_taken_;
+    exec(cfg_.irq_take_cycles + cfg_.irq_handler_cycles, [cb] { (*cb)(false); });
+  });
+  defer(budget,
+        [this, fired, cb] {
+          if (*fired) return;
+          *fired = true;
+          intc_.detach(irq_line_);
+          ++irqs_taken_;  // the timer interrupt is taken like any other
+          exec(cfg_.irq_take_cycles + cfg_.irq_handler_cycles, [cb] { (*cb)(true); });
+        },
+        sim::Priority::kCpu);
+}
+
+void HostCore::poll_until_or(std::function<bool()> done, sim::Cycles budget, TimedThunk then) {
+  const sim::Cycles deadline = now() + budget;
+  poll_until_or_loop(std::move(done), deadline, std::move(then));
+}
+
+void HostCore::poll_until_or_loop(std::function<bool()> done, sim::Cycles deadline,
+                                  TimedThunk then) {
+  const sim::Cycles iter = cfg_.hbm_load_cycles + cfg_.poll_loop_overhead;
+  ++polls_;
+  exec(iter, [this, d = std::move(done), deadline, cb = std::move(then)]() mutable {
+    if (d()) {
+      cb(false);
+    } else if (now() >= deadline) {
+      cb(true);
+    } else {
+      poll_until_or_loop(std::move(d), deadline, std::move(cb));
     }
   });
 }

@@ -67,11 +67,29 @@ class HostCore : public sim::Component {
   /// iteration (load-compare-branch), like the compiled spin loop would.
   void poll_until(std::function<bool()> done, Thunk then);
 
+  using TimedThunk = std::function<void(bool timed_out)>;
+
+  /// wait_for_irq with a watchdog: if the IRQ has not arrived within
+  /// `budget` cycles, the core programs a timer, exits WFI on the timer
+  /// interrupt instead, detaches the offload-IRQ handler and continues with
+  /// timed_out=true (paying the same take+handler cost — the timer path goes
+  /// through the same trap entry). A late offload IRQ then merely latches
+  /// pending. Exactly one of the two continuations runs.
+  void wait_for_irq_or(sim::Cycles budget, TimedThunk then);
+
+  /// poll_until with a deadline: iterations proceed as in poll_until, but if
+  /// `done` is still false once `budget` cycles have elapsed, the loop exits
+  /// and continues with timed_out=true. The deadline check rides the
+  /// existing compare-branch (no extra per-iteration cost).
+  void poll_until_or(std::function<bool()> done, sim::Cycles budget, TimedThunk then);
+
   std::uint64_t busy_cycles() const { return busy_cycles_; }
   std::uint64_t polls() const { return polls_; }
   std::uint64_t irqs_taken() const { return irqs_taken_; }
 
  private:
+  void poll_until_or_loop(std::function<bool()> done, sim::Cycles deadline, TimedThunk then);
+
   HostConfig cfg_;
   InterruptController& intc_;
   unsigned irq_line_;

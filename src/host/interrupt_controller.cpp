@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fault/fault_injector.h"
+
 namespace mco::host {
 
 InterruptController::InterruptController(sim::Simulator& sim, std::string name,
@@ -20,8 +22,17 @@ void InterruptController::attach(unsigned line, std::function<void()> handler) {
   handlers_[line] = std::move(handler);
 }
 
+void InterruptController::detach(unsigned line) {
+  if (line >= handlers_.size()) throw std::out_of_range(path() + ": bad line");
+  handlers_[line] = nullptr;
+}
+
 void InterruptController::raise(unsigned line) {
   if (line >= handlers_.size()) throw std::out_of_range(path() + ": bad line");
+  if (fault_ && fault_->enabled() && fault_->on_irq()) {
+    ++swallowed_;
+    return;  // the edge is lost before the controller latches it
+  }
   ++raises_;
   sim().trace().record(now(), path(), "irq");
   if (handlers_[line]) {

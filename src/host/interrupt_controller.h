@@ -7,6 +7,10 @@
 
 #include "sim/component.h"
 
+namespace mco::fault {
+class FaultInjector;
+}
+
 namespace mco::host {
 
 /// Level-style interrupt lines with per-line handlers. A raise on a line with
@@ -17,20 +21,33 @@ class InterruptController : public sim::Component {
   InterruptController(sim::Simulator& sim, std::string name, unsigned num_lines,
                       Component* parent = nullptr);
 
+  /// Wire the fault injector (nullptr = fault-free). Raises then consult it
+  /// and may be swallowed (lost edge: no handler call, no pending latch).
+  void set_fault_injector(fault::FaultInjector* fi) { fault_ = fi; }
+
   /// Attach a one-shot handler to `line`. If the line is already pending the
   /// handler fires immediately (same cycle).
   void attach(unsigned line, std::function<void()> handler);
 
+  /// Remove the handler on `line` without firing it. Used when the host's
+  /// watchdog gives up on the IRQ and falls back to probing; a stale raise
+  /// after detach latches pending as usual.
+  void detach(unsigned line);
+
   /// Assert `line`.
   void raise(unsigned line);
+
+  std::uint64_t irqs_swallowed() const { return swallowed_; }
 
   bool pending(unsigned line) const;
   std::uint64_t raises() const { return raises_; }
 
  private:
+  fault::FaultInjector* fault_ = nullptr;
   std::vector<std::function<void()>> handlers_;
   std::vector<bool> pending_;
   std::uint64_t raises_ = 0;
+  std::uint64_t swallowed_ = 0;
 };
 
 }  // namespace mco::host

@@ -57,6 +57,21 @@ void ElementwiseKernel::validate(const JobArgs& args) const {
   if (output_array(args) == 0) throw std::invalid_argument(name() + ": null output array");
 }
 
+JobArgs ElementwiseKernel::subrange_args(const JobArgs& args, std::uint64_t begin,
+                                         std::uint64_t count) const {
+  if (begin + count > args.n)
+    throw std::out_of_range(name() + ": sub-range exceeds job size");
+  if (count == 0) throw std::invalid_argument(name() + ": empty sub-range");
+  JobArgs sub = args;
+  const std::uint64_t shift = begin * elem_bytes();
+  if (sub.in0 != 0) sub.in0 += shift;
+  if (sub.in1 != 0) sub.in1 += shift;
+  if (sub.out0 != 0) sub.out0 += shift;
+  if (sub.out1 != 0) sub.out1 += shift;
+  sub.n = count;
+  return sub;
+}
+
 ClusterPlan ElementwiseKernel::plan_range(const JobArgs& args, std::uint64_t begin,
                                           std::uint64_t count) const {
   const std::size_t eb = elem_bytes();

@@ -46,6 +46,12 @@ class ElementwiseKernel : public Kernel {
   void execute_range(mem::Tcdm& tcdm, const JobArgs& args, std::uint64_t begin,
                      std::uint64_t count, std::size_t tcdm_base = 0) const override;
 
+  /// A contiguous sub-range is itself an elementwise job: shift every array
+  /// base by begin elements and shrink n to count.
+  bool supports_subrange() const override { return true; }
+  JobArgs subrange_args(const JobArgs& args, std::uint64_t begin,
+                        std::uint64_t count) const override;
+
   /// Host fallback: the same apply() arithmetic, bound to main memory.
   void host_execute(mem::MainMemory& mem, const mem::AddressMap& map,
                     const JobArgs& args) const override;

@@ -6,12 +6,16 @@
 namespace mco::kernels {
 
 noc::DispatchMessage marshal_payload(const JobArgs& args, unsigned num_clusters,
-                                     const std::vector<std::uint64_t>& kernel_words) {
+                                     const std::vector<std::uint64_t>& kernel_words,
+                                     unsigned first_cluster) {
   if (num_clusters == 0) throw std::invalid_argument("marshal_payload: zero clusters");
+  if (num_clusters > 0xFFFF || first_cluster > 0xFFFF)
+    throw std::invalid_argument("marshal_payload: cluster field exceeds 16 bits");
   noc::DispatchMessage msg;
   msg.words.reserve(kHeaderWords + kernel_words.size());
   msg.words.push_back(args.job_id);
   msg.words.push_back((static_cast<std::uint64_t>(args.kernel_id) << 32) |
+                      (static_cast<std::uint64_t>(first_cluster) << 16) |
                       static_cast<std::uint64_t>(num_clusters));
   msg.words.push_back(args.n);
   msg.words.insert(msg.words.end(), kernel_words.begin(), kernel_words.end());
@@ -24,7 +28,8 @@ PayloadHeader parse_header(const noc::DispatchMessage& msg) {
   PayloadHeader h;
   h.job_id = msg.words[0];
   h.kernel_id = static_cast<std::uint32_t>(msg.words[1] >> 32);
-  h.num_clusters = static_cast<unsigned>(msg.words[1] & 0xFFFFFFFFull);
+  h.first_cluster = static_cast<unsigned>((msg.words[1] >> 16) & 0xFFFFull);
+  h.num_clusters = static_cast<unsigned>(msg.words[1] & 0xFFFFull);
   h.n = msg.words[2];
   if (h.num_clusters == 0) throw std::invalid_argument("parse_header: zero clusters in payload");
   return h;

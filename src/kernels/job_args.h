@@ -33,18 +33,25 @@ struct JobArgs {
 
 /// Payload header layout (3 words):
 ///   w0 = job_id
-///   w1 = (kernel_id << 32) | num_clusters
+///   w1 = (kernel_id << 32) | (first_cluster << 16) | num_clusters
 ///   w2 = n
+/// `first_cluster` is the base of the dispatch window: a cluster with id c
+/// computes relative rank c - first_cluster among num_clusters participants.
+/// The primary offload uses first_cluster = 0; fault recovery re-dispatches a
+/// failed cluster's chunk to a single survivor by pointing a one-cluster
+/// window at it. Both fields are 16-bit (up to 65535 clusters).
 inline constexpr std::size_t kHeaderWords = 3;
 
 /// Build the header + kernel argument words into a dispatch message.
 noc::DispatchMessage marshal_payload(const JobArgs& args, unsigned num_clusters,
-                                     const std::vector<std::uint64_t>& kernel_words);
+                                     const std::vector<std::uint64_t>& kernel_words,
+                                     unsigned first_cluster = 0);
 
 /// Parsed header.
 struct PayloadHeader {
   std::uint64_t job_id = 0;
   std::uint32_t kernel_id = 0;
+  unsigned first_cluster = 0;
   unsigned num_clusters = 0;
   std::uint64_t n = 0;
 };

@@ -43,6 +43,11 @@ void Kernel::execute_range(mem::Tcdm& /*tcdm*/, const JobArgs& /*args*/, std::ui
   throw std::logic_error(name() + ": kernel does not support range tiling");
 }
 
+JobArgs Kernel::subrange_args(const JobArgs& /*args*/, std::uint64_t /*begin*/,
+                              std::uint64_t /*count*/) const {
+  throw std::logic_error(name() + ": kernel does not support sub-range re-dispatch");
+}
+
 sim::Cycles Kernel::host_epilogue_cycles(const JobArgs& /*args*/, unsigned /*parts*/) const {
   return 0;
 }

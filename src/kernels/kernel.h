@@ -81,6 +81,18 @@ class Kernel {
   virtual void execute_range(mem::Tcdm& tcdm, const JobArgs& args, std::uint64_t begin,
                              std::uint64_t count, std::size_t tcdm_base = 0) const;
 
+  /// Whether the kernel can re-express a job over an arbitrary element
+  /// sub-range as a standalone job. Fault recovery uses this to hand a failed
+  /// cluster's chunk to a surviving cluster as a fresh one-cluster dispatch.
+  /// Kernels with cross-item coupling (reductions, GEMV) opt out.
+  virtual bool supports_subrange() const { return false; }
+
+  /// JobArgs describing the standalone sub-job covering items
+  /// [begin, begin + count) of `args` (same job_id). Only valid when
+  /// supports_subrange(); the default throws std::logic_error.
+  virtual JobArgs subrange_args(const JobArgs& args, std::uint64_t begin,
+                                std::uint64_t count) const;
+
   /// Compute cycles for one worker core processing `items` work items.
   /// Default: ceil(items * rate). Zero items cost zero.
   virtual sim::Cycles worker_cycles(const JobArgs& args, std::uint64_t items) const;

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "fault/fault_injector.h"
 #include "util/math.h"
 
 namespace mco::mem {
@@ -33,8 +34,11 @@ void DmaEngine::start(bool inbound, Addr hbm_addr, std::size_t tcdm_offset, std:
   const Addr hbm_off = map_.hbm_offset(hbm_addr);  // validates the address
   const std::uint64_t beats = util::ceil_div<std::uint64_t>(bytes, 8);
 
+  sim::Cycles setup = cfg_.setup_cycles;
+  if (fault_ && fault_->enabled()) setup += fault_->on_dma_setup(cluster_);
+
   // Setup models the DMA-core configuration (source/dest/size registers).
-  defer(cfg_.setup_cycles, [this, inbound, hbm_off, tcdm_offset, bytes, beats,
+  defer(setup, [this, inbound, hbm_off, tcdm_offset, bytes, beats,
                             cb = std::move(done)]() mutable {
     hbm_.request(hbm_port_, beats,
                  [this, inbound, hbm_off, tcdm_offset, bytes, cb = std::move(cb)]() mutable {

@@ -16,6 +16,10 @@
 #include "mem/tcdm.h"
 #include "sim/component.h"
 
+namespace mco::fault {
+class FaultInjector;
+}
+
 namespace mco::mem {
 
 struct DmaConfig {
@@ -34,6 +38,14 @@ class DmaEngine : public sim::Component {
   const DmaConfig& config() const { return cfg_; }
   unsigned hbm_port() const { return hbm_port_; }
 
+  /// Wire the fault injector (nullptr = fault-free). `cluster` identifies the
+  /// owning cluster for target filtering. Transfers may then stall for extra
+  /// cycles during setup (backpressured DMA core).
+  void set_fault_injector(fault::FaultInjector* fi, unsigned cluster) {
+    fault_ = fi;
+    cluster_ = cluster;
+  }
+
   /// HBM → TCDM. `hbm_addr` is a physical HBM address; `tcdm_offset` is a
   /// cluster-local byte offset.
   void transfer_in(Addr hbm_addr, std::size_t tcdm_offset, std::size_t bytes, Callback done);
@@ -50,6 +62,8 @@ class DmaEngine : public sim::Component {
              Callback done);
 
   DmaConfig cfg_;
+  fault::FaultInjector* fault_ = nullptr;
+  unsigned cluster_ = 0;
   HbmController& hbm_;
   unsigned hbm_port_;
   MainMemory& main_mem_;

@@ -1,0 +1,80 @@
+#include "model/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mco::model {
+
+double expected_fault_overhead(const FaultModelParams& p) {
+  if (p.dispatch_loss_prob < 0.0 || p.dispatch_loss_prob > 1.0)
+    throw std::invalid_argument("expected_fault_overhead: probability outside [0, 1]");
+  const double q = p.dispatch_loss_prob;
+  if (q == 0.0) return 0.0;
+
+  // Condition on the first dispatch being lost (probability q). The runtime
+  // then pays one watchdog window and probes the victim, and enters retry
+  // rounds: round r costs kill + backoff_r + redispatch, and with
+  // probability (1 - q) the retry lands and the job finishes inside the next
+  // wait (no further rounds); with probability q the next watchdog window and
+  // probe are paid and the protocol advances to round r + 1.
+  double overhead = p.watchdog_wait_cycles + p.probe_cycles;
+  double still_lost = 1.0;  // P(victim still unresolved | first loss)
+  double backoff = p.backoff_base_cycles;
+  for (unsigned r = 1; r <= p.max_retries; ++r) {
+    overhead += still_lost * (p.kill_store_cycles + backoff + p.redispatch_cycles);
+    still_lost *= q;
+    // A failed retry costs another watchdog window + probe before round r+1
+    // (or before giving up after the last round).
+    overhead += still_lost * (p.watchdog_wait_cycles + p.probe_cycles);
+    backoff *= p.backoff_multiplier;
+  }
+  // Retries exhausted: degraded completion — kill, barrier poke, and the
+  // redistribution sub-job on a survivor.
+  overhead += still_lost * (p.kill_store_cycles + p.redistribute_cycles);
+  return q * overhead;
+}
+
+double expected_runtime_under_faults(const RuntimeModel& model, unsigned m, std::uint64_t n,
+                                     FaultModelParams params) {
+  if (m == 0) throw std::invalid_argument("expected_runtime_under_faults: zero clusters");
+  if (params.redistribute_cycles == 0.0) {
+    // The degraded tail re-runs the failed cluster's chunk (≈ n/m items) as a
+    // one-cluster sub-job: a fresh dispatch plus its serial + compute terms.
+    const std::uint64_t chunk = (n + m - 1) / m;
+    params.redistribute_cycles = model.predict(1, chunk);
+  }
+  const double q = params.dispatch_loss_prob;
+  double overhead = 0.0;
+  if (q > 0.0) {
+    // The victim never arrives at the team barrier, so every other
+    // participant blocks inside the job too: a watchdog expiry probes all m
+    // of them, not just the victim.
+    params.probe_cycles *= m;
+    // Any one of the m dispatch replicas being lost triggers recovery.
+    const double q_any = 1.0 - std::pow(1.0 - q, static_cast<double>(m));
+    overhead = expected_fault_overhead(params) * (q_any / q);
+  }
+  return model.predict(m, n) + overhead;
+}
+
+double fault_breakeven_prob(const RuntimeModel& extended, const RuntimeModel& baseline,
+                            unsigned m, std::uint64_t n, FaultModelParams params) {
+  const double target = baseline.predict(m, n);
+  const auto runtime_at = [&](double q) {
+    FaultModelParams p = params;
+    p.dispatch_loss_prob = q;
+    return expected_runtime_under_faults(extended, m, n, p);
+  };
+  if (runtime_at(0.0) >= target) return 0.0;
+  if (runtime_at(1.0) <= target) return 1.0;
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (runtime_at(mid) <= target) lo = mid;
+    else hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace mco::model

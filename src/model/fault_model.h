@@ -1,0 +1,72 @@
+// First-order expected-runtime model under offload-path faults.
+//
+// The recovery layer (OffloadRuntime's watchdog/retry/redistribute engine)
+// converts faults from hangs into latency. This model predicts that latency
+// in expectation, composing the fault-free Eq. (1) prediction with the
+// recovery protocol's cost structure:
+//
+//   E[t] ≈ t̂(M, N) + P(any victim) · E[recovery cost]
+//
+// where the recovery cost walks the same rounds the runtime executes — a
+// watchdog wait, a probe sweep of missing clusters, retry rounds with
+// exponential backoff while each retry independently fails with the same
+// per-dispatch fault probability, and finally (if all retries are consumed)
+// a redistribution of the failed chunk onto one survivor.
+//
+// It is a first-order expectation: fault events at different protocol points
+// are treated independently and at most one victim cluster is assumed per
+// offload (accurate for the small per-event probabilities the break-even
+// analysis cares about; bench_fault_sweep reports model vs. measured).
+#pragma once
+
+#include <cstdint>
+
+#include "model/runtime_model.h"
+
+namespace mco::model {
+
+/// The recovery-protocol constants the expectation walks (mirrors
+/// OffloadRuntimeConfig's recovery knobs plus the per-dispatch fault
+/// probability being modelled).
+struct FaultModelParams {
+  /// Probability that one dispatch towards the victim cluster is lost
+  /// (dropped store or hung wakeup — anything a retry can heal).
+  double dispatch_loss_prob = 0.0;
+  /// Completion-wait watchdog budget per round.
+  double watchdog_wait_cycles = 1'000'000.0;
+  unsigned max_retries = 3;
+  double backoff_base_cycles = 64.0;
+  double backoff_multiplier = 2.0;
+  double probe_cycles = 36.0;
+  double kill_store_cycles = 3.0;
+  /// Cost of re-issuing the dispatch payload (host store sequence).
+  double redispatch_cycles = 12.0;
+  /// Cost of marshalling + dispatching + recomputing a failed cluster's
+  /// chunk on one survivor (the degraded-completion tail). Scales with the
+  /// chunk, so callers derive it from the fault-free model: roughly
+  /// t̂(1, N/M) for the sub-job.
+  double redistribute_cycles = 0.0;
+};
+
+/// Expected extra cycles the recovery layer spends when the per-dispatch
+/// loss probability is params.dispatch_loss_prob (0 ⇒ 0).
+double expected_fault_overhead(const FaultModelParams& params);
+
+/// Expected offload runtime with faults: model.predict(m, n) plus the
+/// expected recovery overhead, scaled to the offload's shape — any of the m
+/// dispatch replicas being lost triggers recovery (1 - (1-q)^m), a watchdog
+/// expiry probes all m barrier-blocked participants, and the redistribute
+/// term is derived from the model itself (a one-cluster sub-job over the
+/// failed chunk of n/m items).
+double expected_runtime_under_faults(const RuntimeModel& model, unsigned m, std::uint64_t n,
+                                     FaultModelParams params);
+
+/// Largest per-dispatch fault probability at which the *extended* design
+/// (with recovery overhead) still beats the fault-free *baseline* design at
+/// (m, n) — the fault-rate break-even of the paper's speedup claim. Found by
+/// bisection on [0, 1]; returns 1.0 if extended wins even at certain loss,
+/// 0.0 if it never wins.
+double fault_breakeven_prob(const RuntimeModel& extended, const RuntimeModel& baseline,
+                            unsigned m, std::uint64_t n, FaultModelParams params);
+
+}  // namespace mco::model

@@ -1,5 +1,6 @@
 #include "noc/interconnect.h"
 
+#include "fault/fault_injector.h"
 #include "util/strings.h"
 
 namespace mco::noc {
@@ -27,14 +28,24 @@ void Interconnect::set_cluster_sink(unsigned cluster, DispatchSink sink) {
 void Interconnect::set_credit_sink(CreditSink sink) { credit_sink_ = std::move(sink); }
 void Interconnect::set_amo_sink(AmoSink sink) { amo_sink_ = std::move(sink); }
 
+void Interconnect::deliver_dispatch(unsigned cluster, const DispatchMessage& msg,
+                                    sim::Cycles base_latency) {
+  sim::Cycles latency = base_latency;
+  if (fault_ && fault_->enabled()) {
+    const auto f = fault_->on_dispatch(cluster);
+    if (f.drop) return;  // the store vanishes in the fabric
+    latency += f.extra_delay;
+  }
+  defer(latency, [this, cluster, m = msg] { cluster_sinks_[cluster](m); },
+        sim::Priority::kWire);
+}
+
 void Interconnect::unicast_dispatch(unsigned cluster, DispatchMessage msg) {
   check_cluster(cluster);
   if (!cluster_sinks_[cluster]) throw std::logic_error("Interconnect: cluster sink not wired");
   ++unicasts_;
   sim().trace().record(now(), path(), "unicast", util::format("cluster=%u", cluster));
-  defer(cfg_.host_to_cluster_latency,
-        [this, cluster, m = std::move(msg)] { cluster_sinks_[cluster](m); },
-        sim::Priority::kWire);
+  deliver_dispatch(cluster, msg, cfg_.host_to_cluster_latency);
 }
 
 void Interconnect::multicast_dispatch(const std::vector<unsigned>& clusters, DispatchMessage msg) {
@@ -48,6 +59,15 @@ void Interconnect::multicast_dispatch(const std::vector<unsigned>& clusters, Dis
   ++multicasts_;
   sim().trace().record(now(), path(), "multicast",
                        util::format("targets=%zu", clusters.size()));
+  if (fault_ && fault_->enabled()) {
+    // Per-target delivery so each replica of the store can be dropped or
+    // delayed independently (a fault in one branch of the replication tree).
+    // Delivery order over targets matches the grouped path below.
+    for (const unsigned c : clusters) {
+      deliver_dispatch(c, msg, cfg_.host_to_cluster_latency + cfg_.multicast_tree_latency);
+    }
+    return;
+  }
   // The replication tree delivers to all targets at the same cycle.
   defer(cfg_.host_to_cluster_latency + cfg_.multicast_tree_latency,
         [this, targets = clusters, m = std::move(msg)] {

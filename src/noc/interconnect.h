@@ -20,6 +20,10 @@
 #include "noc/message.h"
 #include "sim/component.h"
 
+namespace mco::fault {
+class FaultInjector;
+}
+
 namespace mco::noc {
 
 struct NocConfig {
@@ -54,6 +58,10 @@ class Interconnect : public sim::Component {
   /// Wire the shared-memory counter's atomic port (baseline completion).
   void set_amo_sink(AmoSink sink);
 
+  /// Wire the fault injector (nullptr = fault-free fabric). Dispatch
+  /// deliveries then consult it per target for drop/delay faults.
+  void set_fault_injector(fault::FaultInjector* fi) { fault_ = fi; }
+
   /// Unicast a dispatch message to one cluster (always available).
   void unicast_dispatch(unsigned cluster, DispatchMessage msg);
 
@@ -75,8 +83,10 @@ class Interconnect : public sim::Component {
 
  private:
   void check_cluster(unsigned cluster) const;
+  void deliver_dispatch(unsigned cluster, const DispatchMessage& msg, sim::Cycles base_latency);
 
   NocConfig cfg_;
+  fault::FaultInjector* fault_ = nullptr;
   unsigned num_clusters_;
   std::vector<DispatchSink> cluster_sinks_;
   CreditSink credit_sink_;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/time.h"
 
@@ -28,6 +29,23 @@ struct PhaseBreakdown {
   sim::Cycles epilogue = 0;  ///< completion → return (handler tail, combine, exit)
 };
 
+/// What the watchdog/retry/degraded-completion layer did during one offload.
+/// All zero (and degraded == false) on a fault-free run.
+struct FaultRecoveryStats {
+  /// The offload completed without its full cluster set: at least one cluster
+  /// was given up on and its chunk recomputed by survivors. The result is
+  /// numerically complete, but the job ran below the requested parallelism.
+  bool degraded = false;
+  std::uint64_t watchdog_timeouts = 0;     ///< completion waits that expired
+  std::uint64_t retries = 0;               ///< re-dispatches of stuck clusters
+  std::uint64_t probes = 0;                ///< cluster status reads
+  std::uint64_t credits_recovered = 0;     ///< completions found by probe after
+                                           ///< a lost credit/AMO/IRQ
+  std::uint64_t clusters_redistributed = 0;///< failed chunks recomputed
+  std::vector<unsigned> failed_clusters;   ///< permanently failed cluster ids
+  sim::Cycles recovery_cycles = 0;         ///< first watchdog expiry → completion
+};
+
 struct OffloadResult {
   std::string kernel;
   std::uint64_t job_id = 0;
@@ -38,6 +56,7 @@ struct OffloadResult {
   bool used_hw_sync = false;
 
   OffloadTimestamps ts;
+  FaultRecoveryStats recovery;
 
   /// Total offload latency as the application sees it.
   sim::Cycles total() const { return ts.ret - ts.call; }

@@ -27,6 +27,8 @@ OffloadRuntime::OffloadRuntime(sim::Simulator& sim, OffloadRuntimeConfig cfg,
   if (cfg_.use_multicast && !host_.config().has_multicast_lsu)
     throw std::invalid_argument(
         "OffloadRuntime: use_multicast requires the host LSU multicast extension");
+  if (cfg_.recovery_enabled && cfg_.watchdog_wait_cycles == 0)
+    throw std::invalid_argument("OffloadRuntime: zero watchdog_wait_cycles");
 }
 
 void OffloadRuntime::offload_async(const kernels::JobArgs& args, unsigned num_clusters,
@@ -40,6 +42,8 @@ void OffloadRuntime::offload_async(const kernels::JobArgs& args, unsigned num_cl
 
   const kernels::Kernel& kernel = registry_.by_id(args.kernel_id);
   kernel.validate(args);
+  if (cfg_.recovery_enabled && (!probe_fn_ || !kill_fn_ || !poke_fn_))
+    throw std::logic_error("OffloadRuntime: recovery enabled but cluster ports not wired");
 
   busy_ = true;
   kernel_ = &kernel;
@@ -49,6 +53,14 @@ void OffloadRuntime::offload_async(const kernels::JobArgs& args, unsigned num_cl
 
   noc::DispatchMessage payload =
       kernels::marshal_payload(args_, num_clusters, kernel.marshal_args(args_));
+
+  if (cfg_.recovery_enabled) {
+    rec_payload_ = payload;
+    rec_attempt_ = 0;
+    rec_done_.assign(num_clusters, false);
+    rec_failed_.assign(num_clusters, false);
+    rec_first_timeout_ = 0;
+  }
 
   result_ = OffloadResult{};
   result_.kernel = kernel.name();
@@ -82,9 +94,13 @@ void OffloadRuntime::offload_async(const kernels::JobArgs& args, unsigned num_cl
 void OffloadRuntime::setup_sync(unsigned num_clusters) {
   // The state change lands when the host's stores complete; modeling it at
   // issue time is equivalent here because nothing can observe the window.
+  // begin_tracking piggybacks on the same stores (the bitmap clear is part of
+  // the arm/init write) — no extra cycles.
   if (cfg_.use_hw_sync) {
+    sync_unit_.begin_tracking(num_clusters);
     sync_unit_.arm(num_clusters);
   } else {
+    shared_counter_.begin_tracking(num_clusters);
     shared_counter_.store(0);
   }
 }
@@ -120,6 +136,10 @@ void OffloadRuntime::dispatch(noc::DispatchMessage payload, unsigned num_cluster
 }
 
 void OffloadRuntime::await_completion(unsigned num_clusters) {
+  if (cfg_.recovery_enabled) {
+    await_round(num_clusters);
+    return;
+  }
   if (cfg_.use_hw_sync) {
     host_.wait_for_irq([this, num_clusters] {
       result_.ts.completion = sim_.now();
@@ -133,6 +153,342 @@ void OffloadRuntime::await_completion(unsigned num_clusters) {
           complete(num_clusters);
         });
   }
+}
+
+// ---- recovery engine --------------------------------------------------------
+//
+// One completion wait becomes a sequence of bounded rounds. Each round waits
+// (IRQ or poll) with a watchdog budget; on expiry the host reads the
+// per-cluster completion bitmap, probes every missing cluster's status
+// registers and classifies it:
+//   * done     — it completed but the completion signal was lost; count it;
+//   * running  — it is still executing (straggler); wait another round;
+//   * stuck    — it is idle and never ran the job (hung wakeup / lost
+//                dispatch); kill the stale dispatch and re-issue it, with
+//                exponential backoff, up to max_retries rounds.
+// A cluster still stuck after max_retries is declared failed: the host
+// substitutes its team-barrier arrival (so survivors are not deadlocked) and,
+// once everything else resolved, re-runs each failed cluster's chunk on a
+// surviving cluster as a one-cluster sub-job. The offload then completes with
+// recovery.degraded = true and a numerically complete result.
+
+bool OffloadRuntime::participant_done(unsigned cluster) const {
+  if (rec_done_[cluster]) return true;
+  return cfg_.use_hw_sync ? sync_unit_.cluster_done(cluster)
+                          : shared_counter_.cluster_done(cluster);
+}
+
+bool OffloadRuntime::all_participants_done(unsigned n) const {
+  for (unsigned c = 0; c < n; ++c) {
+    if (!rec_failed_[c] && !participant_done(c)) return false;
+  }
+  return true;
+}
+
+unsigned OffloadRuntime::pending_participants(unsigned n) const {
+  unsigned pending = 0;
+  for (unsigned c = 0; c < n; ++c) {
+    if (!rec_failed_[c] && !participant_done(c)) ++pending;
+  }
+  return pending;
+}
+
+void OffloadRuntime::await_round(unsigned n) {
+  if (cfg_.use_hw_sync) {
+    host_.wait_for_irq_or(cfg_.watchdog_wait_cycles,
+                          [this, n](bool timed_out) { on_wait(n, timed_out); });
+  } else {
+    host_.poll_until_or([this, n] { return all_participants_done(n); },
+                        cfg_.watchdog_wait_cycles,
+                        [this, n](bool timed_out) { on_wait(n, timed_out); });
+  }
+}
+
+void OffloadRuntime::on_wait(unsigned n, bool timed_out) {
+  if (!timed_out) {
+    if (all_participants_done(n)) {
+      finish_or_redistribute(n);
+      return;
+    }
+    // Premature completion IRQ (a duplicated credit inflated the count):
+    // re-arm for what is actually still missing and keep waiting.
+    rearm_and_await(n);
+    return;
+  }
+  ++result_.recovery.watchdog_timeouts;
+  if (rec_first_timeout_ == 0) rec_first_timeout_ = sim_.now();
+  sim_.trace().record(sim_.now(), "runtime", "watchdog_timeout",
+                      util::format("pending=%u", pending_participants(n)));
+  auto pending = std::make_shared<std::vector<unsigned>>();
+  for (unsigned c = 0; c < n; ++c) {
+    if (!rec_failed_[c] && !participant_done(c)) pending->push_back(c);
+  }
+  probe_next(n, pending, 0, std::make_shared<std::vector<unsigned>>(),
+             std::make_shared<unsigned>(0));
+}
+
+void OffloadRuntime::probe_next(unsigned n, std::shared_ptr<std::vector<unsigned>> pending,
+                                std::size_t i, std::shared_ptr<std::vector<unsigned>> stuck,
+                                std::shared_ptr<unsigned> running) {
+  if (i == pending->size()) {
+    resolve_round(n, std::move(*stuck), *running);
+    return;
+  }
+  const unsigned c = (*pending)[i];
+  host_.exec(cfg_.probe_cycles, [this, n, pending, i, stuck, running, c] {
+    ++result_.recovery.probes;
+    const ClusterProbe p = probe_fn_(c);
+    if (!p.busy && p.last_job_id == args_.job_id) {
+      // Finished the job but its credit/AMO/IRQ was lost in flight.
+      rec_done_[c] = true;
+      ++result_.recovery.credits_recovered;
+      sim_.trace().record(sim_.now(), "runtime", "credit_recovered",
+                          util::format("cluster=%u", c));
+    } else if (p.busy) {
+      ++*running;  // straggler: still executing, leave it alone
+    } else {
+      stuck->push_back(c);  // idle and never ran it: hung wakeup or lost dispatch
+    }
+    probe_next(n, pending, i + 1, stuck, running);
+  });
+}
+
+void OffloadRuntime::resolve_round(unsigned n, std::vector<unsigned> stuck, unsigned running) {
+  if (stuck.empty()) {
+    if (running > 0) {
+      // Only stragglers left: wait another round.
+      rearm_and_await(n);
+    } else {
+      finish_or_redistribute(n);
+    }
+    return;
+  }
+  if (rec_attempt_ < cfg_.max_retries) {
+    ++rec_attempt_;
+    retry_stuck(n, std::make_shared<std::vector<unsigned>>(std::move(stuck)), 0);
+    return;
+  }
+  // Out of retries: give up on the stuck clusters. Substituting their
+  // team-barrier arrival releases any survivors blocked at the job barrier
+  // (a failed cluster never arrived, so the count stays consistent).
+  for (const unsigned c : stuck) {
+    rec_failed_[c] = true;
+    result_.recovery.failed_clusters.push_back(c);
+    sim_.trace().record(sim_.now(), "runtime", "cluster_failed",
+                        util::format("cluster=%u", c));
+  }
+  auto dead = std::make_shared<std::vector<unsigned>>(std::move(stuck));
+  auto kill_chain = std::make_shared<std::function<void(std::size_t)>>();
+  *kill_chain = [this, n, dead, kill_chain](std::size_t i) {
+    if (i == dead->size()) {
+      // Copy the captures we still need: clearing *kill_chain destroys this
+      // closure (it is the function currently executing).
+      OffloadRuntime* self = this;
+      const unsigned nn = n;
+      *kill_chain = nullptr;
+      if (self->pending_participants(nn) > 0) {
+        self->rearm_and_await(nn);  // stragglers may still be running
+      } else {
+        self->finish_or_redistribute(nn);
+      }
+      return;
+    }
+    const unsigned c = (*dead)[i];
+    host_.exec(cfg_.kill_store_cycles, [this, dead, kill_chain, i, c] {
+      kill_fn_(c);
+      poke_fn_(result_.num_clusters);
+      (*kill_chain)(i + 1);
+    });
+  };
+  (*kill_chain)(0);
+}
+
+void OffloadRuntime::retry_stuck(unsigned n, std::shared_ptr<std::vector<unsigned>> stuck,
+                                 std::size_t i) {
+  if (i == stuck->size()) {
+    // Exponential backoff, then re-dispatch each stuck cluster and wait again.
+    sim::Cycles backoff = cfg_.backoff_base_cycles;
+    for (unsigned a = 1; a < rec_attempt_; ++a) backoff *= cfg_.backoff_multiplier;
+    host_.exec(backoff, [this, n, stuck] {
+      auto send = std::make_shared<std::function<void(std::size_t)>>();
+      *send = [this, n, stuck, send](std::size_t k) {
+        if (k == stuck->size()) {
+          // Copy before clearing *send: that assignment destroys this
+          // closure (the function currently executing) and its captures.
+          OffloadRuntime* self = this;
+          const unsigned nn = n;
+          *send = nullptr;
+          self->rearm_and_await(nn);
+          return;
+        }
+        const unsigned c = (*stuck)[k];
+        host_.exec(host_.store_cost(rec_payload_.size_words()), [this, stuck, send, k, c] {
+          ++result_.recovery.retries;
+          sim_.trace().record(sim_.now(), "runtime", "redispatch",
+                              util::format("cluster=%u attempt=%u", c, rec_attempt_));
+          noc_.unicast_dispatch(c, rec_payload_);
+          (*send)(k + 1);
+        });
+      };
+      (*send)(0);
+    });
+    return;
+  }
+  // Kill the stale dispatch first so the retry cannot double-execute (the
+  // cluster is idle — a queued message would otherwise run once drained).
+  const unsigned c = (*stuck)[i];
+  host_.exec(cfg_.kill_store_cycles, [this, n, stuck, i, c] {
+    kill_fn_(c);
+    retry_stuck(n, stuck, i + 1);
+  });
+}
+
+void OffloadRuntime::rearm_and_await(unsigned n) {
+  if (!cfg_.use_hw_sync) {
+    await_round(n);  // the poll predicate reads the bitmap directly
+    return;
+  }
+  host_.exec(cfg_.sync_arm_store_cycles, [this, n] {
+    const unsigned remaining = pending_participants(n);
+    sync_unit_.reset();
+    if (remaining > 0) sync_unit_.arm(remaining);
+    await_round(n);
+  });
+}
+
+void OffloadRuntime::finish_or_redistribute(unsigned n) {
+  if (result_.recovery.failed_clusters.empty()) {
+    finish_recovered(n);
+    return;
+  }
+  result_.recovery.degraded = true;
+  if (!kernel_->supports_subrange()) {
+    throw std::runtime_error(util::format(
+        "OffloadRuntime: cluster(s) failed and kernel '%s' cannot re-express its chunk as a "
+        "sub-job; result would be incomplete",
+        kernel_->name().c_str()));
+  }
+  redistribute_next(n, 0);
+}
+
+void OffloadRuntime::redistribute_next(unsigned n, std::size_t i) {
+  if (i == result_.recovery.failed_clusters.size()) {
+    finish_recovered(n);
+    return;
+  }
+  const unsigned f = result_.recovery.failed_clusters[i];
+  const kernels::ChunkRange chunk = kernels::split_chunk(args_.n, f, n);
+  if (chunk.count == 0) {
+    redistribute_next(n, i + 1);
+    return;
+  }
+  auto survivors = std::make_shared<std::vector<unsigned>>();
+  for (unsigned c = 0; c < n; ++c) {
+    if (!rec_failed_[c]) survivors->push_back(c);
+  }
+  if (survivors->empty())
+    throw std::runtime_error("OffloadRuntime: all clusters failed; nothing to redistribute to");
+  try_survivor(n, i, chunk, survivors, 0);
+}
+
+void OffloadRuntime::try_survivor(unsigned n, std::size_t i, kernels::ChunkRange chunk,
+                                  std::shared_ptr<std::vector<unsigned>> survivors,
+                                  std::size_t si) {
+  if (si == survivors->size())
+    throw std::runtime_error(
+        "OffloadRuntime: no surviving cluster accepted the redistributed chunk");
+  const unsigned s = (*survivors)[si];
+  kernels::JobArgs sub = kernel_->subrange_args(args_, chunk.begin, chunk.count);
+  // Fresh job id: the survivor already completed the main job, so probing
+  // with the main id could not tell "finished the sub-job" from "never
+  // received it" when the sub-dispatch itself is lost.
+  sub.job_id = next_job_id_++;
+  noc::DispatchMessage payload =
+      kernels::marshal_payload(sub, 1, kernel_->marshal_args(sub), /*first_cluster=*/s);
+  sim_.trace().record(sim_.now(), "runtime", "redistribute",
+                      util::format("cluster=%u -> %u count=%llu", result_.recovery.failed_clusters[i],
+                                   s, static_cast<unsigned long long>(chunk.count)));
+  const sim::Cycles marshal =
+      cfg_.marshal_base_cycles + cfg_.marshal_per_word_cycles * payload.size_words();
+  const std::uint64_t sub_id = sub.job_id;
+  host_.exec(marshal,
+             [this, n, i, chunk, survivors, si, s, sub_id, p = std::move(payload)]() mutable {
+    const sim::Cycles sync_cost =
+        cfg_.use_hw_sync ? 2 * cfg_.sync_arm_store_cycles : cfg_.counter_init_cycles;
+    host_.exec(sync_cost,
+               [this, n, i, chunk, survivors, si, s, sub_id, p2 = std::move(p)]() mutable {
+      // Fresh tracking epoch for the sub-job: only cluster s's signal counts.
+      if (cfg_.use_hw_sync) {
+        sync_unit_.reset();
+        sync_unit_.begin_tracking(n);
+        sync_unit_.arm(1);
+      } else {
+        shared_counter_.begin_tracking(n);
+        shared_counter_.store(0);
+      }
+      host_.exec(host_.store_cost(p2.size_words()),
+                 [this, n, i, chunk, survivors, si, s, sub_id, p3 = std::move(p2)]() mutable {
+                   noc_.unicast_dispatch(s, std::move(p3));
+                   await_sub(n, i, chunk, survivors, si, s, sub_id);
+                 });
+    });
+  });
+}
+
+void OffloadRuntime::await_sub(unsigned n, std::size_t i, kernels::ChunkRange chunk,
+                               std::shared_ptr<std::vector<unsigned>> survivors, std::size_t si,
+                               unsigned s, std::uint64_t sub_job_id) {
+  const bool hw = cfg_.use_hw_sync;
+  const auto sub_done = [this, s, hw] {
+    return hw ? sync_unit_.cluster_done(s) : shared_counter_.cluster_done(s);
+  };
+  const auto on_sub = [this, n, i, chunk, survivors, si, s, sub_job_id,
+                       sub_done](bool timed_out) {
+    if (sub_done()) {
+      ++result_.recovery.clusters_redistributed;
+      redistribute_next(n, i + 1);
+      return;
+    }
+    if (!timed_out) {
+      // Spurious wake without the bit set: keep waiting.
+      await_sub(n, i, chunk, survivors, si, s, sub_job_id);
+      return;
+    }
+    ++result_.recovery.watchdog_timeouts;
+    host_.exec(cfg_.probe_cycles, [this, n, i, chunk, survivors, si, s, sub_job_id, sub_done] {
+      ++result_.recovery.probes;
+      const ClusterProbe p = probe_fn_(s);
+      if (!p.busy && p.last_job_id == sub_job_id) {
+        // Sub-job done, completion signal lost.
+        ++result_.recovery.credits_recovered;
+        ++result_.recovery.clusters_redistributed;
+        redistribute_next(n, i + 1);
+      } else if (p.busy) {
+        // Still computing the chunk.
+        await_sub(n, i, chunk, survivors, si, s, sub_job_id);
+      } else {
+        // The survivor never took the sub-job: kill the stale dispatch and
+        // try the next one.
+        host_.exec(cfg_.kill_store_cycles, [this, n, i, chunk, survivors, si, s] {
+          kill_fn_(s);
+          try_survivor(n, i, chunk, survivors, si + 1);
+        });
+      }
+    });
+  };
+  if (hw) {
+    host_.wait_for_irq_or(cfg_.watchdog_wait_cycles, on_sub);
+  } else {
+    host_.poll_until_or(sub_done, cfg_.watchdog_wait_cycles, on_sub);
+  }
+}
+
+void OffloadRuntime::finish_recovered(unsigned n) {
+  if (cfg_.use_hw_sync) sync_unit_.reset();  // drop any half-armed recovery state
+  if (rec_first_timeout_ != 0)
+    result_.recovery.recovery_cycles = sim_.now() - rec_first_timeout_;
+  result_.ts.completion = sim_.now();
+  complete(n);
 }
 
 void OffloadRuntime::complete(unsigned num_clusters) {
@@ -171,11 +527,30 @@ void OffloadRuntime::execute_on_host_async(const kernels::JobArgs& args,
   });
 }
 
+void OffloadRuntime::run_blocking(const std::function<bool()>& done) {
+  // Step (rather than run/run_until) so the clock stops at the completion
+  // event instead of jumping to the watchdog deadline on drain — durations
+  // derived from now() (e.g. energy accounting) must reflect real activity
+  // only. The hard ceiling turns any miswired or faulted-out completion path
+  // into a diagnosable error instead of an infinite spin.
+  const sim::Cycle deadline = sim_.now() + cfg_.watchdog_cycles;
+  while (!done() && !sim_.idle() && sim_.now() <= deadline) {
+    sim_.step();
+  }
+  if (!done()) {
+    if (!sim_.idle()) {
+      throw std::runtime_error(util::format(
+          "OffloadRuntime: watchdog expired after %llu cycles (offload deadlocked?)",
+          static_cast<unsigned long long>(cfg_.watchdog_cycles)));
+    }
+    throw std::runtime_error("OffloadRuntime: simulation drained before completion");
+  }
+}
+
 HostRunResult OffloadRuntime::execute_on_host_blocking(const kernels::JobArgs& args) {
   std::optional<HostRunResult> out;
   execute_on_host_async(args, [&out](const HostRunResult& r) { out = r; });
-  sim_.run();
-  if (!out) throw std::runtime_error("OffloadRuntime: host execution did not complete");
+  run_blocking([&out] { return out.has_value(); });
   return *out;
 }
 
@@ -324,8 +699,7 @@ SequenceResult OffloadRuntime::offload_sequence_blocking(std::vector<kernels::Jo
   std::optional<SequenceResult> out;
   offload_sequence_async(std::move(jobs), num_clusters, pipelined,
                          [&out](const SequenceResult& r) { out = r; });
-  sim_.run();
-  if (!out) throw std::runtime_error("OffloadRuntime: sequence did not complete");
+  run_blocking([&out] { return out.has_value(); });
   return *out;
 }
 
@@ -333,21 +707,7 @@ OffloadResult OffloadRuntime::offload_blocking(const kernels::JobArgs& args,
                                                unsigned num_clusters) {
   std::optional<OffloadResult> out;
   offload_async(args, num_clusters, [&out](const OffloadResult& r) { out = r; });
-  // Step (rather than run_until) so the clock stops at the completion event
-  // instead of jumping to the watchdog deadline on drain — durations derived
-  // from now() (e.g. energy accounting) must reflect real activity only.
-  const sim::Cycle deadline = sim_.now() + cfg_.watchdog_cycles;
-  while (!out && !sim_.idle() && sim_.now() <= deadline) {
-    sim_.step();
-  }
-  if (!out) {
-    if (!sim_.idle()) {
-      throw std::runtime_error(util::format(
-          "OffloadRuntime: watchdog expired after %llu cycles (offload deadlocked?)",
-          static_cast<unsigned long long>(cfg_.watchdog_cycles)));
-    }
-    throw std::runtime_error("OffloadRuntime: simulation drained before completion");
-  }
+  run_blocking([&out] { return out.has_value(); });
   return *out;
 }
 

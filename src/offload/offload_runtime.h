@@ -51,6 +51,26 @@ struct OffloadRuntimeConfig {
   /// std::runtime_error instead of spinning forever (e.g. a miswired
   /// completion path under a polling loop).
   sim::Cycles watchdog_cycles = 100'000'000;
+
+  // ---- fault recovery (watchdog / retry / degraded completion) -------------
+
+  /// Arm the in-simulation recovery layer: completion waits get a watchdog,
+  /// missing clusters are probed, stuck dispatches are retried with backoff,
+  /// and permanently failed clusters have their chunk redistributed to the
+  /// survivors (degraded completion). Off by default — the fault-free timing
+  /// paths are then bit-identical to the seed runtime.
+  bool recovery_enabled = false;
+  /// Completion-wait budget per round before the watchdog fires.
+  sim::Cycles watchdog_wait_cycles = 1'000'000;
+  /// Re-dispatch attempts per stuck cluster before it is declared failed.
+  unsigned max_retries = 3;
+  /// Exponential backoff before re-dispatching: base * multiplier^(attempt-1).
+  sim::Cycles backoff_base_cycles = 64;
+  unsigned backoff_multiplier = 2;
+  /// Uncached read of one cluster's status registers over the NoC.
+  sim::Cycles probe_cycles = 36;
+  /// Store to a cluster's mailbox-control register (kill a stale dispatch).
+  sim::Cycles kill_store_cycles = 3;
 };
 
 /// Per-job record within an offload sequence.
@@ -85,12 +105,30 @@ class OffloadRuntime {
  public:
   using DoneCallback = std::function<void(const OffloadResult&)>;
 
+  /// Snapshot of one cluster's status registers, as read by a recovery probe.
+  struct ClusterProbe {
+    bool busy = false;          ///< currently executing a job
+    bool has_message = false;   ///< a dispatch is queued but unconsumed
+    std::uint64_t last_job_id = 0;  ///< most recently completed job
+  };
+  using ProbeFn = std::function<ClusterProbe(unsigned cluster)>;
+  using KillFn = std::function<void(unsigned cluster)>;
+  /// Substitute arrival for a permanently failed cluster so the surviving
+  /// team members' barrier completes (`expected` = the job's cluster count).
+  using BarrierPokeFn = std::function<void(unsigned expected)>;
+
   OffloadRuntime(sim::Simulator& sim, OffloadRuntimeConfig cfg, host::HostCore& host,
                  noc::Interconnect& noc, sync::CreditCounterUnit& sync_unit,
                  sync::SharedCounter& shared_counter, const kernels::KernelRegistry& registry,
                  mem::MainMemory& main_mem, const mem::AddressMap& map);
 
   const OffloadRuntimeConfig& config() const { return cfg_; }
+
+  /// Wire the recovery layer's cluster access (required when
+  /// recovery_enabled; the Soc does this).
+  void set_cluster_probe(ProbeFn f) { probe_fn_ = std::move(f); }
+  void set_cluster_kill(KillFn f) { kill_fn_ = std::move(f); }
+  void set_barrier_poke(BarrierPokeFn f) { poke_fn_ = std::move(f); }
 
   /// Launch an offload of `args` onto clusters [0, num_clusters). The
   /// callback fires when the runtime returns to the application. Throws on
@@ -127,6 +165,29 @@ class OffloadRuntime {
   void dispatch(noc::DispatchMessage payload, unsigned num_clusters, unsigned next);
   void await_completion(unsigned num_clusters);
   void complete(unsigned num_clusters);
+  /// Step the simulation until `done()` or the blocking watchdog expires.
+  void run_blocking(const std::function<bool()>& done);
+
+  // ---- recovery engine -------------------------------------------------------
+  bool participant_done(unsigned cluster) const;
+  bool all_participants_done(unsigned n) const;
+  unsigned pending_participants(unsigned n) const;
+  void await_round(unsigned n);
+  void on_wait(unsigned n, bool timed_out);
+  void probe_next(unsigned n, std::shared_ptr<std::vector<unsigned>> pending, std::size_t i,
+                  std::shared_ptr<std::vector<unsigned>> stuck,
+                  std::shared_ptr<unsigned> running);
+  void resolve_round(unsigned n, std::vector<unsigned> stuck, unsigned running);
+  void retry_stuck(unsigned n, std::shared_ptr<std::vector<unsigned>> stuck, std::size_t i);
+  void rearm_and_await(unsigned n);
+  void finish_or_redistribute(unsigned n);
+  void redistribute_next(unsigned n, std::size_t i);
+  void try_survivor(unsigned n, std::size_t i, kernels::ChunkRange chunk,
+                    std::shared_ptr<std::vector<unsigned>> survivors, std::size_t si);
+  void await_sub(unsigned n, std::size_t i, kernels::ChunkRange chunk,
+                 std::shared_ptr<std::vector<unsigned>> survivors, std::size_t si, unsigned s,
+                 std::uint64_t sub_job_id);
+  void finish_recovered(unsigned n);
 
   sim::Simulator& sim_;
   OffloadRuntimeConfig cfg_;
@@ -145,6 +206,16 @@ class OffloadRuntime {
   DoneCallback done_;
   std::uint64_t next_job_id_ = 1;
   std::uint64_t offloads_completed_ = 0;
+
+  // Recovery wiring + in-flight recovery state.
+  ProbeFn probe_fn_;
+  KillFn kill_fn_;
+  BarrierPokeFn poke_fn_;
+  noc::DispatchMessage rec_payload_;   ///< primary payload, kept for re-dispatch
+  unsigned rec_attempt_ = 0;           ///< retry rounds used so far
+  std::vector<bool> rec_done_;         ///< probe-confirmed done (signal lost)
+  std::vector<bool> rec_failed_;       ///< permanently failed participants
+  sim::Cycle rec_first_timeout_ = 0;
 };
 
 }  // namespace mco::offload

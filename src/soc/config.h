@@ -9,6 +9,7 @@
 #pragma once
 
 #include "cluster/cluster.h"
+#include "fault/fault_injector.h"
 #include "host/host_core.h"
 #include "mem/address_map.h"
 #include "mem/hbm_controller.h"
@@ -39,6 +40,10 @@ struct SocConfig {
   cluster::ClusterConfig cluster{};
   host::HostConfig host{};
   offload::OffloadRuntimeConfig runtime{};
+  /// Deterministic fault injection (all probabilities 0 by default — no
+  /// injector is constructed and every timing path is untouched). Setting any
+  /// probability > 0 auto-enables the runtime's recovery layer.
+  fault::FaultConfig fault{};
 
   /// Paper's baseline design: sequential unicast dispatch + software polling.
   static SocConfig baseline(unsigned num_clusters = 32);

@@ -31,6 +31,30 @@ std::uint64_t parse_u64(const std::string& key, const std::string& v) {
   }
 }
 
+double parse_f64(const std::string& key, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(util::format("config: key '%s' expects a number, got '%s'",
+                                             key.c_str(), v.c_str()));
+  }
+}
+
+std::int64_t parse_i64(const std::string& key, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const long long out = std::stoll(v, &pos, 0);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(util::format("config: key '%s' expects an integer, got '%s'",
+                                             key.c_str(), v.c_str()));
+  }
+}
+
 bool parse_bool(const std::string& key, const std::string& v) {
   const std::string s = util::to_lower(v);
   if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
@@ -51,6 +75,19 @@ bool parse_bool(const std::string& key, const std::string& v) {
 #define MCO_BOOL(key, expr)                                                             \
   Field{key, [](const SocConfig& c) { return std::string(c.expr ? "true" : "false"); }, \
         [](SocConfig& c, const std::string& v) { c.expr = parse_bool(key, v); }}
+
+#define MCO_F64(key, expr)                                              \
+  Field{key, [](const SocConfig& c) { return util::format("%.17g", c.expr); }, \
+        [](SocConfig& c, const std::string& v) { c.expr = parse_f64(key, v); }}
+
+#define MCO_I64(key, expr)                                                            \
+  Field{key,                                                                          \
+        [](const SocConfig& c) {                                                      \
+          return util::format("%lld", static_cast<long long>(c.expr));                \
+        },                                                                            \
+        [](SocConfig& c, const std::string& v) {                                      \
+          c.expr = static_cast<decltype(c.expr)>(parse_i64(key, v));                  \
+        }}
 
 const std::vector<Field>& fields() {
   static const std::vector<Field> kFields = {
@@ -102,12 +139,36 @@ const std::vector<Field>& fields() {
       MCO_U64("runtime.return_cycles", runtime.return_cycles),
       MCO_U64("runtime.host_call_cycles", runtime.host_call_cycles),
       MCO_U64("runtime.host_return_cycles", runtime.host_return_cycles),
+      MCO_U64("runtime.watchdog_cycles", runtime.watchdog_cycles),
+      MCO_BOOL("runtime.recovery_enabled", runtime.recovery_enabled),
+      MCO_U64("runtime.watchdog_wait_cycles", runtime.watchdog_wait_cycles),
+      MCO_U64("runtime.max_retries", runtime.max_retries),
+      MCO_U64("runtime.backoff_base_cycles", runtime.backoff_base_cycles),
+      MCO_U64("runtime.backoff_multiplier", runtime.backoff_multiplier),
+      MCO_U64("runtime.probe_cycles", runtime.probe_cycles),
+      MCO_U64("runtime.kill_store_cycles", runtime.kill_store_cycles),
+
+      MCO_U64("fault.seed", fault.seed),
+      MCO_I64("fault.target_cluster", fault.target_cluster),
+      MCO_F64("fault.dispatch_drop_prob", fault.dispatch_drop_prob),
+      MCO_F64("fault.dispatch_delay_prob", fault.dispatch_delay_prob),
+      MCO_U64("fault.dispatch_delay_cycles", fault.dispatch_delay_cycles),
+      MCO_F64("fault.credit_drop_prob", fault.credit_drop_prob),
+      MCO_F64("fault.credit_duplicate_prob", fault.credit_duplicate_prob),
+      MCO_F64("fault.irq_swallow_prob", fault.irq_swallow_prob),
+      MCO_F64("fault.cluster_hang_prob", fault.cluster_hang_prob),
+      MCO_F64("fault.cluster_straggle_prob", fault.cluster_straggle_prob),
+      MCO_U64("fault.straggle_cycles", fault.straggle_cycles),
+      MCO_F64("fault.dma_stall_prob", fault.dma_stall_prob),
+      MCO_U64("fault.dma_stall_cycles", fault.dma_stall_cycles),
   };
   return kFields;
 }
 
 #undef MCO_U64
 #undef MCO_BOOL
+#undef MCO_F64
+#undef MCO_I64
 
 const Field* find_field(const std::string& key) {
   for (const Field& f : fields()) {

@@ -73,7 +73,23 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(kernels::KernelRegistry::standard
                                                           cfg_.shared_counter, root_.get());
   team_barrier_ =
       std::make_unique<sync::TeamBarrier>(*sim_, "team_barrier", cfg_.team_barrier, root_.get());
+  if (cfg_.fault.any_enabled()) {
+    fault_ = std::make_unique<fault::FaultInjector>(*sim_, "fault", cfg_.fault, root_.get());
+    // A "lost" dispatch must be distinguishable from a merely delayed one:
+    // the recovery watchdog classifies an idle cluster as stuck, so any
+    // injected delivery delay has to land well inside the wait budget.
+    if (cfg_.fault.dispatch_delay_prob > 0.0 &&
+        cfg_.runtime.watchdog_wait_cycles <
+            cfg_.fault.dispatch_delay_cycles + 100)
+      throw std::invalid_argument(
+          "Soc: runtime.watchdog_wait_cycles must exceed fault.dispatch_delay_cycles + 100");
+    cfg_.runtime.recovery_enabled = true;
+    noc_->set_fault_injector(fault_.get());
+    sync_unit_->set_fault_injector(fault_.get());
+    shared_counter_->set_fault_injector(fault_.get());
+  }
   intc_ = std::make_unique<host::InterruptController>(*sim_, "intc", 1, root_.get());
+  if (fault_) intc_->set_fault_injector(fault_.get());
   host_ = std::make_unique<host::HostCore>(*sim_, "host", cfg_.host, *intc_, kOffloadIrqLine,
                                            root_.get());
 
@@ -85,14 +101,24 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(kernels::KernelRegistry::standard
     noc_->set_cluster_sink(i, [c = clusters_.back().get()](const noc::DispatchMessage& m) {
       c->mailbox().deliver(m);
     });
+    if (fault_) clusters_.back()->set_fault_injector(fault_.get());
   }
-  noc_->set_credit_sink([this](unsigned) { sync_unit_->increment(); });
-  noc_->set_amo_sink([this](unsigned) { shared_counter_->amo_add(); });
+  noc_->set_credit_sink([this](unsigned c) { sync_unit_->increment(c); });
+  noc_->set_amo_sink([this](unsigned c) { shared_counter_->amo_add(1, c); });
   sync_unit_->set_irq_callback([this] { intc_->raise(kOffloadIrqLine); });
 
   runtime_ = std::make_unique<offload::OffloadRuntime>(*sim_, cfg_.runtime, *host_, *noc_,
                                                        *sync_unit_, *shared_counter_, registry_,
                                                        *main_mem_, *map_);
+  runtime_->set_cluster_probe([this](unsigned i) {
+    const cluster::Cluster& c = *clusters_.at(i);
+    return offload::OffloadRuntime::ClusterProbe{c.busy(), c.has_pending_dispatch(),
+                                                 c.last_completed_job_id()};
+  });
+  runtime_->set_cluster_kill([this](unsigned i) { clusters_.at(i)->abort_pending(); });
+  runtime_->set_barrier_poke([this](unsigned expected) {
+    team_barrier_->arrive(expected, [] {});
+  });
   heap_next_ = map_->hbm_base();
 }
 
@@ -153,6 +179,17 @@ std::string Soc::dump_stats() {
   set("host.polls", host_->polls());
   set("host.irqs_taken", host_->irqs_taken());
   set("runtime.offloads", runtime_->offloads_completed());
+  if (fault_) {
+    const fault::FaultCounters& fc = fault_->counters();
+    set("fault.dispatches_dropped", fc.dispatches_dropped);
+    set("fault.dispatches_delayed", fc.dispatches_delayed);
+    set("fault.credits_dropped", fc.credits_dropped);
+    set("fault.credits_duplicated", fc.credits_duplicated);
+    set("fault.irqs_swallowed", fc.irqs_swallowed);
+    set("fault.cluster_hangs", fc.cluster_hangs);
+    set("fault.cluster_straggles", fc.cluster_straggles);
+    set("fault.dma_stalls", fc.dma_stalls);
+  }
   for (unsigned i = 0; i < num_clusters(); ++i) {
     const auto& c = *clusters_[i];
     const std::string prefix = util::format("cluster%u.", i);

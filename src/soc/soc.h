@@ -34,6 +34,8 @@ class Soc {
   unsigned num_clusters() const { return static_cast<unsigned>(clusters_.size()); }
   const kernels::KernelRegistry& kernels() const { return registry_; }
   offload::OffloadRuntime& runtime() { return *runtime_; }
+  /// The fault injector, or nullptr when cfg.fault has no enabled fault.
+  fault::FaultInjector* fault_injector() { return fault_.get(); }
 
   /// Bump-allocate `bytes` of HBM (64-byte aligned). Throws when the heap
   /// region is exhausted.
@@ -66,6 +68,7 @@ class Soc {
   std::unique_ptr<sync::CreditCounterUnit> sync_unit_;
   std::unique_ptr<sync::SharedCounter> shared_counter_;
   std::unique_ptr<sync::TeamBarrier> team_barrier_;
+  std::unique_ptr<fault::FaultInjector> fault_;
   std::unique_ptr<host::InterruptController> intc_;
   std::unique_ptr<host::HostCore> host_;
   std::vector<std::unique_ptr<cluster::Cluster>> clusters_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "fault/fault_injector.h"
 #include "util/strings.h"
 
 namespace mco::sync {
@@ -20,19 +21,38 @@ void CreditCounterUnit::arm(std::uint32_t new_threshold) {
   sim().trace().record(now(), path(), "arm", util::format("threshold=%u", new_threshold));
 }
 
-void CreditCounterUnit::increment() {
-  if (!armed_) {
-    ++spurious_increments_;
-    sim().logger().log(now(), sim::LogLevel::kWarn, path(), "increment while unarmed");
-    return;
+void CreditCounterUnit::increment(unsigned cluster) {
+  unsigned applications = 1;
+  if (fault_ && fault_->enabled()) {
+    switch (fault_->on_credit(cluster)) {
+      case fault::FaultInjector::CreditFault::kDrop:
+        return;  // the register write is lost in flight: no count, no done bit
+      case fault::FaultInjector::CreditFault::kDuplicate:
+        applications = 2;  // replayed store: the counter sees it twice
+        break;
+      case fault::FaultInjector::CreditFault::kNone:
+        break;
+    }
   }
-  ++count_;
-  sim().trace().record(now(), path(), "credit", util::format("count=%u/%u", count_, threshold_));
-  if (count_ == threshold_) {
-    armed_ = false;
-    ++interrupts_fired_;
-    if (irq_cb_) {
-      defer(cfg_.trigger_latency, [this] { irq_cb_(); }, sim::Priority::kWire);
+  // The done bit latches on any delivered write, armed or not — it is the
+  // register's value, not counter logic, so recovery readback can trust it
+  // even for credits landing in an unarmed window.
+  if (cluster < done_.size()) done_[cluster] = true;
+  for (unsigned i = 0; i < applications; ++i) {
+    if (!armed_) {
+      ++spurious_increments_;
+      sim().logger().log(now(), sim::LogLevel::kWarn, path(), "increment while unarmed");
+      continue;
+    }
+    ++count_;
+    sim().trace().record(now(), path(), "credit",
+                         util::format("count=%u/%u", count_, threshold_));
+    if (count_ == threshold_) {
+      armed_ = false;
+      ++interrupts_fired_;
+      if (irq_cb_) {
+        defer(cfg_.trigger_latency, [this] { irq_cb_(); }, sim::Priority::kWire);
+      }
     }
   }
 }
@@ -41,6 +61,14 @@ void CreditCounterUnit::reset() {
   armed_ = false;
   threshold_ = 0;
   count_ = 0;
+}
+
+void CreditCounterUnit::begin_tracking(unsigned num_clusters) {
+  done_.assign(num_clusters, false);
+}
+
+bool CreditCounterUnit::cluster_done(unsigned cluster) const {
+  return cluster < done_.size() && done_[cluster];
 }
 
 }  // namespace mco::sync

@@ -10,8 +10,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/component.h"
+
+namespace mco::fault {
+class FaultInjector;
+}
 
 namespace mco::sync {
 
@@ -30,6 +35,10 @@ class CreditCounterUnit : public sim::Component {
   /// Wire the interrupt output (the host's IRQ input).
   void set_irq_callback(IrqCallback cb) { irq_cb_ = std::move(cb); }
 
+  /// Wire the fault injector (nullptr = fault-free). Credit writes then
+  /// consult it for drop/duplicate faults.
+  void set_fault_injector(fault::FaultInjector* fi) { fault_ = fi; }
+
   /// Host programs the threshold and clears the count. Throws
   /// std::logic_error if a previous offload is still pending (count below a
   /// non-zero threshold) — hardware would corrupt state silently; we surface
@@ -38,11 +47,25 @@ class CreditCounterUnit : public sim::Component {
 
   /// Credit-increment register write (side-effect increment). Counts arriving
   /// while the unit is not armed are recorded in spurious_increments() —
-  /// they indicate a runtime bug.
-  void increment();
+  /// they indicate a runtime bug (or a fault-recovery window; the per-cluster
+  /// done bit is latched either way). The originating cluster travels with
+  /// the write so the unit can keep a per-cluster completion bitmap — the
+  /// readback surface the host's watchdog recovery uses to tell *which*
+  /// clusters are missing.
+  void increment(unsigned cluster = 0);
 
-  /// Clear state without firing.
+  /// Clear the counter/armed state without firing. The per-cluster bitmap is
+  /// preserved: recovery re-arms the unit mid-job without losing track of
+  /// which clusters already signalled.
   void reset();
+
+  /// Host marks the start of a new job over `num_clusters` clusters: clears
+  /// the per-cluster completion bitmap (piggybacks on the arm store; no extra
+  /// cycles modelled).
+  void begin_tracking(unsigned num_clusters);
+
+  /// Whether `cluster` has signalled since the last begin_tracking().
+  bool cluster_done(unsigned cluster) const;
 
   bool armed() const { return armed_; }
   std::uint32_t threshold() const { return threshold_; }
@@ -54,9 +77,11 @@ class CreditCounterUnit : public sim::Component {
  private:
   CreditCounterConfig cfg_;
   IrqCallback irq_cb_;
+  fault::FaultInjector* fault_ = nullptr;
   bool armed_ = false;
   std::uint32_t threshold_ = 0;
   std::uint32_t count_ = 0;
+  std::vector<bool> done_;
   std::uint64_t interrupts_fired_ = 0;
   std::uint64_t spurious_increments_ = 0;
 };

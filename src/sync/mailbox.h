@@ -32,6 +32,10 @@ class Mailbox : public sim::Component {
   /// a cluster must only pop after its doorbell rang.
   noc::DispatchMessage pop();
 
+  /// Discard all queued messages without ringing the doorbell. Used by the
+  /// host's recovery path to kill a stale dispatch before re-issuing it.
+  void clear() { queue_.clear(); }
+
   std::uint64_t messages_received() const { return received_; }
 
  private:

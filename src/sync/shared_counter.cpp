@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
 #include "util/strings.h"
 
 namespace mco::sync {
@@ -16,19 +17,39 @@ void SharedCounter::store(std::uint64_t value) {
                        util::format("value=%llu", static_cast<unsigned long long>(value)));
 }
 
-void SharedCounter::amo_add(std::uint64_t delta) {
+void SharedCounter::amo_add(std::uint64_t delta, unsigned cluster) {
+  if (fault_ && fault_->enabled()) {
+    switch (fault_->on_credit(cluster)) {
+      case fault::FaultInjector::CreditFault::kDrop:
+        return;  // the AMO is lost before reaching the memory controller
+      case fault::FaultInjector::CreditFault::kDuplicate:
+        delta *= 2;  // replayed atomic: applied twice
+        break;
+      case fault::FaultInjector::CreditFault::kNone:
+        break;
+    }
+  }
   ++in_flight_;
   max_in_flight_ = std::max(max_in_flight_, in_flight_);
   defer(cfg_.amo_latency_cycles,
-        [this, delta] {
+        [this, delta, cluster] {
           --in_flight_;
           value_ += delta;
+          if (cluster < done_.size()) done_[cluster] = true;
           ++amos_serviced_;
           sim().trace().record(now(), path(), "amo_commit",
                                util::format("value=%llu",
                                             static_cast<unsigned long long>(value_)));
         },
         sim::Priority::kMemory);
+}
+
+void SharedCounter::begin_tracking(unsigned num_clusters) {
+  done_.assign(num_clusters, false);
+}
+
+bool SharedCounter::cluster_done(unsigned cluster) const {
+  return cluster < done_.size() && done_[cluster];
 }
 
 }  // namespace mco::sync

@@ -12,8 +12,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/component.h"
+
+namespace mco::fault {
+class FaultInjector;
+}
 
 namespace mco::sync {
 
@@ -28,12 +33,27 @@ class SharedCounter : public sim::Component {
   SharedCounter(sim::Simulator& sim, std::string name, SharedCounterConfig cfg,
                 Component* parent = nullptr);
 
+  /// Wire the fault injector (nullptr = fault-free). Completion AMOs then
+  /// consult it for drop/duplicate faults.
+  void set_fault_injector(fault::FaultInjector* fi) { fault_ = fi; }
+
   /// Host-side (re)initialization before an offload.
   void store(std::uint64_t value);
 
   /// An atomic increment arriving from a cluster; commits (becomes visible
-  /// to loads) amo_latency_cycles later.
-  void amo_add(std::uint64_t delta = 1);
+  /// to loads) amo_latency_cycles later. The originating cluster is recorded
+  /// in a per-cluster completion bitmap (the counter lives in ordinary
+  /// shared memory, so a per-cluster flag word next to it costs nothing
+  /// architecturally) — the host's watchdog recovery reads it back to tell
+  /// which clusters are missing.
+  void amo_add(std::uint64_t delta = 1, unsigned cluster = 0);
+
+  /// Host marks the start of a new job over `num_clusters` clusters: clears
+  /// the per-cluster bitmap (piggybacks on the counter-init store).
+  void begin_tracking(unsigned num_clusters);
+
+  /// Whether `cluster`'s completion AMO committed since begin_tracking().
+  bool cluster_done(unsigned cluster) const;
 
   /// The committed value a load observes right now.
   std::uint64_t load() const { return value_; }
@@ -44,6 +64,8 @@ class SharedCounter : public sim::Component {
 
  private:
   SharedCounterConfig cfg_;
+  fault::FaultInjector* fault_ = nullptr;
+  std::vector<bool> done_;
   std::uint64_t value_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t max_in_flight_ = 0;

@@ -1,0 +1,342 @@
+// Fault-injection + recovery-layer tests: determinism of the injected fault
+// stream, correctness of the watchdog/retry/redistribute engine under every
+// fault type at probability 1.0, and the zero-probability guarantee that the
+// machinery costs nothing when dormant (the paper's headline numbers are
+// bit-identical to the fault-free seed).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/fault_model.h"
+#include "model/runtime_model.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::soc;
+
+constexpr std::uint64_t kN = 1024;
+constexpr unsigned kM = 32;
+
+/// A fast-recovery config: short watchdog rounds so faulted runs stay cheap.
+SocConfig faulty(SocConfig cfg) {
+  cfg.runtime.watchdog_wait_cycles = 2000;
+  return cfg;
+}
+
+/// Everything the recovery layer reports, as one comparable tuple.
+auto recovery_tuple(const offload::OffloadResult& r) {
+  return std::make_tuple(r.recovery.degraded, r.recovery.watchdog_timeouts,
+                         r.recovery.retries, r.recovery.probes,
+                         r.recovery.credits_recovered, r.recovery.clusters_redistributed,
+                         r.recovery.failed_clusters, r.recovery.recovery_cycles);
+}
+
+// ---- (a) determinism --------------------------------------------------------
+
+// Same seed + same config ⇒ bit-identical cycle counts and recovery stats,
+// with several fault types enabled at once across independent Soc instances.
+TEST(FaultDeterminism, SameSeedSameConfigBitIdentical) {
+  SocConfig cfg = faulty(SocConfig::extended(32));
+  cfg.fault.seed = 0xC0FFEE;
+  cfg.fault.dispatch_drop_prob = 0.15;
+  cfg.fault.credit_drop_prob = 0.10;
+  cfg.fault.cluster_straggle_prob = 0.20;
+  cfg.fault.straggle_cycles = 3000;
+  cfg.fault.irq_swallow_prob = 0.10;
+
+  const auto r1 = run_daxpy(cfg, 512, 16);
+  const auto r2 = run_daxpy(cfg, 512, 16);
+  EXPECT_EQ(r1.total(), r2.total());
+  EXPECT_EQ(recovery_tuple(r1), recovery_tuple(r2));
+  EXPECT_EQ(r1.ts.completion, r2.ts.completion);
+}
+
+// The sw-sync/polling (baseline) recovery path is deterministic too.
+TEST(FaultDeterminism, BaselinePathBitIdentical) {
+  SocConfig cfg = faulty(SocConfig::baseline(32));
+  cfg.fault.seed = 99;
+  cfg.fault.dispatch_drop_prob = 0.25;
+  cfg.fault.credit_drop_prob = 0.10;
+
+  const auto r1 = run_daxpy(cfg, 512, 16);
+  const auto r2 = run_daxpy(cfg, 512, 16);
+  EXPECT_EQ(r1.total(), r2.total());
+  EXPECT_EQ(recovery_tuple(r1), recovery_tuple(r2));
+}
+
+// A different seed still completes and verifies (whatever pattern it draws).
+TEST(FaultDeterminism, OtherSeedsStillCompleteCorrectly) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SocConfig cfg = faulty(SocConfig::extended(32));
+    cfg.fault.seed = seed;
+    cfg.fault.dispatch_drop_prob = 0.2;
+    EXPECT_NO_THROW(run_daxpy(cfg, 512, 16)) << "seed=" << seed;
+  }
+}
+
+// ---- (b) every fault type at probability 1.0 --------------------------------
+
+// A dispatch that never arrives: retries are dropped too (p = 1), so the
+// victim is declared failed and its chunk redistributed — degraded but
+// numerically correct (run_daxpy verifies the output).
+TEST(FaultTypes, DispatchDropExhaustsRetriesThenDegrades) {
+  SocConfig cfg = faulty(SocConfig::extended(32));
+  cfg.fault.target_cluster = 3;
+  cfg.fault.dispatch_drop_prob = 1.0;
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_TRUE(r.recovery.degraded);
+  EXPECT_EQ(r.recovery.failed_clusters, std::vector<unsigned>{3});
+  EXPECT_EQ(r.recovery.retries, cfg.runtime.max_retries);
+  EXPECT_GE(r.recovery.watchdog_timeouts, 1u);
+  EXPECT_EQ(r.recovery.clusters_redistributed, 1u);
+  EXPECT_GT(r.recovery.recovery_cycles, 0u);
+}
+
+// A delayed dispatch is not a loss: the job completes inside the watchdog
+// window, with no timeouts, retries or degradation.
+TEST(FaultTypes, DispatchDelayCompletesCleanly) {
+  SocConfig cfg = faulty(SocConfig::extended(32));
+  cfg.fault.target_cluster = 3;
+  cfg.fault.dispatch_delay_prob = 1.0;
+  cfg.fault.dispatch_delay_cycles = 200;
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_FALSE(r.recovery.degraded);
+  EXPECT_EQ(r.recovery.watchdog_timeouts, 0u);
+  EXPECT_EQ(r.recovery.retries, 0u);
+}
+
+// A lost completion credit: the watchdog expires, the probe finds the victim
+// idle with the job completed, and the completion is recovered from the
+// status registers — no retry, no degradation.
+TEST(FaultTypes, CreditDropRecoveredByProbeHwSync) {
+  SocConfig cfg = faulty(SocConfig::extended(32));
+  cfg.fault.target_cluster = 3;
+  cfg.fault.credit_drop_prob = 1.0;
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_FALSE(r.recovery.degraded);
+  EXPECT_GE(r.recovery.watchdog_timeouts, 1u);
+  EXPECT_GE(r.recovery.credits_recovered, 1u);
+  EXPECT_EQ(r.recovery.retries, 0u);
+}
+
+// Same, on the baseline design (lost completion AMO, polling wait path).
+TEST(FaultTypes, CreditDropRecoveredByProbeSwSync) {
+  SocConfig cfg = faulty(SocConfig::baseline(32));
+  cfg.fault.target_cluster = 3;
+  cfg.fault.credit_drop_prob = 1.0;
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_FALSE(r.recovery.degraded);
+  EXPECT_GE(r.recovery.credits_recovered, 1u);
+  EXPECT_EQ(r.recovery.retries, 0u);
+}
+
+// Duplicated credits inflate the hw counter and fire the completion IRQ
+// early; the runtime checks the per-cluster bitmap, re-arms for what is
+// actually missing and completes correctly once every bit is set.
+TEST(FaultTypes, CreditDuplicateSurvivesPrematureIrq) {
+  SocConfig cfg = faulty(SocConfig::extended(32));
+  cfg.fault.credit_duplicate_prob = 1.0;  // every cluster's credit, doubled
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_FALSE(r.recovery.degraded);
+  EXPECT_EQ(r.recovery.retries, 0u);
+  EXPECT_TRUE(r.recovery.failed_clusters.empty());
+}
+
+// A swallowed completion IRQ: the watchdog expires, the bitmap already shows
+// every participant done, and the offload finishes without retries.
+TEST(FaultTypes, IrqSwallowFinishesViaWatchdogAndBitmap) {
+  SocConfig cfg = faulty(SocConfig::extended(32));
+  cfg.fault.irq_swallow_prob = 1.0;
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_FALSE(r.recovery.degraded);
+  EXPECT_GE(r.recovery.watchdog_timeouts, 1u);
+  EXPECT_EQ(r.recovery.retries, 0u);
+  EXPECT_GT(r.total(), 2000u);  // paid the full watchdog window
+}
+
+// The acceptance scenario: one permanently hung cluster at M=32, N=1024.
+// Every wakeup (including retried dispatches) hangs, so after max_retries
+// the chunk is redistributed to a survivor. Completes degraded, numerically
+// correct, with recovery_cycles > 0.
+TEST(FaultTypes, PermanentClusterHangDegradedCompletionHwSync) {
+  SocConfig cfg = faulty(SocConfig::extended(32));
+  cfg.fault.target_cluster = 5;
+  cfg.fault.cluster_hang_prob = 1.0;
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_TRUE(r.recovery.degraded);
+  EXPECT_EQ(r.recovery.failed_clusters, std::vector<unsigned>{5});
+  EXPECT_EQ(r.recovery.retries, cfg.runtime.max_retries);
+  EXPECT_EQ(r.recovery.clusters_redistributed, 1u);
+  EXPECT_GT(r.recovery.recovery_cycles, 0u);
+  EXPECT_GT(r.total(), 633u);  // strictly slower than the fault-free run
+}
+
+// Same permanent hang on the baseline (polling) design.
+TEST(FaultTypes, PermanentClusterHangDegradedCompletionSwSync) {
+  SocConfig cfg = faulty(SocConfig::baseline(32));
+  cfg.fault.target_cluster = 5;
+  cfg.fault.cluster_hang_prob = 1.0;
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_TRUE(r.recovery.degraded);
+  EXPECT_EQ(r.recovery.failed_clusters, std::vector<unsigned>{5});
+  EXPECT_EQ(r.recovery.clusters_redistributed, 1u);
+  EXPECT_GT(r.recovery.recovery_cycles, 0u);
+}
+
+// A straggler that outlives the watchdog window: the probe finds it busy and
+// the host waits it out — never killed, never retried, not degraded.
+TEST(FaultTypes, StragglerWaitedOutNotKilled) {
+  SocConfig cfg = faulty(SocConfig::extended(32));
+  cfg.fault.target_cluster = 7;
+  cfg.fault.cluster_straggle_prob = 1.0;
+  cfg.fault.straggle_cycles = 5000;  // > watchdog_wait_cycles = 2000
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_FALSE(r.recovery.degraded);
+  EXPECT_GE(r.recovery.watchdog_timeouts, 1u);
+  EXPECT_GE(r.recovery.probes, 1u);
+  EXPECT_EQ(r.recovery.retries, 0u);
+  EXPECT_GT(r.total(), 5000u);  // paid the straggle
+}
+
+// Stalled DMA setup slows the victim but the job still completes correctly.
+TEST(FaultTypes, DmaStallCompletesCorrectly) {
+  SocConfig cfg = faulty(SocConfig::extended(32));
+  cfg.fault.target_cluster = 2;
+  cfg.fault.dma_stall_prob = 1.0;
+  cfg.fault.dma_stall_cycles = 500;
+
+  const auto r = run_daxpy(cfg, kN, kM);
+  EXPECT_FALSE(r.recovery.degraded);
+  EXPECT_EQ(r.recovery.retries, 0u);
+}
+
+// Delayed dispatches must be distinguishable from lost ones: the SoC rejects
+// a watchdog window shorter than the worst-case fabric delay.
+TEST(FaultTypes, RejectsWatchdogShorterThanDispatchDelay)
+{
+  SocConfig cfg = SocConfig::extended(4);
+  cfg.fault.dispatch_delay_prob = 0.5;
+  cfg.fault.dispatch_delay_cycles = 5000;
+  cfg.runtime.watchdog_wait_cycles = 1000;  // < 5000 + 100
+  EXPECT_THROW(Soc soc(cfg), std::invalid_argument);
+}
+
+// Reductions cannot re-express a chunk as a sub-job, so a permanent failure
+// surfaces as an explicit error instead of a silently incomplete result.
+TEST(FaultTypes, NonRedistributableKernelFailsLoudly) {
+  SocConfig cfg = faulty(SocConfig::extended(8));
+  cfg.fault.target_cluster = 1;
+  cfg.fault.cluster_hang_prob = 1.0;
+  Soc soc(cfg);
+  EXPECT_THROW(run_verified(soc, "dot", 256, 8), std::runtime_error);
+}
+
+// ---- (c) zero probability ⇒ the seed's exact numbers ------------------------
+
+// An all-zero FaultConfig is the default; the injector is not even
+// constructed, so the paper's headline cycle counts are reproduced exactly:
+// t_ext(32, 1024) = 633, t_base(32, 1024) = 936, speedup 1.479x.
+TEST(FaultDormant, ZeroProbReproducesSeedCyclesExactly) {
+  SocConfig ext = SocConfig::extended(32);
+  SocConfig base = SocConfig::baseline(32);
+  ASSERT_FALSE(ext.fault.any_enabled());
+
+  const auto re = run_daxpy(ext, kN, kM);
+  const auto rb = run_daxpy(base, kN, kM);
+  EXPECT_EQ(re.total(), 633u);
+  EXPECT_EQ(rb.total(), 936u);
+  EXPECT_NEAR(static_cast<double>(rb.total()) / static_cast<double>(re.total()), 1.479, 0.02);
+
+  for (const auto* r : {&re, &rb}) {
+    EXPECT_FALSE(r->recovery.degraded);
+    EXPECT_EQ(r->recovery.watchdog_timeouts, 0u);
+    EXPECT_EQ(r->recovery.retries, 0u);
+    EXPECT_EQ(r->recovery.probes, 0u);
+    EXPECT_EQ(r->recovery.credits_recovered, 0u);
+    EXPECT_EQ(r->recovery.clusters_redistributed, 0u);
+    EXPECT_TRUE(r->recovery.failed_clusters.empty());
+    EXPECT_EQ(r->recovery.recovery_cycles, 0u);
+  }
+}
+
+// Zero-probability config leaves the injector unwired entirely.
+TEST(FaultDormant, InjectorAbsentWhenAllProbsZero) {
+  Soc soc(SocConfig::extended(4));
+  EXPECT_EQ(soc.fault_injector(), nullptr);
+  EXPECT_FALSE(soc.config().runtime.recovery_enabled);
+}
+
+// ---- satellite: hard watchdog ceiling on blocking helpers -------------------
+
+// A deadlocked offload (hung cluster, recovery disabled because the run is
+// driven with a tiny global ceiling) errors out instead of spinning forever.
+TEST(Watchdog, BlockingHelperCeilingFiresOnDeadlock) {
+  SocConfig cfg = SocConfig::extended(4);
+  cfg.runtime.watchdog_cycles = 50;  // far below the ~650-cycle offload
+  Soc soc(cfg);
+  EXPECT_THROW(run_verified(soc, "daxpy", 256, 4), std::runtime_error);
+}
+
+// ---- expected-runtime-under-faults model ------------------------------------
+
+TEST(FaultModel, OverheadZeroAtZeroProbAndMonotone) {
+  model::FaultModelParams p;
+  p.watchdog_wait_cycles = 2000;
+  p.redistribute_cycles = 700;
+  p.dispatch_loss_prob = 0.0;
+  EXPECT_EQ(model::expected_fault_overhead(p), 0.0);
+  double prev = 0.0;
+  for (const double q : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+    p.dispatch_loss_prob = q;
+    const double o = model::expected_fault_overhead(p);
+    EXPECT_GT(o, prev) << q;
+    prev = o;
+  }
+  EXPECT_THROW({
+    p.dispatch_loss_prob = 1.5;
+    model::expected_fault_overhead(p);
+  }, std::invalid_argument);
+}
+
+TEST(FaultModel, ExpectedRuntimeAddsOverheadToEq1) {
+  const model::RuntimeModel m = model::paper_daxpy_model();
+  model::FaultModelParams p;
+  p.watchdog_wait_cycles = 2000;
+  p.dispatch_loss_prob = 0.05;
+  const double t = model::expected_runtime_under_faults(m, kM, kN, p);
+  EXPECT_GT(t, m.predict(kM, kN));
+  p.dispatch_loss_prob = 0.0;
+  EXPECT_DOUBLE_EQ(model::expected_runtime_under_faults(m, kM, kN, p), m.predict(kM, kN));
+}
+
+// The paper's speedup margin at (32, 1024) is ~303 cycles; with a 2000-cycle
+// watchdog round the break-even fault probability lands strictly inside
+// (0, 1), and raising the watchdog cost lowers it.
+TEST(FaultModel, BreakevenProbInsideUnitIntervalAndMonotone) {
+  const model::RuntimeModel ext = model::paper_daxpy_model();
+  model::RuntimeModel base = ext;
+  base.c = 9.0;  // baseline: + c*M sequential-dispatch term
+
+  model::FaultModelParams p;
+  p.watchdog_wait_cycles = 2000;
+  const double q1 = model::fault_breakeven_prob(ext, base, kM, kN, p);
+  EXPECT_GT(q1, 0.0);
+  EXPECT_LT(q1, 1.0);
+
+  p.watchdog_wait_cycles = 20000;
+  const double q2 = model::fault_breakeven_prob(ext, base, kM, kN, p);
+  EXPECT_LT(q2, q1);
+}
+
+}  // namespace
