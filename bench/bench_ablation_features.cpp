@@ -38,7 +38,10 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_table();
+  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::with_features(32, {true, false}), "daxpy", 1024, 32);
   register_offload_benchmark("ablation/multicast_only/M=32",
                              mco::soc::SocConfig::with_features(32, {true, false}), "daxpy",
                              1024, 32);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "soc/observability.h"
 #include "soc/soc.h"
 #include "soc/workloads.h"
 #include "util/strings.h"
@@ -43,6 +44,17 @@ inline void register_offload_benchmark(const std::string& name, soc::SocConfig c
     }
     state.counters["sim_cycles"] = static_cast<double>(cycles);
   });
+}
+
+/// --trace-out/--metrics-out support: strip the shared observability flags
+/// from argv (before benchmark::Initialize rejects them) and, when either was
+/// given, re-run the bench's canonical configuration once with the trace sink
+/// armed, writing the requested artifacts. The canonical run is separate from
+/// the table runs above it, so the printed numbers stay bit-identical whether
+/// or not the flags are present.
+inline void export_canonical_run(const soc::ObservabilityOptions& opts, soc::SocConfig cfg,
+                                 const std::string& kernel, std::uint64_t n, unsigned m) {
+  soc::export_canonical_offload(opts, std::move(cfg), kernel, n, m, kSeed);
 }
 
 /// Print the standard bench banner.

@@ -69,7 +69,10 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_tables();
+  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

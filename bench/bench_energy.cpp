@@ -47,7 +47,10 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_tables();
+  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 8);
   register_offload_benchmark("energy/extended/M=8", mco::soc::SocConfig::extended(32), "daxpy",
                              1024, 8);
   benchmark::Initialize(&argc, argv);

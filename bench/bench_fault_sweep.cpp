@@ -83,7 +83,10 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_table();
+  mco::bench::export_canonical_run(obs, faulted(mco::soc::SocConfig::extended(32), 0.05, mco::bench::kSeed), "daxpy", kN, kM);
   register_offload_benchmark("fault_sweep/extended/q=0.05",
                              faulted(mco::soc::SocConfig::extended(32), 0.05, kSeed), "daxpy",
                              kN, kM);

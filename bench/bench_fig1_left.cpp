@@ -39,7 +39,10 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_table();
+  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::baseline(32), "daxpy", 1024, 32);
   for (const unsigned m : {1u, 4u, 8u, 32u}) {
     register_offload_benchmark("fig1_left/baseline/M=" + std::to_string(m),
                                mco::soc::SocConfig::baseline(32), "daxpy", 1024, m);

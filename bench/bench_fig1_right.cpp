@@ -52,7 +52,10 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_table();
+  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 8192, 32);
   for (const std::uint64_t n : {1024ull, 8192ull}) {
     register_offload_benchmark("fig1_right/extended/N=" + std::to_string(n),
                                mco::soc::SocConfig::extended(32), "daxpy", n, 32);

@@ -55,7 +55,10 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_table();
+  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   benchmark::RegisterBenchmark("isa/daxpy_ssr_frep/n=1024", [](benchmark::State& state) {
     double cpe = 0;
     for (auto _ : state) {

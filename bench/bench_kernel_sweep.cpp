@@ -70,7 +70,10 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_tables();
+  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "dot", 1024, 32);
   for (const char* k : {"dot", "gemv", "memcpy"}) {
     register_offload_benchmark(std::string("kernel_sweep/") + k,
                                mco::soc::SocConfig::extended(32), k,

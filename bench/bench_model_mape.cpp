@@ -62,7 +62,10 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_tables();
+  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   for (const std::uint64_t n : kNs) {
     register_offload_benchmark("model_mape/extended/N=" + std::to_string(n),
                                mco::soc::SocConfig::extended(32), "daxpy", n, 32);

@@ -42,7 +42,10 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mco::soc::ObservabilityOptions obs =
+      mco::soc::observability_from_args(argc, argv);
   print_table();
+  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 32768, 32);
   register_offload_benchmark("weak_scaling/extended/M=32", mco::soc::SocConfig::extended(32),
                              "daxpy", 32768, 32);
   benchmark::Initialize(&argc, argv);

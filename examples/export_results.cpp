@@ -11,6 +11,7 @@
 #include <filesystem>
 
 #include "model/runtime_model.h"
+#include "soc/observability.h"
 #include "soc/workloads.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -27,6 +28,7 @@ sim::Cycles daxpy_cycles(const soc::SocConfig& cfg, std::uint64_t n, unsigned m)
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
   const std::string outdir = cli.get("outdir", "results");
   const bool quick = cli.get_bool("quick", false);
   std::filesystem::create_directories(outdir);
@@ -94,6 +96,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s/ablation.csv (%zu rows)\n", outdir.c_str(), csv.rows_written());
   }
 
+  soc::export_canonical_offload(obs, soc::SocConfig::extended(32), "daxpy", 1024, 32);
   std::printf("done.\n");
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "soc/observability.h"
 #include "soc/workloads.h"
 #include "util/cli.h"
 
@@ -62,6 +63,7 @@ void print_run(soc::Soc& soc, const offload::OffloadResult& r) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
   const auto m = static_cast<unsigned>(cli.get_int("clusters", 8));
   const auto victim = cli.get_int("victim", 3);
@@ -104,5 +106,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.recovery.retries));
   }
 
+  if (obs.any()) {
+    soc::SocConfig cfg = soc::SocConfig::extended(m);
+    cfg.runtime.watchdog_wait_cycles = 2000;
+    cfg.fault.target_cluster = victim;
+    cfg.fault.cluster_hang_prob = 1.0;
+    soc::export_canonical_offload(obs, cfg, "daxpy", n, m);
+  }
   return 0;
 }

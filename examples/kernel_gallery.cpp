@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "soc/observability.h"
 #include "soc/workloads.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -13,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace mco;
   const util::Cli cli(argc, argv);
+  const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
   const auto m = static_cast<unsigned>(cli.get_int("clusters", 16));
 
@@ -46,5 +48,6 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   std::printf("\nAll results checked against host-side references.\n");
+  soc::export_canonical_offload(obs, soc::SocConfig::extended(m), "daxpy", n, m);
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "model/decision.h"
 #include "model/fitter.h"
+#include "soc/observability.h"
 #include "soc/workloads.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -21,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace mco;
   const util::Cli cli(argc, argv);
+  const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
   const auto m_max = static_cast<unsigned>(cli.get_int("clusters", 32));
 
   // --- 1. calibrate the model from simulated measurements -------------------
@@ -82,5 +84,6 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\nEq.(3): no cluster count can meet %.0f cycles for N=1024\n", t_max);
   }
+  soc::export_canonical_offload(obs, soc::SocConfig::extended(m_max), "daxpy", 1024, m_max);
   return 0;
 }

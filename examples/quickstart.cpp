@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "soc/observability.h"
 #include "soc/soc.h"
 #include "soc/workloads.h"
 #include "util/cli.h"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
   const auto m = static_cast<unsigned>(cli.get_int("clusters", 32));
+  const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
 
   util::TablePrinter table(
       {"design", "total[cycles]", "marshal", "sync", "dispatch", "wait", "epilogue"});
@@ -30,7 +32,10 @@ int main(int argc, char** argv) {
     const soc::SocConfig cfg =
         i == 0 ? soc::SocConfig::baseline(m) : soc::SocConfig::extended(m);
     soc::Soc soc(cfg);
+    // The artifacts capture the extended run — the same run the table prints.
+    if (i == 1) soc::arm_observability(soc, obs);
     results[i] = soc::run_verified(soc, "daxpy", n, m);
+    if (i == 1) soc::export_observability(soc, obs);
     const auto p = results[i].phases();
     table.add_row({names[i], std::to_string(results[i].total()), std::to_string(p.marshal),
                    std::to_string(p.sync_setup), std::to_string(p.dispatch),
@@ -46,5 +51,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(results[0].total()) -
                   static_cast<long long>(results[1].total()));
   std::printf("result verified against host reference: OK\n");
+  if (!obs.trace_out.empty())
+    std::printf("chrome trace written to %s\n", obs.trace_out.c_str());
+  if (!obs.metrics_out.empty())
+    std::printf("metrics written to %s\n", obs.metrics_out.c_str());
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "energy/energy_model.h"
 #include "kernels/blas1.h"
 #include "kernels/reductions.h"
+#include "soc/observability.h"
 #include "soc/workloads.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -130,6 +131,7 @@ SolveStats run_solver(const soc::SocConfig& cfg, std::uint64_t n, unsigned m, un
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
   const auto m = static_cast<unsigned>(cli.get_int("clusters", 16));
   const auto iters = static_cast<unsigned>(cli.get_int("iters", 8));
@@ -167,5 +169,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "residual did not decrease\n");
     return 1;
   }
+  soc::export_canonical_offload(obs, soc::SocConfig::extended(m), "daxpy", n, m);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "sim/trace_export.h"
+#include "soc/observability.h"
 #include "soc/workloads.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -20,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace mco;
   const util::Cli cli(argc, argv);
+  const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 256));
   const auto m = static_cast<unsigned>(cli.get_int("clusters", 4));
   const std::string design = cli.get("design", "extended");
@@ -60,5 +62,11 @@ int main(int argc, char** argv) {
     std::printf("\ntrace written to %s (%zu records)\n", path.c_str(),
                 soc.simulator().trace().records().size());
   }
+  // Shared flags: same trace as --chrome, plus the full metrics inventory.
+  soc::export_observability(soc, obs);
+  if (!obs.trace_out.empty())
+    std::printf("\nchrome trace written to %s\n", obs.trace_out.c_str());
+  if (!obs.metrics_out.empty())
+    std::printf("metrics written to %s\n", obs.metrics_out.c_str());
   return 0;
 }

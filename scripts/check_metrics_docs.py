@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Cross-check the observability name inventory, bidirectionally.
+
+Sources of truth that must agree exactly:
+
+  1. the ``metric_reference()`` table in ``src/soc/observability.cpp``
+     (what the code declares it emits);
+  2. the inventory tables in ``docs/observability.md`` (what the docs
+     document): the first backticked token of every markdown table row.
+
+The C++ side of the same check (``DocsCrossCheck.*`` in
+``tests/test_trace_spans.cpp``) additionally verifies the reference against
+the names an instrumented simulation actually registers; this script is the
+no-build fast path (and the hook CI runs on doc-only edits).
+
+Exit status 0 when the sets match; 1 with a per-name report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CPP = REPO / "src" / "soc" / "observability.cpp"
+DOC = REPO / "docs" / "observability.md"
+
+
+def reference_names(cpp_text: str) -> dict[str, str]:
+    """Parse the {"name", "kind"} literals of metric_reference()."""
+    body = re.search(
+        r"metric_reference\(\)\s*\{.*?kReference\s*=\s*\{(.*?)\n\s*\};",
+        cpp_text,
+        re.DOTALL,
+    )
+    if not body:
+        sys.exit(f"error: could not find the kReference table in {CPP}")
+    names = {}
+    for m in re.finditer(r'\{"([^"]+)",\s*"([^"]+)"\}', body.group(1)):
+        name, kind = m.groups()
+        if name in names:
+            sys.exit(f"error: duplicate metric_reference() entry '{name}'")
+        names[name] = kind
+    return names
+
+
+def documented_names(doc_text: str) -> set[str]:
+    """First backticked token of every markdown table row (same extraction
+    as DocsCrossCheck.ObservabilityDocMatchesReferenceBidirectionally)."""
+    names = set()
+    for line in doc_text.splitlines():
+        stripped = line.lstrip()
+        if not stripped.startswith("|"):
+            continue
+        m = re.search(r"`([^`]+)`", stripped)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def main() -> int:
+    reference = reference_names(CPP.read_text())
+    documented = documented_names(DOC.read_text())
+
+    ok = True
+    for name in sorted(set(reference) - documented):
+        print(f"UNDOCUMENTED: {name} ({reference[name]}) is in metric_reference() "
+              f"but has no inventory row in {DOC.name}")
+        ok = False
+    for name in sorted(documented - set(reference)):
+        print(f"STALE DOC: {name} is documented in {DOC.name} "
+              f"but missing from metric_reference()")
+        ok = False
+
+    if ok:
+        kinds = {}
+        for kind in reference.values():
+            kinds[kind] = kinds.get(kind, 0) + 1
+        summary = ", ".join(f"{n} {k}s" for k, n in sorted(kinds.items()))
+        print(f"ok: {len(reference)} names in sync ({summary})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

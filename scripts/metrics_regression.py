@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""E17 — metrics-regression harness.
+
+Runs the canonical instrumented run of three anchor experiments through their
+bench binaries' ``--metrics-out`` flag and compares the resulting
+"mco-metrics-v1" documents against checked-in goldens:
+
+  E1  bench_fig1_left        baseline design, DAXPY N=1024 M=32  (936-cycle row)
+  E4  bench_headline         extended design, DAXPY N=1024 M=32  (633-cycle row)
+  E7  bench_phase_breakdown  extended design, DAXPY N=1024 M=32  (phase table)
+
+The simulator is deterministic, so counters must match the goldens *exactly*
+by default; ``--tol`` grants a relative tolerance for intentional
+recalibrations (e.g. ``--tol 0.01`` while iterating on a latency model).
+Histogram scalar fields (min/max/mean/percentiles) are compared with the same
+tolerance; bucket vectors and key sets must always match exactly.
+
+Usage:
+  python3 scripts/metrics_regression.py [--build build] [--tol 0.0]
+  python3 scripts/metrics_regression.py --update   # regenerate the goldens
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDENS = REPO / "goldens"
+
+# (experiment id, bench binary) — the canonical --metrics-out run of each.
+ANCHORS = [
+    ("e1_fig1_left", "bench_fig1_left"),
+    ("e4_headline", "bench_headline"),
+    ("e7_phase_breakdown", "bench_phase_breakdown"),
+]
+
+
+def run_bench(build: Path, bench: str, out: Path) -> None:
+    exe = build / "bench" / bench
+    if not exe.exists():
+        sys.exit(f"error: {exe} not built (cmake --build {build} first)")
+    # --benchmark_filter=NONE skips the google-benchmark cases: only the
+    # deterministic table + the instrumented canonical run execute.
+    subprocess.run(
+        [str(exe), f"--metrics-out={out}", "--benchmark_filter=NONE"],
+        check=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def close(a: float, b: float, tol: float) -> bool:
+    if a == b:
+        return True
+    scale = max(abs(a), abs(b))
+    return scale > 0 and abs(a - b) / scale <= tol
+
+
+def compare(exp: str, golden: dict, fresh: dict, tol: float) -> list[str]:
+    errs: list[str] = []
+    if fresh.get("schema") != golden.get("schema"):
+        errs.append(f"{exp}: schema {fresh.get('schema')!r} != {golden.get('schema')!r}")
+
+    for section in ("counters", "accumulators", "histograms"):
+        gold, new = golden.get(section, {}), fresh.get(section, {})
+        for name in sorted(set(gold) | set(new)):
+            if name not in new:
+                errs.append(f"{exp}: {section}.{name} disappeared")
+                continue
+            if name not in gold:
+                errs.append(f"{exp}: {section}.{name} is new (run --update)")
+                continue
+            g, n = gold[name], new[name]
+            if isinstance(g, dict):  # histogram / accumulator object
+                if g.get("buckets") != n.get("buckets"):
+                    errs.append(f"{exp}: {section}.{name}.buckets changed")
+                for field in sorted(set(g) | set(n) - {"buckets"}):
+                    if field == "buckets":
+                        continue
+                    gv, nv = g.get(field), n.get(field)
+                    if gv is None or nv is None or not close(float(gv), float(nv), tol):
+                        errs.append(
+                            f"{exp}: {section}.{name}.{field} = {nv} (golden {gv})")
+            elif not close(float(g), float(n), tol):
+                errs.append(f"{exp}: {section}.{name} = {n} (golden {g})")
+    return errs
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build", help="CMake build directory")
+    ap.add_argument("--tol", type=float, default=0.0,
+                    help="relative tolerance for scalar comparisons (default: exact)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the goldens from the current binaries")
+    args = ap.parse_args()
+    build = (REPO / args.build) if not Path(args.build).is_absolute() else Path(args.build)
+
+    GOLDENS.mkdir(exist_ok=True)
+    failures: list[str] = []
+    for exp, bench in ANCHORS:
+        golden_path = GOLDENS / f"{exp}.json"
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "metrics.json"
+            run_bench(build, bench, out)
+            fresh = json.loads(out.read_text())
+        if args.update:
+            golden_path.write_text(json.dumps(fresh, indent=1, sort_keys=True) + "\n")
+            print(f"updated {golden_path.relative_to(REPO)}")
+            continue
+        if not golden_path.exists():
+            failures.append(f"{exp}: golden {golden_path} missing (run --update)")
+            continue
+        golden = json.loads(golden_path.read_text())
+        errs = compare(exp, golden, fresh, args.tol)
+        status = "ok" if not errs else f"{len(errs)} mismatches"
+        print(f"{exp}: {status}")
+        failures.extend(errs)
+
+    if failures:
+        print()
+        for e in failures:
+            print(f"FAIL {e}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,8 @@ void Cluster::begin_job() {
   timing_ = ClusterJobTiming{};
   timing_.doorbell = now();
   sim().trace().record(now(), path(), "wakeup");
+  sim().trace().begin_span(now(), path(), "job");
+  sim().trace().begin_span(now(), path(), "wakeup_parse");
   defer(cfg_.wakeup_latency, [this] { parse_and_plan(); });
 }
 
@@ -70,6 +72,8 @@ void Cluster::parse_and_plan() {
     // The host killed the dispatch between the doorbell and the runtime
     // reaching the FIFO (recovery race); go back to sleep.
     busy_ = false;
+    sim().trace().end_span(now(), path());  // wakeup_parse
+    sim().trace().end_span(now(), path());  // job
     sim().logger().log(now(), sim::LogLevel::kWarn, path(), "dispatch vanished before parse");
     return;
   }
@@ -149,8 +153,11 @@ void Cluster::parse_and_plan() {
     // to be dispatched gates everyone (what makes sequential dispatch fully
     // serial with execution).
     timing_.team_arrive = now();
+    sim().trace().end_span(now(), path());  // wakeup_parse
+    sim().trace().begin_span(now(), path(), "team_wait");
     team_barrier_.arrive(job_clusters_, [this] {
       timing_.job_start = now();
+      sim().trace().end_span(now(), path());  // team_wait
       start_dma_in();
     });
   });
@@ -193,6 +200,10 @@ void Cluster::maybe_resume(std::size_t tile) {
 }
 
 void Cluster::start_dma_in() {
+  // The span measures the control-flow stall waiting for this tile's inputs,
+  // not the DMA engine's occupancy — with double buffering the prefetch for
+  // tile k+1 overlaps tile k's compute, which would break span nesting.
+  sim().trace().begin_span(now(), path(), "dma_in", util::format("tile=%zu", current_tile_));
   ensure_tile_in_issued(current_tile_);
   if (tile_in_done_[current_tile_]) {
     after_tile_in();
@@ -203,6 +214,7 @@ void Cluster::start_dma_in() {
 
 void Cluster::after_tile_in() {
   timing_.dma_in_done = now();
+  sim().trace().end_span(now(), path());  // dma_in
   // Double buffering: prefetch the next tile's inputs into the other half
   // of TCDM while this tile computes.
   if (tiled_ && cfg_.dma_double_buffer && current_tile_ + 1 < tiles_.size()) {
@@ -214,6 +226,7 @@ void Cluster::after_tile_in() {
 void Cluster::start_compute() {
   // Split this tile's items across the workers; the slowest worker (ceil
   // share) bounds the phase. Workers with zero items still run setup.
+  sim().trace().begin_span(now(), path(), "compute", util::format("tile=%zu", current_tile_));
   workers_pending_ = cfg_.num_workers;
   const bool use_iss = cfg_.use_iss_compute && kernel_->supports_iss();
   if (cfg_.use_iss_compute && !use_iss && current_tile_ == 0) ++iss_fallbacks_;
@@ -253,14 +266,17 @@ void Cluster::finish_compute() {
     }
     timing_.compute_done = now();
     sim().trace().record(now(), path(), "compute_done");
+    sim().trace().end_span(now(), path());  // compute
     start_dma_out();
   });
 }
 
 void Cluster::start_dma_out() {
+  sim().trace().begin_span(now(), path(), "dma_out", util::format("tile=%zu", current_tile_));
   const kernels::ClusterPlan& plan = tiles_[current_tile_];
   if (plan.dma_out.empty()) {
     timing_.dma_out_done = now();
+    sim().trace().end_span(now(), path());  // dma_out (zero-length: nothing to copy)
     next_tile_or_signal();
     return;
   }
@@ -270,6 +286,7 @@ void Cluster::start_dma_out() {
       if (--dma_pending_ == 0) {
         timing_.dma_out_done = now();
         sim().trace().record(now(), path(), "dma_out_done");
+        sim().trace().end_span(now(), path());  // dma_out
         next_tile_or_signal();
       }
     });
@@ -286,6 +303,7 @@ void Cluster::next_tile_or_signal() {
 }
 
 void Cluster::signal_completion() {
+  sim().trace().begin_span(now(), path(), "notify");
   defer(cfg_.completion_issue_cycles, [this] {
     timing_.signal_sent = now();
     sim().trace().record(now(), path(), "signal",
@@ -295,6 +313,7 @@ void Cluster::signal_completion() {
     } else {
       noc_.send_amo(cluster_id_);
     }
+    sim().trace().end_span(now(), path());  // notify
     job_done();
   });
 }
@@ -304,6 +323,7 @@ void Cluster::job_done() {
   items_processed_ += job_items_;
   last_completed_job_id_ = args_.job_id;
   last_timing_ = timing_;
+  sim().trace().end_span(now(), path());  // job
   busy_ = false;
   kernel_ = nullptr;
   // Drain any dispatch that arrived while busy — through on_doorbell so a

@@ -41,6 +41,13 @@ FaultInjector::FaultInjector(sim::Simulator& sim, std::string name, FaultConfig 
   check_prob("dma_stall_prob", cfg_.dma_stall_prob);
 }
 
+void FaultInjector::bump(const char* stat) {
+  // Live registry counter alongside the member counter: the metrics export
+  // sees injected events even before a Soc-level publish pass runs. Faults
+  // are rare, so the by-name lookup is off the per-event hot path.
+  sim().stats().counter(name() + "." + stat).inc();
+}
+
 bool FaultInjector::targets(unsigned cluster) const {
   return cfg_.target_cluster < 0 ||
          static_cast<std::int64_t>(cluster) == cfg_.target_cluster;
@@ -58,12 +65,14 @@ FaultInjector::DispatchFault FaultInjector::on_dispatch(unsigned cluster) {
   if (roll(cfg_.dispatch_drop_prob)) {
     f.drop = true;
     ++counters_.dispatches_dropped;
+    bump("dispatches_dropped");
     sim().trace().record(now(), path(), "dispatch_drop", util::format("cluster=%u", cluster));
     return f;
   }
   if (roll(cfg_.dispatch_delay_prob)) {
     f.extra_delay = cfg_.dispatch_delay_cycles;
     ++counters_.dispatches_delayed;
+    bump("dispatches_delayed");
     sim().trace().record(now(), path(), "dispatch_delay", util::format("cluster=%u", cluster));
   }
   return f;
@@ -73,11 +82,13 @@ FaultInjector::CreditFault FaultInjector::on_credit(unsigned cluster) {
   if (!enabled_ || !targets(cluster)) return CreditFault::kNone;
   if (roll(cfg_.credit_drop_prob)) {
     ++counters_.credits_dropped;
+    bump("credits_dropped");
     sim().trace().record(now(), path(), "credit_drop", util::format("cluster=%u", cluster));
     return CreditFault::kDrop;
   }
   if (roll(cfg_.credit_duplicate_prob)) {
     ++counters_.credits_duplicated;
+    bump("credits_duplicated");
     sim().trace().record(now(), path(), "credit_dup", util::format("cluster=%u", cluster));
     return CreditFault::kDuplicate;
   }
@@ -88,6 +99,7 @@ bool FaultInjector::on_irq() {
   if (!enabled_) return false;
   if (roll(cfg_.irq_swallow_prob)) {
     ++counters_.irqs_swallowed;
+    bump("irqs_swallowed");
     sim().trace().record(now(), path(), "irq_swallow");
     return true;
   }
@@ -100,12 +112,14 @@ FaultInjector::WakeupFault FaultInjector::on_wakeup(unsigned cluster) {
   if (roll(cfg_.cluster_hang_prob)) {
     f.hang = true;
     ++counters_.cluster_hangs;
+    bump("cluster_hangs");
     sim().trace().record(now(), path(), "cluster_hang", util::format("cluster=%u", cluster));
     return f;
   }
   if (roll(cfg_.cluster_straggle_prob)) {
     f.extra_delay = cfg_.straggle_cycles;
     ++counters_.cluster_straggles;
+    bump("cluster_straggles");
     sim().trace().record(now(), path(), "cluster_straggle",
                          util::format("cluster=%u", cluster));
   }
@@ -116,6 +130,7 @@ sim::Cycles FaultInjector::on_dma_setup(unsigned cluster) {
   if (!enabled_ || !targets(cluster)) return 0;
   if (roll(cfg_.dma_stall_prob)) {
     ++counters_.dma_stalls;
+    bump("dma_stalls");
     sim().trace().record(now(), path(), "dma_stall", util::format("cluster=%u", cluster));
     return cfg_.dma_stall_cycles;
   }

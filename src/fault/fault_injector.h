@@ -115,6 +115,9 @@ class FaultInjector : public sim::Component {
   sim::Cycles on_dma_setup(unsigned cluster);
 
  private:
+  /// Mirror a member-counter increment into the live StatsRegistry
+  /// ("fault.<stat>"), so metrics exports carry injected-event counts.
+  void bump(const char* stat);
   bool targets(unsigned cluster) const;
   /// One Bernoulli draw. Consumes randomness only for p > 0, so adding a
   /// fault point never perturbs the stream of configs that don't use it.

@@ -10,7 +10,11 @@ Interconnect::Interconnect(sim::Simulator& sim, std::string name, NocConfig cfg,
     : Component(sim, std::move(name), parent),
       cfg_(cfg),
       num_clusters_(num_clusters),
-      cluster_sinks_(num_clusters) {
+      cluster_sinks_(num_clusters),
+      dispatch_latency_hist_(
+          sim.stats().histogram(this->name() + ".dispatch_latency_cycles", 8.0, 64)),
+      completion_latency_hist_(
+          sim.stats().histogram(this->name() + ".completion_latency_cycles", 8.0, 64)) {
   if (num_clusters_ == 0) throw std::invalid_argument("Interconnect: zero clusters");
 }
 
@@ -36,6 +40,7 @@ void Interconnect::deliver_dispatch(unsigned cluster, const DispatchMessage& msg
     if (f.drop) return;  // the store vanishes in the fabric
     latency += f.extra_delay;
   }
+  dispatch_latency_hist_.sample(static_cast<double>(latency));
   defer(latency, [this, cluster, m = msg] { cluster_sinks_[cluster](m); },
         sim::Priority::kWire);
 }
@@ -69,6 +74,10 @@ void Interconnect::multicast_dispatch(const std::vector<unsigned>& clusters, Dis
     return;
   }
   // The replication tree delivers to all targets at the same cycle.
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    dispatch_latency_hist_.sample(
+        static_cast<double>(cfg_.host_to_cluster_latency + cfg_.multicast_tree_latency));
+  }
   defer(cfg_.host_to_cluster_latency + cfg_.multicast_tree_latency,
         [this, targets = clusters, m = std::move(msg)] {
           for (const unsigned c : targets) cluster_sinks_[c](m);
@@ -80,6 +89,7 @@ void Interconnect::send_credit(unsigned cluster) {
   check_cluster(cluster);
   if (!credit_sink_) throw std::logic_error("Interconnect: credit sink not wired");
   ++credits_;
+  completion_latency_hist_.sample(static_cast<double>(cfg_.cluster_to_sync_latency));
   defer(cfg_.cluster_to_sync_latency, [this, cluster] { credit_sink_(cluster); },
         sim::Priority::kWire);
 }
@@ -88,6 +98,7 @@ void Interconnect::send_amo(unsigned cluster) {
   check_cluster(cluster);
   if (!amo_sink_) throw std::logic_error("Interconnect: amo sink not wired");
   ++amos_;
+  completion_latency_hist_.sample(static_cast<double>(cfg_.cluster_to_hbm_latency));
   defer(cfg_.cluster_to_hbm_latency, [this, cluster] { amo_sink_(cluster); },
         sim::Priority::kWire);
 }

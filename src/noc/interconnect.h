@@ -95,6 +95,11 @@ class Interconnect : public sim::Component {
   std::uint64_t multicasts_ = 0;
   std::uint64_t credits_ = 0;
   std::uint64_t amos_ = 0;
+  // Per-message latency histograms (delivered messages only; a dropped
+  // dispatch never reaches its mailbox and is accounted by the fault
+  // counters instead). Registered once, sampled by cached reference.
+  sim::Histogram& dispatch_latency_hist_;
+  sim::Histogram& completion_latency_hist_;
 };
 
 }  // namespace mco::noc

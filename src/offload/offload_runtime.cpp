@@ -31,6 +31,34 @@ OffloadRuntime::OffloadRuntime(sim::Simulator& sim, OffloadRuntimeConfig cfg,
     throw std::invalid_argument("OffloadRuntime: zero watchdog_wait_cycles");
 }
 
+void OffloadRuntime::span_begin(const char* what, const std::string& detail) {
+  sim_.trace().begin_span(sim_.now(), "runtime", what, detail);
+}
+
+void OffloadRuntime::span_end() {
+  if (sim_.trace().enabled()) sim_.trace().end_span(sim_.now(), "runtime");
+}
+
+void OffloadRuntime::record_offload_metrics() const {
+  sim::StatsRegistry& st = sim_.stats();
+  const PhaseBreakdown p = result_.phases();
+  st.counter("runtime.phase.marshal_cycles").inc(p.marshal);
+  st.counter("runtime.phase.sync_setup_cycles").inc(p.sync_setup);
+  st.counter("runtime.phase.dispatch_cycles").inc(p.dispatch);
+  st.counter("runtime.phase.wait_cycles").inc(p.wait);
+  st.counter("runtime.phase.epilogue_cycles").inc(p.epilogue);
+  st.histogram("runtime.offload_total_cycles", 256.0, 64)
+      .sample(static_cast<double>(result_.total()));
+  const FaultRecoveryStats& r = result_.recovery;
+  st.counter("runtime.recovery.watchdog_timeouts").inc(r.watchdog_timeouts);
+  st.counter("runtime.recovery.retries").inc(r.retries);
+  st.counter("runtime.recovery.probes").inc(r.probes);
+  st.counter("runtime.recovery.credits_recovered").inc(r.credits_recovered);
+  st.counter("runtime.recovery.clusters_redistributed").inc(r.clusters_redistributed);
+  st.counter("runtime.recovery.recovery_cycles").inc(r.recovery_cycles);
+  if (r.degraded) st.counter("runtime.recovery.degraded_completions").inc();
+}
+
 void OffloadRuntime::offload_async(const kernels::JobArgs& args, unsigned num_clusters,
                                    DoneCallback done) {
   if (busy_) throw std::logic_error("OffloadRuntime: offload already in flight");
@@ -75,17 +103,24 @@ void OffloadRuntime::offload_async(const kernels::JobArgs& args, unsigned num_cl
   sim_.trace().record(sim_.now(), "runtime", "offload_start",
                       util::format("%s n=%llu M=%u", kernel.name().c_str(),
                                    static_cast<unsigned long long>(args_.n), num_clusters));
+  span_begin("offload", util::format("%s n=%llu M=%u", kernel.name().c_str(),
+                                     static_cast<unsigned long long>(args_.n), num_clusters));
+  span_begin("marshal");
 
   const sim::Cycles marshal =
       cfg_.marshal_base_cycles + cfg_.marshal_per_word_cycles * payload.size_words();
   host_.exec(marshal, [this, p = std::move(payload), num_clusters]() mutable {
     result_.ts.marshal_done = sim_.now();
+    span_end();  // marshal
+    span_begin("sync_setup");
     setup_sync(num_clusters);
     // setup_sync scheduled the sync stores; chain the dispatch after them.
     const sim::Cycles sync_cost = cfg_.use_hw_sync ? 2 * cfg_.sync_arm_store_cycles
                                                    : cfg_.counter_init_cycles;
     host_.exec(sync_cost, [this, p2 = std::move(p), num_clusters]() mutable {
       result_.ts.sync_ready = sim_.now();
+      span_end();  // sync_setup
+      span_begin("dispatch");
       dispatch(std::move(p2), num_clusters, 0);
     });
   });
@@ -136,6 +171,8 @@ void OffloadRuntime::dispatch(noc::DispatchMessage payload, unsigned num_cluster
 }
 
 void OffloadRuntime::await_completion(unsigned num_clusters) {
+  span_end();  // dispatch (ts.dispatch_done was just stamped)
+  span_begin("wait");
   if (cfg_.recovery_enabled) {
     await_round(num_clusters);
     return;
@@ -194,6 +231,7 @@ unsigned OffloadRuntime::pending_participants(unsigned n) const {
 }
 
 void OffloadRuntime::await_round(unsigned n) {
+  span_begin("watchdog_wait", util::format("pending=%u", pending_participants(n)));
   if (cfg_.use_hw_sync) {
     host_.wait_for_irq_or(cfg_.watchdog_wait_cycles,
                           [this, n](bool timed_out) { on_wait(n, timed_out); });
@@ -205,6 +243,7 @@ void OffloadRuntime::await_round(unsigned n) {
 }
 
 void OffloadRuntime::on_wait(unsigned n, bool timed_out) {
+  span_end();  // watchdog_wait
   if (!timed_out) {
     if (all_participants_done(n)) {
       finish_or_redistribute(n);
@@ -223,6 +262,7 @@ void OffloadRuntime::on_wait(unsigned n, bool timed_out) {
   for (unsigned c = 0; c < n; ++c) {
     if (!rec_failed_[c] && !participant_done(c)) pending->push_back(c);
   }
+  span_begin("probe_round", util::format("pending=%zu", pending->size()));
   probe_next(n, pending, 0, std::make_shared<std::vector<unsigned>>(),
              std::make_shared<unsigned>(0));
 }
@@ -235,7 +275,9 @@ void OffloadRuntime::probe_next(unsigned n, std::shared_ptr<std::vector<unsigned
     return;
   }
   const unsigned c = (*pending)[i];
+  span_begin("probe", util::format("cluster=%u", c));
   host_.exec(cfg_.probe_cycles, [this, n, pending, i, stuck, running, c] {
+    span_end();  // probe
     ++result_.recovery.probes;
     const ClusterProbe p = probe_fn_(c);
     if (!p.busy && p.last_job_id == args_.job_id) {
@@ -254,6 +296,7 @@ void OffloadRuntime::probe_next(unsigned n, std::shared_ptr<std::vector<unsigned
 }
 
 void OffloadRuntime::resolve_round(unsigned n, std::vector<unsigned> stuck, unsigned running) {
+  span_end();  // probe_round
   if (stuck.empty()) {
     if (running > 0) {
       // Only stragglers left: wait another round.
@@ -265,6 +308,7 @@ void OffloadRuntime::resolve_round(unsigned n, std::vector<unsigned> stuck, unsi
   }
   if (rec_attempt_ < cfg_.max_retries) {
     ++rec_attempt_;
+    span_begin("retry", util::format("attempt=%u stuck=%zu", rec_attempt_, stuck.size()));
     retry_stuck(n, std::make_shared<std::vector<unsigned>>(std::move(stuck)), 0);
     return;
   }
@@ -318,6 +362,7 @@ void OffloadRuntime::retry_stuck(unsigned n, std::shared_ptr<std::vector<unsigne
           OffloadRuntime* self = this;
           const unsigned nn = n;
           *send = nullptr;
+          self->span_end();  // retry
           self->rearm_and_await(nn);
           return;
         }
@@ -388,6 +433,8 @@ void OffloadRuntime::redistribute_next(unsigned n, std::size_t i) {
   }
   if (survivors->empty())
     throw std::runtime_error("OffloadRuntime: all clusters failed; nothing to redistribute to");
+  span_begin("redistribute", util::format("failed_cluster=%u count=%llu", f,
+                                          static_cast<unsigned long long>(chunk.count)));
   try_survivor(n, i, chunk, survivors, 0);
 }
 
@@ -444,8 +491,10 @@ void OffloadRuntime::await_sub(unsigned n, std::size_t i, kernels::ChunkRange ch
   };
   const auto on_sub = [this, n, i, chunk, survivors, si, s, sub_job_id,
                        sub_done](bool timed_out) {
+    span_end();  // watchdog_wait
     if (sub_done()) {
       ++result_.recovery.clusters_redistributed;
+      span_end();  // redistribute
       redistribute_next(n, i + 1);
       return;
     }
@@ -455,13 +504,16 @@ void OffloadRuntime::await_sub(unsigned n, std::size_t i, kernels::ChunkRange ch
       return;
     }
     ++result_.recovery.watchdog_timeouts;
+    span_begin("probe", util::format("cluster=%u", s));
     host_.exec(cfg_.probe_cycles, [this, n, i, chunk, survivors, si, s, sub_job_id, sub_done] {
+      span_end();  // probe
       ++result_.recovery.probes;
       const ClusterProbe p = probe_fn_(s);
       if (!p.busy && p.last_job_id == sub_job_id) {
         // Sub-job done, completion signal lost.
         ++result_.recovery.credits_recovered;
         ++result_.recovery.clusters_redistributed;
+        span_end();  // redistribute
         redistribute_next(n, i + 1);
       } else if (p.busy) {
         // Still computing the chunk.
@@ -476,6 +528,7 @@ void OffloadRuntime::await_sub(unsigned n, std::size_t i, kernels::ChunkRange ch
       }
     });
   };
+  span_begin("watchdog_wait", util::format("sub_job cluster=%u", s));
   if (hw) {
     host_.wait_for_irq_or(cfg_.watchdog_wait_cycles, on_sub);
   } else {
@@ -492,13 +545,18 @@ void OffloadRuntime::finish_recovered(unsigned n) {
 }
 
 void OffloadRuntime::complete(unsigned num_clusters) {
+  span_end();  // wait (ts.completion was just stamped)
+  span_begin("epilogue");
   const sim::Cycles epilogue =
       kernel_->host_epilogue_cycles(args_, num_clusters) + cfg_.return_cycles;
   host_.exec(epilogue, [this, num_clusters] {
     kernel_->host_epilogue(main_mem_, map_, args_, num_clusters);
     result_.ts.ret = sim_.now();
+    span_end();  // epilogue
+    span_end();  // offload
     busy_ = false;
     ++offloads_completed_;
+    record_offload_metrics();
     sim_.trace().record(sim_.now(), "runtime", "offload_done",
                         util::format("total=%llu",
                                      static_cast<unsigned long long>(result_.total())));

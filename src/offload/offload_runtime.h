@@ -207,6 +207,15 @@ class OffloadRuntime {
   std::uint64_t next_job_id_ = 1;
   std::uint64_t offloads_completed_ = 0;
 
+  // ---- observability ---------------------------------------------------------
+  /// Open a span on the "runtime" trace track (no-op when tracing is off).
+  void span_begin(const char* what, const std::string& detail = "");
+  void span_end();
+  /// Accumulate the completed offload's phase durations, recovery counters
+  /// and total-latency histogram sample into the StatsRegistry. Pure
+  /// bookkeeping: never schedules events, so it cannot shift a cycle.
+  void record_offload_metrics() const;
+
   // Recovery wiring + in-flight recovery state.
   ProbeFn probe_fn_;
   KillFn kill_fn_;

@@ -1,5 +1,9 @@
 #include "sim/stats.h"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 #include "util/strings.h"
 
 namespace mco::sim {
@@ -20,13 +24,78 @@ void Accumulator::reset() {
   sum_ = min_ = max_ = 0.0;
 }
 
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : bucket_width_(bucket_width), buckets_(num_buckets, 0) {
+  if (bucket_width <= 0.0) throw std::invalid_argument("Histogram: non-positive bucket width");
+  if (num_buckets == 0) throw std::invalid_argument("Histogram: zero buckets");
+}
+
+void Histogram::sample(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  sum_ += v;
+  ++n_;
+  if (v < 0.0) {
+    ++buckets_[0];  // durations are non-negative by construction; clamp
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(v / bucket_width_);
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+  } else {
+    ++buckets_[idx];
+  }
+}
+
+double Histogram::percentile(double p) const {
+  if (n_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Rank of the target sample (1-based, ceil): the smallest bucket whose
+  // cumulative count reaches it bounds the value from above.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) {
+      const double upper = static_cast<double>(i + 1) * bucket_width_;
+      return std::min(std::max(upper, min_), max_);
+    }
+  }
+  return max_;  // rank lands in the saturation bucket: exact max
+}
+
+void Histogram::reset() {
+  buckets_.assign(buckets_.size(), 0);
+  overflow_ = 0;
+  n_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
 Counter& StatsRegistry::counter(const std::string& name) { return counters_[name]; }
 
 Accumulator& StatsRegistry::accumulator(const std::string& name) { return accumulators_[name]; }
 
+Histogram& StatsRegistry::histogram(const std::string& name, double bucket_width,
+                                    std::size_t num_buckets) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(bucket_width, num_buckets)).first->second;
+}
+
 std::uint64_t StatsRegistry::counter_value(const std::string& name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
+}
+
+const Histogram* StatsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> StatsRegistry::counter_names() const {
@@ -43,6 +112,13 @@ std::vector<std::string> StatsRegistry::accumulator_names() const {
   return out;
 }
 
+std::vector<std::string> StatsRegistry::histogram_names() const {
+  std::vector<std::string> out;
+  out.reserve(histograms_.size());
+  for (const auto& [k, v] : histograms_) out.push_back(k);
+  return out;
+}
+
 std::string StatsRegistry::dump_csv() const {
   std::string out = "stat,value\n";
   for (const auto& [k, v] : counters_) {
@@ -54,9 +130,93 @@ std::string StatsRegistry::dump_csv() const {
   return out;
 }
 
+namespace {
+std::string json_number(double v) {
+  // Integral doubles print without an exponent/fraction so cycle counts
+  // stay exact and diff-able in goldens.
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    return util::format("%lld", static_cast<long long>(v));
+  }
+  return util::format("%.9g", v);
+}
+}  // namespace
+
+std::string StatsRegistry::metrics_to_json() const {
+  std::string out = "{\n  \"schema\": \"mco-metrics-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    out += util::format("%s\n    \"%s\": %llu", first ? "" : ",", k.c_str(),
+                        static_cast<unsigned long long>(v.value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"accumulators\": {";
+  first = true;
+  for (const auto& [k, v] : accumulators_) {
+    out += util::format(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, \"mean\": %s, \"min\": %s, "
+        "\"max\": %s}",
+        first ? "" : ",", k.c_str(), static_cast<unsigned long long>(v.count()),
+        json_number(v.sum()).c_str(), json_number(v.mean()).c_str(),
+        json_number(v.min()).c_str(), json_number(v.max()).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [k, v] : histograms_) {
+    std::string buckets;
+    for (std::size_t i = 0; i < v.buckets().size(); ++i) {
+      buckets += util::format("%s%llu", i ? "," : "",
+                              static_cast<unsigned long long>(v.buckets()[i]));
+    }
+    out += util::format(
+        "%s\n    \"%s\": {\"count\": %llu, \"min\": %s, \"max\": %s, \"mean\": %s, "
+        "\"p50\": %s, \"p95\": %s, \"p99\": %s, \"overflow\": %llu, "
+        "\"bucket_width\": %s, \"buckets\": [%s]}",
+        first ? "" : ",", k.c_str(), static_cast<unsigned long long>(v.count()),
+        json_number(v.min()).c_str(), json_number(v.max()).c_str(),
+        json_number(v.mean()).c_str(), json_number(v.p50()).c_str(),
+        json_number(v.p95()).c_str(), json_number(v.p99()).c_str(),
+        static_cast<unsigned long long>(v.overflow()), json_number(v.bucket_width()).c_str(),
+        buckets.c_str());
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string StatsRegistry::metrics_to_csv() const {
+  std::string out = "metric,value\n";
+  for (const auto& [k, v] : counters_) {
+    out += util::format("%s,%llu\n", k.c_str(), static_cast<unsigned long long>(v.value()));
+  }
+  for (const auto& [k, v] : accumulators_) {
+    out += util::format("%s.count,%llu\n", k.c_str(),
+                        static_cast<unsigned long long>(v.count()));
+    out += util::format("%s.mean,%s\n", k.c_str(), json_number(v.mean()).c_str());
+    out += util::format("%s.min,%s\n", k.c_str(), json_number(v.min()).c_str());
+    out += util::format("%s.max,%s\n", k.c_str(), json_number(v.max()).c_str());
+  }
+  for (const auto& [k, v] : histograms_) {
+    out += util::format("%s.count,%llu\n", k.c_str(),
+                        static_cast<unsigned long long>(v.count()));
+    out += util::format("%s.mean,%s\n", k.c_str(), json_number(v.mean()).c_str());
+    out += util::format("%s.min,%s\n", k.c_str(), json_number(v.min()).c_str());
+    out += util::format("%s.max,%s\n", k.c_str(), json_number(v.max()).c_str());
+    out += util::format("%s.p50,%s\n", k.c_str(), json_number(v.p50()).c_str());
+    out += util::format("%s.p95,%s\n", k.c_str(), json_number(v.p95()).c_str());
+    out += util::format("%s.p99,%s\n", k.c_str(), json_number(v.p99()).c_str());
+    out += util::format("%s.overflow,%llu\n", k.c_str(),
+                        static_cast<unsigned long long>(v.overflow()));
+  }
+  return out;
+}
+
 void StatsRegistry::reset_all() {
   for (auto& [k, v] : counters_) v.reset();
   for (auto& [k, v] : accumulators_) v.reset();
+  for (auto& [k, v] : histograms_) v.reset();
 }
 
 }  // namespace mco::sim

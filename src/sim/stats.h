@@ -1,4 +1,5 @@
-// Statistics: named counters and scalar samples, registered per component.
+// Statistics: named counters, scalar samples and fixed-bucket histograms,
+// registered per component and exportable as one JSON/CSV document.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +38,53 @@ class Accumulator {
   double max_ = 0.0;
 };
 
+/// Fixed-bucket latency/duration histogram with percentile readout.
+///
+/// `num_buckets` linear buckets of `bucket_width` each cover
+/// [0, num_buckets*bucket_width); samples at or beyond the range land in a
+/// saturation (overflow) bucket. Exact min/max/sum are tracked alongside, so
+/// max() is exact even for saturated samples and percentile estimates are
+/// clamped into [min, max] — a single-sample histogram reports that sample
+/// for every percentile. Sampling is O(1) and never touches the simulator's
+/// event queue, so instrumentation cannot shift a cycle.
+class Histogram {
+ public:
+  Histogram() : Histogram(64.0, 64) {}
+  Histogram(double bucket_width, std::size_t num_buckets);
+
+  void sample(double v);
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Estimated value at percentile `p` in [0, 100]: upper edge of the bucket
+  /// holding the p-th sample, clamped to the exact [min, max]. Empty
+  /// histogram → 0. Saturated ranks report max() exactly.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+
+  double bucket_width() const { return bucket_width_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  /// Samples that saturated past the bucketed range.
+  std::uint64_t overflow() const { return overflow_; }
+
+  void reset();
+
+ private:
+  double bucket_width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Registry of all statistics in one simulation, keyed by "path.stat" names.
 ///
 /// Components create their stats through the registry so benches can dump a
@@ -45,24 +93,44 @@ class StatsRegistry {
  public:
   Counter& counter(const std::string& name);
   Accumulator& accumulator(const std::string& name);
+  /// Find-or-create; width/buckets only apply on creation (references into
+  /// the registry stay valid for the registry's lifetime, so components
+  /// cache them at construction and sample without a map lookup).
+  Histogram& histogram(const std::string& name, double bucket_width = 64.0,
+                       std::size_t num_buckets = 64);
 
   /// Value of a counter, or 0 if it does not exist (missing stats read as 0
   /// so tests can assert "no multicasts happened" uniformly).
   std::uint64_t counter_value(const std::string& name) const;
 
   bool has_counter(const std::string& name) const { return counters_.count(name) != 0; }
+  bool has_histogram(const std::string& name) const { return histograms_.count(name) != 0; }
+  /// The histogram, or nullptr if never registered.
+  const Histogram* find_histogram(const std::string& name) const;
 
   std::vector<std::string> counter_names() const;
   std::vector<std::string> accumulator_names() const;
+  std::vector<std::string> histogram_names() const;
 
   /// Render "name,value" lines for all counters (deterministic order).
   std::string dump_csv() const;
+
+  /// The single machine-readable export surface: every counter, accumulator
+  /// and histogram in one JSON document (schema "mco-metrics-v1", keys in
+  /// deterministic sorted order). Histograms carry count/min/max/mean,
+  /// p50/p95/p99, the saturation count and the raw buckets.
+  std::string metrics_to_json() const;
+
+  /// Flat CSV of the same inventory: one `metric,value` row per scalar
+  /// (histograms/accumulators expand to name.count, name.mean, name.p50, …).
+  std::string metrics_to_csv() const;
 
   void reset_all();
 
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Accumulator> accumulators_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace mco::sim

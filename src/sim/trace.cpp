@@ -1,5 +1,9 @@
 #include "sim/trace.h"
 
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
 #include "util/strings.h"
 
 namespace mco::sim {
@@ -7,7 +11,42 @@ namespace mco::sim {
 void TraceSink::record(Cycle time, const std::string& who, const std::string& what,
                        const std::string& detail) {
   if (!enabled_) return;
-  records_.push_back(TraceRecord{time, who, what, detail});
+  records_.push_back(TraceRecord{time, TracePhase::kInstant, who, what, detail});
+}
+
+void TraceSink::begin_span(Cycle time, const std::string& who, const std::string& what,
+                           const std::string& detail) {
+  if (!enabled_) return;
+  open_.push_back(OpenSpan{who, records_.size()});
+  records_.push_back(TraceRecord{time, TracePhase::kBegin, who, what, detail});
+}
+
+void TraceSink::end_span(Cycle time, const std::string& who) {
+  if (!enabled_) return;
+  // Innermost open span on this track: topmost stack entry with matching who.
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->who != who) continue;
+    const TraceRecord& begin = records_[it->record_index];
+    records_.push_back(TraceRecord{time, TracePhase::kEnd, who, begin.what, ""});
+    open_.erase(std::next(it).base());
+    return;
+  }
+  throw std::logic_error("TraceSink: end_span('" + who + "') without an open span");
+}
+
+std::size_t TraceSink::open_spans(const std::string& who) const {
+  std::size_t n = 0;
+  for (const auto& o : open_) {
+    if (o.who == who) ++n;
+  }
+  return n;
+}
+
+bool TraceSink::balanced() const { return open_.empty(); }
+
+void TraceSink::clear() {
+  records_.clear();
+  open_.clear();
 }
 
 std::vector<TraceRecord> TraceSink::filter(const std::string& what) const {
@@ -18,11 +57,52 @@ std::vector<TraceRecord> TraceSink::filter(const std::string& what) const {
   return out;
 }
 
-std::string TraceSink::to_csv() const {
-  std::string out = "time,who,what,detail\n";
+std::vector<TraceSink::SpanView> TraceSink::all_spans() const {
+  // Replay the stream with a per-track stack, pairing each end with the
+  // innermost begin on its track (the same discipline end_span enforces).
+  std::vector<SpanView> out;
+  std::vector<std::size_t> stack;  // indices into records_ of open begins
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const TraceRecord& r = records_[i];
+    if (r.phase == TracePhase::kBegin) {
+      stack.push_back(i);
+    } else if (r.phase == TracePhase::kEnd) {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        const TraceRecord& b = records_[*it];
+        if (b.who != r.who) continue;
+        out.push_back(SpanView{b.time, r.time, b.who, b.what, b.detail});
+        stack.erase(std::next(it).base());
+        break;
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanView& a, const SpanView& b) { return a.begin < b.begin; });
+  return out;
+}
+
+std::vector<TraceSink::SpanView> TraceSink::spans(const std::string& what) const {
+  std::vector<SpanView> out;
+  for (auto& s : all_spans()) {
+    if (s.what == what) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> TraceSink::span_names() const {
+  std::set<std::string> names;
   for (const auto& r : records_) {
-    out += util::format("%llu,%s,%s,%s\n", static_cast<unsigned long long>(r.time), r.who.c_str(),
-                        r.what.c_str(), r.detail.c_str());
+    if (r.phase == TracePhase::kBegin) names.insert(r.what);
+  }
+  return {names.begin(), names.end()};
+}
+
+std::string TraceSink::to_csv() const {
+  std::string out = "time,phase,who,what,detail\n";
+  for (const auto& r : records_) {
+    out += util::format("%llu,%c,%s,%s,%s\n", static_cast<unsigned long long>(r.time),
+                        static_cast<char>(r.phase), r.who.c_str(), r.what.c_str(),
+                        r.detail.c_str());
   }
   return out;
 }

@@ -1,4 +1,16 @@
 // Structured event trace: the simulator's equivalent of an RTL waveform dump.
+//
+// Two record kinds share one time-ordered stream:
+//  * instants  — point events ("doorbell", "credit", "irq");
+//  * spans     — begin/end duration pairs ("marshal", "dma_in", "wait"),
+//    nestable per component track. Spans let the Chrome/Perfetto export
+//    render the offload's phase budget (Eq. 1: dispatch / execution /
+//    synchronization) as stacked duration bars instead of a picket fence of
+//    instants.
+//
+// The sink is disabled by default and every recording call is a cheap
+// early-return in that state. Recording never schedules simulator events, so
+// attaching (or detaching) the sink cannot move a single cycle.
 #pragma once
 
 #include <cstdint>
@@ -9,9 +21,17 @@
 
 namespace mco::sim {
 
+/// Record kind, matching the Chrome Trace Event "ph" values we export.
+enum class TracePhase : char {
+  kInstant = 'i',
+  kBegin = 'B',
+  kEnd = 'E',
+};
+
 /// One trace record: at cycle `time`, component `who` did `what` (detail).
 struct TraceRecord {
   Cycle time = 0;
+  TracePhase phase = TracePhase::kInstant;
   std::string who;
   std::string what;
   std::string detail;
@@ -24,21 +44,65 @@ class TraceSink {
   void enable(bool on = true) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Record an instant event.
   void record(Cycle time, const std::string& who, const std::string& what,
               const std::string& detail = "");
 
+  /// Open a duration span named `what` on component track `who`. Spans on
+  /// the same track nest: a later begin_span opens a child of the still-open
+  /// span. Every begin must be balanced by an end_span on the same track.
+  void begin_span(Cycle time, const std::string& who, const std::string& what,
+                  const std::string& detail = "");
+
+  /// Close the innermost open span on track `who` (its name is taken from
+  /// the matching begin). Throws std::logic_error if no span is open on that
+  /// track — an unbalanced end is always an instrumentation bug.
+  void end_span(Cycle time, const std::string& who);
+
+  /// Number of spans currently open on `who`'s track (0 = balanced).
+  std::size_t open_spans(const std::string& who) const;
+  /// True when every begun span has been ended, across all tracks.
+  bool balanced() const;
+
   const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  void clear();
 
   /// All records whose `what` matches exactly, in time order.
   std::vector<TraceRecord> filter(const std::string& what) const;
 
-  /// Render as CSV (time,who,what,detail).
+  /// Begin records whose `what` matches, paired with their computed
+  /// duration — the timeline query tests and benches use to read off a
+  /// phase budget without parsing JSON.
+  struct SpanView {
+    Cycle begin = 0;
+    Cycle end = 0;
+    std::string who;
+    std::string what;
+    std::string detail;
+    Cycles duration() const { return end - begin; }
+  };
+  std::vector<SpanView> spans(const std::string& what) const;
+  /// Every closed span, in begin-time order.
+  std::vector<SpanView> all_spans() const;
+
+  /// Distinct span names seen so far (sorted) — the docs cross-check walks
+  /// this to ensure every emitted span is documented.
+  std::vector<std::string> span_names() const;
+
+  /// Render as CSV (time,phase,who,what,detail).
   std::string to_csv() const;
 
  private:
+  struct OpenSpan {
+    std::string who;
+    std::size_t record_index;  ///< index of the begin record
+  };
+
   bool enabled_ = false;
   std::vector<TraceRecord> records_;
+  /// Stack of open spans across all tracks (per-track nesting falls out of
+  /// matching ends by `who` from the top down).
+  std::vector<OpenSpan> open_;
 };
 
 }  // namespace mco::sim

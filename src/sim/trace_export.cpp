@@ -49,11 +49,29 @@ std::string to_chrome_trace(const TraceSink& sink) {
                         "\"args\":{\"name\":\"%s\"}}",
                         it->second, json_escape(r.who).c_str()));
     }
-    emit(util::format(
-        "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%llu,\"pid\":1,\"tid\":%d,\"s\":\"t\","
-        "\"args\":{\"detail\":\"%s\"}}",
-        json_escape(r.what).c_str(), static_cast<unsigned long long>(r.time), it->second,
-        json_escape(r.detail).c_str()));
+    switch (r.phase) {
+      case TracePhase::kInstant:
+        emit(util::format(
+            "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%llu,\"pid\":1,\"tid\":%d,\"s\":\"t\","
+            "\"args\":{\"detail\":\"%s\"}}",
+            json_escape(r.what).c_str(), static_cast<unsigned long long>(r.time), it->second,
+            json_escape(r.detail).c_str()));
+        break;
+      case TracePhase::kBegin:
+        emit(util::format(
+            "{\"name\":\"%s\",\"ph\":\"B\",\"ts\":%llu,\"pid\":1,\"tid\":%d,"
+            "\"args\":{\"detail\":\"%s\"}}",
+            json_escape(r.what).c_str(), static_cast<unsigned long long>(r.time), it->second,
+            json_escape(r.detail).c_str()));
+        break;
+      case TracePhase::kEnd:
+        // "E" closes the innermost open "B" on (pid,tid); the name is
+        // redundant but keeps the file greppable per phase.
+        emit(util::format("{\"name\":\"%s\",\"ph\":\"E\",\"ts\":%llu,\"pid\":1,\"tid\":%d}",
+                          json_escape(r.what).c_str(),
+                          static_cast<unsigned long long>(r.time), it->second));
+        break;
+    }
   }
   out += "\n]\n";
   return out;

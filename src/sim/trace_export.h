@@ -1,8 +1,11 @@
 // Trace export to the Chrome/Perfetto tracing JSON format.
 //
 // Loading the exported file in chrome://tracing (or ui.perfetto.dev) shows
-// the offload as a timeline: one row per component, one instant event per
-// trace record — the simulator's stand-in for an RTL waveform viewer.
+// the offload as a timeline: one row per component. Instant records become
+// instant events ("ph":"i"); duration spans become begin/end pairs
+// ("ph":"B"/"E") that the viewer renders as stacked bars — nested spans
+// (offload ⊃ marshal/sync_setup/dispatch/wait/epilogue) stack visually, so
+// Eq. (1)'s phase budget can be read straight off the track.
 #pragma once
 
 #include <string>
@@ -12,9 +15,12 @@
 namespace mco::sim {
 
 /// Render the sink's records as a Chrome Trace Event JSON array. Each record
-/// becomes an instant event ("ph":"i") with the component path as its track
-/// (tid) and the detail string as an argument. Cycle timestamps map to
-/// microseconds 1:1 so the viewer's zoom works at cycle granularity.
+/// keeps the component path as its track (tid) and the detail string as an
+/// argument. Cycle timestamps map to microseconds 1:1 so the viewer's zoom
+/// works at cycle granularity. Begin/end pairs are emitted in stream order,
+/// which the sink guarantees is stack-disciplined per track; a span still
+/// open at export time produces a lone "B" (rendered as running to the end
+/// of the trace).
 std::string to_chrome_trace(const TraceSink& sink);
 
 /// Write to a file; throws std::runtime_error when the file cannot be opened.

@@ -1,0 +1,176 @@
+#include "soc/observability.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include <cstdio>
+
+#include "sim/trace_export.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+#include "util/cli.h"
+
+namespace mco::soc {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("observability: cannot open '" + path + "' for writing");
+  f << content;
+}
+
+}  // namespace
+
+ObservabilityOptions observability_from_cli(const util::Cli& cli) {
+  ObservabilityOptions opts;
+  opts.trace_out = cli.get("trace-out", "");
+  opts.metrics_out = cli.get("metrics-out", "");
+  return opts;
+}
+
+ObservabilityOptions observability_from_args(int& argc, char** argv) {
+  ObservabilityOptions opts;
+  const auto match = [&](int& i, const char* flag, std::string& out) {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) != 0) return false;
+    if (argv[i][len] == '=') {
+      out = argv[i] + len + 1;
+      return true;
+    }
+    if (argv[i][len] == '\0' && i + 1 < argc) {
+      out = argv[++i];  // consume the value argument too
+      return true;
+    }
+    return false;
+  };
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (match(i, "--trace-out", opts.trace_out)) continue;
+    if (match(i, "--metrics-out", opts.metrics_out)) continue;
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return opts;
+}
+
+void arm_observability(Soc& soc, const ObservabilityOptions& opts) {
+  if (opts.tracing()) soc.simulator().trace().enable();
+}
+
+void export_observability(Soc& soc, const ObservabilityOptions& opts) {
+  if (!opts.any()) return;
+  if (!opts.metrics_out.empty()) {
+    soc.publish_stats();
+    const std::string body = ends_with(opts.metrics_out, ".csv")
+                                 ? soc.simulator().stats().metrics_to_csv()
+                                 : soc.simulator().stats().metrics_to_json();
+    write_file(opts.metrics_out, body);
+  }
+  if (opts.tracing()) sim::write_chrome_trace(soc.simulator().trace(), opts.trace_out);
+}
+
+void export_canonical_offload(const ObservabilityOptions& opts, SocConfig cfg,
+                              const std::string& kernel, std::uint64_t n, unsigned m,
+                              std::uint64_t seed) {
+  if (!opts.any()) return;
+  Soc soc(std::move(cfg));
+  arm_observability(soc, opts);
+  run_verified(soc, kernel, n, m, seed);
+  export_observability(soc, opts);
+  if (!opts.trace_out.empty())
+    std::printf("\n[observability] chrome trace written to %s\n", opts.trace_out.c_str());
+  if (!opts.metrics_out.empty())
+    std::printf("[observability] metrics written to %s\n", opts.metrics_out.c_str());
+}
+
+const std::vector<MetricInfo>& metric_reference() {
+  // Single source of truth for every name the simulator can emit. The docs
+  // cross-check (scripts/check_metrics_docs.py and test_trace_spans) compares
+  // this table against docs/observability.md AND against the names actually
+  // registered by an instrumented run — extend all three together.
+  static const std::vector<MetricInfo> kReference = {
+      // ---- counters: memory system -----------------------------------------
+      {"hbm.beats_served", "counter"},
+      {"hbm.transfers_completed", "counter"},
+      {"hbm.busy_cycles", "counter"},
+      // ---- counters: interconnect ------------------------------------------
+      {"noc.unicasts", "counter"},
+      {"noc.multicasts", "counter"},
+      {"noc.credits", "counter"},
+      {"noc.amos", "counter"},
+      // ---- counters: synchronization ---------------------------------------
+      {"sync_unit.interrupts", "counter"},
+      {"sync_unit.spurious_increments", "counter"},
+      {"shared_counter.amos", "counter"},
+      {"team_barrier.episodes", "counter"},
+      // ---- counters: host --------------------------------------------------
+      {"host.busy_cycles", "counter"},
+      {"host.polls", "counter"},
+      {"host.irqs_taken", "counter"},
+      // ---- counters: offload runtime ---------------------------------------
+      {"runtime.offloads", "counter"},
+      {"runtime.phase.marshal_cycles", "counter"},
+      {"runtime.phase.sync_setup_cycles", "counter"},
+      {"runtime.phase.dispatch_cycles", "counter"},
+      {"runtime.phase.wait_cycles", "counter"},
+      {"runtime.phase.epilogue_cycles", "counter"},
+      {"runtime.recovery.watchdog_timeouts", "counter"},
+      {"runtime.recovery.retries", "counter"},
+      {"runtime.recovery.probes", "counter"},
+      {"runtime.recovery.credits_recovered", "counter"},
+      {"runtime.recovery.clusters_redistributed", "counter"},
+      {"runtime.recovery.recovery_cycles", "counter"},
+      {"runtime.recovery.degraded_completions", "counter"},
+      // ---- counters: fault injection ---------------------------------------
+      {"fault.dispatches_dropped", "counter"},
+      {"fault.dispatches_delayed", "counter"},
+      {"fault.credits_dropped", "counter"},
+      {"fault.credits_duplicated", "counter"},
+      {"fault.irqs_swallowed", "counter"},
+      {"fault.cluster_hangs", "counter"},
+      {"fault.cluster_straggles", "counter"},
+      {"fault.dma_stalls", "counter"},
+      // ---- counters: per cluster -------------------------------------------
+      {"cluster<i>.jobs", "counter"},
+      {"cluster<i>.items", "counter"},
+      {"cluster<i>.dma_bytes", "counter"},
+      {"cluster<i>.worker_busy_cycles", "counter"},
+      // ---- histograms ------------------------------------------------------
+      {"noc.dispatch_latency_cycles", "histogram"},
+      {"noc.completion_latency_cycles", "histogram"},
+      {"sync_unit.arrival_offset_cycles", "histogram"},
+      {"sync_unit.time_to_threshold_cycles", "histogram"},
+      {"shared_counter.arrival_offset_cycles", "histogram"},
+      {"runtime.offload_total_cycles", "histogram"},
+      // ---- spans: host runtime track ---------------------------------------
+      {"offload", "span"},
+      {"marshal", "span"},
+      {"sync_setup", "span"},
+      {"dispatch", "span"},
+      {"wait", "span"},
+      {"epilogue", "span"},
+      {"watchdog_wait", "span"},
+      {"probe_round", "span"},
+      {"probe", "span"},
+      {"retry", "span"},
+      {"redistribute", "span"},
+      // ---- spans: cluster tracks -------------------------------------------
+      {"job", "span"},
+      {"wakeup_parse", "span"},
+      {"team_wait", "span"},
+      {"dma_in", "span"},
+      {"compute", "span"},
+      {"dma_out", "span"},
+      {"notify", "span"},
+  };
+  return kReference;
+}
+
+}  // namespace mco::soc

@@ -1,0 +1,76 @@
+// Shared observability plumbing for benches and examples.
+//
+// Every binary that runs a simulation accepts the same two flags:
+//
+//   --trace-out=<file>    dump a Chrome/Perfetto trace of an instrumented run
+//   --metrics-out=<file>  dump the full metrics inventory (.json or .csv)
+//
+// arm_observability() attaches the trace sink before the run;
+// export_observability() publishes every component's counters and writes the
+// requested files afterwards. With neither flag given both calls are no-ops
+// and the simulation's cycle counts are bit-identical to an uninstrumented
+// build — the acceptance bar the trace/metrics layer is held to.
+//
+// metric_reference() is the single source of truth for the names this
+// codebase emits; docs/observability.md documents exactly this inventory and
+// scripts/check_metrics_docs.py (plus the test_trace_spans cross-check) keep
+// the two in sync in both directions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/config.h"
+
+namespace mco::util {
+class Cli;
+}
+
+namespace mco::soc {
+
+class Soc;
+
+struct ObservabilityOptions {
+  std::string trace_out;    ///< Chrome trace JSON path; empty = no trace
+  std::string metrics_out;  ///< metrics dump path (.json or .csv); empty = none
+  bool tracing() const { return !trace_out.empty(); }
+  bool any() const { return !trace_out.empty() || !metrics_out.empty(); }
+};
+
+/// Read --trace-out / --metrics-out from a parsed command line.
+ObservabilityOptions observability_from_cli(const util::Cli& cli);
+
+/// Extract and REMOVE --trace-out / --metrics-out from argc/argv (both
+/// `--flag=value` and `--flag value` forms) — benches must strip them before
+/// benchmark::Initialize rejects unknown flags.
+ObservabilityOptions observability_from_args(int& argc, char** argv);
+
+/// Enable the Soc's trace sink when a trace was requested. Call before the
+/// run whose timeline should be captured.
+void arm_observability(Soc& soc, const ObservabilityOptions& opts);
+
+/// Publish component counters into the registry and write the requested
+/// files: metrics as JSON (or CSV when the path ends in ".csv"), the trace in
+/// Chrome Trace Event format. No-op when no flag was given.
+void export_observability(Soc& soc, const ObservabilityOptions& opts);
+
+/// The shared tail behind every binary's --trace-out/--metrics-out support:
+/// when either flag was given, run one verified offload of `kernel` on a
+/// fresh Soc with the trace sink armed, write the artifacts and print where
+/// they went. A no-op without flags, so the caller's own runs (and their
+/// printed cycle counts) are never perturbed.
+void export_canonical_offload(const ObservabilityOptions& opts, SocConfig cfg,
+                              const std::string& kernel, std::uint64_t n, unsigned m,
+                              std::uint64_t seed = 42);
+
+/// One entry of the emitted-name inventory.
+struct MetricInfo {
+  const char* name;  ///< registry or span name; "<i>" stands for a cluster index
+  const char* kind;  ///< "counter" | "histogram" | "span"
+};
+
+/// Every counter, histogram and span name the simulator can emit.
+const std::vector<MetricInfo>& metric_reference();
+
+}  // namespace mco::soc

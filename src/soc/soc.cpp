@@ -157,7 +157,7 @@ offload::OffloadResult Soc::run_offload(const kernels::JobArgs& args, unsigned n
   return runtime_->offload_blocking(args, num_clusters);
 }
 
-std::string Soc::dump_stats() {
+void Soc::publish_stats() {
   sim::StatsRegistry& reg = sim_->stats();
   const auto set = [&reg](const std::string& name, std::uint64_t v) {
     auto& c = reg.counter(name);
@@ -200,7 +200,16 @@ std::string Soc::dump_stats() {
     for (unsigned w = 0; w < c.config().num_workers; ++w) worker_busy += c.worker(w).busy_cycles();
     set(prefix + "worker_busy_cycles", worker_busy);
   }
-  return reg.dump_csv();
+}
+
+std::string Soc::dump_stats() {
+  publish_stats();
+  return sim_->stats().dump_csv();
+}
+
+std::string Soc::metrics_json() {
+  publish_stats();
+  return sim_->stats().metrics_to_json();
 }
 
 }  // namespace mco::soc

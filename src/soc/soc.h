@@ -52,9 +52,16 @@ class Soc {
   offload::OffloadResult run_offload(const kernels::JobArgs& args, unsigned num_clusters);
 
   /// Publish every component's counters into the simulator's StatsRegistry
-  /// and return the registry's CSV dump — a one-call machine inventory
-  /// ("hbm.beats_served", "noc.multicasts", "cluster3.jobs", ...).
+  /// ("hbm.beats_served", "noc.multicasts", "cluster3.jobs", ...). Idempotent:
+  /// counters are re-set to the components' live values, never double-counted.
+  void publish_stats();
+
+  /// publish_stats() + the registry's CSV dump — a one-call machine inventory.
   std::string dump_stats();
+
+  /// publish_stats() + the full metrics document ("mco-metrics-v1" JSON:
+  /// counters, accumulators and histograms with percentiles).
+  std::string metrics_json();
 
  private:
   SocConfig cfg_;

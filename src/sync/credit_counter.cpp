@@ -9,7 +9,11 @@ namespace mco::sync {
 
 CreditCounterUnit::CreditCounterUnit(sim::Simulator& sim, std::string name,
                                      CreditCounterConfig cfg, Component* parent)
-    : Component(sim, std::move(name), parent), cfg_(cfg) {}
+    : Component(sim, std::move(name), parent),
+      cfg_(cfg),
+      arrival_hist_(sim.stats().histogram(this->name() + ".arrival_offset_cycles", 16.0, 64)),
+      time_to_threshold_hist_(
+          sim.stats().histogram(this->name() + ".time_to_threshold_cycles", 16.0, 64)) {}
 
 void CreditCounterUnit::arm(std::uint32_t new_threshold) {
   if (new_threshold == 0) throw std::invalid_argument(path() + ": zero threshold");
@@ -18,6 +22,7 @@ void CreditCounterUnit::arm(std::uint32_t new_threshold) {
   armed_ = true;
   threshold_ = new_threshold;
   count_ = 0;
+  armed_at_ = now();
   sim().trace().record(now(), path(), "arm", util::format("threshold=%u", new_threshold));
 }
 
@@ -45,10 +50,12 @@ void CreditCounterUnit::increment(unsigned cluster) {
       continue;
     }
     ++count_;
+    arrival_hist_.sample(static_cast<double>(now() - armed_at_));
     sim().trace().record(now(), path(), "credit",
                          util::format("count=%u/%u", count_, threshold_));
     if (count_ == threshold_) {
       armed_ = false;
+      time_to_threshold_hist_.sample(static_cast<double>(now() - armed_at_));
       ++interrupts_fired_;
       if (irq_cb_) {
         defer(cfg_.trigger_latency, [this] { irq_cb_(); }, sim::Priority::kWire);

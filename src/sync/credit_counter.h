@@ -84,6 +84,12 @@ class CreditCounterUnit : public sim::Component {
   std::vector<bool> done_;
   std::uint64_t interrupts_fired_ = 0;
   std::uint64_t spurious_increments_ = 0;
+  // Observability: credit arrival offsets relative to the arm store, and
+  // the arm→threshold latency (the paper's synchronization/notify phase as
+  // the hardware sees it). Sampled per delivered credit / per fired IRQ.
+  sim::Cycle armed_at_ = 0;
+  sim::Histogram& arrival_hist_;
+  sim::Histogram& time_to_threshold_hist_;
 };
 
 }  // namespace mco::sync

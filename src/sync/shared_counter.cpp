@@ -9,10 +9,13 @@ namespace mco::sync {
 
 SharedCounter::SharedCounter(sim::Simulator& sim, std::string name, SharedCounterConfig cfg,
                              Component* parent)
-    : Component(sim, std::move(name), parent), cfg_(cfg) {}
+    : Component(sim, std::move(name), parent),
+      cfg_(cfg),
+      arrival_hist_(sim.stats().histogram(this->name() + ".arrival_offset_cycles", 16.0, 64)) {}
 
 void SharedCounter::store(std::uint64_t value) {
   value_ = value;
+  init_at_ = now();
   sim().trace().record(now(), path(), "store",
                        util::format("value=%llu", static_cast<unsigned long long>(value)));
 }
@@ -37,6 +40,7 @@ void SharedCounter::amo_add(std::uint64_t delta, unsigned cluster) {
           value_ += delta;
           if (cluster < done_.size()) done_[cluster] = true;
           ++amos_serviced_;
+          arrival_hist_.sample(static_cast<double>(now() - init_at_));
           sim().trace().record(now(), path(), "amo_commit",
                                util::format("value=%llu",
                                             static_cast<unsigned long long>(value_)));

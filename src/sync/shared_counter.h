@@ -70,6 +70,10 @@ class SharedCounter : public sim::Component {
   std::uint64_t in_flight_ = 0;
   std::uint64_t max_in_flight_ = 0;
   std::uint64_t amos_serviced_ = 0;
+  // Observability: AMO commit offsets relative to the host's counter-init
+  // store (the baseline design's completion-arrival timeline).
+  sim::Cycle init_at_ = 0;
+  sim::Histogram& arrival_hist_;
 };
 
 }  // namespace mco::sync

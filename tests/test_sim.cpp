@@ -227,8 +227,8 @@ TEST(Trace, CsvHasHeaderAndRows) {
   t.enable();
   t.record(1, "a", "b", "c");
   const std::string csv = t.to_csv();
-  EXPECT_NE(csv.find("time,who,what,detail"), std::string::npos);
-  EXPECT_NE(csv.find("1,a,b,c"), std::string::npos);
+  EXPECT_NE(csv.find("time,phase,who,what,detail"), std::string::npos);
+  EXPECT_NE(csv.find("1,i,a,b,c"), std::string::npos);
 }
 
 // ---- logger ----------------------------------------------------------------

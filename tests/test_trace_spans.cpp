@@ -1,0 +1,496 @@
+// Observability layer: span nesting/balance, Chrome JSON well-formedness,
+// histogram percentile edges, metrics export, bit-exactness of the headline
+// numbers with and without instrumentation, and the docs cross-check that
+// keeps docs/observability.md aligned with metric_reference() and with the
+// names an instrumented run actually emits.
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+#include "sim/trace.h"
+#include "sim/trace_export.h"
+#include "soc/observability.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+
+// ---- span mechanics --------------------------------------------------------
+
+TEST(TraceSpans, NestAndBalanceOnOneTrack) {
+  sim::TraceSink t;
+  t.enable();
+  t.begin_span(10, "runtime", "offload");
+  t.begin_span(12, "runtime", "marshal");
+  EXPECT_EQ(t.open_spans("runtime"), 2u);
+  t.end_span(20, "runtime");  // closes marshal (innermost)
+  t.end_span(30, "runtime");  // closes offload
+  EXPECT_TRUE(t.balanced());
+
+  const auto spans = t.all_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].what, "offload");
+  EXPECT_EQ(spans[0].duration(), 20u);
+  EXPECT_EQ(spans[1].what, "marshal");
+  EXPECT_EQ(spans[1].duration(), 8u);
+}
+
+TEST(TraceSpans, TracksAreIndependent) {
+  sim::TraceSink t;
+  t.enable();
+  t.begin_span(0, "a", "outer");
+  t.begin_span(1, "b", "other");
+  t.end_span(5, "a");  // must close a's span, not b's
+  EXPECT_EQ(t.open_spans("a"), 0u);
+  EXPECT_EQ(t.open_spans("b"), 1u);
+  t.end_span(9, "b");
+  const auto a = t.spans("outer");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].end, 5u);
+}
+
+TEST(TraceSpans, UnbalancedEndThrows) {
+  sim::TraceSink t;
+  t.enable();
+  EXPECT_THROW(t.end_span(1, "runtime"), std::logic_error);
+  t.begin_span(0, "a", "x");
+  EXPECT_THROW(t.end_span(1, "b"), std::logic_error);
+}
+
+TEST(TraceSpans, DisabledSinkIsInert) {
+  sim::TraceSink t;
+  t.begin_span(0, "a", "x");
+  EXPECT_NO_THROW(t.end_span(1, "a"));  // no open span, but disabled = no-op
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_TRUE(t.balanced());
+}
+
+TEST(TraceSpans, SpanNamesAreSortedAndUnique) {
+  sim::TraceSink t;
+  t.enable();
+  t.begin_span(0, "a", "zeta");
+  t.begin_span(1, "a", "alpha");
+  t.begin_span(2, "b", "alpha");
+  const auto names = t.span_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+// ---- Chrome JSON well-formedness -------------------------------------------
+
+// Minimal JSON syntax checker (objects/arrays/strings/numbers/literals);
+// throws on the first violation. Enough to guarantee a viewer can parse the
+// export without dragging a JSON library into the test suite.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  void check() {
+    skip_ws();
+    value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing garbage");
+  }
+
+ private:
+  void value() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) return number();
+    if (literal("true") || literal("false") || literal("null")) return;
+    fail("unexpected character");
+  }
+  void object() {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return; }
+    while (true) {
+      skip_ws();
+      string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return;
+    }
+  }
+  void array() {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return; }
+    while (true) {
+      skip_ws();
+      value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return;
+    }
+  }
+  void string() {
+    expect('"');
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control char in string");
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        const char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_.size() || std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0)
+              fail("bad \\u escape");
+            ++pos_;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          fail("bad escape char");
+        }
+      }
+    }
+  }
+  void number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+                                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("bad number");
+  }
+  bool literal(const char* lit) {
+    const std::size_t len = std::string(lit).size();
+    if (s_.compare(pos_, len, lit) == 0) { pos_ += len; return true; }
+    return false;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)) ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ChromeTrace, ExportIsValidJsonWithPairedSpans) {
+  sim::TraceSink t;
+  t.enable();
+  t.record(1, "soc.host", "irq");
+  t.begin_span(2, "runtime", "offload", "daxpy n=8");
+  t.begin_span(3, "runtime", "marshal");
+  t.end_span(5, "runtime");
+  t.end_span(9, "runtime");
+  const std::string json = sim::to_chrome_trace(t);
+  EXPECT_NO_THROW(JsonChecker(json).check());
+
+  // One B and one E per span, and the instant + two thread_name records.
+  const auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t p = json.find(needle); p != std::string::npos; p = json.find(needle, p + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count("\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count("\"ph\":\"E\""), 2u);
+  EXPECT_EQ(count("\"ph\":\"i\""), 1u);
+  EXPECT_EQ(count("\"ph\":\"M\""), 2u);
+}
+
+TEST(ChromeTrace, EscapesHostileStrings) {
+  sim::TraceSink t;
+  t.enable();
+  t.record(0, "a\"b\\c", "x\ny", "tab\there");
+  t.begin_span(1, "a\"b\\c", "quote\"span");
+  t.end_span(2, "a\"b\\c");
+  const std::string json = sim::to_chrome_trace(t);
+  EXPECT_NO_THROW(JsonChecker(json).check());
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_NE(json.find("x\\ny"), std::string::npos);
+}
+
+// ---- histogram percentile edges --------------------------------------------
+
+TEST(Histogram, EmptyReadsAsZero) {
+  sim::Histogram h(10.0, 8);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleSampleReportsItselfEverywhere) {
+  sim::Histogram h(10.0, 8);
+  h.sample(37.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 37.0);
+  EXPECT_EQ(h.max(), 37.0);
+  EXPECT_EQ(h.p50(), 37.0);
+  EXPECT_EQ(h.p95(), 37.0);
+  EXPECT_EQ(h.p99(), 37.0);
+  EXPECT_EQ(h.percentile(0.0), 37.0);
+  EXPECT_EQ(h.percentile(100.0), 37.0);
+}
+
+TEST(Histogram, SaturationBucketKeepsExactMax) {
+  sim::Histogram h(10.0, 4);  // bucketed range [0, 40)
+  for (int i = 0; i < 9; ++i) h.sample(5.0);
+  h.sample(1e6);  // saturates
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.max(), 1e6);
+  EXPECT_EQ(h.p50(), 10.0);  // upper edge of the bucket holding the median
+  EXPECT_EQ(h.p99(), 1e6);   // saturated rank reports the exact max
+}
+
+TEST(Histogram, PercentileMonotoneAndClamped) {
+  sim::Histogram h(10.0, 8);
+  for (int i = 1; i <= 100; ++i) h.sample(static_cast<double>(i % 70));
+  double prev = 0.0;
+  for (double p : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+}
+
+TEST(Histogram, NegativeSamplesClampToFirstBucket) {
+  sim::Histogram h(10.0, 4);
+  h.sample(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), -5.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.p50(), -5.0);  // clamped into [min, max]
+}
+
+// ---- metrics export --------------------------------------------------------
+
+TEST(MetricsExport, JsonIsValidAndCarriesAllKinds) {
+  sim::StatsRegistry reg;
+  reg.counter("noc.unicasts").inc(32);
+  reg.accumulator("model.error").sample(0.5);
+  reg.histogram("noc.dispatch_latency_cycles", 8.0, 16).sample(21.0);
+  const std::string json = reg.metrics_to_json();
+  EXPECT_NO_THROW(JsonChecker(json).check());
+  EXPECT_NE(json.find("\"schema\": \"mco-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"noc.unicasts\": 32"), std::string::npos);
+  EXPECT_NE(json.find("noc.dispatch_latency_cycles"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsExport, CsvExpandsHistograms) {
+  sim::StatsRegistry reg;
+  reg.counter("runtime.offloads").inc();
+  reg.histogram("runtime.offload_total_cycles").sample(633.0);
+  const std::string csv = reg.metrics_to_csv();
+  EXPECT_NE(csv.find("metric,value"), std::string::npos);
+  EXPECT_NE(csv.find("runtime.offloads,1"), std::string::npos);
+  EXPECT_NE(csv.find("runtime.offload_total_cycles.count,1"), std::string::npos);
+  EXPECT_NE(csv.find("runtime.offload_total_cycles.p50,633"), std::string::npos);
+}
+
+// ---- end-to-end: instrumented offload --------------------------------------
+
+TEST(OffloadSpans, PhaseSpansMatchPhaseBreakdown) {
+  soc::Soc soc(soc::SocConfig::extended(32));
+  soc.simulator().trace().enable();
+  const auto r = soc::run_verified(soc, "daxpy", 1024, 32, 42);
+  const auto p = r.phases();
+
+  const sim::TraceSink& t = soc.simulator().trace();
+  EXPECT_TRUE(t.balanced());
+  const auto one = [&](const char* what) {
+    const auto s = t.spans(what);
+    EXPECT_EQ(s.size(), 1u) << what;
+    return s.at(0).duration();
+  };
+  EXPECT_EQ(one("offload"), r.total());
+  EXPECT_EQ(one("marshal"), p.marshal);
+  EXPECT_EQ(one("sync_setup"), p.sync_setup);
+  EXPECT_EQ(one("dispatch"), p.dispatch);
+  EXPECT_EQ(one("wait"), p.wait);
+  EXPECT_EQ(one("epilogue"), p.epilogue);
+
+  // Registry mirrors: the phase counters sum to the offload total minus the
+  // (zero-width) gaps — i.e. exactly the printed table's row.
+  soc.publish_stats();
+  const sim::StatsRegistry& reg = soc.simulator().stats();
+  EXPECT_EQ(reg.counter_value("runtime.phase.marshal_cycles"), p.marshal);
+  EXPECT_EQ(reg.counter_value("runtime.phase.wait_cycles"), p.wait);
+  ASSERT_NE(reg.find_histogram("runtime.offload_total_cycles"), nullptr);
+  EXPECT_EQ(reg.find_histogram("runtime.offload_total_cycles")->count(), 1u);
+  EXPECT_EQ(reg.find_histogram("runtime.offload_total_cycles")->max(),
+            static_cast<double>(r.total()));
+}
+
+TEST(OffloadSpans, ClusterTracksCarryTheJobPipeline) {
+  const unsigned m = 4;
+  soc::Soc soc(soc::SocConfig::extended(m));
+  soc.simulator().trace().enable();
+  soc::run_verified(soc, "daxpy", 1024, m, 42);
+  const sim::TraceSink& t = soc.simulator().trace();
+  EXPECT_TRUE(t.balanced());
+  for (const char* what : {"job", "wakeup_parse", "team_wait", "dma_in", "compute",
+                           "dma_out", "notify"}) {
+    EXPECT_EQ(t.spans(what).size(), m) << what;
+  }
+  // The job span contains its children on each cluster track.
+  for (const auto& job : t.spans("job")) {
+    for (const auto& s : t.all_spans()) {
+      if (s.who != job.who || s.what == "job") continue;
+      EXPECT_GE(s.begin, job.begin) << s.what;
+      EXPECT_LE(s.end, job.end) << s.what;
+    }
+  }
+}
+
+TEST(OffloadSpans, RecoverySpansAppearUnderFaults) {
+  soc::SocConfig cfg = soc::SocConfig::extended(8);
+  cfg.runtime.watchdog_wait_cycles = 2000;
+  cfg.fault.target_cluster = 3;
+  cfg.fault.cluster_hang_prob = 1.0;
+  soc::Soc soc(cfg);
+  soc.simulator().trace().enable();
+  const auto r = soc::run_verified(soc, "daxpy", 1024, 8, 42);
+  EXPECT_TRUE(r.recovery.degraded);
+
+  const sim::TraceSink& t = soc.simulator().trace();
+  EXPECT_TRUE(t.balanced());
+  for (const char* what : {"watchdog_wait", "probe_round", "probe", "retry", "redistribute"}) {
+    EXPECT_GE(t.spans(what).size(), 1u) << what;
+  }
+  // Fault counters are mirrored live into the registry.
+  EXPECT_GE(soc.simulator().stats().counter_value("fault.cluster_hangs"), 1u);
+  soc.publish_stats();
+  EXPECT_EQ(soc.simulator().stats().counter_value("fault.cluster_hangs"),
+            soc.fault_injector()->counters().cluster_hangs);
+}
+
+// ---- bit-exactness of the headline numbers ---------------------------------
+
+TEST(BitExactness, HeadlineNumbersWithAndWithoutInstrumentation) {
+  // Seed contract: extended 633, baseline 936, speedup 1.479x @ N=1024 M=32.
+  const auto run = [](bool extended, bool traced) {
+    soc::Soc soc(extended ? soc::SocConfig::extended(32) : soc::SocConfig::baseline(32));
+    if (traced) soc.simulator().trace().enable();
+    return soc::run_verified(soc, "daxpy", 1024, 32, 42).total();
+  };
+  EXPECT_EQ(run(true, false), 633u);
+  EXPECT_EQ(run(false, false), 936u);
+  EXPECT_EQ(run(true, true), 633u);    // tracing must not move a cycle
+  EXPECT_EQ(run(false, true), 936u);
+  const double speedup = 936.0 / 633.0;
+  EXPECT_NEAR(speedup, 1.479, 0.0005);
+}
+
+// ---- docs cross-check ------------------------------------------------------
+
+std::set<std::string> reference_names(const char* kind) {
+  std::set<std::string> out;
+  for (const auto& m : soc::metric_reference()) {
+    if (kind == nullptr || std::string(kind) == m.kind) out.insert(m.name);
+  }
+  return out;
+}
+
+/// "cluster17.jobs" -> "cluster<i>.jobs" so per-instance names match the
+/// reference patterns.
+std::string normalize(const std::string& name) {
+  if (name.rfind("cluster", 0) == 0) {
+    std::size_t i = 7;
+    while (i < name.size() && (std::isdigit(static_cast<unsigned char>(name[i])) != 0)) ++i;
+    if (i > 7) return "cluster<i>" + name.substr(i);
+  }
+  return name;
+}
+
+TEST(DocsCrossCheck, EveryRuntimeNameIsInTheReferenceAndViceVersa) {
+  // A faulted run (which also exercises recovery) plus publish_stats
+  // registers every counter and histogram the simulator can emit.
+  soc::SocConfig cfg = soc::SocConfig::extended(8);
+  cfg.runtime.watchdog_wait_cycles = 2000;
+  cfg.fault.target_cluster = 3;
+  cfg.fault.cluster_hang_prob = 1.0;
+  soc::Soc soc(cfg);
+  soc.simulator().trace().enable();
+  soc::run_verified(soc, "daxpy", 1024, 8, 42);
+  soc.publish_stats();
+
+  const auto ref_counters = reference_names("counter");
+  const auto ref_hists = reference_names("histogram");
+  const auto ref_spans = reference_names("span");
+
+  std::set<std::string> seen_counters;
+  for (const auto& n : soc.simulator().stats().counter_names())
+    seen_counters.insert(normalize(n));
+  std::set<std::string> seen_hists;
+  for (const auto& n : soc.simulator().stats().histogram_names()) seen_hists.insert(n);
+  std::set<std::string> seen_spans;
+  for (const auto& n : soc.simulator().trace().span_names()) seen_spans.insert(n);
+
+  for (const auto& n : seen_counters) EXPECT_TRUE(ref_counters.count(n)) << "undocumented counter " << n;
+  for (const auto& n : seen_hists) EXPECT_TRUE(ref_hists.count(n)) << "undocumented histogram " << n;
+  for (const auto& n : seen_spans) EXPECT_TRUE(ref_spans.count(n)) << "undocumented span " << n;
+
+  // Reverse direction: every reference counter/histogram was registered by
+  // this run; spans need a fault-free run too (phase spans + cluster spans
+  // all fire here as well, so seen_spans covers the reference).
+  for (const auto& n : ref_counters) EXPECT_TRUE(seen_counters.count(n)) << "stale reference counter " << n;
+  for (const auto& n : ref_hists) EXPECT_TRUE(seen_hists.count(n)) << "stale reference histogram " << n;
+  for (const auto& n : ref_spans) EXPECT_TRUE(seen_spans.count(n)) << "stale reference span " << n;
+}
+
+#ifdef MCO_REPO_ROOT
+TEST(DocsCrossCheck, ObservabilityDocMatchesReferenceBidirectionally) {
+  const std::string path = std::string(MCO_REPO_ROOT) + "/docs/observability.md";
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open()) << path;
+  // Inventory rows are markdown table rows whose first cell is a backticked
+  // name: extract the first `...` token of every such line.
+  std::set<std::string> documented;
+  std::string line;
+  while (std::getline(f, line)) {
+    std::size_t p = line.find_first_not_of(' ');
+    if (p == std::string::npos || line[p] != '|') continue;
+    p = line.find('`', p);
+    if (p == std::string::npos) continue;
+    const std::size_t q = line.find('`', p + 1);
+    if (q == std::string::npos) continue;
+    documented.insert(line.substr(p + 1, q - p - 1));
+  }
+  std::set<std::string> reference;
+  for (const auto& m : soc::metric_reference()) reference.insert(m.name);
+
+  for (const auto& n : reference)
+    EXPECT_TRUE(documented.count(n)) << "metric_reference() entry missing from docs: " << n;
+  for (const auto& n : documented)
+    EXPECT_TRUE(reference.count(n)) << "docs name not in metric_reference(): " << n;
+}
+#endif
+
+}  // namespace
