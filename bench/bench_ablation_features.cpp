@@ -13,17 +13,32 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-void print_table() {
+const std::vector<unsigned> kMs{1, 4, 8, 16, 32};
+
+exp::ExperimentSpec make_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "ablation_features";
+  spec.configs = {{"baseline", soc::SocConfig::with_features(32, {false, false})},
+                  {"multicast", soc::SocConfig::with_features(32, {true, false})},
+                  {"hw_sync", soc::SocConfig::with_features(32, {false, true})},
+                  {"both", soc::SocConfig::with_features(32, {true, true})}};
+  spec.ms = kMs;
+  return spec;
+}
+
+void print_table(exp::SweepRunner& runner) {
   banner("E6: ablation of the two hardware extensions (DAXPY N=1024)",
          "extension of SIII, Colagrande & Benini, DATE 2024");
 
+  const exp::ResultSet rs = runner.run(make_spec());
+
   util::TablePrinter table(
       {"M", "baseline", "+multicast", "+hw-sync", "+both", "mc gain", "sync gain"});
-  for (const unsigned m : {1u, 4u, 8u, 16u, 32u}) {
-    const auto base = daxpy_cycles(soc::SocConfig::with_features(32, {false, false}), 1024, m);
-    const auto mc = daxpy_cycles(soc::SocConfig::with_features(32, {true, false}), 1024, m);
-    const auto hw = daxpy_cycles(soc::SocConfig::with_features(32, {false, true}), 1024, m);
-    const auto both = daxpy_cycles(soc::SocConfig::with_features(32, {true, true}), 1024, m);
+  for (const unsigned m : kMs) {
+    const auto base = rs.cycles("baseline", "daxpy", 1024, m);
+    const auto mc = rs.cycles("multicast", "daxpy", 1024, m);
+    const auto hw = rs.cycles("hw_sync", "daxpy", 1024, m);
+    const auto both = rs.cycles("both", "daxpy", 1024, m);
     const auto sdiff = [](sim::Cycles a, sim::Cycles b) {
       return util::format("%lld", static_cast<long long>(a) - static_cast<long long>(b));
     };
@@ -38,10 +53,11 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_table();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::with_features(32, {true, false}), "daxpy", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_table(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::with_features(32, {true, false}), "daxpy", 1024, 32);
   register_offload_benchmark("ablation/multicast_only/M=32",
                              mco::soc::SocConfig::with_features(32, {true, false}), "daxpy",
                              1024, 32);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/sweep_runner.h"
 #include "soc/observability.h"
 #include "soc/soc.h"
 #include "soc/workloads.h"
@@ -25,6 +26,44 @@
 namespace mco::bench {
 
 inline constexpr std::uint64_t kSeed = 42;
+
+/// The shared bench flags, stripped from argv before benchmark::Initialize
+/// rejects them: --jobs=N (sweep parallelism, see exp::SweepRunner) and the
+/// observability flags (--trace-out/--metrics-out).
+struct BenchArgs {
+  soc::ObservabilityOptions obs;
+  unsigned jobs = 1;
+};
+
+inline BenchArgs bench_args(int& argc, char** argv) {
+  BenchArgs args;
+  args.jobs = exp::SweepRunner::jobs_from_args(argc, argv);
+  args.obs = soc::observability_from_args(argc, argv);
+  return args;
+}
+
+/// Build one explicit sweep point with the bench seed.
+inline exp::RunPoint point(std::string config_label, soc::SocConfig cfg, std::string kernel,
+                           std::uint64_t n, unsigned m, double tolerance = 1e-9) {
+  exp::RunPoint p;
+  p.config_label = std::move(config_label);
+  p.cfg = cfg;
+  p.kernel = std::move(kernel);
+  p.n = n;
+  p.m = m;
+  p.seed = kSeed;
+  p.tolerance = tolerance;
+  return p;
+}
+
+/// Machine-readable sweep summary. Integer sums only, accumulated in
+/// index-addressed slots, so the line — like the tables above it — is
+/// byte-identical for any --jobs value.
+inline void sweep_footer(const exp::SweepRunner& runner) {
+  std::printf("\n[sweep] points=%llu sim_cycles=%llu\n",
+              static_cast<unsigned long long>(runner.points_run()),
+              static_cast<unsigned long long>(runner.sim_cycles()));
+}
 
 /// Simulated cycles of a verified DAXPY offload.
 inline sim::Cycles daxpy_cycles(const soc::SocConfig& cfg, std::uint64_t n, unsigned m) {

@@ -13,6 +13,8 @@
 // the Pei-style correction.
 #include "bench_common.h"
 
+#include <set>
+
 #include "model/fitter.h"
 
 namespace {
@@ -23,19 +25,38 @@ using namespace mco::bench;
 constexpr double kHostStreamBytesPerCycle = 8.0;
 constexpr double kHostCyclesPerElem = 4.0;  // scalar host executing DAXPY
 
+const std::vector<std::uint64_t> kTableNs{64, 128, 192, 256, 384, 512, 1024};
+const std::vector<std::uint64_t> kFitNs{256, 512, 1024, 2048};
+const std::vector<unsigned> kFitMs{1, 4, 8, 16, 32};
+
 double prep_cycles(std::uint64_t n) {
   // DAXPY inputs: x and y, 16 bytes per element, streamed to HBM.
   return static_cast<double>(16 * n) / kHostStreamBytesPerCycle;
 }
 
-void print_tables() {
+void print_tables(exp::SweepRunner& runner) {
   banner("E15: offload decision with data-preparation overhead",
          "composition with Pei et al. [6][7], referenced by SI, DATE 2024");
 
+  // One deduplicated sweep covers both the decision table (M=32 points) and
+  // the model-fit grid.
+  std::vector<exp::RunPoint> points_to_run;
+  std::set<std::pair<std::uint64_t, unsigned>> seen;
+  const auto need = [&](std::uint64_t n, unsigned m) {
+    if (seen.insert({n, m}).second) {
+      points_to_run.push_back(point("extended", soc::SocConfig::extended(32), "daxpy", n, m));
+    }
+  };
+  for (const std::uint64_t n : kTableNs) need(n, 32);
+  for (const std::uint64_t n : kFitNs) {
+    for (const unsigned m : kFitMs) need(n, m);
+  }
+  const exp::ResultSet rs = runner.run("data_prep", points_to_run);
+
   util::TablePrinter table({"N", "t_offl", "t_prep", "t_offl+prep", "t_host",
                             "wins (no prep)", "wins (with prep)"});
-  for (const std::uint64_t n : {64ull, 128ull, 192ull, 256ull, 384ull, 512ull, 1024ull}) {
-    const auto t_off = static_cast<double>(daxpy_cycles(soc::SocConfig::extended(32), n, 32));
+  for (const std::uint64_t n : kTableNs) {
+    const auto t_off = static_cast<double>(rs.cycles("extended", "daxpy", n, 32));
     const double t_prep = prep_cycles(n);
     const double t_host = kHostCyclesPerElem * static_cast<double>(n);
     table.add_row({fmt_u64(n), fmt_fix(t_off, 0), fmt_fix(t_prep, 0),
@@ -47,10 +68,10 @@ void print_tables() {
 
   // Break-even sizes from the fitted model, with and without prep.
   std::vector<model::Sample> samples;
-  for (const std::uint64_t n : {256ull, 512ull, 1024ull, 2048ull}) {
-    for (const unsigned m : {1u, 4u, 8u, 16u, 32u}) {
+  for (const std::uint64_t n : kFitNs) {
+    for (const unsigned m : kFitMs) {
       samples.push_back(
-          model::Sample{m, n, static_cast<double>(daxpy_cycles(soc::SocConfig::extended(32), n, m))});
+          model::Sample{m, n, static_cast<double>(rs.cycles("extended", "daxpy", n, m))});
     }
   }
   const auto fit = model::fit_runtime_model(samples);
@@ -69,10 +90,11 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_tables();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_tables(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,6 +8,8 @@
 // problem size for a scalar host at 4 cycles/element.
 #include "bench_common.h"
 
+#include <set>
+
 #include "model/decision.h"
 
 namespace {
@@ -15,28 +17,51 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-void print_tables() {
+const std::vector<std::uint64_t> kNs{512, 1024, 2048};
+const std::vector<double> kSlacks{1.05, 1.12, 1.25, 1.60};
+
+void print_tables(exp::SweepRunner& runner) {
   banner("E5: offload decisions under deadline constraints",
          "Eq. (3) + SIII closing discussion, Colagrande & Benini, DATE 2024");
 
   const model::RuntimeModel m = model::paper_daxpy_model();
 
+  // The deadline query is pure model math, so the simulation points it needs
+  // are known up front: gather the unique (N, M) pairs and sweep them once.
+  std::vector<exp::RunPoint> points_to_run;
+  std::set<std::pair<std::uint64_t, unsigned>> seen;
+  const auto need = [&](std::uint64_t n, unsigned mm) {
+    if (seen.insert({n, mm}).second) {
+      points_to_run.push_back(point("extended", soc::SocConfig::extended(32), "daxpy", n, mm));
+    }
+  };
+  for (const std::uint64_t n : kNs) {
+    for (const double slack : kSlacks) {
+      const double t_max = m.predict(32, n) * slack;
+      const auto m_min = model::min_clusters_for_deadline(m, n, t_max, 32);
+      if (!m_min) continue;
+      need(n, *m_min);
+      if (*m_min > 1) need(n, *m_min - 1);
+    }
+  }
+  const exp::ResultSet rs = runner.run("decision", points_to_run);
+
   util::TablePrinter table(
       {"N", "t_max", "M_min(Eq.3)", "t_sim(M_min)", "met", "t_sim(M_min-1)", "tight"});
-  for (const std::uint64_t n : {512ull, 1024ull, 2048ull}) {
-    for (const double slack : {1.05, 1.12, 1.25, 1.60}) {
+  for (const std::uint64_t n : kNs) {
+    for (const double slack : kSlacks) {
       const double t_max = m.predict(32, n) * slack;
       const auto m_min = model::min_clusters_for_deadline(m, n, t_max, 32);
       if (!m_min) {
         table.add_row({fmt_u64(n), fmt_fix(t_max, 0), "infeasible", "-", "-", "-", "-"});
         continue;
       }
-      const auto t_sim = daxpy_cycles(soc::SocConfig::extended(32), n, *m_min);
+      const auto t_sim = rs.cycles("extended", "daxpy", n, *m_min);
       const bool met = static_cast<double>(t_sim) <= t_max * 1.01;
       std::string t_less = "-";
       std::string tight = "-";
       if (*m_min > 1) {
-        const auto t_sim_less = daxpy_cycles(soc::SocConfig::extended(32), n, *m_min - 1);
+        const auto t_sim_less = rs.cycles("extended", "daxpy", n, *m_min - 1);
         t_less = fmt_u64(t_sim_less);
         tight = static_cast<double>(t_sim_less) > t_max * 0.99 ? "yes" : "NO";
       }
@@ -63,10 +88,11 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_tables();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 5);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_tables(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 5);
   register_offload_benchmark("decision/extended/N=1024/M=5",
                              mco::soc::SocConfig::extended(32), "daxpy", 1024, 5);
   benchmark::Initialize(&argc, argv);

@@ -14,21 +14,39 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-void print_tables() {
+const std::vector<unsigned> kMs{1, 2, 4, 8, 16, 32};
+
+struct EnergyRow {
+  energy::OffloadEnergy base;
+  energy::OffloadEnergy ext;
+};
+
+void print_tables(exp::SweepRunner& runner) {
   banner("E9: energy per DAXPY offload (N=1024)",
          "extension of SI motivation, Colagrande & Benini, DATE 2024");
 
   const energy::EnergyConfig ecfg;
+  // Energy measurement owns its Soc, so the sweep uses the runner's generic
+  // map — same ordered-slot determinism as the standard run points.
+  const std::vector<EnergyRow> rows = runner.map(kMs, [&](const unsigned& m) {
+    EnergyRow row;
+    row.base =
+        energy::measure_offload_energy(soc::SocConfig::baseline(32), ecfg, "daxpy", 1024, m);
+    row.ext =
+        energy::measure_offload_energy(soc::SocConfig::extended(32), ecfg, "daxpy", 1024, m);
+    runner.note_cycles(row.base.cycles);
+    runner.note_cycles(row.ext.cycles);
+    return row;
+  });
+
   util::TablePrinter table({"M", "base[cyc]", "base[nJ]", "ext[cyc]", "ext[nJ]",
                             "ext EDP[nJ*kcyc]"});
-  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    const auto base =
-        energy::measure_offload_energy(soc::SocConfig::baseline(32), ecfg, "daxpy", 1024, m);
-    const auto ext =
-        energy::measure_offload_energy(soc::SocConfig::extended(32), ecfg, "daxpy", 1024, m);
-    table.add_row({fmt_u64(m), fmt_u64(base.cycles), fmt_fix(base.report.total_pj() / 1e3, 1),
-                   fmt_u64(ext.cycles), fmt_fix(ext.report.total_pj() / 1e3, 1),
-                   fmt_fix(ext.report.edp(ext.cycles) / 1e6, 1)});
+  for (std::size_t i = 0; i < kMs.size(); ++i) {
+    const EnergyRow& r = rows[i];
+    table.add_row({fmt_u64(kMs[i]), fmt_u64(r.base.cycles),
+                   fmt_fix(r.base.report.total_pj() / 1e3, 1),
+                   fmt_u64(r.ext.cycles), fmt_fix(r.ext.report.total_pj() / 1e3, 1),
+                   fmt_fix(r.ext.report.edp(r.ext.cycles) / 1e6, 1)});
   }
   table.print(std::cout);
 
@@ -47,10 +65,11 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_tables();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 8);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_tables(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 8);
   register_offload_benchmark("energy/extended/M=8", mco::soc::SocConfig::extended(32), "daxpy",
                              1024, 8);
   benchmark::Initialize(&argc, argv);

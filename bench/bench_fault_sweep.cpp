@@ -19,6 +19,8 @@ constexpr unsigned kM = 32;
 constexpr sim::Cycles kWatchdog = 2000;
 constexpr std::uint64_t kReps = 30;
 
+const std::vector<double> kQs{0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.2};
+
 soc::SocConfig faulted(soc::SocConfig cfg, double q, std::uint64_t seed) {
   cfg.runtime.watchdog_wait_cycles = kWatchdog;
   cfg.fault.dispatch_drop_prob = q;
@@ -26,24 +28,15 @@ soc::SocConfig faulted(soc::SocConfig cfg, double q, std::uint64_t seed) {
   return cfg;
 }
 
-/// Mean measured cycles over kReps runs with distinct fault seeds (each run
-/// individually deterministic and functionally verified).
-double mean_cycles(const soc::SocConfig& base, double q) {
-  std::uint64_t sum = 0;
-  for (std::uint64_t i = 0; i < kReps; ++i) {
-    sum += soc::run_daxpy(faulted(base, q, kSeed + 1000 * i), kN, kM).total();
-  }
-  return static_cast<double>(sum) / kReps;
-}
+/// One repetition of one (design, loss-prob) cell: an individually
+/// deterministic, functionally verified faulted run with its own fault seed.
+struct FaultRep {
+  bool extended = false;
+  double q = 0.0;
+  std::uint64_t rep = 0;
+};
 
-model::FaultModelParams sweep_params(double q) {
-  model::FaultModelParams p;
-  p.dispatch_loss_prob = q;
-  p.watchdog_wait_cycles = static_cast<double>(kWatchdog);
-  return p;
-}
-
-void print_table() {
+void print_table(exp::SweepRunner& runner) {
   banner("E16: offload runtime under dispatch faults at (N=1024, M=32)",
          "robustness extension of Eq. (1), Colagrande & Benini, DATE 2024");
 
@@ -51,22 +44,51 @@ void print_table() {
   model::RuntimeModel base_model = ext_model;
   base_model.c = 9.0;  // fitted sequential-dispatch slope (see E7)
 
-  const double ext0 = mean_cycles(soc::SocConfig::extended(32), 0.0);
-  const double base0 = mean_cycles(soc::SocConfig::baseline(32), 0.0);
+  // The 2 designs × |kQs| × kReps grid is this suite's heaviest sweep (420
+  // simulations); it parallelizes at single-repetition granularity.
+  std::vector<FaultRep> reps;
+  for (const bool extended : {false, true}) {
+    for (const double q : kQs) {
+      for (std::uint64_t i = 0; i < kReps; ++i) reps.push_back({extended, q, i});
+    }
+  }
+  const std::vector<std::uint64_t> cycles = runner.map(reps, [&](const FaultRep& r) {
+    const soc::SocConfig base =
+        r.extended ? soc::SocConfig::extended(32) : soc::SocConfig::baseline(32);
+    const std::uint64_t t =
+        soc::run_daxpy(faulted(base, r.q, kSeed + 1000 * r.rep), kN, kM).total();
+    runner.note_cycles(t);
+    return t;
+  });
+  const auto mean_cycles = [&](bool extended, double q) {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      if (reps[i].extended == extended && reps[i].q == q) sum += cycles[i];
+    }
+    return static_cast<double>(sum) / kReps;
+  };
+
+  const double ext0 = mean_cycles(true, 0.0);
+  const double base0 = mean_cycles(false, 0.0);
 
   util::TablePrinter table({"loss prob", "base meas", "ext meas", "ext model", "ext inflation",
                             "ext < base(0)?"});
-  for (const double q : {0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.2}) {
-    const double bm = mean_cycles(soc::SocConfig::baseline(32), q);
-    const double em = mean_cycles(soc::SocConfig::extended(32), q);
-    const double et = model::expected_runtime_under_faults(ext_model, kM, kN, sweep_params(q));
+  for (const double q : kQs) {
+    const double bm = mean_cycles(false, q);
+    const double em = mean_cycles(true, q);
+    model::FaultModelParams params;
+    params.dispatch_loss_prob = q;
+    params.watchdog_wait_cycles = static_cast<double>(kWatchdog);
+    const double et = model::expected_runtime_under_faults(ext_model, kM, kN, params);
     table.add_row({fmt_fix(q, 3), fmt_fix(bm, 1), fmt_fix(em, 1), fmt_fix(et, 1),
                    fmt_fix(em / ext0, 3) + "x", em < base0 ? "yes" : "no"});
   }
   table.print(std::cout);
 
+  model::FaultModelParams be_params;
+  be_params.watchdog_wait_cycles = static_cast<double>(kWatchdog);
   const double breakeven =
-      model::fault_breakeven_prob(ext_model, base_model, kM, kN, sweep_params(0.0));
+      model::fault_breakeven_prob(ext_model, base_model, kM, kN, be_params);
   std::printf(
       "\nmodel break-even: the extended design's expected runtime under faults\n"
       "stays below the fault-free baseline's Eq. (1) prediction (%.0f cyc) up to\n"
@@ -83,10 +105,11 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_table();
-  mco::bench::export_canonical_run(obs, faulted(mco::soc::SocConfig::extended(32), 0.05, mco::bench::kSeed), "daxpy", kN, kM);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_table(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, faulted(mco::soc::SocConfig::extended(32), 0.05, mco::bench::kSeed), "daxpy", kN, kM);
   register_offload_benchmark("fault_sweep/extended/q=0.05",
                              faulted(mco::soc::SocConfig::extended(32), 0.05, kSeed), "daxpy",
                              kN, kM);

@@ -12,16 +12,29 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-void print_table() {
+const std::vector<unsigned> kMs{1, 2, 4, 8, 16, 32, 64};
+
+exp::ExperimentSpec make_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "fig1_left";
+  spec.configs = {{"baseline", soc::SocConfig::baseline(64)},
+                  {"extended", soc::SocConfig::extended(64)}};
+  spec.ms = kMs;
+  return spec;
+}
+
+void print_table(exp::SweepRunner& runner) {
   banner("E1: DAXPY N=1024 runtime vs. number of clusters",
          "Fig. 1 (left), Colagrande & Benini, DATE 2024");
+
+  const exp::ResultSet rs = runner.run(make_spec());
 
   util::TablePrinter table({"M", "baseline[cyc]", "extended[cyc]", "diff[cyc]", "speedup"});
   std::uint64_t min_base = ~0ull;
   unsigned min_base_m = 0;
-  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    const auto base = daxpy_cycles(soc::SocConfig::baseline(64), 1024, m);
-    const auto ext = daxpy_cycles(soc::SocConfig::extended(64), 1024, m);
+  for (const unsigned m : kMs) {
+    const auto base = rs.cycles("baseline", "daxpy", 1024, m);
+    const auto ext = rs.cycles("extended", "daxpy", 1024, m);
     if (base < min_base) {
       min_base = base;
       min_base_m = m;
@@ -39,10 +52,11 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_table();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::baseline(32), "daxpy", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_table(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::baseline(32), "daxpy", 1024, 32);
   for (const unsigned m : {1u, 4u, 8u, 32u}) {
     register_offload_benchmark("fig1_left/baseline/M=" + std::to_string(m),
                                mco::soc::SocConfig::baseline(32), "daxpy", 1024, m);

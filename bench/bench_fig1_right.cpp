@@ -15,9 +15,21 @@ using namespace mco::bench;
 const std::vector<std::uint64_t> kNs{1024, 2048, 4096, 8192, 16384};
 const std::vector<unsigned> kMs{1, 2, 4, 8, 16, 32};
 
-void print_table() {
+exp::ExperimentSpec make_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "fig1_right";
+  spec.configs = {{"baseline", soc::SocConfig::baseline(32)},
+                  {"extended", soc::SocConfig::extended(32)}};
+  spec.ns = kNs;
+  spec.ms = kMs;
+  return spec;
+}
+
+void print_table(exp::SweepRunner& runner) {
   banner("E2: extended-over-baseline DAXPY speedup vs. (N, M)",
          "Fig. 1 (right), Colagrande & Benini, DATE 2024");
+
+  const exp::ResultSet rs = runner.run(make_spec());
 
   std::vector<std::string> header{"N \\ M"};
   for (const unsigned m : kMs) header.push_back(fmt_u64(m));
@@ -30,8 +42,8 @@ void print_table() {
   for (const std::uint64_t n : kNs) {
     std::vector<std::string> row{fmt_u64(n)};
     for (const unsigned m : kMs) {
-      const auto base = daxpy_cycles(soc::SocConfig::baseline(32), n, m);
-      const auto ext = daxpy_cycles(soc::SocConfig::extended(32), n, m);
+      const auto base = rs.cycles("baseline", "daxpy", n, m);
+      const auto ext = rs.cycles("extended", "daxpy", n, m);
       const double s = static_cast<double>(base) / static_cast<double>(ext);
       always_above_one &= s > 1.0;
       if (s > max_speedup) {
@@ -52,10 +64,11 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_table();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 8192, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_table(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 8192, 32);
   for (const std::uint64_t n : {1024ull, 8192ull}) {
     register_offload_benchmark("fig1_right/extended/N=" + std::to_string(n),
                                mco::soc::SocConfig::extended(32), "daxpy", n, 32);

@@ -7,14 +7,20 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-void print_table() {
+void print_table(exp::SweepRunner& runner) {
   banner("E4: headline numbers at N=1024",
          "Abstract + SIII closing numbers, Colagrande & Benini, DATE 2024");
 
-  const auto base32 = daxpy_cycles(soc::SocConfig::baseline(32), 1024, 32);
-  const auto ext32 = daxpy_cycles(soc::SocConfig::extended(32), 1024, 32);
-  const auto ext32of64 = daxpy_cycles(soc::SocConfig::extended(64), 1024, 32);
-  const auto ext64 = daxpy_cycles(soc::SocConfig::extended(64), 1024, 64);
+  const exp::ResultSet rs = runner.run(
+      "headline", {point("baseline32", soc::SocConfig::baseline(32), "daxpy", 1024, 32),
+                   point("extended32", soc::SocConfig::extended(32), "daxpy", 1024, 32),
+                   point("extended64", soc::SocConfig::extended(64), "daxpy", 1024, 32),
+                   point("extended64", soc::SocConfig::extended(64), "daxpy", 1024, 64)});
+
+  const auto base32 = rs.cycles("baseline32", "daxpy", 1024, 32);
+  const auto ext32 = rs.cycles("extended32", "daxpy", 1024, 32);
+  const auto ext32of64 = rs.cycles("extended64", "daxpy", 1024, 32);
+  const auto ext64 = rs.cycles("extended64", "daxpy", 1024, 64);
   const double speedup = static_cast<double>(base32) / static_cast<double>(ext32);
 
   util::TablePrinter table({"claim", "paper", "measured", "ok"});
@@ -34,10 +40,11 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_table();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_table(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   register_offload_benchmark("headline/baseline/M=32", mco::soc::SocConfig::baseline(32),
                              "daxpy", 1024, 32);
   register_offload_benchmark("headline/extended/M=32", mco::soc::SocConfig::extended(32),

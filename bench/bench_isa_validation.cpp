@@ -15,31 +15,58 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-void print_table() {
+struct DaxpyCase {
+  isa::DaxpyVariant variant = isa::DaxpyVariant::kScalar;
+  std::uint64_t n = 0;
+};
+
+struct SumCase {
+  isa::SumVariant variant = isa::SumVariant::kSingleAccumulator;
+  std::uint64_t n = 0;
+};
+
+void print_table(exp::SweepRunner& runner) {
   banner("E11: DAXPY inner-loop throughput on the worker-core ISS",
          "validation of Eq. (1)'s 2.6 cycles/element, DATE 2024");
 
-  util::TablePrinter table(
-      {"variant", "n", "cycles", "instructions", "cycles/element", "verified"});
+  // ISS microbenchmarks run no Soc, but each case is an independent
+  // simulation — the runner's map gives them the same ordered parallelism.
+  std::vector<DaxpyCase> daxpy_cases;
   for (const auto v : {isa::DaxpyVariant::kScalar, isa::DaxpyVariant::kUnrolled4,
                        isa::DaxpyVariant::kSsrFrep}) {
-    for (const std::uint64_t n : {64ull, 256ull, 1024ull}) {
-      const auto m = isa::measure_daxpy(v, n, kSeed);
-      table.add_row({isa::to_string(v), fmt_u64(n), fmt_u64(m.cycles),
-                     fmt_u64(m.instructions), fmt_fix(m.cycles_per_element, 3),
-                     m.verified ? "yes" : "NO"});
-    }
+    for (const std::uint64_t n : {64ull, 256ull, 1024ull}) daxpy_cases.push_back({v, n});
+  }
+  const auto daxpy_results = runner.map(daxpy_cases, [&](const DaxpyCase& c) {
+    const isa::MicroMeasurement m = isa::measure_daxpy(c.variant, c.n, kSeed);
+    runner.note_cycles(m.cycles);
+    return m;
+  });
+
+  util::TablePrinter table(
+      {"variant", "n", "cycles", "instructions", "cycles/element", "verified"});
+  for (std::size_t i = 0; i < daxpy_cases.size(); ++i) {
+    const auto& m = daxpy_results[i];
+    table.add_row({isa::to_string(daxpy_cases[i].variant), fmt_u64(daxpy_cases[i].n),
+                   fmt_u64(m.cycles), fmt_u64(m.instructions),
+                   fmt_fix(m.cycles_per_element, 3), m.verified ? "yes" : "NO"});
   }
   table.print(std::cout);
 
   std::printf("\nvector-sum accumulator study (vecsum rate 1.8 cycles/element):\n\n");
-  util::TablePrinter sums({"variant", "n", "cycles/element", "verified"});
+  std::vector<SumCase> sum_cases;
   for (const auto v : {isa::SumVariant::kSingleAccumulator, isa::SumVariant::kSplitAccumulators}) {
-    for (const std::uint64_t n : {96ull, 768ull}) {
-      const auto m = isa::measure_sum(v, n, kSeed);
-      sums.add_row({isa::to_string(v), fmt_u64(n), fmt_fix(m.cycles_per_element, 3),
-                    m.verified ? "yes" : "NO"});
-    }
+    for (const std::uint64_t n : {96ull, 768ull}) sum_cases.push_back({v, n});
+  }
+  const auto sum_results = runner.map(sum_cases, [&](const SumCase& c) {
+    const isa::MicroMeasurement m = isa::measure_sum(c.variant, c.n, kSeed);
+    runner.note_cycles(m.cycles);
+    return m;
+  });
+  util::TablePrinter sums({"variant", "n", "cycles/element", "verified"});
+  for (std::size_t i = 0; i < sum_cases.size(); ++i) {
+    sums.add_row({isa::to_string(sum_cases[i].variant), fmt_u64(sum_cases[i].n),
+                  fmt_fix(sum_results[i].cycles_per_element, 3),
+                  sum_results[i].verified ? "yes" : "NO"});
   }
   sums.print(std::cout);
 
@@ -55,10 +82,11 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_table();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_table(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   benchmark::RegisterBenchmark("isa/daxpy_ssr_frep/n=1024", [](benchmark::State& state) {
     double cpe = 0;
     for (auto _ : state) {

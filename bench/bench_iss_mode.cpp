@@ -15,6 +15,9 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
+const std::vector<unsigned> kMs{1, 4, 8, 16, 32};
+const std::vector<std::uint64_t> kNs{512, 1024, 2048};
+
 soc::SocConfig iss_cfg(kernels::Kernel::IssVariant v) {
   soc::SocConfig cfg = soc::SocConfig::extended(32);
   cfg.cluster.use_iss_compute = true;
@@ -22,36 +25,39 @@ soc::SocConfig iss_cfg(kernels::Kernel::IssVariant v) {
   return cfg;
 }
 
-void print_tables() {
+exp::ExperimentSpec make_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "iss_mode";
+  spec.configs = {{"rate 2.6 (paper calib.)", soc::SocConfig::extended(32)},
+                  {"ISS scalar", iss_cfg(kernels::Kernel::IssVariant::kScalar)},
+                  {"ISS unrolled4", iss_cfg(kernels::Kernel::IssVariant::kUnrolled4)},
+                  {"ISS ssr+frep", iss_cfg(kernels::Kernel::IssVariant::kSsrFrep)}};
+  spec.ns = kNs;
+  spec.ms = kMs;
+  return spec;
+}
+
+void print_tables(exp::SweepRunner& runner) {
   banner("E13: DAXPY offload with instruction-level worker execution",
          "consistency of Eq. (1) down to the inner loop, DATE 2024");
 
-  struct Mode {
-    std::string label;
-    soc::SocConfig cfg;
-  };
-  const std::vector<Mode> modes = {
-      {"rate 2.6 (paper calib.)", soc::SocConfig::extended(32)},
-      {"ISS scalar", iss_cfg(kernels::Kernel::IssVariant::kScalar)},
-      {"ISS unrolled4", iss_cfg(kernels::Kernel::IssVariant::kUnrolled4)},
-      {"ISS ssr+frep", iss_cfg(kernels::Kernel::IssVariant::kSsrFrep)},
-  };
+  const exp::ExperimentSpec spec = make_spec();
+  const exp::ResultSet rs = runner.run(spec);
 
   std::vector<std::string> header{"compute model"};
-  for (const unsigned m : {1u, 4u, 8u, 16u, 32u}) header.push_back("M=" + fmt_u64(m));
+  for (const unsigned m : kMs) header.push_back("M=" + fmt_u64(m));
   header.push_back("fitted b");
   header.push_back("~cyc/elem");
   util::TablePrinter table(header);
 
-  for (const auto& mode : modes) {
+  for (const exp::ConfigVariant& mode : spec.configs) {
     std::vector<std::string> row{mode.label};
     std::vector<model::Sample> samples;
-    for (const unsigned m : {1u, 4u, 8u, 16u, 32u}) {
-      const auto t = daxpy_cycles(mode.cfg, 1024, m);
-      row.push_back(fmt_u64(t));
-      for (const std::uint64_t n : {512ull, 1024ull, 2048ull}) {
+    for (const unsigned m : kMs) {
+      row.push_back(fmt_u64(rs.cycles(mode.label, "daxpy", 1024, m)));
+      for (const std::uint64_t n : kNs) {
         samples.push_back(
-            model::Sample{m, n, static_cast<double>(daxpy_cycles(mode.cfg, n, m))});
+            model::Sample{m, n, static_cast<double>(rs.cycles(mode.label, "daxpy", n, m))});
       }
     }
     const auto fit = model::fit_runtime_model(samples);
@@ -68,10 +74,11 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_tables();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_tables(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,6 +8,9 @@
 // with replicated inputs) show different constants and fit quality.
 #include "bench_common.h"
 
+#include <set>
+#include <tuple>
+
 #include "model/fitter.h"
 #include "model/mape.h"
 
@@ -16,44 +19,62 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-sim::Cycles kernel_cycles(const char* kernel, std::uint64_t n, unsigned m) {
-  soc::Soc soc(soc::SocConfig::extended(32));
-  return soc::run_verified(soc, kernel, n, m, kSeed, 1e-5).total();
+const std::vector<const char*> kKernels{"daxpy", "saxpy",  "axpby",  "scale", "vecadd",
+                                        "vecmul", "relu",  "fill",   "memcpy", "dot",   "vecsum",
+                                        "gemv",  "gemm"};
+const std::vector<unsigned> kMs{1, 2, 4, 8, 16, 32};
+
+std::vector<std::uint64_t> fit_ns(const std::string& kernel) {
+  const bool is_matrix = kernel == "gemv" || kernel == "gemm";
+  return is_matrix ? std::vector<std::uint64_t>{32, 64, 96, 128}
+                   : std::vector<std::uint64_t>{256, 512, 1024, 2048};
 }
 
-void print_tables() {
+std::uint64_t table_n(const std::string& kernel) {
+  return kernel == "gemv" ? 96 : kernel == "gemm" ? 64 : 1024;
+}
+
+void print_tables(exp::SweepRunner& runner) {
   banner("E8: kernel sweep on the extended design — runtimes and fitted models",
          "generalization of Eq. (1), Colagrande & Benini, DATE 2024");
 
-  const std::vector<const char*> kernels{"daxpy", "saxpy",  "axpby",  "scale", "vecadd",
-                                         "vecmul", "relu",  "fill",   "memcpy", "dot",   "vecsum",
-                                         "gemv",  "gemm"};
-  const std::vector<unsigned> ms{1, 2, 4, 8, 16, 32};
+  // One deduplicated sweep feeds both the runtime table and the model fits
+  // (the table's (kernel, N) points are a subset of the fit grids).
+  std::vector<exp::RunPoint> points_to_run;
+  std::set<std::tuple<std::string, std::uint64_t, unsigned>> seen;
+  const auto need = [&](const char* k, std::uint64_t n, unsigned m) {
+    if (seen.insert({k, n, m}).second) {
+      points_to_run.push_back(
+          point("extended", soc::SocConfig::extended(32), k, n, m, 1e-5));
+    }
+  };
+  for (const char* k : kKernels) {
+    for (const unsigned m : kMs) need(k, table_n(k), m);
+    for (const std::uint64_t n : fit_ns(k)) {
+      for (const unsigned m : kMs) need(k, n, m);
+    }
+  }
+  const exp::ResultSet rs = runner.run("kernel_sweep", points_to_run);
 
   std::printf("runtime [cycles] at N=1024 (N=96 rows for gemv):\n\n");
   std::vector<std::string> header{"kernel"};
-  for (const unsigned m : ms) header.push_back("M=" + fmt_u64(m));
+  for (const unsigned m : kMs) header.push_back("M=" + fmt_u64(m));
   util::TablePrinter table(header);
-  for (const char* k : kernels) {
-    const std::string ks(k);
-    const std::uint64_t n = ks == "gemv" ? 96 : ks == "gemm" ? 64 : 1024;
+  for (const char* k : kKernels) {
     std::vector<std::string> row{k};
-    for (const unsigned m : ms) row.push_back(fmt_u64(kernel_cycles(k, n, m)));
+    for (const unsigned m : kMs) row.push_back(fmt_u64(rs.cycles("extended", k, table_n(k), m)));
     table.add_row(std::move(row));
   }
   table.print(std::cout);
 
   std::printf("\nfitted t0 + a*N + b*N/M models (extended design):\n\n");
   util::TablePrinter fits({"kernel", "t0", "a", "b", "R^2", "MAPE[%]"});
-  for (const char* k : kernels) {
-    const std::string ks2(k);
-    const bool is_gemv = ks2 == "gemv" || ks2 == "gemm";
+  for (const char* k : kKernels) {
     std::vector<model::Sample> samples;
-    for (const std::uint64_t n :
-         is_gemv ? std::vector<std::uint64_t>{32, 64, 96, 128}
-                 : std::vector<std::uint64_t>{256, 512, 1024, 2048}) {
-      for (const unsigned m : ms) {
-        samples.push_back(model::Sample{m, n, static_cast<double>(kernel_cycles(k, n, m))});
+    for (const std::uint64_t n : fit_ns(k)) {
+      for (const unsigned m : kMs) {
+        samples.push_back(
+            model::Sample{m, n, static_cast<double>(rs.cycles("extended", k, n, m))});
       }
     }
     const auto fit = model::fit_runtime_model(samples);
@@ -70,10 +91,11 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_tables();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "dot", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_tables(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "dot", 1024, 32);
   for (const char* k : {"dot", "gemv", "memcpy"}) {
     register_offload_benchmark(std::string("kernel_sweep/") + k,
                                mco::soc::SocConfig::extended(32), k,

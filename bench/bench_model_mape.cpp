@@ -20,16 +20,24 @@ using namespace mco::bench;
 const std::vector<std::uint64_t> kNs{256, 512, 768, 1024};
 const std::vector<unsigned> kMs{1, 2, 4, 8, 16, 32};
 
-void print_tables() {
+exp::ExperimentSpec make_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "model_mape";
+  spec.ns = kNs;  // default config: one extended(32) variant
+  spec.ms = kMs;
+  return spec;
+}
+
+void print_tables(exp::SweepRunner& runner) {
   banner("E3: runtime-model accuracy (MAPE per problem size)",
          "Eq. (1) and Eq. (2), Colagrande & Benini, DATE 2024");
 
+  const exp::ResultSet rs = runner.run(make_spec());
+
+  // points() expands n (outer) × m (inner) — the sample order the tables use.
   std::vector<model::Sample> samples;
-  for (const std::uint64_t n : kNs) {
-    for (const unsigned m : kMs) {
-      samples.push_back(model::Sample{
-          m, n, static_cast<double>(daxpy_cycles(soc::SocConfig::extended(32), n, m))});
-    }
+  for (const exp::PointResult& r : rs.rows()) {
+    samples.push_back(model::Sample{r.point.m, r.point.n, static_cast<double>(r.total)});
   }
 
   const model::RuntimeModel paper = model::paper_daxpy_model();
@@ -62,10 +70,11 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_tables();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_tables(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   for (const std::uint64_t n : kNs) {
     register_offload_benchmark("model_mape/extended/N=" + std::to_string(n),
                                mco::soc::SocConfig::extended(32), "daxpy", n, 32);

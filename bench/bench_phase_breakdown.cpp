@@ -12,31 +12,45 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-void print_tables() {
+const std::vector<unsigned> kMs{1, 8, 32};
+
+exp::ExperimentSpec make_spec() {
+  exp::ExperimentSpec spec;
+  spec.name = "phase_breakdown";
+  spec.configs = {{"baseline", soc::SocConfig::baseline(32)},
+                  {"extended", soc::SocConfig::extended(32)}};
+  spec.ms = kMs;
+  return spec;
+}
+
+void print_tables(exp::SweepRunner& runner) {
   banner("E7: offload phase breakdown (DAXPY N=1024)",
          "SII implementation narrative, Colagrande & Benini, DATE 2024");
+
+  const exp::ResultSet rs = runner.run(make_spec());
 
   for (const bool extended : {false, true}) {
     std::printf("%s design:\n\n", extended ? "extended" : "baseline");
     util::TablePrinter table({"M", "marshal", "sync", "dispatch", "wait", "epilogue", "total"});
-    for (const unsigned m : {1u, 8u, 32u}) {
-      const soc::SocConfig cfg =
-          extended ? soc::SocConfig::extended(32) : soc::SocConfig::baseline(32);
-      soc::Soc soc(cfg);
-      const auto r = soc::run_verified(soc, "daxpy", 1024, m, kSeed);
-      const auto p = r.phases();
+    for (const unsigned m : kMs) {
+      const exp::PointResult& r =
+          rs.find(extended ? "extended" : "baseline", "daxpy", 1024, m);
+      const auto& p = r.phases;
       table.add_row({fmt_u64(m), fmt_u64(p.marshal), fmt_u64(p.sync_setup),
                      fmt_u64(p.dispatch), fmt_u64(p.wait), fmt_u64(p.epilogue),
-                     fmt_u64(r.total())});
+                     fmt_u64(r.total)});
     }
     table.print(std::cout);
     std::printf("\n");
   }
 
+  // The timeline needs access to the cluster's timing record, so this one
+  // simulation runs on a locally owned Soc rather than through the runner.
   std::printf("cluster-side timeline, cluster 31 of 32 (extended, N=1024),\n"
               "cycles relative to the offload call:\n\n");
   soc::Soc soc(soc::SocConfig::extended(32));
   const auto r = soc::run_verified(soc, "daxpy", 1024, 32, kSeed);
+  runner.note_cycles(r.total());
   const auto& t = *soc.cluster(31).last_timing();
   util::TablePrinter tl({"event", "cycle"});
   const sim::Cycle t0 = r.ts.call;
@@ -54,10 +68,11 @@ void print_tables() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_tables();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_tables(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   register_offload_benchmark("phase_breakdown/extended/M=32",
                              mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   benchmark::Initialize(&argc, argv);

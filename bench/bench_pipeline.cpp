@@ -27,25 +27,45 @@ sim::Cycles run_train(const soc::SocConfig& cfg, unsigned jobs, std::uint64_t n,
   return soc.runtime().offload_sequence_blocking(std::move(train), m, pipelined).total();
 }
 
-void print_table() {
+struct TrainPoint {
+  bool extended = false;
+  std::uint64_t n = 0;
+};
+
+struct TrainResult {
+  sim::Cycles serial = 0;
+  sim::Cycles pipelined = 0;
+};
+
+void print_table(exp::SweepRunner& runner) {
   banner("E10: back-to-back offload trains — serial vs. pipelined runtime",
          "extension of SI motivation (fine-grained execution), DATE 2024");
 
   const unsigned jobs = 8;
+  const unsigned m = 8;
+  std::vector<TrainPoint> grid;
+  for (const bool extended : {false, true}) {
+    for (const std::uint64_t n : {256ull, 1024ull, 4096ull}) grid.push_back({extended, n});
+  }
+  const std::vector<TrainResult> results = runner.map(grid, [&](const TrainPoint& p) {
+    const soc::SocConfig cfg =
+        p.extended ? soc::SocConfig::extended(32) : soc::SocConfig::baseline(32);
+    TrainResult r;
+    r.serial = run_train(cfg, jobs, p.n, m, false);
+    r.pipelined = run_train(cfg, jobs, p.n, m, true);
+    runner.note_cycles(r.serial);
+    runner.note_cycles(r.pipelined);
+    return r;
+  });
+
   util::TablePrinter table({"design", "N", "M", "serial[cyc]", "pipelined[cyc]",
                             "saved/job", "per-job latency"});
-  for (const bool extended : {false, true}) {
-    for (const std::uint64_t n : {256ull, 1024ull, 4096ull}) {
-      const unsigned m = 8;
-      const soc::SocConfig cfg =
-          extended ? soc::SocConfig::extended(32) : soc::SocConfig::baseline(32);
-      const auto serial = run_train(cfg, jobs, n, m, false);
-      const auto pipelined = run_train(cfg, jobs, n, m, true);
-      table.add_row({extended ? "extended" : "baseline", fmt_u64(n), fmt_u64(m),
-                     fmt_u64(serial), fmt_u64(pipelined),
-                     fmt_fix(static_cast<double>(serial - pipelined) / (jobs - 1), 1),
-                     fmt_u64(pipelined / jobs)});
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const TrainResult& r = results[i];
+    table.add_row({grid[i].extended ? "extended" : "baseline", fmt_u64(grid[i].n), fmt_u64(m),
+                   fmt_u64(r.serial), fmt_u64(r.pipelined),
+                   fmt_fix(static_cast<double>(r.serial - r.pipelined) / (jobs - 1), 1),
+                   fmt_u64(r.pipelined / jobs)});
   }
   table.print(std::cout);
   std::printf("\n%u-job trains; pipelining hides ~the marshalling cost (%u+ cycles) of\n"
@@ -56,10 +76,11 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_table();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 8);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_table(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 8);
   benchmark::RegisterBenchmark("pipeline/extended/8jobs", [](benchmark::State& state) {
     sim::Cycles cycles = 0;
     for (auto _ : state) {

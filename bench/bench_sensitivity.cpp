@@ -17,40 +17,15 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-struct Probe {
-  double speedup32 = 0;
-  unsigned baseline_best_m = 0;
+const std::vector<unsigned> kMs{1, 2, 4, 8, 16, 32};
+
+struct Row {
+  std::string label;
+  std::function<void(soc::SocConfig&)> tweak;
 };
 
-Probe probe(const std::function<void(soc::SocConfig&)>& tweak) {
-  soc::SocConfig base_cfg = soc::SocConfig::baseline(32);
-  soc::SocConfig ext_cfg = soc::SocConfig::extended(32);
-  tweak(base_cfg);
-  tweak(ext_cfg);
-
-  Probe p;
-  sim::Cycles best = ~0ull;
-  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    const auto t = daxpy_cycles(base_cfg, 1024, m);
-    if (t < best) {
-      best = t;
-      p.baseline_best_m = m;
-    }
-  }
-  p.speedup32 = static_cast<double>(daxpy_cycles(base_cfg, 1024, 32)) /
-                static_cast<double>(daxpy_cycles(ext_cfg, 1024, 32));
-  return p;
-}
-
-void print_table() {
-  banner("E12: robustness of the conclusions to calibration parameters",
-         "sensitivity analysis (methodological extension), DATE 2024");
-
-  struct Row {
-    std::string label;
-    std::function<void(soc::SocConfig&)> tweak;
-  };
-  const std::vector<Row> rows = {
+const std::vector<Row>& rows() {
+  static const std::vector<Row> kRows = {
       {"calibrated (reference)", [](soc::SocConfig&) {}},
       {"HBM bandwidth 8 B/cyc", [](soc::SocConfig& c) { c.hbm.beats_per_cycle = 8; }},
       {"HBM bandwidth 24 B/cyc", [](soc::SocConfig& c) { c.hbm.beats_per_cycle = 24; }},
@@ -77,14 +52,46 @@ void print_table() {
       {"4 workers per cluster", [](soc::SocConfig& c) { c.cluster.num_workers = 4; }},
       {"slow wakeup (60 cyc)", [](soc::SocConfig& c) { c.cluster.wakeup_latency = 60; }},
   };
+  return kRows;
+}
+
+void print_table(exp::SweepRunner& runner) {
+  banner("E12: robustness of the conclusions to calibration parameters",
+         "sensitivity analysis (methodological extension), DATE 2024");
+
+  // Every perturbation is just another labeled config variant: the baseline
+  // cluster sweep plus the extended design at M=32, all in one point list.
+  std::vector<exp::RunPoint> points_to_run;
+  for (const Row& row : rows()) {
+    soc::SocConfig base_cfg = soc::SocConfig::baseline(32);
+    soc::SocConfig ext_cfg = soc::SocConfig::extended(32);
+    row.tweak(base_cfg);
+    row.tweak(ext_cfg);
+    for (const unsigned m : kMs) {
+      points_to_run.push_back(point(row.label + "/base", base_cfg, "daxpy", 1024, m));
+    }
+    points_to_run.push_back(point(row.label + "/ext", ext_cfg, "daxpy", 1024, 32));
+  }
+  const exp::ResultSet rs = runner.run("sensitivity", points_to_run);
 
   util::TablePrinter table({"perturbation", "speedup@(1024,32)", "baseline best M",
                             "ext wins", "interior min"});
-  for (const auto& row : rows) {
-    const Probe p = probe(row.tweak);
-    table.add_row({row.label, fmt_fix(p.speedup32), fmt_u64(p.baseline_best_m),
-                   p.speedup32 > 1.0 ? "yes" : "NO",
-                   p.baseline_best_m > 1 && p.baseline_best_m < 32 ? "yes" : "NO"});
+  for (const Row& row : rows()) {
+    sim::Cycles best = ~0ull;
+    unsigned best_m = 0;
+    for (const unsigned m : kMs) {
+      const auto t = rs.cycles(row.label + "/base", "daxpy", 1024, m);
+      if (t < best) {
+        best = t;
+        best_m = m;
+      }
+    }
+    const double speedup32 =
+        static_cast<double>(rs.cycles(row.label + "/base", "daxpy", 1024, 32)) /
+        static_cast<double>(rs.cycles(row.label + "/ext", "daxpy", 1024, 32));
+    table.add_row({row.label, fmt_fix(speedup32), fmt_u64(best_m),
+                   speedup32 > 1.0 ? "yes" : "NO",
+                   best_m > 1 && best_m < 32 ? "yes" : "NO"});
   }
   table.print(std::cout);
   std::printf("\nthe magnitude of the speedup moves with the calibration, the paper's\n"
@@ -95,10 +102,11 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_table();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_table(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024, 32);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,18 +14,29 @@ namespace {
 using namespace mco;
 using namespace mco::bench;
 
-void print_table() {
+const std::vector<unsigned> kMs{1, 2, 4, 8, 16, 32};
+
+void print_table(exp::SweepRunner& runner) {
   banner("E14: weak scaling — DAXPY with N = 1024 x M",
          "systems-level extension of SIII, DATE 2024");
 
+  // Weak scaling couples N to M (N = 1024·M), so this is an explicit point
+  // list rather than a rectangular grid.
+  std::vector<exp::RunPoint> points_to_run;
+  for (const unsigned m : kMs) {
+    const std::uint64_t n = 1024ull * m;
+    points_to_run.push_back(point("baseline", soc::SocConfig::baseline(32), "daxpy", n, m));
+    points_to_run.push_back(point("extended", soc::SocConfig::extended(32), "daxpy", n, m));
+  }
+  const exp::ResultSet rs = runner.run("weak_scaling", points_to_run);
+
   util::TablePrinter table({"M", "N", "baseline[cyc]", "extended[cyc]", "ideal[cyc]",
                             "efficiency", "HBM-bound frac"});
-  sim::Cycles ext1 = 0;
-  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+  const sim::Cycles ext1 = rs.cycles("extended", "daxpy", 1024, 1);
+  for (const unsigned m : kMs) {
     const std::uint64_t n = 1024ull * m;
-    const auto base = daxpy_cycles(soc::SocConfig::baseline(32), n, m);
-    const auto ext = daxpy_cycles(soc::SocConfig::extended(32), n, m);
-    if (m == 1) ext1 = ext;
+    const auto base = rs.cycles("baseline", "daxpy", n, m);
+    const auto ext = rs.cycles("extended", "daxpy", n, m);
     // Ideal weak scaling: constant runtime (the M=1 time).
     const double eff = static_cast<double>(ext1) / static_cast<double>(ext);
     const double data_frac = (static_cast<double>(n) / 4.0) / static_cast<double>(ext);
@@ -42,10 +53,11 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mco::soc::ObservabilityOptions obs =
-      mco::soc::observability_from_args(argc, argv);
-  print_table();
-  mco::bench::export_canonical_run(obs, mco::soc::SocConfig::extended(32), "daxpy", 32768, 32);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  print_table(runner);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 32768, 32);
   register_offload_benchmark("weak_scaling/extended/M=32", mco::soc::SocConfig::extended(32),
                              "daxpy", 32768, 32);
   benchmark::Initialize(&argc, argv);

@@ -5,14 +5,20 @@
 //   fig1_right.csv   N, M, speedup
 //   model_mape.csv   N, M, measured, predicted, abs_err_percent
 //   ablation.csv     M, baseline, multicast_only, hw_sync_only, both
+//   sweep.json       every simulated point, schema mco-sweep-v1
 //
-// Usage: export_results [--outdir=results] [--quick]
+// Each figure is a declarative exp::ExperimentSpec; --jobs=N runs the
+// underlying simulations on a thread pool (the emitted files are
+// byte-identical for any job count).
+//
+// Usage: export_results [--outdir=results] [--quick] [--jobs=N]
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
+#include "exp/sweep_runner.h"
 #include "model/runtime_model.h"
 #include "soc/observability.h"
-#include "soc/workloads.h"
 #include "util/cli.h"
 #include "util/csv.h"
 
@@ -20,8 +26,43 @@ namespace {
 
 using namespace mco;
 
-sim::Cycles daxpy_cycles(const soc::SocConfig& cfg, std::uint64_t n, unsigned m) {
-  return soc::run_daxpy(cfg, n, m).total();
+exp::ExperimentSpec fig1_left_spec(const std::vector<unsigned>& ms) {
+  exp::ExperimentSpec spec;
+  spec.name = "fig1_left";
+  spec.configs = {{"baseline", soc::SocConfig::baseline(64)},
+                  {"extended", soc::SocConfig::extended(64)}};
+  spec.ms = ms;
+  return spec;
+}
+
+exp::ExperimentSpec fig1_right_spec(const std::vector<unsigned>& ms) {
+  exp::ExperimentSpec spec;
+  spec.name = "fig1_right";
+  spec.configs = {{"baseline", soc::SocConfig::baseline(32)},
+                  {"extended", soc::SocConfig::extended(32)}};
+  spec.ns = {1024, 2048, 4096, 8192, 16384};
+  spec.ms = ms;
+  return spec;
+}
+
+exp::ExperimentSpec model_mape_spec(const std::vector<unsigned>& ms) {
+  exp::ExperimentSpec spec;
+  spec.name = "model_mape";
+  spec.configs = {{"extended", soc::SocConfig::extended(32)}};
+  spec.ns = {256, 512, 768, 1024};
+  spec.ms = ms;
+  return spec;
+}
+
+exp::ExperimentSpec ablation_spec(const std::vector<unsigned>& ms) {
+  exp::ExperimentSpec spec;
+  spec.name = "ablation";
+  spec.configs = {{"baseline", soc::SocConfig::with_features(32, {false, false})},
+                  {"multicast_only", soc::SocConfig::with_features(32, {true, false})},
+                  {"hw_sync_only", soc::SocConfig::with_features(32, {false, true})},
+                  {"both", soc::SocConfig::with_features(32, {true, true})}};
+  spec.ms = ms;
+  return spec;
 }
 
 }  // namespace
@@ -31,47 +72,56 @@ int main(int argc, char** argv) {
   const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
   const std::string outdir = cli.get("outdir", "results");
   const bool quick = cli.get_bool("quick", false);
+  exp::SweepRunner runner(static_cast<unsigned>(cli.get_int("jobs", 1)));
   std::filesystem::create_directories(outdir);
 
   const std::vector<unsigned> ms = quick ? std::vector<unsigned>{1, 8, 32}
                                          : std::vector<unsigned>{1, 2, 4, 8, 16, 32, 64};
+  std::vector<unsigned> ms32;
+  for (const unsigned m : ms) {
+    if (m <= 32) ms32.push_back(m);
+  }
+
+  std::vector<exp::ResultSet> all;
 
   {
+    const exp::ResultSet rs = runner.run(fig1_left_spec(ms));
     util::CsvWriter csv(outdir + "/fig1_left.csv");
     csv.row({"M", "baseline_cycles", "extended_cycles"});
     for (const unsigned m : ms) {
       csv.cell(m)
-          .cell(daxpy_cycles(soc::SocConfig::baseline(64), 1024, m))
-          .cell(daxpy_cycles(soc::SocConfig::extended(64), 1024, m));
+          .cell(rs.cycles("baseline", "daxpy", 1024, m))
+          .cell(rs.cycles("extended", "daxpy", 1024, m));
       csv.end_row();
     }
     std::printf("wrote %s/fig1_left.csv (%zu rows)\n", outdir.c_str(), csv.rows_written());
+    all.push_back(rs);
   }
 
   {
+    const exp::ResultSet rs = runner.run(fig1_right_spec(ms32));
     util::CsvWriter csv(outdir + "/fig1_right.csv");
     csv.row({"N", "M", "speedup"});
     for (const std::uint64_t n : {1024ull, 2048ull, 4096ull, 8192ull, 16384ull}) {
-      for (const unsigned m : ms) {
-        if (m > 32) continue;
-        const double s =
-            static_cast<double>(daxpy_cycles(soc::SocConfig::baseline(32), n, m)) /
-            static_cast<double>(daxpy_cycles(soc::SocConfig::extended(32), n, m));
+      for (const unsigned m : ms32) {
+        const double s = static_cast<double>(rs.cycles("baseline", "daxpy", n, m)) /
+                         static_cast<double>(rs.cycles("extended", "daxpy", n, m));
         csv.cell(n).cell(m).cell(s);
         csv.end_row();
       }
     }
     std::printf("wrote %s/fig1_right.csv (%zu rows)\n", outdir.c_str(), csv.rows_written());
+    all.push_back(rs);
   }
 
   {
     const model::RuntimeModel paper = model::paper_daxpy_model();
+    const exp::ResultSet rs = runner.run(model_mape_spec(ms32));
     util::CsvWriter csv(outdir + "/model_mape.csv");
     csv.row({"N", "M", "measured_cycles", "predicted_cycles", "abs_err_percent"});
     for (const std::uint64_t n : {256ull, 512ull, 768ull, 1024ull}) {
-      for (const unsigned m : ms) {
-        if (m > 32) continue;
-        const auto t = daxpy_cycles(soc::SocConfig::extended(32), n, m);
+      for (const unsigned m : ms32) {
+        const auto t = rs.cycles("extended", "daxpy", n, m);
         const double pred = paper.predict(m, n);
         csv.cell(n).cell(m).cell(t).cell(pred).cell(
             100.0 * std::abs(static_cast<double>(t) - pred) / static_cast<double>(t));
@@ -79,21 +129,35 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("wrote %s/model_mape.csv (%zu rows)\n", outdir.c_str(), csv.rows_written());
+    all.push_back(rs);
   }
 
   {
+    const exp::ResultSet rs = runner.run(ablation_spec(ms32));
     util::CsvWriter csv(outdir + "/ablation.csv");
     csv.row({"M", "baseline", "multicast_only", "hw_sync_only", "both"});
-    for (const unsigned m : ms) {
-      if (m > 32) continue;
+    for (const unsigned m : ms32) {
       csv.cell(m)
-          .cell(daxpy_cycles(soc::SocConfig::with_features(32, {false, false}), 1024, m))
-          .cell(daxpy_cycles(soc::SocConfig::with_features(32, {true, false}), 1024, m))
-          .cell(daxpy_cycles(soc::SocConfig::with_features(32, {false, true}), 1024, m))
-          .cell(daxpy_cycles(soc::SocConfig::with_features(32, {true, true}), 1024, m));
+          .cell(rs.cycles("baseline", "daxpy", 1024, m))
+          .cell(rs.cycles("multicast_only", "daxpy", 1024, m))
+          .cell(rs.cycles("hw_sync_only", "daxpy", 1024, m))
+          .cell(rs.cycles("both", "daxpy", 1024, m));
       csv.end_row();
     }
     std::printf("wrote %s/ablation.csv (%zu rows)\n", outdir.c_str(), csv.rows_written());
+    all.push_back(rs);
+  }
+
+  // Machine-readable dump of every simulated point (one sweep per figure).
+  {
+    std::ofstream out(outdir + "/sweep.json");
+    out << "[\n";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      out << all[i].to_json();
+      out << (i + 1 < all.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    std::printf("wrote %s/sweep.json (%zu sweeps)\n", outdir.c_str(), all.size());
   }
 
   soc::export_canonical_offload(obs, soc::SocConfig::extended(32), "daxpy", 1024, 32);

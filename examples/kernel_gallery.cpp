@@ -1,10 +1,14 @@
 // Gallery: offload every built-in kernel, verify its result against the
 // host reference, and show runtime + data/compute character.
 //
-// Usage: kernel_gallery [--n=1024] [--clusters=16]
+// The per-kernel offloads form one explicit sweep executed by the
+// exp::SweepRunner, so --jobs=N runs them concurrently (same table bytes).
+//
+// Usage: kernel_gallery [--n=1024] [--clusters=16] [--jobs=1]
 #include <cstdio>
 #include <iostream>
 
+#include "exp/sweep_runner.h"
 #include "soc/observability.h"
 #include "soc/workloads.h"
 #include "util/cli.h"
@@ -17,19 +21,32 @@ int main(int argc, char** argv) {
   const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
   const auto n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
   const auto m = static_cast<unsigned>(cli.get_int("clusters", 16));
+  exp::SweepRunner runner(static_cast<unsigned>(cli.get_int("jobs", 1)));
 
   std::printf("offloading every kernel: n=%llu, M=%u (extended design)\n\n",
               static_cast<unsigned long long>(n), m);
 
+  soc::Soc probe(soc::SocConfig::extended(m));
+  std::vector<exp::RunPoint> points;
+  for (const kernels::Kernel* k : probe.kernels().all()) {
+    exp::RunPoint p;
+    p.config_label = "extended";
+    p.cfg = soc::SocConfig::extended(m);
+    p.kernel = k->name();
+    // GEMV's n is a row count; keep its matrix TCDM-friendly.
+    p.n = k->name() == "gemv" ? std::min<std::uint64_t>(n / 8, 96) : n;
+    p.m = m;
+    p.seed = 11;
+    p.tolerance = k->name() == "saxpy" ? 1e-5 : 1e-9;
+    points.push_back(std::move(p));
+  }
+  const exp::ResultSet rs = runner.run("kernel_gallery", points);
+
   util::TablePrinter table({"kernel", "cycles", "payload[words]", "bytes in", "bytes out",
                             "host-epilogue", "verified"});
-  soc::Soc probe(soc::SocConfig::extended(m));
   for (const kernels::Kernel* k : probe.kernels().all()) {
-    // GEMV's n is a row count; keep its matrix TCDM-friendly.
     const std::uint64_t kn = k->name() == "gemv" ? std::min<std::uint64_t>(n / 8, 96) : n;
-    soc::Soc soc(soc::SocConfig::extended(m));
-    const double tol = k->name() == "saxpy" ? 1e-5 : 1e-9;
-    const auto r = soc::run_verified(soc, k->name(), kn, m, /*seed=*/11, tol);
+    const exp::PointResult& r = rs.find("extended", k->name(), kn, m, /*seed=*/11);
 
     std::size_t bytes_in = 0;
     std::size_t bytes_out = 0;
@@ -42,7 +59,7 @@ int main(int argc, char** argv) {
       bytes_out += plan.bytes_out();
     }
     const bool has_epilogue = k->host_epilogue_cycles(job.args, m) > 0;
-    table.add_row({k->name(), std::to_string(r.total()), std::to_string(r.payload_words),
+    table.add_row({k->name(), std::to_string(r.total), std::to_string(r.payload_words),
                    util::human_bytes(bytes_in), util::human_bytes(bytes_out),
                    has_epilogue ? "yes" : "no", "yes"});
   }

@@ -8,10 +8,14 @@
 //    paths compute the same result through the same kernel arithmetic — and
 //    check the decision was right by also timing the alternative.
 //
-// Usage: offload_decision [--clusters=32] [--tmax=700]
+// The calibration grid and the validation runs execute on the
+// exp::SweepRunner thread pool (--jobs=N), with byte-identical output.
+//
+// Usage: offload_decision [--clusters=32] [--tmax=700] [--jobs=1]
 #include <cstdio>
 #include <iostream>
 
+#include "exp/sweep_runner.h"
 #include "model/decision.h"
 #include "model/fitter.h"
 #include "soc/observability.h"
@@ -24,54 +28,73 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const soc::ObservabilityOptions obs = soc::observability_from_cli(cli);
   const auto m_max = static_cast<unsigned>(cli.get_int("clusters", 32));
+  exp::SweepRunner runner(static_cast<unsigned>(cli.get_int("jobs", 1)));
 
   // --- 1. calibrate the model from simulated measurements -------------------
+  exp::ExperimentSpec calib;
+  calib.name = "decision_calibration";
+  calib.configs = {{"extended", soc::SocConfig::extended(m_max)}};
+  calib.ns = {256, 512, 1024, 2048};
+  calib.ms.clear();
+  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    if (m <= m_max) calib.ms.push_back(m);
+  }
+  const exp::ResultSet calib_rs = runner.run(calib);
   std::vector<model::Sample> samples;
-  for (const std::uint64_t n : {256ull, 512ull, 1024ull, 2048ull}) {
-    for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
-      if (m > m_max) continue;
-      samples.push_back(model::Sample{
-          m, n,
-          static_cast<double>(soc::run_daxpy(soc::SocConfig::extended(m_max), n, m).total())});
-    }
+  for (const exp::PointResult& r : calib_rs.rows()) {
+    samples.push_back(model::Sample{r.point.m, r.point.n, static_cast<double>(r.total)});
   }
   const auto fit = model::fit_runtime_model(samples);
   std::printf("fitted DAXPY model: %s   (paper Eq.1: t0=367, a=0.25, b=0.325)\n\n",
               fit.model.describe().c_str());
 
   // --- 2 + 3. decide offload-vs-host per problem size and validate ----------
-  util::TablePrinter table({"N", "decision", "M", "t_model", "t_offl(sim)", "t_host(sim)",
-                            "decision right?"});
-  for (const std::uint64_t n : {32ull, 64ull, 128ull, 256ull, 1024ull, 4096ull, 16384ull}) {
+  const std::vector<std::uint64_t> ns{32, 64, 128, 256, 1024, 4096, 16384};
+
+  struct Validation {
+    model::OffloadDecision d;
+    sim::Cycles offload_cycles = 0;
+    sim::Cycles host_cycles = 0;
+  };
+  const std::vector<Validation> validations = runner.map(ns, [&](const std::uint64_t& n) {
+    Validation v;
     // Host cost prediction from the kernel's own host model (4 cycles/elem).
     soc::Soc probe(soc::SocConfig::extended(m_max));
     sim::Rng rng(7);
     const auto job = soc::prepare_workload(probe, probe.kernels().by_name("daxpy"), n, m_max, rng);
     const double t_host_pred =
         static_cast<double>(probe.kernels().by_name("daxpy").host_execute_cycles(job.args));
-
-    const model::OffloadDecision d = model::decide_offload(fit.model, n, t_host_pred, m_max);
+    v.d = model::decide_offload(fit.model, n, t_host_pred, m_max);
 
     // Validate both paths in simulation (fresh SoCs for clean timing).
     soc::Soc off_soc(soc::SocConfig::extended(m_max));
-    const auto off = soc::run_verified(off_soc, "daxpy", n, d.offload ? d.m : m_max);
+    const auto off = soc::run_verified(off_soc, "daxpy", n, v.d.offload ? v.d.m : m_max);
+    v.offload_cycles = off.total();
+    runner.note_cycles(v.offload_cycles);
     soc::Soc host_soc(soc::SocConfig::extended(m_max));
     sim::Rng rng2(7);
     auto host_job =
         soc::prepare_workload(host_soc, host_soc.kernels().by_name("daxpy"), n, m_max, rng2);
     const auto host_run = host_soc.runtime().execute_on_host_blocking(host_job.args);
     if (host_job.max_abs_error(host_soc) > 1e-9) {
-      std::fprintf(stderr, "host path verification failed\n");
-      return 1;
+      throw std::runtime_error("host path verification failed");
     }
+    v.host_cycles = host_run.total();
+    runner.note_cycles(v.host_cycles);
+    return v;
+  });
 
-    const bool offload_faster = off.total() < host_run.total();
-    table.add_row({std::to_string(n), d.offload ? "offload" : "host",
-                   d.offload ? std::to_string(d.m) : "-",
+  util::TablePrinter table({"N", "decision", "M", "t_model", "t_offl(sim)", "t_host(sim)",
+                            "decision right?"});
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const Validation& v = validations[i];
+    const bool offload_faster = v.offload_cycles < v.host_cycles;
+    table.add_row({std::to_string(ns[i]), v.d.offload ? "offload" : "host",
+                   v.d.offload ? std::to_string(v.d.m) : "-",
                    std::to_string(static_cast<std::uint64_t>(
-                       d.offload ? d.t_offload : d.t_host)),
-                   std::to_string(off.total()), std::to_string(host_run.total()),
-                   d.offload == offload_faster ? "yes" : "NO"});
+                       v.d.offload ? v.d.t_offload : v.d.t_host)),
+                   std::to_string(v.offload_cycles), std::to_string(v.host_cycles),
+                   v.d.offload == offload_faster ? "yes" : "NO"});
   }
   table.print(std::cout);
 

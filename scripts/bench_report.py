@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Bench-suite sweep report: wall-clock vs. simulated cycles trajectory.
+
+Runs every paper-reproduction bench binary with the sweep engine's ``--jobs``
+flag (tables only — google-benchmark cases are skipped via
+``--benchmark_filter=NONE``), parses the deterministic machine-readable
+footer each bench prints::
+
+    [sweep] points=<N> sim_cycles=<C>
+
+and appends one record per invocation to ``BENCH_sweep.json`` — a trajectory
+file: each run of this script adds entries, so the file accumulates a history
+of (simulator wall-clock, simulated cycles, points, jobs) across commits.
+The simulated-cycle counts are scheduling-invariant, so any drift between two
+records at the same bench/jobs is a real behaviour change, while wall-clock
+differences measure host parallelism.
+
+Usage:
+  python3 scripts/bench_report.py [--build build] [--jobs 1] [--out BENCH_sweep.json]
+                                  [--bench bench_fig1_left ...] [--label note]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+BENCHES = [
+    "bench_fig1_left",
+    "bench_fig1_right",
+    "bench_model_mape",
+    "bench_headline",
+    "bench_decision",
+    "bench_ablation_features",
+    "bench_phase_breakdown",
+    "bench_kernel_sweep",
+    "bench_energy",
+    "bench_pipeline",
+    "bench_isa_validation",
+    "bench_sensitivity",
+    "bench_iss_mode",
+    "bench_weak_scaling",
+    "bench_data_prep",
+    "bench_fault_sweep",
+]
+
+FOOTER_RE = re.compile(r"^\[sweep\] points=(\d+) sim_cycles=(\d+)$", re.MULTILINE)
+
+
+def run_bench(binary: Path, jobs: int) -> dict:
+    start = time.monotonic()
+    proc = subprocess.run(
+        [str(binary), f"--jobs={jobs}", "--benchmark_filter=NONE"],
+        capture_output=True,
+        text=True,
+    )
+    wall_s = time.monotonic() - start
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{binary.name} failed with exit code {proc.returncode}:\n{proc.stderr[-2000:]}"
+        )
+    m = FOOTER_RE.search(proc.stdout)
+    if not m:
+        raise RuntimeError(f"{binary.name}: no '[sweep] points=... sim_cycles=...' footer found")
+    return {
+        "bench": binary.name,
+        "jobs": jobs,
+        "points": int(m.group(1)),
+        "sim_cycles": int(m.group(2)),
+        "wall_seconds": round(wall_s, 3),
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build", help="build directory (default: build)")
+    ap.add_argument("--jobs", type=int, default=1, help="sweep worker threads per bench")
+    ap.add_argument("--out", default=str(REPO / "BENCH_sweep.json"),
+                    help="trajectory file to append to")
+    ap.add_argument("--bench", nargs="*", default=None,
+                    help="subset of bench binaries (default: all 16)")
+    ap.add_argument("--label", default="", help="free-form note stored with this batch")
+    args = ap.parse_args()
+
+    bench_dir = (REPO / args.build / "bench").resolve()
+    names = args.bench if args.bench else BENCHES
+    missing = [n for n in names if not (bench_dir / n).exists()]
+    if missing:
+        print(f"error: bench binaries not found in {bench_dir}: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    batch = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "jobs": args.jobs,
+        "label": args.label,
+        "runs": [],
+    }
+    total_wall = 0.0
+    total_cycles = 0
+    for name in names:
+        rec = run_bench(bench_dir / name, args.jobs)
+        batch["runs"].append(rec)
+        total_wall += rec["wall_seconds"]
+        total_cycles += rec["sim_cycles"]
+        print(f"{name:24s} jobs={args.jobs} points={rec['points']:5d} "
+              f"sim_cycles={rec['sim_cycles']:12d} wall={rec['wall_seconds']:.3f}s")
+    batch["total_wall_seconds"] = round(total_wall, 3)
+    batch["total_sim_cycles"] = total_cycles
+
+    out = Path(args.out)
+    history = []
+    if out.exists():
+        history = json.loads(out.read_text())
+        if not isinstance(history, list):
+            print(f"error: {out} exists but is not a JSON list", file=sys.stderr)
+            return 2
+    history.append(batch)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"\nappended batch of {len(batch['runs'])} runs to {out} "
+          f"({total_wall:.1f}s wall, {total_cycles} simulated cycles)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+#include "exp/result_set.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace mco::exp {
+
+std::string ResultSet::key(const std::string& config_label, const std::string& kernel,
+                           std::uint64_t n, unsigned m, std::uint64_t seed) {
+  return config_label + '\x1f' + kernel +
+         util::format("\x1f%llu\x1f%u\x1f%llu", static_cast<unsigned long long>(n), m,
+                      static_cast<unsigned long long>(seed));
+}
+
+ResultSet::ResultSet(std::string name, std::vector<PointResult> rows)
+    : name_(std::move(name)), rows_(std::move(rows)) {
+  index_.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const RunPoint& p = rows_[i].point;
+    index_.emplace_back(key(p.config_label, p.kernel, p.n, p.m, p.seed), i);
+  }
+  std::sort(index_.begin(), index_.end());
+}
+
+const PointResult& ResultSet::find(const std::string& config_label, const std::string& kernel,
+                                   std::uint64_t n, unsigned m, std::uint64_t seed) const {
+  const std::string k = key(config_label, kernel, n, m, seed);
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), k,
+      [](const std::pair<std::string, std::size_t>& e, const std::string& v) {
+        return e.first < v;
+      });
+  if (it == index_.end() || it->first != k) {
+    throw std::out_of_range(util::format(
+        "ResultSet '%s': no point (config=%s, kernel=%s, n=%llu, m=%u, seed=%llu)",
+        name_.c_str(), config_label.c_str(), kernel.c_str(),
+        static_cast<unsigned long long>(n), m, static_cast<unsigned long long>(seed)));
+  }
+  return rows_[it->second];
+}
+
+std::uint64_t ResultSet::total_sim_cycles() const {
+  std::uint64_t sum = 0;
+  for (const PointResult& r : rows_) sum += r.total;
+  return sum;
+}
+
+std::string ResultSet::to_csv() const {
+  util::CsvWriter csv;
+  csv.row({"config", "kernel", "n", "m", "seed", "total_cycles", "marshal", "sync_setup",
+           "dispatch", "wait", "epilogue", "max_abs_error", "degraded"});
+  for (const PointResult& r : rows_) {
+    csv.cell(r.point.config_label)
+        .cell(r.point.kernel)
+        .cell(r.point.n)
+        .cell(r.point.m)
+        .cell(r.point.seed)
+        .cell(r.total)
+        .cell(r.phases.marshal)
+        .cell(r.phases.sync_setup)
+        .cell(r.phases.dispatch)
+        .cell(r.phases.wait)
+        .cell(r.phases.epilogue)
+        .cell(r.max_abs_error)
+        .cell(r.degraded ? "true" : "false");
+    csv.end_row();
+  }
+  return csv.str();
+}
+
+std::string ResultSet::to_json() const {
+  std::string out = "{\n  \"schema\": \"mco-sweep-v1\",\n";
+  out += "  \"name\": \"" + name_ + "\",\n";
+  out += util::format("  \"points\": [");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const PointResult& r = rows_[i];
+    out += i ? ",\n    " : "\n    ";
+    out += util::format(
+        "{\"config\": \"%s\", \"kernel\": \"%s\", \"n\": %llu, \"m\": %u, \"seed\": %llu, "
+        "\"total_cycles\": %llu, \"phases\": {\"marshal\": %llu, \"sync_setup\": %llu, "
+        "\"dispatch\": %llu, \"wait\": %llu, \"epilogue\": %llu}, \"max_abs_error\": %.17g, "
+        "\"degraded\": %s}",
+        r.point.config_label.c_str(), r.point.kernel.c_str(),
+        static_cast<unsigned long long>(r.point.n), r.point.m,
+        static_cast<unsigned long long>(r.point.seed),
+        static_cast<unsigned long long>(r.total),
+        static_cast<unsigned long long>(r.phases.marshal),
+        static_cast<unsigned long long>(r.phases.sync_setup),
+        static_cast<unsigned long long>(r.phases.dispatch),
+        static_cast<unsigned long long>(r.phases.wait),
+        static_cast<unsigned long long>(r.phases.epilogue), r.max_abs_error,
+        r.degraded ? "true" : "false");
+  }
+  out += rows_.empty() ? "],\n" : "\n  ],\n";
+  out += util::format("  \"total_sim_cycles\": %llu\n}\n",
+                      static_cast<unsigned long long>(total_sim_cycles()));
+  return out;
+}
+
+}  // namespace mco::exp

@@ -1,0 +1,66 @@
+// Ordered, queryable results of one sweep, with table/CSV/JSON emission.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/spec.h"
+#include "offload/offload_result.h"
+
+namespace mco::exp {
+
+/// Outcome of one RunPoint: the verified offload's host-observed timing.
+struct PointResult {
+  RunPoint point;
+  sim::Cycles total = 0;                 ///< offload latency (OffloadResult::total)
+  offload::PhaseBreakdown phases;        ///< Eq. (1) phase budget
+  std::uint64_t payload_words = 0;       ///< descriptor words marshalled
+  double max_abs_error = 0.0;            ///< measured output error vs. oracle
+  bool degraded = false;                 ///< completed below requested parallelism
+  std::uint64_t watchdog_timeouts = 0;   ///< recovery activity (0 when fault-free)
+  std::uint64_t retries = 0;
+};
+
+/// Results in RunPoint order — identical for any worker count, so every
+/// emission below is byte-stable across --jobs values.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  ResultSet(std::string name, std::vector<PointResult> rows);
+
+  const std::string& name() const { return name_; }
+  const std::vector<PointResult>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+  const PointResult& at(std::size_t i) const { return rows_.at(i); }
+
+  /// Coordinate lookup; throws std::out_of_range when the sweep holds no
+  /// such point (a typo'd lookup is an experiment bug, not a default).
+  const PointResult& find(const std::string& config_label, const std::string& kernel,
+                          std::uint64_t n, unsigned m, std::uint64_t seed = 42) const;
+  sim::Cycles cycles(const std::string& config_label, const std::string& kernel,
+                     std::uint64_t n, unsigned m, std::uint64_t seed = 42) const {
+    return find(config_label, kernel, n, m, seed).total;
+  }
+
+  /// Sum of all points' simulated cycles.
+  std::uint64_t total_sim_cycles() const;
+
+  /// CSV: one row per point (config,kernel,n,m,seed,total,phase columns...).
+  std::string to_csv() const;
+
+  /// JSON document, schema "mco-sweep-v1" (sibling of the stats registry's
+  /// "mco-metrics-v1"): sweep name, point list with coordinates, total and
+  /// phase breakdown. Deterministic key and point order.
+  std::string to_json() const;
+
+ private:
+  static std::string key(const std::string& config_label, const std::string& kernel,
+                         std::uint64_t n, unsigned m, std::uint64_t seed);
+
+  std::string name_ = "sweep";
+  std::vector<PointResult> rows_;
+  std::vector<std::pair<std::string, std::size_t>> index_;  ///< sorted key → row
+};
+
+}  // namespace mco::exp

@@ -1,0 +1,243 @@
+#include "exp/spec.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "soc/config_io.h"
+#include "util/strings.h"
+
+namespace mco::exp {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& key, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long out = std::stoull(v, &pos, 0);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(util::format(
+        "spec: key '%s' expects an unsigned integer, got '%s'", key.c_str(), v.c_str()));
+  }
+}
+
+double parse_f64(const std::string& key, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(
+        util::format("spec: key '%s' expects a number, got '%s'", key.c_str(), v.c_str()));
+  }
+}
+
+std::vector<std::string> parse_list(const std::string& value) {
+  std::vector<std::string> out;
+  for (const std::string& item : util::split(value, ',')) {
+    const std::string t = util::trim(item);
+    if (t.empty()) throw std::invalid_argument("spec: empty list element in '" + value + "'");
+    out.push_back(t);
+  }
+  return out;
+}
+
+/// "baseline(64)" / "extended" / "multicast_only(32)" / "default" → SocConfig.
+soc::SocConfig parse_preset(const std::string& label, const std::string& value) {
+  std::string name = value;
+  unsigned clusters = 32;
+  const std::size_t open = value.find('(');
+  if (open != std::string::npos) {
+    if (value.back() != ')')
+      throw std::invalid_argument("spec: malformed preset '" + value + "' for config." + label);
+    name = util::trim(value.substr(0, open));
+    clusters = static_cast<unsigned>(
+        parse_u64("config." + label, value.substr(open + 1, value.size() - open - 2)));
+  }
+  if (name == "baseline") return soc::SocConfig::baseline(clusters);
+  if (name == "extended") return soc::SocConfig::extended(clusters);
+  if (name == "multicast_only") return soc::SocConfig::with_features(clusters, {true, false});
+  if (name == "hw_sync_only") return soc::SocConfig::with_features(clusters, {false, true});
+  if (name == "default") {
+    soc::SocConfig cfg;
+    cfg.num_clusters = clusters;
+    cfg.address_map.num_clusters = clusters;
+    if (cfg.hbm.num_ports < clusters + 1) cfg.hbm.num_ports = clusters + 1;
+    return cfg;
+  }
+  throw std::invalid_argument(
+      util::format("spec: unknown config preset '%s' for config.%s (expected baseline, "
+                   "extended, multicast_only, hw_sync_only or default)",
+                   value.c_str(), label.c_str()));
+}
+
+}  // namespace
+
+std::vector<RunPoint> ExperimentSpec::points() const {
+  std::vector<ConfigVariant> variants = configs;
+  if (variants.empty()) variants.push_back({"extended", soc::SocConfig::extended(32)});
+  std::vector<RunPoint> out;
+  out.reserve(variants.size() * kernels.size() * ns.size() * ms.size() * seeds.size());
+  for (const ConfigVariant& v : variants) {
+    for (const std::string& kernel : kernels) {
+      for (const std::uint64_t n : ns) {
+        for (const unsigned m : ms) {
+          for (const std::uint64_t seed : seeds) {
+            RunPoint p;
+            p.config_label = v.label;
+            p.cfg = v.cfg;
+            p.kernel = kernel;
+            p.n = n;
+            p.m = m;
+            p.seed = seed;
+            p.tolerance = tolerance;
+            out.push_back(std::move(p));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ExperimentSpec load_spec_text(const std::string& text) {
+  ExperimentSpec spec;
+  bool saw_kernel = false, saw_n = false, saw_m = false, saw_seed = false;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(util::format("spec line %d: expected 'key = value', got '%s'",
+                                               lineno, trimmed.c_str()));
+    }
+    const std::string key = util::trim(trimmed.substr(0, eq));
+    const std::string value = util::trim(trimmed.substr(eq + 1));
+    try {
+      if (key == "name") {
+        spec.name = value;
+      } else if (key == "kernel") {
+        if (!saw_kernel) {
+          spec.kernels.clear();
+          saw_kernel = true;
+        }
+        for (const std::string& k : parse_list(value)) spec.kernels.push_back(k);
+      } else if (key == "n") {
+        if (!saw_n) {
+          spec.ns.clear();
+          saw_n = true;
+        }
+        for (const std::string& v : parse_list(value)) spec.ns.push_back(parse_u64(key, v));
+      } else if (key == "m") {
+        if (!saw_m) {
+          spec.ms.clear();
+          saw_m = true;
+        }
+        for (const std::string& v : parse_list(value))
+          spec.ms.push_back(static_cast<unsigned>(parse_u64(key, v)));
+      } else if (key == "seed") {
+        if (!saw_seed) {
+          spec.seeds.clear();
+          saw_seed = true;
+        }
+        for (const std::string& v : parse_list(value)) spec.seeds.push_back(parse_u64(key, v));
+      } else if (key == "tolerance") {
+        spec.tolerance = parse_f64(key, value);
+      } else if (util::starts_with(key, "config.")) {
+        const std::string rest = key.substr(7);
+        const std::size_t dot = rest.find('.');
+        if (rest.empty() || dot == 0) {
+          throw std::invalid_argument("spec: malformed config key '" + key + "'");
+        }
+        if (dot == std::string::npos) {
+          // config.<label> = <preset>: declares a new variant.
+          for (const ConfigVariant& v : spec.configs) {
+            if (v.label == rest)
+              throw std::invalid_argument("spec: duplicate config variant '" + rest + "'");
+          }
+          spec.configs.push_back({rest, parse_preset(rest, value)});
+        } else {
+          // config.<label>.<dotted-key> = <value>: overrides via config_io.
+          const std::string label = rest.substr(0, dot);
+          const std::string cfg_key = rest.substr(dot + 1);
+          ConfigVariant* variant = nullptr;
+          for (ConfigVariant& v : spec.configs) {
+            if (v.label == label) variant = &v;
+          }
+          if (!variant) {
+            throw std::invalid_argument(util::format(
+                "spec: config override for undeclared variant '%s' — declare "
+                "'config.%s = <preset>' first",
+                label.c_str(), label.c_str()));
+          }
+          variant->cfg = soc::load_text(cfg_key + " = " + value, variant->cfg);
+        }
+      } else {
+        throw std::invalid_argument("spec: unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(util::format("spec line %d: %s", lineno, e.what()));
+    }
+  }
+  return spec;
+}
+
+std::string save_spec_text(const ExperimentSpec& spec) {
+  const auto join = [](const std::vector<std::string>& items) {
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) out += ", ";
+      out += items[i];
+    }
+    return out;
+  };
+  std::vector<std::string> ns, ms, seeds;
+  for (const auto n : spec.ns) ns.push_back(util::format("%llu", static_cast<unsigned long long>(n)));
+  for (const auto m : spec.ms) ms.push_back(util::format("%u", m));
+  for (const auto s : spec.seeds) seeds.push_back(util::format("%llu", static_cast<unsigned long long>(s)));
+
+  std::string out = "# mcoffload experiment spec\n";
+  out += "name = " + spec.name + "\n";
+  out += "kernel = " + join(spec.kernels) + "\n";
+  out += "n = " + join(ns) + "\n";
+  out += "m = " + join(ms) + "\n";
+  out += "seed = " + join(seeds) + "\n";
+  out += util::format("tolerance = %.17g\n", spec.tolerance);
+  for (const ConfigVariant& v : spec.configs) {
+    // Anchor on the default preset, then emit every config_io key — the
+    // dotted dialect reproduces the exact SocConfig on load.
+    out += util::format("config.%s = default(%u)\n", v.label.c_str(), v.cfg.num_clusters);
+    std::istringstream lines(soc::save_text(v.cfg));
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      out += "config." + v.label + "." + line + "\n";
+    }
+  }
+  return out;
+}
+
+ExperimentSpec load_spec_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_spec_file: cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return load_spec_text(ss.str());
+}
+
+void save_spec_file(const ExperimentSpec& spec, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_spec_file: cannot open " + path);
+  f << save_spec_text(spec);
+}
+
+}  // namespace mco::exp

@@ -1,0 +1,73 @@
+// Declarative experiment descriptions: a run point is data, not a loop.
+//
+// Every paper experiment is a grid — {SoC design variants} × {kernel, N, M,
+// seed} — and the repo's benches all used to hand-roll the same nested loop
+// over it. ExperimentSpec names that grid once; expanding it yields the flat,
+// deterministically ordered list of RunPoints the SweepRunner executes.
+//
+// Specs can live in version-controlled text files using the same "key =
+// value" dialect as soc/config_io, with comma-separated lists for the grid
+// axes and per-variant config overrides through the existing dotted keys:
+//
+//   name = fig1_left
+//   kernel = daxpy
+//   n = 1024
+//   m = 1, 2, 4, 8, 16, 32, 64
+//   config.baseline = baseline(64)       # preset designs
+//   config.extended = extended(64)
+//   config.slow_hbm = extended(64)
+//   config.slow_hbm.hbm.beats_per_cycle = 8   # any soc/config_io key
+//
+// Unknown keys and malformed values are hard errors, as in config_io.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/config.h"
+
+namespace mco::exp {
+
+/// One labeled SoC design participating in a sweep.
+struct ConfigVariant {
+  std::string label;
+  soc::SocConfig cfg;
+};
+
+/// One fully resolved simulation: build a Soc from `cfg`, run `kernel` with
+/// problem size `n` on `m` clusters, workload seed `seed`, verify against
+/// the host oracle within `tolerance`.
+struct RunPoint {
+  std::string config_label;
+  soc::SocConfig cfg;
+  std::string kernel = "daxpy";
+  std::uint64_t n = 1024;
+  unsigned m = 1;
+  std::uint64_t seed = 42;
+  double tolerance = 1e-9;
+};
+
+/// A declarative grid of run points. points() expands the cross product
+/// config × kernel × n × m × seed in that (deterministic) nesting order.
+struct ExperimentSpec {
+  std::string name = "sweep";
+  std::vector<ConfigVariant> configs;  ///< empty = one extended(32) variant
+  std::vector<std::string> kernels{"daxpy"};
+  std::vector<std::uint64_t> ns{1024};
+  std::vector<unsigned> ms{1};
+  std::vector<std::uint64_t> seeds{42};
+  double tolerance = 1e-9;
+
+  std::vector<RunPoint> points() const;
+};
+
+/// Parse / render the spec-file dialect. load(save(spec)) == spec.
+ExperimentSpec load_spec_text(const std::string& text);
+std::string save_spec_text(const ExperimentSpec& spec);
+
+/// File variants; throw std::runtime_error if the file cannot be accessed.
+ExperimentSpec load_spec_file(const std::string& path);
+void save_spec_file(const ExperimentSpec& spec, const std::string& path);
+
+}  // namespace mco::exp

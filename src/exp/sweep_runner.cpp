@@ -1,0 +1,80 @@
+#include "exp/sweep_runner.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "sim/rng.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+#include "util/strings.h"
+
+namespace mco::exp {
+
+SweepRunner::SweepRunner(unsigned jobs) : pool_(jobs) {}
+
+PointResult SweepRunner::run_point(const RunPoint& point) {
+  soc::Soc soc(point.cfg);
+  const kernels::Kernel& kernel = soc.kernels().by_name(point.kernel);
+  sim::Rng rng(point.seed);
+  soc::PreparedJob job = soc::prepare_workload(soc, kernel, point.n, soc.num_clusters(), rng);
+  const offload::OffloadResult result = soc.run_offload(job.args, point.m);
+
+  PointResult out;
+  out.point = point;
+  out.total = result.total();
+  out.phases = result.phases();
+  out.payload_words = result.payload_words;
+  out.max_abs_error = job.max_abs_error(soc);
+  out.degraded = result.recovery.degraded;
+  out.watchdog_timeouts = result.recovery.watchdog_timeouts;
+  out.retries = result.recovery.retries;
+  if (out.max_abs_error > point.tolerance) {
+    throw std::runtime_error(util::format(
+        "SweepRunner: %s/%s n=%llu M=%u seed=%llu: result error %.3e exceeds tolerance %.3e",
+        point.config_label.c_str(), point.kernel.c_str(),
+        static_cast<unsigned long long>(point.n), point.m,
+        static_cast<unsigned long long>(point.seed), out.max_abs_error, point.tolerance));
+  }
+  return out;
+}
+
+ResultSet SweepRunner::run(const ExperimentSpec& spec) {
+  return run(spec.name, spec.points());
+}
+
+ResultSet SweepRunner::run(const std::string& name, const std::vector<RunPoint>& points) {
+  std::vector<PointResult> rows = map(points, [this](const RunPoint& p) {
+    PointResult r = run_point(p);
+    note_cycles(r.total);
+    return r;
+  });
+  return ResultSet(name, std::move(rows));
+}
+
+unsigned SweepRunner::jobs_from_args(int& argc, char** argv) {
+  unsigned jobs = 1;
+  if (const char* env = std::getenv("MCO_JOBS")) {
+    jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
+      continue;
+    }
+    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+      ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return jobs;
+}
+
+}  // namespace mco::exp

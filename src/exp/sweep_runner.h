@@ -1,0 +1,90 @@
+// The sweep engine: executes independent Soc simulations on a thread pool.
+//
+// Each run point builds a fresh Soc (see soc/soc.h's "many concurrent
+// instances" contract), runs one verified offload, and writes its result
+// into an index-addressed slot — so the collected output is bit-identical
+// for --jobs 1 and --jobs N, and parallelism is purely a wall-clock
+// optimization. Benches/examples with non-standard per-point work (energy
+// accounts, offload trains, ISS microbenchmarks) use the generic map() with
+// their own point → result function and inherit the same guarantee.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <type_traits>
+#include <vector>
+
+#include "exp/result_set.h"
+#include "exp/spec.h"
+#include "exp/thread_pool.h"
+
+namespace mco::exp {
+
+class SweepRunner {
+ public:
+  /// `jobs` simulations run concurrently; 1 = serial (no threads at all),
+  /// 0 = one per hardware thread.
+  explicit SweepRunner(unsigned jobs = 1);
+
+  unsigned jobs() const { return pool_.threads(); }
+
+  /// Expand the spec and run every point (verified offloads).
+  ResultSet run(const ExperimentSpec& spec);
+
+  /// Run an explicit point list (for non-rectangular grids).
+  ResultSet run(const std::string& name, const std::vector<RunPoint>& points);
+
+  /// Execute one standard point: fresh Soc, prepared workload, verified
+  /// offload. Throws std::runtime_error if the result error exceeds the
+  /// point's tolerance. Thread-safe (used by run(); callable from map fns).
+  static PointResult run_point(const RunPoint& point);
+
+  /// Deterministic parallel map: returns {fn(items[0]), ..., fn(items.back())}
+  /// in input order regardless of the execution interleaving. The result
+  /// type must be default-constructible. The first exception (in item
+  /// order) is rethrown after all items finish.
+  template <typename T, typename F>
+  auto map(const std::vector<T>& items, F fn)
+      -> std::vector<std::invoke_result_t<F&, const T&>> {
+    using R = std::invoke_result_t<F&, const T&>;
+    std::vector<R> out(items.size());
+    std::vector<std::exception_ptr> errors(items.size());
+    pool_.for_each_index(items.size(), [&](std::size_t i) {
+      try {
+        out[i] = fn(items[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return out;
+  }
+
+  /// Simulated cycles accumulated by run()/run_point via this runner, plus
+  /// any note_cycles() contributions — integer sum, so deterministic across
+  /// execution orders. Feeds the benches' machine-readable sweep footer.
+  std::uint64_t sim_cycles() const { return sim_cycles_.load(std::memory_order_relaxed); }
+  std::uint64_t points_run() const { return points_run_.load(std::memory_order_relaxed); }
+
+  /// Credit one custom-mapped simulation toward the aggregate counters.
+  void note_cycles(std::uint64_t cycles) {
+    sim_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+    points_run_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Extract and REMOVE --jobs=N / --jobs N from argc/argv (the shared
+  /// bench flag, stripped before benchmark::Initialize like the
+  /// observability flags). Absent flag: the MCO_JOBS environment variable,
+  /// else 1. "--jobs=0" means one job per hardware thread.
+  static unsigned jobs_from_args(int& argc, char** argv);
+
+ private:
+  ThreadPool pool_;
+  std::atomic<std::uint64_t> sim_cycles_{0};
+  std::atomic<std::uint64_t> points_run_{0};
+};
+
+}  // namespace mco::exp

@@ -1,0 +1,70 @@
+#include "exp/thread_pool.h"
+
+#include <algorithm>
+
+namespace mco::exp {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  num_threads_ = threads;
+  if (num_threads_ == 1) return;  // inline execution, no workers
+  workers_.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::for_each_index(std::size_t count,
+                                const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (num_threads_ == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    next_ = 0;
+    in_flight_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return next_ >= count_ && in_flight_ == 0; });
+  body_ = nullptr;
+  count_ = 0;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (generation_ != seen_generation && next_ < count_);
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    while (next_ < count_) {
+      const std::size_t i = next_++;
+      ++in_flight_;
+      lock.unlock();
+      (*body_)(i);
+      lock.lock();
+      --in_flight_;
+    }
+    if (in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace mco::exp

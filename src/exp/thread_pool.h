@@ -1,0 +1,62 @@
+// Fixed-size worker pool for the experiment sweep engine.
+//
+// The pool hands out item *indices*, not results: callers pre-size an
+// index-addressed output container and each worker writes only its own slot,
+// so no ordering decision is ever made by the scheduler. That is what makes
+// sweep output bit-identical for 1 worker and N workers — the parallelism is
+// invisible in the results, it only moves wall-clock time.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mco::exp {
+
+/// A fixed set of worker threads executing "run body(i) for i in [0, count)"
+/// jobs. Threads are started once in the constructor and joined in the
+/// destructor; with 1 thread requested no threads are started at all and
+/// work runs inline on the calling thread (a serial sweep has zero threading
+/// machinery in its execution path).
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threads() const { return num_threads_; }
+
+  /// Run body(0) .. body(count-1) across the pool and block until all
+  /// complete. Indices are claimed atomically in ascending order; `body`
+  /// must confine its effects to index-addressed state (and must not throw —
+  /// wrap exceptions into the per-index result instead, as
+  /// SweepRunner::map does). Only one for_each_index may be active at a
+  /// time per pool; concurrent calls serialize.
+  void for_each_index(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  unsigned num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mutex_;  ///< serializes concurrent for_each_index calls
+
+  std::mutex mutex_;  ///< guards everything below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;     ///< next unclaimed index
+  std::size_t in_flight_ = 0;  ///< indices claimed but not finished
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mco::exp

@@ -28,6 +28,11 @@ KernelRegistry KernelRegistry::standard() {
   return r;
 }
 
+const KernelRegistry& KernelRegistry::shared() {
+  static const KernelRegistry kShared = standard();
+  return kShared;
+}
+
 void KernelRegistry::register_kernel(std::unique_ptr<Kernel> kernel) {
   if (!kernel) throw std::invalid_argument("KernelRegistry: null kernel");
   const std::uint32_t id = kernel->id();

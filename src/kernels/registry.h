@@ -15,6 +15,14 @@ class KernelRegistry {
   /// Registry preloaded with every built-in kernel.
   static KernelRegistry standard();
 
+  /// Process-wide immutable registry of the built-in kernels. Initialized
+  /// exactly once (thread-safe magic static) and never mutated afterwards,
+  /// so any number of concurrently running simulations may resolve kernels
+  /// through it without synchronization. Code that needs extra kernels
+  /// builds its own registry via standard() + register_kernel() instead of
+  /// mutating this one.
+  static const KernelRegistry& shared();
+
   KernelRegistry() = default;
 
   /// Takes ownership; throws std::invalid_argument on duplicate id or name.

@@ -53,7 +53,7 @@ SocConfig SocConfig::with_features(unsigned num_clusters, SocFeatures features) 
   return cfg;
 }
 
-Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(kernels::KernelRegistry::standard()) {
+Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(&kernels::KernelRegistry::shared()) {
   if (cfg_.num_clusters == 0) throw std::invalid_argument("Soc: zero clusters");
   // Keep the derived sub-configs consistent even if the caller only set
   // num_clusters at the top level.
@@ -96,7 +96,7 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(kernels::KernelRegistry::standard
   clusters_.reserve(cfg_.num_clusters);
   for (unsigned i = 0; i < cfg_.num_clusters; ++i) {
     clusters_.push_back(std::make_unique<cluster::Cluster>(
-        *sim_, util::format("cluster%u", i), cfg_.cluster, i, registry_, *hbm_,
+        *sim_, util::format("cluster%u", i), cfg_.cluster, i, *registry_, *hbm_,
         /*hbm_port=*/i, *main_mem_, *map_, *noc_, *team_barrier_, root_.get()));
     noc_->set_cluster_sink(i, [c = clusters_.back().get()](const noc::DispatchMessage& m) {
       c->mailbox().deliver(m);
@@ -108,7 +108,7 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(kernels::KernelRegistry::standard
   sync_unit_->set_irq_callback([this] { intc_->raise(kOffloadIrqLine); });
 
   runtime_ = std::make_unique<offload::OffloadRuntime>(*sim_, cfg_.runtime, *host_, *noc_,
-                                                       *sync_unit_, *shared_counter_, registry_,
+                                                       *sync_unit_, *shared_counter_, *registry_,
                                                        *main_mem_, *map_);
   runtime_->set_cluster_probe([this](unsigned i) {
     const cluster::Cluster& c = *clusters_.at(i);

@@ -11,6 +11,16 @@ namespace mco::soc {
 /// Owns the simulator and every component, wired per SocConfig. One Soc is
 /// one experiment instance; building a fresh Soc per data point keeps runs
 /// independent and deterministic.
+///
+/// Thread-safety contract ("many concurrent instances"): a Soc and its
+/// entire component tree confine all mutable state to the instance — the
+/// only cross-instance state is the immutable KernelRegistry::shared() and
+/// per-call function-local constants. Any number of Soc instances may
+/// therefore be constructed, run and destroyed on concurrent threads (the
+/// exp::SweepRunner thread pool relies on this); a single Soc instance is
+/// NOT internally synchronized and must be driven from one thread at a
+/// time. Results stay bit-identical regardless of how runs are scheduled
+/// across threads.
 class Soc {
  public:
   explicit Soc(SocConfig cfg);
@@ -32,7 +42,7 @@ class Soc {
   host::HostCore& host() { return *host_; }
   cluster::Cluster& cluster(unsigned i) { return *clusters_.at(i); }
   unsigned num_clusters() const { return static_cast<unsigned>(clusters_.size()); }
-  const kernels::KernelRegistry& kernels() const { return registry_; }
+  const kernels::KernelRegistry& kernels() const { return *registry_; }
   offload::OffloadRuntime& runtime() { return *runtime_; }
   /// The fault injector, or nullptr when cfg.fault has no enabled fault.
   fault::FaultInjector* fault_injector() { return fault_.get(); }
@@ -65,7 +75,8 @@ class Soc {
 
  private:
   SocConfig cfg_;
-  kernels::KernelRegistry registry_;
+  /// The immutable shared registry — not per-instance state (see class docs).
+  const kernels::KernelRegistry* registry_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<mem::AddressMap> map_;
   std::unique_ptr<mem::MainMemory> main_mem_;

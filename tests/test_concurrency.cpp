@@ -1,0 +1,95 @@
+// Concurrency regression tests for the "many concurrent instances" contract
+// (soc/soc.h): any number of Soc simulations may run on concurrent threads.
+//
+// These tests are meaningful under any build but are specifically the
+// payload of the TSan configuration (-DMCO_SANITIZE=thread), which turns a
+// latent data race — e.g. a mutable shared kernel registry or a shared
+// stats sink — into a hard failure. See tests/CMakeLists.txt for the
+// tsan-gated ctest registration.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "exp/spec.h"
+#include "exp/sweep_runner.h"
+#include "kernels/registry.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+
+namespace mco {
+namespace {
+
+/// One verified DAXPY offload on a fresh Soc; returns the measured cycles.
+sim::Cycles one_offload(const soc::SocConfig& cfg, std::uint64_t n, unsigned m) {
+  soc::Soc soc(cfg);
+  return soc::run_verified(soc, "daxpy", n, m, /*seed=*/42).total();
+}
+
+TEST(Concurrency, TwoSocsOnConcurrentThreadsMatchSerialResults) {
+  // Serial reference.
+  const sim::Cycles ref_base = one_offload(soc::SocConfig::baseline(32), 1024, 32);
+  const sim::Cycles ref_ext = one_offload(soc::SocConfig::extended(32), 1024, 32);
+
+  // The same two simulations, concurrently, several times over to give a
+  // race detector scheduling variety.
+  for (int round = 0; round < 4; ++round) {
+    sim::Cycles base = 0;
+    sim::Cycles ext = 0;
+    std::thread t1([&] { base = one_offload(soc::SocConfig::baseline(32), 1024, 32); });
+    std::thread t2([&] { ext = one_offload(soc::SocConfig::extended(32), 1024, 32); });
+    t1.join();
+    t2.join();
+    EXPECT_EQ(base, ref_base);
+    EXPECT_EQ(ext, ref_ext);
+  }
+}
+
+TEST(Concurrency, ManyThreadsShareTheImmutableKernelRegistry) {
+  const kernels::KernelRegistry& shared = kernels::KernelRegistry::shared();
+  std::vector<std::thread> threads;
+  std::vector<sim::Cycles> results(8, 0);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] {
+      // Concurrent lookups on the shared registry + a Soc construction,
+      // which also reads it.
+      const kernels::Kernel& k = kernels::KernelRegistry::shared().by_name("daxpy");
+      EXPECT_EQ(&k, &shared.by_name("daxpy"));
+      results[i] = one_offload(soc::SocConfig::extended(8), 256, i % 4 + 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], one_offload(soc::SocConfig::extended(8), 256, i % 4 + 1));
+  }
+}
+
+TEST(Concurrency, EverySocSeesTheSameRegistryInstance) {
+  soc::Soc a(soc::SocConfig::baseline(8));
+  soc::Soc b(soc::SocConfig::extended(8));
+  EXPECT_EQ(&a.kernels(), &b.kernels());
+  EXPECT_EQ(&a.kernels(), &kernels::KernelRegistry::shared());
+}
+
+TEST(Concurrency, SweepRunnerParallelMatchesSerial) {
+  exp::ExperimentSpec spec;
+  spec.name = "tsan_sweep";
+  spec.configs = {{"baseline", soc::SocConfig::baseline(32)},
+                  {"extended", soc::SocConfig::extended(32)}};
+  spec.ns = {256, 1024};
+  spec.ms = {1, 8, 32};
+
+  exp::SweepRunner serial(1);
+  exp::SweepRunner parallel(4);
+  const exp::ResultSet ref = serial.run(spec);
+  const exp::ResultSet par = parallel.run(spec);
+  ASSERT_EQ(ref.size(), par.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref.at(i).total, par.at(i).total) << "point " << i;
+    EXPECT_EQ(ref.at(i).max_abs_error, par.at(i).max_abs_error) << "point " << i;
+  }
+  EXPECT_EQ(ref.to_json(), par.to_json());
+}
+
+}  // namespace
+}  // namespace mco
