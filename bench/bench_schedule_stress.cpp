@@ -1,0 +1,186 @@
+// E18 — schedule stress: protocol invariants under same-cycle commit-order
+// exploration. Every point of the E1 grid (both designs, M ∈ {1..64}) and
+// the E4 headline anchors run under N seeded permutations of each
+// simultaneously-ready wire batch (check::ScheduleExplorer), with a
+// check::ProtocolMonitor attached; then each PR 1 fault scenario
+// (fault::scenario_catalog) is explored the same way at the (N=1024, M=32)
+// anchor on both designs. The paper's protocol claim, machine-checked:
+//   * zero invariant violations on every schedule of every point;
+//   * fault-free cycle counts bit-identical across schedules (the protocol
+//     is commit-order invariant, so the paper's numbers are not an accident
+//     of the simulator's FIFO tie-break);
+//   * faulted runs stay numerically correct (each schedule is a different
+//     legal fault pattern, so cycles may spread — that spread is reported).
+//
+// Extra flags (stripped before benchmark::Initialize):
+//   --schedules=N        seeded schedules per point (default 8; min 2)
+//   --violations-out=F   write the aggregate "mco-violations-v1" JSON to F
+#include "bench_common.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "check/schedule_explorer.h"
+#include "fault/fault_injector.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+constexpr std::uint64_t kN = 1024;
+constexpr unsigned kAnchorM = 32;
+constexpr sim::Cycles kWatchdog = 2000;
+
+soc::SocConfig with_fault(soc::SocConfig cfg, const fault::FaultConfig& fc) {
+  cfg.runtime.watchdog_wait_cycles = kWatchdog;
+  cfg.fault = fc;
+  return cfg;
+}
+
+/// The explored grid: E1 (both designs × M sweep, fault-free) + the E4
+/// anchors + every catalog scenario on both designs at the anchor point.
+std::vector<exp::RunPoint> e18_points() {
+  std::vector<exp::RunPoint> points;
+  for (const unsigned m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    points.push_back(point("baseline", soc::SocConfig::baseline(64), "daxpy", kN, m));
+    points.push_back(point("extended", soc::SocConfig::extended(64), "daxpy", kN, m));
+  }
+  points.push_back(point("baseline32", soc::SocConfig::baseline(32), "daxpy", kN, kAnchorM));
+  points.push_back(point("extended32", soc::SocConfig::extended(32), "daxpy", kN, kAnchorM));
+  for (const fault::NamedScenario& sc : fault::scenario_catalog()) {
+    points.push_back(point("extended32/" + sc.name,
+                           with_fault(soc::SocConfig::extended(32), sc.cfg), "daxpy", kN,
+                           kAnchorM, 1e-5));
+    points.push_back(point("baseline32/" + sc.name,
+                           with_fault(soc::SocConfig::baseline(32), sc.cfg), "daxpy", kN,
+                           kAnchorM, 1e-5));
+  }
+  return points;
+}
+
+void run_e18(exp::SweepRunner& runner, unsigned schedules, const std::string& violations_out) {
+  banner("E18: protocol invariants under schedule exploration",
+         "correctness guard for the protocol of Colagrande & Benini, DATE 2024");
+
+  check::ScheduleExplorerConfig ec;
+  ec.schedules = schedules;
+  const check::ScheduleExplorer explorer(ec);
+
+  const std::vector<exp::RunPoint> points = e18_points();
+  const std::vector<check::ScheduleReport> reports =
+      runner.map(points, [&](const exp::RunPoint& p) {
+        check::ScheduleReport r = explorer.explore(p);
+        for (const check::ScheduleRun& run : r.runs) runner.note_cycles(run.total);
+        return r;
+      });
+
+  util::TablePrinter table(
+      {"config", "M", "faults", "cycles (FIFO)", "spread", "identical", "violations"});
+  std::uint64_t total_violations = 0;
+  std::uint64_t fault_free_divergences = 0;
+  for (const check::ScheduleReport& r : reports) {
+    total_violations += r.total_violations;
+    if (r.fault_free && !r.cycles_identical) ++fault_free_divergences;
+    table.add_row({r.point.config_label, fmt_u64(r.point.m),
+                   r.fault_free ? "none" : "injected", fmt_u64(r.runs.front().total),
+                   fmt_u64(r.max_total - r.min_total), r.cycles_identical ? "yes" : "no",
+                   fmt_u64(r.total_violations)});
+  }
+  table.print(std::cout);
+
+  std::printf("\n%zu points x %u schedules: %llu invariant violation(s), "
+              "%llu fault-free divergence(s)\n",
+              points.size(), schedules,
+              static_cast<unsigned long long>(total_violations),
+              static_cast<unsigned long long>(fault_free_divergences));
+  if (total_violations > 0) {
+    for (const check::ScheduleReport& r : reports) {
+      for (const check::Violation& v : r.violations) {
+        std::printf("  [%s] %s M=%u t=%llu %s: %s\n", v.invariant.c_str(),
+                    r.point.config_label.c_str(), r.point.m,
+                    static_cast<unsigned long long>(v.time), v.subject.c_str(),
+                    v.message.c_str());
+      }
+    }
+  }
+
+  if (!violations_out.empty()) {
+    // Aggregate document, same schema as ProtocolMonitor::to_json(); clean
+    // grids produce an empty violation list (the E18 regression golden).
+    std::string out = "{\n  \"schema\": \"mco-violations-v1\",\n";
+    out += util::format("  \"points\": %zu,\n", points.size());
+    out += util::format("  \"schedules_per_point\": %u,\n", schedules);
+    out += util::format("  \"fault_free_divergences\": %llu,\n",
+                        static_cast<unsigned long long>(fault_free_divergences));
+    out += util::format("  \"total_violations\": %llu,\n",
+                        static_cast<unsigned long long>(total_violations));
+    out += "  \"violations\": [";
+    bool first = true;
+    for (const check::ScheduleReport& r : reports) {
+      for (const check::Violation& v : r.violations) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += util::format("    {\"invariant\": \"%s\", \"point\": \"%s/M=%u\", "
+                            "\"time\": %llu, \"subject\": \"%s\"}",
+                            v.invariant.c_str(), r.point.config_label.c_str(), r.point.m,
+                            static_cast<unsigned long long>(v.time), v.subject.c_str());
+      }
+    }
+    out += first ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    std::ofstream f(violations_out);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n", violations_out.c_str());
+      std::exit(2);
+    }
+    f << out;
+    std::printf("[e18] violations document written to %s\n", violations_out.c_str());
+  }
+}
+
+/// Strip --schedules=N / --violations-out=F (same discipline as the shared
+/// bench flags: consume before benchmark::Initialize).
+void e18_args(int& argc, char** argv, unsigned& schedules, std::string& violations_out) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--schedules=", 12) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[i] + 12, &end, 10);
+      if (*end != '\0' || v < 2 || v > 1024) {
+        std::fprintf(stderr,
+                     "error: invalid --schedules value '%s': expected an integer in [2, 1024]\n",
+                     argv[i] + 12);
+        std::exit(2);
+      }
+      schedules = static_cast<unsigned>(v);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--violations-out=", 17) == 0) {
+      violations_out = argv[i] + 17;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned schedules = 8;
+  std::string violations_out;
+  e18_args(argc, argv, schedules, violations_out);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  run_e18(runner, schedules, violations_out);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", kN,
+                                   kAnchorM);
+  register_offload_benchmark("schedule_stress/extended/M=32", mco::soc::SocConfig::extended(32),
+                             "daxpy", kN, kAnchorM);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Protocol-checking walkthrough: the src/check layer in three acts.
+//
+//  1. Watch a clean offload. A ProtocolMonitor taps the trace stream of a
+//     verified extended-design run (observer mode — no trace storage) and
+//     prints its ledger: credits conserved, IRQ exactly once, spans balanced.
+//  2. Catch a bug. The same monitor observes a BrokenCreditCounter — a
+//     deliberately faulty sync unit — in each of its bug modes and names the
+//     violated invariant, with the event-history window that convicts it.
+//  3. Explore schedules. A ScheduleExplorer re-runs one grid point under
+//     seeded permutations of every same-cycle wire batch and shows that the
+//     paper's cycle count survives any legal commit order.
+//
+// Usage: check_demo [--n=1024] [--m=32] [--schedules=8]
+#include <cstdio>
+#include <string>
+
+#include "check/broken_credit_counter.h"
+#include "check/protocol_monitor.h"
+#include "check/schedule_explorer.h"
+#include "sim/simulator.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace mco;
+
+void print_violations(const check::ProtocolMonitor& mon) {
+  for (const check::Violation& v : mon.violations()) {
+    std::printf("    [%s] t=%llu %s: %s\n", v.invariant.c_str(),
+                static_cast<unsigned long long>(v.time), v.subject.c_str(), v.message.c_str());
+    for (const sim::TraceRecord& rec : v.window) {
+      std::printf("        %6llu  %-28s %-16s %s\n",
+                  static_cast<unsigned long long>(rec.time), rec.who.c_str(), rec.what.c_str(),
+                  rec.detail.c_str());
+    }
+  }
+}
+
+/// Drive one arm/credit epoch of a (possibly broken) counter under a monitor,
+/// emitting the surrounding protocol records (dispatch, doorbell, wakeup,
+/// completion signal) the way a real offload's trace stream would.
+void run_epoch(check::BrokenCreditCounter::Bug bug, const char* label) {
+  sim::Simulator sim;
+  check::ProtocolMonitor mon;
+  mon.attach(sim.trace());
+  check::BrokenCreditCounter unit(sim, "sync", bug);
+  unit.set_irq_callback([] {});
+  unit.arm(4);
+  for (unsigned c = 0; c < 4; ++c) {
+    sim.trace().record(0, "noc", "unicast", util::format("cluster=%u", c));
+    sim.trace().record(0, util::format("soc.cluster%u.mailbox", c), "doorbell");
+    sim.trace().record(0, util::format("soc.cluster%u", c), "wakeup");
+    sim.trace().record(0, util::format("soc.cluster%u", c), "signal", "credit");
+    unit.increment(c);
+  }
+  sim.run();
+  mon.finish();
+  std::printf("  %-16s -> %llu violation(s)%s\n", label,
+              static_cast<unsigned long long>(mon.total_violations()),
+              mon.clean() ? "  (faithful reference)" : "");
+  print_violations(mon);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", 1024));
+  const unsigned m = static_cast<unsigned>(cli.get_int("m", 32));
+  const unsigned schedules = static_cast<unsigned>(cli.get_int("schedules", 8));
+
+  std::printf("=== 1. ProtocolMonitor on a clean offload (extended, N=%llu, M=%u) ===\n",
+              static_cast<unsigned long long>(n), m);
+  {
+    soc::Soc soc(soc::SocConfig::extended(32));
+    check::ProtocolMonitor mon;
+    mon.attach(soc);
+    const offload::OffloadResult r = soc::run_verified(soc, "daxpy", n, m, 42);
+    mon.finish();
+    std::printf("  %llu cycles, %llu trace records observed, %llu violation(s)\n",
+                static_cast<unsigned long long>(r.total()),
+                static_cast<unsigned long long>(mon.records_seen()),
+                static_cast<unsigned long long>(mon.total_violations()));
+    print_violations(mon);
+    std::printf("\n  violation document:\n%s\n", mon.to_json().c_str());
+  }
+
+  std::printf("=== 2. The monitor vs. a broken sync unit ===\n");
+  using Bug = check::BrokenCreditCounter::Bug;
+  run_epoch(Bug::kNone, "faithful");
+  run_epoch(Bug::kLoseCredit, "lose_credit");
+  run_epoch(Bug::kDoubleCount, "double_count");
+  run_epoch(Bug::kEarlyIrq, "early_irq");
+  run_epoch(Bug::kDuplicateIrq, "duplicate_irq");
+  run_epoch(Bug::kPhantomCredit, "phantom_credit");
+
+  std::printf("\n=== 3. ScheduleExplorer: %u seeded commit orders ===\n", schedules);
+  {
+    check::ScheduleExplorerConfig ec;
+    ec.schedules = schedules;
+    const check::ScheduleExplorer explorer(ec);
+    exp::RunPoint p;
+    p.config_label = "extended";
+    p.cfg = soc::SocConfig::extended(32);
+    p.kernel = "daxpy";
+    p.n = n;
+    p.m = m;
+    p.seed = 42;
+    const check::ScheduleReport rep = explorer.explore(p);
+    for (const check::ScheduleRun& run : rep.runs) {
+      std::printf("  schedule %2u%s: %llu cycles, err=%.3e, %llu violation(s)\n", run.schedule,
+                  run.schedule == 0 ? " (FIFO)" : "       ",
+                  static_cast<unsigned long long>(run.total), run.max_abs_error,
+                  static_cast<unsigned long long>(run.violations));
+    }
+    std::printf("  cycles identical across schedules: %s; clean: %s\n",
+                rep.cycles_identical ? "yes" : "NO", rep.clean() ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Full robustness matrix: the plain build plus the sanitizer builds, each with
+# its ctest suite, in separate build trees so they never contaminate each
+# other. This is the "everything the repo can self-check" entry point:
+#
+#   build-check/plain    Release, full ctest suite (unit + golden pins +
+#                        python-gated smokes: metrics_regression,
+#                        bench_sweep_report, check_cli_errors)
+#   build-check/asan     ASan+UBSan, tests only (benches uninteresting under
+#                        ASan and ~10x slower)
+#   build-check/tsan     TSan, the concurrency + schedule-explorer suites
+#                        (the labelled "sanitize" ctest entries)
+#
+# Usage:
+#   scripts/check_all.sh            # full matrix
+#   scripts/check_all.sh plain      # one stage only (plain | asan | tsan)
+#   MCO_CHECK_JOBS=8 scripts/check_all.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${MCO_CHECK_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+ROOT="build-check"
+STAGES=("${@:-plain asan tsan}")
+# Allow "check_all.sh plain asan" as separate args or one default string.
+read -r -a STAGES <<<"${STAGES[*]}"
+
+run_stage() {
+  local name="$1"; shift
+  local cmake_args=("$@")
+  local dir="$ROOT/$name"
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . "${cmake_args[@]}" >"$dir.configure.log" 2>&1 ||
+    { cat "$dir.configure.log"; return 1; }
+  echo "=== [$name] build (-j$JOBS) ==="
+  cmake --build "$dir" -j"$JOBS" >"$dir.build.log" 2>&1 ||
+    { tail -50 "$dir.build.log"; return 1; }
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    plain)
+      mkdir -p "$ROOT"
+      run_stage plain
+      echo "=== [plain] ctest ==="
+      (cd "$ROOT/plain" && ctest --output-on-failure -j"$JOBS")
+      ;;
+    asan)
+      mkdir -p "$ROOT"
+      run_stage asan -DMCO_SANITIZE=address -DMCO_BUILD_BENCHES=OFF \
+        -DMCO_BUILD_EXAMPLES=OFF
+      echo "=== [asan] ctest ==="
+      (cd "$ROOT/asan" && ctest --output-on-failure -j"$JOBS")
+      ;;
+    tsan)
+      mkdir -p "$ROOT"
+      run_stage tsan -DMCO_SANITIZE=thread -DMCO_BUILD_BENCHES=OFF \
+        -DMCO_BUILD_EXAMPLES=OFF
+      echo "=== [tsan] ctest (label: sanitize) ==="
+      (cd "$ROOT/tsan" && ctest --output-on-failure -L sanitize)
+      ;;
+    *)
+      echo "error: unknown stage '$stage' (want plain, asan or tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "=== check_all: all stages passed ==="

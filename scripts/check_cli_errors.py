@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CLI robustness smoke: malformed flags must fail fast, loudly and uniformly.
+
+Every bench binary parses --jobs (exp::SweepRunner::jobs_from_args) and
+--trace-out/--metrics-out (soc::observability_from_args) before doing any
+work. This script drives one binary through the documented failure modes and
+asserts the shared contract:
+
+  * exit code 2 (not 0, not 1, not a crash);
+  * a single-line diagnostic on stderr starting with "error:";
+  * no table output on stdout (the failure happens before any simulation).
+
+A positive control run at the end guards against the opposite regression
+(valid flags suddenly rejected).
+
+Usage:
+  python3 scripts/check_cli_errors.py [--build build] [--bench bench_fig1_left]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# (label, extra argv, extra env) — every case must exit 2 with an error: line.
+ERROR_CASES = [
+    ("jobs zero", ["--jobs=0"], {}),
+    ("jobs negative", ["--jobs=-4"], {}),
+    ("jobs garbage", ["--jobs=banana"], {}),
+    ("jobs trailing junk", ["--jobs=4x"], {}),
+    ("jobs huge", ["--jobs=99999"], {}),
+    ("jobs missing value", ["--jobs"], {}),
+    ("jobs space-separated garbage", ["--jobs", "none"], {}),
+    ("MCO_JOBS garbage", [], {"MCO_JOBS": "many"}),
+    ("trace-out missing dir", ["--trace-out=/no/such/dir/trace.json"], {}),
+    ("metrics-out missing dir", ["--metrics-out", "/no/such/dir/m.csv"], {}),
+]
+
+
+def run(exe: Path, argv: list[str], env_extra: dict[str, str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env.pop("MCO_JOBS", None)
+    env.update(env_extra)
+    return subprocess.run(
+        [str(exe), *argv], env=env, capture_output=True, text=True, timeout=300)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build", help="CMake build directory")
+    ap.add_argument("--bench", default="bench_fig1_left",
+                    help="bench binary to exercise (any of them shares the parsers)")
+    args = ap.parse_args()
+    build = (REPO / args.build) if not Path(args.build).is_absolute() else Path(args.build)
+    exe = build / "bench" / args.bench
+    if not exe.exists():
+        sys.exit(f"error: {exe} not built (cmake --build {build} first)")
+
+    failures: list[str] = []
+    for label, argv, env in ERROR_CASES:
+        p = run(exe, argv, env)
+        problems = []
+        if p.returncode != 2:
+            problems.append(f"exit {p.returncode} (want 2)")
+        first = p.stderr.splitlines()[0] if p.stderr.splitlines() else ""
+        if not first.startswith("error:"):
+            problems.append(f"stderr {first!r} (want 'error: ...')")
+        if p.stdout.strip():
+            problems.append("produced stdout before failing")
+        status = "ok" if not problems else "; ".join(problems)
+        print(f"{label:32s} {status}")
+        if problems:
+            failures.append(f"{label}: {status}")
+
+    # Positive control: valid flags still accepted.
+    p = run(exe, ["--jobs=2", "--benchmark_filter=NONE"], {})
+    if p.returncode != 0:
+        failures.append(f"positive control: exit {p.returncode}, stderr: {p.stderr[:200]}")
+    else:
+        print(f"{'positive control':32s} ok")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Cross-check the observability name inventory, bidirectionally.
+"""Cross-check the observability and invariant name inventories, bidirectionally.
 
 Sources of truth that must agree exactly:
 
   1. the ``metric_reference()`` table in ``src/soc/observability.cpp``
      (what the code declares it emits);
   2. the inventory tables in ``docs/observability.md`` (what the docs
-     document): the first backticked token of every markdown table row.
+     document): the first backticked token of every markdown table row;
+  3. the ``invariant_reference()`` catalog in
+     ``src/check/protocol_monitor.cpp`` vs the invariant-catalog table in
+     ``docs/robustness.md`` (same extraction, scoped to its section).
 
 The C++ side of the same check (``DocsCrossCheck.*`` in
 ``tests/test_trace_spans.cpp``) additionally verifies the reference against
@@ -25,6 +28,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 CPP = REPO / "src" / "soc" / "observability.cpp"
 DOC = REPO / "docs" / "observability.md"
+CHECK_CPP = REPO / "src" / "check" / "protocol_monitor.cpp"
+ROBUSTNESS_DOC = REPO / "docs" / "robustness.md"
 
 
 def reference_names(cpp_text: str) -> dict[str, str]:
@@ -59,27 +64,72 @@ def documented_names(doc_text: str) -> set[str]:
     return names
 
 
+def invariant_names(cpp_text: str) -> set[str]:
+    """Parse the entry names of invariant_reference(). Statements span
+    concatenated string literals, so only match each entry's opening
+    {"name" token inside the kReference initializer."""
+    body = re.search(
+        r"invariant_reference\(\)\s*\{.*?kReference\s*=\s*\{(.*?)\n\s*\};",
+        cpp_text,
+        re.DOTALL,
+    )
+    if not body:
+        sys.exit(f"error: could not find the kReference table in {CHECK_CPP}")
+    names = set()
+    for m in re.finditer(r'\{"([a-z_]+)",', body.group(1)):
+        name = m.group(1)
+        if name in names:
+            sys.exit(f"error: duplicate invariant_reference() entry '{name}'")
+        names.add(name)
+    return names
+
+
+def documented_invariants(doc_text: str) -> set[str]:
+    """First backticked token of table rows inside the invariant-catalog
+    section only — the other tables in robustness.md (bug modes, failure
+    matrix) legitimately use backticked first cells."""
+    section = re.search(
+        r"^## The invariant catalog$(.*?)(?=^## )", doc_text, re.DOTALL | re.MULTILINE
+    )
+    if not section:
+        sys.exit(f"error: no '## The invariant catalog' section in {ROBUSTNESS_DOC}")
+    return documented_names(section.group(1))
+
+
+def cross_check(reference: set[str], documented: set[str],
+                code_label: str, doc_name: str) -> bool:
+    ok = True
+    for name in sorted(reference - documented):
+        print(f"UNDOCUMENTED: {name} is in {code_label} "
+              f"but has no inventory row in {doc_name}")
+        ok = False
+    for name in sorted(documented - reference):
+        print(f"STALE DOC: {name} is documented in {doc_name} "
+              f"but missing from {code_label}")
+        ok = False
+    return ok
+
+
 def main() -> int:
     reference = reference_names(CPP.read_text())
     documented = documented_names(DOC.read_text())
 
-    ok = True
-    for name in sorted(set(reference) - documented):
-        print(f"UNDOCUMENTED: {name} ({reference[name]}) is in metric_reference() "
-              f"but has no inventory row in {DOC.name}")
-        ok = False
-    for name in sorted(documented - set(reference)):
-        print(f"STALE DOC: {name} is documented in {DOC.name} "
-              f"but missing from metric_reference()")
-        ok = False
-
+    ok = cross_check(set(reference), documented, "metric_reference()", DOC.name)
     if ok:
         kinds = {}
         for kind in reference.values():
             kinds[kind] = kinds.get(kind, 0) + 1
         summary = ", ".join(f"{n} {k}s" for k, n in sorted(kinds.items()))
         print(f"ok: {len(reference)} names in sync ({summary})")
-    return 0 if ok else 1
+
+    invariants = invariant_names(CHECK_CPP.read_text())
+    inv_doc = documented_invariants(ROBUSTNESS_DOC.read_text())
+    inv_ok = cross_check(invariants, inv_doc, "invariant_reference()",
+                         ROBUSTNESS_DOC.name)
+    if inv_ok:
+        print(f"ok: {len(invariants)} invariants in sync")
+
+    return 0 if ok and inv_ok else 1
 
 
 if __name__ == "__main__":

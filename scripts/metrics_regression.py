@@ -9,6 +9,12 @@ bench binaries' ``--metrics-out`` flag and compares the resulting
   E4  bench_headline         extended design, DAXPY N=1024 M=32  (633-cycle row)
   E7  bench_phase_breakdown  extended design, DAXPY N=1024 M=32  (phase table)
 
+It also pins the E18 protocol-audit document: bench_schedule_stress's
+``--violations-out`` dump ("mco-violations-v1") must match its golden
+byte-for-byte — in particular the violation list must stay empty. Any
+protocol regression (an invariant violation, or a fault-free cycle count
+that moves under schedule permutation) changes the document and fails here.
+
 The simulator is deterministic, so counters must match the goldens *exactly*
 by default; ``--tol`` grants a relative tolerance for intentional
 recalibrations (e.g. ``--tol 0.01`` while iterating on a latency model).
@@ -39,15 +45,21 @@ ANCHORS = [
     ("e7_phase_breakdown", "bench_phase_breakdown"),
 ]
 
+# (experiment id, bench binary, extra flags) — compared byte-exactly as JSON.
+VIOLATION_ANCHORS = [
+    ("e18_schedule_stress", "bench_schedule_stress", ["--schedules=4", "--jobs=2"]),
+]
 
-def run_bench(build: Path, bench: str, out: Path) -> None:
+
+def run_bench(build: Path, bench: str, out: Path, out_flag: str = "--metrics-out",
+              extra: list[str] | None = None) -> None:
     exe = build / "bench" / bench
     if not exe.exists():
         sys.exit(f"error: {exe} not built (cmake --build {build} first)")
     # --benchmark_filter=NONE skips the google-benchmark cases: only the
     # deterministic table + the instrumented canonical run execute.
     subprocess.run(
-        [str(exe), f"--metrics-out={out}", "--benchmark_filter=NONE"],
+        [str(exe), f"{out_flag}={out}", *(extra or []), "--benchmark_filter=NONE"],
         check=True,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
@@ -120,6 +132,29 @@ def main() -> int:
         errs = compare(exp, golden, fresh, args.tol)
         status = "ok" if not errs else f"{len(errs)} mismatches"
         print(f"{exp}: {status}")
+        failures.extend(errs)
+
+    for exp, bench, extra in VIOLATION_ANCHORS:
+        golden_path = GOLDENS / f"{exp}.json"
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "violations.json"
+            run_bench(build, bench, out, out_flag="--violations-out", extra=extra)
+            fresh = json.loads(out.read_text())
+        if fresh.get("total_violations", -1) != 0 or fresh.get("violations") != []:
+            failures.append(f"{exp}: protocol violations reported: "
+                            f"{json.dumps(fresh.get('violations'))[:400]}")
+        if args.update:
+            golden_path.write_text(json.dumps(fresh, indent=1, sort_keys=True) + "\n")
+            print(f"updated {golden_path.relative_to(REPO)}")
+            continue
+        if not golden_path.exists():
+            failures.append(f"{exp}: golden {golden_path} missing (run --update)")
+            continue
+        golden = json.loads(golden_path.read_text())
+        errs = [] if fresh == golden else [
+            f"{exp}: violation document differs from golden "
+            f"(fresh {json.dumps(fresh, sort_keys=True)[:200]}...)"]
+        print(f"{exp}: {'ok' if not errs else 'document changed'}")
         failures.extend(errs)
 
     if failures:

@@ -1,0 +1,76 @@
+#include "check/broken_credit_counter.h"
+
+#include "util/strings.h"
+
+namespace mco::check {
+
+BrokenCreditCounter::BrokenCreditCounter(sim::Simulator& sim, std::string name, Bug bug,
+                                         Component* parent)
+    : Component(sim, std::move(name), parent), bug_(bug) {}
+
+void BrokenCreditCounter::arm(std::uint32_t threshold) {
+  armed_ = true;
+  threshold_ = threshold;
+  count_ = 0;
+  sim().trace().record(now(), path(), "arm", util::format("threshold=%u", threshold));
+}
+
+void BrokenCreditCounter::fire_irq() {
+  // The real unit asserts a wire into the interrupt controller, which logs
+  // "irq"; the double folds the two for harness simplicity — the monitor
+  // classifies by `what`, not by track.
+  sim().trace().record(now(), path(), "irq");
+  if (irq_cb_) irq_cb_();
+}
+
+void BrokenCreditCounter::increment(unsigned cluster) {
+  ++arrivals_;
+
+  if (bug_ == Bug::kLoseCredit && arrivals_ % 2 == 0) {
+    return;  // the write is acknowledged but the count never moves
+  }
+
+  if (bug_ == Bug::kDoubleCount) {
+    // Applies every write twice and never latches the disarm: the count
+    // sails past the threshold (the IRQ still fires once, at the crossing).
+    for (int i = 0; i < 2; ++i) {
+      ++count_;
+      sim().trace().record(now(), path(), "credit",
+                           util::format("count=%u/%u", count_, threshold_));
+      if (count_ == threshold_) fire_irq();
+    }
+    return;
+  }
+
+  if (!armed_) {
+    // Faithful spurious handling (so only the injected bug's class trips).
+    sim().trace().record(now(), path(), "credit_spurious",
+                         util::format("cluster=%u", cluster));
+    return;
+  }
+
+  ++count_;
+  sim().trace().record(now(), path(), "credit",
+                       util::format("count=%u/%u", count_, threshold_));
+
+  if (bug_ == Bug::kEarlyIrq && count_ + 1 == threshold_) {
+    armed_ = false;
+    fire_irq();  // one credit short of the programmed threshold
+    return;
+  }
+
+  if (count_ == threshold_) {
+    armed_ = false;
+    fire_irq();
+    if (bug_ == Bug::kDuplicateIrq) fire_irq();
+    if (bug_ == Bug::kPhantomCredit) {
+      // The unit resets its count on disarm, then a stray internal pulse
+      // applies one more credit with no cluster behind it.
+      count_ = 1;
+      sim().trace().record(now(), path(), "credit",
+                           util::format("count=%u/%u", count_, threshold_));
+    }
+  }
+}
+
+}  // namespace mco::check

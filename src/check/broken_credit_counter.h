@@ -1,0 +1,63 @@
+// A deliberately-buggy credit counter: the monitors' proving ground.
+//
+// A monitor that has never caught a bug is just overhead. This test double
+// mimics the sync::CreditCounterUnit's observable behaviour (the same "arm" /
+// "credit" / "credit_spurious" / "irq" trace vocabulary) but implements one
+// classic counter bug per Bug mode — the failure modes Glaser et al.'s HW
+// synchronization unit must exclude by construction. test_check drives each
+// mode through a mini offload harness and asserts the ProtocolMonitor flags
+// exactly the expected invariant class:
+//   kLoseCredit     drops every 2nd credit silently  -> credit_conservation
+//   kDoubleCount    applies each credit twice, never
+//                   stops counting at the threshold  -> credit_bounds
+//   kEarlyIrq       fires the IRQ one credit early   -> irq_threshold
+//   kDuplicateIrq   fires the IRQ twice              -> irq_exactly_once
+//   kPhantomCredit  invents a credit after disarm    -> credit_armed
+// kNone is the faithful reference: the same harness must report zero
+// violations, or the harness (not the counter) is broken.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/component.h"
+
+namespace mco::check {
+
+class BrokenCreditCounter : public sim::Component {
+ public:
+  enum class Bug {
+    kNone,
+    kLoseCredit,
+    kDoubleCount,
+    kEarlyIrq,
+    kDuplicateIrq,
+    kPhantomCredit,
+  };
+
+  BrokenCreditCounter(sim::Simulator& sim, std::string name, Bug bug,
+                      Component* parent = nullptr);
+
+  void set_irq_callback(std::function<void()> cb) { irq_cb_ = std::move(cb); }
+
+  /// Program the threshold (emits the unit's "arm" record).
+  void arm(std::uint32_t threshold);
+
+  /// One credit-register write from `cluster`, filtered through the bug.
+  void increment(unsigned cluster = 0);
+
+  std::uint32_t count() const { return count_; }
+  bool armed() const { return armed_; }
+
+ private:
+  void fire_irq();
+
+  Bug bug_;
+  std::function<void()> irq_cb_;
+  bool armed_ = false;
+  std::uint32_t threshold_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace mco::check

@@ -1,0 +1,389 @@
+#include "check/protocol_monitor.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "soc/soc.h"
+#include "util/strings.h"
+
+namespace mco::check {
+
+const std::vector<InvariantInfo>& invariant_reference() {
+  static const std::vector<InvariantInfo> kReference = {
+      {"credit_bounds",
+       "the credit count never exceeds the armed threshold and advances by exactly 1 per "
+       "applied credit"},
+      {"credit_armed", "a credit is applied only while the unit is armed"},
+      {"credit_conservation",
+       "credit signals sent + duplicates - drops == credits applied + spurious credits"},
+      {"irq_threshold", "an IRQ fires only after the armed threshold was reached"},
+      {"irq_exactly_once", "at most one IRQ fires per arm epoch"},
+      {"arm_discipline",
+       "the unit is never armed with threshold 0 and never re-armed while an epoch is pending"},
+      {"dispatch_accounting",
+       "per cluster, cumulative signals <= wakeups <= doorbells <= dispatches sent"},
+      {"retry_discipline",
+       "recovery actions (redispatch, credit_recovered, cluster_failed, redistribute) occur "
+       "only after a watchdog timeout within the same offload"},
+      {"span_balance", "every begun span is ended on its own track by the end of the run"},
+      {"offload_lifecycle",
+       "offload_start and offload_done strictly alternate and every offload completes"},
+  };
+  return kReference;
+}
+
+namespace {
+
+/// Extract the trailing cluster index from a component path such as
+/// "soc.cluster12" or "soc.cluster12.mailbox". Returns false for tracks
+/// without a cluster component.
+bool cluster_of(const std::string& who, unsigned& out) {
+  const std::size_t pos = who.rfind("cluster");
+  if (pos == std::string::npos) return false;
+  const std::size_t digits = pos + 7;
+  if (digits >= who.size() || who[digits] < '0' || who[digits] > '9') return false;
+  unsigned v = 0;
+  std::size_t i = digits;
+  for (; i < who.size() && who[i] >= '0' && who[i] <= '9'; ++i) {
+    v = v * 10 + static_cast<unsigned>(who[i] - '0');
+  }
+  if (i < who.size() && who[i] != '.') return false;
+  out = v;
+  return true;
+}
+
+/// Parse "key=<uint>" out of a detail string ("cluster=3", "targets=32",
+/// "threshold=8", "count=4/8" via two calls). Returns false when absent.
+bool detail_uint(const std::string& detail, const char* key, std::uint64_t& out) {
+  const std::string needle = std::string(key) + "=";
+  const std::size_t pos = detail.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = detail.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtoull(p, &end, 10);
+  return end != p;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ProtocolMonitor::ProtocolMonitor(ProtocolMonitorConfig cfg) : cfg_(cfg) {}
+
+void ProtocolMonitor::attach(sim::TraceSink& sink) {
+  sink.set_observer([this](const sim::TraceRecord& rec) { observe(rec); });
+}
+
+void ProtocolMonitor::attach(soc::Soc& soc) { attach(soc.simulator().trace()); }
+
+void ProtocolMonitor::violate(const char* invariant, sim::Cycle time,
+                              const std::string& subject, std::string message) {
+  ++total_violations_;
+  if (violations_.size() >= cfg_.max_violations) return;
+  Violation v;
+  v.invariant = invariant;
+  v.time = time;
+  v.subject = subject;
+  v.message = std::move(message);
+  v.window.assign(history_.begin(), history_.end());
+  violations_.push_back(std::move(v));
+}
+
+void ProtocolMonitor::observe(const sim::TraceRecord& rec) {
+  ++records_seen_;
+  if (cfg_.history_window > 0) {
+    if (history_.size() == cfg_.history_window) history_.pop_front();
+    history_.push_back(rec);
+  }
+
+  if (rec.phase != sim::TracePhase::kInstant) {
+    on_span(rec);
+    return;
+  }
+
+  const std::string& what = rec.what;
+  if (what == "arm") {
+    on_arm(rec);
+  } else if (what == "credit") {
+    on_credit(rec);
+  } else if (what == "credit_spurious") {
+    ++credits_spurious_;
+  } else if (what == "sync_reset") {
+    armed_ = false;
+    threshold_reached_ = false;
+    threshold_ = 0;
+    count_ = 0;
+    irqs_this_epoch_ = 0;
+  } else if (what == "irq") {
+    on_irq(rec);
+  } else if (what == "credit_drop") {
+    ++credit_drop_faults_;
+  } else if (what == "credit_dup") {
+    ++credit_dup_faults_;
+  } else if (what == "doorbell" || what == "wakeup" || what == "signal") {
+    on_cluster_record(rec);
+  } else if (what == "unicast") {
+    std::uint64_t c = 0;
+    if (detail_uint(rec.detail, "cluster", c)) ++dispatched_[static_cast<unsigned>(c)];
+  } else if (what == "multicast") {
+    std::uint64_t k = 0;
+    if (detail_uint(rec.detail, "targets", k)) {
+      // The runtime always multicasts to the dense target set [0, k); the
+      // detail string carries only the count.
+      for (unsigned c = 0; c < static_cast<unsigned>(k); ++c) ++dispatched_[c];
+    }
+  } else if (what == "offload_start" || what == "offload_done" ||
+             what == "watchdog_timeout" || what == "redispatch" ||
+             what == "credit_recovered" || what == "cluster_failed" ||
+             what == "redistribute") {
+    on_runtime_record(rec);
+  }
+}
+
+void ProtocolMonitor::on_arm(const sim::TraceRecord& rec) {
+  std::uint64_t t = 0;
+  detail_uint(rec.detail, "threshold", t);
+  if (t == 0) {
+    violate("arm_discipline", rec.time, rec.who, "armed with threshold 0");
+  }
+  if (armed_ && count_ < threshold_) {
+    violate("arm_discipline", rec.time, rec.who,
+            util::format("re-armed at count %u/%u with the previous epoch still pending",
+                         count_, threshold_));
+  }
+  saw_arm_ = true;
+  armed_ = true;
+  threshold_reached_ = false;
+  threshold_ = static_cast<std::uint32_t>(t);
+  count_ = 0;
+  irqs_this_epoch_ = 0;
+}
+
+void ProtocolMonitor::on_credit(const sim::TraceRecord& rec) {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  detail_uint(rec.detail, "count", x);
+  // "count=X/Y": re-parse Y after the slash.
+  const std::size_t slash = rec.detail.find('/');
+  if (slash != std::string::npos) {
+    y = std::strtoull(rec.detail.c_str() + slash + 1, nullptr, 10);
+  }
+  ++credits_applied_;
+  if (x > y) {
+    violate("credit_bounds", rec.time, rec.who,
+            util::format("credit count %llu exceeds threshold %llu",
+                         static_cast<unsigned long long>(x),
+                         static_cast<unsigned long long>(y)));
+  } else if (!armed_) {
+    violate("credit_armed", rec.time, rec.who,
+            util::format("credit applied (count=%llu/%llu) while the unit is not armed",
+                         static_cast<unsigned long long>(x),
+                         static_cast<unsigned long long>(y)));
+  } else if (x != static_cast<std::uint64_t>(count_) + 1) {
+    violate("credit_bounds", rec.time, rec.who,
+            util::format("credit count jumped from %u to %llu", count_,
+                         static_cast<unsigned long long>(x)));
+  }
+  count_ = static_cast<std::uint32_t>(x);
+  if (armed_ && x >= y && y == threshold_) {
+    armed_ = false;
+    threshold_reached_ = true;
+  }
+}
+
+void ProtocolMonitor::on_irq(const sim::TraceRecord& rec) {
+  if (!threshold_reached_) {
+    violate("irq_threshold", rec.time, rec.who,
+            util::format("IRQ at count %u/%u before the armed threshold was reached", count_,
+                         threshold_));
+  } else if (irqs_this_epoch_ >= 1) {
+    violate("irq_exactly_once", rec.time, rec.who,
+            util::format("IRQ fired %u times in one arm epoch", irqs_this_epoch_ + 1));
+  }
+  ++irqs_this_epoch_;
+}
+
+void ProtocolMonitor::on_cluster_record(const sim::TraceRecord& rec) {
+  unsigned c = 0;
+  if (!cluster_of(rec.who, c)) return;
+  if (rec.what == "doorbell") {
+    ++doorbells_[c];
+    if (doorbells_[c] > dispatched_[c]) {
+      violate("dispatch_accounting", rec.time, rec.who,
+              util::format("doorbell #%llu on cluster %u but only %llu dispatches were sent",
+                           static_cast<unsigned long long>(doorbells_[c]), c,
+                           static_cast<unsigned long long>(dispatched_[c])));
+    }
+  } else if (rec.what == "wakeup") {
+    ++wakeups_[c];
+    if (wakeups_[c] > doorbells_[c]) {
+      violate("dispatch_accounting", rec.time, rec.who,
+              util::format("wakeup #%llu on cluster %u but only %llu doorbells rang",
+                           static_cast<unsigned long long>(wakeups_[c]), c,
+                           static_cast<unsigned long long>(doorbells_[c])));
+    }
+  } else {  // signal
+    if (rec.detail == "credit") {
+      ++signals_credit_;
+    } else if (rec.detail == "amo") {
+      ++signals_amo_;
+    }
+    ++signals_[c];
+    if (signals_[c] > wakeups_[c]) {
+      violate("dispatch_accounting", rec.time, rec.who,
+              util::format("completion signal #%llu on cluster %u but only %llu wakeups",
+                           static_cast<unsigned long long>(signals_[c]), c,
+                           static_cast<unsigned long long>(wakeups_[c])));
+    }
+  }
+}
+
+void ProtocolMonitor::on_runtime_record(const sim::TraceRecord& rec) {
+  if (rec.what == "offload_start") {
+    if (offload_open_) {
+      violate("offload_lifecycle", rec.time, rec.who,
+              "offload_start while the previous offload is still open");
+    }
+    offload_open_ = true;
+    ++offloads_started_;
+    watchdogs_this_offload_ = 0;
+  } else if (rec.what == "offload_done") {
+    if (!offload_open_) {
+      violate("offload_lifecycle", rec.time, rec.who,
+              "offload_done without a matching offload_start");
+    }
+    offload_open_ = false;
+    ++offloads_done_;
+  } else if (rec.what == "watchdog_timeout") {
+    if (!offload_open_) {
+      violate("retry_discipline", rec.time, rec.who, "watchdog_timeout outside an offload");
+    }
+    ++watchdogs_this_offload_;
+  } else {  // redispatch / credit_recovered / cluster_failed / redistribute
+    if (watchdogs_this_offload_ == 0) {
+      violate("retry_discipline", rec.time, rec.who,
+              rec.what + " without a preceding watchdog_timeout in this offload");
+    }
+  }
+}
+
+void ProtocolMonitor::on_span(const sim::TraceRecord& rec) {
+  std::int64_t& depth = span_depth_[rec.who];
+  if (rec.phase == sim::TracePhase::kBegin) {
+    ++depth;
+    return;
+  }
+  if (depth == 0) {
+    violate("span_balance", rec.time, rec.who, "span end without an open span");
+    return;
+  }
+  --depth;
+}
+
+void ProtocolMonitor::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // The ledger counts one application attempt per delivered credit signal
+  // (plus one extra per duplicate, minus the drops); every attempt must have
+  // surfaced as an applied or spurious credit. Only meaningful when the run
+  // used the hw credit path: the AMO-polling baseline shares the injector's
+  // credit_drop/credit_dup hook but never arms a unit, so its ledger is
+  // all-fault-counters by construction.
+  const std::uint64_t expected = signals_credit_ + credit_dup_faults_ - credit_drop_faults_;
+  const std::uint64_t observed = credits_applied_ + credits_spurious_;
+  if (saw_arm_ &&
+      (signals_credit_ + credit_dup_faults_ < credit_drop_faults_ || expected != observed)) {
+    violate("credit_conservation", 0, "sync",
+            util::format("signals=%llu dup=%llu drop=%llu but applied=%llu spurious=%llu",
+                         static_cast<unsigned long long>(signals_credit_),
+                         static_cast<unsigned long long>(credit_dup_faults_),
+                         static_cast<unsigned long long>(credit_drop_faults_),
+                         static_cast<unsigned long long>(credits_applied_),
+                         static_cast<unsigned long long>(credits_spurious_)));
+  }
+  for (const auto& [who, depth] : span_depth_) {
+    if (depth != 0) {
+      violate("span_balance", 0, who,
+              util::format("%lld span(s) still open at end of run",
+                           static_cast<long long>(depth)));
+    }
+  }
+  if (offload_open_) {
+    violate("offload_lifecycle", 0, "runtime", "offload never completed");
+  }
+}
+
+std::string ProtocolMonitor::to_json() const {
+  std::string out = "{\n  \"schema\": \"mco-violations-v1\",\n";
+  out += util::format("  \"records_seen\": %llu,\n",
+                      static_cast<unsigned long long>(records_seen_));
+  out += util::format("  \"total_violations\": %llu,\n",
+                      static_cast<unsigned long long>(total_violations_));
+  out += "  \"violations\": [";
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    const Violation& v = violations_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += util::format("    {\"invariant\": \"%s\", \"time\": %llu, \"subject\": \"%s\", ",
+                        json_escape(v.invariant).c_str(),
+                        static_cast<unsigned long long>(v.time),
+                        json_escape(v.subject).c_str());
+    out += util::format("\"message\": \"%s\", \"window\": [", json_escape(v.message).c_str());
+    for (std::size_t w = 0; w < v.window.size(); ++w) {
+      const sim::TraceRecord& r = v.window[w];
+      out += w == 0 ? "" : ", ";
+      out += util::format("{\"time\": %llu, \"phase\": \"%c\", \"who\": \"%s\", "
+                          "\"what\": \"%s\", \"detail\": \"%s\"}",
+                          static_cast<unsigned long long>(r.time),
+                          static_cast<char>(r.phase), json_escape(r.who).c_str(),
+                          json_escape(r.what).c_str(), json_escape(r.detail).c_str());
+    }
+    out += "]}";
+  }
+  out += violations_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void ProtocolMonitor::reset() {
+  records_seen_ = 0;
+  total_violations_ = 0;
+  violations_.clear();
+  history_.clear();
+  saw_arm_ = false;
+  armed_ = false;
+  threshold_reached_ = false;
+  threshold_ = 0;
+  count_ = 0;
+  irqs_this_epoch_ = 0;
+  signals_credit_ = 0;
+  signals_amo_ = 0;
+  credits_applied_ = 0;
+  credits_spurious_ = 0;
+  credit_drop_faults_ = 0;
+  credit_dup_faults_ = 0;
+  dispatched_.clear();
+  doorbells_.clear();
+  wakeups_.clear();
+  signals_.clear();
+  offload_open_ = false;
+  offloads_started_ = 0;
+  offloads_done_ = 0;
+  watchdogs_this_offload_ = 0;
+  span_depth_.clear();
+  finished_ = false;
+}
+
+}  // namespace mco::check

@@ -1,0 +1,162 @@
+// Runtime invariant monitors for the offload protocol.
+//
+// The paper's contribution is a synchronization *protocol* — multicast
+// dispatch, per-cluster credit increments, a threshold-triggered IRQ (Eq.
+// 1–3) — and PR 1/PR 2 made its timing perturbable and measurable. This
+// layer makes its *correctness* machine-checked: a ProtocolMonitor taps the
+// TraceSink's live observer stream (sim/trace.h) and replays every record
+// through a set of shadow state machines, one per invariant. A clean run
+// produces zero violations; a protocol bug (lost credit, duplicated IRQ,
+// retry without a watchdog round) produces a structured Violation carrying
+// the recent event window that led up to it.
+//
+// The monitor is an observer in the strict sense: it never schedules
+// simulator events and never touches component state, so attaching it cannot
+// move a single simulated cycle (the metrics pins stay bit-identical with
+// monitors on).
+//
+// Invariant catalog (docs/robustness.md mirrors this table; the
+// check_metrics_docs.py cross-check keeps them in sync):
+//   credit_bounds        count never exceeds threshold and advances by 1
+//   credit_armed         credits are applied only while the unit is armed
+//   credit_conservation  signals + duplicates - drops == applied + spurious
+//   irq_threshold        an IRQ requires the armed threshold to be reached
+//   irq_exactly_once     at most one IRQ per arm epoch
+//   arm_discipline       no zero threshold; no re-arm while pending
+//   dispatch_accounting  signals <= wakeups <= doorbells <= dispatches
+//   retry_discipline     recovery actions require a watchdog timeout
+//   span_balance         every begun span ends on its own track
+//   offload_lifecycle    offload_start/offload_done strictly alternate
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace mco::soc {
+class Soc;
+}
+
+namespace mco::check {
+
+/// One invariant breach: which rule, when, on what subject, and the trailing
+/// window of trace records that produced it.
+struct Violation {
+  std::string invariant;  ///< catalog name (see invariant_reference())
+  sim::Cycle time = 0;
+  std::string subject;  ///< component track or "sync"/"runtime"
+  std::string message;
+  std::vector<sim::TraceRecord> window;  ///< recent history, oldest first
+};
+
+/// Catalog entry: invariant name + one-line formal statement.
+struct InvariantInfo {
+  const char* name;
+  const char* statement;
+};
+
+/// The full invariant catalog, in report order. docs/robustness.md lists the
+/// same names; scripts/check_metrics_docs.py cross-checks the two.
+const std::vector<InvariantInfo>& invariant_reference();
+
+struct ProtocolMonitorConfig {
+  /// Trace records of context attached to each violation.
+  std::size_t history_window = 16;
+  /// Reporting cap: further violations are counted but not stored.
+  std::size_t max_violations = 64;
+};
+
+/// Observes a trace record stream and checks the offload-protocol invariants.
+///
+/// Feed records either by attaching to a live sink/Soc (observer tap) or by
+/// calling observe() directly (replay of a stored trace). Call finish() after
+/// the run: the conservation ledger, span balance and offload lifecycle are
+/// end-of-run properties.
+class ProtocolMonitor {
+ public:
+  explicit ProtocolMonitor(ProtocolMonitorConfig cfg = {});
+
+  /// Install this monitor as the sink's live observer. Replaces any previous
+  /// observer; the sink's storage enable state is left untouched.
+  void attach(sim::TraceSink& sink);
+  /// Convenience: attach to the Soc's simulator trace sink.
+  void attach(soc::Soc& soc);
+
+  /// Feed one record (the observer calls this; replays may too).
+  void observe(const sim::TraceRecord& rec);
+
+  /// End-of-run checks: credit conservation, span balance, open offloads.
+  /// Idempotent per run; call once after the simulation drains.
+  void finish();
+
+  bool clean() const { return total_violations_ == 0; }
+  /// Stored violations (capped at config.max_violations).
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Total violations detected, including any beyond the storage cap.
+  std::uint64_t total_violations() const { return total_violations_; }
+  std::uint64_t records_seen() const { return records_seen_; }
+
+  /// "mco-violations-v1" JSON document: records_seen, violation count, and
+  /// the stored violation list with their history windows.
+  std::string to_json() const;
+
+  /// Forget everything (state machines, ledger, violations).
+  void reset();
+
+ private:
+  void violate(const char* invariant, sim::Cycle time, const std::string& subject,
+               std::string message);
+
+  void on_arm(const sim::TraceRecord& rec);
+  void on_credit(const sim::TraceRecord& rec);
+  void on_irq(const sim::TraceRecord& rec);
+  void on_cluster_record(const sim::TraceRecord& rec);
+  void on_runtime_record(const sim::TraceRecord& rec);
+  void on_span(const sim::TraceRecord& rec);
+
+  ProtocolMonitorConfig cfg_;
+
+  std::uint64_t records_seen_ = 0;
+  std::uint64_t total_violations_ = 0;
+  std::vector<Violation> violations_;
+  std::deque<sim::TraceRecord> history_;
+
+  // Sync-unit shadow (credit_* / irq_* / arm_discipline).
+  bool saw_arm_ = false;  ///< the run used the hw credit path at least once
+  bool armed_ = false;
+  bool threshold_reached_ = false;  ///< in the current arm epoch
+  std::uint32_t threshold_ = 0;
+  std::uint32_t count_ = 0;
+  unsigned irqs_this_epoch_ = 0;
+
+  // Conservation ledger (credit path only; the AMO path bypasses the unit).
+  std::uint64_t signals_credit_ = 0;
+  std::uint64_t signals_amo_ = 0;
+  std::uint64_t credits_applied_ = 0;
+  std::uint64_t credits_spurious_ = 0;
+  std::uint64_t credit_drop_faults_ = 0;
+  std::uint64_t credit_dup_faults_ = 0;
+
+  // Per-cluster dispatch/completion accounting (dispatch_accounting).
+  std::map<unsigned, std::uint64_t> dispatched_;
+  std::map<unsigned, std::uint64_t> doorbells_;
+  std::map<unsigned, std::uint64_t> wakeups_;
+  std::map<unsigned, std::uint64_t> signals_;
+
+  // Offload lifecycle / retry discipline.
+  bool offload_open_ = false;
+  std::uint64_t offloads_started_ = 0;
+  std::uint64_t offloads_done_ = 0;
+  std::uint64_t watchdogs_this_offload_ = 0;
+
+  // Span balance: open-span depth per track.
+  std::map<std::string, std::int64_t> span_depth_;
+
+  bool finished_ = false;
+};
+
+}  // namespace mco::check

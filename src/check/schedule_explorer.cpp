@@ -1,0 +1,90 @@
+#include "check/schedule_explorer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+#include "util/strings.h"
+
+namespace mco::check {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates (base seed, schedule index, point
+/// coordinates) into independent shuffle streams.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ScheduleExplorer::ScheduleExplorer(ScheduleExplorerConfig cfg) : cfg_(cfg) {
+  if (cfg_.schedules == 0)
+    throw std::invalid_argument("ScheduleExplorer: zero schedules (need at least the baseline)");
+}
+
+ScheduleReport ScheduleExplorer::explore(const exp::RunPoint& point) const {
+  ScheduleReport report;
+  report.point = point;
+  report.fault_free = !point.cfg.fault.any_enabled();
+
+  for (unsigned k = 0; k < cfg_.schedules; ++k) {
+    soc::Soc soc(point.cfg);
+
+    ProtocolMonitor monitor(cfg_.monitor);
+    monitor.attach(soc);
+
+    sim::Rng shuffle(mix(cfg_.seed ^ mix(point.seed + 0x9E37ull * k)));
+    if (k > 0) {
+      // Seeded Fisher–Yates over each simultaneously-ready batch. The stream
+      // is private to this run and is consumed in deterministic batch order,
+      // so schedule k of this point is reproducible in isolation.
+      const bool wire_only = cfg_.wire_only;
+      soc.simulator().set_commit_permuter(
+          [&shuffle, wire_only](sim::Cycle, sim::Priority prio,
+                                std::vector<std::size_t>& order) {
+            if (wire_only && prio != sim::Priority::kWire) return;
+            for (std::size_t i = order.size() - 1; i > 0; --i) {
+              const std::size_t j = shuffle.next_below(i + 1);
+              std::swap(order[i], order[j]);
+            }
+          });
+    }
+
+    const kernels::Kernel& kernel = soc.kernels().by_name(point.kernel);
+    sim::Rng workload_rng(point.seed);
+    soc::PreparedJob job =
+        soc::prepare_workload(soc, kernel, point.n, soc.num_clusters(), workload_rng);
+    const offload::OffloadResult result = soc.run_offload(job.args, point.m);
+    monitor.finish();
+
+    ScheduleRun run;
+    run.schedule = k;
+    run.total = result.total();
+    run.max_abs_error = job.max_abs_error(soc);
+    run.degraded = result.recovery.degraded;
+    run.violations = monitor.total_violations();
+    report.total_violations += monitor.total_violations();
+    for (const Violation& v : monitor.violations()) report.violations.push_back(v);
+    if (run.max_abs_error > point.tolerance) report.numerics_ok = false;
+
+    if (k == 0) {
+      report.min_total = report.max_total = run.total;
+    } else {
+      report.min_total = std::min(report.min_total, run.total);
+      report.max_total = std::max(report.max_total, run.total);
+    }
+    report.runs.push_back(run);
+  }
+  report.cycles_identical = report.min_total == report.max_total;
+  return report;
+}
+
+}  // namespace mco::check

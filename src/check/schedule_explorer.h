@@ -1,0 +1,96 @@
+// Seeded same-cycle schedule exploration for the offload protocol.
+//
+// The simulator's tie-break for events ready at the same (time, priority) is
+// FIFO by insertion order — one legal hardware schedule out of many. The
+// protocol's correctness claims (and the paper's cycle counts) must not
+// depend on that accident: credits may arrive at the sync unit in any order,
+// multicast replicas may commit in any order, an IRQ edge races the poll
+// loop. The ScheduleExplorer re-runs one RunPoint under N seeded random
+// commit orders (a Fisher–Yates shuffle of every simultaneously-ready
+// Priority::kWire batch, via Simulator::set_commit_permuter) with a
+// ProtocolMonitor attached, and reports:
+//   * violations    — union of monitor findings across all schedules;
+//   * cycle spread  — min/max offload latency over the schedules. Fault-free
+//     runs must be bit-identical (wire batches are commutative: same-cycle
+//     credits, replicated dispatches); faulted runs may differ because the
+//     injector draws in commit order, so each schedule is a *different*
+//     legal fault pattern — there the numerics, not the cycles, must hold.
+//
+// Only kWire batches are permuted by default: protocol messages ride the
+// wire priority, while memory arbitration (kMemory) and host/cluster
+// sequencing (kCpu/kDefault) model pipelines whose order is architectural,
+// not racy.
+//
+// Schedule 0 is always the unpermuted FIFO baseline. Exploration is
+// deterministic per (config seed, point): run k's shuffle stream is seeded
+// by mixing the seed with k, never by global state, so reports are
+// bit-identical at any SweepRunner --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/protocol_monitor.h"
+#include "exp/spec.h"
+#include "sim/time.h"
+
+namespace mco::check {
+
+struct ScheduleExplorerConfig {
+  /// Schedules per point, including the FIFO baseline (schedule 0).
+  unsigned schedules = 8;
+  /// Base seed for the per-schedule shuffle streams.
+  std::uint64_t seed = 0x5C4EDull;
+  /// Permute only Priority::kWire batches (see header comment). When false
+  /// every same-(time, priority) batch is shuffled — useful for probing how
+  /// much of the cycle count is arbitration accident.
+  bool wire_only = true;
+  ProtocolMonitorConfig monitor;
+};
+
+/// Outcome of one schedule of one point.
+struct ScheduleRun {
+  unsigned schedule = 0;  ///< 0 = FIFO baseline
+  sim::Cycles total = 0;
+  double max_abs_error = 0.0;
+  bool degraded = false;
+  std::uint64_t violations = 0;
+};
+
+/// Everything explore() learned about one RunPoint.
+struct ScheduleReport {
+  exp::RunPoint point;
+  bool fault_free = true;
+  std::vector<ScheduleRun> runs;
+  /// Union of stored monitor violations across schedules (bounded by the
+  /// monitor config's max_violations per schedule).
+  std::vector<Violation> violations;
+  std::uint64_t total_violations = 0;
+
+  sim::Cycles min_total = 0;
+  sim::Cycles max_total = 0;
+  /// True when every schedule produced the same offload latency. Expected
+  /// for fault-free points; informational for faulted ones.
+  bool cycles_identical = true;
+  /// True when every schedule's result error stayed within tolerance.
+  bool numerics_ok = true;
+
+  bool clean() const { return total_violations == 0 && numerics_ok; }
+};
+
+class ScheduleExplorer {
+ public:
+  explicit ScheduleExplorer(ScheduleExplorerConfig cfg = {});
+
+  const ScheduleExplorerConfig& config() const { return cfg_; }
+
+  /// Run `point` under config().schedules seeded commit orders. Thread-safe
+  /// (no mutable state): SweepRunner::map may fan points out across workers.
+  ScheduleReport explore(const exp::RunPoint& point) const;
+
+ private:
+  ScheduleExplorerConfig cfg_;
+};
+
+}  // namespace mco::check

@@ -57,6 +57,10 @@ soc::SocConfig parse_preset(const std::string& label, const std::string& value) 
     clusters = static_cast<unsigned>(
         parse_u64("config." + label, value.substr(open + 1, value.size() - open - 2)));
   }
+  if (clusters == 0 || clusters > 1024) {
+    throw std::invalid_argument(util::format(
+        "spec: config.%s preset cluster count %u outside [1, 1024]", label.c_str(), clusters));
+  }
   if (name == "baseline") return soc::SocConfig::baseline(clusters);
   if (name == "extended") return soc::SocConfig::extended(clusters);
   if (name == "multicast_only") return soc::SocConfig::with_features(clusters, {true, false});
@@ -136,14 +140,27 @@ ExperimentSpec load_spec_text(const std::string& text) {
           spec.ns.clear();
           saw_n = true;
         }
-        for (const std::string& v : parse_list(value)) spec.ns.push_back(parse_u64(key, v));
+        for (const std::string& v : parse_list(value)) {
+          const std::uint64_t n = parse_u64(key, v);
+          if (n == 0) throw std::invalid_argument("spec: n must be >= 1");
+          spec.ns.push_back(n);
+        }
       } else if (key == "m") {
         if (!saw_m) {
           spec.ms.clear();
           saw_m = true;
         }
-        for (const std::string& v : parse_list(value))
-          spec.ms.push_back(static_cast<unsigned>(parse_u64(key, v)));
+        for (const std::string& v : parse_list(value)) {
+          const std::uint64_t m = parse_u64(key, v);
+          // A zero-cluster point can only fail deep inside the runtime, and a
+          // value past the largest preset fabric truncates on the cast: both
+          // are spec bugs, surfaced here with the line number.
+          if (m == 0 || m > 1024)
+            throw std::invalid_argument(
+                util::format("spec: m = %llu outside [1, 1024]",
+                             static_cast<unsigned long long>(m)));
+          spec.ms.push_back(static_cast<unsigned>(m));
+        }
       } else if (key == "seed") {
         if (!saw_seed) {
           spec.seeds.clear();
@@ -151,7 +168,10 @@ ExperimentSpec load_spec_text(const std::string& text) {
         }
         for (const std::string& v : parse_list(value)) spec.seeds.push_back(parse_u64(key, v));
       } else if (key == "tolerance") {
-        spec.tolerance = parse_f64(key, value);
+        const double tol = parse_f64(key, value);
+        if (!(tol >= 0.0))  // negated to also reject NaN
+          throw std::invalid_argument("spec: tolerance must be >= 0");
+        spec.tolerance = tol;
       } else if (util::starts_with(key, "config.")) {
         const std::string rest = key.substr(7);
         const std::size_t dot = rest.find('.');

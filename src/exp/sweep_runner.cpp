@@ -1,5 +1,6 @@
 #include "exp/sweep_runner.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -53,20 +54,47 @@ ResultSet SweepRunner::run(const std::string& name, const std::vector<RunPoint>&
   return ResultSet(name, std::move(rows));
 }
 
+unsigned SweepRunner::parse_jobs(const std::string& value) {
+  const std::string v = util::trim(value);
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(util::format(
+        "invalid --jobs value '%s': expected a decimal integer in [1, 1024]", value.c_str()));
+  }
+  char* end = nullptr;
+  const unsigned long jobs = std::strtoul(v.c_str(), &end, 10);
+  if (*end != '\0' || jobs < 1 || jobs > 1024) {
+    throw std::invalid_argument(util::format(
+        "invalid --jobs value '%s': expected a decimal integer in [1, 1024]", value.c_str()));
+  }
+  return static_cast<unsigned>(jobs);
+}
+
 unsigned SweepRunner::jobs_from_args(int& argc, char** argv) {
+  const auto parse_or_die = [](const std::string& value) -> unsigned {
+    try {
+      return parse_jobs(value);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(2);
+    }
+  };
   unsigned jobs = 1;
   if (const char* env = std::getenv("MCO_JOBS")) {
-    jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    jobs = parse_or_die(env);
   }
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      jobs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
+      jobs = parse_or_die(arg + 7);
       continue;
     }
-    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
-      jobs = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jobs requires a value\n");
+        std::exit(2);
+      }
+      jobs = parse_or_die(argv[i + 1]);
       ++i;
       continue;
     }

@@ -75,10 +75,17 @@ class SweepRunner {
     points_run_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Parse a --jobs/MCO_JOBS value. Accepts a plain decimal integer in
+  /// [1, 1024]; throws std::invalid_argument for anything else (zero,
+  /// negatives, garbage, trailing junk, absurd counts) — silent fallbacks
+  /// here have burned enough sweep runs.
+  static unsigned parse_jobs(const std::string& value);
+
   /// Extract and REMOVE --jobs=N / --jobs N from argc/argv (the shared
   /// bench flag, stripped before benchmark::Initialize like the
   /// observability flags). Absent flag: the MCO_JOBS environment variable,
-  /// else 1. "--jobs=0" means one job per hardware thread.
+  /// else 1. Invalid values (see parse_jobs) print a clear message to
+  /// stderr and exit(2) — uniformly across every bench and example.
   static unsigned jobs_from_args(int& argc, char** argv);
 
  private:

@@ -12,6 +12,51 @@ bool FaultConfig::any_enabled() const {
          cluster_straggle_prob > 0.0 || dma_stall_prob > 0.0;
 }
 
+std::vector<NamedScenario> scenario_catalog(std::uint64_t seed) {
+  // One scenario per injection point, at probabilities high enough to fire a
+  // handful of times per offload but low enough that recovery converges fast
+  // (the harness runs hundreds of these). Delay magnitudes stay below typical
+  // watchdog windows so delayed actions land, not time out, except in the
+  // chaos mix where both outcomes occur.
+  std::vector<NamedScenario> out;
+  auto add = [&](const char* name, auto fill) {
+    FaultConfig cfg;
+    cfg.seed = seed;
+    fill(cfg);
+    out.push_back(NamedScenario{name, cfg});
+  };
+  add("dispatch_drop", [](FaultConfig& c) { c.dispatch_drop_prob = 0.25; });
+  add("dispatch_delay", [](FaultConfig& c) {
+    c.dispatch_delay_prob = 0.5;
+    c.dispatch_delay_cycles = 200;
+  });
+  add("credit_drop", [](FaultConfig& c) { c.credit_drop_prob = 0.25; });
+  add("credit_duplicate", [](FaultConfig& c) { c.credit_duplicate_prob = 0.5; });
+  add("irq_swallow", [](FaultConfig& c) { c.irq_swallow_prob = 0.5; });
+  add("cluster_hang", [](FaultConfig& c) { c.cluster_hang_prob = 0.2; });
+  add("cluster_straggle", [](FaultConfig& c) {
+    c.cluster_straggle_prob = 0.5;
+    c.straggle_cycles = 500;
+  });
+  add("dma_stall", [](FaultConfig& c) {
+    c.dma_stall_prob = 0.5;
+    c.dma_stall_cycles = 300;
+  });
+  add("chaos", [](FaultConfig& c) {
+    c.dispatch_drop_prob = 0.1;
+    c.dispatch_delay_prob = 0.1;
+    c.dispatch_delay_cycles = 150;
+    c.credit_drop_prob = 0.1;
+    c.credit_duplicate_prob = 0.1;
+    c.irq_swallow_prob = 0.1;
+    c.cluster_straggle_prob = 0.1;
+    c.straggle_cycles = 400;
+    c.dma_stall_prob = 0.1;
+    c.dma_stall_cycles = 200;
+  });
+  return out;
+}
+
 std::uint64_t FaultCounters::total() const {
   return dispatches_dropped + dispatches_delayed + credits_dropped + credits_duplicated +
          irqs_swallowed + cluster_hangs + cluster_straggles + dma_stalls;

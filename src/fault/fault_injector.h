@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "sim/component.h"
 #include "sim/rng.h"
@@ -63,6 +65,19 @@ struct FaultConfig {
   /// config is guaranteed not to shift a single cycle.
   bool any_enabled() const;
 };
+
+/// A named FaultConfig, for harnesses that iterate "the usual suspects".
+struct NamedScenario {
+  std::string name;
+  FaultConfig cfg;
+};
+
+/// Canonical fault scenarios exercising each injection point in isolation
+/// plus a combined chaos mix — the robustness harness (bench_schedule_stress,
+/// test_check) sweeps this catalog so every protocol vulnerability gets
+/// schedule-exploration coverage. All scenarios share `seed` so a caller can
+/// re-seed the whole catalog at once.
+std::vector<NamedScenario> scenario_catalog(std::uint64_t seed = 0x5EEDull);
 
 /// What the injector did, by fault point.
 struct FaultCounters {

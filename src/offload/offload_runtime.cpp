@@ -36,7 +36,7 @@ void OffloadRuntime::span_begin(const char* what, const std::string& detail) {
 }
 
 void OffloadRuntime::span_end() {
-  if (sim_.trace().enabled()) sim_.trace().end_span(sim_.now(), "runtime");
+  if (sim_.trace().armed()) sim_.trace().end_span(sim_.now(), "runtime");
 }
 
 void OffloadRuntime::record_offload_metrics() const {

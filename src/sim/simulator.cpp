@@ -25,16 +25,53 @@ void Simulator::schedule_in(Cycles delay, std::function<void()> fn, Priority pri
   schedule_at(now_ + delay, std::move(fn), prio);
 }
 
+void Simulator::execute(Event ev) {
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
+}
+
 bool Simulator::step() {
+  if (!batch_.empty()) {
+    Event ev = std::move(batch_.front());
+    batch_.pop_front();
+    execute(std::move(ev));
+    return true;
+  }
   if (queue_.empty()) return false;
   // priority_queue::top returns const&; the event must be copied out before
   // pop. Move the callable via const_cast — safe because we pop immediately.
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
-  assert(ev.time >= now_);
-  now_ = ev.time;
-  ++events_executed_;
-  ev.fn();
+  if (permuter_ && !queue_.empty() && queue_.top().time == ev.time &&
+      queue_.top().prio == ev.prio) {
+    // Exploration mode: drain every event ready at the same (time, priority)
+    // and commit them in the permuter's order. Lone events skip this path,
+    // so the common case stays allocation-free.
+    std::vector<Event> ready;
+    ready.push_back(std::move(ev));
+    while (!queue_.empty() && queue_.top().time == ready.front().time &&
+           queue_.top().prio == ready.front().prio) {
+      ready.push_back(std::move(const_cast<Event&>(queue_.top())));
+      queue_.pop();
+    }
+    std::vector<std::size_t> order(ready.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    permuter_(ready.front().time, ready.front().prio, order);
+    if (order.size() != ready.size())
+      throw std::logic_error("Simulator: commit permuter changed the batch size");
+    std::vector<bool> seen(ready.size(), false);
+    for (const std::size_t idx : order) {
+      if (idx >= ready.size() || seen[idx])
+        throw std::logic_error("Simulator: commit permuter returned an invalid permutation");
+      seen[idx] = true;
+      batch_.push_back(std::move(ready[idx]));
+    }
+    ev = std::move(batch_.front());
+    batch_.pop_front();
+  }
+  execute(std::move(ev));
   return true;
 }
 
@@ -47,10 +84,19 @@ Cycle Simulator::run() {
 
 Cycle Simulator::run_until(Cycle t) {
   stop_requested_ = false;
-  while (!stop_requested_ && !queue_.empty() && queue_.top().time <= t) {
+  while (!stop_requested_) {
+    Cycle next;
+    if (!batch_.empty()) {
+      next = batch_.front().time;
+    } else if (!queue_.empty()) {
+      next = queue_.top().time;
+    } else {
+      break;
+    }
+    if (next > t) break;
     step();
   }
-  if (now_ < t && queue_.empty()) {
+  if (now_ < t && idle()) {
     // Advance time even if nothing happened, so callers can reason about it.
     now_ = t;
   }

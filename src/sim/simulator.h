@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -50,6 +51,21 @@ class Simulator {
   /// Schedule `fn` to run `delay` cycles from now.
   void schedule_in(Cycles delay, std::function<void()> fn, Priority prio = Priority::kDefault);
 
+  /// Same-cycle commit-order exploration hook (see check::ScheduleExplorer).
+  ///
+  /// The kernel's default tie-break for events sharing (time, priority) is
+  /// FIFO by insertion sequence. When a permuter is set, every such group of
+  /// simultaneously-ready events is drained as a batch and the permuter may
+  /// reorder `order` (initially the identity over [0, k)); events then commit
+  /// in the permuted order. Events the batch itself schedules at the same
+  /// (time, priority) form the *next* batch — they were not ready together
+  /// with the current one. An unset permuter (the default) leaves the FIFO
+  /// path untouched, bit-identical to a kernel built without the hook.
+  using CommitPermuter =
+      std::function<void(Cycle time, Priority prio, std::vector<std::size_t>& order)>;
+  void set_commit_permuter(CommitPermuter permuter) { permuter_ = std::move(permuter); }
+  bool has_commit_permuter() const { return static_cast<bool>(permuter_); }
+
   /// Run until the event queue drains. Returns the final time.
   Cycle run();
 
@@ -60,10 +76,10 @@ class Simulator {
   bool step();
 
   /// True if no events are pending.
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return queue_.empty() && batch_.empty(); }
 
   /// Number of pending events.
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return queue_.size() + batch_.size(); }
 
   /// Total events executed so far (for kernel self-tests / budgets).
   std::uint64_t events_executed() const { return events_executed_; }
@@ -90,11 +106,18 @@ class Simulator {
     }
   };
 
+  /// Execute one already-popped event.
+  void execute(Event ev);
+
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   bool stop_requested_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  CommitPermuter permuter_;
+  /// Permuted same-(time, priority) events awaiting commit (permuter mode
+  /// only; always empty on the default FIFO path).
+  std::deque<Event> batch_;
   std::unique_ptr<Logger> logger_;
   std::unique_ptr<StatsRegistry> stats_;
   std::unique_ptr<TraceSink> trace_;

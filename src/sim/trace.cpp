@@ -8,26 +8,30 @@
 
 namespace mco::sim {
 
+void TraceSink::emit(TraceRecord rec) {
+  if (observer_) observer_(rec);
+  if (enabled_) records_.push_back(std::move(rec));
+}
+
 void TraceSink::record(Cycle time, const std::string& who, const std::string& what,
                        const std::string& detail) {
-  if (!enabled_) return;
-  records_.push_back(TraceRecord{time, TracePhase::kInstant, who, what, detail});
+  if (!armed()) return;
+  emit(TraceRecord{time, TracePhase::kInstant, who, what, detail});
 }
 
 void TraceSink::begin_span(Cycle time, const std::string& who, const std::string& what,
                            const std::string& detail) {
-  if (!enabled_) return;
-  open_.push_back(OpenSpan{who, records_.size()});
-  records_.push_back(TraceRecord{time, TracePhase::kBegin, who, what, detail});
+  if (!armed()) return;
+  open_.push_back(OpenSpan{who, what});
+  emit(TraceRecord{time, TracePhase::kBegin, who, what, detail});
 }
 
 void TraceSink::end_span(Cycle time, const std::string& who) {
-  if (!enabled_) return;
+  if (!armed()) return;
   // Innermost open span on this track: topmost stack entry with matching who.
   for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
     if (it->who != who) continue;
-    const TraceRecord& begin = records_[it->record_index];
-    records_.push_back(TraceRecord{time, TracePhase::kEnd, who, begin.what, ""});
+    emit(TraceRecord{time, TracePhase::kEnd, who, it->what, ""});
     open_.erase(std::next(it).base());
     return;
   }

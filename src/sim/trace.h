@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,18 @@ class TraceSink {
  public:
   void enable(bool on = true) { enabled_ = on; }
   bool enabled() const { return enabled_; }
+
+  /// Live record observer (the check::ProtocolMonitor's tap). When set, every
+  /// record produced is forwarded to the observer as it happens — even with
+  /// storage disabled, so a monitor can watch an arbitrarily long run in
+  /// bounded memory. Recording stays side-effect-free on simulated time: the
+  /// observer must not schedule events (monitors only accumulate state).
+  using Observer = std::function<void(const TraceRecord&)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+  bool has_observer() const { return static_cast<bool>(observer_); }
+
+  /// True when records are produced at all (stored, observed, or both).
+  bool armed() const { return enabled_ || has_observer(); }
 
   /// Record an instant event.
   void record(Cycle time, const std::string& who, const std::string& what,
@@ -95,10 +108,14 @@ class TraceSink {
  private:
   struct OpenSpan {
     std::string who;
-    std::size_t record_index;  ///< index of the begin record
+    std::string what;  ///< name from the begin record (ends inherit it)
   };
 
+  /// Store (when enabled) and/or forward (when observed) one record.
+  void emit(TraceRecord rec);
+
   bool enabled_ = false;
+  Observer observer_;
   std::vector<TraceRecord> records_;
   /// Stack of open spans across all tracks (per-track nesting falls out of
   /// matching ends by `who` from the top down).

@@ -1,6 +1,8 @@
 #include "soc/observability.h"
 
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -10,6 +12,7 @@
 #include "soc/soc.h"
 #include "soc/workloads.h"
 #include "util/cli.h"
+#include "util/strings.h"
 
 namespace mco::soc {
 
@@ -25,12 +28,37 @@ void write_file(const std::string& path, const std::string& content) {
   f << content;
 }
 
+/// validate_output_path for both flags of one options set, with the uniform
+/// message + exit(2) contract of the CLI readers.
+void validate_or_die(const ObservabilityOptions& opts) {
+  try {
+    validate_output_path(opts.trace_out, "--trace-out");
+    validate_output_path(opts.metrics_out, "--metrics-out");
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
 }  // namespace
+
+void validate_output_path(const std::string& path, const char* flag) {
+  if (path.empty()) return;
+  const std::filesystem::path p(path);
+  const std::filesystem::path dir = p.parent_path();
+  if (dir.empty()) return;  // bare filename: written to the working directory
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    throw std::invalid_argument(util::format(
+        "%s '%s': directory '%s' does not exist", flag, path.c_str(), dir.string().c_str()));
+  }
+}
 
 ObservabilityOptions observability_from_cli(const util::Cli& cli) {
   ObservabilityOptions opts;
   opts.trace_out = cli.get("trace-out", "");
   opts.metrics_out = cli.get("metrics-out", "");
+  validate_or_die(opts);
   return opts;
 }
 
@@ -57,6 +85,7 @@ ObservabilityOptions observability_from_args(int& argc, char** argv) {
   }
   argc = w;
   argv[argc] = nullptr;
+  validate_or_die(opts);
   return opts;
 }
 

@@ -38,12 +38,20 @@ struct ObservabilityOptions {
   bool any() const { return !trace_out.empty() || !metrics_out.empty(); }
 };
 
-/// Read --trace-out / --metrics-out from a parsed command line.
+/// Validate that `path` can plausibly be written: its parent directory must
+/// exist. Throws std::invalid_argument naming `flag` otherwise. Called by
+/// both CLI readers below so a typo'd output directory fails up front with
+/// one uniform message instead of after minutes of simulation.
+void validate_output_path(const std::string& path, const char* flag);
+
+/// Read --trace-out / --metrics-out from a parsed command line. Unknown
+/// output directories print a clear message to stderr and exit(2).
 ObservabilityOptions observability_from_cli(const util::Cli& cli);
 
 /// Extract and REMOVE --trace-out / --metrics-out from argc/argv (both
 /// `--flag=value` and `--flag value` forms) — benches must strip them before
-/// benchmark::Initialize rejects unknown flags.
+/// benchmark::Initialize rejects unknown flags. Unknown output directories
+/// print a clear message to stderr and exit(2).
 ObservabilityOptions observability_from_args(int& argc, char** argv);
 
 /// Enable the Soc's trace sink when a trace was requested. Call before the

@@ -19,6 +19,8 @@ void CreditCounterUnit::arm(std::uint32_t new_threshold) {
   if (new_threshold == 0) throw std::invalid_argument(path() + ": zero threshold");
   if (armed_ && count_ < threshold_)
     throw std::logic_error(path() + ": re-armed while an offload is still pending");
+  if (irq_pending_)
+    throw std::logic_error(path() + ": re-armed while the IRQ assertion is still in flight");
   armed_ = true;
   threshold_ = new_threshold;
   count_ = 0;
@@ -47,8 +49,12 @@ void CreditCounterUnit::increment(unsigned cluster) {
     if (!armed_) {
       ++spurious_increments_;
       sim().logger().log(now(), sim::LogLevel::kWarn, path(), "increment while unarmed");
+      sim().trace().record(now(), path(), "credit_spurious",
+                           util::format("cluster=%u", cluster));
       continue;
     }
+    if (count_ == UINT32_MAX)
+      throw std::overflow_error(path() + ": credit counter wrapped at 2^32-1");
     ++count_;
     arrival_hist_.sample(static_cast<double>(now() - armed_at_));
     sim().trace().record(now(), path(), "credit",
@@ -58,7 +64,14 @@ void CreditCounterUnit::increment(unsigned cluster) {
       time_to_threshold_hist_.sample(static_cast<double>(now() - armed_at_));
       ++interrupts_fired_;
       if (irq_cb_) {
-        defer(cfg_.trigger_latency, [this] { irq_cb_(); }, sim::Priority::kWire);
+        irq_pending_ = true;
+        defer(
+            cfg_.trigger_latency,
+            [this] {
+              irq_pending_ = false;
+              irq_cb_();
+            },
+            sim::Priority::kWire);
       }
     }
   }
@@ -68,6 +81,7 @@ void CreditCounterUnit::reset() {
   armed_ = false;
   threshold_ = 0;
   count_ = 0;
+  sim().trace().record(now(), path(), "sync_reset");
 }
 
 void CreditCounterUnit::begin_tracking(unsigned num_clusters) {

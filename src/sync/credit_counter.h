@@ -41,8 +41,9 @@ class CreditCounterUnit : public sim::Component {
 
   /// Host programs the threshold and clears the count. Throws
   /// std::logic_error if a previous offload is still pending (count below a
-  /// non-zero threshold) — hardware would corrupt state silently; we surface
-  /// the misuse.
+  /// non-zero threshold) or if the IRQ wire assertion from the previous
+  /// offload is still in flight (armed again inside the trigger-latency
+  /// window) — hardware would corrupt state silently; we surface the misuse.
   void arm(std::uint32_t threshold);
 
   /// Credit-increment register write (side-effect increment). Counts arriving
@@ -70,6 +71,9 @@ class CreditCounterUnit : public sim::Component {
   bool armed() const { return armed_; }
   std::uint32_t threshold() const { return threshold_; }
   std::uint32_t count() const { return count_; }
+  /// True between the counter reaching threshold and the IRQ wire asserting
+  /// (the trigger-latency window). arm() is illegal in this state.
+  bool irq_pending() const { return irq_pending_; }
 
   std::uint64_t interrupts_fired() const { return interrupts_fired_; }
   std::uint64_t spurious_increments() const { return spurious_increments_; }
@@ -79,6 +83,7 @@ class CreditCounterUnit : public sim::Component {
   IrqCallback irq_cb_;
   fault::FaultInjector* fault_ = nullptr;
   bool armed_ = false;
+  bool irq_pending_ = false;
   std::uint32_t threshold_ = 0;
   std::uint32_t count_ = 0;
   std::vector<bool> done_;

@@ -1,0 +1,573 @@
+// Tests for the src/check layer: the ProtocolMonitor's invariant catalog
+// (driven both by raw trace records and by a deliberately-broken sync unit),
+// and the ScheduleExplorer's seeded same-cycle commit-order exploration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/broken_credit_counter.h"
+#include "check/protocol_monitor.h"
+#include "check/schedule_explorer.h"
+#include "exp/sweep_runner.h"
+#include "fault/fault_injector.h"
+#include "sim/simulator.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace mco;
+using check::ProtocolMonitor;
+using Bug = check::BrokenCreditCounter::Bug;
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Feed one instant record straight into a monitor.
+void feed(ProtocolMonitor& mon, sim::Cycle t, const std::string& who, const std::string& what,
+          const std::string& detail = "") {
+  sim::TraceRecord rec;
+  rec.time = t;
+  rec.who = who;
+  rec.what = what;
+  rec.detail = detail;
+  rec.phase = sim::TracePhase::kInstant;
+  mon.observe(rec);
+}
+
+std::set<std::string> invariants_hit(const ProtocolMonitor& mon) {
+  std::set<std::string> out;
+  for (const check::Violation& v : mon.violations()) out.insert(v.invariant);
+  return out;
+}
+
+/// Drive one arm/credit epoch of a (possibly broken) counter under a monitor,
+/// with the surrounding protocol records a real offload trace would carry.
+struct EpochResult {
+  std::uint64_t total = 0;
+  std::set<std::string> invariants;
+  std::string first;  ///< invariant of the first stored violation
+};
+
+EpochResult run_epoch(Bug bug) {
+  sim::Simulator sim;
+  ProtocolMonitor mon;
+  mon.attach(sim.trace());
+  check::BrokenCreditCounter unit(sim, "sync", bug);
+  unit.set_irq_callback([] {});
+  unit.arm(4);
+  for (unsigned c = 0; c < 4; ++c) {
+    sim.trace().record(0, "noc", "unicast", util::format("cluster=%u", c));
+    sim.trace().record(0, util::format("soc.cluster%u.mailbox", c), "doorbell");
+    sim.trace().record(0, util::format("soc.cluster%u", c), "wakeup");
+    sim.trace().record(0, util::format("soc.cluster%u", c), "signal", "credit");
+    unit.increment(c);
+  }
+  sim.run();
+  mon.finish();
+  EpochResult r;
+  r.total = mon.total_violations();
+  r.invariants = invariants_hit(mon);
+  if (!mon.violations().empty()) r.first = mon.violations().front().invariant;
+  return r;
+}
+
+exp::RunPoint make_point(const std::string& label, soc::SocConfig cfg, std::uint64_t n,
+                         unsigned m, double tolerance = 1e-9) {
+  exp::RunPoint p;
+  p.config_label = label;
+  p.cfg = std::move(cfg);
+  p.kernel = "daxpy";
+  p.n = n;
+  p.m = m;
+  p.seed = 42;
+  p.tolerance = tolerance;
+  return p;
+}
+
+// ---- invariant catalog -----------------------------------------------------
+
+TEST(InvariantReference, TenUniquelyNamedInvariants) {
+  const auto& ref = check::invariant_reference();
+  EXPECT_EQ(ref.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& info : ref) {
+    EXPECT_NE(info.name, nullptr);
+    EXPECT_NE(info.statement, nullptr);
+    names.insert(info.name);
+  }
+  EXPECT_EQ(names.size(), ref.size());
+}
+
+TEST(InvariantReference, EveryViolationNamesACatalogEntry) {
+  // Violations produced anywhere in this test file must use catalog names;
+  // spot-check the mapping on one known violation per path.
+  std::set<std::string> catalog;
+  for (const auto& info : check::invariant_reference()) catalog.insert(info.name);
+  for (const Bug bug : {Bug::kLoseCredit, Bug::kDoubleCount, Bug::kEarlyIrq, Bug::kDuplicateIrq,
+                        Bug::kPhantomCredit}) {
+    for (const std::string& name : run_epoch(bug).invariants) {
+      EXPECT_TRUE(catalog.count(name)) << name << " missing from invariant_reference()";
+    }
+  }
+}
+
+// ---- monitor unit tests, one invariant at a time ---------------------------
+
+TEST(ProtocolMonitor, CleanStreamHasNoViolations) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "runtime", "offload_start");
+  feed(mon, 1, "noc", "multicast", "targets=2");
+  feed(mon, 2, "soc.cluster0.mailbox", "doorbell");
+  feed(mon, 2, "soc.cluster1.mailbox", "doorbell");
+  feed(mon, 3, "soc.cluster0", "wakeup");
+  feed(mon, 3, "soc.cluster1", "wakeup");
+  feed(mon, 4, "sync", "arm", "threshold=2");
+  feed(mon, 5, "soc.cluster0", "signal", "credit");
+  feed(mon, 5, "sync", "credit", "count=1/2");
+  feed(mon, 6, "soc.cluster1", "signal", "credit");
+  feed(mon, 6, "sync", "credit", "count=2/2");
+  feed(mon, 7, "intc", "irq");
+  feed(mon, 8, "runtime", "offload_done");
+  mon.finish();
+  EXPECT_TRUE(mon.clean());
+  EXPECT_EQ(mon.records_seen(), 13u);
+}
+
+TEST(ProtocolMonitor, ArmWithZeroThreshold) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "sync", "arm", "threshold=0");
+  EXPECT_TRUE(invariants_hit(mon).count("arm_discipline"));
+}
+
+TEST(ProtocolMonitor, ReArmWithEpochPending) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "sync", "arm", "threshold=2");
+  feed(mon, 1, "sync", "credit", "count=1/2");
+  feed(mon, 2, "sync", "arm", "threshold=2");
+  EXPECT_TRUE(invariants_hit(mon).count("arm_discipline"));
+}
+
+TEST(ProtocolMonitor, CreditBeyondThreshold) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "sync", "arm", "threshold=1");
+  feed(mon, 1, "sync", "credit", "count=1/1");
+  feed(mon, 2, "sync", "credit", "count=2/1");
+  EXPECT_TRUE(invariants_hit(mon).count("credit_bounds"));
+}
+
+TEST(ProtocolMonitor, CreditCountJump) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "sync", "arm", "threshold=4");
+  feed(mon, 1, "sync", "credit", "count=3/4");
+  EXPECT_TRUE(invariants_hit(mon).count("credit_bounds"));
+}
+
+TEST(ProtocolMonitor, CreditWhileUnarmed) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "sync", "credit", "count=1/4");
+  EXPECT_TRUE(invariants_hit(mon).count("credit_armed"));
+}
+
+TEST(ProtocolMonitor, IrqBeforeThreshold) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "sync", "arm", "threshold=2");
+  feed(mon, 1, "sync", "credit", "count=1/2");
+  feed(mon, 2, "intc", "irq");
+  EXPECT_TRUE(invariants_hit(mon).count("irq_threshold"));
+}
+
+TEST(ProtocolMonitor, SecondIrqInOneEpoch) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "sync", "arm", "threshold=1");
+  feed(mon, 1, "sync", "credit", "count=1/1");
+  feed(mon, 2, "intc", "irq");
+  feed(mon, 3, "intc", "irq");
+  EXPECT_TRUE(invariants_hit(mon).count("irq_exactly_once"));
+}
+
+TEST(ProtocolMonitor, DoorbellWithoutDispatch) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "soc.cluster3.mailbox", "doorbell");
+  EXPECT_TRUE(invariants_hit(mon).count("dispatch_accounting"));
+}
+
+TEST(ProtocolMonitor, WakeupWithoutDoorbell) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "noc", "unicast", "cluster=0");
+  feed(mon, 1, "soc.cluster0", "wakeup");
+  EXPECT_TRUE(invariants_hit(mon).count("dispatch_accounting"));
+}
+
+TEST(ProtocolMonitor, SignalWithoutWakeup) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "noc", "unicast", "cluster=0");
+  feed(mon, 1, "soc.cluster0.mailbox", "doorbell");
+  feed(mon, 2, "soc.cluster0", "signal", "amo");
+  EXPECT_TRUE(invariants_hit(mon).count("dispatch_accounting"));
+}
+
+TEST(ProtocolMonitor, MulticastExpandsToDenseTargetSet) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "noc", "multicast", "targets=3");
+  for (unsigned c = 0; c < 3; ++c)
+    feed(mon, 1, util::format("soc.cluster%u.mailbox", c), "doorbell");
+  EXPECT_EQ(mon.total_violations(), 0u);
+}
+
+TEST(ProtocolMonitor, RecoveryActionWithoutWatchdog) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "runtime", "offload_start");
+  feed(mon, 1, "runtime", "redispatch", "cluster=2");
+  EXPECT_TRUE(invariants_hit(mon).count("retry_discipline"));
+}
+
+TEST(ProtocolMonitor, WatchdogOutsideOffload) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "runtime", "watchdog_timeout");
+  EXPECT_TRUE(invariants_hit(mon).count("retry_discipline"));
+}
+
+TEST(ProtocolMonitor, RecoveryAfterWatchdogIsLegal) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "runtime", "offload_start");
+  feed(mon, 1, "runtime", "watchdog_timeout");
+  feed(mon, 2, "runtime", "redispatch", "cluster=2");
+  feed(mon, 3, "runtime", "cluster_failed", "cluster=2");
+  feed(mon, 4, "runtime", "redistribute", "cluster=2");
+  feed(mon, 5, "runtime", "offload_done");
+  mon.finish();
+  EXPECT_EQ(mon.total_violations(), 0u);
+}
+
+TEST(ProtocolMonitor, OverlappingOffloads) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "runtime", "offload_start");
+  feed(mon, 1, "runtime", "offload_start");
+  EXPECT_TRUE(invariants_hit(mon).count("offload_lifecycle"));
+}
+
+TEST(ProtocolMonitor, OffloadNeverCompletes) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "runtime", "offload_start");
+  mon.finish();
+  EXPECT_TRUE(invariants_hit(mon).count("offload_lifecycle"));
+}
+
+TEST(ProtocolMonitor, SpanEndWithoutBegin) {
+  ProtocolMonitor mon;
+  sim::TraceRecord rec;
+  rec.time = 0;
+  rec.who = "host.runtime";
+  rec.what = "offload";
+  rec.phase = sim::TracePhase::kEnd;
+  mon.observe(rec);
+  EXPECT_TRUE(invariants_hit(mon).count("span_balance"));
+}
+
+TEST(ProtocolMonitor, SpanLeftOpenAtFinish) {
+  ProtocolMonitor mon;
+  sim::TraceRecord rec;
+  rec.time = 0;
+  rec.who = "host.runtime";
+  rec.what = "offload";
+  rec.phase = sim::TracePhase::kBegin;
+  mon.observe(rec);
+  mon.finish();
+  EXPECT_TRUE(invariants_hit(mon).count("span_balance"));
+}
+
+TEST(ProtocolMonitor, ConservationCountsDropAndDupFaults) {
+  // 3 signals, one dropped in flight, one duplicated: 3 + 1 - 1 = 3 applied.
+  ProtocolMonitor mon;
+  feed(mon, 0, "noc", "multicast", "targets=3");
+  for (unsigned c = 0; c < 3; ++c) {
+    feed(mon, 1, util::format("soc.cluster%u.mailbox", c), "doorbell");
+    feed(mon, 1, util::format("soc.cluster%u", c), "wakeup");
+    feed(mon, 2, util::format("soc.cluster%u", c), "signal", "credit");
+  }
+  feed(mon, 2, "fault", "credit_drop", "cluster=0");
+  feed(mon, 2, "fault", "credit_dup", "cluster=1");
+  feed(mon, 3, "sync", "arm", "threshold=3");
+  feed(mon, 4, "sync", "credit", "count=1/3");
+  feed(mon, 4, "sync", "credit", "count=2/3");
+  feed(mon, 4, "sync", "credit", "count=3/3");
+  mon.finish();
+  EXPECT_EQ(mon.total_violations(), 0u);
+}
+
+TEST(ProtocolMonitor, ConservationSkippedWhenCreditPathUnused) {
+  // The AMO-polling baseline shares the injector's credit hook but never
+  // arms a unit; fault records alone must not trip the ledger.
+  ProtocolMonitor mon;
+  feed(mon, 0, "fault", "credit_drop", "cluster=0");
+  mon.finish();
+  EXPECT_EQ(mon.total_violations(), 0u);
+}
+
+TEST(ProtocolMonitor, HistoryWindowBoundsViolationContext) {
+  check::ProtocolMonitorConfig cfg;
+  cfg.history_window = 4;
+  ProtocolMonitor mon(cfg);
+  for (int i = 0; i < 32; ++i) feed(mon, static_cast<sim::Cycle>(i), "sync", "credit_spurious");
+  feed(mon, 32, "sync", "credit", "count=1/4");  // unarmed -> violation
+  ASSERT_EQ(mon.violations().size(), 1u);
+  EXPECT_LE(mon.violations().front().window.size(), 4u);
+}
+
+TEST(ProtocolMonitor, MaxViolationsCapsStorageNotCounting) {
+  check::ProtocolMonitorConfig cfg;
+  cfg.max_violations = 3;
+  ProtocolMonitor mon(cfg);
+  for (int i = 0; i < 10; ++i)
+    feed(mon, static_cast<sim::Cycle>(i), "sync", "credit", "count=1/4");
+  EXPECT_EQ(mon.violations().size(), 3u);
+  EXPECT_EQ(mon.total_violations(), 10u);
+}
+
+TEST(ProtocolMonitor, JsonDocumentCarriesSchemaAndViolations) {
+  ProtocolMonitor mon;
+  feed(mon, 7, "sync", "credit", "count=1/4");
+  mon.finish();
+  const std::string json = mon.to_json();
+  EXPECT_NE(json.find("\"schema\": \"mco-violations-v1\""), std::string::npos);
+  EXPECT_NE(json.find("credit_armed"), std::string::npos);
+  EXPECT_NE(json.find("\"time\": 7"), std::string::npos);
+}
+
+TEST(ProtocolMonitor, ResetRestoresPristineState) {
+  ProtocolMonitor mon;
+  feed(mon, 0, "sync", "credit", "count=1/4");
+  EXPECT_GT(mon.total_violations(), 0u);
+  mon.reset();
+  EXPECT_EQ(mon.total_violations(), 0u);
+  EXPECT_EQ(mon.records_seen(), 0u);
+  feed(mon, 0, "sync", "arm", "threshold=1");
+  feed(mon, 1, "sync", "credit", "count=1/1");
+  mon.finish();
+  // signals ledger empty but arm was seen: 0 signals vs 1 applied -> flagged.
+  EXPECT_TRUE(invariants_hit(mon).count("credit_conservation"));
+}
+
+// ---- the broken counter: five bug classes, five invariant classes ----------
+
+TEST(BrokenCreditCounter, FaithfulModeIsClean) {
+  EXPECT_EQ(run_epoch(Bug::kNone).total, 0u);
+}
+
+TEST(BrokenCreditCounter, FiveBugsFiveDistinctInvariantClasses) {
+  const struct {
+    Bug bug;
+    const char* expect;
+  } kCases[] = {
+      {Bug::kLoseCredit, "credit_conservation"},
+      {Bug::kDoubleCount, "credit_bounds"},
+      {Bug::kEarlyIrq, "irq_threshold"},
+      {Bug::kDuplicateIrq, "irq_exactly_once"},
+      {Bug::kPhantomCredit, "credit_armed"},
+  };
+  std::set<std::string> primaries;
+  for (const auto& c : kCases) {
+    const EpochResult r = run_epoch(c.bug);
+    EXPECT_GT(r.total, 0u) << "bug not caught: " << c.expect;
+    EXPECT_EQ(r.first, c.expect) << "wrong primary invariant";
+    primaries.insert(r.first);
+  }
+  EXPECT_EQ(primaries.size(), 5u) << "bug classes must map to distinct invariants";
+}
+
+// ---- monitor on the real SoC ----------------------------------------------
+
+TEST(MonitorOnSoc, CleanOnExtendedOffloadAndZeroCost) {
+  const sim::Cycles bare = soc::run_daxpy(soc::SocConfig::extended(32), 1024, 32, 42).total();
+  soc::Soc soc(soc::SocConfig::extended(32));
+  ProtocolMonitor mon;
+  mon.attach(soc);
+  const offload::OffloadResult r = soc::run_verified(soc, "daxpy", 1024, 32, 42);
+  mon.finish();
+  EXPECT_EQ(r.total(), bare) << "observer tap must not change simulated cycles";
+  EXPECT_EQ(r.total(), 633u);
+  EXPECT_TRUE(mon.clean());
+  EXPECT_GT(mon.records_seen(), 0u);
+  // Observer mode must not switch on trace storage.
+  EXPECT_FALSE(soc.simulator().trace().enabled());
+  EXPECT_TRUE(soc.simulator().trace().records().empty());
+}
+
+TEST(MonitorOnSoc, CleanOnBaselineOffload) {
+  soc::Soc soc(soc::SocConfig::baseline(32));
+  ProtocolMonitor mon;
+  mon.attach(soc);
+  const offload::OffloadResult r = soc::run_verified(soc, "daxpy", 1024, 32, 42);
+  mon.finish();
+  EXPECT_EQ(r.total(), 936u);
+  EXPECT_TRUE(mon.clean());
+}
+
+TEST(MonitorOnSoc, CleanUnderEveryFaultScenario) {
+  for (const fault::NamedScenario& sc : fault::scenario_catalog()) {
+    for (const bool extended : {true, false}) {
+      soc::SocConfig cfg = extended ? soc::SocConfig::extended(16) : soc::SocConfig::baseline(16);
+      cfg.runtime.watchdog_wait_cycles = 2000;
+      cfg.fault = sc.cfg;
+      soc::Soc soc(cfg);
+      ProtocolMonitor mon;
+      mon.attach(soc);
+      soc::run_verified(soc, "daxpy", 512, 16, 42, 1e-5);
+      mon.finish();
+      EXPECT_TRUE(mon.clean()) << sc.name << (extended ? "/extended: " : "/baseline: ")
+                               << mon.to_json();
+    }
+  }
+}
+
+// ---- schedule explorer ------------------------------------------------------
+
+TEST(ScheduleExplorer, RejectsZeroSchedules) {
+  check::ScheduleExplorerConfig cfg;
+  cfg.schedules = 0;
+  EXPECT_THROW(check::ScheduleExplorer{cfg}, std::invalid_argument);
+}
+
+TEST(ScheduleExplorer, HeadlinePinsHoldOnEverySchedule) {
+  check::ScheduleExplorerConfig cfg;
+  cfg.schedules = 32;
+  const check::ScheduleExplorer explorer(cfg);
+  const check::ScheduleReport ext =
+      explorer.explore(make_point("extended", soc::SocConfig::extended(32), 1024, 32));
+  const check::ScheduleReport base =
+      explorer.explore(make_point("baseline", soc::SocConfig::baseline(32), 1024, 32));
+  ASSERT_EQ(ext.runs.size(), 32u);
+  ASSERT_EQ(base.runs.size(), 32u);
+  EXPECT_TRUE(ext.cycles_identical);
+  EXPECT_TRUE(base.cycles_identical);
+  EXPECT_EQ(ext.min_total, 633u);
+  EXPECT_EQ(ext.max_total, 633u);
+  EXPECT_EQ(base.min_total, 936u);
+  EXPECT_TRUE(ext.clean());
+  EXPECT_TRUE(base.clean());
+}
+
+TEST(ScheduleExplorer, FaultFreeGridIdenticalAndClean) {
+  check::ScheduleExplorerConfig cfg;
+  cfg.schedules = 32;
+  const check::ScheduleExplorer explorer(cfg);
+  for (const unsigned m : {1u, 4u, 16u, 64u}) {
+    for (const bool extended : {true, false}) {
+      const check::ScheduleReport rep = explorer.explore(make_point(
+          extended ? "extended" : "baseline",
+          extended ? soc::SocConfig::extended(64) : soc::SocConfig::baseline(64), 1024, m));
+      EXPECT_TRUE(rep.cycles_identical) << "M=" << m;
+      EXPECT_TRUE(rep.clean()) << "M=" << m;
+      EXPECT_TRUE(rep.fault_free);
+    }
+  }
+}
+
+TEST(ScheduleExplorer, FaultScenariosStayCleanAndNumericallyCorrect) {
+  check::ScheduleExplorerConfig cfg;
+  cfg.schedules = 8;
+  const check::ScheduleExplorer explorer(cfg);
+  for (const fault::NamedScenario& sc : fault::scenario_catalog()) {
+    soc::SocConfig c = soc::SocConfig::extended(16);
+    c.runtime.watchdog_wait_cycles = 2000;
+    c.fault = sc.cfg;
+    const check::ScheduleReport rep =
+        explorer.explore(make_point("extended/" + sc.name, c, 512, 16, 1e-5));
+    EXPECT_FALSE(rep.fault_free) << sc.name;
+    EXPECT_TRUE(rep.clean()) << sc.name;
+    EXPECT_TRUE(rep.numerics_ok) << sc.name;
+  }
+}
+
+TEST(ScheduleExplorer, DeterministicPerSeed) {
+  check::ScheduleExplorerConfig cfg;
+  cfg.schedules = 6;
+  const check::ScheduleExplorer explorer(cfg);
+  soc::SocConfig c = soc::SocConfig::extended(16);
+  c.runtime.watchdog_wait_cycles = 2000;
+  c.fault.credit_drop_prob = 0.25;
+  const exp::RunPoint p = make_point("faulted", c, 512, 16, 1e-5);
+  const check::ScheduleReport a = explorer.explore(p);
+  const check::ScheduleReport b = explorer.explore(p);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].total, b.runs[i].total) << "schedule " << i;
+    EXPECT_EQ(a.runs[i].violations, b.runs[i].violations) << "schedule " << i;
+  }
+}
+
+TEST(ScheduleExplorer, ReportsIdenticalAtAnyJobsValue) {
+  check::ScheduleExplorerConfig cfg;
+  cfg.schedules = 4;
+  const check::ScheduleExplorer explorer(cfg);
+  std::vector<exp::RunPoint> points;
+  for (const unsigned m : {2u, 8u, 32u})
+    points.push_back(make_point("extended", soc::SocConfig::extended(32), 512, m));
+  const auto run_with = [&](unsigned jobs) {
+    exp::SweepRunner runner(jobs);
+    return runner.map(points,
+                      [&](const exp::RunPoint& p) { return explorer.explore(p); });
+  };
+  const std::vector<check::ScheduleReport> seq = run_with(1);
+  const std::vector<check::ScheduleReport> par = run_with(4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].runs.size(), par[i].runs.size());
+    EXPECT_EQ(seq[i].total_violations, par[i].total_violations);
+    for (std::size_t k = 0; k < seq[i].runs.size(); ++k)
+      EXPECT_EQ(seq[i].runs[k].total, par[i].runs[k].total);
+  }
+}
+
+TEST(ScheduleExplorer, FullPermutationStillSatisfiesInvariants) {
+  // Shuffling *every* same-cycle batch (not just wire) may legally move
+  // cycle counts — but the protocol invariants must still hold.
+  check::ScheduleExplorerConfig cfg;
+  cfg.schedules = 6;
+  cfg.wire_only = false;
+  const check::ScheduleExplorer explorer(cfg);
+  const check::ScheduleReport rep =
+      explorer.explore(make_point("extended", soc::SocConfig::extended(16), 512, 16));
+  EXPECT_EQ(rep.total_violations, 0u);
+  EXPECT_TRUE(rep.numerics_ok);
+}
+
+// ---- commit-permuter kernel validation --------------------------------------
+
+TEST(CommitPermuter, RejectsBadPermutations) {
+  sim::Simulator sim;
+  int ran = 0;
+  sim.schedule_at(1, [&] { ++ran; }, sim::Priority::kWire);
+  sim.schedule_at(1, [&] { ++ran; }, sim::Priority::kWire);
+  sim.set_commit_permuter(
+      [](sim::Cycle, sim::Priority, std::vector<std::size_t>& order) { order.pop_back(); });
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(CommitPermuter, RejectsDuplicateIndices) {
+  sim::Simulator sim;
+  sim.schedule_at(1, [] {}, sim::Priority::kWire);
+  sim.schedule_at(1, [] {}, sim::Priority::kWire);
+  sim.set_commit_permuter([](sim::Cycle, sim::Priority, std::vector<std::size_t>& order) {
+    for (std::size_t& i : order) i = 0;
+  });
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(CommitPermuter, ReversedBatchCommitsInReverse) {
+  sim::Simulator sim;
+  std::vector<int> committed;
+  for (int i = 0; i < 4; ++i)
+    sim.schedule_at(1, [&committed, i] { committed.push_back(i); }, sim::Priority::kWire);
+  sim.set_commit_permuter([](sim::Cycle, sim::Priority, std::vector<std::size_t>& order) {
+    std::reverse(order.begin(), order.end());
+  });
+  sim.run();
+  EXPECT_EQ(committed, (std::vector<int>{3, 2, 1, 0}));
+}
+
+}  // namespace

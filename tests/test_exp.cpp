@@ -15,7 +15,9 @@
 #include "exp/thread_pool.h"
 #include "model/mape.h"
 #include "model/runtime_model.h"
+#include "sim/rng.h"
 #include "soc/config_io.h"
+#include "soc/observability.h"
 
 namespace mco::exp {
 namespace {
@@ -336,6 +338,123 @@ TEST(SweepRunner, CountsPointsAndCycles) {
   EXPECT_EQ(runner.points_run(), 3u);
   EXPECT_EQ(runner.sim_cycles(), rs.total_sim_cycles());
   EXPECT_GT(runner.sim_cycles(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CLI robustness: --jobs parsing and output-path validation
+
+TEST(JobsParsing, AcceptsPlainDecimals) {
+  EXPECT_EQ(SweepRunner::parse_jobs("1"), 1u);
+  EXPECT_EQ(SweepRunner::parse_jobs("16"), 16u);
+  EXPECT_EQ(SweepRunner::parse_jobs("1024"), 1024u);
+  EXPECT_EQ(SweepRunner::parse_jobs(" 8 "), 8u);
+}
+
+TEST(JobsParsing, RejectsZeroNegativeAndGarbage) {
+  EXPECT_THROW(SweepRunner::parse_jobs("0"), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs("-1"), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs("-64"), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs("banana"), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs("4x"), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs("0x10"), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs("4.5"), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs(""), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs("  "), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs("1025"), std::invalid_argument);
+  EXPECT_THROW(SweepRunner::parse_jobs("99999999999999999999"), std::invalid_argument);
+}
+
+TEST(OutputPathValidation, AcceptsExistingDirsAndBareFilenames) {
+  EXPECT_NO_THROW(soc::validate_output_path("", "--trace-out"));
+  EXPECT_NO_THROW(soc::validate_output_path("trace.json", "--trace-out"));
+  EXPECT_NO_THROW(soc::validate_output_path("/tmp/trace.json", "--trace-out"));
+}
+
+TEST(OutputPathValidation, RejectsMissingDirectoryNamingTheFlag) {
+  try {
+    soc::validate_output_path("/no/such/dir/trace.json", "--trace-out");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--trace-out"), std::string::npos);
+    EXPECT_NE(msg.find("/no/such/dir"), std::string::npos);
+    EXPECT_NE(msg.find("does not exist"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec parser: negative paths and a seeded mutation corpus
+
+TEST(SpecNegative, MalformedPresetForms) {
+  EXPECT_THROW(load_spec_text("config.a = baseline(64\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("config.a = baseline()\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("config.a = baseline(sixty-four)\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("config.a = baseline(0)\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("config.a = baseline(4096)\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("config. = extended\n"), std::invalid_argument);
+}
+
+TEST(SpecNegative, OutOfDomainAxisValues) {
+  EXPECT_THROW(load_spec_text("n = 0\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("m = 0\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("m = 2000\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("m = 1,,2\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("tolerance = -1e-9\n"), std::invalid_argument);
+  EXPECT_THROW(load_spec_text("tolerance = nan\n"), std::invalid_argument);
+}
+
+TEST(SpecNegative, ErrorsCarryTheLineNumber) {
+  try {
+    load_spec_text("name = ok\nkernel = daxpy\nm = 0\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(SpecNegative, MissingFileIsACleanError) {
+  EXPECT_THROW(load_spec_file("/no/such/spec.exp"), std::runtime_error);
+}
+
+TEST(SpecFuzz, SeededMutationCorpusNeverCrashes) {
+  // Mutate a valid spec 500 ways (truncate / splice / corrupt bytes, seeded,
+  // so failures replay) and require the parser to either accept the result
+  // or reject it with a std::exception — never crash, hang or misbehave.
+  const std::string valid = save_spec_text([] {
+    ExperimentSpec s;
+    s.name = "fuzz";
+    s.configs.push_back({"ext", soc::SocConfig::extended(16)});
+    return s;
+  }());
+  sim::Rng rng(0xF022ull);
+  const std::string charset = "abcdefghijklmnopqrstuvwxyz0123456789.,=()# \n-";
+  unsigned parsed = 0, rejected = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string text = valid;
+    const unsigned op = static_cast<unsigned>(rng.next_below(4));
+    if (op == 0 && !text.empty()) {  // truncate mid-file
+      text.resize(rng.next_below(text.size()));
+    } else if (op == 1 && !text.empty()) {  // corrupt one byte
+      text[rng.next_below(text.size())] =
+          charset[rng.next_below(charset.size())];
+    } else if (op == 2 && !text.empty()) {  // delete a span
+      const std::size_t at = rng.next_below(text.size());
+      text.erase(at, rng.next_below(16) + 1);
+    } else {  // splice random garbage
+      std::string junk;
+      for (unsigned k = 0; k < 12; ++k) junk += charset[rng.next_below(charset.size())];
+      text.insert(text.empty() ? 0 : rng.next_below(text.size()), junk);
+    }
+    try {
+      (void)load_spec_text(text);
+      ++parsed;
+    } catch (const std::exception& e) {
+      EXPECT_NE(e.what()[0], '\0') << "empty diagnostic for mutant " << i;
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 500u);
+  EXPECT_GT(rejected, 0u);  // the corpus does exercise error paths
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 // team-start barrier.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "sim/trace.h"
 #include "sync/credit_counter.h"
 #include "sync/mailbox.h"
 #include "sync/shared_counter.h"
@@ -96,6 +98,56 @@ TEST_F(CreditFixture, ResetClearsState) {
   EXPECT_FALSE(unit.armed());
   EXPECT_EQ(unit.count(), 0u);
   EXPECT_EQ(unit.threshold(), 0u);
+}
+
+TEST_F(CreditFixture, ReArmDuringIrqAssertionThrows) {
+  // The threshold disarms the counter immediately, but the IRQ edge is still
+  // in flight for trigger_latency cycles; re-arming inside that window would
+  // attribute the stale edge to the new epoch.
+  unit.set_irq_callback([] {});
+  unit.arm(1);
+  unit.increment();
+  EXPECT_TRUE(unit.irq_pending());
+  EXPECT_THROW(unit.arm(2), std::logic_error);
+  sim.run();  // edge delivered, window closed
+  EXPECT_FALSE(unit.irq_pending());
+  EXPECT_NO_THROW(unit.arm(2));
+}
+
+TEST_F(CreditFixture, SpuriousIncrementEmitsTraceRecord) {
+  sim.trace().enable();
+  unit.increment(3);
+  bool found = false;
+  for (const sim::TraceRecord& r : sim.trace().records()) {
+    if (r.what == "credit_spurious" && r.detail == "cluster=3") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CreditFixture, ResetEmitsTraceRecord) {
+  sim.trace().enable();
+  unit.reset();
+  bool found = false;
+  for (const sim::TraceRecord& r : sim.trace().records()) {
+    if (r.what == "sync_reset") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CreditFixture, ObserverSeesRecordsWithoutStorage) {
+  // The check layer's monitor tap: an observer receives every record while
+  // the sink, left disabled, stores nothing.
+  std::vector<std::string> seen;
+  sim.trace().set_observer([&](const sim::TraceRecord& r) { seen.push_back(r.what); });
+  unit.set_irq_callback([] {});
+  unit.arm(1);
+  unit.increment();
+  sim.run();
+  EXPECT_FALSE(sim.trace().enabled());
+  EXPECT_TRUE(sim.trace().records().empty());
+  ASSERT_GE(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "arm");
+  EXPECT_EQ(seen[1], "credit");
 }
 
 // ---- mailbox ---------------------------------------------------------------
