@@ -1,0 +1,125 @@
+// E19 — SLO soak: the deadline-aware offload service under sustained load.
+//
+// One seeded multi-thousand-job trace (kernel, N, deadline, priority) is
+// served by a serve::OffloadService per fault scenario (serve::soak_scenarios:
+// fault-free control, lost completions, chaos mix, and a targeted sick
+// cluster that exercises the circuit breaker end to end). Reported per
+// scenario: SLO attainment, goodput, shed/failed counts, quarantine and
+// re-admission activity, and the invariant-audit results of the two
+// ProtocolMonitors (backing Soc + service trace). The aggregate
+// "mco-serve-v1" document is golden-pinned by scripts/metrics_regression.py.
+//
+// Scenario-level parallelism uses exp::SweepRunner::map with index-addressed
+// slots; each scenario's replay is serial and virtual-time deterministic, so
+// every table and the report document are byte-identical for any --jobs.
+//
+// Extra flags (stripped before benchmark::Initialize):
+//   --serve-jobs=N   jobs in the generated trace (default 1000)
+//   --report-out=F   write the "mco-serve-v1" JSON report to F
+#include "bench_common.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "serve/soak.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void run_e19(exp::SweepRunner& runner, std::size_t serve_jobs, const std::string& report_out) {
+  banner("E19: SLO soak of the deadline-aware offload service",
+         "Eq. (3) admission + partitioned offloads on the DATE 2024 fabric");
+
+  serve::SoakTraceConfig trace_cfg;
+  trace_cfg.num_jobs = serve_jobs;
+  trace_cfg.seed = kSeed;
+  serve::SoakRunConfig run_cfg;
+  const std::vector<serve::ServeJob> trace =
+      serve::generate_trace(trace_cfg, run_cfg.model);
+  const std::vector<serve::SoakScenario> scenarios = serve::soak_scenarios();
+
+  const std::vector<serve::SoakResult> results =
+      runner.map(scenarios, [&](const serve::SoakScenario& sc) {
+        serve::SoakResult r = serve::run_soak_scenario(sc, trace, run_cfg);
+        runner.note_cycles(r.makespan);
+        return r;
+      });
+
+  util::TablePrinter table({"scenario", "met", "missed", "shed", "failed", "SLO %",
+                            "goodput", "quar", "readmit", "probes", "crashes", "violations"});
+  std::uint64_t soc_violations = 0;
+  std::uint64_t serve_violations = 0;
+  for (const serve::SoakResult& r : results) {
+    soc_violations += r.soc_violations;
+    serve_violations += r.serve_violations;
+    table.add_row({r.scenario, fmt_u64(r.met), fmt_u64(r.missed), fmt_u64(r.shed),
+                   fmt_u64(r.failed), fmt_fix(100.0 * r.slo_attainment, 1),
+                   fmt_fix(r.goodput, 3), fmt_u64(r.quarantines), fmt_u64(r.readmissions),
+                   fmt_u64(r.probes), fmt_u64(r.crashes),
+                   fmt_u64(r.soc_violations + r.serve_violations)});
+  }
+  table.print(std::cout);
+
+  std::printf("\n%zu jobs x %zu scenarios: %llu soc violation(s), %llu serve violation(s)\n",
+              trace.size(), scenarios.size(),
+              static_cast<unsigned long long>(soc_violations),
+              static_cast<unsigned long long>(serve_violations));
+
+  if (!report_out.empty()) {
+    std::ofstream f(report_out);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n", report_out.c_str());
+      std::exit(2);
+    }
+    f << serve::soak_report_json(results, trace_cfg);
+    std::printf("[e19] serve report written to %s\n", report_out.c_str());
+  }
+}
+
+/// Strip --serve-jobs=N / --report-out=F (same discipline as the shared
+/// bench flags: consume before benchmark::Initialize).
+void e19_args(int& argc, char** argv, std::size_t& serve_jobs, std::string& report_out) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--serve-jobs=", 13) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[i] + 13, &end, 10);
+      if (*end != '\0' || v < 1 || v > 1'000'000) {
+        std::fprintf(
+            stderr,
+            "error: invalid --serve-jobs value '%s': expected an integer in [1, 1000000]\n",
+            argv[i] + 13);
+        std::exit(2);
+      }
+      serve_jobs = static_cast<std::size_t>(v);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t serve_jobs = 1000;
+  std::string report_out;
+  e19_args(argc, argv, serve_jobs, report_out);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  run_e19(runner, serve_jobs, report_out);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(8), "daxpy", 2048, 8);
+  register_offload_benchmark("serve_soak/extended8/M=8", mco::soc::SocConfig::extended(8),
+                             "daxpy", 2048, 8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,8 +8,10 @@
 #                        bench_sweep_report, check_cli_errors)
 #   build-check/asan     ASan+UBSan, tests only (benches uninteresting under
 #                        ASan and ~10x slower)
-#   build-check/tsan     TSan, the concurrency + schedule-explorer suites
-#                        (the labelled "sanitize" ctest entries)
+#   build-check/tsan     TSan, the concurrency + schedule-explorer + serve-soak
+#                        suites (the labelled "sanitize" ctest entries; benches
+#                        stay on because tsan_serve_soak drives bench_serve_soak
+#                        with internal --jobs parallelism)
 #
 # Usage:
 #   scripts/check_all.sh            # full matrix
@@ -53,7 +55,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     tsan)
       mkdir -p "$ROOT"
-      run_stage tsan -DMCO_SANITIZE=thread -DMCO_BUILD_BENCHES=OFF \
+      # Benches explicitly ON: tsan_serve_soak drives bench_serve_soak, and an
+      # older build-check/tsan cache may still carry BENCHES=OFF.
+      run_stage tsan -DMCO_SANITIZE=thread -DMCO_BUILD_BENCHES=ON \
         -DMCO_BUILD_EXAMPLES=OFF
       echo "=== [tsan] ctest (label: sanitize) ==="
       (cd "$ROOT/tsan" && ctest --output-on-failure -L sanitize)

@@ -13,6 +13,11 @@ asserts the shared contract:
 A positive control run at the end guards against the opposite regression
 (valid flags suddenly rejected).
 
+Bench-specific flags that fail fast before any simulation are held to the
+same contract; currently that is bench_serve_soak's --serve-jobs (its
+--report-out follows the E18 --violations-out precedent and is validated at
+write time, so it is not a fail-fast case).
+
 Usage:
   python3 scripts/check_cli_errors.py [--build build] [--bench bench_fig1_left]
 """
@@ -41,6 +46,15 @@ ERROR_CASES = [
     ("metrics-out missing dir", ["--metrics-out", "/no/such/dir/m.csv"], {}),
 ]
 
+# Same contract, but for flags owned by one specific bench binary.
+# (binary, label, extra argv) — must exit 2 with an "error:" line, no stdout.
+BENCH_ERROR_CASES = [
+    ("bench_serve_soak", "serve-jobs zero", ["--serve-jobs=0"]),
+    ("bench_serve_soak", "serve-jobs garbage", ["--serve-jobs=lots"]),
+    ("bench_serve_soak", "serve-jobs trailing junk", ["--serve-jobs=100x"]),
+    ("bench_serve_soak", "serve-jobs huge", ["--serve-jobs=9999999"]),
+]
+
 
 def run(exe: Path, argv: list[str], env_extra: dict[str, str]) -> subprocess.CompletedProcess:
     env = dict(os.environ)
@@ -64,6 +78,25 @@ def main() -> int:
     failures: list[str] = []
     for label, argv, env in ERROR_CASES:
         p = run(exe, argv, env)
+        problems = []
+        if p.returncode != 2:
+            problems.append(f"exit {p.returncode} (want 2)")
+        first = p.stderr.splitlines()[0] if p.stderr.splitlines() else ""
+        if not first.startswith("error:"):
+            problems.append(f"stderr {first!r} (want 'error: ...')")
+        if p.stdout.strip():
+            problems.append("produced stdout before failing")
+        status = "ok" if not problems else "; ".join(problems)
+        print(f"{label:32s} {status}")
+        if problems:
+            failures.append(f"{label}: {status}")
+
+    for bench, label, argv in BENCH_ERROR_CASES:
+        bench_exe = build / "bench" / bench
+        if not bench_exe.exists():
+            failures.append(f"{label}: {bench_exe} not built")
+            continue
+        p = run(bench_exe, argv, {})
         problems = []
         if p.returncode != 2:
             problems.append(f"exit {p.returncode} (want 2)")

@@ -15,6 +15,12 @@ byte-for-byte — in particular the violation list must stay empty. Any
 protocol regression (an invariant violation, or a fault-free cycle count
 that moves under schedule permutation) changes the document and fails here.
 
+The E19 serve-soak report ("mco-serve-v1", bench_serve_soak
+``--report-out``) is pinned the same way: every scenario row must report
+zero soc/serve protocol violations, and the whole document must match its
+golden exactly — SLO attainment, goodput, quarantine and re-admission
+counts are all deterministic aggregates of the seeded job trace.
+
 The simulator is deterministic, so counters must match the goldens *exactly*
 by default; ``--tol`` grants a relative tolerance for intentional
 recalibrations (e.g. ``--tol 0.01`` while iterating on a latency model).
@@ -48,6 +54,12 @@ ANCHORS = [
 # (experiment id, bench binary, extra flags) — compared byte-exactly as JSON.
 VIOLATION_ANCHORS = [
     ("e18_schedule_stress", "bench_schedule_stress", ["--schedules=4", "--jobs=2"]),
+]
+
+# (experiment id, bench binary, extra flags) — "mco-serve-v1" documents,
+# compared byte-exactly; every scenario row must be violation-free.
+SERVE_ANCHORS = [
+    ("e19_serve_soak", "bench_serve_soak", ["--serve-jobs=200", "--jobs=2"]),
 ]
 
 
@@ -153,6 +165,32 @@ def main() -> int:
         golden = json.loads(golden_path.read_text())
         errs = [] if fresh == golden else [
             f"{exp}: violation document differs from golden "
+            f"(fresh {json.dumps(fresh, sort_keys=True)[:200]}...)"]
+        print(f"{exp}: {'ok' if not errs else 'document changed'}")
+        failures.extend(errs)
+
+    for exp, bench, extra in SERVE_ANCHORS:
+        golden_path = GOLDENS / f"{exp}.json"
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "serve.json"
+            run_bench(build, bench, out, out_flag="--report-out", extra=extra)
+            fresh = json.loads(out.read_text())
+        for row in fresh.get("scenarios", []):
+            if row.get("soc_violations") != 0 or row.get("serve_violations") != 0:
+                failures.append(
+                    f"{exp}: scenario {row.get('name')!r} reports protocol "
+                    f"violations: soc={row.get('soc_violations')} "
+                    f"serve={row.get('serve_violations')}")
+        if args.update:
+            golden_path.write_text(json.dumps(fresh, indent=1, sort_keys=True) + "\n")
+            print(f"updated {golden_path.relative_to(REPO)}")
+            continue
+        if not golden_path.exists():
+            failures.append(f"{exp}: golden {golden_path} missing (run --update)")
+            continue
+        golden = json.loads(golden_path.read_text())
+        errs = [] if fresh == golden else [
+            f"{exp}: serve report differs from golden "
             f"(fresh {json.dumps(fresh, sort_keys=True)[:200]}...)"]
         print(f"{exp}: {'ok' if not errs else 'document changed'}")
         failures.extend(errs)

@@ -28,6 +28,10 @@ const std::vector<InvariantInfo>& invariant_reference() {
       {"span_balance", "every begun span is ended on its own track by the end of the run"},
       {"offload_lifecycle",
        "offload_start and offload_done strictly alternate and every offload completes"},
+      {"serve_isolation",
+       "serving-layer dispatches target only healthy (non-quarantined) clusters, concurrent "
+       "offloads and probes hold disjoint cluster sets, and every held cluster is released by "
+       "the end of the run"},
   };
   return kReference;
 }
@@ -62,6 +66,22 @@ bool detail_uint(const std::string& detail, const char* key, std::uint64_t& out)
   char* end = nullptr;
   out = std::strtoull(p, &end, 10);
   return end != p;
+}
+
+/// Parse the "clusters=0,1,2" list of a serve_dispatch/serve_complete detail.
+std::vector<unsigned> detail_cluster_list(const std::string& detail) {
+  std::vector<unsigned> out;
+  const std::size_t pos = detail.find("clusters=");
+  if (pos == std::string::npos) return out;
+  const char* p = detail.c_str() + pos + 9;
+  while (*p >= '0' && *p <= '9') {
+    char* end = nullptr;
+    out.push_back(static_cast<unsigned>(std::strtoul(p, &end, 10)));
+    p = end;
+    if (*p != ',') break;
+    ++p;
+  }
+  return out;
 }
 
 std::string json_escape(const std::string& s) {
@@ -145,6 +165,8 @@ void ProtocolMonitor::observe(const sim::TraceRecord& rec) {
       // detail string carries only the count.
       for (unsigned c = 0; c < static_cast<unsigned>(k); ++c) ++dispatched_[c];
     }
+  } else if (rec.who == "serve") {
+    on_serve_record(rec);
   } else if (what == "offload_start" || what == "offload_done" ||
              what == "watchdog_timeout" || what == "redispatch" ||
              what == "credit_recovered" || what == "cluster_failed" ||
@@ -280,6 +302,68 @@ void ProtocolMonitor::on_runtime_record(const sim::TraceRecord& rec) {
   }
 }
 
+void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
+  const std::string& what = rec.what;
+  if (what == "serve_dispatch") {
+    for (const unsigned c : detail_cluster_list(rec.detail)) {
+      if (serve_quarantined_.count(c) && serve_quarantined_[c]) {
+        violate("serve_isolation", rec.time, rec.who,
+                util::format("dispatch targets quarantined cluster %u (%s)", c,
+                             rec.detail.c_str()));
+      }
+      const auto held = serve_occupancy_.find(c);
+      if (held != serve_occupancy_.end()) {
+        violate("serve_isolation", rec.time, rec.who,
+                util::format("dispatch targets cluster %u already held by %s", c,
+                             held->second.c_str()));
+      }
+      serve_occupancy_[c] = rec.detail;
+    }
+  } else if (what == "serve_complete") {
+    for (const unsigned c : detail_cluster_list(rec.detail)) {
+      if (serve_occupancy_.erase(c) == 0) {
+        violate("serve_isolation", rec.time, rec.who,
+                util::format("completion releases cluster %u that was never held", c));
+      }
+    }
+  } else if (what == "serve_probe") {
+    std::uint64_t c = 0;
+    if (!detail_uint(rec.detail, "cluster", c)) return;
+    const auto cu = static_cast<unsigned>(c);
+    if (!serve_quarantined_.count(cu) || !serve_quarantined_[cu]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("probe on cluster %u which is not quarantined", cu));
+    }
+    const auto held = serve_occupancy_.find(cu);
+    if (held != serve_occupancy_.end()) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("probe targets cluster %u already held by %s", cu,
+                           held->second.c_str()));
+    }
+    serve_occupancy_[cu] = "probe";
+  } else if (what == "serve_probe_done") {
+    std::uint64_t c = 0;
+    if (!detail_uint(rec.detail, "cluster", c)) return;
+    if (serve_occupancy_.erase(static_cast<unsigned>(c)) == 0) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("probe completion on cluster %u that was never held",
+                           static_cast<unsigned>(c)));
+    }
+  } else if (what == "serve_quarantine") {
+    std::uint64_t c = 0;
+    if (detail_uint(rec.detail, "cluster", c)) serve_quarantined_[static_cast<unsigned>(c)] = true;
+  } else if (what == "serve_readmit") {
+    std::uint64_t c = 0;
+    if (!detail_uint(rec.detail, "cluster", c)) return;
+    const auto cu = static_cast<unsigned>(c);
+    if (!serve_quarantined_.count(cu) || !serve_quarantined_[cu]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("re-admission of cluster %u that was not quarantined", cu));
+    }
+    serve_quarantined_[cu] = false;
+  }
+}
+
 void ProtocolMonitor::on_span(const sim::TraceRecord& rec) {
   std::int64_t& depth = span_depth_[rec.who];
   if (rec.phase == sim::TracePhase::kBegin) {
@@ -323,6 +407,11 @@ void ProtocolMonitor::finish() {
   }
   if (offload_open_) {
     violate("offload_lifecycle", 0, "runtime", "offload never completed");
+  }
+  for (const auto& [cluster, holder] : serve_occupancy_) {
+    violate("serve_isolation", 0, "serve",
+            util::format("cluster %u still held by %s at end of run", cluster,
+                         holder.c_str()));
   }
 }
 
@@ -383,6 +472,8 @@ void ProtocolMonitor::reset() {
   offloads_done_ = 0;
   watchdogs_this_offload_ = 0;
   span_depth_.clear();
+  serve_occupancy_.clear();
+  serve_quarantined_.clear();
   finished_ = false;
 }
 

@@ -27,6 +27,7 @@
 //   retry_discipline     recovery actions require a watchdog timeout
 //   span_balance         every begun span ends on its own track
 //   offload_lifecycle    offload_start/offload_done strictly alternate
+//   serve_isolation      serve-layer offloads use disjoint, healthy clusters
 #pragma once
 
 #include <cstdint>
@@ -116,6 +117,7 @@ class ProtocolMonitor {
   void on_irq(const sim::TraceRecord& rec);
   void on_cluster_record(const sim::TraceRecord& rec);
   void on_runtime_record(const sim::TraceRecord& rec);
+  void on_serve_record(const sim::TraceRecord& rec);
   void on_span(const sim::TraceRecord& rec);
 
   ProtocolMonitorConfig cfg_;
@@ -155,6 +157,12 @@ class ProtocolMonitor {
 
   // Span balance: open-span depth per track.
   std::map<std::string, std::int64_t> span_depth_;
+
+  // Serving-layer shadow (serve_isolation): which clusters each in-flight
+  // serve offload/probe holds, and which clusters are quarantined. Keys are
+  // the service's logical cluster IDs; values describe the holder.
+  std::map<unsigned, std::string> serve_occupancy_;
+  std::map<unsigned, bool> serve_quarantined_;
 
   bool finished_ = false;
 };

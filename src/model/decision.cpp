@@ -11,11 +11,25 @@ std::optional<unsigned> min_clusters_for_deadline(const RuntimeModel& model, std
   const double nd = static_cast<double>(n);
 
   if (model.c == 0.0) {
-    // Paper Eq. (3): M_min = ceil( b·N / (t_max − t0 − a·N) ).
+    // Paper Eq. (3): M_min = ceil( b·N / (t_max − t0 − a·N) ). The deadline
+    // is inclusive (t̂(M, N) ≤ t_max): zero slack is still feasible when the
+    // parallel term vanishes (b·N == 0), where t̂ does not depend on M.
     const double slack = t_max - model.t0 - model.a * nd;
-    if (slack <= 0.0) return std::nullopt;  // even M → ∞ misses the deadline
-    const double m_real = model.b * nd / slack;
-    const unsigned m = m_real <= 1.0 ? 1u : static_cast<unsigned>(std::ceil(m_real));
+    const double work = model.b * nd;
+    if (slack <= 0.0) {
+      if (slack == 0.0 && work == 0.0) return 1u;
+      return std::nullopt;  // even M → ∞ misses the deadline
+    }
+    const double m_real = work / slack;
+    unsigned m = m_real <= 1.0 ? 1u : static_cast<unsigned>(std::ceil(m_real));
+    // Float guard: when t_max lies exactly on t̂(M, N) the division can land
+    // a hair off an integer and ceil then over- or undershoots by one.
+    // Re-anchor on the model itself so the returned M is truly minimal.
+    if (m > 1 && model.predict(m - 1, n) <= t_max) {
+      --m;
+    } else if (model.predict(m, n) > t_max) {
+      ++m;
+    }
     if (m > m_max) return std::nullopt;
     return m;
   }

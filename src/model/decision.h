@@ -17,6 +17,11 @@ namespace mco::model {
 ///   M_min = ceil( b·N / (t_max − t0 − a·N) )
 /// (validated against a linear scan); for c > 0 the quadratic
 /// c·M² + (t0 + a·N − t_max)·M + b·N ≤ 0 is solved instead.
+///
+/// The deadline is inclusive: t_max exactly equal to t̂(M, N) admits M.
+/// Callers that serve a request stream treat nullopt as "shed the job":
+/// serve::OffloadService rejects such jobs with an explicit verdict rather
+/// than queueing work that cannot meet its deadline on any fabric subset.
 std::optional<unsigned> min_clusters_for_deadline(const RuntimeModel& model, std::uint64_t n,
                                                   double t_max, unsigned m_max);
 

@@ -1,0 +1,90 @@
+#include "serve/health_tracker.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::serve {
+
+const char* to_string(ClusterHealth h) {
+  switch (h) {
+    case ClusterHealth::kHealthy: return "healthy";
+    case ClusterHealth::kQuarantined: return "quarantined";
+    case ClusterHealth::kProbation: return "probation";
+  }
+  return "?";
+}
+
+HealthTracker::HealthTracker(unsigned num_clusters, HealthConfig cfg) : cfg_(cfg) {
+  if (num_clusters == 0) throw std::invalid_argument("HealthTracker: zero clusters");
+  if (cfg_.failure_threshold == 0)
+    throw std::invalid_argument("HealthTracker: zero failure_threshold");
+  if (cfg_.probation_probes == 0)
+    throw std::invalid_argument("HealthTracker: zero probation_probes");
+  state_.resize(num_clusters);
+}
+
+HealthTracker::Entry& HealthTracker::at(unsigned cluster) {
+  if (cluster >= state_.size())
+    throw std::out_of_range(util::format("HealthTracker: cluster %u of %zu", cluster,
+                                         state_.size()));
+  return state_[cluster];
+}
+
+const HealthTracker::Entry& HealthTracker::at(unsigned cluster) const {
+  return const_cast<HealthTracker*>(this)->at(cluster);
+}
+
+ClusterHealth HealthTracker::state(unsigned cluster) const { return at(cluster).state; }
+
+unsigned HealthTracker::available_count() const {
+  unsigned n = 0;
+  for (const Entry& e : state_) {
+    if (e.state == ClusterHealth::kHealthy) ++n;
+  }
+  return n;
+}
+
+unsigned HealthTracker::consecutive_failures(unsigned cluster) const {
+  return at(cluster).consecutive_failures;
+}
+
+unsigned HealthTracker::clean_probes(unsigned cluster) const { return at(cluster).clean_probes; }
+
+void HealthTracker::record_success(unsigned cluster) {
+  Entry& e = at(cluster);
+  if (e.state != ClusterHealth::kHealthy) return;  // probes report via record_probe
+  e.consecutive_failures = 0;
+}
+
+bool HealthTracker::record_failure(unsigned cluster) {
+  Entry& e = at(cluster);
+  if (e.state != ClusterHealth::kHealthy) return false;  // already tripped
+  if (++e.consecutive_failures < cfg_.failure_threshold) return false;
+  e.state = ClusterHealth::kQuarantined;
+  e.clean_probes = 0;
+  ++quarantines_;
+  return true;
+}
+
+bool HealthTracker::record_probe(unsigned cluster, bool clean) {
+  Entry& e = at(cluster);
+  if (e.state == ClusterHealth::kHealthy)
+    throw std::logic_error(util::format("HealthTracker: probe on healthy cluster %u", cluster));
+  if (!clean) {
+    // Dirty probe: probation starts over.
+    e.clean_probes = 0;
+    e.state = ClusterHealth::kQuarantined;
+    return false;
+  }
+  ++e.clean_probes;
+  e.state = ClusterHealth::kProbation;
+  if (e.clean_probes < cfg_.probation_probes) return false;
+  e.state = ClusterHealth::kHealthy;
+  e.consecutive_failures = 0;
+  e.clean_probes = 0;
+  ++readmissions_;
+  return true;
+}
+
+}  // namespace mco::serve

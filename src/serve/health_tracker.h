@@ -1,0 +1,86 @@
+// Per-cluster health: a circuit breaker with probation re-admission.
+//
+// The serving layer (serve/offload_service.h) feeds this tracker one verdict
+// per cluster per completed offload, derived from the runtime's recovery
+// stats (offload/offload_result.h): a cluster that permanently failed its
+// chunk counts as a failure, every other participant as a success. A run of
+// `failure_threshold` consecutive failures trips the breaker — the cluster
+// is quarantined, the partition allocator skips it and the Eq.-(3) admission
+// capacity shrinks accordingly. Quarantined clusters are then probed with
+// single-cluster canary offloads; `probation_probes` consecutive clean
+// probes re-admit the cluster (a dirty probe resets the probation count).
+//
+// The tracker is plain bookkeeping: no simulator, no threads, fully
+// deterministic. One instance lives inside each OffloadService.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mco::serve {
+
+/// Health state of one cluster, as the allocator sees it. Quarantined and
+/// Probation both exclude the cluster from regular allocation; Probation
+/// means at least one clean probe has already landed.
+enum class ClusterHealth { kHealthy, kQuarantined, kProbation };
+
+const char* to_string(ClusterHealth h);
+
+struct HealthConfig {
+  /// Consecutive failed offloads that trip the circuit breaker.
+  unsigned failure_threshold = 3;
+  /// Consecutive clean probe offloads that re-admit a quarantined cluster.
+  unsigned probation_probes = 2;
+  /// Service-time delay from quarantine (or from a finished probe) to the
+  /// next probe offload on that cluster.
+  sim::Cycles probe_backoff_cycles = 5000;
+};
+
+class HealthTracker {
+ public:
+  HealthTracker(unsigned num_clusters, HealthConfig cfg);
+
+  unsigned num_clusters() const { return static_cast<unsigned>(state_.size()); }
+  const HealthConfig& config() const { return cfg_; }
+
+  ClusterHealth state(unsigned cluster) const;
+  /// True when the cluster may serve regular jobs (kHealthy).
+  bool available(unsigned cluster) const { return state(cluster) == ClusterHealth::kHealthy; }
+  /// Number of clusters currently available to regular jobs — the Eq.-(3)
+  /// admission capacity.
+  unsigned available_count() const;
+
+  unsigned consecutive_failures(unsigned cluster) const;
+  unsigned clean_probes(unsigned cluster) const;
+
+  /// One offload on `cluster` completed without blaming it.
+  void record_success(unsigned cluster);
+  /// One offload permanently failed on `cluster`. Returns true when this
+  /// failure tripped the breaker (kHealthy → kQuarantined).
+  bool record_failure(unsigned cluster);
+  /// A probe offload on a quarantined cluster finished. Returns true when
+  /// the cluster was re-admitted (probation complete, state back to
+  /// kHealthy with a clean failure streak).
+  bool record_probe(unsigned cluster, bool clean);
+
+  std::uint64_t quarantines() const { return quarantines_; }
+  std::uint64_t readmissions() const { return readmissions_; }
+
+ private:
+  struct Entry {
+    ClusterHealth state = ClusterHealth::kHealthy;
+    unsigned consecutive_failures = 0;
+    unsigned clean_probes = 0;
+  };
+  Entry& at(unsigned cluster);
+  const Entry& at(unsigned cluster) const;
+
+  HealthConfig cfg_;
+  std::vector<Entry> state_;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t readmissions_ = 0;
+};
+
+}  // namespace mco::serve

@@ -1,0 +1,327 @@
+#include "serve/offload_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "model/decision.h"
+#include "util/strings.h"
+
+namespace mco::serve {
+namespace {
+
+std::string cluster_list(const std::vector<unsigned>& clusters) {
+  std::string out;
+  for (const unsigned c : clusters) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+std::string job_track(std::uint64_t id) {
+  return util::format("serve.job%llu", static_cast<unsigned long long>(id));
+}
+
+}  // namespace
+
+const char* to_string(JobVerdict v) {
+  switch (v) {
+    case JobVerdict::kMet: return "met";
+    case JobVerdict::kMissed: return "missed";
+    case JobVerdict::kShed: return "shed";
+    case JobVerdict::kFailed: return "failed";
+  }
+  return "?";
+}
+
+void register_serve_metrics(sim::StatsRegistry& stats) {
+  for (const char* name :
+       {"serve.jobs_submitted", "serve.jobs_dispatched", "serve.jobs_queued", "serve.jobs_shed",
+        "serve.jobs_failed", "serve.jobs_degraded", "serve.slo_met", "serve.slo_missed",
+        "serve.probes", "serve.quarantines", "serve.readmissions"}) {
+    stats.counter(name);
+  }
+  stats.histogram("serve.queue_wait_cycles", 256.0, 64);
+  stats.histogram("serve.queue_depth", 1.0, 64);
+  stats.histogram("serve.slack_cycles", 256.0, 64);
+  stats.histogram("serve.tardiness_cycles", 256.0, 64);
+}
+
+OffloadService::OffloadService(const ServeConfig& cfg, Executor& executor)
+    : cfg_(cfg),
+      executor_(executor),
+      alloc_(cfg.num_clusters),
+      health_(cfg.num_clusters, cfg.health),
+      probes_(cfg.num_clusters) {
+  if (cfg_.max_queue == 0) throw std::invalid_argument("OffloadService: zero max_queue");
+  if (cfg_.max_clusters_per_job == 0 || cfg_.max_clusters_per_job > cfg_.num_clusters)
+    cfg_.max_clusters_per_job = cfg_.num_clusters;
+}
+
+void OffloadService::bind_stats(sim::StatsRegistry* stats) {
+  stats_ = stats;
+  if (stats_) register_serve_metrics(*stats_);
+}
+
+void OffloadService::push_event(sim::Cycle time, EventKind kind, std::size_t index) {
+  events_.push(Event{time, next_seq_++, kind, index});
+}
+
+unsigned OffloadService::capacity_cap() const {
+  return std::min(cfg_.max_clusters_per_job, health_.available_count());
+}
+
+void OffloadService::sample_queue_depth() {
+  if (stats_) stats_->histogram("serve.queue_depth").sample(static_cast<double>(queue_.size()));
+}
+
+void OffloadService::shed(std::size_t slot, sim::Cycle now, const std::string& reason) {
+  const ServeJob& job = (*jobs_)[slot];
+  JobOutcome& out = outcomes_[slot];
+  out.job_id = job.id;
+  out.verdict = JobVerdict::kShed;
+  out.reason = reason;
+  out.arrival = job.arrival;
+  out.end = now;
+  settled_[slot] = true;
+  if (stats_) stats_->counter("serve.jobs_shed").inc();
+  trace_.record(now, "serve", "serve_shed",
+                util::format("job=%llu reason=%s", static_cast<unsigned long long>(job.id),
+                             reason.c_str()));
+}
+
+bool OffloadService::try_dispatch(std::size_t slot, sim::Cycle now) {
+  const ServeJob& job = (*jobs_)[slot];
+  const sim::Cycle deadline = job.arrival + job.t_max;
+  if (now >= deadline) {
+    shed(slot, now, "deadline_expired");
+    return true;
+  }
+  const unsigned cap = capacity_cap();
+  if (cap == 0) return false;  // fully quarantined fabric: wait for re-admission
+  const auto m = model::min_clusters_for_deadline(cfg_.model, job.n,
+                                                  static_cast<double>(deadline - now), cap);
+  if (!m) {
+    shed(slot, now, "deadline_unmeetable");
+    return true;
+  }
+  auto clusters = alloc_.allocate(*m, [this](unsigned c) { return health_.available(c); });
+  if (!clusters) return false;  // backpressure: wait for a partition to free up
+
+  ExecutionOutcome exec = executor_.execute(job, *m, /*probe=*/false);
+  const std::size_t handle = inflight_.size();
+  inflight_.push_back(InFlight{slot, *clusters, std::move(exec)});
+  ++active_jobs_;
+
+  JobOutcome& out = outcomes_[slot];
+  out.job_id = job.id;
+  out.m = *m;
+  out.clusters = *clusters;
+  out.arrival = job.arrival;
+  out.start = now;
+  out.queue_wait = now - job.arrival;
+
+  if (stats_) {
+    stats_->counter("serve.jobs_dispatched").inc();
+    stats_->histogram("serve.queue_wait_cycles").sample(static_cast<double>(out.queue_wait));
+  }
+  trace_.record(now, "serve", "serve_dispatch",
+                util::format("job=%llu m=%u clusters=%s", static_cast<unsigned long long>(job.id),
+                             *m, cluster_list(*clusters).c_str()));
+  trace_.begin_span(now, job_track(job.id), "serve_job",
+                    util::format("n=%llu m=%u", static_cast<unsigned long long>(job.n), *m));
+  push_event(now + inflight_[handle].outcome.duration, EventKind::kCompletion, handle);
+  return true;
+}
+
+void OffloadService::drain_queue(sim::Cycle now) {
+  if (queue_.empty()) return;
+  // Service order: priority desc, then arrival asc, then id asc. One pass;
+  // jobs that still cannot be placed keep waiting.
+  std::vector<std::size_t> order = queue_;
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    const ServeJob& ja = (*jobs_)[a];
+    const ServeJob& jb = (*jobs_)[b];
+    if (ja.priority != jb.priority) return ja.priority > jb.priority;
+    if (ja.arrival != jb.arrival) return ja.arrival < jb.arrival;
+    return ja.id < jb.id;
+  });
+  for (const std::size_t slot : order) {
+    if (try_dispatch(slot, now)) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), slot));
+      sample_queue_depth();
+    }
+  }
+}
+
+void OffloadService::complete(const Event& ev) {
+  InFlight& f = inflight_[ev.index];
+  const ServeJob& job = (*jobs_)[f.slot];
+  const sim::Cycle now = ev.time;
+  trace_.end_span(now, job_track(job.id));
+
+  // Health attribution: map partition-relative failed members back to
+  // logical cluster IDs, then credit/debit every participant.
+  std::vector<bool> failed(f.clusters.size(), false);
+  for (const unsigned rel : f.outcome.failed_members) {
+    if (rel < failed.size()) failed[rel] = true;
+  }
+  for (std::size_t i = 0; i < f.clusters.size(); ++i) {
+    const unsigned c = f.clusters[i];
+    if (failed[i]) {
+      if (health_.record_failure(c)) {
+        if (stats_) stats_->counter("serve.quarantines").inc();
+        trace_.record(now, "serve", "serve_quarantine", util::format("cluster=%u", c));
+        schedule_probe(c, now);
+      }
+    } else {
+      health_.record_success(c);
+    }
+  }
+  alloc_.release(f.clusters);
+  --active_jobs_;
+
+  JobOutcome& out = outcomes_[f.slot];
+  out.end = now;
+  out.degraded = f.outcome.degraded;
+  out.retries = f.outcome.retries;
+  out.watchdog_timeouts = f.outcome.watchdog_timeouts;
+  const sim::Cycle deadline = job.arrival + job.t_max;
+  out.slack = static_cast<std::int64_t>(deadline) - static_cast<std::int64_t>(now);
+  if (!f.outcome.ok) {
+    out.verdict = JobVerdict::kFailed;
+    out.reason = "execution_failed";
+    if (stats_) stats_->counter("serve.jobs_failed").inc();
+  } else if (out.slack >= 0) {
+    out.verdict = JobVerdict::kMet;
+    if (stats_) {
+      stats_->counter("serve.slo_met").inc();
+      stats_->histogram("serve.slack_cycles").sample(static_cast<double>(out.slack));
+    }
+  } else {
+    out.verdict = JobVerdict::kMissed;
+    if (stats_) {
+      stats_->counter("serve.slo_missed").inc();
+      stats_->histogram("serve.tardiness_cycles").sample(static_cast<double>(-out.slack));
+    }
+  }
+  if (f.outcome.degraded && stats_) stats_->counter("serve.jobs_degraded").inc();
+  settled_[f.slot] = true;
+  trace_.record(now, "serve", "serve_complete",
+                util::format("job=%llu verdict=%s clusters=%s",
+                             static_cast<unsigned long long>(job.id), to_string(out.verdict),
+                             cluster_list(f.clusters).c_str()));
+  drain_queue(now);
+}
+
+void OffloadService::schedule_probe(unsigned cluster, sim::Cycle now) {
+  push_event(now + cfg_.health.probe_backoff_cycles, EventKind::kProbeDue, cluster);
+}
+
+void OffloadService::start_probe(unsigned cluster, sim::Cycle now) {
+  // Probing only matters while there is (or may come) work to serve; once
+  // the run has drained, letting the probe chain die terminates the event
+  // loop. The next run() re-arms probes for still-quarantined clusters.
+  if (pending_arrivals_ == 0 && queue_.empty() && active_jobs_ == 0) return;
+  if (health_.state(cluster) == ClusterHealth::kHealthy) return;  // stale event
+  if (!alloc_.try_acquire(cluster)) {
+    schedule_probe(cluster, now);  // defensive: cluster somehow busy, back off
+    return;
+  }
+  ServeJob probe;
+  probe.id = 1'000'000'000ull + cluster;  // synthetic id, outside job-trace range
+  probe.n = cfg_.probe_n;
+  probe.arrival = now;
+  ExecutionOutcome exec = executor_.execute(probe, 1, /*probe=*/true);
+  const bool clean = exec.ok && exec.failed_members.empty();
+  probes_[cluster] = Probe{std::move(exec), clean};
+  if (stats_) stats_->counter("serve.probes").inc();
+  trace_.record(now, "serve", "serve_probe", util::format("cluster=%u", cluster));
+  push_event(now + probes_[cluster]->outcome.duration, EventKind::kProbeDone, cluster);
+}
+
+void OffloadService::finish_probe(const Event& ev, sim::Cycle now) {
+  const auto cluster = static_cast<unsigned>(ev.index);
+  const Probe probe = *probes_[cluster];
+  probes_[cluster].reset();
+  alloc_.release(cluster);
+  const bool readmitted = health_.record_probe(cluster, probe.clean);
+  trace_.record(now, "serve", "serve_probe_done",
+                util::format("cluster=%u clean=%d", cluster, probe.clean ? 1 : 0));
+  if (readmitted) {
+    if (stats_) stats_->counter("serve.readmissions").inc();
+    trace_.record(now, "serve", "serve_readmit", util::format("cluster=%u", cluster));
+  } else {
+    schedule_probe(cluster, now);
+  }
+  // Re-examine the backlog either way: after a re-admission capacity grew,
+  // and after a dirty probe queued jobs whose deadlines have since lapsed
+  // must be shed — otherwise a fully-quarantined fabric whose probes never
+  // come back clean would keep probing forever over an unshrinking queue.
+  drain_queue(now);
+}
+
+std::vector<JobOutcome> OffloadService::run(const std::vector<ServeJob>& jobs) {
+  jobs_ = &jobs;
+  outcomes_.assign(jobs.size(), JobOutcome{});
+  settled_.assign(jobs.size(), false);
+  events_ = {};
+  next_seq_ = 0;
+  queue_.clear();
+  inflight_.clear();
+  std::fill(probes_.begin(), probes_.end(), std::nullopt);
+  makespan_ = 0;
+  active_jobs_ = 0;
+  pending_arrivals_ = jobs.size();
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    push_event(jobs[i].arrival, EventKind::kArrival, i);
+  }
+  // Clusters still quarantined from a previous run() resume probing.
+  if (!jobs.empty()) {
+    for (unsigned c = 0; c < cfg_.num_clusters; ++c) {
+      if (health_.state(c) != ClusterHealth::kHealthy) schedule_probe(c, 0);
+    }
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    makespan_ = std::max(makespan_, ev.time);
+    switch (ev.kind) {
+      case EventKind::kArrival: {
+        --pending_arrivals_;
+        if (stats_) stats_->counter("serve.jobs_submitted").inc();
+        if (!try_dispatch(ev.index, ev.time)) {
+          if (queue_.size() < cfg_.max_queue) {
+            queue_.push_back(ev.index);
+            sample_queue_depth();
+            if (stats_) stats_->counter("serve.jobs_queued").inc();
+            trace_.record(ev.time, "serve", "serve_queue",
+                          util::format("job=%llu depth=%zu",
+                                       static_cast<unsigned long long>(jobs[ev.index].id),
+                                       queue_.size()));
+          } else {
+            shed(ev.index, ev.time, "queue_full");
+          }
+        }
+        break;
+      }
+      case EventKind::kCompletion: complete(ev); break;
+      case EventKind::kProbeDue: start_probe(static_cast<unsigned>(ev.index), ev.time); break;
+      case EventKind::kProbeDone: finish_probe(ev, ev.time); break;
+    }
+  }
+
+  // End-of-run starvation: whatever is still queued can never run.
+  for (const std::size_t slot : queue_) shed(slot, makespan_, "starved");
+  queue_.clear();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!settled_[i])
+      throw std::logic_error(util::format("OffloadService: job slot %zu never settled", i));
+  }
+  jobs_ = nullptr;
+  return outcomes_;
+}
+
+}  // namespace mco::serve

@@ -1,0 +1,215 @@
+// Deadline-aware offload service: admission control + health-partitioned
+// dispatch over one accelerator fabric.
+//
+// The service sits above the single-offload machinery (offload/
+// offload_runtime.h) and serves a deterministic stream of jobs, each with a
+// problem size, a relative deadline t_max and a priority. Three mechanisms
+// interlock:
+//
+//  * Admission (Eq. 3). On arrival, model::min_clusters_for_deadline decides
+//    the minimum partition that can still meet the deadline given the
+//    currently healthy capacity. Jobs are admitted, queued behind a bounded
+//    backlog, or shed with an explicit Rejected reason — never silently.
+//  * Partitioning. Concurrent offloads occupy disjoint cluster subsets,
+//    handed out first-fit over a free bitmap (serve/partition_allocator.h).
+//    When no partition fits, admitted jobs wait in the queue (backpressure)
+//    and are re-examined each time capacity frees up.
+//  * Health. Per-cluster recovery verdicts feed a circuit breaker
+//    (serve/health_tracker.h). Quarantined clusters vanish from both the
+//    allocator and the Eq.-(3) capacity until probation probes re-admit them.
+//
+// Time is virtual: the service keeps its own cycle clock and event queue.
+// Job durations come from an Executor — the soak harness plugs in a real
+// simulated Soc (serve/soc_executor.h), the unit tests plug in scripted
+// fakes. Everything (admission order, placement, probe schedule) is a pure
+// function of the job trace and the executor's outcomes, so a replayed trace
+// is bit-identical regardless of host parallelism.
+//
+// Every decision is observable: per-job SLO outcomes land in sim/stats
+// (serve.* counters and histograms, see register_serve_metrics), and the
+// service's private TraceSink carries who=="serve" instants
+// (serve_dispatch/serve_complete/serve_queue/serve_shed/serve_probe/
+// serve_quarantine/serve_readmit) plus one serve_job span per dispatched job
+// — the records check::ProtocolMonitor's serve_isolation invariant watches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "model/runtime_model.h"
+#include "serve/health_tracker.h"
+#include "serve/partition_allocator.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace mco::serve {
+
+/// One request in the served stream. Deadlines are relative to arrival:
+/// the job meets its SLO iff it completes by `arrival + t_max`.
+struct ServeJob {
+  std::uint64_t id = 0;
+  std::string kernel = "daxpy";
+  std::uint64_t n = 0;            ///< problem size (elements)
+  sim::Cycle arrival = 0;         ///< service-time arrival cycle
+  sim::Cycles t_max = 0;          ///< relative deadline, cycles
+  unsigned priority = 0;          ///< higher drains from the queue first
+};
+
+/// Terminal classification of one job.
+enum class JobVerdict {
+  kMet,     ///< completed at or before its deadline
+  kMissed,  ///< completed, but after the deadline
+  kShed,    ///< rejected by admission control (see JobOutcome::reason)
+  kFailed,  ///< dispatched but the execution permanently failed
+};
+
+const char* to_string(JobVerdict v);
+
+/// Per-job SLO outcome, emitted for every submitted job.
+struct JobOutcome {
+  std::uint64_t job_id = 0;
+  JobVerdict verdict = JobVerdict::kShed;
+  std::string reason;             ///< non-empty for kShed / kFailed
+  unsigned m = 0;                 ///< partition size (0 when shed)
+  std::vector<unsigned> clusters; ///< logical cluster IDs served on
+  sim::Cycle arrival = 0;
+  sim::Cycle start = 0;           ///< dispatch cycle (0 when shed)
+  sim::Cycle end = 0;             ///< completion cycle (shed: decision cycle)
+  sim::Cycles queue_wait = 0;     ///< start − arrival
+  std::int64_t slack = 0;         ///< deadline − end (negative = tardy)
+  bool degraded = false;
+  unsigned retries = 0;
+  unsigned watchdog_timeouts = 0;
+};
+
+/// What one dispatched offload did, as the service's executor reports it.
+struct ExecutionOutcome {
+  sim::Cycles duration = 0;       ///< service-time cycles start→completion
+  bool ok = true;                 ///< result numerically acceptable
+  bool degraded = false;          ///< completed minus permanently-failed members
+  /// Partition-relative indices (0..m-1) of members that permanently failed
+  /// their chunk; the service maps them back to logical cluster IDs for
+  /// health attribution.
+  std::vector<unsigned> failed_members;
+  unsigned retries = 0;
+  unsigned watchdog_timeouts = 0;
+};
+
+/// Duration/fault source for dispatched jobs. The service calls execute()
+/// at dispatch time, in deterministic order; implementations must be pure
+/// functions of (job, m, call order) for replay determinism.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Run `job` on an m-cluster partition. `probe` marks single-cluster
+  /// canary offloads on quarantined clusters.
+  virtual ExecutionOutcome execute(const ServeJob& job, unsigned m, bool probe) = 0;
+};
+
+struct ServeConfig {
+  unsigned num_clusters = 8;
+  /// Eq.-(1) model used for Eq.-(3) admission decisions.
+  model::RuntimeModel model;
+  /// Bounded backlog: admitted-but-unplaced jobs beyond this are shed with
+  /// reason "queue_full".
+  std::size_t max_queue = 16;
+  /// Cap on any single job's partition (0 = whole fabric).
+  unsigned max_clusters_per_job = 0;
+  HealthConfig health;
+  /// Problem size of probe (canary) offloads sent to quarantined clusters.
+  std::uint64_t probe_n = 256;
+};
+
+class OffloadService {
+ public:
+  OffloadService(const ServeConfig& cfg, Executor& executor);
+
+  /// Attach a registry; serve.* metrics are registered eagerly so an idle
+  /// service still exports a complete (all-zero) inventory.
+  void bind_stats(sim::StatsRegistry* stats);
+
+  /// The service's private trace stream (who=="serve" records plus
+  /// per-job serve_job spans). Enable or attach a monitor before run().
+  sim::TraceSink& trace() { return trace_; }
+
+  const HealthTracker& health() const { return health_; }
+  const PartitionAllocator& allocator() const { return alloc_; }
+
+  /// Serve one job trace to completion (all arrivals processed, all
+  /// in-flight work drained, leftover queue entries shed as "starved").
+  /// Returns one outcome per job, in job order. Virtual time restarts at 0
+  /// on every call; health/allocator state carries over.
+  std::vector<JobOutcome> run(const std::vector<ServeJob>& jobs);
+
+  /// Completion cycle of the last event in the most recent run().
+  sim::Cycle makespan() const { return makespan_; }
+
+ private:
+  enum class EventKind { kArrival, kCompletion, kProbeDue, kProbeDone };
+  struct Event {
+    sim::Cycle time = 0;
+    std::uint64_t seq = 0;  ///< insertion order: deterministic tie-break
+    EventKind kind = EventKind::kArrival;
+    std::size_t index = 0;  ///< job slot (arrival/completion) or cluster id
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  struct InFlight {
+    std::size_t slot = 0;
+    std::vector<unsigned> clusters;
+    ExecutionOutcome outcome;
+  };
+  struct Probe {
+    ExecutionOutcome outcome;
+    bool clean = false;
+  };
+
+  void push_event(sim::Cycle time, EventKind kind, std::size_t index);
+  /// Admission capacity for one job: healthy clusters, capped by
+  /// max_clusters_per_job.
+  unsigned capacity_cap() const;
+  void shed(std::size_t slot, sim::Cycle now, const std::string& reason);
+  /// Try to place queue slot `slot` now. True when dispatched or shed
+  /// (i.e. the slot left the queue); false when it must keep waiting.
+  bool try_dispatch(std::size_t slot, sim::Cycle now);
+  /// Re-examine the backlog (priority desc, arrival asc, id asc) after
+  /// capacity changed.
+  void drain_queue(sim::Cycle now);
+  void complete(const Event& ev);
+  void schedule_probe(unsigned cluster, sim::Cycle now);
+  void start_probe(unsigned cluster, sim::Cycle now);
+  void finish_probe(const Event& ev, sim::Cycle now);
+  void sample_queue_depth();
+
+  ServeConfig cfg_;
+  Executor& executor_;
+  PartitionAllocator alloc_;
+  HealthTracker health_;
+  sim::TraceSink trace_;
+  sim::StatsRegistry* stats_ = nullptr;
+
+  // Per-run state.
+  const std::vector<ServeJob>* jobs_ = nullptr;
+  std::vector<JobOutcome> outcomes_;
+  std::vector<bool> settled_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::size_t> queue_;            ///< backlog of job slots
+  std::vector<InFlight> inflight_;            ///< keyed by completion index
+  std::vector<std::optional<Probe>> probes_;  ///< keyed by cluster
+  std::size_t pending_arrivals_ = 0;          ///< arrivals not yet processed
+  std::size_t active_jobs_ = 0;               ///< dispatched, not yet complete
+  sim::Cycle makespan_ = 0;
+};
+
+/// Eagerly create every serve.* counter and histogram in `stats` so the
+/// exported inventory is complete even before (or without) any traffic.
+/// OffloadService::bind_stats calls this; tests and benches may too.
+void register_serve_metrics(sim::StatsRegistry& stats);
+
+}  // namespace mco::serve

@@ -1,0 +1,66 @@
+#include "serve/partition_allocator.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mco::serve {
+
+PartitionAllocator::PartitionAllocator(unsigned num_clusters) : num_clusters_(num_clusters) {
+  if (num_clusters == 0) throw std::invalid_argument("PartitionAllocator: zero clusters");
+  if (num_clusters > 64)
+    throw std::invalid_argument(
+        util::format("PartitionAllocator: %u clusters exceed the 64-bit bitmap", num_clusters));
+  free_ = num_clusters == 64 ? ~0ull : (1ull << num_clusters) - 1;
+}
+
+void PartitionAllocator::check_index(unsigned cluster) const {
+  if (cluster >= num_clusters_)
+    throw std::out_of_range(
+        util::format("PartitionAllocator: cluster %u of %u", cluster, num_clusters_));
+}
+
+unsigned PartitionAllocator::free_count() const {
+  unsigned n = 0;
+  for (std::uint64_t b = free_; b != 0; b &= b - 1) ++n;
+  return n;
+}
+
+bool PartitionAllocator::is_free(unsigned cluster) const {
+  check_index(cluster);
+  return (free_ >> cluster) & 1ull;
+}
+
+std::optional<std::vector<unsigned>> PartitionAllocator::allocate(
+    unsigned m, const std::function<bool(unsigned)>& eligible) {
+  if (m == 0) throw std::invalid_argument("PartitionAllocator: zero-cluster partition");
+  std::vector<unsigned> picked;
+  picked.reserve(m);
+  for (unsigned c = 0; c < num_clusters_ && picked.size() < m; ++c) {
+    if (((free_ >> c) & 1ull) && (!eligible || eligible(c))) picked.push_back(c);
+  }
+  if (picked.size() < m) return std::nullopt;
+  for (const unsigned c : picked) free_ &= ~(1ull << c);
+  return picked;
+}
+
+bool PartitionAllocator::try_acquire(unsigned cluster) {
+  check_index(cluster);
+  if (!((free_ >> cluster) & 1ull)) return false;
+  free_ &= ~(1ull << cluster);
+  return true;
+}
+
+void PartitionAllocator::release(unsigned cluster) {
+  check_index(cluster);
+  if ((free_ >> cluster) & 1ull)
+    throw std::logic_error(
+        util::format("PartitionAllocator: double release of cluster %u", cluster));
+  free_ |= 1ull << cluster;
+}
+
+void PartitionAllocator::release(const std::vector<unsigned>& clusters) {
+  for (const unsigned c : clusters) release(c);
+}
+
+}  // namespace mco::serve

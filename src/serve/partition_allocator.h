@@ -1,0 +1,51 @@
+// Deterministic cluster-partition allocator: first-fit over a free bitmap.
+//
+// The serving layer runs concurrent offloads on disjoint cluster subsets of
+// one fabric. This allocator owns the occupancy bitmap: a request for m
+// clusters takes the m lowest-indexed clusters that are both free and pass
+// the caller's eligibility predicate (the service passes "not quarantined").
+// First-fit over a fixed index order makes placement a pure function of the
+// request history, so a replayed job trace always produces the same
+// partitions — the bit-identical `--jobs` guarantee of the soak harness
+// rests on this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace mco::serve {
+
+class PartitionAllocator {
+ public:
+  /// Fabrics up to 64 clusters (one machine word of bitmap).
+  explicit PartitionAllocator(unsigned num_clusters);
+
+  unsigned num_clusters() const { return num_clusters_; }
+  unsigned free_count() const;
+  bool is_free(unsigned cluster) const;
+  /// Bit i set = cluster i free.
+  std::uint64_t free_bitmap() const { return free_; }
+
+  /// First-fit: the `m` lowest-indexed clusters that are free and eligible,
+  /// marked busy on success. nullopt (and no state change) when fewer than
+  /// `m` clusters qualify.
+  std::optional<std::vector<unsigned>> allocate(
+      unsigned m, const std::function<bool(unsigned)>& eligible);
+
+  /// Claim one specific cluster (probe offloads target their quarantined
+  /// cluster directly). False when it is already busy.
+  bool try_acquire(unsigned cluster);
+
+  void release(unsigned cluster);
+  void release(const std::vector<unsigned>& clusters);
+
+ private:
+  void check_index(unsigned cluster) const;
+
+  unsigned num_clusters_;
+  std::uint64_t free_;
+};
+
+}  // namespace mco::serve

@@ -1,0 +1,150 @@
+#include "serve/soak.h"
+
+#include "check/protocol_monitor.h"
+#include "serve/soc_executor.h"
+#include "sim/rng.h"
+#include "util/strings.h"
+
+namespace mco::serve {
+
+std::vector<ServeJob> generate_trace(const SoakTraceConfig& cfg,
+                                     const model::RuntimeModel& model) {
+  sim::Rng rng(cfg.seed);
+  std::vector<ServeJob> jobs;
+  jobs.reserve(cfg.num_jobs);
+  sim::Cycle arrival = 0;
+  for (std::size_t i = 0; i < cfg.num_jobs; ++i) {
+    ServeJob job;
+    job.id = i + 1;
+    job.n = 256 * (rng.next_below(cfg.n_scale_max) + 1);
+    arrival += cfg.gap_min + rng.next_below(cfg.gap_max - cfg.gap_min + 1);
+    job.arrival = arrival;
+    const unsigned m_target = 1u << rng.next_below(4);
+    const double slack = rng.uniform(cfg.slack_min, cfg.slack_max);
+    job.t_max = static_cast<sim::Cycles>(model.predict(m_target, job.n) * slack);
+    job.priority = static_cast<unsigned>(rng.next_below(3));
+    if (cfg.unmeetable_one_in > 0 && rng.next_below(cfg.unmeetable_one_in) == 0) {
+      // Guaranteed Eq.-(3) shed: below the constant offload overhead, no M
+      // can meet this deadline.
+      job.t_max = static_cast<sim::Cycles>(model.t0 / 2.0);
+    }
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+std::vector<SoakScenario> soak_scenarios(std::uint64_t seed) {
+  std::vector<SoakScenario> out;
+  out.push_back(SoakScenario{"fault_free", fault::FaultConfig{}, 2000, 2});
+  fault::FaultConfig credit_drop;
+  credit_drop.seed = seed;
+  credit_drop.credit_drop_prob = 0.25;
+  out.push_back(SoakScenario{"credit_drop", credit_drop, 2000, 2});
+  fault::FaultConfig chaos;
+  for (const fault::NamedScenario& sc : fault::scenario_catalog(seed)) {
+    if (sc.name == "chaos") chaos = sc.cfg;
+  }
+  out.push_back(SoakScenario{"chaos", chaos, 2000, 2});
+  // One physical cluster wedges on most doorbells: first-fit keeps blaming
+  // the same low logical IDs, so the breaker trips, probes run and (between
+  // hangs) probation re-admits — the circuit-breaker path, end to end.
+  fault::FaultConfig sick;
+  sick.seed = seed;
+  sick.target_cluster = 0;
+  sick.cluster_hang_prob = 0.9;
+  out.push_back(SoakScenario{"sick_cluster", sick, 2000, 1});
+  return out;
+}
+
+SoakResult run_soak_scenario(const SoakScenario& scenario, const std::vector<ServeJob>& trace,
+                             const SoakRunConfig& cfg) {
+  SocExecutorConfig xc;
+  xc.soc = soc::SocConfig::extended(cfg.num_clusters);
+  xc.soc.runtime.watchdog_wait_cycles = scenario.watchdog_wait_cycles;
+  xc.soc.runtime.max_retries = scenario.max_retries;
+  xc.soc.fault = scenario.fault;
+  xc.tolerance = cfg.tolerance;
+  xc.workload_seed = cfg.workload_seed;
+  xc.crash_penalty_cycles = cfg.crash_penalty_cycles;
+  SocExecutor exec(xc);
+
+  ServeConfig sc;
+  sc.num_clusters = cfg.num_clusters;
+  sc.model = cfg.model;
+  sc.max_queue = cfg.max_queue;
+  sc.max_clusters_per_job = cfg.max_clusters_per_job;
+  sc.health = cfg.health;
+  OffloadService service(sc, exec);
+
+  sim::StatsRegistry stats;
+  service.bind_stats(&stats);
+  check::ProtocolMonitor serve_monitor;
+  serve_monitor.attach(service.trace());
+
+  SoakResult r;
+  r.scenario = scenario.name;
+  r.jobs = trace.size();
+  r.outcomes = service.run(trace);
+  serve_monitor.finish();
+
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    const JobOutcome& out = r.outcomes[i];
+    switch (out.verdict) {
+      case JobVerdict::kMet:
+        ++r.met;
+        r.met_elements += trace[i].n;
+        break;
+      case JobVerdict::kMissed: ++r.missed; break;
+      case JobVerdict::kShed: ++r.shed; break;
+      case JobVerdict::kFailed: ++r.failed; break;
+    }
+    if (out.degraded) ++r.degraded;
+  }
+
+  r.slo_attainment = r.jobs ? static_cast<double>(r.met) / static_cast<double>(r.jobs) : 0.0;
+  r.makespan = service.makespan();
+  r.goodput =
+      r.makespan ? static_cast<double>(r.met_elements) / static_cast<double>(r.makespan) : 0.0;
+  r.quarantines = service.health().quarantines();
+  r.readmissions = service.health().readmissions();
+  r.probes = stats.counter_value("serve.probes");
+  r.crashes = exec.crashes();
+  r.soc_violations = exec.total_violations();
+  r.serve_violations = serve_monitor.total_violations();
+  return r;
+}
+
+std::string soak_report_json(const std::vector<SoakResult>& results,
+                             const SoakTraceConfig& trace_cfg) {
+  std::string out = "{\n  \"schema\": \"mco-serve-v1\",\n";
+  out += util::format("  \"jobs\": %zu,\n", trace_cfg.num_jobs);
+  out += util::format("  \"seed\": %llu,\n",
+                      static_cast<unsigned long long>(trace_cfg.seed));
+  out += "  \"scenarios\": [";
+  bool first = true;
+  for (const SoakResult& r : results) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += util::format(
+        "    {\"name\": \"%s\", \"met\": %llu, \"missed\": %llu, \"shed\": %llu, "
+        "\"failed\": %llu, \"degraded\": %llu, \"slo_attainment\": %.4f, "
+        "\"met_elements\": %llu, \"goodput\": %.6f, \"makespan\": %llu, "
+        "\"quarantines\": %llu, \"readmissions\": %llu, \"probes\": %llu, "
+        "\"crashes\": %llu, \"soc_violations\": %llu, \"serve_violations\": %llu}",
+        r.scenario.c_str(), static_cast<unsigned long long>(r.met),
+        static_cast<unsigned long long>(r.missed), static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.failed), static_cast<unsigned long long>(r.degraded),
+        r.slo_attainment, static_cast<unsigned long long>(r.met_elements), r.goodput,
+        static_cast<unsigned long long>(r.makespan),
+        static_cast<unsigned long long>(r.quarantines),
+        static_cast<unsigned long long>(r.readmissions),
+        static_cast<unsigned long long>(r.probes), static_cast<unsigned long long>(r.crashes),
+        static_cast<unsigned long long>(r.soc_violations),
+        static_cast<unsigned long long>(r.serve_violations));
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mco::serve

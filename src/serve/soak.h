@@ -1,0 +1,119 @@
+// SLO soak harness: thousands of deadline-bearing jobs through the serving
+// layer, across fault scenarios, with golden-pinnable aggregates.
+//
+// One soak scenario = one OffloadService over one long-lived SocExecutor
+// built with a named fault configuration. The seeded job trace is shared
+// across scenarios, so their aggregate rows differ only by what the faults
+// (and the circuit breaker's reaction to them) did to SLO attainment and
+// goodput. Everything is deterministic: the trace comes from one sim::Rng,
+// the service replay is serial per scenario, and scenario-level parallelism
+// (exp::SweepRunner::map in bench_serve_soak) writes into index-addressed
+// slots — the "mco-serve-v1" report is byte-identical at --jobs 1 and
+// --jobs N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "model/runtime_model.h"
+#include "serve/offload_service.h"
+
+namespace mco::serve {
+
+/// Shape of the generated job stream.
+struct SoakTraceConfig {
+  std::size_t num_jobs = 1000;
+  std::uint64_t seed = 42;
+  /// Problem sizes: n = 256 * uniform[1, n_scale_max].
+  std::uint64_t n_scale_max = 16;
+  /// Inter-arrival gap, uniform[gap_min, gap_max] cycles.
+  sim::Cycles gap_min = 200;
+  sim::Cycles gap_max = 3000;
+  /// Deadline = t̂(m_target, n) * uniform[slack_min, slack_max) with
+  /// m_target drawn from {1, 2, 4, 8} — tight enough that queueing and
+  /// faults produce real misses, loose enough that most jobs can be served.
+  double slack_min = 0.95;
+  double slack_max = 1.8;
+  /// Roughly one job in `unmeetable_one_in` gets a deadline below t0 — a
+  /// guaranteed Eq.-(3) shed, keeping the admission path exercised.
+  std::uint64_t unmeetable_one_in = 32;
+};
+
+/// Deterministic job stream for `model` (the admission model; deadlines are
+/// drawn relative to its predictions).
+std::vector<ServeJob> generate_trace(const SoakTraceConfig& cfg,
+                                     const model::RuntimeModel& model);
+
+/// One named fault environment for a soak run.
+struct SoakScenario {
+  std::string name;
+  fault::FaultConfig fault;  ///< all-zero = fault-free
+  /// PR 1 recovery knobs of the backing runtime (only bind when the
+  /// scenario injects faults; fault-free runs keep the seed timing paths).
+  sim::Cycles watchdog_wait_cycles = 2000;
+  unsigned max_retries = 2;
+};
+
+/// The E19 scenario set: fault-free control, a lost-completion scenario, the
+/// all-points chaos mix, and a targeted "sick cluster" that repeatedly hangs
+/// one physical cluster — the one that demonstrably trips the circuit
+/// breaker and earns probation re-admission.
+std::vector<SoakScenario> soak_scenarios(std::uint64_t seed = 0x5EEDull);
+
+/// Service/executor parameters shared by every scenario of a soak run.
+struct SoakRunConfig {
+  unsigned num_clusters = 8;
+  /// Admission model (Eq. 3); defaults to the paper's DAXPY fit.
+  model::RuntimeModel model = model::paper_daxpy_model();
+  std::size_t max_queue = 16;
+  unsigned max_clusters_per_job = 8;
+  /// Soak health policy is twitchier than the service default: first-fit
+  /// spreads a sick physical cluster's blame over the low logical IDs, so a
+  /// shorter streak and a single clean probe keep the breaker's full
+  /// quarantine -> probation -> re-admission cycle observable within one
+  /// trace.
+  HealthConfig health{/*failure_threshold=*/2, /*probation_probes=*/1,
+                      /*probe_backoff_cycles=*/5'000};
+  double tolerance = 1e-5;
+  std::uint64_t workload_seed = 42;
+  /// Kept small relative to inter-arrival gaps so a crashed offload stalls
+  /// its partition without starving the whole trace.
+  sim::Cycles crash_penalty_cycles = 20'000;
+};
+
+/// Aggregates of one scenario's soak, plus the per-job outcomes.
+struct SoakResult {
+  std::string scenario;
+  std::size_t jobs = 0;
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t degraded = 0;
+  double slo_attainment = 0.0;     ///< met / jobs
+  std::uint64_t met_elements = 0;  ///< Σ n over SLO-met jobs
+  double goodput = 0.0;            ///< met_elements / makespan (elems/cycle)
+  sim::Cycle makespan = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t readmissions = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t crashes = 0;            ///< Soc rebuilds (aborted offloads)
+  std::uint64_t soc_violations = 0;     ///< protocol invariants, backing Soc
+  std::uint64_t serve_violations = 0;   ///< serve_isolation etc., service trace
+  std::vector<JobOutcome> outcomes;
+};
+
+/// Run `trace` through one service instance under `scenario`. A
+/// check::ProtocolMonitor watches the backing Soc and a second one watches
+/// the service's own trace (the serve_isolation invariant).
+SoakResult run_soak_scenario(const SoakScenario& scenario, const std::vector<ServeJob>& trace,
+                             const SoakRunConfig& cfg);
+
+/// "mco-serve-v1" JSON: one row per scenario, aggregate fields only — the
+/// bench_serve_soak golden that scripts/metrics_regression.py pins.
+std::string soak_report_json(const std::vector<SoakResult>& results,
+                             const SoakTraceConfig& trace_cfg);
+
+}  // namespace mco::serve

@@ -1,0 +1,60 @@
+#include "serve/soc_executor.h"
+
+#include <exception>
+
+#include "soc/workloads.h"
+
+namespace mco::serve {
+
+SocExecutor::SocExecutor(const SocExecutorConfig& cfg) : cfg_(cfg), rng_(cfg.workload_seed) {
+  build_soc();
+}
+
+void SocExecutor::build_soc() {
+  soc_ = std::make_unique<soc::Soc>(cfg_.soc);
+  if (cfg_.monitor) {
+    monitor_ = std::make_unique<check::ProtocolMonitor>();
+    monitor_->attach(*soc_);
+  }
+}
+
+ExecutionOutcome SocExecutor::execute(const ServeJob& job, unsigned m, bool /*probe*/) {
+  ExecutionOutcome out;
+  try {
+    soc_->reset_heap();
+    const kernels::Kernel& kernel = soc_->kernels().by_name(job.kernel);
+    soc::PreparedJob prepared =
+        soc::prepare_workload(*soc_, kernel, job.n, soc_->num_clusters(), rng_);
+    const offload::OffloadResult result = soc_->run_offload(prepared.args, m);
+    out.duration = result.total();
+    out.ok = prepared.max_abs_error(*soc_) <= cfg_.tolerance;
+    out.degraded = result.recovery.degraded;
+    // The runtime dispatches to physical clusters [0, m), so the recovery
+    // layer's failed-cluster IDs are already partition-relative.
+    out.failed_members.assign(result.recovery.failed_clusters.begin(),
+                              result.recovery.failed_clusters.end());
+    out.retries = static_cast<unsigned>(result.recovery.retries);
+    out.watchdog_timeouts = static_cast<unsigned>(result.recovery.watchdog_timeouts);
+  } catch (const std::exception&) {
+    // The offload aborted outright (host watchdog, no survivors). Charge a
+    // fixed penalty, blame the whole partition, and rebuild the Soc — a
+    // mid-offload abort leaves the old instance (and its trace spans) in an
+    // undefined state, so its monitor is retired without end-of-run checks.
+    ++crashes_;
+    if (monitor_) retired_violations_ += monitor_->total_violations();
+    build_soc();
+    out.duration = cfg_.crash_penalty_cycles;
+    out.ok = false;
+    out.failed_members.clear();
+    for (unsigned i = 0; i < m; ++i) out.failed_members.push_back(i);
+  }
+  return out;
+}
+
+std::uint64_t SocExecutor::total_violations() {
+  if (!monitor_) return retired_violations_;
+  monitor_->finish();
+  return retired_violations_ + monitor_->total_violations();
+}
+
+}  // namespace mco::serve

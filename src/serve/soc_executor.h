@@ -1,0 +1,67 @@
+// Executor backing the serving layer with a real simulated Soc.
+//
+// Each dispatched job runs as one cycle-accurate offload on a long-lived Soc
+// (fault injector and recovery layer per the SocConfig); the measured
+// latency becomes the job's service-time duration and the recovery stats
+// become its health verdicts. The service's logical partition of size m maps
+// onto physical clusters [0, m) — the runtime always dispatches from cluster
+// 0 — so the recovery layer's failed-cluster IDs are already the
+// partition-relative indices the service expects.
+//
+// The backing Soc is a shared resource across jobs: the HBM heap is rewound
+// before every job, and if an offload dies entirely (host watchdog abort, no
+// survivors left) the executor rebuilds a fresh Soc, charges the job a fixed
+// crash penalty, blames every partition member, and keeps serving. A
+// check::ProtocolMonitor optionally rides along on the Soc's trace sink; its
+// violation count survives rebuilds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "check/protocol_monitor.h"
+#include "serve/offload_service.h"
+#include "sim/rng.h"
+#include "soc/config.h"
+#include "soc/soc.h"
+
+namespace mco::serve {
+
+struct SocExecutorConfig {
+  soc::SocConfig soc;
+  /// Max |measured − expected| accepted as a numerically OK job (fault
+  /// scenarios keep the PR 1 recovery tolerance).
+  double tolerance = 1e-5;
+  /// Seed of the workload-content RNG (advances deterministically per job).
+  std::uint64_t workload_seed = 42;
+  /// Service-time duration charged to a job whose offload aborted outright.
+  sim::Cycles crash_penalty_cycles = 200'000;
+  /// Attach a ProtocolMonitor to the backing Soc's trace sink.
+  bool monitor = true;
+};
+
+class SocExecutor : public Executor {
+ public:
+  explicit SocExecutor(const SocExecutorConfig& cfg);
+
+  ExecutionOutcome execute(const ServeJob& job, unsigned m, bool probe) override;
+
+  soc::Soc& soc() { return *soc_; }
+  /// Offloads that aborted and forced a Soc rebuild.
+  std::uint64_t crashes() const { return crashes_; }
+  /// Protocol-invariant violations across the executor's whole life,
+  /// including Socs discarded by rebuilds. finish()es the live monitor.
+  std::uint64_t total_violations();
+
+ private:
+  void build_soc();
+
+  SocExecutorConfig cfg_;
+  sim::Rng rng_;
+  std::unique_ptr<soc::Soc> soc_;
+  std::unique_ptr<check::ProtocolMonitor> monitor_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t retired_violations_ = 0;  ///< from rebuilt-away Socs
+};
+
+}  // namespace mco::serve

@@ -171,6 +171,18 @@ const std::vector<MetricInfo>& metric_reference() {
       {"cluster<i>.items", "counter"},
       {"cluster<i>.dma_bytes", "counter"},
       {"cluster<i>.worker_busy_cycles", "counter"},
+      // ---- counters: serving layer (serve::register_serve_metrics) ---------
+      {"serve.jobs_submitted", "counter"},
+      {"serve.jobs_dispatched", "counter"},
+      {"serve.jobs_queued", "counter"},
+      {"serve.jobs_shed", "counter"},
+      {"serve.jobs_failed", "counter"},
+      {"serve.jobs_degraded", "counter"},
+      {"serve.slo_met", "counter"},
+      {"serve.slo_missed", "counter"},
+      {"serve.probes", "counter"},
+      {"serve.quarantines", "counter"},
+      {"serve.readmissions", "counter"},
       // ---- histograms ------------------------------------------------------
       {"noc.dispatch_latency_cycles", "histogram"},
       {"noc.completion_latency_cycles", "histogram"},
@@ -178,6 +190,10 @@ const std::vector<MetricInfo>& metric_reference() {
       {"sync_unit.time_to_threshold_cycles", "histogram"},
       {"shared_counter.arrival_offset_cycles", "histogram"},
       {"runtime.offload_total_cycles", "histogram"},
+      {"serve.queue_wait_cycles", "histogram"},
+      {"serve.queue_depth", "histogram"},
+      {"serve.slack_cycles", "histogram"},
+      {"serve.tardiness_cycles", "histogram"},
       // ---- spans: host runtime track ---------------------------------------
       {"offload", "span"},
       {"marshal", "span"},

@@ -124,6 +124,8 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(&kernels::KernelRegistry::shared(
 
 Soc::~Soc() = default;
 
+void Soc::reset_heap() { heap_next_ = map_->hbm_base(); }
+
 mem::Addr Soc::alloc(std::size_t bytes) {
   heap_next_ = util::round_up<mem::Addr>(heap_next_, 64);
   const mem::Addr addr = heap_next_;

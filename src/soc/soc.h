@@ -51,6 +51,11 @@ class Soc {
   /// region is exhausted.
   mem::Addr alloc(std::size_t bytes);
 
+  /// Rewind the bump allocator to an empty heap. Long-lived Socs that serve
+  /// many independent jobs (serve::SocExecutor) reset between jobs instead
+  /// of exhausting HBM; all previously allocated addresses are invalidated.
+  void reset_heap();
+
   /// Allocate and initialize an f64 array in HBM.
   mem::Addr alloc_f64(std::span<const double> values);
   mem::Addr alloc_f64_zero(std::size_t n);

@@ -197,6 +197,74 @@ TEST_P(Eq3Property, ClosedFormMatchesScan) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, Eq3Property, ::testing::Values(256, 512, 768, 1024, 2048));
 
+// ---- decision: Eq. (3) boundary behaviour (the serve layer's admission
+// control leans on these exact edges; nullopt means "shed the job") ----------
+
+TEST(Decision, DeadlineExactlyAtPredictionAdmitsThatM) {
+  // t_max placed exactly on t̂(M, N): the inclusive deadline must admit M,
+  // and the closed form must not overshoot to M+1 from float rounding.
+  const RuntimeModel m = paper_daxpy_model();
+  for (unsigned mm = 1; mm <= 64; ++mm) {
+    const double t_exact = m.predict(mm, 1024);
+    const auto got = min_clusters_for_deadline(m, 1024, t_exact, 64);
+    ASSERT_TRUE(got.has_value()) << "M=" << mm;
+    EXPECT_LE(m.predict(*got, 1024), t_exact) << "M=" << mm;
+    if (*got > 1) {
+      EXPECT_GT(m.predict(*got - 1, 1024), t_exact) << "M=" << mm;
+    }
+  }
+}
+
+TEST(Decision, ZeroSlackWithZeroWorkIsFeasible) {
+  // N = 0: t̂(M, 0) = t0 for every M, so t_max == t0 is met by one cluster.
+  const RuntimeModel m = paper_daxpy_model();
+  const auto got = min_clusters_for_deadline(m, 0, m.t0, 8);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST(Decision, ZeroSlackWithWorkIsNullopt) {
+  // slack == 0 with b·N > 0: the parallel term never vanishes at finite M.
+  const RuntimeModel m = paper_daxpy_model();
+  const double t_serial = m.t0 + m.a * 1024.0;
+  EXPECT_FALSE(min_clusters_for_deadline(m, 1024, t_serial, 1024).has_value());
+}
+
+TEST(Decision, NegativeSlackIsNullopt) {
+  const RuntimeModel m = paper_daxpy_model();
+  EXPECT_FALSE(min_clusters_for_deadline(m, 0, m.t0 - 1.0, 8).has_value());
+}
+
+TEST(Decision, MmaxClampIsExact) {
+  // A deadline exactly at t̂(m_max, N) is feasible; the same deadline with
+  // m_max − 1 available clusters is not — the clamp is off-by-one free.
+  const RuntimeModel m = paper_daxpy_model();
+  const unsigned m_max = 16;
+  const double t_exact = m.predict(m_max, 2048);
+  const auto got = min_clusters_for_deadline(m, 2048, t_exact, m_max);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, m_max);
+  EXPECT_FALSE(min_clusters_for_deadline(m, 2048, t_exact, m_max - 1).has_value());
+}
+
+TEST(Decision, ExactBoundariesMatchScanAcrossSizes) {
+  const RuntimeModel m = paper_daxpy_model();
+  for (const std::uint64_t n : {256ull, 512ull, 1000ull, 1024ull, 4096ull}) {
+    for (unsigned mm = 1; mm <= 64; mm *= 2) {
+      const double t_exact = m.predict(mm, n);
+      const auto closed = min_clusters_for_deadline(m, n, t_exact, 64);
+      std::optional<unsigned> scan;
+      for (unsigned k = 1; k <= 64; ++k) {
+        if (m.predict(k, n) <= t_exact) {
+          scan = k;
+          break;
+        }
+      }
+      EXPECT_EQ(closed, scan) << "n=" << n << " M=" << mm;
+    }
+  }
+}
+
 TEST(Decision, QuadraticPathWithPerClusterTerm) {
   const RuntimeModel m{382, 0.25, 0.325, 9.0};
   // Scan-based result must satisfy the deadline and be minimal.

@@ -1,0 +1,744 @@
+// Tests for the src/serve layer: the first-fit partition allocator, the
+// per-cluster circuit breaker, the deadline-aware OffloadService (admission,
+// backpressure, priority drain, quarantine/probation, deterministic replay)
+// and the serve_isolation invariant of check::ProtocolMonitor.
+//
+// The service's Executor seam is scripted here (FakeExecutor): durations and
+// per-member failure verdicts are pure functions of the job, so every test
+// is an exact virtual-time schedule with hand-computable outcomes. The soak
+// harness (serve/soak.h) plugs a real simulated Soc into the same seam.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/protocol_monitor.h"
+#include "serve/health_tracker.h"
+#include "serve/offload_service.h"
+#include "serve/partition_allocator.h"
+#include "serve/soak.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace mco;
+using serve::ClusterHealth;
+using serve::ExecutionOutcome;
+using serve::HealthConfig;
+using serve::HealthTracker;
+using serve::JobOutcome;
+using serve::JobVerdict;
+using serve::OffloadService;
+using serve::PartitionAllocator;
+using serve::ServeConfig;
+using serve::ServeJob;
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Scripted executor: outcomes are a pure function of (job, m, probe).
+class FakeExecutor : public serve::Executor {
+ public:
+  using Fn = std::function<ExecutionOutcome(const ServeJob&, unsigned, bool)>;
+  FakeExecutor() = default;
+  explicit FakeExecutor(Fn fn) : fn_(std::move(fn)) {}
+
+  struct Call {
+    std::uint64_t id;
+    unsigned m;
+    bool probe;
+  };
+  std::vector<Call> calls;
+
+  ExecutionOutcome execute(const ServeJob& job, unsigned m, bool probe) override {
+    calls.push_back({job.id, m, probe});
+    if (fn_) return fn_(job, m, probe);
+    ExecutionOutcome out;
+    out.duration = 100;
+    return out;
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// t̂(M, N) = 100 + N/M: admission math is exact integer arithmetic.
+model::RuntimeModel linear_model() {
+  model::RuntimeModel m;
+  m.t0 = 100.0;
+  m.b = 1.0;
+  return m;
+}
+
+ServeConfig config(unsigned clusters, std::size_t max_queue = 16) {
+  ServeConfig cfg;
+  cfg.num_clusters = clusters;
+  cfg.model = linear_model();
+  cfg.max_queue = max_queue;
+  return cfg;
+}
+
+ServeJob job(std::uint64_t id, std::uint64_t n, sim::Cycle arrival, sim::Cycles t_max,
+             unsigned priority = 0) {
+  ServeJob j;
+  j.id = id;
+  j.n = n;
+  j.arrival = arrival;
+  j.t_max = t_max;
+  j.priority = priority;
+  return j;
+}
+
+/// Executor script that blames partition member 0 on a fixed set of job IDs
+/// (ok stays true: degraded completion, cluster-level failure) and answers
+/// probes with `probe_clean`.
+FakeExecutor::Fn blame_first_member(std::vector<std::uint64_t> bad_ids, bool probe_clean) {
+  return [bad_ids = std::move(bad_ids), probe_clean](const ServeJob& j, unsigned,
+                                                     bool probe) -> ExecutionOutcome {
+    ExecutionOutcome out;
+    if (probe) {
+      out.duration = 50;
+      out.ok = probe_clean;
+      if (!probe_clean) out.failed_members = {0};
+      return out;
+    }
+    out.duration = 100;
+    if (std::find(bad_ids.begin(), bad_ids.end(), j.id) != bad_ids.end()) {
+      out.degraded = true;
+      out.failed_members = {0};
+    }
+    return out;
+  };
+}
+
+/// Feed one synthetic who=="serve" instant into a monitor.
+void feed(check::ProtocolMonitor& mon, sim::Cycle t, const std::string& what,
+          const std::string& detail) {
+  sim::TraceRecord rec;
+  rec.time = t;
+  rec.who = "serve";
+  rec.what = what;
+  rec.detail = detail;
+  rec.phase = sim::TracePhase::kInstant;
+  mon.observe(rec);
+}
+
+// ---- PartitionAllocator ----------------------------------------------------
+
+TEST(PartitionAllocator, StartsAllFree) {
+  PartitionAllocator alloc(8);
+  EXPECT_EQ(alloc.num_clusters(), 8u);
+  EXPECT_EQ(alloc.free_count(), 8u);
+  EXPECT_EQ(alloc.free_bitmap(), 0xFFull);
+  for (unsigned c = 0; c < 8; ++c) EXPECT_TRUE(alloc.is_free(c));
+}
+
+TEST(PartitionAllocator, FirstFitTakesLowestFreeIndices) {
+  PartitionAllocator alloc(8);
+  const auto a = alloc.allocate(3, nullptr);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, (std::vector<unsigned>{0, 1, 2}));
+  const auto b = alloc.allocate(2, nullptr);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, (std::vector<unsigned>{3, 4}));
+  alloc.release(1);
+  const auto c = alloc.allocate(1, nullptr);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, (std::vector<unsigned>{1}));
+}
+
+TEST(PartitionAllocator, AllocateSkipsIneligibleClusters) {
+  PartitionAllocator alloc(6);
+  const auto odd = alloc.allocate(2, [](unsigned c) { return c % 2 == 1; });
+  ASSERT_TRUE(odd.has_value());
+  EXPECT_EQ(*odd, (std::vector<unsigned>{1, 3}));
+}
+
+TEST(PartitionAllocator, FailedAllocationLeavesStateUntouched) {
+  PartitionAllocator alloc(4);
+  const auto too_big = alloc.allocate(3, [](unsigned c) { return c < 2; });
+  EXPECT_FALSE(too_big.has_value());
+  EXPECT_EQ(alloc.free_count(), 4u);
+  const auto fits = alloc.allocate(2, nullptr);
+  ASSERT_TRUE(fits.has_value());
+  EXPECT_EQ(*fits, (std::vector<unsigned>{0, 1}));
+}
+
+TEST(PartitionAllocator, TryAcquireClaimsOneSpecificCluster) {
+  PartitionAllocator alloc(4);
+  EXPECT_TRUE(alloc.try_acquire(2));
+  EXPECT_FALSE(alloc.is_free(2));
+  EXPECT_FALSE(alloc.try_acquire(2));
+  alloc.release(2);
+  EXPECT_TRUE(alloc.try_acquire(2));
+}
+
+TEST(PartitionAllocator, DoubleReleaseThrows) {
+  PartitionAllocator alloc(4);
+  EXPECT_THROW(alloc.release(0), std::logic_error);
+  ASSERT_TRUE(alloc.try_acquire(0));
+  alloc.release(0);
+  EXPECT_THROW(alloc.release(0), std::logic_error);
+}
+
+TEST(PartitionAllocator, RejectsFabricsBeyondOneBitmapWord) {
+  EXPECT_THROW(PartitionAllocator(0), std::invalid_argument);
+  EXPECT_THROW(PartitionAllocator(65), std::invalid_argument);
+  PartitionAllocator full(64);
+  EXPECT_EQ(full.free_count(), 64u);
+  EXPECT_EQ(full.free_bitmap(), ~0ull);
+}
+
+// ---- HealthTracker ---------------------------------------------------------
+
+TEST(HealthTracker, TripsAfterConsecutiveFailures) {
+  HealthTracker h(2, HealthConfig{3, 2, 5000});
+  EXPECT_FALSE(h.record_failure(0));
+  EXPECT_FALSE(h.record_failure(0));
+  EXPECT_EQ(h.state(0), ClusterHealth::kHealthy);
+  EXPECT_TRUE(h.record_failure(0));
+  EXPECT_EQ(h.state(0), ClusterHealth::kQuarantined);
+  EXPECT_EQ(h.quarantines(), 1u);
+  EXPECT_FALSE(h.available(0));
+  EXPECT_TRUE(h.available(1));
+}
+
+TEST(HealthTracker, SuccessResetsTheFailureStreak) {
+  HealthTracker h(1, HealthConfig{3, 2, 5000});
+  h.record_failure(0);
+  h.record_failure(0);
+  h.record_success(0);
+  EXPECT_EQ(h.consecutive_failures(0), 0u);
+  h.record_failure(0);
+  h.record_failure(0);
+  EXPECT_EQ(h.state(0), ClusterHealth::kHealthy);
+}
+
+TEST(HealthTracker, ProbeOnHealthyClusterThrows) {
+  HealthTracker h(1, HealthConfig{3, 2, 5000});
+  EXPECT_THROW(h.record_probe(0, true), std::logic_error);
+}
+
+TEST(HealthTracker, CleanProbesEarnReadmission) {
+  HealthTracker h(1, HealthConfig{1, 2, 5000});
+  EXPECT_TRUE(h.record_failure(0));
+  EXPECT_FALSE(h.record_probe(0, true));
+  EXPECT_EQ(h.state(0), ClusterHealth::kProbation);
+  EXPECT_TRUE(h.record_probe(0, true));
+  EXPECT_EQ(h.state(0), ClusterHealth::kHealthy);
+  EXPECT_EQ(h.readmissions(), 1u);
+  EXPECT_EQ(h.consecutive_failures(0), 0u);
+}
+
+TEST(HealthTracker, DirtyProbeRestartsProbation) {
+  HealthTracker h(1, HealthConfig{1, 2, 5000});
+  EXPECT_TRUE(h.record_failure(0));
+  EXPECT_FALSE(h.record_probe(0, true));
+  EXPECT_EQ(h.state(0), ClusterHealth::kProbation);
+  EXPECT_FALSE(h.record_probe(0, false));
+  EXPECT_EQ(h.state(0), ClusterHealth::kQuarantined);
+  EXPECT_EQ(h.clean_probes(0), 0u);
+  EXPECT_EQ(h.readmissions(), 0u);
+}
+
+TEST(HealthTracker, QuarantineShrinksAvailableCount) {
+  HealthTracker h(4, HealthConfig{1, 1, 5000});
+  EXPECT_EQ(h.available_count(), 4u);
+  h.record_failure(2);
+  EXPECT_EQ(h.available_count(), 3u);
+  h.record_probe(2, true);
+  EXPECT_EQ(h.available_count(), 4u);
+}
+
+TEST(HealthTracker, RejectsDegenerateConfigs) {
+  EXPECT_THROW(HealthTracker(0, HealthConfig{}), std::invalid_argument);
+  EXPECT_THROW(HealthTracker(1, HealthConfig{0, 2, 5000}), std::invalid_argument);
+  EXPECT_THROW(HealthTracker(1, HealthConfig{3, 0, 5000}), std::invalid_argument);
+}
+
+// ---- OffloadService: admission and SLO accounting --------------------------
+
+TEST(OffloadService, ServesOneJobWithinDeadline) {
+  FakeExecutor exec;
+  OffloadService svc(config(1), exec);
+  const auto outcomes = svc.run({job(1, 100, 0, 500)});
+  ASSERT_EQ(outcomes.size(), 1u);
+  const JobOutcome& out = outcomes[0];
+  EXPECT_EQ(out.verdict, JobVerdict::kMet);
+  EXPECT_EQ(out.m, 1u);
+  EXPECT_EQ(out.clusters, (std::vector<unsigned>{0}));
+  EXPECT_EQ(out.start, 0u);
+  EXPECT_EQ(out.end, 100u);
+  EXPECT_EQ(out.queue_wait, 0u);
+  EXPECT_EQ(out.slack, 400);
+  EXPECT_EQ(svc.makespan(), 100u);
+}
+
+TEST(OffloadService, AdmissionPicksTheMinimalPartition) {
+  // t̂(M, 400) = 100 + 400/M: a 300-cycle deadline needs M = 2.
+  FakeExecutor exec;
+  OffloadService svc(config(4), exec);
+  const auto outcomes = svc.run({job(1, 400, 0, 300)});
+  EXPECT_EQ(outcomes[0].m, 2u);
+  EXPECT_EQ(outcomes[0].clusters, (std::vector<unsigned>{0, 1}));
+  ASSERT_EQ(exec.calls.size(), 1u);
+  EXPECT_EQ(exec.calls[0].m, 2u);
+}
+
+TEST(OffloadService, ShedsUnmeetableDeadlineAtAdmission) {
+  FakeExecutor exec;
+  OffloadService svc(config(4), exec);
+  // Even M=4 predicts 100 + 400/4 = 200 > 150: Eq. (3) returns nullopt.
+  const auto outcomes = svc.run({job(1, 400, 10, 150)});
+  EXPECT_EQ(outcomes[0].verdict, JobVerdict::kShed);
+  EXPECT_EQ(outcomes[0].reason, "deadline_unmeetable");
+  EXPECT_EQ(outcomes[0].end, 10u);
+  EXPECT_EQ(outcomes[0].m, 0u);
+  EXPECT_TRUE(exec.calls.empty());
+}
+
+TEST(OffloadService, PartitionCapLimitsAdmission) {
+  ServeConfig cfg = config(4);
+  cfg.max_clusters_per_job = 2;
+  FakeExecutor exec;
+  OffloadService svc(cfg, exec);
+  // Needs M=3 (100 + 300/3 = 200), but the per-job cap is 2: shed.
+  // A looser deadline fits under the cap and dispatches with M=1.
+  const auto outcomes = svc.run({job(1, 300, 0, 200), job(2, 300, 1000, 400)});
+  EXPECT_EQ(outcomes[0].verdict, JobVerdict::kShed);
+  EXPECT_EQ(outcomes[0].reason, "deadline_unmeetable");
+  EXPECT_EQ(outcomes[1].verdict, JobVerdict::kMet);
+  EXPECT_EQ(outcomes[1].m, 1u);
+}
+
+TEST(OffloadService, TardyCompletionIsMissed) {
+  FakeExecutor exec([](const ServeJob&, unsigned, bool) {
+    ExecutionOutcome out;
+    out.duration = 400;
+    return out;
+  });
+  OffloadService svc(config(1), exec);
+  const auto outcomes = svc.run({job(1, 100, 0, 250)});
+  EXPECT_EQ(outcomes[0].verdict, JobVerdict::kMissed);
+  EXPECT_EQ(outcomes[0].slack, -150);
+  EXPECT_EQ(outcomes[0].end, 400u);
+}
+
+TEST(OffloadService, ExecutionFailureYieldsFailedVerdict) {
+  FakeExecutor exec([](const ServeJob&, unsigned, bool) {
+    ExecutionOutcome out;
+    out.duration = 100;
+    out.ok = false;
+    out.failed_members = {0};
+    return out;
+  });
+  OffloadService svc(config(2), exec);
+  const auto outcomes = svc.run({job(1, 100, 0, 500)});
+  EXPECT_EQ(outcomes[0].verdict, JobVerdict::kFailed);
+  EXPECT_EQ(outcomes[0].reason, "execution_failed");
+}
+
+TEST(OffloadService, DegradedCompletionIsRecorded) {
+  FakeExecutor exec(blame_first_member({1}, true));
+  OffloadService svc(config(2), exec);
+  const auto outcomes = svc.run({job(1, 100, 0, 500)});
+  EXPECT_EQ(outcomes[0].verdict, JobVerdict::kMet);
+  EXPECT_TRUE(outcomes[0].degraded);
+}
+
+// ---- OffloadService: queueing and backpressure -----------------------------
+
+namespace queueing {
+
+/// Job 1 occupies the single cluster for 1000 cycles; later jobs take 100.
+FakeExecutor::Fn long_first_job() {
+  return [](const ServeJob& j, unsigned, bool) {
+    ExecutionOutcome out;
+    out.duration = j.id == 1 ? 1000 : 100;
+    return out;
+  };
+}
+
+}  // namespace queueing
+
+TEST(OffloadService, BackpressureQueuesUntilThePartitionFrees) {
+  FakeExecutor exec(queueing::long_first_job());
+  OffloadService svc(config(1), exec);
+  const auto outcomes = svc.run({job(1, 100, 0, 5000), job(2, 100, 10, 5000)});
+  EXPECT_EQ(outcomes[0].end, 1000u);
+  EXPECT_EQ(outcomes[1].start, 1000u);
+  EXPECT_EQ(outcomes[1].queue_wait, 990u);
+  EXPECT_EQ(outcomes[1].end, 1100u);
+  EXPECT_EQ(outcomes[1].verdict, JobVerdict::kMet);
+}
+
+TEST(OffloadService, ShedsWhenTheQueueOverflows) {
+  FakeExecutor exec(queueing::long_first_job());
+  OffloadService svc(config(1, /*max_queue=*/1), exec);
+  const auto outcomes =
+      svc.run({job(1, 100, 0, 5000), job(2, 100, 10, 5000), job(3, 100, 20, 5000)});
+  EXPECT_EQ(outcomes[1].verdict, JobVerdict::kMet);  // queued, then served
+  EXPECT_EQ(outcomes[2].verdict, JobVerdict::kShed);
+  EXPECT_EQ(outcomes[2].reason, "queue_full");
+  EXPECT_EQ(outcomes[2].end, 20u);
+}
+
+TEST(OffloadService, QueuedJobExpiresWhenCapacityFreesTooLate) {
+  FakeExecutor exec(queueing::long_first_job());
+  OffloadService svc(config(1), exec);
+  // Job 2's deadline (10 + 200) lapses while job 1 still holds the cluster.
+  const auto outcomes = svc.run({job(1, 100, 0, 5000), job(2, 100, 10, 200)});
+  EXPECT_EQ(outcomes[1].verdict, JobVerdict::kShed);
+  EXPECT_EQ(outcomes[1].reason, "deadline_expired");
+  EXPECT_EQ(outcomes[1].end, 1000u);  // shed at the drain that found it expired
+}
+
+TEST(OffloadService, DrainsTheBacklogByPriorityThenArrival) {
+  FakeExecutor exec(queueing::long_first_job());
+  OffloadService svc(config(1), exec);
+  const auto outcomes = svc.run({
+      job(1, 100, 0, 9000),
+      job(2, 100, 10, 9000, /*priority=*/0),
+      job(3, 100, 20, 9000, /*priority=*/2),
+      job(4, 100, 30, 9000, /*priority=*/2),
+  });
+  // Drain order: 3 (high priority, earlier arrival), 4, then 2.
+  EXPECT_EQ(outcomes[2].start, 1000u);
+  EXPECT_EQ(outcomes[3].start, 1100u);
+  EXPECT_EQ(outcomes[1].start, 1200u);
+  ASSERT_EQ(exec.calls.size(), 4u);
+  EXPECT_EQ(exec.calls[1].id, 3u);
+  EXPECT_EQ(exec.calls[2].id, 4u);
+  EXPECT_EQ(exec.calls[3].id, 2u);
+}
+
+// ---- OffloadService: circuit breaker ---------------------------------------
+
+namespace breaker {
+
+/// Three m=1 jobs, spaced so each completes before the next arrives; every
+/// one blames its only member — three consecutive failures on cluster 0.
+std::vector<ServeJob> tripping_jobs() {
+  return {job(1, 100, 0, 900), job(2, 100, 1000, 900), job(3, 100, 2000, 900)};
+}
+
+}  // namespace breaker
+
+TEST(OffloadService, RepeatedFailuresQuarantineTheCluster) {
+  FakeExecutor exec(blame_first_member({1, 2, 3}, true));
+  sim::StatsRegistry stats;
+  OffloadService svc(config(2), exec);
+  svc.bind_stats(&stats);
+  svc.run(breaker::tripping_jobs());
+  EXPECT_EQ(svc.health().state(0), ClusterHealth::kQuarantined);
+  EXPECT_EQ(svc.health().quarantines(), 1u);
+  EXPECT_EQ(stats.counter_value("serve.quarantines"), 1u);
+  EXPECT_EQ(stats.counter_value("serve.jobs_degraded"), 3u);
+}
+
+TEST(OffloadService, QuarantinedClusterIsSkippedByPlacement) {
+  FakeExecutor exec(blame_first_member({1, 2, 3}, true));
+  OffloadService svc(config(2), exec);
+  std::vector<ServeJob> jobs = breaker::tripping_jobs();
+  jobs.push_back(job(4, 100, 3000, 900));
+  const auto outcomes = svc.run(jobs);
+  EXPECT_EQ(outcomes[3].verdict, JobVerdict::kMet);
+  EXPECT_EQ(outcomes[3].clusters, (std::vector<unsigned>{1}));
+}
+
+TEST(OffloadService, QuarantineShrinksEqThreeCapacity) {
+  FakeExecutor exec(blame_first_member({1, 2, 3}, true));
+  OffloadService svc(config(2), exec);
+  std::vector<ServeJob> jobs = breaker::tripping_jobs();
+  // Needs M=2 (100 + 400/2 = 300), but only cluster 1 is healthy: shed.
+  jobs.push_back(job(4, 400, 3000, 300));
+  const auto outcomes = svc.run(jobs);
+  EXPECT_EQ(outcomes[3].verdict, JobVerdict::kShed);
+  EXPECT_EQ(outcomes[3].reason, "deadline_unmeetable");
+}
+
+TEST(OffloadService, CleanProbesReadmitTheCluster) {
+  FakeExecutor exec(blame_first_member({1, 2, 3}, /*probe_clean=*/true));
+  sim::StatsRegistry stats;
+  OffloadService svc(config(2), exec);
+  svc.bind_stats(&stats);
+  svc.trace().enable();
+  std::vector<ServeJob> jobs = breaker::tripping_jobs();
+  // A distant arrival keeps the event loop alive through the probe schedule
+  // (quarantine at 2100, probes at 7100 and 12150 with the default 5000
+  // backoff and probation_probes = 2), then lands on the re-admitted
+  // cluster 0 again.
+  jobs.push_back(job(4, 100, 20000, 900));
+  const auto outcomes = svc.run(jobs);
+  EXPECT_EQ(svc.health().state(0), ClusterHealth::kHealthy);
+  EXPECT_EQ(svc.health().readmissions(), 1u);
+  EXPECT_EQ(stats.counter_value("serve.probes"), 2u);
+  EXPECT_EQ(stats.counter_value("serve.readmissions"), 1u);
+  EXPECT_EQ(outcomes[3].clusters, (std::vector<unsigned>{0}));
+  EXPECT_EQ(svc.trace().filter("serve_readmit").size(), 1u);
+  const auto probe_calls = std::count_if(exec.calls.begin(), exec.calls.end(),
+                                         [](const FakeExecutor::Call& c) { return c.probe; });
+  EXPECT_EQ(probe_calls, 2);
+}
+
+TEST(OffloadService, DirtyProbesKeepTheClusterQuarantined) {
+  FakeExecutor exec(blame_first_member({1, 2, 3}, /*probe_clean=*/false));
+  sim::StatsRegistry stats;
+  OffloadService svc(config(2), exec);
+  svc.bind_stats(&stats);
+  std::vector<ServeJob> jobs = breaker::tripping_jobs();
+  jobs.push_back(job(4, 100, 8000, 900));
+  const auto outcomes = svc.run(jobs);
+  EXPECT_EQ(svc.health().state(0), ClusterHealth::kQuarantined);
+  EXPECT_EQ(svc.health().readmissions(), 0u);
+  EXPECT_GE(stats.counter_value("serve.probes"), 1u);
+  EXPECT_EQ(outcomes[3].clusters, (std::vector<unsigned>{1}));
+}
+
+TEST(OffloadService, FullyQuarantinedFabricShedsExpiredQueueEntries) {
+  // Single-cluster fabric, breaker trips, probes never come back clean: the
+  // probe loop must keep re-examining the queue so the waiting job is shed
+  // once its deadline lapses — and the run must terminate.
+  FakeExecutor exec(blame_first_member({1, 2, 3}, /*probe_clean=*/false));
+  OffloadService svc(config(1), exec);
+  std::vector<ServeJob> jobs = breaker::tripping_jobs();
+  jobs.push_back(job(4, 100, 3000, 6000));  // deadline 9000, capacity 0
+  const auto outcomes = svc.run(jobs);
+  EXPECT_EQ(outcomes[3].verdict, JobVerdict::kShed);
+  EXPECT_EQ(outcomes[3].reason, "deadline_expired");
+  EXPECT_EQ(svc.health().state(0), ClusterHealth::kQuarantined);
+}
+
+// ---- OffloadService: determinism and lifecycle ------------------------------
+
+TEST(OffloadService, ReplayIsDeterministic) {
+  const std::vector<ServeJob> jobs = {
+      job(1, 100, 0, 5000),  job(2, 400, 10, 300, 1), job(3, 100, 20, 110),
+      job(4, 300, 30, 5000), job(5, 100, 40, 5000, 2),
+  };
+  auto run_once = [&jobs]() {
+    FakeExecutor exec(blame_first_member({2, 4}, true));
+    OffloadService svc(config(2), exec);
+    return svc.run(jobs);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].verdict, b[i].verdict) << i;
+    EXPECT_EQ(a[i].start, b[i].start) << i;
+    EXPECT_EQ(a[i].end, b[i].end) << i;
+    EXPECT_EQ(a[i].clusters, b[i].clusters) << i;
+    EXPECT_EQ(a[i].reason, b[i].reason) << i;
+  }
+}
+
+TEST(OffloadService, VirtualTimeRestartsOnEveryRun) {
+  FakeExecutor exec;
+  OffloadService svc(config(2), exec);
+  const std::vector<ServeJob> jobs = {job(1, 100, 0, 500), job(2, 100, 50, 500)};
+  const auto first = svc.run(jobs);
+  const auto second = svc.run(jobs);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].start, second[i].start) << i;
+    EXPECT_EQ(first[i].end, second[i].end) << i;
+    EXPECT_EQ(first[i].verdict, second[i].verdict) << i;
+  }
+}
+
+TEST(OffloadService, RejectsZeroQueueCapacity) {
+  ServeConfig cfg = config(1);
+  cfg.max_queue = 0;
+  FakeExecutor exec;
+  EXPECT_THROW(OffloadService(cfg, exec), std::invalid_argument);
+}
+
+TEST(OffloadService, EmptyTraceIsANoOp) {
+  FakeExecutor exec;
+  OffloadService svc(config(2), exec);
+  EXPECT_TRUE(svc.run({}).empty());
+  EXPECT_EQ(svc.makespan(), 0u);
+  EXPECT_TRUE(exec.calls.empty());
+}
+
+// ---- OffloadService: observability -----------------------------------------
+
+TEST(OffloadService, MetricsAreRegisteredEagerly) {
+  FakeExecutor exec;
+  OffloadService svc(config(2), exec);
+  sim::StatsRegistry stats;
+  svc.bind_stats(&stats);
+  for (const char* name : {"serve.jobs_submitted", "serve.jobs_dispatched", "serve.jobs_shed",
+                           "serve.slo_met", "serve.slo_missed", "serve.probes",
+                           "serve.quarantines", "serve.readmissions"}) {
+    EXPECT_TRUE(stats.has_counter(name)) << name;
+    EXPECT_EQ(stats.counter_value(name), 0u) << name;
+  }
+  for (const char* name : {"serve.queue_wait_cycles", "serve.queue_depth", "serve.slack_cycles",
+                           "serve.tardiness_cycles"}) {
+    EXPECT_TRUE(stats.has_histogram(name)) << name;
+  }
+}
+
+TEST(OffloadService, CountersMatchTheOutcomeTally) {
+  FakeExecutor exec([](const ServeJob& j, unsigned, bool) {
+    ExecutionOutcome out;
+    out.duration = j.id == 2 ? 400 : 100;  // job 2 blows its 250-cycle deadline
+    return out;
+  });
+  sim::StatsRegistry stats;
+  OffloadService svc(config(1), exec);
+  svc.bind_stats(&stats);
+  svc.run({job(1, 100, 0, 500), job(2, 100, 1000, 250), job(3, 400, 2000, 150)});
+  EXPECT_EQ(stats.counter_value("serve.jobs_submitted"), 3u);
+  EXPECT_EQ(stats.counter_value("serve.jobs_dispatched"), 2u);
+  EXPECT_EQ(stats.counter_value("serve.slo_met"), 1u);
+  EXPECT_EQ(stats.counter_value("serve.slo_missed"), 1u);
+  EXPECT_EQ(stats.counter_value("serve.jobs_shed"), 1u);
+  EXPECT_EQ(stats.counter_value("serve.jobs_failed"), 0u);
+}
+
+TEST(OffloadService, TraceCarriesTheServeVocabulary) {
+  FakeExecutor exec(queueing::long_first_job());
+  OffloadService svc(config(1), exec);
+  svc.trace().enable();
+  svc.run({job(1, 100, 0, 5000), job(2, 100, 10, 5000)});
+  const auto dispatches = svc.trace().filter("serve_dispatch");
+  ASSERT_EQ(dispatches.size(), 2u);
+  EXPECT_EQ(dispatches[0].detail, "job=1 m=1 clusters=0");
+  EXPECT_EQ(dispatches[0].who, "serve");
+  const auto queued = svc.trace().filter("serve_queue");
+  ASSERT_EQ(queued.size(), 1u);
+  EXPECT_EQ(queued[0].detail, "job=2 depth=1");
+  const auto completes = svc.trace().filter("serve_complete");
+  ASSERT_EQ(completes.size(), 2u);
+  EXPECT_EQ(completes[0].detail, "job=1 verdict=met clusters=0");
+  EXPECT_TRUE(svc.trace().balanced());
+  EXPECT_EQ(svc.trace().spans("serve_job").size(), 2u);
+}
+
+// ---- serve_isolation: the service against its own invariant -----------------
+
+TEST(ServeIsolation, CleanServiceRunPassesTheMonitor) {
+  // The full circuit-breaker arc — quarantine, probes, re-admission, queued
+  // and shed jobs — produces an invariant-clean serve stream.
+  FakeExecutor exec(blame_first_member({1, 2, 3}, true));
+  OffloadService svc(config(2), exec);
+  check::ProtocolMonitor monitor;
+  monitor.attach(svc.trace());
+  std::vector<ServeJob> jobs = breaker::tripping_jobs();
+  jobs.push_back(job(4, 100, 20000, 900));
+  jobs.push_back(job(5, 400, 20010, 150));  // unmeetable: shed
+  svc.run(jobs);
+  monitor.finish();
+  EXPECT_TRUE(monitor.clean()) << monitor.to_json();
+}
+
+TEST(ServeIsolation, FlagsDispatchToAQuarantinedCluster) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_quarantine", "cluster=0");
+  feed(mon, 20, "serve_dispatch", "job=1 m=1 clusters=0");
+  ASSERT_EQ(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+TEST(ServeIsolation, FlagsOverlappingPartitions) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 m=2 clusters=0,1");
+  feed(mon, 20, "serve_dispatch", "job=2 m=1 clusters=1");
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+TEST(ServeIsolation, FlagsClustersStillHeldAtFinish) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 m=2 clusters=0,1");
+  EXPECT_EQ(mon.total_violations(), 0u);
+  mon.finish();
+  EXPECT_GE(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+TEST(ServeIsolation, FlagsProbesOnHealthyClusters) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_probe", "cluster=2");
+  ASSERT_EQ(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+TEST(ServeIsolation, FlagsReadmissionOfHealthyClusters) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_readmit", "cluster=1");
+  ASSERT_EQ(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+TEST(ServeIsolation, ReleaseOfAnUnheldClusterIsAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_complete", "job=1 verdict=met clusters=3");
+  ASSERT_EQ(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+// ---- soak harness -----------------------------------------------------------
+
+TEST(Soak, GeneratedTraceIsDeterministicAndWellFormed) {
+  serve::SoakTraceConfig cfg;
+  cfg.num_jobs = 64;
+  const model::RuntimeModel m = model::paper_daxpy_model();
+  const auto a = serve::generate_trace(cfg, m);
+  const auto b = serve::generate_trace(cfg, m);
+  ASSERT_EQ(a.size(), 64u);
+  sim::Cycle prev = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i + 1);
+    EXPECT_EQ(a[i].n, b[i].n);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].t_max, b[i].t_max);
+    EXPECT_GT(a[i].arrival, prev);
+    prev = a[i].arrival;
+    EXPECT_GT(a[i].n, 0u);
+    EXPECT_EQ(a[i].n % 256, 0u);
+    EXPECT_LT(a[i].priority, 3u);
+  }
+}
+
+TEST(Soak, ScenarioCatalogCoversTheBreakerPath) {
+  const auto scenarios = serve::soak_scenarios();
+  ASSERT_GE(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios.front().name, "fault_free");
+  bool has_sick = false;
+  for (const auto& sc : scenarios) {
+    if (sc.name == "sick_cluster") {
+      has_sick = true;
+      EXPECT_EQ(sc.fault.target_cluster, 0);
+      EXPECT_GT(sc.fault.cluster_hang_prob, 0.0);
+    }
+  }
+  EXPECT_TRUE(has_sick);
+}
+
+TEST(Soak, ReportDocumentIsStable) {
+  serve::SoakResult r;
+  r.scenario = "fault_free";
+  r.jobs = 2;
+  r.met = 2;
+  r.met_elements = 512;
+  r.slo_attainment = 1.0;
+  r.makespan = 1000;
+  r.goodput = 0.512;
+  serve::SoakTraceConfig cfg;
+  cfg.num_jobs = 2;
+  const std::string doc = serve::soak_report_json({r}, cfg);
+  EXPECT_NE(doc.find("\"schema\": \"mco-serve-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"fault_free\""), std::string::npos);
+  EXPECT_NE(doc.find("\"slo_attainment\": 1.0000"), std::string::npos);
+  EXPECT_NE(doc.find("\"serve_violations\": 0"), std::string::npos);
+}
+
+}  // namespace
