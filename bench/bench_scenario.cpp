@@ -1,0 +1,173 @@
+// E20 — chaos scenarios: scripted fault/traffic/operator episodes, judged.
+//
+// Each scenario file (scenarios/*.scn, see docs/scenarios.md) scripts one
+// timed episode against the serving layer — fault-injector activations,
+// traffic phases over the E19 generator, and operator drain/undrain/restart
+// actions — and declares machine-checked verdicts (`expect` lines). The
+// catalog runs through exp::SweepRunner::map with index-addressed slots;
+// each episode's replay is serial and virtual-time deterministic, so every
+// table and the "mco-scenario-v1" report (golden-pinned by
+// scripts/metrics_regression.py) are byte-identical for any --jobs.
+//
+// Extra flags (stripped before benchmark::Initialize):
+//   --scenario=F       run a single scenario file instead of the catalog
+//   --scenario-dir=D   catalog directory (default: the repo's scenarios/)
+//   --report-out=F     write the "mco-scenario-v1" JSON report to F
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+
+#include "scenario/scenario_runner.h"
+
+#ifndef MCO_SCENARIO_DIR
+#define MCO_SCENARIO_DIR "scenarios"
+#endif
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+/// The catalog: every *.scn under `dir`, sorted by filename for a
+/// deterministic run order.
+std::vector<std::string> catalog_files(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot read scenario directory '%s': %s\n", dir.c_str(),
+                 ec.message().c_str());
+    std::exit(2);
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".scn") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no *.scn scenario files in '%s'\n", dir.c_str());
+    std::exit(2);
+  }
+  return files;
+}
+
+/// Parse the whole catalog up front: a malformed or missing scenario file is
+/// a fail-fast CLI error (exit 2, "error:" on stderr, nothing on stdout).
+std::vector<scenario::ScenarioSpec> load_catalog(const std::vector<std::string>& files) {
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const std::string& file : files) {
+    try {
+      specs.push_back(scenario::load_scenario_file(file));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", file.c_str(), e.what());
+      std::exit(2);
+    }
+  }
+  return specs;
+}
+
+void run_e20(exp::SweepRunner& runner, const std::vector<scenario::ScenarioSpec>& specs,
+             const std::string& report_out) {
+  banner("E20: declarative chaos scenarios against the offload service",
+         "fault -> degrade -> operator recovery episodes, with judged verdicts");
+
+  const scenario::ScenarioRunConfig run_cfg;
+  const std::vector<scenario::ScenarioResult> results =
+      runner.map(specs, [&](const scenario::ScenarioSpec& spec) {
+        scenario::ScenarioResult r = scenario::run_scenario(spec, run_cfg);
+        runner.note_cycles(r.makespan);
+        return r;
+      });
+
+  util::TablePrinter table({"scenario", "jobs", "met", "missed", "shed", "failed", "SLO %",
+                            "quar", "restarts", "drains", "crashes", "violations", "verdicts",
+                            "pass"});
+  std::uint64_t violations = 0;
+  std::size_t passed = 0;
+  for (const scenario::ScenarioResult& r : results) {
+    violations += r.soc_violations + r.serve_violations;
+    if (r.passed) ++passed;
+    std::size_t verdicts_ok = 0;
+    for (const scenario::VerdictResult& v : r.verdicts) verdicts_ok += v.passed ? 1 : 0;
+    table.add_row({r.name, fmt_u64(r.jobs), fmt_u64(r.met), fmt_u64(r.missed), fmt_u64(r.shed),
+                   fmt_u64(r.failed), fmt_fix(100.0 * r.slo_attainment, 1),
+                   fmt_u64(r.quarantines), fmt_u64(r.restarts), fmt_u64(r.drains),
+                   fmt_u64(r.crashes), fmt_u64(r.soc_violations + r.serve_violations),
+                   util::format("%zu/%zu", verdicts_ok, r.verdicts.size()),
+                   r.passed ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  // Failed verdicts in full, so a red row is diagnosable from the log alone.
+  for (const scenario::ScenarioResult& r : results) {
+    for (const scenario::VerdictResult& v : r.verdicts) {
+      if (!v.passed) {
+        std::printf("[e20] %s: FAILED expect %s (actual %.6g)\n", r.name.c_str(),
+                    v.text.c_str(), v.actual);
+      }
+    }
+  }
+
+  std::printf("\n%zu/%zu scenarios passed, %llu violation(s)\n", passed, results.size(),
+              static_cast<unsigned long long>(violations));
+
+  if (!report_out.empty()) {
+    std::ofstream f(report_out);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n", report_out.c_str());
+      std::exit(2);
+    }
+    f << scenario::scenario_report_json(results);
+    std::printf("[e20] scenario report written to %s\n", report_out.c_str());
+  }
+}
+
+/// Strip --scenario=F / --scenario-dir=D / --report-out=F (same discipline
+/// as the shared bench flags: consume before benchmark::Initialize).
+void e20_args(int& argc, char** argv, std::string& scenario_file, std::string& scenario_dir,
+              std::string& report_out) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
+      scenario_file = argv[i] + 11;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--scenario-dir=", 15) == 0) {
+      scenario_dir = argv[i] + 15;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_file;
+  std::string scenario_dir = MCO_SCENARIO_DIR;
+  std::string report_out;
+  e20_args(argc, argv, scenario_file, scenario_dir, report_out);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  const std::vector<std::string> files =
+      scenario_file.empty() ? catalog_files(scenario_dir)
+                            : std::vector<std::string>{scenario_file};
+  const std::vector<mco::scenario::ScenarioSpec> specs = load_catalog(files);
+  run_e20(runner, specs, report_out);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(8), "daxpy", 2048, 8);
+  register_offload_benchmark("scenario/extended8/M=8", mco::soc::SocConfig::extended(8),
+                             "daxpy", 2048, 8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -7,10 +7,12 @@
 #                        python-gated smokes: metrics_regression,
 #                        bench_sweep_report, check_cli_errors)
 #   build-check/asan     ASan+UBSan, tests only (benches uninteresting under
-#                        ASan and ~10x slower)
+#                        ASan and ~10x slower; the test_scenario catalog suite
+#                        runs every scenarios/*.scn episode under ASan here)
 #   build-check/tsan     TSan, the concurrency + schedule-explorer + serve-soak
-#                        suites (the labelled "sanitize" ctest entries; benches
-#                        stay on because tsan_serve_soak drives bench_serve_soak
+#                        + chaos-scenario suites (the labelled "sanitize" ctest
+#                        entries; benches stay on because tsan_serve_soak and
+#                        tsan_scenario drive bench_serve_soak / bench_scenario
 #                        with internal --jobs parallelism)
 #
 # Usage:
@@ -55,8 +57,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     tsan)
       mkdir -p "$ROOT"
-      # Benches explicitly ON: tsan_serve_soak drives bench_serve_soak, and an
-      # older build-check/tsan cache may still carry BENCHES=OFF.
+      # Benches explicitly ON: tsan_serve_soak / tsan_scenario drive
+      # bench_serve_soak / bench_scenario, and an older build-check/tsan
+      # cache may still carry BENCHES=OFF.
       run_stage tsan -DMCO_SANITIZE=thread -DMCO_BUILD_BENCHES=ON \
         -DMCO_BUILD_EXAMPLES=OFF
       echo "=== [tsan] ctest (label: sanitize) ==="

@@ -14,9 +14,11 @@ A positive control run at the end guards against the opposite regression
 (valid flags suddenly rejected).
 
 Bench-specific flags that fail fast before any simulation are held to the
-same contract; currently that is bench_serve_soak's --serve-jobs (its
---report-out follows the E18 --violations-out precedent and is validated at
-write time, so it is not a fail-fast case).
+same contract: bench_serve_soak's --serve-jobs, and bench_scenario's
+--scenario/--scenario-dir (a missing or malformed scenario file aborts the
+whole catalog before the E20 banner prints). The --report-out flags follow
+the E18 --violations-out precedent and are validated at write time, so they
+are not fail-fast cases.
 
 Usage:
   python3 scripts/check_cli_errors.py [--build build] [--bench bench_fig1_left]
@@ -53,6 +55,10 @@ BENCH_ERROR_CASES = [
     ("bench_serve_soak", "serve-jobs garbage", ["--serve-jobs=lots"]),
     ("bench_serve_soak", "serve-jobs trailing junk", ["--serve-jobs=100x"]),
     ("bench_serve_soak", "serve-jobs huge", ["--serve-jobs=9999999"]),
+    ("bench_scenario", "scenario missing file", ["--scenario=/no/such/episode.scn"]),
+    ("bench_scenario", "scenario malformed file", [f"--scenario={REPO / 'README.md'}"]),
+    ("bench_scenario", "scenario-dir missing", ["--scenario-dir=/no/such/dir"]),
+    ("bench_scenario", "scenario-dir without catalog", [f"--scenario-dir={REPO / 'docs'}"]),
 ]
 
 

@@ -9,7 +9,12 @@ Sources of truth that must agree exactly:
      document): the first backticked token of every markdown table row;
   3. the ``invariant_reference()`` catalog in
      ``src/check/protocol_monitor.cpp`` vs the invariant-catalog table in
-     ``docs/robustness.md`` (same extraction, scoped to its section).
+     ``docs/robustness.md`` (same extraction, scoped to its section);
+  4. the ``scenario_keyword_reference()`` table in
+     ``src/scenario/scenario.cpp`` (every header key, verb, traffic profile,
+     fault preset, argument and verdict metric the chaos-scenario dialect
+     accepts) vs the keyword-reference tables in ``docs/scenarios.md``
+     (same extraction, scoped to its section).
 
 The C++ side of the same check (``DocsCrossCheck.*`` in
 ``tests/test_trace_spans.cpp``) additionally verifies the reference against
@@ -30,6 +35,8 @@ CPP = REPO / "src" / "soc" / "observability.cpp"
 DOC = REPO / "docs" / "observability.md"
 CHECK_CPP = REPO / "src" / "check" / "protocol_monitor.cpp"
 ROBUSTNESS_DOC = REPO / "docs" / "robustness.md"
+SCENARIO_CPP = REPO / "src" / "scenario" / "scenario.cpp"
+SCENARIO_DOC = REPO / "docs" / "scenarios.md"
 
 
 def reference_names(cpp_text: str) -> dict[str, str]:
@@ -96,6 +103,36 @@ def documented_invariants(doc_text: str) -> set[str]:
     return documented_names(section.group(1))
 
 
+def keyword_names(cpp_text: str) -> dict[str, str]:
+    """Parse the {"name", "kind"} literals of scenario_keyword_reference()."""
+    body = re.search(
+        r"scenario_keyword_reference\(\)\s*\{.*?kReference\s*=\s*\{(.*?)\n\s*\};",
+        cpp_text,
+        re.DOTALL,
+    )
+    if not body:
+        sys.exit(f"error: could not find the kReference table in {SCENARIO_CPP}")
+    names = {}
+    for m in re.finditer(r'\{"([^"]+)",\s*"([^"]+)"\}', body.group(1)):
+        name, kind = m.groups()
+        if name in names:
+            sys.exit(f"error: duplicate scenario_keyword_reference() entry '{name}'")
+        names[name] = kind
+    return names
+
+
+def documented_keywords(doc_text: str) -> set[str]:
+    """First backticked token of table rows inside the keyword-reference
+    section only — the catalog table earlier in scenarios.md legitimately
+    uses backticked first cells (file names)."""
+    section = re.search(
+        r"^## Keyword reference$(.*?)(?=^## |\Z)", doc_text, re.DOTALL | re.MULTILINE
+    )
+    if not section:
+        sys.exit(f"error: no '## Keyword reference' section in {SCENARIO_DOC}")
+    return documented_names(section.group(1))
+
+
 def cross_check(reference: set[str], documented: set[str],
                 code_label: str, doc_name: str) -> bool:
     ok = True
@@ -129,7 +166,18 @@ def main() -> int:
     if inv_ok:
         print(f"ok: {len(invariants)} invariants in sync")
 
-    return 0 if ok and inv_ok else 1
+    keywords = keyword_names(SCENARIO_CPP.read_text())
+    kw_doc = documented_keywords(SCENARIO_DOC.read_text())
+    kw_ok = cross_check(set(keywords), kw_doc, "scenario_keyword_reference()",
+                        SCENARIO_DOC.name)
+    if kw_ok:
+        kinds = {}
+        for kind in keywords.values():
+            kinds[kind] = kinds.get(kind, 0) + 1
+        summary = ", ".join(f"{n} {k}s" for k, n in sorted(kinds.items()))
+        print(f"ok: {len(keywords)} scenario keywords in sync ({summary})")
+
+    return 0 if ok and inv_ok and kw_ok else 1
 
 
 if __name__ == "__main__":

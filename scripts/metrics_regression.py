@@ -21,6 +21,11 @@ zero soc/serve protocol violations, and the whole document must match its
 golden exactly — SLO attainment, goodput, quarantine and re-admission
 counts are all deterministic aggregates of the seeded job trace.
 
+The E20 chaos-scenario report ("mco-scenario-v1", bench_scenario
+``--report-out``) is pinned the same way: every scenario row must report
+zero violations *and* ``"passed": true`` (all declared ``expect`` verdicts
+held), and the whole document must match its golden exactly.
+
 The simulator is deterministic, so counters must match the goldens *exactly*
 by default; ``--tol`` grants a relative tolerance for intentional
 recalibrations (e.g. ``--tol 0.01`` while iterating on a latency model).
@@ -60,6 +65,12 @@ VIOLATION_ANCHORS = [
 # compared byte-exactly; every scenario row must be violation-free.
 SERVE_ANCHORS = [
     ("e19_serve_soak", "bench_serve_soak", ["--serve-jobs=200", "--jobs=2"]),
+]
+
+# (experiment id, bench binary, extra flags) — "mco-scenario-v1" documents,
+# compared byte-exactly; every row must be violation-free and verdict-clean.
+SCENARIO_ANCHORS = [
+    ("e20_scenarios", "bench_scenario", ["--jobs=2"]),
 ]
 
 
@@ -191,6 +202,38 @@ def main() -> int:
         golden = json.loads(golden_path.read_text())
         errs = [] if fresh == golden else [
             f"{exp}: serve report differs from golden "
+            f"(fresh {json.dumps(fresh, sort_keys=True)[:200]}...)"]
+        print(f"{exp}: {'ok' if not errs else 'document changed'}")
+        failures.extend(errs)
+
+    for exp, bench, extra in SCENARIO_ANCHORS:
+        golden_path = GOLDENS / f"{exp}.json"
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "scenarios.json"
+            run_bench(build, bench, out, out_flag="--report-out", extra=extra)
+            fresh = json.loads(out.read_text())
+        for row in fresh.get("scenarios", []):
+            if row.get("soc_violations") != 0 or row.get("serve_violations") != 0:
+                failures.append(
+                    f"{exp}: scenario {row.get('name')!r} reports protocol "
+                    f"violations: soc={row.get('soc_violations')} "
+                    f"serve={row.get('serve_violations')}")
+            if row.get("passed") is not True:
+                failed = [v.get("text") for v in row.get("verdicts", [])
+                          if not v.get("passed")]
+                failures.append(
+                    f"{exp}: scenario {row.get('name')!r} failed its verdicts: "
+                    f"{failed}")
+        if args.update:
+            golden_path.write_text(json.dumps(fresh, indent=1, sort_keys=True) + "\n")
+            print(f"updated {golden_path.relative_to(REPO)}")
+            continue
+        if not golden_path.exists():
+            failures.append(f"{exp}: golden {golden_path} missing (run --update)")
+            continue
+        golden = json.loads(golden_path.read_text())
+        errs = [] if fresh == golden else [
+            f"{exp}: scenario report differs from golden "
             f"(fresh {json.dumps(fresh, sort_keys=True)[:200]}...)"]
         print(f"{exp}: {'ok' if not errs else 'document changed'}")
         failures.extend(errs)

@@ -29,9 +29,9 @@ const std::vector<InvariantInfo>& invariant_reference() {
       {"offload_lifecycle",
        "offload_start and offload_done strictly alternate and every offload completes"},
       {"serve_isolation",
-       "serving-layer dispatches target only healthy (non-quarantined) clusters, concurrent "
-       "offloads and probes hold disjoint cluster sets, and every held cluster is released by "
-       "the end of the run"},
+       "serving-layer dispatches target only healthy (non-quarantined) clusters outside drain "
+       "windows, concurrent offloads and probes hold disjoint cluster sets, and every held "
+       "cluster is released by the end of the run"},
   };
   return kReference;
 }
@@ -305,6 +305,10 @@ void ProtocolMonitor::on_runtime_record(const sim::TraceRecord& rec) {
 void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
   const std::string& what = rec.what;
   if (what == "serve_dispatch") {
+    if (serve_draining_) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("dispatch while the service is draining (%s)", rec.detail.c_str()));
+    }
     for (const unsigned c : detail_cluster_list(rec.detail)) {
       if (serve_quarantined_.count(c) && serve_quarantined_[c]) {
         violate("serve_isolation", rec.time, rec.who,
@@ -361,7 +365,20 @@ void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
               util::format("re-admission of cluster %u that was not quarantined", cu));
     }
     serve_quarantined_[cu] = false;
+  } else if (what == "serve_drain") {
+    if (serve_draining_) {
+      violate("serve_isolation", rec.time, rec.who, "drain while already draining");
+    }
+    serve_draining_ = true;
+  } else if (what == "serve_undrain") {
+    if (!serve_draining_) {
+      violate("serve_isolation", rec.time, rec.who, "undrain while not draining");
+    }
+    serve_draining_ = false;
   }
+  // serve_restart needs no shadow transition of its own: the service aborts
+  // in-flight work (serve_complete/serve_probe_done) before it and emits one
+  // serve_quarantine per cluster after it.
 }
 
 void ProtocolMonitor::on_span(const sim::TraceRecord& rec) {
@@ -474,6 +491,7 @@ void ProtocolMonitor::reset() {
   span_depth_.clear();
   serve_occupancy_.clear();
   serve_quarantined_.clear();
+  serve_draining_ = false;
   finished_ = false;
 }
 

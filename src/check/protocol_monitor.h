@@ -28,6 +28,7 @@
 //   span_balance         every begun span ends on its own track
 //   offload_lifecycle    offload_start/offload_done strictly alternate
 //   serve_isolation      serve-layer offloads use disjoint, healthy clusters
+//                        and respect drain windows
 #pragma once
 
 #include <cstdint>
@@ -159,10 +160,13 @@ class ProtocolMonitor {
   std::map<std::string, std::int64_t> span_depth_;
 
   // Serving-layer shadow (serve_isolation): which clusters each in-flight
-  // serve offload/probe holds, and which clusters are quarantined. Keys are
-  // the service's logical cluster IDs; values describe the holder.
+  // serve offload/probe holds, which clusters are quarantined, and whether
+  // the service is inside an operator drain window (no job dispatches
+  // allowed; probes may continue). Keys are the service's logical cluster
+  // IDs; values describe the holder.
   std::map<unsigned, std::string> serve_occupancy_;
   std::map<unsigned, bool> serve_quarantined_;
+  bool serve_draining_ = false;
 
   bool finished_ = false;
 };

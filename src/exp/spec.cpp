@@ -9,9 +9,7 @@
 
 namespace mco::exp {
 
-namespace {
-
-std::uint64_t parse_u64(const std::string& key, const std::string& v) {
+std::uint64_t parse_dialect_u64(const std::string& key, const std::string& v) {
   try {
     std::size_t pos = 0;
     const unsigned long long out = std::stoull(v, &pos, 0);
@@ -19,11 +17,11 @@ std::uint64_t parse_u64(const std::string& key, const std::string& v) {
     return out;
   } catch (const std::exception&) {
     throw std::invalid_argument(util::format(
-        "spec: key '%s' expects an unsigned integer, got '%s'", key.c_str(), v.c_str()));
+        "key '%s' expects an unsigned integer, got '%s'", key.c_str(), v.c_str()));
   }
 }
 
-double parse_f64(const std::string& key, const std::string& v) {
+double parse_dialect_f64(const std::string& key, const std::string& v) {
   try {
     std::size_t pos = 0;
     const double out = std::stod(v, &pos);
@@ -31,18 +29,44 @@ double parse_f64(const std::string& key, const std::string& v) {
     return out;
   } catch (const std::exception&) {
     throw std::invalid_argument(
-        util::format("spec: key '%s' expects a number, got '%s'", key.c_str(), v.c_str()));
+        util::format("key '%s' expects a number, got '%s'", key.c_str(), v.c_str()));
+  }
+}
+
+std::vector<std::string> parse_dialect_list(const std::string& value) {
+  std::vector<std::string> out;
+  for (const std::string& item : util::split(value, ',')) {
+    const std::string t = util::trim(item);
+    if (t.empty()) throw std::invalid_argument("empty list element in '" + value + "'");
+    out.push_back(t);
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& key, const std::string& v) {
+  try {
+    return parse_dialect_u64(key, v);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("spec: ") + e.what());
+  }
+}
+
+double parse_f64(const std::string& key, const std::string& v) {
+  try {
+    return parse_dialect_f64(key, v);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("spec: ") + e.what());
   }
 }
 
 std::vector<std::string> parse_list(const std::string& value) {
-  std::vector<std::string> out;
-  for (const std::string& item : util::split(value, ',')) {
-    const std::string t = util::trim(item);
-    if (t.empty()) throw std::invalid_argument("spec: empty list element in '" + value + "'");
-    out.push_back(t);
+  try {
+    return parse_dialect_list(value);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("spec: ") + e.what());
   }
-  return out;
 }
 
 /// "baseline(64)" / "extended" / "multicast_only(32)" / "default" → SocConfig.

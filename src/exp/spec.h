@@ -62,6 +62,15 @@ struct ExperimentSpec {
   std::vector<RunPoint> points() const;
 };
 
+/// Shared "key = value" dialect scalar parsers (strict: the whole value must
+/// parse). Throw std::invalid_argument naming `key`. The scenario engine's
+/// dialect (scenario/scenario.h) layers on these so numeric error messages
+/// stay uniform across spec files and scenario files.
+std::uint64_t parse_dialect_u64(const std::string& key, const std::string& value);
+double parse_dialect_f64(const std::string& key, const std::string& value);
+/// Split a comma-separated list, trimming items; empty items are errors.
+std::vector<std::string> parse_dialect_list(const std::string& value);
+
 /// Parse / render the spec-file dialect. load(save(spec)) == spec.
 ExperimentSpec load_spec_text(const std::string& text);
 std::string save_spec_text(const ExperimentSpec& spec);

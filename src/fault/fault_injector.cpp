@@ -57,6 +57,60 @@ std::vector<NamedScenario> scenario_catalog(std::uint64_t seed) {
   return out;
 }
 
+FaultConfig fault_preset(const std::string& name, std::uint64_t seed) {
+  if (name == "none") {
+    FaultConfig cfg;
+    cfg.seed = seed;
+    return cfg;
+  }
+  if (name == "sick_cluster") {
+    // Mirrors the E19 soak scenario: one physical cluster wedges on most of
+    // its doorbells, so first-fit keeps blaming the same low logical IDs and
+    // the circuit breaker trips, probes and re-admits.
+    FaultConfig cfg;
+    cfg.seed = seed;
+    cfg.target_cluster = 0;
+    cfg.cluster_hang_prob = 0.9;
+    return cfg;
+  }
+  for (const NamedScenario& sc : scenario_catalog(seed)) {
+    if (sc.name == name) return sc.cfg;
+  }
+  std::string known;
+  for (const std::string& n : preset_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument(
+      util::format("fault_preset: unknown preset '%s' (expected one of: %s)", name.c_str(),
+                   known.c_str()));
+}
+
+std::vector<std::string> preset_names() {
+  std::vector<std::string> out{"none", "sick_cluster"};
+  for (const NamedScenario& sc : scenario_catalog()) out.push_back(sc.name);
+  return out;
+}
+
+void FaultSchedule::add(sim::Cycle at, FaultConfig cfg, std::string preset) {
+  if (!steps_.empty() && at < steps_.back().at) {
+    throw std::invalid_argument(
+        util::format("FaultSchedule: step at cycle %llu precedes previous step at %llu",
+                     static_cast<unsigned long long>(at),
+                     static_cast<unsigned long long>(steps_.back().at)));
+  }
+  steps_.push_back(Step{at, std::move(preset), cfg});
+}
+
+const FaultConfig& FaultSchedule::active_at(sim::Cycle t) const {
+  const FaultConfig* live = &default_;
+  for (const Step& s : steps_) {
+    if (s.at > t) break;
+    live = &s.cfg;
+  }
+  return *live;
+}
+
 std::uint64_t FaultCounters::total() const {
   return dispatches_dropped + dispatches_delayed + credits_dropped + credits_duplicated +
          irqs_swallowed + cluster_hangs + cluster_straggles + dma_stalls;

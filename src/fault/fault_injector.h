@@ -79,6 +79,41 @@ struct NamedScenario {
 /// re-seed the whole catalog at once.
 std::vector<NamedScenario> scenario_catalog(std::uint64_t seed = 0x5EEDull);
 
+/// Look up a FaultConfig by preset name: "none" (all-zero), any
+/// scenario_catalog name, or "sick_cluster" (cluster 0 hangs on 90% of its
+/// doorbells — the E19 circuit-breaker scenario). Throws
+/// std::invalid_argument on an unknown name; preset_names() lists them.
+FaultConfig fault_preset(const std::string& name, std::uint64_t seed = 0x5EEDull);
+std::vector<std::string> preset_names();
+
+/// A time-ordered fault activation schedule: which FaultConfig is live at
+/// each virtual cycle of an episode. Steps are piecewise-constant — step k's
+/// config applies from its activation cycle until the next step (before the
+/// first step, the fault-free default applies). The chaos-scenario engine
+/// builds one from `at T inject <preset>` lines.
+class FaultSchedule {
+ public:
+  struct Step {
+    sim::Cycle at = 0;
+    std::string preset;  ///< label for reports (may be empty)
+    FaultConfig cfg;
+  };
+
+  /// Append a step. Activation cycles must be non-decreasing; throws
+  /// std::invalid_argument otherwise.
+  void add(sim::Cycle at, FaultConfig cfg, std::string preset = "");
+
+  const std::vector<Step>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// The config live at cycle `t` (fault-free default before the first step).
+  const FaultConfig& active_at(sim::Cycle t) const;
+
+ private:
+  FaultConfig default_;
+  std::vector<Step> steps_;
+};
+
 /// What the injector did, by fault point.
 struct FaultCounters {
   std::uint64_t dispatches_dropped = 0;

@@ -1,0 +1,485 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/spec.h"
+#include "sim/rng.h"
+#include "util/strings.h"
+
+namespace mco::scenario {
+
+namespace {
+
+using exp::parse_dialect_f64;
+using exp::parse_dialect_u64;
+
+/// Split a line on runs of spaces/tabs (no empty tokens).
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+/// "1500" (cycles), "400us", "2ms" → cycles (1 GHz nominal clock).
+sim::Cycle parse_time(const std::string& key, const std::string& v) {
+  std::uint64_t scale = 1;
+  std::string digits = v;
+  if (v.size() > 2 && v.compare(v.size() - 2, 2, "us") == 0) {
+    scale = 1'000;
+    digits = v.substr(0, v.size() - 2);
+  } else if (v.size() > 2 && v.compare(v.size() - 2, 2, "ms") == 0) {
+    scale = 1'000'000;
+    digits = v.substr(0, v.size() - 2);
+  }
+  return parse_dialect_u64(key, digits) * scale;
+}
+
+/// "LO..HI" or a single "V" (== V..V).
+template <typename T, typename Parse>
+std::pair<T, T> parse_range(const std::string& key, const std::string& v, Parse parse) {
+  const std::size_t dots = v.find("..");
+  if (dots == std::string::npos) {
+    const T x = parse(key, v);
+    return {x, x};
+  }
+  const T lo = parse(key, v.substr(0, dots));
+  const T hi = parse(key, v.substr(dots + 2));
+  if (hi < lo) {
+    throw std::invalid_argument(
+        util::format("key '%s' range '%s' has max below min", key.c_str(), v.c_str()));
+  }
+  return {lo, hi};
+}
+
+TrafficPhase profile_defaults(const std::string& profile) {
+  TrafficPhase ph;
+  ph.profile = profile;
+  if (profile == "steady") {
+    // header defaults
+  } else if (profile == "burst") {
+    ph.gap_min = 100;
+    ph.gap_max = 400;
+  } else if (profile == "lull") {
+    ph.gap_min = 4000;
+    ph.gap_max = 8000;
+  } else if (profile == "mix") {
+    // Priority-mix: tighter gaps and a wider slack spread, so priorities
+    // decide who makes it out of the backlog.
+    ph.gap_min = 400;
+    ph.gap_max = 1600;
+    ph.slack_min = 0.8;
+    ph.slack_max = 2.2;
+    ph.unmeetable_one_in = 16;
+  } else {
+    throw std::invalid_argument(util::format(
+        "unknown traffic profile '%s' (expected steady, burst, lull or mix)", profile.c_str()));
+  }
+  return ph;
+}
+
+const std::vector<std::string>& scoped_metrics() {
+  static const std::vector<std::string> kScoped = {"jobs",   "met",    "missed",
+                                                   "shed",   "failed", "slo_met"};
+  return kScoped;
+}
+
+const std::vector<std::string>& global_metrics() {
+  static const std::vector<std::string> kGlobal = {
+      "violations", "quarantines", "readmissions", "probes",
+      "restarts",   "drains",      "crashes",      "makespan"};
+  return kGlobal;
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+const char* to_string(ScenarioEventKind k) {
+  switch (k) {
+    case ScenarioEventKind::kTraffic: return "traffic";
+    case ScenarioEventKind::kInject: return "inject";
+    case ScenarioEventKind::kDrain: return "drain";
+    case ScenarioEventKind::kUndrain: return "undrain";
+    case ScenarioEventKind::kRestart: return "restart";
+    case ScenarioEventKind::kMark: return "mark";
+  }
+  return "?";
+}
+
+sim::Cycle ScenarioSpec::mark_cycle(const std::string& mark) const {
+  for (const auto& [name, cycle] : marks) {
+    if (name == mark) return cycle;
+  }
+  throw std::invalid_argument("scenario: unknown mark '" + mark + "'");
+}
+
+ScenarioSpec load_scenario_text(const std::string& text) {
+  ScenarioSpec spec;
+  bool saw_horizon = false;
+  bool saw_script = false;   ///< any `at`/`expect` line seen yet
+  bool draining = false;     ///< script-order drain pairing
+  sim::Cycle last_at = 0;
+  bool saw_at = false;
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tok = tokens_of(line);
+    if (tok.empty()) continue;
+    try {
+      if (tok[0] == "at") {
+        saw_script = true;
+        if (tok.size() < 3) {
+          throw std::invalid_argument("expected 'at <time> <verb> ...'");
+        }
+        const sim::Cycle at = parse_time("at", tok[1]);
+        if (saw_at && at < last_at) {
+          throw std::invalid_argument(util::format(
+              "event at cycle %llu precedes the previous event at %llu (script times "
+              "must be non-decreasing)",
+              static_cast<unsigned long long>(at), static_cast<unsigned long long>(last_at)));
+        }
+        saw_at = true;
+        last_at = at;
+        const std::string& verb = tok[2];
+        if (verb == "traffic") {
+          if (tok.size() < 4) throw std::invalid_argument("traffic: missing profile");
+          TrafficPhase ph = profile_defaults(tok[3]);
+          ph.start = at;
+          for (std::size_t i = 4; i < tok.size(); ++i) {
+            const std::size_t eq = tok[i].find('=');
+            if (eq == std::string::npos) {
+              throw std::invalid_argument("traffic: expected 'key=value', got '" + tok[i] + "'");
+            }
+            const std::string key = tok[i].substr(0, eq);
+            const std::string val = tok[i].substr(eq + 1);
+            if (key == "gap") {
+              std::tie(ph.gap_min, ph.gap_max) = parse_range<sim::Cycles>(
+                  key, val, [](const std::string& k, const std::string& s) {
+                    return parse_dialect_u64(k, s);
+                  });
+              if (ph.gap_min == 0) throw std::invalid_argument("traffic: gap must be >= 1");
+            } else if (key == "n") {
+              std::tie(ph.n_scale_min, ph.n_scale_max) = parse_range<std::uint64_t>(
+                  key, val, [](const std::string& k, const std::string& s) {
+                    return parse_dialect_u64(k, s);
+                  });
+              if (ph.n_scale_min == 0) throw std::invalid_argument("traffic: n must be >= 1");
+            } else if (key == "slack") {
+              std::tie(ph.slack_min, ph.slack_max) = parse_range<double>(
+                  key, val, [](const std::string& k, const std::string& s) {
+                    return parse_dialect_f64(k, s);
+                  });
+              if (!(ph.slack_min > 0.0))
+                throw std::invalid_argument("traffic: slack must be > 0");
+            } else if (key == "priority") {
+              const auto [lo, hi] = parse_range<std::uint64_t>(
+                  key, val, [](const std::string& k, const std::string& s) {
+                    return parse_dialect_u64(k, s);
+                  });
+              ph.priority_min = static_cast<unsigned>(lo);
+              ph.priority_max = static_cast<unsigned>(hi);
+            } else if (key == "unmeetable") {
+              ph.unmeetable_one_in = parse_dialect_u64(key, val);
+            } else {
+              throw std::invalid_argument("traffic: unknown argument '" + key + "'");
+            }
+          }
+          spec.phases.push_back(ph);
+          spec.events.push_back({at, ScenarioEventKind::kTraffic, tok[3]});
+        } else if (verb == "inject") {
+          if (tok.size() < 4) throw std::invalid_argument("inject: missing fault preset");
+          std::string preset = tok[3];
+          std::int64_t cluster = -2;  ///< -2 = not given; presets keep their own
+          const std::size_t eq = preset.find('=');
+          if (eq != std::string::npos) {
+            // `inject sick_cluster=3`: preset with a victim-cluster override.
+            cluster = static_cast<std::int64_t>(
+                parse_dialect_u64(preset.substr(0, eq), preset.substr(eq + 1)));
+            preset = preset.substr(0, eq);
+          }
+          for (std::size_t i = 4; i < tok.size(); ++i) {
+            const std::size_t aeq = tok[i].find('=');
+            const std::string key =
+                aeq == std::string::npos ? tok[i] : tok[i].substr(0, aeq);
+            if (key != "cluster" || aeq == std::string::npos) {
+              throw std::invalid_argument("inject: unknown argument '" + tok[i] + "'");
+            }
+            cluster = static_cast<std::int64_t>(
+                parse_dialect_u64(key, tok[i].substr(aeq + 1)));
+          }
+          fault::FaultConfig cfg = fault::fault_preset(preset, spec.seed);
+          if (cluster != -2) cfg.target_cluster = cluster;
+          spec.faults.add(at, cfg, preset);
+          spec.events.push_back({at, ScenarioEventKind::kInject, preset});
+        } else if (verb == "drain" || verb == "undrain" || verb == "restart") {
+          if (tok.size() != 3) {
+            throw std::invalid_argument(verb + ": unexpected trailing arguments");
+          }
+          if (verb == "drain") {
+            if (draining) throw std::invalid_argument("drain: already draining");
+            draining = true;
+            spec.events.push_back({at, ScenarioEventKind::kDrain, ""});
+          } else if (verb == "undrain") {
+            if (!draining) throw std::invalid_argument("undrain: not draining");
+            draining = false;
+            spec.events.push_back({at, ScenarioEventKind::kUndrain, ""});
+          } else {
+            spec.events.push_back({at, ScenarioEventKind::kRestart, ""});
+          }
+        } else if (verb == "mark") {
+          if (tok.size() != 4) throw std::invalid_argument("mark: expected one mark name");
+          for (const auto& [name, cycle] : spec.marks) {
+            (void)cycle;
+            if (name == tok[3]) {
+              throw std::invalid_argument("mark: duplicate mark '" + tok[3] + "'");
+            }
+          }
+          spec.marks.emplace_back(tok[3], at);
+          spec.events.push_back({at, ScenarioEventKind::kMark, tok[3]});
+        } else {
+          throw std::invalid_argument(
+              "unknown verb '" + verb +
+              "' (expected traffic, inject, drain, undrain, restart or mark)");
+        }
+      } else if (tok[0] == "expect") {
+        saw_script = true;
+        // expect <metric> <op> <value> [after <mark>]
+        if (tok.size() != 4 && tok.size() != 6) {
+          throw std::invalid_argument("expected 'expect <metric> <op> <value> [after <mark>]'");
+        }
+        VerdictSpec v;
+        v.metric = tok[1];
+        v.op = tok[2];
+        const bool scoped = contains(scoped_metrics(), v.metric);
+        if (!scoped && !contains(global_metrics(), v.metric)) {
+          throw std::invalid_argument("expect: unknown metric '" + v.metric + "'");
+        }
+        static const char* kOps[] = {"==", "!=", "<=", ">=", "<", ">"};
+        bool op_ok = false;
+        for (const char* op : kOps) op_ok = op_ok || v.op == op;
+        if (!op_ok) {
+          throw std::invalid_argument("expect: unknown operator '" + v.op +
+                                      "' (expected ==, !=, <=, >=, < or >)");
+        }
+        v.value = parse_dialect_f64("expect " + v.metric, tok[3]);
+        if (tok.size() == 6) {
+          if (tok[4] != "after") {
+            throw std::invalid_argument("expect: expected 'after <mark>', got '" + tok[4] + "'");
+          }
+          if (!scoped) {
+            throw std::invalid_argument(
+                "expect: metric '" + v.metric +
+                "' is episode-global and cannot be scoped with 'after'");
+          }
+          v.after = tok[5];
+        }
+        v.text = v.metric + " " + v.op + " " + tok[3] +
+                 (v.after.empty() ? "" : " after " + v.after);
+        spec.verdicts.push_back(std::move(v));
+      } else {
+        // Header line: key = value (tokens "key", "=", "value" or "key=value").
+        if (saw_script) {
+          throw std::invalid_argument("header key '" + tok[0] +
+                                      "' after the first script line (headers go first)");
+        }
+        std::string key;
+        std::string value;
+        if (tok.size() == 3 && tok[1] == "=") {
+          key = tok[0];
+          value = tok[2];
+        } else if (tok.size() == 1 && tok[0].find('=') != std::string::npos) {
+          const std::size_t eq = tok[0].find('=');
+          key = tok[0].substr(0, eq);
+          value = tok[0].substr(eq + 1);
+        } else {
+          throw std::invalid_argument("expected 'key = value', 'at ...' or 'expect ...'");
+        }
+        if (key == "name") {
+          spec.name = value;
+        } else if (key == "clusters") {
+          const std::uint64_t c = parse_dialect_u64(key, value);
+          if (c == 0 || c > 64)
+            throw std::invalid_argument("clusters must be in [1, 64]");
+          spec.clusters = static_cast<unsigned>(c);
+        } else if (key == "seed") {
+          spec.seed = parse_dialect_u64(key, value);
+        } else if (key == "horizon") {
+          spec.horizon = parse_time(key, value);
+          if (spec.horizon == 0) throw std::invalid_argument("horizon must be >= 1");
+          saw_horizon = true;
+        } else if (key == "queue") {
+          const std::uint64_t q = parse_dialect_u64(key, value);
+          if (q == 0) throw std::invalid_argument("queue must be >= 1");
+          spec.max_queue = static_cast<std::size_t>(q);
+        } else if (key == "failure_threshold") {
+          const std::uint64_t t = parse_dialect_u64(key, value);
+          if (t == 0) throw std::invalid_argument("failure_threshold must be >= 1");
+          spec.failure_threshold = static_cast<unsigned>(t);
+        } else if (key == "probation_probes") {
+          const std::uint64_t p = parse_dialect_u64(key, value);
+          if (p == 0) throw std::invalid_argument("probation_probes must be >= 1");
+          spec.probation_probes = static_cast<unsigned>(p);
+        } else if (key == "probe_backoff") {
+          spec.probe_backoff_cycles = parse_time(key, value);
+        } else if (key == "restart_penalty") {
+          spec.restart_penalty_cycles = parse_time(key, value);
+        } else if (key == "watchdog") {
+          spec.watchdog_wait_cycles = parse_time(key, value);
+        } else if (key == "retries") {
+          spec.max_retries = static_cast<unsigned>(parse_dialect_u64(key, value));
+        } else {
+          throw std::invalid_argument("unknown header key '" + key + "'");
+        }
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(util::format("scenario line %d: %s", lineno, e.what()));
+    }
+  }
+
+  if (!saw_horizon) {
+    throw std::invalid_argument("scenario: missing required header 'horizon = <time>'");
+  }
+  for (const VerdictSpec& v : spec.verdicts) {
+    if (!v.after.empty()) spec.mark_cycle(v.after);  // throws on unknown mark
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_scenario_file: cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return load_scenario_text(ss.str());
+}
+
+std::vector<serve::ServeJob> scenario_trace(const ScenarioSpec& spec,
+                                            const model::RuntimeModel& model) {
+  std::vector<serve::ServeJob> jobs;
+  if (spec.phases.empty()) return jobs;
+  // The active phase at an arrival instant is the last phase that started at
+  // or before it (phases are script-ordered, times non-decreasing).
+  const auto phase_at = [&spec](sim::Cycle t) -> const TrafficPhase& {
+    const TrafficPhase* live = &spec.phases.front();
+    for (const TrafficPhase& ph : spec.phases) {
+      if (ph.start > t) break;
+      live = &ph;
+    }
+    return *live;
+  };
+
+  sim::Rng rng(spec.seed);
+  sim::Cycle arrival = spec.phases.front().start;
+  std::uint64_t id = 0;
+  while (arrival <= spec.horizon) {
+    const TrafficPhase& ph = phase_at(arrival);
+    serve::ServeJob job;
+    job.id = ++id;
+    job.n = 256 * (ph.n_scale_min + rng.next_below(ph.n_scale_max - ph.n_scale_min + 1));
+    job.arrival = arrival;
+    const unsigned m_target = 1u << rng.next_below(4);
+    const double slack = rng.uniform(ph.slack_min, ph.slack_max);
+    job.t_max = static_cast<sim::Cycles>(model.predict(m_target, job.n) * slack);
+    job.priority = ph.priority_min +
+                   static_cast<unsigned>(rng.next_below(ph.priority_max - ph.priority_min + 1));
+    if (ph.unmeetable_one_in > 0 && rng.next_below(ph.unmeetable_one_in) == 0) {
+      // Guaranteed Eq.-(3) shed, as in the E19 generator.
+      job.t_max = static_cast<sim::Cycles>(model.t0 / 2.0);
+    }
+    jobs.push_back(job);
+    arrival += ph.gap_min + rng.next_below(ph.gap_max - ph.gap_min + 1);
+  }
+  return jobs;
+}
+
+bool verdict_holds(const std::string& op, double actual, double expected) {
+  if (op == "==") return actual == expected;
+  if (op == "!=") return actual != expected;
+  if (op == "<=") return actual <= expected;
+  if (op == ">=") return actual >= expected;
+  if (op == "<") return actual < expected;
+  if (op == ">") return actual > expected;
+  throw std::invalid_argument("verdict_holds: unknown operator '" + op + "'");
+}
+
+const std::vector<KeywordInfo>& scenario_keyword_reference() {
+  // One row per accepted dialect keyword. docs/scenarios.md's keyword
+  // reference tables list exactly these names; scripts/check_metrics_docs.py
+  // cross-checks them (same extraction as the metric inventory).
+  static const std::vector<KeywordInfo> kReference = {
+      {"name", "header"},
+      {"clusters", "header"},
+      {"seed", "header"},
+      {"horizon", "header"},
+      {"queue", "header"},
+      {"failure_threshold", "header"},
+      {"probation_probes", "header"},
+      {"probe_backoff", "header"},
+      {"restart_penalty", "header"},
+      {"watchdog", "header"},
+      {"retries", "header"},
+      {"traffic", "verb"},
+      {"inject", "verb"},
+      {"drain", "verb"},
+      {"undrain", "verb"},
+      {"restart", "verb"},
+      {"mark", "verb"},
+      {"steady", "profile"},
+      {"burst", "profile"},
+      {"lull", "profile"},
+      {"mix", "profile"},
+      {"none", "preset"},
+      {"sick_cluster", "preset"},
+      {"dispatch_drop", "preset"},
+      {"dispatch_delay", "preset"},
+      {"credit_drop", "preset"},
+      {"credit_duplicate", "preset"},
+      {"irq_swallow", "preset"},
+      {"cluster_hang", "preset"},
+      {"cluster_straggle", "preset"},
+      {"dma_stall", "preset"},
+      {"chaos", "preset"},
+      {"gap", "arg"},
+      {"n", "arg"},
+      {"slack", "arg"},
+      {"priority", "arg"},
+      {"unmeetable", "arg"},
+      {"cluster", "arg"},
+      {"jobs", "metric"},
+      {"met", "metric"},
+      {"missed", "metric"},
+      {"shed", "metric"},
+      {"failed", "metric"},
+      {"slo_met", "metric"},
+      {"violations", "metric"},
+      {"quarantines", "metric"},
+      {"readmissions", "metric"},
+      {"probes", "metric"},
+      {"restarts", "metric"},
+      {"drains", "metric"},
+      {"crashes", "metric"},
+      {"makespan", "metric"},
+  };
+  return kReference;
+}
+
+}  // namespace mco::scenario

@@ -1,0 +1,131 @@
+// Declarative chaos scenarios: a timed fault/traffic/operator episode as data.
+//
+// A scenario file scripts one full "fault → degrade → operator intervenes →
+// recover" episode against the serving layer (serve/offload_service.h), in
+// the same "key = value" text dialect family as exp/spec.h and soc/config_io:
+//
+//   name = sick_cluster_drain_restart
+//   clusters = 8
+//   seed = 7
+//   horizon = 400us                  # episode length (cycles; us/ms suffixes)
+//
+//   at 0 traffic steady              # phases of the E19 soak generator
+//   at 50us inject sick_cluster      # timed fault-injector activations
+//   at 120us drain                   # operator actions (serve::OperatorAction)
+//   at 130us restart
+//   at 150us undrain
+//   at 150us mark recovery           # named instant for scoped verdicts
+//   expect slo_met >= 0.90 after recovery
+//   expect violations == 0
+//
+// Header keys configure the service/executor; `at <time> <verb>` lines build
+// the virtual-time event script (non-decreasing times, validated drain
+// pairing); `expect` lines are the episode's machine-checked verdicts. All
+// parse errors are std::invalid_argument carrying the line number. The
+// runner (scenario/scenario_runner.h) executes the episode deterministically
+// and evaluates the verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "model/runtime_model.h"
+#include "serve/offload_service.h"
+#include "sim/time.h"
+
+namespace mco::scenario {
+
+/// One traffic phase: from `start` until the next phase (or the horizon),
+/// arrivals are generated with these E19-soak-generator parameters.
+struct TrafficPhase {
+  sim::Cycle start = 0;
+  std::string profile = "steady";  ///< steady | burst | lull | mix
+  sim::Cycles gap_min = 800;       ///< inter-arrival gap, uniform[min, max]
+  sim::Cycles gap_max = 2400;
+  std::uint64_t n_scale_min = 1;   ///< n = 256 * uniform[min, max]
+  std::uint64_t n_scale_max = 16;
+  double slack_min = 0.95;         ///< deadline = t̂(m_target, n) * slack
+  double slack_max = 1.8;
+  unsigned priority_min = 0;
+  unsigned priority_max = 2;
+  std::uint64_t unmeetable_one_in = 32;  ///< 0 = never
+};
+
+/// One scripted event. Traffic phases and fault activations also land in
+/// ScenarioSpec::phases / ScenarioSpec::faults; the event list preserves the
+/// full script order for reporting.
+enum class ScenarioEventKind { kTraffic, kInject, kDrain, kUndrain, kRestart, kMark };
+
+const char* to_string(ScenarioEventKind k);
+
+struct ScenarioEvent {
+  sim::Cycle at = 0;
+  ScenarioEventKind kind = ScenarioEventKind::kMark;
+  std::string label;  ///< profile / preset / mark name (empty for operators)
+};
+
+/// One `expect` line: `metric op value`, optionally scoped to jobs arriving
+/// at or after a named mark.
+struct VerdictSpec {
+  std::string metric;
+  std::string op;  ///< == != <= >= < >
+  double value = 0.0;
+  std::string after;  ///< mark name; empty = whole episode
+  std::string text;   ///< canonical rendering for reports
+};
+
+/// A parsed scenario, ready for scenario_runner::run_scenario.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  unsigned clusters = 8;
+  std::uint64_t seed = 42;
+  sim::Cycle horizon = 0;  ///< required: last generated arrival cycle
+  std::size_t max_queue = 16;
+  unsigned failure_threshold = 2;
+  unsigned probation_probes = 1;
+  sim::Cycles probe_backoff_cycles = 5'000;
+  sim::Cycles restart_penalty_cycles = 20'000;
+  sim::Cycles watchdog_wait_cycles = 2'000;
+  unsigned max_retries = 1;
+
+  std::vector<TrafficPhase> phases;
+  std::vector<ScenarioEvent> events;
+  fault::FaultSchedule faults;
+  std::vector<std::pair<std::string, sim::Cycle>> marks;  ///< script order
+  std::vector<VerdictSpec> verdicts;
+
+  /// Cycle of a named mark; throws std::invalid_argument when unknown.
+  sim::Cycle mark_cycle(const std::string& name) const;
+};
+
+/// Parse the scenario dialect. Throws std::invalid_argument with the line
+/// number on any malformed line (unknown verb/key/preset/metric, decreasing
+/// timestamps, drain/undrain mis-pairing, missing horizon, ...).
+ScenarioSpec load_scenario_text(const std::string& text);
+/// File variant; throws std::runtime_error if the file cannot be opened.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Deterministic job stream for the episode: phase-directed E19 generator
+/// over one sim::Rng(spec.seed), arrivals up to spec.horizon. `model` is the
+/// admission model deadlines are drawn against.
+std::vector<serve::ServeJob> scenario_trace(const ScenarioSpec& spec,
+                                            const model::RuntimeModel& model);
+
+/// Evaluate one comparison (the verdict ops; throws on an unknown op).
+bool verdict_holds(const std::string& op, double actual, double expected);
+
+/// Dialect keyword inventory: every header key, verb, traffic profile,
+/// fault preset, event/traffic argument and verdict metric the parser
+/// accepts. docs/scenarios.md documents the same names;
+/// scripts/check_metrics_docs.py cross-checks the two bidirectionally.
+struct KeywordInfo {
+  const char* name;
+  const char* kind;  ///< header | verb | profile | preset | arg | metric
+};
+
+const std::vector<KeywordInfo>& scenario_keyword_reference();
+
+}  // namespace mco::scenario

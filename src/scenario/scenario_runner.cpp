@@ -1,0 +1,207 @@
+#include "scenario/scenario_runner.h"
+
+#include <stdexcept>
+
+#include "check/protocol_monitor.h"
+#include "serve/soc_executor.h"
+#include "util/strings.h"
+
+namespace mco::scenario {
+
+void register_scenario_metrics(sim::StatsRegistry& stats) {
+  stats.counter("scenario.events");
+  stats.counter("scenario.fault_swaps");
+  stats.counter("scenario.verdicts_passed");
+  stats.counter("scenario.verdicts_failed");
+}
+
+namespace {
+
+/// Value of a verdict metric. Scoped metrics re-aggregate the outcomes of
+/// jobs arriving at or after `since`; episode-global metrics ignore it.
+double metric_value(const std::string& metric, const ScenarioResult& r,
+                    const std::vector<serve::ServeJob>& trace, sim::Cycle since) {
+  if (metric == "violations")
+    return static_cast<double>(r.soc_violations + r.serve_violations);
+  if (metric == "quarantines") return static_cast<double>(r.quarantines);
+  if (metric == "readmissions") return static_cast<double>(r.readmissions);
+  if (metric == "probes") return static_cast<double>(r.probes);
+  if (metric == "restarts") return static_cast<double>(r.restarts);
+  if (metric == "drains") return static_cast<double>(r.drains);
+  if (metric == "crashes") return static_cast<double>(r.crashes);
+  if (metric == "makespan") return static_cast<double>(r.makespan);
+
+  std::uint64_t jobs = 0, met = 0, missed = 0, shed = 0, failed = 0;
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    if (trace[i].arrival < since) continue;
+    ++jobs;
+    switch (r.outcomes[i].verdict) {
+      case serve::JobVerdict::kMet: ++met; break;
+      case serve::JobVerdict::kMissed: ++missed; break;
+      case serve::JobVerdict::kShed: ++shed; break;
+      case serve::JobVerdict::kFailed: ++failed; break;
+    }
+  }
+  if (metric == "jobs") return static_cast<double>(jobs);
+  if (metric == "met") return static_cast<double>(met);
+  if (metric == "missed") return static_cast<double>(missed);
+  if (metric == "shed") return static_cast<double>(shed);
+  if (metric == "failed") return static_cast<double>(failed);
+  if (metric == "slo_met")
+    return jobs ? static_cast<double>(met) / static_cast<double>(jobs) : 0.0;
+  throw std::invalid_argument("scenario: unknown verdict metric '" + metric + "'");
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& cfg) {
+  const std::vector<serve::ServeJob> trace = scenario_trace(spec, cfg.model);
+
+  serve::SocExecutorConfig xc;
+  xc.soc = soc::SocConfig::extended(spec.clusters);
+  xc.soc.runtime.watchdog_wait_cycles = spec.watchdog_wait_cycles;
+  xc.soc.runtime.max_retries = spec.max_retries;
+  xc.soc.fault = spec.faults.active_at(0);
+  xc.tolerance = cfg.tolerance;
+  xc.workload_seed = cfg.workload_seed;
+  xc.crash_penalty_cycles = cfg.crash_penalty_cycles;
+  serve::SocExecutor exec(xc);
+
+  serve::ServeConfig sc;
+  sc.num_clusters = spec.clusters;
+  sc.model = cfg.model;
+  sc.max_queue = spec.max_queue;
+  sc.max_clusters_per_job = spec.clusters;
+  sc.health = serve::HealthConfig{spec.failure_threshold, spec.probation_probes,
+                                  spec.probe_backoff_cycles};
+  sc.restart_penalty_cycles = spec.restart_penalty_cycles;
+  serve::OffloadService service(sc, exec);
+
+  sim::StatsRegistry stats;
+  service.bind_stats(&stats);
+  register_scenario_metrics(stats);
+  check::ProtocolMonitor serve_monitor;
+  serve_monitor.attach(service.trace());
+
+  ScenarioResult r;
+  r.name = spec.name;
+  r.jobs = trace.size();
+
+  // Arm the script. Fault steps at cycle 0 are the executor's initial
+  // environment (active_at(0) above); later steps swap in by timed callback.
+  std::uint64_t fault_swaps = 0;
+  for (const fault::FaultSchedule::Step& step : spec.faults.steps()) {
+    if (step.at == 0) continue;
+    const fault::FaultConfig step_cfg = step.cfg;
+    service.schedule_callback(step.at, [&exec, &fault_swaps, &stats, step_cfg] {
+      exec.set_fault(step_cfg);
+      ++fault_swaps;
+      stats.counter("scenario.fault_swaps").inc();
+    });
+  }
+  for (const ScenarioEvent& ev : spec.events) {
+    stats.counter("scenario.events").inc();
+    switch (ev.kind) {
+      case ScenarioEventKind::kDrain:
+        service.schedule_operator(ev.at, serve::OperatorAction::kDrain);
+        break;
+      case ScenarioEventKind::kUndrain:
+        service.schedule_operator(ev.at, serve::OperatorAction::kUndrain);
+        break;
+      case ScenarioEventKind::kRestart:
+        service.schedule_operator(ev.at, serve::OperatorAction::kRestart);
+        break;
+      case ScenarioEventKind::kTraffic:   // baked into the trace
+      case ScenarioEventKind::kInject:    // armed via the fault schedule above
+      case ScenarioEventKind::kMark:      // verdict scoping only
+        break;
+    }
+  }
+
+  r.outcomes = service.run(trace);
+  serve_monitor.finish();
+
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    const serve::JobOutcome& out = r.outcomes[i];
+    switch (out.verdict) {
+      case serve::JobVerdict::kMet:
+        ++r.met;
+        r.met_elements += trace[i].n;
+        break;
+      case serve::JobVerdict::kMissed: ++r.missed; break;
+      case serve::JobVerdict::kShed: ++r.shed; break;
+      case serve::JobVerdict::kFailed: ++r.failed; break;
+    }
+    if (out.degraded) ++r.degraded;
+  }
+  r.slo_attainment = r.jobs ? static_cast<double>(r.met) / static_cast<double>(r.jobs) : 0.0;
+  r.makespan = service.makespan();
+  r.goodput =
+      r.makespan ? static_cast<double>(r.met_elements) / static_cast<double>(r.makespan) : 0.0;
+  r.quarantines = service.health().quarantines();
+  r.readmissions = service.health().readmissions();
+  r.probes = stats.counter_value("serve.probes");
+  r.restarts = service.restarts();
+  r.drains = stats.counter_value("serve.drain.entered");
+  r.fault_swaps = fault_swaps;
+  r.crashes = exec.crashes();
+  r.soc_violations = exec.total_violations();
+  r.serve_violations = serve_monitor.total_violations();
+
+  bool all_held = true;
+  for (const VerdictSpec& v : spec.verdicts) {
+    const sim::Cycle since = v.after.empty() ? 0 : spec.mark_cycle(v.after);
+    VerdictResult vr;
+    vr.text = v.text;
+    vr.actual = metric_value(v.metric, r, trace, since);
+    vr.passed = verdict_holds(v.op, vr.actual, v.value);
+    stats.counter(vr.passed ? "scenario.verdicts_passed" : "scenario.verdicts_failed").inc();
+    all_held = all_held && vr.passed;
+    r.verdicts.push_back(std::move(vr));
+  }
+  r.passed = all_held && r.soc_violations == 0 && r.serve_violations == 0;
+  return r;
+}
+
+std::string scenario_report_json(const std::vector<ScenarioResult>& results) {
+  std::string out = "{\n  \"schema\": \"mco-scenario-v1\",\n  \"scenarios\": [";
+  bool first = true;
+  for (const ScenarioResult& r : results) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += util::format(
+        "    {\"name\": \"%s\", \"jobs\": %zu, \"met\": %llu, \"missed\": %llu, "
+        "\"shed\": %llu, \"failed\": %llu, \"degraded\": %llu, "
+        "\"slo_attainment\": %.4f, \"met_elements\": %llu, \"goodput\": %.6f, "
+        "\"makespan\": %llu, \"quarantines\": %llu, \"readmissions\": %llu, "
+        "\"probes\": %llu, \"restarts\": %llu, \"drains\": %llu, "
+        "\"fault_swaps\": %llu, \"crashes\": %llu, \"soc_violations\": %llu, "
+        "\"serve_violations\": %llu, \"passed\": %s,\n     \"verdicts\": [",
+        r.name.c_str(), r.jobs, static_cast<unsigned long long>(r.met),
+        static_cast<unsigned long long>(r.missed), static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.failed), static_cast<unsigned long long>(r.degraded),
+        r.slo_attainment, static_cast<unsigned long long>(r.met_elements), r.goodput,
+        static_cast<unsigned long long>(r.makespan),
+        static_cast<unsigned long long>(r.quarantines),
+        static_cast<unsigned long long>(r.readmissions),
+        static_cast<unsigned long long>(r.probes),
+        static_cast<unsigned long long>(r.restarts),
+        static_cast<unsigned long long>(r.drains),
+        static_cast<unsigned long long>(r.fault_swaps),
+        static_cast<unsigned long long>(r.crashes),
+        static_cast<unsigned long long>(r.soc_violations),
+        static_cast<unsigned long long>(r.serve_violations), r.passed ? "true" : "false");
+    for (std::size_t i = 0; i < r.verdicts.size(); ++i) {
+      const VerdictResult& v = r.verdicts[i];
+      out += util::format("%s{\"text\": \"%s\", \"actual\": %.6g, \"passed\": %s}",
+                          i ? ", " : "", v.text.c_str(), v.actual,
+                          v.passed ? "true" : "false");
+    }
+    out += "]}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mco::scenario

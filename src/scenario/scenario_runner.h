@@ -1,0 +1,84 @@
+// Executes a parsed chaos scenario against a live service and judges it.
+//
+// One run = one OffloadService over one long-lived SocExecutor, with the
+// scenario's fault schedule swapped in by timed callbacks, operator actions
+// (drain/undrain/restart) scheduled into the service's virtual-time event
+// loop, and a check::ProtocolMonitor riding the service trace (a second one
+// rides the backing Soc inside the executor). After the episode, every
+// `expect` line is evaluated — scoped verdicts only over jobs arriving at or
+// after their mark — and the result rolls up into one golden-pinnable row.
+//
+// Determinism: the trace, the event script and the executor are pure
+// functions of the spec, so a scenario's row (and the whole "mco-scenario-v1"
+// report, see scenario_report_json) is byte-identical at any --jobs level
+// when run through exp::SweepRunner::map's index-addressed slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/runtime_model.h"
+#include "scenario/scenario.h"
+#include "serve/offload_service.h"
+#include "sim/stats.h"
+
+namespace mco::scenario {
+
+/// Executor/model parameters shared by every scenario of a catalog run
+/// (the per-episode knobs live in the scenario file itself).
+struct ScenarioRunConfig {
+  /// Admission model (Eq. 3); defaults to the paper's DAXPY fit.
+  model::RuntimeModel model = model::paper_daxpy_model();
+  double tolerance = 1e-5;
+  std::uint64_t workload_seed = 42;
+  sim::Cycles crash_penalty_cycles = 20'000;
+};
+
+/// One evaluated `expect` line.
+struct VerdictResult {
+  std::string text;    ///< canonical rendering of the expect line
+  double actual = 0.0; ///< measured value the expectation was checked against
+  bool passed = false;
+};
+
+/// Aggregates of one episode, plus its judged verdicts and per-job outcomes.
+struct ScenarioResult {
+  std::string name;
+  std::size_t jobs = 0;
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t degraded = 0;
+  double slo_attainment = 0.0;     ///< met / jobs, whole episode
+  std::uint64_t met_elements = 0;  ///< Σ n over SLO-met jobs
+  double goodput = 0.0;            ///< met_elements / makespan (elems/cycle)
+  sim::Cycle makespan = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t readmissions = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t restarts = 0;      ///< operator restarts performed
+  std::uint64_t drains = 0;        ///< operator drain windows entered
+  std::uint64_t fault_swaps = 0;   ///< timed fault-environment changes (t > 0)
+  std::uint64_t crashes = 0;       ///< Soc rebuilds forced by aborted offloads
+  std::uint64_t soc_violations = 0;
+  std::uint64_t serve_violations = 0;
+  std::vector<VerdictResult> verdicts;
+  bool passed = false;  ///< every verdict held and no invariant violations
+  std::vector<serve::JobOutcome> outcomes;
+};
+
+/// Run one scenario end to end and evaluate its verdicts.
+ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& cfg);
+
+/// "mco-scenario-v1" JSON: one row per scenario — aggregates plus judged
+/// verdicts — the bench_scenario golden scripts/metrics_regression.py pins.
+std::string scenario_report_json(const std::vector<ScenarioResult>& results);
+
+/// Eagerly create every scenario.* counter in `stats` (see
+/// soc/observability's metric_reference); run_scenario does this on its
+/// private registry, tests and benches may too.
+void register_scenario_metrics(sim::StatsRegistry& stats);
+
+}  // namespace mco::scenario

@@ -87,4 +87,12 @@ bool HealthTracker::record_probe(unsigned cluster, bool clean) {
   return true;
 }
 
+void HealthTracker::restart() {
+  for (Entry& e : state_) {
+    e.state = ClusterHealth::kQuarantined;
+    e.consecutive_failures = 0;
+    e.clean_probes = 0;
+  }
+}
+
 }  // namespace mco::serve

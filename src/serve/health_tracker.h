@@ -65,6 +65,15 @@ class HealthTracker {
   /// kHealthy with a clean failure streak).
   bool record_probe(unsigned cluster, bool clean);
 
+  /// Operator restart of the whole fabric: every cluster — healthy,
+  /// quarantined or mid-probation — drops to kQuarantined with all streak
+  /// counters cleared, so re-admission always requires a fresh run of
+  /// `probation_probes` clean canaries. Clean counters earned before the
+  /// restart must not survive it (a rebuilt Soc voids old evidence), and the
+  /// transition is an operator action, not a breaker trip: quarantines() is
+  /// left untouched.
+  void restart();
+
   std::uint64_t quarantines() const { return quarantines_; }
   std::uint64_t readmissions() const { return readmissions_; }
 

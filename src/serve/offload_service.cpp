@@ -34,11 +34,34 @@ const char* to_string(JobVerdict v) {
   return "?";
 }
 
+const char* to_string(ShedReason r) {
+  switch (r) {
+    case ShedReason::kDeadlineUnmeetable: return "deadline_unmeetable";
+    case ShedReason::kQueueFull: return "queue_full";
+    case ShedReason::kDeadlineExpired: return "deadline_expired";
+    case ShedReason::kStarved: return "starved";
+    case ShedReason::kDrained: return "drained";
+    case ShedReason::kOperatorShed: return "operator_shed";
+  }
+  return "?";
+}
+
+const char* to_string(OperatorAction a) {
+  switch (a) {
+    case OperatorAction::kDrain: return "drain";
+    case OperatorAction::kUndrain: return "undrain";
+    case OperatorAction::kRestart: return "restart";
+  }
+  return "?";
+}
+
 void register_serve_metrics(sim::StatsRegistry& stats) {
   for (const char* name :
        {"serve.jobs_submitted", "serve.jobs_dispatched", "serve.jobs_queued", "serve.jobs_shed",
         "serve.jobs_failed", "serve.jobs_degraded", "serve.slo_met", "serve.slo_missed",
-        "serve.probes", "serve.quarantines", "serve.readmissions"}) {
+        "serve.probes", "serve.quarantines", "serve.readmissions", "serve.drain.entered",
+        "serve.drain.exited", "serve.drain.jobs_shed", "serve.restarts",
+        "serve.restart.aborted_jobs"}) {
     stats.counter(name);
   }
   stats.histogram("serve.queue_wait_cycles", 256.0, 64);
@@ -75,26 +98,30 @@ void OffloadService::sample_queue_depth() {
   if (stats_) stats_->histogram("serve.queue_depth").sample(static_cast<double>(queue_.size()));
 }
 
-void OffloadService::shed(std::size_t slot, sim::Cycle now, const std::string& reason) {
+void OffloadService::shed(std::size_t slot, sim::Cycle now, ShedReason reason) {
   const ServeJob& job = (*jobs_)[slot];
   JobOutcome& out = outcomes_[slot];
   out.job_id = job.id;
   out.verdict = JobVerdict::kShed;
-  out.reason = reason;
+  out.reason = to_string(reason);
   out.arrival = job.arrival;
   out.end = now;
   settled_[slot] = true;
-  if (stats_) stats_->counter("serve.jobs_shed").inc();
+  if (stats_) {
+    stats_->counter("serve.jobs_shed").inc();
+    if (reason == ShedReason::kDrained || reason == ShedReason::kOperatorShed)
+      stats_->counter("serve.drain.jobs_shed").inc();
+  }
   trace_.record(now, "serve", "serve_shed",
                 util::format("job=%llu reason=%s", static_cast<unsigned long long>(job.id),
-                             reason.c_str()));
+                             to_string(reason)));
 }
 
 bool OffloadService::try_dispatch(std::size_t slot, sim::Cycle now) {
   const ServeJob& job = (*jobs_)[slot];
   const sim::Cycle deadline = job.arrival + job.t_max;
   if (now >= deadline) {
-    shed(slot, now, "deadline_expired");
+    shed(slot, now, ShedReason::kDeadlineExpired);
     return true;
   }
   const unsigned cap = capacity_cap();
@@ -102,7 +129,7 @@ bool OffloadService::try_dispatch(std::size_t slot, sim::Cycle now) {
   const auto m = model::min_clusters_for_deadline(cfg_.model, job.n,
                                                   static_cast<double>(deadline - now), cap);
   if (!m) {
-    shed(slot, now, "deadline_unmeetable");
+    shed(slot, now, ShedReason::kDeadlineUnmeetable);
     return true;
   }
   auto clusters = alloc_.allocate(*m, [this](unsigned c) { return health_.available(c); });
@@ -135,7 +162,7 @@ bool OffloadService::try_dispatch(std::size_t slot, sim::Cycle now) {
 }
 
 void OffloadService::drain_queue(sim::Cycle now) {
-  if (queue_.empty()) return;
+  if (draining_ || queue_.empty()) return;
   // Service order: priority desc, then arrival asc, then id asc. One pass;
   // jobs that still cannot be placed keep waiting.
   std::vector<std::size_t> order = queue_;
@@ -156,6 +183,8 @@ void OffloadService::drain_queue(sim::Cycle now) {
 
 void OffloadService::complete(const Event& ev) {
   InFlight& f = inflight_[ev.index];
+  if (f.done) return;  // aborted by an operator restart: stale completion
+  f.done = true;
   const ServeJob& job = (*jobs_)[f.slot];
   const sim::Cycle now = ev.time;
   trace_.end_span(now, job_track(job.id));
@@ -242,6 +271,7 @@ void OffloadService::start_probe(unsigned cluster, sim::Cycle now) {
 
 void OffloadService::finish_probe(const Event& ev, sim::Cycle now) {
   const auto cluster = static_cast<unsigned>(ev.index);
+  if (!probes_[cluster]) return;  // aborted by an operator restart: stale event
   const Probe probe = *probes_[cluster];
   probes_[cluster].reset();
   alloc_.release(cluster);
@@ -261,6 +291,95 @@ void OffloadService::finish_probe(const Event& ev, sim::Cycle now) {
   drain_queue(now);
 }
 
+void OffloadService::schedule_operator(sim::Cycle time, OperatorAction action) {
+  pending_operators_.push_back(PendingOperator{time, action, nullptr});
+}
+
+void OffloadService::schedule_callback(sim::Cycle time, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("OffloadService: null scheduled callback");
+  pending_operators_.push_back(PendingOperator{time, OperatorAction::kDrain, std::move(fn)});
+}
+
+void OffloadService::apply_operator(OperatorAction action, sim::Cycle now) {
+  switch (action) {
+    case OperatorAction::kDrain: do_drain(now); break;
+    case OperatorAction::kUndrain: do_undrain(now); break;
+    case OperatorAction::kRestart: do_restart(now); break;
+  }
+}
+
+void OffloadService::do_drain(sim::Cycle now) {
+  if (draining_)
+    throw std::logic_error("OffloadService: drain while already draining");
+  draining_ = true;
+  if (stats_) stats_->counter("serve.drain.entered").inc();
+  trace_.record(now, "serve", "serve_drain", util::format("backlog=%zu", queue_.size()));
+  // Shed the backlog in queue (arrival) order; in-flight work keeps running.
+  const std::vector<std::size_t> backlog = queue_;
+  queue_.clear();
+  for (const std::size_t slot : backlog) shed(slot, now, ShedReason::kDrained);
+  sample_queue_depth();
+}
+
+void OffloadService::do_undrain(sim::Cycle now) {
+  if (!draining_)
+    throw std::logic_error("OffloadService: undrain while not draining");
+  draining_ = false;
+  if (stats_) stats_->counter("serve.drain.exited").inc();
+  trace_.record(now, "serve", "serve_undrain", "resume");
+  drain_queue(now);
+}
+
+void OffloadService::do_restart(sim::Cycle now) {
+  ++restarts_;
+  if (stats_) stats_->counter("serve.restarts").inc();
+  // Abort in-flight jobs first (spans ended, clusters released, outcomes
+  // settled as failed/"restarted") so the monitor's occupancy map is empty
+  // before the fabric-wide quarantine records land.
+  for (InFlight& f : inflight_) {
+    if (f.done) continue;
+    f.done = true;
+    const ServeJob& job = (*jobs_)[f.slot];
+    trace_.end_span(now, job_track(job.id));
+    alloc_.release(f.clusters);
+    --active_jobs_;
+    JobOutcome& out = outcomes_[f.slot];
+    out.end = now;
+    out.verdict = JobVerdict::kFailed;
+    out.reason = "restarted";
+    out.slack =
+        static_cast<std::int64_t>(job.arrival + job.t_max) - static_cast<std::int64_t>(now);
+    settled_[f.slot] = true;
+    if (stats_) {
+      stats_->counter("serve.jobs_failed").inc();
+      stats_->counter("serve.restart.aborted_jobs").inc();
+    }
+    trace_.record(now, "serve", "serve_complete",
+                  util::format("job=%llu verdict=failed clusters=%s",
+                               static_cast<unsigned long long>(job.id),
+                               cluster_list(f.clusters).c_str()));
+  }
+  // Outstanding probes die with the old Soc — no health verdict is recorded
+  // (the rebuilt fabric starts its probation from scratch anyway).
+  for (unsigned c = 0; c < cfg_.num_clusters; ++c) {
+    if (!probes_[c]) continue;
+    probes_[c].reset();
+    alloc_.release(c);
+    trace_.record(now, "serve", "serve_probe_done", util::format("cluster=%u clean=0", c));
+  }
+  executor_.restart();
+  health_.restart();
+  trace_.record(now, "serve", "serve_restart",
+                util::format("num_clusters=%u", cfg_.num_clusters));
+  // Every cluster re-enters through canary probation; the first probe wave
+  // waits out the rebuild penalty. (Not a breaker trip: serve.quarantines
+  // and HealthTracker::quarantines() track faults, not operator actions.)
+  for (unsigned c = 0; c < cfg_.num_clusters; ++c) {
+    trace_.record(now, "serve", "serve_quarantine", util::format("cluster=%u", c));
+    push_event(now + cfg_.restart_penalty_cycles, EventKind::kProbeDue, c);
+  }
+}
+
 std::vector<JobOutcome> OffloadService::run(const std::vector<ServeJob>& jobs) {
   jobs_ = &jobs;
   outcomes_.assign(jobs.size(), JobOutcome{});
@@ -274,6 +393,13 @@ std::vector<JobOutcome> OffloadService::run(const std::vector<ServeJob>& jobs) {
   active_jobs_ = 0;
   pending_arrivals_ = jobs.size();
 
+  // Arm scheduled operators/callbacks before the arrivals: a same-cycle
+  // operator action precedes a same-cycle arrival (lower insertion seq).
+  operators_ = std::move(pending_operators_);
+  pending_operators_.clear();
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    push_event(operators_[i].time, EventKind::kOperator, i);
+  }
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     push_event(jobs[i].arrival, EventKind::kArrival, i);
   }
@@ -292,6 +418,10 @@ std::vector<JobOutcome> OffloadService::run(const std::vector<ServeJob>& jobs) {
       case EventKind::kArrival: {
         --pending_arrivals_;
         if (stats_) stats_->counter("serve.jobs_submitted").inc();
+        if (draining_) {
+          shed(ev.index, ev.time, ShedReason::kOperatorShed);
+          break;
+        }
         if (!try_dispatch(ev.index, ev.time)) {
           if (queue_.size() < cfg_.max_queue) {
             queue_.push_back(ev.index);
@@ -302,7 +432,7 @@ std::vector<JobOutcome> OffloadService::run(const std::vector<ServeJob>& jobs) {
                                        static_cast<unsigned long long>(jobs[ev.index].id),
                                        queue_.size()));
           } else {
-            shed(ev.index, ev.time, "queue_full");
+            shed(ev.index, ev.time, ShedReason::kQueueFull);
           }
         }
         break;
@@ -310,11 +440,20 @@ std::vector<JobOutcome> OffloadService::run(const std::vector<ServeJob>& jobs) {
       case EventKind::kCompletion: complete(ev); break;
       case EventKind::kProbeDue: start_probe(static_cast<unsigned>(ev.index), ev.time); break;
       case EventKind::kProbeDone: finish_probe(ev, ev.time); break;
+      case EventKind::kOperator: {
+        const PendingOperator& op = operators_[ev.index];
+        if (op.fn) {
+          op.fn();
+        } else {
+          apply_operator(op.action, ev.time);
+        }
+        break;
+      }
     }
   }
 
   // End-of-run starvation: whatever is still queued can never run.
-  for (const std::size_t slot : queue_) shed(slot, makespan_, "starved");
+  for (const std::size_t slot : queue_) shed(slot, makespan_, ShedReason::kStarved);
   queue_.clear();
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (!settled_[i])

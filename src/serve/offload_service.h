@@ -25,20 +25,29 @@
 // function of the job trace and the executor's outcomes, so a replayed trace
 // is bit-identical regardless of host parallelism.
 //
+// Operators can intervene: scheduled drain/undrain/restart actions (see
+// OperatorAction) gate admission, shed the backlog with explicit reasons and
+// rebuild the executor behind a full-fabric canary re-probation — the
+// chaos-scenario engine (scenario/) scripts these against the same
+// virtual-time event loop.
+//
 // Every decision is observable: per-job SLO outcomes land in sim/stats
 // (serve.* counters and histograms, see register_serve_metrics), and the
 // service's private TraceSink carries who=="serve" instants
 // (serve_dispatch/serve_complete/serve_queue/serve_shed/serve_probe/
-// serve_quarantine/serve_readmit) plus one serve_job span per dispatched job
-// — the records check::ProtocolMonitor's serve_isolation invariant watches.
+// serve_quarantine/serve_readmit/serve_drain/serve_undrain/serve_restart)
+// plus one serve_job span per dispatched job — the records
+// check::ProtocolMonitor's serve_isolation invariant watches.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "model/runtime_model.h"
 #include "serve/health_tracker.h"
 #include "serve/partition_allocator.h"
@@ -68,6 +77,18 @@ enum class JobVerdict {
 };
 
 const char* to_string(JobVerdict v);
+
+/// Why a job was shed (JobOutcome::reason carries to_string(reason)).
+enum class ShedReason {
+  kDeadlineUnmeetable,  ///< Eq.-(3): no partition size can meet the deadline
+  kQueueFull,           ///< bounded backlog overflowed on arrival
+  kDeadlineExpired,     ///< deadline lapsed while waiting in the queue
+  kStarved,             ///< still queued when the run drained
+  kDrained,             ///< backlog shed by an operator drain
+  kOperatorShed,        ///< arrived while the service was draining
+};
+
+const char* to_string(ShedReason r);
 
 /// Per-job SLO outcome, emitted for every submitted job.
 struct JobOutcome {
@@ -108,6 +129,12 @@ class Executor {
   /// Run `job` on an m-cluster partition. `probe` marks single-cluster
   /// canary offloads on quarantined clusters.
   virtual ExecutionOutcome execute(const ServeJob& job, unsigned m, bool probe) = 0;
+  /// Operator restart: tear down and rebuild the backing fabric. The default
+  /// is a no-op so scripted test fakes stay trivially correct.
+  virtual void restart() {}
+  /// Swap the live fault environment (chaos-scenario `inject` events). The
+  /// default ignores it; executors without an injector have nothing to swap.
+  virtual void set_fault(const fault::FaultConfig& cfg) { (void)cfg; }
 };
 
 struct ServeConfig {
@@ -122,7 +149,19 @@ struct ServeConfig {
   HealthConfig health;
   /// Problem size of probe (canary) offloads sent to quarantined clusters.
   std::uint64_t probe_n = 256;
+  /// Service-time delay between an operator restart and the first canary
+  /// probe wave on the rebuilt fabric (Soc teardown + cold boot).
+  sim::Cycles restart_penalty_cycles = 20'000;
 };
+
+/// Operator interventions a scenario can schedule against a service.
+enum class OperatorAction {
+  kDrain,    ///< stop admitting; shed the backlog; let in-flight work finish
+  kUndrain,  ///< resume admission
+  kRestart,  ///< abort in-flight work, rebuild the executor, re-probe everything
+};
+
+const char* to_string(OperatorAction a);
 
 class OffloadService {
  public:
@@ -142,14 +181,29 @@ class OffloadService {
   /// Serve one job trace to completion (all arrivals processed, all
   /// in-flight work drained, leftover queue entries shed as "starved").
   /// Returns one outcome per job, in job order. Virtual time restarts at 0
-  /// on every call; health/allocator state carries over.
+  /// on every call; health/allocator/draining state carries over.
   std::vector<JobOutcome> run(const std::vector<ServeJob>& jobs);
 
   /// Completion cycle of the last event in the most recent run().
   sim::Cycle makespan() const { return makespan_; }
 
+  /// True while the service refuses admission (between drain and undrain).
+  bool draining() const { return draining_; }
+  /// Operator restarts performed so far (across runs).
+  std::uint64_t restarts() const { return restarts_; }
+
+  /// Schedule an operator action at virtual cycle `time` of the *next*
+  /// run(). Same-cycle operators fire before same-cycle arrivals, in the
+  /// order they were scheduled. A drain while already draining (or an
+  /// undrain while not) is an operator error and throws at fire time.
+  void schedule_operator(sim::Cycle time, OperatorAction action);
+  /// Schedule an arbitrary callback at virtual cycle `time` of the next
+  /// run() — the scenario engine's hook for timed fault-environment swaps.
+  /// Callbacks must not re-enter the service.
+  void schedule_callback(sim::Cycle time, std::function<void()> fn);
+
  private:
-  enum class EventKind { kArrival, kCompletion, kProbeDue, kProbeDone };
+  enum class EventKind { kArrival, kCompletion, kProbeDue, kProbeDone, kOperator };
   struct Event {
     sim::Cycle time = 0;
     std::uint64_t seq = 0;  ///< insertion order: deterministic tie-break
@@ -163,6 +217,7 @@ class OffloadService {
     std::size_t slot = 0;
     std::vector<unsigned> clusters;
     ExecutionOutcome outcome;
+    bool done = false;  ///< settled early (operator restart): completion is stale
   };
   struct Probe {
     ExecutionOutcome outcome;
@@ -173,7 +228,11 @@ class OffloadService {
   /// Admission capacity for one job: healthy clusters, capped by
   /// max_clusters_per_job.
   unsigned capacity_cap() const;
-  void shed(std::size_t slot, sim::Cycle now, const std::string& reason);
+  void shed(std::size_t slot, sim::Cycle now, ShedReason reason);
+  void apply_operator(OperatorAction action, sim::Cycle now);
+  void do_drain(sim::Cycle now);
+  void do_undrain(sim::Cycle now);
+  void do_restart(sim::Cycle now);
   /// Try to place queue slot `slot` now. True when dispatched or shed
   /// (i.e. the slot left the queue); false when it must keep waiting.
   bool try_dispatch(std::size_t slot, sim::Cycle now);
@@ -205,6 +264,19 @@ class OffloadService {
   std::size_t pending_arrivals_ = 0;          ///< arrivals not yet processed
   std::size_t active_jobs_ = 0;               ///< dispatched, not yet complete
   sim::Cycle makespan_ = 0;
+
+  // Operator state. `draining_` persists across runs like health; the
+  // scheduled operator/callback list is consumed by the next run(). One list
+  // for both so same-cycle entries fire in scheduling order.
+  bool draining_ = false;
+  std::uint64_t restarts_ = 0;
+  struct PendingOperator {
+    sim::Cycle time = 0;
+    OperatorAction action = OperatorAction::kDrain;
+    std::function<void()> fn;  ///< when set, a scheduled callback instead
+  };
+  std::vector<PendingOperator> pending_operators_;
+  std::vector<PendingOperator> operators_;    ///< armed for the current run
 };
 
 /// Eagerly create every serve.* counter and histogram in `stats` so the

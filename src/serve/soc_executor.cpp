@@ -51,6 +51,24 @@ ExecutionOutcome SocExecutor::execute(const ServeJob& job, unsigned m, bool /*pr
   return out;
 }
 
+void SocExecutor::retire_monitor() {
+  if (!monitor_) return;
+  monitor_->finish();
+  retired_violations_ += monitor_->total_violations();
+}
+
+void SocExecutor::restart() {
+  retire_monitor();
+  build_soc();
+  ++restarts_;
+}
+
+void SocExecutor::set_fault(const fault::FaultConfig& cfg) {
+  cfg_.soc.fault = cfg;
+  retire_monitor();
+  build_soc();
+}
+
 std::uint64_t SocExecutor::total_violations() {
   if (!monitor_) return retired_violations_;
   monitor_->finish();

@@ -46,21 +46,33 @@ class SocExecutor : public Executor {
 
   ExecutionOutcome execute(const ServeJob& job, unsigned m, bool probe) override;
 
+  /// Operator restart: retire the live monitor cleanly (between jobs every
+  /// span is closed, so end-of-run checks apply) and rebuild a fresh Soc.
+  void restart() override;
+  /// Swap the fault environment: subsequent jobs run on a fresh Soc built
+  /// with `cfg` (the injector's seed stream restarts deterministically).
+  void set_fault(const fault::FaultConfig& cfg) override;
+
   soc::Soc& soc() { return *soc_; }
   /// Offloads that aborted and forced a Soc rebuild.
   std::uint64_t crashes() const { return crashes_; }
+  /// Operator-initiated rebuilds (restart()).
+  std::uint64_t restarts() const { return restarts_; }
   /// Protocol-invariant violations across the executor's whole life,
   /// including Socs discarded by rebuilds. finish()es the live monitor.
   std::uint64_t total_violations();
 
  private:
   void build_soc();
+  /// finish() the live monitor and bank its violations before a rebuild.
+  void retire_monitor();
 
   SocExecutorConfig cfg_;
   sim::Rng rng_;
   std::unique_ptr<soc::Soc> soc_;
   std::unique_ptr<check::ProtocolMonitor> monitor_;
   std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
   std::uint64_t retired_violations_ = 0;  ///< from rebuilt-away Socs
 };
 

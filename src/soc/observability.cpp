@@ -183,6 +183,16 @@ const std::vector<MetricInfo>& metric_reference() {
       {"serve.probes", "counter"},
       {"serve.quarantines", "counter"},
       {"serve.readmissions", "counter"},
+      {"serve.drain.entered", "counter"},
+      {"serve.drain.exited", "counter"},
+      {"serve.drain.jobs_shed", "counter"},
+      {"serve.restarts", "counter"},
+      {"serve.restart.aborted_jobs", "counter"},
+      // ---- counters: chaos scenarios (scenario::register_scenario_metrics) -
+      {"scenario.events", "counter"},
+      {"scenario.fault_swaps", "counter"},
+      {"scenario.verdicts_passed", "counter"},
+      {"scenario.verdicts_failed", "counter"},
       // ---- histograms ------------------------------------------------------
       {"noc.dispatch_latency_cycles", "histogram"},
       {"noc.completion_latency_cycles", "histogram"},

@@ -1,0 +1,413 @@
+// Tests for the chaos-scenario engine (src/scenario): the text dialect
+// parser (positive grammar, every negative path, a seeded mutation fuzz),
+// the phase-directed trace generator, verdict evaluation, the keyword
+// inventory the docs cross-check pins, and — with MCO_REPO_ROOT — the
+// shipped scenarios/ catalog: every file parses, and the headline
+// drain+restart episode demonstrably recovers with zero invariant
+// violations and a byte-stable report.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "scenario/scenario.h"
+#include "scenario/scenario_runner.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace mco;
+using scenario::load_scenario_text;
+using scenario::ScenarioEventKind;
+using scenario::ScenarioSpec;
+
+const char* kValid = R"(# full-dialect scenario
+name = parse_me
+clusters = 4
+seed = 9
+horizon = 2ms
+queue = 8
+failure_threshold = 3
+probation_probes = 2
+probe_backoff = 4us
+restart_penalty = 30us
+watchdog = 2500
+retries = 2
+
+at 0 traffic steady
+at 100us traffic burst gap=50..200 n=2..8 slack=1.0..1.5 priority=1..2 unmeetable=0
+at 200us inject sick_cluster=3
+at 300us drain
+at 310us restart
+at 400us undrain
+at 400us mark recovery
+at 500us inject none
+at 1ms traffic lull
+expect slo_met >= 0.9 after recovery
+expect violations == 0
+expect restarts <= 1
+)";
+
+// ---- positive grammar ------------------------------------------------------
+
+TEST(ScenarioParse, FullDialectRoundTrip) {
+  const ScenarioSpec s = load_scenario_text(kValid);
+  EXPECT_EQ(s.name, "parse_me");
+  EXPECT_EQ(s.clusters, 4u);
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.horizon, 2'000'000u);
+  EXPECT_EQ(s.max_queue, 8u);
+  EXPECT_EQ(s.failure_threshold, 3u);
+  EXPECT_EQ(s.probation_probes, 2u);
+  EXPECT_EQ(s.probe_backoff_cycles, 4'000u);
+  EXPECT_EQ(s.restart_penalty_cycles, 30'000u);
+  EXPECT_EQ(s.watchdog_wait_cycles, 2'500u);
+  EXPECT_EQ(s.max_retries, 2u);
+
+  ASSERT_EQ(s.phases.size(), 3u);
+  EXPECT_EQ(s.phases[0].profile, "steady");
+  EXPECT_EQ(s.phases[1].start, 100'000u);
+  EXPECT_EQ(s.phases[1].gap_min, 50u);
+  EXPECT_EQ(s.phases[1].gap_max, 200u);
+  EXPECT_EQ(s.phases[1].n_scale_min, 2u);
+  EXPECT_EQ(s.phases[1].n_scale_max, 8u);
+  EXPECT_DOUBLE_EQ(s.phases[1].slack_min, 1.0);
+  EXPECT_DOUBLE_EQ(s.phases[1].slack_max, 1.5);
+  EXPECT_EQ(s.phases[1].priority_min, 1u);
+  EXPECT_EQ(s.phases[1].priority_max, 2u);
+  EXPECT_EQ(s.phases[1].unmeetable_one_in, 0u);
+  EXPECT_EQ(s.phases[2].profile, "lull");
+  EXPECT_GT(s.phases[2].gap_min, s.phases[0].gap_min);  // lull stretches gaps
+
+  ASSERT_EQ(s.events.size(), 9u);
+  EXPECT_EQ(s.events[2].kind, ScenarioEventKind::kInject);
+  EXPECT_EQ(s.events[2].label, "sick_cluster");
+  EXPECT_EQ(s.events[3].kind, ScenarioEventKind::kDrain);
+  EXPECT_EQ(s.events[4].kind, ScenarioEventKind::kRestart);
+  EXPECT_EQ(s.events[5].kind, ScenarioEventKind::kUndrain);
+  EXPECT_EQ(s.events[6].kind, ScenarioEventKind::kMark);
+
+  // The per-cluster override rides on the preset.
+  ASSERT_EQ(s.faults.steps().size(), 2u);
+  EXPECT_EQ(s.faults.steps()[0].preset, "sick_cluster");
+  EXPECT_EQ(s.faults.steps()[0].cfg.target_cluster, 3);
+  EXPECT_FALSE(s.faults.steps()[1].cfg.any_enabled());
+  EXPECT_EQ(s.faults.active_at(250'000).target_cluster, 3);
+  EXPECT_FALSE(s.faults.active_at(0).any_enabled());
+
+  EXPECT_EQ(s.mark_cycle("recovery"), 400'000u);
+  ASSERT_EQ(s.verdicts.size(), 3u);
+  EXPECT_EQ(s.verdicts[0].metric, "slo_met");
+  EXPECT_EQ(s.verdicts[0].after, "recovery");
+  EXPECT_EQ(s.verdicts[0].text, "slo_met >= 0.9 after recovery");
+  EXPECT_EQ(s.verdicts[1].text, "violations == 0");
+}
+
+TEST(ScenarioParse, HeaderEqualsMayBeUnspaced) {
+  const ScenarioSpec s = load_scenario_text("horizon=1000\nat 0 traffic steady\n");
+  EXPECT_EQ(s.horizon, 1000u);
+}
+
+TEST(ScenarioParse, InjectClusterArgumentOverridesTheTarget) {
+  const ScenarioSpec s = load_scenario_text(
+      "horizon = 1000\nat 0 traffic steady\nat 10 inject cluster_hang cluster=5\n");
+  ASSERT_EQ(s.faults.steps().size(), 1u);
+  EXPECT_EQ(s.faults.steps()[0].cfg.target_cluster, 5);
+}
+
+// ---- negative paths --------------------------------------------------------
+
+/// The parse must fail, with a diagnostic naming the offending line.
+void expect_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)load_scenario_text(text);
+    FAIL() << "parse accepted:\n" << text;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(ScenarioParse, RejectsUnknownVerb) {
+  expect_error("horizon = 1000\nat 0 explode everything\n", "unknown verb 'explode'");
+  expect_error("horizon = 1000\nat 0 explode everything\n", "scenario line 2");
+}
+
+TEST(ScenarioParse, RejectsOutOfOrderTimestamps) {
+  expect_error("horizon = 1000\nat 500 drain\nat 400 undrain\n", "non-decreasing");
+}
+
+TEST(ScenarioParse, RejectsDuplicateDrain) {
+  expect_error("horizon = 1000\nat 0 drain\nat 10 drain\n", "already draining");
+}
+
+TEST(ScenarioParse, RejectsUnpairedUndrain) {
+  expect_error("horizon = 1000\nat 0 undrain\n", "not draining");
+}
+
+TEST(ScenarioParse, RejectsVerdictOnUnknownMetric) {
+  expect_error("horizon = 1000\nexpect happiness >= 1\n", "unknown metric 'happiness'");
+}
+
+TEST(ScenarioParse, RejectsVerdictWithUnknownOperator) {
+  expect_error("horizon = 1000\nexpect jobs ~= 1\n", "unknown operator '~='");
+}
+
+TEST(ScenarioParse, RejectsScopedGlobalMetric) {
+  expect_error("horizon = 1000\nat 0 mark m\nexpect violations == 0 after m\n",
+               "episode-global");
+}
+
+TEST(ScenarioParse, RejectsVerdictAfterUnknownMark) {
+  expect_error("horizon = 1000\nexpect jobs >= 1 after nowhere\n", "unknown mark");
+}
+
+TEST(ScenarioParse, RejectsMissingHorizon) {
+  expect_error("name = x\nat 0 traffic steady\n", "missing required header 'horizon");
+}
+
+TEST(ScenarioParse, RejectsHeaderAfterScript) {
+  expect_error("horizon = 1000\nat 0 traffic steady\nseed = 7\n", "headers go first");
+}
+
+TEST(ScenarioParse, RejectsUnknownHeaderKey) {
+  expect_error("horizon = 1000\nflux_capacitance = 3\n", "unknown header key");
+}
+
+TEST(ScenarioParse, RejectsUnknownFaultPreset) {
+  expect_error("horizon = 1000\nat 0 inject gremlins\n", "unknown preset 'gremlins'");
+}
+
+TEST(ScenarioParse, RejectsUnknownTrafficProfile) {
+  expect_error("horizon = 1000\nat 0 traffic tsunami\n", "unknown traffic profile");
+}
+
+TEST(ScenarioParse, RejectsInvertedRanges) {
+  expect_error("horizon = 1000\nat 0 traffic steady gap=900..100\n", "max below min");
+}
+
+TEST(ScenarioParse, RejectsTrailingOperatorArguments) {
+  expect_error("horizon = 1000\nat 0 drain slowly\n", "unexpected trailing arguments");
+}
+
+TEST(ScenarioParse, RejectsDuplicateMarks) {
+  expect_error("horizon = 1000\nat 0 mark a\nat 10 mark a\n", "duplicate mark");
+}
+
+TEST(ScenarioParse, RejectsMalformedNumbers) {
+  expect_error("horizon = soon\n", "expects an unsigned integer");
+  expect_error("horizon = 1000\nat 0 traffic steady slack=fast\n", "expects a number");
+}
+
+TEST(ScenarioFile, MissingFileIsARuntimeError) {
+  EXPECT_THROW(scenario::load_scenario_file("/nonexistent/nope.scn"), std::runtime_error);
+}
+
+// ---- seeded mutation fuzz ---------------------------------------------------
+
+TEST(ScenarioFuzz, SeededMutationCorpusNeverCrashes) {
+  // Mutate the valid scenario 300 ways (truncate / corrupt / delete /
+  // splice, seeded so failures replay) and require the parser to either
+  // accept the result or reject it with a std::exception — never crash.
+  const std::string valid = kValid;
+  sim::Rng rng(0x5CE7A210ull);
+  const std::string charset = "abcdefghijklmnopqrstuvwxyz0123456789.,=# \nat-";
+  unsigned parsed = 0, rejected = 0;
+  for (int i = 0; i < 300; ++i) {
+    std::string text = valid;
+    const unsigned op = static_cast<unsigned>(rng.next_below(4));
+    if (op == 0 && !text.empty()) {  // truncate mid-file
+      text.resize(rng.next_below(text.size()));
+    } else if (op == 1 && !text.empty()) {  // corrupt one byte
+      text[rng.next_below(text.size())] = charset[rng.next_below(charset.size())];
+    } else if (op == 2 && !text.empty()) {  // delete a span
+      const std::size_t at = rng.next_below(text.size());
+      text.erase(at, rng.next_below(16) + 1);
+    } else {  // splice random garbage
+      std::string junk;
+      for (unsigned k = 0; k < 12; ++k) junk += charset[rng.next_below(charset.size())];
+      text.insert(text.empty() ? 0 : rng.next_below(text.size()), junk);
+    }
+    try {
+      (void)load_scenario_text(text);
+      ++parsed;
+    } catch (const std::exception& e) {
+      EXPECT_NE(e.what()[0], '\0') << "empty diagnostic for mutant " << i;
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 300u);
+  EXPECT_GT(rejected, 0u);  // the corpus does exercise error paths
+}
+
+// ---- trace generation -------------------------------------------------------
+
+TEST(ScenarioTrace, IsDeterministicAndPhaseDirected) {
+  const ScenarioSpec s = load_scenario_text(
+      "horizon = 100000\n"
+      "at 0 traffic steady gap=100..100 n=1..1 priority=0..0 unmeetable=0\n"
+      "at 50000 traffic steady gap=1000..1000 n=4..4 unmeetable=0\n");
+  const model::RuntimeModel m = model::paper_daxpy_model();
+  const auto a = scenario::scenario_trace(s, m);
+  const auto b = scenario::scenario_trace(s, m);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i + 1);
+    EXPECT_EQ(a[i].n, b[i].n);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].t_max, b[i].t_max);
+    EXPECT_LE(a[i].arrival, 100'000u);
+    if (a[i].arrival < 50'000) {
+      EXPECT_EQ(a[i].n, 256u);  // first phase: n scale pinned to 1
+      if (i > 0) EXPECT_EQ(a[i].arrival - a[i - 1].arrival, 100u);
+    } else if (a[i].arrival > 51'000) {
+      EXPECT_EQ(a[i].n, 1024u);  // second phase: n scale pinned to 4
+    }
+  }
+}
+
+TEST(ScenarioTrace, EmptyPhaseListYieldsNoJobs) {
+  const ScenarioSpec s = load_scenario_text("horizon = 1000\nat 0 drain\n");
+  EXPECT_TRUE(scenario::scenario_trace(s, model::paper_daxpy_model()).empty());
+}
+
+// ---- verdicts ---------------------------------------------------------------
+
+TEST(ScenarioVerdicts, OperatorTableIsExact) {
+  EXPECT_TRUE(scenario::verdict_holds("==", 2.0, 2.0));
+  EXPECT_FALSE(scenario::verdict_holds("==", 2.0, 3.0));
+  EXPECT_TRUE(scenario::verdict_holds("!=", 2.0, 3.0));
+  EXPECT_TRUE(scenario::verdict_holds("<=", 2.0, 2.0));
+  EXPECT_TRUE(scenario::verdict_holds(">=", 3.0, 2.0));
+  EXPECT_TRUE(scenario::verdict_holds("<", 1.0, 2.0));
+  EXPECT_FALSE(scenario::verdict_holds(">", 1.0, 2.0));
+  EXPECT_THROW(scenario::verdict_holds("~=", 1.0, 2.0), std::invalid_argument);
+}
+
+// ---- keyword inventory ------------------------------------------------------
+
+TEST(ScenarioKeywords, NamesAreUniqueAndKindsAreKnown) {
+  const std::set<std::string> kinds = {"header", "verb", "profile", "preset", "arg", "metric"};
+  std::set<std::string> seen;
+  for (const auto& k : scenario::scenario_keyword_reference()) {
+    EXPECT_TRUE(kinds.count(k.kind)) << k.kind;
+    EXPECT_TRUE(seen.insert(k.name).second) << "duplicate keyword " << k.name;
+  }
+  EXPECT_GE(seen.size(), 40u);
+}
+
+TEST(ScenarioKeywords, PresetRowsMatchTheFaultLayer) {
+  // The dialect's preset keywords are exactly fault::preset_names(): a new
+  // preset must land in both (and in docs/scenarios.md, which
+  // scripts/check_metrics_docs.py cross-checks against this table).
+  std::set<std::string> table;
+  for (const auto& k : scenario::scenario_keyword_reference()) {
+    if (std::string(k.kind) == "preset") table.insert(k.name);
+  }
+  std::set<std::string> layer;
+  for (const std::string& n : fault::preset_names()) layer.insert(n);
+  EXPECT_EQ(table, layer);
+}
+
+TEST(ScenarioKeywords, EveryParserVerbAndProfileIsListed) {
+  std::set<std::string> verbs, profiles, metrics;
+  for (const auto& k : scenario::scenario_keyword_reference()) {
+    if (std::string(k.kind) == "verb") verbs.insert(k.name);
+    if (std::string(k.kind) == "profile") profiles.insert(k.name);
+    if (std::string(k.kind) == "metric") metrics.insert(k.name);
+  }
+  for (const char* v : {"traffic", "inject", "drain", "undrain", "restart", "mark"})
+    EXPECT_TRUE(verbs.count(v)) << v;
+  for (const char* p : {"steady", "burst", "lull", "mix"}) EXPECT_TRUE(profiles.count(p)) << p;
+  for (const char* m : {"slo_met", "violations", "restarts", "drains", "makespan"})
+    EXPECT_TRUE(metrics.count(m)) << m;
+}
+
+// ---- runner -----------------------------------------------------------------
+
+TEST(ScenarioRunner, TinyEpisodeRunsCleanAndJudges) {
+  const ScenarioSpec s = load_scenario_text(
+      "name = tiny\nclusters = 2\nhorizon = 20000\n"
+      "at 0 traffic steady unmeetable=0\n"
+      "expect jobs > 0\nexpect violations == 0\nexpect restarts == 0\n");
+  const scenario::ScenarioResult r = scenario::run_scenario(s, {});
+  EXPECT_EQ(r.name, "tiny");
+  EXPECT_GT(r.jobs, 0u);
+  EXPECT_EQ(r.soc_violations + r.serve_violations, 0u);
+  ASSERT_EQ(r.verdicts.size(), 3u);
+  for (const auto& v : r.verdicts) EXPECT_TRUE(v.passed) << v.text;
+  EXPECT_TRUE(r.passed);
+  const std::string doc = scenario::scenario_report_json({r});
+  EXPECT_NE(doc.find("\"schema\": \"mco-scenario-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"tiny\""), std::string::npos);
+  EXPECT_NE(doc.find("\"passed\": true"), std::string::npos);
+  EXPECT_EQ(doc, scenario::scenario_report_json({r}));  // byte-stable
+}
+
+TEST(ScenarioRunner, FailedVerdictFailsTheEpisode) {
+  const ScenarioSpec s = load_scenario_text(
+      "clusters = 2\nhorizon = 20000\nat 0 traffic steady unmeetable=0\n"
+      "expect restarts >= 5\n");
+  const scenario::ScenarioResult r = scenario::run_scenario(s, {});
+  ASSERT_EQ(r.verdicts.size(), 1u);
+  EXPECT_FALSE(r.verdicts[0].passed);
+  EXPECT_FALSE(r.passed);
+}
+
+// ---- shipped catalog --------------------------------------------------------
+
+#ifdef MCO_REPO_ROOT
+TEST(ScenarioCatalog, EveryShippedFileParses) {
+  const std::string dir = std::string(MCO_REPO_ROOT) + "/scenarios";
+  const char* files[] = {"happy_path.scn",
+                         "sick_cluster_drain_restart.scn",
+                         "mid_burst_chaos.scn",
+                         "quarantine_rescue.scn",
+                         "credit_storm.scn",
+                         "straggler_redistribution.scn",
+                         "deadline_storm_shed.scn",
+                         "restart_during_inflight.scn"};
+  for (const char* f : files) {
+    SCOPED_TRACE(f);
+    ScenarioSpec s;
+    ASSERT_NO_THROW(s = scenario::load_scenario_file(dir + "/" + f));
+    EXPECT_GT(s.horizon, 0u);
+    EXPECT_FALSE(s.verdicts.empty());
+    bool has_violations_verdict = false;
+    for (const auto& v : s.verdicts)
+      has_violations_verdict = has_violations_verdict || v.metric == "violations";
+    EXPECT_TRUE(has_violations_verdict) << "catalog scenarios must pin violations";
+  }
+}
+
+TEST(ScenarioCatalog, HeadlineEpisodeRecoversDeterministically) {
+  // The tentpole demonstration: sick cluster, operator drain + restart, and
+  // a declared post-recovery SLO verdict that actually holds — twice, with
+  // byte-identical reports.
+  const ScenarioSpec s = scenario::load_scenario_file(
+      std::string(MCO_REPO_ROOT) + "/scenarios/sick_cluster_drain_restart.scn");
+  const scenario::ScenarioResult a = scenario::run_scenario(s, {});
+  EXPECT_TRUE(a.passed) << scenario::scenario_report_json({a});
+  EXPECT_EQ(a.restarts, 1u);
+  EXPECT_EQ(a.drains, 1u);
+  EXPECT_GE(a.quarantines, 1u);
+  EXPECT_EQ(a.soc_violations + a.serve_violations, 0u);
+  bool recovery_verdict = false;
+  for (const auto& v : a.verdicts) {
+    if (v.text.find("after recovery") != std::string::npos) {
+      recovery_verdict = true;
+      EXPECT_TRUE(v.passed) << v.text << " actual " << v.actual;
+    }
+  }
+  EXPECT_TRUE(recovery_verdict);
+  const scenario::ScenarioResult b = scenario::run_scenario(s, {});
+  EXPECT_EQ(scenario::scenario_report_json({a}), scenario::scenario_report_json({b}));
+}
+#endif
+
+}  // namespace

@@ -685,6 +685,188 @@ TEST(ServeIsolation, ReleaseOfAnUnheldClusterIsAViolation) {
   EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
 }
 
+// ---- operator actions: drain / undrain / restart ----------------------------
+
+TEST(HealthTracker, RestartQuarantinesEverythingAndClearsCounters) {
+  HealthTracker t(2, HealthConfig{2, 2, 100});
+  t.record_failure(0);
+  t.record_failure(0);
+  EXPECT_EQ(t.state(0), ClusterHealth::kQuarantined);
+  t.record_probe(0, true);  // one clean probe banked: mid-probation
+  EXPECT_EQ(t.state(0), ClusterHealth::kProbation);
+  EXPECT_EQ(t.clean_probes(0), 1u);
+  const std::uint64_t trips = t.quarantines();
+  t.restart();
+  EXPECT_EQ(t.quarantines(), trips);  // operator action, not a breaker trip
+  for (unsigned c = 0; c < 2; ++c) {
+    EXPECT_EQ(t.state(c), ClusterHealth::kQuarantined);
+    EXPECT_EQ(t.clean_probes(c), 0u);
+    EXPECT_EQ(t.consecutive_failures(c), 0u);
+  }
+  // Regression: probation progress earned before the restart must not count
+  // toward re-admission after it. The first clean probe only enters
+  // probation; only the second re-admits.
+  EXPECT_FALSE(t.record_probe(0, true));
+  EXPECT_EQ(t.state(0), ClusterHealth::kProbation);
+  EXPECT_TRUE(t.record_probe(0, true));
+  EXPECT_EQ(t.state(0), ClusterHealth::kHealthy);
+}
+
+TEST(OffloadService, ShedAndOperatorStringsAreStable) {
+  EXPECT_STREQ(to_string(serve::ShedReason::kDeadlineUnmeetable), "deadline_unmeetable");
+  EXPECT_STREQ(to_string(serve::ShedReason::kQueueFull), "queue_full");
+  EXPECT_STREQ(to_string(serve::ShedReason::kDeadlineExpired), "deadline_expired");
+  EXPECT_STREQ(to_string(serve::ShedReason::kStarved), "starved");
+  EXPECT_STREQ(to_string(serve::ShedReason::kDrained), "drained");
+  EXPECT_STREQ(to_string(serve::ShedReason::kOperatorShed), "operator_shed");
+  EXPECT_STREQ(to_string(serve::OperatorAction::kDrain), "drain");
+  EXPECT_STREQ(to_string(serve::OperatorAction::kUndrain), "undrain");
+  EXPECT_STREQ(to_string(serve::OperatorAction::kRestart), "restart");
+}
+
+TEST(OffloadService, DrainShedsTheBacklogAndRefusesAdmission) {
+  FakeExecutor exec;  // every job takes 100 cycles on its partition
+  OffloadService svc(config(1), exec);
+  sim::StatsRegistry stats;
+  svc.bind_stats(&stats);
+  svc.schedule_operator(20, serve::OperatorAction::kDrain);
+  svc.schedule_operator(200, serve::OperatorAction::kUndrain);
+  const auto out = svc.run({
+      job(1, 100, 0, 5000),    // dispatched at 0, completes at 100
+      job(2, 100, 10, 5000),   // queued behind it, shed by the drain at 20
+      job(3, 100, 30, 5000),   // arrives inside the window: operator_shed
+      job(4, 100, 250, 5000),  // after undrain: served normally
+  });
+  EXPECT_EQ(out[0].verdict, JobVerdict::kMet);
+  EXPECT_EQ(out[1].verdict, JobVerdict::kShed);
+  EXPECT_EQ(out[1].reason, "drained");
+  EXPECT_EQ(out[1].end, 20u);
+  EXPECT_EQ(out[2].verdict, JobVerdict::kShed);
+  EXPECT_EQ(out[2].reason, "operator_shed");
+  EXPECT_EQ(out[3].verdict, JobVerdict::kMet);
+  EXPECT_FALSE(svc.draining());
+  EXPECT_EQ(stats.counter_value("serve.drain.entered"), 1u);
+  EXPECT_EQ(stats.counter_value("serve.drain.exited"), 1u);
+  EXPECT_EQ(stats.counter_value("serve.drain.jobs_shed"), 2u);
+}
+
+TEST(OffloadService, DrainLetsInFlightWorkComplete) {
+  FakeExecutor exec(queueing::long_first_job());
+  OffloadService svc(config(1), exec);
+  svc.schedule_operator(5, serve::OperatorAction::kDrain);
+  const auto out = svc.run({job(1, 100, 0, 5000)});
+  // The drain at t=5 does not abort the job dispatched at t=0.
+  EXPECT_EQ(out[0].verdict, JobVerdict::kMet);
+  EXPECT_TRUE(svc.draining());  // never undrained: state persists
+}
+
+TEST(OffloadService, DoubleDrainIsAnOperatorError) {
+  FakeExecutor exec;
+  OffloadService svc(config(1), exec);
+  svc.schedule_operator(0, serve::OperatorAction::kDrain);
+  svc.schedule_operator(10, serve::OperatorAction::kDrain);
+  EXPECT_THROW(svc.run({}), std::logic_error);
+}
+
+TEST(OffloadService, UndrainWithoutDrainIsAnOperatorError) {
+  FakeExecutor exec;
+  OffloadService svc(config(1), exec);
+  svc.schedule_operator(0, serve::OperatorAction::kUndrain);
+  EXPECT_THROW(svc.run({}), std::logic_error);
+}
+
+TEST(OffloadService, RestartAbortsInFlightWorkAndReprobesTheFabric) {
+  FakeExecutor exec([](const ServeJob&, unsigned, bool probe) {
+    ExecutionOutcome out;
+    out.duration = probe ? 50 : 1000;
+    return out;
+  });
+  ServeConfig cfg = config(2);
+  cfg.restart_penalty_cycles = 500;
+  OffloadService svc(cfg, exec);
+  sim::StatsRegistry stats;
+  svc.bind_stats(&stats);
+  svc.schedule_operator(100, serve::OperatorAction::kRestart);
+  const auto out = svc.run({
+      job(1, 100, 0, 5000),    // in flight at the restart: aborted
+      job(2, 100, 2000, 5000), // after re-probation: served normally
+  });
+  EXPECT_EQ(out[0].verdict, JobVerdict::kFailed);
+  EXPECT_EQ(out[0].reason, "restarted");
+  EXPECT_EQ(out[0].end, 100u);
+  EXPECT_EQ(out[1].verdict, JobVerdict::kMet);
+  EXPECT_EQ(svc.restarts(), 1u);
+  EXPECT_EQ(stats.counter_value("serve.restarts"), 1u);
+  EXPECT_EQ(stats.counter_value("serve.restart.aborted_jobs"), 1u);
+  // Every cluster was re-probed: probe wave at restart + penalty, then a
+  // second clean canary each (default probation_probes = 2) to re-admit.
+  unsigned probes = 0;
+  for (const auto& c : exec.calls) probes += c.probe ? 1 : 0;
+  EXPECT_EQ(probes, 4u);
+  EXPECT_EQ(stats.counter_value("serve.probes"), 4u);
+  // Re-admission after the operator restart counts as readmission activity.
+  EXPECT_EQ(svc.health().readmissions(), 2u);
+  EXPECT_EQ(svc.health().available_count(), 2u);
+}
+
+TEST(OffloadService, ScheduledCallbackFiresInVirtualTime) {
+  FakeExecutor exec;
+  OffloadService svc(config(1), exec);
+  std::vector<std::string> order;
+  svc.schedule_callback(10, [&] { order.push_back("callback"); });
+  svc.schedule_operator(10, serve::OperatorAction::kDrain);
+  svc.run({});
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], "callback");  // same-cycle entries fire in schedule order
+  EXPECT_TRUE(svc.draining());
+  EXPECT_THROW(svc.schedule_callback(0, nullptr), std::invalid_argument);
+}
+
+TEST(OffloadService, OperatorEpisodeKeepsTheMonitorClean) {
+  // drain -> restart -> undrain with work in flight and a backlog: the trace
+  // must stay serve_isolation-clean end to end.
+  FakeExecutor exec([](const ServeJob&, unsigned, bool probe) {
+    ExecutionOutcome out;
+    out.duration = probe ? 50 : 300;
+    return out;
+  });
+  ServeConfig cfg = config(2);
+  cfg.restart_penalty_cycles = 200;
+  OffloadService svc(cfg, exec);
+  check::ProtocolMonitor monitor;
+  monitor.attach(svc.trace());
+  svc.schedule_operator(50, serve::OperatorAction::kDrain);
+  svc.schedule_operator(60, serve::OperatorAction::kRestart);
+  svc.schedule_operator(400, serve::OperatorAction::kUndrain);
+  svc.run({
+      job(1, 100, 0, 5000),
+      job(2, 100, 10, 5000),
+      job(3, 100, 20, 5000),
+      job(4, 100, 600, 5000),
+  });
+  monitor.finish();
+  EXPECT_TRUE(monitor.clean()) << monitor.to_json();
+  EXPECT_EQ(svc.restarts(), 1u);
+}
+
+TEST(ServeIsolation, FlagsDispatchDuringADrainWindow) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_drain", "backlog=0");
+  feed(mon, 20, "serve_dispatch", "job=1 m=1 clusters=0");
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+TEST(ServeIsolation, FlagsUnpairedDrainTransitions) {
+  check::ProtocolMonitor undrain_first;
+  feed(undrain_first, 10, "serve_undrain", "resume");
+  EXPECT_EQ(undrain_first.total_violations(), 1u);
+  check::ProtocolMonitor double_drain;
+  feed(double_drain, 10, "serve_drain", "backlog=0");
+  feed(double_drain, 20, "serve_drain", "backlog=0");
+  EXPECT_EQ(double_drain.total_violations(), 1u);
+}
+
 // ---- soak harness -----------------------------------------------------------
 
 TEST(Soak, GeneratedTraceIsDeterministicAndWellFormed) {

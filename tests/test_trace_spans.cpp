@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "scenario/scenario_runner.h"
 #include "serve/offload_service.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -447,6 +448,7 @@ TEST(DocsCrossCheck, EveryRuntimeNameIsInTheReferenceAndViceVersa) {
   // live only on the service's private trace sink and are documented in
   // docs/observability.md prose, not in the reference table.
   serve::register_serve_metrics(soc.simulator().stats());
+  scenario::register_scenario_metrics(soc.simulator().stats());
 
   const auto ref_counters = reference_names("counter");
   const auto ref_hists = reference_names("histogram");
