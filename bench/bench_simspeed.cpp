@@ -1,0 +1,384 @@
+// E21 — simulator fast-path throughput: simulated cycles per wall-second.
+//
+// Unlike E1–E20 this bench measures the *simulator*, not the simulated SoC:
+// how fast the event loop retires events, on the calendar-queue fast engine
+// versus the original comparator-heap engine (EngineKind::kLegacyHeap, kept
+// verbatim as the pre-optimization reference). Four workloads isolate the
+// layers of docs/performance.md's cost model:
+//
+//   queue_micro   — pure kernel: self-rescheduling actors exercising wheel,
+//                   same-cycle lanes, priorities and the overflow map;
+//   e1_daxpy      — the full E1 sweep (fig1_left workload) per engine; its
+//                   sim-cycles/wall-second ratio is the headline series that
+//                   scripts/bench_report.py records in BENCH_sweep.json;
+//   sink_dispatch — TraceSink paths: dormant, raw observer, boxed observer,
+//                   arena-interned storage;
+//   arena         — raw bump-allocator throughput and reuse-after-reset.
+//
+// Tables are deterministic (counts and simulated cycles only — byte-identical
+// on any machine and --jobs value, and identical across the two engines by
+// construction, which the "ok" column asserts). Wall-clock rates are
+// machine-dependent and therefore quarantined on the trailing
+// "[simspeed] ..." machine lines, which bench_report.py parses.
+#include <chrono>
+#include <cstring>
+
+#include "bench_common.h"
+#include "sim/arena.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------- queue micro
+
+struct MicroState {
+  sim::Simulator* sim = nullptr;
+  std::uint64_t remaining = 0;
+  std::array<std::uint32_t, 8> rng{};
+};
+
+/// One self-rescheduling actor: every execution draws a deterministic LCG
+/// delta (0 = same cycle, 1..12 = wheel, sporadic 1500 = overflow map) and a
+/// priority, then schedules its successor. 16 bytes — inline in EventFn.
+struct Actor {
+  MicroState* st;
+  unsigned id;
+  void operator()() const {
+    if (st->remaining == 0) return;
+    --st->remaining;
+    std::uint32_t& r = st->rng[id];
+    r = r * 1664525u + 1013904223u;
+    sim::Cycles d = (r >> 16) % 13u;
+    if ((r & 63u) == 0) d = 1500;
+    const auto prio = static_cast<sim::Priority>((r >> 8) % 5u);
+    st->sim->schedule_in(d, Actor{st, id}, prio);
+  }
+};
+
+struct QueueMicroResult {
+  std::uint64_t events = 0;
+  std::uint64_t final_cycle = 0;
+  std::uint64_t heap_spills = 0;
+  double best_seconds = 0.0;
+};
+
+QueueMicroResult run_queue_micro(sim::EngineKind engine, std::uint64_t budget, unsigned reps) {
+  QueueMicroResult out;
+  out.best_seconds = 1e100;
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    sim::Simulator sim(engine);
+    MicroState st;
+    st.sim = &sim;
+    st.remaining = budget;
+    for (unsigned i = 0; i < st.rng.size(); ++i) {
+      st.rng[i] = 0x9e3779b9u * (i + 1);
+      sim.schedule_in(i % 3, Actor{&st, i});
+    }
+    const auto t0 = Clock::now();
+    sim.run();
+    const double s = seconds_since(t0);
+    out.events = sim.events_executed();
+    out.final_cycle = sim.now();
+    out.heap_spills = sim.event_heap_spills();
+    if (s < out.best_seconds) out.best_seconds = s;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- E1 workload
+
+struct E1Result {
+  std::uint64_t points = 0;
+  std::uint64_t sim_cycles = 0;
+  double best_seconds = 0.0;
+};
+
+/// The fig1_left sweep (baseline(64) + extended(64), M in {1..64}), run
+/// serially on one engine. Legacy also restores eager HBM zeroing — the
+/// pre-PR Soc construction cost is part of what the fast path removed.
+E1Result run_e1(bool legacy, unsigned reps) {
+  const std::vector<unsigned> ms{1, 2, 4, 8, 16, 32, 64};
+  E1Result out;
+  out.best_seconds = 1e100;
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    std::uint64_t cycles = 0;
+    std::uint64_t points = 0;
+    const auto t0 = Clock::now();
+    for (const bool extended : {false, true}) {
+      for (const unsigned m : ms) {
+        soc::SocConfig cfg =
+            extended ? soc::SocConfig::extended(64) : soc::SocConfig::baseline(64);
+        cfg.sim.legacy_heap_queue = legacy;
+        cfg.sim.eager_hbm_zero = legacy;
+        cycles += daxpy_cycles(cfg, 1024, m);
+        ++points;
+      }
+    }
+    const double s = seconds_since(t0);
+    out.points = points;
+    out.sim_cycles = cycles;
+    if (s < out.best_seconds) out.best_seconds = s;
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- sink dispatch
+
+struct SinkResult {
+  std::uint64_t calls = 0;
+  std::uint64_t observed_raw = 0;
+  std::uint64_t observed_boxed = 0;
+  std::uint64_t stored = 0;
+  std::uint64_t interned_bytes = 0;
+  bool reuse_ok = false;
+  double dormant_seconds = 0.0;
+  double raw_seconds = 0.0;
+  double boxed_seconds = 0.0;
+  double storage_seconds = 0.0;
+};
+
+SinkResult run_sink_dispatch(std::uint64_t calls, std::uint64_t stored_records) {
+  SinkResult out;
+  out.calls = calls;
+  sim::TraceSink sink;
+
+  // Dormant: armed() is false, the call is a flag test and return.
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < calls; ++i)
+    sink.record(i, "soc.cluster0", "doorbell");
+  out.dormant_seconds = seconds_since(t0);
+
+  // Raw observer: one function-pointer hop into a counting callback.
+  std::uint64_t seen = 0;
+  sink.set_observer(
+      [](void* ctx, const sim::TraceRecord&) { ++*static_cast<std::uint64_t*>(ctx); }, &seen);
+  t0 = Clock::now();
+  for (std::uint64_t i = 0; i < calls; ++i)
+    sink.record(i, "soc.cluster0", "doorbell");
+  out.raw_seconds = seconds_since(t0);
+  out.observed_raw = seen;
+
+  // Boxed observer: std::function compatibility adapter over the same path.
+  std::uint64_t seen_boxed = 0;
+  sink.set_observer([&seen_boxed](const sim::TraceRecord&) { ++seen_boxed; });
+  t0 = Clock::now();
+  for (std::uint64_t i = 0; i < calls; ++i)
+    sink.record(i, "soc.cluster0", "doorbell");
+  out.boxed_seconds = seconds_since(t0);
+  out.observed_boxed = seen_boxed;
+
+  // Storage: interned compact records. Fill, clear, refill — the second fill
+  // must not grow the arena (reuse-after-reset), which reuse_ok asserts.
+  sink.set_observer(nullptr, nullptr);
+  sink.enable(true);
+  const char* const details[4] = {"tile=0", "tile=1", "tile=2", "tile=3"};
+  t0 = Clock::now();
+  for (std::uint64_t i = 0; i < stored_records; ++i)
+    sink.record(i, "soc.cluster0", "dma_in_done", details[i % 4]);
+  out.storage_seconds = seconds_since(t0);
+  out.stored = sink.stored();
+  out.interned_bytes = sink.interned_bytes();
+  const std::size_t bytes_first = sink.interned_bytes();
+  sink.clear();
+  for (std::uint64_t i = 0; i < stored_records; ++i)
+    sink.record(i, "soc.cluster0", "dma_in_done", details[i % 4]);
+  out.reuse_ok = sink.stored() == stored_records && sink.interned_bytes() == bytes_first;
+  return out;
+}
+
+// ---------------------------------------------------------------- arena micro
+
+struct ArenaResult {
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes_per_round = 0;
+  std::uint64_t capacity = 0;
+  bool reuse_ok = false;
+  double best_seconds = 0.0;
+};
+
+ArenaResult run_arena_micro(std::uint64_t allocs_per_round, unsigned rounds) {
+  ArenaResult out;
+  out.allocs = allocs_per_round * rounds;
+  out.best_seconds = 1e100;
+  sim::Arena arena;
+  std::size_t capacity_after_first = 0;
+  for (unsigned round = 0; round < rounds; ++round) {
+    arena.reset();
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < allocs_per_round; ++i) {
+      void* p = arena.allocate(16 + (i % 5) * 8, 8);
+      benchmark::DoNotOptimize(p);
+    }
+    const double s = seconds_since(t0);
+    if (s < out.best_seconds) out.best_seconds = s;
+    out.bytes_per_round = arena.bytes_allocated();
+    if (round == 0) capacity_after_first = arena.capacity();
+  }
+  out.capacity = arena.capacity();
+  // Reset-reuse contract: rounds after the first allocate no new chunks.
+  out.reuse_ok = arena.capacity() == capacity_after_first;
+  return out;
+}
+
+// -------------------------------------------------------------------- driver
+
+struct SimspeedArgs {
+  double assert_speedup = 0.0;  // 0 = no assertion
+  unsigned reps = 3;
+};
+
+SimspeedArgs simspeed_args(int& argc, char** argv) {
+  SimspeedArgs out;
+  const auto die = [](const char* msg, const char* v) {
+    std::fprintf(stderr, "error: %s '%s'\n", msg, v);
+    std::exit(2);
+  };
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--assert-speedup=", 17) == 0) {
+      char* end = nullptr;
+      out.assert_speedup = std::strtod(arg + 17, &end);
+      if (end == arg + 17 || *end != '\0' || out.assert_speedup <= 0.0)
+        die("--assert-speedup expects a positive number, got", arg + 17);
+      continue;
+    }
+    if (std::strncmp(arg, "--reps=", 7) == 0) {
+      char* end = nullptr;
+      const long v = std::strtol(arg + 7, &end, 10);
+      if (end == arg + 7 || *end != '\0' || v < 1 || v > 100)
+        die("--reps expects an integer in [1, 100], got", arg + 7);
+      out.reps = static_cast<unsigned>(v);
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return out;
+}
+
+std::string fmt_rate(double per_sec) { return util::format("%.3e", per_sec); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = bench_args(argc, argv);
+  const SimspeedArgs sargs = simspeed_args(argc, argv);
+  (void)args;
+
+  banner("E21: simulator fast-path throughput (sim-cycles per wall-second)",
+         "n/a — simulator engineering bench (docs/performance.md)");
+
+  constexpr std::uint64_t kMicroBudget = 400000;
+  const QueueMicroResult qfast =
+      run_queue_micro(sim::EngineKind::kFast, kMicroBudget, sargs.reps);
+  const QueueMicroResult qlegacy =
+      run_queue_micro(sim::EngineKind::kLegacyHeap, kMicroBudget, sargs.reps);
+
+  const E1Result efast = run_e1(/*legacy=*/false, sargs.reps);
+  const E1Result elegacy = run_e1(/*legacy=*/true, sargs.reps);
+
+  const SinkResult sink = run_sink_dispatch(/*calls=*/2000000, /*stored_records=*/200000);
+  const ArenaResult arena = run_arena_micro(/*allocs_per_round=*/500000, /*rounds=*/4);
+
+  util::TablePrinter engines({"workload", "engine", "events", "sim_cycles", "heap_spills", "ok"});
+  engines.add_row({"queue_micro", "fast", fmt_u64(qfast.events), fmt_u64(qfast.final_cycle),
+                   fmt_u64(qfast.heap_spills),
+                   qfast.final_cycle == qlegacy.final_cycle && qfast.events == qlegacy.events
+                       ? "yes"
+                       : "NO"});
+  engines.add_row({"queue_micro", "legacy", fmt_u64(qlegacy.events),
+                   fmt_u64(qlegacy.final_cycle), "n/a", "yes"});
+  engines.add_row({"e1_daxpy", "fast", fmt_u64(efast.points), fmt_u64(efast.sim_cycles), "0",
+                   efast.sim_cycles == elegacy.sim_cycles ? "yes" : "NO"});
+  engines.add_row({"e1_daxpy", "legacy", fmt_u64(elegacy.points), fmt_u64(elegacy.sim_cycles),
+                   "n/a", "yes"});
+  engines.print(std::cout);
+  std::printf("(queue_micro sim_cycles column = final simulated cycle; e1_daxpy events\n"
+              "column = sweep points. 'ok' asserts both engines agree bit-exactly.)\n\n");
+
+  util::TablePrinter sinks({"dispatch_path", "calls", "seen/stored", "reuse_ok"});
+  sinks.add_row({"dormant", fmt_u64(sink.calls), "0", "-"});
+  sinks.add_row({"observer_raw", fmt_u64(sink.calls), fmt_u64(sink.observed_raw), "-"});
+  sinks.add_row({"observer_boxed", fmt_u64(sink.calls), fmt_u64(sink.observed_boxed), "-"});
+  sinks.add_row({"storage", fmt_u64(sink.stored),
+                 fmt_u64(sink.stored) + " (" + fmt_u64(sink.interned_bytes) + " B interned)",
+                 sink.reuse_ok ? "yes" : "NO"});
+  sinks.print(std::cout);
+
+  util::TablePrinter arenas({"workload", "allocs", "bytes/round", "capacity", "reuse_ok"});
+  arenas.add_row({"arena", fmt_u64(arena.allocs), fmt_u64(arena.bytes_per_round),
+                  fmt_u64(arena.capacity), arena.reuse_ok ? "yes" : "NO"});
+  arenas.print(std::cout);
+
+  const double fast_rate = static_cast<double>(efast.sim_cycles) / efast.best_seconds;
+  const double legacy_rate = static_cast<double>(elegacy.sim_cycles) / elegacy.best_seconds;
+  const double speedup = fast_rate / legacy_rate;
+  const double qfast_rate = static_cast<double>(qfast.events) / qfast.best_seconds;
+  const double qlegacy_rate = static_cast<double>(qlegacy.events) / qlegacy.best_seconds;
+
+  std::printf("\nmachine-dependent rates (NOT part of the deterministic artifact):\n");
+  std::printf("[simspeed] workload=queue_micro fast_events_per_sec=%s legacy_events_per_sec=%s "
+              "speedup=%.2f\n",
+              fmt_rate(qfast_rate).c_str(), fmt_rate(qlegacy_rate).c_str(),
+              qfast_rate / qlegacy_rate);
+  std::printf("[simspeed] workload=e1_daxpy sim_cycles_per_sec=%s "
+              "legacy_sim_cycles_per_sec=%s speedup_vs_legacy=%.2f\n",
+              fmt_rate(fast_rate).c_str(), fmt_rate(legacy_rate).c_str(), speedup);
+  std::printf("[simspeed] workload=sink_dispatch dormant_calls_per_sec=%s "
+              "raw_calls_per_sec=%s boxed_calls_per_sec=%s stored_records_per_sec=%s\n",
+              fmt_rate(static_cast<double>(sink.calls) / sink.dormant_seconds).c_str(),
+              fmt_rate(static_cast<double>(sink.calls) / sink.raw_seconds).c_str(),
+              fmt_rate(static_cast<double>(sink.calls) / sink.boxed_seconds).c_str(),
+              fmt_rate(static_cast<double>(sink.stored) / sink.storage_seconds).c_str());
+  std::printf("[simspeed] workload=arena allocs_per_sec=%s\n",
+              fmt_rate(static_cast<double>(arena.allocs) / (arena.best_seconds * 4.0)).c_str());
+
+  std::printf("\n[sweep] points=%llu sim_cycles=%llu\n",
+              static_cast<unsigned long long>(efast.points),
+              static_cast<unsigned long long>(efast.sim_cycles));
+
+  bool ok = qfast.final_cycle == qlegacy.final_cycle && qfast.events == qlegacy.events &&
+            efast.sim_cycles == elegacy.sim_cycles && sink.observed_raw == sink.calls &&
+            sink.observed_boxed == sink.calls && sink.reuse_ok && arena.reuse_ok;
+  if (sim::TraceSink::kCompiledOut) {
+    // MCO_FAST builds compile tracing out: the sink sections legitimately see
+    // zero records; only the engine-equivalence checks remain meaningful.
+    ok = qfast.final_cycle == qlegacy.final_cycle && efast.sim_cycles == elegacy.sim_cycles;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "bench_simspeed: deterministic cross-checks FAILED\n");
+    return 1;
+  }
+  if (sargs.assert_speedup > 0.0 && speedup < sargs.assert_speedup) {
+    std::fprintf(stderr,
+                 "bench_simspeed: speedup_vs_legacy %.2f below required %.2f "
+                 "(fast %.3e, legacy %.3e sim-cycles/s)\n",
+                 speedup, sargs.assert_speedup, fast_rate, legacy_rate);
+    return 1;
+  }
+
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(32), "daxpy", 1024,
+                                   32);
+  register_offload_benchmark("simspeed/e1_point/fast", mco::soc::SocConfig::extended(64),
+                             "daxpy", 1024, 32);
+  {
+    mco::soc::SocConfig legacy_cfg = mco::soc::SocConfig::extended(64);
+    legacy_cfg.sim.legacy_heap_queue = true;
+    legacy_cfg.sim.eager_hbm_zero = true;
+    register_offload_benchmark("simspeed/e1_point/legacy", legacy_cfg, "daxpy", 1024, 32);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

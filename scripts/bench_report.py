@@ -49,9 +49,17 @@ BENCHES = [
     "bench_weak_scaling",
     "bench_data_prep",
     "bench_fault_sweep",
+    "bench_simspeed",
 ]
 
 FOOTER_RE = re.compile(r"^\[sweep\] points=(\d+) sim_cycles=(\d+)$", re.MULTILINE)
+# bench_simspeed's machine line: engine-measured sim-cycles/wall-second on the
+# E1 workload, for both the fast (calendar-queue) and legacy (heap) engines.
+SIMSPEED_RE = re.compile(
+    r"^\[simspeed\] workload=e1_daxpy sim_cycles_per_sec=(\S+) "
+    r"legacy_sim_cycles_per_sec=(\S+) speedup_vs_legacy=(\S+)$",
+    re.MULTILINE,
+)
 
 
 def run_bench(binary: Path, jobs: int) -> dict:
@@ -69,13 +77,24 @@ def run_bench(binary: Path, jobs: int) -> dict:
     m = FOOTER_RE.search(proc.stdout)
     if not m:
         raise RuntimeError(f"{binary.name}: no '[sweep] points=... sim_cycles=...' footer found")
-    return {
+    rec = {
         "bench": binary.name,
         "jobs": jobs,
         "points": int(m.group(1)),
         "sim_cycles": int(m.group(2)),
         "wall_seconds": round(wall_s, 3),
+        # Headline series: simulated cycles per wall-second for this run. The
+        # whole-process wall includes table printing and (for bench_simspeed)
+        # the legacy-engine comparison runs, so the engine-only rate from E21's
+        # own machine line is stored alongside when available.
+        "sim_cycles_per_sec": round(int(m.group(2)) / wall_s, 1) if wall_s > 0 else 0.0,
     }
+    s = SIMSPEED_RE.search(proc.stdout)
+    if s:
+        rec["engine_sim_cycles_per_sec"] = float(s.group(1))
+        rec["legacy_sim_cycles_per_sec"] = float(s.group(2))
+        rec["speedup_vs_legacy"] = float(s.group(3))
+    return rec
 
 
 def main() -> int:
@@ -122,8 +141,23 @@ def main() -> int:
         if not isinstance(history, list):
             print(f"error: {out} exists but is not a JSON list", file=sys.stderr)
             return 2
+    prior = json.dumps(history, sort_keys=True)
     history.append(batch)
     out.write_text(json.dumps(history, indent=2) + "\n")
+
+    # Trajectory-series invariants: every run in the new batch carries the
+    # sim_cycles_per_sec series, and appending must not perturb prior batches.
+    reread = json.loads(out.read_text())
+    if json.dumps(reread[:-1], sort_keys=True) != prior:
+        print("error: appending the new batch perturbed existing rows", file=sys.stderr)
+        return 1
+    missing_series = [r["bench"] for r in reread[-1]["runs"] if "sim_cycles_per_sec" not in r]
+    if missing_series:
+        print(f"error: runs missing sim_cycles_per_sec: {', '.join(missing_series)}",
+              file=sys.stderr)
+        return 1
+    print(f"sim_cycles_per_sec series: {len(batch['runs'])} runs recorded, "
+          f"{len(reread) - 1} prior batch(es) unchanged")
     print(f"\nappended batch of {len(batch['runs'])} runs to {out} "
           f"({total_wall:.1f}s wall, {total_cycles} simulated cycles)")
     return 0

@@ -14,17 +14,23 @@
 #                        entries; benches stay on because tsan_serve_soak and
 #                        tsan_scenario drive bench_serve_soak / bench_scenario
 #                        with internal --jobs parallelism)
+#   build-check/fast     -DMCO_FAST=ON: tracing compiled out of the inner
+#                        loop. Runs test_fast (the only test binary in this
+#                        mode — the rest assert on trace records) plus the
+#                        golden/bench smokes, proving cycle counts, metrics
+#                        goldens and the E21 speedup floor hold with the
+#                        sink compiled out (docs/performance.md)
 #
 # Usage:
 #   scripts/check_all.sh            # full matrix
-#   scripts/check_all.sh plain      # one stage only (plain | asan | tsan)
+#   scripts/check_all.sh plain      # one stage only (plain | asan | tsan | fast)
 #   MCO_CHECK_JOBS=8 scripts/check_all.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${MCO_CHECK_JOBS:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="build-check"
-STAGES=("${@:-plain asan tsan}")
+STAGES=("${@:-plain asan tsan fast}")
 # Allow "check_all.sh plain asan" as separate args or one default string.
 read -r -a STAGES <<<"${STAGES[*]}"
 
@@ -65,8 +71,14 @@ for stage in "${STAGES[@]}"; do
       echo "=== [tsan] ctest (label: sanitize) ==="
       (cd "$ROOT/tsan" && ctest --output-on-failure -L sanitize)
       ;;
+    fast)
+      mkdir -p "$ROOT"
+      run_stage fast -DMCO_FAST=ON -DMCO_BUILD_EXAMPLES=OFF
+      echo "=== [fast] ctest (test_fast + golden/bench smokes) ==="
+      (cd "$ROOT/fast" && ctest --output-on-failure -j"$JOBS")
+      ;;
     *)
-      echo "error: unknown stage '$stage' (want plain, asan or tsan)" >&2
+      echo "error: unknown stage '$stage' (want plain, asan, tsan or fast)" >&2
       exit 2
       ;;
   esac

@@ -59,6 +59,17 @@ BENCH_ERROR_CASES = [
     ("bench_scenario", "scenario malformed file", [f"--scenario={REPO / 'README.md'}"]),
     ("bench_scenario", "scenario-dir missing", ["--scenario-dir=/no/such/dir"]),
     ("bench_scenario", "scenario-dir without catalog", [f"--scenario-dir={REPO / 'docs'}"]),
+    ("bench_simspeed", "jobs garbage (simspeed)", ["--jobs=banana"]),
+    ("bench_simspeed", "trace-out missing dir (simspeed)",
+     ["--trace-out=/no/such/dir/trace.json"]),
+    ("bench_simspeed", "metrics-out missing dir (simspeed)",
+     ["--metrics-out=/no/such/dir/m.csv"]),
+    ("bench_simspeed", "assert-speedup garbage", ["--assert-speedup=fast"]),
+    ("bench_simspeed", "assert-speedup negative", ["--assert-speedup=-2"]),
+    ("bench_simspeed", "assert-speedup trailing junk", ["--assert-speedup=3x"]),
+    ("bench_simspeed", "reps zero", ["--reps=0"]),
+    ("bench_simspeed", "reps garbage", ["--reps=many"]),
+    ("bench_simspeed", "reps huge", ["--reps=1000"]),
 ]
 
 

@@ -14,7 +14,14 @@ Sources of truth that must agree exactly:
      ``src/scenario/scenario.cpp`` (every header key, verb, traffic profile,
      fault preset, argument and verdict metric the chaos-scenario dialect
      accepts) vs the keyword-reference tables in ``docs/scenarios.md``
-     (same extraction, scoped to its section).
+     (same extraction, scoped to its section);
+  5. the ``dispatch_reference()`` catalog in ``src/sim/trace.cpp`` (every
+     TraceSink dispatch tier the fast path distinguishes) vs the dispatch
+     table in ``docs/performance.md`` (same extraction, scoped to its
+     section);
+  6. the ``MCO_*`` build options declared in the top-level ``CMakeLists.txt``
+     vs the build-mode table in ``docs/performance.md`` — adding a build
+     mode without documenting its performance semantics is an error.
 
 The C++ side of the same check (``DocsCrossCheck.*`` in
 ``tests/test_trace_spans.cpp``) additionally verifies the reference against
@@ -37,6 +44,9 @@ CHECK_CPP = REPO / "src" / "check" / "protocol_monitor.cpp"
 ROBUSTNESS_DOC = REPO / "docs" / "robustness.md"
 SCENARIO_CPP = REPO / "src" / "scenario" / "scenario.cpp"
 SCENARIO_DOC = REPO / "docs" / "scenarios.md"
+TRACE_CPP = REPO / "src" / "sim" / "trace.cpp"
+PERFORMANCE_DOC = REPO / "docs" / "performance.md"
+CMAKE_TOP = REPO / "CMakeLists.txt"
 
 
 def reference_names(cpp_text: str) -> dict[str, str]:
@@ -133,6 +143,59 @@ def documented_keywords(doc_text: str) -> set[str]:
     return documented_names(section.group(1))
 
 
+def dispatch_names(cpp_text: str) -> set[str]:
+    """Parse the entry names of dispatch_reference(). Statements span
+    concatenated string literals, so only match each entry's opening
+    {"name" token inside the kReference initializer."""
+    body = re.search(
+        r"dispatch_reference\(\)\s*\{.*?kReference\s*=\s*\{(.*?)\n\s*\};",
+        cpp_text,
+        re.DOTALL,
+    )
+    if not body:
+        sys.exit(f"error: could not find the kReference table in {TRACE_CPP}")
+    names = set()
+    for m in re.finditer(r'\{"([a-z_]+)",', body.group(1)):
+        name = m.group(1)
+        if name in names:
+            sys.exit(f"error: duplicate dispatch_reference() entry '{name}'")
+        names.add(name)
+    return names
+
+
+def documented_dispatch(doc_text: str) -> set[str]:
+    """First backticked token of table rows inside the dispatch section of
+    docs/performance.md only — its other tables (build modes, complexity)
+    legitimately use backticked first cells."""
+    section = re.search(
+        r"^## TraceSink dispatch paths$(.*?)(?=^## |\Z)",
+        doc_text, re.DOTALL | re.MULTILINE,
+    )
+    if not section:
+        sys.exit(f"error: no '## TraceSink dispatch paths' section in {PERFORMANCE_DOC}")
+    return documented_names(section.group(1))
+
+
+def cmake_build_modes(cmake_text: str) -> set[str]:
+    """Every MCO_* switch the top-level CMakeLists.txt declares, whether as
+    an option() or a multi-value cache STRING."""
+    names = set(re.findall(r"^option\((MCO_[A-Z_]+)", cmake_text, re.MULTILINE))
+    names |= set(re.findall(r'^set\((MCO_[A-Z_]+)\s+"[^"]*"\s+CACHE\s+STRING',
+                            cmake_text, re.MULTILINE))
+    if not names:
+        sys.exit(f"error: no MCO_* options found in {CMAKE_TOP}")
+    return names
+
+
+def documented_build_modes(doc_text: str) -> set[str]:
+    section = re.search(
+        r"^## Build modes$(.*?)(?=^## |\Z)", doc_text, re.DOTALL | re.MULTILINE
+    )
+    if not section:
+        sys.exit(f"error: no '## Build modes' section in {PERFORMANCE_DOC}")
+    return documented_names(section.group(1))
+
+
 def cross_check(reference: set[str], documented: set[str],
                 code_label: str, doc_name: str) -> bool:
     ok = True
@@ -177,7 +240,20 @@ def main() -> int:
         summary = ", ".join(f"{n} {k}s" for k, n in sorted(kinds.items()))
         print(f"ok: {len(keywords)} scenario keywords in sync ({summary})")
 
-    return 0 if ok and inv_ok and kw_ok else 1
+    perf_doc = PERFORMANCE_DOC.read_text()
+    dispatch = dispatch_names(TRACE_CPP.read_text())
+    disp_ok = cross_check(dispatch, documented_dispatch(perf_doc),
+                          "dispatch_reference()", PERFORMANCE_DOC.name)
+    if disp_ok:
+        print(f"ok: {len(dispatch)} trace dispatch paths in sync")
+
+    modes = cmake_build_modes(CMAKE_TOP.read_text())
+    mode_ok = cross_check(modes, documented_build_modes(perf_doc),
+                          "CMakeLists.txt MCO_* options", PERFORMANCE_DOC.name)
+    if mode_ok:
+        print(f"ok: {len(modes)} build modes in sync")
+
+    return 0 if ok and inv_ok and kw_ok and disp_ok and mode_ok else 1
 
 
 if __name__ == "__main__":

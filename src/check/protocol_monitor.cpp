@@ -104,7 +104,13 @@ std::string json_escape(const std::string& s) {
 ProtocolMonitor::ProtocolMonitor(ProtocolMonitorConfig cfg) : cfg_(cfg) {}
 
 void ProtocolMonitor::attach(sim::TraceSink& sink) {
-  sink.set_observer([this](const sim::TraceRecord& rec) { observe(rec); });
+  // Raw observer registration: one function-pointer hop per record, no
+  // std::function boxing (the sink's "observer_raw" dispatch path).
+  sink.set_observer(
+      [](void* ctx, const sim::TraceRecord& rec) {
+        static_cast<ProtocolMonitor*>(ctx)->observe(rec);
+      },
+      this);
 }
 
 void ProtocolMonitor::attach(soc::Soc& soc) { attach(soc.simulator().trace()); }

@@ -130,9 +130,9 @@ void Cluster::parse_and_plan() {
         tile_ranges_.push_back(range);
       }
     }
-    sim().trace().record(now(), path(), "tiled",
-                         util::format("tiles=%llu",
-                                      static_cast<unsigned long long>(num_tiles)));
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), "tiled",
+                util::format("tiles=%llu", static_cast<unsigned long long>(num_tiles)));
   } else {
     throw std::runtime_error(util::format(
         "%s: job '%s' n=%llu needs %zu B of TCDM but only %zu B available, and the kernel "
@@ -183,8 +183,8 @@ void Cluster::ensure_tile_in_issued(std::size_t tile) {
       dma_.transfer_in(seg.hbm, seg.tcdm_off, seg.bytes, [this, k] {
         if (--tile_in_pending_[k] == 0) {
           tile_in_done_[k] = true;
-          sim().trace().record(now(), path(), "dma_in_done",
-                               util::format("tile=%zu", k));
+          if (sim::TraceSink& tr = sim().trace(); tr.armed())
+            tr.record(now(), path(), "dma_in_done", util::format("tile=%zu", k));
           maybe_resume(k);
         }
       });
@@ -203,7 +203,8 @@ void Cluster::start_dma_in() {
   // The span measures the control-flow stall waiting for this tile's inputs,
   // not the DMA engine's occupancy — with double buffering the prefetch for
   // tile k+1 overlaps tile k's compute, which would break span nesting.
-  sim().trace().begin_span(now(), path(), "dma_in", util::format("tile=%zu", current_tile_));
+  if (sim::TraceSink& tr = sim().trace(); tr.armed())
+    tr.begin_span(now(), path(), "dma_in", util::format("tile=%zu", current_tile_));
   ensure_tile_in_issued(current_tile_);
   if (tile_in_done_[current_tile_]) {
     after_tile_in();
@@ -226,7 +227,8 @@ void Cluster::after_tile_in() {
 void Cluster::start_compute() {
   // Split this tile's items across the workers; the slowest worker (ceil
   // share) bounds the phase. Workers with zero items still run setup.
-  sim().trace().begin_span(now(), path(), "compute", util::format("tile=%zu", current_tile_));
+  if (sim::TraceSink& tr = sim().trace(); tr.armed())
+    tr.begin_span(now(), path(), "compute", util::format("tile=%zu", current_tile_));
   workers_pending_ = cfg_.num_workers;
   const bool use_iss = cfg_.use_iss_compute && kernel_->supports_iss();
   if (cfg_.use_iss_compute && !use_iss && current_tile_ == 0) ++iss_fallbacks_;
@@ -272,7 +274,8 @@ void Cluster::finish_compute() {
 }
 
 void Cluster::start_dma_out() {
-  sim().trace().begin_span(now(), path(), "dma_out", util::format("tile=%zu", current_tile_));
+  if (sim::TraceSink& tr = sim().trace(); tr.armed())
+    tr.begin_span(now(), path(), "dma_out", util::format("tile=%zu", current_tile_));
   const kernels::ClusterPlan& plan = tiles_[current_tile_];
   if (plan.dma_out.empty()) {
     timing_.dma_out_done = now();

@@ -165,14 +165,16 @@ FaultInjector::DispatchFault FaultInjector::on_dispatch(unsigned cluster) {
     f.drop = true;
     ++counters_.dispatches_dropped;
     bump("dispatches_dropped");
-    sim().trace().record(now(), path(), "dispatch_drop", util::format("cluster=%u", cluster));
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), "dispatch_drop", util::format("cluster=%u", cluster));
     return f;
   }
   if (roll(cfg_.dispatch_delay_prob)) {
     f.extra_delay = cfg_.dispatch_delay_cycles;
     ++counters_.dispatches_delayed;
     bump("dispatches_delayed");
-    sim().trace().record(now(), path(), "dispatch_delay", util::format("cluster=%u", cluster));
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), "dispatch_delay", util::format("cluster=%u", cluster));
   }
   return f;
 }
@@ -182,13 +184,15 @@ FaultInjector::CreditFault FaultInjector::on_credit(unsigned cluster) {
   if (roll(cfg_.credit_drop_prob)) {
     ++counters_.credits_dropped;
     bump("credits_dropped");
-    sim().trace().record(now(), path(), "credit_drop", util::format("cluster=%u", cluster));
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), "credit_drop", util::format("cluster=%u", cluster));
     return CreditFault::kDrop;
   }
   if (roll(cfg_.credit_duplicate_prob)) {
     ++counters_.credits_duplicated;
     bump("credits_duplicated");
-    sim().trace().record(now(), path(), "credit_dup", util::format("cluster=%u", cluster));
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), "credit_dup", util::format("cluster=%u", cluster));
     return CreditFault::kDuplicate;
   }
   return CreditFault::kNone;
@@ -212,14 +216,16 @@ FaultInjector::WakeupFault FaultInjector::on_wakeup(unsigned cluster) {
     f.hang = true;
     ++counters_.cluster_hangs;
     bump("cluster_hangs");
-    sim().trace().record(now(), path(), "cluster_hang", util::format("cluster=%u", cluster));
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), "cluster_hang", util::format("cluster=%u", cluster));
     return f;
   }
   if (roll(cfg_.cluster_straggle_prob)) {
     f.extra_delay = cfg_.straggle_cycles;
     ++counters_.cluster_straggles;
     bump("cluster_straggles");
-    sim().trace().record(now(), path(), "cluster_straggle",
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), "cluster_straggle",
                          util::format("cluster=%u", cluster));
   }
   return f;
@@ -230,7 +236,8 @@ sim::Cycles FaultInjector::on_dma_setup(unsigned cluster) {
   if (roll(cfg_.dma_stall_prob)) {
     ++counters_.dma_stalls;
     bump("dma_stalls");
-    sim().trace().record(now(), path(), "dma_stall", util::format("cluster=%u", cluster));
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), "dma_stall", util::format("cluster=%u", cluster));
     return cfg_.dma_stall_cycles;
   }
   return 0;

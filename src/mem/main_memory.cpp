@@ -1,83 +1,96 @@
 #include "mem/main_memory.h"
 
 #include <cstring>
+#include <new>
 #include <stdexcept>
 
 #include "util/strings.h"
 
 namespace mco::mem {
 
-MainMemory::MainMemory(std::size_t size) : bytes_(size, 0) {
+MainMemory::MainMemory(std::size_t size, bool eager_zero) : size_(size) {
   if (size == 0) throw std::invalid_argument("MainMemory: zero size");
+  // calloc: the OS maps zero pages lazily, so untouched HBM costs nothing.
+  bytes_.reset(static_cast<std::uint8_t*>(std::calloc(size, 1)));
+  if (!bytes_) throw std::bad_alloc();
+  if (eager_zero) {
+    // Pre-PR behaviour: fault in every page up front, like the original
+    // std::vector<uint8_t>(size, 0) did. Volatile stores — a plain
+    // memset(0) over fresh calloc memory is provably redundant and the
+    // compiler deletes it, which would fake the cost away.
+    volatile std::uint8_t* p = bytes_.get();
+    for (std::size_t i = 0; i < size; i += 4096) p[i] = 0;
+    if (size != 0) p[size - 1] = 0;
+  }
 }
 
 void MainMemory::check(Addr offset, std::size_t n) const {
-  if (offset > bytes_.size() || n > bytes_.size() - offset) {
+  if (offset > size_ || n > size_ - offset) {
     throw std::out_of_range(util::format("MainMemory: access [0x%llx, +%zu) beyond size %zu",
                                          static_cast<unsigned long long>(offset), n,
-                                         bytes_.size()));
+                                         size_));
   }
 }
 
 void MainMemory::write(Addr offset, std::span<const std::uint8_t> data_in) {
   check(offset, data_in.size());
-  std::memcpy(bytes_.data() + offset, data_in.data(), data_in.size());
+  std::memcpy(bytes_.get() + offset, data_in.data(), data_in.size());
 }
 
 void MainMemory::read(Addr offset, std::span<std::uint8_t> out) const {
   check(offset, out.size());
-  std::memcpy(out.data(), bytes_.data() + offset, out.size());
+  std::memcpy(out.data(), bytes_.get() + offset, out.size());
 }
 
 void MainMemory::write_u64(Addr offset, std::uint64_t v) {
   check(offset, 8);
-  std::memcpy(bytes_.data() + offset, &v, 8);
+  std::memcpy(bytes_.get() + offset, &v, 8);
 }
 
 std::uint64_t MainMemory::read_u64(Addr offset) const {
   check(offset, 8);
   std::uint64_t v;
-  std::memcpy(&v, bytes_.data() + offset, 8);
+  std::memcpy(&v, bytes_.get() + offset, 8);
   return v;
 }
 
 void MainMemory::write_f64(Addr offset, double v) {
   check(offset, 8);
-  std::memcpy(bytes_.data() + offset, &v, 8);
+  std::memcpy(bytes_.get() + offset, &v, 8);
 }
 
 double MainMemory::read_f64(Addr offset) const {
   check(offset, 8);
   double v;
-  std::memcpy(&v, bytes_.data() + offset, 8);
+  std::memcpy(&v, bytes_.get() + offset, 8);
   return v;
 }
 
 void MainMemory::write_f64_array(Addr offset, std::span<const double> values) {
   check(offset, values.size() * 8);
-  std::memcpy(bytes_.data() + offset, values.data(), values.size() * 8);
+  std::memcpy(bytes_.get() + offset, values.data(), values.size() * 8);
 }
 
 std::vector<double> MainMemory::read_f64_array(Addr offset, std::size_t n) const {
   check(offset, n * 8);
   std::vector<double> out(n);
-  std::memcpy(out.data(), bytes_.data() + offset, n * 8);
+  std::memcpy(out.data(), bytes_.get() + offset, n * 8);
   return out;
 }
 
 void MainMemory::fill(Addr offset, std::size_t n, std::uint8_t value) {
   check(offset, n);
-  std::memset(bytes_.data() + offset, value, n);
+  std::memset(bytes_.get() + offset, value, n);
 }
 
 std::uint8_t* MainMemory::data(Addr offset, std::size_t n) {
   check(offset, n);
-  return bytes_.data() + offset;
+  return bytes_.get() + offset;
 }
 
 const std::uint8_t* MainMemory::data(Addr offset, std::size_t n) const {
   check(offset, n);
-  return bytes_.data() + offset;
+  return bytes_.get() + offset;
 }
 
 }  // namespace mco::mem

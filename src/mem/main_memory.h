@@ -2,9 +2,18 @@
 //
 // Timing is modeled separately by HbmController; this class only holds bytes
 // so kernels can really read inputs and write results that tests verify.
+//
+// The store is calloc-backed and lazily zeroed: the OS hands out zero pages
+// on first touch, so constructing a 64 MiB HBM costs microseconds instead of
+// a full memset — the dominant per-Soc setup cost in sweep benches that
+// build a fresh Soc per point (docs/performance.md quantifies this).
+// `eager_zero` reproduces the original touch-everything construction for the
+// legacy-engine comparison in bench_simspeed.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -14,10 +23,11 @@ namespace mco::mem {
 
 class MainMemory {
  public:
-  /// Backing store of `size` bytes, addressed [0, size) (HBM offsets).
-  explicit MainMemory(std::size_t size);
+  /// Backing store of `size` bytes, addressed [0, size) (HBM offsets), zero
+  /// initialized. With `eager_zero` every page is touched up front.
+  explicit MainMemory(std::size_t size, bool eager_zero = false);
 
-  std::size_t size() const { return bytes_.size(); }
+  std::size_t size() const { return size_; }
 
   void write(Addr offset, std::span<const std::uint8_t> data);
   void read(Addr offset, std::span<std::uint8_t> out) const;
@@ -40,8 +50,14 @@ class MainMemory {
   const std::uint8_t* data(Addr offset, std::size_t n) const;
 
  private:
+  struct FreeDeleter {
+    void operator()(std::uint8_t* p) const { std::free(p); }
+  };
+
   void check(Addr offset, std::size_t n) const;
-  std::vector<std::uint8_t> bytes_;
+
+  std::unique_ptr<std::uint8_t[], FreeDeleter> bytes_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace mco::mem

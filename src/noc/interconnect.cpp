@@ -49,7 +49,8 @@ void Interconnect::unicast_dispatch(unsigned cluster, DispatchMessage msg) {
   check_cluster(cluster);
   if (!cluster_sinks_[cluster]) throw std::logic_error("Interconnect: cluster sink not wired");
   ++unicasts_;
-  sim().trace().record(now(), path(), "unicast", util::format("cluster=%u", cluster));
+  if (sim::TraceSink& tr = sim().trace(); tr.armed())
+    tr.record(now(), path(), "unicast", util::format("cluster=%u", cluster));
   deliver_dispatch(cluster, msg, cfg_.host_to_cluster_latency);
 }
 
@@ -62,7 +63,8 @@ void Interconnect::multicast_dispatch(const std::vector<unsigned>& clusters, Dis
     if (!cluster_sinks_[c]) throw std::logic_error("Interconnect: cluster sink not wired");
   }
   ++multicasts_;
-  sim().trace().record(now(), path(), "multicast",
+  if (sim::TraceSink& tr = sim().trace(); tr.armed())
+    tr.record(now(), path(), "multicast",
                        util::format("targets=%zu", clusters.size()));
   if (fault_ && fault_->enabled()) {
     // Per-target delivery so each replica of the store can be dropped or

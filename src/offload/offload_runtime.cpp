@@ -31,7 +31,7 @@ OffloadRuntime::OffloadRuntime(sim::Simulator& sim, OffloadRuntimeConfig cfg,
     throw std::invalid_argument("OffloadRuntime: zero watchdog_wait_cycles");
 }
 
-void OffloadRuntime::span_begin(const char* what, const std::string& detail) {
+void OffloadRuntime::span_begin(const char* what, std::string_view detail) {
   sim_.trace().begin_span(sim_.now(), "runtime", what, detail);
 }
 
@@ -100,11 +100,13 @@ void OffloadRuntime::offload_async(const kernels::JobArgs& args, unsigned num_cl
   result_.used_hw_sync = cfg_.use_hw_sync;
   result_.ts.call = sim_.now();
 
-  sim_.trace().record(sim_.now(), "runtime", "offload_start",
+  if (sim::TraceSink& tr = sim_.trace(); tr.armed())
+    tr.record(sim_.now(), "runtime", "offload_start",
                       util::format("%s n=%llu M=%u", kernel.name().c_str(),
                                    static_cast<unsigned long long>(args_.n), num_clusters));
-  span_begin("offload", util::format("%s n=%llu M=%u", kernel.name().c_str(),
-                                     static_cast<unsigned long long>(args_.n), num_clusters));
+  if (sim_.trace().armed())
+    span_begin("offload", util::format("%s n=%llu M=%u", kernel.name().c_str(),
+                                       static_cast<unsigned long long>(args_.n), num_clusters));
   span_begin("marshal");
 
   const sim::Cycles marshal =
@@ -231,7 +233,8 @@ unsigned OffloadRuntime::pending_participants(unsigned n) const {
 }
 
 void OffloadRuntime::await_round(unsigned n) {
-  span_begin("watchdog_wait", util::format("pending=%u", pending_participants(n)));
+  if (sim_.trace().armed())
+    span_begin("watchdog_wait", util::format("pending=%u", pending_participants(n)));
   if (cfg_.use_hw_sync) {
     host_.wait_for_irq_or(cfg_.watchdog_wait_cycles,
                           [this, n](bool timed_out) { on_wait(n, timed_out); });
@@ -256,13 +259,15 @@ void OffloadRuntime::on_wait(unsigned n, bool timed_out) {
   }
   ++result_.recovery.watchdog_timeouts;
   if (rec_first_timeout_ == 0) rec_first_timeout_ = sim_.now();
-  sim_.trace().record(sim_.now(), "runtime", "watchdog_timeout",
+  if (sim::TraceSink& tr = sim_.trace(); tr.armed())
+    tr.record(sim_.now(), "runtime", "watchdog_timeout",
                       util::format("pending=%u", pending_participants(n)));
   auto pending = std::make_shared<std::vector<unsigned>>();
   for (unsigned c = 0; c < n; ++c) {
     if (!rec_failed_[c] && !participant_done(c)) pending->push_back(c);
   }
-  span_begin("probe_round", util::format("pending=%zu", pending->size()));
+  if (sim_.trace().armed())
+    span_begin("probe_round", util::format("pending=%zu", pending->size()));
   probe_next(n, pending, 0, std::make_shared<std::vector<unsigned>>(),
              std::make_shared<unsigned>(0));
 }
@@ -284,7 +289,8 @@ void OffloadRuntime::probe_next(unsigned n, std::shared_ptr<std::vector<unsigned
       // Finished the job but its credit/AMO/IRQ was lost in flight.
       rec_done_[c] = true;
       ++result_.recovery.credits_recovered;
-      sim_.trace().record(sim_.now(), "runtime", "credit_recovered",
+      if (sim::TraceSink& tr = sim_.trace(); tr.armed())
+        tr.record(sim_.now(), "runtime", "credit_recovered",
                           util::format("cluster=%u", c));
     } else if (p.busy) {
       ++*running;  // straggler: still executing, leave it alone
@@ -318,7 +324,8 @@ void OffloadRuntime::resolve_round(unsigned n, std::vector<unsigned> stuck, unsi
   for (const unsigned c : stuck) {
     rec_failed_[c] = true;
     result_.recovery.failed_clusters.push_back(c);
-    sim_.trace().record(sim_.now(), "runtime", "cluster_failed",
+    if (sim::TraceSink& tr = sim_.trace(); tr.armed())
+      tr.record(sim_.now(), "runtime", "cluster_failed",
                         util::format("cluster=%u", c));
   }
   auto dead = std::make_shared<std::vector<unsigned>>(std::move(stuck));
@@ -369,7 +376,8 @@ void OffloadRuntime::retry_stuck(unsigned n, std::shared_ptr<std::vector<unsigne
         const unsigned c = (*stuck)[k];
         host_.exec(host_.store_cost(rec_payload_.size_words()), [this, stuck, send, k, c] {
           ++result_.recovery.retries;
-          sim_.trace().record(sim_.now(), "runtime", "redispatch",
+          if (sim::TraceSink& tr = sim_.trace(); tr.armed())
+            tr.record(sim_.now(), "runtime", "redispatch",
                               util::format("cluster=%u attempt=%u", c, rec_attempt_));
           noc_.unicast_dispatch(c, rec_payload_);
           (*send)(k + 1);
@@ -452,7 +460,8 @@ void OffloadRuntime::try_survivor(unsigned n, std::size_t i, kernels::ChunkRange
   sub.job_id = next_job_id_++;
   noc::DispatchMessage payload =
       kernels::marshal_payload(sub, 1, kernel_->marshal_args(sub), /*first_cluster=*/s);
-  sim_.trace().record(sim_.now(), "runtime", "redistribute",
+  if (sim::TraceSink& tr = sim_.trace(); tr.armed())
+    tr.record(sim_.now(), "runtime", "redistribute",
                       util::format("cluster=%u -> %u count=%llu", result_.recovery.failed_clusters[i],
                                    s, static_cast<unsigned long long>(chunk.count)));
   const sim::Cycles marshal =
@@ -557,7 +566,8 @@ void OffloadRuntime::complete(unsigned num_clusters) {
     busy_ = false;
     ++offloads_completed_;
     record_offload_metrics();
-    sim_.trace().record(sim_.now(), "runtime", "offload_done",
+    if (sim::TraceSink& tr = sim_.trace(); tr.armed())
+      tr.record(sim_.now(), "runtime", "offload_done",
                         util::format("total=%llu",
                                      static_cast<unsigned long long>(result_.total())));
     if (done_) {

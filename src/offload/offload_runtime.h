@@ -209,7 +209,7 @@ class OffloadRuntime {
 
   // ---- observability ---------------------------------------------------------
   /// Open a span on the "runtime" trace track (no-op when tracing is off).
-  void span_begin(const char* what, const std::string& detail = "");
+  void span_begin(const char* what, std::string_view detail = {});
   void span_end();
   /// Accumulate the completed offload's phase durations, recovery counters
   /// and total-latency histogram sample into the StatsRegistry. Pure

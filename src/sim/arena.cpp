@@ -1,0 +1,66 @@
+#include "sim/arena.h"
+
+#include <cstring>
+
+namespace mco::sim {
+
+namespace {
+
+/// Offset >= `used` at which an allocation from `base` is `align`-aligned.
+std::size_t aligned_offset(const unsigned char* base, std::size_t used, std::size_t align) {
+  const std::size_t addr = reinterpret_cast<std::size_t>(base) + used;
+  const std::size_t aligned = (addr + align - 1) & ~(align - 1);
+  return used + (aligned - addr);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+unsigned char* Arena::reserve(std::size_t bytes, std::size_t align) {
+  if (align == 0) align = 1;
+  while (current_ < chunks_.size()) {
+    Chunk& c = chunks_[current_];
+    const std::size_t at = aligned_offset(c.data.get(), used_, align);
+    if (at + bytes <= c.size) {
+      used_ = at;
+      return c.data.get() + at;
+    }
+    ++current_;
+    used_ = 0;
+  }
+  // No retained chunk fits: grow one (oversized requests get their own).
+  Chunk c;
+  c.size = bytes + align > chunk_bytes_ ? bytes + align : chunk_bytes_;
+  c.data = std::make_unique<unsigned char[]>(c.size);
+  capacity_ += c.size;
+  chunks_.push_back(std::move(c));
+  current_ = chunks_.size() - 1;
+  used_ = aligned_offset(chunks_[current_].data.get(), 0, align);
+  return chunks_[current_].data.get() + used_;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  const std::size_t take = bytes == 0 ? 1 : bytes;
+  unsigned char* p = reserve(take, align);
+  used_ += take;
+  allocated_ += take;
+  return p;
+}
+
+std::string_view Arena::copy(std::string_view s) {
+  // Always return a valid (non-null) pointer: callers hand these views to
+  // std::string operations, where a null data() is undefined behaviour.
+  if (s.empty()) return std::string_view{"", 0};
+  char* p = static_cast<char*>(allocate(s.size(), 1));
+  std::memcpy(p, s.data(), s.size());
+  return {p, s.size()};
+}
+
+void Arena::reset() {
+  current_ = 0;
+  used_ = 0;
+  allocated_ = 0;
+}
+
+}  // namespace mco::sim

@@ -1,0 +1,68 @@
+// Chunked bump allocator for simulation-lifetime objects.
+//
+// The simulator's hottest allocation patterns are many small, same-lifetime
+// objects: interned trace strings, per-run scratch. An Arena hands them out
+// by bumping a pointer through fixed-size chunks and frees them all at once.
+//
+// Lifetime rules (docs/performance.md documents the same contract):
+//   * allocate()/copy() results stay valid until reset() or destruction —
+//     there is no per-object free;
+//   * reset() invalidates every outstanding pointer but RETAINS the chunk
+//     memory, so a reset-reuse cycle (e.g. TraceSink::clear() between runs)
+//     allocates from the OS only on the first pass;
+//   * the arena is not thread-safe; confine it to one simulation like every
+//     other sim-layer object (the Soc "many concurrent instances" contract).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace mco::sim {
+
+class Arena {
+ public:
+  /// Chunks of `chunk_bytes` each; oversized requests get a dedicated chunk.
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` with `align` alignment. Never returns nullptr
+  /// (throws std::bad_alloc on OS exhaustion); zero-byte requests get a
+  /// distinct valid pointer.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Copy `s` into the arena and return a view of the stable copy.
+  std::string_view copy(std::string_view s);
+
+  /// Invalidate everything allocated so far but keep the chunks for reuse.
+  void reset();
+
+  /// Bytes handed out since construction or the last reset().
+  std::size_t bytes_allocated() const { return allocated_; }
+  /// Chunks currently owned (monotone until destruction; reset() keeps them).
+  std::size_t chunks() const { return chunks_.size(); }
+  /// Total chunk capacity owned (reused across reset() cycles).
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Make the current chunk able to hold `bytes` more (aligned); may advance
+  /// to a retained chunk or grow a new one.
+  unsigned char* reserve(std::size_t bytes, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_bytes_;
+  std::size_t current_ = 0;  ///< chunk being bumped (valid when !chunks_.empty())
+  std::size_t used_ = 0;     ///< bump offset within chunks_[current_]
+  std::size_t allocated_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace mco::sim

@@ -39,9 +39,11 @@ class Component {
   const std::vector<Component*>& children() const { return children_; }
 
  protected:
-  /// Schedule a member action `delay` cycles from now.
-  void defer(Cycles delay, std::function<void()> fn, Priority prio = Priority::kDefault) {
-    sim_.schedule_in(delay, std::move(fn), prio);
+  /// Schedule a member action `delay` cycles from now. The callable goes
+  /// straight into the kernel's EventFn — no std::function boxing on the way.
+  template <typename F>
+  void defer(Cycles delay, F&& fn, Priority prio = Priority::kDefault) {
+    sim_.schedule_in(delay, std::forward<F>(fn), prio);
   }
 
  private:

@@ -1,0 +1,155 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace mco::sim {
+
+namespace {
+
+int trailing_zeros(std::uint64_t word) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(word);
+#else
+  int n = 0;
+  while ((word & 1u) == 0) {
+    word >>= 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() = default;
+
+void CalendarQueue::lane_push(Priority prio, EventFn fn) {
+  lanes_[static_cast<std::size_t>(prio)].q.push_back(std::move(fn));
+  ++active_count_;
+}
+
+void CalendarQueue::push(Cycle now, Cycle t, Priority prio, EventFn fn) {
+  assert(t >= now);
+  ++size_;
+  if (active_loaded_ && t == active_time_) {
+    // The cycle being executed right now: the event joins its lane directly,
+    // behind everything already pending there — structural FIFO.
+    lane_push(prio, std::move(fn));
+    return;
+  }
+  if (t - now < kWheelSlots) {
+    Slot& s = slots_[static_cast<std::size_t>(t) & kMask];
+    const std::size_t word = (static_cast<std::size_t>(t) & kMask) >> 6;
+    const std::uint64_t bit = 1ull << (static_cast<std::size_t>(t) & 63u);
+    if ((bitmap_[word] & bit) == 0) {
+      bitmap_[word] |= bit;
+      s.time = t;
+    }
+    assert(s.time == t && "calendar slot collision — window invariant broken");
+    s.items.push_back(Pending{prio, std::move(fn)});
+    return;
+  }
+  overflow_[t].push_back(Pending{prio, std::move(fn)});
+}
+
+Cycle CalendarQueue::wheel_next(Cycle now) const {
+  // First set bit in circular slot order starting at now&mask is the minimum
+  // resident time, because slot→time is monotone in circular distance.
+  const std::size_t start = static_cast<std::size_t>(now) & kMask;
+  std::size_t w = start >> 6;
+  const std::size_t start_bit = start & 63u;
+  std::uint64_t word = bitmap_[w] & (~0ull << start_bit);
+  for (std::size_t i = 0; i < kWords; ++i) {
+    if (word != 0) {
+      const std::size_t slot = (w << 6) + static_cast<std::size_t>(trailing_zeros(word));
+      return slots_[slot].time;
+    }
+    w = (w + 1) & (kWords - 1);
+    word = bitmap_[w];
+  }
+  // Wrapped all the way: only the skipped low bits of the start word remain.
+  word = start_bit == 0 ? 0ull : (bitmap_[start >> 6] & ((1ull << start_bit) - 1));
+  if (word != 0) {
+    const std::size_t slot = ((start >> 6) << 6) + static_cast<std::size_t>(trailing_zeros(word));
+    return slots_[slot].time;
+  }
+  return kCycleMax;
+}
+
+Cycle CalendarQueue::next_time(Cycle now) const {
+  if (active_loaded_ && active_count_ > 0) return active_time_;
+  Cycle best = wheel_next(now);
+  if (!overflow_.empty() && overflow_.begin()->first < best) best = overflow_.begin()->first;
+  return best;
+}
+
+void CalendarQueue::load_next(Cycle now) {
+  assert(size_ > 0);
+  assert(active_count_ == 0);
+  const Cycle c = next_time(now);
+  assert(c != kCycleMax);
+  active_time_ = c;
+  active_loaded_ = true;
+  // Overflow entries for this cycle were all pushed while c was ≥ 1024 cycles
+  // out — strictly before any wheel entry for c existed — so they come first.
+  auto it = overflow_.begin();
+  if (it != overflow_.end() && it->first == c) {
+    for (Pending& p : it->second) lane_push(p.prio, std::move(p.fn));
+    overflow_.erase(it);
+  }
+  const std::size_t idx = static_cast<std::size_t>(c) & kMask;
+  const std::size_t word = idx >> 6;
+  const std::uint64_t bit = 1ull << (idx & 63u);
+  if ((bitmap_[word] & bit) != 0) {
+    Slot& s = slots_[idx];
+    assert(s.time == c);
+    for (Pending& p : s.items) lane_push(p.prio, std::move(p.fn));
+    s.items.clear();  // keeps capacity — steady state allocates nothing
+    bitmap_[word] &= ~bit;
+  }
+  assert(active_count_ > 0);
+}
+
+EventFn CalendarQueue::pop(Cycle now, Cycle* time, Priority* prio) {
+  assert(size_ > 0);
+  if (!active_loaded_ || active_count_ == 0) load_next(now);
+  // Rescan from lane 0 every pop: an event that just scheduled a same-cycle,
+  // lower-priority event must see it run next, as the heap's order dictates.
+  for (std::size_t i = 0; i < kNumLanes; ++i) {
+    Lane& l = lanes_[i];
+    if (l.head < l.q.size()) {
+      EventFn fn = std::move(l.q[l.head++]);
+      if (l.head == l.q.size()) {
+        l.q.clear();
+        l.head = 0;
+      }
+      --active_count_;
+      --size_;
+      *time = active_time_;
+      *prio = static_cast<Priority>(i);
+      return fn;
+    }
+  }
+  assert(false && "CalendarQueue::pop: active cycle loaded but all lanes empty");
+  return EventFn{};
+}
+
+std::size_t CalendarQueue::ready_count(Priority prio) const {
+  const Lane& l = lanes_[static_cast<std::size_t>(prio)];
+  return l.q.size() - l.head;
+}
+
+EventFn CalendarQueue::pop_ready(Priority prio) {
+  Lane& l = lanes_[static_cast<std::size_t>(prio)];
+  assert(l.head < l.q.size());
+  EventFn fn = std::move(l.q[l.head++]);
+  if (l.head == l.q.size()) {
+    l.q.clear();
+    l.head = 0;
+  }
+  --active_count_;
+  --size_;
+  return fn;
+}
+
+}  // namespace mco::sim

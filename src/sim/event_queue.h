@@ -1,0 +1,114 @@
+// Calendar (bucketed) event queue for the fast simulation engine.
+//
+// The comparator heap the kernel started with costs O(log n) compares per
+// push/pop and one std::function heap allocation per fat capture. This queue
+// replaces both with O(1) amortized operations built on three tiers:
+//
+//  * a 1024-slot wheel indexed by `time & (1024-1)`, holding every pending
+//    event whose time lies within the window [now, now + 1024). Because the
+//    simulation executes strictly in time order, all resident times lie in
+//    that window at every instant, so each occupied slot maps to exactly ONE
+//    cycle — slot collisions are impossible and a slot is a plain FIFO vector;
+//  * an occupancy bitmap (16 × uint64) over the wheel, scanned circularly
+//    from `now & mask` with count-trailing-zeros: the first set bit in
+//    circular order is the minimum pending time, found in ≤ 17 word reads;
+//  * an overflow std::map<Cycle, vector> for the rare event scheduled ≥ 1024
+//    cycles out (watchdogs, deadline horizons). Entries load directly into
+//    the active cycle when their time comes; because `now` is monotone, all
+//    overflow pushes for a cycle precede all wheel pushes for it, so loading
+//    overflow-then-wheel preserves global insertion order exactly.
+//
+// When a cycle becomes current it is split into five priority lanes (one per
+// sim::Priority value, FIFO within each). Popping the lowest non-empty lane —
+// rescanning from lane 0 every pop — reproduces the heap's
+// (time, priority, sequence) order bit-exactly, including events a running
+// event schedules at the current cycle: they append to their lane and are
+// seen by the very next pop, exactly where the heap's sequence counter would
+// have placed them. No sequence numbers are stored at all; FIFO order is
+// structural. Slot and lane vectors keep their capacity across cycles, so the
+// steady state allocates nothing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/small_fn.h"
+#include "sim/time.h"
+
+namespace mco::sim {
+
+enum class Priority : std::uint8_t;  // defined in sim/simulator.h
+
+class CalendarQueue {
+ public:
+  static constexpr std::size_t kWheelSlots = 1024;  ///< window width, power of two
+  static constexpr std::size_t kNumLanes = 5;       ///< one per Priority value
+
+  CalendarQueue();
+
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Insert an event at absolute time `t` (caller guarantees t >= now).
+  void push(Cycle now, Cycle t, Priority prio, EventFn fn);
+
+  /// Earliest pending time, or kCycleMax when empty. `now` seeds the wheel
+  /// scan; it must not exceed any pending time.
+  Cycle next_time(Cycle now) const;
+
+  /// Remove and return the globally next event in (time, priority, FIFO)
+  /// order, reporting its time and priority. Precondition: !empty().
+  EventFn pop(Cycle now, Cycle* time, Priority* prio);
+
+  /// Events still pending at the same (time, priority) as the event pop()
+  /// just returned — the commit-permuter's ready group. Valid only
+  /// immediately after pop(), before any push at a different cycle.
+  std::size_t ready_count(Priority prio) const;
+
+  /// FIFO-extract one event from the ready group (see ready_count()).
+  EventFn pop_ready(Priority prio);
+
+ private:
+  struct Pending {
+    Priority prio;
+    EventFn fn;
+  };
+  struct Slot {
+    Cycle time = 0;  ///< meaningful only while the occupancy bit is set
+    std::vector<Pending> items;
+  };
+  struct Lane {
+    std::vector<EventFn> q;
+    std::size_t head = 0;
+  };
+
+  static constexpr std::size_t kMask = kWheelSlots - 1;
+  static constexpr std::size_t kWords = kWheelSlots / 64;
+
+  /// Minimum time resident in the wheel, or kCycleMax if the wheel is empty.
+  Cycle wheel_next(Cycle now) const;
+
+  /// Split the earliest pending cycle into the priority lanes.
+  void load_next(Cycle now);
+
+  void lane_push(Priority prio, EventFn fn);
+
+  std::array<Slot, kWheelSlots> slots_;
+  std::array<std::uint64_t, kWords> bitmap_{};
+  std::map<Cycle, std::vector<Pending>> overflow_;
+
+  std::array<Lane, kNumLanes> lanes_;
+  Cycle active_time_ = 0;
+  bool active_loaded_ = false;
+  std::size_t active_count_ = 0;
+
+  std::size_t size_ = 0;
+};
+
+}  // namespace mco::sim

@@ -9,70 +9,142 @@
 
 namespace mco::sim {
 
-Simulator::Simulator()
-    : logger_(std::make_unique<Logger>()),
+namespace {
+
+/// Validate a permuter's output and raise the shared diagnostics.
+void check_permutation(const std::vector<std::size_t>& order, std::size_t expected) {
+  if (order.size() != expected)
+    throw std::logic_error("Simulator: commit permuter changed the batch size");
+  std::vector<bool> seen(expected, false);
+  for (const std::size_t idx : order) {
+    if (idx >= expected || seen[idx])
+      throw std::logic_error("Simulator: commit permuter returned an invalid permutation");
+    seen[idx] = true;
+  }
+}
+
+}  // namespace
+
+Simulator::Simulator(EngineKind engine)
+    : engine_(engine),
+      logger_(std::make_unique<Logger>()),
       stats_(std::make_unique<StatsRegistry>()),
       trace_(std::make_unique<TraceSink>()) {}
 
 Simulator::~Simulator() = default;
 
-void Simulator::schedule_at(Cycle t, std::function<void()> fn, Priority prio) {
+// ---------------------------------------------------------------- fast engine
+
+void Simulator::fast_schedule(Cycle t, EventFn fn, Priority prio) {
   if (t < now_) throw std::logic_error("Simulator::schedule_at: time in the past");
-  queue_.push(Event{t, prio, next_seq_++, std::move(fn)});
+  if (!fn.inline_stored()) ++event_heap_spills_;
+  calendar_.push(now_, t, prio, std::move(fn));
 }
 
-void Simulator::schedule_in(Cycles delay, std::function<void()> fn, Priority prio) {
-  schedule_at(now_ + delay, std::move(fn), prio);
-}
-
-void Simulator::execute(Event ev) {
-  assert(ev.time >= now_);
-  now_ = ev.time;
-  ++events_executed_;
-  ev.fn();
-}
-
-bool Simulator::step() {
+bool Simulator::fast_step() {
   if (!batch_.empty()) {
-    Event ev = std::move(batch_.front());
+    BatchedEvent ev = std::move(batch_.front());
     batch_.pop_front();
-    execute(std::move(ev));
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
     return true;
   }
-  if (queue_.empty()) return false;
+  if (calendar_.empty()) return false;
+  Cycle t;
+  Priority p;
+  EventFn fn = calendar_.pop(now_, &t, &p);
+  if (permuter_ && calendar_.ready_count(p) > 0) {
+    // Exploration mode: the rest of lane p IS the set of events ready at the
+    // same (time, priority) — drain it and commit in the permuter's order.
+    // Lone events skip this path, so the common case stays allocation-free.
+    std::vector<BatchedEvent> ready;
+    ready.push_back(BatchedEvent{t, p, std::move(fn)});
+    while (calendar_.ready_count(p) > 0)
+      ready.push_back(BatchedEvent{t, p, calendar_.pop_ready(p)});
+    std::vector<std::size_t> order(ready.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    permuter_(t, p, order);
+    check_permutation(order, ready.size());
+    for (const std::size_t idx : order) batch_.push_back(std::move(ready[idx]));
+    BatchedEvent ev = std::move(batch_.front());
+    batch_.pop_front();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  assert(t >= now_);
+  now_ = t;
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+// -------------------------------------------------------------- legacy engine
+
+void Simulator::legacy_schedule(Cycle t, std::function<void()> fn, Priority prio) {
+  if (t < now_) throw std::logic_error("Simulator::schedule_at: time in the past");
+  legacy_queue_.push(LegacyEvent{t, prio, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::legacy_step() {
+  if (!legacy_batch_.empty()) {
+    LegacyEvent ev = std::move(legacy_batch_.front());
+    legacy_batch_.pop_front();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  if (legacy_queue_.empty()) return false;
   // priority_queue::top returns const&; the event must be copied out before
   // pop. Move the callable via const_cast — safe because we pop immediately.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  if (permuter_ && !queue_.empty() && queue_.top().time == ev.time &&
-      queue_.top().prio == ev.prio) {
+  LegacyEvent ev = std::move(const_cast<LegacyEvent&>(legacy_queue_.top()));
+  legacy_queue_.pop();
+  if (permuter_ && !legacy_queue_.empty() && legacy_queue_.top().time == ev.time &&
+      legacy_queue_.top().prio == ev.prio) {
     // Exploration mode: drain every event ready at the same (time, priority)
-    // and commit them in the permuter's order. Lone events skip this path,
-    // so the common case stays allocation-free.
-    std::vector<Event> ready;
+    // and commit them in the permuter's order.
+    std::vector<LegacyEvent> ready;
     ready.push_back(std::move(ev));
-    while (!queue_.empty() && queue_.top().time == ready.front().time &&
-           queue_.top().prio == ready.front().prio) {
-      ready.push_back(std::move(const_cast<Event&>(queue_.top())));
-      queue_.pop();
+    while (!legacy_queue_.empty() && legacy_queue_.top().time == ready.front().time &&
+           legacy_queue_.top().prio == ready.front().prio) {
+      ready.push_back(std::move(const_cast<LegacyEvent&>(legacy_queue_.top())));
+      legacy_queue_.pop();
     }
     std::vector<std::size_t> order(ready.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     permuter_(ready.front().time, ready.front().prio, order);
-    if (order.size() != ready.size())
-      throw std::logic_error("Simulator: commit permuter changed the batch size");
-    std::vector<bool> seen(ready.size(), false);
-    for (const std::size_t idx : order) {
-      if (idx >= ready.size() || seen[idx])
-        throw std::logic_error("Simulator: commit permuter returned an invalid permutation");
-      seen[idx] = true;
-      batch_.push_back(std::move(ready[idx]));
-    }
-    ev = std::move(batch_.front());
-    batch_.pop_front();
+    check_permutation(order, ready.size());
+    for (const std::size_t idx : order) legacy_batch_.push_back(std::move(ready[idx]));
+    ev = std::move(legacy_batch_.front());
+    legacy_batch_.pop_front();
   }
-  execute(std::move(ev));
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
   return true;
+}
+
+// ------------------------------------------------------------------ run loops
+
+bool Simulator::step() {
+  return engine_ == EngineKind::kLegacyHeap ? legacy_step() : fast_step();
+}
+
+Cycle Simulator::peek_time() const {
+  if (engine_ == EngineKind::kLegacyHeap) {
+    if (!legacy_batch_.empty()) return legacy_batch_.front().time;
+    if (!legacy_queue_.empty()) return legacy_queue_.top().time;
+    return kCycleMax;
+  }
+  if (!batch_.empty()) return batch_.front().time;
+  if (!calendar_.empty()) return calendar_.next_time(now_);
+  return kCycleMax;
 }
 
 Cycle Simulator::run() {
@@ -85,14 +157,8 @@ Cycle Simulator::run() {
 Cycle Simulator::run_until(Cycle t) {
   stop_requested_ = false;
   while (!stop_requested_) {
-    Cycle next;
-    if (!batch_.empty()) {
-      next = batch_.front().time;
-    } else if (!queue_.empty()) {
-      next = queue_.top().time;
-    } else {
-      break;
-    }
+    if (idle()) break;
+    const Cycle next = peek_time();
     if (next > t) break;
     step();
   }

@@ -1,11 +1,21 @@
 // Discrete-event simulation kernel.
 //
-// The kernel owns an event queue ordered by (time, priority, insertion
+// The kernel executes events ordered by (time, priority, insertion
 // sequence). Same-cycle events therefore execute in a deterministic order:
 // lower priority value first, FIFO among equals. Determinism is a hard
 // requirement — the paper's experiments are cycle-exact comparisons between
 // two designs, and every run of a given configuration must produce identical
 // cycle counts.
+//
+// Two engines implement that contract (docs/performance.md has the model):
+//  * EngineKind::kFast (default) — calendar/bucketed queue (sim/event_queue)
+//    with O(1) amortized push/pop and inline-storage EventFn callables
+//    (sim/small_fn), so the steady-state event loop performs no heap
+//    allocation and no comparator calls;
+//  * EngineKind::kLegacyHeap — the original comparator heap over
+//    std::function events, kept verbatim as the reference implementation.
+//    bench_simspeed (E21) measures the fast engine against it, and the
+//    cross-engine equivalence tests pin both to identical cycle counts.
 #pragma once
 
 #include <cstdint>
@@ -14,8 +24,12 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/event_queue.h"
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace mco::sim {
@@ -33,23 +47,45 @@ enum class Priority : std::uint8_t {
   kPostlude = 4,  // end-of-cycle bookkeeping, stats sampling
 };
 
+/// Which event-loop implementation a Simulator runs on.
+enum class EngineKind : std::uint8_t {
+  kFast = 0,        ///< calendar queue + EventFn (the default)
+  kLegacyHeap = 1,  ///< pre-optimization comparator heap (reference/benchmark)
+};
+
 /// The simulation kernel.
 class Simulator {
  public:
-  Simulator();
+  explicit Simulator(EngineKind engine = EngineKind::kFast);
   ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  EngineKind engine() const { return engine_; }
+
   /// Current simulation time.
   Cycle now() const { return now_; }
 
   /// Schedule `fn` to run at absolute cycle `t` (must be >= now()).
-  void schedule_at(Cycle t, std::function<void()> fn, Priority prio = Priority::kDefault);
+  ///
+  /// Any void() callable works. The fast engine stores it in an EventFn
+  /// (64-byte inline buffer, heap only on spill — counted); the legacy engine
+  /// stores a std::function exactly as the original kernel did.
+  template <typename F>
+  void schedule_at(Cycle t, F&& fn, Priority prio = Priority::kDefault) {
+    if (engine_ == EngineKind::kLegacyHeap) {
+      legacy_schedule(t, wrap_legacy(std::forward<F>(fn)), prio);
+    } else {
+      fast_schedule(t, EventFn(std::forward<F>(fn)), prio);
+    }
+  }
 
   /// Schedule `fn` to run `delay` cycles from now.
-  void schedule_in(Cycles delay, std::function<void()> fn, Priority prio = Priority::kDefault);
+  template <typename F>
+  void schedule_in(Cycles delay, F&& fn, Priority prio = Priority::kDefault) {
+    schedule_at(now_ + delay, std::forward<F>(fn), prio);
+  }
 
   /// Same-cycle commit-order exploration hook (see check::ScheduleExplorer).
   ///
@@ -76,13 +112,21 @@ class Simulator {
   bool step();
 
   /// True if no events are pending.
-  bool idle() const { return queue_.empty() && batch_.empty(); }
+  bool idle() const { return pending() == 0; }
 
   /// Number of pending events.
-  std::size_t pending() const { return queue_.size() + batch_.size(); }
+  std::size_t pending() const {
+    return engine_ == EngineKind::kLegacyHeap ? legacy_queue_.size() + legacy_batch_.size()
+                                              : calendar_.size() + batch_.size();
+  }
 
   /// Total events executed so far (for kernel self-tests / budgets).
   std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Fast-engine events whose capture exceeded EventFn's inline buffer and
+  /// spilled to the heap. bench_simspeed reports this; the SoC workloads keep
+  /// it at zero, which is what makes the fast loop allocation-free.
+  std::uint64_t event_heap_spills() const { return event_heap_spills_; }
 
   /// Abort the run loop from inside an event (e.g. deadlock watchdog).
   void stop() { stop_requested_ = true; }
@@ -92,32 +136,67 @@ class Simulator {
   TraceSink& trace() { return *trace_; }
 
  private:
-  struct Event {
+  // ---- legacy engine (pre-optimization heap, kept verbatim) ----
+  struct LegacyEvent {
     Cycle time;
     Priority prio;
     std::uint64_t seq;
     std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+  struct LegacyLater {
+    bool operator()(const LegacyEvent& a, const LegacyEvent& b) const {
       if (a.time != b.time) return a.time > b.time;
       if (a.prio != b.prio) return a.prio > b.prio;
       return a.seq > b.seq;
     }
   };
 
-  /// Execute one already-popped event.
-  void execute(Event ev);
+  /// Box an arbitrary callable into the legacy engine's std::function.
+  /// Copyable callables box directly (the original kernel's behaviour);
+  /// move-only ones ride a shared_ptr since std::function requires copies.
+  template <typename F>
+  static std::function<void()> wrap_legacy(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (std::is_copy_constructible_v<Fn>) {
+      return std::function<void()>(std::forward<F>(fn));
+    } else {
+      auto sp = std::make_shared<Fn>(std::forward<F>(fn));
+      return std::function<void()>([sp] { (*sp)(); });
+    }
+  }
 
+  void legacy_schedule(Cycle t, std::function<void()> fn, Priority prio);
+  bool legacy_step();
+
+  // ---- fast engine ----
+  struct BatchedEvent {
+    Cycle time;
+    Priority prio;
+    EventFn fn;
+  };
+
+  void fast_schedule(Cycle t, EventFn fn, Priority prio);
+  bool fast_step();
+
+  /// Earliest pending time across queue and batch, or kCycleMax when idle.
+  Cycle peek_time() const;
+
+  EngineKind engine_;
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t event_heap_spills_ = 0;
   bool stop_requested_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  CommitPermuter permuter_;
+
+  CalendarQueue calendar_;
   /// Permuted same-(time, priority) events awaiting commit (permuter mode
   /// only; always empty on the default FIFO path).
-  std::deque<Event> batch_;
+  std::deque<BatchedEvent> batch_;
+
+  std::priority_queue<LegacyEvent, std::vector<LegacyEvent>, LegacyLater> legacy_queue_;
+  std::deque<LegacyEvent> legacy_batch_;
+
+  CommitPermuter permuter_;
   std::unique_ptr<Logger> logger_;
   std::unique_ptr<StatsRegistry> stats_;
   std::unique_ptr<TraceSink> trace_;

@@ -1,0 +1,122 @@
+// EventFn: the simulator's event callable.
+//
+// std::function<void()> keeps only ~2 words of inline storage, so the
+// event-loop's bread-and-butter captures — a component `this` plus a boxed
+// continuation (itself a std::function) — heap-allocate on every schedule.
+// EventFn widens the inline buffer to kInlineBytes (sized for `this` + a
+// std::function + a few words), making ordinary events allocation-free; only
+// genuinely fat captures spill to the heap, and the Simulator counts those
+// spills so bench_simspeed (E21) can pin "events never allocate" as a
+// measurable property rather than a hope.
+//
+// Move-only (events are scheduled once and executed once), not copyable,
+// not const-callable — exactly the event-queue contract, nothing more.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mco::sim {
+
+class EventFn {
+ public:
+  /// Inline capture budget: `this` + one std::function continuation + two
+  /// words of arguments on common ABIs. Captures beyond this spill.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { destroy(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// False when this event's capture spilled to a heap allocation.
+  bool inline_stored() const { return ops_ == nullptr || !ops_->heap; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into dst's buffer and destroy the source in one step.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops kOps = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) noexcept {
+          Fn* s = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+        false,
+    };
+    return &kOps;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops kOps = {
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* dst, void* src) noexcept {
+          *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+        },
+        [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+        true,
+    };
+    return &kOps;
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) ops_->relocate(buf_, other.buf_);
+    other.ops_ = nullptr;
+  }
+
+  void destroy() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace mco::sim

@@ -4,41 +4,89 @@
 #include <set>
 #include <stdexcept>
 
-#include "util/strings.h"
-
 namespace mco::sim {
 
-void TraceSink::emit(TraceRecord rec) {
-  if (observer_) observer_(rec);
-  if (enabled_) records_.push_back(std::move(rec));
+const std::vector<DispatchInfo>& dispatch_reference() {
+  // Single source of truth for the sink's dispatch paths. The docs
+  // cross-check (scripts/check_metrics_docs.py) compares this table against
+  // docs/performance.md's dispatch cost table — extend both together.
+  static const std::vector<DispatchInfo> kReference = {
+      {"compiled_out", "MCO_FAST builds: armed() is compile-time false and recording folds away"},
+      {"dormant", "armed() reads one cached bool; string_view parameters allocate nothing"},
+      {"observer_raw", "flattened function-pointer fan-out into a reused scratch record"},
+      {"observer_boxed", "std::function compatibility adapter forwarding through the raw path"},
+      {"storage", "who/what/detail interned into the arena; compact records, lazy records()"},
+  };
+  return kReference;
 }
 
-void TraceSink::record(Cycle time, const std::string& who, const std::string& what,
-                       const std::string& detail) {
+void TraceSink::set_observer(Observer obs) {
+  if (!obs) {
+    set_observer(nullptr, nullptr);
+    return;
+  }
+  boxed_ = std::make_unique<Observer>(std::move(obs));
+  observer_fn_ = [](void* ctx, const TraceRecord& rec) { (*static_cast<Observer*>(ctx))(rec); };
+  observer_ctx_ = boxed_.get();
+  rearm();
+}
+
+namespace {
+
+/// std::string_view{} carries a null data(); never hand that to string ops.
+void assign_sv(std::string& dst, std::string_view s) {
+  dst.clear();
+  if (!s.empty()) dst.append(s.data(), s.size());
+}
+
+}  // namespace
+
+std::string_view TraceSink::intern(std::string_view s) {
+  if (s.empty()) return std::string_view{"", 0};
+  const auto it = interned_.find(s);
+  if (it != interned_.end()) return *it;
+  const std::string_view stable = arena_.copy(s);
+  interned_.insert(stable);
+  return stable;
+}
+
+void TraceSink::emit(Cycle time, TracePhase phase, std::string_view who, std::string_view what,
+                     std::string_view detail) {
+  if (observer_fn_ != nullptr) {
+    scratch_.time = time;
+    scratch_.phase = phase;
+    assign_sv(scratch_.who, who);
+    assign_sv(scratch_.what, what);
+    assign_sv(scratch_.detail, detail);
+    observer_fn_(observer_ctx_, scratch_);
+  }
+  if (enabled_)
+    compact_.push_back(CompactRecord{time, phase, intern(who), intern(what), intern(detail)});
+}
+
+void TraceSink::begin_span(Cycle time, std::string_view who, std::string_view what,
+                           std::string_view detail) {
   if (!armed()) return;
-  emit(TraceRecord{time, TracePhase::kInstant, who, what, detail});
+  // Intern the track/name regardless of storage so the open-span stack owns
+  // stable views even on the observer-only path.
+  open_.push_back(OpenSpan{intern(who), intern(what)});
+  emit(time, TracePhase::kBegin, who, what, detail);
 }
 
-void TraceSink::begin_span(Cycle time, const std::string& who, const std::string& what,
-                           const std::string& detail) {
-  if (!armed()) return;
-  open_.push_back(OpenSpan{who, what});
-  emit(TraceRecord{time, TracePhase::kBegin, who, what, detail});
-}
-
-void TraceSink::end_span(Cycle time, const std::string& who) {
+void TraceSink::end_span(Cycle time, std::string_view who) {
   if (!armed()) return;
   // Innermost open span on this track: topmost stack entry with matching who.
   for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
     if (it->who != who) continue;
-    emit(TraceRecord{time, TracePhase::kEnd, who, it->what, ""});
+    const std::string_view what = it->what;
     open_.erase(std::next(it).base());
+    emit(time, TracePhase::kEnd, who, what, {});
     return;
   }
-  throw std::logic_error("TraceSink: end_span('" + who + "') without an open span");
+  throw std::logic_error("TraceSink: end_span('" + std::string(who) + "') without an open span");
 }
 
-std::size_t TraceSink::open_spans(const std::string& who) const {
+std::size_t TraceSink::open_spans(std::string_view who) const {
   std::size_t n = 0;
   for (const auto& o : open_) {
     if (o.who == who) ++n;
@@ -48,15 +96,30 @@ std::size_t TraceSink::open_spans(const std::string& who) const {
 
 bool TraceSink::balanced() const { return open_.empty(); }
 
-void TraceSink::clear() {
-  records_.clear();
-  open_.clear();
+const std::vector<TraceRecord>& TraceSink::records() const {
+  // Materialize only what appeared since the last call.
+  for (std::size_t i = cache_.size(); i < compact_.size(); ++i) {
+    const CompactRecord& c = compact_[i];
+    cache_.push_back(TraceRecord{c.time, c.phase, std::string(c.who), std::string(c.what),
+                                 std::string(c.detail)});
+  }
+  return cache_;
 }
 
-std::vector<TraceRecord> TraceSink::filter(const std::string& what) const {
+void TraceSink::clear() {
+  compact_.clear();
+  cache_.clear();
+  open_.clear();
+  interned_.clear();
+  arena_.reset();  // chunks are retained: a clear/refill cycle reallocates nothing
+}
+
+std::vector<TraceRecord> TraceSink::filter(std::string_view what) const {
   std::vector<TraceRecord> out;
-  for (const auto& r : records_) {
-    if (r.what == what) out.push_back(r);
+  for (const auto& c : compact_) {
+    if (c.what == what)
+      out.push_back(
+          TraceRecord{c.time, c.phase, std::string(c.who), std::string(c.what), std::string(c.detail)});
   }
   return out;
 }
@@ -65,16 +128,17 @@ std::vector<TraceSink::SpanView> TraceSink::all_spans() const {
   // Replay the stream with a per-track stack, pairing each end with the
   // innermost begin on its track (the same discipline end_span enforces).
   std::vector<SpanView> out;
-  std::vector<std::size_t> stack;  // indices into records_ of open begins
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    const TraceRecord& r = records_[i];
+  std::vector<std::size_t> stack;  // indices into compact_ of open begins
+  for (std::size_t i = 0; i < compact_.size(); ++i) {
+    const CompactRecord& r = compact_[i];
     if (r.phase == TracePhase::kBegin) {
       stack.push_back(i);
     } else if (r.phase == TracePhase::kEnd) {
       for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-        const TraceRecord& b = records_[*it];
+        const CompactRecord& b = compact_[*it];
         if (b.who != r.who) continue;
-        out.push_back(SpanView{b.time, r.time, b.who, b.what, b.detail});
+        out.push_back(SpanView{b.time, r.time, std::string(b.who), std::string(b.what),
+                               std::string(b.detail)});
         stack.erase(std::next(it).base());
         break;
       }
@@ -85,7 +149,7 @@ std::vector<TraceSink::SpanView> TraceSink::all_spans() const {
   return out;
 }
 
-std::vector<TraceSink::SpanView> TraceSink::spans(const std::string& what) const {
+std::vector<TraceSink::SpanView> TraceSink::spans(std::string_view what) const {
   std::vector<SpanView> out;
   for (auto& s : all_spans()) {
     if (s.what == what) out.push_back(std::move(s));
@@ -94,19 +158,26 @@ std::vector<TraceSink::SpanView> TraceSink::spans(const std::string& what) const
 }
 
 std::vector<std::string> TraceSink::span_names() const {
-  std::set<std::string> names;
-  for (const auto& r : records_) {
-    if (r.phase == TracePhase::kBegin) names.insert(r.what);
+  std::set<std::string, std::less<>> names;
+  for (const auto& r : compact_) {
+    if (r.phase == TracePhase::kBegin) names.emplace(r.what);
   }
   return {names.begin(), names.end()};
 }
 
 std::string TraceSink::to_csv() const {
   std::string out = "time,phase,who,what,detail\n";
-  for (const auto& r : records_) {
-    out += util::format("%llu,%c,%s,%s,%s\n", static_cast<unsigned long long>(r.time),
-                        static_cast<char>(r.phase), r.who.c_str(), r.what.c_str(),
-                        r.detail.c_str());
+  for (const auto& r : compact_) {
+    out += std::to_string(r.time);
+    out += ',';
+    out += static_cast<char>(r.phase);
+    out += ',';
+    out.append(r.who.data(), r.who.size());
+    out += ',';
+    out.append(r.what.data(), r.what.size());
+    out += ',';
+    out.append(r.detail.data(), r.detail.size());
+    out += '\n';
   }
   return out;
 }

@@ -11,13 +11,34 @@
 // The sink is disabled by default and every recording call is a cheap
 // early-return in that state. Recording never schedules simulator events, so
 // attaching (or detaching) the sink cannot move a single cycle.
+//
+// Dispatch paths, cheapest first (docs/performance.md has the cost table;
+// dispatch_reference() below is the machine-checked catalog):
+//  * compiled_out — MCO_FAST builds: armed() is a compile-time false, every
+//    recording call folds to nothing and armed()-guarded detail formatting
+//    at call sites is dead-code-eliminated;
+//  * dormant      — armed() reads one cached bool and returns. Parameters
+//    are string_views, so dormant call sites build no std::string
+//    temporaries;
+//  * observer_raw — a flattened function-pointer + context fan-out
+//    (no std::function indirection); the record is materialized into a
+//    reused scratch buffer, so steady-state observation does not allocate;
+//  * observer_boxed — std::function compatibility adapter over the raw path;
+//  * storage      — enabled sinks intern who/what/detail into an arena
+//    (deduplicated) and store compact string_view records; the public
+//    records() vector materializes lazily on first access.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/arena.h"
 #include "sim/time.h"
 
 namespace mco::sim {
@@ -38,11 +59,31 @@ struct TraceRecord {
   std::string detail;
 };
 
+/// Catalog entry for one TraceSink dispatch path (name + one-line cost
+/// statement). docs/performance.md documents the same names;
+/// scripts/check_metrics_docs.py cross-checks the two.
+struct DispatchInfo {
+  const char* name;
+  const char* statement;
+};
+const std::vector<DispatchInfo>& dispatch_reference();
+
 /// In-memory trace sink. Disabled by default; offload-phase instrumentation
 /// and the trace_inspect example enable it to reconstruct offload timelines.
 class TraceSink {
  public:
-  void enable(bool on = true) { enabled_ = on; }
+  /// True in MCO_FAST builds: tracing is compiled out of the inner loop and
+  /// armed() is a compile-time false.
+#ifdef MCO_FAST
+  static constexpr bool kCompiledOut = true;
+#else
+  static constexpr bool kCompiledOut = false;
+#endif
+
+  void enable(bool on = true) {
+    enabled_ = kCompiledOut ? false : on;
+    rearm();
+  }
   bool enabled() const { return enabled_; }
 
   /// Live record observer (the check::ProtocolMonitor's tap). When set, every
@@ -50,38 +91,66 @@ class TraceSink {
   /// storage disabled, so a monitor can watch an arbitrarily long run in
   /// bounded memory. Recording stays side-effect-free on simulated time: the
   /// observer must not schedule events (monitors only accumulate state).
+  ///
+  /// The raw overload is the flattened fast path: one indirect call through a
+  /// plain function pointer. The std::function overload is a compatibility
+  /// adapter that boxes the callable and forwards through the same pointer.
+  using ObserverFn = void (*)(void* ctx, const TraceRecord& rec);
+  void set_observer(ObserverFn fn, void* ctx) {
+    boxed_ = nullptr;
+    observer_fn_ = fn;
+    observer_ctx_ = ctx;
+    rearm();
+  }
   using Observer = std::function<void(const TraceRecord&)>;
-  void set_observer(Observer obs) { observer_ = std::move(obs); }
-  bool has_observer() const { return static_cast<bool>(observer_); }
+  void set_observer(Observer obs);
+  bool has_observer() const { return observer_fn_ != nullptr; }
 
   /// True when records are produced at all (stored, observed, or both).
-  bool armed() const { return enabled_ || has_observer(); }
+  /// A cached bool in normal builds; constant false under MCO_FAST, so
+  /// `if (trace.armed()) { ...format detail... }` blocks vanish entirely.
+  bool armed() const {
+#ifdef MCO_FAST
+    return false;
+#else
+    return armed_;
+#endif
+  }
 
   /// Record an instant event.
-  void record(Cycle time, const std::string& who, const std::string& what,
-              const std::string& detail = "");
+  void record(Cycle time, std::string_view who, std::string_view what,
+              std::string_view detail = {}) {
+    if (!armed()) return;
+    emit(time, TracePhase::kInstant, who, what, detail);
+  }
 
   /// Open a duration span named `what` on component track `who`. Spans on
   /// the same track nest: a later begin_span opens a child of the still-open
   /// span. Every begin must be balanced by an end_span on the same track.
-  void begin_span(Cycle time, const std::string& who, const std::string& what,
-                  const std::string& detail = "");
+  void begin_span(Cycle time, std::string_view who, std::string_view what,
+                  std::string_view detail = {});
 
   /// Close the innermost open span on track `who` (its name is taken from
   /// the matching begin). Throws std::logic_error if no span is open on that
   /// track — an unbalanced end is always an instrumentation bug.
-  void end_span(Cycle time, const std::string& who);
+  void end_span(Cycle time, std::string_view who);
 
   /// Number of spans currently open on `who`'s track (0 = balanced).
-  std::size_t open_spans(const std::string& who) const;
+  std::size_t open_spans(std::string_view who) const;
   /// True when every begun span has been ended, across all tracks.
   bool balanced() const;
 
-  const std::vector<TraceRecord>& records() const { return records_; }
+  /// Stored records, materialized lazily from the compact arena-backed form.
+  const std::vector<TraceRecord>& records() const;
   void clear();
 
+  /// Number of stored records (without materializing the records() cache).
+  std::size_t stored() const { return compact_.size(); }
+  /// Arena bytes backing the interned strings (bench/test introspection).
+  std::size_t interned_bytes() const { return arena_.bytes_allocated(); }
+
   /// All records whose `what` matches exactly, in time order.
-  std::vector<TraceRecord> filter(const std::string& what) const;
+  std::vector<TraceRecord> filter(std::string_view what) const;
 
   /// Begin records whose `what` matches, paired with their computed
   /// duration — the timeline query tests and benches use to read off a
@@ -94,7 +163,7 @@ class TraceSink {
     std::string detail;
     Cycles duration() const { return end - begin; }
   };
-  std::vector<SpanView> spans(const std::string& what) const;
+  std::vector<SpanView> spans(std::string_view what) const;
   /// Every closed span, in begin-time order.
   std::vector<SpanView> all_spans() const;
 
@@ -106,20 +175,47 @@ class TraceSink {
   std::string to_csv() const;
 
  private:
+  /// Storage form: string_views into the intern arena. 48 bytes per record
+  /// versus three std::strings, and repeated who/what/detail values share
+  /// one interned copy.
+  struct CompactRecord {
+    Cycle time;
+    TracePhase phase;
+    std::string_view who;
+    std::string_view what;
+    std::string_view detail;
+  };
   struct OpenSpan {
-    std::string who;
-    std::string what;  ///< name from the begin record (ends inherit it)
+    std::string_view who;   ///< interned (stable until clear())
+    std::string_view what;  ///< name from the begin record (ends inherit it)
   };
 
-  /// Store (when enabled) and/or forward (when observed) one record.
-  void emit(TraceRecord rec);
+  void rearm() { armed_ = enabled_ || observer_fn_ != nullptr; }
+
+  /// Deduplicated copy of `s` owned by the arena (stable until clear()).
+  std::string_view intern(std::string_view s);
+
+  /// Forward (when observed) and/or store (when enabled) one record.
+  void emit(Cycle time, TracePhase phase, std::string_view who, std::string_view what,
+            std::string_view detail);
 
   bool enabled_ = false;
-  Observer observer_;
-  std::vector<TraceRecord> records_;
+  bool armed_ = false;
+  ObserverFn observer_fn_ = nullptr;
+  void* observer_ctx_ = nullptr;
+  std::unique_ptr<Observer> boxed_;  ///< keeps a boxed std::function observer alive
+  TraceRecord scratch_;              ///< reused for observer fan-out (no per-record allocs)
+
+  Arena arena_;
+  std::unordered_set<std::string_view> interned_;
+  std::vector<CompactRecord> compact_;
   /// Stack of open spans across all tracks (per-track nesting falls out of
   /// matching ends by `who` from the top down).
   std::vector<OpenSpan> open_;
+
+  /// Lazy materialization of compact_ for the records() API; grown
+  /// incrementally, so repeated records() calls mid-run stay cheap.
+  mutable std::vector<TraceRecord> cache_;
 };
 
 }  // namespace mco::sim

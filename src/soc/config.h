@@ -27,9 +27,22 @@ struct SocFeatures {
   bool hw_sync = false;    ///< dedicated credit-counter sync unit + IRQ
 };
 
+/// Simulation-kernel knobs (they change host wall-time, never a simulated
+/// cycle — both engines and both zeroing modes are pinned bit-identical).
+struct SimCoreConfig {
+  /// Run on the pre-optimization comparator-heap engine (EngineKind::
+  /// kLegacyHeap) instead of the calendar-queue fast path. Reference and
+  /// benchmark baseline only.
+  bool legacy_heap_queue = false;
+  /// Touch every HBM page at construction (the original eager-zero
+  /// behaviour) instead of lazy calloc zero pages.
+  bool eager_hbm_zero = false;
+};
+
 struct SocConfig {
   unsigned num_clusters = 32;
   SocFeatures features{};
+  SimCoreConfig sim{};
 
   mem::AddressMapConfig address_map{};
   mem::HbmConfig hbm{};

@@ -94,6 +94,8 @@ const std::vector<Field>& fields() {
       MCO_U64("num_clusters", num_clusters),
       MCO_BOOL("features.multicast", features.multicast),
       MCO_BOOL("features.hw_sync", features.hw_sync),
+      MCO_BOOL("sim.legacy_heap_queue", sim.legacy_heap_queue),
+      MCO_BOOL("sim.eager_hbm_zero", sim.eager_hbm_zero),
 
       MCO_U64("hbm.beats_per_cycle", hbm.beats_per_cycle),
       MCO_U64("hbm.request_latency", hbm.request_latency),

@@ -60,9 +60,12 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(&kernels::KernelRegistry::shared(
   cfg_.address_map.num_clusters = cfg_.num_clusters;
   if (cfg_.hbm.num_ports < cfg_.num_clusters + 1) cfg_.hbm.num_ports = cfg_.num_clusters + 1;
 
-  sim_ = std::make_unique<sim::Simulator>();
+  sim_ = std::make_unique<sim::Simulator>(cfg_.sim.legacy_heap_queue
+                                              ? sim::EngineKind::kLegacyHeap
+                                              : sim::EngineKind::kFast);
   map_ = std::make_unique<mem::AddressMap>(cfg_.address_map);
-  main_mem_ = std::make_unique<mem::MainMemory>(cfg_.address_map.hbm_size);
+  main_mem_ =
+      std::make_unique<mem::MainMemory>(cfg_.address_map.hbm_size, cfg_.sim.eager_hbm_zero);
   root_ = std::make_unique<sim::Component>(*sim_, "soc");
   hbm_ = std::make_unique<mem::HbmController>(*sim_, "hbm", cfg_.hbm, root_.get());
   noc_ = std::make_unique<noc::Interconnect>(*sim_, "noc", cfg_.noc, cfg_.num_clusters,

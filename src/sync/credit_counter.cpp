@@ -25,7 +25,8 @@ void CreditCounterUnit::arm(std::uint32_t new_threshold) {
   threshold_ = new_threshold;
   count_ = 0;
   armed_at_ = now();
-  sim().trace().record(now(), path(), "arm", util::format("threshold=%u", new_threshold));
+  if (sim::TraceSink& tr = sim().trace(); tr.armed())
+    tr.record(now(), path(), "arm", util::format("threshold=%u", new_threshold));
 }
 
 void CreditCounterUnit::increment(unsigned cluster) {
@@ -49,7 +50,8 @@ void CreditCounterUnit::increment(unsigned cluster) {
     if (!armed_) {
       ++spurious_increments_;
       sim().logger().log(now(), sim::LogLevel::kWarn, path(), "increment while unarmed");
-      sim().trace().record(now(), path(), "credit_spurious",
+      if (sim::TraceSink& tr = sim().trace(); tr.armed())
+        tr.record(now(), path(), "credit_spurious",
                            util::format("cluster=%u", cluster));
       continue;
     }
@@ -57,7 +59,8 @@ void CreditCounterUnit::increment(unsigned cluster) {
       throw std::overflow_error(path() + ": credit counter wrapped at 2^32-1");
     ++count_;
     arrival_hist_.sample(static_cast<double>(now() - armed_at_));
-    sim().trace().record(now(), path(), "credit",
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), "credit",
                          util::format("count=%u/%u", count_, threshold_));
     if (count_ == threshold_) {
       armed_ = false;

@@ -12,7 +12,8 @@ Mailbox::Mailbox(sim::Simulator& sim, std::string name, Component* parent)
 void Mailbox::deliver(const noc::DispatchMessage& msg) {
   ++received_;
   queue_.push_back(msg);
-  sim().trace().record(now(), path(), "doorbell", util::format("words=%zu", msg.size_words()));
+  if (sim::TraceSink& tr = sim().trace(); tr.armed())
+    tr.record(now(), path(), "doorbell", util::format("words=%zu", msg.size_words()));
   if (doorbell_) doorbell_();
 }
 

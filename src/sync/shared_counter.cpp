@@ -16,7 +16,8 @@ SharedCounter::SharedCounter(sim::Simulator& sim, std::string name, SharedCounte
 void SharedCounter::store(std::uint64_t value) {
   value_ = value;
   init_at_ = now();
-  sim().trace().record(now(), path(), "store",
+  if (sim::TraceSink& tr = sim().trace(); tr.armed())
+    tr.record(now(), path(), "store",
                        util::format("value=%llu", static_cast<unsigned long long>(value)));
 }
 
@@ -41,7 +42,8 @@ void SharedCounter::amo_add(std::uint64_t delta, unsigned cluster) {
           if (cluster < done_.size()) done_[cluster] = true;
           ++amos_serviced_;
           arrival_hist_.sample(static_cast<double>(now() - init_at_));
-          sim().trace().record(now(), path(), "amo_commit",
+          if (sim::TraceSink& tr = sim().trace(); tr.armed())
+            tr.record(now(), path(), "amo_commit",
                                util::format("value=%llu",
                                             static_cast<unsigned long long>(value_)));
         },

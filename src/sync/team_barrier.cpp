@@ -19,7 +19,8 @@ void TeamBarrier::arrive(unsigned expected, std::function<void()> resume) {
                                         path().c_str(), expected, expected_));
   }
   waiters_.push_back(std::move(resume));
-  sim().trace().record(now(), path(), "arrive",
+  if (sim::TraceSink& tr = sim().trace(); tr.armed())
+    tr.record(now(), path(), "arrive",
                        util::format("%zu/%u", waiters_.size(), expected_));
   if (waiters_.size() == expected_) {
     auto released = std::move(waiters_);

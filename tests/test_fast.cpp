@@ -1,0 +1,379 @@
+// Fast-path simulator core: calendar-queue engine, EventFn inline storage,
+// arena reuse, TraceSink dispatch tiers — and the cross-engine bit-exactness
+// contract that makes the fast path (and MCO_FAST builds) safe to trust.
+//
+// This binary is the only test target in -DMCO_FAST=ON builds: the rest of
+// the suite asserts on trace records, which MCO_FAST compiles out. The paper
+// pins (633 / 936 / 1.479x) therefore live here too, so both build modes
+// re-verify them end to end.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/schedule_explorer.h"
+#include "exp/spec.h"
+#include "sim/arena.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/small_fn.h"
+#include "sim/trace.h"
+#include "soc/config_io.h"
+#include "soc/soc.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+using sim::Cycle;
+using sim::Priority;
+
+// ---- CalendarQueue ---------------------------------------------------------
+
+TEST(CalendarQueue, SameCycleSamePriorityIsFifo) {
+  sim::CalendarQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.push(0, 10, Priority::kDefault, sim::EventFn([&order, i] { order.push_back(i); }));
+  }
+  ASSERT_EQ(q.size(), 8u);
+  while (!q.empty()) {
+    Cycle t = 0;
+    Priority p{};
+    q.pop(0, &t, &p)();
+    EXPECT_EQ(t, 10u);
+    EXPECT_EQ(p, Priority::kDefault);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(CalendarQueue, PriorityLanesDrainInEnumOrderWithinACycle) {
+  sim::CalendarQueue q;
+  std::vector<Priority> order;
+  const Priority scrambled[] = {Priority::kPostlude, Priority::kCpu, Priority::kWire,
+                                Priority::kDefault, Priority::kMemory, Priority::kWire};
+  for (const Priority p : scrambled) {
+    q.push(0, 5, p, sim::EventFn([&order, p] { order.push_back(p); }));
+  }
+  while (!q.empty()) {
+    Cycle t = 0;
+    Priority p{};
+    q.pop(0, &t, &p)();
+  }
+  const std::vector<Priority> expected = {Priority::kWire, Priority::kWire, Priority::kMemory,
+                                          Priority::kDefault, Priority::kCpu,
+                                          Priority::kPostlude};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(CalendarQueue, OverflowBeyondTheWheelWindowPopsInTimeOrder) {
+  sim::CalendarQueue q;
+  std::vector<Cycle> popped;
+  // Far beyond the 1024-slot window, interleaved with near events, pushed in
+  // deliberately shuffled time order.
+  for (const Cycle t : {50000ull, 3ull, 900000ull, 1023ull, 1024ull, 4096ull, 3ull}) {
+    q.push(0, t, Priority::kDefault, sim::EventFn([] {}));
+  }
+  Cycle now = 0;
+  while (!q.empty()) {
+    const Cycle next = q.next_time(now);
+    Cycle t = 0;
+    Priority p{};
+    q.pop(now, &t, &p);
+    EXPECT_EQ(t, next);
+    EXPECT_GE(t, now);  // monotone
+    popped.push_back(t);
+    now = t;
+  }
+  EXPECT_EQ(popped, (std::vector<Cycle>{3, 3, 1023, 1024, 4096, 50000, 900000}));
+}
+
+TEST(CalendarQueue, NextTimeReportsEarliestAcrossWheelAndOverflow) {
+  sim::CalendarQueue q;
+  EXPECT_EQ(q.next_time(0), sim::kCycleMax);
+  q.push(0, 70000, Priority::kDefault, sim::EventFn([] {}));
+  EXPECT_EQ(q.next_time(0), 70000u);
+  q.push(0, 12, Priority::kDefault, sim::EventFn([] {}));
+  EXPECT_EQ(q.next_time(0), 12u);
+}
+
+// ---- EventFn ---------------------------------------------------------------
+
+TEST(EventFn, SmallCapturesStayInline) {
+  int hit = 0;
+  sim::EventFn fn([&hit] { ++hit; });
+  EXPECT_TRUE(fn.inline_stored());
+  fn();
+  EXPECT_EQ(hit, 1);
+}
+
+TEST(EventFn, FatCapturesSpillToHeapButStillRun) {
+  struct Fat {
+    std::uint8_t blob[2 * sim::EventFn::kInlineBytes] = {};
+    int* out;
+  };
+  int hit = 0;
+  Fat fat;
+  fat.blob[0] = 42;
+  fat.out = &hit;
+  sim::EventFn fn([fat] { *fat.out = fat.blob[0]; });
+  EXPECT_FALSE(fn.inline_stored());
+  fn();
+  EXPECT_EQ(hit, 42);
+}
+
+TEST(EventFn, MoveOnlyCapturesWorkAndMoveTransfersOwnership) {
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  sim::EventFn a([owned = std::move(owned), &got] { got = *owned; });
+  sim::EventFn b(std::move(a));
+  b();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(EventFn, DestroysCaptureExactlyOnce) {
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = tracked;
+  {
+    sim::EventFn fn([keep = std::move(tracked)] { (void)keep; });
+    EXPECT_EQ(weak.use_count(), 1);
+    sim::EventFn moved(std::move(fn));
+    EXPECT_EQ(weak.use_count(), 1);
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+// ---- Arena -----------------------------------------------------------------
+
+TEST(Arena, CopyReturnsStableIndependentViews) {
+  sim::Arena arena;
+  const std::string_view a = arena.copy("alpha");
+  const std::string_view b = arena.copy("beta");
+  EXPECT_EQ(a, "alpha");
+  EXPECT_EQ(b, "beta");
+  EXPECT_NE(a.data(), b.data());
+  // Empty copies must still yield a valid (non-null) pointer.
+  const std::string_view e = arena.copy({});
+  EXPECT_NE(e.data(), nullptr);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Arena, ResetReusesChunksWithoutGrowingCapacity) {
+  sim::Arena arena;
+  for (int i = 0; i < 1000; ++i) arena.allocate(64);
+  const std::size_t cap = arena.capacity();
+  const std::size_t chunks = arena.chunks();
+  const std::size_t bytes = arena.bytes_allocated();
+  EXPECT_GT(cap, 0u);
+  for (int round = 0; round < 5; ++round) {
+    arena.reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+    for (int i = 0; i < 1000; ++i) arena.allocate(64);
+    EXPECT_EQ(arena.capacity(), cap) << "round " << round;
+    EXPECT_EQ(arena.chunks(), chunks) << "round " << round;
+    EXPECT_EQ(arena.bytes_allocated(), bytes) << "round " << round;
+  }
+}
+
+TEST(Arena, RespectsAlignment) {
+  sim::Arena arena;
+  arena.allocate(1, 1);
+  void* p = arena.allocate(8, alignof(std::max_align_t));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::max_align_t), 0u);
+}
+
+// ---- cross-engine equivalence ----------------------------------------------
+
+// One pseudo-random torture schedule executed on a given engine: events
+// re-schedule further events (same cycle, near future, far overflow), across
+// all priorities, with occasional fat captures. Returns the full execution
+// log (id, cycle) — the engines must produce identical logs.
+std::vector<std::pair<int, Cycle>> run_torture(sim::EngineKind kind) {
+  sim::Simulator simulator(kind);
+  std::vector<std::pair<int, Cycle>> log;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  int ids = 0;
+  const auto spawn = [&](auto&& self, int depth) -> void {
+    const int id = ids++;
+    const Cycle delta = (next() % 64 == 0) ? 5000 + next() % 4000 : next() % 16;
+    const auto prio = static_cast<Priority>(next() % 5);
+    simulator.schedule_at(simulator.now() + delta,
+                          [&, self, id, depth] {
+                            log.emplace_back(id, simulator.now());
+                            if (depth < 4) {
+                              self(self, depth + 1);
+                              self(self, depth + 1);
+                            }
+                          },
+                          prio);
+  };
+  for (int i = 0; i < 32; ++i) spawn(spawn, 0);
+  simulator.run();
+  return log;
+}
+
+TEST(EngineEquivalence, TortureScheduleExecutesIdenticallyOnBothEngines) {
+  const auto fast = run_torture(sim::EngineKind::kFast);
+  const auto legacy = run_torture(sim::EngineKind::kLegacyHeap);
+  ASSERT_EQ(fast.size(), legacy.size());
+  EXPECT_EQ(fast, legacy);
+}
+
+TEST(EngineEquivalence, SeededScheduleExplorationMatchesAcrossEngines) {
+  // The explorer permutes same-cycle kWire commit order under seeded
+  // shuffles; per-schedule latencies must be bit-identical whichever engine
+  // executes them.
+  check::ScheduleExplorerConfig cfg;
+  cfg.schedules = 8;
+  const check::ScheduleExplorer explorer(cfg);
+  for (const bool extended : {true, false}) {
+    exp::RunPoint p;
+    p.config_label = extended ? "extended" : "baseline";
+    p.cfg = extended ? soc::SocConfig::extended(32) : soc::SocConfig::baseline(32);
+    p.n = 1024;
+    p.m = 16;
+    exp::RunPoint legacy_p = p;
+    legacy_p.cfg.sim.legacy_heap_queue = true;
+    const check::ScheduleReport fast = explorer.explore(p);
+    const check::ScheduleReport legacy = explorer.explore(legacy_p);
+    ASSERT_EQ(fast.runs.size(), legacy.runs.size());
+    for (std::size_t i = 0; i < fast.runs.size(); ++i) {
+      EXPECT_EQ(fast.runs[i].total, legacy.runs[i].total) << "schedule " << i;
+    }
+    EXPECT_TRUE(fast.clean());
+    EXPECT_TRUE(legacy.clean());
+    EXPECT_TRUE(fast.cycles_identical);
+  }
+}
+
+TEST(EngineEquivalence, HeapSpillCounterCountsOnlyFatCaptures) {
+  sim::Simulator simulator;  // default engine is kFast
+  EXPECT_EQ(simulator.engine(), sim::EngineKind::kFast);
+  simulator.schedule_at(1, [] {});
+  EXPECT_EQ(simulator.event_heap_spills(), 0u);
+  std::uint8_t blob[128] = {};
+  simulator.schedule_at(2, [blob] { (void)blob; });
+  EXPECT_EQ(simulator.event_heap_spills(), 1u);
+  simulator.run();
+}
+
+// ---- paper pins on both engines -------------------------------------------
+
+sim::Cycles daxpy_cycles(soc::SocConfig cfg, bool legacy, std::uint64_t n, unsigned m) {
+  cfg.sim.legacy_heap_queue = legacy;
+  return soc::run_daxpy(cfg, n, m).total();
+}
+
+TEST(FastPins, PaperNumbersIdenticalOnBothEngines) {
+  for (const bool legacy : {false, true}) {
+    const auto base = daxpy_cycles(soc::SocConfig::baseline(32), legacy, 1024, 32);
+    const auto ext = daxpy_cycles(soc::SocConfig::extended(32), legacy, 1024, 32);
+    EXPECT_EQ(base, 936u) << (legacy ? "legacy" : "fast");
+    EXPECT_EQ(ext, 633u) << (legacy ? "legacy" : "fast");
+    const double speedup = static_cast<double>(base) / static_cast<double>(ext);
+    EXPECT_NEAR(speedup, 1.479, 0.002) << (legacy ? "legacy" : "fast");
+  }
+}
+
+// ---- Soc / config plumbing -------------------------------------------------
+
+TEST(SimCoreConfig, SocHonoursTheEngineAndZeroingFlags) {
+  soc::SocConfig cfg = soc::SocConfig::extended(4);
+  {
+    soc::Soc soc(cfg);
+    EXPECT_EQ(soc.simulator().engine(), sim::EngineKind::kFast);
+  }
+  cfg.sim.legacy_heap_queue = true;
+  cfg.sim.eager_hbm_zero = true;  // must construct and run, just slower
+  {
+    soc::Soc soc(cfg);
+    EXPECT_EQ(soc.simulator().engine(), sim::EngineKind::kLegacyHeap);
+  }
+}
+
+TEST(SimCoreConfig, RoundTripsThroughConfigIo) {
+  soc::SocConfig cfg = soc::SocConfig::extended(4);
+  cfg.sim.legacy_heap_queue = true;
+  cfg.sim.eager_hbm_zero = true;
+  const std::string text = soc::save_text(cfg);
+  EXPECT_NE(text.find("sim.legacy_heap_queue"), std::string::npos);
+  const soc::SocConfig back = soc::load_text(text);
+  EXPECT_TRUE(back.sim.legacy_heap_queue);
+  EXPECT_TRUE(back.sim.eager_hbm_zero);
+  const soc::SocConfig defaults = soc::load_text(soc::save_text(soc::SocConfig::extended(4)));
+  EXPECT_FALSE(defaults.sim.legacy_heap_queue);
+  EXPECT_FALSE(defaults.sim.eager_hbm_zero);
+}
+
+// ---- TraceSink dispatch contract -------------------------------------------
+
+#ifdef MCO_FAST
+
+TEST(TraceFast, CompiledOutSinkIsInertAndZeroCost) {
+  EXPECT_TRUE(sim::TraceSink::kCompiledOut);
+  sim::TraceSink sink;
+  sink.enable();  // must be a no-op
+  EXPECT_FALSE(sink.enabled());
+  EXPECT_FALSE(sink.armed());
+  sink.record(1, "who", "what", "detail");
+  EXPECT_EQ(sink.stored(), 0u);
+  EXPECT_TRUE(sink.records().empty());
+}
+
+#else  // !MCO_FAST
+
+TEST(TraceDispatch, DormantSinkStoresNothing) {
+  EXPECT_FALSE(sim::TraceSink::kCompiledOut);
+  sim::TraceSink sink;
+  EXPECT_FALSE(sink.armed());
+  sink.record(1, "who", "what", "detail");
+  EXPECT_EQ(sink.stored(), 0u);
+}
+
+TEST(TraceDispatch, RawObserverSeesRecordsWithoutStorage) {
+  sim::TraceSink sink;
+  struct Ctx {
+    int seen = 0;
+  } ctx;
+  sink.set_observer(
+      [](void* c, const sim::TraceRecord& rec) {
+        auto* counter = static_cast<Ctx*>(c);
+        ++counter->seen;
+        EXPECT_EQ(rec.what, "evt");
+      },
+      &ctx);
+  EXPECT_TRUE(sink.armed());
+  EXPECT_FALSE(sink.enabled());
+  for (int i = 0; i < 10; ++i) sink.record(static_cast<Cycle>(i), "unit", "evt", "d");
+  EXPECT_EQ(ctx.seen, 10);
+  EXPECT_EQ(sink.stored(), 0u);
+}
+
+TEST(TraceDispatch, StorageInternsStringsAndReusesArenaAfterClear) {
+  sim::TraceSink sink;
+  sink.enable();
+  for (int i = 0; i < 1000; ++i) sink.record(static_cast<Cycle>(i), "unit", "evt", "detail");
+  EXPECT_EQ(sink.stored(), 1000u);
+  const std::size_t interned = sink.interned_bytes();
+  // Three distinct strings interned once each, not 3000 copies.
+  EXPECT_LE(interned, 64u);
+  sink.clear();
+  sink.enable();
+  for (int i = 0; i < 1000; ++i) sink.record(static_cast<Cycle>(i), "unit", "evt", "detail");
+  EXPECT_EQ(sink.interned_bytes(), interned);
+  EXPECT_EQ(sink.records().size(), 1000u);
+  EXPECT_EQ(sink.records()[0].who, "unit");
+}
+
+#endif  // MCO_FAST
+
+}  // namespace
