@@ -1,0 +1,140 @@
+// E22 — fleet soak: the sharded multi-SoC serving fleet under offered load
+// that saturates a single shard.
+//
+// One seeded job trace (the E19 generator pressed ~2.5x harder, see
+// serve::fleet_trace_config) is served by a serve::FleetRouter per grid
+// point: shard-count scaling {1, 2, 4, 8} with same-kernel batching and
+// cross-shard stealing on, plus the 4-shard ablations (no-batch, no-steal,
+// neither). Reported per point: SLO attainment, goodput, steal/batch
+// activity, and the invariant audits (per-shard backing Socs + the fleet
+// trace's per-shard serve_isolation shadows). The "mco-fleet-v1" document is
+// byte-compared across --jobs levels by tests/test_fleet.cpp.
+//
+// Point-level parallelism uses exp::SweepRunner::map with index-addressed
+// slots; each point's replay is serial and virtual-time deterministic, so
+// every table, the machine-readable [fleet] lines and the report document
+// are byte-identical for any --jobs.
+//
+// Extra flags (stripped before benchmark::Initialize):
+//   --fleet-jobs=N   jobs in the generated trace (default 600)
+//   --report-out=F   write the "mco-fleet-v1" JSON report to F
+#include "bench_common.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "serve/fleet_soak.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void run_e22(exp::SweepRunner& runner, std::size_t fleet_jobs, const std::string& report_out) {
+  banner("E22: fleet soak — sharded serving with batching and work stealing",
+         "one admission front-end, N independent DATE 2024 fabrics");
+
+  serve::SoakTraceConfig trace_cfg = serve::fleet_trace_config(fleet_jobs);
+  trace_cfg.seed = kSeed;
+  serve::FleetSoakConfig run_cfg;
+  const std::vector<serve::ServeJob> trace = serve::generate_trace(trace_cfg, run_cfg.model);
+  const std::vector<serve::FleetSoakPoint> grid = serve::fleet_soak_grid();
+
+  const std::vector<serve::FleetSoakResult> results =
+      runner.map(grid, [&](const serve::FleetSoakPoint& pt) {
+        serve::FleetSoakResult r = serve::run_fleet_point(pt, trace, run_cfg);
+        runner.note_cycles(r.makespan);
+        return r;
+      });
+
+  util::TablePrinter table({"point", "shards", "batch", "steal", "met", "missed", "shed",
+                            "SLO %", "goodput", "steals", "batches", "mean_b", "violations"});
+  std::uint64_t violations = 0;
+  for (const serve::FleetSoakResult& r : results) {
+    violations += r.soc_violations + r.serve_violations;
+    table.add_row({r.name, fmt_u64(r.shards), fmt_u64(r.max_batch), r.stealing ? "on" : "off",
+                   fmt_u64(r.met), fmt_u64(r.missed), fmt_u64(r.shed),
+                   fmt_fix(100.0 * r.slo_attainment, 1), fmt_fix(r.goodput, 3),
+                   fmt_u64(r.steals), fmt_u64(r.batches), fmt_fix(r.mean_batch, 2),
+                   fmt_u64(r.soc_violations + r.serve_violations)});
+  }
+  table.print(std::cout);
+
+  // Machine-readable lines for scripts/bench_report.py (virtual-time only;
+  // jobs/sec is computed there from host wall time, like SIMSPEED).
+  for (const serve::FleetSoakResult& r : results) {
+    std::printf("[fleet] point=%s shards=%u slo=%.4f goodput=%.6f makespan=%llu steals=%llu "
+                "batches=%llu\n",
+                r.name.c_str(), r.shards, r.slo_attainment, r.goodput,
+                static_cast<unsigned long long>(r.makespan),
+                static_cast<unsigned long long>(r.steals),
+                static_cast<unsigned long long>(r.batches));
+  }
+
+  // The E22 acceptance line: a >= 4-shard fleet with both mechanisms on must
+  // beat the 1-shard baseline on SLO attainment at the same offered load.
+  const serve::FleetSoakResult& base = results[0];   // 1shard
+  const serve::FleetSoakResult& fleet = results[2];  // 4shard, batch + steal
+  const bool scaled = fleet.slo_attainment > base.slo_attainment;
+  std::printf("\n%zu jobs x %zu points: 4-shard SLO %.4f vs 1-shard %.4f (%s), "
+              "%llu violation(s)\n",
+              trace.size(), grid.size(), fleet.slo_attainment, base.slo_attainment,
+              scaled ? "fleet scales" : "FLEET DOES NOT SCALE",
+              static_cast<unsigned long long>(violations));
+
+  if (!report_out.empty()) {
+    std::ofstream f(report_out);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n", report_out.c_str());
+      std::exit(2);
+    }
+    f << serve::fleet_report_json(results, trace_cfg);
+    std::printf("[e22] fleet report written to %s\n", report_out.c_str());
+  }
+}
+
+/// Strip --fleet-jobs=N / --report-out=F (same discipline as the shared
+/// bench flags: consume before benchmark::Initialize).
+void e22_args(int& argc, char** argv, std::size_t& fleet_jobs, std::string& report_out) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fleet-jobs=", 13) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[i] + 13, &end, 10);
+      if (*end != '\0' || v < 1 || v > 1'000'000) {
+        std::fprintf(
+            stderr,
+            "error: invalid --fleet-jobs value '%s': expected an integer in [1, 1000000]\n",
+            argv[i] + 13);
+        std::exit(2);
+      }
+      fleet_jobs = static_cast<std::size_t>(v);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t fleet_jobs = 600;
+  std::string report_out;
+  e22_args(argc, argv, fleet_jobs, report_out);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  run_e22(runner, fleet_jobs, report_out);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(8), "daxpy", 2048, 8);
+  register_offload_benchmark("fleet_soak/extended8/M=8", mco::soc::SocConfig::extended(8),
+                             "daxpy", 2048, 8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

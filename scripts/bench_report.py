@@ -49,6 +49,7 @@ BENCHES = [
     "bench_weak_scaling",
     "bench_data_prep",
     "bench_fault_sweep",
+    "bench_fleet_soak",
     "bench_simspeed",
 ]
 
@@ -60,6 +61,15 @@ SIMSPEED_RE = re.compile(
     r"legacy_sim_cycles_per_sec=(\S+) speedup_vs_legacy=(\S+)$",
     re.MULTILINE,
 )
+# bench_fleet_soak's machine lines: per-point SLO attainment of the E22
+# shard-scaling/ablation grid (virtual-time only; served-jobs/wall-second is
+# computed here from the whole-process wall, like the SIMSPEED series).
+FLEET_RE = re.compile(
+    r"^\[fleet\] point=(\S+) shards=(\d+) slo=(\S+) goodput=(\S+) "
+    r"makespan=(\d+) steals=(\d+) batches=(\d+)$",
+    re.MULTILINE,
+)
+FLEET_TOTALS_RE = re.compile(r"^(\d+) jobs x (\d+) points:", re.MULTILINE)
 
 
 def run_bench(binary: Path, jobs: int) -> dict:
@@ -94,6 +104,13 @@ def run_bench(binary: Path, jobs: int) -> dict:
         rec["engine_sim_cycles_per_sec"] = float(s.group(1))
         rec["legacy_sim_cycles_per_sec"] = float(s.group(2))
         rec["speedup_vs_legacy"] = float(s.group(3))
+    fleet = FLEET_RE.findall(proc.stdout)
+    if fleet:
+        rec["fleet_slo_attainment"] = {point: float(slo) for point, _, slo, *_ in fleet}
+        t = FLEET_TOTALS_RE.search(proc.stdout)
+        if t and wall_s > 0:
+            served = int(t.group(1)) * int(t.group(2))
+            rec["fleet_jobs_per_sec"] = round(served / wall_s, 1)
     return rec
 
 
@@ -104,7 +121,7 @@ def main() -> int:
     ap.add_argument("--out", default=str(REPO / "BENCH_sweep.json"),
                     help="trajectory file to append to")
     ap.add_argument("--bench", nargs="*", default=None,
-                    help="subset of bench binaries (default: all 16)")
+                    help="subset of bench binaries (default: the full suite)")
     ap.add_argument("--label", default="", help="free-form note stored with this batch")
     args = ap.parse_args()
 

@@ -10,10 +10,11 @@
 #                        ASan and ~10x slower; the test_scenario catalog suite
 #                        runs every scenarios/*.scn episode under ASan here)
 #   build-check/tsan     TSan, the concurrency + schedule-explorer + serve-soak
-#                        + chaos-scenario suites (the labelled "sanitize" ctest
-#                        entries; benches stay on because tsan_serve_soak and
-#                        tsan_scenario drive bench_serve_soak / bench_scenario
-#                        with internal --jobs parallelism)
+#                        + fleet-soak + chaos-scenario suites (the labelled
+#                        "sanitize" ctest entries; benches stay on because
+#                        tsan_serve_soak, tsan_fleet_soak and tsan_scenario
+#                        drive their bench binaries with internal --jobs
+#                        parallelism)
 #   build-check/fast     -DMCO_FAST=ON: tracing compiled out of the inner
 #                        loop. Runs test_fast (the only test binary in this
 #                        mode — the rest assert on trace records) plus the
@@ -63,9 +64,9 @@ for stage in "${STAGES[@]}"; do
       ;;
     tsan)
       mkdir -p "$ROOT"
-      # Benches explicitly ON: tsan_serve_soak / tsan_scenario drive
-      # bench_serve_soak / bench_scenario, and an older build-check/tsan
-      # cache may still carry BENCHES=OFF.
+      # Benches explicitly ON: tsan_serve_soak / tsan_fleet_soak /
+      # tsan_scenario drive their bench binaries, and an older
+      # build-check/tsan cache may still carry BENCHES=OFF.
       run_stage tsan -DMCO_SANITIZE=thread -DMCO_BUILD_BENCHES=ON \
         -DMCO_BUILD_EXAMPLES=OFF
       echo "=== [tsan] ctest (label: sanitize) ==="

@@ -14,7 +14,8 @@ A positive control run at the end guards against the opposite regression
 (valid flags suddenly rejected).
 
 Bench-specific flags that fail fast before any simulation are held to the
-same contract: bench_serve_soak's --serve-jobs, and bench_scenario's
+same contract: bench_serve_soak's --serve-jobs, bench_fleet_soak's
+--fleet-jobs, and bench_scenario's
 --scenario/--scenario-dir (a missing or malformed scenario file aborts the
 whole catalog before the E20 banner prints). The --report-out flags follow
 the E18 --violations-out precedent and are validated at write time, so they
@@ -55,6 +56,10 @@ BENCH_ERROR_CASES = [
     ("bench_serve_soak", "serve-jobs garbage", ["--serve-jobs=lots"]),
     ("bench_serve_soak", "serve-jobs trailing junk", ["--serve-jobs=100x"]),
     ("bench_serve_soak", "serve-jobs huge", ["--serve-jobs=9999999"]),
+    ("bench_fleet_soak", "fleet-jobs zero", ["--fleet-jobs=0"]),
+    ("bench_fleet_soak", "fleet-jobs garbage", ["--fleet-jobs=lots"]),
+    ("bench_fleet_soak", "fleet-jobs trailing junk", ["--fleet-jobs=100x"]),
+    ("bench_fleet_soak", "fleet-jobs huge", ["--fleet-jobs=9999999"]),
     ("bench_scenario", "scenario missing file", ["--scenario=/no/such/episode.scn"]),
     ("bench_scenario", "scenario malformed file", [f"--scenario={REPO / 'README.md'}"]),
     ("bench_scenario", "scenario-dir missing", ["--scenario-dir=/no/such/dir"]),

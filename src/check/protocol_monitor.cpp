@@ -29,9 +29,10 @@ const std::vector<InvariantInfo>& invariant_reference() {
       {"offload_lifecycle",
        "offload_start and offload_done strictly alternate and every offload completes"},
       {"serve_isolation",
-       "serving-layer dispatches target only healthy (non-quarantined) clusters outside drain "
-       "windows, concurrent offloads and probes hold disjoint cluster sets, and every held "
-       "cluster is released by the end of the run"},
+       "serving-layer dispatches target only healthy (non-quarantined) clusters of "
+       "non-draining shards, concurrent offloads and probes hold disjoint cluster sets per "
+       "shard, and every held cluster is released by the end of the run (records without a "
+       "shard key shadow as shard 0)"},
   };
   return kReference;
 }
@@ -310,81 +311,98 @@ void ProtocolMonitor::on_runtime_record(const sim::TraceRecord& rec) {
 
 void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
   const std::string& what = rec.what;
+  // Shard scope: fleet-layer records carry shard=<s>; the single service's
+  // records have no shard key and shadow as shard 0. Each shard's occupancy,
+  // quarantine and drain state is checked independently.
+  std::uint64_t shard64 = 0;
+  detail_uint(rec.detail, "shard", shard64);
+  const auto shard = static_cast<unsigned>(shard64);
   if (what == "serve_dispatch") {
-    if (serve_draining_) {
+    if (serve_draining_.count(shard) && serve_draining_[shard]) {
       violate("serve_isolation", rec.time, rec.who,
-              util::format("dispatch while the service is draining (%s)", rec.detail.c_str()));
+              util::format("dispatch on shard %u while it is draining (%s)", shard,
+                           rec.detail.c_str()));
     }
     for (const unsigned c : detail_cluster_list(rec.detail)) {
-      if (serve_quarantined_.count(c) && serve_quarantined_[c]) {
+      const auto key = std::make_pair(shard, c);
+      if (serve_quarantined_.count(key) && serve_quarantined_[key]) {
         violate("serve_isolation", rec.time, rec.who,
-                util::format("dispatch targets quarantined cluster %u (%s)", c,
-                             rec.detail.c_str()));
+                util::format("dispatch targets quarantined cluster %u of shard %u (%s)", c,
+                             shard, rec.detail.c_str()));
       }
-      const auto held = serve_occupancy_.find(c);
+      const auto held = serve_occupancy_.find(key);
       if (held != serve_occupancy_.end()) {
         violate("serve_isolation", rec.time, rec.who,
-                util::format("dispatch targets cluster %u already held by %s", c,
-                             held->second.c_str()));
+                util::format("dispatch targets cluster %u of shard %u already held by %s", c,
+                             shard, held->second.c_str()));
       }
-      serve_occupancy_[c] = rec.detail;
+      serve_occupancy_[key] = rec.detail;
     }
   } else if (what == "serve_complete") {
+    // Intermediate completions of a coalesced batch carry no clusters= key
+    // (the partition is held until the batch's last job): the empty list
+    // releases nothing.
     for (const unsigned c : detail_cluster_list(rec.detail)) {
-      if (serve_occupancy_.erase(c) == 0) {
+      if (serve_occupancy_.erase(std::make_pair(shard, c)) == 0) {
         violate("serve_isolation", rec.time, rec.who,
-                util::format("completion releases cluster %u that was never held", c));
+                util::format("completion releases cluster %u of shard %u that was never held",
+                             c, shard));
       }
     }
   } else if (what == "serve_probe") {
     std::uint64_t c = 0;
     if (!detail_uint(rec.detail, "cluster", c)) return;
-    const auto cu = static_cast<unsigned>(c);
-    if (!serve_quarantined_.count(cu) || !serve_quarantined_[cu]) {
+    const auto key = std::make_pair(shard, static_cast<unsigned>(c));
+    if (!serve_quarantined_.count(key) || !serve_quarantined_[key]) {
       violate("serve_isolation", rec.time, rec.who,
-              util::format("probe on cluster %u which is not quarantined", cu));
+              util::format("probe on cluster %u of shard %u which is not quarantined",
+                           static_cast<unsigned>(c), shard));
     }
-    const auto held = serve_occupancy_.find(cu);
+    const auto held = serve_occupancy_.find(key);
     if (held != serve_occupancy_.end()) {
       violate("serve_isolation", rec.time, rec.who,
-              util::format("probe targets cluster %u already held by %s", cu,
-                           held->second.c_str()));
+              util::format("probe targets cluster %u of shard %u already held by %s",
+                           static_cast<unsigned>(c), shard, held->second.c_str()));
     }
-    serve_occupancy_[cu] = "probe";
+    serve_occupancy_[key] = "probe";
   } else if (what == "serve_probe_done") {
     std::uint64_t c = 0;
     if (!detail_uint(rec.detail, "cluster", c)) return;
-    if (serve_occupancy_.erase(static_cast<unsigned>(c)) == 0) {
+    if (serve_occupancy_.erase(std::make_pair(shard, static_cast<unsigned>(c))) == 0) {
       violate("serve_isolation", rec.time, rec.who,
-              util::format("probe completion on cluster %u that was never held",
-                           static_cast<unsigned>(c)));
+              util::format("probe completion on cluster %u of shard %u that was never held",
+                           static_cast<unsigned>(c), shard));
     }
   } else if (what == "serve_quarantine") {
     std::uint64_t c = 0;
-    if (detail_uint(rec.detail, "cluster", c)) serve_quarantined_[static_cast<unsigned>(c)] = true;
+    if (detail_uint(rec.detail, "cluster", c))
+      serve_quarantined_[std::make_pair(shard, static_cast<unsigned>(c))] = true;
   } else if (what == "serve_readmit") {
     std::uint64_t c = 0;
     if (!detail_uint(rec.detail, "cluster", c)) return;
-    const auto cu = static_cast<unsigned>(c);
-    if (!serve_quarantined_.count(cu) || !serve_quarantined_[cu]) {
+    const auto key = std::make_pair(shard, static_cast<unsigned>(c));
+    if (!serve_quarantined_.count(key) || !serve_quarantined_[key]) {
       violate("serve_isolation", rec.time, rec.who,
-              util::format("re-admission of cluster %u that was not quarantined", cu));
+              util::format("re-admission of cluster %u of shard %u that was not quarantined",
+                           static_cast<unsigned>(c), shard));
     }
-    serve_quarantined_[cu] = false;
+    serve_quarantined_[key] = false;
   } else if (what == "serve_drain") {
-    if (serve_draining_) {
-      violate("serve_isolation", rec.time, rec.who, "drain while already draining");
+    if (serve_draining_.count(shard) && serve_draining_[shard]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("drain of shard %u while it is already draining", shard));
     }
-    serve_draining_ = true;
+    serve_draining_[shard] = true;
   } else if (what == "serve_undrain") {
-    if (!serve_draining_) {
-      violate("serve_isolation", rec.time, rec.who, "undrain while not draining");
+    if (!serve_draining_.count(shard) || !serve_draining_[shard]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("undrain of shard %u while it is not draining", shard));
     }
-    serve_draining_ = false;
+    serve_draining_[shard] = false;
   }
-  // serve_restart needs no shadow transition of its own: the service aborts
-  // in-flight work (serve_complete/serve_probe_done) before it and emits one
-  // serve_quarantine per cluster after it.
+  // serve_restart needs no shadow transition of its own: the service (or the
+  // fleet, per shard) aborts in-flight work (serve_complete/serve_probe_done)
+  // before it and emits one serve_quarantine per cluster after it.
 }
 
 void ProtocolMonitor::on_span(const sim::TraceRecord& rec) {
@@ -431,10 +449,10 @@ void ProtocolMonitor::finish() {
   if (offload_open_) {
     violate("offload_lifecycle", 0, "runtime", "offload never completed");
   }
-  for (const auto& [cluster, holder] : serve_occupancy_) {
+  for (const auto& [key, holder] : serve_occupancy_) {
     violate("serve_isolation", 0, "serve",
-            util::format("cluster %u still held by %s at end of run", cluster,
-                         holder.c_str()));
+            util::format("cluster %u of shard %u still held by %s at end of run", key.second,
+                         key.first, holder.c_str()));
   }
 }
 
@@ -497,7 +515,7 @@ void ProtocolMonitor::reset() {
   span_depth_.clear();
   serve_occupancy_.clear();
   serve_quarantined_.clear();
-  serve_draining_ = false;
+  serve_draining_.clear();
   finished_ = false;
 }
 

@@ -35,6 +35,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/trace.h"
@@ -160,13 +161,15 @@ class ProtocolMonitor {
   std::map<std::string, std::int64_t> span_depth_;
 
   // Serving-layer shadow (serve_isolation): which clusters each in-flight
-  // serve offload/probe holds, which clusters are quarantined, and whether
-  // the service is inside an operator drain window (no job dispatches
-  // allowed; probes may continue). Keys are the service's logical cluster
-  // IDs; values describe the holder.
-  std::map<unsigned, std::string> serve_occupancy_;
-  std::map<unsigned, bool> serve_quarantined_;
-  bool serve_draining_ = false;
+  // serve offload/probe holds, which clusters are quarantined, and which
+  // shards are inside an operator drain window (no job dispatches allowed;
+  // probes may continue). Keyed by (shard, logical cluster ID): fleet-layer
+  // records carry an explicit shard=<s>, single-service records omit it and
+  // default to shard 0, so each shard's occupancy is shadowed independently.
+  // Values describe the holder.
+  std::map<std::pair<unsigned, unsigned>, std::string> serve_occupancy_;
+  std::map<std::pair<unsigned, unsigned>, bool> serve_quarantined_;
+  std::map<unsigned, bool> serve_draining_;  ///< by shard
 
   bool finished_ = false;
 };

@@ -624,6 +624,12 @@ HostRunResult OffloadRuntime::execute_on_host_blocking(const kernels::JobArgs& a
 
 // ---- back-to-back offload sequences -----------------------------------------
 
+sim::Cycles SequenceResult::completion_offset(std::size_t k) const {
+  if (k >= jobs.size())
+    throw std::out_of_range("SequenceResult: completion_offset index past the job train");
+  return jobs[k].completed - start;
+}
+
 struct OffloadRuntime::SeqState {
   std::vector<kernels::JobArgs> jobs;
   unsigned num_clusters = 0;

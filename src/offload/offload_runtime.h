@@ -89,6 +89,11 @@ struct SequenceResult {
   sim::Cycle end = 0;
   bool pipelined = false;
   sim::Cycles total() const { return end - start; }
+  /// Completion of job k as an offset from the sequence start — the per-job
+  /// durations a serving layer fans batched completions out with. Offsets
+  /// are non-decreasing in job order (jobs retire in order even when
+  /// pipelined). Throws std::out_of_range on a bad index.
+  sim::Cycles completion_offset(std::size_t k) const;
 };
 
 /// Result of executing a job on the host core itself (the no-offload

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -130,8 +131,8 @@ sim::Cycle ScenarioSpec::mark_cycle(const std::string& mark) const {
 ScenarioSpec load_scenario_text(const std::string& text) {
   ScenarioSpec spec;
   bool saw_horizon = false;
-  bool saw_script = false;   ///< any `at`/`expect` line seen yet
-  bool draining = false;     ///< script-order drain pairing
+  bool saw_script = false;            ///< any `at`/`expect` line seen yet
+  std::map<unsigned, bool> draining;  ///< script-order drain pairing, per shard
   sim::Cycle last_at = 0;
   bool saw_at = false;
 
@@ -231,19 +232,41 @@ ScenarioSpec load_scenario_text(const std::string& text) {
           spec.faults.add(at, cfg, preset);
           spec.events.push_back({at, ScenarioEventKind::kInject, preset});
         } else if (verb == "drain" || verb == "undrain" || verb == "restart") {
-          if (tok.size() != 3) {
+          // Optional shard scope: `drain shard=2`. Headers precede the
+          // script, so spec.shards is already known here.
+          unsigned shard = 0;
+          if (tok.size() == 4) {
+            const std::size_t eq = tok[3].find('=');
+            if (eq == std::string::npos || tok[3].substr(0, eq) != "shard") {
+              throw std::invalid_argument(verb + ": unknown argument '" + tok[3] +
+                                          "' (expected shard=<k>)");
+            }
+            const std::uint64_t s = parse_dialect_u64("shard", tok[3].substr(eq + 1));
+            if (s >= spec.shards) {
+              throw std::invalid_argument(util::format(
+                  "%s: shard %llu out of range (shards = %u)", verb.c_str(),
+                  static_cast<unsigned long long>(s), spec.shards));
+            }
+            shard = static_cast<unsigned>(s);
+          } else if (tok.size() != 3) {
             throw std::invalid_argument(verb + ": unexpected trailing arguments");
           }
           if (verb == "drain") {
-            if (draining) throw std::invalid_argument("drain: already draining");
-            draining = true;
-            spec.events.push_back({at, ScenarioEventKind::kDrain, ""});
+            if (draining[shard]) {
+              throw std::invalid_argument(
+                  util::format("drain: shard %u is already draining", shard));
+            }
+            draining[shard] = true;
+            spec.events.push_back({at, ScenarioEventKind::kDrain, "", shard});
           } else if (verb == "undrain") {
-            if (!draining) throw std::invalid_argument("undrain: not draining");
-            draining = false;
-            spec.events.push_back({at, ScenarioEventKind::kUndrain, ""});
+            if (!draining[shard]) {
+              throw std::invalid_argument(
+                  util::format("undrain: shard %u is not draining", shard));
+            }
+            draining[shard] = false;
+            spec.events.push_back({at, ScenarioEventKind::kUndrain, "", shard});
           } else {
-            spec.events.push_back({at, ScenarioEventKind::kRestart, ""});
+            spec.events.push_back({at, ScenarioEventKind::kRestart, "", shard});
           }
         } else if (verb == "mark") {
           if (tok.size() != 4) throw std::invalid_argument("mark: expected one mark name");
@@ -315,6 +338,11 @@ ScenarioSpec load_scenario_text(const std::string& text) {
         }
         if (key == "name") {
           spec.name = value;
+        } else if (key == "shards") {
+          const std::uint64_t s = parse_dialect_u64(key, value);
+          if (s == 0 || s > 16)
+            throw std::invalid_argument("shards must be in [1, 16]");
+          spec.shards = static_cast<unsigned>(s);
         } else if (key == "clusters") {
           const std::uint64_t c = parse_dialect_u64(key, value);
           if (c == 0 || c > 64)
@@ -427,6 +455,7 @@ const std::vector<KeywordInfo>& scenario_keyword_reference() {
   // cross-checks them (same extraction as the metric inventory).
   static const std::vector<KeywordInfo> kReference = {
       {"name", "header"},
+      {"shards", "header"},
       {"clusters", "header"},
       {"seed", "header"},
       {"horizon", "header"},
@@ -464,6 +493,7 @@ const std::vector<KeywordInfo>& scenario_keyword_reference() {
       {"priority", "arg"},
       {"unmeetable", "arg"},
       {"cluster", "arg"},
+      {"shard", "arg"},
       {"jobs", "metric"},
       {"met", "metric"},
       {"missed", "metric"},

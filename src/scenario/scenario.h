@@ -65,6 +65,10 @@ struct ScenarioEvent {
   sim::Cycle at = 0;
   ScenarioEventKind kind = ScenarioEventKind::kMark;
   std::string label;  ///< profile / preset / mark name (empty for operators)
+  /// Target shard of an operator verb (`drain shard=2`); 0 when omitted.
+  /// Only meaningful with a `shards` header > 1 — single-service episodes
+  /// always act on shard 0.
+  unsigned shard = 0;
 };
 
 /// One `expect` line: `metric op value`, optionally scoped to jobs arriving
@@ -80,6 +84,11 @@ struct VerdictSpec {
 /// A parsed scenario, ready for scenario_runner::run_scenario.
 struct ScenarioSpec {
   std::string name = "scenario";
+  /// Fleet episodes: > 1 serves the trace through a serve::FleetRouter of
+  /// this many shards (`clusters` becomes the per-shard fabric size) and
+  /// operator verbs take an optional shard=<k> argument. 1 = the single
+  /// OffloadService path, byte-identical to the pre-fleet runner.
+  unsigned shards = 1;
   unsigned clusters = 8;
   std::uint64_t seed = 42;
   sim::Cycle horizon = 0;  ///< required: last generated arrival cycle

@@ -1,8 +1,10 @@
 #include "scenario/scenario_runner.h"
 
+#include <memory>
 #include <stdexcept>
 
 #include "check/protocol_monitor.h"
+#include "serve/fleet.h"
 #include "serve/soc_executor.h"
 #include "util/strings.h"
 
@@ -52,9 +54,135 @@ double metric_value(const std::string& metric, const ScenarioResult& r,
   throw std::invalid_argument("scenario: unknown verdict metric '" + metric + "'");
 }
 
+/// Judge the episode's `expect` lines and roll up the pass flag (shared by
+/// the single-service and fleet paths).
+void judge_verdicts(const ScenarioSpec& spec, const std::vector<serve::ServeJob>& trace,
+                    sim::StatsRegistry& stats, ScenarioResult& r) {
+  bool all_held = true;
+  for (const VerdictSpec& v : spec.verdicts) {
+    const sim::Cycle since = v.after.empty() ? 0 : spec.mark_cycle(v.after);
+    VerdictResult vr;
+    vr.text = v.text;
+    vr.actual = metric_value(v.metric, r, trace, since);
+    vr.passed = verdict_holds(v.op, vr.actual, v.value);
+    stats.counter(vr.passed ? "scenario.verdicts_passed" : "scenario.verdicts_failed").inc();
+    all_held = all_held && vr.passed;
+    r.verdicts.push_back(std::move(vr));
+  }
+  r.passed = all_held && r.soc_violations == 0 && r.serve_violations == 0;
+}
+
+/// Fleet episode (spec.shards > 1): the same script against a
+/// serve::FleetRouter — one SocExecutor per shard, operator verbs scoped by
+/// their shard argument, fault swaps applied to every shard's executor.
+ScenarioResult run_fleet_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& cfg) {
+  const std::vector<serve::ServeJob> trace = scenario_trace(spec, cfg.model);
+
+  std::vector<std::unique_ptr<serve::SocExecutor>> execs;
+  std::vector<serve::Executor*> exec_ptrs;
+  for (unsigned s = 0; s < spec.shards; ++s) {
+    serve::SocExecutorConfig xc;
+    xc.soc = soc::SocConfig::extended(spec.clusters);
+    xc.soc.runtime.watchdog_wait_cycles = spec.watchdog_wait_cycles;
+    xc.soc.runtime.max_retries = spec.max_retries;
+    xc.soc.fault = spec.faults.active_at(0);
+    xc.tolerance = cfg.tolerance;
+    xc.workload_seed = cfg.workload_seed + s;
+    xc.crash_penalty_cycles = cfg.crash_penalty_cycles;
+    execs.push_back(std::make_unique<serve::SocExecutor>(xc));
+    exec_ptrs.push_back(execs.back().get());
+  }
+
+  serve::FleetConfig fc;
+  fc.num_shards = spec.shards;
+  fc.clusters_per_shard = spec.clusters;
+  fc.model = cfg.model;
+  fc.max_queue = spec.max_queue;
+  fc.max_clusters_per_job = spec.clusters;
+  fc.health = serve::HealthConfig{spec.failure_threshold, spec.probation_probes,
+                                  spec.probe_backoff_cycles};
+  fc.restart_penalty_cycles = spec.restart_penalty_cycles;
+  serve::FleetRouter fleet(fc, exec_ptrs);
+
+  sim::StatsRegistry stats;
+  fleet.bind_stats(&stats);
+  register_scenario_metrics(stats);
+  check::ProtocolMonitor serve_monitor;
+  serve_monitor.attach(fleet.trace());
+
+  ScenarioResult r;
+  r.name = spec.name;
+  r.jobs = trace.size();
+
+  std::uint64_t fault_swaps = 0;
+  for (const fault::FaultSchedule::Step& step : spec.faults.steps()) {
+    if (step.at == 0) continue;
+    const fault::FaultConfig step_cfg = step.cfg;
+    fleet.schedule_callback(step.at, [&execs, &fault_swaps, &stats, step_cfg] {
+      for (auto& exec : execs) exec->set_fault(step_cfg);
+      ++fault_swaps;
+      stats.counter("scenario.fault_swaps").inc();
+    });
+  }
+  for (const ScenarioEvent& ev : spec.events) {
+    stats.counter("scenario.events").inc();
+    switch (ev.kind) {
+      case ScenarioEventKind::kDrain:
+        fleet.schedule_operator(ev.at, serve::OperatorAction::kDrain, ev.shard);
+        break;
+      case ScenarioEventKind::kUndrain:
+        fleet.schedule_operator(ev.at, serve::OperatorAction::kUndrain, ev.shard);
+        break;
+      case ScenarioEventKind::kRestart:
+        fleet.schedule_operator(ev.at, serve::OperatorAction::kRestart, ev.shard);
+        break;
+      case ScenarioEventKind::kTraffic:
+      case ScenarioEventKind::kInject:
+      case ScenarioEventKind::kMark:
+        break;
+    }
+  }
+
+  r.outcomes = fleet.run(trace);
+  serve_monitor.finish();
+
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    const serve::JobOutcome& out = r.outcomes[i];
+    switch (out.verdict) {
+      case serve::JobVerdict::kMet:
+        ++r.met;
+        r.met_elements += trace[i].n;
+        break;
+      case serve::JobVerdict::kMissed: ++r.missed; break;
+      case serve::JobVerdict::kShed: ++r.shed; break;
+      case serve::JobVerdict::kFailed: ++r.failed; break;
+    }
+    if (out.degraded) ++r.degraded;
+  }
+  r.slo_attainment = r.jobs ? static_cast<double>(r.met) / static_cast<double>(r.jobs) : 0.0;
+  r.makespan = fleet.makespan();
+  r.goodput =
+      r.makespan ? static_cast<double>(r.met_elements) / static_cast<double>(r.makespan) : 0.0;
+  for (unsigned s = 0; s < spec.shards; ++s) {
+    r.quarantines += fleet.health(s).quarantines();
+    r.readmissions += fleet.health(s).readmissions();
+    r.crashes += execs[s]->crashes();
+    r.soc_violations += execs[s]->total_violations();
+  }
+  r.probes = stats.counter_value("fleet.probes");
+  r.restarts = fleet.restarts();
+  r.drains = stats.counter_value("fleet.drain.entered");
+  r.fault_swaps = fault_swaps;
+  r.serve_violations = serve_monitor.total_violations();
+
+  judge_verdicts(spec, trace, stats, r);
+  return r;
+}
+
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& cfg) {
+  if (spec.shards > 1) return run_fleet_scenario(spec, cfg);
   const std::vector<serve::ServeJob> trace = scenario_trace(spec, cfg.model);
 
   serve::SocExecutorConfig xc;
@@ -148,18 +276,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& c
   r.soc_violations = exec.total_violations();
   r.serve_violations = serve_monitor.total_violations();
 
-  bool all_held = true;
-  for (const VerdictSpec& v : spec.verdicts) {
-    const sim::Cycle since = v.after.empty() ? 0 : spec.mark_cycle(v.after);
-    VerdictResult vr;
-    vr.text = v.text;
-    vr.actual = metric_value(v.metric, r, trace, since);
-    vr.passed = verdict_holds(v.op, vr.actual, v.value);
-    stats.counter(vr.passed ? "scenario.verdicts_passed" : "scenario.verdicts_failed").inc();
-    all_held = all_held && vr.passed;
-    r.verdicts.push_back(std::move(vr));
-  }
-  r.passed = all_held && r.soc_violations == 0 && r.serve_violations == 0;
+  judge_verdicts(spec, trace, stats, r);
   return r;
 }
 

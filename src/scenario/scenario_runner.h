@@ -4,7 +4,10 @@
 // scenario's fault schedule swapped in by timed callbacks, operator actions
 // (drain/undrain/restart) scheduled into the service's virtual-time event
 // loop, and a check::ProtocolMonitor riding the service trace (a second one
-// rides the backing Soc inside the executor). After the episode, every
+// rides the backing Soc inside the executor). A `shards = N` header (N > 1)
+// runs the same script against a serve::FleetRouter instead — one
+// SocExecutor per shard, shard-scoped operator verbs, fault swaps applied
+// fleet-wide. After the episode, every
 // `expect` line is evaluated — scoped verdicts only over jobs arriving at or
 // after their mark — and the result rolls up into one golden-pinnable row.
 //

@@ -1,0 +1,660 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "model/decision.h"
+#include "util/strings.h"
+
+namespace mco::serve {
+namespace {
+
+std::string cluster_list(const std::vector<unsigned>& clusters) {
+  std::string out;
+  for (const unsigned c : clusters) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+std::string job_track(std::uint64_t id) {
+  return util::format("serve.job%llu", static_cast<unsigned long long>(id));
+}
+
+}  // namespace
+
+void register_fleet_metrics(sim::StatsRegistry& stats) {
+  for (const char* name :
+       {"fleet.jobs_submitted", "fleet.jobs_dispatched", "fleet.jobs_queued", "fleet.jobs_shed",
+        "fleet.jobs_failed", "fleet.jobs_degraded", "fleet.slo_met", "fleet.slo_missed",
+        "fleet.probes", "fleet.quarantines", "fleet.readmissions", "fleet.steals",
+        "fleet.batches", "fleet.batched_jobs", "fleet.drain.entered", "fleet.drain.exited",
+        "fleet.drain.jobs_shed", "fleet.restarts", "fleet.restart.aborted_jobs"}) {
+    stats.counter(name);
+  }
+  stats.histogram("fleet.queue_wait_cycles", 256.0, 64);
+  stats.histogram("fleet.queue_depth", 1.0, 64);
+  stats.histogram("fleet.batch_size", 1.0, 16);
+  stats.histogram("fleet.slack_cycles", 256.0, 64);
+  stats.histogram("fleet.tardiness_cycles", 256.0, 64);
+}
+
+FleetRouter::FleetRouter(const FleetConfig& cfg, std::vector<Executor*> executors) : cfg_(cfg) {
+  if (cfg_.num_shards == 0) throw std::invalid_argument("FleetRouter: zero shards");
+  if (cfg_.clusters_per_shard == 0)
+    throw std::invalid_argument("FleetRouter: zero clusters per shard");
+  if (cfg_.max_queue == 0) throw std::invalid_argument("FleetRouter: zero max_queue");
+  if (cfg_.max_batch == 0) throw std::invalid_argument("FleetRouter: zero max_batch");
+  if (executors.size() != cfg_.num_shards)
+    throw std::invalid_argument("FleetRouter: one executor per shard required");
+  if (cfg_.max_clusters_per_job == 0 || cfg_.max_clusters_per_job > cfg_.clusters_per_shard)
+    cfg_.max_clusters_per_job = cfg_.clusters_per_shard;
+  shards_.reserve(cfg_.num_shards);
+  for (unsigned s = 0; s < cfg_.num_shards; ++s) {
+    if (executors[s] == nullptr) throw std::invalid_argument("FleetRouter: null executor");
+    shards_.emplace_back(cfg_.clusters_per_shard, cfg_.health, executors[s]);
+  }
+}
+
+void FleetRouter::bind_stats(sim::StatsRegistry* stats) {
+  stats_ = stats;
+  if (stats_) register_fleet_metrics(*stats_);
+}
+
+const HealthTracker& FleetRouter::health(unsigned shard) const {
+  return shards_.at(shard).health;
+}
+
+const PartitionAllocator& FleetRouter::allocator(unsigned shard) const {
+  return shards_.at(shard).alloc;
+}
+
+bool FleetRouter::draining(unsigned shard) const { return shards_.at(shard).draining; }
+
+void FleetRouter::push_event(sim::Cycle time, EventKind kind, std::size_t index, unsigned shard,
+                             std::size_t sub) {
+  events_.push(Event{time, next_seq_++, kind, index, shard, sub});
+}
+
+unsigned FleetRouter::shard_capacity_cap(const Shard& s) const {
+  return std::min(cfg_.max_clusters_per_job, s.health.available_count());
+}
+
+unsigned FleetRouter::fleet_capacity_cap() const {
+  unsigned cap = 0;
+  for (const Shard& s : shards_) {
+    if (!s.draining) cap = std::max(cap, shard_capacity_cap(s));
+  }
+  return cap;
+}
+
+bool FleetRouter::all_draining() const {
+  for (const Shard& s : shards_) {
+    if (!s.draining) return false;
+  }
+  return true;
+}
+
+bool FleetRouter::fleet_idle() const {
+  if (pending_arrivals_ != 0) return false;
+  for (const Shard& s : shards_) {
+    if (!s.queue.empty() || s.active_jobs != 0) return false;
+  }
+  return true;
+}
+
+void FleetRouter::sample_queue_depth(const Shard& s) {
+  if (stats_) stats_->histogram("fleet.queue_depth").sample(static_cast<double>(s.queue.size()));
+}
+
+void FleetRouter::shed(std::size_t slot, sim::Cycle now, ShedReason reason) {
+  const ServeJob& job = (*jobs_)[slot];
+  JobOutcome& out = outcomes_[slot];
+  out.job_id = job.id;
+  out.verdict = JobVerdict::kShed;
+  out.reason = to_string(reason);
+  out.arrival = job.arrival;
+  out.end = now;
+  settled_[slot] = true;
+  if (stats_) {
+    stats_->counter("fleet.jobs_shed").inc();
+    if (reason == ShedReason::kDrained || reason == ShedReason::kOperatorShed)
+      stats_->counter("fleet.drain.jobs_shed").inc();
+  }
+  trace_.record(now, "serve", "serve_shed",
+                util::format("job=%llu reason=%s", static_cast<unsigned long long>(job.id),
+                             to_string(reason)));
+}
+
+std::vector<std::size_t> FleetRouter::service_order(const std::vector<std::size_t>& queue) const {
+  std::vector<std::size_t> order = queue;
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    const ServeJob& ja = (*jobs_)[a];
+    const ServeJob& jb = (*jobs_)[b];
+    if (ja.priority != jb.priority) return ja.priority > jb.priority;
+    if (ja.arrival != jb.arrival) return ja.arrival < jb.arrival;
+    return ja.id < jb.id;
+  });
+  return order;
+}
+
+bool FleetRouter::try_dispatch(unsigned si, std::size_t slot, sim::Cycle now) {
+  Shard& s = shards_[si];
+  const ServeJob& job = (*jobs_)[slot];
+  const sim::Cycle deadline = job.arrival + job.t_max;
+  if (now >= deadline) {
+    shed(slot, now, ShedReason::kDeadlineExpired);
+    return true;
+  }
+  const unsigned cap = shard_capacity_cap(s);
+  if (cap == 0) return false;  // fully quarantined shard: wait for re-admission
+  const auto m = model::min_clusters_for_deadline(cfg_.model, job.n,
+                                                  static_cast<double>(deadline - now), cap);
+  // This shard cannot meet the deadline at its current healthy capacity.
+  // Unlike the single service, the job is NOT shed: fleet-wide admission
+  // already vetted it, so it keeps waiting for this shard to heal — or for a
+  // healthier shard to steal it. (It sheds as deadline_expired if neither
+  // happens in time.)
+  if (!m) return false;
+  auto clusters = s.alloc.allocate(*m, [&s](unsigned c) { return s.health.available(c); });
+  if (!clusters) return false;  // backpressure: wait for a partition to free up
+
+  // Same-kernel coalescing: pull up to max_batch-1 not-yet-expired queue
+  // mates (in service order) into this dispatch. Mates ride the head job's
+  // partition; they leave the backlog here.
+  std::vector<std::size_t> batch{slot};
+  if (cfg_.max_batch > 1 && !s.queue.empty()) {
+    for (const std::size_t cand : service_order(s.queue)) {
+      if (batch.size() >= cfg_.max_batch) break;
+      if (cand == slot) continue;
+      const ServeJob& cj = (*jobs_)[cand];
+      if (cj.kernel != job.kernel) continue;
+      if (now >= cj.arrival + cj.t_max) continue;  // expired mates shed in their own turn
+      batch.push_back(cand);
+    }
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+      s.queue.erase(std::find(s.queue.begin(), s.queue.end(), batch[i]));
+    }
+    if (batch.size() > 1) sample_queue_depth(s);
+  }
+  dispatch_batch(si, batch, *m, *clusters, now);
+  return true;
+}
+
+void FleetRouter::dispatch_batch(unsigned si, const std::vector<std::size_t>& slots, unsigned m,
+                                 const std::vector<unsigned>& clusters, sim::Cycle now) {
+  Shard& s = shards_[si];
+  BatchExecutionOutcome batch_out;
+  if (slots.size() == 1) {
+    // A batch of one takes the single-offload path (retry/recovery capable)
+    // — identical to what the unsharded service would run.
+    batch_out.jobs.push_back(s.exec->execute((*jobs_)[slots[0]], m, /*probe=*/false));
+  } else {
+    std::vector<ServeJob> batch_jobs;
+    batch_jobs.reserve(slots.size());
+    for (const std::size_t slot : slots) batch_jobs.push_back((*jobs_)[slot]);
+    batch_out = s.exec->execute_batch(batch_jobs, m);
+    if (batch_out.jobs.size() != slots.size())
+      throw std::logic_error("FleetRouter: execute_batch returned a mismatched job count");
+    for (std::size_t k = 1; k < batch_out.jobs.size(); ++k) {
+      if (batch_out.jobs[k].duration < batch_out.jobs[k - 1].duration)
+        throw std::logic_error("FleetRouter: batch completion offsets must be non-decreasing");
+    }
+  }
+
+  const std::size_t handle = inflight_.size();
+  inflight_.push_back(InFlightBatch{si, slots, clusters, std::move(batch_out)});
+  s.active_jobs += slots.size();
+
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    const std::size_t slot = slots[k];
+    const ServeJob& job = (*jobs_)[slot];
+    JobOutcome& out = outcomes_[slot];
+    out.job_id = job.id;
+    out.m = m;
+    out.clusters = clusters;
+    out.arrival = job.arrival;
+    out.start = now;
+    out.queue_wait = now - job.arrival;
+    if (stats_) {
+      stats_->counter("fleet.jobs_dispatched").inc();
+      stats_->histogram("fleet.queue_wait_cycles").sample(static_cast<double>(out.queue_wait));
+    }
+    trace_.begin_span(now, job_track(job.id), "serve_job",
+                      util::format("n=%llu m=%u shard=%u",
+                                   static_cast<unsigned long long>(job.n), m, si));
+    push_event(now + inflight_[handle].outcome.jobs[k].duration, EventKind::kCompletion, handle,
+               si, k);
+  }
+  if (stats_) {
+    stats_->histogram("fleet.batch_size").sample(static_cast<double>(slots.size()));
+    if (slots.size() > 1) {
+      stats_->counter("fleet.batches").inc();
+      stats_->counter("fleet.batched_jobs").inc(slots.size());
+    }
+  }
+  if (slots.size() > 1) {
+    ++batches_;
+    batched_jobs_ += slots.size();
+  }
+  trace_.record(now, "serve", "serve_dispatch",
+                util::format("job=%llu shard=%u m=%u batch=%zu clusters=%s",
+                             static_cast<unsigned long long>((*jobs_)[slots[0]].id), si, m,
+                             slots.size(), cluster_list(clusters).c_str()));
+}
+
+void FleetRouter::drain_shard_queue(unsigned si, sim::Cycle now) {
+  Shard& s = shards_[si];
+  if (!s.draining && !s.queue.empty()) {
+    // One pass in service order; jobs that still cannot be placed keep
+    // waiting. Batch mates consumed mid-pass are skipped by the membership
+    // check.
+    for (const std::size_t slot : service_order(s.queue)) {
+      const auto it = std::find(s.queue.begin(), s.queue.end(), slot);
+      if (it == s.queue.end()) continue;  // coalesced into an earlier batch
+      if (try_dispatch(si, slot, now)) {
+        s.queue.erase(std::find(s.queue.begin(), s.queue.end(), slot));
+        sample_queue_depth(s);
+      }
+    }
+  }
+  if (cfg_.stealing && !s.draining && s.queue.empty()) steal_work(si, now);
+}
+
+void FleetRouter::steal_work(unsigned si, sim::Cycle now) {
+  // Idle-shard pull: while this shard can place work and someone else has a
+  // backlog, take the head of the longest queue (ties to the lowest shard
+  // id). Pure function of the trace: victim choice, job choice and the
+  // placement check are all deterministic.
+  for (;;) {
+    std::size_t best = shards_.size();
+    for (std::size_t v = 0; v < shards_.size(); ++v) {
+      if (v == si || shards_[v].queue.empty()) continue;
+      if (best == shards_.size() || shards_[v].queue.size() > shards_[best].queue.size()) best = v;
+    }
+    if (best == shards_.size()) return;
+    Shard& victim = shards_[best];
+    const std::size_t slot = service_order(victim.queue)[0];
+    const bool placed = try_dispatch(si, slot, now);
+    if (!placed) return;  // thief out of capacity: stop pulling
+    victim.queue.erase(std::find(victim.queue.begin(), victim.queue.end(), slot));
+    sample_queue_depth(victim);
+    // A shed (expired deadline) also empties the victim's slot but is not a
+    // successful steal; only count jobs that actually moved. A dispatched
+    // job is not yet settled (its verdict lands at completion); a shed one is.
+    if (!settled_[slot]) {
+      ++steals_;
+      if (stats_) stats_->counter("fleet.steals").inc();
+      trace_.record(now, "serve", "serve_steal",
+                    util::format("job=%llu from=%zu to=%u",
+                                 static_cast<unsigned long long>((*jobs_)[slot].id), best, si));
+    }
+  }
+}
+
+void FleetRouter::complete_job(InFlightBatch& f, std::size_t pos, sim::Cycle now) {
+  Shard& s = shards_[f.shard];
+  const std::size_t slot = f.slots[pos];
+  const ServeJob& job = (*jobs_)[slot];
+  const ExecutionOutcome& exec = f.outcome.jobs[pos];
+  trace_.end_span(now, job_track(job.id));
+
+  // Health attribution: partition-relative failed members back to shard-local
+  // cluster IDs, then credit/debit every participant.
+  std::vector<bool> failed(f.clusters.size(), false);
+  for (const unsigned rel : exec.failed_members) {
+    if (rel < failed.size()) failed[rel] = true;
+  }
+  for (std::size_t i = 0; i < f.clusters.size(); ++i) {
+    const unsigned c = f.clusters[i];
+    if (failed[i]) {
+      if (s.health.record_failure(c)) {
+        if (stats_) stats_->counter("fleet.quarantines").inc();
+        trace_.record(now, "serve", "serve_quarantine",
+                      util::format("shard=%u cluster=%u", f.shard, c));
+        schedule_probe(f.shard, c, now);
+      }
+    } else {
+      s.health.record_success(c);
+    }
+  }
+
+  JobOutcome& out = outcomes_[slot];
+  out.end = now;
+  out.degraded = exec.degraded;
+  out.retries = exec.retries;
+  out.watchdog_timeouts = exec.watchdog_timeouts;
+  const sim::Cycle deadline = job.arrival + job.t_max;
+  out.slack = static_cast<std::int64_t>(deadline) - static_cast<std::int64_t>(now);
+  if (!exec.ok) {
+    out.verdict = JobVerdict::kFailed;
+    out.reason = "execution_failed";
+    if (stats_) stats_->counter("fleet.jobs_failed").inc();
+  } else if (out.slack >= 0) {
+    out.verdict = JobVerdict::kMet;
+    if (stats_) {
+      stats_->counter("fleet.slo_met").inc();
+      stats_->histogram("fleet.slack_cycles").sample(static_cast<double>(out.slack));
+    }
+  } else {
+    out.verdict = JobVerdict::kMissed;
+    if (stats_) {
+      stats_->counter("fleet.slo_missed").inc();
+      stats_->histogram("fleet.tardiness_cycles").sample(static_cast<double>(-out.slack));
+    }
+  }
+  if (exec.degraded && stats_) stats_->counter("fleet.jobs_degraded").inc();
+  settled_[slot] = true;
+
+  ++f.completed;
+  --s.active_jobs;
+  const bool last = f.completed == f.slots.size();
+  // Only the batch's last completion carries the clusters= key: the
+  // partition is held until the whole train retires, and the monitor's
+  // occupancy shadow releases on exactly that record.
+  if (last) {
+    trace_.record(now, "serve", "serve_complete",
+                  util::format("job=%llu shard=%u verdict=%s clusters=%s",
+                               static_cast<unsigned long long>(job.id), f.shard,
+                               to_string(out.verdict), cluster_list(f.clusters).c_str()));
+    s.alloc.release(f.clusters);
+  } else {
+    trace_.record(now, "serve", "serve_complete",
+                  util::format("job=%llu shard=%u verdict=%s batch_pos=%zu",
+                               static_cast<unsigned long long>(job.id), f.shard,
+                               to_string(out.verdict), pos));
+  }
+}
+
+void FleetRouter::complete(const Event& ev) {
+  InFlightBatch& f = inflight_[ev.index];
+  if (f.done) return;  // aborted by a shard restart: stale completion
+  complete_job(f, ev.sub, ev.time);
+  if (f.completed == f.slots.size()) {
+    f.done = true;
+    drain_shard_queue(f.shard, ev.time);
+  }
+}
+
+void FleetRouter::schedule_probe(unsigned si, unsigned cluster, sim::Cycle now) {
+  push_event(now + cfg_.health.probe_backoff_cycles, EventKind::kProbeDue, cluster, si);
+}
+
+void FleetRouter::start_probe(unsigned si, unsigned cluster, sim::Cycle now) {
+  // Probing only matters while there is (or may come) work to serve; once
+  // the run has drained, letting the probe chain die terminates the event
+  // loop. The next run() re-arms probes for still-quarantined clusters.
+  if (fleet_idle()) return;
+  Shard& s = shards_[si];
+  if (s.health.state(cluster) == ClusterHealth::kHealthy) return;  // stale event
+  if (!s.alloc.try_acquire(cluster)) {
+    schedule_probe(si, cluster, now);  // defensive: cluster somehow busy, back off
+    return;
+  }
+  ServeJob probe;
+  probe.id = 1'000'000'000ull + si * 1'000'000ull + cluster;  // synthetic id
+  probe.n = cfg_.probe_n;
+  probe.arrival = now;
+  ExecutionOutcome exec = s.exec->execute(probe, 1, /*probe=*/true);
+  const bool clean = exec.ok && exec.failed_members.empty();
+  s.probes[cluster] = Probe{std::move(exec), clean};
+  if (stats_) stats_->counter("fleet.probes").inc();
+  trace_.record(now, "serve", "serve_probe", util::format("shard=%u cluster=%u", si, cluster));
+  push_event(now + s.probes[cluster]->outcome.duration, EventKind::kProbeDone, cluster, si);
+}
+
+void FleetRouter::finish_probe(const Event& ev, sim::Cycle now) {
+  const unsigned si = ev.shard;
+  const auto cluster = static_cast<unsigned>(ev.index);
+  Shard& s = shards_[si];
+  if (!s.probes[cluster]) return;  // aborted by a shard restart: stale event
+  const Probe probe = *s.probes[cluster];
+  s.probes[cluster].reset();
+  s.alloc.release(cluster);
+  const bool readmitted = s.health.record_probe(cluster, probe.clean);
+  trace_.record(now, "serve", "serve_probe_done",
+                util::format("shard=%u cluster=%u clean=%d", si, cluster, probe.clean ? 1 : 0));
+  if (readmitted) {
+    if (stats_) stats_->counter("fleet.readmissions").inc();
+    trace_.record(now, "serve", "serve_readmit",
+                  util::format("shard=%u cluster=%u", si, cluster));
+  } else {
+    schedule_probe(si, cluster, now);
+  }
+  // Re-examine the backlog either way (see OffloadService::finish_probe) —
+  // and let the healed shard steal if its own queue is already empty.
+  drain_shard_queue(si, now);
+}
+
+void FleetRouter::schedule_operator(sim::Cycle time, OperatorAction action, unsigned shard) {
+  if (shard >= cfg_.num_shards)
+    throw std::invalid_argument("FleetRouter: operator action on an unknown shard");
+  pending_operators_.push_back(PendingOperator{time, action, shard, nullptr});
+}
+
+void FleetRouter::schedule_callback(sim::Cycle time, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("FleetRouter: null scheduled callback");
+  pending_operators_.push_back(PendingOperator{time, OperatorAction::kDrain, 0, std::move(fn)});
+}
+
+void FleetRouter::apply_operator(OperatorAction action, unsigned si, sim::Cycle now) {
+  switch (action) {
+    case OperatorAction::kDrain: do_drain(si, now); break;
+    case OperatorAction::kUndrain: do_undrain(si, now); break;
+    case OperatorAction::kRestart: do_restart(si, now); break;
+  }
+}
+
+void FleetRouter::do_drain(unsigned si, sim::Cycle now) {
+  Shard& s = shards_[si];
+  if (s.draining)
+    throw std::logic_error("FleetRouter: drain while the shard is already draining");
+  s.draining = true;
+  if (stats_) stats_->counter("fleet.drain.entered").inc();
+  trace_.record(now, "serve", "serve_drain",
+                util::format("shard=%u backlog=%zu", si, s.queue.size()));
+  // Shed this shard's backlog in queue (arrival) order; its in-flight work
+  // keeps running, and the rest of the fleet keeps serving.
+  const std::vector<std::size_t> backlog = s.queue;
+  s.queue.clear();
+  for (const std::size_t slot : backlog) shed(slot, now, ShedReason::kDrained);
+  sample_queue_depth(s);
+}
+
+void FleetRouter::do_undrain(unsigned si, sim::Cycle now) {
+  Shard& s = shards_[si];
+  if (!s.draining)
+    throw std::logic_error("FleetRouter: undrain while the shard is not draining");
+  s.draining = false;
+  if (stats_) stats_->counter("fleet.drain.exited").inc();
+  trace_.record(now, "serve", "serve_undrain", util::format("shard=%u resume", si));
+  // The shard re-enters service with an empty queue: go steal stragglers.
+  drain_shard_queue(si, now);
+}
+
+void FleetRouter::do_restart(unsigned si, sim::Cycle now) {
+  Shard& s = shards_[si];
+  ++restarts_;
+  if (stats_) stats_->counter("fleet.restarts").inc();
+  // Abort this shard's in-flight batches first (spans ended, clusters
+  // released, outcomes settled as failed/"restarted") so the monitor's
+  // occupancy shadow for the shard is empty before the quarantine records.
+  // Batch positions retire strictly in order, so [completed, size) is
+  // exactly the not-yet-done tail.
+  for (InFlightBatch& f : inflight_) {
+    if (f.done || f.shard != si) continue;
+    f.done = true;
+    for (std::size_t pos = f.completed; pos < f.slots.size(); ++pos) {
+      const std::size_t slot = f.slots[pos];
+      const ServeJob& job = (*jobs_)[slot];
+      trace_.end_span(now, job_track(job.id));
+      --s.active_jobs;
+      JobOutcome& out = outcomes_[slot];
+      out.end = now;
+      out.verdict = JobVerdict::kFailed;
+      out.reason = "restarted";
+      out.slack =
+          static_cast<std::int64_t>(job.arrival + job.t_max) - static_cast<std::int64_t>(now);
+      settled_[slot] = true;
+      if (stats_) {
+        stats_->counter("fleet.jobs_failed").inc();
+        stats_->counter("fleet.restart.aborted_jobs").inc();
+      }
+      const bool last = pos + 1 == f.slots.size();
+      trace_.record(now, "serve", "serve_complete",
+                    last ? util::format("job=%llu shard=%u verdict=failed clusters=%s",
+                                        static_cast<unsigned long long>(job.id), si,
+                                        cluster_list(f.clusters).c_str())
+                         : util::format("job=%llu shard=%u verdict=failed batch_pos=%zu",
+                                        static_cast<unsigned long long>(job.id), si, pos));
+    }
+    s.alloc.release(f.clusters);
+  }
+  // Outstanding probes die with the old Soc — no health verdict is recorded.
+  for (unsigned c = 0; c < cfg_.clusters_per_shard; ++c) {
+    if (!s.probes[c]) continue;
+    s.probes[c].reset();
+    s.alloc.release(c);
+    trace_.record(now, "serve", "serve_probe_done",
+                  util::format("shard=%u cluster=%u clean=0", si, c));
+  }
+  s.exec->restart();
+  s.health.restart();
+  trace_.record(now, "serve", "serve_restart",
+                util::format("shard=%u num_clusters=%u", si, cfg_.clusters_per_shard));
+  // Every cluster of the shard re-enters through canary probation; the
+  // first probe wave waits out the rebuild penalty.
+  for (unsigned c = 0; c < cfg_.clusters_per_shard; ++c) {
+    trace_.record(now, "serve", "serve_quarantine", util::format("shard=%u cluster=%u", si, c));
+    push_event(now + cfg_.restart_penalty_cycles, EventKind::kProbeDue, c, si);
+  }
+}
+
+void FleetRouter::route_arrival(std::size_t slot, sim::Cycle now) {
+  const ServeJob& job = (*jobs_)[slot];
+  if (all_draining()) {
+    shed(slot, now, ShedReason::kOperatorShed);
+    return;
+  }
+  // Eq.-(3) admission against fleet-wide healthy capacity: the best any
+  // non-draining shard could field. A zero cap (every serving shard fully
+  // quarantined) is backpressure, not a shed — the job queues and waits for
+  // a re-admission, like the single service's wait-on-zero-capacity path.
+  const unsigned cap = fleet_capacity_cap();
+  if (cap > 0) {
+    const auto m = model::min_clusters_for_deadline(
+        cfg_.model, job.n, static_cast<double>(job.t_max), cap);
+    if (!m) {
+      shed(slot, now, ShedReason::kDeadlineUnmeetable);
+      return;
+    }
+  }
+  // Round-robin placement over the non-draining shards. Deliberately
+  // backlog-blind (see the header): stealing repairs the imbalance.
+  unsigned si = 0;
+  for (unsigned tried = 0; tried < cfg_.num_shards; ++tried) {
+    si = rr_next_;
+    rr_next_ = (rr_next_ + 1) % cfg_.num_shards;
+    if (!shards_[si].draining) break;
+  }
+  Shard& s = shards_[si];
+  if (try_dispatch(si, slot, now)) return;
+  if (s.queue.size() < cfg_.max_queue) {
+    s.queue.push_back(slot);
+    sample_queue_depth(s);
+    if (stats_) stats_->counter("fleet.jobs_queued").inc();
+    trace_.record(now, "serve", "serve_queue",
+                  util::format("job=%llu shard=%u depth=%zu",
+                               static_cast<unsigned long long>(job.id), si, s.queue.size()));
+    // The enqueue is the wake-up for idle peers: a shard with nothing in
+    // flight never sees a completion event, so without this pull an idle
+    // shard would sit dark while a backlog grows one slot over. Ascending
+    // shard id keeps the pull order a pure function of the trace.
+    if (cfg_.stealing) {
+      for (unsigned t = 0; t < cfg_.num_shards; ++t) {
+        if (t == si || shards_[t].draining || !shards_[t].queue.empty()) continue;
+        steal_work(t, now);
+      }
+    }
+  } else {
+    shed(slot, now, ShedReason::kQueueFull);
+  }
+}
+
+std::vector<JobOutcome> FleetRouter::run(const std::vector<ServeJob>& jobs) {
+  jobs_ = &jobs;
+  outcomes_.assign(jobs.size(), JobOutcome{});
+  settled_.assign(jobs.size(), false);
+  events_ = {};
+  next_seq_ = 0;
+  inflight_.clear();
+  for (Shard& s : shards_) {
+    s.queue.clear();
+    std::fill(s.probes.begin(), s.probes.end(), std::nullopt);
+    s.active_jobs = 0;
+  }
+  makespan_ = 0;
+  pending_arrivals_ = jobs.size();
+  rr_next_ = 0;  // placement is a pure function of the trace, per run
+
+  // Arm scheduled operators/callbacks before the arrivals: a same-cycle
+  // operator action precedes a same-cycle arrival (lower insertion seq).
+  operators_ = std::move(pending_operators_);
+  pending_operators_.clear();
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    push_event(operators_[i].time, EventKind::kOperator, i, operators_[i].shard);
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    push_event(jobs[i].arrival, EventKind::kArrival, i, 0);
+  }
+  // Clusters still quarantined from a previous run() resume probing.
+  if (!jobs.empty()) {
+    for (unsigned si = 0; si < cfg_.num_shards; ++si) {
+      for (unsigned c = 0; c < cfg_.clusters_per_shard; ++c) {
+        if (shards_[si].health.state(c) != ClusterHealth::kHealthy) schedule_probe(si, c, 0);
+      }
+    }
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    makespan_ = std::max(makespan_, ev.time);
+    switch (ev.kind) {
+      case EventKind::kArrival:
+        --pending_arrivals_;
+        if (stats_) stats_->counter("fleet.jobs_submitted").inc();
+        route_arrival(ev.index, ev.time);
+        break;
+      case EventKind::kCompletion: complete(ev); break;
+      case EventKind::kProbeDue:
+        start_probe(ev.shard, static_cast<unsigned>(ev.index), ev.time);
+        break;
+      case EventKind::kProbeDone: finish_probe(ev, ev.time); break;
+      case EventKind::kOperator: {
+        const PendingOperator& op = operators_[ev.index];
+        if (op.fn) {
+          op.fn();
+        } else {
+          apply_operator(op.action, op.shard, ev.time);
+        }
+        break;
+      }
+    }
+  }
+
+  // End-of-run starvation: whatever is still queued can never run.
+  for (Shard& s : shards_) {
+    for (const std::size_t slot : s.queue) shed(slot, makespan_, ShedReason::kStarved);
+    s.queue.clear();
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!settled_[i])
+      throw std::logic_error(util::format("FleetRouter: job slot %zu never settled", i));
+  }
+  jobs_ = nullptr;
+  return outcomes_;
+}
+
+}  // namespace mco::serve

@@ -1,0 +1,243 @@
+// Sharded multi-SoC serving fleet: router/admission front-end over N
+// per-shard schedulers, with same-kernel job batching and cross-shard work
+// stealing.
+//
+// The fleet splits the monolithic OffloadService into layered pieces:
+//
+//  * FleetRouter (this file) owns Eq.-(3) admission against *fleet-wide*
+//    healthy capacity, round-robin placement over the non-draining shards,
+//    the per-shard bounded queues, and the single fleet-level virtual-time
+//    event loop every decision runs on.
+//  * Each shard wraps today's executor/allocator/health-tracker trio
+//    (serve/soc_executor.h, serve/partition_allocator.h,
+//    serve/health_tracker.h) — one independent fabric, one circuit breaker,
+//    one probe pipeline, exactly the per-SoC mechanics of OffloadService.
+//  * Batching: when a shard frees capacity, adjacent same-kernel jobs in its
+//    service order coalesce (up to max_batch) into one
+//    Executor::execute_batch call — backed by the pipelined
+//    offload_sequence path (offload/offload_runtime.h), which hides every
+//    marshalling phase but the first. Completions fan back out per job from
+//    the batch's completion offsets; the partition is held until the last
+//    job of the batch retires.
+//  * Work stealing: whenever a shard ends up with free healthy capacity and
+//    an empty queue (a completion, re-admission or undrain), it pulls jobs
+//    from the longest backlog in the fleet (ties to the lowest shard id),
+//    head-of-service-order first, until it can no longer place one. Round-
+//    robin placement is deliberately backlog-blind — stealing is the
+//    mechanism that repairs its imbalance, which is exactly what the E22
+//    ablation quantifies.
+//
+// Determinism contract (unchanged from OffloadService): one event loop in
+// virtual time, (time, insertion-seq) event ordering, and placement,
+// batching and stealing all pure functions of the job trace and the
+// executors' outcomes. A replayed trace is bit-identical at any host
+// parallelism; the E22 report is byte-identical at any --jobs.
+//
+// Observability: fleet.* counters and histograms (register_fleet_metrics,
+// documented in docs/observability.md) and a private TraceSink whose
+// who=="serve" records carry a shard=<s> key — check::ProtocolMonitor's
+// serve_isolation invariant keeps per-shard occupancy shadows from them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "model/runtime_model.h"
+#include "serve/health_tracker.h"
+#include "serve/offload_service.h"
+#include "serve/partition_allocator.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace mco::serve {
+
+struct FleetConfig {
+  unsigned num_shards = 4;
+  unsigned clusters_per_shard = 8;
+  /// Eq.-(1) model used for Eq.-(3) admission decisions (fleet-wide cap =
+  /// the healthiest non-draining shard's available capacity).
+  model::RuntimeModel model;
+  /// Bounded backlog per shard; overflow on the routed shard sheds with
+  /// reason "queue_full".
+  std::size_t max_queue = 16;
+  /// Cap on any single job's partition (0 = whole shard).
+  unsigned max_clusters_per_job = 0;
+  HealthConfig health;
+  /// Same-kernel coalescing: max jobs per execute_batch call. 1 disables
+  /// batching (every dispatch is a single execute()).
+  std::size_t max_batch = 4;
+  /// Cross-shard work stealing for stragglers. Off = a shard only ever
+  /// serves its own queue.
+  bool stealing = true;
+  /// Problem size of probe (canary) offloads sent to quarantined clusters.
+  std::uint64_t probe_n = 256;
+  /// Service-time delay between a shard restart and its first canary probe
+  /// wave (Soc teardown + cold boot).
+  sim::Cycles restart_penalty_cycles = 20'000;
+};
+
+/// Router/admission front-end over N per-shard schedulers. One Executor per
+/// shard (index-aligned with shard ids); each must honor the Executor purity
+/// contract independently.
+class FleetRouter {
+ public:
+  FleetRouter(const FleetConfig& cfg, std::vector<Executor*> executors);
+
+  /// Attach a registry; fleet.* metrics are registered eagerly so an idle
+  /// fleet still exports a complete (all-zero) inventory.
+  void bind_stats(sim::StatsRegistry* stats);
+
+  /// The fleet's private trace stream: who=="serve" records with a
+  /// shard=<s> key, plus per-job serve_job spans.
+  sim::TraceSink& trace() { return trace_; }
+
+  const HealthTracker& health(unsigned shard) const;
+  const PartitionAllocator& allocator(unsigned shard) const;
+  unsigned num_shards() const { return cfg_.num_shards; }
+
+  /// Serve one job trace to completion (all arrivals processed, all
+  /// in-flight work drained, leftovers shed as "starved"). Returns one
+  /// outcome per job, in job order. Virtual time restarts at 0 on every
+  /// call, as does the round-robin pointer; health/allocator/draining state
+  /// carries over.
+  std::vector<JobOutcome> run(const std::vector<ServeJob>& jobs);
+
+  /// Completion cycle of the last event in the most recent run().
+  sim::Cycle makespan() const { return makespan_; }
+
+  /// True while shard `shard` refuses admission (drain .. undrain window).
+  bool draining(unsigned shard) const;
+  /// Operator restarts performed so far, summed over shards.
+  std::uint64_t restarts() const { return restarts_; }
+  /// Jobs pulled across shards so far (across runs).
+  std::uint64_t steals() const { return steals_; }
+  /// execute_batch calls with >= 2 jobs, and the jobs they carried.
+  std::uint64_t batches() const { return batches_; }
+  std::uint64_t batched_jobs() const { return batched_jobs_; }
+
+  /// Schedule a shard-scoped operator action at virtual cycle `time` of the
+  /// *next* run(). Same-cycle operators fire before same-cycle arrivals, in
+  /// scheduling order. Draining an already-draining shard (or undraining a
+  /// non-draining one) throws at fire time, like OffloadService.
+  void schedule_operator(sim::Cycle time, OperatorAction action, unsigned shard);
+  /// Schedule an arbitrary callback at virtual cycle `time` of the next
+  /// run() — the scenario engine's hook for timed fault-environment swaps.
+  /// Callbacks must not re-enter the router.
+  void schedule_callback(sim::Cycle time, std::function<void()> fn);
+
+ private:
+  enum class EventKind { kArrival, kCompletion, kProbeDue, kProbeDone, kOperator };
+  struct Event {
+    sim::Cycle time = 0;
+    std::uint64_t seq = 0;  ///< insertion order: deterministic tie-break
+    EventKind kind = EventKind::kArrival;
+    std::size_t index = 0;  ///< job slot / batch handle / cluster / operator
+    unsigned shard = 0;
+    std::size_t sub = 0;    ///< job position within a batch (kCompletion)
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  struct Probe {
+    ExecutionOutcome outcome;
+    bool clean = false;
+  };
+  struct Shard {
+    Shard(unsigned clusters, const HealthConfig& health_cfg, Executor* executor)
+        : alloc(clusters), health(clusters, health_cfg), exec(executor), probes(clusters) {}
+    PartitionAllocator alloc;
+    HealthTracker health;
+    Executor* exec;
+    std::vector<std::size_t> queue;  ///< backlog of job slots
+    bool draining = false;
+    std::vector<std::optional<Probe>> probes;  ///< keyed by shard-local cluster
+    std::size_t active_jobs = 0;               ///< dispatched, not yet complete
+  };
+  struct InFlightBatch {
+    unsigned shard = 0;
+    std::vector<std::size_t> slots;  ///< job slots in batch order
+    std::vector<unsigned> clusters;
+    BatchExecutionOutcome outcome;   ///< jobs[k].duration = completion offset
+    std::size_t completed = 0;
+    bool done = false;  ///< settled early (shard restart): completions are stale
+  };
+
+  void push_event(sim::Cycle time, EventKind kind, std::size_t index, unsigned shard,
+                  std::size_t sub = 0);
+  /// Fleet-wide Eq.-(3) capacity: the best non-draining shard's healthy
+  /// count, capped by max_clusters_per_job.
+  unsigned fleet_capacity_cap() const;
+  unsigned shard_capacity_cap(const Shard& s) const;
+  bool all_draining() const;
+  void shed(std::size_t slot, sim::Cycle now, ShedReason reason);
+  void route_arrival(std::size_t slot, sim::Cycle now);
+  /// Service order of a backlog: priority desc, arrival asc, id asc.
+  std::vector<std::size_t> service_order(const std::vector<std::size_t>& queue) const;
+  /// Try to place `slot` on shard `si` now, coalescing same-kernel queue
+  /// mates when batching allows. True when the slot left the queue
+  /// (dispatched or shed); false when it must keep waiting.
+  bool try_dispatch(unsigned si, std::size_t slot, sim::Cycle now);
+  void dispatch_batch(unsigned si, const std::vector<std::size_t>& slots, unsigned m,
+                      const std::vector<unsigned>& clusters, sim::Cycle now);
+  /// Re-examine shard `si`'s backlog after its capacity changed, then let it
+  /// steal if it drained its own queue.
+  void drain_shard_queue(unsigned si, sim::Cycle now);
+  /// Idle-shard pull: while `si` has free healthy capacity and an empty
+  /// queue, take the head job of the longest backlog (ties to the lowest
+  /// shard id) and dispatch it here.
+  void steal_work(unsigned si, sim::Cycle now);
+  void complete(const Event& ev);
+  void complete_job(InFlightBatch& f, std::size_t pos, sim::Cycle now);
+  void schedule_probe(unsigned si, unsigned cluster, sim::Cycle now);
+  void start_probe(unsigned si, unsigned cluster, sim::Cycle now);
+  void finish_probe(const Event& ev, sim::Cycle now);
+  void apply_operator(OperatorAction action, unsigned si, sim::Cycle now);
+  void do_drain(unsigned si, sim::Cycle now);
+  void do_undrain(unsigned si, sim::Cycle now);
+  void do_restart(unsigned si, sim::Cycle now);
+  void sample_queue_depth(const Shard& s);
+  bool fleet_idle() const;
+
+  FleetConfig cfg_;
+  std::vector<Shard> shards_;
+  sim::TraceSink trace_;
+  sim::StatsRegistry* stats_ = nullptr;
+
+  // Per-run state.
+  const std::vector<ServeJob>* jobs_ = nullptr;
+  std::vector<JobOutcome> outcomes_;
+  std::vector<bool> settled_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<InFlightBatch> inflight_;  ///< keyed by batch handle
+  std::size_t pending_arrivals_ = 0;
+  unsigned rr_next_ = 0;  ///< round-robin placement pointer (reset per run)
+  sim::Cycle makespan_ = 0;
+
+  // Cross-run aggregates.
+  std::uint64_t restarts_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_jobs_ = 0;
+
+  struct PendingOperator {
+    sim::Cycle time = 0;
+    OperatorAction action = OperatorAction::kDrain;
+    unsigned shard = 0;
+    std::function<void()> fn;  ///< when set, a scheduled callback instead
+  };
+  std::vector<PendingOperator> pending_operators_;
+  std::vector<PendingOperator> operators_;  ///< armed for the current run
+};
+
+/// Eagerly create every fleet.* counter and histogram in `stats` so the
+/// exported inventory is complete even before (or without) any traffic.
+/// FleetRouter::bind_stats calls this; tests and benches may too.
+void register_fleet_metrics(sim::StatsRegistry& stats);
+
+}  // namespace mco::serve

@@ -1,0 +1,140 @@
+#include "serve/fleet_soak.h"
+
+#include <memory>
+
+#include "check/protocol_monitor.h"
+#include "serve/soc_executor.h"
+#include "util/strings.h"
+
+namespace mco::serve {
+
+SoakTraceConfig fleet_trace_config(std::size_t num_jobs) {
+  SoakTraceConfig tc;
+  tc.num_jobs = num_jobs;
+  // ~8x the E19 arrival pressure: mean gap ~200 cycles against a mean
+  // per-job service time sized for an 8-cluster shard. One shard saturates
+  // hard (its bounded queue overflows and deadlines slip); the backlog that
+  // forms even at four shards is what batching coalesces and stealing
+  // rebalances, so the E22 ablation columns separate.
+  tc.gap_min = 50;
+  tc.gap_max = 350;
+  return tc;
+}
+
+std::vector<FleetSoakPoint> fleet_soak_grid() {
+  return {
+      {"1shard", 1, 4, true},
+      {"2shard", 2, 4, true},
+      {"4shard", 4, 4, true},
+      {"8shard", 8, 4, true},
+      {"4shard_nobatch", 4, 1, true},
+      {"4shard_nosteal", 4, 4, false},
+      {"4shard_neither", 4, 1, false},
+  };
+}
+
+FleetSoakResult run_fleet_point(const FleetSoakPoint& point, const std::vector<ServeJob>& trace,
+                                const FleetSoakConfig& cfg) {
+  std::vector<std::unique_ptr<SocExecutor>> execs;
+  std::vector<Executor*> exec_ptrs;
+  execs.reserve(point.num_shards);
+  for (unsigned s = 0; s < point.num_shards; ++s) {
+    SocExecutorConfig xc;
+    xc.soc = soc::SocConfig::extended(cfg.clusters_per_shard);
+    xc.tolerance = cfg.tolerance;
+    xc.workload_seed = cfg.workload_seed + s;
+    xc.crash_penalty_cycles = cfg.crash_penalty_cycles;
+    execs.push_back(std::make_unique<SocExecutor>(xc));
+    exec_ptrs.push_back(execs.back().get());
+  }
+
+  FleetConfig fc;
+  fc.num_shards = point.num_shards;
+  fc.clusters_per_shard = cfg.clusters_per_shard;
+  fc.model = cfg.model;
+  fc.max_queue = cfg.max_queue;
+  fc.max_clusters_per_job = cfg.max_clusters_per_job;
+  fc.health = cfg.health;
+  fc.max_batch = point.max_batch;
+  fc.stealing = point.stealing;
+  FleetRouter fleet(fc, exec_ptrs);
+
+  sim::StatsRegistry stats;
+  fleet.bind_stats(&stats);
+  check::ProtocolMonitor fleet_monitor;
+  fleet_monitor.attach(fleet.trace());
+
+  FleetSoakResult r;
+  r.name = point.name;
+  r.shards = point.num_shards;
+  r.max_batch = point.max_batch;
+  r.stealing = point.stealing;
+  r.jobs = trace.size();
+  const std::vector<JobOutcome> outcomes = fleet.run(trace);
+  fleet_monitor.finish();
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    switch (outcomes[i].verdict) {
+      case JobVerdict::kMet:
+        ++r.met;
+        r.met_elements += trace[i].n;
+        break;
+      case JobVerdict::kMissed: ++r.missed; break;
+      case JobVerdict::kShed: ++r.shed; break;
+      case JobVerdict::kFailed: ++r.failed; break;
+    }
+  }
+  r.slo_attainment = r.jobs ? static_cast<double>(r.met) / static_cast<double>(r.jobs) : 0.0;
+  r.makespan = fleet.makespan();
+  r.goodput =
+      r.makespan ? static_cast<double>(r.met_elements) / static_cast<double>(r.makespan) : 0.0;
+  r.steals = fleet.steals();
+  r.batches = fleet.batches();
+  r.batched_jobs = fleet.batched_jobs();
+  r.mean_batch =
+      r.batches ? static_cast<double>(r.batched_jobs) / static_cast<double>(r.batches) : 0.0;
+  for (unsigned s = 0; s < point.num_shards; ++s) {
+    r.quarantines += fleet.health(s).quarantines();
+    r.crashes += execs[s]->crashes();
+    r.soc_violations += execs[s]->total_violations();
+  }
+  r.serve_violations = fleet_monitor.total_violations();
+  return r;
+}
+
+std::string fleet_report_json(const std::vector<FleetSoakResult>& results,
+                              const SoakTraceConfig& trace_cfg) {
+  std::string out = "{\n  \"schema\": \"mco-fleet-v1\",\n";
+  out += util::format("  \"jobs\": %zu,\n", trace_cfg.num_jobs);
+  out += util::format("  \"seed\": %llu,\n",
+                      static_cast<unsigned long long>(trace_cfg.seed));
+  out += "  \"points\": [";
+  bool first = true;
+  for (const FleetSoakResult& r : results) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += util::format(
+        "    {\"name\": \"%s\", \"shards\": %u, \"max_batch\": %zu, \"stealing\": %s, "
+        "\"met\": %llu, \"missed\": %llu, \"shed\": %llu, \"failed\": %llu, "
+        "\"slo_attainment\": %.4f, \"met_elements\": %llu, \"goodput\": %.6f, "
+        "\"makespan\": %llu, \"steals\": %llu, \"batches\": %llu, \"batched_jobs\": %llu, "
+        "\"mean_batch\": %.2f, \"quarantines\": %llu, \"crashes\": %llu, "
+        "\"soc_violations\": %llu, \"serve_violations\": %llu}",
+        r.name.c_str(), r.shards, r.max_batch, r.stealing ? "true" : "false",
+        static_cast<unsigned long long>(r.met), static_cast<unsigned long long>(r.missed),
+        static_cast<unsigned long long>(r.shed), static_cast<unsigned long long>(r.failed),
+        r.slo_attainment, static_cast<unsigned long long>(r.met_elements), r.goodput,
+        static_cast<unsigned long long>(r.makespan), static_cast<unsigned long long>(r.steals),
+        static_cast<unsigned long long>(r.batches),
+        static_cast<unsigned long long>(r.batched_jobs), r.mean_batch,
+        static_cast<unsigned long long>(r.quarantines),
+        static_cast<unsigned long long>(r.crashes),
+        static_cast<unsigned long long>(r.soc_violations),
+        static_cast<unsigned long long>(r.serve_violations));
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mco::serve

@@ -1,0 +1,91 @@
+// E22 fleet soak: one seeded high-pressure job trace served by fleets of
+// varying shard count, with batching/stealing ablations.
+//
+// Every grid point replays the *same* deterministic trace (serve/soak.h's
+// generator with tighter inter-arrival gaps — enough offered load to
+// saturate a single 8-cluster shard), so the rows differ only by what the
+// fleet topology and the two mechanisms under test (same-kernel batching,
+// cross-shard stealing) did to SLO attainment and goodput. Point-level
+// parallelism (exp::SweepRunner::map in bench_fleet_soak) writes into
+// index-addressed slots; the "mco-fleet-v1" report is byte-identical at
+// --jobs 1 and --jobs N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/fleet.h"
+#include "serve/soak.h"
+
+namespace mco::serve {
+
+/// The shared E22 trace: the E19 generator, pressed ~2.5x harder (shorter
+/// gaps) so a 1-shard fleet visibly queues and misses while a 4-shard fleet
+/// does not. `num_jobs` scales via bench_fleet_soak --fleet-jobs.
+SoakTraceConfig fleet_trace_config(std::size_t num_jobs);
+
+/// One row of the E22 grid: a fleet topology plus the mechanism toggles.
+struct FleetSoakPoint {
+  std::string name;       ///< row label, e.g. "4shard" / "4shard_nosteal"
+  unsigned num_shards = 4;
+  std::size_t max_batch = 4;  ///< 1 disables same-kernel batching
+  bool stealing = true;
+};
+
+/// The E22 grid: shard-count scaling {1, 2, 4, 8} with both mechanisms on,
+/// plus the 4-shard ablations (no-batch, no-steal, neither).
+std::vector<FleetSoakPoint> fleet_soak_grid();
+
+/// Fleet/executor parameters shared by every point of an E22 run. Shards are
+/// fault-free (E22 measures scheduling, not recovery — E19/E20 own faults);
+/// each shard's workload RNG is seeded workload_seed + shard id.
+struct FleetSoakConfig {
+  unsigned clusters_per_shard = 8;
+  model::RuntimeModel model = model::paper_daxpy_model();
+  std::size_t max_queue = 16;
+  unsigned max_clusters_per_job = 8;
+  HealthConfig health{/*failure_threshold=*/2, /*probation_probes=*/1,
+                      /*probe_backoff_cycles=*/5'000};
+  double tolerance = 1e-5;
+  std::uint64_t workload_seed = 42;
+  sim::Cycles crash_penalty_cycles = 20'000;
+};
+
+/// Aggregates of one grid point's soak.
+struct FleetSoakResult {
+  std::string name;
+  unsigned shards = 0;
+  std::size_t max_batch = 1;
+  bool stealing = false;
+  std::size_t jobs = 0;
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  double slo_attainment = 0.0;     ///< met / jobs
+  std::uint64_t met_elements = 0;  ///< Σ n over SLO-met jobs
+  double goodput = 0.0;            ///< met_elements / makespan (elems/cycle)
+  sim::Cycle makespan = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t batches = 0;       ///< execute_batch calls with >= 2 jobs
+  std::uint64_t batched_jobs = 0;  ///< jobs those calls carried
+  double mean_batch = 0.0;         ///< batched_jobs / batches (0 when none)
+  std::uint64_t quarantines = 0;   ///< summed over shards
+  std::uint64_t crashes = 0;       ///< Soc rebuilds, summed over shards
+  std::uint64_t soc_violations = 0;
+  std::uint64_t serve_violations = 0;  ///< serve_isolation on the fleet trace
+};
+
+/// Serve `trace` through one FleetRouter built per `point`. A
+/// check::ProtocolMonitor watches each backing Soc and another watches the
+/// fleet's own trace (per-shard serve_isolation shadows).
+FleetSoakResult run_fleet_point(const FleetSoakPoint& point, const std::vector<ServeJob>& trace,
+                                const FleetSoakConfig& cfg);
+
+/// "mco-fleet-v1" JSON: one row per grid point, aggregate fields only — the
+/// bench_fleet_soak golden that determinism tests byte-compare.
+std::string fleet_report_json(const std::vector<FleetSoakResult>& results,
+                              const SoakTraceConfig& trace_cfg);
+
+}  // namespace mco::serve

@@ -55,6 +55,18 @@ const char* to_string(OperatorAction a) {
   return "?";
 }
 
+BatchExecutionOutcome Executor::execute_batch(const std::vector<ServeJob>& jobs, unsigned m) {
+  BatchExecutionOutcome out;
+  sim::Cycles offset = 0;
+  for (const ServeJob& job : jobs) {
+    ExecutionOutcome one = execute(job, m, /*probe=*/false);
+    offset += one.duration;
+    one.duration = offset;  // per-job runtime -> completion offset from batch start
+    out.jobs.push_back(std::move(one));
+  }
+  return out;
+}
+
 void register_serve_metrics(sim::StatsRegistry& stats) {
   for (const char* name :
        {"serve.jobs_submitted", "serve.jobs_dispatched", "serve.jobs_queued", "serve.jobs_shed",

@@ -120,6 +120,14 @@ struct ExecutionOutcome {
   unsigned watchdog_timeouts = 0;
 };
 
+/// What one coalesced batch of jobs did. `jobs[k].duration` is job k's
+/// completion *offset from the batch dispatch cycle* (not an individual
+/// runtime), so offsets must be non-decreasing in batch order — the fleet
+/// layer fans one completion event out per job straight from them.
+struct BatchExecutionOutcome {
+  std::vector<ExecutionOutcome> jobs;
+};
+
 /// Duration/fault source for dispatched jobs. The service calls execute()
 /// at dispatch time, in deterministic order; implementations must be pure
 /// functions of (job, m, call order) for replay determinism.
@@ -129,6 +137,13 @@ class Executor {
   /// Run `job` on an m-cluster partition. `probe` marks single-cluster
   /// canary offloads on quarantined clusters.
   virtual ExecutionOutcome execute(const ServeJob& job, unsigned m, bool probe) = 0;
+  /// Run a same-kernel batch back to back on one m-cluster partition,
+  /// returning per-job completion offsets (see BatchExecutionOutcome). The
+  /// default runs execute() per job and accumulates the offsets, so scripted
+  /// test fakes stay trivially correct; SocExecutor overrides it with one
+  /// pipelined offload sequence (offload_runtime.h) that hides every
+  /// marshalling phase but the first.
+  virtual BatchExecutionOutcome execute_batch(const std::vector<ServeJob>& jobs, unsigned m);
   /// Operator restart: tear down and rebuild the backing fabric. The default
   /// is a no-op so scripted test fakes stay trivially correct.
   virtual void restart() {}

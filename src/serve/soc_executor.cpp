@@ -51,6 +51,48 @@ ExecutionOutcome SocExecutor::execute(const ServeJob& job, unsigned m, bool /*pr
   return out;
 }
 
+BatchExecutionOutcome SocExecutor::execute_batch(const std::vector<ServeJob>& jobs, unsigned m) {
+  BatchExecutionOutcome out;
+  try {
+    soc_->reset_heap();
+    // Prepare every workload up front (the batch shares one heap epoch), then
+    // run the whole train as a single pipelined offload sequence.
+    std::vector<soc::PreparedJob> prepared;
+    std::vector<kernels::JobArgs> args;
+    prepared.reserve(jobs.size());
+    args.reserve(jobs.size());
+    for (const ServeJob& job : jobs) {
+      const kernels::Kernel& kernel = soc_->kernels().by_name(job.kernel);
+      prepared.push_back(soc::prepare_workload(*soc_, kernel, job.n, soc_->num_clusters(), rng_));
+      args.push_back(prepared.back().args);
+    }
+    const offload::SequenceResult seq =
+        soc_->run_offload_sequence(std::move(args), m, /*pipelined=*/true);
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      ExecutionOutcome one;
+      one.duration = seq.completion_offset(k);
+      one.ok = prepared[k].max_abs_error(*soc_) <= cfg_.tolerance;
+      out.jobs.push_back(std::move(one));
+    }
+  } catch (const std::exception&) {
+    // The train aborted. Same discipline as a crashed single offload: rebuild
+    // the Soc, charge each job the crash penalty (a shared offset — the whole
+    // train died at once), blame the whole partition.
+    ++crashes_;
+    if (monitor_) retired_violations_ += monitor_->total_violations();
+    build_soc();
+    out.jobs.clear();
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      ExecutionOutcome one;
+      one.duration = cfg_.crash_penalty_cycles;
+      one.ok = false;
+      for (unsigned i = 0; i < m; ++i) one.failed_members.push_back(i);
+      out.jobs.push_back(std::move(one));
+    }
+  }
+  return out;
+}
+
 void SocExecutor::retire_monitor() {
   if (!monitor_) return;
   monitor_->finish();

@@ -46,6 +46,13 @@ class SocExecutor : public Executor {
 
   ExecutionOutcome execute(const ServeJob& job, unsigned m, bool probe) override;
 
+  /// Coalesced batch: one pipelined offload sequence (the host marshals job
+  /// k+1 under job k's accelerator time), per-job completion offsets from
+  /// the sequence trace, one numerical verdict per job after the train
+  /// retires. An aborted sequence charges every job the crash penalty and
+  /// blames the whole partition, like a crashed single offload.
+  BatchExecutionOutcome execute_batch(const std::vector<ServeJob>& jobs, unsigned m) override;
+
   /// Operator restart: retire the live monitor cleanly (between jobs every
   /// span is closed, so end-of-run checks apply) and rebuild a fresh Soc.
   void restart() override;

@@ -188,6 +188,26 @@ const std::vector<MetricInfo>& metric_reference() {
       {"serve.drain.jobs_shed", "counter"},
       {"serve.restarts", "counter"},
       {"serve.restart.aborted_jobs", "counter"},
+      // ---- counters: serving fleet (serve::register_fleet_metrics) ---------
+      {"fleet.jobs_submitted", "counter"},
+      {"fleet.jobs_dispatched", "counter"},
+      {"fleet.jobs_queued", "counter"},
+      {"fleet.jobs_shed", "counter"},
+      {"fleet.jobs_failed", "counter"},
+      {"fleet.jobs_degraded", "counter"},
+      {"fleet.slo_met", "counter"},
+      {"fleet.slo_missed", "counter"},
+      {"fleet.probes", "counter"},
+      {"fleet.quarantines", "counter"},
+      {"fleet.readmissions", "counter"},
+      {"fleet.steals", "counter"},
+      {"fleet.batches", "counter"},
+      {"fleet.batched_jobs", "counter"},
+      {"fleet.drain.entered", "counter"},
+      {"fleet.drain.exited", "counter"},
+      {"fleet.drain.jobs_shed", "counter"},
+      {"fleet.restarts", "counter"},
+      {"fleet.restart.aborted_jobs", "counter"},
       // ---- counters: chaos scenarios (scenario::register_scenario_metrics) -
       {"scenario.events", "counter"},
       {"scenario.fault_swaps", "counter"},
@@ -204,6 +224,11 @@ const std::vector<MetricInfo>& metric_reference() {
       {"serve.queue_depth", "histogram"},
       {"serve.slack_cycles", "histogram"},
       {"serve.tardiness_cycles", "histogram"},
+      {"fleet.queue_wait_cycles", "histogram"},
+      {"fleet.queue_depth", "histogram"},
+      {"fleet.batch_size", "histogram"},
+      {"fleet.slack_cycles", "histogram"},
+      {"fleet.tardiness_cycles", "histogram"},
       // ---- spans: host runtime track ---------------------------------------
       {"offload", "span"},
       {"marshal", "span"},

@@ -162,6 +162,11 @@ offload::OffloadResult Soc::run_offload(const kernels::JobArgs& args, unsigned n
   return runtime_->offload_blocking(args, num_clusters);
 }
 
+offload::SequenceResult Soc::run_offload_sequence(std::vector<kernels::JobArgs> jobs,
+                                                  unsigned num_clusters, bool pipelined) {
+  return runtime_->offload_sequence_blocking(std::move(jobs), num_clusters, pipelined);
+}
+
 void Soc::publish_stats() {
   sim::StatsRegistry& reg = sim_->stats();
   const auto set = [&reg](const std::string& name, std::uint64_t v) {

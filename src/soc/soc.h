@@ -66,6 +66,13 @@ class Soc {
   /// Run an offload to completion (drives the simulator).
   offload::OffloadResult run_offload(const kernels::JobArgs& args, unsigned num_clusters);
 
+  /// Run a train of offloads back to back on the same cluster set (drives
+  /// the simulator). With `pipelined`, the host marshals job k+1 under job
+  /// k's accelerator time — the path serve-layer job batching amortizes
+  /// per-offload overhead through.
+  offload::SequenceResult run_offload_sequence(std::vector<kernels::JobArgs> jobs,
+                                               unsigned num_clusters, bool pipelined);
+
   /// Publish every component's counters into the simulator's StatsRegistry
   /// ("hbm.beats_served", "noc.multicasts", "cluster3.jobs", ...). Idempotent:
   /// counters are re-set to the components' live values, never double-counted.

@@ -1,0 +1,535 @@
+// Tests for the sharded serving fleet (serve/fleet.h): router admission and
+// round-robin placement, same-kernel batch coalescing through the
+// execute_batch seam, cross-shard work stealing (including its determinism),
+// shard-scoped operator drain/restart, the per-shard serve_isolation shadows
+// of check::ProtocolMonitor, and the byte-identity of the E22 fleet soak
+// report across SweepRunner --jobs levels.
+//
+// Like test_serve.cpp, the Executor seam is scripted (FleetFakeExecutor):
+// durations and batch offsets are pure functions of the job, so every test
+// is an exact virtual-time schedule with hand-computable outcomes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/protocol_monitor.h"
+#include "exp/sweep_runner.h"
+#include "scenario/scenario.h"
+#include "scenario/scenario_runner.h"
+#include "serve/fleet.h"
+#include "serve/fleet_soak.h"
+#include "serve/soak.h"
+#include "serve/soc_executor.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace mco;
+using serve::BatchExecutionOutcome;
+using serve::ExecutionOutcome;
+using serve::FleetConfig;
+using serve::FleetRouter;
+using serve::JobOutcome;
+using serve::JobVerdict;
+using serve::ServeJob;
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Scripted executor for the fleet seam: fixed per-job duration, recorded
+/// execute/execute_batch calls, optional scripted batch offsets.
+class FleetFakeExecutor : public serve::Executor {
+ public:
+  explicit FleetFakeExecutor(sim::Cycles duration = 100) : duration_(duration) {}
+
+  struct Call {
+    std::vector<std::uint64_t> ids;  ///< one id = plain execute(); more = batch
+    unsigned m = 0;
+    bool probe = false;
+  };
+  std::vector<Call> calls;
+  std::uint64_t restarts = 0;
+
+  ExecutionOutcome execute(const ServeJob& job, unsigned m, bool probe) override {
+    calls.push_back({{job.id}, m, probe});
+    ExecutionOutcome out;
+    out.duration = duration_;
+    return out;
+  }
+
+  BatchExecutionOutcome execute_batch(const std::vector<ServeJob>& jobs, unsigned m) override {
+    Call call;
+    for (const ServeJob& j : jobs) call.ids.push_back(j.id);
+    call.m = m;
+    calls.push_back(call);
+    BatchExecutionOutcome out;
+    sim::Cycles offset = 0;
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      ExecutionOutcome one;
+      offset += duration_;
+      one.duration = offset;  // back-to-back completion offsets
+      out.jobs.push_back(one);
+    }
+    return out;
+  }
+
+  void restart() override { ++restarts; }
+
+ private:
+  sim::Cycles duration_;
+};
+
+/// t̂(M, N) = 100 + N/M: admission math is exact integer arithmetic.
+model::RuntimeModel linear_model() {
+  model::RuntimeModel m;
+  m.t0 = 100.0;
+  m.b = 1.0;
+  return m;
+}
+
+FleetConfig config(unsigned shards, unsigned clusters_per_shard, std::size_t max_batch = 4,
+                   bool stealing = true) {
+  FleetConfig cfg;
+  cfg.num_shards = shards;
+  cfg.clusters_per_shard = clusters_per_shard;
+  cfg.model = linear_model();
+  cfg.max_batch = max_batch;
+  cfg.stealing = stealing;
+  return cfg;
+}
+
+ServeJob job(std::uint64_t id, std::uint64_t n, sim::Cycle arrival, sim::Cycles t_max,
+             unsigned priority = 0) {
+  ServeJob j;
+  j.id = id;
+  j.n = n;
+  j.arrival = arrival;
+  j.t_max = t_max;
+  j.priority = priority;
+  return j;
+}
+
+/// Feed one synthetic who=="serve" instant into a monitor.
+void feed(check::ProtocolMonitor& mon, sim::Cycle t, const std::string& what,
+          const std::string& detail) {
+  sim::TraceRecord rec;
+  rec.time = t;
+  rec.who = "serve";
+  rec.what = what;
+  rec.detail = detail;
+  rec.phase = sim::TracePhase::kInstant;
+  mon.observe(rec);
+}
+
+// ---- construction ----------------------------------------------------------
+
+TEST(FleetConfigValidation, RejectsBadShapes) {
+  FleetFakeExecutor e0, e1;
+  FleetConfig zero_shards = config(0, 2);
+  EXPECT_THROW(FleetRouter(zero_shards, {&e0}), std::invalid_argument);
+  FleetConfig two = config(2, 2);
+  EXPECT_THROW(FleetRouter(two, {&e0}), std::invalid_argument);         // count mismatch
+  EXPECT_THROW(FleetRouter(two, {&e0, nullptr}), std::invalid_argument);  // null executor
+  EXPECT_NO_THROW(FleetRouter(two, {&e0, &e1}));
+}
+
+// ---- placement -------------------------------------------------------------
+
+TEST(FleetPlacement, RoundRobinOverShards) {
+  FleetFakeExecutor e0, e1;
+  FleetRouter fleet(config(2, 2), {&e0, &e1});
+  // Four independent jobs, each fitting one cluster, arriving far apart.
+  std::vector<ServeJob> jobs;
+  for (std::uint64_t i = 0; i < 4; ++i) jobs.push_back(job(i + 1, 100, i * 1000, 5000));
+  const std::vector<JobOutcome> out = fleet.run(jobs);
+  for (const JobOutcome& o : out) EXPECT_EQ(o.verdict, JobVerdict::kMet);
+  ASSERT_EQ(e0.calls.size(), 2u);
+  ASSERT_EQ(e1.calls.size(), 2u);
+  EXPECT_EQ(e0.calls[0].ids, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(e1.calls[0].ids, std::vector<std::uint64_t>{2});
+  EXPECT_EQ(e0.calls[1].ids, std::vector<std::uint64_t>{3});
+  EXPECT_EQ(e1.calls[1].ids, std::vector<std::uint64_t>{4});
+}
+
+TEST(FleetAdmission, UnmeetableDeadlineShedsAgainstFleetCap) {
+  FleetFakeExecutor e0, e1;
+  FleetRouter fleet(config(2, 2), {&e0, &e1});
+  // t̂(2, 1000) = 600 > 500: even the whole healthiest shard cannot make it.
+  const std::vector<JobOutcome> out = fleet.run({job(1, 1000, 0, 500)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kShed);
+  EXPECT_EQ(out[0].reason, "deadline_unmeetable");
+  EXPECT_TRUE(e0.calls.empty());
+  EXPECT_TRUE(e1.calls.empty());
+}
+
+// ---- batching --------------------------------------------------------------
+
+TEST(FleetBatching, CoalescesSameKernelQueueMates) {
+  FleetFakeExecutor exec;
+  FleetRouter fleet(config(1, 2), {&exec});
+  // Every job needs the whole shard: t̂(1, 1000) = 1100 > 700 ≥ t̂(2, 1000).
+  // Job 1 dispatches alone; 2..4 queue behind it and coalesce into one batch
+  // when the shard frees at t = 100.
+  std::vector<ServeJob> jobs;
+  jobs.push_back(job(1, 1000, 0, 700));
+  for (std::uint64_t i = 2; i <= 4; ++i) jobs.push_back(job(i, 1000, i, 900));
+  const std::vector<JobOutcome> out = fleet.run(jobs);
+
+  ASSERT_EQ(exec.calls.size(), 2u);
+  EXPECT_EQ(exec.calls[0].ids, std::vector<std::uint64_t>{1});  // batch of 1 = plain execute
+  EXPECT_EQ(exec.calls[1].ids, (std::vector<std::uint64_t>{2, 3, 4}));
+  EXPECT_EQ(exec.calls[1].m, 2u);
+
+  // Completions fan out per job from the batch offsets (100, 200, 300 past
+  // the dispatch at t = 100), and every deadline holds.
+  EXPECT_EQ(out[1].end, 200u);
+  EXPECT_EQ(out[2].end, 300u);
+  EXPECT_EQ(out[3].end, 400u);
+  for (const JobOutcome& o : out) EXPECT_EQ(o.verdict, JobVerdict::kMet);
+  EXPECT_EQ(fleet.batches(), 1u);
+  EXPECT_EQ(fleet.batched_jobs(), 3u);
+  // The batch partition was released exactly once, at the last retirement.
+  EXPECT_EQ(fleet.allocator(0).free_count(), 2u);
+}
+
+TEST(FleetBatching, MaxBatchOneDisablesCoalescing) {
+  FleetFakeExecutor exec;
+  FleetRouter fleet(config(1, 2, /*max_batch=*/1), {&exec});
+  std::vector<ServeJob> jobs;
+  jobs.push_back(job(1, 1000, 0, 700));
+  for (std::uint64_t i = 2; i <= 4; ++i) jobs.push_back(job(i, 1000, i, 2000));
+  fleet.run(jobs);
+  ASSERT_EQ(exec.calls.size(), 4u);
+  for (const FleetFakeExecutor::Call& c : exec.calls) EXPECT_EQ(c.ids.size(), 1u);
+  EXPECT_EQ(fleet.batches(), 0u);
+}
+
+TEST(FleetBatching, DifferentKernelsDoNotCoalesce) {
+  FleetFakeExecutor exec;
+  FleetRouter fleet(config(1, 2), {&exec});
+  std::vector<ServeJob> jobs;
+  jobs.push_back(job(1, 1000, 0, 700));
+  jobs.push_back(job(2, 1000, 2, 2000));
+  ServeJob other = job(3, 1000, 3, 2000);
+  other.kernel = "axpy_strided";
+  jobs.push_back(other);
+  fleet.run(jobs);
+  // Job 2 dispatches at t = 100; job 3's kernel differs, so it waits for the
+  // next free-up instead of riding along.
+  ASSERT_EQ(exec.calls.size(), 3u);
+  EXPECT_EQ(exec.calls[1].ids, std::vector<std::uint64_t>{2});
+  EXPECT_EQ(exec.calls[2].ids, std::vector<std::uint64_t>{3});
+}
+
+// ---- work stealing ---------------------------------------------------------
+
+/// Shared stealing fixture: every job needs a whole 2-cluster shard
+/// (t̂(1, 1000) = 1100 > 1000 ≥ 600 = t̂(2, 1000)). Round-robin sends jobs
+/// 1 and 3 to shard 0, jobs 2 and 4 to shard 1; shard 1's fake runs 20x
+/// longer, so job 2 wedges it and job 4 queues behind.
+std::vector<ServeJob> steal_jobs() {
+  std::vector<ServeJob> jobs;
+  for (std::uint64_t i = 0; i < 4; ++i) jobs.push_back(job(i + 1, 1000, i, 1000));
+  return jobs;
+}
+
+TEST(FleetStealing, IdleShardPullsFromLongestBacklog) {
+  FleetFakeExecutor fast;
+  FleetFakeExecutor slow(2000);
+  FleetRouter fleet(config(2, 2, /*max_batch=*/1), {&fast, &slow});
+  const std::vector<JobOutcome> out = fleet.run(steal_jobs());
+  // Shard 0 drains its own backlog at t = 200, goes idle, and pulls job 4
+  // off the wedged shard — it makes its deadline on the thief.
+  EXPECT_EQ(fleet.steals(), 1u);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kMet);
+  EXPECT_EQ(out[1].verdict, JobVerdict::kMissed);  // the monster itself
+  EXPECT_EQ(out[2].verdict, JobVerdict::kMet);
+  EXPECT_EQ(out[3].verdict, JobVerdict::kMet);
+  std::vector<std::uint64_t> shard0_ids;
+  for (const FleetFakeExecutor::Call& c : fast.calls) shard0_ids.push_back(c.ids[0]);
+  EXPECT_EQ(shard0_ids, (std::vector<std::uint64_t>{1, 3, 4}));
+  ASSERT_EQ(slow.calls.size(), 1u);
+  EXPECT_EQ(slow.calls[0].ids, std::vector<std::uint64_t>{2});
+}
+
+TEST(FleetStealing, OffMeansShardsServeOnlyTheirOwnQueue) {
+  FleetFakeExecutor fast;
+  FleetFakeExecutor slow(2000);
+  FleetRouter fleet(config(2, 2, /*max_batch=*/1, /*stealing=*/false), {&fast, &slow});
+  const std::vector<JobOutcome> out = fleet.run(steal_jobs());
+  EXPECT_EQ(fleet.steals(), 0u);
+  // Job 4 was stuck behind the monster on its routed shard: by the time the
+  // shard freed up, its deadline had lapsed in the queue.
+  EXPECT_EQ(out[3].verdict, JobVerdict::kShed);
+  EXPECT_EQ(out[3].reason, "deadline_expired");
+  ASSERT_EQ(slow.calls.size(), 1u);
+  EXPECT_EQ(slow.calls[0].ids, std::vector<std::uint64_t>{2});
+}
+
+TEST(FleetStealing, StealOrderIsAPureFunctionOfTheTrace) {
+  // Two independent replays of the same saturating seeded trace must emit
+  // byte-identical serve_steal sequences (and there must be some to compare).
+  serve::SoakTraceConfig tc = serve::fleet_trace_config(200);
+  serve::FleetSoakConfig cfg;
+  const std::vector<ServeJob> trace = serve::generate_trace(tc, cfg.model);
+  auto replay = [&]() {
+    std::vector<std::unique_ptr<serve::SocExecutor>> execs;
+    std::vector<serve::Executor*> ptrs;
+    for (unsigned s = 0; s < 2; ++s) {
+      serve::SocExecutorConfig xc;
+      xc.soc = soc::SocConfig::extended(cfg.clusters_per_shard);
+      xc.tolerance = cfg.tolerance;
+      xc.workload_seed = cfg.workload_seed + s;
+      xc.crash_penalty_cycles = cfg.crash_penalty_cycles;
+      execs.push_back(std::make_unique<serve::SocExecutor>(xc));
+      ptrs.push_back(execs.back().get());
+    }
+    serve::FleetConfig fc;
+    fc.num_shards = 2;
+    fc.clusters_per_shard = cfg.clusters_per_shard;
+    fc.model = cfg.model;
+    fc.max_queue = cfg.max_queue;
+    fc.max_clusters_per_job = cfg.max_clusters_per_job;
+    fc.health = cfg.health;
+    FleetRouter fleet(fc, ptrs);
+    std::vector<std::string> steals;
+    fleet.trace().set_observer([&steals](const sim::TraceRecord& rec) {
+      if (rec.what == "serve_steal")
+        steals.push_back(std::to_string(rec.time) + " " + rec.detail);
+    });
+    fleet.run(trace);
+    return steals;
+  };
+  const std::vector<std::string> first = replay();
+  const std::vector<std::string> second = replay();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// ---- operators -------------------------------------------------------------
+
+TEST(FleetOperators, DrainIsShardScoped) {
+  FleetFakeExecutor e0, e1;
+  FleetRouter fleet(config(2, 2, /*max_batch=*/1), {&e0, &e1});
+  fleet.schedule_operator(0, serve::OperatorAction::kDrain, 0);
+  std::vector<ServeJob> jobs;
+  for (std::uint64_t i = 0; i < 4; ++i) jobs.push_back(job(i + 1, 100, i * 10 + 1, 5000));
+  const std::vector<JobOutcome> out = fleet.run(jobs);
+  for (const JobOutcome& o : out) EXPECT_EQ(o.verdict, JobVerdict::kMet);
+  // Shard 0 refused admission for the whole run; shard 1 served everything.
+  EXPECT_TRUE(e0.calls.empty());
+  EXPECT_EQ(e1.calls.size(), 4u);
+  EXPECT_TRUE(fleet.draining(0));
+  EXPECT_FALSE(fleet.draining(1));
+}
+
+TEST(FleetOperators, AllShardsDrainingShedsArrivals) {
+  FleetFakeExecutor e0;
+  FleetRouter fleet(config(1, 2), {&e0});
+  fleet.schedule_operator(0, serve::OperatorAction::kDrain, 0);
+  const std::vector<JobOutcome> out = fleet.run({job(1, 100, 5, 5000)});
+  EXPECT_EQ(out[0].verdict, JobVerdict::kShed);
+  EXPECT_EQ(out[0].reason, "operator_shed");
+}
+
+TEST(FleetOperators, RestartAbortsInFlightWorkOnThatShardOnly) {
+  FleetFakeExecutor e0(1000), e1(1000);
+  FleetRouter fleet(config(2, 2), {&e0, &e1});
+  fleet.schedule_operator(500, serve::OperatorAction::kRestart, 0);
+  std::vector<ServeJob> jobs;
+  jobs.push_back(job(1, 1000, 0, 90'000));  // -> shard 0, aborted at t = 500
+  jobs.push_back(job(2, 1000, 1, 90'000));  // -> shard 1, completes at 1001
+  const std::vector<JobOutcome> out = fleet.run(jobs);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kFailed);
+  EXPECT_EQ(out[0].reason, "restarted");
+  EXPECT_EQ(out[1].verdict, JobVerdict::kMet);
+  EXPECT_EQ(fleet.restarts(), 1u);
+  EXPECT_EQ(e0.restarts, 1u);
+  EXPECT_EQ(e1.restarts, 0u);
+  // Shard 0's partition was released by the abort; its clusters re-entered
+  // through probation (the run only ends once the probe chain settles).
+  EXPECT_EQ(fleet.allocator(0).free_count(), 2u);
+}
+
+TEST(FleetOperators, DoubleDrainThrowsAtFireTime) {
+  FleetFakeExecutor e0;
+  FleetRouter fleet(config(1, 2), {&e0});
+  fleet.schedule_operator(0, serve::OperatorAction::kDrain, 0);
+  fleet.schedule_operator(1, serve::OperatorAction::kDrain, 0);
+  EXPECT_THROW(fleet.run({job(1, 100, 5, 5000)}), std::logic_error);
+}
+
+// ---- per-shard monitor shadows ---------------------------------------------
+
+TEST(FleetMonitor, SameClusterOnDifferentShardsIsDisjoint) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=2 batch=1 clusters=0,1");
+  feed(mon, 11, "serve_dispatch", "job=2 shard=1 m=2 batch=1 clusters=0,1");
+  feed(mon, 20, "serve_complete", "job=1 shard=0 clusters=0,1");
+  feed(mon, 21, "serve_complete", "job=2 shard=1 clusters=0,1");
+  mon.finish();
+  EXPECT_TRUE(mon.clean());
+}
+
+TEST(FleetMonitor, DoubleOccupancyOnOneShardIsAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=1 m=2 batch=1 clusters=0,1");
+  feed(mon, 11, "serve_dispatch", "job=2 shard=1 m=2 batch=1 clusters=1,2");
+  mon.finish();
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+TEST(FleetMonitor, RecordsWithoutShardKeyShadowAsShardZero) {
+  check::ProtocolMonitor mon;
+  // Legacy OffloadService records (no shard key) and explicit shard=0
+  // records land on the same shadow: overlap is a violation.
+  feed(mon, 10, "serve_dispatch", "job=1 m=2 clusters=0,1");
+  feed(mon, 11, "serve_dispatch", "job=2 shard=0 m=2 batch=1 clusters=1,2");
+  mon.finish();
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+TEST(FleetMonitor, BatchIntermediateCompletionsHoldThePartition) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=2 batch=2 clusters=0,1");
+  // Intermediate retirement: no clusters key, nothing released.
+  feed(mon, 20, "serve_complete", "job=1 shard=0 batch_pos=0");
+  feed(mon, 25, "serve_dispatch", "job=3 shard=0 m=1 batch=1 clusters=0");
+  mon.finish();
+  // Cluster 0 was still held by the batch when job 3 grabbed it, and it was
+  // never released before the end of the run.
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_EQ(mon.violations()[0].invariant, "serve_isolation");
+}
+
+// ---- the real executor seam ------------------------------------------------
+
+TEST(FleetSocExecutor, BatchOffsetsAreNonDecreasingAndPipelined) {
+  serve::SocExecutorConfig xc;
+  xc.soc = soc::SocConfig::extended(4);
+  serve::SocExecutor exec(xc);
+  std::vector<ServeJob> batch;
+  for (std::uint64_t i = 1; i <= 3; ++i) batch.push_back(job(i, 512, 0, 0));
+  const BatchExecutionOutcome out = exec.execute_batch(batch, 2);
+  ASSERT_EQ(out.jobs.size(), 3u);
+  EXPECT_GT(out.jobs[0].duration, 0u);
+  for (std::size_t k = 1; k < out.jobs.size(); ++k)
+    EXPECT_GE(out.jobs[k].duration, out.jobs[k - 1].duration);
+  for (const ExecutionOutcome& o : out.jobs) EXPECT_TRUE(o.ok);
+}
+
+// ---- fleet scenarios (shards header + shard-scoped verbs) ------------------
+
+TEST(FleetScenario, ShardScopedVerbsParse) {
+  const scenario::ScenarioSpec s = scenario::load_scenario_text(
+      "name = fleet\nshards = 2\nclusters = 2\nhorizon = 40000\n"
+      "at 0 traffic steady unmeetable=0\n"
+      "at 1000 drain shard=1\n"
+      "at 2000 undrain shard=1\n"
+      "at 3000 restart shard=0\n"
+      "at 4000 drain\n"
+      "at 5000 undrain\n"
+      "expect violations == 0\n");
+  EXPECT_EQ(s.shards, 2u);
+  ASSERT_EQ(s.events.size(), 6u);
+  EXPECT_EQ(s.events[1].kind, scenario::ScenarioEventKind::kDrain);
+  EXPECT_EQ(s.events[1].shard, 1u);
+  EXPECT_EQ(s.events[2].shard, 1u);
+  EXPECT_EQ(s.events[3].kind, scenario::ScenarioEventKind::kRestart);
+  EXPECT_EQ(s.events[3].shard, 0u);
+  EXPECT_EQ(s.events[4].shard, 0u);  // no arg = shard 0
+}
+
+TEST(FleetScenario, RejectsShardOutOfRange) {
+  EXPECT_THROW(scenario::load_scenario_text(
+                   "shards = 2\nclusters = 2\nhorizon = 40000\n"
+                   "at 0 traffic steady\nat 1000 drain shard=2\n"),
+               std::invalid_argument);
+}
+
+TEST(FleetScenario, DrainPairingIsPerShard) {
+  // Draining shard 0 then shard 1 is fine; re-draining shard 1 is not.
+  EXPECT_NO_THROW(scenario::load_scenario_text(
+      "shards = 2\nclusters = 2\nhorizon = 40000\nat 0 traffic steady\n"
+      "at 1000 drain shard=0\nat 2000 drain shard=1\n"));
+  EXPECT_THROW(scenario::load_scenario_text(
+                   "shards = 2\nclusters = 2\nhorizon = 40000\nat 0 traffic steady\n"
+                   "at 1000 drain shard=1\nat 2000 drain shard=1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::load_scenario_text(
+                   "shards = 2\nclusters = 2\nhorizon = 40000\nat 0 traffic steady\n"
+                   "at 1000 undrain shard=1\n"),
+               std::invalid_argument);
+}
+
+TEST(FleetScenario, TinyFleetEpisodeRunsCleanAndJudges) {
+  const scenario::ScenarioSpec s = scenario::load_scenario_text(
+      "name = tiny_fleet\nshards = 2\nclusters = 2\nhorizon = 40000\n"
+      "at 0 traffic steady unmeetable=0\n"
+      "at 5000 drain shard=1\n"
+      "at 12000 undrain shard=1\n"
+      "expect jobs > 0\nexpect violations == 0\nexpect drains == 1\n");
+  const scenario::ScenarioResult r = scenario::run_scenario(s, {});
+  EXPECT_EQ(r.name, "tiny_fleet");
+  EXPECT_GT(r.jobs, 0u);
+  EXPECT_EQ(r.soc_violations + r.serve_violations, 0u);
+  EXPECT_EQ(r.drains, 1u);
+  for (const auto& v : r.verdicts) EXPECT_TRUE(v.passed) << v.text;
+  EXPECT_TRUE(r.passed);
+  // The fleet path feeds the same byte-stable report schema.
+  const std::string doc = scenario::scenario_report_json({r});
+  EXPECT_NE(doc.find("\"name\": \"tiny_fleet\""), std::string::npos);
+  EXPECT_EQ(doc, scenario::scenario_report_json({r}));
+}
+
+// ---- metrics & soak report -------------------------------------------------
+
+TEST(FleetMetrics, InventoryIsRegisteredEagerly) {
+  sim::StatsRegistry stats;
+  serve::register_fleet_metrics(stats);
+  for (const char* name : {"fleet.jobs_submitted", "fleet.jobs_dispatched", "fleet.steals",
+                           "fleet.batches", "fleet.batched_jobs", "fleet.drain.entered",
+                           "fleet.restarts"}) {
+    EXPECT_EQ(stats.counter(name).value(), 0u) << name;
+  }
+}
+
+TEST(FleetSoak, ReportIsByteIdenticalAcrossJobsLevels) {
+  serve::SoakTraceConfig tc = serve::fleet_trace_config(120);
+  serve::FleetSoakConfig cfg;
+  const std::vector<ServeJob> trace = serve::generate_trace(tc, cfg.model);
+  const std::vector<serve::FleetSoakPoint> grid = serve::fleet_soak_grid();
+  auto report_at = [&](unsigned jobs) {
+    exp::SweepRunner runner(jobs);
+    const std::vector<serve::FleetSoakResult> results =
+        runner.map(grid, [&](const serve::FleetSoakPoint& pt) {
+          return serve::run_fleet_point(pt, trace, cfg);
+        });
+    return serve::fleet_report_json(results, tc);
+  };
+  const std::string at1 = report_at(1);
+  EXPECT_EQ(at1, report_at(4));
+  EXPECT_EQ(at1, report_at(16));
+}
+
+TEST(FleetSoak, PointsRunCleanUnderTheMonitors) {
+  serve::SoakTraceConfig tc = serve::fleet_trace_config(150);
+  serve::FleetSoakConfig cfg;
+  const std::vector<ServeJob> trace = serve::generate_trace(tc, cfg.model);
+  for (const serve::FleetSoakPoint& pt : serve::fleet_soak_grid()) {
+    const serve::FleetSoakResult r = serve::run_fleet_point(pt, trace, cfg);
+    EXPECT_EQ(r.soc_violations, 0u) << pt.name;
+    EXPECT_EQ(r.serve_violations, 0u) << pt.name;
+    EXPECT_EQ(r.met + r.missed + r.shed + r.failed, r.jobs) << pt.name;
+  }
+}
+
+}  // namespace

@@ -191,7 +191,9 @@ TEST(ScenarioParse, RejectsInvertedRanges) {
 }
 
 TEST(ScenarioParse, RejectsTrailingOperatorArguments) {
-  expect_error("horizon = 1000\nat 0 drain slowly\n", "unexpected trailing arguments");
+  // Operator verbs accept only the optional shard=<k> argument.
+  expect_error("horizon = 1000\nat 0 drain slowly\n", "unknown argument 'slowly'");
+  expect_error("horizon = 1000\nat 0 restart now please\n", "unexpected trailing arguments");
 }
 
 TEST(ScenarioParse, RejectsDuplicateMarks) {

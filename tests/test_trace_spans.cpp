@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "scenario/scenario_runner.h"
+#include "serve/fleet.h"
 #include "serve/offload_service.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -448,6 +449,7 @@ TEST(DocsCrossCheck, EveryRuntimeNameIsInTheReferenceAndViceVersa) {
   // live only on the service's private trace sink and are documented in
   // docs/observability.md prose, not in the reference table.
   serve::register_serve_metrics(soc.simulator().stats());
+  serve::register_fleet_metrics(soc.simulator().stats());
   scenario::register_scenario_metrics(soc.simulator().stats());
 
   const auto ref_counters = reference_names("counter");
