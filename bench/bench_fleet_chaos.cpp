@@ -1,0 +1,155 @@
+// E23 — fleet chaos: shard crash/partition arcs against a saturated fleet,
+// with exactly-once failover accounting and time-to-recover verdicts.
+//
+// One seeded job trace (the E22 generator, serve::fleet_trace_config) is
+// served by a 4-shard serve::FleetRouter per grid point while a scripted
+// fault::FleetFaultPlan kills or partitions shards mid-saturation: the
+// fault-free control, the headline 1-of-4 crash, a router partition whose
+// buffered completions replay as suppressed stale completions at heal, a
+// staggered double crash, a zero-failover-budget ablation and a seeded
+// random storm. Reported per point: SLO attainment (whole episode and after
+// the hit), failover traffic (re-dispatches, re-queues, lost jobs, stale
+// completions), time_to_recover and p99_slack, and the invariant audits —
+// serve_exactly_once proves no job was lost or double-executed. The
+// "mco-chaos-v1" document is byte-compared across --jobs levels by
+// tests/test_fleet_chaos.cpp.
+//
+// Point-level parallelism uses exp::SweepRunner::map with index-addressed
+// slots; each point's replay is serial and virtual-time deterministic, so
+// every table, the machine-readable [chaos] lines and the report document
+// are byte-identical for any --jobs.
+//
+// Extra flags (stripped before benchmark::Initialize):
+//   --chaos-jobs=N   jobs in the generated trace (default 600)
+//   --report-out=F   write the "mco-chaos-v1" JSON report to F
+#include "bench_common.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "serve/fleet_chaos.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void run_e23(exp::SweepRunner& runner, std::size_t chaos_jobs, const std::string& report_out) {
+  banner("E23: fleet chaos — shard fault domains, exactly-once failover",
+         "crash-stop and partition arcs against a saturated 4-shard fleet");
+
+  serve::SoakTraceConfig trace_cfg = serve::fleet_trace_config(chaos_jobs);
+  trace_cfg.seed = kSeed;
+  serve::FleetSoakConfig run_cfg;
+  const std::vector<serve::ServeJob> trace = serve::generate_trace(trace_cfg, run_cfg.model);
+  const std::vector<serve::FleetChaosPoint> grid = serve::fleet_chaos_grid(chaos_jobs);
+
+  const std::vector<serve::FleetChaosResult> results =
+      runner.map(grid, [&](const serve::FleetChaosPoint& pt) {
+        serve::FleetChaosResult r = serve::run_fleet_chaos_point(pt, trace, run_cfg);
+        runner.note_cycles(r.makespan);
+        return r;
+      });
+
+  util::TablePrinter table({"point", "budget", "met", "failed", "SLO %", "SLO>hit %",
+                            "failovers", "lost", "stale", "ttr_us", "p99_slack",
+                            "violations"});
+  std::uint64_t violations = 0;
+  for (const serve::FleetChaosResult& r : results) {
+    violations += r.soc_violations + r.serve_violations;
+    table.add_row({r.name, fmt_u64(r.failover_budget), fmt_u64(r.met), fmt_u64(r.failed),
+                   fmt_fix(100.0 * r.slo_attainment, 1), fmt_fix(100.0 * r.slo_after_mark, 1),
+                   fmt_u64(r.failover_redispatches + r.failover_requeues),
+                   fmt_u64(r.failover_lost), fmt_u64(r.stale_completions),
+                   fmt_fix(static_cast<double>(r.time_to_recover) / 1000.0, 1),
+                   fmt_fix(r.p99_slack, 1), fmt_u64(r.soc_violations + r.serve_violations)});
+  }
+  table.print(std::cout);
+
+  // Machine-readable lines for scripts/bench_report.py and the
+  // metrics_regression.py anchor (virtual-time only).
+  for (const serve::FleetChaosResult& r : results) {
+    std::printf(
+        "[chaos] point=%s shards=%u budget=%u slo=%.4f slo_after=%.4f ttr_us=%.1f "
+        "p99_slack=%.1f failovers=%llu lost=%llu stale=%llu fails=%llu partitions=%llu "
+        "heals=%llu violations=%llu\n",
+        r.name.c_str(), r.shards, r.failover_budget, r.slo_attainment, r.slo_after_mark,
+        static_cast<double>(r.time_to_recover) / 1000.0, r.p99_slack,
+        static_cast<unsigned long long>(r.failover_redispatches + r.failover_requeues),
+        static_cast<unsigned long long>(r.failover_lost),
+        static_cast<unsigned long long>(r.stale_completions),
+        static_cast<unsigned long long>(r.shard_fails),
+        static_cast<unsigned long long>(r.shard_partitions),
+        static_cast<unsigned long long>(r.heals),
+        static_cast<unsigned long long>(r.soc_violations + r.serve_violations));
+  }
+
+  // The E23 acceptance line: the headline crash point must recover the SLO
+  // after the hit with zero lost jobs and a clean exactly-once audit.
+  const serve::FleetChaosResult& crash = results[1];  // crash_1of4
+  const bool recovered = crash.slo_after_mark >= serve::kRecoverTarget &&
+                         crash.failover_lost == 0 && crash.serve_violations == 0;
+  std::printf("\n%zu jobs x %zu points: crash_1of4 post-hit SLO %.4f, ttr %.1fus, "
+              "%llu lost (%s), %llu violation(s)\n",
+              trace.size(), grid.size(), crash.slo_after_mark,
+              static_cast<double>(crash.time_to_recover) / 1000.0,
+              static_cast<unsigned long long>(crash.failover_lost),
+              recovered ? "fleet recovers" : "FLEET DOES NOT RECOVER",
+              static_cast<unsigned long long>(violations));
+
+  if (!report_out.empty()) {
+    std::ofstream f(report_out);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n", report_out.c_str());
+      std::exit(2);
+    }
+    f << serve::chaos_report_json(results, trace_cfg);
+    std::printf("[e23] chaos report written to %s\n", report_out.c_str());
+  }
+}
+
+/// Strip --chaos-jobs=N / --report-out=F (same discipline as the shared
+/// bench flags: consume before benchmark::Initialize).
+void e23_args(int& argc, char** argv, std::size_t& chaos_jobs, std::string& report_out) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--chaos-jobs=", 13) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[i] + 13, &end, 10);
+      if (*end != '\0' || v < 1 || v > 1'000'000) {
+        std::fprintf(
+            stderr,
+            "error: invalid --chaos-jobs value '%s': expected an integer in [1, 1000000]\n",
+            argv[i] + 13);
+        std::exit(2);
+      }
+      chaos_jobs = static_cast<std::size_t>(v);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t chaos_jobs = 600;
+  std::string report_out;
+  e23_args(argc, argv, chaos_jobs, report_out);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  run_e23(runner, chaos_jobs, report_out);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(8), "daxpy", 2048, 8);
+  register_offload_benchmark("fleet_chaos/extended8/M=8", mco::soc::SocConfig::extended(8),
+                             "daxpy", 2048, 8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

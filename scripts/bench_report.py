@@ -50,6 +50,7 @@ BENCHES = [
     "bench_data_prep",
     "bench_fault_sweep",
     "bench_fleet_soak",
+    "bench_fleet_chaos",
     "bench_simspeed",
 ]
 
@@ -70,6 +71,15 @@ FLEET_RE = re.compile(
     re.MULTILINE,
 )
 FLEET_TOTALS_RE = re.compile(r"^(\d+) jobs x (\d+) points:", re.MULTILINE)
+# bench_fleet_chaos's machine lines: per-point recovery verdicts of the E23
+# fault-domain grid. time_to_recover is virtual-time (cycles/1000 = us), so
+# drift between two records at the same point is a real behaviour change.
+CHAOS_RE = re.compile(
+    r"^\[chaos\] point=(\S+) shards=(\d+) budget=(\d+) slo=(\S+) slo_after=(\S+) "
+    r"ttr_us=(\S+) p99_slack=(\S+) failovers=(\d+) lost=(\d+) stale=(\d+) "
+    r"fails=(\d+) partitions=(\d+) heals=(\d+) violations=(\d+)$",
+    re.MULTILINE,
+)
 
 
 def run_bench(binary: Path, jobs: int) -> dict:
@@ -111,6 +121,11 @@ def run_bench(binary: Path, jobs: int) -> dict:
         if t and wall_s > 0:
             served = int(t.group(1)) * int(t.group(2))
             rec["fleet_jobs_per_sec"] = round(served / wall_s, 1)
+    chaos = CHAOS_RE.findall(proc.stdout)
+    if chaos:
+        rec["time_to_recover_us"] = {row[0]: float(row[5]) for row in chaos}
+        rec["chaos_slo_after_mark"] = {row[0]: float(row[4]) for row in chaos}
+        rec["chaos_jobs_lost"] = {row[0]: int(row[8]) for row in chaos}
     return rec
 
 
@@ -171,6 +186,14 @@ def main() -> int:
     missing_series = [r["bench"] for r in reread[-1]["runs"] if "sim_cycles_per_sec" not in r]
     if missing_series:
         print(f"error: runs missing sim_cycles_per_sec: {', '.join(missing_series)}",
+              file=sys.stderr)
+        return 1
+    # The chaos bench must always carry its per-point recovery series — a
+    # silent parse miss here would let time_to_recover drift unrecorded.
+    missing_ttr = [r["bench"] for r in reread[-1]["runs"]
+                   if r["bench"] == "bench_fleet_chaos" and "time_to_recover_us" not in r]
+    if missing_ttr:
+        print("error: bench_fleet_chaos run missing the time_to_recover_us series",
               file=sys.stderr)
         return 1
     print(f"sim_cycles_per_sec series: {len(batch['runs'])} runs recorded, "

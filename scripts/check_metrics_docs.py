@@ -122,13 +122,16 @@ def keyword_names(cpp_text: str) -> dict[str, str]:
     )
     if not body:
         sys.exit(f"error: could not find the kReference table in {SCENARIO_CPP}")
-    names = {}
+    # A name may repeat across kinds ("clusters" is both a header and a verb
+    # argument) but never within one kind.
+    entries = []
     for m in re.finditer(r'\{"([^"]+)",\s*"([^"]+)"\}', body.group(1)):
         name, kind = m.groups()
-        if name in names:
-            sys.exit(f"error: duplicate scenario_keyword_reference() entry '{name}'")
-        names[name] = kind
-    return names
+        if (name, kind) in entries:
+            sys.exit(
+                f"error: duplicate scenario_keyword_reference() entry '{name}' ({kind})")
+        entries.append((name, kind))
+    return entries
 
 
 def documented_keywords(doc_text: str) -> set[str]:
@@ -231,11 +234,11 @@ def main() -> int:
 
     keywords = keyword_names(SCENARIO_CPP.read_text())
     kw_doc = documented_keywords(SCENARIO_DOC.read_text())
-    kw_ok = cross_check(set(keywords), kw_doc, "scenario_keyword_reference()",
-                        SCENARIO_DOC.name)
+    kw_ok = cross_check({name for name, _ in keywords}, kw_doc,
+                        "scenario_keyword_reference()", SCENARIO_DOC.name)
     if kw_ok:
         kinds = {}
-        for kind in keywords.values():
+        for _, kind in keywords:
             kinds[kind] = kinds.get(kind, 0) + 1
         summary = ", ".join(f"{n} {k}s" for k, n in sorted(kinds.items()))
         print(f"ok: {len(keywords)} scenario keywords in sync ({summary})")

@@ -26,6 +26,12 @@ The E20 chaos-scenario report ("mco-scenario-v1", bench_scenario
 zero violations *and* ``"passed": true`` (all declared ``expect`` verdicts
 held), and the whole document must match its golden exactly.
 
+The E23 fleet-chaos report ("mco-chaos-v1", bench_fleet_chaos
+``--report-out``) is pinned the same way: every grid point must report zero
+violations, the headline crash point must lose zero jobs to failover, and
+the whole document — including each point's ``time_to_recover`` — must
+match its golden exactly.
+
 The simulator is deterministic, so counters must match the goldens *exactly*
 by default; ``--tol`` grants a relative tolerance for intentional
 recalibrations (e.g. ``--tol 0.01`` while iterating on a latency model).
@@ -71,6 +77,14 @@ SERVE_ANCHORS = [
 # compared byte-exactly; every row must be violation-free and verdict-clean.
 SCENARIO_ANCHORS = [
     ("e20_scenarios", "bench_scenario", ["--jobs=2"]),
+]
+
+# (experiment id, bench binary, extra flags) — "mco-chaos-v1" documents,
+# compared byte-exactly; every row must be violation-free and the headline
+# crash point must lose zero jobs (its time_to_recover is pinned by the
+# golden itself).
+CHAOS_ANCHORS = [
+    ("e23_fleet_chaos", "bench_fleet_chaos", ["--chaos-jobs=200", "--jobs=2"]),
 ]
 
 
@@ -234,6 +248,36 @@ def main() -> int:
         golden = json.loads(golden_path.read_text())
         errs = [] if fresh == golden else [
             f"{exp}: scenario report differs from golden "
+            f"(fresh {json.dumps(fresh, sort_keys=True)[:200]}...)"]
+        print(f"{exp}: {'ok' if not errs else 'document changed'}")
+        failures.extend(errs)
+
+    for exp, bench, extra in CHAOS_ANCHORS:
+        golden_path = GOLDENS / f"{exp}.json"
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "chaos.json"
+            run_bench(build, bench, out, out_flag="--report-out", extra=extra)
+            fresh = json.loads(out.read_text())
+        for row in fresh.get("points", []):
+            if row.get("soc_violations") != 0 or row.get("serve_violations") != 0:
+                failures.append(
+                    f"{exp}: point {row.get('name')!r} reports protocol "
+                    f"violations: soc={row.get('soc_violations')} "
+                    f"serve={row.get('serve_violations')}")
+            if row.get("name") == "crash_1of4" and row.get("failover_lost") != 0:
+                failures.append(
+                    f"{exp}: headline crash point lost "
+                    f"{row.get('failover_lost')} job(s) (exactly-once failover broken)")
+        if args.update:
+            golden_path.write_text(json.dumps(fresh, indent=1, sort_keys=True) + "\n")
+            print(f"updated {golden_path.relative_to(REPO)}")
+            continue
+        if not golden_path.exists():
+            failures.append(f"{exp}: golden {golden_path} missing (run --update)")
+            continue
+        golden = json.loads(golden_path.read_text())
+        errs = [] if fresh == golden else [
+            f"{exp}: chaos report differs from golden "
             f"(fresh {json.dumps(fresh, sort_keys=True)[:200]}...)"]
         print(f"{exp}: {'ok' if not errs else 'document changed'}")
         failures.extend(errs)

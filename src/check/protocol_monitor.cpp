@@ -29,10 +29,15 @@ const std::vector<InvariantInfo>& invariant_reference() {
       {"offload_lifecycle",
        "offload_start and offload_done strictly alternate and every offload completes"},
       {"serve_isolation",
-       "serving-layer dispatches target only healthy (non-quarantined) clusters of "
-       "non-draining shards, concurrent offloads and probes hold disjoint cluster sets per "
-       "shard, and every held cluster is released by the end of the run (records without a "
-       "shard key shadow as shard 0)"},
+       "serving-layer dispatches target only healthy (non-quarantined, non-drained) clusters "
+       "of shards that are serving (not draining, crashed or partitioned), concurrent "
+       "offloads and probes hold disjoint cluster sets per shard, and every held cluster is "
+       "released by the end of the run (records without a shard key shadow as shard 0)"},
+      {"serve_exactly_once",
+       "every serving-layer job retires exactly once: completions and sheds are unique per "
+       "job id, failover never re-dispatches a retired job, a stale completion is suppressed "
+       "only when the job has moved past the completing epoch, and every job that entered "
+       "the fleet retires by the end of the run"},
   };
   return kReference;
 }
@@ -323,12 +328,22 @@ void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
               util::format("dispatch on shard %u while it is draining (%s)", shard,
                            rec.detail.c_str()));
     }
+    if (serve_down_.count(shard) && serve_down_[shard]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("dispatch on shard %u while it is crashed/partitioned (%s)", shard,
+                           rec.detail.c_str()));
+    }
     for (const unsigned c : detail_cluster_list(rec.detail)) {
       const auto key = std::make_pair(shard, c);
       if (serve_quarantined_.count(key) && serve_quarantined_[key]) {
         violate("serve_isolation", rec.time, rec.who,
                 util::format("dispatch targets quarantined cluster %u of shard %u (%s)", c,
                              shard, rec.detail.c_str()));
+      }
+      if (serve_cluster_drained_.count(key) && serve_cluster_drained_[key]) {
+        violate("serve_isolation", rec.time, rec.who,
+                util::format("dispatch targets drained cluster %u of shard %u (%s)", c, shard,
+                             rec.detail.c_str()));
       }
       const auto held = serve_occupancy_.find(key);
       if (held != serve_occupancy_.end()) {
@@ -338,7 +353,17 @@ void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
       }
       serve_occupancy_[key] = rec.detail;
     }
-  } else if (what == "serve_complete") {
+    // Only the batch's lead job id is named in the record; the rest of the
+    // batch entered the ledger through serve_queue or serve_failover.
+    std::uint64_t job = 0;
+    if (detail_uint(rec.detail, "job", job)) {
+      if (serve_jobs_[job].retired) {
+        violate("serve_exactly_once", rec.time, rec.who,
+                util::format("dispatch of job %llu which already retired",
+                             static_cast<unsigned long long>(job)));
+      }
+    }
+  } else if (what == "serve_complete" || what == "serve_shed") {
     // Intermediate completions of a coalesced batch carry no clusters= key
     // (the partition is held until the batch's last job): the empty list
     // releases nothing.
@@ -349,9 +374,127 @@ void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
                              c, shard));
       }
     }
+    std::uint64_t job = 0;
+    if (detail_uint(rec.detail, "job", job)) {
+      ServeJobLedger& ledger = serve_jobs_[job];
+      if (ledger.retired) {
+        violate("serve_exactly_once", rec.time, rec.who,
+                util::format("job %llu retired twice (%s)",
+                             static_cast<unsigned long long>(job), rec.detail.c_str()));
+      }
+      ledger.retired = true;
+    }
+  } else if (what == "serve_queue") {
+    if (serve_down_.count(shard) && serve_down_[shard]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("enqueue on shard %u while it is crashed/partitioned (%s)", shard,
+                           rec.detail.c_str()));
+    }
+    std::uint64_t job = 0;
+    if (detail_uint(rec.detail, "job", job)) {
+      if (serve_jobs_[job].retired) {
+        violate("serve_exactly_once", rec.time, rec.who,
+                util::format("enqueue of job %llu which already retired",
+                             static_cast<unsigned long long>(job)));
+      }
+    }
+  } else if (what == "serve_failover") {
+    std::uint64_t job = 0;
+    std::uint64_t epoch = 0;
+    if (!detail_uint(rec.detail, "job", job) || !detail_uint(rec.detail, "epoch", epoch)) return;
+    ServeJobLedger& ledger = serve_jobs_[job];
+    if (ledger.retired) {
+      violate("serve_exactly_once", rec.time, rec.who,
+              util::format("failover re-dispatches job %llu which already retired",
+                           static_cast<unsigned long long>(job)));
+    }
+    if (epoch != ledger.epoch + 1) {
+      violate("serve_exactly_once", rec.time, rec.who,
+              util::format("failover of job %llu jumps epoch %llu -> %llu",
+                           static_cast<unsigned long long>(job),
+                           static_cast<unsigned long long>(ledger.epoch),
+                           static_cast<unsigned long long>(epoch)));
+    }
+    ledger.epoch = epoch;
+  } else if (what == "serve_stale_completion") {
+    // A buffered completion surfacing after a partition heal: it releases the
+    // batch's clusters like a serve_complete, but the job must NOT retire —
+    // suppression is legal only because the job moved to a newer epoch (or
+    // already settled through another path).
+    for (const unsigned c : detail_cluster_list(rec.detail)) {
+      if (serve_occupancy_.erase(std::make_pair(shard, c)) == 0) {
+        violate("serve_isolation", rec.time, rec.who,
+                util::format("stale completion releases cluster %u of shard %u that was never "
+                             "held",
+                             c, shard));
+      }
+    }
+    std::uint64_t job = 0;
+    std::uint64_t epoch = 0;
+    if (!detail_uint(rec.detail, "job", job) || !detail_uint(rec.detail, "epoch", epoch)) return;
+    const ServeJobLedger& ledger = serve_jobs_[job];
+    if (!ledger.retired && ledger.epoch <= epoch) {
+      violate("serve_exactly_once", rec.time, rec.who,
+              util::format("stale completion of job %llu suppresses its live epoch %llu",
+                           static_cast<unsigned long long>(job),
+                           static_cast<unsigned long long>(epoch)));
+    }
+  } else if (what == "serve_fail") {
+    if (serve_down_.count(shard) && serve_down_[shard]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("crash of shard %u which is already down", shard));
+    }
+    serve_down_[shard] = true;
+    // Crash-stop: everything the shard held — batches and probes — is gone
+    // with the fabric; no per-batch release records follow.
+    for (auto it = serve_occupancy_.begin(); it != serve_occupancy_.end();) {
+      if (it->first.first == shard) {
+        it = serve_occupancy_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  } else if (what == "serve_partition") {
+    if (serve_down_.count(shard) && serve_down_[shard]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("partition of shard %u which is already down", shard));
+    }
+    // Unlike a crash, the shard keeps executing behind the cut link:
+    // occupancy stays until the stale completions surface at heal time.
+    serve_down_[shard] = true;
+  } else if (what == "serve_heal") {
+    if (!serve_down_.count(shard) || !serve_down_[shard]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("heal of shard %u which is not down", shard));
+    }
+    serve_down_[shard] = false;
+  } else if (what == "serve_drain_clusters") {
+    for (const unsigned c : detail_cluster_list(rec.detail)) {
+      const auto key = std::make_pair(shard, c);
+      if (serve_cluster_drained_.count(key) && serve_cluster_drained_[key]) {
+        violate("serve_isolation", rec.time, rec.who,
+                util::format("drain of cluster %u of shard %u which is already drained", c,
+                             shard));
+      }
+      serve_cluster_drained_[key] = true;
+    }
+  } else if (what == "serve_undrain_clusters") {
+    for (const unsigned c : detail_cluster_list(rec.detail)) {
+      const auto key = std::make_pair(shard, c);
+      if (!serve_cluster_drained_.count(key) || !serve_cluster_drained_[key]) {
+        violate("serve_isolation", rec.time, rec.who,
+                util::format("undrain of cluster %u of shard %u which is not drained", c,
+                             shard));
+      }
+      serve_cluster_drained_[key] = false;
+    }
   } else if (what == "serve_probe") {
     std::uint64_t c = 0;
     if (!detail_uint(rec.detail, "cluster", c)) return;
+    if (serve_down_.count(shard) && serve_down_[shard]) {
+      violate("serve_isolation", rec.time, rec.who,
+              util::format("probe on shard %u while it is crashed/partitioned", shard));
+    }
     const auto key = std::make_pair(shard, static_cast<unsigned>(c));
     if (!serve_quarantined_.count(key) || !serve_quarantined_[key]) {
       violate("serve_isolation", rec.time, rec.who,
@@ -454,6 +597,14 @@ void ProtocolMonitor::finish() {
             util::format("cluster %u of shard %u still held by %s at end of run", key.second,
                          key.first, holder.c_str()));
   }
+  for (const auto& [job, ledger] : serve_jobs_) {
+    if (!ledger.retired) {
+      violate("serve_exactly_once", 0, "serve",
+              util::format("job %llu entered the fleet but never retired (epoch %llu)",
+                           static_cast<unsigned long long>(job),
+                           static_cast<unsigned long long>(ledger.epoch)));
+    }
+  }
 }
 
 std::string ProtocolMonitor::to_json() const {
@@ -515,7 +666,10 @@ void ProtocolMonitor::reset() {
   span_depth_.clear();
   serve_occupancy_.clear();
   serve_quarantined_.clear();
+  serve_cluster_drained_.clear();
   serve_draining_.clear();
+  serve_down_.clear();
+  serve_jobs_.clear();
   finished_ = false;
 }
 

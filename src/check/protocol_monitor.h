@@ -28,7 +28,9 @@
 //   span_balance         every begun span ends on its own track
 //   offload_lifecycle    offload_start/offload_done strictly alternate
 //   serve_isolation      serve-layer offloads use disjoint, healthy clusters
-//                        and respect drain windows
+//                        and respect drain windows and shard fault domains
+//   serve_exactly_once   every serve job retires exactly once across shard
+//                        crashes, partitions and failover re-dispatches
 #pragma once
 
 #include <cstdint>
@@ -169,7 +171,19 @@ class ProtocolMonitor {
   // Values describe the holder.
   std::map<std::pair<unsigned, unsigned>, std::string> serve_occupancy_;
   std::map<std::pair<unsigned, unsigned>, bool> serve_quarantined_;
+  std::map<std::pair<unsigned, unsigned>, bool> serve_cluster_drained_;
   std::map<unsigned, bool> serve_draining_;  ///< by shard
+  std::map<unsigned, bool> serve_down_;      ///< by shard: crashed or partitioned
+
+  // Exactly-once ledger (serve_exactly_once): per serve job id, whether the
+  // job has retired (serve_complete or serve_shed) and which failover epoch
+  // it currently runs under. A stale completion may suppress only an epoch
+  // the job has already moved past.
+  struct ServeJobLedger {
+    bool retired = false;
+    std::uint64_t epoch = 0;
+  };
+  std::map<std::uint64_t, ServeJobLedger> serve_jobs_;
 
   bool finished_ = false;
 };

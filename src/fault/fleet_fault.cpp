@@ -1,0 +1,133 @@
+#include "fault/fleet_fault.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/strings.h"
+
+namespace mco::fault {
+
+const char* to_string(FleetFaultKind k) {
+  switch (k) {
+    case FleetFaultKind::kShardCrash: return "crash";
+    case FleetFaultKind::kRouterPartition: return "partition";
+    case FleetFaultKind::kHeal: return "heal";
+  }
+  return "?";
+}
+
+FleetFaultPlan::FleetFaultPlan(unsigned num_shards) : num_shards_(num_shards) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("FleetFaultPlan: num_shards must be >= 1");
+  }
+  down_.assign(num_shards, false);
+}
+
+void FleetFaultPlan::add(sim::Cycle at, FleetFaultKind kind, unsigned shard) {
+  if (shard >= num_shards_) {
+    throw std::invalid_argument(util::format(
+        "FleetFaultPlan: shard %u out of range (fleet has %u)", shard,
+        num_shards_));
+  }
+  if (!events_.empty() && at < last_at_) {
+    throw std::invalid_argument(util::format(
+        "FleetFaultPlan: event times must be non-decreasing (%llu after %llu)",
+        static_cast<unsigned long long>(at),
+        static_cast<unsigned long long>(last_at_)));
+  }
+  if (kind == FleetFaultKind::kHeal) {
+    if (!down_[shard]) {
+      throw std::invalid_argument(util::format(
+          "FleetFaultPlan: heal of shard %u, which is not down", shard));
+    }
+    down_[shard] = false;
+  } else {
+    if (down_[shard]) {
+      throw std::invalid_argument(util::format(
+          "FleetFaultPlan: %s of shard %u, which is already down",
+          to_string(kind), shard));
+    }
+    down_[shard] = true;
+  }
+  last_at_ = at;
+  events_.push_back({at, kind, shard});
+}
+
+void FleetFaultPlan::add_crash(sim::Cycle at, unsigned shard) {
+  add(at, FleetFaultKind::kShardCrash, shard);
+}
+
+void FleetFaultPlan::add_partition(sim::Cycle at, unsigned shard) {
+  add(at, FleetFaultKind::kRouterPartition, shard);
+}
+
+void FleetFaultPlan::add_heal(sim::Cycle at, unsigned shard) {
+  add(at, FleetFaultKind::kHeal, shard);
+}
+
+bool FleetFaultPlan::down_at_end(unsigned shard) const {
+  if (shard >= num_shards_) {
+    throw std::invalid_argument(util::format(
+        "FleetFaultPlan: shard %u out of range (fleet has %u)", shard,
+        num_shards_));
+  }
+  return down_[shard];
+}
+
+FleetFaultPlan random_fleet_fault_plan(const FleetFaultPlanConfig& cfg) {
+  if (cfg.num_shards == 0) {
+    throw std::invalid_argument("random_fleet_fault_plan: num_shards must be >= 1");
+  }
+  if (cfg.arcs + 1 > cfg.num_shards) {
+    throw std::invalid_argument(util::format(
+        "random_fleet_fault_plan: %u arcs need at least %u shards so one "
+        "always stays up (fleet has %u)",
+        cfg.arcs, cfg.arcs + 1, cfg.num_shards));
+  }
+  if (cfg.min_heal_delay > cfg.max_heal_delay) {
+    throw std::invalid_argument(
+        "random_fleet_fault_plan: min_heal_delay > max_heal_delay");
+  }
+  sim::Rng rng(cfg.seed);
+  // Victim shards are distinct, so at most `arcs` shards are ever down at
+  // once and the arcs+1 <= num_shards check keeps a survivor.
+  std::vector<unsigned> pool(cfg.num_shards);
+  for (unsigned s = 0; s < cfg.num_shards; ++s) pool[s] = s;
+  std::vector<FleetFaultEvent> events;
+  const sim::Cycle lo = cfg.horizon / 8;
+  const sim::Cycle hi = cfg.horizon / 2;
+  for (unsigned a = 0; a < cfg.arcs; ++a) {
+    const std::size_t pick = rng.next_below(pool.size());
+    const unsigned shard = pool[pick];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    const sim::Cycle start = lo + rng.next_below(hi - lo + 1);
+    const bool partition = rng.next_double() < cfg.partition_prob;
+    const sim::Cycles delay =
+        cfg.min_heal_delay +
+        rng.next_below(cfg.max_heal_delay - cfg.min_heal_delay + 1);
+    events.push_back({start,
+                      partition ? FleetFaultKind::kRouterPartition
+                                : FleetFaultKind::kShardCrash,
+                      shard});
+    events.push_back({start + delay, FleetFaultKind::kHeal, shard});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FleetFaultEvent& a, const FleetFaultEvent& b) {
+              return std::tie(a.at, a.shard, a.kind) <
+                     std::tie(b.at, b.shard, b.kind);
+            });
+  FleetFaultPlan plan(cfg.num_shards);
+  for (const FleetFaultEvent& ev : events) {
+    switch (ev.kind) {
+      case FleetFaultKind::kShardCrash: plan.add_crash(ev.at, ev.shard); break;
+      case FleetFaultKind::kRouterPartition:
+        plan.add_partition(ev.at, ev.shard);
+        break;
+      case FleetFaultKind::kHeal: plan.add_heal(ev.at, ev.shard); break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace mco::fault

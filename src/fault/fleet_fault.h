@@ -1,0 +1,98 @@
+// Fleet-level fault domains: shard crash, shard-router partition, heal.
+//
+// The per-SoC FaultInjector (fault_injector.h) perturbs the offload protocol
+// *inside* one fabric. A serving fleet has a coarser failure granularity: a
+// whole shard can crash-stop (power loss, kernel panic — every in-flight
+// offload on it is gone), or the router's link to a shard can partition (the
+// shard keeps executing, but its completions are invisible until the link
+// heals). Both are modelled as timed, seeded, deterministic *plans*: a
+// FleetFaultPlan is an ordered list of crash/partition/heal events that the
+// fleet router (serve/fleet.h) arms as operator events before a run, the
+// same way the chaos-scenario engine arms drain/restart scripts.
+//
+// Determinism contract: a plan is data, not a stream — the same plan applied
+// to the same job trace yields bit-identical outcomes at any host
+// parallelism. random_fleet_fault_plan() draws a plan from a seeded xoshiro
+// stream once, up front, so "a random storm" is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace mco::fault {
+
+/// What happens to a shard at one plan step.
+enum class FleetFaultKind {
+  kShardCrash,       ///< crash-stop: shard dies, in-flight work is lost
+  kRouterPartition,  ///< router link cut: shard runs on, completions invisible
+  kHeal,             ///< the shard (crashed or partitioned) comes back
+};
+
+const char* to_string(FleetFaultKind k);
+
+/// One timed fault-domain event.
+struct FleetFaultEvent {
+  sim::Cycle at = 0;
+  FleetFaultKind kind = FleetFaultKind::kShardCrash;
+  unsigned shard = 0;
+};
+
+/// A validated, time-ordered list of shard crash/partition/heal events.
+///
+/// Pairing rules are enforced at add() time so a plan can never script an
+/// impossible sequence: crash/partition only hit an up shard, heal only a
+/// down one. Times must be non-decreasing. Violations throw
+/// std::invalid_argument.
+class FleetFaultPlan {
+ public:
+  explicit FleetFaultPlan(unsigned num_shards);
+
+  void add_crash(sim::Cycle at, unsigned shard);
+  void add_partition(sim::Cycle at, unsigned shard);
+  void add_heal(sim::Cycle at, unsigned shard);
+
+  unsigned num_shards() const { return num_shards_; }
+  const std::vector<FleetFaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// True when `shard` is down (crashed or partitioned) after the whole
+  /// plan has played out — callers that need a clean end state can assert
+  /// !down_at_end() for every shard.
+  bool down_at_end(unsigned shard) const;
+
+ private:
+  void add(sim::Cycle at, FleetFaultKind kind, unsigned shard);
+
+  unsigned num_shards_;
+  std::vector<FleetFaultEvent> events_;
+  std::vector<bool> down_;  ///< running pairing state, per shard
+  sim::Cycle last_at_ = 0;
+};
+
+/// Knobs for the seeded plan generator.
+struct FleetFaultPlanConfig {
+  std::uint64_t seed = 0x5EEDull;
+  unsigned num_shards = 4;
+  /// Fault arcs to draw. Each arc picks a victim shard, a kind (crash or
+  /// partition), a start cycle and a heal delay; arcs never overlap on the
+  /// same shard and at least one shard always stays up.
+  unsigned arcs = 2;
+  /// Arcs start uniformly inside [horizon/8, horizon/2].
+  sim::Cycle horizon = 1'000'000;
+  /// Heal delay drawn uniformly from [min_heal_delay, max_heal_delay].
+  sim::Cycles min_heal_delay = 50'000;
+  sim::Cycles max_heal_delay = 200'000;
+  /// Probability that an arc is a router partition instead of a crash.
+  double partition_prob = 0.25;
+};
+
+/// Draw a deterministic crash/partition/heal storm from `cfg.seed`. Every
+/// arc pairs its fault with a heal, so the plan ends with every shard up.
+/// Throws std::invalid_argument on unsatisfiable configs (no shards, more
+/// arcs than shards - 1, inverted delay bounds).
+FleetFaultPlan random_fleet_fault_plan(const FleetFaultPlanConfig& cfg);
+
+}  // namespace mco::fault

@@ -91,9 +91,45 @@ TrafficPhase profile_defaults(const std::string& profile) {
 }
 
 const std::vector<std::string>& scoped_metrics() {
-  static const std::vector<std::string> kScoped = {"jobs",   "met",    "missed",
-                                                   "shed",   "failed", "slo_met"};
+  static const std::vector<std::string> kScoped = {
+      "jobs", "met",     "missed",          "shed",     "failed",
+      "slo_met", "time_to_recover", "p99_slack"};
   return kScoped;
+}
+
+/// Parse a "0,1,2" victim-cluster list (validated against the clusters
+/// header: in range, duplicate-free, non-empty).
+std::vector<unsigned> parse_cluster_set(const std::string& verb, const std::string& v,
+                                        unsigned clusters) {
+  std::vector<unsigned> out;
+  std::string cur;
+  const auto flush = [&]() {
+    if (cur.empty()) {
+      throw std::invalid_argument(verb + ": malformed cluster list '" + v + "'");
+    }
+    const std::uint64_t c = parse_dialect_u64("clusters", cur);
+    if (c >= clusters) {
+      throw std::invalid_argument(util::format("%s: cluster %llu out of range (clusters = %u)",
+                                               verb.c_str(),
+                                               static_cast<unsigned long long>(c), clusters));
+    }
+    if (std::find(out.begin(), out.end(), static_cast<unsigned>(c)) != out.end()) {
+      throw std::invalid_argument(
+          util::format("%s: duplicate cluster %llu in list", verb.c_str(),
+                       static_cast<unsigned long long>(c)));
+    }
+    out.push_back(static_cast<unsigned>(c));
+    cur.clear();
+  };
+  for (const char ch : v) {
+    if (ch == ',') {
+      flush();
+    } else {
+      cur += ch;
+    }
+  }
+  flush();
+  return out;
 }
 
 const std::vector<std::string>& global_metrics() {
@@ -117,8 +153,27 @@ const char* to_string(ScenarioEventKind k) {
     case ScenarioEventKind::kUndrain: return "undrain";
     case ScenarioEventKind::kRestart: return "restart";
     case ScenarioEventKind::kMark: return "mark";
+    case ScenarioEventKind::kFail: return "fail";
+    case ScenarioEventKind::kHeal: return "heal";
+    case ScenarioEventKind::kPartition: return "partition";
+    case ScenarioEventKind::kDrainClusters: return "drain_clusters";
+    case ScenarioEventKind::kUndrainClusters: return "undrain_clusters";
   }
   return "?";
+}
+
+bool ScenarioSpec::needs_fleet() const {
+  for (const ScenarioEvent& ev : events) {
+    switch (ev.kind) {
+      case ScenarioEventKind::kFail:
+      case ScenarioEventKind::kHeal:
+      case ScenarioEventKind::kPartition:
+      case ScenarioEventKind::kDrainClusters:
+      case ScenarioEventKind::kUndrainClusters: return true;
+      default: break;
+    }
+  }
+  return false;
 }
 
 sim::Cycle ScenarioSpec::mark_cycle(const std::string& mark) const {
@@ -133,6 +188,8 @@ ScenarioSpec load_scenario_text(const std::string& text) {
   bool saw_horizon = false;
   bool saw_script = false;            ///< any `at`/`expect` line seen yet
   std::map<unsigned, bool> draining;  ///< script-order drain pairing, per shard
+  std::map<unsigned, bool> downs;     ///< fail/partition ... heal pairing, per shard
+  std::map<std::pair<unsigned, unsigned>, bool> drained_clusters;  ///< (shard, cluster)
   sim::Cycle last_at = 0;
   bool saw_at = false;
 
@@ -231,30 +288,102 @@ ScenarioSpec load_scenario_text(const std::string& text) {
           if (cluster != -2) cfg.target_cluster = cluster;
           spec.faults.add(at, cfg, preset);
           spec.events.push_back({at, ScenarioEventKind::kInject, preset});
-        } else if (verb == "drain" || verb == "undrain" || verb == "restart") {
-          // Optional shard scope: `drain shard=2`. Headers precede the
-          // script, so spec.shards is already known here.
+        } else if (verb == "drain" || verb == "undrain" || verb == "restart" ||
+                   verb == "fail" || verb == "heal" || verb == "partition") {
+          // Operator verbs share one argument grammar: an optional shard
+          // scope (`drain shard=2`; `restart shard=*` is the rolling wave),
+          // an optional `clusters=0,1` victim list (drain/undrain only) and
+          // an optional `stagger=<time>` (rolling restart only). Headers
+          // precede the script, so spec.shards / spec.clusters are known.
           unsigned shard = 0;
-          if (tok.size() == 4) {
-            const std::size_t eq = tok[3].find('=');
-            if (eq == std::string::npos || tok[3].substr(0, eq) != "shard") {
-              throw std::invalid_argument(verb + ": unknown argument '" + tok[3] +
-                                          "' (expected shard=<k>)");
+          bool all_shards = false;
+          bool saw_stagger = false;
+          sim::Cycles stagger = spec.restart_penalty_cycles;
+          std::vector<unsigned> victim_clusters;
+          for (std::size_t i = 3; i < tok.size(); ++i) {
+            const std::size_t eq = tok[i].find('=');
+            const std::string key = eq == std::string::npos ? tok[i] : tok[i].substr(0, eq);
+            const std::string val = eq == std::string::npos ? "" : tok[i].substr(eq + 1);
+            if (key == "shard" && eq != std::string::npos) {
+              if (val == "*") {
+                if (verb != "restart") {
+                  throw std::invalid_argument(verb + ": shard=* is only valid with restart");
+                }
+                all_shards = true;
+                continue;
+              }
+              const std::uint64_t s = parse_dialect_u64("shard", val);
+              if (s >= spec.shards) {
+                throw std::invalid_argument(util::format(
+                    "%s: shard %llu out of range (shards = %u)", verb.c_str(),
+                    static_cast<unsigned long long>(s), spec.shards));
+              }
+              shard = static_cast<unsigned>(s);
+            } else if (key == "clusters" && eq != std::string::npos &&
+                       (verb == "drain" || verb == "undrain")) {
+              victim_clusters = parse_cluster_set(verb, val, spec.clusters);
+            } else if (key == "stagger" && eq != std::string::npos && verb == "restart") {
+              stagger = parse_time("stagger", val);
+              saw_stagger = true;
+            } else {
+              throw std::invalid_argument(verb + ": unknown argument '" + tok[i] + "'");
             }
-            const std::uint64_t s = parse_dialect_u64("shard", tok[3].substr(eq + 1));
-            if (s >= spec.shards) {
-              throw std::invalid_argument(util::format(
-                  "%s: shard %llu out of range (shards = %u)", verb.c_str(),
-                  static_cast<unsigned long long>(s), spec.shards));
-            }
-            shard = static_cast<unsigned>(s);
-          } else if (tok.size() != 3) {
-            throw std::invalid_argument(verb + ": unexpected trailing arguments");
           }
-          if (verb == "drain") {
+          if (saw_stagger && !all_shards) {
+            throw std::invalid_argument("restart: stagger requires shard=*");
+          }
+          if (verb == "fail" || verb == "partition") {
+            if (downs[shard]) {
+              throw std::invalid_argument(
+                  util::format("%s: shard %u is already down", verb.c_str(), shard));
+            }
+            downs[shard] = true;
+            spec.events.push_back({at,
+                                   verb == "fail" ? ScenarioEventKind::kFail
+                                                  : ScenarioEventKind::kPartition,
+                                   "", shard});
+          } else if (verb == "heal") {
+            if (!downs[shard]) {
+              throw std::invalid_argument(util::format("heal: shard %u is not down", shard));
+            }
+            downs[shard] = false;
+            spec.events.push_back({at, ScenarioEventKind::kHeal, "", shard});
+          } else if (verb == "drain" && !victim_clusters.empty()) {
+            if (downs[shard]) {
+              throw std::invalid_argument(
+                  util::format("drain: shard %u is down (heal it first)", shard));
+            }
+            for (const unsigned c : victim_clusters) {
+              if (drained_clusters[{shard, c}]) {
+                throw std::invalid_argument(util::format(
+                    "drain: cluster %u of shard %u is already drained", c, shard));
+              }
+              drained_clusters[{shard, c}] = true;
+            }
+            spec.events.push_back(
+                {at, ScenarioEventKind::kDrainClusters, "", shard, victim_clusters});
+          } else if (verb == "undrain" && !victim_clusters.empty()) {
+            if (downs[shard]) {
+              throw std::invalid_argument(
+                  util::format("undrain: shard %u is down (heal it first)", shard));
+            }
+            for (const unsigned c : victim_clusters) {
+              if (!drained_clusters[{shard, c}]) {
+                throw std::invalid_argument(util::format(
+                    "undrain: cluster %u of shard %u is not drained", c, shard));
+              }
+              drained_clusters[{shard, c}] = false;
+            }
+            spec.events.push_back(
+                {at, ScenarioEventKind::kUndrainClusters, "", shard, victim_clusters});
+          } else if (verb == "drain") {
             if (draining[shard]) {
               throw std::invalid_argument(
                   util::format("drain: shard %u is already draining", shard));
+            }
+            if (downs[shard]) {
+              throw std::invalid_argument(
+                  util::format("drain: shard %u is down (heal it first)", shard));
             }
             draining[shard] = true;
             spec.events.push_back({at, ScenarioEventKind::kDrain, "", shard});
@@ -265,7 +394,24 @@ ScenarioSpec load_scenario_text(const std::string& text) {
             }
             draining[shard] = false;
             spec.events.push_back({at, ScenarioEventKind::kUndrain, "", shard});
+          } else if (all_shards) {
+            // Rolling wave: one restart per shard, `stagger` cycles apart
+            // (default: the restart penalty, so each shard is rebuilding
+            // while the previous one probes back in). Script time stays at
+            // the wave's start; the expansion carries its own offsets.
+            for (unsigned s = 0; s < spec.shards; ++s) {
+              if (downs[s]) {
+                throw std::invalid_argument(
+                    util::format("restart: shard %u is down (heal it first)", s));
+              }
+              spec.events.push_back({at + static_cast<sim::Cycle>(s) * stagger,
+                                     ScenarioEventKind::kRestart, "", s});
+            }
           } else {
+            if (downs[shard]) {
+              throw std::invalid_argument(
+                  util::format("restart: shard %u is down (heal it first)", shard));
+            }
             spec.events.push_back({at, ScenarioEventKind::kRestart, "", shard});
           }
         } else if (verb == "mark") {
@@ -281,7 +427,8 @@ ScenarioSpec load_scenario_text(const std::string& text) {
         } else {
           throw std::invalid_argument(
               "unknown verb '" + verb +
-              "' (expected traffic, inject, drain, undrain, restart or mark)");
+              "' (expected traffic, inject, drain, undrain, restart, fail, heal, "
+              "partition or mark)");
         }
       } else if (tok[0] == "expect") {
         saw_script = true;
@@ -471,6 +618,9 @@ const std::vector<KeywordInfo>& scenario_keyword_reference() {
       {"drain", "verb"},
       {"undrain", "verb"},
       {"restart", "verb"},
+      {"fail", "verb"},
+      {"heal", "verb"},
+      {"partition", "verb"},
       {"mark", "verb"},
       {"steady", "profile"},
       {"burst", "profile"},
@@ -494,12 +644,16 @@ const std::vector<KeywordInfo>& scenario_keyword_reference() {
       {"unmeetable", "arg"},
       {"cluster", "arg"},
       {"shard", "arg"},
+      {"clusters", "arg"},
+      {"stagger", "arg"},
       {"jobs", "metric"},
       {"met", "metric"},
       {"missed", "metric"},
       {"shed", "metric"},
       {"failed", "metric"},
       {"slo_met", "metric"},
+      {"time_to_recover", "metric"},
+      {"p99_slack", "metric"},
       {"violations", "metric"},
       {"quarantines", "metric"},
       {"readmissions", "metric"},

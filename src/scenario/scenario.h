@@ -18,6 +18,17 @@
 //   expect slo_met >= 0.90 after recovery
 //   expect violations == 0
 //
+// Fleet fault domains (shards >= 1; these verbs force the FleetRouter path):
+//
+//   at 100us fail shard=1            # crash-stop; jobs fail over to peers
+//   at 180us heal shard=1            # crash heal = restart + quarantine
+//   at 100us partition shard=1       # router loses the shard; it keeps going
+//   at 60us  drain clusters=0,1      # partial drain of one shard's fabric
+//   at 90us  undrain clusters=0,1
+//   at 200us restart shard=* stagger=30us   # rolling wave, one shard a step
+//   expect time_to_recover <= 120000 after hit   # cycles to sustained SLO
+//   expect p99_slack >= 0 after hit              # −(p99 tardiness), cycles
+//
 // Header keys configure the service/executor; `at <time> <verb>` lines build
 // the virtual-time event script (non-decreasing times, validated drain
 // pairing); `expect` lines are the episode's machine-checked verdicts. All
@@ -56,8 +67,22 @@ struct TrafficPhase {
 
 /// One scripted event. Traffic phases and fault activations also land in
 /// ScenarioSpec::phases / ScenarioSpec::faults; the event list preserves the
-/// full script order for reporting.
-enum class ScenarioEventKind { kTraffic, kInject, kDrain, kUndrain, kRestart, kMark };
+/// full script order for reporting. kFail / kHeal / kPartition /
+/// kDrainClusters / kUndrainClusters are fleet-only fault-domain verbs: a
+/// spec containing one runs through serve::FleetRouter even at shards = 1.
+enum class ScenarioEventKind {
+  kTraffic,
+  kInject,
+  kDrain,
+  kUndrain,
+  kRestart,
+  kMark,
+  kFail,
+  kHeal,
+  kPartition,
+  kDrainClusters,
+  kUndrainClusters,
+};
 
 const char* to_string(ScenarioEventKind k);
 
@@ -69,6 +94,9 @@ struct ScenarioEvent {
   /// Only meaningful with a `shards` header > 1 — single-service episodes
   /// always act on shard 0.
   unsigned shard = 0;
+  /// Victim clusters of a `drain clusters=0,1` / `undrain clusters=0,1`
+  /// verb; empty for every other kind.
+  std::vector<unsigned> clusters;
 };
 
 /// One `expect` line: `metric op value`, optionally scoped to jobs arriving
@@ -108,6 +136,11 @@ struct ScenarioSpec {
 
   /// Cycle of a named mark; throws std::invalid_argument when unknown.
   sim::Cycle mark_cycle(const std::string& name) const;
+
+  /// True when the script uses a fleet-only fault-domain verb (fail, heal,
+  /// partition, drain/undrain clusters=): the runner then serves the episode
+  /// through a FleetRouter even when shards == 1.
+  bool needs_fleet() const;
 };
 
 /// Parse the scenario dialect. Throws std::invalid_argument with the line

@@ -5,6 +5,7 @@
 
 #include "check/protocol_monitor.h"
 #include "serve/fleet.h"
+#include "serve/fleet_chaos.h"
 #include "serve/soc_executor.h"
 #include "util/strings.h"
 
@@ -21,8 +22,12 @@ namespace {
 
 /// Value of a verdict metric. Scoped metrics re-aggregate the outcomes of
 /// jobs arriving at or after `since`; episode-global metrics ignore it.
-double metric_value(const std::string& metric, const ScenarioResult& r,
-                    const std::vector<serve::ServeJob>& trace, sim::Cycle since) {
+double metric_value(const std::string& metric, const ScenarioSpec& spec,
+                    const ScenarioResult& r, const std::vector<serve::ServeJob>& trace,
+                    sim::Cycle since) {
+  if (metric == "time_to_recover")
+    return static_cast<double>(serve::time_to_recover(trace, r.outcomes, since, spec.horizon));
+  if (metric == "p99_slack") return serve::p99_slack(trace, r.outcomes, since);
   if (metric == "violations")
     return static_cast<double>(r.soc_violations + r.serve_violations);
   if (metric == "quarantines") return static_cast<double>(r.quarantines);
@@ -63,7 +68,7 @@ void judge_verdicts(const ScenarioSpec& spec, const std::vector<serve::ServeJob>
     const sim::Cycle since = v.after.empty() ? 0 : spec.mark_cycle(v.after);
     VerdictResult vr;
     vr.text = v.text;
-    vr.actual = metric_value(v.metric, r, trace, since);
+    vr.actual = metric_value(v.metric, spec, r, trace, since);
     vr.passed = verdict_holds(v.op, vr.actual, v.value);
     stats.counter(vr.passed ? "scenario.verdicts_passed" : "scenario.verdicts_failed").inc();
     all_held = all_held && vr.passed;
@@ -136,6 +141,23 @@ ScenarioResult run_fleet_scenario(const ScenarioSpec& spec, const ScenarioRunCon
       case ScenarioEventKind::kRestart:
         fleet.schedule_operator(ev.at, serve::OperatorAction::kRestart, ev.shard);
         break;
+      case ScenarioEventKind::kFail:
+        fleet.schedule_operator(ev.at, serve::OperatorAction::kFail, ev.shard);
+        break;
+      case ScenarioEventKind::kHeal:
+        fleet.schedule_operator(ev.at, serve::OperatorAction::kHeal, ev.shard);
+        break;
+      case ScenarioEventKind::kPartition:
+        fleet.schedule_operator(ev.at, serve::OperatorAction::kPartition, ev.shard);
+        break;
+      case ScenarioEventKind::kDrainClusters:
+        fleet.schedule_operator(ev.at, serve::OperatorAction::kDrainClusters, ev.shard,
+                                ev.clusters);
+        break;
+      case ScenarioEventKind::kUndrainClusters:
+        fleet.schedule_operator(ev.at, serve::OperatorAction::kUndrainClusters, ev.shard,
+                                ev.clusters);
+        break;
       case ScenarioEventKind::kTraffic:
       case ScenarioEventKind::kInject:
       case ScenarioEventKind::kMark:
@@ -182,7 +204,10 @@ ScenarioResult run_fleet_scenario(const ScenarioSpec& spec, const ScenarioRunCon
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& cfg) {
-  if (spec.shards > 1) return run_fleet_scenario(spec, cfg);
+  // Fleet-only fault-domain verbs force the FleetRouter path even at one
+  // shard; plain single-service episodes keep the pre-fleet byte-identical
+  // runner.
+  if (spec.shards > 1 || spec.needs_fleet()) return run_fleet_scenario(spec, cfg);
   const std::vector<serve::ServeJob> trace = scenario_trace(spec, cfg.model);
 
   serve::SocExecutorConfig xc;
@@ -243,6 +268,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& c
       case ScenarioEventKind::kInject:    // armed via the fault schedule above
       case ScenarioEventKind::kMark:      // verdict scoping only
         break;
+      case ScenarioEventKind::kFail:      // fleet-only: needs_fleet() routed
+      case ScenarioEventKind::kHeal:      // these specs to the fleet path
+      case ScenarioEventKind::kPartition:
+      case ScenarioEventKind::kDrainClusters:
+      case ScenarioEventKind::kUndrainClusters:
+        throw std::logic_error("run_scenario: fleet-only event on the single-service path");
     }
   }
 

@@ -30,7 +30,10 @@ void register_fleet_metrics(sim::StatsRegistry& stats) {
         "fleet.jobs_failed", "fleet.jobs_degraded", "fleet.slo_met", "fleet.slo_missed",
         "fleet.probes", "fleet.quarantines", "fleet.readmissions", "fleet.steals",
         "fleet.batches", "fleet.batched_jobs", "fleet.drain.entered", "fleet.drain.exited",
-        "fleet.drain.jobs_shed", "fleet.restarts", "fleet.restart.aborted_jobs"}) {
+        "fleet.drain.jobs_shed", "fleet.restarts", "fleet.restart.aborted_jobs",
+        "fleet.shard_fails", "fleet.shard_partitions", "fleet.shard_heals",
+        "fleet.failover_redispatches", "fleet.failover_requeues", "fleet.failover_lost",
+        "fleet.failover_stale_completions", "recovery.arcs"}) {
     stats.counter(name);
   }
   stats.histogram("fleet.queue_wait_cycles", 256.0, 64);
@@ -38,6 +41,9 @@ void register_fleet_metrics(sim::StatsRegistry& stats) {
   stats.histogram("fleet.batch_size", 1.0, 16);
   stats.histogram("fleet.slack_cycles", 256.0, 64);
   stats.histogram("fleet.tardiness_cycles", 256.0, 64);
+  // Sampled by the fleet-chaos harness (serve/fleet_chaos.h): one
+  // time-to-recover measurement per fail→heal arc of an episode.
+  stats.histogram("recovery.time_to_recover_cycles", 4096.0, 64);
 }
 
 FleetRouter::FleetRouter(const FleetConfig& cfg, std::vector<Executor*> executors) : cfg_(cfg) {
@@ -72,26 +78,34 @@ const PartitionAllocator& FleetRouter::allocator(unsigned shard) const {
 
 bool FleetRouter::draining(unsigned shard) const { return shards_.at(shard).draining; }
 
+bool FleetRouter::dead(unsigned shard) const { return shards_.at(shard).dead; }
+
+bool FleetRouter::partitioned(unsigned shard) const { return shards_.at(shard).partitioned; }
+
 void FleetRouter::push_event(sim::Cycle time, EventKind kind, std::size_t index, unsigned shard,
                              std::size_t sub) {
   events_.push(Event{time, next_seq_++, kind, index, shard, sub});
 }
 
 unsigned FleetRouter::shard_capacity_cap(const Shard& s) const {
-  return std::min(cfg_.max_clusters_per_job, s.health.available_count());
+  unsigned avail = 0;
+  for (unsigned c = 0; c < cfg_.clusters_per_shard; ++c) {
+    if (s.health.available(c) && !s.cluster_drained[c]) ++avail;
+  }
+  return std::min(cfg_.max_clusters_per_job, avail);
 }
 
 unsigned FleetRouter::fleet_capacity_cap() const {
   unsigned cap = 0;
   for (const Shard& s : shards_) {
-    if (!s.draining) cap = std::max(cap, shard_capacity_cap(s));
+    if (!shard_unavailable(s)) cap = std::max(cap, shard_capacity_cap(s));
   }
   return cap;
 }
 
-bool FleetRouter::all_draining() const {
+bool FleetRouter::all_unavailable() const {
   for (const Shard& s : shards_) {
-    if (!s.draining) return false;
+    if (!shard_unavailable(s)) return false;
   }
   return true;
 }
@@ -157,7 +171,8 @@ bool FleetRouter::try_dispatch(unsigned si, std::size_t slot, sim::Cycle now) {
   // healthier shard to steal it. (It sheds as deadline_expired if neither
   // happens in time.)
   if (!m) return false;
-  auto clusters = s.alloc.allocate(*m, [&s](unsigned c) { return s.health.available(c); });
+  auto clusters = s.alloc.allocate(
+      *m, [&s](unsigned c) { return s.health.available(c) && !s.cluster_drained[c]; });
   if (!clusters) return false;  // backpressure: wait for a partition to free up
 
   // Same-kernel coalescing: pull up to max_batch-1 not-yet-expired queue
@@ -204,7 +219,10 @@ void FleetRouter::dispatch_batch(unsigned si, const std::vector<std::size_t>& sl
   }
 
   const std::size_t handle = inflight_.size();
-  inflight_.push_back(InFlightBatch{si, slots, clusters, std::move(batch_out)});
+  std::vector<unsigned> epochs;
+  epochs.reserve(slots.size());
+  for (const std::size_t slot : slots) epochs.push_back(failovers_[slot]);
+  inflight_.push_back(InFlightBatch{si, slots, clusters, std::move(batch_out), std::move(epochs)});
   s.active_jobs += slots.size();
 
   for (std::size_t k = 0; k < slots.size(); ++k) {
@@ -246,6 +264,7 @@ void FleetRouter::dispatch_batch(unsigned si, const std::vector<std::size_t>& sl
 
 void FleetRouter::drain_shard_queue(unsigned si, sim::Cycle now) {
   Shard& s = shards_[si];
+  if (shard_down(s)) return;  // unreachable shard: nothing to place, nothing to steal
   if (!s.draining && !s.queue.empty()) {
     // One pass in service order; jobs that still cannot be placed keep
     // waiting. Batch mates consumed mid-pass are skipped by the membership
@@ -270,7 +289,7 @@ void FleetRouter::steal_work(unsigned si, sim::Cycle now) {
   for (;;) {
     std::size_t best = shards_.size();
     for (std::size_t v = 0; v < shards_.size(); ++v) {
-      if (v == si || shards_[v].queue.empty()) continue;
+      if (v == si || shard_down(shards_[v]) || shards_[v].queue.empty()) continue;
       if (best == shards_.size() || shards_[v].queue.size() > shards_[best].queue.size()) best = v;
     }
     if (best == shards_.size()) return;
@@ -369,12 +388,91 @@ void FleetRouter::complete_job(InFlightBatch& f, std::size_t pos, sim::Cycle now
 
 void FleetRouter::complete(const Event& ev) {
   InFlightBatch& f = inflight_[ev.index];
-  if (f.done) return;  // aborted by a shard restart: stale completion
+  if (f.done) return;  // aborted by a shard restart/crash: stale completion
+  if (f.orphaned) {
+    // The shard partitioned after this batch dispatched: its jobs were
+    // failed over, so this completion must not retire anything. While the
+    // link is cut it is invisible to the router — buffer it; after a heal it
+    // surfaces immediately, straight through the epoch ledger.
+    Shard& s = shards_[f.shard];
+    if (s.partitioned) {
+      s.stale_buffer.emplace_back(ev.index, ev.sub);
+    } else {
+      stale_retire(f, ev.sub, ev.time);
+    }
+    return;
+  }
   complete_job(f, ev.sub, ev.time);
   if (f.completed == f.slots.size()) {
     f.done = true;
     drain_shard_queue(f.shard, ev.time);
   }
+}
+
+void FleetRouter::stale_retire(InFlightBatch& f, std::size_t pos, sim::Cycle now, bool resume) {
+  const std::size_t slot = f.slots[pos];
+  const ServeJob& job = (*jobs_)[slot];
+  ++stale_completions_;
+  if (stats_) stats_->counter("fleet.failover_stale_completions").inc();
+  ++f.completed;
+  const bool last = f.completed == f.slots.size();
+  // Like serve_complete, only the last position carries the clusters= key —
+  // the monitor's occupancy shadow releases the partition on exactly that
+  // record, without treating it as a (second) retirement of the job.
+  if (last) {
+    trace_.record(now, "serve", "serve_stale_completion",
+                  util::format("job=%llu epoch=%u shard=%u clusters=%s",
+                               static_cast<unsigned long long>(job.id), f.epochs[pos], f.shard,
+                               cluster_list(f.clusters).c_str()));
+    f.done = true;
+    shards_[f.shard].alloc.release(f.clusters);
+    // The freed partition can serve again once the shard itself is back.
+    if (resume && !shard_down(shards_[f.shard])) drain_shard_queue(f.shard, now);
+  } else {
+    trace_.record(now, "serve", "serve_stale_completion",
+                  util::format("job=%llu epoch=%u shard=%u batch_pos=%zu",
+                               static_cast<unsigned long long>(job.id), f.epochs[pos], f.shard,
+                               pos));
+  }
+}
+
+void FleetRouter::failover(std::size_t slot, unsigned from, bool redispatch, sim::Cycle now) {
+  const ServeJob& job = (*jobs_)[slot];
+  JobOutcome& out = outcomes_[slot];
+  if (failovers_[slot] >= cfg_.failover_budget) {
+    // Budget spent: the job is lost with the shard.
+    out.job_id = job.id;
+    out.verdict = JobVerdict::kFailed;
+    out.reason = "shard_lost";
+    out.arrival = job.arrival;
+    out.end = now;
+    out.slack =
+        static_cast<std::int64_t>(job.arrival + job.t_max) - static_cast<std::int64_t>(now);
+    out.failovers = failovers_[slot];
+    settled_[slot] = true;
+    ++failover_lost_;
+    if (stats_) {
+      stats_->counter("fleet.jobs_failed").inc();
+      stats_->counter("fleet.failover_lost").inc();
+    }
+    trace_.record(now, "serve", "serve_complete",
+                  util::format("job=%llu shard=%u verdict=failed reason=shard_lost",
+                               static_cast<unsigned long long>(job.id), from));
+    return;
+  }
+  ++failovers_[slot];
+  out.failovers = failovers_[slot];
+  if (redispatch) {
+    ++failover_redispatches_;
+    if (stats_) stats_->counter("fleet.failover_redispatches").inc();
+  } else {
+    ++failover_requeues_;
+    if (stats_) stats_->counter("fleet.failover_requeues").inc();
+  }
+  trace_.record(now, "serve", "serve_failover",
+                util::format("job=%llu epoch=%u from=%u",
+                             static_cast<unsigned long long>(job.id), failovers_[slot], from));
+  route_arrival(slot, now);
 }
 
 void FleetRouter::schedule_probe(unsigned si, unsigned cluster, sim::Cycle now) {
@@ -387,6 +485,7 @@ void FleetRouter::start_probe(unsigned si, unsigned cluster, sim::Cycle now) {
   // loop. The next run() re-arms probes for still-quarantined clusters.
   if (fleet_idle()) return;
   Shard& s = shards_[si];
+  if (shard_down(s)) return;  // probe chain dies with the shard; heal re-arms it
   if (s.health.state(cluster) == ClusterHealth::kHealthy) return;  // stale event
   if (!s.alloc.try_acquire(cluster)) {
     schedule_probe(si, cluster, now);  // defensive: cluster somehow busy, back off
@@ -430,24 +529,76 @@ void FleetRouter::finish_probe(const Event& ev, sim::Cycle now) {
 void FleetRouter::schedule_operator(sim::Cycle time, OperatorAction action, unsigned shard) {
   if (shard >= cfg_.num_shards)
     throw std::invalid_argument("FleetRouter: operator action on an unknown shard");
-  pending_operators_.push_back(PendingOperator{time, action, shard, nullptr});
+  if (action == OperatorAction::kDrainClusters || action == OperatorAction::kUndrainClusters)
+    throw std::invalid_argument("FleetRouter: cluster-subset operator needs a cluster list");
+  pending_operators_.push_back(PendingOperator{time, action, shard, {}, nullptr});
+}
+
+void FleetRouter::schedule_operator(sim::Cycle time, OperatorAction action, unsigned shard,
+                                    std::vector<unsigned> clusters) {
+  if (shard >= cfg_.num_shards)
+    throw std::invalid_argument("FleetRouter: operator action on an unknown shard");
+  if (action != OperatorAction::kDrainClusters && action != OperatorAction::kUndrainClusters)
+    throw std::invalid_argument("FleetRouter: cluster list only valid for cluster-subset drains");
+  if (clusters.empty())
+    throw std::invalid_argument("FleetRouter: empty cluster list in a cluster-subset drain");
+  std::vector<bool> seen(cfg_.clusters_per_shard, false);
+  for (const unsigned c : clusters) {
+    if (c >= cfg_.clusters_per_shard)
+      throw std::invalid_argument(
+          util::format("FleetRouter: cluster %u out of range (shards have %u)", c,
+                       cfg_.clusters_per_shard));
+    if (seen[c])
+      throw std::invalid_argument(
+          util::format("FleetRouter: duplicate cluster %u in a cluster-subset drain", c));
+    seen[c] = true;
+  }
+  pending_operators_.push_back(PendingOperator{time, action, shard, std::move(clusters), nullptr});
+}
+
+void FleetRouter::schedule_plan(const fault::FleetFaultPlan& plan) {
+  if (plan.num_shards() != cfg_.num_shards)
+    throw std::invalid_argument("FleetRouter: fault plan sized for a different fleet");
+  for (const fault::FleetFaultEvent& ev : plan.events()) {
+    switch (ev.kind) {
+      case fault::FleetFaultKind::kShardCrash:
+        schedule_operator(ev.at, OperatorAction::kFail, ev.shard);
+        break;
+      case fault::FleetFaultKind::kRouterPartition:
+        schedule_operator(ev.at, OperatorAction::kPartition, ev.shard);
+        break;
+      case fault::FleetFaultKind::kHeal:
+        schedule_operator(ev.at, OperatorAction::kHeal, ev.shard);
+        break;
+    }
+  }
 }
 
 void FleetRouter::schedule_callback(sim::Cycle time, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument("FleetRouter: null scheduled callback");
-  pending_operators_.push_back(PendingOperator{time, OperatorAction::kDrain, 0, std::move(fn)});
+  pending_operators_.push_back(
+      PendingOperator{time, OperatorAction::kDrain, 0, {}, std::move(fn)});
 }
 
-void FleetRouter::apply_operator(OperatorAction action, unsigned si, sim::Cycle now) {
-  switch (action) {
-    case OperatorAction::kDrain: do_drain(si, now); break;
-    case OperatorAction::kUndrain: do_undrain(si, now); break;
-    case OperatorAction::kRestart: do_restart(si, now); break;
+void FleetRouter::apply_operator(const PendingOperator& op, sim::Cycle now) {
+  switch (op.action) {
+    case OperatorAction::kDrain: do_drain(op.shard, now); break;
+    case OperatorAction::kUndrain: do_undrain(op.shard, now); break;
+    case OperatorAction::kRestart: do_restart(op.shard, now); break;
+    case OperatorAction::kFail: do_fail(op.shard, now); break;
+    case OperatorAction::kHeal: do_heal(op.shard, now); break;
+    case OperatorAction::kPartition: do_partition(op.shard, now); break;
+    case OperatorAction::kDrainClusters: do_drain_clusters(op.shard, op.clusters, now); break;
+    case OperatorAction::kUndrainClusters:
+      do_undrain_clusters(op.shard, op.clusters, now);
+      break;
   }
 }
 
 void FleetRouter::do_drain(unsigned si, sim::Cycle now) {
   Shard& s = shards_[si];
+  if (shard_down(s))
+    throw std::logic_error("FleetRouter: drain of a crashed/partitioned shard");
   if (s.draining)
     throw std::logic_error("FleetRouter: drain while the shard is already draining");
   s.draining = true;
@@ -464,6 +615,8 @@ void FleetRouter::do_drain(unsigned si, sim::Cycle now) {
 
 void FleetRouter::do_undrain(unsigned si, sim::Cycle now) {
   Shard& s = shards_[si];
+  if (shard_down(s))
+    throw std::logic_error("FleetRouter: undrain of a crashed/partitioned shard");
   if (!s.draining)
     throw std::logic_error("FleetRouter: undrain while the shard is not draining");
   s.draining = false;
@@ -475,6 +628,8 @@ void FleetRouter::do_undrain(unsigned si, sim::Cycle now) {
 
 void FleetRouter::do_restart(unsigned si, sim::Cycle now) {
   Shard& s = shards_[si];
+  if (shard_down(s))
+    throw std::logic_error("FleetRouter: restart of a crashed/partitioned shard");
   ++restarts_;
   if (stats_) stats_->counter("fleet.restarts").inc();
   // Abort this shard's in-flight batches first (spans ended, clusters
@@ -484,6 +639,13 @@ void FleetRouter::do_restart(unsigned si, sim::Cycle now) {
   // exactly the not-yet-done tail.
   for (InFlightBatch& f : inflight_) {
     if (f.done || f.shard != si) continue;
+    if (f.orphaned) {
+      // Leftover from an earlier partition of this shard: the jobs already
+      // failed over, so retire the not-yet-surfaced tail through the epoch
+      // ledger (releases the partition on the last position).
+      while (!f.done) stale_retire(f, f.completed, now, /*resume=*/false);
+      continue;
+    }
     f.done = true;
     for (std::size_t pos = f.completed; pos < f.slots.size(); ++pos) {
       const std::size_t slot = f.slots[pos];
@@ -531,9 +693,178 @@ void FleetRouter::do_restart(unsigned si, sim::Cycle now) {
   }
 }
 
+void FleetRouter::do_fail(unsigned si, sim::Cycle now) {
+  Shard& s = shards_[si];
+  if (shard_down(s))
+    throw std::logic_error("FleetRouter: fail of a shard that is already down");
+  ++shard_fails_;
+  if (stats_) stats_->counter("fleet.shard_fails").inc();
+  std::size_t inflight_jobs = 0;
+  for (const InFlightBatch& f : inflight_) {
+    if (!f.done && !f.orphaned && f.shard == si) inflight_jobs += f.slots.size() - f.completed;
+  }
+  // The monitor clears its entire occupancy shadow for the shard on this
+  // record (crash-stop: everything on the fabric is gone), so the abort
+  // below needs no per-batch release records.
+  trace_.record(now, "serve", "serve_fail",
+                util::format("shard=%u inflight=%zu queued=%zu", si, inflight_jobs,
+                             s.queue.size()));
+  s.dead = true;
+  // Crash-stop every in-flight batch. Orphaned leftovers from an earlier
+  // partition already failed their jobs over — only release their clusters;
+  // live batches also end spans and collect their jobs for failover.
+  std::vector<std::size_t> displaced;
+  for (InFlightBatch& f : inflight_) {
+    if (f.done || f.shard != si) continue;
+    f.done = true;
+    if (!f.orphaned) {
+      for (std::size_t pos = f.completed; pos < f.slots.size(); ++pos) {
+        const std::size_t slot = f.slots[pos];
+        trace_.end_span(now, job_track((*jobs_)[slot].id));
+        --s.active_jobs;
+        displaced.push_back(slot);
+      }
+    }
+    s.alloc.release(f.clusters);
+  }
+  // Outstanding probes die with the shard (no health verdict, no record —
+  // the serve_fail wipe above covers their occupancy).
+  for (unsigned c = 0; c < cfg_.clusters_per_shard; ++c) {
+    if (!s.probes[c]) continue;
+    s.probes[c].reset();
+    s.alloc.release(c);
+  }
+  // In-flight jobs re-dispatch first (they were closest to done), then the
+  // backlog, both in deterministic order.
+  const std::vector<std::size_t> backlog = s.queue;
+  s.queue.clear();
+  sample_queue_depth(s);
+  for (const std::size_t slot : displaced) failover(slot, si, /*redispatch=*/true, now);
+  for (const std::size_t slot : backlog) failover(slot, si, /*redispatch=*/false, now);
+}
+
+void FleetRouter::do_partition(unsigned si, sim::Cycle now) {
+  Shard& s = shards_[si];
+  if (shard_down(s))
+    throw std::logic_error("FleetRouter: partition of a shard that is already down");
+  ++shard_partitions_;
+  if (stats_) stats_->counter("fleet.shard_partitions").inc();
+  // Outstanding probes are abandoned like a restart's: their bookkeeping
+  // lives router-side, so release them *before* the partition record while
+  // the monitor still sees a reachable shard.
+  for (unsigned c = 0; c < cfg_.clusters_per_shard; ++c) {
+    if (!s.probes[c]) continue;
+    s.probes[c].reset();
+    s.alloc.release(c);
+    trace_.record(now, "serve", "serve_probe_done",
+                  util::format("shard=%u cluster=%u clean=0", si, c));
+  }
+  std::size_t inflight_jobs = 0;
+  for (const InFlightBatch& f : inflight_) {
+    if (!f.done && !f.orphaned && f.shard == si) inflight_jobs += f.slots.size() - f.completed;
+  }
+  trace_.record(now, "serve", "serve_partition",
+                util::format("shard=%u inflight=%zu queued=%zu", si, inflight_jobs,
+                             s.queue.size()));
+  s.partitioned = true;
+  // The shard keeps executing behind the cut link, so in-flight batches stay
+  // allocated (their clusters release when the stale completions surface).
+  // The router must assume the work is lost: fail the jobs over now.
+  std::vector<std::size_t> displaced;
+  for (InFlightBatch& f : inflight_) {
+    if (f.done || f.orphaned || f.shard != si) continue;
+    f.orphaned = true;
+    for (std::size_t pos = f.completed; pos < f.slots.size(); ++pos) {
+      const std::size_t slot = f.slots[pos];
+      trace_.end_span(now, job_track((*jobs_)[slot].id));
+      --s.active_jobs;
+      displaced.push_back(slot);
+    }
+  }
+  const std::vector<std::size_t> backlog = s.queue;
+  s.queue.clear();
+  sample_queue_depth(s);
+  for (const std::size_t slot : displaced) failover(slot, si, /*redispatch=*/true, now);
+  for (const std::size_t slot : backlog) failover(slot, si, /*redispatch=*/false, now);
+}
+
+void FleetRouter::do_heal(unsigned si, sim::Cycle now) {
+  Shard& s = shards_[si];
+  if (!shard_down(s))
+    throw std::logic_error("FleetRouter: heal of a shard that is not down");
+  ++heals_;
+  if (stats_) stats_->counter("fleet.shard_heals").inc();
+  if (s.dead) {
+    // Crash heal: the fabric is rebuilt from scratch, so every cluster
+    // re-enters through canary probation behind the boot penalty — the
+    // second half of a restart.
+    s.dead = false;
+    trace_.record(now, "serve", "serve_heal", util::format("shard=%u mode=crash", si));
+    s.exec->restart();
+    s.health.restart();
+    for (unsigned c = 0; c < cfg_.clusters_per_shard; ++c) {
+      trace_.record(now, "serve", "serve_quarantine", util::format("shard=%u cluster=%u", si, c));
+      push_event(now + cfg_.restart_penalty_cycles, EventKind::kProbeDue, c, si);
+    }
+    return;
+  }
+  // Partition heal: the fabric was healthy all along, only unreachable.
+  // Completions buffered behind the cut link surface now, each suppressed by
+  // the epoch ledger (the jobs were failed over at partition time); then the
+  // shard resumes serving immediately.
+  s.partitioned = false;
+  trace_.record(now, "serve", "serve_heal",
+                util::format("shard=%u mode=partition stale=%zu", si, s.stale_buffer.size()));
+  const auto buffered = std::move(s.stale_buffer);
+  s.stale_buffer.clear();
+  for (const auto& [handle, pos] : buffered) stale_retire(inflight_[handle], pos, now);
+  // Clusters still quarantined from before the partition resume probing.
+  for (unsigned c = 0; c < cfg_.clusters_per_shard; ++c) {
+    if (s.health.state(c) != ClusterHealth::kHealthy && !s.probes[c]) schedule_probe(si, c, now);
+  }
+  drain_shard_queue(si, now);
+}
+
+void FleetRouter::do_drain_clusters(unsigned si, const std::vector<unsigned>& clusters,
+                                    sim::Cycle now) {
+  Shard& s = shards_[si];
+  if (shard_down(s))
+    throw std::logic_error("FleetRouter: cluster drain of a crashed/partitioned shard");
+  for (const unsigned c : clusters) {
+    if (s.cluster_drained[c])
+      throw std::logic_error(
+          util::format("FleetRouter: drain of already-drained cluster %u on shard %u", c, si));
+  }
+  for (const unsigned c : clusters) s.cluster_drained[c] = true;
+  if (stats_) stats_->counter("fleet.drain.entered").inc();
+  trace_.record(now, "serve", "serve_drain_clusters",
+                util::format("shard=%u clusters=%s", si, cluster_list(clusters).c_str()));
+  // In-flight work on the drained clusters finishes; queued jobs simply see
+  // less capacity (and shed as deadline_expired if the subset was the
+  // difference). No backlog shed: the shard is still serving.
+}
+
+void FleetRouter::do_undrain_clusters(unsigned si, const std::vector<unsigned>& clusters,
+                                      sim::Cycle now) {
+  Shard& s = shards_[si];
+  if (shard_down(s))
+    throw std::logic_error("FleetRouter: cluster undrain of a crashed/partitioned shard");
+  for (const unsigned c : clusters) {
+    if (!s.cluster_drained[c])
+      throw std::logic_error(
+          util::format("FleetRouter: undrain of cluster %u on shard %u, which is not drained",
+                       c, si));
+  }
+  for (const unsigned c : clusters) s.cluster_drained[c] = false;
+  if (stats_) stats_->counter("fleet.drain.exited").inc();
+  trace_.record(now, "serve", "serve_undrain_clusters",
+                util::format("shard=%u clusters=%s", si, cluster_list(clusters).c_str()));
+  drain_shard_queue(si, now);
+}
+
 void FleetRouter::route_arrival(std::size_t slot, sim::Cycle now) {
   const ServeJob& job = (*jobs_)[slot];
-  if (all_draining()) {
+  if (all_unavailable()) {
     shed(slot, now, ShedReason::kOperatorShed);
     return;
   }
@@ -556,7 +887,7 @@ void FleetRouter::route_arrival(std::size_t slot, sim::Cycle now) {
   for (unsigned tried = 0; tried < cfg_.num_shards; ++tried) {
     si = rr_next_;
     rr_next_ = (rr_next_ + 1) % cfg_.num_shards;
-    if (!shards_[si].draining) break;
+    if (!shard_unavailable(shards_[si])) break;
   }
   Shard& s = shards_[si];
   if (try_dispatch(si, slot, now)) return;
@@ -573,7 +904,7 @@ void FleetRouter::route_arrival(std::size_t slot, sim::Cycle now) {
     // shard id keeps the pull order a pure function of the trace.
     if (cfg_.stealing) {
       for (unsigned t = 0; t < cfg_.num_shards; ++t) {
-        if (t == si || shards_[t].draining || !shards_[t].queue.empty()) continue;
+        if (t == si || shard_unavailable(shards_[t]) || !shards_[t].queue.empty()) continue;
         steal_work(t, now);
       }
     }
@@ -589,8 +920,10 @@ std::vector<JobOutcome> FleetRouter::run(const std::vector<ServeJob>& jobs) {
   events_ = {};
   next_seq_ = 0;
   inflight_.clear();
+  failovers_.assign(jobs.size(), 0);
   for (Shard& s : shards_) {
     s.queue.clear();
+    s.stale_buffer.clear();
     std::fill(s.probes.begin(), s.probes.end(), std::nullopt);
     s.active_jobs = 0;
   }
@@ -608,9 +941,12 @@ std::vector<JobOutcome> FleetRouter::run(const std::vector<ServeJob>& jobs) {
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     push_event(jobs[i].arrival, EventKind::kArrival, i, 0);
   }
-  // Clusters still quarantined from a previous run() resume probing.
+  // Clusters still quarantined from a previous run() resume probing —
+  // except on shards that ended the last run crashed or partitioned, which
+  // cannot field probes until a heal.
   if (!jobs.empty()) {
     for (unsigned si = 0; si < cfg_.num_shards; ++si) {
+      if (shard_down(shards_[si])) continue;
       for (unsigned c = 0; c < cfg_.clusters_per_shard; ++c) {
         if (shards_[si].health.state(c) != ClusterHealth::kHealthy) schedule_probe(si, c, 0);
       }
@@ -637,13 +973,22 @@ std::vector<JobOutcome> FleetRouter::run(const std::vector<ServeJob>& jobs) {
         if (op.fn) {
           op.fn();
         } else {
-          apply_operator(op.action, op.shard, ev.time);
+          apply_operator(op, ev.time);
         }
         break;
       }
     }
   }
 
+  // A shard still partitioned at the horizon surfaces its buffered
+  // completions as stale retirements so every batch closes (the jobs
+  // themselves were settled at failover time).
+  for (Shard& s : shards_) {
+    const auto buffered = std::move(s.stale_buffer);
+    s.stale_buffer.clear();
+    for (const auto& [handle, pos] : buffered)
+      stale_retire(inflight_[handle], pos, makespan_, /*resume=*/false);
+  }
   // End-of-run starvation: whatever is still queued can never run.
   for (Shard& s : shards_) {
     for (const std::size_t slot : s.queue) shed(slot, makespan_, ShedReason::kStarved);

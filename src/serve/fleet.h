@@ -26,6 +26,19 @@
 //    robin placement is deliberately backlog-blind — stealing is the
 //    mechanism that repairs its imbalance, which is exactly what the E22
 //    ablation quantifies.
+//  * Fault domains: each shard is a crash-stop fault domain
+//    (fault/fleet_fault.h). A crash (OperatorAction::kFail) kills every
+//    in-flight offload on the shard; a router partition (kPartition) leaves
+//    the shard executing but makes its completions invisible until a heal.
+//    Either way the router fails the shard's queued and in-flight jobs over
+//    to survivors under a per-job `failover_budget`, tagging each
+//    re-dispatch with an epoch. Completions that surface later from a
+//    partitioned shard are checked against the epoch ledger and suppressed
+//    as `serve_stale_completion` — a job retires exactly once, which
+//    check::ProtocolMonitor's serve_exactly_once invariant enforces from
+//    the trace. A heal after a crash rebuilds the executor behind full
+//    canary re-probation (like a restart); a heal after a partition replays
+//    the buffered stale completions and resumes serving immediately.
 //
 // Determinism contract (unchanged from OffloadService): one event loop in
 // virtual time, (time, insertion-seq) event ordering, and placement,
@@ -46,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fleet_fault.h"
 #include "model/runtime_model.h"
 #include "serve/health_tracker.h"
 #include "serve/offload_service.h"
@@ -79,6 +93,10 @@ struct FleetConfig {
   /// Service-time delay between a shard restart and its first canary probe
   /// wave (Soc teardown + cold boot).
   sim::Cycles restart_penalty_cycles = 20'000;
+  /// Per-job failover budget: how many times a job displaced by a shard
+  /// crash/partition may be re-dispatched to a survivor before it is failed
+  /// with reason "shard_lost". 0 disables failover entirely.
+  unsigned failover_budget = 1;
 };
 
 /// Router/admission front-end over N per-shard schedulers. One Executor per
@@ -112,6 +130,10 @@ class FleetRouter {
 
   /// True while shard `shard` refuses admission (drain .. undrain window).
   bool draining(unsigned shard) const;
+  /// True while shard `shard` is crash-stopped (fail .. heal window).
+  bool dead(unsigned shard) const;
+  /// True while the router's link to shard `shard` is cut.
+  bool partitioned(unsigned shard) const;
   /// Operator restarts performed so far, summed over shards.
   std::uint64_t restarts() const { return restarts_; }
   /// Jobs pulled across shards so far (across runs).
@@ -119,18 +141,39 @@ class FleetRouter {
   /// execute_batch calls with >= 2 jobs, and the jobs they carried.
   std::uint64_t batches() const { return batches_; }
   std::uint64_t batched_jobs() const { return batched_jobs_; }
+  /// Fault-domain aggregates (across runs): crash/partition/heal events
+  /// applied, jobs failed over (in-flight redispatches vs. queued requeues),
+  /// jobs lost to an exhausted failover budget, and completions from a
+  /// partitioned shard suppressed by the epoch ledger.
+  std::uint64_t shard_fails() const { return shard_fails_; }
+  std::uint64_t shard_partitions() const { return shard_partitions_; }
+  std::uint64_t heals() const { return heals_; }
+  std::uint64_t failover_redispatches() const { return failover_redispatches_; }
+  std::uint64_t failover_requeues() const { return failover_requeues_; }
+  std::uint64_t failover_lost() const { return failover_lost_; }
+  std::uint64_t stale_completions() const { return stale_completions_; }
 
   /// Schedule a shard-scoped operator action at virtual cycle `time` of the
   /// *next* run(). Same-cycle operators fire before same-cycle arrivals, in
   /// scheduling order. Draining an already-draining shard (or undraining a
-  /// non-draining one) throws at fire time, like OffloadService.
+  /// non-draining one) throws at fire time, like OffloadService; so do
+  /// fail/partition of a shard that is already down, heal of one that is
+  /// not, and restart/drain/undrain of a down shard.
   void schedule_operator(sim::Cycle time, OperatorAction action, unsigned shard);
+  /// Cluster-subset variant: kDrainClusters / kUndrainClusters only.
+  /// `clusters` must be non-empty, in-range, duplicate-free shard-local ids.
+  void schedule_operator(sim::Cycle time, OperatorAction action, unsigned shard,
+                         std::vector<unsigned> clusters);
+  /// Arm every event of a fleet fault plan (crash/partition/heal) as
+  /// operator actions for the next run().
+  void schedule_plan(const fault::FleetFaultPlan& plan);
   /// Schedule an arbitrary callback at virtual cycle `time` of the next
   /// run() — the scenario engine's hook for timed fault-environment swaps.
   /// Callbacks must not re-enter the router.
   void schedule_callback(sim::Cycle time, std::function<void()> fn);
 
  private:
+  struct PendingOperator;
   enum class EventKind { kArrival, kCompletion, kProbeDue, kProbeDone, kOperator };
   struct Event {
     sim::Cycle time = 0;
@@ -149,31 +192,46 @@ class FleetRouter {
   };
   struct Shard {
     Shard(unsigned clusters, const HealthConfig& health_cfg, Executor* executor)
-        : alloc(clusters), health(clusters, health_cfg), exec(executor), probes(clusters) {}
+        : alloc(clusters), health(clusters, health_cfg), exec(executor), probes(clusters),
+          cluster_drained(clusters, false) {}
     PartitionAllocator alloc;
     HealthTracker health;
     Executor* exec;
     std::vector<std::size_t> queue;  ///< backlog of job slots
     bool draining = false;
+    bool dead = false;         ///< crash-stopped (fail .. heal window)
+    bool partitioned = false;  ///< router link cut (partition .. heal window)
     std::vector<std::optional<Probe>> probes;  ///< keyed by shard-local cluster
+    std::vector<bool> cluster_drained;         ///< operator cluster-subset drain
     std::size_t active_jobs = 0;               ///< dispatched, not yet complete
+    /// Completions that surfaced while the shard was partitioned, replayed
+    /// through the epoch ledger at heal time: (batch handle, batch position).
+    std::vector<std::pair<std::size_t, std::size_t>> stale_buffer;
   };
   struct InFlightBatch {
     unsigned shard = 0;
     std::vector<std::size_t> slots;  ///< job slots in batch order
     std::vector<unsigned> clusters;
     BatchExecutionOutcome outcome;   ///< jobs[k].duration = completion offset
+    std::vector<unsigned> epochs;    ///< per-slot failover epoch at dispatch
     std::size_t completed = 0;
-    bool done = false;  ///< settled early (shard restart): completions are stale
+    bool done = false;  ///< settled early (shard restart/crash): completions are stale
+    /// Shard partitioned after dispatch: the jobs were failed over, so every
+    /// remaining completion is stale and must retire through the ledger.
+    bool orphaned = false;
   };
 
   void push_event(sim::Cycle time, EventKind kind, std::size_t index, unsigned shard,
                   std::size_t sub = 0);
-  /// Fleet-wide Eq.-(3) capacity: the best non-draining shard's healthy
-  /// count, capped by max_clusters_per_job.
+  /// Fleet-wide Eq.-(3) capacity: the best serving shard's healthy
+  /// un-drained count, capped by max_clusters_per_job.
   unsigned fleet_capacity_cap() const;
   unsigned shard_capacity_cap(const Shard& s) const;
-  bool all_draining() const;
+  /// Crashed or partitioned: the shard is not reachable from the router.
+  static bool shard_down(const Shard& s) { return s.dead || s.partitioned; }
+  /// Down or draining: the shard takes no new work.
+  static bool shard_unavailable(const Shard& s) { return s.draining || shard_down(s); }
+  bool all_unavailable() const;
   void shed(std::size_t slot, sim::Cycle now, ShedReason reason);
   void route_arrival(std::size_t slot, sim::Cycle now);
   /// Service order of a backlog: priority desc, arrival asc, id asc.
@@ -196,10 +254,25 @@ class FleetRouter {
   void schedule_probe(unsigned si, unsigned cluster, sim::Cycle now);
   void start_probe(unsigned si, unsigned cluster, sim::Cycle now);
   void finish_probe(const Event& ev, sim::Cycle now);
-  void apply_operator(OperatorAction action, unsigned si, sim::Cycle now);
+  void apply_operator(const PendingOperator& op, sim::Cycle now);
   void do_drain(unsigned si, sim::Cycle now);
   void do_undrain(unsigned si, sim::Cycle now);
   void do_restart(unsigned si, sim::Cycle now);
+  void do_fail(unsigned si, sim::Cycle now);
+  void do_partition(unsigned si, sim::Cycle now);
+  void do_heal(unsigned si, sim::Cycle now);
+  void do_drain_clusters(unsigned si, const std::vector<unsigned>& clusters, sim::Cycle now);
+  void do_undrain_clusters(unsigned si, const std::vector<unsigned>& clusters, sim::Cycle now);
+  /// Re-route one job displaced by a shard crash/partition: bump its epoch
+  /// and re-dispatch to a survivor, or fail it as "shard_lost" when the
+  /// budget is spent. `redispatch` distinguishes in-flight jobs from queued.
+  void failover(std::size_t slot, unsigned from, bool redispatch, sim::Cycle now);
+  /// Retire one stale completion (from a partitioned shard) through the
+  /// epoch ledger: count + trace it, advance the batch, release the
+  /// partition on the last position — but never touch the job's outcome.
+  /// `resume` re-examines the shard's backlog after the release; callers
+  /// already iterating inflight_ must pass false (dispatches would grow it).
+  void stale_retire(InFlightBatch& f, std::size_t pos, sim::Cycle now, bool resume = true);
   void sample_queue_depth(const Shard& s);
   bool fleet_idle() const;
 
@@ -215,6 +288,7 @@ class FleetRouter {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::uint64_t next_seq_ = 0;
   std::vector<InFlightBatch> inflight_;  ///< keyed by batch handle
+  std::vector<unsigned> failovers_;      ///< per-slot failover epoch (per run)
   std::size_t pending_arrivals_ = 0;
   unsigned rr_next_ = 0;  ///< round-robin placement pointer (reset per run)
   sim::Cycle makespan_ = 0;
@@ -224,11 +298,19 @@ class FleetRouter {
   std::uint64_t steals_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_jobs_ = 0;
+  std::uint64_t shard_fails_ = 0;
+  std::uint64_t shard_partitions_ = 0;
+  std::uint64_t heals_ = 0;
+  std::uint64_t failover_redispatches_ = 0;
+  std::uint64_t failover_requeues_ = 0;
+  std::uint64_t failover_lost_ = 0;
+  std::uint64_t stale_completions_ = 0;
 
   struct PendingOperator {
     sim::Cycle time = 0;
     OperatorAction action = OperatorAction::kDrain;
     unsigned shard = 0;
+    std::vector<unsigned> clusters;  ///< kDrainClusters / kUndrainClusters only
     std::function<void()> fn;  ///< when set, a scheduled callback instead
   };
   std::vector<PendingOperator> pending_operators_;

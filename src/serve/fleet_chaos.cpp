@@ -1,0 +1,258 @@
+#include "serve/fleet_chaos.h"
+
+#include <memory>
+
+#include "check/protocol_monitor.h"
+#include "serve/soc_executor.h"
+#include "sim/stats.h"
+#include "util/strings.h"
+
+namespace mco::serve {
+
+sim::Cycle time_to_recover(const std::vector<ServeJob>& trace,
+                           const std::vector<JobOutcome>& outcomes, sim::Cycle mark,
+                           sim::Cycle horizon, double target) {
+  if (trace.empty() || horizon < mark) return 0;
+  const std::size_t windows =
+      static_cast<std::size_t>((horizon - mark) / kRecoverWindowCycles) + 1;
+  std::vector<std::uint64_t> jobs(windows, 0);
+  std::vector<std::uint64_t> met(windows, 0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].arrival < mark || trace[i].arrival > horizon) continue;
+    const auto w = static_cast<std::size_t>((trace[i].arrival - mark) / kRecoverWindowCycles);
+    ++jobs[w];
+    if (outcomes[i].verdict == JobVerdict::kMet) ++met[w];
+  }
+  // The last window that misses the target bounds the recovery point:
+  // everything after it sustains the SLO.
+  std::size_t last_bad = windows;  // windows = none bad
+  for (std::size_t w = 0; w < windows; ++w) {
+    if (jobs[w] == 0) continue;
+    const double slo = static_cast<double>(met[w]) / static_cast<double>(jobs[w]);
+    if (slo < target) last_bad = w;
+  }
+  if (last_bad == windows) return 0;
+  if (last_bad + 1 >= windows) return horizon - mark;  // never recovered
+  return static_cast<sim::Cycle>(last_bad + 1) * kRecoverWindowCycles;
+}
+
+double p99_slack(const std::vector<ServeJob>& trace, const std::vector<JobOutcome>& outcomes,
+                 sim::Cycle mark) {
+  sim::Histogram tardiness(4096.0, 64);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].arrival < mark) continue;
+    const JobVerdict v = outcomes[i].verdict;
+    if (v != JobVerdict::kMet && v != JobVerdict::kMissed) continue;  // never completed
+    const sim::Cycle deadline = trace[i].arrival + trace[i].t_max;
+    const sim::Cycle end = outcomes[i].end;
+    tardiness.sample(end > deadline ? static_cast<double>(end - deadline) : 0.0);
+  }
+  return -tardiness.p99();
+}
+
+std::vector<FleetChaosPoint> fleet_chaos_grid(std::size_t num_jobs) {
+  // The E22 trace's mean inter-arrival gap is 200 cycles, so the episode
+  // spans roughly 200 * num_jobs cycles. Hits land at ~25% of it — deep in
+  // saturation — and heal after a 60k-cycle outage (3x the restart penalty,
+  // so the crash-heal probe wave is fully exercised too).
+  const auto horizon = static_cast<sim::Cycle>(200 * num_jobs);
+  const sim::Cycle hit = horizon / 4;
+  const sim::Cycles outage = 60'000;
+
+  std::vector<FleetChaosPoint> grid;
+  {
+    FleetChaosPoint p;
+    p.name = "control";
+    p.plan = fault::FleetFaultPlan(4);
+    grid.push_back(std::move(p));
+  }
+  {
+    // Headline: one of four shards crash-stops mid-saturation; its in-flight
+    // and queued jobs fail over to the three survivors.
+    FleetChaosPoint p;
+    p.name = "crash_1of4";
+    p.plan = fault::FleetFaultPlan(4);
+    p.plan.add_crash(hit, 1);
+    p.plan.add_heal(hit + outage, 1);
+    p.mark = hit;
+    grid.push_back(std::move(p));
+  }
+  {
+    // The exactly-once hazard: the partitioned shard keeps retiring jobs the
+    // router already failed over; the heal replays them as suppressed stale
+    // completions.
+    FleetChaosPoint p;
+    p.name = "partition_1of4";
+    p.plan = fault::FleetFaultPlan(4);
+    p.plan.add_partition(hit, 2);
+    p.plan.add_heal(hit + outage, 2);
+    p.mark = hit;
+    grid.push_back(std::move(p));
+  }
+  {
+    // Staggered double crash: half the fleet is gone at the overlap.
+    FleetChaosPoint p;
+    p.name = "crash_2of4";
+    p.plan = fault::FleetFaultPlan(4);
+    p.plan.add_crash(hit, 1);
+    p.plan.add_crash(hit + outage / 2, 3);
+    p.plan.add_heal(hit + outage, 1);
+    p.plan.add_heal(hit + outage + outage / 2, 3);
+    p.mark = hit;
+    grid.push_back(std::move(p));
+  }
+  {
+    // Budget ablation: with failover_budget = 0 every displaced job is lost
+    // (verdict failed, reason shard_lost) instead of re-dispatched.
+    FleetChaosPoint p;
+    p.name = "crash_budget0";
+    p.failover_budget = 0;
+    p.plan = fault::FleetFaultPlan(4);
+    p.plan.add_crash(hit, 1);
+    p.plan.add_heal(hit + outage, 1);
+    p.mark = hit;
+    grid.push_back(std::move(p));
+  }
+  {
+    // Seeded storm: three random crash/partition arcs over the episode with
+    // one shard always surviving (fault/fleet_fault.h's generator).
+    FleetChaosPoint p;
+    p.name = "storm";
+    fault::FleetFaultPlanConfig pc;
+    pc.num_shards = 4;
+    pc.arcs = 3;
+    pc.horizon = horizon;
+    p.plan = fault::random_fleet_fault_plan(pc);
+    p.mark = p.plan.events().empty() ? 0 : p.plan.events().front().at;
+    grid.push_back(std::move(p));
+  }
+  return grid;
+}
+
+FleetChaosResult run_fleet_chaos_point(const FleetChaosPoint& point,
+                                       const std::vector<ServeJob>& trace,
+                                       const FleetSoakConfig& cfg) {
+  std::vector<std::unique_ptr<SocExecutor>> execs;
+  std::vector<Executor*> exec_ptrs;
+  execs.reserve(point.num_shards);
+  for (unsigned s = 0; s < point.num_shards; ++s) {
+    SocExecutorConfig xc;
+    xc.soc = soc::SocConfig::extended(cfg.clusters_per_shard);
+    xc.tolerance = cfg.tolerance;
+    xc.workload_seed = cfg.workload_seed + s;
+    xc.crash_penalty_cycles = cfg.crash_penalty_cycles;
+    execs.push_back(std::make_unique<SocExecutor>(xc));
+    exec_ptrs.push_back(execs.back().get());
+  }
+
+  FleetConfig fc;
+  fc.num_shards = point.num_shards;
+  fc.clusters_per_shard = cfg.clusters_per_shard;
+  fc.model = cfg.model;
+  fc.max_queue = cfg.max_queue;
+  fc.max_clusters_per_job = cfg.max_clusters_per_job;
+  fc.health = cfg.health;
+  fc.failover_budget = point.failover_budget;
+  FleetRouter fleet(fc, exec_ptrs);
+
+  sim::StatsRegistry stats;
+  fleet.bind_stats(&stats);
+  check::ProtocolMonitor fleet_monitor;
+  fleet_monitor.attach(fleet.trace());
+
+  fleet.schedule_plan(point.plan);
+
+  FleetChaosResult r;
+  r.name = point.name;
+  r.shards = point.num_shards;
+  r.failover_budget = point.failover_budget;
+  r.jobs = trace.size();
+  const std::vector<JobOutcome> outcomes = fleet.run(trace);
+  fleet_monitor.finish();
+
+  std::uint64_t jobs_after = 0;
+  std::uint64_t met_after = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    switch (outcomes[i].verdict) {
+      case JobVerdict::kMet: ++r.met; break;
+      case JobVerdict::kMissed: ++r.missed; break;
+      case JobVerdict::kShed: ++r.shed; break;
+      case JobVerdict::kFailed: ++r.failed; break;
+    }
+    if (trace[i].arrival >= point.mark) {
+      ++jobs_after;
+      if (outcomes[i].verdict == JobVerdict::kMet) ++met_after;
+    }
+  }
+  r.slo_attainment = r.jobs ? static_cast<double>(r.met) / static_cast<double>(r.jobs) : 0.0;
+  r.slo_after_mark =
+      jobs_after ? static_cast<double>(met_after) / static_cast<double>(jobs_after) : 0.0;
+  r.makespan = fleet.makespan();
+  r.shard_fails = fleet.shard_fails();
+  r.shard_partitions = fleet.shard_partitions();
+  r.heals = fleet.heals();
+  r.failover_redispatches = fleet.failover_redispatches();
+  r.failover_requeues = fleet.failover_requeues();
+  r.failover_lost = fleet.failover_lost();
+  r.stale_completions = fleet.stale_completions();
+  const sim::Cycle horizon = trace.empty() ? 0 : trace.back().arrival;
+  r.time_to_recover = time_to_recover(trace, outcomes, point.mark, horizon);
+  r.p99_slack = p99_slack(trace, outcomes, point.mark);
+  for (unsigned s = 0; s < point.num_shards; ++s) {
+    r.soc_violations += execs[s]->total_violations();
+  }
+  r.serve_violations = fleet_monitor.total_violations();
+
+  // Mirror the recovery verdicts into the registry so the observability
+  // inventory carries them alongside the fleet.failover_* counters.
+  std::uint64_t arcs = 0;
+  for (const fault::FleetFaultEvent& ev : point.plan.events()) {
+    if (ev.kind != fault::FleetFaultKind::kHeal) ++arcs;
+  }
+  for (std::uint64_t a = 0; a < arcs; ++a) stats.counter("recovery.arcs").inc();
+  stats.histogram("recovery.time_to_recover_cycles")
+      .sample(static_cast<double>(r.time_to_recover));
+  return r;
+}
+
+std::string chaos_report_json(const std::vector<FleetChaosResult>& results,
+                              const SoakTraceConfig& trace_cfg) {
+  std::string out = "{\n  \"schema\": \"mco-chaos-v1\",\n";
+  out += util::format("  \"jobs\": %zu,\n", trace_cfg.num_jobs);
+  out += util::format("  \"seed\": %llu,\n",
+                      static_cast<unsigned long long>(trace_cfg.seed));
+  out += "  \"points\": [";
+  bool first = true;
+  for (const FleetChaosResult& r : results) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += util::format(
+        "    {\"name\": \"%s\", \"shards\": %u, \"failover_budget\": %u, "
+        "\"met\": %llu, \"missed\": %llu, \"shed\": %llu, \"failed\": %llu, "
+        "\"slo_attainment\": %.4f, \"slo_after_mark\": %.4f, \"makespan\": %llu, "
+        "\"shard_fails\": %llu, \"shard_partitions\": %llu, \"heals\": %llu, "
+        "\"failover_redispatches\": %llu, \"failover_requeues\": %llu, "
+        "\"failover_lost\": %llu, \"stale_completions\": %llu, "
+        "\"time_to_recover\": %llu, \"p99_slack\": %.1f, "
+        "\"soc_violations\": %llu, \"serve_violations\": %llu}",
+        r.name.c_str(), r.shards, r.failover_budget, static_cast<unsigned long long>(r.met),
+        static_cast<unsigned long long>(r.missed), static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.failed), r.slo_attainment, r.slo_after_mark,
+        static_cast<unsigned long long>(r.makespan),
+        static_cast<unsigned long long>(r.shard_fails),
+        static_cast<unsigned long long>(r.shard_partitions),
+        static_cast<unsigned long long>(r.heals),
+        static_cast<unsigned long long>(r.failover_redispatches),
+        static_cast<unsigned long long>(r.failover_requeues),
+        static_cast<unsigned long long>(r.failover_lost),
+        static_cast<unsigned long long>(r.stale_completions),
+        static_cast<unsigned long long>(r.time_to_recover), r.p99_slack,
+        static_cast<unsigned long long>(r.soc_violations),
+        static_cast<unsigned long long>(r.serve_violations));
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mco::serve

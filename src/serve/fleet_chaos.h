@@ -1,0 +1,105 @@
+// E23 fleet chaos: shard crash/partition arcs against a saturated fleet,
+// with exactly-once failover accounting and time-to-recover verdicts.
+//
+// Every grid point replays the same deterministic high-pressure trace
+// (fleet_soak.h's E22 generator) against a 4-shard fleet, then kills or
+// partitions shards mid-saturation per a scripted fault::FleetFaultPlan.
+// The row aggregates prove the tentpole properties: no job is lost or
+// double-executed across a failover (the serve_exactly_once monitor
+// invariant stays clean), and SLO attainment recovers to the target within
+// a pinned time_to_recover after the hit. Point-level parallelism
+// (exp::SweepRunner::map in bench_fleet_chaos) writes into index-addressed
+// slots; the "mco-chaos-v1" report is byte-identical at --jobs 1/4/16.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fleet_fault.h"
+#include "serve/fleet.h"
+#include "serve/fleet_soak.h"
+
+namespace mco::serve {
+
+/// Recovery judgement parameters, shared by the scenario runner's
+/// `time_to_recover` verdict and the E23 chaos rows: arrivals are bucketed
+/// into fixed windows and the fleet counts as recovered from the first
+/// window after which every non-empty window meets the SLO target.
+inline constexpr sim::Cycles kRecoverWindowCycles = 10'000;
+inline constexpr double kRecoverTarget = 0.90;
+
+/// Cycles from `mark` until SLO attainment is *sustained* at or above
+/// `target`: arrivals at or after `mark` are bucketed into
+/// kRecoverWindowCycles windows; the result is the start offset of the
+/// earliest window such that every later non-empty window has
+/// met/jobs >= target. 0 when the fleet never dipped after the mark;
+/// horizon - mark when it never recovers.
+sim::Cycle time_to_recover(const std::vector<ServeJob>& trace,
+                           const std::vector<JobOutcome>& outcomes, sim::Cycle mark,
+                           sim::Cycle horizon, double target = kRecoverTarget);
+
+/// Negated 99th-percentile tardiness (cycles past the deadline, 0 when on
+/// time) over jobs arriving at or after `mark` that actually completed
+/// (met or missed). >= 0 means at most 1% of completions were tardy.
+double p99_slack(const std::vector<ServeJob>& trace, const std::vector<JobOutcome>& outcomes,
+                 sim::Cycle mark);
+
+/// One row of the E23 grid: a fleet shape, a per-job failover budget and a
+/// scripted fault arc. `mark` is the first hit's cycle — recovery metrics
+/// are measured from it (0 for the fault-free control).
+struct FleetChaosPoint {
+  std::string name;
+  unsigned num_shards = 4;
+  unsigned failover_budget = 1;
+  fault::FleetFaultPlan plan{4};
+  sim::Cycle mark = 0;
+};
+
+/// The E23 grid, scripted against the horizon implied by `num_jobs` E22
+/// arrivals: fault-free control, the headline 1-of-4 crash at saturation,
+/// a router partition with stale-completion replay, a staggered double
+/// crash, a zero-budget crash (jobs on the dead shard are lost), and a
+/// seeded random storm (fault::random_fleet_fault_plan).
+std::vector<FleetChaosPoint> fleet_chaos_grid(std::size_t num_jobs);
+
+/// Aggregates of one chaos point.
+struct FleetChaosResult {
+  std::string name;
+  unsigned shards = 0;
+  unsigned failover_budget = 0;
+  std::size_t jobs = 0;
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  double slo_attainment = 0.0;  ///< met / jobs, whole episode
+  double slo_after_mark = 0.0;  ///< met / jobs over arrivals >= mark
+  sim::Cycle makespan = 0;
+  std::uint64_t shard_fails = 0;
+  std::uint64_t shard_partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t failover_redispatches = 0;
+  std::uint64_t failover_requeues = 0;
+  std::uint64_t failover_lost = 0;
+  std::uint64_t stale_completions = 0;
+  sim::Cycle time_to_recover = 0;  ///< cycles from mark (see above)
+  double p99_slack = 0.0;          ///< cycles; >= 0 means <= 1% tardy
+  std::uint64_t soc_violations = 0;
+  std::uint64_t serve_violations = 0;  ///< incl. serve_exactly_once
+};
+
+/// Serve `trace` through one FleetRouter built per `point`, with the
+/// point's fault plan armed as scheduled operators. A check::ProtocolMonitor
+/// watches the fleet trace (serve_isolation + serve_exactly_once); the
+/// recovery.* registry metrics are sampled from the computed verdicts.
+FleetChaosResult run_fleet_chaos_point(const FleetChaosPoint& point,
+                                       const std::vector<ServeJob>& trace,
+                                       const FleetSoakConfig& cfg);
+
+/// "mco-chaos-v1" JSON: one row per grid point, aggregate fields only — the
+/// bench_fleet_chaos golden that determinism tests byte-compare.
+std::string chaos_report_json(const std::vector<FleetChaosResult>& results,
+                              const SoakTraceConfig& trace_cfg);
+
+}  // namespace mco::serve

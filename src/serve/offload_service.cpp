@@ -51,6 +51,11 @@ const char* to_string(OperatorAction a) {
     case OperatorAction::kDrain: return "drain";
     case OperatorAction::kUndrain: return "undrain";
     case OperatorAction::kRestart: return "restart";
+    case OperatorAction::kFail: return "fail";
+    case OperatorAction::kHeal: return "heal";
+    case OperatorAction::kPartition: return "partition";
+    case OperatorAction::kDrainClusters: return "drain_clusters";
+    case OperatorAction::kUndrainClusters: return "undrain_clusters";
   }
   return "?";
 }
@@ -317,6 +322,14 @@ void OffloadService::apply_operator(OperatorAction action, sim::Cycle now) {
     case OperatorAction::kDrain: do_drain(now); break;
     case OperatorAction::kUndrain: do_undrain(now); break;
     case OperatorAction::kRestart: do_restart(now); break;
+    case OperatorAction::kFail:
+    case OperatorAction::kHeal:
+    case OperatorAction::kPartition:
+    case OperatorAction::kDrainClusters:
+    case OperatorAction::kUndrainClusters:
+      throw std::logic_error(util::format(
+          "OffloadService: operator '%s' is fleet-only (needs FleetRouter)",
+          to_string(action)));
   }
 }
 

@@ -105,6 +105,9 @@ struct JobOutcome {
   bool degraded = false;
   unsigned retries = 0;
   unsigned watchdog_timeouts = 0;
+  /// Times the job was re-dispatched to a surviving shard after its shard
+  /// crashed or partitioned (fleet failover; always 0 on a single service).
+  unsigned failovers = 0;
 };
 
 /// What one dispatched offload did, as the service's executor reports it.
@@ -169,11 +172,20 @@ struct ServeConfig {
   sim::Cycles restart_penalty_cycles = 20'000;
 };
 
-/// Operator interventions a scenario can schedule against a service.
+/// Operator interventions a scenario can schedule against a service. The
+/// first three act on a single service or shard cooperatively; the rest are
+/// fleet-level fault-domain events (fault/fleet_fault.h) and cluster-subset
+/// drains that only serve::FleetRouter implements — a plain OffloadService
+/// rejects them at fire time.
 enum class OperatorAction {
   kDrain,    ///< stop admitting; shed the backlog; let in-flight work finish
   kUndrain,  ///< resume admission
   kRestart,  ///< abort in-flight work, rebuild the executor, re-probe everything
+  kFail,       ///< crash-stop the shard: in-flight work lost, jobs fail over
+  kHeal,       ///< bring a crashed/partitioned shard back into service
+  kPartition,  ///< cut the router link: shard runs on, completions invisible
+  kDrainClusters,    ///< drain a cluster subset of one shard
+  kUndrainClusters,  ///< return a drained cluster subset to service
 };
 
 const char* to_string(OperatorAction a);

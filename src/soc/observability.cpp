@@ -208,6 +208,14 @@ const std::vector<MetricInfo>& metric_reference() {
       {"fleet.drain.jobs_shed", "counter"},
       {"fleet.restarts", "counter"},
       {"fleet.restart.aborted_jobs", "counter"},
+      {"fleet.shard_fails", "counter"},
+      {"fleet.shard_partitions", "counter"},
+      {"fleet.shard_heals", "counter"},
+      {"fleet.failover_redispatches", "counter"},
+      {"fleet.failover_requeues", "counter"},
+      {"fleet.failover_lost", "counter"},
+      {"fleet.failover_stale_completions", "counter"},
+      {"recovery.arcs", "counter"},
       // ---- counters: chaos scenarios (scenario::register_scenario_metrics) -
       {"scenario.events", "counter"},
       {"scenario.fault_swaps", "counter"},
@@ -229,6 +237,7 @@ const std::vector<MetricInfo>& metric_reference() {
       {"fleet.batch_size", "histogram"},
       {"fleet.slack_cycles", "histogram"},
       {"fleet.tardiness_cycles", "histogram"},
+      {"recovery.time_to_recover_cycles", "histogram"},
       // ---- spans: host runtime track ---------------------------------------
       {"offload", "span"},
       {"marshal", "span"},

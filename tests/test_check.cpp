@@ -90,9 +90,9 @@ exp::RunPoint make_point(const std::string& label, soc::SocConfig cfg, std::uint
 
 // ---- invariant catalog -----------------------------------------------------
 
-TEST(InvariantReference, ElevenUniquelyNamedInvariants) {
+TEST(InvariantReference, TwelveUniquelyNamedInvariants) {
   const auto& ref = check::invariant_reference();
-  EXPECT_EQ(ref.size(), 11u);
+  EXPECT_EQ(ref.size(), 12u);
   std::set<std::string> names;
   for (const auto& info : ref) {
     EXPECT_NE(info.name, nullptr);

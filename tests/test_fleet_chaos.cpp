@@ -1,0 +1,566 @@
+// Tests for the fleet fault-domain layer: the validated crash/partition/heal
+// plan (fault/fleet_fault.h), FleetRouter failure detection and exactly-once
+// job failover (per-job budget, epoch-tagged idempotence ledger), the
+// serve_exactly_once shadow of check::ProtocolMonitor, the time_to_recover /
+// p99_slack verdict math, and the byte-identity of the E23 chaos report
+// across SweepRunner --jobs levels.
+//
+// Router tests script the Executor seam (FleetFakeExecutor, mirroring
+// test_fleet.cpp) so every failover is an exact virtual-time schedule with
+// hand-computable outcomes; the determinism audit replays the real
+// SocExecutor seam twice and byte-compares the steal/failover interleaving.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/protocol_monitor.h"
+#include "exp/sweep_runner.h"
+#include "fault/fleet_fault.h"
+#include "serve/fleet.h"
+#include "serve/fleet_chaos.h"
+#include "serve/fleet_soak.h"
+#include "serve/soc_executor.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace mco;
+using fault::FleetFaultEvent;
+using fault::FleetFaultKind;
+using fault::FleetFaultPlan;
+using serve::BatchExecutionOutcome;
+using serve::ExecutionOutcome;
+using serve::FleetConfig;
+using serve::FleetRouter;
+using serve::JobOutcome;
+using serve::JobVerdict;
+using serve::ServeJob;
+
+// ---- helpers (mirroring test_fleet.cpp) ------------------------------------
+
+/// Scripted executor for the fleet seam: fixed per-job duration, recorded
+/// execute/execute_batch calls, restart counter.
+class FleetFakeExecutor : public serve::Executor {
+ public:
+  explicit FleetFakeExecutor(sim::Cycles duration = 100) : duration_(duration) {}
+
+  struct Call {
+    std::vector<std::uint64_t> ids;  ///< one id = plain execute(); more = batch
+    unsigned m = 0;
+    bool probe = false;
+  };
+  std::vector<Call> calls;
+  std::uint64_t restarts = 0;
+
+  ExecutionOutcome execute(const ServeJob& job, unsigned m, bool probe) override {
+    calls.push_back({{job.id}, m, probe});
+    ExecutionOutcome out;
+    out.duration = duration_;
+    return out;
+  }
+
+  BatchExecutionOutcome execute_batch(const std::vector<ServeJob>& jobs, unsigned m) override {
+    Call call;
+    for (const ServeJob& j : jobs) call.ids.push_back(j.id);
+    call.m = m;
+    calls.push_back(call);
+    BatchExecutionOutcome out;
+    sim::Cycles offset = 0;
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      ExecutionOutcome one;
+      offset += duration_;
+      one.duration = offset;  // back-to-back completion offsets
+      out.jobs.push_back(one);
+    }
+    return out;
+  }
+
+  void restart() override { ++restarts; }
+
+ private:
+  sim::Cycles duration_;
+};
+
+/// t̂(M, N) = 100 + N/M: admission math is exact integer arithmetic.
+model::RuntimeModel linear_model() {
+  model::RuntimeModel m;
+  m.t0 = 100.0;
+  m.b = 1.0;
+  return m;
+}
+
+FleetConfig config(unsigned shards, unsigned clusters_per_shard, std::size_t max_batch = 1,
+                   bool stealing = false) {
+  FleetConfig cfg;
+  cfg.num_shards = shards;
+  cfg.clusters_per_shard = clusters_per_shard;
+  cfg.model = linear_model();
+  cfg.max_batch = max_batch;
+  cfg.stealing = stealing;
+  return cfg;
+}
+
+ServeJob job(std::uint64_t id, std::uint64_t n, sim::Cycle arrival, sim::Cycles t_max) {
+  ServeJob j;
+  j.id = id;
+  j.n = n;
+  j.arrival = arrival;
+  j.t_max = t_max;
+  return j;
+}
+
+/// Feed one synthetic who=="serve" instant into a monitor.
+void feed(check::ProtocolMonitor& mon, sim::Cycle t, const std::string& what,
+          const std::string& detail) {
+  sim::TraceRecord rec;
+  rec.time = t;
+  rec.who = "serve";
+  rec.what = what;
+  rec.detail = detail;
+  rec.phase = sim::TracePhase::kInstant;
+  mon.observe(rec);
+}
+
+bool has_invariant(const check::ProtocolMonitor& mon, const std::string& name) {
+  return std::any_of(mon.violations().begin(), mon.violations().end(),
+                     [&](const check::Violation& v) { return v.invariant == name; });
+}
+
+// ---- fault plan ------------------------------------------------------------
+
+TEST(FleetFaultPlanTest, KeepsEventsOrderedAndPaired) {
+  FleetFaultPlan plan(4);
+  plan.add_crash(100, 0);
+  plan.add_partition(100, 1);
+  plan.add_heal(200, 1);
+  plan.add_heal(300, 0);
+  const std::vector<FleetFaultEvent>& ev = plan.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].kind, FleetFaultKind::kShardCrash);
+  EXPECT_EQ(ev[0].shard, 0u);
+  EXPECT_EQ(ev[0].at, 100u);
+  EXPECT_EQ(ev[1].kind, FleetFaultKind::kRouterPartition);
+  EXPECT_EQ(ev[1].shard, 1u);
+  EXPECT_EQ(ev[2].kind, FleetFaultKind::kHeal);
+  EXPECT_EQ(ev[2].shard, 1u);
+  EXPECT_EQ(ev[3].kind, FleetFaultKind::kHeal);
+  EXPECT_EQ(ev[3].shard, 0u);
+  for (unsigned s = 0; s < 4; ++s) EXPECT_FALSE(plan.down_at_end(s));
+
+  FleetFaultPlan open(4);
+  open.add_crash(100, 2);
+  EXPECT_TRUE(open.down_at_end(2));
+  EXPECT_FALSE(open.down_at_end(0));
+}
+
+TEST(FleetFaultPlanTest, RejectsImpossibleSequences) {
+  {
+    FleetFaultPlan p(2);
+    EXPECT_THROW(p.add_heal(0, 0), std::invalid_argument);  // heal of an up shard
+  }
+  {
+    FleetFaultPlan p(2);
+    p.add_crash(10, 0);
+    EXPECT_THROW(p.add_crash(20, 0), std::invalid_argument);      // already down
+    EXPECT_THROW(p.add_partition(20, 0), std::invalid_argument);  // already down
+    EXPECT_THROW(p.add_heal(5, 0), std::invalid_argument);        // time went backwards
+  }
+  {
+    FleetFaultPlan p(2);
+    EXPECT_THROW(p.add_crash(10, 5), std::invalid_argument);  // shard out of range
+  }
+}
+
+TEST(FleetFaultPlanTest, RandomPlanIsDeterministicAndAlwaysLeavesASurvivor) {
+  fault::FleetFaultPlanConfig cfg;
+  cfg.seed = 42;
+  cfg.num_shards = 4;
+  cfg.arcs = 3;
+  const FleetFaultPlan a = fault::random_fleet_fault_plan(cfg);
+  const FleetFaultPlan b = fault::random_fleet_fault_plan(cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  std::size_t down = 0;
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].shard, b.events()[i].shard);
+    if (a.events()[i].kind == FleetFaultKind::kHeal) {
+      --down;
+    } else {
+      ++down;
+      EXPECT_LT(down, 4u) << "every prefix must leave at least one shard up";
+    }
+  }
+  EXPECT_EQ(down, 0u) << "a random plan must end with every shard up";
+  for (unsigned s = 0; s < 4; ++s) EXPECT_FALSE(a.down_at_end(s));
+
+  cfg.arcs = 4;  // would allow all shards down at once
+  EXPECT_THROW(fault::random_fleet_fault_plan(cfg), std::invalid_argument);
+}
+
+// ---- router failover -------------------------------------------------------
+
+TEST(FleetFailover, CrashFailsOverInFlightAndQueuedJobsExactlyOnce) {
+  // One cluster per shard, so round-robin at t=0 leaves j1 in flight on
+  // shard 0, j2 on shard 1, j3 queued on shard 0 and j4 on shard 1. The
+  // crash at t=50 displaces j1 (in-flight -> redispatch) and j3 (queued ->
+  // requeue) onto the survivor; everyone meets the (generous) deadline.
+  FleetFakeExecutor e0, e1;
+  FleetRouter fleet(config(2, 1), {&e0, &e1});
+  fleet.schedule_operator(50, serve::OperatorAction::kFail, 0);
+  fleet.schedule_operator(10'000, serve::OperatorAction::kHeal, 0);
+  const std::vector<ServeJob> jobs = {job(1, 100, 0, 100'000), job(2, 100, 0, 100'000),
+                                      job(3, 100, 0, 100'000), job(4, 100, 0, 100'000)};
+  const std::vector<JobOutcome> out = fleet.run(jobs);
+
+  EXPECT_EQ(fleet.shard_fails(), 1u);
+  EXPECT_EQ(fleet.heals(), 1u);
+  EXPECT_EQ(fleet.failover_redispatches(), 1u);
+  EXPECT_EQ(fleet.failover_requeues(), 1u);
+  EXPECT_EQ(fleet.failover_lost(), 0u);
+  EXPECT_EQ(fleet.stale_completions(), 0u);
+  ASSERT_EQ(out.size(), 4u);
+  for (const JobOutcome& o : out) EXPECT_EQ(o.verdict, JobVerdict::kMet) << o.job_id;
+  EXPECT_EQ(out[0].failovers, 1u);
+  EXPECT_EQ(out[1].failovers, 0u);
+  EXPECT_EQ(out[2].failovers, 1u);
+  EXPECT_EQ(out[3].failovers, 0u);
+  // The displaced jobs re-executed on the survivor, never twice on shard 0.
+  auto served = [](const FleetFakeExecutor& e, std::uint64_t id) {
+    return std::count_if(e.calls.begin(), e.calls.end(), [&](const FleetFakeExecutor::Call& c) {
+      return !c.probe && std::find(c.ids.begin(), c.ids.end(), id) != c.ids.end();
+    });
+  };
+  EXPECT_EQ(served(e0, 1), 1);  // the attempt the crash killed
+  EXPECT_EQ(served(e1, 1), 1);
+  EXPECT_EQ(served(e0, 3), 0);  // queued: never reached shard 0's executor
+  EXPECT_EQ(served(e1, 3), 1);
+  // Heal after a crash is a cold boot: the executor restarts, the fabric
+  // re-enters through canary probation.
+  EXPECT_EQ(e0.restarts, 1u);
+  EXPECT_EQ(e1.restarts, 0u);
+}
+
+TEST(FleetFailover, ExhaustedBudgetLosesTheDisplacedJobs) {
+  FleetFakeExecutor e0, e1;
+  FleetConfig cfg = config(2, 1);
+  cfg.failover_budget = 0;
+  FleetRouter fleet(cfg, {&e0, &e1});
+  fleet.schedule_operator(50, serve::OperatorAction::kFail, 0);
+  const std::vector<ServeJob> jobs = {job(1, 100, 0, 100'000), job(2, 100, 0, 100'000),
+                                      job(3, 100, 0, 100'000), job(4, 100, 0, 100'000)};
+  const std::vector<JobOutcome> out = fleet.run(jobs);
+
+  EXPECT_EQ(fleet.failover_lost(), 2u);
+  EXPECT_EQ(fleet.failover_redispatches(), 0u);
+  EXPECT_EQ(fleet.failover_requeues(), 0u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kFailed);
+  EXPECT_EQ(out[0].reason, "shard_lost");
+  EXPECT_EQ(out[2].verdict, JobVerdict::kFailed);
+  EXPECT_EQ(out[2].reason, "shard_lost");
+  EXPECT_EQ(out[1].verdict, JobVerdict::kMet);
+  EXPECT_EQ(out[3].verdict, JobVerdict::kMet);
+  EXPECT_EQ(e0.restarts, 0u);
+}
+
+TEST(FleetFailover, PartitionRepliesStaleCompletionsThroughTheEpochLedger) {
+  // The partitioned shard keeps executing j1 behind the cut link; the router
+  // fails j1 over immediately, so the buffered completion replayed at heal
+  // must be suppressed by the epoch ledger — under a clean monitor audit.
+  FleetFakeExecutor e0, e1;
+  FleetRouter fleet(config(2, 1), {&e0, &e1});
+  check::ProtocolMonitor mon;
+  fleet.trace().set_observer([&mon](const sim::TraceRecord& rec) { mon.observe(rec); });
+  fleet.schedule_operator(50, serve::OperatorAction::kPartition, 0);
+  fleet.schedule_operator(300, serve::OperatorAction::kHeal, 0);
+  const std::vector<ServeJob> jobs = {job(1, 100, 0, 100'000), job(2, 100, 0, 100'000),
+                                      job(3, 100, 0, 100'000), job(4, 100, 0, 100'000)};
+  const std::vector<JobOutcome> out = fleet.run(jobs);
+  mon.finish();
+
+  EXPECT_EQ(fleet.shard_partitions(), 1u);
+  EXPECT_EQ(fleet.heals(), 1u);
+  EXPECT_EQ(fleet.failover_redispatches(), 1u);
+  EXPECT_EQ(fleet.failover_requeues(), 1u);
+  EXPECT_EQ(fleet.stale_completions(), 1u);
+  EXPECT_EQ(fleet.failover_lost(), 0u);
+  for (const JobOutcome& o : out) EXPECT_EQ(o.verdict, JobVerdict::kMet) << o.job_id;
+  // A partition heal is not a cold boot: the fabric was healthy all along.
+  EXPECT_EQ(e0.restarts, 0u);
+  EXPECT_TRUE(mon.clean()) << mon.to_json();
+}
+
+// ---- the serve_exactly_once shadow -----------------------------------------
+
+TEST(FleetExactlyOnce, CleanFailoverStoryHasNoViolations) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=4 batch=0 clusters=0");
+  feed(mon, 50, "serve_fail", "shard=0 inflight=1 queued=0");
+  feed(mon, 50, "serve_failover", "job=1 epoch=1 from=0");
+  feed(mon, 50, "serve_dispatch", "job=1 shard=1 m=4 batch=0 clusters=0");
+  feed(mon, 150, "serve_complete", "job=1 shard=1 clusters=0");
+  feed(mon, 300, "serve_heal", "shard=0 mode=crash");
+  mon.finish();
+  EXPECT_TRUE(mon.clean()) << mon.to_json();
+}
+
+TEST(FleetExactlyOnce, RetiringAJobTwiceIsAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=4 batch=0 clusters=0");
+  feed(mon, 20, "serve_complete", "job=1 shard=0 clusters=0");
+  feed(mon, 30, "serve_complete", "job=1 shard=0");
+  mon.finish();
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_TRUE(has_invariant(mon, "serve_exactly_once")) << mon.to_json();
+}
+
+TEST(FleetExactlyOnce, FailoverOfARetiredJobIsAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=4 batch=0 clusters=0");
+  feed(mon, 20, "serve_complete", "job=1 shard=0 clusters=0");
+  feed(mon, 50, "serve_fail", "shard=0 inflight=0 queued=0");
+  feed(mon, 50, "serve_failover", "job=1 epoch=1 from=0");
+  mon.finish();
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_TRUE(has_invariant(mon, "serve_exactly_once")) << mon.to_json();
+}
+
+TEST(FleetExactlyOnce, FailoverThatJumpsAnEpochIsAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=4 batch=0 clusters=0");
+  feed(mon, 50, "serve_fail", "shard=0 inflight=1 queued=0");
+  feed(mon, 50, "serve_failover", "job=1 epoch=2 from=0");
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_TRUE(has_invariant(mon, "serve_exactly_once")) << mon.to_json();
+}
+
+TEST(FleetExactlyOnce, StaleCompletionMustNotSuppressALiveEpoch) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=4 batch=0 clusters=0");
+  feed(mon, 50, "serve_fail", "shard=0 inflight=1 queued=0");
+  feed(mon, 50, "serve_failover", "job=1 epoch=1 from=0");
+  feed(mon, 50, "serve_dispatch", "job=1 shard=1 m=4 batch=0 clusters=0");
+  // A genuinely stale completion (epoch 0 < live epoch 1) is suppressed
+  // silently…
+  feed(mon, 120, "serve_stale_completion", "job=1 epoch=0 shard=0 batch_pos=0");
+  EXPECT_EQ(mon.total_violations(), 0u);
+  // …but one tagged with the live epoch would swallow the active attempt.
+  feed(mon, 130, "serve_stale_completion", "job=1 epoch=1 shard=0 batch_pos=0");
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_TRUE(has_invariant(mon, "serve_exactly_once")) << mon.to_json();
+}
+
+TEST(FleetExactlyOnce, JobThatNeverRetiresIsCaughtAtFinish) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=4 batch=0 clusters=0");
+  mon.finish();
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_TRUE(has_invariant(mon, "serve_exactly_once")) << mon.to_json();
+}
+
+TEST(FleetExactlyOnce, HealOfAServingShardIsAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_heal", "shard=0 mode=crash");
+  EXPECT_GE(mon.total_violations(), 1u);
+}
+
+// ---- steal vs. crash/restart interleaving (determinism audit) --------------
+
+TEST(FleetChaosDeterminism, StealAndFailoverInterleavingIsAPureFunctionOfTheTrace) {
+  // Two independent replays of the same saturating trace — with a shard
+  // crash/heal arc and a rolling restart spliced into the middle — must emit
+  // byte-identical steal/failover/fault record streams and verdicts.
+  serve::SoakTraceConfig tc = serve::fleet_trace_config(200);
+  serve::FleetSoakConfig cfg;
+  const std::vector<ServeJob> trace = serve::generate_trace(tc, cfg.model);
+  auto replay = [&]() {
+    std::vector<std::unique_ptr<serve::SocExecutor>> execs;
+    std::vector<serve::Executor*> ptrs;
+    for (unsigned s = 0; s < 2; ++s) {
+      serve::SocExecutorConfig xc;
+      xc.soc = soc::SocConfig::extended(cfg.clusters_per_shard);
+      xc.tolerance = cfg.tolerance;
+      xc.workload_seed = cfg.workload_seed + s;
+      xc.crash_penalty_cycles = cfg.crash_penalty_cycles;
+      execs.push_back(std::make_unique<serve::SocExecutor>(xc));
+      ptrs.push_back(execs.back().get());
+    }
+    serve::FleetConfig fc;
+    fc.num_shards = 2;
+    fc.clusters_per_shard = cfg.clusters_per_shard;
+    fc.model = cfg.model;
+    fc.max_queue = cfg.max_queue;
+    fc.max_clusters_per_job = cfg.max_clusters_per_job;
+    fc.health = cfg.health;
+    FleetRouter fleet(fc, ptrs);
+    FleetFaultPlan plan(2);
+    plan.add_crash(10'000, 0);
+    plan.add_heal(25'000, 0);
+    fleet.schedule_plan(plan);
+    fleet.schedule_operator(32'000, serve::OperatorAction::kRestart, 1);
+    std::vector<std::string> records;
+    fleet.trace().set_observer([&records](const sim::TraceRecord& rec) {
+      if (rec.what == "serve_steal" || rec.what == "serve_fail" || rec.what == "serve_heal" ||
+          rec.what == "serve_failover" || rec.what == "serve_stale_completion" ||
+          rec.what == "serve_restart") {
+        records.push_back(std::to_string(rec.time) + " " + rec.what + " " + rec.detail);
+      }
+    });
+    const std::vector<JobOutcome> out = fleet.run(trace);
+    for (const JobOutcome& o : out) {
+      records.push_back("verdict " + std::to_string(o.job_id) + " " +
+                        std::string(serve::to_string(o.verdict)) + " " +
+                        std::to_string(o.failovers));
+    }
+    return records;
+  };
+  const std::vector<std::string> first = replay();
+  const std::vector<std::string> second = replay();
+  EXPECT_EQ(first, second);
+  auto count = [&](const std::string& what) {
+    return std::count_if(first.begin(), first.end(), [&](const std::string& r) {
+      return r.find(" " + what + " ") != std::string::npos;
+    });
+  };
+  EXPECT_EQ(count("serve_fail"), 1);
+  EXPECT_EQ(count("serve_restart"), 1);
+  EXPECT_GE(count("serve_failover"), 1);
+}
+
+// ---- recovery verdict math -------------------------------------------------
+
+JobOutcome outcome(std::uint64_t id, JobVerdict verdict, sim::Cycle end) {
+  JobOutcome o;
+  o.job_id = id;
+  o.verdict = verdict;
+  o.end = end;
+  return o;
+}
+
+TEST(RecoveryMath, TimeToRecoverIsZeroWhenTheFleetNeverDips) {
+  std::vector<ServeJob> trace;
+  std::vector<JobOutcome> outs;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    trace.push_back(job(i, 100, i * 5'000, 1'000));
+    outs.push_back(outcome(i, JobVerdict::kMet, i * 5'000 + 500));
+  }
+  EXPECT_EQ(serve::time_to_recover(trace, outs, 0, 30'000), 0u);
+}
+
+TEST(RecoveryMath, TimeToRecoverEndsAtTheLastBadWindow) {
+  // Windows of 10k cycles from the mark: window 0 meets the target, window 1
+  // misses it, windows 2..3 meet it again — recovery is sustained from the
+  // start of window 2, i.e. 20k cycles after the mark.
+  std::vector<ServeJob> trace = {job(1, 100, 1'000, 1'000),  job(2, 100, 2'000, 1'000),
+                                 job(3, 100, 11'000, 1'000), job(4, 100, 12'000, 1'000),
+                                 job(5, 100, 21'000, 1'000), job(6, 100, 30'000, 1'000)};
+  std::vector<JobOutcome> outs = {
+      outcome(1, JobVerdict::kMet, 1'500),     outcome(2, JobVerdict::kMet, 2'500),
+      outcome(3, JobVerdict::kMissed, 15'000), outcome(4, JobVerdict::kMissed, 16'000),
+      outcome(5, JobVerdict::kMet, 21'500),    outcome(6, JobVerdict::kMet, 30'500)};
+  EXPECT_EQ(serve::time_to_recover(trace, outs, 0, 30'000), 20'000u);
+  // Jobs before the mark are out of scope: measured from 10k the bad window
+  // is window 0 and recovery starts one window later.
+  EXPECT_EQ(serve::time_to_recover(trace, outs, 10'000, 30'000), 10'000u);
+}
+
+TEST(RecoveryMath, TimeToRecoverSaturatesWhenTheFleetNeverRecovers) {
+  // The final non-empty window misses the target: the fleet never sustains
+  // the SLO again, so the verdict saturates at horizon - mark.
+  std::vector<ServeJob> trace = {job(1, 100, 1'000, 1'000), job(2, 100, 29'000, 1'000)};
+  std::vector<JobOutcome> outs = {outcome(1, JobVerdict::kMet, 1'500),
+                                  outcome(2, JobVerdict::kMissed, 32'000)};
+  EXPECT_EQ(serve::time_to_recover(trace, outs, 0, 30'000), 30'000u);
+}
+
+TEST(RecoveryMath, P99SlackIsZeroWhenCompletionsAreOnTime) {
+  std::vector<ServeJob> trace;
+  std::vector<JobOutcome> outs;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    trace.push_back(job(i, 100, i * 10, 1'000));
+    outs.push_back(outcome(i, JobVerdict::kMet, i * 10 + 500));
+  }
+  EXPECT_DOUBLE_EQ(serve::p99_slack(trace, outs, 0), 0.0);
+}
+
+TEST(RecoveryMath, P99SlackGoesNegativeWhenMoreThanOnePercentAreTardy)  {
+  // 98 on-time completions and 2 tardy by exactly 8000 cycles: the p99
+  // tardiness is 8000, so the slack verdict is -8000.
+  std::vector<ServeJob> trace;
+  std::vector<JobOutcome> outs;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    trace.push_back(job(i, 100, 0, 1'000));
+    const bool tardy = i >= 98;
+    outs.push_back(outcome(i, tardy ? JobVerdict::kMissed : JobVerdict::kMet,
+                           tardy ? 9'000 : 500));
+  }
+  EXPECT_DOUBLE_EQ(serve::p99_slack(trace, outs, 0), -8'000.0);
+  // Jobs that never completed (shed / failed) are excluded from the sample.
+  outs[98].verdict = JobVerdict::kFailed;
+  outs[99].verdict = JobVerdict::kShed;
+  EXPECT_DOUBLE_EQ(serve::p99_slack(trace, outs, 0), 0.0);
+}
+
+// ---- the E23 grid ----------------------------------------------------------
+
+TEST(FleetChaosGrid, CoversTheScriptedFaultArcs) {
+  const std::vector<serve::FleetChaosPoint> grid = serve::fleet_chaos_grid(600);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].name, "control");
+  EXPECT_EQ(grid[1].name, "crash_1of4");
+  EXPECT_EQ(grid[2].name, "partition_1of4");
+  EXPECT_EQ(grid[3].name, "crash_2of4");
+  EXPECT_EQ(grid[4].name, "crash_budget0");
+  EXPECT_EQ(grid[5].name, "storm");
+  EXPECT_TRUE(grid[0].plan.empty());
+  EXPECT_EQ(grid[4].failover_budget, 0u);
+  for (const serve::FleetChaosPoint& p : grid) {
+    EXPECT_EQ(p.num_shards, 4u) << p.name;
+    if (!p.plan.empty()) EXPECT_GT(p.mark, 0u) << p.name;
+  }
+}
+
+TEST(FleetChaosGrid, PointsRunCleanUnderTheMonitors) {
+  serve::SoakTraceConfig tc = serve::fleet_trace_config(150);
+  serve::FleetSoakConfig cfg;
+  const std::vector<ServeJob> trace = serve::generate_trace(tc, cfg.model);
+  for (const serve::FleetChaosPoint& pt : serve::fleet_chaos_grid(150)) {
+    const serve::FleetChaosResult r = serve::run_fleet_chaos_point(pt, trace, cfg);
+    EXPECT_EQ(r.soc_violations, 0u) << pt.name;
+    EXPECT_EQ(r.serve_violations, 0u) << pt.name;
+    EXPECT_EQ(r.met + r.missed + r.shed + r.failed, r.jobs) << pt.name;
+    if (pt.name == "crash_1of4") {
+      EXPECT_EQ(r.shard_fails, 1u);
+      EXPECT_EQ(r.failover_lost, 0u);
+      EXPECT_GE(r.failover_redispatches + r.failover_requeues, 1u);
+    }
+    if (pt.name == "partition_1of4") EXPECT_EQ(r.shard_partitions, 1u);
+  }
+}
+
+TEST(FleetChaosReport, IsByteIdenticalAcrossJobsLevels) {
+  serve::SoakTraceConfig tc = serve::fleet_trace_config(120);
+  serve::FleetSoakConfig cfg;
+  const std::vector<ServeJob> trace = serve::generate_trace(tc, cfg.model);
+  const std::vector<serve::FleetChaosPoint> grid = serve::fleet_chaos_grid(120);
+  auto report_at = [&](unsigned jobs) {
+    exp::SweepRunner runner(jobs);
+    const std::vector<serve::FleetChaosResult> results =
+        runner.map(grid, [&](const serve::FleetChaosPoint& pt) {
+          return serve::run_fleet_chaos_point(pt, trace, cfg);
+        });
+    return serve::chaos_report_json(results, tc);
+  };
+  const std::string at1 = report_at(1);
+  EXPECT_EQ(at1, report_at(4));
+  EXPECT_EQ(at1, report_at(16));
+}
+
+}  // namespace

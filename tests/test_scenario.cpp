@@ -191,9 +191,9 @@ TEST(ScenarioParse, RejectsInvertedRanges) {
 }
 
 TEST(ScenarioParse, RejectsTrailingOperatorArguments) {
-  // Operator verbs accept only the optional shard=<k> argument.
+  // Operator verbs accept only their declared key=value arguments.
   expect_error("horizon = 1000\nat 0 drain slowly\n", "unknown argument 'slowly'");
-  expect_error("horizon = 1000\nat 0 restart now please\n", "unexpected trailing arguments");
+  expect_error("horizon = 1000\nat 0 restart now please\n", "unknown argument 'now'");
 }
 
 TEST(ScenarioParse, RejectsDuplicateMarks) {
@@ -246,6 +246,157 @@ TEST(ScenarioFuzz, SeededMutationCorpusNeverCrashes) {
   EXPECT_GT(rejected, 0u);  // the corpus does exercise error paths
 }
 
+// ---- fleet fault-domain verbs ----------------------------------------------
+
+const char* kFleetValid = R"(# fleet chaos scenario
+name = fleet_parse
+shards = 4
+clusters = 8
+seed = 3
+horizon = 400us
+
+at 0 traffic burst gap=400..1200
+at 50us drain clusters=0,1 shard=3
+at 90us undrain clusters=0,1 shard=3
+at 100us mark hit
+at 100us fail shard=1
+at 120us partition shard=2
+at 160us heal shard=1
+at 180us heal shard=2
+at 200us restart shard=* stagger=30us
+expect failed == 0
+expect time_to_recover <= 60000 after hit
+expect p99_slack >= -1000 after hit
+expect violations == 0
+)";
+
+TEST(ScenarioParseFleet, FullFaultDomainDialectRoundTrip) {
+  const ScenarioSpec s = load_scenario_text(kFleetValid);
+  EXPECT_EQ(s.shards, 4u);
+  EXPECT_TRUE(s.needs_fleet());
+
+  // 1 traffic + 2 cluster drains + 1 mark + fail/partition/2 heals + the
+  // 4-shard rolling-restart expansion.
+  ASSERT_EQ(s.events.size(), 12u);
+  EXPECT_EQ(s.events[1].kind, ScenarioEventKind::kDrainClusters);
+  EXPECT_EQ(s.events[1].shard, 3u);
+  EXPECT_EQ(s.events[1].clusters, (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(s.events[2].kind, ScenarioEventKind::kUndrainClusters);
+  EXPECT_EQ(s.events[4].kind, ScenarioEventKind::kFail);
+  EXPECT_EQ(s.events[4].shard, 1u);
+  EXPECT_EQ(s.events[5].kind, ScenarioEventKind::kPartition);
+  EXPECT_EQ(s.events[5].shard, 2u);
+  EXPECT_EQ(s.events[6].kind, ScenarioEventKind::kHeal);
+  EXPECT_EQ(s.events[7].kind, ScenarioEventKind::kHeal);
+
+  // The wave expands at parse time: shard s restarts at 200us + s*30us.
+  for (unsigned i = 8; i < 12; ++i) {
+    EXPECT_EQ(s.events[i].kind, ScenarioEventKind::kRestart);
+    EXPECT_EQ(s.events[i].shard, i - 8);
+    EXPECT_EQ(s.events[i].at, 200'000u + (i - 8) * 30'000u);
+  }
+
+  ASSERT_EQ(s.verdicts.size(), 4u);
+  EXPECT_EQ(s.verdicts[1].metric, "time_to_recover");
+  EXPECT_EQ(s.verdicts[1].after, "hit");
+  EXPECT_EQ(s.verdicts[2].metric, "p99_slack");
+}
+
+TEST(ScenarioParseFleet, StaggerDefaultsToTheRestartPenalty) {
+  const ScenarioSpec s = load_scenario_text(
+      "shards = 2\nrestart_penalty = 25us\nhorizon = 200us\n"
+      "at 0 traffic steady\nat 100us restart shard=*\n");
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[1].at, 100'000u);
+  EXPECT_EQ(s.events[2].at, 125'000u);
+}
+
+TEST(ScenarioParseFleet, FaultDomainVerbsForceTheFleetPathAtOneShard) {
+  const ScenarioSpec s = load_scenario_text(
+      "horizon = 1000\nat 0 traffic steady\nat 10 fail\nat 500 heal\n");
+  EXPECT_EQ(s.shards, 1u);
+  EXPECT_TRUE(s.needs_fleet());
+  EXPECT_FALSE(load_scenario_text("horizon = 1000\nat 0 traffic steady\n").needs_fleet());
+}
+
+TEST(ScenarioParseFleet, RejectsUnpairedFaultArcs) {
+  expect_error("shards = 2\nhorizon = 1000\nat 0 fail shard=1\nat 10 fail shard=1\n",
+               "fail: shard 1 is already down");
+  expect_error("shards = 2\nhorizon = 1000\nat 0 heal shard=1\n", "heal: shard 1 is not down");
+  expect_error("shards = 2\nhorizon = 1000\nat 0 fail shard=1\nat 10 partition shard=1\n",
+               "partition: shard 1 is already down");
+}
+
+TEST(ScenarioParseFleet, RejectsOperatorsOnADownShard) {
+  expect_error("shards = 2\nhorizon = 1000\nat 0 fail shard=1\nat 10 restart shard=1\n",
+               "restart: shard 1 is down (heal it first)");
+  expect_error("shards = 2\nhorizon = 1000\nat 0 fail shard=1\nat 10 drain shard=1\n",
+               "drain: shard 1 is down (heal it first)");
+  expect_error("shards = 2\nhorizon = 1000\nat 0 partition shard=0\nat 10 restart shard=*\n",
+               "restart: shard 0 is down (heal it first)");
+}
+
+TEST(ScenarioParseFleet, RejectsMisusedWaveArguments) {
+  expect_error("shards = 2\nhorizon = 1000\nat 0 restart stagger=10\n",
+               "restart: stagger requires shard=*");
+  expect_error("shards = 2\nhorizon = 1000\nat 0 drain shard=*\n",
+               "drain: shard=* is only valid with restart");
+  expect_error("shards = 2\nhorizon = 1000\nat 0 fail shard=7\n",
+               "fail: shard 7 out of range (shards = 2)");
+  expect_error("shards = 2\nhorizon = 1000\nat 0 restart clusters=0\n",
+               "restart: unknown argument 'clusters=0'");
+}
+
+TEST(ScenarioParseFleet, RejectsBadClusterLists) {
+  expect_error("clusters = 4\nhorizon = 1000\nat 0 drain clusters=0,,1\n",
+               "malformed cluster list");
+  expect_error("clusters = 4\nhorizon = 1000\nat 0 drain clusters=0,9\n",
+               "drain: cluster 9 out of range (clusters = 4)");
+  expect_error("clusters = 4\nhorizon = 1000\nat 0 drain clusters=1,1\n",
+               "drain: duplicate cluster 1 in list");
+  expect_error("clusters = 4\nhorizon = 1000\nat 0 undrain clusters=1\n",
+               "undrain: cluster 1 of shard 0 is not drained");
+  expect_error(
+      "clusters = 4\nhorizon = 1000\nat 0 drain clusters=1\nat 10 drain clusters=1\n",
+      "drain: cluster 1 of shard 0 is already drained");
+}
+
+TEST(ScenarioFleetFuzz, SeededMutationCorpusNeverCrashes) {
+  // Same discipline as ScenarioFuzz, over the fleet fault-domain dialect:
+  // 200 seeded mutants of the valid fleet scenario must parse or reject
+  // with a diagnostic — never crash. Mutations concentrate on the verbs'
+  // pairing state (fail/heal, drain/undrain clusters) and the wave syntax.
+  const std::string valid = kFleetValid;
+  sim::Rng rng(0xF1EE7C4405ull);
+  const std::string charset = "abcdefghijklmnopqrstuvwxyz0123456789.,=*# \nat-";
+  unsigned parsed = 0, rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string text = valid;
+    const unsigned op = static_cast<unsigned>(rng.next_below(4));
+    if (op == 0 && !text.empty()) {  // truncate mid-file
+      text.resize(rng.next_below(text.size()));
+    } else if (op == 1 && !text.empty()) {  // corrupt one byte
+      text[rng.next_below(text.size())] = charset[rng.next_below(charset.size())];
+    } else if (op == 2 && !text.empty()) {  // delete a span
+      const std::size_t at = rng.next_below(text.size());
+      text.erase(at, rng.next_below(16) + 1);
+    } else {  // splice random garbage
+      std::string junk;
+      for (unsigned k = 0; k < 12; ++k) junk += charset[rng.next_below(charset.size())];
+      text.insert(text.empty() ? 0 : rng.next_below(text.size()), junk);
+    }
+    try {
+      (void)load_scenario_text(text);
+      ++parsed;
+    } catch (const std::exception& e) {
+      EXPECT_NE(e.what()[0], '\0') << "empty diagnostic for fleet mutant " << i;
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 200u);
+  EXPECT_GT(rejected, 0u);
+}
+
 // ---- trace generation -------------------------------------------------------
 
 TEST(ScenarioTrace, IsDeterministicAndPhaseDirected) {
@@ -293,12 +444,16 @@ TEST(ScenarioVerdicts, OperatorTableIsExact) {
 
 // ---- keyword inventory ------------------------------------------------------
 
-TEST(ScenarioKeywords, NamesAreUniqueAndKindsAreKnown) {
+TEST(ScenarioKeywords, NamesAreUniquePerKindAndKindsAreKnown) {
+  // A name may legitimately appear under two kinds ("clusters" is both the
+  // shard-count header and the drain verb's cluster-set argument), but never
+  // twice under the same kind.
   const std::set<std::string> kinds = {"header", "verb", "profile", "preset", "arg", "metric"};
-  std::set<std::string> seen;
+  std::set<std::pair<std::string, std::string>> seen;
   for (const auto& k : scenario::scenario_keyword_reference()) {
     EXPECT_TRUE(kinds.count(k.kind)) << k.kind;
-    EXPECT_TRUE(seen.insert(k.name).second) << "duplicate keyword " << k.name;
+    EXPECT_TRUE(seen.insert({k.name, k.kind}).second)
+        << "duplicate keyword " << k.name << " (" << k.kind << ")";
   }
   EXPECT_GE(seen.size(), 40u);
 }
@@ -323,10 +478,12 @@ TEST(ScenarioKeywords, EveryParserVerbAndProfileIsListed) {
     if (std::string(k.kind) == "profile") profiles.insert(k.name);
     if (std::string(k.kind) == "metric") metrics.insert(k.name);
   }
-  for (const char* v : {"traffic", "inject", "drain", "undrain", "restart", "mark"})
+  for (const char* v : {"traffic", "inject", "drain", "undrain", "restart", "mark", "fail",
+                        "heal", "partition"})
     EXPECT_TRUE(verbs.count(v)) << v;
   for (const char* p : {"steady", "burst", "lull", "mix"}) EXPECT_TRUE(profiles.count(p)) << p;
-  for (const char* m : {"slo_met", "violations", "restarts", "drains", "makespan"})
+  for (const char* m : {"slo_met", "violations", "restarts", "drains", "makespan",
+                        "time_to_recover", "p99_slack"})
     EXPECT_TRUE(metrics.count(m)) << m;
 }
 
@@ -373,7 +530,11 @@ TEST(ScenarioCatalog, EveryShippedFileParses) {
                          "credit_storm.scn",
                          "straggler_redistribution.scn",
                          "deadline_storm_shed.scn",
-                         "restart_during_inflight.scn"};
+                         "restart_during_inflight.scn",
+                         "shard_crash_failover.scn",
+                         "partition_heal_stale.scn",
+                         "rolling_restart_wave.scn",
+                         "partial_cluster_drain.scn"};
   for (const char* f : files) {
     SCOPED_TRACE(f);
     ScenarioSpec s;
