@@ -1,0 +1,169 @@
+// E24 — end-to-end integrity: silent-data-corruption pressure against an
+// attested fleet, with escape-rate and attestation-overhead accounting.
+//
+// One seeded job trace (the E22 generator, serve::fleet_trace_config) is
+// served by a 4-shard serve::FleetRouter per grid point while shard 0's Soc
+// silently corrupts offload results at a scripted per-chunk rate: the clean
+// control, a payload-flip dose-response (low/high), the mix of every
+// digest-detectable mode, the checksum-blind stale-read row backstopped by
+// a full audit, a sampled-audit flip row, and the attestation-off ablation.
+// Reported per point: detections, escapes, disjoint re-executions,
+// integrity_failed retirements, audit traffic, breaker quarantines, the
+// attestation bill (verify cycles, % of makespan) and the invariant audits
+// — serve_integrity proves no corrupted result was delivered while checks
+// were on. The "mco-integrity-v1" document is byte-compared across --jobs
+// levels by tests/test_integrity.cpp.
+//
+// Point-level parallelism uses exp::SweepRunner::map with index-addressed
+// slots; each point's replay is serial and virtual-time deterministic, so
+// every table, the machine-readable [integrity] lines and the report
+// document are byte-identical for any --jobs.
+//
+// Extra flags (stripped before benchmark::Initialize):
+//   --integrity-jobs=N   jobs in the generated trace (default 600)
+//   --report-out=F       write the "mco-integrity-v1" JSON report to F
+#include "bench_common.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "serve/fleet_integrity.h"
+
+namespace {
+
+using namespace mco;
+using namespace mco::bench;
+
+void run_e24(exp::SweepRunner& runner, std::size_t integrity_jobs,
+             const std::string& report_out) {
+  banner("E24: end-to-end integrity — silent corruption, attestation, audits",
+         "seeded SDC pressure on one shard of an attested 4-shard fleet");
+
+  serve::SoakTraceConfig trace_cfg = serve::fleet_trace_config(integrity_jobs);
+  trace_cfg.seed = kSeed;
+  serve::FleetSoakConfig run_cfg;
+  const std::vector<serve::ServeJob> trace = serve::generate_trace(trace_cfg, run_cfg.model);
+  const std::vector<serve::FleetIntegrityPoint> grid = serve::fleet_integrity_grid();
+
+  const std::vector<serve::FleetIntegrityResult> results =
+      runner.map(grid, [&](const serve::FleetIntegrityPoint& pt) {
+        serve::FleetIntegrityResult r = serve::run_fleet_integrity_point(pt, trace, run_cfg);
+        runner.note_cycles(r.makespan);
+        return r;
+      });
+
+  util::TablePrinter table({"point", "checks", "audit", "rate", "met", "SLO %", "detected",
+                            "escapes", "retries", "audits", "quar", "verify %",
+                            "violations"});
+  std::uint64_t violations = 0;
+  for (const serve::FleetIntegrityResult& r : results) {
+    violations += r.soc_violations + r.serve_violations;
+    table.add_row({r.name, r.checks ? "on" : "off", fmt_fix(r.audit_fraction, 2),
+                   fmt_fix(r.rate, 3), fmt_u64(r.met), fmt_fix(100.0 * r.slo_attainment, 1),
+                   fmt_u64(r.detected), fmt_u64(r.escapes), fmt_u64(r.integrity_retries),
+                   fmt_u64(r.audits), fmt_u64(r.quarantines), fmt_fix(r.overhead_pct, 3),
+                   fmt_u64(r.soc_violations + r.serve_violations)});
+  }
+  table.print(std::cout);
+
+  // Machine-readable lines for scripts/bench_report.py and the
+  // metrics_regression.py anchor (virtual-time only).
+  for (const serve::FleetIntegrityResult& r : results) {
+    std::printf(
+        "[integrity] point=%s checks=%d audit=%.2f rate=%.3f slo=%.4f detected=%llu "
+        "escapes=%llu retries=%llu int_failed=%llu audits=%llu mismatches=%llu "
+        "quarantines=%llu verify_cycles=%llu overhead_pct=%.3f violations=%llu\n",
+        r.name.c_str(), r.checks ? 1 : 0, r.audit_fraction, r.rate, r.slo_attainment,
+        static_cast<unsigned long long>(r.detected),
+        static_cast<unsigned long long>(r.escapes),
+        static_cast<unsigned long long>(r.integrity_retries),
+        static_cast<unsigned long long>(r.integrity_failed),
+        static_cast<unsigned long long>(r.audits),
+        static_cast<unsigned long long>(r.audit_mismatches),
+        static_cast<unsigned long long>(r.quarantines),
+        static_cast<unsigned long long>(r.verify_cycles), r.overhead_pct,
+        static_cast<unsigned long long>(r.soc_violations + r.serve_violations));
+  }
+
+  // The E24 acceptance line: with checks on, NOTHING corrupt may be
+  // delivered at any rate; the blind ablation must leak (that contrast is
+  // the evidence the layer earns its verify cycles).
+  std::uint64_t checked_escapes = 0;
+  std::uint64_t checked_detected = 0;
+  std::uint64_t blind_escapes = 0;
+  double worst_overhead = 0.0;
+  for (const serve::FleetIntegrityResult& r : results) {
+    if (r.checks) {
+      checked_escapes += r.escapes;
+      checked_detected += r.detected;
+      if (r.overhead_pct > worst_overhead) worst_overhead = r.overhead_pct;
+    } else {
+      blind_escapes += r.escapes;
+    }
+  }
+  const bool sealed = checked_escapes == 0 && checked_detected > 0 && blind_escapes > 0;
+  std::printf("\n%zu jobs x %zu points: %llu detected, %llu escapes with checks on (%s), "
+              "%llu blind escapes, worst attestation overhead %.3f%%, %llu violation(s)\n",
+              trace.size(), grid.size(),
+              static_cast<unsigned long long>(checked_detected),
+              static_cast<unsigned long long>(checked_escapes),
+              sealed ? "fleet is sealed" : "SILENT CORRUPTION ESCAPED",
+              static_cast<unsigned long long>(blind_escapes), worst_overhead,
+              static_cast<unsigned long long>(violations));
+
+  if (!report_out.empty()) {
+    std::ofstream f(report_out);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n", report_out.c_str());
+      std::exit(2);
+    }
+    f << serve::integrity_report_json(results, trace_cfg);
+    std::printf("[e24] integrity report written to %s\n", report_out.c_str());
+  }
+}
+
+/// Strip --integrity-jobs=N / --report-out=F (same discipline as the shared
+/// bench flags: consume before benchmark::Initialize).
+void e24_args(int& argc, char** argv, std::size_t& integrity_jobs, std::string& report_out) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--integrity-jobs=", 17) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[i] + 17, &end, 10);
+      if (*end != '\0' || v < 1 || v > 1'000'000) {
+        std::fprintf(
+            stderr,
+            "error: invalid --integrity-jobs value '%s': expected an integer in [1, 1000000]\n",
+            argv[i] + 17);
+        std::exit(2);
+      }
+      integrity_jobs = static_cast<std::size_t>(v);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t integrity_jobs = 600;
+  std::string report_out;
+  e24_args(argc, argv, integrity_jobs, report_out);
+  const mco::bench::BenchArgs args = mco::bench::bench_args(argc, argv);
+  mco::exp::SweepRunner runner(args.jobs);
+  run_e24(runner, integrity_jobs, report_out);
+  mco::bench::sweep_footer(runner);
+  mco::bench::export_canonical_run(args.obs, mco::soc::SocConfig::extended(8), "daxpy", 2048, 8);
+  register_offload_benchmark("integrity/extended8/M=8", mco::soc::SocConfig::extended(8),
+                             "daxpy", 2048, 8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

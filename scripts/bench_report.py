@@ -51,6 +51,7 @@ BENCHES = [
     "bench_fault_sweep",
     "bench_fleet_soak",
     "bench_fleet_chaos",
+    "bench_integrity",
     "bench_simspeed",
 ]
 
@@ -78,6 +79,17 @@ CHAOS_RE = re.compile(
     r"^\[chaos\] point=(\S+) shards=(\d+) budget=(\d+) slo=(\S+) slo_after=(\S+) "
     r"ttr_us=(\S+) p99_slack=(\S+) failovers=(\d+) lost=(\d+) stale=(\d+) "
     r"fails=(\d+) partitions=(\d+) heals=(\d+) violations=(\d+)$",
+    re.MULTILINE,
+)
+# bench_integrity's machine lines: per-point corruption/attestation verdicts
+# of the E24 grid. The escape rate (escapes over corrupted results) must be
+# 0.0 on every attestation-on point and 1.0 on the blind ablation; the
+# overhead series tracks the attestation bill as % of Eq.-(1) phase cycles.
+INTEGRITY_RE = re.compile(
+    r"^\[integrity\] point=(\S+) checks=(\d) audit=(\S+) rate=(\S+) slo=(\S+) "
+    r"detected=(\d+) escapes=(\d+) retries=(\d+) int_failed=(\d+) audits=(\d+) "
+    r"mismatches=(\d+) quarantines=(\d+) verify_cycles=(\d+) overhead_pct=(\S+) "
+    r"violations=(\d+)$",
     re.MULTILINE,
 )
 
@@ -126,6 +138,14 @@ def run_bench(binary: Path, jobs: int) -> dict:
         rec["time_to_recover_us"] = {row[0]: float(row[5]) for row in chaos}
         rec["chaos_slo_after_mark"] = {row[0]: float(row[4]) for row in chaos}
         rec["chaos_jobs_lost"] = {row[0]: int(row[8]) for row in chaos}
+    integ = INTEGRITY_RE.findall(proc.stdout)
+    if integ:
+        rec["corruption_escape_rate"] = {
+            row[0]: (int(row[6]) / (int(row[5]) + int(row[6]))
+                     if int(row[5]) + int(row[6]) else 0.0)
+            for row in integ}
+        rec["integrity_overhead_pct"] = {row[0]: float(row[13]) for row in integ}
+        rec["corruption_detected"] = {row[0]: int(row[5]) for row in integ}
     return rec
 
 
@@ -194,6 +214,15 @@ def main() -> int:
                    if r["bench"] == "bench_fleet_chaos" and "time_to_recover_us" not in r]
     if missing_ttr:
         print("error: bench_fleet_chaos run missing the time_to_recover_us series",
+              file=sys.stderr)
+        return 1
+    # Likewise the integrity bench: losing the escape-rate series would let
+    # a corruption leak drift unrecorded.
+    missing_esc = [r["bench"] for r in reread[-1]["runs"]
+                   if r["bench"] == "bench_integrity"
+                   and "corruption_escape_rate" not in r]
+    if missing_esc:
+        print("error: bench_integrity run missing the corruption_escape_rate series",
               file=sys.stderr)
         return 1
     print(f"sim_cycles_per_sec series: {len(batch['runs'])} runs recorded, "

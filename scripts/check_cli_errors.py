@@ -15,7 +15,8 @@ A positive control run at the end guards against the opposite regression
 
 Bench-specific flags that fail fast before any simulation are held to the
 same contract: bench_serve_soak's --serve-jobs, bench_fleet_soak's
---fleet-jobs, bench_fleet_chaos's --chaos-jobs, and bench_scenario's
+--fleet-jobs, bench_fleet_chaos's --chaos-jobs, bench_integrity's
+--integrity-jobs, and bench_scenario's
 --scenario/--scenario-dir (a missing or malformed scenario file aborts the
 whole catalog before the E20 banner prints). The --report-out flags follow
 the E18 --violations-out precedent and are validated at write time, so they
@@ -65,6 +66,11 @@ BENCH_ERROR_CASES = [
     ("bench_fleet_chaos", "chaos-jobs garbage", ["--chaos-jobs=lots"]),
     ("bench_fleet_chaos", "chaos-jobs trailing junk", ["--chaos-jobs=100x"]),
     ("bench_fleet_chaos", "chaos-jobs huge", ["--chaos-jobs=9999999"]),
+    ("bench_integrity", "integrity-jobs zero", ["--integrity-jobs=0"]),
+    ("bench_integrity", "integrity-jobs negative", ["--integrity-jobs=-1"]),
+    ("bench_integrity", "integrity-jobs garbage", ["--integrity-jobs=lots"]),
+    ("bench_integrity", "integrity-jobs trailing junk", ["--integrity-jobs=100x"]),
+    ("bench_integrity", "integrity-jobs huge", ["--integrity-jobs=9999999"]),
     ("bench_scenario", "scenario missing file", ["--scenario=/no/such/episode.scn"]),
     ("bench_scenario", "scenario malformed file", [f"--scenario={REPO / 'README.md'}"]),
     ("bench_scenario", "scenario-dir missing", ["--scenario-dir=/no/such/dir"]),

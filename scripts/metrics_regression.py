@@ -32,6 +32,13 @@ violations, the headline crash point must lose zero jobs to failover, and
 the whole document — including each point's ``time_to_recover`` — must
 match its golden exactly.
 
+The E24 integrity report ("mco-integrity-v1", bench_integrity
+``--report-out``) is pinned the same way: every grid point must report zero
+violations, every attestation-on point must deliver zero corrupted results
+(``escapes == 0`` at every corruption rate), the blind ablation must still
+leak, and the whole document — detections, audit traffic, the verify-cycle
+bill — must match its golden exactly.
+
 The simulator is deterministic, so counters must match the goldens *exactly*
 by default; ``--tol`` grants a relative tolerance for intentional
 recalibrations (e.g. ``--tol 0.01`` while iterating on a latency model).
@@ -85,6 +92,15 @@ SCENARIO_ANCHORS = [
 # golden itself).
 CHAOS_ANCHORS = [
     ("e23_fleet_chaos", "bench_fleet_chaos", ["--chaos-jobs=200", "--jobs=2"]),
+]
+
+# (experiment id, bench binary, extra flags) — "mco-integrity-v1" documents,
+# compared byte-exactly; every row must be violation-free, rows with
+# attestation on must deliver zero corrupted results, and the blind ablation
+# row must demonstrably leak (escapes > 0, detections == 0) — if it stops
+# leaking, the injector went dormant and the whole experiment is vacuous.
+INTEGRITY_ANCHORS = [
+    ("e24_integrity", "bench_integrity", ["--jobs=2"]),
 ]
 
 
@@ -278,6 +294,42 @@ def main() -> int:
         golden = json.loads(golden_path.read_text())
         errs = [] if fresh == golden else [
             f"{exp}: chaos report differs from golden "
+            f"(fresh {json.dumps(fresh, sort_keys=True)[:200]}...)"]
+        print(f"{exp}: {'ok' if not errs else 'document changed'}")
+        failures.extend(errs)
+
+    for exp, bench, extra in INTEGRITY_ANCHORS:
+        golden_path = GOLDENS / f"{exp}.json"
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "integrity.json"
+            run_bench(build, bench, out, out_flag="--report-out", extra=extra)
+            fresh = json.loads(out.read_text())
+        for row in fresh.get("points", []):
+            if row.get("soc_violations") != 0 or row.get("serve_violations") != 0:
+                failures.append(
+                    f"{exp}: point {row.get('name')!r} reports protocol "
+                    f"violations: soc={row.get('soc_violations')} "
+                    f"serve={row.get('serve_violations')}")
+            if row.get("checks") and row.get("escapes") != 0:
+                failures.append(
+                    f"{exp}: point {row.get('name')!r} delivered "
+                    f"{row.get('escapes')} corrupted result(s) with attestation on")
+            if not row.get("checks"):
+                if row.get("escapes", 0) == 0 or row.get("detected", 0) != 0:
+                    failures.append(
+                        f"{exp}: blind point {row.get('name')!r} should leak "
+                        f"(escapes={row.get('escapes')}, detected={row.get('detected')}) "
+                        "— the injector looks dormant")
+        if args.update:
+            golden_path.write_text(json.dumps(fresh, indent=1, sort_keys=True) + "\n")
+            print(f"updated {golden_path.relative_to(REPO)}")
+            continue
+        if not golden_path.exists():
+            failures.append(f"{exp}: golden {golden_path} missing (run --update)")
+            continue
+        golden = json.loads(golden_path.read_text())
+        errs = [] if fresh == golden else [
+            f"{exp}: integrity report differs from golden "
             f"(fresh {json.dumps(fresh, sort_keys=True)[:200]}...)"]
         print(f"{exp}: {'ok' if not errs else 'document changed'}")
         failures.extend(errs)

@@ -38,6 +38,12 @@ const std::vector<InvariantInfo>& invariant_reference() {
        "job id, failover never re-dispatches a retired job, a stale completion is suppressed "
        "only when the job has moved past the completing epoch, and every job that entered "
        "the fleet retires by the end of the run"},
+      {"serve_integrity",
+       "a convicted result never retires with a delivered verdict: every serve_corruption is "
+       "followed by an integrity retry, a failover or a failed/shed retirement of the job; a "
+       "result stamped corrupt=1 retires as met only with attestation off (blind=1); and a "
+       "cluster whose breaker tripped on a conviction quarantines before any further "
+       "dispatch targets it"},
   };
   return kReference;
 }
@@ -72,6 +78,34 @@ bool detail_uint(const std::string& detail, const char* key, std::uint64_t& out)
   char* end = nullptr;
   out = std::strtoull(p, &end, 10);
   return end != p;
+}
+
+/// Parse "key=<word>" out of a detail string, value ending at the next space.
+bool detail_token(const std::string& detail, const char* key, std::string& out) {
+  const std::string needle = std::string(key) + "=";
+  const std::size_t pos = detail.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = detail.find(' ', start);
+  out = detail.substr(start, end == std::string::npos ? std::string::npos : end - start);
+  return true;
+}
+
+/// Parse a "key=0,1,2" comma-separated id list out of a detail string.
+std::vector<unsigned> detail_id_list(const std::string& detail, const char* key) {
+  std::vector<unsigned> out;
+  const std::string needle = std::string(key) + "=";
+  const std::size_t pos = detail.find(needle);
+  if (pos == std::string::npos) return out;
+  const char* p = detail.c_str() + pos + needle.size();
+  while (*p >= '0' && *p <= '9') {
+    char* end = nullptr;
+    out.push_back(static_cast<unsigned>(std::strtoul(p, &end, 10)));
+    p = end;
+    if (*p != ',') break;
+    ++p;
+  }
+  return out;
 }
 
 /// Parse the "clusters=0,1,2" list of a serve_dispatch/serve_complete detail.
@@ -351,6 +385,12 @@ void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
                 util::format("dispatch targets cluster %u of shard %u already held by %s", c,
                              shard, held->second.c_str()));
       }
+      if (serve_pending_quarantine_.count(key) && serve_pending_quarantine_[key]) {
+        violate("serve_integrity", rec.time, rec.who,
+                util::format("dispatch targets cluster %u of shard %u convicted of corruption "
+                             "before its quarantine",
+                             c, shard));
+      }
       serve_occupancy_[key] = rec.detail;
     }
     // Only the batch's lead job id is named in the record; the rest of the
@@ -383,7 +423,74 @@ void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
                              static_cast<unsigned long long>(job), rec.detail.c_str()));
       }
       ledger.retired = true;
+      // Integrity: a convicted result may retire failed (or shed), never
+      // with a delivered verdict; either way the retirement closes the
+      // conviction.
+      std::string verdict;
+      detail_token(rec.detail, "verdict", verdict);
+      const bool delivered = verdict == "met" || verdict == "missed";
+      if (serve_convicted_.count(job) && serve_convicted_[job]) {
+        if (delivered) {
+          violate("serve_integrity", rec.time, rec.who,
+                  util::format("job %llu retires %s with its latest result convicted",
+                               static_cast<unsigned long long>(job), verdict.c_str()));
+        }
+        serve_convicted_[job] = false;
+      }
+      // A result the oracle stamped corrupt=1 escaped every defense; retiring
+      // it as met is a breach unless attestation was off (blind=1).
+      std::uint64_t corrupt = 0;
+      std::uint64_t blind = 0;
+      detail_uint(rec.detail, "corrupt", corrupt);
+      detail_uint(rec.detail, "blind", blind);
+      if (corrupt == 1 && blind == 0 && verdict == "met") {
+        violate("serve_integrity", rec.time, rec.who,
+                util::format("silently corrupted result of job %llu retired as met under "
+                             "attestation",
+                             static_cast<unsigned long long>(job)));
+      }
     }
+  } else if (what == "serve_corruption") {
+    // A convicted completion: releases the batch partition like a
+    // serve_complete (clusters= rides the batch-final record only), but the
+    // job does NOT retire — it must re-dispatch or fail.
+    for (const unsigned c : detail_cluster_list(rec.detail)) {
+      if (serve_occupancy_.erase(std::make_pair(shard, c)) == 0) {
+        violate("serve_isolation", rec.time, rec.who,
+                util::format("conviction releases cluster %u of shard %u that was never held",
+                             c, shard));
+      }
+    }
+    std::uint64_t job = 0;
+    if (detail_uint(rec.detail, "job", job)) {
+      if (serve_jobs_[job].retired) {
+        violate("serve_integrity", rec.time, rec.who,
+                util::format("conviction of job %llu which already retired",
+                             static_cast<unsigned long long>(job)));
+      }
+      serve_convicted_[job] = true;
+    }
+    // Breaker trips on a conviction must quarantine before the cluster
+    // serves again.
+    for (const unsigned c : detail_id_list(rec.detail, "tripped")) {
+      serve_pending_quarantine_[std::make_pair(shard, c)] = true;
+    }
+  } else if (what == "serve_audit") {
+    std::uint64_t job = 0;
+    if (detail_uint(rec.detail, "job", job) && serve_jobs_[job].retired) {
+      violate("serve_integrity", rec.time, rec.who,
+              util::format("audit of job %llu which already retired",
+                           static_cast<unsigned long long>(job)));
+    }
+  } else if (what == "serve_integrity_retry") {
+    std::uint64_t job = 0;
+    if (!detail_uint(rec.detail, "job", job)) return;
+    if (!serve_convicted_.count(job) || !serve_convicted_[job]) {
+      violate("serve_integrity", rec.time, rec.who,
+              util::format("integrity retry of job %llu without a conviction",
+                           static_cast<unsigned long long>(job)));
+    }
+    serve_convicted_[job] = false;
   } else if (what == "serve_queue") {
     if (serve_down_.count(shard) && serve_down_[shard]) {
       violate("serve_isolation", rec.time, rec.who,
@@ -416,6 +523,9 @@ void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
                            static_cast<unsigned long long>(epoch)));
     }
     ledger.epoch = epoch;
+    // A failover supersedes a pending conviction: the displaced job re-routes
+    // through the crash path, retrying (or failing) there.
+    if (serve_convicted_.count(job)) serve_convicted_[job] = false;
   } else if (what == "serve_stale_completion") {
     // A buffered completion surfacing after a partition heal: it releases the
     // batch's clusters like a serve_complete, but the job must NOT retire —
@@ -518,8 +628,11 @@ void ProtocolMonitor::on_serve_record(const sim::TraceRecord& rec) {
     }
   } else if (what == "serve_quarantine") {
     std::uint64_t c = 0;
-    if (detail_uint(rec.detail, "cluster", c))
-      serve_quarantined_[std::make_pair(shard, static_cast<unsigned>(c))] = true;
+    if (detail_uint(rec.detail, "cluster", c)) {
+      const auto key = std::make_pair(shard, static_cast<unsigned>(c));
+      serve_quarantined_[key] = true;
+      if (serve_pending_quarantine_.count(key)) serve_pending_quarantine_[key] = false;
+    }
   } else if (what == "serve_readmit") {
     std::uint64_t c = 0;
     if (!detail_uint(rec.detail, "cluster", c)) return;
@@ -605,6 +718,21 @@ void ProtocolMonitor::finish() {
                            static_cast<unsigned long long>(ledger.epoch)));
     }
   }
+  for (const auto& [job, convicted] : serve_convicted_) {
+    if (convicted) {
+      violate("serve_integrity", 0, "serve",
+              util::format("job %llu ended the run convicted, with no retry or failure",
+                           static_cast<unsigned long long>(job)));
+    }
+  }
+  for (const auto& [key, pending] : serve_pending_quarantine_) {
+    if (pending) {
+      violate("serve_integrity", 0, "serve",
+              util::format("cluster %u of shard %u tripped the breaker on a conviction but "
+                           "never quarantined",
+                           key.second, key.first));
+    }
+  }
 }
 
 std::string ProtocolMonitor::to_json() const {
@@ -670,6 +798,8 @@ void ProtocolMonitor::reset() {
   serve_draining_.clear();
   serve_down_.clear();
   serve_jobs_.clear();
+  serve_convicted_.clear();
+  serve_pending_quarantine_.clear();
   finished_ = false;
 }
 

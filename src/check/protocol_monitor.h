@@ -31,6 +31,11 @@
 //                        and respect drain windows and shard fault domains
 //   serve_exactly_once   every serve job retires exactly once across shard
 //                        crashes, partitions and failover re-dispatches
+//   serve_integrity      a convicted (digest-mismatched / audit-failed)
+//                        result never retires with a delivered verdict; a
+//                        silent escape under attestation is convicted from
+//                        the corrupt=1 stamp; breaker-tripped clusters
+//                        quarantine before serving again
 #pragma once
 
 #include <cstdint>
@@ -184,6 +189,14 @@ class ProtocolMonitor {
     std::uint64_t epoch = 0;
   };
   std::map<std::uint64_t, ServeJobLedger> serve_jobs_;
+
+  // Integrity shadow (serve_integrity): jobs whose latest result was
+  // convicted (serve_corruption) and must re-dispatch or retire failed —
+  // never met/missed — plus clusters whose breaker tripped on a conviction
+  // (tripped=...) and must see a serve_quarantine before any further
+  // dispatch or probe lands on them.
+  std::map<std::uint64_t, bool> serve_convicted_;  ///< by job id
+  std::map<std::pair<unsigned, unsigned>, bool> serve_pending_quarantine_;
 
   bool finished_ = false;
 };

@@ -12,6 +12,11 @@ bool FaultConfig::any_enabled() const {
          cluster_straggle_prob > 0.0 || dma_stall_prob > 0.0;
 }
 
+bool FaultConfig::corruption_enabled() const {
+  return payload_flip_prob > 0.0 || chunk_truncate_prob > 0.0 || meta_corrupt_prob > 0.0 ||
+         stale_read_prob > 0.0;
+}
+
 std::vector<NamedScenario> scenario_catalog(std::uint64_t seed) {
   // One scenario per injection point, at probabilities high enough to fire a
   // handful of times per offload but low enough that recovery converges fast
@@ -113,7 +118,8 @@ const FaultConfig& FaultSchedule::active_at(sim::Cycle t) const {
 
 std::uint64_t FaultCounters::total() const {
   return dispatches_dropped + dispatches_delayed + credits_dropped + credits_duplicated +
-         irqs_swallowed + cluster_hangs + cluster_straggles + dma_stalls;
+         irqs_swallowed + cluster_hangs + cluster_straggles + dma_stalls + payload_flips +
+         chunk_truncations + meta_corruptions + stale_reads;
 }
 
 namespace {
@@ -129,6 +135,7 @@ FaultInjector::FaultInjector(sim::Simulator& sim, std::string name, FaultConfig 
     : Component(sim, std::move(name), parent),
       cfg_(cfg),
       enabled_(cfg.any_enabled()),
+      corruption_enabled_(cfg.corruption_enabled()),
       rng_(cfg.seed) {
   check_prob("dispatch_drop_prob", cfg_.dispatch_drop_prob);
   check_prob("dispatch_delay_prob", cfg_.dispatch_delay_prob);
@@ -138,6 +145,10 @@ FaultInjector::FaultInjector(sim::Simulator& sim, std::string name, FaultConfig 
   check_prob("cluster_hang_prob", cfg_.cluster_hang_prob);
   check_prob("cluster_straggle_prob", cfg_.cluster_straggle_prob);
   check_prob("dma_stall_prob", cfg_.dma_stall_prob);
+  check_prob("payload_flip_prob", cfg_.payload_flip_prob);
+  check_prob("chunk_truncate_prob", cfg_.chunk_truncate_prob);
+  check_prob("meta_corrupt_prob", cfg_.meta_corrupt_prob);
+  check_prob("stale_read_prob", cfg_.stale_read_prob);
 }
 
 void FaultInjector::bump(const char* stat) {
@@ -229,6 +240,41 @@ FaultInjector::WakeupFault FaultInjector::on_wakeup(unsigned cluster) {
                          util::format("cluster=%u", cluster));
   }
   return f;
+}
+
+FaultInjector::ChunkCorruption FaultInjector::on_chunk_result(unsigned cluster) {
+  if (!corruption_enabled_ || !targets(cluster)) return ChunkCorruption::kNone;
+  struct Mode {
+    double FaultConfig::* prob;
+    ChunkCorruption kind;
+    std::uint64_t FaultCounters::* count;
+    const char* stat;
+    const char* what;
+  };
+  static constexpr Mode kModes[] = {
+      {&FaultConfig::payload_flip_prob, ChunkCorruption::kPayloadFlip,
+       &FaultCounters::payload_flips, "payload_flips", "sdc_payload_flip"},
+      {&FaultConfig::chunk_truncate_prob, ChunkCorruption::kChunkTruncate,
+       &FaultCounters::chunk_truncations, "chunk_truncations", "sdc_chunk_truncate"},
+      {&FaultConfig::meta_corrupt_prob, ChunkCorruption::kMetaCorrupt,
+       &FaultCounters::meta_corruptions, "meta_corruptions", "sdc_meta_corrupt"},
+      {&FaultConfig::stale_read_prob, ChunkCorruption::kStaleRead,
+       &FaultCounters::stale_reads, "stale_reads", "sdc_stale_read"},
+  };
+  for (const Mode& m : kModes) {
+    if (!roll(cfg_.*m.prob)) continue;
+    ++(counters_.*m.count);
+    bump(m.stat);
+    if (sim::TraceSink& tr = sim().trace(); tr.armed())
+      tr.record(now(), path(), m.what, util::format("cluster=%u", cluster));
+    return m.kind;
+  }
+  return ChunkCorruption::kNone;
+}
+
+std::uint64_t FaultInjector::corrupt_word_index(std::uint64_t words) {
+  if (words == 0) return 0;
+  return rng_.next_below(words);
 }
 
 sim::Cycles FaultInjector::on_dma_setup(unsigned cluster) {

@@ -60,10 +60,33 @@ struct FaultConfig {
   double dma_stall_prob = 0.0;
   sim::Cycles dma_stall_cycles = 500;
 
-  /// True when any probability is non-zero — the SoC only wires the
-  /// injector (and enables runtime recovery) in that case, so an all-zero
-  /// config is guaranteed not to shift a single cycle.
+  // ---- silent data corruption (consumed at the completion gather) ----------
+  // Unlike the crash/omission faults above, these complete the offload with
+  // *wrong bytes*: the runtime's integrity layer (OffloadRuntimeConfig::
+  // integrity) is what turns them into detections instead of silent escapes.
+
+  /// One word of a cluster's result chunk is flipped after the cluster
+  /// attested it (DMA bit flip on the write-back path) — digest-detectable.
+  double payload_flip_prob = 0.0;
+  /// The tail of a cluster's result chunk never lands (truncated DMA burst);
+  /// stale zeros remain — digest-detectable.
+  double chunk_truncate_prob = 0.0;
+  /// The chunk bytes are intact but the completion metadata (the echoed
+  /// digest) is corrupted in flight — digest-detectable (conservatively).
+  double meta_corrupt_prob = 0.0;
+  /// The cluster computed from a stale input buffer: the result is wrong but
+  /// self-consistent, so its digest verifies. Only ground truth (or a dual
+  /// execution audit) can catch it — the checksum-blind escape mode.
+  double stale_read_prob = 0.0;
+
+  /// True when any crash/omission-shaped probability is non-zero — the SoC
+  /// only wires those injection points (and enables runtime recovery) in
+  /// that case, so an all-zero config is guaranteed not to shift a single
+  /// cycle. Corruption probabilities are deliberately excluded: they never
+  /// delay or drop an action, so they must not arm the recovery engine.
   bool any_enabled() const;
+  /// True when any silent-data-corruption probability is non-zero.
+  bool corruption_enabled() const;
 };
 
 /// A named FaultConfig, for harnesses that iterate "the usual suspects".
@@ -124,6 +147,10 @@ struct FaultCounters {
   std::uint64_t cluster_hangs = 0;
   std::uint64_t cluster_straggles = 0;
   std::uint64_t dma_stalls = 0;
+  std::uint64_t payload_flips = 0;
+  std::uint64_t chunk_truncations = 0;
+  std::uint64_t meta_corruptions = 0;
+  std::uint64_t stale_reads = 0;
 
   std::uint64_t total() const;
 };
@@ -139,6 +166,7 @@ class FaultInjector : public sim::Component {
   const FaultConfig& config() const { return cfg_; }
   const FaultCounters& counters() const { return counters_; }
   bool enabled() const { return enabled_; }
+  bool corruption_enabled() const { return corruption_enabled_; }
 
   /// Interconnect: fate of one dispatch delivery towards `cluster`.
   struct DispatchFault {
@@ -164,6 +192,17 @@ class FaultInjector : public sim::Component {
   /// DMA engine: extra setup stall cycles for one transfer of `cluster`.
   sim::Cycles on_dma_setup(unsigned cluster);
 
+  /// Completion gather: fate of one cluster's result chunk. Modes are
+  /// mutually exclusive per chunk and rolled in declaration order. Draws
+  /// happen only for non-zero corruption probabilities, so timing-fault-only
+  /// configs keep their exact randomness stream.
+  enum class ChunkCorruption { kNone, kPayloadFlip, kChunkTruncate, kMetaCorrupt, kStaleRead };
+  ChunkCorruption on_chunk_result(unsigned cluster);
+
+  /// Deterministic victim-word index for a corruption within a chunk of
+  /// `words` payload words (words == 0 returns 0 without drawing).
+  std::uint64_t corrupt_word_index(std::uint64_t words);
+
  private:
   /// Mirror a member-counter increment into the live StatsRegistry
   /// ("fault.<stat>"), so metrics exports carry injected-event counts.
@@ -175,6 +214,7 @@ class FaultInjector : public sim::Component {
 
   FaultConfig cfg_;
   bool enabled_;
+  bool corruption_enabled_;
   sim::Rng rng_;
   FaultCounters counters_;
 };

@@ -1,0 +1,153 @@
+#include "offload/integrity.h"
+
+#include <algorithm>
+
+#include "fault/fault_injector.h"
+
+namespace mco::offload {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+// Sign-bit flip: a decisive numeric perturbation that stays finite for both
+// f64 chunks and packed-f32 chunks, so the ground-truth oracle sees a real
+// error rather than a rounding-level wiggle.
+constexpr std::uint64_t kFlipMask = 0x8000000000000000ull;
+// XOR applied to an echoed digest by the metadata-corruption mode.
+constexpr std::uint64_t kMetaMask = 0xDEADBEEFCAFEF00Dull;
+}  // namespace
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t bytes, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t payload_digest(const noc::DispatchMessage& payload) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint64_t w : payload.words) {
+    for (unsigned b = 0; b < 8; ++b) {
+      h ^= static_cast<std::uint8_t>(w >> (8 * b));
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+std::vector<kernels::DmaSeg> result_segments(const kernels::Kernel& kernel,
+                                             const kernels::JobArgs& args, unsigned idx,
+                                             unsigned parts) {
+  std::vector<kernels::DmaSeg> out = kernel.plan_cluster(args, idx, parts).dma_out;
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const kernels::DmaSeg& s) { return s.bytes == 0; }),
+            out.end());
+  return out;
+}
+
+std::uint64_t chunk_digest(const mem::MainMemory& mem, const mem::AddressMap& map,
+                           const kernels::Kernel& kernel, const kernels::JobArgs& args,
+                           unsigned idx, unsigned parts, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (const kernels::DmaSeg& seg : result_segments(kernel, args, idx, parts)) {
+    h = fnv1a(mem.data(map.hbm_offset(seg.hbm), seg.bytes), seg.bytes, h);
+  }
+  return h;
+}
+
+bool IntegrityReport::detected(unsigned cluster) const {
+  return std::find(corrupted_clusters.begin(), corrupted_clusters.end(), cluster) !=
+         corrupted_clusters.end();
+}
+
+bool IntegrityReport::silent(unsigned cluster) const {
+  return std::find(silent_clusters.begin(), silent_clusters.end(), cluster) !=
+         silent_clusters.end();
+}
+
+namespace {
+
+/// XOR word `word_idx` (counting u64 words across `segs` in order) with
+/// kFlipMask, in place.
+void flip_word(mem::MainMemory& mem, const mem::AddressMap& map,
+               const std::vector<kernels::DmaSeg>& segs, std::uint64_t word_idx) {
+  for (const kernels::DmaSeg& seg : segs) {
+    const std::uint64_t words = seg.bytes / 8;
+    if (word_idx < words) {
+      const mem::Addr off = map.hbm_offset(seg.hbm) + word_idx * 8;
+      mem.write_u64(off, mem.read_u64(off) ^ kFlipMask);
+      return;
+    }
+    word_idx -= words;
+  }
+}
+
+/// Zero the trailing quarter (at least one word) of the last segment — the
+/// truncated-DMA-burst shape: the chunk's tail never landed.
+void truncate_tail(mem::MainMemory& mem, const mem::AddressMap& map,
+                   const std::vector<kernels::DmaSeg>& segs) {
+  const kernels::DmaSeg& seg = segs.back();
+  const std::uint64_t words = seg.bytes / 8;
+  if (words == 0) return;
+  const std::uint64_t lost = std::max<std::uint64_t>(1, words / 4);
+  const mem::Addr off = map.hbm_offset(seg.hbm) + (words - lost) * 8;
+  mem.fill(off, lost * 8, 0);
+}
+
+}  // namespace
+
+std::uint64_t apply_chunk_corruption(mem::MainMemory& mem, const mem::AddressMap& map,
+                                     fault::FaultInjector* injector,
+                                     const kernels::Kernel& kernel,
+                                     const kernels::JobArgs& args, unsigned idx,
+                                     unsigned parts, std::uint64_t basis,
+                                     IntegrityReport& report) {
+  const auto honest = [&] { return chunk_digest(mem, map, kernel, args, idx, parts, basis); };
+  if (injector == nullptr || !injector->corruption_enabled()) return honest();
+
+  const std::vector<kernels::DmaSeg> segs = result_segments(kernel, args, idx, parts);
+  std::uint64_t words = 0;
+  for (const kernels::DmaSeg& seg : segs) words += seg.bytes / 8;
+  // A chunk with no result words gives corruption nothing to strike; skip
+  // the draw entirely so accounting only counts corruptions that landed.
+  if (words == 0) return honest();
+
+  using Mode = fault::FaultInjector::ChunkCorruption;
+  const Mode mode = injector->on_chunk_result(idx);
+  switch (mode) {
+    case Mode::kNone:
+      return honest();
+    case Mode::kStaleRead: {
+      // The cluster consumed a stale input: wrong bytes, honestly attested.
+      flip_word(mem, map, segs, injector->corrupt_word_index(words));
+      report.silent_clusters.push_back(idx);
+      return honest();
+    }
+    case Mode::kPayloadFlip: {
+      // Attested first, flipped on the write-back path afterwards.
+      const std::uint64_t echo = honest();
+      flip_word(mem, map, segs, injector->corrupt_word_index(words));
+      if (!report.checks_enabled) report.silent_clusters.push_back(idx);
+      return echo;
+    }
+    case Mode::kChunkTruncate: {
+      const std::uint64_t echo = honest();
+      truncate_tail(mem, map, segs);
+      if (!report.checks_enabled) report.silent_clusters.push_back(idx);
+      return echo;
+    }
+    case Mode::kMetaCorrupt: {
+      // Bytes intact; the completion metadata carrying the digest is hit.
+      if (!report.checks_enabled) {
+        // Without checks nobody reads the metadata — the result is actually
+        // correct, so this mode neither detects nor escapes.
+        return honest();
+      }
+      return honest() ^ kMetaMask;
+    }
+  }
+  return honest();
+}
+
+}  // namespace mco::offload

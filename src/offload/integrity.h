@@ -1,0 +1,79 @@
+// End-to-end result attestation for the offload path.
+//
+// Crash/omission faults make an offload *late*; silent data corruption makes
+// it *wrong*. This layer closes that gap with per-chunk digests: at marshal
+// time the host computes an FNV-1a digest of the dispatch payload, each
+// cluster (conceptually) extends it over the result chunk it writes back and
+// echoes the digest in its completion metadata, and at the completion gather
+// the host recomputes the digest from the gathered bytes and compares. A
+// mismatch convicts the chunk — and hence the cluster that produced it —
+// without re-executing anything.
+//
+// The verify pass is charged as a new Eq.-(1) phase (PhaseBreakdown::verify):
+// integrity is not free, and bench_integrity (E24) reports exactly what it
+// costs as a fraction of simulated cycles.
+//
+// What a digest can and cannot catch (see docs/robustness.md, "Silent data
+// corruption"):
+//   * payload word flips, truncated chunk writes, corrupted completion
+//     metadata — all detected, because the echoed digest and the gathered
+//     bytes disagree;
+//   * stale-buffer reads — NOT detected: the cluster computed honestly over
+//     wrong inputs, so its digest matches its (wrong) output. Catching those
+//     requires ground truth or dual execution (the serve layer's audit
+//     fraction, FleetConfig::integrity).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kernel.h"
+#include "mem/address_map.h"
+#include "mem/main_memory.h"
+#include "noc/message.h"
+#include "offload/offload_result.h"
+
+namespace mco::fault {
+class FaultInjector;
+}
+
+namespace mco::offload {
+
+/// FNV-1a over a byte range, seeded with `basis` so digests chain
+/// (payload digest → result-chunk digest).
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t bytes,
+                    std::uint64_t basis = 0xcbf29ce484222325ull);
+
+/// FNV-1a over a payload's words (the marshal-time half of the chain).
+std::uint64_t payload_digest(const noc::DispatchMessage& payload);
+
+/// The HBM byte ranges cluster `idx` of `parts` writes for `args` — the
+/// kernel's dma_out plan, which is exactly the surface a write-back
+/// corruption can touch.
+std::vector<kernels::DmaSeg> result_segments(const kernels::Kernel& kernel,
+                                             const kernels::JobArgs& args, unsigned idx,
+                                             unsigned parts);
+
+/// Digest of cluster `idx`'s result chunk as currently in memory, chained
+/// onto `basis` (normally the payload digest).
+std::uint64_t chunk_digest(const mem::MainMemory& mem, const mem::AddressMap& map,
+                           const kernels::Kernel& kernel, const kernels::JobArgs& args,
+                           unsigned idx, unsigned parts, std::uint64_t basis);
+
+// IntegrityReport — the outcome struct this layer fills — lives in
+// offload/offload_result.h so results stay a light include.
+
+/// Apply one cluster's injected corruption to memory and return the digest
+/// the cluster *echoes* for its chunk (honest unless the metadata itself is
+/// corrupted). `report` collects the oracle annotations. The walk order —
+/// stale perturbation, honest digest, write-back perturbation, metadata
+/// perturbation — encodes when each fault physically strikes relative to the
+/// cluster's attestation.
+std::uint64_t apply_chunk_corruption(mem::MainMemory& mem, const mem::AddressMap& map,
+                                     fault::FaultInjector* injector,
+                                     const kernels::Kernel& kernel,
+                                     const kernels::JobArgs& args, unsigned idx,
+                                     unsigned parts, std::uint64_t basis,
+                                     IntegrityReport& report);
+
+}  // namespace mco::offload

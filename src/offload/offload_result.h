@@ -17,6 +17,8 @@ struct OffloadTimestamps {
   sim::Cycle dispatch_done = 0;  ///< last dispatch store issued
   sim::Cycle completion = 0;     ///< completion observed (IRQ handler entry
                                  ///< scheduled / successful poll iteration end)
+  sim::Cycle verify_done = 0;    ///< per-chunk digest verify finished (0 when
+                                 ///< the integrity layer is off)
   sim::Cycle ret = 0;            ///< runtime returned to the application
 };
 
@@ -26,7 +28,31 @@ struct PhaseBreakdown {
   sim::Cycles sync_setup = 0;
   sim::Cycles dispatch = 0;
   sim::Cycles wait = 0;      ///< dispatch done → completion observed
-  sim::Cycles epilogue = 0;  ///< completion → return (handler tail, combine, exit)
+  sim::Cycles verify = 0;    ///< completion → digests checked (0 when off)
+  sim::Cycles epilogue = 0;  ///< verify done → return (handler tail, combine, exit)
+};
+
+/// Outcome of the completion-gather verify pass and of any silent-data
+/// corruption that struck the offload (see offload/integrity.h). Default
+/// state = checks off, nothing corrupted.
+struct IntegrityReport {
+  /// The digest verify pass ran (OffloadRuntimeConfig::integrity.enabled).
+  bool checks_enabled = false;
+  unsigned chunks_checked = 0;
+  unsigned digest_mismatches = 0;
+  /// Clusters whose echoed digest disagreed with the gathered bytes.
+  std::vector<unsigned> corrupted_clusters;
+  /// Ground-truth annotation, NOT visible to the protocol: clusters whose
+  /// chunk was corrupted but whose digest verified (stale reads, or any
+  /// corruption when checks are off). The escape accounting of E24 and the
+  /// serve layer's audit machinery key off this oracle bit.
+  std::vector<unsigned> silent_clusters;
+
+  bool detected(unsigned cluster) const;
+  bool silent(unsigned cluster) const;
+  bool any_corruption() const {
+    return !corrupted_clusters.empty() || !silent_clusters.empty();
+  }
 };
 
 /// What the watchdog/retry/degraded-completion layer did during one offload.
@@ -57,6 +83,7 @@ struct OffloadResult {
 
   OffloadTimestamps ts;
   FaultRecoveryStats recovery;
+  IntegrityReport integrity;
 
   /// Total offload latency as the application sees it.
   sim::Cycles total() const { return ts.ret - ts.call; }
@@ -67,7 +94,12 @@ struct OffloadResult {
     p.sync_setup = ts.sync_ready - ts.marshal_done;
     p.dispatch = ts.dispatch_done - ts.sync_ready;
     p.wait = ts.completion - ts.dispatch_done;
-    p.epilogue = ts.ret - ts.completion;
+    // verify_done == 0 means the integrity layer never ran: the verify
+    // phase is empty and the epilogue starts at the completion stamp, so a
+    // dormant config's breakdown is bit-identical to the pre-integrity one.
+    const sim::Cycle gathered = ts.verify_done != 0 ? ts.verify_done : ts.completion;
+    p.verify = gathered - ts.completion;
+    p.epilogue = ts.ret - gathered;
     return p;
   }
 };

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "offload/integrity.h"
 #include "util/strings.h"
 
 namespace mco::offload {
@@ -46,6 +47,10 @@ void OffloadRuntime::record_offload_metrics() const {
   st.counter("runtime.phase.sync_setup_cycles").inc(p.sync_setup);
   st.counter("runtime.phase.dispatch_cycles").inc(p.dispatch);
   st.counter("runtime.phase.wait_cycles").inc(p.wait);
+  // Registered only when the integrity layer ran, so checks-off metric dumps
+  // stay bit-identical to the seed.
+  if (result_.integrity.checks_enabled)
+    st.counter("runtime.phase.verify_cycles").inc(p.verify);
   st.counter("runtime.phase.epilogue_cycles").inc(p.epilogue);
   st.histogram("runtime.offload_total_cycles", 256.0, 64)
       .sample(static_cast<double>(result_.total()));
@@ -89,6 +94,12 @@ void OffloadRuntime::offload_async(const kernels::JobArgs& args, unsigned num_cl
     rec_failed_.assign(num_clusters, false);
     rec_first_timeout_ = 0;
   }
+
+  // The marshal-time half of the attestation chain. Computed only when
+  // someone will consume it: the fault-free, checks-off path stays exactly
+  // the seed path.
+  if (cfg_.integrity.enabled || (injector_ && injector_->corruption_enabled()))
+    payload_digest_ = offload::payload_digest(payload);
 
   result_ = OffloadResult{};
   result_.kernel = kernel.name();
@@ -555,6 +566,60 @@ void OffloadRuntime::finish_recovered(unsigned n) {
 
 void OffloadRuntime::complete(unsigned num_clusters) {
   span_end();  // wait (ts.completion was just stamped)
+
+  const bool corrupting = injector_ != nullptr && injector_->corruption_enabled();
+  if (cfg_.integrity.enabled || corrupting) {
+    result_.integrity.checks_enabled = cfg_.integrity.enabled;
+    // A cluster the recovery layer gave up on never echoed a digest — its
+    // chunk was recomputed by a survivor sub-job — so it is outside both the
+    // corruption surface and the verify pass.
+    const auto failed = [this](unsigned c) {
+      return cfg_.recovery_enabled && rec_failed_[c];
+    };
+    // Physics first: injected write-back corruption lands now, whether or
+    // not anyone checks. Zero cycles — it is a property of the bytes that
+    // arrived, not an action the host takes.
+    auto echoes = std::make_shared<std::vector<std::uint64_t>>(num_clusters, 0);
+    std::uint64_t result_words = 0;
+    for (unsigned c = 0; c < num_clusters; ++c) {
+      if (failed(c)) continue;
+      (*echoes)[c] = apply_chunk_corruption(main_mem_, map_, corrupting ? injector_ : nullptr,
+                                            *kernel_, args_, c, num_clusters, payload_digest_,
+                                            result_.integrity);
+      for (const kernels::DmaSeg& seg : result_segments(*kernel_, args_, c, num_clusters))
+        result_words += seg.bytes / 8;
+    }
+    if (cfg_.integrity.enabled) {
+      span_begin("verify");
+      const sim::Cycles cost =
+          cfg_.integrity.verify_base_cycles +
+          (result_words + cfg_.integrity.verify_words_per_cycle - 1) /
+              cfg_.integrity.verify_words_per_cycle;
+      host_.exec(cost, [this, num_clusters, echoes, failed] {
+        for (unsigned c = 0; c < num_clusters; ++c) {
+          if (failed(c)) continue;
+          ++result_.integrity.chunks_checked;
+          const std::uint64_t expected = chunk_digest(main_mem_, map_, *kernel_, args_, c,
+                                                      num_clusters, payload_digest_);
+          if (expected != (*echoes)[c]) {
+            ++result_.integrity.digest_mismatches;
+            result_.integrity.corrupted_clusters.push_back(c);
+            if (sim::TraceSink& tr = sim_.trace(); tr.armed())
+              tr.record(sim_.now(), "runtime", "digest_mismatch",
+                        util::format("cluster=%u", c));
+          }
+        }
+        result_.ts.verify_done = sim_.now();
+        span_end();  // verify
+        finish_offload(num_clusters);
+      });
+      return;
+    }
+  }
+  finish_offload(num_clusters);
+}
+
+void OffloadRuntime::finish_offload(unsigned num_clusters) {
   span_begin("epilogue");
   const sim::Cycles epilogue =
       kernel_->host_epilogue_cycles(args_, num_clusters) + cfg_.return_cycles;
@@ -706,6 +771,58 @@ void OffloadRuntime::seq_dispatch_job(std::shared_ptr<SeqState> st, std::size_t 
   });
 }
 
+void OffloadRuntime::seq_gather_job(std::shared_ptr<SeqState> st, std::size_t k,
+                                    std::function<void()> next) {
+  const bool corrupting = injector_ != nullptr && injector_->corruption_enabled();
+  if (!cfg_.integrity.enabled && !corrupting) {
+    next();
+    return;
+  }
+  const kernels::JobArgs& a = st->jobs[k];
+  const kernels::Kernel& kern = registry_.by_id(a.kernel_id);
+  IntegrityReport& rep = st->result.jobs[k].integrity;
+  rep.checks_enabled = cfg_.integrity.enabled;
+  // Re-marshalling is deterministic, so recomputing the payload digest here
+  // equals the one the dispatch-time payload carried.
+  const std::uint64_t basis = offload::payload_digest(
+      kernels::marshal_payload(a, st->num_clusters, kern.marshal_args(a)));
+  auto echoes = std::make_shared<std::vector<std::uint64_t>>(st->num_clusters, 0);
+  std::uint64_t result_words = 0;
+  for (unsigned c = 0; c < st->num_clusters; ++c) {
+    (*echoes)[c] = apply_chunk_corruption(main_mem_, map_, corrupting ? injector_ : nullptr,
+                                          kern, a, c, st->num_clusters, basis, rep);
+    for (const kernels::DmaSeg& seg : result_segments(kern, a, c, st->num_clusters))
+      result_words += seg.bytes / 8;
+  }
+  if (!cfg_.integrity.enabled) {
+    next();
+    return;
+  }
+  span_begin("verify");
+  const sim::Cycles cost =
+      cfg_.integrity.verify_base_cycles +
+      (result_words + cfg_.integrity.verify_words_per_cycle - 1) /
+          cfg_.integrity.verify_words_per_cycle;
+  host_.exec(cost, [this, st, k, basis, echoes, next = std::move(next)] {
+    const kernels::JobArgs& a2 = st->jobs[k];
+    const kernels::Kernel& kern2 = registry_.by_id(a2.kernel_id);
+    IntegrityReport& rep2 = st->result.jobs[k].integrity;
+    for (unsigned c = 0; c < st->num_clusters; ++c) {
+      ++rep2.chunks_checked;
+      const std::uint64_t expected =
+          chunk_digest(main_mem_, map_, kern2, a2, c, st->num_clusters, basis);
+      if (expected != (*echoes)[c]) {
+        ++rep2.digest_mismatches;
+        rep2.corrupted_clusters.push_back(c);
+        if (sim::TraceSink& tr = sim_.trace(); tr.armed())
+          tr.record(sim_.now(), "runtime", "digest_mismatch", util::format("cluster=%u", c));
+      }
+    }
+    span_end();  // verify
+    next();
+  });
+}
+
 void OffloadRuntime::seq_await_job(std::shared_ptr<SeqState> st, std::size_t k) {
   const kernels::JobArgs& args = st->jobs[k];
   const kernels::Kernel& kernel = registry_.by_id(args.kernel_id);
@@ -718,6 +835,7 @@ void OffloadRuntime::seq_await_job(std::shared_ptr<SeqState> st, std::size_t k) 
 
   const auto wait_then_finish = [this, st, k] {
     const auto on_complete = [this, st, k] {
+      seq_gather_job(st, k, [this, st, k] {
       const kernels::JobArgs& a = st->jobs[k];
       const kernels::Kernel& kern = registry_.by_id(a.kernel_id);
       const sim::Cycles epilogue =
@@ -743,6 +861,7 @@ void OffloadRuntime::seq_await_job(std::shared_ptr<SeqState> st, std::size_t k) 
           offloads_completed_ += st->jobs.size();
           if (st->done) st->done(st->result);
         }
+      });
       });
     };
     if (cfg_.use_hw_sync) {

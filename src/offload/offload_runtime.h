@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "host/host_core.h"
 #include "kernels/registry.h"
 #include "mem/main_memory.h"
@@ -71,6 +72,23 @@ struct OffloadRuntimeConfig {
   sim::Cycles probe_cycles = 36;
   /// Store to a cluster's mailbox-control register (kill a stale dispatch).
   sim::Cycles kill_store_cycles = 3;
+
+  // ---- end-to-end integrity (per-chunk digest attestation) -----------------
+
+  struct IntegrityConfig {
+    /// Verify each cluster's echoed chunk digest at the completion gather.
+    /// Off by default: the gather path is then bit-identical to the seed
+    /// runtime (ts.verify_done stays 0 and no verify event is scheduled).
+    bool enabled = false;
+    /// Fixed cost of the verify pass (loop setup, metadata reads).
+    sim::Cycles verify_base_cycles = 24;
+    /// Result words the host checksum unit hashes-and-compares per cycle —
+    /// a wide (1 KiB/cycle) streaming FNV engine, so attestation costs a
+    /// few percent of a job, not a multiple of it. The charge is
+    /// verify_base_cycles + ceil(result_words / verify_words_per_cycle).
+    std::uint64_t verify_words_per_cycle = 128;
+  };
+  IntegrityConfig integrity;
 };
 
 /// Per-job record within an offload sequence.
@@ -80,6 +98,7 @@ struct SequenceJobTrace {
   std::uint64_t job_id = 0;
   sim::Cycle dispatched = 0;  ///< last dispatch store for this job issued
   sim::Cycle completed = 0;   ///< host returned from this job
+  IntegrityReport integrity;  ///< digest verify outcome for this job
 };
 
 /// Result of a train of back-to-back offloads.
@@ -135,6 +154,11 @@ class OffloadRuntime {
   void set_cluster_kill(KillFn f) { kill_fn_ = std::move(f); }
   void set_barrier_poke(BarrierPokeFn f) { poke_fn_ = std::move(f); }
 
+  /// Wire the fault injector consulted for silent-data-corruption at the
+  /// completion gather (the Soc does this when any fault is configured).
+  /// Null = write-back path is corruption-free.
+  void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
+
   /// Launch an offload of `args` onto clusters [0, num_clusters). The
   /// callback fires when the runtime returns to the application. Throws on
   /// invalid arguments or if an offload is already in flight (the runtime is
@@ -166,10 +190,15 @@ class OffloadRuntime {
   struct SeqState;
   void seq_dispatch_job(std::shared_ptr<SeqState> st, std::size_t k);
   void seq_await_job(std::shared_ptr<SeqState> st, std::size_t k);
+  /// Completion gather for sequence job k (corruption + digest verify),
+  /// then `next` (the job's epilogue).
+  void seq_gather_job(std::shared_ptr<SeqState> st, std::size_t k, std::function<void()> next);
   void setup_sync(unsigned num_clusters);
   void dispatch(noc::DispatchMessage payload, unsigned num_clusters, unsigned next);
   void await_completion(unsigned num_clusters);
   void complete(unsigned num_clusters);
+  /// Epilogue + retirement (the tail of complete(), after any verify pass).
+  void finish_offload(unsigned num_clusters);
   /// Step the simulation until `done()` or the blocking watchdog expires.
   void run_blocking(const std::function<bool()>& done);
 
@@ -220,6 +249,10 @@ class OffloadRuntime {
   /// and total-latency histogram sample into the StatsRegistry. Pure
   /// bookkeeping: never schedules events, so it cannot shift a cycle.
   void record_offload_metrics() const;
+
+  // Integrity wiring + the marshal-time half of the digest chain.
+  fault::FaultInjector* injector_ = nullptr;
+  std::uint64_t payload_digest_ = 0;
 
   // Recovery wiring + in-flight recovery state.
   ProbeFn probe_fn_;

@@ -135,8 +135,16 @@ std::vector<unsigned> parse_cluster_set(const std::string& verb, const std::stri
 const std::vector<std::string>& global_metrics() {
   static const std::vector<std::string> kGlobal = {
       "violations", "quarantines", "readmissions", "probes",
-      "restarts",   "drains",      "crashes",      "makespan"};
+      "restarts",   "drains",      "crashes",      "makespan",
+      "detected_corruptions", "corruption_escapes"};
   return kGlobal;
+}
+
+/// Corruption modes a `corrupt` verb accepts ("mix" arms all four).
+const std::vector<std::string>& corruption_modes() {
+  static const std::vector<std::string> kModes = {
+      "payload_flip", "chunk_truncate", "meta_corrupt", "stale_read", "mix"};
+  return kModes;
 }
 
 bool contains(const std::vector<std::string>& v, const std::string& s) {
@@ -158,6 +166,8 @@ const char* to_string(ScenarioEventKind k) {
     case ScenarioEventKind::kPartition: return "partition";
     case ScenarioEventKind::kDrainClusters: return "drain_clusters";
     case ScenarioEventKind::kUndrainClusters: return "undrain_clusters";
+    case ScenarioEventKind::kCorrupt: return "corrupt";
+    case ScenarioEventKind::kSet: return "set";
   }
   return "?";
 }
@@ -169,11 +179,28 @@ bool ScenarioSpec::needs_fleet() const {
       case ScenarioEventKind::kHeal:
       case ScenarioEventKind::kPartition:
       case ScenarioEventKind::kDrainClusters:
-      case ScenarioEventKind::kUndrainClusters: return true;
+      case ScenarioEventKind::kUndrainClusters:
+      case ScenarioEventKind::kCorrupt: return true;
+      case ScenarioEventKind::kSet:
+        // health.* applies on either path; integrity.* configures the
+        // FleetRouter's conviction machinery.
+        if (ev.label.rfind("integrity.", 0) == 0) return true;
+        break;
       default: break;
     }
   }
   return false;
+}
+
+const std::vector<SettableKeyInfo>& scenario_settable_keys() {
+  static const std::vector<SettableKeyInfo> kKeys = {
+      {"health.failure_threshold", "count"},
+      {"health.probation_probes", "count"},
+      {"health.probe_backoff", "time"},
+      {"integrity.audit", "fraction"},
+      {"integrity.retries", "count"},
+  };
+  return kKeys;
 }
 
 sim::Cycle ScenarioSpec::mark_cycle(const std::string& mark) const {
@@ -414,6 +441,100 @@ ScenarioSpec load_scenario_text(const std::string& text) {
             }
             spec.events.push_back({at, ScenarioEventKind::kRestart, "", shard});
           }
+        } else if (verb == "corrupt") {
+          // `corrupt [shard=K] [cluster=C] rate=P [mode=M]`: silent-data-
+          // corruption on one shard's completion-gather path. rate is
+          // mandatory; mode defaults to payload_flip; omitting cluster hits
+          // any cluster of the shard.
+          unsigned shard = 0;
+          std::vector<unsigned> victim;
+          double rate = -1.0;
+          std::string mode = "payload_flip";
+          for (std::size_t i = 3; i < tok.size(); ++i) {
+            const std::size_t eq = tok[i].find('=');
+            const std::string key = eq == std::string::npos ? tok[i] : tok[i].substr(0, eq);
+            const std::string val = eq == std::string::npos ? "" : tok[i].substr(eq + 1);
+            if (key == "shard" && eq != std::string::npos) {
+              const std::uint64_t s = parse_dialect_u64("shard", val);
+              if (s >= spec.shards) {
+                throw std::invalid_argument(util::format(
+                    "corrupt: shard %llu out of range (shards = %u)",
+                    static_cast<unsigned long long>(s), spec.shards));
+              }
+              shard = static_cast<unsigned>(s);
+            } else if (key == "cluster" && eq != std::string::npos) {
+              const std::uint64_t c = parse_dialect_u64("cluster", val);
+              if (c >= spec.clusters) {
+                throw std::invalid_argument(util::format(
+                    "corrupt: cluster %llu out of range (clusters = %u)",
+                    static_cast<unsigned long long>(c), spec.clusters));
+              }
+              victim.assign(1, static_cast<unsigned>(c));
+            } else if (key == "rate" && eq != std::string::npos) {
+              rate = parse_dialect_f64("rate", val);
+              if (!(rate > 0.0) || rate > 1.0) {
+                throw std::invalid_argument("corrupt: rate must be in (0, 1]");
+              }
+            } else if (key == "mode" && eq != std::string::npos) {
+              if (!contains(corruption_modes(), val)) {
+                throw std::invalid_argument(
+                    "corrupt: unknown mode '" + val +
+                    "' (expected payload_flip, chunk_truncate, meta_corrupt, "
+                    "stale_read or mix)");
+              }
+              mode = val;
+            } else {
+              throw std::invalid_argument("corrupt: unknown argument '" + tok[i] + "'");
+            }
+          }
+          if (rate < 0.0) throw std::invalid_argument("corrupt: missing rate=<p>");
+          if (downs[shard]) {
+            throw std::invalid_argument(
+                util::format("corrupt: shard %u is down (heal it first)", shard));
+          }
+          ScenarioEvent ev{at, ScenarioEventKind::kCorrupt, mode, shard, victim};
+          ev.value = rate;
+          spec.events.push_back(std::move(ev));
+        } else if (verb == "set") {
+          // `set <dotted.key>=<value>`: a scripted mid-episode config change.
+          // The key must be whitelisted in scenario_settable_keys(); the
+          // value is validated here by the key's kind.
+          if (tok.size() != 4 || tok[3].find('=') == std::string::npos) {
+            throw std::invalid_argument("set: expected 'set <dotted.key>=<value>'");
+          }
+          const std::size_t eq = tok[3].find('=');
+          const std::string key = tok[3].substr(0, eq);
+          const std::string val = tok[3].substr(eq + 1);
+          const SettableKeyInfo* info = nullptr;
+          for (const SettableKeyInfo& k : scenario_settable_keys()) {
+            if (key == k.name) info = &k;
+          }
+          if (!info) {
+            std::string known;
+            for (const SettableKeyInfo& k : scenario_settable_keys()) {
+              known += known.empty() ? "" : ", ";
+              known += k.name;
+            }
+            throw std::invalid_argument("set: unknown key '" + key + "' (settable: " +
+                                        known + ")");
+          }
+          double value = 0.0;
+          if (std::string(info->kind) == "time") {
+            value = static_cast<double>(parse_time(key, val));
+          } else if (std::string(info->kind) == "fraction") {
+            value = parse_dialect_f64(key, val);
+            if (value < 0.0 || value > 1.0) {
+              throw std::invalid_argument("set: " + key + " must be in [0, 1]");
+            }
+          } else {
+            value = static_cast<double>(parse_dialect_u64(key, val));
+            if (value == 0.0 && key != "integrity.retries") {
+              throw std::invalid_argument("set: " + key + " must be >= 1");
+            }
+          }
+          ScenarioEvent ev{at, ScenarioEventKind::kSet, key};
+          ev.value = value;
+          spec.events.push_back(std::move(ev));
         } else if (verb == "mark") {
           if (tok.size() != 4) throw std::invalid_argument("mark: expected one mark name");
           for (const auto& [name, cycle] : spec.marks) {
@@ -428,7 +549,7 @@ ScenarioSpec load_scenario_text(const std::string& text) {
           throw std::invalid_argument(
               "unknown verb '" + verb +
               "' (expected traffic, inject, drain, undrain, restart, fail, heal, "
-              "partition or mark)");
+              "partition, corrupt, set or mark)");
         }
       } else if (tok[0] == "expect") {
         saw_script = true;
@@ -521,6 +642,31 @@ ScenarioSpec load_scenario_text(const std::string& text) {
           spec.watchdog_wait_cycles = parse_time(key, value);
         } else if (key == "retries") {
           spec.max_retries = static_cast<unsigned>(parse_dialect_u64(key, value));
+        } else if (key == "integrity") {
+          if (value == "on") {
+            spec.integrity_checks = true;
+          } else if (value == "off") {
+            spec.integrity_checks = false;
+          } else {
+            throw std::invalid_argument("integrity must be 'on' or 'off'");
+          }
+        } else if (key == "audit") {
+          spec.audit_fraction = parse_dialect_f64(key, value);
+          if (spec.audit_fraction < 0.0 || spec.audit_fraction > 1.0) {
+            throw std::invalid_argument("audit must be in [0, 1]");
+          }
+        } else if (key == "batch") {
+          const std::uint64_t b = parse_dialect_u64(key, value);
+          if (b == 0) throw std::invalid_argument("batch must be >= 1");
+          spec.max_batch = static_cast<std::size_t>(b);
+        } else if (key == "steal") {
+          if (value == "head") {
+            spec.steal_policy = serve::StealPolicy::kBacklogHead;
+          } else if (value == "slack") {
+            spec.steal_policy = serve::StealPolicy::kTightestSlack;
+          } else {
+            throw std::invalid_argument("steal must be 'head' or 'slack'");
+          }
         } else {
           throw std::invalid_argument("unknown header key '" + key + "'");
         }
@@ -613,6 +759,10 @@ const std::vector<KeywordInfo>& scenario_keyword_reference() {
       {"restart_penalty", "header"},
       {"watchdog", "header"},
       {"retries", "header"},
+      {"integrity", "header"},
+      {"audit", "header"},
+      {"batch", "header"},
+      {"steal", "header"},
       {"traffic", "verb"},
       {"inject", "verb"},
       {"drain", "verb"},
@@ -621,6 +771,8 @@ const std::vector<KeywordInfo>& scenario_keyword_reference() {
       {"fail", "verb"},
       {"heal", "verb"},
       {"partition", "verb"},
+      {"corrupt", "verb"},
+      {"set", "verb"},
       {"mark", "verb"},
       {"steady", "profile"},
       {"burst", "profile"},
@@ -646,6 +798,18 @@ const std::vector<KeywordInfo>& scenario_keyword_reference() {
       {"shard", "arg"},
       {"clusters", "arg"},
       {"stagger", "arg"},
+      {"rate", "arg"},
+      {"mode", "arg"},
+      {"payload_flip", "mode"},
+      {"chunk_truncate", "mode"},
+      {"meta_corrupt", "mode"},
+      {"stale_read", "mode"},
+      {"mix", "mode"},
+      {"health.failure_threshold", "setting"},
+      {"health.probation_probes", "setting"},
+      {"health.probe_backoff", "setting"},
+      {"integrity.audit", "setting"},
+      {"integrity.retries", "setting"},
       {"jobs", "metric"},
       {"met", "metric"},
       {"missed", "metric"},
@@ -662,6 +826,8 @@ const std::vector<KeywordInfo>& scenario_keyword_reference() {
       {"drains", "metric"},
       {"crashes", "metric"},
       {"makespan", "metric"},
+      {"detected_corruptions", "metric"},
+      {"corruption_escapes", "metric"},
   };
   return kReference;
 }

@@ -29,6 +29,19 @@
 //   expect time_to_recover <= 120000 after hit   # cycles to sustained SLO
 //   expect p99_slack >= 0 after hit              # −(p99 tardiness), cycles
 //
+// End-to-end integrity (silent data corruption; these verbs also force the
+// FleetRouter path — conviction/retry/audit machinery is fleet-level):
+//
+//   integrity = on                   # per-chunk digest attestation (header)
+//   audit = 0.25                     # dual-execute fraction of clean jobs
+//   at 100us corrupt shard=0 cluster=2 rate=0.9 mode=payload_flip
+//   at 150us set health.failure_threshold=1   # scripted config change
+//   expect detected_corruptions >= 1
+//   expect corruption_escapes == 0
+//
+// `set <dotted.key>=<value>` accepts exactly the keys in
+// scenario_settable_keys(); an unknown key is a parse error.
+//
 // Header keys configure the service/executor; `at <time> <verb>` lines build
 // the virtual-time event script (non-decreasing times, validated drain
 // pairing); `expect` lines are the episode's machine-checked verdicts. All
@@ -44,6 +57,7 @@
 
 #include "fault/fault_injector.h"
 #include "model/runtime_model.h"
+#include "serve/fleet.h"
 #include "serve/offload_service.h"
 #include "sim/time.h"
 
@@ -68,8 +82,9 @@ struct TrafficPhase {
 /// One scripted event. Traffic phases and fault activations also land in
 /// ScenarioSpec::phases / ScenarioSpec::faults; the event list preserves the
 /// full script order for reporting. kFail / kHeal / kPartition /
-/// kDrainClusters / kUndrainClusters are fleet-only fault-domain verbs: a
-/// spec containing one runs through serve::FleetRouter even at shards = 1.
+/// kDrainClusters / kUndrainClusters / kCorrupt are fleet-only fault-domain
+/// verbs: a spec containing one runs through serve::FleetRouter even at
+/// shards = 1 (so is kSet on an integrity.* key).
 enum class ScenarioEventKind {
   kTraffic,
   kInject,
@@ -82,6 +97,8 @@ enum class ScenarioEventKind {
   kPartition,
   kDrainClusters,
   kUndrainClusters,
+  kCorrupt,
+  kSet,
 };
 
 const char* to_string(ScenarioEventKind k);
@@ -89,14 +106,20 @@ const char* to_string(ScenarioEventKind k);
 struct ScenarioEvent {
   sim::Cycle at = 0;
   ScenarioEventKind kind = ScenarioEventKind::kMark;
-  std::string label;  ///< profile / preset / mark name (empty for operators)
+  /// Profile / preset / mark name; the corruption mode of a `corrupt` verb
+  /// (payload_flip, chunk_truncate, meta_corrupt, stale_read or mix); the
+  /// dotted key of a `set` verb. Empty for plain operator verbs.
+  std::string label;
   /// Target shard of an operator verb (`drain shard=2`); 0 when omitted.
   /// Only meaningful with a `shards` header > 1 — single-service episodes
   /// always act on shard 0.
   unsigned shard = 0;
   /// Victim clusters of a `drain clusters=0,1` / `undrain clusters=0,1`
-  /// verb; empty for every other kind.
+  /// verb, or the single victim of a `corrupt cluster=<c>` (empty = any
+  /// cluster); empty for every other kind.
   std::vector<unsigned> clusters;
+  /// The rate of a `corrupt` verb / the value of a `set` verb; 0 otherwise.
+  double value = 0.0;
 };
 
 /// One `expect` line: `metric op value`, optionally scoped to jobs arriving
@@ -127,6 +150,18 @@ struct ScenarioSpec {
   sim::Cycles restart_penalty_cycles = 20'000;
   sim::Cycles watchdog_wait_cycles = 2'000;
   unsigned max_retries = 1;
+  /// `integrity = on`: per-chunk digest attestation on every executor's
+  /// runtime. Off by default — attestation charges verify cycles, so the
+  /// pre-integrity episodes stay byte-identical.
+  bool integrity_checks = false;
+  /// `audit = <f>`: fraction of clean batch-of-one completions the fleet
+  /// dual-executes to catch checksum-blind (stale_read) escapes.
+  double audit_fraction = 0.0;
+  /// `batch = <n>`: same-kernel coalescing cap (1 disables batching).
+  std::size_t max_batch = 4;
+  /// `steal = head|slack`: cross-shard steal-victim policy (backlog head vs
+  /// tightest slack).
+  serve::StealPolicy steal_policy = serve::StealPolicy::kBacklogHead;
 
   std::vector<TrafficPhase> phases;
   std::vector<ScenarioEvent> events;
@@ -138,10 +173,23 @@ struct ScenarioSpec {
   sim::Cycle mark_cycle(const std::string& name) const;
 
   /// True when the script uses a fleet-only fault-domain verb (fail, heal,
-  /// partition, drain/undrain clusters=): the runner then serves the episode
-  /// through a FleetRouter even when shards == 1.
+  /// partition, drain/undrain clusters=, corrupt, set integrity.*): the
+  /// runner then serves the episode through a FleetRouter even when
+  /// shards == 1.
   bool needs_fleet() const;
 };
+
+/// One `set`-able dotted key: name, value kind ("count" | "time" |
+/// "fraction") and which layer consumes it. The parser rejects any key not
+/// in this table.
+struct SettableKeyInfo {
+  const char* name;
+  const char* kind;
+};
+
+/// The whitelist of `set <dotted.key>=<value>` keys. docs/scenarios.md
+/// documents the same names (keyword reference, kind "setting").
+const std::vector<SettableKeyInfo>& scenario_settable_keys();
 
 /// Parse the scenario dialect. Throws std::invalid_argument with the line
 /// number on any malformed line (unknown verb/key/preset/metric, decreasing

@@ -37,6 +37,8 @@ double metric_value(const std::string& metric, const ScenarioSpec& spec,
   if (metric == "drains") return static_cast<double>(r.drains);
   if (metric == "crashes") return static_cast<double>(r.crashes);
   if (metric == "makespan") return static_cast<double>(r.makespan);
+  if (metric == "detected_corruptions") return static_cast<double>(r.detected_corruptions);
+  if (metric == "corruption_escapes") return static_cast<double>(r.corruption_escapes);
 
   std::uint64_t jobs = 0, met = 0, missed = 0, shed = 0, failed = 0;
   for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
@@ -57,6 +59,18 @@ double metric_value(const std::string& metric, const ScenarioSpec& spec,
   if (metric == "slo_met")
     return jobs ? static_cast<double>(met) / static_cast<double>(jobs) : 0.0;
   throw std::invalid_argument("scenario: unknown verdict metric '" + metric + "'");
+}
+
+/// A `corrupt` verb as a FaultConfig: the fault environment live at the
+/// event's cycle, with the requested silent-data-corruption mode(s) armed at
+/// the requested rate against the requested victim cluster (or any).
+fault::FaultConfig corruption_overlay(fault::FaultConfig base, const ScenarioEvent& ev) {
+  if (!ev.clusters.empty()) base.target_cluster = ev.clusters.front();
+  if (ev.label == "payload_flip" || ev.label == "mix") base.payload_flip_prob = ev.value;
+  if (ev.label == "chunk_truncate" || ev.label == "mix") base.chunk_truncate_prob = ev.value;
+  if (ev.label == "meta_corrupt" || ev.label == "mix") base.meta_corrupt_prob = ev.value;
+  if (ev.label == "stale_read" || ev.label == "mix") base.stale_read_prob = ev.value;
+  return base;
 }
 
 /// Judge the episode's `expect` lines and roll up the pass flag (shared by
@@ -90,6 +104,7 @@ ScenarioResult run_fleet_scenario(const ScenarioSpec& spec, const ScenarioRunCon
     xc.soc = soc::SocConfig::extended(spec.clusters);
     xc.soc.runtime.watchdog_wait_cycles = spec.watchdog_wait_cycles;
     xc.soc.runtime.max_retries = spec.max_retries;
+    xc.soc.runtime.integrity.enabled = spec.integrity_checks;
     xc.soc.fault = spec.faults.active_at(0);
     xc.tolerance = cfg.tolerance;
     xc.workload_seed = cfg.workload_seed + s;
@@ -104,9 +119,12 @@ ScenarioResult run_fleet_scenario(const ScenarioSpec& spec, const ScenarioRunCon
   fc.model = cfg.model;
   fc.max_queue = spec.max_queue;
   fc.max_clusters_per_job = spec.clusters;
+  fc.max_batch = spec.max_batch;
+  fc.steal_policy = spec.steal_policy;
   fc.health = serve::HealthConfig{spec.failure_threshold, spec.probation_probes,
                                   spec.probe_backoff_cycles};
   fc.restart_penalty_cycles = spec.restart_penalty_cycles;
+  fc.integrity.audit_fraction = spec.audit_fraction;
   serve::FleetRouter fleet(fc, exec_ptrs);
 
   sim::StatsRegistry stats;
@@ -129,6 +147,10 @@ ScenarioResult run_fleet_scenario(const ScenarioSpec& spec, const ScenarioRunCon
       stats.counter("scenario.fault_swaps").inc();
     });
   }
+  // `set` callbacks accumulate onto one live config so successive keys
+  // compose (each callback re-applies the whole struct it touched).
+  auto live_health = std::make_shared<serve::HealthConfig>(fc.health);
+  auto live_integrity = std::make_shared<serve::FleetConfig::IntegrityConfig>(fc.integrity);
   for (const ScenarioEvent& ev : spec.events) {
     stats.counter("scenario.events").inc();
     switch (ev.kind) {
@@ -157,6 +179,36 @@ ScenarioResult run_fleet_scenario(const ScenarioSpec& spec, const ScenarioRunCon
       case ScenarioEventKind::kUndrainClusters:
         fleet.schedule_operator(ev.at, serve::OperatorAction::kUndrainClusters, ev.shard,
                                 ev.clusters);
+        break;
+      case ScenarioEventKind::kCorrupt: {
+        // Per-shard overlay on the fault environment live at the event's
+        // cycle; a later `inject` swap replaces the whole environment,
+        // corruption included.
+        const fault::FaultConfig c = corruption_overlay(spec.faults.active_at(ev.at), ev);
+        const unsigned shard = ev.shard;
+        fleet.schedule_callback(ev.at, [&execs, shard, c] { execs[shard]->set_fault(c); });
+        break;
+      }
+      case ScenarioEventKind::kSet:
+        fleet.schedule_callback(
+            ev.at, [&fleet, live_health, live_integrity, key = ev.label, value = ev.value] {
+              if (key == "health.failure_threshold") {
+                live_health->failure_threshold = static_cast<unsigned>(value);
+                fleet.set_health_config(*live_health);
+              } else if (key == "health.probation_probes") {
+                live_health->probation_probes = static_cast<unsigned>(value);
+                fleet.set_health_config(*live_health);
+              } else if (key == "health.probe_backoff") {
+                live_health->probe_backoff_cycles = static_cast<sim::Cycles>(value);
+                fleet.set_health_config(*live_health);
+              } else if (key == "integrity.audit") {
+                live_integrity->audit_fraction = value;
+                fleet.set_integrity(*live_integrity);
+              } else {  // integrity.retries (the parser whitelists the keys)
+                live_integrity->retry_budget = static_cast<unsigned>(value);
+                fleet.set_integrity(*live_integrity);
+              }
+            });
         break;
       case ScenarioEventKind::kTraffic:
       case ScenarioEventKind::kInject:
@@ -195,6 +247,10 @@ ScenarioResult run_fleet_scenario(const ScenarioSpec& spec, const ScenarioRunCon
   r.restarts = fleet.restarts();
   r.drains = stats.counter_value("fleet.drain.entered");
   r.fault_swaps = fault_swaps;
+  r.detected_corruptions = fleet.corruptions_detected();
+  r.corruption_escapes = fleet.corruption_escapes();
+  r.integrity_retries = fleet.integrity_retries();
+  r.audits = fleet.audits();
   r.serve_violations = serve_monitor.total_violations();
 
   judge_verdicts(spec, trace, stats, r);
@@ -214,6 +270,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& c
   xc.soc = soc::SocConfig::extended(spec.clusters);
   xc.soc.runtime.watchdog_wait_cycles = spec.watchdog_wait_cycles;
   xc.soc.runtime.max_retries = spec.max_retries;
+  xc.soc.runtime.integrity.enabled = spec.integrity_checks;
   xc.soc.fault = spec.faults.active_at(0);
   xc.tolerance = cfg.tolerance;
   xc.workload_seed = cfg.workload_seed;
@@ -252,6 +309,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& c
       stats.counter("scenario.fault_swaps").inc();
     });
   }
+  auto live_health = std::make_shared<serve::HealthConfig>(sc.health);
   for (const ScenarioEvent& ev : spec.events) {
     stats.counter("scenario.events").inc();
     switch (ev.kind) {
@@ -264,6 +322,21 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& c
       case ScenarioEventKind::kRestart:
         service.schedule_operator(ev.at, serve::OperatorAction::kRestart);
         break;
+      case ScenarioEventKind::kSet:
+        // Only health.* keys reach this path (integrity.* keys force the
+        // fleet runner via needs_fleet()).
+        service.schedule_callback(ev.at, [&service, live_health, key = ev.label,
+                                          value = ev.value] {
+          if (key == "health.failure_threshold") {
+            live_health->failure_threshold = static_cast<unsigned>(value);
+          } else if (key == "health.probation_probes") {
+            live_health->probation_probes = static_cast<unsigned>(value);
+          } else {  // health.probe_backoff
+            live_health->probe_backoff_cycles = static_cast<sim::Cycles>(value);
+          }
+          service.set_health_config(*live_health);
+        });
+        break;
       case ScenarioEventKind::kTraffic:   // baked into the trace
       case ScenarioEventKind::kInject:    // armed via the fault schedule above
       case ScenarioEventKind::kMark:      // verdict scoping only
@@ -273,6 +346,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioRunConfig& c
       case ScenarioEventKind::kPartition:
       case ScenarioEventKind::kDrainClusters:
       case ScenarioEventKind::kUndrainClusters:
+      case ScenarioEventKind::kCorrupt:
         throw std::logic_error("run_scenario: fleet-only event on the single-service path");
     }
   }
@@ -323,7 +397,10 @@ std::string scenario_report_json(const std::vector<ScenarioResult>& results) {
         "\"slo_attainment\": %.4f, \"met_elements\": %llu, \"goodput\": %.6f, "
         "\"makespan\": %llu, \"quarantines\": %llu, \"readmissions\": %llu, "
         "\"probes\": %llu, \"restarts\": %llu, \"drains\": %llu, "
-        "\"fault_swaps\": %llu, \"crashes\": %llu, \"soc_violations\": %llu, "
+        "\"fault_swaps\": %llu, \"crashes\": %llu, "
+        "\"detected_corruptions\": %llu, \"corruption_escapes\": %llu, "
+        "\"integrity_retries\": %llu, \"audits\": %llu, "
+        "\"soc_violations\": %llu, "
         "\"serve_violations\": %llu, \"passed\": %s,\n     \"verdicts\": [",
         r.name.c_str(), r.jobs, static_cast<unsigned long long>(r.met),
         static_cast<unsigned long long>(r.missed), static_cast<unsigned long long>(r.shed),
@@ -337,6 +414,10 @@ std::string scenario_report_json(const std::vector<ScenarioResult>& results) {
         static_cast<unsigned long long>(r.drains),
         static_cast<unsigned long long>(r.fault_swaps),
         static_cast<unsigned long long>(r.crashes),
+        static_cast<unsigned long long>(r.detected_corruptions),
+        static_cast<unsigned long long>(r.corruption_escapes),
+        static_cast<unsigned long long>(r.integrity_retries),
+        static_cast<unsigned long long>(r.audits),
         static_cast<unsigned long long>(r.soc_violations),
         static_cast<unsigned long long>(r.serve_violations), r.passed ? "true" : "false");
     for (std::size_t i = 0; i < r.verdicts.size(); ++i) {

@@ -65,6 +65,10 @@ struct ScenarioResult {
   std::uint64_t drains = 0;        ///< operator drain windows entered
   std::uint64_t fault_swaps = 0;   ///< timed fault-environment changes (t > 0)
   std::uint64_t crashes = 0;       ///< Soc rebuilds forced by aborted offloads
+  std::uint64_t detected_corruptions = 0;  ///< convicted members (digest + audit)
+  std::uint64_t corruption_escapes = 0;    ///< silently wrong results delivered
+  std::uint64_t integrity_retries = 0;     ///< disjoint re-executions performed
+  std::uint64_t audits = 0;                ///< dual-execution audits run
   std::uint64_t soc_violations = 0;
   std::uint64_t serve_violations = 0;
   std::vector<VerdictResult> verdicts;

@@ -33,7 +33,9 @@ void register_fleet_metrics(sim::StatsRegistry& stats) {
         "fleet.drain.jobs_shed", "fleet.restarts", "fleet.restart.aborted_jobs",
         "fleet.shard_fails", "fleet.shard_partitions", "fleet.shard_heals",
         "fleet.failover_redispatches", "fleet.failover_requeues", "fleet.failover_lost",
-        "fleet.failover_stale_completions", "recovery.arcs"}) {
+        "fleet.failover_stale_completions", "fleet.integrity.detected",
+        "fleet.integrity.escapes", "fleet.integrity.retries", "fleet.integrity.failed",
+        "fleet.integrity.audits", "fleet.integrity.audit_mismatches", "recovery.arcs"}) {
     stats.counter(name);
   }
   stats.histogram("fleet.queue_wait_cycles", 256.0, 64);
@@ -74,6 +76,11 @@ const HealthTracker& FleetRouter::health(unsigned shard) const {
 
 const PartitionAllocator& FleetRouter::allocator(unsigned shard) const {
   return shards_.at(shard).alloc;
+}
+
+void FleetRouter::set_health_config(const HealthConfig& cfg) {
+  cfg_.health = cfg;
+  for (Shard& s : shards_) s.health.set_config(cfg);
 }
 
 bool FleetRouter::draining(unsigned shard) const { return shards_.at(shard).draining; }
@@ -171,8 +178,16 @@ bool FleetRouter::try_dispatch(unsigned si, std::size_t slot, sim::Cycle now) {
   // healthier shard to steal it. (It sheds as deadline_expired if neither
   // happens in time.)
   if (!m) return false;
-  auto clusters = s.alloc.allocate(
-      *m, [&s](unsigned c) { return s.health.available(c) && !s.cluster_drained[c]; });
+  // Disjointness constraint: a convicted job must never be re-placed on a
+  // (shard, cluster) pair that served one of its convicted attempts.
+  const std::vector<std::pair<unsigned, unsigned>>& avoid = integrity_avoid_[slot];
+  auto clusters = s.alloc.allocate(*m, [&s, &avoid, si](unsigned c) {
+    if (!s.health.available(c) || s.cluster_drained[c]) return false;
+    for (const auto& [sh, cl] : avoid) {
+      if (sh == si && cl == c) return false;
+    }
+    return true;
+  });
   if (!clusters) return false;  // backpressure: wait for a partition to free up
 
   // Same-kernel coalescing: pull up to max_batch-1 not-yet-expired queue
@@ -186,6 +201,9 @@ bool FleetRouter::try_dispatch(unsigned si, std::size_t slot, sim::Cycle now) {
       const ServeJob& cj = (*jobs_)[cand];
       if (cj.kernel != job.kernel) continue;
       if (now >= cj.arrival + cj.t_max) continue;  // expired mates shed in their own turn
+      // Convicted jobs re-run alone: a mate rides the head job's partition,
+      // which was allocated without consulting the mate's avoid-set.
+      if (!integrity_avoid_[cand].empty()) continue;
       batch.push_back(cand);
     }
     for (std::size_t i = 1; i < batch.size(); ++i) {
@@ -281,24 +299,56 @@ void FleetRouter::drain_shard_queue(unsigned si, sim::Cycle now) {
   if (cfg_.stealing && !s.draining && s.queue.empty()) steal_work(si, now);
 }
 
-void FleetRouter::steal_work(unsigned si, sim::Cycle now) {
-  // Idle-shard pull: while this shard can place work and someone else has a
-  // backlog, take the head of the longest queue (ties to the lowest shard
-  // id). Pure function of the trace: victim choice, job choice and the
-  // placement check are all deterministic.
-  for (;;) {
+std::optional<std::pair<unsigned, std::size_t>> FleetRouter::pick_steal_victim(
+    unsigned si) const {
+  if (cfg_.steal_policy == StealPolicy::kBacklogHead) {
+    // Head of the longest queue, ties to the lowest shard id.
     std::size_t best = shards_.size();
     for (std::size_t v = 0; v < shards_.size(); ++v) {
       if (v == si || shard_down(shards_[v]) || shards_[v].queue.empty()) continue;
       if (best == shards_.size() || shards_[v].queue.size() > shards_[best].queue.size()) best = v;
     }
-    if (best == shards_.size()) return;
-    Shard& victim = shards_[best];
-    const std::size_t slot = service_order(victim.queue)[0];
+    if (best == shards_.size()) return std::nullopt;
+    return std::make_pair(static_cast<unsigned>(best), service_order(shards_[best].queue)[0]);
+  }
+  // kTightestSlack: the queued job closest to its deadline anywhere in the
+  // fleet. All candidates share `now`, so the earliest deadline IS the
+  // tightest slack; ties to lower arrival, then lower job id, then lower
+  // shard id — a total order, so the pick is a pure function of the trace.
+  std::optional<std::pair<unsigned, std::size_t>> best;
+  sim::Cycle best_deadline = 0;
+  for (std::size_t v = 0; v < shards_.size(); ++v) {
+    if (v == si || shard_down(shards_[v])) continue;
+    for (const std::size_t slot : shards_[v].queue) {
+      const ServeJob& job = (*jobs_)[slot];
+      const sim::Cycle deadline = job.arrival + job.t_max;
+      if (!best || deadline < best_deadline ||
+          (deadline == best_deadline &&
+           (job.arrival < (*jobs_)[best->second].arrival ||
+            (job.arrival == (*jobs_)[best->second].arrival &&
+             job.id < (*jobs_)[best->second].id)))) {
+        best = std::make_pair(static_cast<unsigned>(v), slot);
+        best_deadline = deadline;
+      }
+    }
+  }
+  return best;
+}
+
+void FleetRouter::steal_work(unsigned si, sim::Cycle now) {
+  // Idle-shard pull: while this shard can place work and someone else has a
+  // backlog, take the victim job chosen by the configured policy. Pure
+  // function of the trace: victim choice, job choice and the placement check
+  // are all deterministic.
+  for (;;) {
+    const auto victim = pick_steal_victim(si);
+    if (!victim) return;
+    const auto [v, slot] = *victim;
     const bool placed = try_dispatch(si, slot, now);
     if (!placed) return;  // thief out of capacity: stop pulling
-    victim.queue.erase(std::find(victim.queue.begin(), victim.queue.end(), slot));
-    sample_queue_depth(victim);
+    Shard& vs = shards_[v];
+    vs.queue.erase(std::find(vs.queue.begin(), vs.queue.end(), slot));
+    sample_queue_depth(vs);
     // A shed (expired deadline) also empties the victim's slot but is not a
     // successful steal; only count jobs that actually moved. A dispatched
     // job is not yet settled (its verdict lands at completion); a shed one is.
@@ -306,10 +356,22 @@ void FleetRouter::steal_work(unsigned si, sim::Cycle now) {
       ++steals_;
       if (stats_) stats_->counter("fleet.steals").inc();
       trace_.record(now, "serve", "serve_steal",
-                    util::format("job=%llu from=%zu to=%u",
-                                 static_cast<unsigned long long>((*jobs_)[slot].id), best, si));
+                    util::format("job=%llu from=%u to=%u",
+                                 static_cast<unsigned long long>((*jobs_)[slot].id), v, si));
     }
   }
+}
+
+bool FleetRouter::audit_selected(std::uint64_t job_id) const {
+  // splitmix64 of (seed, id): a stable per-job lottery, independent of
+  // arrival order, placement and host parallelism.
+  std::uint64_t x = cfg_.integrity.audit_seed ^ (job_id + 0x9E3779B97F4A7C15ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < cfg_.integrity.audit_fraction;
 }
 
 void FleetRouter::complete_job(InFlightBatch& f, std::size_t pos, sim::Cycle now) {
@@ -319,14 +381,47 @@ void FleetRouter::complete_job(InFlightBatch& f, std::size_t pos, sim::Cycle now
   const ExecutionOutcome& exec = f.outcome.jobs[pos];
   trace_.end_span(now, job_track(job.id));
 
+  // Result attestation verdicts first: a digest mismatch convicts exactly
+  // the corrupted members; an audit mismatch cannot localize the fault, so
+  // it convicts the whole partition. Audits only run on clean batch-of-one
+  // completions (a batch shares one offload train; re-running one member is
+  // not a comparable execution).
+  std::vector<unsigned> convicted_members = exec.corrupted_members;
+  bool via_audit = false;
+  if (convicted_members.empty() && exec.ok && f.slots.size() == 1 &&
+      cfg_.integrity.audit_fraction > 0.0 && audit_selected(job.id)) {
+    ++audits_;
+    if (stats_) stats_->counter("fleet.integrity.audits").inc();
+    // Modeled dual execution: a real re-run regenerates its workload (the
+    // executor's RNG advances per job), so the comparator's verdict is the
+    // simulation's silent-corruption oracle instead of a byte diff.
+    const bool mismatch = exec.silent_corruption;
+    trace_.record(now, "serve", "serve_audit",
+                  util::format("job=%llu shard=%u mismatch=%d",
+                               static_cast<unsigned long long>(job.id), f.shard,
+                               mismatch ? 1 : 0));
+    if (mismatch) {
+      ++audit_mismatches_;
+      if (stats_) stats_->counter("fleet.integrity.audit_mismatches").inc();
+      via_audit = true;
+      for (unsigned i = 0; i < f.clusters.size(); ++i) convicted_members.push_back(i);
+    }
+  }
+
   // Health attribution: partition-relative failed members back to shard-local
-  // cluster IDs, then credit/debit every participant.
+  // cluster IDs, then credit/debit every participant. Convicted members are
+  // debited in convict_result, after the serve_corruption record.
   std::vector<bool> failed(f.clusters.size(), false);
   for (const unsigned rel : exec.failed_members) {
     if (rel < failed.size()) failed[rel] = true;
   }
+  std::vector<bool> convicted(f.clusters.size(), false);
+  for (const unsigned rel : convicted_members) {
+    if (rel < convicted.size()) convicted[rel] = true;
+  }
   for (std::size_t i = 0; i < f.clusters.size(); ++i) {
     const unsigned c = f.clusters[i];
+    if (convicted[i]) continue;
     if (failed[i]) {
       if (s.health.record_failure(c)) {
         if (stats_) stats_->counter("fleet.quarantines").inc();
@@ -337,6 +432,13 @@ void FleetRouter::complete_job(InFlightBatch& f, std::size_t pos, sim::Cycle now
     } else {
       s.health.record_success(c);
     }
+  }
+
+  if (!convicted_members.empty()) {
+    // The result is refused: the job does not retire here — it re-routes (or
+    // fails) once the batch closes.
+    convict_result(f, pos, convicted_members, via_audit, now);
+    return;
   }
 
   JobOutcome& out = outcomes_[slot];
@@ -366,6 +468,20 @@ void FleetRouter::complete_job(InFlightBatch& f, std::size_t pos, sim::Cycle now
   if (exec.degraded && stats_) stats_->counter("fleet.jobs_degraded").inc();
   settled_[slot] = true;
 
+  // Escape accounting (simulation oracle): a silently corrupted result that
+  // retires with a delivered verdict got past every defense. The record is
+  // stamped so the serve_integrity invariant can convict it from the trace —
+  // unless attestation was off (blind=1), in which case the escape is the
+  // config's stated choice, not a protocol breach.
+  const bool escaped = exec.silent_corruption &&
+                       (out.verdict == JobVerdict::kMet || out.verdict == JobVerdict::kMissed);
+  std::string flags;
+  if (escaped) {
+    ++corruption_escapes_;
+    if (stats_) stats_->counter("fleet.integrity.escapes").inc();
+    flags = exec.integrity_checked ? " corrupt=1" : " corrupt=1 blind=1";
+  }
+
   ++f.completed;
   --s.active_jobs;
   const bool last = f.completed == f.slots.size();
@@ -374,16 +490,100 @@ void FleetRouter::complete_job(InFlightBatch& f, std::size_t pos, sim::Cycle now
   // occupancy shadow releases on exactly that record.
   if (last) {
     trace_.record(now, "serve", "serve_complete",
-                  util::format("job=%llu shard=%u verdict=%s clusters=%s",
+                  util::format("job=%llu shard=%u verdict=%s%s clusters=%s",
                                static_cast<unsigned long long>(job.id), f.shard,
-                               to_string(out.verdict), cluster_list(f.clusters).c_str()));
+                               to_string(out.verdict), flags.c_str(),
+                               cluster_list(f.clusters).c_str()));
     s.alloc.release(f.clusters);
   } else {
     trace_.record(now, "serve", "serve_complete",
-                  util::format("job=%llu shard=%u verdict=%s batch_pos=%zu",
+                  util::format("job=%llu shard=%u verdict=%s%s batch_pos=%zu",
                                static_cast<unsigned long long>(job.id), f.shard,
-                               to_string(out.verdict), pos));
+                               to_string(out.verdict), flags.c_str(), pos));
   }
+}
+
+void FleetRouter::convict_result(InFlightBatch& f, std::size_t pos,
+                                 const std::vector<unsigned>& members, bool via_audit,
+                                 sim::Cycle now) {
+  Shard& s = shards_[f.shard];
+  const std::size_t slot = f.slots[pos];
+  const ServeJob& job = (*jobs_)[slot];
+  corruptions_detected_ += members.size();
+  if (stats_) stats_->counter("fleet.integrity.detected").inc(members.size());
+  // Feed the breaker: a cluster that returns poisoned bytes is as sick as
+  // one that hangs. Trips are collected first so every serve_quarantine
+  // record lands after the serve_corruption record that justifies it — the
+  // ordering the serve_integrity invariant checks.
+  std::vector<unsigned> convicted_clusters;
+  std::vector<unsigned> tripped;
+  for (const unsigned rel : members) {
+    if (rel >= f.clusters.size()) continue;
+    const unsigned c = f.clusters[rel];
+    convicted_clusters.push_back(c);
+    if (s.health.record_failure(c)) tripped.push_back(c);
+  }
+  ++f.completed;
+  --s.active_jobs;
+  const bool last = f.completed == f.slots.size();
+  std::string detail =
+      util::format("job=%llu shard=%u members=%s", static_cast<unsigned long long>(job.id),
+                   f.shard, cluster_list(convicted_clusters).c_str());
+  if (via_audit) detail += " source=audit";
+  if (!tripped.empty()) detail += util::format(" tripped=%s", cluster_list(tripped).c_str());
+  // Mirrors serve_complete: the clusters= key rides exactly the batch-final
+  // record, releasing the monitor's occupancy shadow.
+  if (last) {
+    detail += util::format(" clusters=%s", cluster_list(f.clusters).c_str());
+  } else {
+    detail += util::format(" batch_pos=%zu", pos);
+  }
+  trace_.record(now, "serve", "serve_corruption", detail);
+  for (const unsigned c : tripped) {
+    if (stats_) stats_->counter("fleet.quarantines").inc();
+    trace_.record(now, "serve", "serve_quarantine",
+                  util::format("shard=%u cluster=%u", f.shard, c));
+    schedule_probe(f.shard, c, now);
+  }
+  if (last) s.alloc.release(f.clusters);
+  f.convicted.push_back(slot);
+}
+
+void FleetRouter::integrity_failover(std::size_t slot, unsigned from,
+                                     const std::vector<unsigned>& used, sim::Cycle now) {
+  const ServeJob& job = (*jobs_)[slot];
+  JobOutcome& out = outcomes_[slot];
+  if (integrity_epochs_[slot] >= cfg_.integrity.retry_budget) {
+    // Budget spent: every attempt came back convicted.
+    out.job_id = job.id;
+    out.verdict = JobVerdict::kFailed;
+    out.reason = "integrity_failed";
+    out.arrival = job.arrival;
+    out.end = now;
+    out.slack =
+        static_cast<std::int64_t>(job.arrival + job.t_max) - static_cast<std::int64_t>(now);
+    out.integrity_retries = integrity_epochs_[slot];
+    settled_[slot] = true;
+    ++integrity_failed_jobs_;
+    if (stats_) {
+      stats_->counter("fleet.jobs_failed").inc();
+      stats_->counter("fleet.integrity.failed").inc();
+    }
+    trace_.record(now, "serve", "serve_complete",
+                  util::format("job=%llu shard=%u verdict=failed reason=integrity_failed",
+                               static_cast<unsigned long long>(job.id), from));
+    return;
+  }
+  ++integrity_epochs_[slot];
+  out.integrity_retries = integrity_epochs_[slot];
+  for (const unsigned c : used) integrity_avoid_[slot].emplace_back(from, c);
+  ++integrity_retries_;
+  if (stats_) stats_->counter("fleet.integrity.retries").inc();
+  trace_.record(now, "serve", "serve_integrity_retry",
+                util::format("job=%llu epoch=%u from=%u",
+                             static_cast<unsigned long long>(job.id), integrity_epochs_[slot],
+                             from));
+  route_arrival(slot, now);
 }
 
 void FleetRouter::complete(const Event& ev) {
@@ -405,7 +605,14 @@ void FleetRouter::complete(const Event& ev) {
   complete_job(f, ev.sub, ev.time);
   if (f.completed == f.slots.size()) {
     f.done = true;
-    drain_shard_queue(f.shard, ev.time);
+    const unsigned shard = f.shard;
+    const std::vector<unsigned> used = f.clusters;
+    const std::vector<std::size_t> convicted = std::move(f.convicted);
+    // Convicted jobs re-route only after the batch closed: the partition is
+    // already released, and the re-dispatches below may grow inflight_ —
+    // `f` is dangling from here on.
+    for (const std::size_t slot : convicted) integrity_failover(slot, shard, used, ev.time);
+    drain_shard_queue(shard, ev.time);
   }
 }
 
@@ -496,7 +703,10 @@ void FleetRouter::start_probe(unsigned si, unsigned cluster, sim::Cycle now) {
   probe.n = cfg_.probe_n;
   probe.arrival = now;
   ExecutionOutcome exec = s.exec->execute(probe, 1, /*probe=*/true);
-  const bool clean = exec.ok && exec.failed_members.empty();
+  // A probe that returns digest-mismatched bytes is as dirty as one that
+  // fails: sick silicon stays quarantined. (The silent-corruption oracle is
+  // deliberately NOT consulted — readmission is a protocol decision.)
+  const bool clean = exec.ok && exec.failed_members.empty() && exec.corrupted_members.empty();
   s.probes[cluster] = Probe{std::move(exec), clean};
   if (stats_) stats_->counter("fleet.probes").inc();
   trace_.record(now, "serve", "serve_probe", util::format("shard=%u cluster=%u", si, cluster));
@@ -647,6 +857,28 @@ void FleetRouter::do_restart(unsigned si, sim::Cycle now) {
       continue;
     }
     f.done = true;
+    // Convicted positions already completed (span ended, active_jobs
+    // decremented) but their retry was still pending on the batch closing:
+    // the restart takes them down with the rest.
+    for (const std::size_t slot : f.convicted) {
+      const ServeJob& job = (*jobs_)[slot];
+      JobOutcome& out = outcomes_[slot];
+      out.job_id = job.id;
+      out.end = now;
+      out.verdict = JobVerdict::kFailed;
+      out.reason = "restarted";
+      out.slack =
+          static_cast<std::int64_t>(job.arrival + job.t_max) - static_cast<std::int64_t>(now);
+      settled_[slot] = true;
+      if (stats_) {
+        stats_->counter("fleet.jobs_failed").inc();
+        stats_->counter("fleet.restart.aborted_jobs").inc();
+      }
+      trace_.record(now, "serve", "serve_complete",
+                    util::format("job=%llu shard=%u verdict=failed reason=restarted",
+                                 static_cast<unsigned long long>(job.id), si));
+    }
+    f.convicted.clear();
     for (std::size_t pos = f.completed; pos < f.slots.size(); ++pos) {
       const std::size_t slot = f.slots[pos];
       const ServeJob& job = (*jobs_)[slot];
@@ -718,6 +950,11 @@ void FleetRouter::do_fail(unsigned si, sim::Cycle now) {
     if (f.done || f.shard != si) continue;
     f.done = true;
     if (!f.orphaned) {
+      // Convicted positions already completed; their pending integrity retry
+      // rides the crash failover path like any displaced in-flight job (the
+      // avoid-set and integrity epoch stick to the slot).
+      for (const std::size_t slot : f.convicted) displaced.push_back(slot);
+      f.convicted.clear();
       for (std::size_t pos = f.completed; pos < f.slots.size(); ++pos) {
         const std::size_t slot = f.slots[pos];
         trace_.end_span(now, job_track((*jobs_)[slot].id));
@@ -774,6 +1011,11 @@ void FleetRouter::do_partition(unsigned si, sim::Cycle now) {
   for (InFlightBatch& f : inflight_) {
     if (f.done || f.orphaned || f.shard != si) continue;
     f.orphaned = true;
+    // Pending integrity retries fail over with the in-flight jobs (see
+    // do_fail); the stale completions that eventually surface are positions
+    // past f.completed, which never include these.
+    for (const std::size_t slot : f.convicted) displaced.push_back(slot);
+    f.convicted.clear();
     for (std::size_t pos = f.completed; pos < f.slots.size(); ++pos) {
       const std::size_t slot = f.slots[pos];
       trace_.end_span(now, job_track((*jobs_)[slot].id));
@@ -921,6 +1163,8 @@ std::vector<JobOutcome> FleetRouter::run(const std::vector<ServeJob>& jobs) {
   next_seq_ = 0;
   inflight_.clear();
   failovers_.assign(jobs.size(), 0);
+  integrity_epochs_.assign(jobs.size(), 0);
+  integrity_avoid_.assign(jobs.size(), {});
   for (Shard& s : shards_) {
     s.queue.clear();
     s.stale_buffer.clear();

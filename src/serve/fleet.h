@@ -21,11 +21,29 @@
 //    job of the batch retires.
 //  * Work stealing: whenever a shard ends up with free healthy capacity and
 //    an empty queue (a completion, re-admission or undrain), it pulls jobs
-//    from the longest backlog in the fleet (ties to the lowest shard id),
-//    head-of-service-order first, until it can no longer place one. Round-
-//    robin placement is deliberately backlog-blind — stealing is the
-//    mechanism that repairs its imbalance, which is exactly what the E22
-//    ablation quantifies.
+//    from other shards' backlogs until it can no longer place one. Victim
+//    selection is a config policy: kBacklogHead (default) takes the head of
+//    the longest backlog (ties to the lowest shard id); kTightestSlack takes
+//    the queued job with the least remaining slack anywhere in the fleet —
+//    deadline-aware rescue of the job closest to expiring. Round-robin
+//    placement is deliberately backlog-blind — stealing is the mechanism
+//    that repairs its imbalance, which is exactly what the E22 ablation
+//    quantifies.
+//  * End-to-end integrity: when an executor reports digest-mismatched
+//    members (detected silent data corruption), the router refuses the
+//    result, convicts the corrupted clusters through the HealthTracker
+//    breaker (repeat offenders quarantine as sick silicon), and re-executes
+//    the job under a bounded `integrity.retry_budget` on a partition
+//    disjoint from every previously-convicted (shard, cluster) pair; an
+//    exhausted budget retires the job as "integrity_failed". A seeded
+//    `integrity.audit_fraction` of clean single-job completions is
+//    additionally dual-executed (modeled: the audit verdict is the
+//    simulation's silent-corruption oracle, since a real re-run regenerates
+//    its workload); a mismatch convicts the whole partition and enters the
+//    same retry path. A silently corrupted result that still retires is
+//    counted as an escape and stamped corrupt=1 on its serve_complete
+//    record (blind=1 when attestation was off) — check::ProtocolMonitor's
+//    serve_integrity invariant convicts any undetected-met escape.
 //  * Fault domains: each shard is a crash-stop fault domain
 //    (fault/fleet_fault.h). A crash (OperatorAction::kFail) kills every
 //    in-flight offload on the shard; a router partition (kPartition) leaves
@@ -70,6 +88,18 @@
 
 namespace mco::serve {
 
+/// Victim-job selection policy for cross-shard work stealing.
+enum class StealPolicy {
+  /// Head of the longest backlog (ties to the lowest shard id) — the
+  /// original load-balancing pull.
+  kBacklogHead,
+  /// The queued job with the least remaining slack (deadline − now) across
+  /// every reachable shard; ties to lower arrival, then lower job id, then
+  /// lower shard id. Deadline-aware rescue (ROADMAP: deadline-aware
+  /// stealing).
+  kTightestSlack,
+};
+
 struct FleetConfig {
   unsigned num_shards = 4;
   unsigned clusters_per_shard = 8;
@@ -88,6 +118,8 @@ struct FleetConfig {
   /// Cross-shard work stealing for stragglers. Off = a shard only ever
   /// serves its own queue.
   bool stealing = true;
+  /// How a stealing shard picks its victim job (see StealPolicy).
+  StealPolicy steal_policy = StealPolicy::kBacklogHead;
   /// Problem size of probe (canary) offloads sent to quarantined clusters.
   std::uint64_t probe_n = 256;
   /// Service-time delay between a shard restart and its first canary probe
@@ -97,6 +129,20 @@ struct FleetConfig {
   /// crash/partition may be re-dispatched to a survivor before it is failed
   /// with reason "shard_lost". 0 disables failover entirely.
   unsigned failover_budget = 1;
+  /// End-to-end result integrity (detection itself lives in the executor's
+  /// runtime — runtime.integrity / fault SDC probabilities; this block only
+  /// governs what the router does about it).
+  struct IntegrityConfig {
+    /// How many times a job whose result was convicted (digest mismatch or
+    /// audit) may be re-executed on a disjoint partition before it retires
+    /// as "integrity_failed". 0 fails convicted jobs immediately.
+    unsigned retry_budget = 1;
+    /// Fraction of clean batch-of-one completions dual-executed to catch
+    /// checksum-blind escapes (stale-read corruption). Selection is a pure
+    /// seeded hash of the job id — deterministic and replay-stable.
+    double audit_fraction = 0.0;
+    std::uint64_t audit_seed = 0x9E3779B97F4A7C15ull;
+  } integrity;
 };
 
 /// Router/admission front-end over N per-shard schedulers. One Executor per
@@ -117,6 +163,13 @@ class FleetRouter {
   const HealthTracker& health(unsigned shard) const;
   const PartitionAllocator& allocator(unsigned shard) const;
   unsigned num_shards() const { return cfg_.num_shards; }
+
+  /// Scripted mid-episode reconfiguration (the scenario dialect's `set`
+  /// verb). Health swaps apply to every shard's breaker, keeping per-cluster
+  /// states and streaks; integrity swaps only govern convictions judged
+  /// after the call.
+  void set_health_config(const HealthConfig& cfg);
+  void set_integrity(const FleetConfig::IntegrityConfig& cfg) { cfg_.integrity = cfg; }
 
   /// Serve one job trace to completion (all arrivals processed, all
   /// in-flight work drained, leftovers shed as "starved"). Returns one
@@ -152,6 +205,16 @@ class FleetRouter {
   std::uint64_t failover_requeues() const { return failover_requeues_; }
   std::uint64_t failover_lost() const { return failover_lost_; }
   std::uint64_t stale_completions() const { return stale_completions_; }
+  /// Integrity aggregates (across runs): digest-mismatched members detected,
+  /// silently corrupted results that retired anyway (oracle count), disjoint
+  /// re-executions performed, jobs retired as integrity_failed, audit
+  /// dual-executions and the convictions they produced.
+  std::uint64_t corruptions_detected() const { return corruptions_detected_; }
+  std::uint64_t corruption_escapes() const { return corruption_escapes_; }
+  std::uint64_t integrity_retries() const { return integrity_retries_; }
+  std::uint64_t integrity_failed_jobs() const { return integrity_failed_jobs_; }
+  std::uint64_t audits() const { return audits_; }
+  std::uint64_t audit_mismatches() const { return audit_mismatches_; }
 
   /// Schedule a shard-scoped operator action at virtual cycle `time` of the
   /// *next* run(). Same-cycle operators fire before same-cycle arrivals, in
@@ -219,6 +282,11 @@ class FleetRouter {
     /// Shard partitioned after dispatch: the jobs were failed over, so every
     /// remaining completion is stale and must retire through the ledger.
     bool orphaned = false;
+    /// Batch positions whose result was convicted (digest mismatch / audit).
+    /// Their retry re-dispatch is deferred to the batch-final completion so
+    /// the partition is released before the job re-routes (dispatching
+    /// mid-batch would also grow inflight_ under a live reference).
+    std::vector<std::size_t> convicted;
   };
 
   void push_event(sim::Cycle time, EventKind kind, std::size_t index, unsigned shard,
@@ -246,9 +314,12 @@ class FleetRouter {
   /// steal if it drained its own queue.
   void drain_shard_queue(unsigned si, sim::Cycle now);
   /// Idle-shard pull: while `si` has free healthy capacity and an empty
-  /// queue, take the head job of the longest backlog (ties to the lowest
-  /// shard id) and dispatch it here.
+  /// queue, take the victim job chosen by cfg_.steal_policy and dispatch it
+  /// here.
   void steal_work(unsigned si, sim::Cycle now);
+  /// Pick the next steal victim: (shard, slot) or nullopt when no reachable
+  /// backlog has one. Pure function of the trace under either policy.
+  std::optional<std::pair<unsigned, std::size_t>> pick_steal_victim(unsigned si) const;
   void complete(const Event& ev);
   void complete_job(InFlightBatch& f, std::size_t pos, sim::Cycle now);
   void schedule_probe(unsigned si, unsigned cluster, sim::Cycle now);
@@ -267,6 +338,19 @@ class FleetRouter {
   /// and re-dispatch to a survivor, or fail it as "shard_lost" when the
   /// budget is spent. `redispatch` distinguishes in-flight jobs from queued.
   void failover(std::size_t slot, unsigned from, bool redispatch, sim::Cycle now);
+  /// Deterministic audit lottery: seeded hash of the job id vs
+  /// integrity.audit_fraction.
+  bool audit_selected(std::uint64_t job_id) const;
+  /// Handle one convicted batch position at completion time: count +
+  /// conviction records, feed the breaker for every convicted cluster,
+  /// advance the batch (the convicted job does NOT retire here).
+  void convict_result(InFlightBatch& f, std::size_t pos,
+                      const std::vector<unsigned>& members, bool via_audit, sim::Cycle now);
+  /// Re-route one convicted job: bump its integrity epoch, extend its
+  /// avoid-set with the convicted partition, and re-dispatch — or retire it
+  /// as "integrity_failed" when the retry budget is spent.
+  void integrity_failover(std::size_t slot, unsigned from,
+                          const std::vector<unsigned>& used, sim::Cycle now);
   /// Retire one stale completion (from a partitioned shard) through the
   /// epoch ledger: count + trace it, advance the batch, release the
   /// partition on the last position — but never touch the job's outcome.
@@ -289,6 +373,10 @@ class FleetRouter {
   std::uint64_t next_seq_ = 0;
   std::vector<InFlightBatch> inflight_;  ///< keyed by batch handle
   std::vector<unsigned> failovers_;      ///< per-slot failover epoch (per run)
+  std::vector<unsigned> integrity_epochs_;  ///< per-slot conviction retries (per run)
+  /// Per-slot disjointness constraint: (shard, shard-local cluster) pairs a
+  /// convicted job must never be re-placed on.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> integrity_avoid_;
   std::size_t pending_arrivals_ = 0;
   unsigned rr_next_ = 0;  ///< round-robin placement pointer (reset per run)
   sim::Cycle makespan_ = 0;
@@ -305,6 +393,12 @@ class FleetRouter {
   std::uint64_t failover_requeues_ = 0;
   std::uint64_t failover_lost_ = 0;
   std::uint64_t stale_completions_ = 0;
+  std::uint64_t corruptions_detected_ = 0;
+  std::uint64_t corruption_escapes_ = 0;
+  std::uint64_t integrity_retries_ = 0;
+  std::uint64_t integrity_failed_jobs_ = 0;
+  std::uint64_t audits_ = 0;
+  std::uint64_t audit_mismatches_ = 0;
 
   struct PendingOperator {
     sim::Cycle time = 0;

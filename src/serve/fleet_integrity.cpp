@@ -1,0 +1,227 @@
+#include "serve/fleet_integrity.h"
+
+#include <memory>
+
+#include "check/protocol_monitor.h"
+#include "serve/soc_executor.h"
+#include "util/strings.h"
+
+namespace mco::serve {
+
+namespace {
+
+/// The sick lane every corruption row targets: physical cluster 0 of shard
+/// 0. The admission solver picks the minimal partition that meets the
+/// deadline, so cluster 0 is the fleet's hottest lane — corruption planted
+/// there is exercised by nearly every job the shard serves.
+fault::FaultConfig corrupt_lane(double flip, double truncate, double meta, double stale) {
+  fault::FaultConfig c;
+  c.target_cluster = 0;
+  c.payload_flip_prob = flip;
+  c.chunk_truncate_prob = truncate;
+  c.meta_corrupt_prob = meta;
+  c.stale_read_prob = stale;
+  return c;
+}
+
+}  // namespace
+
+std::vector<FleetIntegrityPoint> fleet_integrity_grid() {
+  std::vector<FleetIntegrityPoint> grid;
+  {
+    // Clean control: attestation on, nothing to catch — pins the overhead
+    // bill on an honest fleet and proves zero false convictions.
+    FleetIntegrityPoint p;
+    p.name = "control";
+    grid.push_back(std::move(p));
+  }
+  {
+    // Dose-response, low end: sparse word flips on the hot lane.
+    FleetIntegrityPoint p;
+    p.name = "flip_low";
+    p.rate = 0.01;
+    p.corruption = corrupt_lane(p.rate, 0, 0, 0);
+    grid.push_back(std::move(p));
+  }
+  {
+    // Dose-response, high end: ~4x the detections of flip_low, and exactly
+    // the pressure the blind_off ablation leaks under. Every conviction
+    // feeds the breaker as a failure (clean successes in between keep the
+    // streak below the default threshold — the scripted-threshold quarantine
+    // arc is scenarios/sick_silicon_quarantine.scn's job).
+    FleetIntegrityPoint p;
+    p.name = "flip_high";
+    p.rate = 0.08;
+    p.corruption = corrupt_lane(p.rate, 0, 0, 0);
+    grid.push_back(std::move(p));
+  }
+  {
+    // All three digest-detectable modes at once (flips, truncated chunk
+    // writes, lying completion metadata).
+    FleetIntegrityPoint p;
+    p.name = "mix_detectable";
+    p.rate = 0.01;
+    p.corruption = corrupt_lane(p.rate, p.rate, p.rate, 0);
+    grid.push_back(std::move(p));
+  }
+  {
+    // The checksum-blind mode: stale-buffer reads verify cleanly, so only
+    // the audit can convict them — full audit fraction, batch-of-one so
+    // every completion is auditable.
+    FleetIntegrityPoint p;
+    p.name = "stale_audit";
+    p.rate = 0.02;
+    p.corruption = corrupt_lane(0, 0, 0, p.rate);
+    p.audit_fraction = 1.0;
+    p.max_batch = 1;
+    grid.push_back(std::move(p));
+  }
+  {
+    // Sampled audit riding along a digest-detectable fault: the audit
+    // lottery fires on a quarter of clean completions, the digests still
+    // catch every flip.
+    FleetIntegrityPoint p;
+    p.name = "flip_audit";
+    p.rate = 0.01;
+    p.corruption = corrupt_lane(p.rate, 0, 0, 0);
+    p.audit_fraction = 0.25;
+    grid.push_back(std::move(p));
+  }
+  {
+    // The ablation that motivates the whole layer: same flip pressure as
+    // flip_high with attestation off — corrupt results sail through as
+    // delivered verdicts (escapes > 0, detections == 0).
+    FleetIntegrityPoint p;
+    p.name = "blind_off";
+    p.checks = false;
+    p.rate = 0.08;
+    p.corruption = corrupt_lane(p.rate, 0, 0, 0);
+    grid.push_back(std::move(p));
+  }
+  return grid;
+}
+
+FleetIntegrityResult run_fleet_integrity_point(const FleetIntegrityPoint& point,
+                                               const std::vector<ServeJob>& trace,
+                                               const FleetSoakConfig& cfg) {
+  std::vector<std::unique_ptr<SocExecutor>> execs;
+  std::vector<Executor*> exec_ptrs;
+  execs.reserve(point.num_shards);
+  for (unsigned s = 0; s < point.num_shards; ++s) {
+    SocExecutorConfig xc;
+    xc.soc = soc::SocConfig::extended(cfg.clusters_per_shard);
+    xc.soc.runtime.integrity.enabled = point.checks;
+    if (s == 0) xc.soc.fault = point.corruption;
+    xc.tolerance = cfg.tolerance;
+    xc.workload_seed = cfg.workload_seed + s;
+    xc.crash_penalty_cycles = cfg.crash_penalty_cycles;
+    execs.push_back(std::make_unique<SocExecutor>(xc));
+    exec_ptrs.push_back(execs.back().get());
+  }
+
+  FleetConfig fc;
+  fc.num_shards = point.num_shards;
+  fc.clusters_per_shard = cfg.clusters_per_shard;
+  fc.model = cfg.model;
+  fc.max_queue = cfg.max_queue;
+  fc.max_clusters_per_job = cfg.max_clusters_per_job;
+  fc.health = cfg.health;
+  fc.max_batch = point.max_batch;
+  fc.integrity.audit_fraction = point.audit_fraction;
+  FleetRouter fleet(fc, exec_ptrs);
+
+  check::ProtocolMonitor fleet_monitor;
+  fleet_monitor.attach(fleet.trace());
+
+  FleetIntegrityResult r;
+  r.name = point.name;
+  r.shards = point.num_shards;
+  r.checks = point.checks;
+  r.audit_fraction = point.audit_fraction;
+  r.rate = point.rate;
+  r.jobs = trace.size();
+  const std::vector<JobOutcome> outcomes = fleet.run(trace);
+  fleet_monitor.finish();
+
+  for (const JobOutcome& o : outcomes) {
+    switch (o.verdict) {
+      case JobVerdict::kMet: ++r.met; break;
+      case JobVerdict::kMissed: ++r.missed; break;
+      case JobVerdict::kShed: ++r.shed; break;
+      case JobVerdict::kFailed: ++r.failed; break;
+    }
+  }
+  r.slo_attainment = r.jobs ? static_cast<double>(r.met) / static_cast<double>(r.jobs) : 0.0;
+  r.makespan = fleet.makespan();
+  r.detected = fleet.corruptions_detected();
+  r.escapes = fleet.corruption_escapes();
+  r.integrity_retries = fleet.integrity_retries();
+  r.integrity_failed = fleet.integrity_failed_jobs();
+  r.audits = fleet.audits();
+  r.audit_mismatches = fleet.audit_mismatches();
+  std::uint64_t busy_cycles = 0;
+  for (unsigned s = 0; s < point.num_shards; ++s) {
+    r.quarantines += fleet.health(s).quarantines();
+    // The attestation bill, straight from the runtime's phase counters.
+    // Counters live on each shard's Soc; corruption never crashes a Soc, so
+    // no cycles are lost to rebuilds on this grid.
+    sim::StatsRegistry& st = execs[s]->soc().simulator().stats();
+    r.verify_cycles += st.counter("runtime.phase.verify_cycles").value();
+    for (const char* phase :
+         {"runtime.phase.marshal_cycles", "runtime.phase.sync_setup_cycles",
+          "runtime.phase.dispatch_cycles", "runtime.phase.wait_cycles",
+          "runtime.phase.verify_cycles", "runtime.phase.epilogue_cycles"}) {
+      busy_cycles += st.counter(phase).value();
+    }
+    r.soc_violations += execs[s]->total_violations();
+  }
+  // The attestation share of everything the runtimes charged: makespan
+  // would double-count shard parallelism, so the denominator is the
+  // fleet-wide sum of Eq.-(1) phase cycles.
+  r.overhead_pct =
+      busy_cycles ? 100.0 * static_cast<double>(r.verify_cycles) / static_cast<double>(busy_cycles)
+                  : 0.0;
+  r.serve_violations = fleet_monitor.total_violations();
+  return r;
+}
+
+std::string integrity_report_json(const std::vector<FleetIntegrityResult>& results,
+                                  const SoakTraceConfig& trace_cfg) {
+  std::string out = "{\n  \"schema\": \"mco-integrity-v1\",\n";
+  out += util::format("  \"jobs\": %zu,\n", trace_cfg.num_jobs);
+  out += util::format("  \"seed\": %llu,\n",
+                      static_cast<unsigned long long>(trace_cfg.seed));
+  out += "  \"points\": [";
+  bool first = true;
+  for (const FleetIntegrityResult& r : results) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += util::format(
+        "    {\"name\": \"%s\", \"shards\": %u, \"checks\": %s, "
+        "\"audit_fraction\": %.2f, \"rate\": %.3f, "
+        "\"met\": %llu, \"missed\": %llu, \"shed\": %llu, \"failed\": %llu, "
+        "\"slo_attainment\": %.4f, \"makespan\": %llu, "
+        "\"detected\": %llu, \"escapes\": %llu, \"integrity_retries\": %llu, "
+        "\"integrity_failed\": %llu, \"audits\": %llu, \"audit_mismatches\": %llu, "
+        "\"quarantines\": %llu, \"verify_cycles\": %llu, \"overhead_pct\": %.3f, "
+        "\"soc_violations\": %llu, \"serve_violations\": %llu}",
+        r.name.c_str(), r.shards, r.checks ? "true" : "false", r.audit_fraction, r.rate,
+        static_cast<unsigned long long>(r.met), static_cast<unsigned long long>(r.missed),
+        static_cast<unsigned long long>(r.shed), static_cast<unsigned long long>(r.failed),
+        r.slo_attainment, static_cast<unsigned long long>(r.makespan),
+        static_cast<unsigned long long>(r.detected), static_cast<unsigned long long>(r.escapes),
+        static_cast<unsigned long long>(r.integrity_retries),
+        static_cast<unsigned long long>(r.integrity_failed),
+        static_cast<unsigned long long>(r.audits),
+        static_cast<unsigned long long>(r.audit_mismatches),
+        static_cast<unsigned long long>(r.quarantines),
+        static_cast<unsigned long long>(r.verify_cycles), r.overhead_pct,
+        static_cast<unsigned long long>(r.soc_violations),
+        static_cast<unsigned long long>(r.serve_violations));
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mco::serve

@@ -1,0 +1,99 @@
+// E24 integrity sweep: silent-data-corruption pressure against an attested
+// fleet, with escape-rate and attestation-overhead accounting.
+//
+// Every grid point replays the same deterministic high-pressure trace
+// (fleet_soak.h's E22 generator) against a 4-shard fleet whose shard-0
+// executor is built sick: its fault injector corrupts offload results at a
+// scripted per-chunk probability without failing them (payload word flips,
+// truncated chunk writes, lying completion metadata, stale-buffer reads —
+// see fault/fault_injector.h). The rows prove the tentpole property from
+// two sides: with per-chunk attestation on, every corrupted result is
+// convicted before its verdict is delivered (corruption_escapes == 0 at
+// every rate — checksum-blind stale reads are caught by the audit fraction
+// instead), and with attestation off the same pressure demonstrably leaks
+// (escapes > 0, detections == 0). The attestation bill is reported as
+// verify cycles per delivered result and as a percentage of the episode
+// makespan. Point-level parallelism (exp::SweepRunner::map in
+// bench_integrity) writes into index-addressed slots; the
+// "mco-integrity-v1" report is byte-identical at --jobs 1/4/16.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "serve/fleet.h"
+#include "serve/fleet_soak.h"
+
+namespace mco::serve {
+
+/// One row of the E24 grid: a corruption environment for the sick shard-0
+/// executor plus the defense configuration (attestation toggle, audit
+/// fraction, batch cap — audits only see batch-of-one completions, so the
+/// audit-backstop rows pin max_batch = 1).
+struct FleetIntegrityPoint {
+  std::string name;
+  unsigned num_shards = 4;
+  /// Per-chunk digest attestation at the gather (runtime.integrity.enabled
+  /// on every shard's Soc). Off = the blind ablation row.
+  bool checks = true;
+  /// Fraction of clean batch-of-one completions dual-executed and compared.
+  double audit_fraction = 0.0;
+  std::size_t max_batch = 4;  ///< 1 keeps every completion auditable
+  /// Corruption environment of shard 0's Soc (the other shards stay
+  /// healthy). Probabilities of 0 everywhere = the clean control.
+  fault::FaultConfig corruption;
+  /// Nominal per-chunk rate, echoed into the report row.
+  double rate = 0.0;
+};
+
+/// The E24 grid: clean control, payload-flip dose-response (low/high), the
+/// all-detectable-modes mix, the checksum-blind stale-read row saved by a
+/// full audit, a sampled-audit flip row, and the attestation-off ablation
+/// that must leak.
+std::vector<FleetIntegrityPoint> fleet_integrity_grid();
+
+/// Aggregates of one integrity point.
+struct FleetIntegrityResult {
+  std::string name;
+  unsigned shards = 0;
+  bool checks = false;
+  double audit_fraction = 0.0;
+  double rate = 0.0;
+  std::size_t jobs = 0;
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  double slo_attainment = 0.0;  ///< met / jobs
+  sim::Cycle makespan = 0;
+  std::uint64_t detected = 0;          ///< corrupted results convicted
+  std::uint64_t escapes = 0;           ///< corrupted verdicts delivered
+  std::uint64_t integrity_retries = 0; ///< disjoint re-executions
+  std::uint64_t integrity_failed = 0;  ///< convictions past the retry budget
+  std::uint64_t audits = 0;            ///< clean completions dual-executed
+  std::uint64_t audit_mismatches = 0;  ///< audits that convicted
+  std::uint64_t quarantines = 0;       ///< breaker trips, summed over shards
+  std::uint64_t verify_cycles = 0;     ///< attestation bill, summed over shards
+  double overhead_pct = 0.0;           ///< 100 * verify_cycles / makespan
+  std::uint64_t soc_violations = 0;
+  std::uint64_t serve_violations = 0;  ///< incl. serve_integrity
+};
+
+/// Serve `trace` through one FleetRouter built per `point`: shard 0's Soc
+/// carries the point's corruption config from cycle 0, every shard's
+/// runtime attests per the point's `checks` toggle, and the router's
+/// conviction machinery runs with the point's audit fraction. A
+/// check::ProtocolMonitor watches the fleet trace (serve_isolation +
+/// serve_exactly_once + serve_integrity).
+FleetIntegrityResult run_fleet_integrity_point(const FleetIntegrityPoint& point,
+                                               const std::vector<ServeJob>& trace,
+                                               const FleetSoakConfig& cfg);
+
+/// "mco-integrity-v1" JSON: one row per grid point, aggregate fields only —
+/// the bench_integrity golden that determinism tests byte-compare.
+std::string integrity_report_json(const std::vector<FleetIntegrityResult>& results,
+                                  const SoakTraceConfig& trace_cfg);
+
+}  // namespace mco::serve

@@ -44,6 +44,11 @@ class HealthTracker {
 
   unsigned num_clusters() const { return static_cast<unsigned>(state_.size()); }
   const HealthConfig& config() const { return cfg_; }
+  /// Operator reconfiguration mid-run (the scenario dialect's `set
+  /// health.*` verb): thresholds change, per-cluster states and streak
+  /// counters carry over. A cluster already at or past a lowered
+  /// failure_threshold trips on its *next* failure, not retroactively.
+  void set_config(const HealthConfig& cfg) { cfg_ = cfg; }
 
   ClusterHealth state(unsigned cluster) const;
   /// True when the cluster may serve regular jobs (kHealthy).

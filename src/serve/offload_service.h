@@ -108,6 +108,9 @@ struct JobOutcome {
   /// Times the job was re-dispatched to a surviving shard after its shard
   /// crashed or partitioned (fleet failover; always 0 on a single service).
   unsigned failovers = 0;
+  /// Times the job was re-executed on a disjoint partition after a digest
+  /// mismatch or audit conviction (fleet integrity; 0 on a single service).
+  unsigned integrity_retries = 0;
 };
 
 /// What one dispatched offload did, as the service's executor reports it.
@@ -121,6 +124,20 @@ struct ExecutionOutcome {
   std::vector<unsigned> failed_members;
   unsigned retries = 0;
   unsigned watchdog_timeouts = 0;
+  /// Partition-relative indices whose chunk digest failed verification
+  /// (detected silent-data corruption; empty when the integrity layer is
+  /// off). A corrupted member is distinct from a failed one: it completed,
+  /// with wrong bytes.
+  std::vector<unsigned> corrupted_members;
+  /// Ground-truth oracle, NOT protocol-visible: the result carries corrupted
+  /// bytes no digest flagged (stale-read corruption, or any corruption with
+  /// checks off). Escape accounting and the audit comparator read this;
+  /// routing decisions must not.
+  bool silent_corruption = false;
+  /// True when the executor ran with result attestation on
+  /// (runtime.integrity.enabled): an escape under checks is an invariant
+  /// breach, an escape without them is merely blind.
+  bool integrity_checked = false;
 };
 
 /// What one coalesced batch of jobs did. `jobs[k].duration` is job k's
@@ -204,6 +221,14 @@ class OffloadService {
 
   const HealthTracker& health() const { return health_; }
   const PartitionAllocator& allocator() const { return alloc_; }
+
+  /// Scripted mid-episode reconfiguration (the scenario dialect's `set
+  /// health.*` verb): swaps the breaker thresholds, keeping per-cluster
+  /// states and streaks.
+  void set_health_config(const HealthConfig& cfg) {
+    cfg_.health = cfg;
+    health_.set_config(cfg);
+  }
 
   /// Serve one job trace to completion (all arrivals processed, all
   /// in-flight work drained, leftover queue entries shed as "starved").

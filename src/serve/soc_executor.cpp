@@ -27,7 +27,16 @@ ExecutionOutcome SocExecutor::execute(const ServeJob& job, unsigned m, bool /*pr
         soc::prepare_workload(*soc_, kernel, job.n, soc_->num_clusters(), rng_);
     const offload::OffloadResult result = soc_->run_offload(prepared.args, m);
     out.duration = result.total();
-    out.ok = prepared.max_abs_error(*soc_) <= cfg_.tolerance;
+    // A corrupted result is routed through the integrity machinery
+    // (detection → disjoint retry, escape → oracle accounting), not the
+    // numeric-failure path: ok stays true so the service doesn't double-count
+    // the job as an execution failure.
+    out.corrupted_members.assign(result.integrity.corrupted_clusters.begin(),
+                                 result.integrity.corrupted_clusters.end());
+    out.silent_corruption = !result.integrity.silent_clusters.empty();
+    out.integrity_checked = result.integrity.checks_enabled;
+    out.ok = prepared.max_abs_error(*soc_) <= cfg_.tolerance ||
+             result.integrity.any_corruption();
     out.degraded = result.recovery.degraded;
     // The runtime dispatches to physical clusters [0, m), so the recovery
     // layer's failed-cluster IDs are already partition-relative.
@@ -71,7 +80,12 @@ BatchExecutionOutcome SocExecutor::execute_batch(const std::vector<ServeJob>& jo
     for (std::size_t k = 0; k < jobs.size(); ++k) {
       ExecutionOutcome one;
       one.duration = seq.completion_offset(k);
-      one.ok = prepared[k].max_abs_error(*soc_) <= cfg_.tolerance;
+      const offload::IntegrityReport& integ = seq.jobs[k].integrity;
+      one.corrupted_members.assign(integ.corrupted_clusters.begin(),
+                                   integ.corrupted_clusters.end());
+      one.silent_corruption = !integ.silent_clusters.empty();
+      one.integrity_checked = integ.checks_enabled;
+      one.ok = prepared[k].max_abs_error(*soc_) <= cfg_.tolerance || integ.any_corruption();
       out.jobs.push_back(std::move(one));
     }
   } catch (const std::exception&) {

@@ -55,7 +55,10 @@ struct SocConfig {
   offload::OffloadRuntimeConfig runtime{};
   /// Deterministic fault injection (all probabilities 0 by default — no
   /// injector is constructed and every timing path is untouched). Setting any
-  /// probability > 0 auto-enables the runtime's recovery layer.
+  /// crash/omission probability > 0 auto-enables the runtime's recovery
+  /// layer; the silent-data-corruption probabilities do not (they never
+  /// delay a completion, only poison its bytes — pair them with
+  /// runtime.integrity to detect them).
   fault::FaultConfig fault{};
 
   /// Paper's baseline design: sequential unicast dispatch + software polling.

@@ -149,6 +149,7 @@ const std::vector<MetricInfo>& metric_reference() {
       {"runtime.phase.sync_setup_cycles", "counter"},
       {"runtime.phase.dispatch_cycles", "counter"},
       {"runtime.phase.wait_cycles", "counter"},
+      {"runtime.phase.verify_cycles", "counter"},
       {"runtime.phase.epilogue_cycles", "counter"},
       {"runtime.recovery.watchdog_timeouts", "counter"},
       {"runtime.recovery.retries", "counter"},
@@ -166,6 +167,10 @@ const std::vector<MetricInfo>& metric_reference() {
       {"fault.cluster_hangs", "counter"},
       {"fault.cluster_straggles", "counter"},
       {"fault.dma_stalls", "counter"},
+      {"fault.payload_flips", "counter"},
+      {"fault.chunk_truncations", "counter"},
+      {"fault.meta_corruptions", "counter"},
+      {"fault.stale_reads", "counter"},
       // ---- counters: per cluster -------------------------------------------
       {"cluster<i>.jobs", "counter"},
       {"cluster<i>.items", "counter"},
@@ -215,6 +220,12 @@ const std::vector<MetricInfo>& metric_reference() {
       {"fleet.failover_requeues", "counter"},
       {"fleet.failover_lost", "counter"},
       {"fleet.failover_stale_completions", "counter"},
+      {"fleet.integrity.detected", "counter"},
+      {"fleet.integrity.escapes", "counter"},
+      {"fleet.integrity.retries", "counter"},
+      {"fleet.integrity.failed", "counter"},
+      {"fleet.integrity.audits", "counter"},
+      {"fleet.integrity.audit_mismatches", "counter"},
       {"recovery.arcs", "counter"},
       // ---- counters: chaos scenarios (scenario::register_scenario_metrics) -
       {"scenario.events", "counter"},
@@ -244,6 +255,7 @@ const std::vector<MetricInfo>& metric_reference() {
       {"sync_setup", "span"},
       {"dispatch", "span"},
       {"wait", "span"},
+      {"verify", "span"},
       {"epilogue", "span"},
       {"watchdog_wait", "span"},
       {"probe_round", "span"},

@@ -76,8 +76,10 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(&kernels::KernelRegistry::shared(
                                                           cfg_.shared_counter, root_.get());
   team_barrier_ =
       std::make_unique<sync::TeamBarrier>(*sim_, "team_barrier", cfg_.team_barrier, root_.get());
-  if (cfg_.fault.any_enabled()) {
+  if (cfg_.fault.any_enabled() || cfg_.fault.corruption_enabled()) {
     fault_ = std::make_unique<fault::FaultInjector>(*sim_, "fault", cfg_.fault, root_.get());
+  }
+  if (cfg_.fault.any_enabled()) {
     // A "lost" dispatch must be distinguishable from a merely delayed one:
     // the recovery watchdog classifies an idle cluster as stuck, so any
     // injected delivery delay has to land well inside the wait budget.
@@ -86,6 +88,9 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(&kernels::KernelRegistry::shared(
             cfg_.fault.dispatch_delay_cycles + 100)
       throw std::invalid_argument(
           "Soc: runtime.watchdog_wait_cycles must exceed fault.dispatch_delay_cycles + 100");
+    // Only crash/omission faults arm the recovery engine: corruption never
+    // delays a completion, so corruption-only configs keep the seed's exact
+    // wait-path timing.
     cfg_.runtime.recovery_enabled = true;
     noc_->set_fault_injector(fault_.get());
     sync_unit_->set_fault_injector(fault_.get());
@@ -113,6 +118,7 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg), registry_(&kernels::KernelRegistry::shared(
   runtime_ = std::make_unique<offload::OffloadRuntime>(*sim_, cfg_.runtime, *host_, *noc_,
                                                        *sync_unit_, *shared_counter_, *registry_,
                                                        *main_mem_, *map_);
+  if (fault_) runtime_->set_fault_injector(fault_.get());
   runtime_->set_cluster_probe([this](unsigned i) {
     const cluster::Cluster& c = *clusters_.at(i);
     return offload::OffloadRuntime::ClusterProbe{c.busy(), c.has_pending_dispatch(),
@@ -199,6 +205,10 @@ void Soc::publish_stats() {
     set("fault.cluster_hangs", fc.cluster_hangs);
     set("fault.cluster_straggles", fc.cluster_straggles);
     set("fault.dma_stalls", fc.dma_stalls);
+    set("fault.payload_flips", fc.payload_flips);
+    set("fault.chunk_truncations", fc.chunk_truncations);
+    set("fault.meta_corruptions", fc.meta_corruptions);
+    set("fault.stale_reads", fc.stale_reads);
   }
   for (unsigned i = 0; i < num_clusters(); ++i) {
     const auto& c = *clusters_[i];

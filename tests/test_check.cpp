@@ -90,9 +90,9 @@ exp::RunPoint make_point(const std::string& label, soc::SocConfig cfg, std::uint
 
 // ---- invariant catalog -----------------------------------------------------
 
-TEST(InvariantReference, TwelveUniquelyNamedInvariants) {
+TEST(InvariantReference, ThirteenUniquelyNamedInvariants) {
   const auto& ref = check::invariant_reference();
-  EXPECT_EQ(ref.size(), 12u);
+  EXPECT_EQ(ref.size(), 13u);
   std::set<std::string> names;
   for (const auto& info : ref) {
     EXPECT_NE(info.name, nullptr);

@@ -1,0 +1,644 @@
+// End-to-end integrity tests: the FNV-1a attestation chain
+// (offload/integrity.h), the runtime's completion-gather verify pass under
+// every silent-data-corruption mode at probability 1.0 (detectable modes
+// convict, stale reads stay checksum-blind, a dormant injector is
+// bit-identical to the seed), the FleetRouter conviction machinery (disjoint
+// re-execution, retry budget, audit lottery, breaker quarantine, escape
+// stamping), the serve_integrity shadow of check::ProtocolMonitor, the
+// deadline-aware kTightestSlack steal policy, and the byte-identity of the
+// E24 integrity report across SweepRunner --jobs levels.
+//
+// Router tests script the Executor seam (CorruptingFakeExecutor, mirroring
+// test_fleet_chaos.cpp) so every conviction is an exact virtual-time schedule
+// with hand-computable outcomes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/protocol_monitor.h"
+#include "exp/sweep_runner.h"
+#include "noc/message.h"
+#include "offload/integrity.h"
+#include "serve/fleet.h"
+#include "serve/fleet_integrity.h"
+#include "serve/fleet_soak.h"
+#include "serve/soc_executor.h"
+#include "sim/trace.h"
+#include "soc/workloads.h"
+
+namespace {
+
+using namespace mco;
+using serve::BatchExecutionOutcome;
+using serve::ExecutionOutcome;
+using serve::FleetConfig;
+using serve::FleetRouter;
+using serve::JobOutcome;
+using serve::JobVerdict;
+using serve::ServeJob;
+
+// ---- the attestation chain (offload/integrity.h) ----------------------------
+
+TEST(Fnv1a, IsDeterministicChainsAndSeesEveryByte) {
+  const std::uint8_t bytes[] = {0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0};
+  const std::uint64_t d1 = offload::fnv1a(bytes, sizeof(bytes));
+  EXPECT_EQ(d1, offload::fnv1a(bytes, sizeof(bytes)));
+
+  // Chaining: hashing the halves with the first half's digest as basis
+  // equals hashing the whole range at once.
+  const std::uint64_t half = offload::fnv1a(bytes, 4);
+  EXPECT_EQ(d1, offload::fnv1a(bytes + 4, 4, half));
+
+  // Sensitivity: any single-byte change (or a truncation) moves the digest.
+  std::uint8_t flipped[sizeof(bytes)];
+  for (std::size_t i = 0; i < sizeof(bytes); ++i) {
+    std::copy(bytes, bytes + sizeof(bytes), flipped);
+    flipped[i] ^= 0x01;
+    EXPECT_NE(d1, offload::fnv1a(flipped, sizeof(flipped))) << "byte " << i;
+  }
+  EXPECT_NE(d1, offload::fnv1a(bytes, sizeof(bytes) - 1));
+}
+
+TEST(PayloadDigest, DistinguishesPayloads) {
+  noc::DispatchMessage a;
+  a.words = {1, 2, 3, 4};
+  noc::DispatchMessage b = a;
+  EXPECT_EQ(offload::payload_digest(a), offload::payload_digest(b));
+  b.words[2] = 99;
+  EXPECT_NE(offload::payload_digest(a), offload::payload_digest(b));
+}
+
+// ---- runtime verify pass under injected corruption --------------------------
+
+constexpr std::uint64_t kN = 512;
+constexpr unsigned kM = 8;
+
+/// Run one daxpy offload without the functional check (corrupted results are
+/// numerically wrong by design — the integrity report is the subject here).
+offload::OffloadResult run_unverified(const soc::SocConfig& cfg) {
+  soc::Soc soc(cfg);
+  sim::Rng rng(42);
+  soc::PreparedJob job =
+      prepare_workload(soc, soc.kernels().by_name("daxpy"), kN, soc.num_clusters(), rng);
+  return soc.run_offload(job.args, kM);
+}
+
+TEST(RuntimeAttestation, CleanRunVerifiesEveryChunkAndOnlyAddsTheVerifyPhase) {
+  soc::SocConfig cfg = soc::SocConfig::extended(kM);
+  const offload::OffloadResult off = soc::run_daxpy(cfg, kN, kM);
+  cfg.runtime.integrity.enabled = true;
+  const offload::OffloadResult on = soc::run_daxpy(cfg, kN, kM);
+
+  EXPECT_TRUE(on.integrity.checks_enabled);
+  EXPECT_EQ(on.integrity.chunks_checked, kM);
+  EXPECT_EQ(on.integrity.digest_mismatches, 0u);
+  EXPECT_TRUE(on.integrity.silent_clusters.empty());
+  EXPECT_GT(on.phases().verify, 0u);
+  EXPECT_GT(on.ts.verify_done, 0u);
+
+  // The verify pass runs strictly after the completion gather: everything up
+  // to the completion observation is bit-identical to the checks-off run.
+  EXPECT_EQ(on.ts.completion, off.ts.completion);
+  EXPECT_EQ(on.phases().marshal, off.phases().marshal);
+  EXPECT_EQ(on.phases().dispatch, off.phases().dispatch);
+  EXPECT_EQ(on.phases().wait, off.phases().wait);
+  EXPECT_EQ(off.phases().verify, 0u);
+  EXPECT_EQ(off.ts.verify_done, 0u);
+  EXPECT_GT(on.total(), off.total());
+}
+
+TEST(RuntimeAttestation, EveryDetectableModeConvictsAtTheGather) {
+  struct Mode {
+    const char* name;
+    double fault::FaultConfig::* prob;
+  };
+  const Mode modes[] = {{"payload_flip", &fault::FaultConfig::payload_flip_prob},
+                        {"chunk_truncate", &fault::FaultConfig::chunk_truncate_prob},
+                        {"meta_corrupt", &fault::FaultConfig::meta_corrupt_prob}};
+  for (const Mode& m : modes) {
+    soc::SocConfig cfg = soc::SocConfig::extended(kM);
+    cfg.runtime.integrity.enabled = true;
+    cfg.fault.seed = 7;
+    cfg.fault.*(m.prob) = 1.0;
+    const offload::OffloadResult r = run_unverified(cfg);
+    EXPECT_EQ(r.integrity.chunks_checked, kM) << m.name;
+    EXPECT_EQ(r.integrity.digest_mismatches, kM) << m.name;
+    EXPECT_EQ(r.integrity.corrupted_clusters.size(), kM) << m.name;
+    EXPECT_TRUE(r.integrity.silent_clusters.empty()) << m.name;
+    EXPECT_TRUE(r.integrity.detected(0)) << m.name;
+  }
+}
+
+TEST(RuntimeAttestation, StaleReadIsChecksumBlind) {
+  // The cluster computed honestly over wrong inputs: its digest verifies, so
+  // the corruption lands in the silent oracle list, never in a mismatch.
+  soc::SocConfig cfg = soc::SocConfig::extended(kM);
+  cfg.runtime.integrity.enabled = true;
+  cfg.fault.seed = 7;
+  cfg.fault.stale_read_prob = 1.0;
+  const offload::OffloadResult r = run_unverified(cfg);
+  EXPECT_EQ(r.integrity.digest_mismatches, 0u);
+  EXPECT_TRUE(r.integrity.corrupted_clusters.empty());
+  EXPECT_EQ(r.integrity.silent_clusters.size(), kM);
+  EXPECT_TRUE(r.integrity.silent(0));
+  EXPECT_FALSE(r.integrity.detected(0));
+}
+
+TEST(RuntimeAttestation, ChecksOffIsBlindToEveryMode) {
+  soc::SocConfig cfg = soc::SocConfig::extended(kM);
+  cfg.fault.seed = 7;
+  cfg.fault.payload_flip_prob = 1.0;
+  const offload::OffloadResult r = run_unverified(cfg);
+  EXPECT_FALSE(r.integrity.checks_enabled);
+  EXPECT_EQ(r.integrity.chunks_checked, 0u);
+  EXPECT_EQ(r.integrity.digest_mismatches, 0u);
+  EXPECT_EQ(r.integrity.silent_clusters.size(), kM);
+  EXPECT_EQ(r.phases().verify, 0u);
+}
+
+TEST(RuntimeAttestation, DormantInjectorAndDisabledChecksAreBitIdenticalToTheSeed) {
+  // The headline pin: an all-zero corruption config with attestation off
+  // must not move a single cycle, whatever the fault seed.
+  const soc::SocConfig seed_cfg = soc::SocConfig::extended(kM);
+  soc::SocConfig dormant = seed_cfg;
+  dormant.fault.seed = 0xDEADBEEF;  // injector is never armed, seed is inert
+  const offload::OffloadResult a = soc::run_daxpy(seed_cfg, kN, kM);
+  const offload::OffloadResult b = soc::run_daxpy(dormant, kN, kM);
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_EQ(a.ts.completion, b.ts.completion);
+  EXPECT_EQ(a.ts.ret, b.ts.ret);
+  EXPECT_FALSE(b.integrity.any_corruption());
+}
+
+// ---- router conviction machinery (scripted executor seam) -------------------
+
+/// Scripted executor: per-job queues of outcomes, served in call order (the
+/// last script entry repeats once exhausted; unscripted jobs run clean).
+class CorruptingFakeExecutor : public serve::Executor {
+ public:
+  explicit CorruptingFakeExecutor(sim::Cycles duration = 100) : duration_(duration) {}
+
+  std::map<std::uint64_t, std::vector<ExecutionOutcome>> scripts;
+  std::vector<std::vector<std::uint64_t>> calls;  ///< ids per execute/batch call
+  std::uint64_t restarts = 0;
+
+  ExecutionOutcome execute(const ServeJob& job, unsigned, bool probe) override {
+    if (!probe) calls.push_back({job.id});
+    ExecutionOutcome out = next_for(job.id);
+    out.duration = duration_;
+    return out;
+  }
+
+  BatchExecutionOutcome execute_batch(const std::vector<ServeJob>& jobs, unsigned) override {
+    std::vector<std::uint64_t> ids;
+    for (const ServeJob& j : jobs) ids.push_back(j.id);
+    calls.push_back(ids);
+    BatchExecutionOutcome out;
+    sim::Cycles offset = 0;
+    for (const ServeJob& j : jobs) {
+      ExecutionOutcome one = next_for(j.id);
+      offset += duration_;
+      one.duration = offset;
+      out.jobs.push_back(one);
+    }
+    return out;
+  }
+
+  void restart() override { ++restarts; }
+
+ private:
+  ExecutionOutcome next_for(std::uint64_t id) {
+    auto it = scripts.find(id);
+    if (it == scripts.end() || it->second.empty()) return ExecutionOutcome{};
+    ExecutionOutcome out = it->second.front();
+    if (it->second.size() > 1) it->second.erase(it->second.begin());
+    return out;
+  }
+
+  sim::Cycles duration_;
+};
+
+model::RuntimeModel linear_model() {
+  model::RuntimeModel m;
+  m.t0 = 100.0;
+  m.b = 1.0;
+  return m;
+}
+
+FleetConfig config(unsigned shards, unsigned clusters_per_shard, std::size_t max_batch = 1,
+                   bool stealing = false) {
+  FleetConfig cfg;
+  cfg.num_shards = shards;
+  cfg.clusters_per_shard = clusters_per_shard;
+  cfg.model = linear_model();
+  cfg.max_batch = max_batch;
+  cfg.stealing = stealing;
+  return cfg;
+}
+
+ServeJob job(std::uint64_t id, std::uint64_t n, sim::Cycle arrival, sim::Cycles t_max) {
+  ServeJob j;
+  j.id = id;
+  j.n = n;
+  j.arrival = arrival;
+  j.t_max = t_max;
+  return j;
+}
+
+/// One scripted outcome: digest-convicted members and/or the silent oracle.
+ExecutionOutcome outcome_with(std::vector<unsigned> corrupted, bool silent, bool checked) {
+  ExecutionOutcome out;
+  out.corrupted_members = std::move(corrupted);
+  out.silent_corruption = silent;
+  out.integrity_checked = checked;
+  return out;
+}
+
+TEST(FleetIntegrity, ConvictionReExecutesOnADisjointPartitionAndRetiresMet) {
+  CorruptingFakeExecutor e0, e1;
+  // First attempt of j1 on shard 0 is digest-convicted; any re-execution is
+  // clean.
+  e0.scripts[1] = {outcome_with({0}, true, true), ExecutionOutcome{}};
+  FleetRouter fleet(config(2, 1), {&e0, &e1});
+  check::ProtocolMonitor mon;
+  fleet.trace().set_observer([&mon](const sim::TraceRecord& rec) { mon.observe(rec); });
+  const std::vector<JobOutcome> out = fleet.run({job(1, 100, 0, 100'000)});
+  mon.finish();
+
+  EXPECT_EQ(fleet.corruptions_detected(), 1u);
+  EXPECT_EQ(fleet.integrity_retries(), 1u);
+  EXPECT_EQ(fleet.corruption_escapes(), 0u);
+  EXPECT_EQ(fleet.integrity_failed_jobs(), 0u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kMet);
+  EXPECT_EQ(out[0].integrity_retries, 1u);
+  // The retry is disjoint from the convicted (shard 0, cluster 0) pair: it
+  // must land on shard 1.
+  ASSERT_EQ(e0.calls.size(), 1u);
+  ASSERT_EQ(e1.calls.size(), 1u);
+  EXPECT_EQ(e1.calls[0], std::vector<std::uint64_t>{1});
+  EXPECT_TRUE(mon.clean()) << mon.to_json();
+}
+
+TEST(FleetIntegrity, ExhaustedRetryBudgetRetiresIntegrityFailed) {
+  CorruptingFakeExecutor e0, e1;
+  e0.scripts[1] = {outcome_with({0}, true, true)};
+  FleetConfig cfg = config(2, 1);
+  cfg.integrity.retry_budget = 0;
+  FleetRouter fleet(cfg, {&e0, &e1});
+  check::ProtocolMonitor mon;
+  fleet.trace().set_observer([&mon](const sim::TraceRecord& rec) { mon.observe(rec); });
+  const std::vector<JobOutcome> out = fleet.run({job(1, 100, 0, 100'000)});
+  mon.finish();
+
+  EXPECT_EQ(fleet.corruptions_detected(), 1u);
+  EXPECT_EQ(fleet.integrity_retries(), 0u);
+  EXPECT_EQ(fleet.integrity_failed_jobs(), 1u);
+  EXPECT_EQ(fleet.corruption_escapes(), 0u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kFailed);
+  EXPECT_EQ(out[0].reason, "integrity_failed");
+  // A convicted job may retire failed — the monitor only forbids a
+  // *delivered* verdict.
+  EXPECT_TRUE(mon.clean()) << mon.to_json();
+}
+
+TEST(FleetIntegrity, AuditLotteryCatchesAChecksumBlindResult) {
+  CorruptingFakeExecutor e0, e1;
+  // Stale-read shape: digests verify (no corrupted members) but the oracle
+  // bit is set. Only the dual-execution audit can convict it.
+  e0.scripts[1] = {outcome_with({}, true, true), ExecutionOutcome{}};
+  FleetConfig cfg = config(2, 1);
+  cfg.integrity.audit_fraction = 1.0;
+  FleetRouter fleet(cfg, {&e0, &e1});
+  check::ProtocolMonitor mon;
+  fleet.trace().set_observer([&mon](const sim::TraceRecord& rec) { mon.observe(rec); });
+  const std::vector<JobOutcome> out = fleet.run({job(1, 100, 0, 100'000)});
+  mon.finish();
+
+  // Both executions are audited (fraction 1.0): the first convicts, the
+  // clean re-execution passes.
+  EXPECT_EQ(fleet.audits(), 2u);
+  EXPECT_EQ(fleet.audit_mismatches(), 1u);
+  EXPECT_EQ(fleet.integrity_retries(), 1u);
+  EXPECT_EQ(fleet.corruption_escapes(), 0u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kMet);
+  EXPECT_TRUE(mon.clean()) << mon.to_json();
+}
+
+TEST(FleetIntegrity, BlindEscapeIsCountedButNotABreach) {
+  // Attestation off: the silently corrupted result retires met, the escape
+  // counter ticks, and the blind=1 stamp keeps the monitor clean — leaking
+  // was the config's stated choice.
+  CorruptingFakeExecutor e0, e1;
+  e0.scripts[1] = {outcome_with({}, true, false)};
+  FleetRouter fleet(config(2, 1), {&e0, &e1});
+  check::ProtocolMonitor mon;
+  fleet.trace().set_observer([&mon](const sim::TraceRecord& rec) { mon.observe(rec); });
+  const std::vector<JobOutcome> out = fleet.run({job(1, 100, 0, 100'000)});
+  mon.finish();
+
+  EXPECT_EQ(fleet.corruption_escapes(), 1u);
+  EXPECT_EQ(fleet.corruptions_detected(), 0u);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kMet);
+  EXPECT_TRUE(mon.clean()) << mon.to_json();
+}
+
+TEST(FleetIntegrity, CheckedEscapeIsConvictedByTheMonitor) {
+  // The scripted escape double: checks were on, every defense missed (no
+  // digest mismatch, no audit), and the corrupt result retired met. The
+  // router cannot see it — but the corrupt=1 stamp lets the serve_integrity
+  // invariant convict the run from the trace.
+  CorruptingFakeExecutor e0, e1;
+  e0.scripts[1] = {outcome_with({}, true, true)};
+  FleetRouter fleet(config(2, 1), {&e0, &e1});
+  check::ProtocolMonitor mon;
+  fleet.trace().set_observer([&mon](const sim::TraceRecord& rec) { mon.observe(rec); });
+  const std::vector<JobOutcome> out = fleet.run({job(1, 100, 0, 100'000)});
+  mon.finish();
+
+  EXPECT_EQ(fleet.corruption_escapes(), 1u);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kMet);
+  ASSERT_GE(mon.total_violations(), 1u);
+  bool integrity = false;
+  for (const check::Violation& v : mon.violations()) {
+    if (v.invariant == "serve_integrity") integrity = true;
+  }
+  EXPECT_TRUE(integrity) << mon.to_json();
+}
+
+TEST(FleetIntegrity, RepeatOffenderQuarantinesThroughTheBreaker) {
+  CorruptingFakeExecutor e0, e1;
+  e0.scripts[1] = {outcome_with({0}, true, true), ExecutionOutcome{}};
+  FleetConfig cfg = config(2, 1);
+  cfg.health.failure_threshold = 1;  // one conviction trips the breaker
+  FleetRouter fleet(cfg, {&e0, &e1});
+  check::ProtocolMonitor mon;
+  fleet.trace().set_observer([&mon](const sim::TraceRecord& rec) { mon.observe(rec); });
+  const std::vector<JobOutcome> out = fleet.run({job(1, 100, 0, 100'000)});
+  mon.finish();
+
+  EXPECT_EQ(fleet.corruptions_detected(), 1u);
+  EXPECT_GE(fleet.health(0).quarantines(), 1u);
+  EXPECT_EQ(fleet.health(1).quarantines(), 0u);
+  EXPECT_EQ(out[0].verdict, JobVerdict::kMet);
+  // serve_quarantine lands after the serve_corruption that justifies it, so
+  // the pending-quarantine shadow closes cleanly.
+  EXPECT_TRUE(mon.clean()) << mon.to_json();
+}
+
+// ---- the serve_integrity shadow (synthetic stories) -------------------------
+
+void feed(check::ProtocolMonitor& mon, sim::Cycle t, const std::string& what,
+          const std::string& detail) {
+  sim::TraceRecord rec;
+  rec.time = t;
+  rec.who = "serve";
+  rec.what = what;
+  rec.detail = detail;
+  rec.phase = sim::TracePhase::kInstant;
+  mon.observe(rec);
+}
+
+bool has_invariant(const check::ProtocolMonitor& mon, const std::string& name) {
+  return std::any_of(mon.violations().begin(), mon.violations().end(),
+                     [&](const check::Violation& v) { return v.invariant == name; });
+}
+
+TEST(ServeIntegrityShadow, CleanConvictionRetryStoryHasNoViolations) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=1 batch=0 clusters=0");
+  feed(mon, 110, "serve_corruption", "job=1 shard=0 members=0 clusters=0");
+  feed(mon, 110, "serve_integrity_retry", "job=1 epoch=1 from=0");
+  feed(mon, 110, "serve_dispatch", "job=1 shard=1 m=1 batch=0 clusters=0");
+  feed(mon, 210, "serve_complete", "job=1 shard=1 verdict=met clusters=0");
+  mon.finish();
+  EXPECT_TRUE(mon.clean()) << mon.to_json();
+}
+
+TEST(ServeIntegrityShadow, ConvictedResultRetiringDeliveredIsAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=1 batch=0 clusters=0");
+  feed(mon, 110, "serve_corruption", "job=1 shard=0 members=0 clusters=0");
+  feed(mon, 120, "serve_complete", "job=1 shard=0 verdict=met");
+  mon.finish();
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_TRUE(has_invariant(mon, "serve_integrity")) << mon.to_json();
+}
+
+TEST(ServeIntegrityShadow, CorruptResultRetiringMetUnderAttestationIsAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=1 batch=0 clusters=0");
+  feed(mon, 110, "serve_complete", "job=1 shard=0 verdict=met corrupt=1 clusters=0");
+  mon.finish();
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_TRUE(has_invariant(mon, "serve_integrity")) << mon.to_json();
+}
+
+TEST(ServeIntegrityShadow, BlindEscapeIsNotAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=1 batch=0 clusters=0");
+  feed(mon, 110, "serve_complete", "job=1 shard=0 verdict=met corrupt=1 blind=1 clusters=0");
+  mon.finish();
+  EXPECT_TRUE(mon.clean()) << mon.to_json();
+}
+
+TEST(ServeIntegrityShadow, RetryWithoutAConvictionIsAViolation) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=1 batch=0 clusters=0");
+  feed(mon, 110, "serve_integrity_retry", "job=1 epoch=1 from=0");
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_TRUE(has_invariant(mon, "serve_integrity")) << mon.to_json();
+}
+
+TEST(ServeIntegrityShadow, ConvictionOrAuditOfARetiredJobIsAViolation) {
+  {
+    check::ProtocolMonitor mon;
+    feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=1 batch=0 clusters=0");
+    feed(mon, 110, "serve_complete", "job=1 shard=0 verdict=met clusters=0");
+    feed(mon, 120, "serve_corruption", "job=1 shard=0 members=0");
+    EXPECT_TRUE(has_invariant(mon, "serve_integrity")) << mon.to_json();
+  }
+  {
+    check::ProtocolMonitor mon;
+    feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=1 batch=0 clusters=0");
+    feed(mon, 110, "serve_complete", "job=1 shard=0 verdict=met clusters=0");
+    feed(mon, 120, "serve_audit", "job=1 shard=0 mismatch=0");
+    EXPECT_TRUE(has_invariant(mon, "serve_integrity")) << mon.to_json();
+  }
+}
+
+TEST(ServeIntegrityShadow, TrippedBreakerMustQuarantineBeforeTheNextDispatch) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=1 batch=0 clusters=0");
+  feed(mon, 110, "serve_corruption", "job=1 shard=0 members=0 tripped=0 clusters=0");
+  // Dispatching onto the convicted cluster before its serve_quarantine
+  // record is the sick-silicon leak the invariant exists to catch.
+  feed(mon, 120, "serve_dispatch", "job=2 shard=0 m=1 batch=0 clusters=0");
+  ASSERT_GE(mon.total_violations(), 1u);
+  EXPECT_TRUE(has_invariant(mon, "serve_integrity")) << mon.to_json();
+}
+
+TEST(ServeIntegrityShadow, PendingQuarantineAndOpenConvictionAreCaughtAtFinish) {
+  check::ProtocolMonitor mon;
+  feed(mon, 10, "serve_dispatch", "job=1 shard=0 m=1 batch=0 clusters=0");
+  feed(mon, 110, "serve_corruption", "job=1 shard=0 members=0 tripped=0 clusters=0");
+  mon.finish();
+  // Two open integrity obligations: the conviction never resolved into a
+  // retry/failure, and the tripped breaker never quarantined.
+  ASSERT_GE(mon.total_violations(), 2u);
+  EXPECT_TRUE(has_invariant(mon, "serve_integrity")) << mon.to_json();
+}
+
+// ---- deadline-aware work stealing -------------------------------------------
+
+TEST(StealPolicy, TightestSlackRescuesTheExpiringJobFirst) {
+  // Shard 0 is slow (1000-cycle jobs) and ends up with a two-deep backlog
+  // [j3 (loose deadline), j5 (tight deadline)]; shard 1 is fast and starts
+  // stealing at t=200. Backlog-head pulls in id order; tightest-slack
+  // rescues j5 first.
+  auto run = [](serve::StealPolicy policy) {
+    CorruptingFakeExecutor e0(1000), e1(100);
+    FleetConfig cfg = config(2, 1, 1, /*stealing=*/true);
+    cfg.steal_policy = policy;
+    FleetRouter fleet(cfg, {&e0, &e1});
+    const std::vector<ServeJob> jobs = {job(1, 100, 0, 100'000), job(2, 100, 0, 100'000),
+                                        job(3, 100, 0, 50'000), job(4, 100, 0, 100'000),
+                                        job(5, 100, 0, 5'000)};
+    const std::vector<JobOutcome> out = fleet.run(jobs);
+    for (const JobOutcome& o : out) EXPECT_EQ(o.verdict, JobVerdict::kMet) << o.job_id;
+    EXPECT_GE(fleet.steals(), 2u);
+    std::vector<std::uint64_t> order;
+    for (const auto& call : e1.calls) order.insert(order.end(), call.begin(), call.end());
+    return order;
+  };
+  EXPECT_EQ(run(serve::StealPolicy::kBacklogHead),
+            (std::vector<std::uint64_t>{2, 4, 3, 5}));
+  EXPECT_EQ(run(serve::StealPolicy::kTightestSlack),
+            (std::vector<std::uint64_t>{2, 4, 5, 3}));
+}
+
+TEST(StealPolicy, TightestSlackReplayIsBitIdentical) {
+  // Two independent replays of the same saturating trace under the
+  // deadline-aware policy must emit byte-identical steal streams and
+  // verdicts (the policy is a pure function of the trace).
+  serve::SoakTraceConfig tc = serve::fleet_trace_config(200);
+  serve::FleetSoakConfig cfg;
+  const std::vector<ServeJob> trace = serve::generate_trace(tc, cfg.model);
+  auto replay = [&]() {
+    std::vector<std::unique_ptr<serve::SocExecutor>> execs;
+    std::vector<serve::Executor*> ptrs;
+    for (unsigned s = 0; s < 2; ++s) {
+      serve::SocExecutorConfig xc;
+      xc.soc = soc::SocConfig::extended(cfg.clusters_per_shard);
+      xc.tolerance = cfg.tolerance;
+      xc.workload_seed = cfg.workload_seed + s;
+      execs.push_back(std::make_unique<serve::SocExecutor>(xc));
+      ptrs.push_back(execs.back().get());
+    }
+    serve::FleetConfig fc;
+    fc.num_shards = 2;
+    fc.clusters_per_shard = cfg.clusters_per_shard;
+    fc.model = cfg.model;
+    fc.max_queue = cfg.max_queue;
+    fc.max_clusters_per_job = cfg.max_clusters_per_job;
+    fc.health = cfg.health;
+    fc.steal_policy = serve::StealPolicy::kTightestSlack;
+    FleetRouter fleet(fc, ptrs);
+    std::vector<std::string> records;
+    fleet.trace().set_observer([&records](const sim::TraceRecord& rec) {
+      if (rec.what == "serve_steal") {
+        records.push_back(std::to_string(rec.time) + " " + rec.detail);
+      }
+    });
+    const std::vector<JobOutcome> out = fleet.run(trace);
+    for (const JobOutcome& o : out) {
+      records.push_back("verdict " + std::to_string(o.job_id) + " " +
+                        std::string(serve::to_string(o.verdict)));
+    }
+    return records;
+  };
+  const std::vector<std::string> first = replay();
+  EXPECT_EQ(first, replay());
+  EXPECT_GT(first.size(), trace.size());  // at least one steal record
+}
+
+// ---- the E24 grid -----------------------------------------------------------
+
+TEST(FleetIntegrityGrid, CoversTheScriptedDefenses) {
+  const std::vector<serve::FleetIntegrityPoint> grid = serve::fleet_integrity_grid();
+  ASSERT_EQ(grid.size(), 7u);
+  EXPECT_EQ(grid[0].name, "control");
+  EXPECT_EQ(grid[1].name, "flip_low");
+  EXPECT_EQ(grid[2].name, "flip_high");
+  EXPECT_EQ(grid[3].name, "mix_detectable");
+  EXPECT_EQ(grid[4].name, "stale_audit");
+  EXPECT_EQ(grid[5].name, "flip_audit");
+  EXPECT_EQ(grid[6].name, "blind_off");
+  for (const serve::FleetIntegrityPoint& p : grid) {
+    EXPECT_EQ(p.num_shards, 4u) << p.name;
+    EXPECT_EQ(p.checks, p.name != "blind_off") << p.name;
+  }
+  EXPECT_EQ(grid[0].rate, 0.0);
+  EXPECT_FALSE(grid[0].corruption.corruption_enabled());
+  // The checksum-blind row keeps every completion auditable.
+  EXPECT_EQ(grid[4].max_batch, 1u);
+  EXPECT_EQ(grid[4].audit_fraction, 1.0);
+  EXPECT_GT(grid[6].rate, 0.0);
+}
+
+TEST(FleetIntegrityGrid, PointsRunSealedUnderTheMonitors) {
+  serve::SoakTraceConfig tc = serve::fleet_trace_config(150);
+  serve::FleetSoakConfig cfg;
+  const std::vector<ServeJob> trace = serve::generate_trace(tc, cfg.model);
+  for (const serve::FleetIntegrityPoint& pt : serve::fleet_integrity_grid()) {
+    const serve::FleetIntegrityResult r = serve::run_fleet_integrity_point(pt, trace, cfg);
+    EXPECT_EQ(r.soc_violations, 0u) << pt.name;
+    EXPECT_EQ(r.serve_violations, 0u) << pt.name;
+    EXPECT_EQ(r.met + r.missed + r.shed + r.failed, r.jobs) << pt.name;
+    if (pt.checks) {
+      // The tentpole property at any trace length: attestation + audit admit
+      // zero corrupted verdicts.
+      EXPECT_EQ(r.escapes, 0u) << pt.name;
+      EXPECT_GT(r.verify_cycles, 0u) << pt.name;
+    } else {
+      EXPECT_EQ(r.detected, 0u) << pt.name;
+      EXPECT_EQ(r.verify_cycles, 0u) << pt.name;
+    }
+    if (pt.name == "control") {
+      EXPECT_EQ(r.detected, 0u);
+    }
+    if (pt.name == "flip_high") {
+      EXPECT_GT(r.detected, 0u);
+    }
+    if (pt.name == "blind_off") {
+      EXPECT_GT(r.escapes, 0u);
+    }
+  }
+}
+
+TEST(FleetIntegrityReport, IsByteIdenticalAcrossJobsLevels) {
+  serve::SoakTraceConfig tc = serve::fleet_trace_config(120);
+  serve::FleetSoakConfig cfg;
+  const std::vector<ServeJob> trace = serve::generate_trace(tc, cfg.model);
+  const std::vector<serve::FleetIntegrityPoint> grid = serve::fleet_integrity_grid();
+  auto report_at = [&](unsigned jobs) {
+    exp::SweepRunner runner(jobs);
+    const std::vector<serve::FleetIntegrityResult> results =
+        runner.map(grid, [&](const serve::FleetIntegrityPoint& pt) {
+          return serve::run_fleet_integrity_point(pt, trace, cfg);
+        });
+    return serve::integrity_report_json(results, tc);
+  };
+  const std::string at1 = report_at(1);
+  EXPECT_EQ(at1, report_at(4));
+  EXPECT_EQ(at1, report_at(16));
+}
+
+}  // namespace

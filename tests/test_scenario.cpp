@@ -397,6 +397,160 @@ TEST(ScenarioFleetFuzz, SeededMutationCorpusNeverCrashes) {
   EXPECT_GT(rejected, 0u);
 }
 
+// ---- integrity dialect (corrupt / set / headers) ----------------------------
+
+const char* kIntegrityValid = R"(# integrity scenario
+name = integrity_parse
+shards = 2
+clusters = 8
+seed = 5
+horizon = 400us
+integrity = on
+audit = 0.25
+batch = 1
+steal = slack
+
+at 0 traffic steady slack=1.2..2.0
+at 80us set health.failure_threshold=1
+at 100us mark hit
+at 100us corrupt shard=1 cluster=0 rate=0.5 mode=stale_read
+at 150us set integrity.audit=1.0
+at 200us inject none
+expect detected_corruptions >= 1
+expect corruption_escapes == 0
+expect violations == 0
+)";
+
+TEST(ScenarioIntegrityParse, FullDialectRoundTrip) {
+  const ScenarioSpec s = load_scenario_text(kIntegrityValid);
+  EXPECT_TRUE(s.integrity_checks);
+  EXPECT_DOUBLE_EQ(s.audit_fraction, 0.25);
+  EXPECT_EQ(s.max_batch, 1u);
+  EXPECT_EQ(s.steal_policy, serve::StealPolicy::kTightestSlack);
+  EXPECT_TRUE(s.needs_fleet());
+
+  ASSERT_EQ(s.events.size(), 6u);
+  const scenario::ScenarioEvent& set1 = s.events[1];
+  EXPECT_EQ(set1.kind, ScenarioEventKind::kSet);
+  EXPECT_EQ(set1.label, "health.failure_threshold");
+  EXPECT_DOUBLE_EQ(set1.value, 1.0);
+
+  const scenario::ScenarioEvent& corrupt = s.events[3];
+  EXPECT_EQ(corrupt.kind, ScenarioEventKind::kCorrupt);
+  EXPECT_EQ(corrupt.label, "stale_read");
+  EXPECT_EQ(corrupt.shard, 1u);
+  ASSERT_EQ(corrupt.clusters.size(), 1u);
+  EXPECT_EQ(corrupt.clusters[0], 0u);
+  EXPECT_DOUBLE_EQ(corrupt.value, 0.5);
+
+  const scenario::ScenarioEvent& set2 = s.events[4];
+  EXPECT_EQ(set2.kind, ScenarioEventKind::kSet);
+  EXPECT_EQ(set2.label, "integrity.audit");
+  EXPECT_DOUBLE_EQ(set2.value, 1.0);
+}
+
+TEST(ScenarioIntegrityParse, CorruptDefaultsToPayloadFlipAnyCluster) {
+  const ScenarioSpec s = load_scenario_text(
+      "shards = 2\nhorizon = 1000\nat 0 corrupt rate=0.1\nexpect violations == 0\n");
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].kind, ScenarioEventKind::kCorrupt);
+  EXPECT_EQ(s.events[0].label, "payload_flip");
+  EXPECT_EQ(s.events[0].shard, 0u);
+  EXPECT_TRUE(s.events[0].clusters.empty());
+}
+
+TEST(ScenarioIntegrityParse, CorruptAndIntegritySetForceTheFleetPathAtOneShard) {
+  // Like fail/heal, corrupt is a fleet-only verb: a single-service spec that
+  // scripts one runs through serve::FleetRouter even at shards = 1.
+  const ScenarioSpec c = load_scenario_text(
+      "horizon = 1000\nat 0 corrupt rate=0.1\nexpect violations == 0\n");
+  EXPECT_EQ(c.shards, 1u);
+  EXPECT_TRUE(c.needs_fleet());
+  const ScenarioSpec s = load_scenario_text(
+      "horizon = 1000\nat 0 set integrity.retries=2\nexpect violations == 0\n");
+  EXPECT_TRUE(s.needs_fleet());
+  const ScenarioSpec h = load_scenario_text(
+      "horizon = 1000\nat 0 set health.probe_backoff=4us\nexpect violations == 0\n");
+  EXPECT_FALSE(h.needs_fleet());
+  EXPECT_DOUBLE_EQ(h.events[0].value, 4000.0);
+}
+
+TEST(ScenarioIntegrityParse, NegativePathsRejectWithDiagnostics) {
+  // Every malformed corrupt/set/header line must throw a line-numbered
+  // diagnostic, never crash or silently parse.
+  const char* bad[] = {
+      "shards = 2\nhorizon = 1000\nat 0 corrupt rate=0.1 foo=1\n",  // unknown arg
+      "shards = 2\nhorizon = 1000\nat 0 corrupt\n",          // rate is mandatory
+      "shards = 2\nhorizon = 1000\nat 0 corrupt rate=0\n",   // rate must be > 0
+      "shards = 2\nhorizon = 1000\nat 0 corrupt rate=1.5\n", // rate must be <= 1
+      "shards = 2\nhorizon = 1000\nat 0 corrupt rate=x\n",
+      "shards = 2\nhorizon = 1000\nat 0 corrupt shard=9 rate=0.1\n",
+      "shards = 2\nhorizon = 1000\nat 0 corrupt cluster=64 rate=0.1\n",
+      "shards = 2\nhorizon = 1000\nat 0 corrupt rate=0.1 mode=bitrot\n",
+      "horizon = 1000\nat 0 set\n",                          // key=value required
+      "horizon = 1000\nat 0 set health.failure_threshold\n", // missing '='
+      "horizon = 1000\nat 0 set no.such.key=1\n",            // whitelist only
+      "horizon = 1000\nat 0 set health.failure_threshold=0\n",  // count >= 1
+      "horizon = 1000\nat 0 set integrity.audit=1.5\n",      // fraction in [0,1]
+      "horizon = 1000\nat 0 set integrity.audit=x\n",
+      "integrity = maybe\nhorizon = 1000\n",
+      "audit = 2.0\nhorizon = 1000\n",
+      "batch = 0\nhorizon = 1000\n",
+      "steal = random\nhorizon = 1000\n",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)load_scenario_text(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(ScenarioIntegrityFuzz, SeededMutationCorpusNeverCrashes) {
+  // Same discipline as ScenarioFuzz/ScenarioFleetFuzz, over the integrity
+  // dialect: 200 seeded mutants of the valid corrupt/set scenario must
+  // parse or reject with a diagnostic — never crash. Mutations concentrate
+  // on the dotted set keys, the rate/mode arguments and the new headers.
+  const std::string valid = kIntegrityValid;
+  sim::Rng rng(0x1D1617F00Dull);
+  const std::string charset = "abcdefghijklmnopqrstuvwxyz0123456789.,=*# \nat-";
+  unsigned parsed = 0, rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string text = valid;
+    const unsigned op = static_cast<unsigned>(rng.next_below(4));
+    if (op == 0 && !text.empty()) {  // truncate mid-file
+      text.resize(rng.next_below(text.size()));
+    } else if (op == 1 && !text.empty()) {  // corrupt one byte
+      text[rng.next_below(text.size())] = charset[rng.next_below(charset.size())];
+    } else if (op == 2 && !text.empty()) {  // delete a span
+      const std::size_t at = rng.next_below(text.size());
+      text.erase(at, rng.next_below(16) + 1);
+    } else {  // splice random garbage
+      std::string junk;
+      for (unsigned k = 0; k < 12; ++k) junk += charset[rng.next_below(charset.size())];
+      text.insert(text.empty() ? 0 : rng.next_below(text.size()), junk);
+    }
+    try {
+      (void)load_scenario_text(text);
+      ++parsed;
+    } catch (const std::exception& e) {
+      EXPECT_NE(e.what()[0], '\0') << "empty diagnostic for integrity mutant " << i;
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 200u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(ScenarioIntegritySettableKeys, WhitelistMatchesTheKeywordTable) {
+  // Every settable key is also a "setting" row of the keyword reference
+  // (and therefore a docs/scenarios.md row, via check_metrics_docs.py).
+  std::set<std::string> table;
+  for (const auto& k : scenario::scenario_keyword_reference()) {
+    if (std::string(k.kind) == "setting") table.insert(k.name);
+  }
+  std::set<std::string> whitelist;
+  for (const auto& k : scenario::scenario_settable_keys()) whitelist.insert(k.name);
+  EXPECT_EQ(table, whitelist);
+}
+
 // ---- trace generation -------------------------------------------------------
 
 TEST(ScenarioTrace, IsDeterministicAndPhaseDirected) {
@@ -448,7 +602,8 @@ TEST(ScenarioKeywords, NamesAreUniquePerKindAndKindsAreKnown) {
   // A name may legitimately appear under two kinds ("clusters" is both the
   // shard-count header and the drain verb's cluster-set argument), but never
   // twice under the same kind.
-  const std::set<std::string> kinds = {"header", "verb", "profile", "preset", "arg", "metric"};
+  const std::set<std::string> kinds = {"header", "verb",    "profile", "preset",
+                                       "arg",    "metric",  "mode",    "setting"};
   std::set<std::pair<std::string, std::string>> seen;
   for (const auto& k : scenario::scenario_keyword_reference()) {
     EXPECT_TRUE(kinds.count(k.kind)) << k.kind;

@@ -434,9 +434,11 @@ std::string normalize(const std::string& name) {
 
 TEST(DocsCrossCheck, EveryRuntimeNameIsInTheReferenceAndViceVersa) {
   // A faulted run (which also exercises recovery) plus publish_stats
-  // registers every counter and histogram the simulator can emit.
+  // registers every counter and histogram the simulator can emit. Integrity
+  // checks are on so the verify phase counter and span fire too.
   soc::SocConfig cfg = soc::SocConfig::extended(8);
   cfg.runtime.watchdog_wait_cycles = 2000;
+  cfg.runtime.integrity.enabled = true;
   cfg.fault.target_cluster = 3;
   cfg.fault.cluster_hang_prob = 1.0;
   soc::Soc soc(cfg);
